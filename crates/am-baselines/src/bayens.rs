@@ -1,0 +1,231 @@
+//! Bayens' IDS \[4\]: Dejavu-style audio window fingerprinting.
+//!
+//! "This IDS compares side-channel signals window by window (90 s or
+//! 120 s for the window size). This IDS first checks if the windows are
+//! in sequence. If not, an intrusion is declared. It then checks the
+//! scores for each window. If the score of any window is below a
+//! pre-defined threshold, an intrusion is declared." Thresholds come from
+//! NSYNC's OCC with r = 0 ("there are no details on how to obtain the
+//! thresholds for a new printer"); audio only.
+//!
+//! Our retrieval engine: each observed window is matched against every
+//! reference window by channel-averaged Pearson correlation (a stand-in
+//! for Shazam-style constellation hashing that preserves the retrieval
+//! semantics — find the best-matching reference window and a confidence
+//! score).
+
+use crate::error::BaselineError;
+use crate::run::{BaselineDetector, RunData, Verdict};
+use am_dsp::metrics::pearson;
+use am_dsp::Signal;
+
+/// Trained Bayens detector.
+#[derive(Debug, Clone)]
+pub struct BayensIds {
+    reference_windows: Vec<Signal>,
+    window_len: usize,
+    score_threshold: f64,
+}
+
+fn split_windows(signal: &Signal, window_len: usize) -> Vec<Signal> {
+    let count = signal.len() / window_len;
+    (0..count)
+        .map(|i| {
+            signal
+                .slice(i * window_len..(i + 1) * window_len)
+                .expect("window bounds checked")
+        })
+        .collect()
+}
+
+fn window_score(a: &Signal, b: &Signal) -> f64 {
+    let c = a.channels().min(b.channels());
+    let n = a.len().min(b.len());
+    let mut acc = 0.0;
+    for ch in 0..c {
+        acc += pearson(&a.channel(ch)[..n], &b.channel(ch)[..n]);
+    }
+    acc / c as f64
+}
+
+impl BayensIds {
+    /// Trains the score threshold over benign runs (OCC margin `r`; the
+    /// paper uses 0 because TPRs are already low).
+    ///
+    /// `window_seconds` is the retrieval window (the paper evaluates 90 s
+    /// and 120 s; scaled experiments use proportionally smaller windows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidTraining`] when training is empty
+    /// or the reference is shorter than one window.
+    pub fn train(
+        reference: &RunData,
+        training: &[RunData],
+        window_seconds: f64,
+        r: f64,
+    ) -> Result<Self, BaselineError> {
+        if training.is_empty() {
+            return Err(BaselineError::InvalidTraining("no benign runs".into()));
+        }
+        let window_len = (window_seconds * reference.signal.fs()).round() as usize;
+        if window_len == 0 || reference.signal.len() < window_len {
+            return Err(BaselineError::InvalidTraining(format!(
+                "reference shorter than one {window_seconds} s window"
+            )));
+        }
+        let reference_windows = split_windows(&reference.signal, window_len);
+        // Learn the minimum best-match score seen across benign runs.
+        let mut minima = Vec::with_capacity(training.len());
+        for run in training {
+            let mut min_score = f64::INFINITY;
+            for w in split_windows(&run.signal, window_len) {
+                let (_, score) = best_match(&w, &reference_windows);
+                min_score = min_score.min(score);
+            }
+            if min_score.is_finite() {
+                minima.push(min_score);
+            }
+        }
+        if minima.is_empty() {
+            return Err(BaselineError::InvalidTraining(
+                "no training run contained a full window".into(),
+            ));
+        }
+        let min = minima.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = minima.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Threshold below which a score is suspicious: OCC on the *low*
+        // side (scores are similarities, higher is better).
+        let score_threshold = min - r * (max - min);
+        Ok(BayensIds {
+            reference_windows,
+            window_len,
+            score_threshold,
+        })
+    }
+
+    /// The learned minimum-acceptable retrieval score.
+    pub fn score_threshold(&self) -> f64 {
+        self.score_threshold
+    }
+
+    /// Runs the two sub-modules, returning `(sequence_fired,
+    /// threshold_fired)`.
+    pub fn sub_modules(&self, observed: &RunData) -> (bool, bool) {
+        let mut sequence_fired = false;
+        let mut threshold_fired = false;
+        for (i, w) in split_windows(&observed.signal, self.window_len)
+            .iter()
+            .enumerate()
+        {
+            let (best, score) = best_match(w, &self.reference_windows);
+            if best != i {
+                sequence_fired = true;
+            }
+            if score < self.score_threshold {
+                threshold_fired = true;
+            }
+        }
+        (sequence_fired, threshold_fired)
+    }
+}
+
+fn best_match(window: &Signal, references: &[Signal]) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, r) in references.iter().enumerate() {
+        let s = window_score(window, r);
+        if s > best.1 {
+            best = (i, s);
+        }
+    }
+    best
+}
+
+impl BaselineDetector for BayensIds {
+    fn name(&self) -> String {
+        "Bayens".into()
+    }
+
+    fn detect(&self, observed: &RunData) -> Result<Verdict, BaselineError> {
+        let (sequence, threshold) = self.sub_modules(observed);
+        Ok(Verdict {
+            intrusion: sequence || threshold,
+            sub_modules: vec![
+                ("sequence".into(), sequence),
+                ("threshold".into(), threshold),
+            ],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process with distinct content per 10-second phase.
+    fn phased(fs: f64, phases: usize, shift: f64) -> RunData {
+        let n = (10.0 * fs) as usize * phases;
+        let sig = Signal::from_fn(fs, 2, n, |t, f| {
+            let phase = ((t / 10.0) as usize).min(phases - 1);
+            let freq = 1.0 + phase as f64 * 0.7;
+            f[0] = (freq * (t + shift) * std::f64::consts::TAU * 0.2).sin();
+            f[1] = 0.8 * f[0];
+        })
+        .unwrap();
+        RunData::new(sig, vec![0.0])
+    }
+
+    #[test]
+    fn benign_windows_match_in_sequence() {
+        let reference = phased(20.0, 6, 0.0);
+        let training: Vec<RunData> = (1..=3).map(|i| phased(20.0, 6, 1e-3 * i as f64)).collect();
+        let ids = BayensIds::train(&reference, &training, 10.0, 0.0).unwrap();
+        let v = ids.detect(&phased(20.0, 6, 2e-3)).unwrap();
+        assert!(!v.intrusion, "{v:?}");
+    }
+
+    #[test]
+    fn reordered_content_fires_sequence() {
+        let reference = phased(20.0, 6, 0.0);
+        let training = vec![reference.clone()];
+        let ids = BayensIds::train(&reference, &training, 10.0, 0.0).unwrap();
+        // Build an observed run whose phases are swapped.
+        let fs = 20.0;
+        let n = (10.0 * fs) as usize * 6;
+        let swapped = Signal::from_fn(fs, 2, n, |t, f| {
+            let phase = ((t / 10.0) as usize).min(5);
+            let order = [1usize, 0, 3, 2, 5, 4][phase];
+            let freq = 1.0 + order as f64 * 0.7;
+            f[0] = (freq * t * std::f64::consts::TAU * 0.2).sin();
+            f[1] = 0.8 * f[0];
+        })
+        .unwrap();
+        let v = ids.detect(&RunData::new(swapped, vec![0.0])).unwrap();
+        assert_eq!(v.sub_module("sequence"), Some(true));
+        assert!(v.intrusion);
+    }
+
+    #[test]
+    fn alien_content_fires_threshold() {
+        let reference = phased(20.0, 6, 0.0);
+        let training: Vec<RunData> = (1..=3).map(|i| phased(20.0, 6, 1e-3 * i as f64)).collect();
+        let ids = BayensIds::train(&reference, &training, 10.0, 0.0).unwrap();
+        let noise = Signal::from_fn(20.0, 2, (10.0 * 20.0) as usize * 6, |t, f| {
+            f[0] = ((t * 7919.0).sin() * 43758.5453).fract() - 0.5;
+            f[1] = ((t * 104729.0).sin() * 23421.631).fract() - 0.5;
+        })
+        .unwrap();
+        let v = ids.detect(&RunData::new(noise, vec![0.0])).unwrap();
+        assert_eq!(v.sub_module("threshold"), Some(true), "{v:?}");
+    }
+
+    #[test]
+    fn validation() {
+        let r = phased(20.0, 2, 0.0);
+        assert!(BayensIds::train(&r, &[], 10.0, 0.0).is_err());
+        assert!(BayensIds::train(&r, &[r.clone()], 1000.0, 0.0).is_err());
+        let ids = BayensIds::train(&r, &[r.clone()], 10.0, 0.0).unwrap();
+        assert_eq!(ids.name(), "Bayens");
+        assert!(ids.score_threshold().is_finite());
+    }
+}

@@ -1,0 +1,171 @@
+//! Belikovetsky's IDS \[5\]: PCA-compressed spectrogram + cosine
+//! similarity with a fixed magic-number rule.
+//!
+//! "This IDS applies PCA to compress the number of channels of the
+//! spectrogram of the observed signal down to three ... a and b are then
+//! compared point by point without DSYNC using the cosine distance
+//! metric. A window of five seconds is used to calculate the moving
+//! average ... If the average distances of four consecutive windows drop
+//! below 0.63, then an intrusion is detected."
+//!
+//! Note the hard-coded 0.63: the paper criticizes magic-number thresholds
+//! precisely because they don't transfer across printers/sensors — our
+//! reproduction keeps the original rule (with the constant configurable
+//! for ablations). The detector expects **spectrogram** inputs, audio
+//! only, exactly as in the original.
+
+use crate::error::BaselineError;
+use crate::run::{BaselineDetector, RunData, Verdict};
+use am_dsp::filter::moving_average;
+use am_dsp::metrics::cosine_distance;
+use am_dsp::pca::Pca;
+use am_dsp::Signal;
+
+/// Trained Belikovetsky detector.
+#[derive(Debug)]
+pub struct BelikovetskyIds {
+    pca: Pca,
+    reference_compressed: Signal,
+    /// Similarity floor (the paper's 0.63).
+    pub similarity_floor: f64,
+    /// Consecutive below-floor evaluations needed (the paper's 4).
+    pub consecutive: usize,
+    /// Moving-average window in seconds (the paper's 5).
+    pub average_seconds: f64,
+}
+
+impl BelikovetskyIds {
+    /// Fits the PCA on the reference spectrogram and stores the original
+    /// rule's constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidTraining`] when the reference has
+    /// fewer than 3 channels or 2 samples.
+    pub fn train(reference: &RunData) -> Result<Self, BaselineError> {
+        if reference.signal.channels() < 3 {
+            return Err(BaselineError::InvalidTraining(
+                "belikovetsky needs a spectrogram with >= 3 channels".into(),
+            ));
+        }
+        let pca = Pca::fit(&reference.signal, 3).map_err(BaselineError::from)?;
+        let reference_compressed = pca.transform(&reference.signal)?;
+        Ok(BelikovetskyIds {
+            pca,
+            reference_compressed,
+            similarity_floor: 0.63,
+            consecutive: 4,
+            average_seconds: 5.0,
+        })
+    }
+
+    /// The per-point cosine **similarity** trace (1 − cosine distance)
+    /// after PCA compression, moving-averaged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidRun`] for channel mismatches.
+    pub fn similarity_trace(&self, observed: &RunData) -> Result<Vec<f64>, BaselineError> {
+        let compressed = self
+            .pca
+            .transform(&observed.signal)
+            .map_err(|e| BaselineError::InvalidRun(e.to_string()))?;
+        let n = compressed.len().min(self.reference_compressed.len());
+        let sims: Vec<f64> = (0..n)
+            .map(|i| {
+                let u: Vec<f64> = (0..3).map(|c| compressed.sample(i, c)).collect();
+                let v: Vec<f64> = (0..3).map(|c| self.reference_compressed.sample(i, c)).collect();
+                1.0 - cosine_distance(&u, &v)
+            })
+            .collect();
+        let window = ((self.average_seconds * observed.signal.fs()).round() as usize).max(1);
+        Ok(moving_average(&sims, window)?)
+    }
+}
+
+impl BaselineDetector for BelikovetskyIds {
+    fn name(&self) -> String {
+        "Belikovetsky".into()
+    }
+
+    fn detect(&self, observed: &RunData) -> Result<Verdict, BaselineError> {
+        let trace = self.similarity_trace(observed)?;
+        // Evaluate at 1-average-window strides: "four consecutive windows".
+        let stride = ((self.average_seconds * observed.signal.fs()).round() as usize).max(1);
+        let mut below = 0usize;
+        let mut fired = false;
+        let mut i = stride.saturating_sub(1);
+        while i < trace.len() {
+            if trace[i] < self.similarity_floor {
+                below += 1;
+                if below >= self.consecutive {
+                    fired = true;
+                    break;
+                }
+            } else {
+                below = 0;
+            }
+            i += stride;
+        }
+        Ok(Verdict::simple(fired))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake "spectrogram": 8 channels with structured, time-varying
+    /// content.
+    fn spectro(fs: f64, secs: f64, flavor: f64) -> RunData {
+        let n = (fs * secs) as usize;
+        let sig = Signal::from_fn(fs, 8, n, |t, f| {
+            for (c, v) in f.iter_mut().enumerate() {
+                *v = ((0.2 + 0.13 * c as f64) * flavor * t).sin() + 0.1 * (c as f64);
+            }
+        })
+        .unwrap();
+        RunData::new(sig, vec![0.0])
+    }
+
+    #[test]
+    fn identical_process_stays_similar() {
+        let reference = spectro(4.0, 120.0, 1.0);
+        let ids = BelikovetskyIds::train(&reference).unwrap();
+        let v = ids.detect(&reference).unwrap();
+        assert!(!v.intrusion);
+        let trace = ids.similarity_trace(&reference).unwrap();
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        assert!(mean > 0.95, "self-similarity {mean}");
+    }
+
+    #[test]
+    fn different_process_dips_below_floor() {
+        let reference = spectro(4.0, 120.0, 1.0);
+        let ids = BelikovetskyIds::train(&reference).unwrap();
+        let attack = spectro(4.0, 120.0, 3.7);
+        let v = ids.detect(&attack).unwrap();
+        assert!(v.intrusion);
+    }
+
+    #[test]
+    fn needs_enough_channels() {
+        let thin = RunData::new(
+            Signal::from_channels(4.0, vec![vec![0.0; 100], vec![0.0; 100]]).unwrap(),
+            vec![0.0],
+        );
+        assert!(BelikovetskyIds::train(&thin).is_err());
+    }
+
+    #[test]
+    fn channel_mismatch_rejected_at_detect() {
+        let reference = spectro(4.0, 60.0, 1.0);
+        let ids = BelikovetskyIds::train(&reference).unwrap();
+        let wrong = RunData::new(
+            Signal::from_channels(4.0, vec![vec![0.0; 100]; 5]).unwrap(),
+            vec![0.0],
+        );
+        assert!(ids.detect(&wrong).is_err());
+        assert_eq!(ids.name(), "Belikovetsky");
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the baseline IDSs.
+
+use am_dsp::DspError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from baseline IDS training or detection.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Training input was empty or inconsistent.
+    InvalidTraining(String),
+    /// The observed run is unusable (too short, wrong shape).
+    InvalidRun(String),
+    /// An underlying DSP operation failed.
+    Dsp(DspError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidTraining(m) => write!(f, "invalid training: {m}"),
+            BaselineError::InvalidRun(m) => write!(f, "invalid run: {m}"),
+            BaselineError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for BaselineError {
+    fn from(e: DspError) -> Self {
+        BaselineError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: BaselineError = DspError::NoChannels.into();
+        assert!(e.to_string().contains("dsp"));
+        assert!(BaselineError::InvalidRun("x".into()).to_string().contains("x"));
+    }
+}

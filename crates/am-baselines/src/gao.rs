@@ -1,0 +1,195 @@
+//! Gao's IDS \[12\]: Moore-style comparison with **coarse** (layer-level)
+//! re-synchronization.
+//!
+//! "This IDS is similar to the Moore's IDS except two aspects. First, a
+//! and b are synchronized at moments when a layer change happens. Second,
+//! there is no discriminator" — so the paper (and we) attach NSYNC's OCC
+//! discriminator with r = 0. Layer-change moments come from ground truth
+//! (the original uses a dedicated bed accelerometer).
+//!
+//! Re-aligning at each layer bounds the drift to what accumulates within
+//! one layer — better than Moore, still blind to intra-layer time noise.
+
+use crate::error::BaselineError;
+use crate::run::{BaselineDetector, RunData, Verdict};
+use am_dsp::filter::trailing_min;
+
+const FILTER_WINDOW: usize = 3;
+
+/// Trained Gao detector.
+#[derive(Debug, Clone)]
+pub struct GaoIds {
+    reference: RunData,
+    threshold: f64,
+    block: usize,
+}
+
+/// Layer-aligned MAE trace: for each layer `k`, compare the observed
+/// samples of layer `k` against the reference samples of layer `k`,
+/// starting both at their own layer-change moment.
+fn layer_mae_trace(observed: &RunData, reference: &RunData, block: usize) -> Vec<f64> {
+    let layers = observed.layer_times.len().min(reference.layer_times.len());
+    let mut out = Vec::new();
+    let c = observed.signal.channels().min(reference.signal.channels());
+    for k in 0..layers {
+        let ao = observed.layer_start_index(k);
+        let ar = reference.layer_start_index(k);
+        let eo = if k + 1 < layers {
+            observed.layer_start_index(k + 1)
+        } else {
+            observed.signal.len()
+        };
+        let er = if k + 1 < layers {
+            reference.layer_start_index(k + 1)
+        } else {
+            reference.signal.len()
+        };
+        let n = (eo - ao).min(er - ar);
+        let blocks = n / block;
+        for bi in 0..blocks {
+            let start = bi * block;
+            let mut acc = 0.0;
+            for ch in 0..c {
+                let co = &observed.signal.channel(ch)[ao + start..ao + start + block];
+                let cr = &reference.signal.channel(ch)[ar + start..ar + start + block];
+                for (x, y) in co.iter().zip(cr.iter()) {
+                    acc += (x - y).abs();
+                }
+            }
+            out.push(acc / (block * c) as f64);
+        }
+    }
+    out
+}
+
+impl GaoIds {
+    /// Trains with OCC margin `r` (the paper uses 0 here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidTraining`] for empty training sets
+    /// or runs without layer ground truth.
+    pub fn train(
+        reference: &RunData,
+        training: &[RunData],
+        r: f64,
+    ) -> Result<Self, BaselineError> {
+        Self::train_with_block(reference, training, r, 1)
+    }
+
+    /// Like [`GaoIds::train`] with an explicit comparison block size.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GaoIds::train`], plus zero `block`.
+    pub fn train_with_block(
+        reference: &RunData,
+        training: &[RunData],
+        r: f64,
+        block: usize,
+    ) -> Result<Self, BaselineError> {
+        if training.is_empty() {
+            return Err(BaselineError::InvalidTraining("no benign runs".into()));
+        }
+        if block == 0 {
+            return Err(BaselineError::InvalidTraining("block must be >= 1".into()));
+        }
+        if reference.layer_times.is_empty() {
+            return Err(BaselineError::InvalidTraining(
+                "reference lacks layer ground truth".into(),
+            ));
+        }
+        let mut maxima = Vec::with_capacity(training.len());
+        for t in training {
+            let trace = layer_mae_trace(t, reference, block);
+            let filtered = trailing_min(&trace, FILTER_WINDOW)?;
+            maxima.push(filtered.iter().cloned().fold(0.0, f64::max));
+        }
+        let max = maxima.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = maxima.iter().cloned().fold(f64::INFINITY, f64::min);
+        Ok(GaoIds {
+            reference: reference.clone(),
+            threshold: max + r * (max - min),
+            block,
+        })
+    }
+
+    /// The learned threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl BaselineDetector for GaoIds {
+    fn name(&self) -> String {
+        "Gao".into()
+    }
+
+    fn detect(&self, observed: &RunData) -> Result<Verdict, BaselineError> {
+        let trace = layer_mae_trace(observed, &self.reference, self.block);
+        let filtered = trailing_min(&trace, FILTER_WINDOW)?;
+        Ok(Verdict::simple(
+            filtered.iter().any(|&v| v > self.threshold),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_dsp::Signal;
+
+    /// Builds a run whose layers each contain a distinctive tone; layer
+    /// boundaries drift by `drift` seconds per layer.
+    fn layered_run(fs: f64, layers: usize, layer_secs: f64, drift: f64, freq_scale: f64) -> RunData {
+        let mut times = Vec::new();
+        let mut samples = Vec::new();
+        let mut t_acc = 0.0;
+        for k in 0..layers {
+            times.push(t_acc);
+            let secs = layer_secs + drift * (k as f64 + 1.0);
+            let n = (secs * fs) as usize;
+            for i in 0..n {
+                let t = i as f64 / fs;
+                samples.push(((k + 1) as f64 * freq_scale * t).sin());
+            }
+            t_acc += secs;
+        }
+        RunData::new(Signal::mono(fs, samples).unwrap(), times)
+    }
+
+    #[test]
+    fn layer_alignment_absorbs_interlayer_drift() {
+        // Observed drifts 0.2 s per layer; Gao re-aligns at each layer,
+        // so the MAE within each layer stays small at the layer start.
+        let reference = layered_run(50.0, 5, 4.0, 0.0, 2.0);
+        let training: Vec<RunData> = (1..=3)
+            .map(|i| layered_run(50.0, 5, 4.0, 0.02 * i as f64, 2.0))
+            .collect();
+        let ids = GaoIds::train(&reference, &training, 0.0).unwrap();
+        let benign = layered_run(50.0, 5, 4.0, 0.03, 2.0);
+        assert!(!ids.detect(&benign).unwrap().intrusion);
+    }
+
+    #[test]
+    fn content_change_detected() {
+        let reference = layered_run(50.0, 5, 4.0, 0.0, 2.0);
+        let training: Vec<RunData> = (1..=3)
+            .map(|i| layered_run(50.0, 5, 4.0, 0.005 * i as f64, 2.0))
+            .collect();
+        let ids = GaoIds::train(&reference, &training, 0.0).unwrap();
+        // Different per-layer content.
+        let attack = layered_run(50.0, 5, 4.0, 0.0, 3.5);
+        assert!(ids.detect(&attack).unwrap().intrusion);
+    }
+
+    #[test]
+    fn validation() {
+        let r = layered_run(50.0, 3, 2.0, 0.0, 2.0);
+        assert!(GaoIds::train(&r, &[], 0.0).is_err());
+        let no_layers = RunData::new(Signal::mono(50.0, vec![0.0; 100]).unwrap(), vec![]);
+        assert!(GaoIds::train(&no_layers, &[r.clone()], 0.0).is_err());
+        assert!(GaoIds::train_with_block(&r, &[r.clone()], 0.0, 0).is_err());
+        assert_eq!(GaoIds::train(&r, &[r.clone()], 0.0).unwrap().name(), "Gao");
+    }
+}

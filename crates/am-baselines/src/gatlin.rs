@@ -1,0 +1,272 @@
+//! Gatlin's IDS \[13\]: layer-change timing + per-layer fingerprints.
+//!
+//! Two sub-modules (Table VII's "Time" and "Match" columns):
+//!
+//! - **Time**: "an intrusion is declared if the layer changing moments
+//!   differ from the expected values by pre-determined thresholds" —
+//!   we compare each layer-change time against the reference's and learn
+//!   the tolerance from benign runs (OCC, r = 0);
+//! - **Match**: "instead of comparing power side-channel signals directly,
+//!   the new IDS first extracts fingerprints ... for each layer and then
+//!   compares the fingerprints", declaring an intrusion when "the number
+//!   of fingerprint mismatches exceeds pre-determined thresholds". Our
+//!   fingerprint is the layer's mean magnitude spectrum; mismatch =
+//!   correlation distance above a learned per-layer tolerance.
+//!
+//! Layer moments come from ground truth (the original derives them from
+//! Z-motor currents, which our simulator does not expose as a channel;
+//! the paper itself "obtained the layer changing moments manually").
+
+use crate::error::BaselineError;
+use crate::run::{BaselineDetector, RunData, Verdict};
+use am_dsp::fft::real_dft_magnitude;
+use am_dsp::metrics::correlation_distance;
+use am_dsp::Signal;
+
+/// Fingerprint spectrum length (samples per layer are averaged over
+/// chunks of this size).
+const FP_CHUNK: usize = 256;
+
+/// Trained Gatlin detector.
+#[derive(Debug, Clone)]
+pub struct GatlinIds {
+    reference_layer_times: Vec<f64>,
+    reference_fingerprints: Vec<Vec<f64>>,
+    time_tolerance: f64,
+    fp_tolerance: f64,
+    mismatch_tolerance: usize,
+}
+
+/// Mean magnitude spectrum of one layer's samples, averaged over
+/// fixed-size chunks and across channels.
+fn layer_fingerprint(signal: &Signal, start: usize, end: usize) -> Vec<f64> {
+    let end = end.min(signal.len());
+    let bins = FP_CHUNK / 2 + 1;
+    let mut acc = vec![0.0f64; bins];
+    let mut count = 0usize;
+    for c in 0..signal.channels() {
+        let ch = &signal.channel(c)[start..end];
+        for chunk in ch.chunks_exact(FP_CHUNK) {
+            let mag = real_dft_magnitude(chunk);
+            for (a, m) in acc.iter_mut().zip(mag.iter()) {
+                *a += m;
+            }
+            count += 1;
+        }
+    }
+    if count > 0 {
+        for a in &mut acc {
+            *a /= count as f64;
+        }
+    }
+    acc
+}
+
+fn fingerprints_of(run: &RunData) -> Vec<Vec<f64>> {
+    let layers = run.layer_times.len();
+    (0..layers)
+        .map(|k| {
+            let start = run.layer_start_index(k);
+            let end = if k + 1 < layers {
+                run.layer_start_index(k + 1)
+            } else {
+                run.signal.len()
+            };
+            layer_fingerprint(&run.signal, start, end)
+        })
+        .collect()
+}
+
+impl GatlinIds {
+    /// Trains both sub-modules from benign runs (OCC with margin `r`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidTraining`] for empty training sets
+    /// or missing layer ground truth.
+    pub fn train(
+        reference: &RunData,
+        training: &[RunData],
+        r: f64,
+    ) -> Result<Self, BaselineError> {
+        if training.is_empty() {
+            return Err(BaselineError::InvalidTraining("no benign runs".into()));
+        }
+        if reference.layer_times.is_empty() {
+            return Err(BaselineError::InvalidTraining(
+                "reference lacks layer ground truth".into(),
+            ));
+        }
+        let ref_fps = fingerprints_of(reference);
+        let mut time_maxima = Vec::new();
+        let mut fp_maxima = Vec::new();
+        let mut mismatch_counts = Vec::new();
+        for run in training {
+            // Time deviations.
+            let dev = run
+                .layer_times
+                .iter()
+                .zip(reference.layer_times.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            time_maxima.push(dev);
+            // Fingerprint distances.
+            let fps = fingerprints_of(run);
+            let mut max_d = 0.0f64;
+            for (f, rf) in fps.iter().zip(ref_fps.iter()) {
+                max_d = max_d.max(correlation_distance(f, rf));
+            }
+            fp_maxima.push(max_d);
+            mismatch_counts.push(0usize); // at training tolerance, 0 by construction
+        }
+        let occ = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            max + r * (max - min)
+        };
+        Ok(GatlinIds {
+            reference_layer_times: reference.layer_times.clone(),
+            reference_fingerprints: ref_fps,
+            time_tolerance: occ(&time_maxima),
+            fp_tolerance: occ(&fp_maxima),
+            mismatch_tolerance: mismatch_counts.into_iter().max().unwrap_or(0),
+        })
+    }
+
+    /// Runs the two sub-modules, returning `(time_fired, match_fired)`.
+    pub fn sub_modules(&self, observed: &RunData) -> (bool, bool) {
+        // Time: layer count change or any layer moment outside tolerance.
+        let time_fired = observed.layer_times.len() != self.reference_layer_times.len()
+            || observed
+                .layer_times
+                .iter()
+                .zip(self.reference_layer_times.iter())
+                .any(|(a, b)| (a - b).abs() > self.time_tolerance);
+        // Match: count fingerprint mismatches.
+        let fps = fingerprints_of(observed);
+        let mismatches = fps
+            .iter()
+            .zip(self.reference_fingerprints.iter())
+            .filter(|(f, rf)| correlation_distance(f, rf) > self.fp_tolerance)
+            .count();
+        let match_fired = mismatches > self.mismatch_tolerance;
+        (time_fired, match_fired)
+    }
+}
+
+impl BaselineDetector for GatlinIds {
+    fn name(&self) -> String {
+        "Gatlin".into()
+    }
+
+    fn detect(&self, observed: &RunData) -> Result<Verdict, BaselineError> {
+        let (time_fired, match_fired) = self.sub_modules(observed);
+        Ok(Verdict {
+            intrusion: time_fired || match_fired,
+            sub_modules: vec![
+                ("time".into(), time_fired),
+                ("match".into(), match_fired),
+            ],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layered(fs: f64, layers: usize, layer_secs: f64, jitter: f64, tone: f64) -> RunData {
+        layered_seeded(fs, layers, layer_secs, jitter, tone, 0)
+    }
+
+    /// `seed` adds small per-run amplitude noise so fingerprint distances
+    /// span a realistic non-zero range during training.
+    fn layered_seeded(
+        fs: f64,
+        layers: usize,
+        layer_secs: f64,
+        jitter: f64,
+        tone: f64,
+        seed: u64,
+    ) -> RunData {
+        let mut times = Vec::new();
+        let mut samples = Vec::new();
+        let mut acc = 0.0;
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) as f64 / (1u64 << 24) as f64 - 0.5
+        };
+        for k in 0..layers {
+            times.push(acc);
+            let secs = layer_secs + jitter * ((k * 7919 % 13) as f64 / 13.0 - 0.5);
+            let n = (secs * fs) as usize;
+            for i in 0..n {
+                let t = i as f64 / fs;
+                samples.push(
+                    (tone * (k % 3 + 1) as f64 * t * std::f64::consts::TAU).sin()
+                        + 0.05 * noise(),
+                );
+            }
+            acc += secs;
+        }
+        RunData::new(Signal::mono(fs, samples).unwrap(), times)
+    }
+
+    #[test]
+    fn benign_within_tolerances() {
+        let reference = layered(200.0, 4, 8.0, 0.0, 5.0);
+        let training: Vec<RunData> = [(0.1, 1u64), (0.2, 2), (0.3, 3)]
+            .iter()
+            .map(|&(j, s)| layered_seeded(200.0, 4, 8.0, j, 5.0, s))
+            .collect();
+        let ids = GatlinIds::train(&reference, &training, 0.5).unwrap();
+        let benign = layered_seeded(200.0, 4, 8.0, 0.15, 5.0, 4);
+        let v = ids.detect(&benign).unwrap();
+        assert!(!v.intrusion, "{v:?}");
+    }
+
+    #[test]
+    fn timing_attack_fires_time_submodule() {
+        let reference = layered(200.0, 4, 8.0, 0.0, 5.0);
+        let training: Vec<RunData> =
+            (1..=3).map(|_| layered(200.0, 4, 8.0, 0.05, 5.0)).collect();
+        let ids = GatlinIds::train(&reference, &training, 0.0).unwrap();
+        // 10% slower print: layer moments drift by ~0.8 s per layer.
+        let attack = layered(200.0, 4, 8.8, 0.0, 5.0);
+        let v = ids.detect(&attack).unwrap();
+        assert!(v.intrusion);
+        assert_eq!(v.sub_module("time"), Some(true));
+    }
+
+    #[test]
+    fn content_attack_fires_match_submodule() {
+        let reference = layered(200.0, 4, 8.0, 0.0, 5.0);
+        let training: Vec<RunData> =
+            (1..=3).map(|_| layered(200.0, 4, 8.0, 0.01, 5.0)).collect();
+        let ids = GatlinIds::train(&reference, &training, 0.0).unwrap();
+        // Same timing, different spectral content per layer.
+        let attack = layered(200.0, 4, 8.0, 0.01, 9.0);
+        let v = ids.detect(&attack).unwrap();
+        assert_eq!(v.sub_module("match"), Some(true), "{v:?}");
+    }
+
+    #[test]
+    fn layer_count_change_is_a_time_violation() {
+        let reference = layered(200.0, 4, 8.0, 0.0, 5.0);
+        let training = vec![reference.clone()];
+        let ids = GatlinIds::train(&reference, &training, 0.0).unwrap();
+        // Layer0.3-style attack: fewer, taller layers.
+        let attack = layered(200.0, 3, 10.7, 0.0, 5.0);
+        let v = ids.detect(&attack).unwrap();
+        assert_eq!(v.sub_module("time"), Some(true));
+    }
+
+    #[test]
+    fn validation() {
+        let r = layered(200.0, 3, 4.0, 0.0, 5.0);
+        assert!(GatlinIds::train(&r, &[], 0.0).is_err());
+        let no_layers = RunData::new(Signal::mono(200.0, vec![0.0; 100]).unwrap(), vec![]);
+        assert!(GatlinIds::train(&no_layers, &[r.clone()], 0.0).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! The five prior IDSs the paper evaluates against NSYNC (§III,
+//! §VIII-C/D).
+//!
+//! | IDS | DSYNC level | Mechanism |
+//! |---|---|---|
+//! | [`moore`] | none | point-by-point MAE against the reference |
+//! | [`bayens`] | none | Dejavu-style window fingerprinting (sequence + threshold sub-modules), audio only |
+//! | [`belikovetsky`] | none | PCA-compressed spectrogram + cosine similarity + fixed 0.63 rule, audio only |
+//! | [`gao`] | coarse (layer) | Moore-style comparison re-aligned at every layer change |
+//! | [`gatlin`] | coarse (layer) | layer-change timing + per-layer spectral fingerprints |
+//!
+//! None of these is aware of fine-grained time noise — which is the
+//! paper's point. Where the original work lacks an automatic decision
+//! module or published thresholds (Gao, Moore, Bayens), the paper plugs in
+//! NSYNC's OCC scheme with `r = 0`; we do the same.
+
+pub mod bayens;
+pub mod belikovetsky;
+pub mod error;
+pub mod gao;
+pub mod gatlin;
+pub mod moore;
+pub mod run;
+
+pub use error::BaselineError;
+pub use run::{BaselineDetector, RunData, Verdict};

@@ -1,0 +1,193 @@
+//! Moore's IDS \[18\]: point-by-point comparison without any DSYNC.
+//!
+//! "This IDS essentially compares `a[n]` and `b[n]` without DSYNC to obtain
+//! `v_dist[n]` ... where the distance metric is the Mean Absolute Error."
+//! Since the original targets motor currents the paper could not access,
+//! it (and we) apply the scheme to whatever side channel is available,
+//! with NSYNC's OCC discriminator supplying the threshold (r = 0).
+//!
+//! Because nothing compensates for time noise, `v_dist` blows up on
+//! *benign* runs as the signals drift out of alignment (Fig 2) — the
+//! learned threshold therefore ends up so high that true attacks slip
+//! under it. That failure mode is the paper's motivation, and this
+//! implementation reproduces it.
+
+use crate::error::BaselineError;
+use crate::run::{BaselineDetector, RunData, Verdict};
+use am_dsp::filter::trailing_min;
+use am_dsp::Signal;
+
+/// Spike-suppression window, matching NSYNC's discriminator default.
+const FILTER_WINDOW: usize = 3;
+
+/// Trained Moore detector.
+#[derive(Debug, Clone)]
+pub struct MooreIds {
+    reference: Signal,
+    threshold: f64,
+    /// Comparison granularity: distances are computed per block of this
+    /// many samples (1 = literal point-by-point; larger blocks are an
+    /// optimization that preserves behaviour on slow channels).
+    block: usize,
+}
+
+/// Point-by-point (block-averaged) MAE trace between two unaligned
+/// signals, truncated to the shorter length.
+fn mae_trace(a: &Signal, b: &Signal, block: usize) -> Vec<f64> {
+    let n = a.len().min(b.len());
+    let c = a.channels().min(b.channels());
+    let blocks = n / block;
+    let mut out = Vec::with_capacity(blocks);
+    for bi in 0..blocks {
+        let start = bi * block;
+        let end = start + block;
+        let mut acc = 0.0;
+        for ch in 0..c {
+            let ca = &a.channel(ch)[start..end];
+            let cb = &b.channel(ch)[start..end];
+            for (x, y) in ca.iter().zip(cb.iter()) {
+                acc += (x - y).abs();
+            }
+        }
+        out.push(acc / (block * c) as f64);
+    }
+    out
+}
+
+impl MooreIds {
+    /// Trains on benign runs: the threshold is the max filtered MAE seen
+    /// across training, with OCC margin `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidTraining`] for empty training sets.
+    pub fn train(
+        reference: &RunData,
+        training: &[RunData],
+        r: f64,
+    ) -> Result<Self, BaselineError> {
+        Self::train_with_block(reference, training, r, 1)
+    }
+
+    /// Like [`MooreIds::train`] with an explicit comparison block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidTraining`] for empty training sets
+    /// or a zero block.
+    pub fn train_with_block(
+        reference: &RunData,
+        training: &[RunData],
+        r: f64,
+        block: usize,
+    ) -> Result<Self, BaselineError> {
+        if training.is_empty() {
+            return Err(BaselineError::InvalidTraining("no benign runs".into()));
+        }
+        if block == 0 {
+            return Err(BaselineError::InvalidTraining("block must be >= 1".into()));
+        }
+        let mut maxima = Vec::with_capacity(training.len());
+        for run in training {
+            let trace = mae_trace(&run.signal, &reference.signal, block);
+            let filtered = trailing_min(&trace, FILTER_WINDOW)?;
+            maxima.push(filtered.iter().cloned().fold(0.0, f64::max));
+        }
+        let max = maxima.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = maxima.iter().cloned().fold(f64::INFINITY, f64::min);
+        Ok(MooreIds {
+            reference: reference.signal.clone(),
+            threshold: max + r * (max - min),
+            block,
+        })
+    }
+
+    /// The learned threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl BaselineDetector for MooreIds {
+    fn name(&self) -> String {
+        "Moore".into()
+    }
+
+    fn detect(&self, observed: &RunData) -> Result<Verdict, BaselineError> {
+        let trace = mae_trace(&observed.signal, &self.reference, self.block);
+        let filtered = trailing_min(&trace, FILTER_WINDOW)?;
+        let fired = filtered.iter().any(|&v| v > self.threshold);
+        Ok(Verdict::simple(fired))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(signal: Signal) -> RunData {
+        RunData::new(signal, vec![0.0])
+    }
+
+    fn wave(fs: f64, n: usize, shift: f64, gain: f64) -> Signal {
+        Signal::from_fn(fs, 1, n, |t, f| {
+            f[0] = gain * ((1.1 * (t + shift)).sin() + 0.4 * (3.7 * (t + shift)).cos())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn aligned_identical_runs_pass() {
+        let reference = run(wave(20.0, 1000, 0.0, 1.0));
+        let training: Vec<RunData> = (0..3).map(|_| reference.clone()).collect();
+        let ids = MooreIds::train(&reference, &training, 0.0).unwrap();
+        let v = ids.detect(&reference).unwrap();
+        assert!(!v.intrusion);
+        assert_eq!(ids.name(), "Moore");
+    }
+
+    #[test]
+    fn gross_content_change_detected_when_aligned() {
+        let reference = run(wave(20.0, 1000, 0.0, 1.0));
+        let training: Vec<RunData> = (0..3).map(|_| reference.clone()).collect();
+        let ids = MooreIds::train(&reference, &training, 0.0).unwrap();
+        let attack = run(wave(20.0, 1000, 0.0, 3.0)); // big amplitude change
+        assert!(ids.detect(&attack).unwrap().intrusion);
+    }
+
+    #[test]
+    fn time_noise_destroys_the_threshold() {
+        // The paper's failure mode: training runs with small time shifts
+        // inflate the threshold so much that a real attack hides under it.
+        let reference = run(wave(20.0, 1000, 0.0, 1.0));
+        let training: Vec<RunData> = (1..=3)
+            .map(|i| run(wave(20.0, 1000, 0.3 * i as f64, 1.0)))
+            .collect();
+        let ids = MooreIds::train(&reference, &training, 0.0).unwrap();
+        // A subtle attack: same toolpath, 15% amplitude change (e.g. a
+        // firmware flow tweak). Easily visible when aligned, invisible
+        // against a threshold inflated by misalignment.
+        let attack = run(wave(20.0, 1000, 0.0, 1.15));
+        let v = ids.detect(&attack).unwrap();
+        // Threshold inflated by misalignment -> attack NOT detected.
+        assert!(!v.intrusion, "threshold {}", ids.threshold());
+    }
+
+    #[test]
+    fn training_validation() {
+        let reference = run(wave(20.0, 100, 0.0, 1.0));
+        assert!(MooreIds::train(&reference, &[], 0.0).is_err());
+        assert!(MooreIds::train_with_block(&reference, &[reference.clone()], 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn block_averaging_matches_pointwise_scale() {
+        let a = wave(20.0, 1000, 0.0, 1.0);
+        let b = wave(20.0, 1000, 0.1, 1.0);
+        let p1 = mae_trace(&a, &b, 1);
+        let p10 = mae_trace(&a, &b, 10);
+        let mean1: f64 = p1.iter().sum::<f64>() / p1.len() as f64;
+        let mean10: f64 = p10.iter().sum::<f64>() / p10.len() as f64;
+        assert!((mean1 - mean10).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared input/output types for the baseline IDSs.
+
+use crate::error::BaselineError;
+use am_dsp::Signal;
+use serde::{Deserialize, Serialize};
+
+/// One captured printing process as the baselines consume it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunData {
+    /// The side-channel signal (raw or spectrogram — the experiment
+    /// decides which transformation to apply before handing it over).
+    pub signal: Signal,
+    /// Ground-truth layer-change times in seconds **relative to the
+    /// signal's start**. The paper's coarse-DSYNC baselines obtain these
+    /// from a bed accelerometer (Gao) or Z-motor currents (Gatlin); the
+    /// simulator provides them exactly.
+    pub layer_times: Vec<f64>,
+}
+
+impl RunData {
+    /// Wraps a signal with its layer ground truth.
+    pub fn new(signal: Signal, layer_times: Vec<f64>) -> Self {
+        RunData {
+            signal,
+            layer_times,
+        }
+    }
+
+    /// Sample index of layer `k`'s start, clamped into the signal.
+    pub fn layer_start_index(&self, k: usize) -> usize {
+        self.layer_times
+            .get(k)
+            .map(|&t| self.signal.index_at(t))
+            .unwrap_or(self.signal.len().saturating_sub(1))
+    }
+}
+
+/// A baseline's decision, with per-sub-module outcomes for the tables
+/// that report them (Tables VI and VII).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// `true` if the IDS declares an intrusion.
+    pub intrusion: bool,
+    /// Named sub-module outcomes (`true` = that sub-module alone fired).
+    pub sub_modules: Vec<(String, bool)>,
+}
+
+impl Verdict {
+    /// A verdict with no sub-modules.
+    pub fn simple(intrusion: bool) -> Self {
+        Verdict {
+            intrusion,
+            sub_modules: Vec::new(),
+        }
+    }
+
+    /// Looks up a sub-module outcome by name.
+    pub fn sub_module(&self, name: &str) -> Option<bool> {
+        self.sub_modules
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Common interface of the trained baseline detectors.
+pub trait BaselineDetector {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// Classifies one observed run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError`] when the run cannot be processed.
+    fn detect(&self, observed: &RunData) -> Result<Verdict, BaselineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_index_lookup() {
+        let sig = Signal::mono(10.0, vec![0.0; 100]).unwrap();
+        let run = RunData::new(sig, vec![0.0, 2.0, 5.0]);
+        assert_eq!(run.layer_start_index(0), 0);
+        assert_eq!(run.layer_start_index(1), 20);
+        assert_eq!(run.layer_start_index(99), 99);
+    }
+
+    #[test]
+    fn verdict_lookup() {
+        let v = Verdict {
+            intrusion: true,
+            sub_modules: vec![("seq".into(), true), ("thr".into(), false)],
+        };
+        assert_eq!(v.sub_module("seq"), Some(true));
+        assert_eq!(v.sub_module("thr"), Some(false));
+        assert_eq!(v.sub_module("nope"), None);
+        assert!(!Verdict::simple(false).intrusion);
+    }
+}

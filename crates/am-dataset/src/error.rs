@@ -1,0 +1,70 @@
+//! Error type for dataset generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from dataset generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// Slicing the part failed.
+    Gcode(am_gcode::GcodeError),
+    /// Executing a run failed.
+    Printer(am_printer::PrinterError),
+    /// Capturing a signal failed.
+    Dsp(am_dsp::DspError),
+    /// The spec was inconsistent.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Gcode(e) => write!(f, "slicing failed: {e}"),
+            DatasetError::Printer(e) => write!(f, "execution failed: {e}"),
+            DatasetError::Dsp(e) => write!(f, "capture failed: {e}"),
+            DatasetError::InvalidSpec(m) => write!(f, "invalid spec: {m}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Gcode(e) => Some(e),
+            DatasetError::Printer(e) => Some(e),
+            DatasetError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<am_gcode::GcodeError> for DatasetError {
+    fn from(e: am_gcode::GcodeError) -> Self {
+        DatasetError::Gcode(e)
+    }
+}
+
+impl From<am_printer::PrinterError> for DatasetError {
+    fn from(e: am_printer::PrinterError) -> Self {
+        DatasetError::Printer(e)
+    }
+}
+
+impl From<am_dsp::DspError> for DatasetError {
+    fn from(e: am_dsp::DspError) -> Self {
+        DatasetError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e: DatasetError = am_dsp::DspError::NoChannels.into();
+        assert!(e.to_string().contains("capture"));
+        assert!(DatasetError::InvalidSpec("x".into()).to_string().contains("x"));
+    }
+}

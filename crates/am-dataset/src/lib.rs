@@ -1,0 +1,23 @@
+//! Experiment dataset generation (§VIII-A, Tables I–IV).
+//!
+//! The paper's evaluation runs 151 benign + 100 malicious prints per
+//! printer, recording six side channels. This crate reproduces that
+//! pipeline end-to-end in simulation:
+//!
+//! 1. [`spec`]: the experiment constants — the process mix of Table I,
+//!    per-channel acquisition of Table II, spectrograms of Table III, and
+//!    DWM parameters of Table IV — in two profiles: `Paper` (the
+//!    original's scale) and `Small` (a proportionally scaled version that
+//!    runs on a laptop; see DESIGN.md §3 for why scaling preserves the
+//!    detection behaviour),
+//! 2. [`generate`]: seeds → sliced G-code → noisy firmware execution →
+//!    trajectories → captured side-channel signals, parallelized with
+//!    crossbeam and fully reproducible from the experiment seed.
+
+pub mod error;
+pub mod generate;
+pub mod spec;
+
+pub use error::DatasetError;
+pub use generate::{Capture, RunRecord, RunRole, TrajectorySet};
+pub use spec::{ExperimentSpec, ProcessMix, Profile};

@@ -1,0 +1,293 @@
+//! Experiment constants: Tables I–IV in two profiles.
+
+use am_dsp::stft::StftConfig;
+use am_dsp::window::WindowKind;
+use am_gcode::slicer::SliceConfig;
+use am_printer::config::PrinterModel;
+use am_printer::noise::TimeNoise;
+use am_sensors::channel::SideChannel;
+use am_sensors::daq::DaqConfig;
+use am_sync::DwmParams;
+use serde::{Deserialize, Serialize};
+
+/// Scale of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Profile {
+    /// Laptop-scale: smaller gear, reduced sampling rates and repetition
+    /// counts. Relative statistics (time noise vs window sizes, attack
+    /// deviation vs benign variation) are preserved.
+    Small,
+    /// The paper's full scale (Tables I–IV verbatim). Hours of simulated
+    /// print time per run — use for spot checks, not sweeps.
+    Paper,
+}
+
+/// Table I's process mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessMix {
+    /// Benign runs used for OCC training (paper: 50).
+    pub train: usize,
+    /// Benign runs used for testing (paper: 100).
+    pub test_benign: usize,
+    /// Malicious runs per attack type (paper: 20; 5 attack types).
+    pub malicious_per_attack: usize,
+}
+
+impl ProcessMix {
+    /// Total number of runs including the single reference.
+    pub fn total_runs(&self) -> usize {
+        1 + self.train + self.test_benign + self.malicious_per_attack * 5
+    }
+}
+
+impl Profile {
+    /// Table I process mix for this profile.
+    pub fn process_mix(&self) -> ProcessMix {
+        match self {
+            Profile::Small => ProcessMix {
+                train: 8,
+                test_benign: 12,
+                malicious_per_attack: 3,
+            },
+            Profile::Paper => ProcessMix {
+                train: 50,
+                test_benign: 100,
+                malicious_per_attack: 20,
+            },
+        }
+    }
+
+    /// Table II sampling rate for a channel.
+    pub fn fs(&self, channel: SideChannel) -> f64 {
+        match self {
+            Profile::Paper => channel.paper_fs(),
+            Profile::Small => match channel {
+                SideChannel::Acc => 200.0,
+                SideChannel::Tmp => 200.0,
+                SideChannel::Mag => 50.0,
+                SideChannel::Aud => 1200.0,
+                SideChannel::Ept => 2400.0,
+                SideChannel::Pwr => 600.0,
+            },
+        }
+    }
+
+    /// DAQ configuration for a channel (Table II bits + realistic gain /
+    /// noise / frame-drop behaviour).
+    pub fn daq(&self, channel: SideChannel) -> DaqConfig {
+        DaqConfig::realistic(self.fs(channel), channel.paper_bits())
+    }
+
+    /// Table III spectrogram configuration for a channel.
+    ///
+    /// Paper profile: the published Δf / Δt / window constants. Small
+    /// profile: Δf and Δt chosen so windows have ≥ 10 samples and the
+    /// spectrogram rate stays in the 10–40 Hz band the synchronizers
+    /// operate on.
+    pub fn spectrogram(&self, channel: SideChannel) -> StftConfig {
+        let (delta_f, delta_t, window) = match self {
+            Profile::Paper => match channel {
+                SideChannel::Acc | SideChannel::Tmp => {
+                    (20.0, 1.0 / 80.0, WindowKind::BlackmanHarris)
+                }
+                SideChannel::Mag => (5.0, 1.0 / 20.0, WindowKind::BlackmanHarris),
+                SideChannel::Aud | SideChannel::Ept => {
+                    (120.0, 1.0 / 240.0, WindowKind::BlackmanHarris)
+                }
+                SideChannel::Pwr => (60.0, 1.0 / 120.0, WindowKind::Boxcar),
+            },
+            Profile::Small => match channel {
+                SideChannel::Acc | SideChannel::Tmp => {
+                    (10.0, 1.0 / 20.0, WindowKind::BlackmanHarris)
+                }
+                SideChannel::Mag => (5.0, 1.0 / 10.0, WindowKind::BlackmanHarris),
+                SideChannel::Aud => (20.0, 1.0 / 40.0, WindowKind::BlackmanHarris),
+                SideChannel::Ept => (20.0, 1.0 / 40.0, WindowKind::BlackmanHarris),
+                SideChannel::Pwr => (20.0, 1.0 / 20.0, WindowKind::Boxcar),
+            },
+        };
+        StftConfig::new(delta_f, delta_t, window).expect("profile constants are valid")
+    }
+
+    /// Table IV DWM parameters for a printer.
+    pub fn dwm_params(&self, printer: PrinterModel) -> DwmParams {
+        match self {
+            Profile::Paper => match printer {
+                PrinterModel::Um3 => DwmParams::um3(),
+                PrinterModel::Rm3 => DwmParams::rm3(),
+            },
+            // Scaled runs are minutes, not hours; window-to-window time
+            // noise is bounded by the gap scale (~0.1 s), so the bias can
+            // be much tighter than the paper's hour-scale prints need —
+            // important because the gear's teeth make window content
+            // periodic (exactly the ambiguity TDEB exists to suppress).
+            Profile::Small => match printer {
+                PrinterModel::Um3 => DwmParams {
+                    t_win: 4.0,
+                    t_hop: 2.0,
+                    t_ext: 1.0,
+                    t_sigma: 0.5,
+                    eta: 0.1,
+                },
+                // §VI-C's sweep (see examples/parameter_tuning) converges
+                // at 4 s windows for the small-profile prints on both
+                // machines.
+                PrinterModel::Rm3 => DwmParams {
+                    t_win: 4.0,
+                    t_hop: 2.0,
+                    t_ext: 1.0,
+                    t_sigma: 0.5,
+                    eta: 0.1,
+                },
+            },
+        }
+    }
+
+    /// The gear slicing config for a printer at this profile's scale.
+    pub fn slice_config(&self, printer: PrinterModel) -> SliceConfig {
+        let bed = printer.config().bed_center();
+        let mut cfg = match self {
+            Profile::Paper => SliceConfig::paper_gear(),
+            Profile::Small => {
+                let mut c = SliceConfig::small_gear();
+                // Slightly larger than the unit-test gear so each run has
+                // 100+ s of motion (enough DWM windows to discriminate).
+                c.gear_teeth = 12;
+                c.gear_root_radius = 10.0;
+                c.gear_tip_radius = 12.0;
+                c.height = 2.0; // 10 layers at 0.2 mm
+                c
+            }
+        };
+        cfg.center = am_gcode::geometry::Point2::new(bed.x, bed.y);
+        if printer == PrinterModel::Rm3 {
+            cfg.filament_diameter = 1.75;
+        }
+        cfg
+    }
+
+    /// Time-noise model (same for both profiles; it is a property of the
+    /// machine, not the experiment scale).
+    pub fn time_noise(&self) -> TimeNoise {
+        TimeNoise::default_printer()
+    }
+
+    /// OCC margin used for NSYNC in the paper's evaluation (§VIII-E).
+    pub fn nsync_r(&self) -> f64 {
+        0.3
+    }
+
+    /// The two Bayens retrieval window sizes (paper: 90 s and 120 s;
+    /// scaled proportionally to the Small profile's run length).
+    pub fn bayens_windows(&self) -> [f64; 2] {
+        match self {
+            Profile::Paper => [90.0, 120.0],
+            Profile::Small => [20.0, 30.0],
+        }
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Profile::Small => "small",
+            Profile::Paper => "paper",
+        })
+    }
+}
+
+/// A complete experiment description: profile + printer + base seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Experiment scale.
+    pub profile: Profile,
+    /// Which printer.
+    pub printer: PrinterModel,
+    /// Base seed; every run derives its own seed from this.
+    pub base_seed: u64,
+}
+
+impl ExperimentSpec {
+    /// The default small-profile experiment for a printer.
+    pub fn small(printer: PrinterModel) -> Self {
+        ExperimentSpec {
+            profile: Profile::Small,
+            printer,
+            base_seed: 0x5EED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_matches_table1() {
+        let m = Profile::Paper.process_mix();
+        assert_eq!(m.train, 50);
+        assert_eq!(m.test_benign, 100);
+        assert_eq!(m.malicious_per_attack, 20);
+        // 151 benign + 100 malicious per printer.
+        assert_eq!(m.total_runs(), 251);
+    }
+
+    #[test]
+    fn paper_fs_matches_table2() {
+        assert_eq!(Profile::Paper.fs(SideChannel::Aud), 48_000.0);
+        assert_eq!(Profile::Paper.fs(SideChannel::Mag), 100.0);
+        assert!(Profile::Small.fs(SideChannel::Aud) < 48_000.0);
+    }
+
+    #[test]
+    fn paper_spectrograms_match_table3_bin_counts() {
+        // ACC: 101 bins; MAG: 11; AUD: 201; EPT: 401; PWR: 101.
+        let p = Profile::Paper;
+        assert_eq!(p.spectrogram(SideChannel::Acc).bins(4000.0), 101);
+        assert_eq!(p.spectrogram(SideChannel::Mag).bins(100.0), 11);
+        assert_eq!(p.spectrogram(SideChannel::Aud).bins(48_000.0), 201);
+        assert_eq!(p.spectrogram(SideChannel::Ept).bins(96_000.0), 401);
+        assert_eq!(p.spectrogram(SideChannel::Pwr).bins(12_000.0), 101);
+        assert_eq!(
+            p.spectrogram(SideChannel::Pwr).window,
+            WindowKind::Boxcar
+        );
+    }
+
+    #[test]
+    fn small_spectrograms_have_sane_shapes() {
+        let p = Profile::Small;
+        for ch in SideChannel::all() {
+            let cfg = p.spectrogram(ch);
+            let fs = p.fs(ch);
+            assert!(cfg.window_len(fs) >= 10, "{ch}: window too short");
+            let spec_fs = 1.0 / cfg.delta_t;
+            assert!((5.0..=50.0).contains(&spec_fs), "{ch}: spec rate {spec_fs}");
+        }
+    }
+
+    #[test]
+    fn dwm_params_match_table4_at_paper_scale() {
+        assert_eq!(Profile::Paper.dwm_params(PrinterModel::Um3), DwmParams::um3());
+        assert_eq!(Profile::Paper.dwm_params(PrinterModel::Rm3), DwmParams::rm3());
+    }
+
+    #[test]
+    fn slice_configs_are_reachable_parts() {
+        for profile in [Profile::Small, Profile::Paper] {
+            for printer in PrinterModel::both() {
+                let cfg = profile.slice_config(printer);
+                let prog = am_gcode::slicer::slice_gear(&cfg).unwrap();
+                assert!(prog.layer_count() >= 4, "{profile}/{printer}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_default_spec() {
+        assert_eq!(Profile::Small.to_string(), "small");
+        let s = ExperimentSpec::small(PrinterModel::Um3);
+        assert_eq!(s.profile, Profile::Small);
+        assert_eq!(Profile::Small.nsync_r(), 0.3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for DSP operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible DSP operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The channels passed to a constructor had different lengths.
+    RaggedChannels {
+        /// Length of channel 0.
+        expected: usize,
+        /// Index of the first offending channel.
+        channel: usize,
+        /// Length of the offending channel.
+        actual: usize,
+    },
+    /// A signal was constructed or used with zero channels.
+    NoChannels,
+    /// A non-positive or non-finite sampling frequency was supplied.
+    InvalidSampleRate(u64),
+    /// A slice range was out of bounds or inverted.
+    InvalidRange {
+        /// Start index (inclusive).
+        start: usize,
+        /// End index (exclusive).
+        end: usize,
+        /// Length of the signal being sliced.
+        len: usize,
+    },
+    /// Two signals that must agree in some dimension did not.
+    ShapeMismatch(String),
+    /// A parameter was outside its legal domain.
+    InvalidParameter(String),
+    /// The input is too short for the requested operation.
+    TooShort {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::RaggedChannels {
+                expected,
+                channel,
+                actual,
+            } => write!(
+                f,
+                "channel {channel} has {actual} samples but channel 0 has {expected}"
+            ),
+            DspError::NoChannels => write!(f, "signal must have at least one channel"),
+            DspError::InvalidSampleRate(bits) => write!(
+                f,
+                "sampling frequency must be finite and positive (got bits {bits:#x})"
+            ),
+            DspError::InvalidRange { start, end, len } => {
+                write!(f, "invalid slice range {start}..{end} for length {len}")
+            }
+            DspError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            DspError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DspError::TooShort { needed, got } => {
+                write!(f, "input too short: needed {needed} samples, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            DspError::RaggedChannels {
+                expected: 4,
+                channel: 1,
+                actual: 3,
+            },
+            DspError::NoChannels,
+            DspError::InvalidSampleRate(0),
+            DspError::InvalidRange {
+                start: 3,
+                end: 1,
+                len: 10,
+            },
+            DspError::ShapeMismatch("a vs b".into()),
+            DspError::InvalidParameter("eta".into()),
+            DspError::TooShort { needed: 8, got: 2 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,502 @@
+//! In-house radix-2 FFT.
+//!
+//! The offline dependency set has no FFT crate, so we implement the
+//! iterative Cooley–Tukey algorithm with bit-reversal permutation. It
+//! supports power-of-two lengths; helpers pad to the next power of two.
+//!
+//! The FFT backs two performance-critical pieces of the reproduction:
+//!
+//! - [`crate::stft`] spectrograms (Table III), and
+//! - the FFT-accelerated sliding cross-correlation inside
+//!   [`crate::tde`], which is what makes DWM cheap enough to run on raw
+//!   multi-kHz signals.
+
+use crate::error::DspError;
+
+/// A complex number specialized for FFT work.
+///
+/// Deliberately minimal — not a general complex-arithmetic library.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::mul(self, rhs)
+    }
+}
+
+/// Returns the smallest power of two `>= n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT of a power-of-two-length buffer.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `buf.len()` is not a power of
+/// two.
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `buf.len()` is not a power of
+/// two.
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    transform(buf, true)?;
+    let n = buf.len() as f64;
+    for v in buf.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
+    let n = buf.len();
+    if !n.is_power_of_two() {
+        return Err(DspError::InvalidParameter(format!(
+            "fft length {n} is not a power of two"
+        )));
+    }
+    if n <= 1 {
+        return Ok(());
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut size = 2;
+    while size <= n {
+        let half = size / 2;
+        let step = sign * std::f64::consts::TAU / size as f64;
+        let w_step = Complex::cis(step);
+        for start in (0..n).step_by(size) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..half {
+                let even = buf[start + k];
+                let odd = buf[start + k + half] * w;
+                buf[start + k] = even + odd;
+                buf[start + k + half] = even - odd;
+                w = w * w_step;
+            }
+        }
+        size *= 2;
+    }
+    Ok(())
+}
+
+/// Forward DFT of arbitrary length via Bluestein's algorithm (chirp-z),
+/// falling back to the radix-2 path for power-of-two lengths.
+///
+/// Needed because Table III's spectrogram windows are not powers of two
+/// (e.g. 200 samples → 101 bins for ACC); zero-padding would change the
+/// paper's channel counts.
+pub fn dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        fft_in_place(&mut buf).expect("power-of-two length");
+        return buf;
+    }
+    // Bluestein: X[k] = w[k] * (a (*) b)[k], with
+    //   w[m] = exp(-i pi m^2 / n), a[m] = x[m] w[m], b[m] = conj(w[m]).
+    let m = next_pow2(2 * n - 1);
+    let w: Vec<Complex> = (0..n)
+        .map(|i| {
+            // i^2 mod 2n avoids precision loss for large i.
+            let sq = (i * i) % (2 * n);
+            Complex::cis(-std::f64::consts::PI * sq as f64 / n as f64)
+        })
+        .collect();
+    let mut a = vec![Complex::default(); m];
+    for i in 0..n {
+        a[i] = x[i] * w[i];
+    }
+    let mut b = vec![Complex::default(); m];
+    b[0] = w[0].conj();
+    for i in 1..n {
+        let bi = w[i].conj();
+        b[i] = bi;
+        b[m - i] = bi;
+    }
+    fft_in_place(&mut a).expect("m is a power of two");
+    fft_in_place(&mut b).expect("m is a power of two");
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        *ai = *ai * *bi;
+    }
+    ifft_in_place(&mut a).expect("m is a power of two");
+    (0..n).map(|k| w[k] * a[k]).collect()
+}
+
+/// Magnitudes of the first `n/2 + 1` bins of an arbitrary-length real DFT.
+pub fn real_dft_magnitude(input: &[f64]) -> Vec<f64> {
+    let x: Vec<Complex> = input.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    dft(&x)
+        .into_iter()
+        .take(input.len() / 2 + 1)
+        .map(Complex::abs)
+        .collect()
+}
+
+/// Forward FFT of a real input, zero-padded to `n_fft` (a power of two).
+///
+/// Returns the first `n_fft/2 + 1` bins (the rest are conjugate-symmetric).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `n_fft` is not a power of two
+/// or is shorter than the input.
+pub fn rfft(input: &[f64], n_fft: usize) -> Result<Vec<Complex>, DspError> {
+    if !n_fft.is_power_of_two() {
+        return Err(DspError::InvalidParameter(format!(
+            "rfft length {n_fft} is not a power of two"
+        )));
+    }
+    if input.len() > n_fft {
+        return Err(DspError::InvalidParameter(format!(
+            "input length {} exceeds n_fft {n_fft}",
+            input.len()
+        )));
+    }
+    let mut buf = vec![Complex::default(); n_fft];
+    for (b, &x) in buf.iter_mut().zip(input.iter()) {
+        b.re = x;
+    }
+    fft_in_place(&mut buf)?;
+    buf.truncate(n_fft / 2 + 1);
+    Ok(buf)
+}
+
+/// Magnitude spectrum of a real input (`|rfft|`).
+///
+/// # Errors
+///
+/// Same as [`rfft`].
+pub fn rfft_magnitude(input: &[f64], n_fft: usize) -> Result<Vec<f64>, DspError> {
+    Ok(rfft(input, n_fft)?.into_iter().map(Complex::abs).collect())
+}
+
+/// Linear cross-correlation of `x` with `y` via FFT:
+/// `out[k] = sum_m x[m + k] * y[m]` for `k = 0 ..= x.len() - y.len()`.
+///
+/// This is the raw (un-normalized) sliding dot product that
+/// [`crate::tde`] normalizes into a correlation coefficient.
+///
+/// # Errors
+///
+/// Returns [`DspError::TooShort`] if `y` is longer than `x` or either is
+/// empty.
+pub fn sliding_dot_fft(x: &[f64], y: &[f64]) -> Result<Vec<f64>, DspError> {
+    if y.is_empty() || x.is_empty() || y.len() > x.len() {
+        return Err(DspError::TooShort {
+            needed: y.len().max(1),
+            got: x.len(),
+        });
+    }
+    let out_len = x.len() - y.len() + 1;
+    let n_fft = next_pow2(x.len() + y.len());
+    let mut fx = vec![Complex::default(); n_fft];
+    let mut fy = vec![Complex::default(); n_fft];
+    for (b, &v) in fx.iter_mut().zip(x.iter()) {
+        b.re = v;
+    }
+    for (b, &v) in fy.iter_mut().zip(y.iter()) {
+        b.re = v;
+    }
+    fft_in_place(&mut fx)?;
+    fft_in_place(&mut fy)?;
+    // Correlation = IFFT( FX * conj(FY) ).
+    for (a, b) in fx.iter_mut().zip(fy.iter()) {
+        *a = *a * b.conj();
+    }
+    ifft_in_place(&mut fx)?;
+    Ok(fx.into_iter().take(out_len).map(|c| c.re).collect())
+}
+
+/// Naive `O(N·M)` version of [`sliding_dot_fft`], used as a test oracle and
+/// as the faster option for very short windows.
+///
+/// # Errors
+///
+/// Same as [`sliding_dot_fft`].
+pub fn sliding_dot_naive(x: &[f64], y: &[f64]) -> Result<Vec<f64>, DspError> {
+    if y.is_empty() || x.is_empty() || y.len() > x.len() {
+        return Err(DspError::TooShort {
+            needed: y.len().max(1),
+            got: x.len(),
+        });
+    }
+    let out_len = x.len() - y.len() + 1;
+    let mut out = Vec::with_capacity(out_len);
+    for k in 0..out_len {
+        let mut acc = 0.0;
+        for (m, &ym) in y.iter().enumerate() {
+            acc += x[k + m] * ym;
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dft_oracle(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (m, &v) in x.iter().enumerate() {
+                    acc = acc + v * Complex::cis(-std::f64::consts::TAU * k as f64 * m as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_dft_oracle() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut got = x.clone();
+        fft_in_place(&mut got).unwrap();
+        let want = dft_oracle(&x);
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g.re - w.re).abs() < 1e-9, "{g:?} vs {w:?}");
+            assert!((g.im - w.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_pow2() {
+        let mut buf = vec![Complex::default(); 12];
+        assert!(fft_in_place(&mut buf).is_err());
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let mut buf = x.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(x.iter()) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rfft_of_sine_peaks_at_bin() {
+        // 8-sample sine at bin 2.
+        let n = 64;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * 4.0 * i as f64 / n as f64).sin())
+            .collect();
+        let mag = rfft_magnitude(&x, n).unwrap();
+        assert_eq!(mag.len(), n / 2 + 1);
+        let peak = mag
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 4);
+    }
+
+    #[test]
+    fn rfft_validates_args() {
+        assert!(rfft(&[1.0; 4], 3).is_err());
+        assert!(rfft(&[1.0; 8], 4).is_err());
+    }
+
+    #[test]
+    fn sliding_dot_matches_naive_small() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 0.0, -1.0];
+        let a = sliding_dot_fft(&x, &y).unwrap();
+        let b = sliding_dot_naive(&x, &y).unwrap();
+        assert_eq!(a.len(), 3);
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+        // x.len()==y.len() boundary: single output.
+        let c = sliding_dot_fft(&x, &x).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_dot_rejects_bad_shapes() {
+        assert!(sliding_dot_fft(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(sliding_dot_fft(&[], &[]).is_err());
+        assert!(sliding_dot_naive(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn dft_arbitrary_length_matches_oracle() {
+        for n in [1usize, 2, 3, 5, 12, 31, 200] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.9).sin(), (i as f64 * 0.2).cos()))
+                .collect();
+            let got = dft(&x);
+            let want = dft_oracle(&x);
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!((g.re - w.re).abs() < 1e-7, "n={n}: {g:?} vs {w:?}");
+                assert!((g.im - w.im).abs() < 1e-7, "n={n}");
+            }
+        }
+        assert!(dft(&[]).is_empty());
+    }
+
+    #[test]
+    fn real_dft_magnitude_bin_count_matches_table3() {
+        // Table III: a 200-sample window yields 101 spectral channels.
+        assert_eq!(real_dft_magnitude(&vec![0.0; 200]).len(), 101);
+        assert_eq!(real_dft_magnitude(&vec![0.0; 20]).len(), 11);
+        assert_eq!(real_dft_magnitude(&vec![0.0; 400]).len(), 201);
+        assert_eq!(real_dft_magnitude(&vec![0.0; 800]).len(), 401);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bluestein_matches_radix2_padding_free(
+            data in proptest::collection::vec(-10.0f64..10.0, 1..48),
+        ) {
+            // For arbitrary n, Bluestein must equal the O(n^2) oracle.
+            let x: Vec<Complex> = data.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let got = dft(&x);
+            let want = dft_oracle(&x);
+            for (g, w) in got.iter().zip(want.iter()) {
+                prop_assert!((g.re - w.re).abs() < 1e-6);
+                prop_assert!((g.im - w.im).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_fft_ifft_roundtrip(data in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
+            let n = next_pow2(data.len());
+            let mut buf: Vec<Complex> = data.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            buf.resize(n, Complex::default());
+            let orig = buf.clone();
+            fft_in_place(&mut buf).unwrap();
+            ifft_in_place(&mut buf).unwrap();
+            for (a, b) in buf.iter().zip(orig.iter()) {
+                prop_assert!((a.re - b.re).abs() < 1e-8);
+                prop_assert!((a.im).abs() < 1e-8 || (a.im - b.im).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn prop_sliding_dot_fft_equals_naive(
+            x in proptest::collection::vec(-10.0f64..10.0, 4..64),
+            ylen in 1usize..16,
+        ) {
+            let ylen = ylen.min(x.len());
+            let y = &x[..ylen];
+            let a = sliding_dot_fft(&x, y).unwrap();
+            let b = sliding_dot_naive(&x, y).unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for (u, v) in a.iter().zip(b.iter()) {
+                prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
+            }
+        }
+
+        #[test]
+        fn prop_parseval(data in proptest::collection::vec(-10.0f64..10.0, 1..64)) {
+            // Energy in time domain equals energy in frequency domain / N.
+            let n = next_pow2(data.len());
+            let mut buf: Vec<Complex> = data.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            buf.resize(n, Complex::default());
+            let time_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum();
+            fft_in_place(&mut buf).unwrap();
+            let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Filters used by the discriminator and sensor models.
+//!
+//! The discriminator suppresses spikes in `h_dist` and `v_dist` with a
+//! **trailing minimum** filter (Eq 21–22): a spike only raises the filtered
+//! value if it persists for a full filter window (default 3), so isolated
+//! time-noise/amplitude-noise spikes cannot cause false positives.
+
+use crate::error::DspError;
+
+/// Trailing-minimum filter (Eq 21–22):
+/// `out[i] = min(x[max(0, i-n+1) ..= i])`.
+///
+/// The paper writes `min(x[i-n : i])`; for the first `n-1` samples the
+/// window is truncated to the available prefix (equivalent to padding with
+/// `+inf`).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `n == 0`.
+pub fn trailing_min(x: &[f64], n: usize) -> Result<Vec<f64>, DspError> {
+    if n == 0 {
+        return Err(DspError::InvalidParameter(
+            "trailing_min window must be >= 1".into(),
+        ));
+    }
+    // Monotonic deque of indices whose values increase.
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut out = Vec::with_capacity(x.len());
+    for i in 0..x.len() {
+        while let Some(&back) = deque.back() {
+            if x[back] >= x[i] {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        if let Some(&front) = deque.front() {
+            if front + n <= i {
+                deque.pop_front();
+            }
+        }
+        out.push(x[*deque.front().expect("deque is non-empty")]);
+    }
+    Ok(out)
+}
+
+/// Trailing (causal) moving average:
+/// `out[i] = mean(x[max(0, i-n+1) ..= i])`.
+///
+/// Used by the Belikovetsky baseline (5-second moving average of the cosine
+/// distances).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `n == 0`.
+pub fn moving_average(x: &[f64], n: usize) -> Result<Vec<f64>, DspError> {
+    if n == 0 {
+        return Err(DspError::InvalidParameter(
+            "moving_average window must be >= 1".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        acc += x[i];
+        if i >= n {
+            acc -= x[i - n];
+        }
+        let count = (i + 1).min(n);
+        out.push(acc / count as f64);
+    }
+    Ok(out)
+}
+
+/// Single-pole low-pass filter: `y[i] = y[i-1] + alpha (x[i] - y[i-1])`.
+///
+/// `alpha` in `(0, 1]`; used by sensor models for mechanical/thermal lag.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for `alpha` outside `(0, 1]`.
+pub fn single_pole_lowpass(x: &[f64], alpha: f64, y0: f64) -> Result<Vec<f64>, DspError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(DspError::InvalidParameter(format!(
+            "lowpass alpha must be in (0, 1], got {alpha}"
+        )));
+    }
+    let mut y = y0;
+    Ok(x.iter()
+        .map(|&v| {
+            y += alpha * (v - y);
+            y
+        })
+        .collect())
+}
+
+/// Decimates by an integer factor (keeps every `factor`-th sample, starting
+/// at index 0). No anti-alias filtering — callers that need it should
+/// low-pass first.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `factor == 0`.
+pub fn decimate(x: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidParameter("decimate factor must be >= 1".into()));
+    }
+    Ok(x.iter().step_by(factor).copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trailing_min_suppresses_isolated_spike() {
+        // A single spike in otherwise low data must vanish with window 3.
+        let x = [0.1, 0.1, 9.0, 0.1, 0.1];
+        let f = trailing_min(&x, 3).unwrap();
+        assert!(f.iter().all(|&v| v <= 0.1 + 1e-12), "{f:?}");
+    }
+
+    #[test]
+    fn trailing_min_passes_sustained_elevation() {
+        // A deviation lasting >= the window length must survive filtering —
+        // this is why real intrusions still alert (they persist).
+        let x = [0.1, 5.0, 5.0, 5.0, 0.1];
+        let f = trailing_min(&x, 3).unwrap();
+        assert_eq!(f[3], 5.0);
+    }
+
+    #[test]
+    fn trailing_min_oracle() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let f = trailing_min(&x, 3).unwrap();
+        let oracle: Vec<f64> = (0..x.len())
+            .map(|i| {
+                let lo = i.saturating_sub(2);
+                x[lo..=i].iter().cloned().fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        assert_eq!(f, oracle);
+    }
+
+    #[test]
+    fn trailing_min_window_one_is_identity() {
+        let x = [2.0, 1.0, 3.0];
+        assert_eq!(trailing_min(&x, 1).unwrap(), x.to_vec());
+        assert!(trailing_min(&x, 0).is_err());
+        assert!(trailing_min(&[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn moving_average_basic() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let f = moving_average(&x, 2).unwrap();
+        assert_eq!(f, vec![1.0, 1.5, 2.5, 3.5]);
+        assert!(moving_average(&x, 0).is_err());
+    }
+
+    #[test]
+    fn lowpass_converges_to_constant_input() {
+        let x = vec![1.0; 200];
+        let y = single_pole_lowpass(&x, 0.1, 0.0).unwrap();
+        assert!((y[199] - 1.0).abs() < 1e-8);
+        assert!(y[0] < y[10] && y[10] < y[100]);
+        assert!(single_pole_lowpass(&x, 0.0, 0.0).is_err());
+        assert!(single_pole_lowpass(&x, 1.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn lowpass_alpha_one_is_identity() {
+        let x = [3.0, -1.0, 2.0];
+        assert_eq!(single_pole_lowpass(&x, 1.0, 7.0).unwrap(), x.to_vec());
+    }
+
+    #[test]
+    fn decimate_basic() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(decimate(&x, 2).unwrap(), vec![0.0, 2.0, 4.0]);
+        assert_eq!(decimate(&x, 4).unwrap(), vec![0.0, 4.0]);
+        assert_eq!(decimate(&x, 1).unwrap(), x.to_vec());
+        assert!(decimate(&x, 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_trailing_min_matches_naive(
+            x in proptest::collection::vec(-10.0f64..10.0, 0..64),
+            n in 1usize..8,
+        ) {
+            let fast = trailing_min(&x, n).unwrap();
+            let naive: Vec<f64> = (0..x.len())
+                .map(|i| {
+                    let lo = i.saturating_sub(n - 1);
+                    x[lo..=i].iter().cloned().fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            prop_assert_eq!(fast, naive);
+        }
+
+        #[test]
+        fn prop_trailing_min_lower_bound(
+            x in proptest::collection::vec(-10.0f64..10.0, 1..64),
+            n in 1usize..8,
+        ) {
+            let f = trailing_min(&x, n).unwrap();
+            for (fi, xi) in f.iter().zip(x.iter()) {
+                prop_assert!(fi <= xi);
+            }
+        }
+
+        #[test]
+        fn prop_moving_average_bounded(
+            x in proptest::collection::vec(-10.0f64..10.0, 1..64),
+            n in 1usize..8,
+        ) {
+            let f = moving_average(&x, n).unwrap();
+            let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for v in f {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Binary persistence for [`Signal`]s.
+//!
+//! A deployment records reference signals once and reuses them for every
+//! print (§IV "Acquisition of Reference Signals"), so signals need a
+//! stable on-disk form. The format is deliberately simple and
+//! self-describing:
+//!
+//! ```text
+//! magic  "AMSG"          4 bytes
+//! version u16 LE         (currently 1)
+//! fs      f64 LE
+//! channels u32 LE
+//! len      u64 LE        samples per channel
+//! data     f64 LE        channel-major, channels × len values
+//! ```
+
+use crate::error::DspError;
+use crate::signal::Signal;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"AMSG";
+const VERSION: u16 = 1;
+
+/// Serializes a signal to its binary form.
+pub fn to_bytes(signal: &Signal) -> Bytes {
+    let mut buf =
+        BytesMut::with_capacity(4 + 2 + 8 + 4 + 8 + signal.channels() * signal.len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_f64_le(signal.fs());
+    buf.put_u32_le(signal.channels() as u32);
+    buf.put_u64_le(signal.len() as u64);
+    for c in 0..signal.channels() {
+        for &v in signal.channel(c) {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a signal from its binary form.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] on a bad magic/version/shape or
+/// truncated input.
+pub fn from_bytes(mut data: &[u8]) -> Result<Signal, DspError> {
+    if data.len() < 4 + 2 + 8 + 4 + 8 {
+        return Err(DspError::InvalidParameter("signal header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DspError::InvalidParameter(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(DspError::InvalidParameter(format!(
+            "unsupported signal version {version}"
+        )));
+    }
+    let fs = data.get_f64_le();
+    let channels = data.get_u32_le() as usize;
+    let len = data.get_u64_le() as usize;
+    let expected = channels
+        .checked_mul(len)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| DspError::InvalidParameter("signal shape overflows".into()))?;
+    if data.remaining() < expected {
+        return Err(DspError::InvalidParameter(format!(
+            "signal data truncated: need {expected} bytes, have {}",
+            data.remaining()
+        )));
+    }
+    let mut chans = Vec::with_capacity(channels);
+    for _ in 0..channels {
+        let mut ch = Vec::with_capacity(len);
+        for _ in 0..len {
+            ch.push(data.get_f64_le());
+        }
+        chans.push(ch);
+    }
+    Signal::from_channels(fs, chans)
+}
+
+/// Writes a signal to any [`Write`] sink (a `&mut` reference also works).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_signal<W: Write>(signal: &Signal, mut writer: W) -> std::io::Result<()> {
+    writer.write_all(&to_bytes(signal))
+}
+
+/// Reads a signal from any [`Read`] source (a `&mut` reference also
+/// works).
+///
+/// # Errors
+///
+/// Propagates I/O errors; format errors surface as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_signal<R: Read>(mut reader: R) -> std::io::Result<Signal> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    from_bytes(&data)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_signal() -> Signal {
+        Signal::from_channels(
+            48_000.0,
+            vec![vec![0.0, 1.5, -2.25, f64::MIN_POSITIVE], vec![9.0, -9.0, 0.125, 1e300]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let s = sample_signal();
+        let bytes = to_bytes(&s);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn io_trait_roundtrip() {
+        let s = sample_signal();
+        let mut file = Vec::new();
+        write_signal(&s, &mut file).unwrap();
+        let back = read_signal(&file[..]).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let s = sample_signal();
+        let mut bytes = to_bytes(&s).to_vec();
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+        let mut bytes = to_bytes(&s).to_vec();
+        bytes[4] = 99;
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let s = sample_signal();
+        let bytes = to_bytes(&s);
+        assert!(from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_bytes(&bytes[..10]).is_err());
+        assert!(from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn io_error_kind_is_invalid_data() {
+        let err = read_signal(&b"AMSGxx"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            fs in 1.0f64..1e6,
+            chans in 1usize..5,
+            len in 0usize..64,
+            seed in 0u64..1000,
+        ) {
+            let data: Vec<Vec<f64>> = (0..chans)
+                .map(|c| {
+                    (0..len)
+                        .map(|i| ((seed as f64 + c as f64 * 13.0 + i as f64) * 0.7).sin())
+                        .collect()
+                })
+                .collect();
+            let s = Signal::from_channels(fs, data).unwrap();
+            let back = from_bytes(&to_bytes(&s)).unwrap();
+            prop_assert_eq!(s, back);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Digital signal processing substrate for the NSYNC reproduction.
+//!
+//! This crate provides everything the IDS layers need to manipulate sampled
+//! side-channel signals:
+//!
+//! - [`Signal`]: a multi-channel, uniformly sampled time series (§V-A of the
+//!   paper's notation: `x[n, c]`, slices `x[n1:n2]`, channels `x[:, c]`).
+//! - [`fft`]: an in-house radix-2 complex FFT plus real-input helpers.
+//! - [`stft`]: Short-Time Fourier Transform spectrograms with the window
+//!   functions of Table III (Blackman–Harris, Boxcar) — a spectrogram is
+//!   just another [`Signal`] with more channels and a lower sampling rate.
+//! - [`metrics`]: similarity and distance functions (Pearson correlation,
+//!   correlation distance Eq (14), cosine, MAE, Euclidean, Manhattan).
+//! - [`tde`]: sliding-window Time Delay Estimation (§V-B) with a naive
+//!   `O(N·M)` path and an FFT-accelerated zero-normalized cross-correlation
+//!   path, plus TDE-with-Bias (TDEB, §VI-B Fig 5).
+//! - [`filter`]: trailing-minimum spike suppression (Eq 21–22), moving
+//!   average, single-pole low-pass, decimation.
+//! - [`window`]: window functions (Gaussian bias window for TDEB included).
+//! - [`stats`]: small statistics helpers (mean, variance, max/min, cumsum).
+//! - [`linalg`] / [`pca`]: a tiny dense symmetric eigensolver (Jacobi) and
+//!   Principal Component Analysis for the Belikovetsky baseline IDS.
+//! - [`resample`]: linear-interpolation resampling used by the sensor DAQ.
+//!
+//! # Example
+//!
+//! ```
+//! use am_dsp::{Signal, metrics::correlation_distance};
+//!
+//! # fn main() -> Result<(), am_dsp::DspError> {
+//! let a = Signal::from_channels(100.0, vec![vec![0.0, 1.0, 2.0, 3.0]])?;
+//! let b = Signal::from_channels(100.0, vec![vec![0.0, 2.0, 4.0, 6.0]])?;
+//! // Perfectly correlated channels have zero correlation distance.
+//! let d = correlation_distance(a.channel(0), b.channel(0));
+//! assert!(d.abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod fft;
+pub mod filter;
+pub mod io;
+pub mod linalg;
+pub mod metrics;
+pub mod pca;
+pub mod resample;
+pub mod signal;
+pub mod stats;
+pub mod stft;
+pub mod tde;
+pub mod window;
+
+pub use error::DspError;
+pub use signal::Signal;

@@ -1,0 +1,335 @@
+//! Minimal dense linear algebra: a row-major matrix and a Jacobi
+//! eigensolver for symmetric matrices.
+//!
+//! Exists solely to support [`crate::pca`] (the Belikovetsky baseline
+//! compresses spectrogram channels with PCA); it is not a general-purpose
+//! linear-algebra library.
+
+use crate::error::DspError;
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, DspError> {
+        if data.len() != rows * cols {
+            return Err(DspError::ShapeMismatch(format!(
+                "expected {} elements, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrowed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::ShapeMismatch`] if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, DspError> {
+        if self.cols != other.rows {
+            return Err(DspError::ShapeMismatch(format!(
+                "{}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self[(r, c)] - self[(c, r)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Eigen-decomposition of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in **descending** order.
+    pub values: Vec<f64>,
+    /// `vectors.row(i)` is the unit eigenvector for `values[i]`.
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+///
+/// # Errors
+///
+/// Returns [`DspError::ShapeMismatch`] if the matrix is not square and
+/// symmetric (tolerance `1e-9` relative to the largest entry).
+pub fn jacobi_eigen(a: &Matrix) -> Result<EigenDecomposition, DspError> {
+    let n = a.rows();
+    let scale = a.data.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    if !a.is_symmetric(1e-9 * scale) {
+        return Err(DspError::ShapeMismatch(
+            "jacobi_eigen requires a symmetric square matrix".into(),
+        ));
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m[(r, c)] * m[(r, c)];
+            }
+        }
+        if off.sqrt() < 1e-12 * scale.max(1.0) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors (as rows of v^T; we store row k =
+                // eigenvector k at the end, so accumulate column rotations).
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (out_row, (_, col)) in pairs.iter().enumerate() {
+        for k in 0..n {
+            vectors[(out_row, k)] = v[(k, *col)];
+        }
+    }
+    Ok(EigenDecomposition { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul(&b.transpose()).is_ok());
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Matrix::from_rows(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let a = Matrix::from_rows(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
+            .unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.row(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v0[0] - v0[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_rejects_asymmetric() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(jacobi_eigen(&a).is_err());
+        let r = Matrix::zeros(2, 3);
+        assert!(jacobi_eigen(&r).is_err());
+    }
+
+    fn reconstruct(e: &EigenDecomposition) -> Matrix {
+        // A = V^T D V where rows of V are eigenvectors.
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = e.values[i];
+        }
+        let vt = e.vectors.transpose();
+        vt.matmul(&d).unwrap().matmul(&e.vectors).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_jacobi_reconstructs(seed in proptest::collection::vec(-3.0f64..3.0, 16)) {
+            // Build a symmetric 4x4: S = B + B^T.
+            let b = Matrix::from_rows(4, 4, seed).unwrap();
+            let bt = b.transpose();
+            let mut s = Matrix::zeros(4, 4);
+            for r in 0..4 {
+                for c in 0..4 {
+                    s[(r, c)] = b[(r, c)] + bt[(r, c)];
+                }
+            }
+            let e = jacobi_eigen(&s).unwrap();
+            let back = reconstruct(&e);
+            for r in 0..4 {
+                for c in 0..4 {
+                    prop_assert!((back[(r, c)] - s[(r, c)]).abs() < 1e-8,
+                        "at ({},{}) {} vs {}", r, c, back[(r,c)], s[(r,c)]);
+                }
+            }
+            // Eigenvalues sorted descending.
+            for w in e.values.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+            // Eigenvectors are unit length.
+            for i in 0..4 {
+                let norm: f64 = e.vectors.row(i).iter().map(|v| v * v).sum();
+                prop_assert!((norm - 1.0).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Similarity functions and distance metrics (§V-B, §VII-A).
+//!
+//! The paper's default similarity function is the Pearson correlation
+//! coefficient (Eq 3); its default distance metric is the correlation
+//! distance (Eq 14). For multi-channel inputs, scores/distances are computed
+//! per channel along the time axis and **averaged across channels** — the
+//! paper found this raises SNR by discarding channel-wise information.
+
+use crate::error::DspError;
+use crate::signal::Signal;
+use crate::stats;
+use serde::{Deserialize, Serialize};
+
+/// Distance metrics available to the comparator.
+///
+/// NSYNC defaults to [`DistanceMetric::Correlation`]; Euclidean/Manhattan
+/// are provided for ablations (the paper rejects them as gain-sensitive),
+/// MAE for Moore's IDS, cosine for Belikovetsky's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DistanceMetric {
+    /// `1 - pearson(u, v)` (Eq 14). Gain-invariant.
+    Correlation,
+    /// `1 - cos(u, v)`. Used by the Belikovetsky baseline.
+    Cosine,
+    /// Mean absolute error. Used by the Moore baseline.
+    MeanAbsoluteError,
+    /// L2 distance normalized by length.
+    Euclidean,
+    /// L1 distance normalized by length.
+    Manhattan,
+}
+
+impl DistanceMetric {
+    /// Distance between two equal-length 1-D vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != v.len()` (callers compare pre-sliced windows).
+    pub fn distance(self, u: &[f64], v: &[f64]) -> f64 {
+        assert_eq!(u.len(), v.len(), "distance inputs must have equal length");
+        match self {
+            DistanceMetric::Correlation => correlation_distance(u, v),
+            DistanceMetric::Cosine => cosine_distance(u, v),
+            DistanceMetric::MeanAbsoluteError => mean_absolute_error(u, v),
+            DistanceMetric::Euclidean => euclidean_distance(u, v),
+            DistanceMetric::Manhattan => manhattan_distance(u, v),
+        }
+    }
+
+    /// Multi-channel distance: per-channel distance averaged across channels
+    /// (§VII-A). Both signals must have the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::ShapeMismatch`] if lengths or channel counts
+    /// differ.
+    pub fn distance_multichannel(self, a: &Signal, b: &Signal) -> Result<f64, DspError> {
+        if a.len() != b.len() || a.channels() != b.channels() {
+            return Err(DspError::ShapeMismatch(format!(
+                "{}x{} vs {}x{}",
+                a.len(),
+                a.channels(),
+                b.len(),
+                b.channels()
+            )));
+        }
+        let c = a.channels() as f64;
+        let sum: f64 = (0..a.channels())
+            .map(|ch| self.distance(a.channel(ch), b.channel(ch)))
+            .sum();
+        Ok(sum / c)
+    }
+}
+
+impl std::fmt::Display for DistanceMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DistanceMetric::Correlation => "correlation",
+            DistanceMetric::Cosine => "cosine",
+            DistanceMetric::MeanAbsoluteError => "mae",
+            DistanceMetric::Euclidean => "euclidean",
+            DistanceMetric::Manhattan => "manhattan",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pearson correlation coefficient (Eq 3).
+///
+/// Returns 0.0 when either input has zero variance (instead of NaN): a flat
+/// window carries no timing information, so "uncorrelated" is the safe
+/// answer for both TDE (score 0 never wins an argmax against real structure)
+/// and the comparator (distance 1).
+pub fn pearson(u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    let n = u.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mu = stats::mean(u);
+    let mv = stats::mean(v);
+    let mut num = 0.0;
+    let mut du = 0.0;
+    let mut dv = 0.0;
+    for i in 0..n {
+        let a = u[i] - mu;
+        let b = v[i] - mv;
+        num += a * b;
+        du += a * a;
+        dv += b * b;
+    }
+    let denom = (du * dv).sqrt();
+    if denom <= f64::EPSILON * n as f64 {
+        0.0
+    } else {
+        (num / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Correlation distance (Eq 14): `1 - pearson(u, v)`. Range `[0, 2]`.
+pub fn correlation_distance(u: &[f64], v: &[f64]) -> f64 {
+    1.0 - pearson(u, v)
+}
+
+/// Cosine distance: `1 - (u·v)/(|u||v|)`. Zero-norm inputs give 1.0.
+pub fn cosine_distance(u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    let mut num = 0.0;
+    let mut nu = 0.0;
+    let mut nv = 0.0;
+    for i in 0..u.len() {
+        num += u[i] * v[i];
+        nu += u[i] * u[i];
+        nv += v[i] * v[i];
+    }
+    let denom = (nu * nv).sqrt();
+    if denom <= f64::EPSILON {
+        1.0
+    } else {
+        1.0 - (num / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Mean absolute error (the Moore baseline's point metric).
+pub fn mean_absolute_error(u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    if u.is_empty() {
+        return 0.0;
+    }
+    u.iter()
+        .zip(v.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / u.len() as f64
+}
+
+/// Length-normalized Euclidean distance.
+pub fn euclidean_distance(u: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(u.len(), v.len());
+    if u.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = u
+        .iter()
+        .zip(v.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    (ss / u.len() as f64).sqrt()
+}
+
+/// Length-normalized Manhattan distance (identical to MAE; kept as a named
+/// alias because the paper lists both).
+pub fn manhattan_distance(u: &[f64], v: &[f64]) -> f64 {
+    mean_absolute_error(u, v)
+}
+
+/// Multi-channel Pearson similarity averaged across channels (§V-B).
+///
+/// # Errors
+///
+/// Returns [`DspError::ShapeMismatch`] if shapes differ.
+pub fn pearson_multichannel(a: &Signal, b: &Signal) -> Result<f64, DspError> {
+    if a.len() != b.len() || a.channels() != b.channels() {
+        return Err(DspError::ShapeMismatch(format!(
+            "{}x{} vs {}x{}",
+            a.len(),
+            a.channels(),
+            b.len(),
+            b.channels()
+        )));
+    }
+    let c = a.channels() as f64;
+    let sum: f64 = (0..a.channels())
+        .map(|ch| pearson(a.channel(ch), b.channel(ch)))
+        .sum();
+    Ok(sum / c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&u, &v) - 1.0).abs() < 1e-12);
+        let w = [-1.0, -2.0, -3.0, -4.0];
+        assert!((pearson(&u, &w) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_gain_and_offset_invariant() {
+        let u = [0.3, -0.8, 1.2, 0.1, -0.4];
+        let v: Vec<f64> = u.iter().map(|x| 3.7 * x + 11.0).collect();
+        assert!((pearson(&u, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_flat_input_is_zero() {
+        assert_eq!(pearson(&[5.0; 8], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn correlation_distance_range() {
+        let u = [1.0, -1.0, 1.0, -1.0];
+        let v = [-1.0, 1.0, -1.0, 1.0];
+        assert!((correlation_distance(&u, &u.clone()) - 0.0).abs() < 1e-12);
+        assert!((correlation_distance(&u, &v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_distance_cases() {
+        assert!((cosine_distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-12);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn mae_euclidean_manhattan() {
+        let u = [0.0, 0.0, 0.0, 0.0];
+        let v = [1.0, -1.0, 1.0, -1.0];
+        assert!((mean_absolute_error(&u, &v) - 1.0).abs() < 1e-12);
+        assert!((euclidean_distance(&u, &v) - 1.0).abs() < 1e-12);
+        assert_eq!(manhattan_distance(&u, &v), mean_absolute_error(&u, &v));
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+        assert_eq!(euclidean_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_is_gain_sensitive_but_correlation_is_not() {
+        // The paper's §VII-A argument for choosing correlation distance.
+        let u = [0.1, 0.5, -0.3, 0.9];
+        let v: Vec<f64> = u.iter().map(|x| 2.0 * x).collect();
+        assert!(euclidean_distance(&u, &v) > 0.1);
+        assert!(correlation_distance(&u, &v) < 1e-12);
+    }
+
+    #[test]
+    fn multichannel_distance_averages() {
+        let a = Signal::from_channels(
+            10.0,
+            vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]],
+        )
+        .unwrap();
+        // Channel 0 perfectly correlated, channel 1 anti-correlated.
+        let b = Signal::from_channels(
+            10.0,
+            vec![vec![2.0, 4.0, 6.0], vec![3.0, 2.0, 1.0]],
+        )
+        .unwrap();
+        let d = DistanceMetric::Correlation
+            .distance_multichannel(&a, &b)
+            .unwrap();
+        // (0 + 2) / 2 = 1.
+        assert!((d - 1.0).abs() < 1e-12);
+        let s = pearson_multichannel(&a, &b).unwrap();
+        assert!((s - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multichannel_shape_mismatch() {
+        let a = Signal::mono(10.0, vec![1.0, 2.0]).unwrap();
+        let b = Signal::mono(10.0, vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(DistanceMetric::Correlation.distance_multichannel(&a, &b).is_err());
+        assert!(pearson_multichannel(&a, &b).is_err());
+    }
+
+    #[test]
+    fn metric_display() {
+        assert_eq!(DistanceMetric::Correlation.to_string(), "correlation");
+        assert_eq!(DistanceMetric::MeanAbsoluteError.to_string(), "mae");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_bounded(
+            u in proptest::collection::vec(-100.0f64..100.0, 2..32),
+            v in proptest::collection::vec(-100.0f64..100.0, 2..32),
+        ) {
+            let n = u.len().min(v.len());
+            let r = pearson(&u[..n], &v[..n]);
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn prop_symmetry(
+            u in proptest::collection::vec(-10.0f64..10.0, 2..16),
+            v in proptest::collection::vec(-10.0f64..10.0, 2..16),
+        ) {
+            let n = u.len().min(v.len());
+            let (u, v) = (&u[..n], &v[..n]);
+            for m in [
+                DistanceMetric::Correlation,
+                DistanceMetric::Cosine,
+                DistanceMetric::MeanAbsoluteError,
+                DistanceMetric::Euclidean,
+                DistanceMetric::Manhattan,
+            ] {
+                prop_assert!((m.distance(u, v) - m.distance(v, u)).abs() < 1e-9);
+                // Identity of indiscernibles (weak form): d(u,u) ~ 0 except
+                // correlation of a flat window, which we define as 1.
+                let duu = m.distance(u, u);
+                prop_assert!(duu < 2.0 + 1e-9);
+                prop_assert!(duu >= -1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_correlation_distance_nonnegative(
+            u in proptest::collection::vec(-10.0f64..10.0, 2..16),
+            v in proptest::collection::vec(-10.0f64..10.0, 2..16),
+        ) {
+            let n = u.len().min(v.len());
+            let d = correlation_distance(&u[..n], &v[..n]);
+            prop_assert!((0.0..=2.0 + 1e-12).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Principal Component Analysis over signal channels.
+//!
+//! The Belikovetsky baseline IDS (§III, §VIII-C) compresses a spectrogram's
+//! channels down to three principal components before comparing signals
+//! point by point with the cosine distance. [`Pca::fit`] learns the
+//! projection from a reference signal; [`Pca::transform`] applies it to any
+//! signal with the same channel count — so the observed and reference
+//! signals are projected into the *same* component space.
+
+use crate::error::DspError;
+use crate::linalg::{jacobi_eigen, Matrix};
+use crate::signal::Signal;
+use crate::stats;
+
+/// A fitted PCA projection from `input_channels` to `components`.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `components x input_channels` projection matrix (rows = principal
+    /// axes, orthonormal).
+    projection: Matrix,
+    /// Eigenvalues (variances) of the retained components, descending.
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on the channels of `signal`, retaining `components` axes.
+    ///
+    /// Each time sample is an observation; each channel is a variable.
+    ///
+    /// # Errors
+    ///
+    /// - [`DspError::InvalidParameter`] if `components == 0` or exceeds the
+    ///   channel count,
+    /// - [`DspError::TooShort`] if the signal has fewer than 2 samples.
+    pub fn fit(signal: &Signal, components: usize) -> Result<Self, DspError> {
+        let c = signal.channels();
+        if components == 0 || components > c {
+            return Err(DspError::InvalidParameter(format!(
+                "components must be in 1..={c}, got {components}"
+            )));
+        }
+        if signal.len() < 2 {
+            return Err(DspError::TooShort {
+                needed: 2,
+                got: signal.len(),
+            });
+        }
+        let n = signal.len() as f64;
+        let mean: Vec<f64> = (0..c).map(|ch| stats::mean(signal.channel(ch))).collect();
+        // Covariance matrix (c x c).
+        let mut cov = Matrix::zeros(c, c);
+        for i in 0..c {
+            let xi = signal.channel(i);
+            for j in i..c {
+                let xj = signal.channel(j);
+                let mut acc = 0.0;
+                for t in 0..signal.len() {
+                    acc += (xi[t] - mean[i]) * (xj[t] - mean[j]);
+                }
+                let v = acc / (n - 1.0);
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        let eig = jacobi_eigen(&cov)?;
+        let mut projection = Matrix::zeros(components, c);
+        for k in 0..components {
+            let row = eig.vectors.row(k);
+            for j in 0..c {
+                projection[(k, j)] = row[j];
+            }
+        }
+        Ok(Pca {
+            mean,
+            projection,
+            explained_variance: eig.values[..components].to_vec(),
+        })
+    }
+
+    /// Number of retained components.
+    pub fn components(&self) -> usize {
+        self.projection.rows()
+    }
+
+    /// Number of input channels the projection expects.
+    pub fn input_channels(&self) -> usize {
+        self.projection.cols()
+    }
+
+    /// Variance captured by each retained component, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Projects a signal into component space: output has
+    /// `self.components()` channels and the same length/sample rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::ShapeMismatch`] if the channel count differs
+    /// from the fitted input.
+    pub fn transform(&self, signal: &Signal) -> Result<Signal, DspError> {
+        let c = self.input_channels();
+        if signal.channels() != c {
+            return Err(DspError::ShapeMismatch(format!(
+                "pca fitted on {c} channels, input has {}",
+                signal.channels()
+            )));
+        }
+        let k = self.components();
+        let mut out: Vec<Vec<f64>> = vec![vec![0.0; signal.len()]; k];
+        for (j, m) in self.mean.iter().enumerate() {
+            let ch = signal.channel(j);
+            for comp in 0..k {
+                let w = self.projection[(comp, j)];
+                if w == 0.0 {
+                    continue;
+                }
+                let dst = &mut out[comp];
+                for t in 0..signal.len() {
+                    dst[t] += w * (ch[t] - m);
+                }
+            }
+        }
+        Signal::from_channels(signal.fs(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-channel signal where channel 2 = ch0 + ch1 (rank 2).
+    fn rank2_signal() -> Signal {
+        let n = 256;
+        Signal::from_fn(100.0, 3, n, |t, f| {
+            f[0] = (2.0 * t).sin();
+            f[1] = (5.3 * t).cos() * 0.5;
+            f[2] = f[0] + f[1];
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_validates_parameters() {
+        let s = rank2_signal();
+        assert!(Pca::fit(&s, 0).is_err());
+        assert!(Pca::fit(&s, 4).is_err());
+        let short = Signal::zeros(10.0, 2, 1).unwrap();
+        assert!(Pca::fit(&short, 1).is_err());
+    }
+
+    #[test]
+    fn rank2_data_has_two_significant_components() {
+        let s = rank2_signal();
+        let pca = Pca::fit(&s, 3).unwrap();
+        let ev = pca.explained_variance();
+        assert!(ev[0] > 1e-3);
+        assert!(ev[1] > 1e-4);
+        // Third component captures (numerically) nothing.
+        assert!(ev[2].abs() < 1e-10, "ev={ev:?}");
+    }
+
+    #[test]
+    fn transform_shape() {
+        let s = rank2_signal();
+        let pca = Pca::fit(&s, 2).unwrap();
+        let t = pca.transform(&s).unwrap();
+        assert_eq!(t.channels(), 2);
+        assert_eq!(t.len(), s.len());
+        assert_eq!(t.fs(), s.fs());
+        let wrong = Signal::zeros(100.0, 2, 16).unwrap();
+        assert!(pca.transform(&wrong).is_err());
+    }
+
+    #[test]
+    fn components_are_decorrelated_and_variance_sorted() {
+        let s = rank2_signal();
+        let pca = Pca::fit(&s, 2).unwrap();
+        let t = pca.transform(&s).unwrap();
+        let v0 = stats::variance(t.channel(0));
+        let v1 = stats::variance(t.channel(1));
+        assert!(v0 >= v1);
+        // Decorrelated: |pearson| ~ 0.
+        let r = crate::metrics::pearson(t.channel(0), t.channel(1));
+        assert!(r.abs() < 1e-6, "r={r}");
+    }
+
+    #[test]
+    fn projection_preserves_total_variance_with_all_components() {
+        let s = rank2_signal();
+        let pca = Pca::fit(&s, 3).unwrap();
+        let t = pca.transform(&s).unwrap();
+        let orig: f64 = (0..3).map(|c| stats::variance(s.channel(c))).sum();
+        let proj: f64 = (0..3).map(|c| stats::variance(t.channel(c))).sum();
+        assert!((orig - proj).abs() < 1e-8 * orig.max(1.0), "{orig} vs {proj}");
+    }
+
+    #[test]
+    fn same_projection_applies_to_other_signals() {
+        // The Belikovetsky use case: fit on the reference, transform both.
+        let reference = rank2_signal();
+        let pca = Pca::fit(&reference, 3).unwrap();
+        let observed = Signal::from_fn(100.0, 3, 256, |t, f| {
+            f[0] = (2.0 * t).sin() * 1.01;
+            f[1] = (5.3 * t).cos() * 0.49;
+            f[2] = f[0] + f[1];
+        })
+        .unwrap();
+        let tr = pca.transform(&reference).unwrap();
+        let to = pca.transform(&observed).unwrap();
+        // Nearly identical processes project onto nearly identical curves.
+        let r = crate::metrics::pearson(tr.channel(0), to.channel(0));
+        assert!(r > 0.999, "r={r}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Resampling helpers for the sensor DAQ layer.
+
+use crate::error::DspError;
+use crate::signal::Signal;
+
+/// Linearly interpolates `x` (sampled uniformly at `fs_in`) at time `t`.
+/// Times outside the signal clamp to the endpoints.
+pub fn sample_at(x: &[f64], fs_in: f64, t: f64) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let pos = t * fs_in;
+    if pos <= 0.0 {
+        return x[0];
+    }
+    let last = (x.len() - 1) as f64;
+    if pos >= last {
+        return x[x.len() - 1];
+    }
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    x[i] * (1.0 - frac) + x[i + 1] * frac
+}
+
+/// Resamples a signal to `fs_out` by per-channel linear interpolation.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidSampleRate`] if `fs_out` is not finite and
+/// positive.
+pub fn resample(signal: &Signal, fs_out: f64) -> Result<Signal, DspError> {
+    if !(fs_out.is_finite() && fs_out > 0.0) {
+        return Err(DspError::InvalidSampleRate(fs_out.to_bits()));
+    }
+    let out_len = (signal.duration() * fs_out).round() as usize;
+    let fs_in = signal.fs();
+    let mut channels = Vec::with_capacity(signal.channels());
+    for c in 0..signal.channels() {
+        let ch = signal.channel(c);
+        let out: Vec<f64> = (0..out_len)
+            .map(|n| sample_at(ch, fs_in, n as f64 / fs_out))
+            .collect();
+        channels.push(out);
+    }
+    Signal::from_channels(fs_out, channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sample_at_interpolates_and_clamps() {
+        let x = [0.0, 10.0, 20.0];
+        assert_eq!(sample_at(&x, 1.0, 0.5), 5.0);
+        assert_eq!(sample_at(&x, 1.0, -3.0), 0.0);
+        assert_eq!(sample_at(&x, 1.0, 99.0), 20.0);
+        assert_eq!(sample_at(&[], 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn resample_identity_rate_roundtrips() {
+        let s = Signal::from_fn(100.0, 1, 100, |t, f| f[0] = t).unwrap();
+        let r = resample(&s, 100.0).unwrap();
+        assert_eq!(r.len(), 100);
+        for (a, b) in r.channel(0).iter().zip(s.channel(0).iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upsample_linear_ramp_stays_linear() {
+        let s = Signal::from_fn(10.0, 1, 20, |t, f| f[0] = 3.0 * t).unwrap();
+        let r = resample(&s, 40.0).unwrap();
+        assert_eq!(r.len(), 80);
+        for n in 0..r.len() - 4 {
+            let t = n as f64 / 40.0;
+            assert!((r.channel(0)[n] - 3.0 * t).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_duration() {
+        let s = Signal::from_fn(1000.0, 2, 1000, |t, f| {
+            f[0] = t.sin();
+            f[1] = t.cos();
+        })
+        .unwrap();
+        let r = resample(&s, 100.0).unwrap();
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.channels(), 2);
+        assert!((r.duration() - s.duration()).abs() < 0.02);
+    }
+
+    #[test]
+    fn resample_rejects_bad_rate() {
+        let s = Signal::mono(10.0, vec![1.0; 10]).unwrap();
+        assert!(resample(&s, 0.0).is_err());
+        assert!(resample(&s, f64::NAN).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_resample_bounded_by_input(
+            data in proptest::collection::vec(-10.0f64..10.0, 2..64),
+            rate in 1.0f64..200.0,
+        ) {
+            let s = Signal::mono(50.0, data.clone()).unwrap();
+            let r = resample(&s, rate).unwrap();
+            let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for v in r.channel(0) {
+                prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+            }
+        }
+    }
+}

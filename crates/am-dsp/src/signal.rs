@@ -1,0 +1,501 @@
+//! The [`Signal`] type: a multi-channel, uniformly sampled time series.
+//!
+//! Follows the notation of §V-A of the paper: a signal `x` has `N` samples
+//! and `C` channels; `x[n, c]` is the `n`th sample of channel `c`;
+//! `x[n1:n2]` is a time slice and `x[:, c]` a whole channel.
+//!
+//! Storage is **channel-major** (each channel is contiguous), because every
+//! hot loop in the IDS — correlation, TDE, distance metrics — walks one
+//! channel at a time and averages results across channels.
+
+use crate::error::DspError;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A multi-channel, uniformly sampled signal.
+///
+/// # Example
+///
+/// ```
+/// use am_dsp::Signal;
+///
+/// # fn main() -> Result<(), am_dsp::DspError> {
+/// let s = Signal::from_channels(1000.0, vec![vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.channels(), 2);
+/// assert_eq!(s.sample(1, 0), 2.0);
+/// assert!((s.duration() - 0.002).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Signal {
+    fs: f64,
+    len: usize,
+    /// Channel-major storage: `data[c * len + n]`.
+    data: Vec<f64>,
+    channels: usize,
+}
+
+impl Signal {
+    /// Creates a signal from per-channel sample vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NoChannels`] if `channels` is empty,
+    /// [`DspError::RaggedChannels`] if channel lengths differ, and
+    /// [`DspError::InvalidSampleRate`] if `fs` is not finite and positive.
+    pub fn from_channels(fs: f64, channels: Vec<Vec<f64>>) -> Result<Self, DspError> {
+        if !(fs.is_finite() && fs > 0.0) {
+            return Err(DspError::InvalidSampleRate(fs.to_bits()));
+        }
+        if channels.is_empty() {
+            return Err(DspError::NoChannels);
+        }
+        let len = channels[0].len();
+        for (i, ch) in channels.iter().enumerate() {
+            if ch.len() != len {
+                return Err(DspError::RaggedChannels {
+                    expected: len,
+                    channel: i,
+                    actual: ch.len(),
+                });
+            }
+        }
+        let n_ch = channels.len();
+        let mut data = Vec::with_capacity(len * n_ch);
+        for ch in &channels {
+            data.extend_from_slice(ch);
+        }
+        Ok(Signal {
+            fs,
+            len,
+            data,
+            channels: n_ch,
+        })
+    }
+
+    /// Creates a single-channel signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidSampleRate`] if `fs` is not finite and
+    /// positive.
+    pub fn mono(fs: f64, samples: Vec<f64>) -> Result<Self, DspError> {
+        Signal::from_channels(fs, vec![samples])
+    }
+
+    /// Creates an all-zero signal with the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NoChannels`] for zero channels and
+    /// [`DspError::InvalidSampleRate`] for a bad sample rate.
+    pub fn zeros(fs: f64, channels: usize, len: usize) -> Result<Self, DspError> {
+        if !(fs.is_finite() && fs > 0.0) {
+            return Err(DspError::InvalidSampleRate(fs.to_bits()));
+        }
+        if channels == 0 {
+            return Err(DspError::NoChannels);
+        }
+        Ok(Signal {
+            fs,
+            len,
+            data: vec![0.0; channels * len],
+            channels,
+        })
+    }
+
+    /// Builds a signal by sampling a function of time, one closure call per
+    /// `(t, frame)` where `frame` receives one value per channel.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Signal::zeros`].
+    pub fn from_fn<F>(fs: f64, channels: usize, len: usize, mut f: F) -> Result<Self, DspError>
+    where
+        F: FnMut(f64, &mut [f64]),
+    {
+        let mut s = Signal::zeros(fs, channels, len)?;
+        let mut frame = vec![0.0; channels];
+        for n in 0..len {
+            let t = n as f64 / fs;
+            f(t, &mut frame);
+            for (c, v) in frame.iter().enumerate() {
+                s.data[c * len + n] = *v;
+            }
+        }
+        Ok(s)
+    }
+
+    /// Sampling frequency in Hz.
+    pub fn fs(&self) -> f64 {
+        self.fs
+    }
+
+    /// Number of samples per channel (`N`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the signal holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of channels (`C`).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Signal duration in seconds (`N / fs`).
+    pub fn duration(&self) -> f64 {
+        self.len as f64 / self.fs
+    }
+
+    /// The paper's `x[n, c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= len()` or `c >= channels()`.
+    pub fn sample(&self, n: usize, c: usize) -> f64 {
+        assert!(n < self.len, "sample index {n} out of range {}", self.len);
+        assert!(c < self.channels, "channel {c} out of range {}", self.channels);
+        self.data[c * self.len + n]
+    }
+
+    /// The paper's `x[:, c]`: a contiguous view of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= channels()`.
+    pub fn channel(&self, c: usize) -> &[f64] {
+        assert!(c < self.channels, "channel {c} out of range {}", self.channels);
+        &self.data[c * self.len..(c + 1) * self.len]
+    }
+
+    /// Mutable view of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= channels()`.
+    pub fn channel_mut(&mut self, c: usize) -> &mut [f64] {
+        assert!(c < self.channels, "channel {c} out of range {}", self.channels);
+        &mut self.data[c * self.len..(c + 1) * self.len]
+    }
+
+    /// Iterates over all channels as slices.
+    pub fn iter_channels(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        (0..self.channels).map(move |c| self.channel(c))
+    }
+
+    /// The paper's `x[n1:n2]`: a time slice across all channels, returned as
+    /// an owned signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidRange`] if the range is inverted or out of
+    /// bounds.
+    pub fn slice(&self, range: Range<usize>) -> Result<Signal, DspError> {
+        if range.start > range.end || range.end > self.len {
+            return Err(DspError::InvalidRange {
+                start: range.start,
+                end: range.end,
+                len: self.len,
+            });
+        }
+        let out_len = range.end - range.start;
+        let mut data = Vec::with_capacity(out_len * self.channels);
+        for c in 0..self.channels {
+            let ch = self.channel(c);
+            data.extend_from_slice(&ch[range.clone()]);
+        }
+        Ok(Signal {
+            fs: self.fs,
+            len: out_len,
+            data,
+            channels: self.channels,
+        })
+    }
+
+    /// Like [`Signal::slice`] but clamps the range to the valid region and
+    /// zero-pads anything that falls outside `0..len()`.
+    ///
+    /// This is the slicing primitive DWM needs: its extended search window
+    /// `b{i}_E` can start before index 0 (early windows) or run past the end
+    /// of the reference (late windows, Eq (9)).
+    pub fn slice_padded(&self, start: isize, end: isize) -> Signal {
+        let out_len = (end - start).max(0) as usize;
+        let mut data = vec![0.0; out_len * self.channels];
+        if out_len == 0 {
+            return Signal {
+                fs: self.fs,
+                len: 0,
+                data,
+                channels: self.channels,
+            };
+        }
+        let src_start = start.clamp(0, self.len as isize) as usize;
+        let src_end = end.clamp(0, self.len as isize) as usize;
+        if src_end > src_start {
+            let dst_off = (src_start as isize - start) as usize;
+            for c in 0..self.channels {
+                let ch = self.channel(c);
+                let dst = &mut data[c * out_len + dst_off..c * out_len + dst_off + (src_end - src_start)];
+                dst.copy_from_slice(&ch[src_start..src_end]);
+            }
+        }
+        Signal {
+            fs: self.fs,
+            len: out_len,
+            data,
+            channels: self.channels,
+        }
+    }
+
+    /// Extracts a subset of channels as a new signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NoChannels`] if `which` is empty and
+    /// [`DspError::InvalidParameter`] if any index is out of range.
+    pub fn select_channels(&self, which: &[usize]) -> Result<Signal, DspError> {
+        if which.is_empty() {
+            return Err(DspError::NoChannels);
+        }
+        let mut chans = Vec::with_capacity(which.len());
+        for &c in which {
+            if c >= self.channels {
+                return Err(DspError::InvalidParameter(format!(
+                    "channel index {c} out of range {}",
+                    self.channels
+                )));
+            }
+            chans.push(self.channel(c).to_vec());
+        }
+        Signal::from_channels(self.fs, chans)
+    }
+
+    /// Appends `other`'s samples in time. Both signals must have the same
+    /// channel count and sample rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::ShapeMismatch`] on disagreement.
+    pub fn concat(&self, other: &Signal) -> Result<Signal, DspError> {
+        if self.channels != other.channels {
+            return Err(DspError::ShapeMismatch(format!(
+                "channel counts differ: {} vs {}",
+                self.channels, other.channels
+            )));
+        }
+        if (self.fs - other.fs).abs() > f64::EPSILON * self.fs {
+            return Err(DspError::ShapeMismatch(format!(
+                "sample rates differ: {} vs {}",
+                self.fs, other.fs
+            )));
+        }
+        let mut chans = Vec::with_capacity(self.channels);
+        for c in 0..self.channels {
+            let mut v = self.channel(c).to_vec();
+            v.extend_from_slice(other.channel(c));
+            chans.push(v);
+        }
+        Signal::from_channels(self.fs, chans)
+    }
+
+    /// Applies a function to every sample in place.
+    pub fn map_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns per-channel vectors (inverse of [`Signal::from_channels`]).
+    pub fn to_channels(&self) -> Vec<Vec<f64>> {
+        (0..self.channels).map(|c| self.channel(c).to_vec()).collect()
+    }
+
+    /// Root-mean-square over all channels and samples.
+    pub fn rms(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let sum_sq: f64 = self.data.iter().map(|v| v * v).sum();
+        (sum_sq / self.data.len() as f64).sqrt()
+    }
+
+    /// Converts a time in seconds to the nearest sample index (clamped).
+    pub fn index_at(&self, t: f64) -> usize {
+        ((t * self.fs).round().max(0.0) as usize).min(self.len.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sig2x4() -> Signal {
+        Signal::from_channels(
+            10.0,
+            vec![vec![0.0, 1.0, 2.0, 3.0], vec![10.0, 11.0, 12.0, 13.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let s = sig2x4();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.channels(), 2);
+        assert_eq!(s.fs(), 10.0);
+        assert!((s.duration() - 0.4).abs() < 1e-12);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn sample_and_channel_access() {
+        let s = sig2x4();
+        assert_eq!(s.sample(2, 1), 12.0);
+        assert_eq!(s.channel(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.channel(1), &[10.0, 11.0, 12.0, 13.0]);
+        let chans: Vec<&[f64]> = s.iter_channels().collect();
+        assert_eq!(chans.len(), 2);
+    }
+
+    #[test]
+    fn ragged_channels_rejected() {
+        let err = Signal::from_channels(10.0, vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, DspError::RaggedChannels { channel: 1, .. }));
+    }
+
+    #[test]
+    fn zero_channels_rejected() {
+        assert!(matches!(
+            Signal::from_channels(10.0, vec![]),
+            Err(DspError::NoChannels)
+        ));
+    }
+
+    #[test]
+    fn bad_fs_rejected() {
+        for fs in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(Signal::mono(fs, vec![1.0]).is_err(), "fs={fs}");
+        }
+    }
+
+    #[test]
+    fn slice_matches_paper_semantics() {
+        // x[n1:n2] is inclusive of n1, exclusive of n2.
+        let s = sig2x4();
+        let sl = s.slice(1..3).unwrap();
+        assert_eq!(sl.len(), 2);
+        assert_eq!(sl.channel(0), &[1.0, 2.0]);
+        assert_eq!(sl.channel(1), &[11.0, 12.0]);
+    }
+
+    #[test]
+    fn slice_range_checked() {
+        let s = sig2x4();
+        assert!(s.slice(3..2).is_err());
+        assert!(s.slice(0..5).is_err());
+        assert!(s.slice(4..4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn slice_padded_zero_pads_both_ends() {
+        let s = sig2x4();
+        let sl = s.slice_padded(-2, 2);
+        assert_eq!(sl.channel(0), &[0.0, 0.0, 0.0, 1.0]);
+        let sr = s.slice_padded(3, 6);
+        assert_eq!(sr.channel(0), &[3.0, 0.0, 0.0]);
+        let inside = s.slice_padded(1, 3);
+        assert_eq!(inside.channel(0), &[1.0, 2.0]);
+        // Fully outside.
+        let out = s.slice_padded(10, 12);
+        assert_eq!(out.channel(1), &[0.0, 0.0]);
+        // Degenerate empty.
+        assert_eq!(s.slice_padded(2, 2).len(), 0);
+    }
+
+    #[test]
+    fn select_channels_reorders() {
+        let s = sig2x4();
+        let sel = s.select_channels(&[1, 0]).unwrap();
+        assert_eq!(sel.channel(0), &[10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(sel.channel(1), &[0.0, 1.0, 2.0, 3.0]);
+        assert!(s.select_channels(&[]).is_err());
+        assert!(s.select_channels(&[2]).is_err());
+    }
+
+    #[test]
+    fn concat_appends_in_time() {
+        let s = sig2x4();
+        let t = s.concat(&s).unwrap();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.channel(0)[4], 0.0);
+        let mono = Signal::mono(10.0, vec![1.0]).unwrap();
+        assert!(s.concat(&mono).is_err());
+        let wrong_fs = Signal::from_channels(20.0, s.to_channels()).unwrap();
+        assert!(s.concat(&wrong_fs).is_err());
+    }
+
+    #[test]
+    fn from_fn_samples_time() {
+        let s = Signal::from_fn(4.0, 2, 4, |t, frame| {
+            frame[0] = t;
+            frame[1] = 2.0 * t;
+        })
+        .unwrap();
+        assert_eq!(s.channel(0), &[0.0, 0.25, 0.5, 0.75]);
+        assert_eq!(s.channel(1), &[0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        let s = Signal::mono(1.0, vec![3.0; 16]).unwrap();
+        assert!((s.rms() - 3.0).abs() < 1e-12);
+        let e = Signal::zeros(1.0, 1, 0).unwrap();
+        assert_eq!(e.rms(), 0.0);
+    }
+
+    #[test]
+    fn index_at_clamps() {
+        let s = sig2x4();
+        assert_eq!(s.index_at(-1.0), 0);
+        assert_eq!(s.index_at(0.1), 1);
+        assert_eq!(s.index_at(99.0), 3);
+    }
+
+    #[test]
+    fn map_in_place_applies() {
+        let mut s = sig2x4();
+        s.map_in_place(|v| v * 2.0);
+        assert_eq!(s.sample(1, 1), 22.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_slice_then_concat_roundtrip(len in 1usize..64, cut in 0usize..64) {
+            let cut = cut.min(len);
+            let data: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            let s = Signal::mono(100.0, data).unwrap();
+            let a = s.slice(0..cut).unwrap();
+            let b = s.slice(cut..len).unwrap();
+            let joined = a.concat(&b).unwrap();
+            prop_assert_eq!(joined, s);
+        }
+
+        #[test]
+        fn prop_slice_padded_agrees_with_slice_inside(len in 4usize..64, s0 in 0usize..32, w in 1usize..16) {
+            let end = (s0 + w).min(len);
+            let start = s0.min(end);
+            let data: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+            let sig = Signal::mono(10.0, data).unwrap();
+            let a = sig.slice(start..end).unwrap();
+            let b = sig.slice_padded(start as isize, end as isize);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

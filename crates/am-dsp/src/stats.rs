@@ -1,0 +1,184 @@
+//! Small statistics helpers shared across the workspace.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance; 0.0 for slices shorter than 2.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Maximum value; `None` for an empty slice. NaNs are ignored.
+pub fn max(x: &[f64]) -> Option<f64> {
+    x.iter().copied().filter(|v| !v.is_nan()).fold(None, |acc, v| {
+        Some(match acc {
+            None => v,
+            Some(a) => a.max(v),
+        })
+    })
+}
+
+/// Minimum value; `None` for an empty slice. NaNs are ignored.
+pub fn min(x: &[f64]) -> Option<f64> {
+    x.iter().copied().filter(|v| !v.is_nan()).fold(None, |acc, v| {
+        Some(match acc {
+            None => v,
+            Some(a) => a.min(v),
+        })
+    })
+}
+
+/// Index of the maximum value; `None` for an empty slice. Ties resolve to
+/// the first occurrence; NaNs never win.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            None => best = Some((i, v)),
+            Some((_, b)) if v > b => best = Some((i, v)),
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Inclusive prefix sums: `out[i] = sum(x[0..=i])`.
+pub fn cumsum(x: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    x.iter()
+        .map(|&v| {
+            acc += v;
+            acc
+        })
+        .collect()
+}
+
+/// Exclusive prefix sums with a leading zero: `out[i] = sum(x[0..i])`,
+/// `out.len() == x.len() + 1`. Used by the sliding-statistics paths in TDE.
+pub fn prefix_sums(x: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(x.len() + 1);
+    let mut acc = 0.0;
+    out.push(0.0);
+    for &v in x {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+/// Exclusive prefix sums of squares.
+pub fn prefix_sq_sums(x: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(x.len() + 1);
+    let mut acc = 0.0;
+    out.push(0.0);
+    for &v in x {
+        acc += v * v;
+        out.push(acc);
+    }
+    out
+}
+
+/// Mean absolute difference between consecutive elements. Returns 0.0 for
+/// slices shorter than 2. Used to auto-select `t_sigma` (§VI-C).
+pub fn mean_abs_diff(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    x.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (x.len() - 1) as f64
+}
+
+/// Maximum absolute difference between consecutive elements (§VI-C's rule
+/// for choosing `t_sigma`). Returns 0.0 for slices shorter than 2.
+pub fn max_abs_diff(x: &[f64]) -> f64 {
+    x.windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_var_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_handle_empty_and_nan() {
+        assert_eq!(max(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[f64::NAN, 2.0, 1.0]), Some(2.0));
+        assert_eq!(min(&[3.0, f64::NAN, 1.0]), Some(1.0));
+        assert_eq!(max(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, 1.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn cumsum_and_prefix() {
+        assert_eq!(cumsum(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
+        assert_eq!(prefix_sums(&[1.0, 2.0, 3.0]), vec![0.0, 1.0, 3.0, 6.0]);
+        assert_eq!(prefix_sq_sums(&[1.0, 2.0, 3.0]), vec![0.0, 1.0, 5.0, 14.0]);
+        assert_eq!(prefix_sums(&[]), vec![0.0]);
+    }
+
+    #[test]
+    fn diffs() {
+        assert_eq!(mean_abs_diff(&[1.0]), 0.0);
+        assert!((mean_abs_diff(&[0.0, 2.0, -1.0]) - 2.5).abs() < 1e-12);
+        assert_eq!(max_abs_diff(&[0.0, 2.0, -1.0]), 3.0);
+        assert_eq!(max_abs_diff(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prefix_sums_window(x in proptest::collection::vec(-10.0f64..10.0, 1..64), a in 0usize..64, w in 1usize..16) {
+            let a = a.min(x.len() - 1);
+            let b = (a + w).min(x.len());
+            let p = prefix_sums(&x);
+            let direct: f64 = x[a..b].iter().sum();
+            prop_assert!((p[b] - p[a] - direct).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(x in proptest::collection::vec(-100.0f64..100.0, 0..64)) {
+            prop_assert!(variance(&x) >= 0.0);
+        }
+
+        #[test]
+        fn prop_argmax_is_max(x in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
+            let i = argmax(&x).unwrap();
+            let m = max(&x).unwrap();
+            prop_assert_eq!(x[i], m);
+        }
+    }
+}

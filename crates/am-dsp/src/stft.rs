@@ -1,0 +1,354 @@
+//! Short-Time Fourier Transform spectrograms (Table III).
+//!
+//! The paper transforms each side-channel signal into a spectrogram before
+//! comparison (for the IDSs that use spectrograms). Per Table III a
+//! spectrogram is parameterized by:
+//!
+//! - spectral resolution `Δf` (Hz) — the window length is `1/Δf` seconds,
+//! - temporal resolution `Δt` (s) — the hop between windows,
+//! - a window function (Blackman–Harris for most channels, Boxcar for PWR).
+//!
+//! "The spectrogram of a signal can be considered a new signal with a
+//! reduced sampling rate and an increased number of channels": we return a
+//! [`Signal`] whose sample rate is `1/Δt` and whose channel count is
+//! `(n_window/2 + 1) · C`.
+
+use crate::error::DspError;
+use crate::fft;
+use crate::signal::Signal;
+pub use crate::window::WindowKind;
+use serde::{Deserialize, Serialize};
+
+/// Spectrogram configuration (one row of Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StftConfig {
+    /// Spectral resolution in Hz; window length is `1/delta_f` seconds.
+    pub delta_f: f64,
+    /// Temporal resolution in seconds; the hop between consecutive windows.
+    pub delta_t: f64,
+    /// Window function applied before each DFT.
+    pub window: WindowKind,
+}
+
+impl StftConfig {
+    /// Creates a config, validating positivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `delta_f` or `delta_t` is
+    /// not finite and positive.
+    pub fn new(delta_f: f64, delta_t: f64, window: WindowKind) -> Result<Self, DspError> {
+        if !(delta_f.is_finite() && delta_f > 0.0) {
+            return Err(DspError::InvalidParameter(format!(
+                "delta_f must be positive, got {delta_f}"
+            )));
+        }
+        if !(delta_t.is_finite() && delta_t > 0.0) {
+            return Err(DspError::InvalidParameter(format!(
+                "delta_t must be positive, got {delta_t}"
+            )));
+        }
+        Ok(StftConfig {
+            delta_f,
+            delta_t,
+            window,
+        })
+    }
+
+    /// Window length in samples for a signal sampled at `fs`.
+    pub fn window_len(&self, fs: f64) -> usize {
+        (fs / self.delta_f).round().max(1.0) as usize
+    }
+
+    /// Hop length in samples for a signal sampled at `fs`.
+    pub fn hop_len(&self, fs: f64) -> usize {
+        (fs * self.delta_t).round().max(1.0) as usize
+    }
+
+    /// Number of spectral bins per input channel.
+    pub fn bins(&self, fs: f64) -> usize {
+        self.window_len(fs) / 2 + 1
+    }
+}
+
+/// Computes the magnitude spectrogram of `signal`.
+///
+/// Output shape: `frames = floor((N - window)/hop) + 1` samples,
+/// `bins · C` channels, sample rate `fs / hop`. Channel layout is
+/// input-channel-major: output channel `c · bins + k` is bin `k` of input
+/// channel `c`.
+///
+/// # Errors
+///
+/// Returns [`DspError::TooShort`] if the signal is shorter than one window.
+pub fn spectrogram(signal: &Signal, config: &StftConfig) -> Result<Signal, DspError> {
+    let fs = signal.fs();
+    let win_len = config.window_len(fs);
+    let hop = config.hop_len(fs);
+    if signal.len() < win_len {
+        return Err(DspError::TooShort {
+            needed: win_len,
+            got: signal.len(),
+        });
+    }
+    let frames = (signal.len() - win_len) / hop + 1;
+    let bins = win_len / 2 + 1;
+    let taper = config.window.generate(win_len);
+    let out_channels = signal.channels() * bins;
+    let mut channels: Vec<Vec<f64>> = vec![Vec::with_capacity(frames); out_channels];
+    let mut buf = vec![0.0; win_len];
+    for c in 0..signal.channels() {
+        let ch = signal.channel(c);
+        for f in 0..frames {
+            let start = f * hop;
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = ch[start + i] * taper[i];
+            }
+            let mags = fft::real_dft_magnitude(&buf);
+            debug_assert_eq!(mags.len(), bins);
+            for (k, m) in mags.into_iter().enumerate() {
+                channels[c * bins + k].push(m);
+            }
+        }
+    }
+    Signal::from_channels(fs / hop as f64, channels)
+}
+
+/// Log-magnitude spectrogram: `log10(1 + |X|)`. Compresses dynamic range,
+/// which helps the correlation-based comparators on audio-like channels.
+///
+/// # Errors
+///
+/// Same as [`spectrogram`].
+pub fn log_spectrogram(signal: &Signal, config: &StftConfig) -> Result<Signal, DspError> {
+    let mut s = spectrogram(signal, config)?;
+    s.map_in_place(|v| (1.0 + v).log10());
+    Ok(s)
+}
+
+/// Welch power-spectral-density estimate of one channel: magnitude-squared
+/// periodograms of 50%-overlapping windowed segments, averaged.
+///
+/// Returns `(frequencies_hz, psd)` with `segment_len / 2 + 1` bins. Useful
+/// for characterizing sensor channels (e.g. confirming EPT's 60 Hz mains
+/// dominance) without building a full spectrogram.
+///
+/// # Errors
+///
+/// Returns [`DspError::TooShort`] if the channel is shorter than one
+/// segment and [`DspError::InvalidParameter`] for a zero `segment_len`.
+pub fn welch_psd(
+    samples: &[f64],
+    fs: f64,
+    segment_len: usize,
+    window: WindowKind,
+) -> Result<(Vec<f64>, Vec<f64>), DspError> {
+    if segment_len == 0 {
+        return Err(DspError::InvalidParameter(
+            "welch segment_len must be >= 1".into(),
+        ));
+    }
+    if samples.len() < segment_len {
+        return Err(DspError::TooShort {
+            needed: segment_len,
+            got: samples.len(),
+        });
+    }
+    let hop = (segment_len / 2).max(1);
+    let taper = window.generate(segment_len);
+    let win_power: f64 = taper.iter().map(|w| w * w).sum();
+    let bins = segment_len / 2 + 1;
+    let mut acc = vec![0.0f64; bins];
+    let mut count = 0usize;
+    let mut buf = vec![0.0f64; segment_len];
+    let mut start = 0;
+    while start + segment_len <= samples.len() {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = samples[start + i] * taper[i];
+        }
+        let mags = fft::real_dft_magnitude(&buf);
+        for (a, m) in acc.iter_mut().zip(mags.iter()) {
+            *a += m * m;
+        }
+        count += 1;
+        start += hop;
+    }
+    let norm = 1.0 / (count as f64 * win_power * fs);
+    for (k, a) in acc.iter_mut().enumerate() {
+        // One-sided PSD: double everything except DC and Nyquist.
+        let one_sided = if k == 0 || (segment_len % 2 == 0 && k == bins - 1) {
+            1.0
+        } else {
+            2.0
+        };
+        *a *= norm * one_sided;
+    }
+    let freqs = (0..bins)
+        .map(|k| k as f64 * fs / segment_len as f64)
+        .collect();
+    Ok((freqs, acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(fs: f64, f: f64, secs: f64) -> Signal {
+        let n = (fs * secs) as usize;
+        Signal::from_fn(fs, 1, n, |t, frame| {
+            frame[0] = (std::f64::consts::TAU * f * t).sin()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(StftConfig::new(0.0, 0.1, WindowKind::Hann).is_err());
+        assert!(StftConfig::new(10.0, -0.1, WindowKind::Hann).is_err());
+        assert!(StftConfig::new(10.0, 0.1, WindowKind::Hann).is_ok());
+    }
+
+    #[test]
+    fn table3_shapes() {
+        // ACC: fs 4000, Δf 20, Δt 1/80 → window 200, hop 50, 101 bins.
+        let c = StftConfig::new(20.0, 1.0 / 80.0, WindowKind::BlackmanHarris).unwrap();
+        assert_eq!(c.window_len(4000.0), 200);
+        assert_eq!(c.hop_len(4000.0), 50);
+        assert_eq!(c.bins(4000.0), 101);
+        // MAG: fs 100, Δf 5, Δt 1/20 → window 20, 11 bins.
+        let m = StftConfig::new(5.0, 1.0 / 20.0, WindowKind::BlackmanHarris).unwrap();
+        assert_eq!(m.window_len(100.0), 20);
+        assert_eq!(m.bins(100.0), 11);
+        // EPT: fs 96000, Δf 120 → window 800, 401 bins.
+        let e = StftConfig::new(120.0, 1.0 / 240.0, WindowKind::BlackmanHarris).unwrap();
+        assert_eq!(e.bins(96000.0), 401);
+        // PWR: fs 12000, Δf 60, boxcar → window 200, 101 bins.
+        let p = StftConfig::new(60.0, 1.0 / 120.0, WindowKind::Boxcar).unwrap();
+        assert_eq!(p.bins(12000.0), 101);
+    }
+
+    #[test]
+    fn spectrogram_shape_and_rate() {
+        let fs = 1000.0;
+        let s = sine(fs, 100.0, 1.0); // 1000 samples
+        let cfg = StftConfig::new(10.0, 0.05, WindowKind::Hann).unwrap(); // win 100, hop 50
+        let spec = spectrogram(&s, &cfg).unwrap();
+        assert_eq!(spec.channels(), 51);
+        assert_eq!(spec.len(), (1000 - 100) / 50 + 1);
+        assert!((spec.fs() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectrogram_peak_at_tone_bin() {
+        let fs = 1000.0;
+        let tone = 100.0;
+        let s = sine(fs, tone, 2.0);
+        let cfg = StftConfig::new(10.0, 0.1, WindowKind::BlackmanHarris).unwrap();
+        let spec = spectrogram(&s, &cfg).unwrap();
+        // Bin spacing = Δf = 10 Hz → tone should dominate bin 10.
+        let mid = spec.len() / 2;
+        let frame: Vec<f64> = (0..spec.channels()).map(|c| spec.sample(mid, c)).collect();
+        let peak = crate::stats::argmax(&frame).unwrap();
+        assert_eq!(peak, 10);
+    }
+
+    #[test]
+    fn multichannel_layout_is_channel_major() {
+        let fs = 200.0;
+        let n = 400;
+        // Channel 0: 20 Hz tone; channel 1: 50 Hz tone.
+        let s = Signal::from_fn(fs, 2, n, |t, frame| {
+            frame[0] = (std::f64::consts::TAU * 20.0 * t).sin();
+            frame[1] = (std::f64::consts::TAU * 50.0 * t).sin();
+        })
+        .unwrap();
+        let cfg = StftConfig::new(10.0, 0.1, WindowKind::Hann).unwrap(); // win 20, 11 bins
+        let spec = spectrogram(&s, &cfg).unwrap();
+        assert_eq!(spec.channels(), 22);
+        let mid = spec.len() / 2;
+        // Input channel 0's bins are output channels 0..11; peak at bin 2.
+        let f0: Vec<f64> = (0..11).map(|c| spec.sample(mid, c)).collect();
+        assert_eq!(crate::stats::argmax(&f0).unwrap(), 2);
+        // Input channel 1's bins are output channels 11..22; peak at bin 5.
+        let f1: Vec<f64> = (11..22).map(|c| spec.sample(mid, c)).collect();
+        assert_eq!(crate::stats::argmax(&f1).unwrap(), 5);
+    }
+
+    #[test]
+    fn too_short_input_rejected() {
+        let s = sine(100.0, 10.0, 0.05); // 5 samples
+        let cfg = StftConfig::new(10.0, 0.05, WindowKind::Hann).unwrap(); // win 10
+        assert!(matches!(
+            spectrogram(&s, &cfg),
+            Err(DspError::TooShort { needed: 10, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn log_spectrogram_compresses() {
+        let s = sine(1000.0, 100.0, 1.0);
+        let cfg = StftConfig::new(10.0, 0.05, WindowKind::Hann).unwrap();
+        let lin = spectrogram(&s, &cfg).unwrap();
+        let log = log_spectrogram(&s, &cfg).unwrap();
+        assert_eq!(lin.len(), log.len());
+        assert_eq!(lin.channels(), log.channels());
+        // log10(1 + x) <= x for x >= 0.
+        for c in 0..lin.channels() {
+            for (a, b) in lin.channel(c).iter().zip(log.channel(c).iter()) {
+                assert!(b <= a || *a < 1e-9);
+                assert!(*b >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn welch_peak_at_tone_frequency() {
+        let fs = 1000.0;
+        let tone = 100.0;
+        let n = 8000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * tone * i as f64 / fs).sin())
+            .collect();
+        let (freqs, psd) = welch_psd(&x, fs, 200, WindowKind::BlackmanHarris).unwrap();
+        let peak = crate::stats::argmax(&psd).unwrap();
+        assert!((freqs[peak] - tone).abs() < 5.0 + 1e-9, "peak at {}", freqs[peak]);
+        // Peak dominates the far-away bins.
+        assert!(psd[peak] > 100.0 * psd[60]);
+    }
+
+    #[test]
+    fn welch_parseval_on_white_noise() {
+        // Total integrated one-sided PSD ~ variance of the signal.
+        let n = 40_000;
+        let mut state = 1u64;
+        let x: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as f64 / (1u64 << 23) as f64 - 1.0
+            })
+            .collect();
+        let var = crate::stats::variance(&x);
+        let fs = 100.0;
+        let (freqs, psd) = welch_psd(&x, fs, 256, WindowKind::Hann).unwrap();
+        let df = freqs[1] - freqs[0];
+        let integral: f64 = psd.iter().sum::<f64>() * df;
+        assert!(
+            (integral - var).abs() < 0.15 * var,
+            "integral {integral} vs variance {var}"
+        );
+    }
+
+    #[test]
+    fn welch_validates_inputs() {
+        assert!(welch_psd(&[1.0; 10], 10.0, 0, WindowKind::Hann).is_err());
+        assert!(welch_psd(&[1.0; 10], 10.0, 20, WindowKind::Hann).is_err());
+    }
+
+    #[test]
+    fn exact_one_window_input_gives_one_frame() {
+        let s = sine(100.0, 10.0, 0.1); // 10 samples
+        let cfg = StftConfig::new(10.0, 0.05, WindowKind::Boxcar).unwrap(); // win 10, hop 5
+        let spec = spectrogram(&s, &cfg).unwrap();
+        assert_eq!(spec.len(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Window functions.
+//!
+//! Table III of the paper uses Blackman–Harris and Boxcar windows for the
+//! spectrograms; §VI-B uses a Gaussian window as the bias in TDEB (Fig 5).
+
+use serde::{Deserialize, Serialize};
+
+/// The window functions used anywhere in the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WindowKind {
+    /// Rectangular window (all ones). Table III uses this for PWR.
+    Boxcar,
+    /// Hann window; included for completeness / ablations.
+    Hann,
+    /// 4-term Blackman–Harris window. Table III default.
+    BlackmanHarris,
+}
+
+impl WindowKind {
+    /// Samples the window at `i` of `n` points (periodic convention).
+    pub fn value(self, i: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = std::f64::consts::TAU * i as f64 / n as f64;
+        match self {
+            WindowKind::Boxcar => 1.0,
+            WindowKind::Hann => 0.5 - 0.5 * x.cos(),
+            WindowKind::BlackmanHarris => {
+                const A0: f64 = 0.35875;
+                const A1: f64 = 0.48829;
+                const A2: f64 = 0.14128;
+                const A3: f64 = 0.01168;
+                A0 - A1 * x.cos() + A2 * (2.0 * x).cos() - A3 * (3.0 * x).cos()
+            }
+        }
+    }
+
+    /// Generates the full window of length `n`.
+    pub fn generate(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.value(i, n)).collect()
+    }
+}
+
+impl std::fmt::Display for WindowKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WindowKind::Boxcar => "boxcar",
+            WindowKind::Hann => "hann",
+            WindowKind::BlackmanHarris => "blackman-harris",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Gaussian bias window used by TDEB (§VI-B):
+/// `w[j] = exp(-0.5 * ((j - center)/sigma)^2)` for `j = 0..len`.
+///
+/// The paper centers it at `j = n_ext` over a similarity array of length
+/// `2 n_ext + 1`, with standard deviation `n_sigma`.
+pub fn gaussian_window(len: usize, center: f64, sigma: f64) -> Vec<f64> {
+    if sigma <= 0.0 {
+        // Degenerate: a delta at the (rounded) center.
+        let mut w = vec![0.0; len];
+        let c = center.round() as isize;
+        if c >= 0 && (c as usize) < len {
+            w[c as usize] = 1.0;
+        }
+        return w;
+    }
+    (0..len)
+        .map(|j| {
+            let z = (j as f64 - center) / sigma;
+            (-0.5 * z * z).exp()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxcar_is_all_ones() {
+        assert_eq!(WindowKind::Boxcar.generate(5), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn hann_starts_at_zero_and_is_symmetric_inside() {
+        let w = WindowKind::Hann.generate(8);
+        assert!(w[0].abs() < 1e-12);
+        // Periodic Hann: w[i] == w[n - i] for 0 < i < n.
+        for i in 1..8 {
+            assert!((w[i] - WindowKind::Hann.value(8 - i, 8)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blackman_harris_peak_is_near_one_at_center() {
+        let n = 64;
+        let w = WindowKind::BlackmanHarris.generate(n);
+        let peak = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - 1.0).abs() < 1e-2, "peak={peak}");
+        // Very low values at the edges (the BH window's defining feature).
+        assert!(w[0] < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_single_point_windows() {
+        for k in [WindowKind::Boxcar, WindowKind::Hann, WindowKind::BlackmanHarris] {
+            assert_eq!(k.generate(1), vec![1.0]);
+            assert_eq!(k.generate(0), Vec::<f64>::new());
+        }
+    }
+
+    #[test]
+    fn gaussian_window_peaks_at_center() {
+        let w = gaussian_window(21, 10.0, 3.0);
+        assert!((w[10] - 1.0).abs() < 1e-12);
+        assert!(w[0] < w[5] && w[5] < w[10]);
+        assert!(w[20] < w[15] && w[15] < w[10]);
+        // Symmetric around the center.
+        for j in 0..10 {
+            assert!((w[j] - w[20 - j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_window_zero_sigma_is_delta() {
+        let w = gaussian_window(5, 2.0, 0.0);
+        assert_eq!(w, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+        // Center outside the window: all zeros.
+        let w = gaussian_window(3, 7.0, 0.0);
+        assert_eq!(w, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn gaussian_ratio_controls_bias_strength() {
+        // t_ext / t_sigma = 2 (paper default) -> edge weight exp(-2) ~ 0.135.
+        let n_ext = 100.0;
+        let w = gaussian_window(201, n_ext, n_ext / 2.0);
+        assert!((w[0] - (-2.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WindowKind::BlackmanHarris.to_string(), "blackman-harris");
+        assert_eq!(WindowKind::Boxcar.to_string(), "boxcar");
+        assert_eq!(WindowKind::Hann.to_string(), "hann");
+    }
+}

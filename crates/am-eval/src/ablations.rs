@@ -1,0 +1,261 @@
+//! Ablation studies for the design decisions the paper argues for:
+//!
+//! 1. **Correlation vs Euclidean distance** (§VII-A): the DAQ's per-run
+//!    gain drift confounds amplitude-sensitive metrics; the correlation
+//!    distance is invariant.
+//! 2. **TDEB bias** (§VI-B, Fig 5): without the Gaussian bias, TDE jumps
+//!    between ambiguous alignments of periodic window content and the
+//!    `h_disp` track thrashes.
+//! 3. **Spike suppression** (Eq 21–22): without the trailing-min filter,
+//!    isolated time-noise spikes in `h_dist`/`v_dist` raise the learned
+//!    thresholds (or fire false positives).
+
+use crate::harness::{eval_nsync, EvalError, Split, Transform};
+use crate::metrics::Rates;
+use am_dataset::{RunRole, TrajectorySet};
+use am_dsp::metrics::DistanceMetric;
+use am_sensors::channel::SideChannel;
+use am_sync::{DwmParams, DwmSynchronizer, Synchronizer};
+use nsync::comparator::vertical_distances;
+use nsync::discriminator::DiscriminatorConfig;
+use nsync::NsyncIds;
+
+/// Outcome of the metric ablation for one distance metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricAblation {
+    /// Which metric.
+    pub metric: DistanceMetric,
+    /// Max vertical distance over a benign test run at nominal gain.
+    pub benign_max: f64,
+    /// Max vertical distance over the *same process* re-captured with the
+    /// sensor gain shifted (microphone moved / ADC gain changed —
+    /// §VII-A's footnote scenario).
+    pub gain_shifted_max: f64,
+}
+
+impl MetricAblation {
+    /// `gain_shifted_max / benign_max` — how much a pure gain change
+    /// inflates the distance. ≈ 1 means gain-invariant (no false alarm);
+    /// ≫ 1 means the metric would fire on a benign print after the
+    /// microphone was nudged.
+    pub fn gain_inflation(&self) -> f64 {
+        if self.benign_max <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.gain_shifted_max / self.benign_max
+        }
+    }
+}
+
+/// Ablation 1 (§VII-A): a pure sensor-gain change on a benign process
+/// must not look like an intrusion. The same benign capture is compared
+/// at nominal gain and scaled by 1.8× (as if the microphone moved closer)
+/// under each metric.
+///
+/// # Errors
+///
+/// Propagates capture/sync failures.
+pub fn metric_gain_sensitivity(
+    set: &TrajectorySet,
+    channel: SideChannel,
+) -> Result<Vec<MetricAblation>, EvalError> {
+    let split = Split::generate(set, channel, Transform::Raw)?;
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let sync = DwmSynchronizer::new(params);
+    let benign = split
+        .tests
+        .iter()
+        .find(|c| matches!(c.role, RunRole::TestBenign(0)))
+        .ok_or_else(|| EvalError::InvalidSplit("benign test missing".into()))?;
+    let mut shifted = benign.signal.clone();
+    shifted.map_in_place(|v| v * 1.8);
+    let al = sync.synchronize(&benign.signal, &split.reference.signal)?;
+    // Gain does not change timing, so the same alignment applies.
+    let mut out = Vec::new();
+    for metric in [
+        DistanceMetric::Correlation,
+        DistanceMetric::Cosine,
+        DistanceMetric::Euclidean,
+        DistanceMetric::Manhattan,
+    ] {
+        let vb = vertical_distances(&benign.signal, &split.reference.signal, &al, metric)?;
+        let vs = vertical_distances(&shifted, &split.reference.signal, &al, metric)?;
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+        out.push(MetricAblation {
+            metric,
+            benign_max: max(&vb),
+            gain_shifted_max: max(&vs),
+        });
+    }
+    Ok(out)
+}
+
+/// Ablation 2: benign `h_disp` roughness (CADHD of the final track) with
+/// the tuned bias vs an effectively unbiased TDE (σ = 50× window).
+/// Returns `(biased_cadhd, unbiased_cadhd)` — unbiased should be larger.
+///
+/// # Errors
+///
+/// Propagates capture/sync failures.
+pub fn tdeb_bias_ablation(
+    set: &TrajectorySet,
+    channel: SideChannel,
+) -> Result<(f64, f64), EvalError> {
+    let split = Split::generate(set, channel, Transform::Raw)?;
+    let benign = split
+        .tests
+        .iter()
+        .find(|c| matches!(c.role, RunRole::TestBenign(0)))
+        .ok_or_else(|| EvalError::InvalidSplit("benign test missing".into()))?;
+    let tuned = set.spec.profile.dwm_params(set.spec.printer);
+    let unbiased = DwmParams {
+        t_sigma: tuned.t_win * 50.0, // flat bias across the search range
+        ..tuned
+    };
+    let cadhd_of = |params: &DwmParams| -> Result<f64, EvalError> {
+        let al = am_sync::dwm::dwm(&benign.signal, &split.reference.signal, params)?;
+        Ok(*nsync::discriminator::cadhd(&al.h_disp)
+            .last()
+            .unwrap_or(&0.0))
+    };
+    Ok((cadhd_of(&tuned)?, cadhd_of(&unbiased)?))
+}
+
+/// Ablation 3: NSYNC detection rates as a function of the spike filter
+/// window (paper default 3; 1 = no suppression).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn filter_window_ablation(
+    set: &TrajectorySet,
+    channel: SideChannel,
+    windows: &[usize],
+) -> Result<Vec<(usize, Rates)>, EvalError> {
+    let split = Split::generate(set, channel, Transform::Raw)?;
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let mut out = Vec::new();
+    for &w in windows {
+        let sync: Box<dyn Synchronizer + Send + Sync> = Box::new(DwmSynchronizer::new(params));
+        let ids = NsyncIds::new(sync).with_config(DiscriminatorConfig {
+            min_filter_window: w,
+        });
+        let train: Vec<am_dsp::Signal> =
+            split.train.iter().map(|c| c.signal.clone()).collect();
+        let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
+        let mut rates = Rates::default();
+        for test in &split.tests {
+            let d = trained.detect(&test.signal)?;
+            rates.record(!test.role.is_benign(), d.intrusion);
+        }
+        out.push((w, rates));
+    }
+    Ok(out)
+}
+
+/// Ablation 4 (helper for the bench/CLI): NSYNC accuracy per attack type
+/// — which attacks are hardest on a given channel.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn per_attack_tpr(
+    set: &TrajectorySet,
+    channel: SideChannel,
+    transform: Transform,
+) -> Result<Vec<(String, Rates)>, EvalError> {
+    let split = Split::generate(set, channel, transform)?;
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let sync: Box<dyn Synchronizer + Send + Sync> = Box::new(DwmSynchronizer::new(params));
+    let _ = eval_nsync(&split, sync, 0.3)?; // warm validation of the split
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
+    let mut rows: Vec<(String, Rates)> = Vec::new();
+    for test in &split.tests {
+        let RunRole::Malicious { attack, .. } = &test.role else {
+            continue;
+        };
+        let d = trained.detect(&test.signal)?;
+        match rows.iter_mut().find(|(n, _)| n == attack) {
+            Some((_, r)) => r.record(true, d.intrusion),
+            None => {
+                let mut r = Rates::default();
+                r.record(true, d.intrusion);
+                rows.push((attack.clone(), r));
+            }
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_dataset::spec::ProcessMix;
+    use am_dataset::ExperimentSpec;
+    use am_printer::config::PrinterModel;
+
+    fn set() -> TrajectorySet {
+        TrajectorySet::generate_with_mix(
+            ExperimentSpec::small(PrinterModel::Um3),
+            ProcessMix {
+                train: 3,
+                test_benign: 2,
+                malicious_per_attack: 1,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gain_change_inflates_euclidean_but_not_correlation() {
+        let s = set();
+        let results = metric_gain_sensitivity(&s, SideChannel::Acc).unwrap();
+        let find = |m: DistanceMetric| {
+            results
+                .iter()
+                .find(|r| r.metric == m)
+                .expect("metric present")
+                .gain_inflation()
+        };
+        // Correlation (and cosine) are gain-invariant: a 1.8x gain change
+        // leaves distances essentially untouched.
+        assert!((find(DistanceMetric::Correlation) - 1.0).abs() < 0.05);
+        assert!((find(DistanceMetric::Cosine) - 1.0).abs() < 0.05);
+        // Euclidean/Manhattan blow up on the same benign data — the false
+        // alarms §VII-A warns about.
+        assert!(find(DistanceMetric::Euclidean) > 1.3);
+        assert!(find(DistanceMetric::Manhattan) > 1.3);
+    }
+
+    #[test]
+    fn bias_smooths_the_benign_track() {
+        let s = set();
+        let (biased, unbiased) = tdeb_bias_ablation(&s, SideChannel::Acc).unwrap();
+        assert!(
+            biased <= unbiased,
+            "bias should not roughen the track: {biased} vs {unbiased}"
+        );
+    }
+
+    #[test]
+    fn filter_ablation_runs_for_each_window() {
+        let s = set();
+        let rows = filter_window_ablation(&s, SideChannel::Mag, &[1, 3]).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (_, r) in &rows {
+            assert_eq!(r.benign + r.malicious, 7); // 2 benign + 5 attacks
+        }
+    }
+
+    #[test]
+    fn per_attack_rows_cover_table1() {
+        let s = set();
+        let rows = per_attack_tpr(&s, SideChannel::Acc, Transform::Raw).unwrap();
+        assert_eq!(rows.len(), 5);
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"Void"));
+        assert!(names.contains(&"Speed0.95"));
+    }
+}

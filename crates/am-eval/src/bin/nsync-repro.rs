@@ -1,0 +1,161 @@
+//! `nsync-repro` — command-line driver for the reproduction.
+//!
+//! ```text
+//! nsync-repro <command> [--printer um3|rm3] [--seed N]
+//!
+//! commands:
+//!   fig1        time-noise duration spread
+//!   fig2        no-DSYNC distance blow-up
+//!   fig6        DWM parametric analysis
+//!   fig10       h_disp consistency across channels
+//!   fig11       synchronizer timing
+//!   tables      Tables V–IX + Fig 12 (full grid; minutes)
+//!   ablations   design-choice ablations
+//! ```
+
+use am_dataset::{ExperimentSpec, TrajectorySet};
+use am_eval::ablations::{
+    filter_window_ablation, metric_gain_sensitivity, per_attack_tpr, tdeb_bias_ablation,
+};
+use am_eval::figures::{
+    fig10_hdisp, fig11_sync_timing, fig1_durations, fig2_no_sync_distances, fig6_eta,
+    fig6_sigma, fig6_window, hdisp_consistency,
+};
+use am_eval::harness::Transform;
+use am_eval::tables::{
+    average_accuracies, run_grid, table5, table6, table7, table8, table9, TableContext,
+};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nsync-repro <fig1|fig2|fig6|fig10|fig11|tables|ablations> \
+         [--printer um3|rm3] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let mut printer = PrinterModel::Um3;
+    let mut seed = 0x5EEDu64;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--printer" => match it.next().map(String::as_str) {
+                Some("um3") | Some("UM3") => printer = PrinterModel::Um3,
+                Some("rm3") | Some("RM3") => printer = PrinterModel::Rm3,
+                _ => usage(),
+            },
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    if let Err(e) = run(command, printer, seed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn make_set(printer: PrinterModel, seed: u64) -> Result<TrajectorySet, Box<dyn std::error::Error>> {
+    let mut spec = ExperimentSpec::small(printer);
+    spec.base_seed = seed;
+    Ok(TrajectorySet::generate(spec)?)
+}
+
+fn run(command: &str, printer: PrinterModel, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        "fig1" => {
+            let set = make_set(printer, seed)?;
+            println!("Fig 1 — motion durations of identical G-code ({printer}):");
+            for (label, secs) in fig1_durations(&set, 8) {
+                println!("  {label:<12} {secs:.2} s");
+            }
+        }
+        "fig2" => {
+            let set = make_set(printer, seed)?;
+            let (benign, malicious) = fig2_no_sync_distances(&set, SideChannel::Acc)?;
+            println!("Fig 2 — correlation distances without DSYNC (ACC, {printer}):");
+            println!("  t(s)    benign  malicious");
+            for i in (0..benign.y.len().min(malicious.y.len())).step_by(4) {
+                println!(
+                    "  {:>5.0}  {:>7.3}  {:>8.3}",
+                    benign.x[i], benign.y[i], malicious.y[i]
+                );
+            }
+        }
+        "fig6" => {
+            let set = make_set(printer, seed)?;
+            println!("Fig 6 — parametric analysis (h_disp range, s):");
+            for s in fig6_sigma(&set, SideChannel::Acc, &[0.1, 0.25, 0.5, 1.0, 2.0])? {
+                println!("  (a) {:<14} {:.3}", s.label, s.y_range());
+            }
+            for s in fig6_window(&set, SideChannel::Acc, &[1.0, 2.0, 4.0, 8.0])? {
+                println!("  (b) {:<14} {:.3}", s.label, s.y_range());
+            }
+            for s in fig6_eta(&set, SideChannel::Acc, &[0.05, 0.1, 0.5, 1.0])? {
+                println!("  (c) {:<14} {:.3}", s.label, s.y_range());
+            }
+        }
+        "fig10" => {
+            let set = make_set(printer, seed)?;
+            let series = fig10_hdisp(&set, &SideChannel::all())?;
+            let anchor = series[0].clone();
+            println!("Fig 10 — h_disp consistency vs {} ({printer}):", anchor.label);
+            for s in &series {
+                println!(
+                    "  {:<18} range {:>7.3} s   consistency {:+.2}",
+                    s.label,
+                    s.y_range(),
+                    hdisp_consistency(&anchor, s)
+                );
+            }
+        }
+        "fig11" => {
+            let set = make_set(printer, seed)?;
+            println!("Fig 11 — time to synchronize 1 s of spectrogram ({printer}):");
+            for (name, ratio) in fig11_sync_timing(&set, &SideChannel::kept())? {
+                println!("  {name:<14} {ratio:.6} s");
+            }
+        }
+        "tables" => {
+            let ctx = TableContext::small()?;
+            let grid = run_grid(&ctx)?;
+            println!("{}", table5(&grid));
+            println!("{}", table6(&grid));
+            println!("{}", table7(&grid));
+            println!("{}", table8(&grid));
+            println!("{}", table9(&grid));
+            println!("Fig 12 — average accuracies:");
+            for (name, acc) in average_accuracies(&grid) {
+                println!("  {name:<16} {acc:.3}");
+            }
+        }
+        "ablations" => {
+            let set = make_set(printer, seed)?;
+            println!("Ablation 1 — gain x1.8 inflation by metric:");
+            for r in metric_gain_sensitivity(&set, SideChannel::Acc)? {
+                println!("  {:<12} x{:.2}", r.metric.to_string(), r.gain_inflation());
+            }
+            let (biased, unbiased) = tdeb_bias_ablation(&set, SideChannel::Acc)?;
+            println!("Ablation 2 — benign CADHD: biased {biased:.0}, unbiased {unbiased:.0}");
+            println!("Ablation 3 — spike-filter window:");
+            for (w, rates) in filter_window_ablation(&set, SideChannel::Acc, &[1, 3, 5])? {
+                println!("  window {w}: {}  accuracy {:.3}", rates.cell(), rates.accuracy());
+            }
+            println!("Ablation 4 — per-attack TPR (ACC raw):");
+            for (attack, rates) in per_attack_tpr(&set, SideChannel::Acc, Transform::Raw)? {
+                println!("  {attack:<12} {:.2}", rates.tpr());
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}

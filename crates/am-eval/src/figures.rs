@@ -1,0 +1,379 @@
+//! The numeric series behind the paper's figures.
+//!
+//! | Figure | Content | Function |
+//! |---|---|---|
+//! | Fig 1 | repeated benign prints end at different times | [`fig1_durations`] |
+//! | Fig 2 | correlation distances without DSYNC, benign vs malicious | [`fig2_no_sync_distances`] |
+//! | Fig 6 | parametric analysis of `t_sigma`, `t_win`, `eta` | [`fig6_sigma`], [`fig6_window`], [`fig6_eta`] |
+//! | Fig 10 | `h_disp` consistency across channels/transforms | [`fig10_hdisp`] |
+//! | Fig 11 | time to synchronize 1 s of spectrogram, DWM vs DTW | [`fig11_sync_timing`] |
+//! | Fig 12 | average accuracy of the seven IDSs | [`crate::tables::average_accuracies`] |
+
+use crate::harness::{EvalError, Split, Transform};
+use am_dataset::{RunRole, TrajectorySet};
+use am_dsp::metrics::DistanceMetric;
+use am_sensors::channel::SideChannel;
+use am_sync::dwm::dwm;
+use am_sync::{Alignment, AlignmentKind, DwmParams, DtwSynchronizer, Synchronizer};
+use nsync::comparator::vertical_distances;
+
+/// A labeled (x, y) series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X values (seconds or window index, per figure).
+    pub x: Vec<f64>,
+    /// Y values.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Max − min of the Y values (the "range" brackets of Fig 6).
+    pub fn y_range(&self) -> f64 {
+        let max = self.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.y.iter().cloned().fold(f64::INFINITY, f64::min);
+        if max >= min {
+            max - min
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Fig 1: wall-clock durations (s) of the reference + benign runs — all
+/// from identical G-code; the spread is pure time noise.
+pub fn fig1_durations(set: &TrajectorySet, max_runs: usize) -> Vec<(String, f64)> {
+    set.runs
+        .iter()
+        .filter(|r| r.role.is_benign())
+        .take(max_runs)
+        .map(|r| {
+            (
+                r.role.to_string(),
+                r.trajectory.duration() - r.trajectory.print_start(),
+            )
+        })
+        .collect()
+}
+
+fn find_test<'a>(
+    split: &'a Split,
+    pred: impl Fn(&RunRole) -> bool,
+) -> Result<&'a am_dataset::Capture, EvalError> {
+    split
+        .tests
+        .iter()
+        .find(|c| pred(&c.role))
+        .ok_or_else(|| EvalError::InvalidSplit("required test run missing".into()))
+}
+
+/// Fig 2: window-by-window correlation distances **without** DSYNC for a
+/// benign and a malicious (Void) process. Returns `(benign, malicious)`.
+///
+/// # Errors
+///
+/// Propagates capture failures.
+pub fn fig2_no_sync_distances(
+    set: &TrajectorySet,
+    channel: SideChannel,
+) -> Result<(Series, Series), EvalError> {
+    let split = Split::generate(set, channel, Transform::Raw)?;
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let fs = split.reference.signal.fs();
+    let n_win = (params.t_win * fs).round() as usize;
+    let n_hop = (params.t_hop * fs).round() as usize;
+    let make = |role_pred: &dyn Fn(&RunRole) -> bool, label: &str| -> Result<Series, EvalError> {
+        let cap = find_test(&split, role_pred)?;
+        let windows = if cap.signal.len() >= n_win {
+            (cap.signal.len() - n_win) / n_hop + 1
+        } else {
+            0
+        };
+        let alignment = Alignment {
+            h_disp: vec![0.0; windows],
+            kind: AlignmentKind::Windowed { n_win, n_hop },
+        };
+        let v = vertical_distances(
+            &cap.signal,
+            &split.reference.signal,
+            &alignment,
+            DistanceMetric::Correlation,
+        )?;
+        Ok(Series {
+            label: label.into(),
+            x: (0..v.len()).map(|i| i as f64 * params.t_hop).collect(),
+            y: v,
+        })
+    };
+    let benign = make(&|r| matches!(r, RunRole::TestBenign(0)), "benign (no sync)")?;
+    let malicious = make(
+        &|r| matches!(r, RunRole::Malicious { attack, index: 0 } if attack == "Void"),
+        "malicious Void (no sync)",
+    )?;
+    Ok((benign, malicious))
+}
+
+fn benign_pair(
+    set: &TrajectorySet,
+    channel: SideChannel,
+    transform: Transform,
+) -> Result<(am_dsp::Signal, am_dsp::Signal), EvalError> {
+    let split = Split::generate(set, channel, transform)?;
+    let obs = find_test(&split, |r| matches!(r, RunRole::TestBenign(0)))?
+        .signal
+        .clone();
+    Ok((obs, split.reference.signal.clone()))
+}
+
+fn hdisp_series(alignment: &Alignment, t_hop: f64, fs: f64, label: String) -> Series {
+    Series {
+        label,
+        x: (0..alignment.h_disp.len())
+            .map(|i| i as f64 * t_hop)
+            .collect(),
+        y: alignment.h_disp.iter().map(|d| d / fs).collect(),
+    }
+}
+
+/// Fig 6(a): `h_disp` for several `t_sigma` values (with the paper's
+/// fixed ratio `t_ext = 2 t_sigma`). Returns one series per value.
+///
+/// # Errors
+///
+/// Propagates sync failures.
+pub fn fig6_sigma(
+    set: &TrajectorySet,
+    channel: SideChannel,
+    sigmas: &[f64],
+) -> Result<Vec<Series>, EvalError> {
+    let (a, b) = benign_pair(set, channel, Transform::Raw)?;
+    let base = set.spec.profile.dwm_params(set.spec.printer);
+    let mut out = Vec::new();
+    for &sigma in sigmas {
+        let params = DwmParams {
+            t_sigma: sigma,
+            t_ext: 2.0 * sigma,
+            ..base
+        };
+        let al = dwm(&a, &b, &params)?;
+        out.push(hdisp_series(
+            &al,
+            params.t_hop,
+            a.fs(),
+            format!("t_sigma={sigma}"),
+        ));
+    }
+    Ok(out)
+}
+
+/// Fig 6(b): `h_disp` for several `t_win` values (hop/ext/sigma scale
+/// with the window, as in §VI-C's defaults).
+///
+/// # Errors
+///
+/// Propagates sync failures.
+pub fn fig6_window(
+    set: &TrajectorySet,
+    channel: SideChannel,
+    windows: &[f64],
+) -> Result<Vec<Series>, EvalError> {
+    let (a, b) = benign_pair(set, channel, Transform::Raw)?;
+    let mut out = Vec::new();
+    for &w in windows {
+        let params = DwmParams::from_window(w);
+        let al = dwm(&a, &b, &params)?;
+        out.push(hdisp_series(&al, params.t_hop, a.fs(), format!("t_win={w}")));
+    }
+    Ok(out)
+}
+
+/// Fig 6(c): `h_disp` for several `eta` values.
+///
+/// # Errors
+///
+/// Propagates sync failures.
+pub fn fig6_eta(
+    set: &TrajectorySet,
+    channel: SideChannel,
+    etas: &[f64],
+) -> Result<Vec<Series>, EvalError> {
+    let (a, b) = benign_pair(set, channel, Transform::Raw)?;
+    let base = set.spec.profile.dwm_params(set.spec.printer);
+    let mut out = Vec::new();
+    for &eta in etas {
+        let params = DwmParams { eta, ..base };
+        let al = dwm(&a, &b, &params)?;
+        out.push(hdisp_series(&al, params.t_hop, a.fs(), format!("eta={eta}")));
+    }
+    Ok(out)
+}
+
+/// Fig 10: `h_disp` (in seconds) for the given channels × both
+/// transforms on one benign process.
+///
+/// # Errors
+///
+/// Propagates sync failures.
+pub fn fig10_hdisp(
+    set: &TrajectorySet,
+    channels: &[SideChannel],
+) -> Result<Vec<Series>, EvalError> {
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let mut out = Vec::new();
+    for &channel in channels {
+        for transform in [Transform::Raw, Transform::Spectrogram] {
+            let (a, b) = benign_pair(set, channel, transform)?;
+            let al = dwm(&a, &b, &params)?;
+            out.push(hdisp_series(
+                &al,
+                params.t_hop,
+                a.fs(),
+                format!("{channel}/{transform}"),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Consistency metric for Fig 10's claim: Pearson correlation between two
+/// `h_disp` series (truncated to the common length). Near 1 for channels
+/// that track the same physical time noise.
+pub fn hdisp_consistency(a: &Series, b: &Series) -> f64 {
+    let n = a.y.len().min(b.y.len());
+    if n < 2 {
+        return 0.0;
+    }
+    am_dsp::metrics::pearson(&a.y[..n], &b.y[..n])
+}
+
+/// Fig 11: wall-clock seconds needed to synchronize one second of
+/// spectrogram signal, per synchronizer, averaged over the given
+/// channels. (The paper's "time ratio".)
+///
+/// Three rows are reported: DWM, FastDTW at the paper's radius 1, and
+/// **exact** DTW (measured on a bounded prefix so it terminates — its
+/// quadratic cost is the reason the paper "could not apply DTW on the raw
+/// signals").
+///
+/// # Errors
+///
+/// Propagates capture/sync failures.
+pub fn fig11_sync_timing(
+    set: &TrajectorySet,
+    channels: &[SideChannel],
+) -> Result<Vec<(String, f64)>, EvalError> {
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let mut dwm_total = 0.0;
+    let mut fast_total = 0.0;
+    let mut exact_total = 0.0;
+    let mut signal_secs = 0.0;
+    let mut exact_secs = 0.0;
+    for &channel in channels {
+        let (a, b) = benign_pair(set, channel, Transform::Spectrogram)?;
+        signal_secs += a.duration();
+        let t0 = std::time::Instant::now();
+        let _ = dwm(&a, &b, &params)?;
+        dwm_total += t0.elapsed().as_secs_f64();
+        let sync = DtwSynchronizer::default();
+        let t1 = std::time::Instant::now();
+        let _ = sync.synchronize(&a, &b)?;
+        fast_total += t1.elapsed().as_secs_f64();
+        // Exact DTW on a bounded prefix (quadratic cost).
+        let n = a.len().min(b.len()).min(1024);
+        let ap = a.slice(0..n).map_err(am_sync::SyncError::from)?;
+        let bp = b.slice(0..n).map_err(am_sync::SyncError::from)?;
+        exact_secs += ap.duration();
+        let t2 = std::time::Instant::now();
+        let _ = am_sync::dtw::dtw(&ap, &bp)?;
+        exact_total += t2.elapsed().as_secs_f64();
+    }
+    Ok(vec![
+        ("DWM".into(), dwm_total / signal_secs),
+        ("FastDTW(r=1)".into(), fast_total / signal_secs),
+        ("DTW(exact)".into(), exact_total / exact_secs),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_dataset::ExperimentSpec;
+    use am_printer::config::PrinterModel;
+
+    fn set() -> TrajectorySet {
+        TrajectorySet::generate(ExperimentSpec::small(PrinterModel::Um3)).unwrap()
+    }
+
+    #[test]
+    fn fig1_shows_spread() {
+        let s = set();
+        let durations = fig1_durations(&s, 8);
+        assert!(durations.len() >= 3);
+        let values: Vec<f64> = durations.iter().map(|(_, d)| *d).collect();
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min > 0.01, "time noise must spread durations");
+    }
+
+    #[test]
+    fn fig2_benign_distances_blow_up_without_sync() {
+        let s = set();
+        let (benign, malicious) = fig2_no_sync_distances(&s, SideChannel::Mag).unwrap();
+        assert!(!benign.y.is_empty());
+        assert!(!malicious.y.is_empty());
+        // The paper's point: without DSYNC, by the end of the process the
+        // benign distances are comparable to the malicious ones.
+        let tail = |s: &Series| {
+            let n = s.y.len();
+            s.y[n.saturating_sub(n / 4).max(1) - 1..]
+                .iter()
+                .sum::<f64>()
+                / (n / 4).max(1) as f64
+        };
+        let b_tail = tail(&benign);
+        let m_tail = tail(&malicious);
+        assert!(
+            b_tail > 0.3 * m_tail,
+            "benign tail {b_tail} should rival malicious {m_tail}"
+        );
+    }
+
+    #[test]
+    fn fig6_sigma_small_sigma_is_noisier() {
+        let s = set();
+        let series = fig6_sigma(&s, SideChannel::Mag, &[0.25, 1.0]).unwrap();
+        assert_eq!(series.len(), 2);
+        for ser in &series {
+            assert!(!ser.y.is_empty());
+            assert!(ser.y_range().is_finite());
+        }
+    }
+
+    #[test]
+    fn fig10_consistency_between_transforms() {
+        let s = set();
+        let series = fig10_hdisp(&s, &[SideChannel::Acc]).unwrap();
+        assert_eq!(series.len(), 2);
+        let c = hdisp_consistency(&series[0], &series[1]);
+        // Raw-ACC and spectro-ACC h_disp track the same time noise.
+        assert!(c > 0.5, "consistency {c}");
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series {
+            label: "x".into(),
+            x: vec![0.0, 1.0],
+            y: vec![1.0, 4.0],
+        };
+        assert_eq!(s.y_range(), 3.0);
+        let empty = Series {
+            label: "e".into(),
+            x: vec![],
+            y: vec![],
+        };
+        assert_eq!(empty.y_range(), 0.0);
+        assert_eq!(hdisp_consistency(&s, &empty), 0.0);
+    }
+}

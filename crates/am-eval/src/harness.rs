@@ -1,0 +1,410 @@
+//! Train/test splitting and per-IDS evaluation drivers.
+
+use crate::metrics::Rates;
+use am_baselines::bayens::BayensIds;
+use am_baselines::belikovetsky::BelikovetskyIds;
+use am_baselines::gao::GaoIds;
+use am_baselines::gatlin::GatlinIds;
+use am_baselines::moore::MooreIds;
+use am_baselines::{BaselineDetector, BaselineError, RunData};
+use am_dataset::{Capture, DatasetError, RunRole, TrajectorySet};
+use am_sensors::channel::SideChannel;
+use am_sync::{SyncError, Synchronizer};
+use nsync::discriminator::SubModule;
+use nsync::{NsyncError, NsyncIds};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Signal transformation applied before an IDS sees the data (§VIII-A
+/// "Spectrograms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transform {
+    /// The raw captured signal.
+    Raw,
+    /// The Table III log-magnitude spectrogram.
+    Spectrogram,
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Transform::Raw => "Raw",
+            Transform::Spectrogram => "Spectro.",
+        })
+    }
+}
+
+/// Evaluation errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// Dataset generation/capture failed.
+    Dataset(DatasetError),
+    /// NSYNC pipeline failed.
+    Nsync(NsyncError),
+    /// A baseline failed.
+    Baseline(BaselineError),
+    /// A synchronizer failed outside NSYNC.
+    Sync(SyncError),
+    /// The split was unusable.
+    InvalidSplit(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Dataset(e) => write!(f, "dataset: {e}"),
+            EvalError::Nsync(e) => write!(f, "nsync: {e}"),
+            EvalError::Baseline(e) => write!(f, "baseline: {e}"),
+            EvalError::Sync(e) => write!(f, "sync: {e}"),
+            EvalError::InvalidSplit(m) => write!(f, "invalid split: {m}"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+impl From<DatasetError> for EvalError {
+    fn from(e: DatasetError) -> Self {
+        EvalError::Dataset(e)
+    }
+}
+impl From<NsyncError> for EvalError {
+    fn from(e: NsyncError) -> Self {
+        EvalError::Nsync(e)
+    }
+}
+impl From<BaselineError> for EvalError {
+    fn from(e: BaselineError) -> Self {
+        EvalError::Baseline(e)
+    }
+}
+impl From<SyncError> for EvalError {
+    fn from(e: SyncError) -> Self {
+        EvalError::Sync(e)
+    }
+}
+
+/// A dataset split by role.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// The reference capture.
+    pub reference: Capture,
+    /// OCC training captures (benign).
+    pub train: Vec<Capture>,
+    /// Test captures (benign + malicious; `role` tells which).
+    pub tests: Vec<Capture>,
+}
+
+impl Split {
+    /// Splits a capture set by role.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidSplit`] if the reference or training
+    /// captures are missing.
+    pub fn from_captures(captures: Vec<Capture>) -> Result<Split, EvalError> {
+        let mut reference = None;
+        let mut train = Vec::new();
+        let mut tests = Vec::new();
+        for c in captures {
+            match c.role {
+                RunRole::Reference => reference = Some(c),
+                RunRole::Train(_) => train.push(c),
+                RunRole::TestBenign(_) | RunRole::Malicious { .. } => tests.push(c),
+            }
+        }
+        let reference =
+            reference.ok_or_else(|| EvalError::InvalidSplit("missing reference".into()))?;
+        if train.is_empty() {
+            return Err(EvalError::InvalidSplit("no training captures".into()));
+        }
+        Ok(Split {
+            reference,
+            train,
+            tests,
+        })
+    }
+
+    /// Generates the split for one channel + transform of an experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture failures.
+    pub fn generate(
+        set: &TrajectorySet,
+        channel: SideChannel,
+        transform: Transform,
+    ) -> Result<Split, EvalError> {
+        let captures = match transform {
+            Transform::Raw => set.capture_channel(channel)?,
+            Transform::Spectrogram => set.capture_spectrogram(channel)?,
+        };
+        Split::from_captures(captures)
+    }
+}
+
+fn to_run_data(c: &Capture) -> RunData {
+    RunData::new(c.signal.clone(), c.layer_times.clone())
+}
+
+/// NSYNC evaluation outcome: overall plus per-sub-module rates (the
+/// "Individual Sub-Module Results" columns of Tables VIII/IX).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NsyncOutcome {
+    /// Any sub-module fires.
+    pub overall: Rates,
+    /// CADHD alone.
+    pub c_disp: Rates,
+    /// Horizontal distance alone.
+    pub h_dist: Rates,
+    /// Vertical distance alone.
+    pub v_dist: Rates,
+}
+
+/// Trains and tests an NSYNC instance on a split.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn eval_nsync(
+    split: &Split,
+    synchronizer: Box<dyn Synchronizer + Send + Sync>,
+    r: f64,
+) -> Result<NsyncOutcome, EvalError> {
+    let ids = NsyncIds::new(synchronizer);
+    let train_signals: Vec<am_dsp::Signal> =
+        split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids.train(&train_signals, split.reference.signal.clone(), r)?;
+    let mut out = NsyncOutcome::default();
+    for test in &split.tests {
+        let malicious = !test.role.is_benign();
+        let detection = trained.detect(&test.signal)?;
+        out.overall.record(malicious, detection.intrusion);
+        out.c_disp.record(malicious, detection.fired(SubModule::CDisp));
+        out.h_dist.record(malicious, detection.fired(SubModule::HDist));
+        out.v_dist.record(malicious, detection.fired(SubModule::VDist));
+    }
+    Ok(out)
+}
+
+fn eval_detector<D: BaselineDetector>(
+    split: &Split,
+    detector: &D,
+) -> Result<(Rates, Vec<(String, Rates)>), EvalError> {
+    let mut overall = Rates::default();
+    let mut subs: Vec<(String, Rates)> = Vec::new();
+    for test in &split.tests {
+        let malicious = !test.role.is_benign();
+        let verdict = detector.detect(&to_run_data(test))?;
+        overall.record(malicious, verdict.intrusion);
+        for (name, fired) in &verdict.sub_modules {
+            match subs.iter_mut().find(|(n, _)| n == name) {
+                Some((_, r)) => r.record(malicious, *fired),
+                None => {
+                    let mut r = Rates::default();
+                    r.record(malicious, *fired);
+                    subs.push((name.clone(), r));
+                }
+            }
+        }
+    }
+    Ok((overall, subs))
+}
+
+/// Comparison block size for the point-by-point baselines: ~100
+/// comparisons per second of signal keeps raw multi-kHz channels cheap
+/// without changing behaviour.
+fn moore_block(fs: f64) -> usize {
+    ((fs / 100.0).round() as usize).max(1)
+}
+
+/// Evaluates Moore's IDS (no DSYNC) on a split.
+///
+/// # Errors
+///
+/// Propagates baseline failures.
+pub fn eval_moore(split: &Split, r: f64) -> Result<Rates, EvalError> {
+    let reference = to_run_data(&split.reference);
+    let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
+    let ids = MooreIds::train_with_block(
+        &reference,
+        &train,
+        r,
+        moore_block(split.reference.signal.fs()),
+    )?;
+    Ok(eval_detector(split, &ids)?.0)
+}
+
+/// Evaluates Gao's IDS (layer-level DSYNC) on a split.
+///
+/// # Errors
+///
+/// Propagates baseline failures.
+pub fn eval_gao(split: &Split, r: f64) -> Result<Rates, EvalError> {
+    let reference = to_run_data(&split.reference);
+    let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
+    let ids = GaoIds::train_with_block(
+        &reference,
+        &train,
+        r,
+        moore_block(split.reference.signal.fs()),
+    )?;
+    Ok(eval_detector(split, &ids)?.0)
+}
+
+/// Gatlin outcome with the Time / Match sub-modules of Table VII.
+#[derive(Debug, Clone, Default)]
+pub struct GatlinOutcome {
+    /// Either sub-module fires.
+    pub overall: Rates,
+    /// Layer-timing sub-module.
+    pub time: Rates,
+    /// Fingerprint-match sub-module.
+    pub matching: Rates,
+}
+
+/// Evaluates Gatlin's IDS on a split.
+///
+/// # Errors
+///
+/// Propagates baseline failures.
+pub fn eval_gatlin(split: &Split, r: f64) -> Result<GatlinOutcome, EvalError> {
+    let reference = to_run_data(&split.reference);
+    let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
+    let ids = GatlinIds::train(&reference, &train, r)?;
+    let (overall, subs) = eval_detector(split, &ids)?;
+    let find = |name: &str| {
+        subs.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+            .unwrap_or_default()
+    };
+    Ok(GatlinOutcome {
+        overall,
+        time: find("time"),
+        matching: find("match"),
+    })
+}
+
+/// Bayens outcome with the Sequence / Threshold sub-modules of Table VI.
+#[derive(Debug, Clone, Default)]
+pub struct BayensOutcome {
+    /// Either sub-module fires.
+    pub overall: Rates,
+    /// Window-sequence sub-module.
+    pub sequence: Rates,
+    /// Retrieval-score sub-module.
+    pub threshold: Rates,
+}
+
+/// Evaluates Bayens' IDS (audio only) with the given retrieval window.
+///
+/// # Errors
+///
+/// Propagates baseline failures.
+pub fn eval_bayens(
+    split: &Split,
+    window_seconds: f64,
+    r: f64,
+) -> Result<BayensOutcome, EvalError> {
+    let reference = to_run_data(&split.reference);
+    let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
+    let ids = BayensIds::train(&reference, &train, window_seconds, r)?;
+    let (overall, subs) = eval_detector(split, &ids)?;
+    let find = |name: &str| {
+        subs.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+            .unwrap_or_default()
+    };
+    Ok(BayensOutcome {
+        overall,
+        sequence: find("sequence"),
+        threshold: find("threshold"),
+    })
+}
+
+/// Evaluates Belikovetsky's IDS (audio spectrograms only).
+///
+/// # Errors
+///
+/// Propagates baseline failures.
+pub fn eval_belikovetsky(split: &Split) -> Result<Rates, EvalError> {
+    let reference = to_run_data(&split.reference);
+    let ids = BelikovetskyIds::train(&reference)?;
+    Ok(eval_detector(split, &ids)?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_dataset::ExperimentSpec;
+    use am_printer::config::PrinterModel;
+    use am_sync::DwmSynchronizer;
+
+    fn small_set() -> TrajectorySet {
+        TrajectorySet::generate(ExperimentSpec::small(PrinterModel::Um3)).unwrap()
+    }
+
+    #[test]
+    fn split_roles() {
+        let set = small_set();
+        let split = Split::generate(&set, SideChannel::Mag, Transform::Raw).unwrap();
+        let mix = set.spec.profile.process_mix();
+        assert_eq!(split.train.len(), mix.train);
+        assert_eq!(
+            split.tests.len(),
+            mix.test_benign + 5 * mix.malicious_per_attack
+        );
+        let malicious = split.tests.iter().filter(|t| !t.role.is_benign()).count();
+        assert_eq!(malicious, 5 * mix.malicious_per_attack);
+    }
+
+    #[test]
+    fn split_validation() {
+        assert!(Split::from_captures(vec![]).is_err());
+    }
+
+    #[test]
+    fn nsync_dwm_on_mag_raw_beats_chance() {
+        // A single channel/transform end-to-end smoke test; the full grid
+        // lives in the bench targets.
+        let set = small_set();
+        let split = Split::generate(&set, SideChannel::Mag, Transform::Raw).unwrap();
+        let params = set.spec.profile.dwm_params(set.spec.printer);
+        let out = eval_nsync(
+            &split,
+            Box::new(DwmSynchronizer::new(params)),
+            set.spec.profile.nsync_r(),
+        )
+        .unwrap();
+        assert!(out.overall.accuracy() > 0.6, "{:?}", out.overall);
+        assert_eq!(
+            out.overall.benign + out.overall.malicious,
+            split.tests.len()
+        );
+    }
+
+    #[test]
+    fn moore_and_gao_run() {
+        let set = small_set();
+        let split = Split::generate(&set, SideChannel::Mag, Transform::Raw).unwrap();
+        let m = eval_moore(&split, 0.0).unwrap();
+        let g = eval_gao(&split, 0.0).unwrap();
+        assert_eq!(m.benign + m.malicious, split.tests.len());
+        assert_eq!(g.benign + g.malicious, split.tests.len());
+    }
+
+    #[test]
+    fn gatlin_submodules_populated() {
+        let set = small_set();
+        let split = Split::generate(&set, SideChannel::Mag, Transform::Raw).unwrap();
+        let out = eval_gatlin(&split, 0.0).unwrap();
+        assert_eq!(out.time.benign, out.overall.benign);
+        assert_eq!(out.matching.malicious, out.overall.malicious);
+        // Timing attacks (Speed0.95, Layer0.3) must be caught by Time.
+        assert!(out.time.tpr() > 0.3, "{:?}", out.time);
+    }
+}

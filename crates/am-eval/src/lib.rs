@@ -1,0 +1,24 @@
+//! Evaluation harness: reproduces every table and figure of §VIII.
+//!
+//! - [`metrics`]: FPR / TPR / accuracy bookkeeping,
+//! - [`harness`]: train/test splits and per-IDS evaluation drivers
+//!   (NSYNC with either synchronizer, plus the five baselines),
+//! - [`tables`]: Tables V–IX as runnable functions returning structured
+//!   rows,
+//! - [`figures`]: the numeric series behind Figs 1, 2, 6, 10, 11 and 12,
+//! - [`report`]: plain-text table rendering for terminal output and
+//!   EXPERIMENTS.md.
+//!
+//! Everything is deterministic given the experiment seed; the `bench`
+//! crate wraps each table/figure in a Criterion target, and the root
+//! `examples/` directory drives the same entry points interactively.
+
+pub mod ablations;
+pub mod figures;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod tables;
+
+pub use harness::{EvalError, Split, Transform};
+pub use metrics::Rates;

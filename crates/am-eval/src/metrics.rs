@@ -1,0 +1,116 @@
+//! Detection-rate bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// False-positive / true-positive rates of one IDS configuration, in the
+//  paper's "FPR / TPR" cell format.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rates {
+    /// False positives (benign flagged) over benign tests.
+    pub fp: usize,
+    /// Benign tests.
+    pub benign: usize,
+    /// True positives (malicious flagged) over malicious tests.
+    pub tp: usize,
+    /// Malicious tests.
+    pub malicious: usize,
+}
+
+impl Rates {
+    /// Records one classification outcome.
+    pub fn record(&mut self, is_malicious: bool, flagged: bool) {
+        if is_malicious {
+            self.malicious += 1;
+            if flagged {
+                self.tp += 1;
+            }
+        } else {
+            self.benign += 1;
+            if flagged {
+                self.fp += 1;
+            }
+        }
+    }
+
+    /// False positive rate; 0 when no benign tests were run.
+    pub fn fpr(&self) -> f64 {
+        if self.benign == 0 {
+            0.0
+        } else {
+            self.fp as f64 / self.benign as f64
+        }
+    }
+
+    /// True positive rate; 0 when no malicious tests were run.
+    pub fn tpr(&self) -> f64 {
+        if self.malicious == 0 {
+            0.0
+        } else {
+            self.tp as f64 / self.malicious as f64
+        }
+    }
+
+    /// The paper's accuracy: `[(1 − FPR) + TPR] / 2` (§VIII-F; valid
+    /// because the benign and malicious test sets are balanced by
+    /// construction).
+    pub fn accuracy(&self) -> f64 {
+        ((1.0 - self.fpr()) + self.tpr()) / 2.0
+    }
+
+    /// Formats as the tables' "FPR / TPR" cell.
+    pub fn cell(&self) -> String {
+        format!("{:.2} / {:.2}", self.fpr(), self.tpr())
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &Rates) {
+        self.fp += other.fp;
+        self.benign += other.benign;
+        self.tp += other.tp;
+        self.malicious += other.malicious;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_accuracy() {
+        let mut r = Rates::default();
+        for _ in 0..8 {
+            r.record(false, false); // TN
+        }
+        r.record(false, true); // FP
+        r.record(false, true); // FP
+        for _ in 0..9 {
+            r.record(true, true); // TP
+        }
+        r.record(true, false); // FN
+        assert!((r.fpr() - 0.2).abs() < 1e-12);
+        assert!((r.tpr() - 0.9).abs() < 1e-12);
+        assert!((r.accuracy() - 0.85).abs() < 1e-12);
+        assert_eq!(r.cell(), "0.20 / 0.90");
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let r = Rates::default();
+        assert_eq!(r.fpr(), 0.0);
+        assert_eq!(r.tpr(), 0.0);
+        assert_eq!(r.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Rates {
+            fp: 1,
+            benign: 2,
+            tp: 3,
+            malicious: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.benign, 4);
+        assert_eq!(a.tp, 6);
+    }
+}

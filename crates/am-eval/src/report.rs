@@ -1,0 +1,107 @@
+//! Plain-text table rendering for terminal output and EXPERIMENTS.md.
+
+/// A renderable table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    /// Title line.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells (ragged rows are padded on render).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<&str>) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!(" {cell:<width$} |", width = widths[i]));
+            }
+            line
+        };
+        let sep = {
+            let mut line = String::from("|");
+            for w in &widths {
+                line.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Demo", vec!["A", "Long header"]);
+        t.push_row(vec!["x".into(), "1".into()]);
+        t.push_row(vec!["yyyy".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.starts_with("Demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All rows equal width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let mut t = TextTable::new("R", vec!["A", "B", "C"]);
+        t.push_row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.contains("| 1 |"));
+        assert_eq!(t.to_string(), s);
+    }
+}

@@ -1,0 +1,418 @@
+//! Tables V–IX: the paper's detection-result tables as runnable code.
+//!
+//! [`run_grid`] computes every IDS over every (printer × channel ×
+//! transform) cell once; the `table*` functions render the published
+//! table layouts from those results. Regenerate everything with the
+//! `bench` crate's targets or `examples/reproduce_tables.rs`.
+
+use crate::harness::{
+    eval_bayens, eval_belikovetsky, eval_gao, eval_gatlin, eval_moore, eval_nsync,
+    BayensOutcome, EvalError, GatlinOutcome, NsyncOutcome, Split, Transform,
+};
+use crate::metrics::Rates;
+use crate::report::TextTable;
+use am_dataset::{ExperimentSpec, TrajectorySet};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::{DtwSynchronizer, DwmSynchronizer, Synchronizer};
+
+/// All prepared experiments (one [`TrajectorySet`] per printer).
+pub struct TableContext {
+    /// One set per printer.
+    pub sets: Vec<TrajectorySet>,
+}
+
+impl TableContext {
+    /// Generates the Small-profile experiments for both printers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset generation failures.
+    pub fn small() -> Result<Self, EvalError> {
+        let mut sets = Vec::new();
+        for printer in PrinterModel::both() {
+            sets.push(TrajectorySet::generate(ExperimentSpec::small(printer))?);
+        }
+        Ok(TableContext { sets })
+    }
+
+    /// Wraps pre-generated sets.
+    pub fn from_sets(sets: Vec<TrajectorySet>) -> Self {
+        TableContext { sets }
+    }
+}
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone)]
+pub struct Cell<T> {
+    /// Printer.
+    pub printer: PrinterModel,
+    /// Side channel.
+    pub channel: SideChannel,
+    /// Raw or spectrogram.
+    pub transform: Transform,
+    /// The IDS outcome.
+    pub outcome: T,
+}
+
+/// Everything §VIII measures, computed once.
+#[derive(Debug, Clone, Default)]
+pub struct GridResults {
+    /// Moore's IDS (Table V left).
+    pub moore: Vec<Cell<Rates>>,
+    /// Gao's IDS (Table V right).
+    pub gao: Vec<Cell<Rates>>,
+    /// Gatlin's IDS (Table VII), raw signals.
+    pub gatlin: Vec<Cell<GatlinOutcome>>,
+    /// Bayens' IDS (Table VI): (printer, window seconds, outcome).
+    pub bayens: Vec<(PrinterModel, f64, BayensOutcome)>,
+    /// Belikovetsky's IDS (§VIII-C text): per printer.
+    pub belikovetsky: Vec<(PrinterModel, Rates)>,
+    /// NSYNC/DWM (Table VIII).
+    pub nsync_dwm: Vec<Cell<NsyncOutcome>>,
+    /// NSYNC/DTW (Table IX), spectrograms only.
+    pub nsync_dtw: Vec<Cell<NsyncOutcome>>,
+}
+
+/// Runs the full evaluation grid. This is the expensive call — minutes at
+/// the Small profile in release mode; everything downstream (tables,
+/// Fig 12) renders from the returned struct.
+///
+/// # Errors
+///
+/// Propagates capture and IDS failures.
+pub fn run_grid(ctx: &TableContext) -> Result<GridResults, EvalError> {
+    let mut g = GridResults::default();
+    for set in &ctx.sets {
+        let printer = set.spec.printer;
+        let profile = set.spec.profile;
+        let r = profile.nsync_r();
+        for channel in SideChannel::kept() {
+            for transform in [Transform::Raw, Transform::Spectrogram] {
+                let split = Split::generate(set, channel, transform)?;
+                g.moore.push(Cell {
+                    printer,
+                    channel,
+                    transform,
+                    outcome: eval_moore(&split, 0.0)?,
+                });
+                g.gao.push(Cell {
+                    printer,
+                    channel,
+                    transform,
+                    outcome: eval_gao(&split, 0.0)?,
+                });
+                if transform == Transform::Raw {
+                    g.gatlin.push(Cell {
+                        printer,
+                        channel,
+                        transform,
+                        outcome: eval_gatlin(&split, 0.0)?,
+                    });
+                }
+                // NSYNC/DWM runs on both transforms; NSYNC/DTW only on
+                // spectrograms ("we were not able to apply DTW on the raw
+                // signals because it took forever").
+                let dwm: Box<dyn Synchronizer + Send + Sync> = Box::new(
+                    DwmSynchronizer::new(profile.dwm_params(printer)),
+                );
+                g.nsync_dwm.push(Cell {
+                    printer,
+                    channel,
+                    transform,
+                    outcome: eval_nsync(&split, dwm, r)?,
+                });
+                if transform == Transform::Spectrogram {
+                    let dtw: Box<dyn Synchronizer + Send + Sync> =
+                        Box::new(DtwSynchronizer::default());
+                    g.nsync_dtw.push(Cell {
+                        printer,
+                        channel,
+                        transform,
+                        outcome: eval_nsync(&split, dtw, r)?,
+                    });
+                }
+            }
+        }
+        // Audio-only IDSs.
+        let aud_raw = Split::generate(set, SideChannel::Aud, Transform::Raw)?;
+        for window in profile.bayens_windows() {
+            g.bayens
+                .push((printer, window, eval_bayens(&aud_raw, window, 0.0)?));
+        }
+        let aud_spec = Split::generate(set, SideChannel::Aud, Transform::Spectrogram)?;
+        g.belikovetsky
+            .push((printer, eval_belikovetsky(&aud_spec)?));
+    }
+    Ok(g)
+}
+
+/// Table V: Moore's and Gao's IDSs.
+pub fn table5(g: &GridResults) -> TextTable {
+    let mut t = TextTable::new(
+        "Table V: Results for Moore's and Gao's IDSs (FPR / TPR)",
+        vec!["P", "Side Ch.", "Moore Raw", "Moore Spectro.", "Gao Raw", "Gao Spectro."],
+    );
+    for printer in PrinterModel::both() {
+        for channel in SideChannel::kept() {
+            let find = |cells: &[Cell<Rates>], tr: Transform| {
+                cells
+                    .iter()
+                    .find(|c| c.printer == printer && c.channel == channel && c.transform == tr)
+                    .map(|c| c.outcome.cell())
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.push_row(vec![
+                printer.to_string(),
+                channel.to_string(),
+                find(&g.moore, Transform::Raw),
+                find(&g.moore, Transform::Spectrogram),
+                find(&g.gao, Transform::Raw),
+                find(&g.gao, Transform::Spectrogram),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table VI: Bayens' IDS (plus the Belikovetsky single-row result the
+/// paper reports in §VIII-C prose).
+pub fn table6(g: &GridResults) -> TextTable {
+    let mut t = TextTable::new(
+        "Table VI: Detection Results for Bayens' IDS (AUD only; FPR / TPR)",
+        vec!["Printer", "Window (s)", "Overall", "Sequence", "Threshold"],
+    );
+    for (printer, window, out) in &g.bayens {
+        t.push_row(vec![
+            printer.to_string(),
+            format!("{window}"),
+            out.overall.cell(),
+            out.sequence.cell(),
+            out.threshold.cell(),
+        ]);
+    }
+    for (printer, rates) in &g.belikovetsky {
+        t.push_row(vec![
+            printer.to_string(),
+            "Belikovetsky".into(),
+            rates.cell(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    t
+}
+
+/// Table VII: Gatlin's IDS.
+pub fn table7(g: &GridResults) -> TextTable {
+    let mut t = TextTable::new(
+        "Table VII: Detection Results for Gatlin's IDS (FPR / TPR)",
+        vec!["Printer", "Side Ch.", "Overall", "Time", "Match"],
+    );
+    for cell in &g.gatlin {
+        t.push_row(vec![
+            cell.printer.to_string(),
+            cell.channel.to_string(),
+            cell.outcome.overall.cell(),
+            cell.outcome.time.cell(),
+            cell.outcome.matching.cell(),
+        ]);
+    }
+    t
+}
+
+fn nsync_table(title: &str, cells: &[Cell<NsyncOutcome>]) -> TextTable {
+    let mut t = TextTable::new(
+        title,
+        vec!["P", "T", "Side Ch.", "Overall", "c_disp", "h_dist", "v_dist"],
+    );
+    for cell in cells {
+        t.push_row(vec![
+            cell.printer.to_string(),
+            cell.transform.to_string(),
+            cell.channel.to_string(),
+            cell.outcome.overall.cell(),
+            cell.outcome.c_disp.cell(),
+            cell.outcome.h_dist.cell(),
+            cell.outcome.v_dist.cell(),
+        ]);
+    }
+    t
+}
+
+/// Table VIII: NSYNC with DWM.
+pub fn table8(g: &GridResults) -> TextTable {
+    nsync_table(
+        "Table VIII: Detection Results for NSYNC with DWM (FPR / TPR)",
+        &g.nsync_dwm,
+    )
+}
+
+/// Table IX: NSYNC with DTW (spectrograms only).
+pub fn table9(g: &GridResults) -> TextTable {
+    nsync_table(
+        "Table IX: Detection Results for NSYNC with DTW (FPR / TPR)",
+        &g.nsync_dtw,
+    )
+}
+
+/// Average accuracy per IDS (the bars of Fig 12). The raw EPT channel is
+/// dropped from the averages exactly as in §VIII-B.
+pub fn average_accuracies(g: &GridResults) -> Vec<(String, f64)> {
+    fn avg<T>(cells: &[Cell<T>], acc: impl Fn(&T) -> f64) -> f64 {
+        let kept: Vec<f64> = cells
+            .iter()
+            .filter(|c| {
+                !(c.channel == SideChannel::Ept && c.transform == Transform::Raw)
+            })
+            .map(|c| acc(&c.outcome))
+            .collect();
+        if kept.is_empty() {
+            0.0
+        } else {
+            kept.iter().sum::<f64>() / kept.len() as f64
+        }
+    }
+    let bayens_avg = if g.bayens.is_empty() {
+        0.0
+    } else {
+        g.bayens
+            .iter()
+            .map(|(_, _, o)| o.overall.accuracy())
+            .sum::<f64>()
+            / g.bayens.len() as f64
+    };
+    let belik_avg = if g.belikovetsky.is_empty() {
+        0.0
+    } else {
+        g.belikovetsky
+            .iter()
+            .map(|(_, r)| r.accuracy())
+            .sum::<f64>()
+            / g.belikovetsky.len() as f64
+    };
+    vec![
+        ("Moore".into(), avg(&g.moore, |r| r.accuracy())),
+        ("Bayens (T)".into(), bayens_avg),
+        ("Belikovetsky".into(), belik_avg),
+        ("Gao".into(), avg(&g.gao, |r| r.accuracy())),
+        ("Gatlin (T)".into(), avg(&g.gatlin, |o| o.overall.accuracy())),
+        (
+            "NSYNC/DTW (T)".into(),
+            avg(&g.nsync_dtw, |o| o.overall.accuracy()),
+        ),
+        (
+            "NSYNC/DWM (T)".into(),
+            avg(&g.nsync_dwm, |o| o.overall.accuracy()),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_rates(fp: usize, tp: usize) -> Rates {
+        Rates {
+            fp,
+            benign: 10,
+            tp,
+            malicious: 10,
+        }
+    }
+
+    fn fake_grid() -> GridResults {
+        let mut g = GridResults::default();
+        for printer in PrinterModel::both() {
+            for channel in SideChannel::kept() {
+                for transform in [Transform::Raw, Transform::Spectrogram] {
+                    g.moore.push(Cell {
+                        printer,
+                        channel,
+                        transform,
+                        outcome: fake_rates(5, 5),
+                    });
+                    g.gao.push(Cell {
+                        printer,
+                        channel,
+                        transform,
+                        outcome: fake_rates(2, 7),
+                    });
+                    g.nsync_dwm.push(Cell {
+                        printer,
+                        channel,
+                        transform,
+                        outcome: NsyncOutcome {
+                            overall: fake_rates(0, 10),
+                            ..Default::default()
+                        },
+                    });
+                }
+            }
+            g.bayens.push((
+                printer,
+                20.0,
+                BayensOutcome {
+                    overall: fake_rates(9, 10),
+                    ..Default::default()
+                },
+            ));
+            g.belikovetsky.push((printer, fake_rates(10, 10)));
+        }
+        g
+    }
+
+    #[test]
+    fn tables_render_rows() {
+        let g = fake_grid();
+        let t5 = table5(&g);
+        assert_eq!(t5.rows.len(), 8); // 2 printers x 4 channels
+        assert!(t5.render().contains("0.50 / 0.50"));
+        let t6 = table6(&g);
+        assert_eq!(t6.rows.len(), 4); // 2x bayens + 2x belikovetsky rows
+        let t8 = table8(&g);
+        assert_eq!(t8.rows.len(), 16);
+        assert!(table7(&g).rows.is_empty());
+        assert!(table9(&g).rows.is_empty());
+    }
+
+    #[test]
+    fn averages_order_and_values() {
+        let g = fake_grid();
+        let avgs = average_accuracies(&g);
+        assert_eq!(avgs.len(), 7);
+        assert_eq!(avgs[0].0, "Moore");
+        assert!((avgs[0].1 - 0.5).abs() < 1e-12);
+        assert_eq!(avgs[6].0, "NSYNC/DWM (T)");
+        assert!((avgs[6].1 - 1.0).abs() < 1e-12);
+        // Belikovetsky: FPR 1.0, TPR 1.0 -> accuracy 0.5.
+        assert!((avgs[2].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ept_raw_dropped_from_averages() {
+        let mut g = GridResults::default();
+        // One EPT raw cell with terrible accuracy; one ACC cell perfect.
+        g.nsync_dwm.push(Cell {
+            printer: PrinterModel::Um3,
+            channel: SideChannel::Ept,
+            transform: Transform::Raw,
+            outcome: NsyncOutcome {
+                overall: fake_rates(10, 0),
+                ..Default::default()
+            },
+        });
+        g.nsync_dwm.push(Cell {
+            printer: PrinterModel::Um3,
+            channel: SideChannel::Acc,
+            transform: Transform::Raw,
+            outcome: NsyncOutcome {
+                overall: fake_rates(0, 10),
+                ..Default::default()
+            },
+        });
+        let avgs = average_accuracies(&g);
+        let dwm = avgs.iter().find(|(n, _)| n.contains("DWM")).unwrap();
+        assert!((dwm.1 - 1.0).abs() < 1e-12, "EPT raw must be excluded");
+    }
+}

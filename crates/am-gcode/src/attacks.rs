@@ -1,0 +1,217 @@
+//! The five malicious printing processes of Table I.
+//!
+//! | Attack     | Paper description                     | Mechanism here |
+//! |------------|---------------------------------------|----------------|
+//! | Void       | "A void is inserted." [Sturm et al.]  | re-slice with a [`crate::slicer::VoidRegion`] |
+//! | InfillGrid | "Infill pattern is changed to grid."  | re-slice with [`InfillPattern::Grid`] |
+//! | Speed0.95  | "Printing speed is decreased by 5%."  | pure G-code transform: scale print-move `F` words |
+//! | Layer0.3   | "Layer height is changed to 0.3 mm."  | re-slice with 0.3 mm layers |
+//! | Scale0.95  | "The object is shrunk by 5%."         | re-slice with XY scale 0.95 |
+//!
+//! Speed scaling is also available as a *firmware* attack in `am-printer`
+//! (the printer misbehaves despite benign G-code, per the threat model).
+
+use crate::error::GcodeError;
+use crate::model::{GCommand, GcodeProgram};
+use crate::slicer::{slice_gear, InfillPattern, SliceConfig};
+use serde::{Deserialize, Serialize};
+
+/// One of the Table I attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Attack {
+    /// Insert a void into the part's infill.
+    Void,
+    /// Change the infill pattern to grid.
+    InfillGrid,
+    /// Scale printing feedrates by the given factor (paper: 0.95).
+    SpeedScale(f64),
+    /// Re-slice at the given layer height (paper: 0.3 mm).
+    LayerHeight(f64),
+    /// Shrink the object by the given XY factor (paper: 0.95).
+    Scale(f64),
+}
+
+impl Attack {
+    /// The paper's five attacks with their Table I parameters.
+    pub fn table1() -> [Attack; 5] {
+        [
+            Attack::Void,
+            Attack::InfillGrid,
+            Attack::SpeedScale(0.95),
+            Attack::LayerHeight(0.3),
+            Attack::Scale(0.95),
+        ]
+    }
+
+    /// Short identifier matching Table I's "Process" column.
+    pub fn name(&self) -> String {
+        match self {
+            Attack::Void => "Void".into(),
+            Attack::InfillGrid => "InfillGrid".into(),
+            Attack::SpeedScale(f) => format!("Speed{f:.2}"),
+            Attack::LayerHeight(h) => format!("Layer{h}"),
+            Attack::Scale(f) => format!("Scale{f:.2}"),
+        }
+    }
+
+    /// Applies the attack to a benign program.
+    ///
+    /// Re-slicing attacks need the original [`SliceConfig`]; the pure
+    /// G-code attack ([`Attack::SpeedScale`]) transforms `benign` directly,
+    /// exactly as an attacker intercepting the file would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GcodeError::InvalidParameter`] for out-of-domain factors
+    /// and propagates slicer errors.
+    pub fn apply(
+        &self,
+        benign: &GcodeProgram,
+        config: &SliceConfig,
+    ) -> Result<GcodeProgram, GcodeError> {
+        match *self {
+            Attack::Void => {
+                let mut cfg = config.clone();
+                cfg.void_region = Some(config.default_void());
+                slice_gear(&cfg)
+            }
+            Attack::InfillGrid => {
+                let mut cfg = config.clone();
+                cfg.infill_pattern = InfillPattern::Grid;
+                slice_gear(&cfg)
+            }
+            Attack::SpeedScale(factor) => {
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(GcodeError::InvalidParameter(format!(
+                        "speed factor must be positive, got {factor}"
+                    )));
+                }
+                let mut out = benign.clone();
+                for cmd in out.commands_mut() {
+                    if let GCommand::Move {
+                        e: Some(_),
+                        f: Some(f),
+                        ..
+                    } = cmd
+                    {
+                        *f *= factor;
+                    }
+                }
+                Ok(out)
+            }
+            Attack::LayerHeight(h) => {
+                if !(h.is_finite() && h > 0.0) {
+                    return Err(GcodeError::InvalidParameter(format!(
+                        "layer height must be positive, got {h}"
+                    )));
+                }
+                let mut cfg = config.clone();
+                cfg.layer_height = h;
+                slice_gear(&cfg)
+            }
+            Attack::Scale(s) => {
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(GcodeError::InvalidParameter(format!(
+                        "scale must be positive, got {s}"
+                    )));
+                }
+                let mut cfg = config.clone();
+                cfg.scale = s;
+                slice_gear(&cfg)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Attack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benign() -> (GcodeProgram, SliceConfig) {
+        let cfg = SliceConfig::small_gear();
+        (slice_gear(&cfg).unwrap(), cfg)
+    }
+
+    #[test]
+    fn table1_names() {
+        let names: Vec<String> = Attack::table1().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Void", "InfillGrid", "Speed0.95", "Layer0.3", "Scale0.95"]
+        );
+    }
+
+    #[test]
+    fn void_reduces_extrusion_same_layers() {
+        let (b, cfg) = benign();
+        let m = Attack::Void.apply(&b, &cfg).unwrap();
+        assert!(m.extruded_path_length() < b.extruded_path_length());
+        assert_eq!(m.layer_count(), b.layer_count());
+    }
+
+    #[test]
+    fn infill_grid_changes_structure() {
+        let (b, cfg) = benign();
+        let m = Attack::InfillGrid.apply(&b, &cfg).unwrap();
+        assert_ne!(m.motion_count(), b.motion_count());
+        assert_eq!(m.layer_count(), b.layer_count());
+    }
+
+    #[test]
+    fn speed_scale_only_touches_feedrates() {
+        let (b, cfg) = benign();
+        let m = Attack::SpeedScale(0.95).apply(&b, &cfg).unwrap();
+        assert_eq!(m.len(), b.len());
+        assert_eq!(m.layer_count(), b.layer_count());
+        // Path identical; only F words of extruding moves change.
+        assert!((m.extruded_path_length() - b.extruded_path_length()).abs() < 1e-9);
+        let mut changed = 0;
+        for (a, bb) in b.commands().iter().zip(m.commands().iter()) {
+            match (a, bb) {
+                (
+                    GCommand::Move { e: Some(_), f: Some(f1), .. },
+                    GCommand::Move { e: Some(_), f: Some(f2), .. },
+                ) => {
+                    assert!((f2 / f1 - 0.95).abs() < 1e-9);
+                    changed += 1;
+                }
+                _ => assert_eq!(a, bb),
+            }
+        }
+        assert!(changed > 0);
+    }
+
+    #[test]
+    fn layer_height_attack_changes_layer_count() {
+        let (b, cfg) = benign();
+        let m = Attack::LayerHeight(0.3).apply(&b, &cfg).unwrap();
+        assert!(m.layer_count() < b.layer_count());
+    }
+
+    #[test]
+    fn scale_attack_shrinks() {
+        let (b, cfg) = benign();
+        let m = Attack::Scale(0.95).apply(&b, &cfg).unwrap();
+        assert!(m.extruded_path_length() < b.extruded_path_length());
+    }
+
+    #[test]
+    fn invalid_factors_rejected() {
+        let (b, cfg) = benign();
+        assert!(Attack::SpeedScale(0.0).apply(&b, &cfg).is_err());
+        assert!(Attack::LayerHeight(-1.0).apply(&b, &cfg).is_err());
+        assert!(Attack::Scale(f64::NAN).apply(&b, &cfg).is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Attack::SpeedScale(0.95).to_string(), "Speed0.95");
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for G-code parsing, slicing, and attack application.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GcodeError {
+    /// A G-code line could not be parsed.
+    Parse {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A slicer or attack parameter was outside its legal domain.
+    InvalidParameter(String),
+    /// An attack could not be applied to the given program.
+    AttackFailed(String),
+}
+
+impl fmt::Display for GcodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcodeError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GcodeError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GcodeError::AttackFailed(msg) => write!(f, "attack failed: {msg}"),
+        }
+    }
+}
+
+impl Error for GcodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = GcodeError::Parse {
+            line: 7,
+            message: "bad word".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(GcodeError::InvalidParameter("x".into()).to_string().contains("x"));
+        assert!(GcodeError::AttackFailed("y".into()).to_string().contains("y"));
+    }
+}

@@ -1,0 +1,402 @@
+//! 2-D geometry for the slicer: the gear profile, polygon predicates, and
+//! infill clipping.
+//!
+//! This is deliberately a *slicer's* geometry kit, not a general
+//! computational-geometry library: the shapes involved are simple closed
+//! polygons (the gear outline), and the operations are point-in-polygon,
+//! segment clipping against the outline, and approximate insets.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// X coordinate (mm).
+    pub x: f64,
+    /// Y coordinate (mm).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A simple closed polygon (implicitly closed: last vertex connects to the
+/// first).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polygon {
+    /// Vertices in order (either winding).
+    pub points: Vec<Point2>,
+}
+
+impl Polygon {
+    /// Wraps a vertex list.
+    pub fn new(points: Vec<Point2>) -> Self {
+        Polygon { points }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the polygon has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Signed area via the shoelace formula (positive for counter-clockwise
+    /// winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.points.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        let n = self.points.len();
+        if n < 2 {
+            return 0.0;
+        }
+        (0..n)
+            .map(|i| self.points[i].distance(self.points[(i + 1) % n]))
+            .sum()
+    }
+
+    /// Vertex centroid (arithmetic mean of the vertices).
+    pub fn centroid(&self) -> Point2 {
+        if self.points.is_empty() {
+            return Point2::default();
+        }
+        let n = self.points.len() as f64;
+        Point2::new(
+            self.points.iter().map(|p| p.x).sum::<f64>() / n,
+            self.points.iter().map(|p| p.y).sum::<f64>() / n,
+        )
+    }
+
+    /// Axis-aligned bounding box `(min, max)`; `None` when empty.
+    pub fn bbox(&self) -> Option<(Point2, Point2)> {
+        let first = *self.points.first()?;
+        let mut min = first;
+        let mut max = first;
+        for p in &self.points {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some((min, max))
+    }
+
+    /// Even-odd point-in-polygon test. Points exactly on an edge may fall
+    /// on either side (acceptable for infill clipping).
+    pub fn contains(&self, p: Point2) -> bool {
+        let n = self.points.len();
+        if n < 3 {
+            return false;
+        }
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[j];
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Uniform scale about a fixed point.
+    pub fn scaled_about(&self, factor: f64, center: Point2) -> Polygon {
+        Polygon::new(
+            self.points
+                .iter()
+                .map(|p| {
+                    Point2::new(
+                        center.x + (p.x - center.x) * factor,
+                        center.y + (p.y - center.y) * factor,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Approximate inward inset by `distance` mm, implemented as a scale
+    /// toward the centroid. Exact offsets need a full polygon-offset
+    /// algorithm; for the gear (a star-shaped polygon around its centroid)
+    /// this approximation keeps perimeters strictly inside the outline,
+    /// which is all the toolpath needs.
+    pub fn inset_approx(&self, distance: f64) -> Polygon {
+        let c = self.centroid();
+        let mean_r = if self.points.is_empty() {
+            1.0
+        } else {
+            self.points.iter().map(|p| p.distance(c)).sum::<f64>() / self.points.len() as f64
+        };
+        if mean_r <= distance {
+            return Polygon::new(vec![c]);
+        }
+        self.scaled_about(1.0 - distance / mean_r, c)
+    }
+
+    /// Clips an infinite line (given by a point and a unit direction) to the
+    /// polygon interior, returning the inside segments as point pairs.
+    ///
+    /// Uses even-odd pairing of the sorted edge intersections.
+    pub fn clip_line(&self, origin: Point2, dir: Point2) -> Vec<(Point2, Point2)> {
+        let n = self.points.len();
+        if n < 3 {
+            return Vec::new();
+        }
+        // Collect parametric intersections t where origin + t*dir crosses an
+        // edge.
+        let mut ts: Vec<f64> = Vec::new();
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            let ex = b.x - a.x;
+            let ey = b.y - a.y;
+            let denom = dir.x * ey - dir.y * ex;
+            if denom.abs() < 1e-12 {
+                continue; // parallel
+            }
+            let dx = a.x - origin.x;
+            let dy = a.y - origin.y;
+            let t = (dx * ey - dy * ex) / denom;
+            let u = (dir.x * dy - dir.y * dx) / -denom;
+            if (0.0..1.0).contains(&u) {
+                ts.push(t);
+            }
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut out = Vec::new();
+        for pair in ts.chunks_exact(2) {
+            let (t0, t1) = (pair[0], pair[1]);
+            let mid = (t0 + t1) / 2.0;
+            let mid_pt = Point2::new(origin.x + mid * dir.x, origin.y + mid * dir.y);
+            if self.contains(mid_pt) {
+                out.push((
+                    Point2::new(origin.x + t0 * dir.x, origin.y + t0 * dir.y),
+                    Point2::new(origin.x + t1 * dir.x, origin.y + t1 * dir.y),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Generates the paper's gear outline: `teeth` trapezoidal teeth between a
+/// root circle of `root_radius` and a tip circle of `tip_radius`, centred at
+/// `center`.
+///
+/// # Panics
+///
+/// Panics if `teeth == 0` or radii are non-positive or inverted — these are
+/// programmer errors in experiment configs.
+pub fn gear_profile(center: Point2, teeth: usize, root_radius: f64, tip_radius: f64) -> Polygon {
+    assert!(teeth > 0, "gear must have at least one tooth");
+    assert!(
+        root_radius > 0.0 && tip_radius > root_radius,
+        "need 0 < root_radius < tip_radius"
+    );
+    let mut pts = Vec::with_capacity(teeth * 4);
+    let pitch = std::f64::consts::TAU / teeth as f64;
+    // Each tooth occupies half the pitch; flanks get 10% each.
+    for k in 0..teeth {
+        let base = k as f64 * pitch;
+        let angles = [
+            (base, root_radius),
+            (base + 0.15 * pitch, tip_radius),
+            (base + 0.45 * pitch, tip_radius),
+            (base + 0.60 * pitch, root_radius),
+        ];
+        for (ang, r) in angles {
+            pts.push(Point2::new(
+                center.x + r * ang.cos(),
+                center.y + r * ang.sin(),
+            ));
+        }
+    }
+    Polygon::new(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn square_properties() {
+        let sq = unit_square();
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        assert!((sq.perimeter() - 4.0).abs() < 1e-12);
+        let c = sq.centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+        let (min, max) = sq.bbox().unwrap();
+        assert_eq!((min.x, min.y, max.x, max.y), (0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn contains_works() {
+        let sq = unit_square();
+        assert!(sq.contains(Point2::new(0.5, 0.5)));
+        assert!(!sq.contains(Point2::new(1.5, 0.5)));
+        assert!(!sq.contains(Point2::new(-0.1, 0.5)));
+        // Degenerate polygons contain nothing.
+        assert!(!Polygon::new(vec![Point2::new(0.0, 0.0)]).contains(Point2::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn scaled_about_center_shrinks_area_quadratically() {
+        let sq = unit_square();
+        let half = sq.scaled_about(0.5, sq.centroid());
+        assert!((half.area() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inset_stays_inside() {
+        let sq = unit_square();
+        let inner = sq.inset_approx(0.1);
+        for p in &inner.points {
+            assert!(sq.contains(p.mid_nudge()), "{p:?} escaped");
+        }
+        // Inset by more than the mean radius collapses to the centroid.
+        let collapsed = sq.inset_approx(10.0);
+        assert_eq!(collapsed.len(), 1);
+    }
+
+    impl Point2 {
+        /// Nudges a point a hair toward the unit square's center so that
+        /// exact-on-edge points test as inside.
+        fn mid_nudge(self) -> Point2 {
+            Point2::new(
+                self.x + (0.5 - self.x) * 1e-9,
+                self.y + (0.5 - self.y) * 1e-9,
+            )
+        }
+    }
+
+    #[test]
+    fn clip_horizontal_line_through_square() {
+        let sq = unit_square();
+        let segs = sq.clip_line(Point2::new(-5.0, 0.5), Point2::new(1.0, 0.0));
+        assert_eq!(segs.len(), 1);
+        let (a, b) = segs[0];
+        assert!((a.x - 0.0).abs() < 1e-9 && (b.x - 1.0).abs() < 1e-9);
+        assert!((a.y - 0.5).abs() < 1e-9 && (b.y - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_missing_line_yields_nothing() {
+        let sq = unit_square();
+        let segs = sq.clip_line(Point2::new(-5.0, 2.0), Point2::new(1.0, 0.0));
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn clip_concave_shape_yields_two_segments() {
+        // A "U" shape: line through the middle crosses 4 edges -> 2 segments.
+        let u = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(3.0, 2.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ]);
+        let segs = u.clip_line(Point2::new(-5.0, 1.5), Point2::new(1.0, 0.0));
+        assert_eq!(segs.len(), 2, "{segs:?}");
+    }
+
+    #[test]
+    fn gear_profile_shape() {
+        let g = gear_profile(Point2::new(0.0, 0.0), 12, 25.0, 30.0);
+        assert_eq!(g.len(), 48);
+        // All vertices between root and tip radii.
+        for p in &g.points {
+            let r = p.distance(Point2::new(0.0, 0.0));
+            assert!(r > 24.9 && r < 30.1);
+        }
+        // Area between root circle and tip circle areas.
+        let a = g.area();
+        assert!(a > std::f64::consts::PI * 25.0 * 25.0 * 0.9);
+        assert!(a < std::f64::consts::PI * 30.0 * 30.0);
+        // Center is inside.
+        assert!(g.contains(Point2::new(0.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tooth")]
+    fn gear_zero_teeth_panics() {
+        let _ = gear_profile(Point2::default(), 0, 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "root_radius")]
+    fn gear_bad_radii_panic() {
+        let _ = gear_profile(Point2::default(), 8, 5.0, 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_clip_segments_lie_inside(
+            y in 0.01f64..0.99,
+            angle in 0.0f64..std::f64::consts::PI,
+        ) {
+            let g = gear_profile(Point2::new(0.0, 0.0), 10, 20.0, 25.0);
+            let dir = Point2::new(angle.cos(), angle.sin());
+            let origin = Point2::new(-40.0 * dir.x + y, -40.0 * dir.y + y);
+            for (a, b) in g.clip_line(origin, dir) {
+                let mid = Point2::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+                prop_assert!(g.contains(mid));
+            }
+        }
+
+        #[test]
+        fn prop_scaling_scales_area(f in 0.1f64..2.0) {
+            let g = gear_profile(Point2::new(3.0, -2.0), 8, 10.0, 12.0);
+            let s = g.scaled_about(f, g.centroid());
+            prop_assert!((s.area() - g.area() * f * f).abs() < 1e-6 * g.area());
+        }
+    }
+}

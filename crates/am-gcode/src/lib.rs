@@ -1,0 +1,40 @@
+//! G-code substrate for the NSYNC reproduction.
+//!
+//! FDM printers are programmed in G-code (§II-A of the paper). This crate
+//! provides everything the experiment pipeline needs on the G-code side:
+//!
+//! - [`model`]: a typed command model ([`model::GCommand`]) and program
+//!   container ([`model::GcodeProgram`]),
+//! - [`parser`] / [`writer`]: text ⇄ model round-tripping,
+//! - [`geometry`]: the 2-D geometry needed by the slicer (gear profile,
+//!   polygon clipping, approximate insets),
+//! - [`slicer`]: a small slicer that turns the paper's gear model into a
+//!   layered toolpath (perimeters + line/grid infill),
+//! - [`attacks`]: the five malicious manipulations of Table I
+//!   (Void, InfillGrid, Speed0.95, Layer0.3, Scale0.95).
+//!
+//! # Example
+//!
+//! ```
+//! use am_gcode::slicer::{slice_gear, SliceConfig};
+//! use am_gcode::attacks::Attack;
+//!
+//! # fn main() -> Result<(), am_gcode::GcodeError> {
+//! let config = SliceConfig::small_gear();
+//! let benign = slice_gear(&config)?;
+//! let malicious = Attack::SpeedScale(0.95).apply(&benign, &config)?;
+//! assert_eq!(benign.layer_count(), malicious.layer_count());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attacks;
+pub mod error;
+pub mod geometry;
+pub mod model;
+pub mod parser;
+pub mod slicer;
+pub mod writer;
+
+pub use error::GcodeError;
+pub use model::{GCommand, GcodeProgram};

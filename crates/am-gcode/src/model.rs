@@ -1,0 +1,271 @@
+//! Typed G-code command model.
+//!
+//! Only the dialect the experiments need is modeled precisely; anything
+//! else round-trips through [`GCommand::Other`].
+
+use serde::{Deserialize, Serialize};
+
+/// Movement class of a motion command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MoveKind {
+    /// `G0`: travel (non-extruding) move.
+    Travel,
+    /// `G1`: printing (possibly extruding) move.
+    Linear,
+}
+
+/// A single G-code command.
+///
+/// Coordinates are millimetres, feedrates millimetres **per minute** (the
+/// G-code convention), temperatures degrees Celsius.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GCommand {
+    /// `G0`/`G1` motion. Absent words mean "unchanged".
+    Move {
+        /// Travel vs linear.
+        kind: MoveKind,
+        /// Target X (mm).
+        x: Option<f64>,
+        /// Target Y (mm).
+        y: Option<f64>,
+        /// Target Z (mm).
+        z: Option<f64>,
+        /// Target extruder position (mm of filament).
+        e: Option<f64>,
+        /// Feedrate (mm/min); sticky across moves.
+        f: Option<f64>,
+    },
+    /// `G4`: dwell for the given seconds.
+    Dwell {
+        /// Pause duration in seconds.
+        seconds: f64,
+    },
+    /// `G28`: home all axes.
+    Home,
+    /// `G92`: reset the logical position of the given axes.
+    SetPosition {
+        /// New logical X, if given.
+        x: Option<f64>,
+        /// New logical Y, if given.
+        y: Option<f64>,
+        /// New logical Z, if given.
+        z: Option<f64>,
+        /// New logical E, if given.
+        e: Option<f64>,
+    },
+    /// `M104` (set) / `M109` (set and wait): hotend temperature.
+    SetHotendTemp {
+        /// Target temperature (deg C).
+        celsius: f64,
+        /// `true` for M109 (block until reached).
+        wait: bool,
+    },
+    /// `M140` (set) / `M190` (set and wait): bed temperature.
+    SetBedTemp {
+        /// Target temperature (deg C).
+        celsius: f64,
+        /// `true` for M190.
+        wait: bool,
+    },
+    /// `M106`: part-cooling fan on at `speed` in `[0, 1]`.
+    FanOn {
+        /// Fan duty in `[0, 1]` (G-code S0-255 is normalized).
+        speed: f64,
+    },
+    /// `M107`: fan off.
+    FanOff,
+    /// A `;LAYER:<i>` comment — the slicer's layer marker. The printer
+    /// simulator uses these as ground-truth layer-change moments (the paper
+    /// obtains them from a dedicated accelerometer or Z-motor currents).
+    LayerMarker {
+        /// Zero-based layer index.
+        index: usize,
+    },
+    /// Any other comment (no semantic effect).
+    Comment {
+        /// Comment text without the leading `;`.
+        text: String,
+    },
+    /// Unrecognized but well-formed command, preserved verbatim.
+    Other {
+        /// Raw line text.
+        raw: String,
+    },
+}
+
+impl GCommand {
+    /// Convenience constructor for a `G1` print move in XY.
+    pub fn print_move(x: f64, y: f64, e: f64, f: Option<f64>) -> Self {
+        GCommand::Move {
+            kind: MoveKind::Linear,
+            x: Some(x),
+            y: Some(y),
+            z: None,
+            e: Some(e),
+            f,
+        }
+    }
+
+    /// Convenience constructor for a `G0` travel move in XY.
+    pub fn travel_move(x: f64, y: f64, f: Option<f64>) -> Self {
+        GCommand::Move {
+            kind: MoveKind::Travel,
+            x: Some(x),
+            y: Some(y),
+            z: None,
+            e: None,
+            f,
+        }
+    }
+
+    /// `true` for `G0`/`G1`.
+    pub fn is_motion(&self) -> bool {
+        matches!(self, GCommand::Move { .. })
+    }
+
+    /// `true` for a motion command that extrudes (has an `E` word).
+    pub fn is_extruding(&self) -> bool {
+        matches!(self, GCommand::Move { e: Some(_), .. })
+    }
+}
+
+/// A parsed or generated G-code program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GcodeProgram {
+    commands: Vec<GCommand>,
+}
+
+impl GcodeProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        GcodeProgram::default()
+    }
+
+    /// Wraps a command list.
+    pub fn from_commands(commands: Vec<GCommand>) -> Self {
+        GcodeProgram { commands }
+    }
+
+    /// Borrowed command list.
+    pub fn commands(&self) -> &[GCommand] {
+        &self.commands
+    }
+
+    /// Mutable command list (used by pure-G-code attacks).
+    pub fn commands_mut(&mut self) -> &mut Vec<GCommand> {
+        &mut self.commands
+    }
+
+    /// Appends a command.
+    pub fn push(&mut self, cmd: GCommand) {
+        self.commands.push(cmd);
+    }
+
+    /// Number of commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// `true` if the program has no commands.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Number of `;LAYER:` markers.
+    pub fn layer_count(&self) -> usize {
+        self.commands
+            .iter()
+            .filter(|c| matches!(c, GCommand::LayerMarker { .. }))
+            .count()
+    }
+
+    /// Number of motion commands.
+    pub fn motion_count(&self) -> usize {
+        self.commands.iter().filter(|c| c.is_motion()).count()
+    }
+
+    /// Total XY path length in millimetres of extruding moves, assuming
+    /// absolute coordinates starting from the first positioned point.
+    /// Useful as a cheap structural signature in tests.
+    pub fn extruded_path_length(&self) -> f64 {
+        let mut total = 0.0;
+        let mut pos: Option<(f64, f64)> = None;
+        for cmd in &self.commands {
+            if let GCommand::Move { x, y, e, .. } = cmd {
+                let nx = x.unwrap_or(pos.map_or(0.0, |p| p.0));
+                let ny = y.unwrap_or(pos.map_or(0.0, |p| p.1));
+                if let Some((px, py)) = pos {
+                    if e.is_some() {
+                        total += ((nx - px).powi(2) + (ny - py).powi(2)).sqrt();
+                    }
+                }
+                pos = Some((nx, ny));
+            }
+        }
+        total
+    }
+}
+
+impl FromIterator<GCommand> for GcodeProgram {
+    fn from_iter<T: IntoIterator<Item = GCommand>>(iter: T) -> Self {
+        GcodeProgram {
+            commands: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<GCommand> for GcodeProgram {
+    fn extend<T: IntoIterator<Item = GCommand>>(&mut self, iter: T) {
+        self.commands.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let p = GCommand::print_move(1.0, 2.0, 0.5, Some(1200.0));
+        assert!(p.is_motion());
+        assert!(p.is_extruding());
+        let t = GCommand::travel_move(1.0, 2.0, None);
+        assert!(t.is_motion());
+        assert!(!t.is_extruding());
+        assert!(!GCommand::Home.is_motion());
+    }
+
+    #[test]
+    fn program_counts() {
+        let mut prog = GcodeProgram::new();
+        assert!(prog.is_empty());
+        prog.push(GCommand::LayerMarker { index: 0 });
+        prog.push(GCommand::travel_move(0.0, 0.0, None));
+        prog.push(GCommand::print_move(3.0, 4.0, 0.1, None));
+        prog.push(GCommand::LayerMarker { index: 1 });
+        assert_eq!(prog.len(), 4);
+        assert_eq!(prog.layer_count(), 2);
+        assert_eq!(prog.motion_count(), 2);
+    }
+
+    #[test]
+    fn extruded_path_length_is_euclidean() {
+        let prog: GcodeProgram = vec![
+            GCommand::travel_move(0.0, 0.0, None),
+            GCommand::print_move(3.0, 4.0, 0.1, None), // 5 mm
+            GCommand::travel_move(10.0, 10.0, None),   // not counted
+            GCommand::print_move(10.0, 13.0, 0.2, None), // 3 mm
+        ]
+        .into_iter()
+        .collect();
+        assert!((prog.extruded_path_length() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut prog = GcodeProgram::new();
+        prog.extend([GCommand::Home, GCommand::FanOff]);
+        assert_eq!(prog.len(), 2);
+    }
+}

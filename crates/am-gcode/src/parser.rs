@@ -1,0 +1,279 @@
+//! G-code text parser.
+//!
+//! Parses the dialect emitted by Cura / MatterSlice (and by our own
+//! [`crate::slicer`]): word-per-axis commands, `;` comments, `;LAYER:n`
+//! markers. Unknown commands are preserved as [`GCommand::Other`] so that
+//! arbitrary files survive a parse → write round trip.
+
+use crate::error::GcodeError;
+use crate::model::{GCommand, GcodeProgram, MoveKind};
+use std::collections::HashMap;
+
+/// Parses a full G-code file.
+///
+/// # Errors
+///
+/// Returns [`GcodeError::Parse`] with a 1-based line number on malformed
+/// numeric words.
+pub fn parse_program(text: &str) -> Result<GcodeProgram, GcodeError> {
+    let mut prog = GcodeProgram::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(cmd) = parse_line(line, i + 1)? {
+            prog.push(cmd);
+        }
+    }
+    Ok(prog)
+}
+
+/// Parses one line; `None` for blank lines.
+///
+/// # Errors
+///
+/// Returns [`GcodeError::Parse`] on malformed numeric words.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Option<GCommand>, GcodeError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    // Comment-only line?
+    if let Some(comment) = trimmed.strip_prefix(';') {
+        let comment = comment.trim();
+        if let Some(rest) = comment.strip_prefix("LAYER:") {
+            if let Ok(index) = rest.trim().parse::<usize>() {
+                return Ok(Some(GCommand::LayerMarker { index }));
+            }
+        }
+        return Ok(Some(GCommand::Comment {
+            text: comment.to_string(),
+        }));
+    }
+    // Strip trailing comment.
+    let code = match trimmed.split_once(';') {
+        Some((head, _)) => head.trim(),
+        None => trimmed,
+    };
+    if code.is_empty() {
+        return Ok(None);
+    }
+    let words = parse_words(code, line_no)?;
+    let Some((&letter, &number)) = words.first_word() else {
+        return Ok(Some(GCommand::Other {
+            raw: code.to_string(),
+        }));
+    };
+    let cmd = match (letter, number as i64) {
+        ('G', 0) | ('G', 1) => GCommand::Move {
+            kind: if number as i64 == 0 {
+                MoveKind::Travel
+            } else {
+                MoveKind::Linear
+            },
+            x: words.get('X'),
+            y: words.get('Y'),
+            z: words.get('Z'),
+            e: words.get('E'),
+            f: words.get('F'),
+        },
+        ('G', 4) => {
+            // P = milliseconds, S = seconds.
+            let seconds = words
+                .get('S')
+                .or_else(|| words.get('P').map(|ms| ms / 1000.0))
+                .unwrap_or(0.0);
+            GCommand::Dwell { seconds }
+        }
+        ('G', 28) => GCommand::Home,
+        ('G', 92) => GCommand::SetPosition {
+            x: words.get('X'),
+            y: words.get('Y'),
+            z: words.get('Z'),
+            e: words.get('E'),
+        },
+        ('M', 104) | ('M', 109) => GCommand::SetHotendTemp {
+            celsius: words.get('S').unwrap_or(0.0),
+            wait: number as i64 == 109,
+        },
+        ('M', 140) | ('M', 190) => GCommand::SetBedTemp {
+            celsius: words.get('S').unwrap_or(0.0),
+            wait: number as i64 == 190,
+        },
+        ('M', 106) => GCommand::FanOn {
+            speed: (words.get('S').unwrap_or(255.0) / 255.0).clamp(0.0, 1.0),
+        },
+        ('M', 107) => GCommand::FanOff,
+        _ => GCommand::Other {
+            raw: code.to_string(),
+        },
+    };
+    Ok(Some(cmd))
+}
+
+struct Words {
+    first: Option<(char, f64)>,
+    map: HashMap<char, f64>,
+}
+
+impl Words {
+    fn first_word(&self) -> Option<(&char, &f64)> {
+        self.first.as_ref().map(|(c, v)| (c, v))
+    }
+    fn get(&self, letter: char) -> Option<f64> {
+        self.map.get(&letter).copied()
+    }
+}
+
+fn parse_words(code: &str, line_no: usize) -> Result<Words, GcodeError> {
+    let mut first = None;
+    let mut map = HashMap::new();
+    for token in code.split_whitespace() {
+        let mut chars = token.chars();
+        let Some(letter) = chars.next() else { continue };
+        let letter = letter.to_ascii_uppercase();
+        if !letter.is_ascii_alphabetic() {
+            return Err(GcodeError::Parse {
+                line: line_no,
+                message: format!("expected a word letter, got {token:?}"),
+            });
+        }
+        let rest: &str = chars.as_str();
+        let value: f64 = if rest.is_empty() {
+            0.0
+        } else {
+            rest.parse().map_err(|_| GcodeError::Parse {
+                line: line_no,
+                message: format!("bad number in word {token:?}"),
+            })?
+        };
+        if first.is_none() {
+            first = Some((letter, value));
+        } else {
+            map.insert(letter, value);
+        }
+    }
+    Ok(Words { first, map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_program;
+
+    #[test]
+    fn parses_moves() {
+        let cmd = parse_line("G1 X10.5 Y-2 E0.33 F1500", 1).unwrap().unwrap();
+        assert_eq!(
+            cmd,
+            GCommand::Move {
+                kind: MoveKind::Linear,
+                x: Some(10.5),
+                y: Some(-2.0),
+                z: None,
+                e: Some(0.33),
+                f: Some(1500.0),
+            }
+        );
+        let travel = parse_line("G0 Z0.2", 1).unwrap().unwrap();
+        assert!(matches!(
+            travel,
+            GCommand::Move {
+                kind: MoveKind::Travel,
+                z: Some(z),
+                ..
+            } if z == 0.2
+        ));
+    }
+
+    #[test]
+    fn parses_temps_and_fan() {
+        assert_eq!(
+            parse_line("M109 S210", 1).unwrap().unwrap(),
+            GCommand::SetHotendTemp {
+                celsius: 210.0,
+                wait: true
+            }
+        );
+        assert_eq!(
+            parse_line("M140 S60", 1).unwrap().unwrap(),
+            GCommand::SetBedTemp {
+                celsius: 60.0,
+                wait: false
+            }
+        );
+        assert_eq!(
+            parse_line("M106 S127.5", 1).unwrap().unwrap(),
+            GCommand::FanOn { speed: 0.5 }
+        );
+        assert_eq!(parse_line("M107", 1).unwrap().unwrap(), GCommand::FanOff);
+    }
+
+    #[test]
+    fn parses_dwell_both_forms() {
+        assert_eq!(
+            parse_line("G4 P500", 1).unwrap().unwrap(),
+            GCommand::Dwell { seconds: 0.5 }
+        );
+        assert_eq!(
+            parse_line("G4 S2", 1).unwrap().unwrap(),
+            GCommand::Dwell { seconds: 2.0 }
+        );
+    }
+
+    #[test]
+    fn parses_layer_markers_and_comments() {
+        assert_eq!(
+            parse_line(";LAYER:12", 1).unwrap().unwrap(),
+            GCommand::LayerMarker { index: 12 }
+        );
+        assert_eq!(
+            parse_line("; hello world", 1).unwrap().unwrap(),
+            GCommand::Comment {
+                text: "hello world".into()
+            }
+        );
+        // Malformed layer marker degrades to a plain comment.
+        assert!(matches!(
+            parse_line(";LAYER:x", 1).unwrap().unwrap(),
+            GCommand::Comment { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_comments_stripped() {
+        let cmd = parse_line("G28 ; home all", 1).unwrap().unwrap();
+        assert_eq!(cmd, GCommand::Home);
+    }
+
+    #[test]
+    fn blank_and_unknown_lines() {
+        assert!(parse_line("", 1).unwrap().is_none());
+        assert!(parse_line("   ", 1).unwrap().is_none());
+        let other = parse_line("M862.3 P1", 1).unwrap().unwrap();
+        assert!(matches!(other, GCommand::Other { .. }));
+    }
+
+    #[test]
+    fn bad_number_is_an_error_with_line_no() {
+        let err = parse_line("G1 Xabc", 42).unwrap_err();
+        assert!(matches!(err, GcodeError::Parse { line: 42, .. }));
+    }
+
+    #[test]
+    fn full_program_roundtrip() {
+        let text = "\
+M140 S60\nM190 S60\nM104 S210\nM109 S210\nG28\n;LAYER:0\nG0 X10 Y10 F9000\nG1 X20 Y10 E1.0 F1200\nM106 S255\n;LAYER:1\nG1 X20 Y20 E2.0\nM107\n";
+        let prog = parse_program(text).unwrap();
+        assert_eq!(prog.layer_count(), 2);
+        assert_eq!(prog.motion_count(), 3);
+        // Round trip: write then re-parse gives the same model.
+        let text2 = write_program(&prog);
+        let prog2 = parse_program(&text2).unwrap();
+        assert_eq!(prog, prog2);
+    }
+
+    #[test]
+    fn parse_error_reports_correct_line() {
+        let text = "G28\nG1 X1\nG1 Xbad\n";
+        let err = parse_program(text).unwrap_err();
+        assert!(matches!(err, GcodeError::Parse { line: 3, .. }));
+    }
+}

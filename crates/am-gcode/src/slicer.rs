@@ -1,0 +1,632 @@
+//! A small slicer: turns the paper's gear model into a layered G-code
+//! toolpath (perimeters + line/grid infill).
+//!
+//! The paper printed "a gear model with a diameter of 60 mm and a thickness
+//! of 7.5 mm" sliced by Cura 4.4 (UM3) / MatterControl (RM3) at 0.2 mm
+//! layer height. The IDSs never see the CAD file — they see G-code-induced
+//! motion — so a slicer that emits the same structural features (layers,
+//! perimeters, parameterized infill pattern/speed/scale) is a faithful
+//! substitute. All five Table I attacks are expressible as config changes
+//! or G-code transforms on this slicer's output.
+
+use crate::error::GcodeError;
+use crate::geometry::{gear_profile, Point2, Polygon};
+use crate::model::{GCommand, GcodeProgram, MoveKind};
+use serde::{Deserialize, Serialize};
+
+/// Infill pattern (Table I's InfillGrid attack switches Lines → Grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InfillPattern {
+    /// Parallel lines, alternating 45°/135° between layers (Cura default).
+    Lines,
+    /// Both 45° and 135° lines on every layer at doubled spacing.
+    Grid,
+}
+
+/// A spherical-ish void carved out of the infill (the Void attack of
+/// Table I / Sturm et al.): infill segments whose midpoint falls within
+/// `radius` of `center` between `z_min` and `z_max` are removed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoidRegion {
+    /// XY center of the void.
+    pub center: Point2,
+    /// XY radius (mm).
+    pub radius: f64,
+    /// First affected height (mm, inclusive).
+    pub z_min: f64,
+    /// Last affected height (mm, inclusive).
+    pub z_max: f64,
+}
+
+/// Slicer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceConfig {
+    /// Gear tooth count.
+    pub gear_teeth: usize,
+    /// Gear root radius (mm).
+    pub gear_root_radius: f64,
+    /// Gear tip radius (mm). The paper's gear: 30 mm.
+    pub gear_tip_radius: f64,
+    /// Gear center on the bed.
+    pub center: Point2,
+    /// Part height (mm). The paper's gear: 7.5 mm.
+    pub height: f64,
+    /// Layer height (mm). Benign default 0.2; the Layer0.3 attack sets 0.3.
+    pub layer_height: f64,
+    /// Number of perimeter loops per layer.
+    pub perimeters: usize,
+    /// Extrusion width (mm).
+    pub extrusion_width: f64,
+    /// Infill line spacing (mm) for [`InfillPattern::Lines`].
+    pub infill_spacing: f64,
+    /// Infill pattern.
+    pub infill_pattern: InfillPattern,
+    /// Perimeter print speed (mm/s).
+    pub perimeter_speed: f64,
+    /// Infill print speed (mm/s).
+    pub infill_speed: f64,
+    /// Travel speed (mm/s).
+    pub travel_speed: f64,
+    /// Global XY scale factor (the Scale0.95 attack sets 0.95).
+    pub scale: f64,
+    /// Feedrate scale factor applied to print moves (the Speed0.95 attack
+    /// sets 0.95 — matching "printing speed is decreased by 5%").
+    pub speed_factor: f64,
+    /// Optional infill void (the Void attack).
+    pub void_region: Option<VoidRegion>,
+    /// Hotend temperature (deg C).
+    pub hotend_temp: f64,
+    /// Bed temperature (deg C).
+    pub bed_temp: f64,
+    /// Part-cooling fan duty in `[0,1]`, enabled from layer 1.
+    pub fan_speed: f64,
+    /// Filament diameter (mm): 2.85 for UM3, 1.75 for RM3.
+    pub filament_diameter: f64,
+    /// Maximum volumetric flow (mm³/s). Print feedrates are capped at
+    /// `max_volumetric_rate / (layer_height · extrusion_width)` — the
+    /// mechanism by which a layer-height change (the Layer0.3 attack)
+    /// alters print *timing*, as real slicers do.
+    pub max_volumetric_rate: f64,
+}
+
+impl SliceConfig {
+    /// The paper's 60 mm gear at full scale (≈ hours of print time).
+    pub fn paper_gear() -> Self {
+        SliceConfig {
+            gear_teeth: 24,
+            gear_root_radius: 26.0,
+            gear_tip_radius: 30.0,
+            center: Point2::new(100.0, 100.0),
+            height: 7.5,
+            layer_height: 0.2,
+            perimeters: 2,
+            extrusion_width: 0.4,
+            infill_spacing: 2.0,
+            infill_pattern: InfillPattern::Lines,
+            perimeter_speed: 40.0,
+            infill_speed: 55.0,
+            travel_speed: 150.0,
+            scale: 1.0,
+            speed_factor: 1.0,
+            void_region: None,
+            hotend_temp: 205.0,
+            bed_temp: 60.0,
+            fan_speed: 1.0,
+            filament_diameter: 2.85,
+            max_volumetric_rate: 5.0,
+        }
+    }
+
+    /// A scaled-down gear for fast tests and the `small` experiment
+    /// profile (~minutes of simulated print time).
+    pub fn small_gear() -> Self {
+        SliceConfig {
+            gear_teeth: 10,
+            gear_root_radius: 8.0,
+            gear_tip_radius: 10.0,
+            center: Point2::new(50.0, 50.0),
+            height: 1.2,
+            layer_height: 0.2,
+            perimeters: 2,
+            extrusion_width: 0.4,
+            infill_spacing: 2.0,
+            infill_pattern: InfillPattern::Lines,
+            perimeter_speed: 40.0,
+            infill_speed: 55.0,
+            travel_speed: 150.0,
+            scale: 1.0,
+            speed_factor: 1.0,
+            void_region: None,
+            hotend_temp: 205.0,
+            bed_temp: 60.0,
+            fan_speed: 1.0,
+            filament_diameter: 2.85,
+            max_volumetric_rate: 5.0,
+        }
+    }
+
+    /// The default void region for the Void attack: centred in the part,
+    /// 35% of the tip radius wide, spanning the middle third of the height.
+    pub fn default_void(&self) -> VoidRegion {
+        VoidRegion {
+            center: self.center,
+            radius: self.gear_tip_radius * 0.35,
+            z_min: self.height / 3.0,
+            z_max: 2.0 * self.height / 3.0,
+        }
+    }
+
+    /// Number of layers this config produces.
+    pub fn layer_count(&self) -> usize {
+        (self.height / self.layer_height).round().max(1.0) as usize
+    }
+
+    fn validate(&self) -> Result<(), GcodeError> {
+        let positive = [
+            ("gear_root_radius", self.gear_root_radius),
+            ("gear_tip_radius", self.gear_tip_radius),
+            ("height", self.height),
+            ("layer_height", self.layer_height),
+            ("extrusion_width", self.extrusion_width),
+            ("infill_spacing", self.infill_spacing),
+            ("perimeter_speed", self.perimeter_speed),
+            ("infill_speed", self.infill_speed),
+            ("travel_speed", self.travel_speed),
+            ("scale", self.scale),
+            ("speed_factor", self.speed_factor),
+            ("filament_diameter", self.filament_diameter),
+            ("max_volumetric_rate", self.max_volumetric_rate),
+        ];
+        for (name, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(GcodeError::InvalidParameter(format!(
+                    "{name} must be positive, got {v}"
+                )));
+            }
+        }
+        if self.gear_teeth == 0 {
+            return Err(GcodeError::InvalidParameter("gear_teeth must be >= 1".into()));
+        }
+        if self.gear_tip_radius <= self.gear_root_radius {
+            return Err(GcodeError::InvalidParameter(
+                "gear_tip_radius must exceed gear_root_radius".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// mm of filament per mm of extruded path.
+fn extrusion_per_mm(cfg: &SliceConfig) -> f64 {
+    let filament_area = std::f64::consts::PI / 4.0 * cfg.filament_diameter.powi(2);
+    cfg.layer_height * cfg.extrusion_width / filament_area
+}
+
+/// Slices the gear described by `cfg` into a complete G-code program
+/// (heat-up preamble, layered toolpath with `;LAYER:` markers, cool-down).
+///
+/// # Errors
+///
+/// Returns [`GcodeError::InvalidParameter`] for out-of-domain configs.
+pub fn slice_gear(cfg: &SliceConfig) -> Result<GcodeProgram, GcodeError> {
+    cfg.validate()?;
+    let outline = gear_profile(
+        cfg.center,
+        cfg.gear_teeth,
+        cfg.gear_root_radius,
+        cfg.gear_tip_radius,
+    );
+    slice_outline(&outline, cfg)
+}
+
+/// Slices a square calibration part of the given side length, centred at
+/// `cfg.center` (the gear parameters in `cfg` are ignored). Useful as a
+/// second workload for cross-part experiments.
+///
+/// # Errors
+///
+/// Returns [`GcodeError::InvalidParameter`] for out-of-domain configs or a
+/// non-positive `side`.
+pub fn slice_cube(cfg: &SliceConfig, side: f64) -> Result<GcodeProgram, GcodeError> {
+    if !(side.is_finite() && side > 0.0) {
+        return Err(GcodeError::InvalidParameter(format!(
+            "cube side must be positive, got {side}"
+        )));
+    }
+    let h = side / 2.0;
+    let outline = Polygon::new(vec![
+        Point2::new(cfg.center.x - h, cfg.center.y - h),
+        Point2::new(cfg.center.x + h, cfg.center.y - h),
+        Point2::new(cfg.center.x + h, cfg.center.y + h),
+        Point2::new(cfg.center.x - h, cfg.center.y + h),
+    ]);
+    slice_outline(&outline, cfg)
+}
+
+/// Slices an arbitrary simple-polygon outline with the given config.
+///
+/// # Errors
+///
+/// Returns [`GcodeError::InvalidParameter`] for out-of-domain configs or a
+/// degenerate outline.
+pub fn slice_outline(outline: &Polygon, cfg: &SliceConfig) -> Result<GcodeProgram, GcodeError> {
+    cfg.validate()?;
+    if outline.len() < 3 {
+        return Err(GcodeError::InvalidParameter(
+            "outline must have at least 3 vertices".into(),
+        ));
+    }
+    let mut prog = GcodeProgram::new();
+    let outline = outline.scaled_about(cfg.scale, cfg.center);
+
+    // Preamble.
+    prog.push(GCommand::Comment {
+        text: "nsync-repro slicer".into(),
+    });
+    prog.push(GCommand::SetBedTemp {
+        celsius: cfg.bed_temp,
+        wait: false,
+    });
+    prog.push(GCommand::SetHotendTemp {
+        celsius: cfg.hotend_temp,
+        wait: false,
+    });
+    prog.push(GCommand::SetBedTemp {
+        celsius: cfg.bed_temp,
+        wait: true,
+    });
+    prog.push(GCommand::SetHotendTemp {
+        celsius: cfg.hotend_temp,
+        wait: true,
+    });
+    prog.push(GCommand::Home);
+    prog.push(GCommand::SetPosition {
+        x: None,
+        y: None,
+        z: None,
+        e: Some(0.0),
+    });
+
+    let e_per_mm = extrusion_per_mm(cfg);
+    let layers = cfg.layer_count();
+    // Volumetric flow cap: thicker layers push more plastic per mm, so
+    // the print speed drops to keep flow under the hotend's limit.
+    let flow_cap_mm_s = cfg.max_volumetric_rate / (cfg.layer_height * cfg.extrusion_width);
+    let per_f = cfg.perimeter_speed.min(flow_cap_mm_s) * 60.0 * cfg.speed_factor;
+    let inf_f = cfg.infill_speed.min(flow_cap_mm_s) * 60.0 * cfg.speed_factor;
+    let trav_f = cfg.travel_speed * 60.0; // travel speed untouched by Speed0.95 (Cura behaviour)
+    let mut e = 0.0;
+    let mut cursor: Option<Point2> = None;
+
+    for layer in 0..layers {
+        let z = cfg.layer_height * (layer + 1) as f64;
+        prog.push(GCommand::LayerMarker { index: layer });
+        prog.push(GCommand::Move {
+            kind: MoveKind::Travel,
+            x: None,
+            y: None,
+            z: Some(z),
+            e: None,
+            f: Some(trav_f),
+        });
+        if layer == 1 && cfg.fan_speed > 0.0 {
+            prog.push(GCommand::FanOn {
+                speed: cfg.fan_speed,
+            });
+        }
+
+        // Perimeters, outermost first.
+        for p in 0..cfg.perimeters {
+            let inset = cfg.extrusion_width * (p as f64 + 0.5) * cfg.scale.max(0.01);
+            let loop_poly = outline.inset_approx(inset);
+            emit_loop(&mut prog, &loop_poly, per_f, trav_f, e_per_mm, &mut e, &mut cursor);
+        }
+
+        // Infill region: inside all perimeters.
+        let infill_region =
+            outline.inset_approx(cfg.extrusion_width * (cfg.perimeters as f64 + 0.5));
+        let segments = infill_segments(cfg, &infill_region, layer, z);
+        emit_segments(&mut prog, &segments, inf_f, trav_f, e_per_mm, &mut e, &mut cursor);
+    }
+
+    // Epilogue.
+    prog.push(GCommand::FanOff);
+    prog.push(GCommand::SetHotendTemp {
+        celsius: 0.0,
+        wait: false,
+    });
+    prog.push(GCommand::SetBedTemp {
+        celsius: 0.0,
+        wait: false,
+    });
+    prog.push(GCommand::Move {
+        kind: MoveKind::Travel,
+        x: None,
+        y: None,
+        z: Some(cfg.height * cfg.scale + 10.0),
+        e: None,
+        f: Some(trav_f),
+    });
+    prog.push(GCommand::Home);
+    Ok(prog)
+}
+
+/// Computes the clipped infill segments for one layer, zigzag-ordered,
+/// with the void region (if any) carved out.
+fn infill_segments(
+    cfg: &SliceConfig,
+    region: &Polygon,
+    layer: usize,
+    z: f64,
+) -> Vec<(Point2, Point2)> {
+    let angles: Vec<f64> = match cfg.infill_pattern {
+        InfillPattern::Lines => {
+            if layer % 2 == 0 {
+                vec![45f64.to_radians()]
+            } else {
+                vec![135f64.to_radians()]
+            }
+        }
+        InfillPattern::Grid => vec![45f64.to_radians(), 135f64.to_radians()],
+    };
+    let spacing = match cfg.infill_pattern {
+        InfillPattern::Lines => cfg.infill_spacing,
+        InfillPattern::Grid => cfg.infill_spacing * 2.0,
+    };
+    let mut out = Vec::new();
+    let Some((min, max)) = region.bbox() else {
+        return out;
+    };
+    let diag = min.distance(max);
+    let mid = Point2::new((min.x + max.x) / 2.0, (min.y + max.y) / 2.0);
+    for angle in angles {
+        let dir = Point2::new(angle.cos(), angle.sin());
+        let normal = Point2::new(-dir.y, dir.x);
+        let n_lines = (diag / spacing).ceil() as i64;
+        let mut flip = false;
+        for k in -n_lines..=n_lines {
+            let offset = k as f64 * spacing;
+            let origin = Point2::new(
+                mid.x + normal.x * offset - dir.x * diag,
+                mid.y + normal.y * offset - dir.y * diag,
+            );
+            let mut segs = region.clip_line(origin, dir);
+            if let Some(v) = cfg.void_region {
+                if z >= v.z_min && z <= v.z_max {
+                    segs.retain(|(a, b)| {
+                        let m = Point2::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+                        m.distance(v.center) > v.radius
+                    });
+                }
+            }
+            // Zigzag: reverse every other scanline to reduce travel.
+            if flip {
+                segs.reverse();
+                for s in &mut segs {
+                    std::mem::swap(&mut s.0, &mut s.1);
+                }
+            }
+            flip = !flip;
+            out.extend(segs);
+        }
+    }
+    out
+}
+
+fn emit_loop(
+    prog: &mut GcodeProgram,
+    poly: &Polygon,
+    print_f: f64,
+    travel_f: f64,
+    e_per_mm: f64,
+    e: &mut f64,
+    cursor: &mut Option<Point2>,
+) {
+    if poly.len() < 3 {
+        return;
+    }
+    let first = poly.points[0];
+    travel_to(prog, first, travel_f, cursor);
+    for i in 1..=poly.len() {
+        let p = poly.points[i % poly.len()];
+        print_to(prog, p, print_f, e_per_mm, e, cursor);
+    }
+}
+
+fn emit_segments(
+    prog: &mut GcodeProgram,
+    segments: &[(Point2, Point2)],
+    print_f: f64,
+    travel_f: f64,
+    e_per_mm: f64,
+    e: &mut f64,
+    cursor: &mut Option<Point2>,
+) {
+    for &(a, b) in segments {
+        travel_to(prog, a, travel_f, cursor);
+        print_to(prog, b, print_f, e_per_mm, e, cursor);
+    }
+}
+
+fn travel_to(prog: &mut GcodeProgram, p: Point2, f: f64, cursor: &mut Option<Point2>) {
+    if let Some(c) = cursor {
+        if c.distance(p) < 1e-9 {
+            return;
+        }
+    }
+    prog.push(GCommand::travel_move(round5(p.x), round5(p.y), Some(f)));
+    *cursor = Some(p);
+}
+
+fn print_to(
+    prog: &mut GcodeProgram,
+    p: Point2,
+    f: f64,
+    e_per_mm: f64,
+    e: &mut f64,
+    cursor: &mut Option<Point2>,
+) {
+    let from = cursor.unwrap_or(p);
+    *e += from.distance(p) * e_per_mm;
+    prog.push(GCommand::print_move(round5(p.x), round5(p.y), round5(*e), Some(f)));
+    *cursor = Some(p);
+}
+
+fn round5(v: f64) -> f64 {
+    (v * 1e5).round() / 1e5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::writer::write_program;
+
+    #[test]
+    fn small_gear_slices() {
+        let cfg = SliceConfig::small_gear();
+        let prog = slice_gear(&cfg).unwrap();
+        assert_eq!(prog.layer_count(), 6);
+        assert!(prog.motion_count() > 100, "got {}", prog.motion_count());
+        assert!(prog.extruded_path_length() > 100.0);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        let mut cfg = SliceConfig::small_gear();
+        cfg.layer_height = 0.0;
+        assert!(slice_gear(&cfg).is_err());
+        let mut cfg = SliceConfig::small_gear();
+        cfg.gear_teeth = 0;
+        assert!(slice_gear(&cfg).is_err());
+        let mut cfg = SliceConfig::small_gear();
+        cfg.gear_tip_radius = cfg.gear_root_radius;
+        assert!(slice_gear(&cfg).is_err());
+        let mut cfg = SliceConfig::small_gear();
+        cfg.speed_factor = f64::NAN;
+        assert!(slice_gear(&cfg).is_err());
+    }
+
+    #[test]
+    fn output_parses_back() {
+        let prog = slice_gear(&SliceConfig::small_gear()).unwrap();
+        let text = write_program(&prog);
+        let back = parse_program(&text).unwrap();
+        assert_eq!(back.layer_count(), prog.layer_count());
+        assert_eq!(back.motion_count(), prog.motion_count());
+    }
+
+    #[test]
+    fn layer_height_changes_layer_count() {
+        let mut cfg = SliceConfig::small_gear();
+        cfg.layer_height = 0.3;
+        let prog = slice_gear(&cfg).unwrap();
+        assert_eq!(prog.layer_count(), 4); // 1.2 / 0.3
+    }
+
+    #[test]
+    fn grid_infill_produces_more_segments_per_layer() {
+        let lines = slice_gear(&SliceConfig::small_gear()).unwrap();
+        let mut cfg = SliceConfig::small_gear();
+        cfg.infill_pattern = InfillPattern::Grid;
+        let grid = slice_gear(&cfg).unwrap();
+        // Structure differs even though both are valid prints.
+        assert_ne!(lines.motion_count(), grid.motion_count());
+    }
+
+    #[test]
+    fn void_removes_infill_in_middle_layers_only() {
+        let cfg = SliceConfig::small_gear();
+        let benign = slice_gear(&cfg).unwrap();
+        let mut voided_cfg = cfg.clone();
+        voided_cfg.void_region = Some(cfg.default_void());
+        let voided = slice_gear(&voided_cfg).unwrap();
+        assert!(voided.extruded_path_length() < benign.extruded_path_length());
+        assert_eq!(voided.layer_count(), benign.layer_count());
+    }
+
+    #[test]
+    fn scale_shrinks_path_length() {
+        let cfg = SliceConfig::small_gear();
+        let benign = slice_gear(&cfg).unwrap();
+        let mut scaled_cfg = cfg.clone();
+        scaled_cfg.scale = 0.95;
+        let scaled = slice_gear(&scaled_cfg).unwrap();
+        let ratio = scaled.extruded_path_length() / benign.extruded_path_length();
+        assert!(ratio < 1.0, "ratio {ratio}");
+        assert!(ratio > 0.85, "ratio {ratio}");
+    }
+
+    #[test]
+    fn speed_factor_scales_print_feedrates_only() {
+        let cfg = SliceConfig::small_gear();
+        let mut slow_cfg = cfg.clone();
+        slow_cfg.speed_factor = 0.95;
+        let benign = slice_gear(&cfg).unwrap();
+        let slow = slice_gear(&slow_cfg).unwrap();
+        let max_f = |p: &GcodeProgram, extruding: bool| -> f64 {
+            p.commands()
+                .iter()
+                .filter_map(|c| match c {
+                    GCommand::Move { e, f: Some(f), .. }
+                        if e.is_some() == extruding => Some(*f),
+                    _ => None,
+                })
+                .fold(0.0, f64::max)
+        };
+        let b_print = max_f(&benign, true);
+        let s_print = max_f(&slow, true);
+        assert!((s_print / b_print - 0.95).abs() < 1e-9);
+        // Travel speed unchanged.
+        assert_eq!(max_f(&benign, false), max_f(&slow, false));
+    }
+
+    #[test]
+    fn preamble_heats_then_homes() {
+        let prog = slice_gear(&SliceConfig::small_gear()).unwrap();
+        let cmds = prog.commands();
+        let home_idx = cmds.iter().position(|c| matches!(c, GCommand::Home)).unwrap();
+        let wait_idx = cmds
+            .iter()
+            .position(|c| matches!(c, GCommand::SetHotendTemp { wait: true, .. }))
+            .unwrap();
+        assert!(wait_idx < home_idx);
+        // Ends with fan off + cool-down.
+        assert!(cmds.iter().any(|c| matches!(c, GCommand::FanOff)));
+    }
+
+    #[test]
+    fn extrusion_is_monotone() {
+        let prog = slice_gear(&SliceConfig::small_gear()).unwrap();
+        let mut last = 0.0;
+        for c in prog.commands() {
+            if let GCommand::Move { e: Some(e), .. } = c {
+                assert!(*e >= last - 1e-9, "extrusion went backwards");
+                last = *e;
+            }
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn cube_slices_and_differs_from_gear() {
+        let cfg = SliceConfig::small_gear();
+        let cube = slice_cube(&cfg, 18.0).unwrap();
+        let gear = slice_gear(&cfg).unwrap();
+        assert_eq!(cube.layer_count(), gear.layer_count());
+        assert!(cube.motion_count() > 50);
+        assert_ne!(cube.extruded_path_length(), gear.extruded_path_length());
+        assert!(slice_cube(&cfg, 0.0).is_err());
+        assert!(slice_cube(&cfg, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn slice_outline_rejects_degenerate_polygons() {
+        let cfg = SliceConfig::small_gear();
+        let line = crate::geometry::Polygon::new(vec![
+            crate::geometry::Point2::new(0.0, 0.0),
+            crate::geometry::Point2::new(1.0, 0.0),
+        ]);
+        assert!(slice_outline(&line, &cfg).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! G-code text writer: inverse of [`crate::parser`].
+
+use crate::model::{GCommand, GcodeProgram, MoveKind};
+use std::fmt::Write as _;
+
+/// Serializes one command to its canonical text form (no trailing newline).
+pub fn write_command(cmd: &GCommand) -> String {
+    let mut s = String::new();
+    match cmd {
+        GCommand::Move { kind, x, y, z, e, f } => {
+            s.push_str(match kind {
+                MoveKind::Travel => "G0",
+                MoveKind::Linear => "G1",
+            });
+            push_word(&mut s, 'X', *x);
+            push_word(&mut s, 'Y', *y);
+            push_word(&mut s, 'Z', *z);
+            push_word(&mut s, 'E', *e);
+            push_word(&mut s, 'F', *f);
+        }
+        GCommand::Dwell { seconds } => {
+            let _ = write!(s, "G4 S{}", fmt_num(*seconds));
+        }
+        GCommand::Home => s.push_str("G28"),
+        GCommand::SetPosition { x, y, z, e } => {
+            s.push_str("G92");
+            push_word(&mut s, 'X', *x);
+            push_word(&mut s, 'Y', *y);
+            push_word(&mut s, 'Z', *z);
+            push_word(&mut s, 'E', *e);
+        }
+        GCommand::SetHotendTemp { celsius, wait } => {
+            let _ = write!(
+                s,
+                "{} S{}",
+                if *wait { "M109" } else { "M104" },
+                fmt_num(*celsius)
+            );
+        }
+        GCommand::SetBedTemp { celsius, wait } => {
+            let _ = write!(
+                s,
+                "{} S{}",
+                if *wait { "M190" } else { "M140" },
+                fmt_num(*celsius)
+            );
+        }
+        GCommand::FanOn { speed } => {
+            let _ = write!(s, "M106 S{}", fmt_num((speed * 255.0).clamp(0.0, 255.0)));
+        }
+        GCommand::FanOff => s.push_str("M107"),
+        GCommand::LayerMarker { index } => {
+            let _ = write!(s, ";LAYER:{index}");
+        }
+        GCommand::Comment { text } => {
+            let _ = write!(s, "; {text}");
+        }
+        GCommand::Other { raw } => s.push_str(raw),
+    }
+    s
+}
+
+fn push_word(s: &mut String, letter: char, value: Option<f64>) {
+    if let Some(v) = value {
+        let _ = write!(s, " {letter}{}", fmt_num(v));
+    }
+}
+
+/// Formats a number with up to 5 decimal places, trimming trailing zeros —
+/// enough precision to round-trip micron-scale coordinates.
+fn fmt_num(v: f64) -> String {
+    let mut out = format!("{v:.5}");
+    while out.contains('.') && (out.ends_with('0') || out.ends_with('.')) {
+        out.pop();
+    }
+    if out.is_empty() || out == "-" {
+        out = "0".into();
+    }
+    out
+}
+
+/// Serializes a whole program, one command per line with a trailing newline.
+pub fn write_program(prog: &GcodeProgram) -> String {
+    let mut out = String::new();
+    for cmd in prog.commands() {
+        out.push_str(&write_command(cmd));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use proptest::prelude::*;
+
+    #[test]
+    fn writes_moves_compactly() {
+        let cmd = GCommand::print_move(1.5, 2.0, 0.125, Some(1200.0));
+        assert_eq!(write_command(&cmd), "G1 X1.5 Y2 E0.125 F1200");
+        let t = GCommand::travel_move(0.0, -3.25, None);
+        assert_eq!(write_command(&t), "G0 X0 Y-3.25");
+    }
+
+    #[test]
+    fn writes_misc_commands() {
+        assert_eq!(write_command(&GCommand::Home), "G28");
+        assert_eq!(
+            write_command(&GCommand::SetHotendTemp {
+                celsius: 210.0,
+                wait: true
+            }),
+            "M109 S210"
+        );
+        assert_eq!(
+            write_command(&GCommand::FanOn { speed: 1.0 }),
+            "M106 S255"
+        );
+        assert_eq!(
+            write_command(&GCommand::LayerMarker { index: 3 }),
+            ";LAYER:3"
+        );
+        assert_eq!(
+            write_command(&GCommand::Dwell { seconds: 0.5 }),
+            "G4 S0.5"
+        );
+    }
+
+    #[test]
+    fn fmt_num_trims() {
+        assert_eq!(fmt_num(1.0), "1");
+        assert_eq!(fmt_num(1.50), "1.5");
+        assert_eq!(fmt_num(-0.00001), "-0.00001");
+        assert_eq!(fmt_num(0.0), "0");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_move_roundtrip(
+            x in -200.0f64..200.0,
+            y in -200.0f64..200.0,
+            e in 0.0f64..100.0,
+            f in 100.0f64..10000.0,
+        ) {
+            // Quantize to the writer's precision.
+            let q = |v: f64| (v * 1e5).round() / 1e5;
+            let cmd = GCommand::Move {
+                kind: crate::model::MoveKind::Linear,
+                x: Some(q(x)), y: Some(q(y)), z: None, e: Some(q(e)), f: Some(q(f)),
+            };
+            let prog = GcodeProgram::from_commands(vec![cmd.clone()]);
+            let text = write_program(&prog);
+            let back = parse_program(&text).unwrap();
+            prop_assert_eq!(back.commands()[0].clone(), cmd);
+        }
+    }
+}

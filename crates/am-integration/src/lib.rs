@@ -1,0 +1,38 @@
+//! Host crate for the repository-level integration tests in `/tests`.
+//!
+//! Each test file exercises a path that spans several crates:
+//!
+//! - `pipeline_end_to_end`: G-code → printer → sensors → NSYNC detection,
+//! - `spectrogram_pipeline`: Table III transforms feeding the
+//!   synchronizers,
+//! - `baselines_vs_nsync`: the paper's headline comparison on a tiny mix,
+//! - `streaming_realtime`: live chunked detection equals batch detection,
+//! - `determinism`: the whole pipeline is a pure function of its seeds.
+
+/// Shared helpers for the integration tests.
+pub mod helpers {
+    use am_dataset::spec::ProcessMix;
+    use am_dataset::{ExperimentSpec, TrajectorySet};
+    use am_printer::config::PrinterModel;
+
+    /// A minimal process mix that still exercises training + both test
+    /// classes (fast enough for debug-mode `cargo test`).
+    pub fn tiny_mix() -> ProcessMix {
+        ProcessMix {
+            train: 3,
+            test_benign: 2,
+            malicious_per_attack: 1,
+        }
+    }
+
+    /// Generates the tiny experiment for a printer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on generation failure (integration tests treat that as a
+    /// test failure).
+    pub fn tiny_set(printer: PrinterModel) -> TrajectorySet {
+        TrajectorySet::generate_with_mix(ExperimentSpec::small(printer), tiny_mix())
+            .expect("dataset generation succeeds")
+    }
+}

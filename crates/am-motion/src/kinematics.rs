@@ -1,0 +1,241 @@
+//! Machine kinematics: mapping tool (Cartesian) positions to joint /
+//! carriage positions.
+//!
+//! Why the IDS substrate needs this: the physical side channels come from
+//! the **motors** — stepper tones in the audio channel, coil fields in the
+//! magnetic channel — and on a Delta machine like the Rostock Max V3 the
+//! three tower motors move in a very different pattern from the effector.
+//! The sensor models in `am-sensors` therefore consume *joint* velocities,
+//! which this module computes.
+
+use crate::types::Vec3;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error for unreachable positions (outside a Delta's work envelope).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnreachableError {
+    /// The offending tool position.
+    pub position: Vec3,
+}
+
+impl fmt::Display for UnreachableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "position ({}, {}, {}) is outside the machine's work envelope",
+            self.position.x, self.position.y, self.position.z
+        )
+    }
+}
+
+impl Error for UnreachableError {}
+
+/// Supported machine kinematics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Kinematics {
+    /// Cartesian gantry (Ultimaker 3): joints are the X, Y, Z axes
+    /// directly.
+    Cartesian,
+    /// CoreXY: A = X + Y, B = X - Y, plus a plain Z. Included for
+    /// ablation/extension experiments.
+    CoreXy,
+    /// Linear Delta (Rostock Max V3): three vertical towers at 120°
+    /// carrying carriages linked to the effector by fixed-length arms.
+    Delta {
+        /// Horizontal distance from machine centre to each tower (mm).
+        tower_radius: f64,
+        /// Arm (rod) length (mm).
+        arm_length: f64,
+    },
+}
+
+impl Kinematics {
+    /// Rostock Max V3-like Delta geometry.
+    pub fn rostock_delta() -> Self {
+        Kinematics::Delta {
+            tower_radius: 200.0,
+            arm_length: 290.0,
+        }
+    }
+
+    /// Tower/base angles for Delta machines (radians): towers at 90°,
+    /// 210°, 330°.
+    fn tower_angles() -> [f64; 3] {
+        [
+            90f64.to_radians(),
+            210f64.to_radians(),
+            330f64.to_radians(),
+        ]
+    }
+
+    /// Maps a tool position to the three joint positions (mm).
+    ///
+    /// - Cartesian: `[x, y, z]`
+    /// - CoreXY: `[x + y, x - y, z]`
+    /// - Delta: carriage heights on the three towers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnreachableError`] if a Delta position is outside the work
+    /// envelope (arm shorter than the horizontal distance to a tower).
+    pub fn joint_positions(&self, p: Vec3) -> Result<[f64; 3], UnreachableError> {
+        match *self {
+            Kinematics::Cartesian => Ok([p.x, p.y, p.z]),
+            Kinematics::CoreXy => Ok([p.x + p.y, p.x - p.y, p.z]),
+            Kinematics::Delta {
+                tower_radius,
+                arm_length,
+            } => {
+                let mut out = [0.0; 3];
+                for (i, angle) in Self::tower_angles().iter().enumerate() {
+                    let tx = tower_radius * angle.cos();
+                    let ty = tower_radius * angle.sin();
+                    let dx = tx - p.x;
+                    let dy = ty - p.y;
+                    let horiz_sq = dx * dx + dy * dy;
+                    let arm_sq = arm_length * arm_length;
+                    if horiz_sq >= arm_sq {
+                        return Err(UnreachableError { position: p });
+                    }
+                    out[i] = p.z + (arm_sq - horiz_sq).sqrt();
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Joint velocities at a given tool position and velocity, via a
+    /// central finite difference of [`Kinematics::joint_positions`] (exact
+    /// for the linear kinematics, accurate for Delta at printing speeds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnreachableError`] as for [`Kinematics::joint_positions`].
+    pub fn joint_velocities(
+        &self,
+        position: Vec3,
+        velocity: Vec3,
+    ) -> Result<[f64; 3], UnreachableError> {
+        const H: f64 = 1e-4; // seconds
+        let ahead = position + velocity * H;
+        let behind = position + velocity * (-H);
+        let ja = self.joint_positions(ahead)?;
+        let jb = self.joint_positions(behind)?;
+        Ok([
+            (ja[0] - jb[0]) / (2.0 * H),
+            (ja[1] - jb[1]) / (2.0 * H),
+            (ja[2] - jb[2]) / (2.0 * H),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cartesian_is_identity() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Kinematics::Cartesian.joint_positions(p).unwrap(), [1.0, -2.0, 3.0]);
+        let v = Kinematics::Cartesian
+            .joint_velocities(p, Vec3::new(4.0, 5.0, 6.0))
+            .unwrap();
+        assert!((v[0] - 4.0).abs() < 1e-6);
+        assert!((v[1] - 5.0).abs() < 1e-6);
+        assert!((v[2] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corexy_mixing() {
+        let j = Kinematics::CoreXy
+            .joint_positions(Vec3::new(2.0, 1.0, 0.5))
+            .unwrap();
+        assert_eq!(j, [3.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn delta_center_symmetric() {
+        let k = Kinematics::rostock_delta();
+        let j = k.joint_positions(Vec3::new(0.0, 0.0, 10.0)).unwrap();
+        assert!((j[0] - j[1]).abs() < 1e-9);
+        assert!((j[1] - j[2]).abs() < 1e-9);
+        // Carriage above the effector by sqrt(L^2 - R^2).
+        let expect = 10.0 + (290.0f64.powi(2) - 200.0f64.powi(2)).sqrt();
+        assert!((j[0] - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_moving_toward_a_tower_lowers_its_carriage_height_difference() {
+        let k = Kinematics::rostock_delta();
+        // Tower 0 is at angle 90° = (0, R). Moving toward it shortens the
+        // horizontal distance, so carriage 0 rises less above z... i.e.
+        // joint 0 decreases relative to the centered pose? No: smaller
+        // horizontal distance -> larger sqrt term -> carriage higher.
+        let center = k.joint_positions(Vec3::new(0.0, 0.0, 5.0)).unwrap();
+        let toward0 = k.joint_positions(Vec3::new(0.0, 50.0, 5.0)).unwrap();
+        assert!(toward0[0] > center[0]);
+        // And the far towers' carriages drop.
+        assert!(toward0[1] < center[1]);
+        assert!(toward0[2] < center[2]);
+    }
+
+    #[test]
+    fn delta_unreachable_positions_error() {
+        let k = Kinematics::Delta {
+            tower_radius: 100.0,
+            arm_length: 120.0,
+        };
+        // 70 mm from center toward the opposite side of tower 0 puts the
+        // horizontal distance to tower 0 at 170 > 120.
+        let err = k.joint_positions(Vec3::new(0.0, -70.0, 0.0)).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn delta_pure_z_motion_moves_all_towers_equally() {
+        let k = Kinematics::rostock_delta();
+        let v = k
+            .joint_velocities(Vec3::new(10.0, -20.0, 30.0), Vec3::new(0.0, 0.0, 7.0))
+            .unwrap();
+        for vi in v {
+            assert!((vi - 7.0).abs() < 1e-6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_delta_joints_consistent_with_arm_length(
+            x in -60.0f64..60.0,
+            y in -60.0f64..60.0,
+            z in 0.0f64..100.0,
+        ) {
+            let (r, l) = (200.0, 290.0);
+            let k = Kinematics::Delta { tower_radius: r, arm_length: l };
+            let p = Vec3::new(x, y, z);
+            let joints = k.joint_positions(p).unwrap();
+            for (i, angle) in Kinematics::tower_angles().iter().enumerate() {
+                let tower = Vec3::new(r * angle.cos(), r * angle.sin(), joints[i]);
+                // The arm connects carriage to effector: length must be L.
+                let d = (tower - p).norm();
+                prop_assert!((d - l).abs() < 1e-9, "arm {} length {}", i, d);
+            }
+        }
+
+        #[test]
+        fn prop_corexy_velocities_linear(
+            vx in -50.0f64..50.0,
+            vy in -50.0f64..50.0,
+        ) {
+            let v = Kinematics::CoreXy
+                .joint_velocities(Vec3::new(10.0, 10.0, 1.0), Vec3::new(vx, vy, 0.0))
+                .unwrap();
+            prop_assert!((v[0] - (vx + vy)).abs() < 1e-5);
+            prop_assert!((v[1] - (vx - vy)).abs() < 1e-5);
+            prop_assert!(v[2].abs() < 1e-5);
+        }
+    }
+}

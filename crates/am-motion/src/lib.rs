@@ -1,0 +1,30 @@
+//! Motion-planning substrate: how a G-code path becomes physical motion.
+//!
+//! The paper's core observation (§II-A) is that "G-code instructions do not
+//! specify timing. An AM system has freedom in determining the acceleration
+//! for any given G-code instruction" — i.e. the *planner* is where the
+//! nominal timing of a print comes from, and the firmware's noisy execution
+//! of the plan is where *time noise* enters. This crate provides the
+//! deterministic half:
+//!
+//! - [`types`]: vectors and per-machine motion limits,
+//! - [`kinematics`]: Cartesian (Ultimaker 3) and linear-Delta (Rostock Max
+//!   V3) kinematics, mapping tool positions to joint/carriage positions —
+//!   the side channels (motor sounds, magnetic fields) are driven by the
+//!   *joints*, not the tool,
+//! - [`profile`]: trapezoidal velocity profiles,
+//! - [`planner`]: a look-ahead planner with Grbl-style junction-deviation
+//!   cornering and reverse/forward velocity passes,
+//! - [`segment`]: planned segments that can be sampled at any time `t` for
+//!   position / velocity / acceleration / extrusion rate.
+
+pub mod kinematics;
+pub mod planner;
+pub mod profile;
+pub mod segment;
+pub mod types;
+
+pub use kinematics::Kinematics;
+pub use planner::{plan_moves, PlannerMove};
+pub use segment::{MotionState, Segment};
+pub use types::{MachineLimits, Vec3};

@@ -1,0 +1,339 @@
+//! Look-ahead motion planner.
+//!
+//! Mirrors the structure of real FDM firmware (Marlin/Grbl):
+//!
+//! 1. nominal velocity per move = min(feedrate, machine max),
+//! 2. junction velocities between consecutive moves from the Grbl
+//!    junction-deviation model (sharper corners → slower),
+//! 3. a reverse pass ensuring every move can decelerate to its exit
+//!    velocity, and a forward pass ensuring it can accelerate from its
+//!    entry velocity,
+//! 4. a trapezoid per move.
+//!
+//! The resulting [`Segment`] list is fully deterministic — identical
+//! G-code always yields the identical nominal plan. Time noise is added
+//! *on top* of this plan by `am-printer`, exactly as the paper describes
+//! (the planner determines the acceleration, the execution adds random
+//! variation).
+
+use crate::profile::TrapezoidProfile;
+use crate::segment::Segment;
+use crate::types::{MachineLimits, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// One move handed to the planner (already resolved to absolute targets).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerMove {
+    /// Absolute target position (mm).
+    pub target: Vec3,
+    /// Filament to extrude over this move (mm; 0 for travel).
+    pub e_delta: f64,
+    /// Requested feedrate (mm/s).
+    pub feedrate: f64,
+    /// `true` for travel (non-extruding) moves.
+    pub travel: bool,
+}
+
+/// Plans a chain of moves starting at rest from `start`, ending at rest.
+///
+/// Zero-length moves are dropped (they carry no motion; our slicer never
+/// emits pure-extrusion moves).
+///
+/// # Panics
+///
+/// Panics if `limits` is invalid (`MachineLimits::is_valid`) or any
+/// feedrate is non-positive — these are programmer errors in machine
+/// profiles, not runtime conditions.
+pub fn plan_moves(start: Vec3, moves: &[PlannerMove], limits: &MachineLimits) -> Vec<Segment> {
+    assert!(limits.is_valid(), "invalid machine limits: {limits:?}");
+    // Resolve geometry, dropping zero-length moves.
+    struct Work {
+        from: Vec3,
+        to: Vec3,
+        dir: Vec3,
+        length: f64,
+        v_nominal: f64,
+        e_delta: f64,
+        travel: bool,
+    }
+    let mut work: Vec<Work> = Vec::with_capacity(moves.len());
+    let mut pos = start;
+    for m in moves {
+        assert!(
+            m.feedrate.is_finite() && m.feedrate > 0.0,
+            "feedrate must be positive, got {}",
+            m.feedrate
+        );
+        let delta = m.target - pos;
+        let length = delta.norm();
+        if length < 1e-9 {
+            pos = m.target;
+            continue;
+        }
+        work.push(Work {
+            from: pos,
+            to: m.target,
+            dir: delta * (1.0 / length),
+            length,
+            v_nominal: m.feedrate.min(limits.max_velocity),
+            e_delta: m.e_delta,
+            travel: m.travel,
+        });
+        pos = m.target;
+    }
+    let n = work.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Junction velocities: entry[i] is the speed at the junction between
+    // move i-1 and move i. entry[0] = exit[n-1] = 0 (start/end at rest).
+    let mut entry = vec![0.0f64; n + 1];
+    for i in 1..n {
+        let cos_theta = work[i - 1].dir.dot(work[i].dir).clamp(-1.0, 1.0);
+        let vmax = work[i - 1].v_nominal.min(work[i].v_nominal);
+        entry[i] = junction_velocity(cos_theta, limits).min(vmax);
+    }
+
+    // Reverse pass: can we decelerate from entry[i] to entry[i+1] in
+    // work[i].length?
+    for i in (0..n).rev() {
+        let reachable =
+            (entry[i + 1] * entry[i + 1] + 2.0 * limits.acceleration * work[i].length).sqrt();
+        if entry[i] > reachable {
+            entry[i] = reachable;
+        }
+    }
+    // Forward pass: can we accelerate from entry[i] to entry[i+1]?
+    for i in 0..n {
+        let reachable =
+            (entry[i] * entry[i] + 2.0 * limits.acceleration * work[i].length).sqrt();
+        if entry[i + 1] > reachable {
+            entry[i + 1] = reachable;
+        }
+    }
+
+    // Trapezoids.
+    let mut out = Vec::with_capacity(n);
+    let mut e = 0.0;
+    for (i, w) in work.iter().enumerate() {
+        let profile = TrapezoidProfile::plan(
+            w.length,
+            entry[i],
+            w.v_nominal,
+            entry[i + 1],
+            limits.acceleration,
+        );
+        let e_from = e;
+        e += w.e_delta;
+        out.push(Segment {
+            from: w.from,
+            to: w.to,
+            e_from,
+            e_to: e,
+            travel: w.travel,
+            profile,
+        });
+    }
+    out
+}
+
+/// Grbl junction-deviation cornering model: the corner is approximated by
+/// an arc of radius `r = jd · sin(θ/2) / (1 − sin(θ/2))`, and the junction
+/// speed is `sqrt(a · r)`.
+fn junction_velocity(cos_theta: f64, limits: &MachineLimits) -> f64 {
+    // θ is the angle between the incoming and outgoing directions; a
+    // straight-through junction has cos θ = 1 (no slowdown needed).
+    if cos_theta > 0.999999 {
+        return f64::INFINITY; // effectively "no junction limit"
+    }
+    if cos_theta < -0.999999 {
+        return 0.0; // full reversal: stop
+    }
+    let sin_half = ((1.0 - cos_theta) / 2.0).sqrt();
+    let radius = limits.junction_deviation * sin_half / (1.0 - sin_half);
+    (limits.acceleration * radius)
+        .sqrt()
+        .max(limits.min_junction_speed)
+}
+
+/// Total duration of a plan (s).
+pub fn plan_duration(segments: &[Segment]) -> f64 {
+    segments.iter().map(Segment::duration).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lim() -> MachineLimits {
+        MachineLimits::ultimaker3()
+    }
+
+    fn mv(x: f64, y: f64, f: f64) -> PlannerMove {
+        PlannerMove {
+            target: Vec3::new(x, y, 0.0),
+            e_delta: 0.1,
+            feedrate: f,
+            travel: false,
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_length_plans() {
+        assert!(plan_moves(Vec3::ZERO, &[], &lim()).is_empty());
+        let same = plan_moves(Vec3::ZERO, &[mv(0.0, 0.0, 50.0)], &lim());
+        assert!(same.is_empty());
+    }
+
+    #[test]
+    fn single_move_starts_and_ends_at_rest() {
+        let segs = plan_moves(Vec3::ZERO, &[mv(100.0, 0.0, 50.0)], &lim());
+        assert_eq!(segs.len(), 1);
+        let p = &segs[0].profile;
+        assert_eq!(p.v_entry, 0.0);
+        assert_eq!(p.v_exit, 0.0);
+        assert!((p.v_cruise - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feedrate_clamped_to_machine_max() {
+        let segs = plan_moves(Vec3::ZERO, &[mv(500.0, 0.0, 900.0)], &lim());
+        assert!((segs[0].profile.v_cruise - lim().max_velocity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_chain_keeps_speed_through_junction() {
+        let segs = plan_moves(
+            Vec3::ZERO,
+            &[mv(50.0, 0.0, 60.0), mv(100.0, 0.0, 60.0)],
+            &lim(),
+        );
+        assert_eq!(segs.len(), 2);
+        // Colinear junction: exit of first == entry of second == cruise.
+        assert!((segs[0].profile.v_exit - 60.0).abs() < 1e-6);
+        assert!((segs[1].profile.v_entry - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn right_angle_junction_slows_down() {
+        let segs = plan_moves(
+            Vec3::ZERO,
+            &[mv(50.0, 0.0, 60.0), mv(50.0, 50.0, 60.0)],
+            &lim(),
+        );
+        let vj = segs[0].profile.v_exit;
+        assert!(vj < 30.0, "junction speed {vj} should be far below cruise");
+        assert!(vj >= lim().min_junction_speed - 1e-9);
+        assert!((segs[1].profile.v_entry - vj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reversal_stops_completely() {
+        let segs = plan_moves(
+            Vec3::ZERO,
+            &[mv(50.0, 0.0, 60.0), mv(0.0, 0.0, 60.0)],
+            &lim(),
+        );
+        assert!(segs[0].profile.v_exit.abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_segment_chain_is_reachability_consistent() {
+        // Many tiny colinear segments: junction speeds must satisfy
+        // v_next² <= v² + 2aL in both directions.
+        let moves: Vec<PlannerMove> = (1..=20).map(|i| mv(i as f64 * 0.5, 0.0, 100.0)).collect();
+        let segs = plan_moves(Vec3::ZERO, &moves, &lim());
+        let a = lim().acceleration;
+        for s in &segs {
+            let p = &s.profile;
+            assert!(
+                p.v_exit * p.v_exit <= p.v_entry * p.v_entry + 2.0 * a * p.length + 1e-6,
+                "forward reachability violated"
+            );
+            assert!(
+                p.v_entry * p.v_entry <= p.v_exit * p.v_exit + 2.0 * a * p.length + 1e-6,
+                "reverse reachability violated"
+            );
+        }
+        // Ends at rest.
+        assert!(segs.last().unwrap().profile.v_exit.abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrusion_accumulates() {
+        let segs = plan_moves(
+            Vec3::ZERO,
+            &[mv(10.0, 0.0, 50.0), mv(20.0, 0.0, 50.0)],
+            &lim(),
+        );
+        assert_eq!(segs[0].e_from, 0.0);
+        assert!((segs[0].e_to - 0.1).abs() < 1e-12);
+        assert!((segs[1].e_from - 0.1).abs() < 1e-12);
+        assert!((segs[1].e_to - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_duration_sums() {
+        let segs = plan_moves(
+            Vec3::ZERO,
+            &[mv(30.0, 0.0, 50.0), mv(30.0, 30.0, 50.0)],
+            &lim(),
+        );
+        let total: f64 = segs.iter().map(|s| s.duration()).sum();
+        assert!((plan_duration(&segs) - total).abs() < 1e-12);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feedrate")]
+    fn bad_feedrate_panics() {
+        let _ = plan_moves(Vec3::ZERO, &[mv(1.0, 0.0, 0.0)], &lim());
+    }
+
+    #[test]
+    fn determinism() {
+        let moves: Vec<PlannerMove> = (0..50)
+            .map(|i| mv((i as f64 * 7.3) % 90.0, (i as f64 * 3.1) % 90.0, 60.0))
+            .collect();
+        let a = plan_moves(Vec3::ZERO, &moves, &lim());
+        let b = plan_moves(Vec3::ZERO, &moves, &lim());
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_plan_invariants(
+            pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..24),
+            feed in 10.0f64..120.0,
+        ) {
+            let moves: Vec<PlannerMove> = pts
+                .iter()
+                .map(|&(x, y)| mv(x, y, feed))
+                .collect();
+            let segs = plan_moves(Vec3::ZERO, &moves, &lim());
+            let a = lim().acceleration;
+            let mut last_to = Vec3::ZERO;
+            for s in &segs {
+                let p = &s.profile;
+                // Segments connect.
+                prop_assert!((s.from - last_to).norm() < 1e-9);
+                last_to = s.to;
+                // Velocities within limits.
+                prop_assert!(p.v_cruise <= lim().max_velocity + 1e-9);
+                // Reachability both ways.
+                prop_assert!(p.v_exit * p.v_exit <= p.v_entry * p.v_entry + 2.0 * a * p.length + 1e-6);
+                prop_assert!(p.v_entry * p.v_entry <= p.v_exit * p.v_exit + 2.0 * a * p.length + 1e-6);
+                prop_assert!(p.duration().is_finite());
+            }
+            if let Some(last) = segs.last() {
+                prop_assert!(last.profile.v_exit.abs() < 1e-9);
+            }
+            if let Some(first) = segs.first() {
+                prop_assert!(first.profile.v_entry.abs() < 1e-9);
+            }
+        }
+    }
+}

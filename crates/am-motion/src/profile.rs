@@ -1,0 +1,249 @@
+//! Trapezoidal velocity profiles.
+//!
+//! Every planned move accelerates at a constant rate to a cruise velocity,
+//! cruises, and decelerates — or, when the move is too short to reach
+//! cruise, follows a triangular profile. The profile is the *nominal*
+//! timing of a move; `am-printer` perturbs it with time noise.
+
+use serde::{Deserialize, Serialize};
+
+/// A trapezoidal (or degenerate triangular) velocity profile over a path of
+/// fixed length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrapezoidProfile {
+    /// Entry velocity (mm/s).
+    pub v_entry: f64,
+    /// Cruise velocity actually reached (mm/s).
+    pub v_cruise: f64,
+    /// Exit velocity (mm/s).
+    pub v_exit: f64,
+    /// Acceleration magnitude (mm/s²).
+    pub accel: f64,
+    /// Path length (mm).
+    pub length: f64,
+    t_accel: f64,
+    t_cruise: f64,
+    t_decel: f64,
+    d_accel: f64,
+    d_cruise: f64,
+}
+
+/// Kinematic state along the profile at a given time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProfilePoint {
+    /// Distance travelled along the path (mm).
+    pub distance: f64,
+    /// Scalar speed (mm/s).
+    pub speed: f64,
+    /// Signed tangential acceleration (mm/s²).
+    pub accel: f64,
+}
+
+impl TrapezoidProfile {
+    /// Plans a profile over `length` mm with the given entry/exit/nominal
+    /// velocities and acceleration.
+    ///
+    /// The caller (the planner's forward/reverse passes) must already have
+    /// ensured `v_entry` and `v_exit` are reachable from each other within
+    /// `length`; this constructor additionally clamps the cruise velocity
+    /// to what the distance allows (triangular profile).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if arguments are negative or non-finite —
+    /// the planner controls all inputs.
+    pub fn plan(length: f64, v_entry: f64, v_nominal: f64, v_exit: f64, accel: f64) -> Self {
+        debug_assert!(length >= 0.0 && length.is_finite());
+        debug_assert!(v_entry >= 0.0 && v_nominal > 0.0 && v_exit >= 0.0);
+        debug_assert!(accel > 0.0);
+        if length <= 1e-12 {
+            return TrapezoidProfile {
+                v_entry,
+                v_cruise: v_entry.max(v_exit),
+                v_exit,
+                accel,
+                length: 0.0,
+                t_accel: 0.0,
+                t_cruise: 0.0,
+                t_decel: 0.0,
+                d_accel: 0.0,
+                d_cruise: 0.0,
+            };
+        }
+        // Highest velocity reachable given entry/exit constraints:
+        // accelerate from v_entry and decelerate to v_exit within length.
+        // d_acc + d_dec <= length with d = (v² - v0²)/(2a).
+        let v_peak_sq = (2.0 * accel * length + v_entry * v_entry + v_exit * v_exit) / 2.0;
+        let v_cruise = v_nominal.min(v_peak_sq.max(0.0).sqrt()).max(v_entry.max(v_exit));
+        let d_accel = ((v_cruise * v_cruise - v_entry * v_entry) / (2.0 * accel)).max(0.0);
+        let d_decel = ((v_cruise * v_cruise - v_exit * v_exit) / (2.0 * accel)).max(0.0);
+        let d_cruise = (length - d_accel - d_decel).max(0.0);
+        let t_accel = (v_cruise - v_entry) / accel;
+        let t_decel = (v_cruise - v_exit) / accel;
+        let t_cruise = if v_cruise > 0.0 { d_cruise / v_cruise } else { 0.0 };
+        TrapezoidProfile {
+            v_entry,
+            v_cruise,
+            v_exit,
+            accel,
+            length,
+            t_accel,
+            t_cruise,
+            t_decel,
+            d_accel,
+            d_cruise,
+        }
+    }
+
+    /// Total duration (s).
+    pub fn duration(&self) -> f64 {
+        self.t_accel + self.t_cruise + self.t_decel
+    }
+
+    /// Samples the profile at time `t` since the move began. Clamped to
+    /// the endpoints outside `[0, duration]`.
+    pub fn at(&self, t: f64) -> ProfilePoint {
+        if t <= 0.0 {
+            return ProfilePoint {
+                distance: 0.0,
+                speed: self.v_entry,
+                accel: if self.t_accel > 0.0 { self.accel } else { 0.0 },
+            };
+        }
+        if t < self.t_accel {
+            return ProfilePoint {
+                distance: self.v_entry * t + 0.5 * self.accel * t * t,
+                speed: self.v_entry + self.accel * t,
+                accel: self.accel,
+            };
+        }
+        let t2 = t - self.t_accel;
+        if t2 < self.t_cruise {
+            return ProfilePoint {
+                distance: self.d_accel + self.v_cruise * t2,
+                speed: self.v_cruise,
+                accel: 0.0,
+            };
+        }
+        let t3 = t2 - self.t_cruise;
+        if t3 < self.t_decel {
+            return ProfilePoint {
+                distance: self.d_accel + self.d_cruise + self.v_cruise * t3
+                    - 0.5 * self.accel * t3 * t3,
+                speed: self.v_cruise - self.accel * t3,
+                accel: -self.accel,
+            };
+        }
+        ProfilePoint {
+            distance: self.length,
+            speed: self.v_exit,
+            accel: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_trapezoid_phases() {
+        // 0 -> 10 mm/s cruise -> 0 over a long move.
+        let p = TrapezoidProfile::plan(100.0, 0.0, 10.0, 0.0, 50.0);
+        assert!((p.v_cruise - 10.0).abs() < 1e-9);
+        assert!(p.t_cruise > 0.0);
+        // Accel time = 10/50 = 0.2 s, distance 1 mm each side, cruise 98 mm.
+        assert!((p.t_accel - 0.2).abs() < 1e-9);
+        assert!((p.duration() - (0.2 + 9.8 + 0.2)).abs() < 1e-9);
+        // Midpoint of cruise.
+        let mid = p.at(p.duration() / 2.0);
+        assert!((mid.speed - 10.0).abs() < 1e-9);
+        assert_eq!(mid.accel, 0.0);
+    }
+
+    #[test]
+    fn triangle_profile_when_too_short() {
+        // 2 mm at accel 50 can only reach sqrt(2*50*1) = 10 mm/s at midpoint
+        // if nominal were higher.
+        let p = TrapezoidProfile::plan(2.0, 0.0, 100.0, 0.0, 50.0);
+        assert!(p.v_cruise < 100.0);
+        assert!((p.v_cruise - (50.0f64 * 2.0).sqrt()).abs() < 1e-9);
+        assert!(p.t_cruise < 1e-9);
+        // End state correct.
+        let end = p.at(p.duration());
+        assert!((end.distance - 2.0).abs() < 1e-9);
+        assert!(end.speed.abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonzero_entry_exit() {
+        let p = TrapezoidProfile::plan(10.0, 5.0, 20.0, 8.0, 100.0);
+        assert_eq!(p.at(0.0).speed, 5.0);
+        let end = p.at(p.duration() + 1.0);
+        assert!((end.speed - 8.0).abs() < 1e-9);
+        assert!((end.distance - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_is_instant() {
+        let p = TrapezoidProfile::plan(0.0, 3.0, 10.0, 4.0, 100.0);
+        assert_eq!(p.duration(), 0.0);
+        assert_eq!(p.at(0.5).distance, 0.0);
+    }
+
+    #[test]
+    fn distance_is_monotone_and_continuous() {
+        let p = TrapezoidProfile::plan(30.0, 2.0, 25.0, 3.0, 500.0);
+        let mut last = ProfilePoint::default();
+        let steps = 1000;
+        for i in 0..=steps {
+            let t = p.duration() * i as f64 / steps as f64;
+            let pt = p.at(t);
+            assert!(pt.distance >= last.distance - 1e-9);
+            // Continuity: adjacent samples close.
+            if i > 0 {
+                assert!((pt.distance - last.distance) < 25.0 * p.duration() / steps as f64 + 1e-6);
+            }
+            last = pt;
+        }
+        assert!((last.distance - 30.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_profile_reaches_length_and_exit_speed(
+            length in 0.01f64..200.0,
+            v_entry in 0.0f64..30.0,
+            v_nom in 1.0f64..150.0,
+            v_exit in 0.0f64..30.0,
+            accel in 100.0f64..5000.0,
+        ) {
+            // Entry/exit must be mutually reachable; the planner guarantees
+            // this, here we clamp like the planner would.
+            let v_entry = v_entry.min(v_nom);
+            let v_exit = v_exit.min(v_nom);
+            let max_dv = (2.0 * accel * length).sqrt();
+            let v_exit = v_exit.min((v_entry * v_entry + max_dv * max_dv).sqrt());
+            let v_entry2 = v_entry.min((v_exit * v_exit + 2.0 * accel * length).sqrt());
+            let p = TrapezoidProfile::plan(length, v_entry2, v_nom, v_exit, accel);
+            let end = p.at(p.duration());
+            prop_assert!((end.distance - length).abs() < 1e-6 * (1.0 + length));
+            prop_assert!((end.speed - v_exit).abs() < 1e-6 * (1.0 + v_exit));
+            prop_assert!(p.v_cruise <= v_nom.max(v_entry2.max(v_exit)) + 1e-9);
+            prop_assert!(p.duration().is_finite() && p.duration() > 0.0);
+        }
+
+        #[test]
+        fn prop_speed_never_exceeds_cruise(
+            length in 1.0f64..100.0,
+            accel in 100.0f64..3000.0,
+        ) {
+            let p = TrapezoidProfile::plan(length, 0.0, 40.0, 0.0, accel);
+            for i in 0..=100 {
+                let t = p.duration() * i as f64 / 100.0;
+                prop_assert!(p.at(t).speed <= p.v_cruise + 1e-9);
+            }
+        }
+    }
+}

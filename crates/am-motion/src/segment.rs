@@ -1,0 +1,133 @@
+//! Planned motion segments, sampleable at any time.
+
+use crate::profile::TrapezoidProfile;
+use crate::types::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One planned straight-line move with its velocity profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start tool position (mm).
+    pub from: Vec3,
+    /// End tool position (mm).
+    pub to: Vec3,
+    /// Extruder position at the start (mm of filament).
+    pub e_from: f64,
+    /// Extruder position at the end (mm of filament).
+    pub e_to: f64,
+    /// `true` for non-extruding travel moves.
+    pub travel: bool,
+    /// The velocity profile along the path.
+    pub profile: TrapezoidProfile,
+}
+
+/// Instantaneous kinematic state of the tool.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MotionState {
+    /// Tool position (mm).
+    pub position: Vec3,
+    /// Tool velocity (mm/s).
+    pub velocity: Vec3,
+    /// Tool acceleration (mm/s², tangential component).
+    pub acceleration: Vec3,
+    /// Extruder feed rate (mm of filament per second).
+    pub extrusion_rate: f64,
+}
+
+impl Segment {
+    /// Duration of the segment (s).
+    pub fn duration(&self) -> f64 {
+        self.profile.duration()
+    }
+
+    /// Path length (mm).
+    pub fn length(&self) -> f64 {
+        self.profile.length
+    }
+
+    /// Samples the tool state `t` seconds after the segment began
+    /// (clamped to the segment's ends).
+    pub fn state_at(&self, t: f64) -> MotionState {
+        let pt = self.profile.at(t);
+        let dir = (self.to - self.from).normalized().unwrap_or(Vec3::ZERO);
+        let frac = if self.profile.length > 0.0 {
+            pt.distance / self.profile.length
+        } else {
+            1.0
+        };
+        let e_rate = if self.profile.length > 0.0 {
+            (self.e_to - self.e_from) / self.profile.length * pt.speed
+        } else {
+            0.0
+        };
+        MotionState {
+            position: self.from.lerp(self.to, frac),
+            velocity: dir * pt.speed,
+            acceleration: dir * pt.accel,
+            extrusion_rate: e_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segment {
+        Segment {
+            from: Vec3::new(0.0, 0.0, 1.0),
+            to: Vec3::new(30.0, 40.0, 1.0), // length 50
+            e_from: 0.0,
+            e_to: 5.0,
+            travel: false,
+            profile: TrapezoidProfile::plan(50.0, 0.0, 25.0, 0.0, 1000.0),
+        }
+    }
+
+    #[test]
+    fn endpoints_match() {
+        let s = seg();
+        let start = s.state_at(0.0);
+        assert_eq!(start.position, s.from);
+        let end = s.state_at(s.duration() + 1.0);
+        assert!((end.position.x - 30.0).abs() < 1e-9);
+        assert!((end.position.y - 40.0).abs() < 1e-9);
+        assert!(end.velocity.norm() < 1e-9);
+    }
+
+    #[test]
+    fn velocity_points_along_path() {
+        let s = seg();
+        let mid = s.state_at(s.duration() / 2.0);
+        let dir = mid.velocity.normalized().unwrap();
+        assert!((dir.x - 0.6).abs() < 1e-9);
+        assert!((dir.y - 0.8).abs() < 1e-9);
+        assert!((mid.velocity.norm() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrusion_rate_proportional_to_speed() {
+        let s = seg();
+        let mid = s.state_at(s.duration() / 2.0);
+        // e per mm = 5/50 = 0.1; at 25 mm/s -> 2.5 mm/s filament.
+        assert!((mid.extrusion_rate - 2.5).abs() < 1e-9);
+        let stopped = s.state_at(0.0);
+        assert!(stopped.extrusion_rate.abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_zero_length_segment() {
+        let s = Segment {
+            from: Vec3::ZERO,
+            to: Vec3::ZERO,
+            e_from: 0.0,
+            e_to: 0.0,
+            travel: true,
+            profile: TrapezoidProfile::plan(0.0, 0.0, 10.0, 0.0, 100.0),
+        };
+        let st = s.state_at(0.0);
+        assert_eq!(st.position, Vec3::ZERO);
+        assert_eq!(st.extrusion_rate, 0.0);
+        assert_eq!(s.duration(), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Basic motion types: 3-vectors and machine limits.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-D vector in millimetres (or mm/s, mm/s² — context-dependent).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Unit vector; `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self * (1.0 / n))
+        }
+    }
+
+    /// Linear interpolation: `self + t (other - self)`.
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+/// Motion limits of a machine (what the firmware's planner enforces).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineLimits {
+    /// Maximum tool velocity (mm/s). Feedrates above this are clamped.
+    pub max_velocity: f64,
+    /// Acceleration used for all moves (mm/s²).
+    pub acceleration: f64,
+    /// Grbl-style junction deviation (mm); larger = faster cornering.
+    pub junction_deviation: f64,
+    /// Floor on junction speed (mm/s) so chained tiny segments keep moving.
+    pub min_junction_speed: f64,
+}
+
+impl MachineLimits {
+    /// Ultimaker 3-ish defaults (Cartesian desktop printer).
+    pub fn ultimaker3() -> Self {
+        MachineLimits {
+            max_velocity: 150.0,
+            acceleration: 3000.0,
+            junction_deviation: 0.05,
+            min_junction_speed: 1.0,
+        }
+    }
+
+    /// Rostock Max V3-ish defaults (Delta printers run faster effectors
+    /// with gentler cornering).
+    pub fn rostock_max_v3() -> Self {
+        MachineLimits {
+            max_velocity: 200.0,
+            acceleration: 2500.0,
+            junction_deviation: 0.04,
+            min_junction_speed: 1.0,
+        }
+    }
+
+    /// `true` if all limits are finite and positive.
+    pub fn is_valid(&self) -> bool {
+        [
+            self.max_velocity,
+            self.acceleration,
+            self.junction_deviation,
+            self.min_junction_speed,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -2.0, 0.0);
+        assert_eq!(a + b, Vec3::new(5.0, 0.0, 3.0));
+        assert_eq!(a - b, Vec3::new(-3.0, 4.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(Vec3::new(3.0, 4.0, 0.0).norm(), 5.0);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let u = Vec3::new(0.0, 0.0, 2.0).normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(u.z, 1.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(3.0, 5.0, -1.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(2.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn limit_presets_valid() {
+        assert!(MachineLimits::ultimaker3().is_valid());
+        assert!(MachineLimits::rostock_max_v3().is_valid());
+        let mut bad = MachineLimits::ultimaker3();
+        bad.acceleration = 0.0;
+        assert!(!bad.is_valid());
+    }
+}

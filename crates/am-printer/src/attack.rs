@@ -1,0 +1,53 @@
+//! Firmware-level attacks (threat model, Fig 3).
+//!
+//! The paper's attacker can modify "the G-code instructions to be sent to
+//! the printer **or the firmware of the printer**. By modifying the
+//! firmware, the printer behaves maliciously despite being sent benign
+//! G-code." G-code attacks live in `am_gcode::attacks`; this module
+//! implements the firmware half, applied inside the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// A malicious firmware modification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FirmwareAttack {
+    /// Scale all printing feedrates by this factor (a stealthy
+    /// under-extrusion-free slowdown; cf. the Speed0.95 G-code attack).
+    SpeedScale(f64),
+    /// Scale all XY coordinates about the bed centre by this factor
+    /// (firmware-level shrink; cf. Scale0.95).
+    ScaleXy(f64),
+    /// Offset the hotend setpoint by this many deg C (weakens layer
+    /// bonding without touching motion).
+    TempOffset(f64),
+}
+
+impl FirmwareAttack {
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            FirmwareAttack::SpeedScale(f) => format!("FwSpeed{f:.2}"),
+            FirmwareAttack::ScaleXy(f) => format!("FwScale{f:.2}"),
+            FirmwareAttack::TempOffset(d) => format!("FwTemp{d:+.0}"),
+        }
+    }
+}
+
+impl std::fmt::Display for FirmwareAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(FirmwareAttack::SpeedScale(0.95).name(), "FwSpeed0.95");
+        assert_eq!(FirmwareAttack::ScaleXy(0.95).name(), "FwScale0.95");
+        assert_eq!(FirmwareAttack::TempOffset(-10.0).name(), "FwTemp-10");
+    }
+}

@@ -1,0 +1,183 @@
+//! Machine profiles for the two evaluation printers.
+
+use crate::attack::FirmwareAttack;
+use crate::thermal::ThermalParams;
+use am_motion::{Kinematics, MachineLimits, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// The two printers of §VIII-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrinterModel {
+    /// Ultimaker 3 — Cartesian, "the most popular desktop 3D printer".
+    Um3,
+    /// SeeMeCNC Rostock Max V3 — "a popular Delta printer".
+    Rm3,
+}
+
+impl PrinterModel {
+    /// Both evaluation printers.
+    pub fn both() -> [PrinterModel; 2] {
+        [PrinterModel::Um3, PrinterModel::Rm3]
+    }
+
+    /// Table-style short name ("UM3" / "RM3").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            PrinterModel::Um3 => "UM3",
+            PrinterModel::Rm3 => "RM3",
+        }
+    }
+
+    /// The default config for this model.
+    pub fn config(&self) -> PrinterConfig {
+        match self {
+            PrinterModel::Um3 => PrinterConfig::ultimaker3(),
+            PrinterModel::Rm3 => PrinterConfig::rostock_max_v3(),
+        }
+    }
+}
+
+impl std::fmt::Display for PrinterModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Full machine profile consumed by the firmware simulator and the sensor
+/// models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrinterConfig {
+    /// Which physical printer this profile models.
+    pub model: PrinterModel,
+    /// Kinematic arrangement.
+    pub kinematics: Kinematics,
+    /// Planner limits.
+    pub limits: MachineLimits,
+    /// Position after `G28`.
+    pub home_position: Vec3,
+    /// Homing feedrate (mm/s).
+    pub homing_speed: f64,
+    /// Full steps per mm on the motion joints (sets stepper tone
+    /// frequencies in the audio side channel).
+    pub steps_per_mm: [f64; 3],
+    /// Extruder steps per mm.
+    pub e_steps_per_mm: f64,
+    /// Hotend thermal parameters.
+    pub hotend: ThermalParams,
+    /// Bed thermal parameters.
+    pub bed: ThermalParams,
+    /// Optional firmware attack: the printer misbehaves even on benign
+    /// G-code (threat model, Fig 3).
+    pub firmware_attack: Option<FirmwareAttack>,
+}
+
+impl PrinterConfig {
+    /// Ultimaker 3 profile.
+    pub fn ultimaker3() -> Self {
+        PrinterConfig {
+            model: PrinterModel::Um3,
+            kinematics: Kinematics::Cartesian,
+            limits: MachineLimits::ultimaker3(),
+            home_position: Vec3::new(0.0, 0.0, 2.0),
+            homing_speed: 50.0,
+            steps_per_mm: [80.0, 80.0, 400.0],
+            e_steps_per_mm: 369.0,
+            hotend: ThermalParams::hotend(),
+            bed: ThermalParams::bed(),
+            firmware_attack: None,
+        }
+    }
+
+    /// Rostock Max V3 profile.
+    pub fn rostock_max_v3() -> Self {
+        PrinterConfig {
+            model: PrinterModel::Rm3,
+            kinematics: Kinematics::rostock_delta(),
+            limits: MachineLimits::rostock_max_v3(),
+            // Delta machines home to the top of the towers; the effector
+            // homes above the bed centre.
+            home_position: Vec3::new(0.0, 0.0, 150.0),
+            homing_speed: 80.0,
+            steps_per_mm: [80.0, 80.0, 80.0],
+            e_steps_per_mm: 92.0,
+            hotend: ThermalParams::hotend(),
+            bed: ThermalParams::bed(),
+            firmware_attack: None,
+        }
+    }
+
+    /// A generic CoreXY machine (not one of the paper's printers; useful
+    /// for checking that NSYNC generalizes across kinematics). Reports as
+    /// a UM3-class machine for bed-placement purposes.
+    pub fn corexy_generic() -> Self {
+        PrinterConfig {
+            model: PrinterModel::Um3,
+            kinematics: Kinematics::CoreXy,
+            limits: MachineLimits {
+                max_velocity: 250.0,
+                acceleration: 4000.0,
+                junction_deviation: 0.06,
+                min_junction_speed: 1.0,
+            },
+            home_position: Vec3::new(0.0, 0.0, 2.0),
+            homing_speed: 70.0,
+            steps_per_mm: [80.0, 80.0, 400.0],
+            e_steps_per_mm: 400.0,
+            hotend: ThermalParams::hotend(),
+            bed: ThermalParams::bed(),
+            firmware_attack: None,
+        }
+    }
+
+    /// Returns a copy with a firmware attack installed.
+    pub fn with_firmware_attack(mut self, attack: FirmwareAttack) -> Self {
+        self.firmware_attack = Some(attack);
+        self
+    }
+
+    /// Where the slicer should place the part so it is reachable. The UM3
+    /// bed origin is a corner; the Delta's is the centre.
+    pub fn bed_center(&self) -> Vec3 {
+        match self.model {
+            PrinterModel::Um3 => Vec3::new(100.0, 100.0, 0.0),
+            PrinterModel::Rm3 => Vec3::new(0.0, 0.0, 0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names() {
+        assert_eq!(PrinterModel::Um3.to_string(), "UM3");
+        assert_eq!(PrinterModel::Rm3.to_string(), "RM3");
+        assert_eq!(PrinterModel::both().len(), 2);
+    }
+
+    #[test]
+    fn configs_are_valid() {
+        for m in PrinterModel::both() {
+            let c = m.config();
+            assert!(c.limits.is_valid());
+            assert!(c.homing_speed > 0.0);
+            assert!(c.steps_per_mm.iter().all(|&s| s > 0.0));
+            assert_eq!(c.model, m);
+            assert!(c.firmware_attack.is_none());
+        }
+    }
+
+    #[test]
+    fn delta_home_is_reachable() {
+        let c = PrinterConfig::rostock_max_v3();
+        assert!(c.kinematics.joint_positions(c.home_position).is_ok());
+    }
+
+    #[test]
+    fn with_firmware_attack_installs() {
+        let c = PrinterConfig::ultimaker3()
+            .with_firmware_attack(FirmwareAttack::SpeedScale(0.95));
+        assert!(c.firmware_attack.is_some());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the printer simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from G-code execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PrinterError {
+    /// A move targeted a position outside the machine's envelope.
+    Unreachable {
+        /// Offending target (x, y, z) in mm.
+        target: (f64, f64, f64),
+    },
+    /// A command needed a feedrate but none was ever set.
+    MissingFeedrate {
+        /// Index of the command in the program.
+        command_index: usize,
+    },
+    /// A configuration value was out of domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PrinterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrinterError::Unreachable { target } => write!(
+                f,
+                "target ({}, {}, {}) is outside the work envelope",
+                target.0, target.1, target.2
+            ),
+            PrinterError::MissingFeedrate { command_index } => {
+                write!(f, "move at command {command_index} has no feedrate in effect")
+            }
+            PrinterError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl Error for PrinterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            PrinterError::Unreachable {
+                target: (1.0, 2.0, 3.0),
+            },
+            PrinterError::MissingFeedrate { command_index: 5 },
+            PrinterError::InvalidConfig("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The firmware simulator: interprets G-code, plans motion, and executes
+//! the plan on a noisy wall clock.
+//!
+//! Execution pipeline:
+//!
+//! 1. **Interpret** the program into ops (move chunks, heater waits, fan
+//!    changes, dwells, layer markers), applying any installed
+//!    [`FirmwareAttack`],
+//! 2. **Plan** each chunk of consecutive moves with the look-ahead planner
+//!    (`am-motion`) — this fixes the *nominal* timing,
+//! 3. **Execute** on the wall clock, where time noise enters: every
+//!    segment's duration is stretched by the jitter factor and the per-run
+//!    clock rate, and random scheduling gaps are inserted between moves,
+//! 4. **Thermal pass**: heaters are re-simulated at a fine step over the
+//!    final timeline to produce temperature/duty traces for TMP and PWR.
+
+use crate::attack::FirmwareAttack;
+use crate::config::PrinterConfig;
+use crate::error::PrinterError;
+use crate::noise::TimeNoise;
+use crate::thermal::HeaterState;
+use crate::trajectory::{PrintTrajectory, TimedSegment};
+use am_gcode::model::{GCommand, GcodeProgram};
+use am_motion::{plan_moves, PlannerMove, Vec3};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thermal simulation step (s).
+const THERMAL_DT: f64 = 0.02;
+
+/// Executes a G-code program on the given printer with the given time
+/// noise; `seed` makes the run reproducible.
+///
+/// # Errors
+///
+/// - [`PrinterError::Unreachable`] if a move exits the work envelope,
+/// - [`PrinterError::MissingFeedrate`] if a move arrives before any `F`
+///   word.
+pub fn execute_program(
+    program: &GcodeProgram,
+    config: &PrinterConfig,
+    noise: &TimeNoise,
+    seed: u64,
+) -> Result<PrintTrajectory, PrinterError> {
+    let ops = interpret(program, config)?;
+    execute_ops(&ops, config, noise, seed)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Moves(Vec<PlannerMove>),
+    /// Wait until the hotend (`true`) or bed (`false`) reaches its
+    /// setpoint.
+    WaitForTemp { hotend: bool },
+    SetHotend(f64),
+    SetBed(f64),
+    SetFan(f64),
+    Dwell(f64),
+    LayerMark,
+}
+
+fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, PrinterError> {
+    let mut ops: Vec<Op> = Vec::new();
+    let mut pending: Vec<PlannerMove> = Vec::new();
+    let mut pos = config.home_position;
+    let mut feedrate: Option<f64> = None; // mm/s
+    let mut e_logical = 0.0; // what G-code thinks E is
+    let bed_center = config.bed_center();
+    let (speed_scale, xy_scale, temp_offset) = match config.firmware_attack {
+        Some(FirmwareAttack::SpeedScale(f)) => (f, 1.0, 0.0),
+        Some(FirmwareAttack::ScaleXy(f)) => (1.0, f, 0.0),
+        Some(FirmwareAttack::TempOffset(d)) => (1.0, 1.0, d),
+        None => (1.0, 1.0, 0.0),
+    };
+
+    let flush =
+        |pending: &mut Vec<PlannerMove>, ops: &mut Vec<Op>| {
+            if !pending.is_empty() {
+                ops.push(Op::Moves(std::mem::take(pending)));
+            }
+        };
+
+    for (i, cmd) in program.commands().iter().enumerate() {
+        match cmd {
+            GCommand::Move { x, y, z, e, f, .. } => {
+                if let Some(f_mm_min) = f {
+                    feedrate = Some(f_mm_min / 60.0);
+                }
+                let mut target = Vec3::new(
+                    x.unwrap_or(pos.x),
+                    y.unwrap_or(pos.y),
+                    z.unwrap_or(pos.z),
+                );
+                if xy_scale != 1.0 {
+                    target.x = bed_center.x + (target.x - bed_center.x) * xy_scale;
+                    target.y = bed_center.y + (target.y - bed_center.y) * xy_scale;
+                }
+                let e_delta = e.map(|en| en - e_logical).unwrap_or(0.0);
+                if let Some(en) = e {
+                    e_logical = *en;
+                }
+                if (target - pos).norm() < 1e-9 {
+                    pos = target;
+                    continue;
+                }
+                let base_feed = feedrate.ok_or(PrinterError::MissingFeedrate {
+                    command_index: i,
+                })?;
+                let extruding = e.is_some() && e_delta > 0.0;
+                let feed = if extruding {
+                    base_feed * speed_scale
+                } else {
+                    base_feed
+                };
+                config
+                    .kinematics
+                    .joint_positions(target)
+                    .map_err(|_| PrinterError::Unreachable {
+                        target: (target.x, target.y, target.z),
+                    })?;
+                pending.push(PlannerMove {
+                    target,
+                    e_delta: e_delta.max(0.0),
+                    feedrate: feed,
+                    travel: !extruding,
+                });
+                pos = target;
+            }
+            GCommand::Home => {
+                // Homing is a deterministic travel move to the home pose.
+                let base_feed = config.homing_speed;
+                if (config.home_position - pos).norm() > 1e-9 {
+                    pending.push(PlannerMove {
+                        target: config.home_position,
+                        e_delta: 0.0,
+                        feedrate: base_feed,
+                        travel: true,
+                    });
+                    pos = config.home_position;
+                }
+                flush(&mut pending, &mut ops);
+            }
+            GCommand::Dwell { seconds } => {
+                flush(&mut pending, &mut ops);
+                ops.push(Op::Dwell(*seconds));
+            }
+            GCommand::SetPosition { e, .. } => {
+                // Only E resets matter for our programs (G92 E0).
+                if let Some(en) = e {
+                    e_logical = *en;
+                }
+            }
+            GCommand::SetHotendTemp { celsius, wait } => {
+                flush(&mut pending, &mut ops);
+                let target = if *celsius > 0.0 {
+                    celsius + temp_offset
+                } else {
+                    *celsius
+                };
+                ops.push(Op::SetHotend(target));
+                if *wait {
+                    ops.push(Op::WaitForTemp { hotend: true });
+                }
+            }
+            GCommand::SetBedTemp { celsius, wait } => {
+                flush(&mut pending, &mut ops);
+                ops.push(Op::SetBed(*celsius));
+                if *wait {
+                    ops.push(Op::WaitForTemp { hotend: false });
+                }
+            }
+            GCommand::FanOn { speed } => {
+                flush(&mut pending, &mut ops);
+                ops.push(Op::SetFan(*speed));
+            }
+            GCommand::FanOff => {
+                flush(&mut pending, &mut ops);
+                ops.push(Op::SetFan(0.0));
+            }
+            GCommand::LayerMarker { .. } => {
+                // Layer markers do not disturb the motion queue; they are
+                // bookkeeping only.
+                ops.push(Op::LayerMark);
+            }
+            GCommand::Comment { .. } | GCommand::Other { .. } => {}
+            _ => {}
+        }
+    }
+    flush(&mut pending, &mut ops);
+    Ok(ops)
+}
+
+fn execute_ops(
+    ops: &[Op],
+    config: &PrinterConfig,
+    noise: &TimeNoise,
+    seed: u64,
+) -> Result<PrintTrajectory, PrinterError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clock_rate = noise.sample_clock_rate(&mut rng);
+
+    let mut t = 0.0f64;
+    let mut events: Vec<TimedSegment> = Vec::new();
+    let mut layer_times: Vec<f64> = Vec::new();
+    let mut fan_schedule: Vec<(f64, f64)> = Vec::new();
+    let mut hotend_sets: Vec<(f64, f64)> = Vec::new();
+    let mut bed_sets: Vec<(f64, f64)> = Vec::new();
+
+    // Coarse heater state used only for wait-duration estimation; the
+    // authoritative traces come from the fine re-simulation below.
+    let mut hotend_est = HeaterState::new(&config.hotend);
+    let mut bed_est = HeaterState::new(&config.bed);
+    let mut hotend_set = 0.0;
+    let mut bed_set = 0.0;
+    let mut print_start: Option<f64> = None;
+    // Pending layer marks attach to the start of the *next* motion chunk
+    // (the marker precedes the layer's first move in the file).
+    let mut pending_layer_marks = 0usize;
+
+    let advance_estimates = |dt: f64,
+                                 hotend_est: &mut HeaterState,
+                                 bed_est: &mut HeaterState,
+                                 hotend_set: f64,
+                                 bed_set: f64| {
+        let steps = (dt / 0.25).ceil().max(1.0) as usize;
+        let step = dt / steps as f64;
+        for _ in 0..steps {
+            hotend_est.step(&config.hotend, hotend_set, step);
+            bed_est.step(&config.bed, bed_set, step);
+        }
+    };
+
+    let mut last_pos = config.home_position;
+    for op in ops {
+        match op {
+            Op::Moves(moves) => {
+                let segments = plan_moves(last_pos, moves, &config.limits);
+                if let Some(last) = segments.last() {
+                    last_pos = last.to;
+                }
+                let chunk_start = t;
+                for seg in segments {
+                    let nominal = seg.duration();
+                    let factor = noise.sample_duration_factor(&mut rng);
+                    let duration = nominal * factor * clock_rate;
+                    events.push(TimedSegment {
+                        t_start: t,
+                        duration,
+                        nominal_duration: nominal,
+                        segment: seg,
+                    });
+                    t += duration;
+                    t += noise.sample_gap(&mut rng);
+                }
+                if t > chunk_start {
+                    if print_start.is_none() {
+                        print_start = Some(chunk_start);
+                    }
+                    for _ in 0..pending_layer_marks {
+                        layer_times.push(chunk_start);
+                    }
+                    pending_layer_marks = 0;
+                    advance_estimates(
+                        t - chunk_start,
+                        &mut hotend_est,
+                        &mut bed_est,
+                        hotend_set,
+                        bed_set,
+                    );
+                }
+            }
+            Op::WaitForTemp { hotend } => {
+                let wait = if *hotend {
+                    hotend_est.time_to_reach(&config.hotend, hotend_set)
+                } else {
+                    bed_est.time_to_reach(&config.bed, bed_set)
+                };
+                advance_estimates(wait, &mut hotend_est, &mut bed_est, hotend_set, bed_set);
+                t += wait;
+            }
+            Op::SetHotend(temp) => {
+                hotend_set = *temp;
+                hotend_sets.push((t, *temp));
+            }
+            Op::SetBed(temp) => {
+                bed_set = *temp;
+                bed_sets.push((t, *temp));
+            }
+            Op::SetFan(duty) => fan_schedule.push((t, *duty)),
+            Op::Dwell(seconds) => {
+                advance_estimates(
+                    *seconds,
+                    &mut hotend_est,
+                    &mut bed_est,
+                    hotend_set,
+                    bed_set,
+                );
+                t += seconds;
+            }
+            Op::LayerMark => pending_layer_marks += 1,
+        }
+    }
+    for _ in 0..pending_layer_marks {
+        layer_times.push(t);
+    }
+    let duration = t + 1.0; // a second of tail so sensors capture spin-down
+
+    // Fine thermal re-simulation over the final timeline.
+    let n = (duration / THERMAL_DT).ceil() as usize + 1;
+    let mut hotend_temp = Vec::with_capacity(n);
+    let mut hotend_duty = Vec::with_capacity(n);
+    let mut bed_temp = Vec::with_capacity(n);
+    let mut bed_duty = Vec::with_capacity(n);
+    let mut hotend_state = HeaterState::new(&config.hotend);
+    let mut bed_state = HeaterState::new(&config.bed);
+    let mut h_idx = 0usize;
+    let mut b_idx = 0usize;
+    let mut h_set = 0.0;
+    let mut b_set = 0.0;
+    for i in 0..n {
+        let now = i as f64 * THERMAL_DT;
+        while h_idx < hotend_sets.len() && hotend_sets[h_idx].0 <= now {
+            h_set = hotend_sets[h_idx].1;
+            h_idx += 1;
+        }
+        while b_idx < bed_sets.len() && bed_sets[b_idx].0 <= now {
+            b_set = bed_sets[b_idx].1;
+            b_idx += 1;
+        }
+        hotend_state.step(&config.hotend, h_set, THERMAL_DT);
+        bed_state.step(&config.bed, b_set, THERMAL_DT);
+        hotend_temp.push(hotend_state.temperature);
+        hotend_duty.push(hotend_state.duty);
+        bed_temp.push(bed_state.temperature);
+        bed_duty.push(bed_state.duty);
+    }
+
+    Ok(PrintTrajectory {
+        events,
+        duration,
+        layer_times,
+        print_start: print_start.unwrap_or(0.0),
+        kinematics: config.kinematics,
+        home_position: config.home_position,
+        thermal_dt: THERMAL_DT,
+        hotend_temp,
+        hotend_duty,
+        bed_temp,
+        bed_duty,
+        fan_schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_gcode::slicer::{slice_gear, SliceConfig};
+
+    fn small_program_for(config: &PrinterConfig) -> GcodeProgram {
+        let mut cfg = SliceConfig::small_gear();
+        cfg.center = am_gcode::geometry::Point2::new(
+            config.bed_center().x,
+            config.bed_center().y,
+        );
+        slice_gear(&cfg).unwrap()
+    }
+
+    #[test]
+    fn executes_small_gear_on_both_printers() {
+        for model in crate::config::PrinterModel::both() {
+            let config = model.config();
+            let prog = small_program_for(&config);
+            let traj =
+                execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+            assert!(traj.duration() > 10.0, "{model}: {}", traj.duration());
+            assert_eq!(traj.layer_times().len(), 6, "{model}");
+            assert!(!traj.events().is_empty());
+            assert!(traj.print_start() > 0.0, "heat-up should precede motion");
+        }
+    }
+
+    #[test]
+    fn noiseless_runs_are_identical() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let a = execute_program(&prog, &config, &TimeNoise::disabled(), 1).unwrap();
+        let b = execute_program(&prog, &config, &TimeNoise::disabled(), 2).unwrap();
+        assert_eq!(a.duration(), b.duration());
+        assert_eq!(a.layer_times(), b.layer_times());
+    }
+
+    #[test]
+    fn time_noise_shifts_durations_but_not_nominal_plan() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let noise = TimeNoise::default_printer();
+        let a = execute_program(&prog, &config, &noise, 1).unwrap();
+        let b = execute_program(&prog, &config, &noise, 2).unwrap();
+        assert_ne!(a.duration(), b.duration());
+        // The nominal plan is identical — only the wall clock differs.
+        assert!((a.nominal_motion_duration() - b.nominal_motion_duration()).abs() < 1e-9);
+        // Fig 1's effect: end misalignment grows to a noticeable fraction
+        // of a second or more.
+        assert!((a.duration() - b.duration()).abs() > 0.05);
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let noise = TimeNoise::default_printer();
+        let a = execute_program(&prog, &config, &noise, 7).unwrap();
+        let b = execute_program(&prog, &config, &noise, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layer_times_are_monotone_and_within_run() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let traj =
+            execute_program(&prog, &config, &TimeNoise::default_printer(), 3).unwrap();
+        let lt = traj.layer_times();
+        for w in lt.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(*lt.last().unwrap() <= traj.duration());
+        assert!(lt[0] >= traj.print_start());
+    }
+
+    #[test]
+    fn missing_feedrate_is_an_error() {
+        let prog = am_gcode::parser::parse_program("G1 X10 Y10\n").unwrap();
+        let err = execute_program(
+            &prog,
+            &PrinterConfig::ultimaker3(),
+            &TimeNoise::disabled(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PrinterError::MissingFeedrate { .. }));
+    }
+
+    #[test]
+    fn unreachable_delta_target_is_an_error() {
+        let prog =
+            am_gcode::parser::parse_program("G1 X500 Y0 F3000\n").unwrap();
+        let err = execute_program(
+            &prog,
+            &PrinterConfig::rostock_max_v3(),
+            &TimeNoise::disabled(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PrinterError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn firmware_speed_attack_lengthens_print() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+        let attacked_cfg =
+            config.with_firmware_attack(FirmwareAttack::SpeedScale(0.8));
+        let attacked =
+            execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        assert!(attacked.duration() > benign.duration() * 1.02);
+    }
+
+    #[test]
+    fn firmware_scale_attack_shrinks_motion() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+        let attacked_cfg = config.with_firmware_attack(FirmwareAttack::ScaleXy(0.9));
+        let attacked =
+            execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        let len = |t: &PrintTrajectory| -> f64 {
+            t.events().iter().map(|e| e.segment.length()).sum()
+        };
+        assert!(len(&attacked) < len(&benign));
+    }
+
+    #[test]
+    fn fan_schedule_recorded() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let traj = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+        // Fan turns on at layer 1 and off at the end.
+        assert!(traj.fan_duty_at(traj.duration()) == 0.0);
+        let mid_layers = traj.layer_times()[3];
+        assert!(traj.fan_duty_at(mid_layers) > 0.9);
+    }
+
+    #[test]
+    fn hotend_heats_before_motion() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let traj = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+        let at_start = traj.sample(traj.print_start());
+        assert!(
+            at_start.hotend_temp > 195.0,
+            "hotend only at {} by motion start",
+            at_start.hotend_temp
+        );
+    }
+
+    #[test]
+    fn firmware_temp_offset_attack_shifts_hotend() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+        let attacked_cfg =
+            config.with_firmware_attack(FirmwareAttack::TempOffset(-20.0));
+        let attacked =
+            execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        // Sample mid-print: the attacked hotend regulates ~20 C lower.
+        let t = benign.print_start() + 20.0;
+        let benign_temp = benign.sample(t).hotend_temp;
+        let attacked_temp = attacked.sample(attacked.print_start() + 20.0).hotend_temp;
+        assert!(
+            benign_temp - attacked_temp > 15.0,
+            "benign {benign_temp:.1} C vs attacked {attacked_temp:.1} C"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! FDM printer simulator: executes G-code into a sampleable physical
+//! trajectory, with **time noise**.
+//!
+//! The paper's founding observation (§I, Fig 1) is that AM systems are
+//! asynchronous: "when executed multiple times, the duration for the same
+//! instruction can vary slightly \[and\] there can be random gaps between
+//! instructions". This crate is where that behaviour lives:
+//!
+//! - [`config`]: machine profiles for the two evaluation printers
+//!   (Ultimaker 3 — Cartesian; SeeMeCNC Rostock Max V3 — Delta),
+//! - [`noise`]: the [`noise::TimeNoise`] model (per-move duration jitter,
+//!   random inter-move gaps, per-run clock skew) — each mechanism maps to
+//!   one of the paper's named causes (mechanical/thermal delays, task
+//!   scheduling, frame drops — the last is modelled in `am-sensors`' DAQ),
+//! - [`thermal`]: first-order heater dynamics with bang-bang control
+//!   (heating time and duty cycle feed the TMP and PWR side channels),
+//! - [`firmware`]: the G-code interpreter/executor producing a
+//!   [`trajectory::PrintTrajectory`],
+//! - [`trajectory`]: dense sampling of tool position / velocity /
+//!   acceleration, joint velocities, temperatures, heater duty, and fan
+//!   state at any time `t`,
+//! - [`attack`]: firmware-level attacks (the printer misbehaves despite
+//!   benign G-code — the second half of the paper's threat model).
+//!
+//! # Example
+//!
+//! ```
+//! use am_gcode::slicer::{slice_gear, SliceConfig};
+//! use am_printer::{config::PrinterConfig, firmware::execute_program, noise::TimeNoise};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gcode = slice_gear(&SliceConfig::small_gear())?;
+//! let printer = PrinterConfig::ultimaker3();
+//! let run_a = execute_program(&gcode, &printer, &TimeNoise::default_printer(), 1)?;
+//! let run_b = execute_program(&gcode, &printer, &TimeNoise::default_printer(), 2)?;
+//! // Same G-code, different random seed: time noise makes durations differ.
+//! assert_ne!(run_a.duration(), run_b.duration());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attack;
+pub mod config;
+pub mod error;
+pub mod firmware;
+pub mod noise;
+pub mod thermal;
+pub mod trajectory;
+
+pub use attack::FirmwareAttack;
+pub use config::{PrinterConfig, PrinterModel};
+pub use error::PrinterError;
+pub use firmware::execute_program;
+pub use noise::TimeNoise;
+pub use trajectory::{PrintTrajectory, PrinterSample};

@@ -1,0 +1,182 @@
+//! The time-noise model (§I, §II-A).
+//!
+//! The paper attributes time noise to "frame drops in data acquisition
+//! systems, mechanical and thermal delays in devices, and task scheduling
+//! in operating systems". We model each mechanism explicitly so
+//! experiments can ablate them:
+//!
+//! - **duration jitter** (mechanical/thermal delay): every move's duration
+//!   is multiplied by `1 + N(0, duration_jitter_sigma)`,
+//! - **random gaps** (task scheduling / queueing): with probability
+//!   `gap_probability`, an exponentially distributed pause of mean
+//!   `gap_mean_s` is inserted between moves,
+//! - **clock skew** (crystal tolerance / long-term drift): a per-run
+//!   constant rate multiplier `1 + N(0, clock_skew_sigma)`,
+//! - frame drops live in the DAQ model (`am-sensors`), where they
+//!   physically occur.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Time-noise configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeNoise {
+    /// Std-dev of the per-move fractional duration jitter.
+    pub duration_jitter_sigma: f64,
+    /// Probability of a scheduling gap after any move.
+    pub gap_probability: f64,
+    /// Mean gap duration in seconds (exponential).
+    pub gap_mean_s: f64,
+    /// Std-dev of the per-run clock-rate multiplier.
+    pub clock_skew_sigma: f64,
+}
+
+impl TimeNoise {
+    /// No noise at all: repeated runs are bit-identical in time. Used for
+    /// reference signals generated "by simulation" (§IV) and for tests.
+    pub fn disabled() -> Self {
+        TimeNoise {
+            duration_jitter_sigma: 0.0,
+            gap_probability: 0.0,
+            gap_mean_s: 0.0,
+            clock_skew_sigma: 0.0,
+        }
+    }
+
+    /// Realistic desktop-printer noise. Steppers execute deterministic
+    /// step counts, so per-move duration jitter is tiny (0.2%); the
+    /// dominant time-noise mechanisms are queue/scheduling gaps and clock
+    /// skew, which accumulate to the seconds-scale end misalignment of
+    /// Fig 1 over a multi-minute print without decorrelating the signal
+    /// *within* a comparison window.
+    pub fn default_printer() -> Self {
+        TimeNoise {
+            duration_jitter_sigma: 0.002,
+            gap_probability: 0.02,
+            gap_mean_s: 0.05,
+            clock_skew_sigma: 0.002,
+        }
+    }
+
+    /// `true` if every mechanism is switched off.
+    pub fn is_disabled(&self) -> bool {
+        self.duration_jitter_sigma == 0.0
+            && self.gap_probability == 0.0
+            && self.clock_skew_sigma == 0.0
+    }
+
+    /// Samples the multiplicative duration factor for one move (>= 0.1 to
+    /// keep durations positive under extreme draws).
+    pub fn sample_duration_factor<R: Rng>(&self, rng: &mut R) -> f64 {
+        (1.0 + self.duration_jitter_sigma * gaussian(rng)).max(0.1)
+    }
+
+    /// Samples the gap after a move: usually 0, occasionally exponential.
+    pub fn sample_gap<R: Rng>(&self, rng: &mut R) -> f64 {
+        if self.gap_probability > 0.0 && rng.gen::<f64>() < self.gap_probability {
+            exponential(rng, self.gap_mean_s)
+        } else {
+            0.0
+        }
+    }
+
+    /// Samples the per-run clock-rate multiplier.
+    pub fn sample_clock_rate<R: Rng>(&self, rng: &mut R) -> f64 {
+        (1.0 + self.clock_skew_sigma * gaussian(rng)).max(0.5)
+    }
+}
+
+/// Standard normal via Box–Muller (the offline crate set has no
+/// `rand_distr`).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > 1e-300 {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Exponential with the given mean.
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen::<f64>().max(1e-300);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_noise_is_identity() {
+        let n = TimeNoise::disabled();
+        assert!(n.is_disabled());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(n.sample_duration_factor(&mut rng), 1.0);
+            assert_eq!(n.sample_gap(&mut rng), 0.0);
+            assert_eq!(n.sample_clock_rate(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert_eq!(exponential(&mut rng, 0.0), 0.0);
+    }
+
+    #[test]
+    fn duration_factor_stays_positive() {
+        let noise = TimeNoise {
+            duration_jitter_sigma: 5.0, // absurdly large
+            ..TimeNoise::default_printer()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(noise.sample_duration_factor(&mut rng) >= 0.1);
+        }
+    }
+
+    #[test]
+    fn gap_frequency_matches_probability() {
+        let noise = TimeNoise::default_printer();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let gaps = (0..n).filter(|_| noise.sample_gap(&mut rng) > 0.0).count();
+        let rate = gaps as f64 / n as f64;
+        assert!((rate - noise.gap_probability).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn reproducible_under_same_seed() {
+        let noise = TimeNoise::default_printer();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(
+                noise.sample_duration_factor(&mut a),
+                noise.sample_duration_factor(&mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! First-order heater dynamics with bang-bang control.
+//!
+//! `dT/dt = heat_rate · duty − (T − ambient)/tau`
+//!
+//! The hotend/bed temperatures and heater duty cycles drive the TMP and
+//! PWR side channels. The paper finds both are *weakly* correlated with
+//! printer motion (they are dominated by the thermal control loop, not the
+//! toolpath) and drops them after §VIII-B — our model reproduces exactly
+//! that property: duty cycling depends on the setpoint schedule, only
+//! faintly on motion.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one heater + thermal mass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Ambient temperature (deg C).
+    pub ambient: f64,
+    /// Cooling time constant (s).
+    pub tau: f64,
+    /// Heating rate at full duty (deg C / s).
+    pub heat_rate: f64,
+    /// Bang-bang hysteresis half-width (deg C).
+    pub hysteresis: f64,
+}
+
+impl ThermalParams {
+    /// Hotend-like: fast heating, fast cooling.
+    pub fn hotend() -> Self {
+        ThermalParams {
+            ambient: 25.0,
+            tau: 60.0,
+            heat_rate: 15.0,
+            hysteresis: 2.0,
+        }
+    }
+
+    /// Bed-like: slower but still experiment-friendly.
+    pub fn bed() -> Self {
+        ThermalParams {
+            ambient: 25.0,
+            tau: 180.0,
+            heat_rate: 6.0,
+            hysteresis: 1.0,
+        }
+    }
+}
+
+/// Simulated heater state advanced by explicit Euler steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeaterState {
+    /// Current temperature (deg C).
+    pub temperature: f64,
+    /// Current duty (0 or 1 for bang-bang).
+    pub duty: f64,
+    heating: bool,
+}
+
+impl HeaterState {
+    /// Starts at ambient, heater off.
+    pub fn new(params: &ThermalParams) -> Self {
+        HeaterState {
+            temperature: params.ambient,
+            duty: 0.0,
+            heating: false,
+        }
+    }
+
+    /// Advances the state by `dt` seconds toward `setpoint` (deg C;
+    /// `0` disables the heater entirely).
+    pub fn step(&mut self, params: &ThermalParams, setpoint: f64, dt: f64) {
+        if setpoint <= params.ambient {
+            self.heating = false;
+        } else if self.temperature < setpoint - params.hysteresis {
+            self.heating = true;
+        } else if self.temperature > setpoint + params.hysteresis {
+            self.heating = false;
+        }
+        self.duty = if self.heating { 1.0 } else { 0.0 };
+        let d_temp =
+            params.heat_rate * self.duty - (self.temperature - params.ambient) / params.tau;
+        self.temperature += d_temp * dt;
+    }
+
+    /// Time to reach `setpoint - hysteresis` from the current temperature
+    /// at full duty (used by the firmware for `M109`/`M190` waits).
+    /// Returns 0 when already at or above target.
+    pub fn time_to_reach(&self, params: &ThermalParams, setpoint: f64) -> f64 {
+        let target = setpoint - params.hysteresis;
+        if self.temperature >= target {
+            return 0.0;
+        }
+        // Solve the linear ODE at duty 1: T(t) = T_inf + (T0 - T_inf) e^{-t/tau},
+        // with T_inf = ambient + heat_rate * tau.
+        let t_inf = params.ambient + params.heat_rate * params.tau;
+        if t_inf <= target {
+            // Cannot reach: report the asymptotic 5-tau horizon.
+            return 5.0 * params.tau;
+        }
+        let ratio = (t_inf - self.temperature) / (t_inf - target);
+        params.tau * ratio.ln().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heats_to_setpoint_and_regulates() {
+        let p = ThermalParams::hotend();
+        let mut h = HeaterState::new(&p);
+        let dt = 0.05;
+        let mut t = 0.0;
+        while t < 120.0 {
+            h.step(&p, 205.0, dt);
+            t += dt;
+        }
+        assert!((h.temperature - 205.0).abs() < 2.0 * p.hysteresis + 1.0);
+        // Regulating: duty toggles over a window.
+        let mut duties = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            h.step(&p, 205.0, dt);
+            duties.insert(h.duty as i64);
+        }
+        assert_eq!(duties.len(), 2, "bang-bang should toggle");
+    }
+
+    #[test]
+    fn cools_when_disabled() {
+        let p = ThermalParams::hotend();
+        let mut h = HeaterState::new(&p);
+        for _ in 0..4000 {
+            h.step(&p, 205.0, 0.05);
+        }
+        let hot = h.temperature;
+        for _ in 0..4000 {
+            h.step(&p, 0.0, 0.05);
+        }
+        assert!(h.temperature < hot);
+        assert_eq!(h.duty, 0.0);
+    }
+
+    #[test]
+    fn time_to_reach_estimates_match_simulation() {
+        let p = ThermalParams::hotend();
+        let h = HeaterState::new(&p);
+        let estimate = h.time_to_reach(&p, 205.0);
+        // Simulate with bang-bang (always on below target).
+        let mut sim = HeaterState::new(&p);
+        let dt = 0.01;
+        let mut t = 0.0;
+        while sim.temperature < 205.0 - p.hysteresis && t < 1000.0 {
+            sim.step(&p, 205.0, dt);
+            t += dt;
+        }
+        assert!((estimate - t).abs() < 0.5, "estimate {estimate}, sim {t}");
+    }
+
+    #[test]
+    fn time_to_reach_zero_when_hot() {
+        let p = ThermalParams::hotend();
+        let mut h = HeaterState::new(&p);
+        h.temperature = 220.0;
+        assert_eq!(h.time_to_reach(&p, 205.0), 0.0);
+    }
+
+    #[test]
+    fn unreachable_setpoint_capped() {
+        let p = ThermalParams::hotend();
+        let h = HeaterState::new(&p);
+        let t_inf = p.ambient + p.heat_rate * p.tau;
+        let t = h.time_to_reach(&p, t_inf + 100.0);
+        assert_eq!(t, 5.0 * p.tau);
+    }
+}

@@ -1,0 +1,325 @@
+//! The executed print as a dense, sampleable physical trajectory.
+
+use am_motion::{Kinematics, Segment, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// One planned segment placed on the wall clock with its (noisy) duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedSegment {
+    /// Wall time at which the segment starts (s).
+    pub t_start: f64,
+    /// Actual (noise-stretched) duration (s).
+    pub duration: f64,
+    /// Nominal duration from the planner (s).
+    pub nominal_duration: f64,
+    /// The underlying planned segment.
+    pub segment: Segment,
+}
+
+/// Instantaneous physical state of the printer, consumed by the sensor
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrinterSample {
+    /// Sample time (s).
+    pub t: f64,
+    /// Tool position (mm).
+    pub position: Vec3,
+    /// Tool velocity (mm/s).
+    pub velocity: Vec3,
+    /// Tool acceleration (mm/s²).
+    pub acceleration: Vec3,
+    /// Joint (axis motor / tower carriage) velocities (mm/s).
+    pub joint_velocities: [f64; 3],
+    /// Extruder feed rate (mm of filament / s).
+    pub extrusion_rate: f64,
+    /// Hotend temperature (deg C).
+    pub hotend_temp: f64,
+    /// Bed temperature (deg C).
+    pub bed_temp: f64,
+    /// Hotend heater duty (0/1).
+    pub hotend_duty: f64,
+    /// Bed heater duty (0/1).
+    pub bed_duty: f64,
+    /// Part-cooling fan duty in `[0,1]`.
+    pub fan_duty: f64,
+    /// `true` while a motion segment is executing.
+    pub moving: bool,
+}
+
+/// A fully executed print: motion events on the wall clock plus thermal /
+/// fan timelines and layer ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrintTrajectory {
+    pub(crate) events: Vec<TimedSegment>,
+    pub(crate) duration: f64,
+    pub(crate) layer_times: Vec<f64>,
+    pub(crate) print_start: f64,
+    pub(crate) kinematics: Kinematics,
+    pub(crate) home_position: Vec3,
+    pub(crate) thermal_dt: f64,
+    pub(crate) hotend_temp: Vec<f64>,
+    pub(crate) hotend_duty: Vec<f64>,
+    pub(crate) bed_temp: Vec<f64>,
+    pub(crate) bed_duty: Vec<f64>,
+    /// Step function: `(time, duty)` sorted by time.
+    pub(crate) fan_schedule: Vec<(f64, f64)>,
+}
+
+impl PrintTrajectory {
+    /// Total wall-clock duration of the run (s).
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Wall time at which motion begins (after heat-up); signals are
+    /// aligned at this moment, mirroring the paper's "aligned at the
+    /// beginning" assumption.
+    pub fn print_start(&self) -> f64 {
+        self.print_start
+    }
+
+    /// Ground-truth layer-change times (s). The paper's baselines obtain
+    /// these from a bed accelerometer (Gao) or Z-motor currents (Gatlin);
+    /// the simulator knows them exactly.
+    pub fn layer_times(&self) -> &[f64] {
+        &self.layer_times
+    }
+
+    /// The motion events, sorted by start time.
+    pub fn events(&self) -> &[TimedSegment] {
+        &self.events
+    }
+
+    /// Sum of nominal (noise-free) motion durations — handy for comparing
+    /// against the noisy wall clock in experiments.
+    pub fn nominal_motion_duration(&self) -> f64 {
+        self.events.iter().map(|e| e.nominal_duration).sum()
+    }
+
+    /// Samples the full printer state at time `t` (clamped into the run).
+    pub fn sample(&self, t: f64) -> PrinterSample {
+        let idx = match self
+            .events
+            .binary_search_by(|e| e.t_start.partial_cmp(&t).unwrap())
+        {
+            Ok(i) => i as isize,
+            Err(i) => i as isize - 1,
+        };
+        self.sample_at_index(t, idx)
+    }
+
+    /// Sequential sampler: call with non-decreasing `t` for O(1) access.
+    pub fn cursor(&self) -> TrajectoryCursor<'_> {
+        TrajectoryCursor {
+            traj: self,
+            idx: -1,
+        }
+    }
+
+    fn sample_at_index(&self, t: f64, idx: isize) -> PrinterSample {
+        let (motion, moving) = if idx < 0 {
+            (idle_state(self.home_position), false)
+        } else {
+            let ev = &self.events[idx as usize];
+            let local = t - ev.t_start;
+            if local < ev.duration {
+                // Map noisy local time back to nominal profile time.
+                let nominal_t = if ev.duration > 0.0 {
+                    local / ev.duration * ev.nominal_duration
+                } else {
+                    0.0
+                };
+                // Velocities/accelerations scale inversely with the local
+                // time stretch (a move taking 1% longer runs ~1% slower).
+                let stretch = if ev.duration > 0.0 {
+                    ev.nominal_duration / ev.duration
+                } else {
+                    1.0
+                };
+                let st = ev.segment.state_at(nominal_t);
+                (
+                    am_motion::MotionState {
+                        position: st.position,
+                        velocity: st.velocity * stretch,
+                        acceleration: st.acceleration * (stretch * stretch),
+                        extrusion_rate: st.extrusion_rate * stretch,
+                    },
+                    true,
+                )
+            } else {
+                (idle_state(ev.segment.to), false)
+            }
+        };
+        let joints = self
+            .kinematics
+            .joint_velocities(motion.position, motion.velocity)
+            .unwrap_or([0.0; 3]);
+        let (hotend_temp, hotend_duty) = sample_timeline(
+            &self.hotend_temp,
+            &self.hotend_duty,
+            self.thermal_dt,
+            t,
+        );
+        let (bed_temp, bed_duty) =
+            sample_timeline(&self.bed_temp, &self.bed_duty, self.thermal_dt, t);
+        PrinterSample {
+            t,
+            position: motion.position,
+            velocity: motion.velocity,
+            acceleration: motion.acceleration,
+            joint_velocities: joints,
+            extrusion_rate: motion.extrusion_rate,
+            hotend_temp,
+            bed_temp,
+            hotend_duty,
+            bed_duty,
+            fan_duty: self.fan_duty_at(t),
+            moving,
+        }
+    }
+
+    /// Fan duty at time `t` (step function).
+    pub fn fan_duty_at(&self, t: f64) -> f64 {
+        let mut duty = 0.0;
+        for &(time, d) in &self.fan_schedule {
+            if time <= t {
+                duty = d;
+            } else {
+                break;
+            }
+        }
+        duty
+    }
+}
+
+fn idle_state(position: Vec3) -> am_motion::MotionState {
+    am_motion::MotionState {
+        position,
+        velocity: Vec3::ZERO,
+        acceleration: Vec3::ZERO,
+        extrusion_rate: 0.0,
+    }
+}
+
+fn sample_timeline(temps: &[f64], duties: &[f64], dt: f64, t: f64) -> (f64, f64) {
+    if temps.is_empty() {
+        return (0.0, 0.0);
+    }
+    let i = ((t / dt) as usize).min(temps.len() - 1);
+    (temps[i], duties[i])
+}
+
+/// Sequential O(1) sampler over a trajectory (see
+/// [`PrintTrajectory::cursor`]).
+#[derive(Debug)]
+pub struct TrajectoryCursor<'a> {
+    traj: &'a PrintTrajectory,
+    idx: isize,
+}
+
+impl TrajectoryCursor<'_> {
+    /// Samples at `t`; `t` must be non-decreasing across calls.
+    pub fn sample(&mut self, t: f64) -> PrinterSample {
+        let events = &self.traj.events;
+        while (self.idx + 1) < events.len() as isize
+            && events[(self.idx + 1) as usize].t_start <= t
+        {
+            self.idx += 1;
+        }
+        self.traj.sample_at_index(t, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_motion::profile::TrapezoidProfile;
+
+    fn tiny_trajectory() -> PrintTrajectory {
+        let seg = Segment {
+            from: Vec3::ZERO,
+            to: Vec3::new(10.0, 0.0, 0.0),
+            e_from: 0.0,
+            e_to: 1.0,
+            travel: false,
+            profile: TrapezoidProfile::plan(10.0, 0.0, 10.0, 0.0, 1000.0),
+        };
+        let nominal = seg.duration();
+        PrintTrajectory {
+            events: vec![TimedSegment {
+                t_start: 1.0,
+                duration: nominal * 1.1, // 10% stretched
+                nominal_duration: nominal,
+                segment: seg,
+            }],
+            duration: 3.0,
+            layer_times: vec![1.0],
+            print_start: 1.0,
+            kinematics: Kinematics::Cartesian,
+            home_position: Vec3::new(-5.0, 0.0, 0.0),
+            thermal_dt: 0.5,
+            hotend_temp: vec![25.0, 100.0, 200.0, 205.0, 205.0, 205.0],
+            hotend_duty: vec![1.0, 1.0, 1.0, 0.0, 1.0, 0.0],
+            bed_temp: vec![25.0; 6],
+            bed_duty: vec![0.0; 6],
+            fan_schedule: vec![(2.0, 1.0)],
+        }
+    }
+
+    #[test]
+    fn before_first_event_is_idle_at_home() {
+        let tr = tiny_trajectory();
+        let s = tr.sample(0.5);
+        assert!(!s.moving);
+        assert_eq!(s.position, Vec3::new(-5.0, 0.0, 0.0));
+        assert_eq!(s.velocity, Vec3::ZERO);
+    }
+
+    #[test]
+    fn inside_event_is_moving_with_stretch_corrected_velocity() {
+        let tr = tiny_trajectory();
+        let ev = &tr.events[0];
+        let mid = ev.t_start + ev.duration / 2.0;
+        let s = tr.sample(mid);
+        assert!(s.moving);
+        // Nominal cruise is 10 mm/s; stretched 10% slower.
+        assert!((s.velocity.norm() - 10.0 / 1.1).abs() < 0.5);
+        assert!(s.position.x > 0.0 && s.position.x < 10.0);
+        // Cartesian joints mirror the tool.
+        assert!((s.joint_velocities[0] - s.velocity.x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn after_event_idles_at_end() {
+        let tr = tiny_trajectory();
+        let s = tr.sample(2.9);
+        assert!(!s.moving);
+        assert_eq!(s.position, Vec3::new(10.0, 0.0, 0.0));
+        assert_eq!(s.extrusion_rate, 0.0);
+    }
+
+    #[test]
+    fn thermal_and_fan_sampling() {
+        let tr = tiny_trajectory();
+        assert_eq!(tr.sample(0.0).hotend_temp, 25.0);
+        assert_eq!(tr.sample(1.6).hotend_temp, 205.0);
+        assert_eq!(tr.sample(99.0).hotend_temp, 205.0); // clamped
+        assert_eq!(tr.fan_duty_at(1.9), 0.0);
+        assert_eq!(tr.fan_duty_at(2.0), 1.0);
+        assert_eq!(tr.sample(2.5).fan_duty, 1.0);
+    }
+
+    #[test]
+    fn cursor_matches_random_access() {
+        let tr = tiny_trajectory();
+        let mut cur = tr.cursor();
+        for i in 0..60 {
+            let t = i as f64 * 0.05;
+            let a = cur.sample(t);
+            let b = tr.sample(t);
+            assert_eq!(a.position, b.position, "t={t}");
+            assert_eq!(a.moving, b.moving);
+            assert_eq!(a.hotend_temp, b.hotend_temp);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The [`SideChannel`] enum: one variant per row of Table II.
+
+use crate::daq::DaqConfig;
+use crate::models::{AccModel, AudModel, EptModel, MagModel, PwrModel, TmpModel};
+use crate::synth::SensorModel;
+use am_dsp::{DspError, Signal};
+use am_printer::config::PrinterConfig;
+use am_printer::trajectory::PrintTrajectory;
+use serde::{Deserialize, Serialize};
+
+/// The six side channels of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SideChannel {
+    /// Acceleration (MPU9250, 6 channels).
+    Acc,
+    /// Temperature (MPU9250 die, 1 channel).
+    Tmp,
+    /// Magnetic field (MPU9250, 3 channels).
+    Mag,
+    /// Audio (AKG170, 2 channels).
+    Aud,
+    /// Electric potential (modified AKG170, 1 channel).
+    Ept,
+    /// Power / AC current (SCT013, 1 channel).
+    Pwr,
+}
+
+impl SideChannel {
+    /// All six channels, in Table II order.
+    pub fn all() -> [SideChannel; 6] {
+        [
+            SideChannel::Acc,
+            SideChannel::Tmp,
+            SideChannel::Mag,
+            SideChannel::Aud,
+            SideChannel::Ept,
+            SideChannel::Pwr,
+        ]
+    }
+
+    /// The four channels the paper keeps after §VIII-B (TMP and PWR are
+    /// dropped as weakly correlated with printer state).
+    pub fn kept() -> [SideChannel; 4] {
+        [
+            SideChannel::Acc,
+            SideChannel::Mag,
+            SideChannel::Aud,
+            SideChannel::Ept,
+        ]
+    }
+
+    /// Table II's ID string.
+    pub fn id(&self) -> &'static str {
+        match self {
+            SideChannel::Acc => "ACC",
+            SideChannel::Tmp => "TMP",
+            SideChannel::Mag => "MAG",
+            SideChannel::Aud => "AUD",
+            SideChannel::Ept => "EPT",
+            SideChannel::Pwr => "PWR",
+        }
+    }
+
+    /// Table II's sampling rate (Hz) for this channel at full (paper)
+    /// scale.
+    pub fn paper_fs(&self) -> f64 {
+        match self {
+            SideChannel::Acc => 4000.0,
+            SideChannel::Tmp => 4000.0,
+            SideChannel::Mag => 100.0,
+            SideChannel::Aud => 48_000.0,
+            SideChannel::Ept => 96_000.0,
+            SideChannel::Pwr => 12_000.0,
+        }
+    }
+
+    /// Table II's ADC resolution (bits).
+    pub fn paper_bits(&self) -> u32 {
+        match self {
+            SideChannel::Acc | SideChannel::Tmp | SideChannel::Mag => 16,
+            SideChannel::Aud | SideChannel::Ept | SideChannel::Pwr => 24,
+        }
+    }
+
+    /// Number of recorded channels (Table II's CHs column).
+    pub fn channel_count(&self) -> usize {
+        match self {
+            SideChannel::Acc => 6,
+            SideChannel::Tmp => 1,
+            SideChannel::Mag => 3,
+            SideChannel::Aud => 2,
+            SideChannel::Ept => 1,
+            SideChannel::Pwr => 1,
+        }
+    }
+
+    /// Builds the physical sensor model for this channel.
+    ///
+    /// The printer config is accepted so models can, in principle,
+    /// specialize per machine; the current models are machine-agnostic
+    /// because joint velocities already encode the kinematics.
+    pub fn model(&self, _printer: &PrinterConfig, seed: u64) -> Box<dyn SensorModel> {
+        // Offset the seed per channel so one run's channels are
+        // independently noisy.
+        let s = seed ^ (*self as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match self {
+            SideChannel::Acc => Box::new(AccModel::new(s)),
+            SideChannel::Tmp => Box::new(TmpModel::new(s)),
+            SideChannel::Mag => Box::new(MagModel::new(s)),
+            SideChannel::Aud => Box::new(AudModel::new(s)),
+            SideChannel::Ept => Box::new(EptModel::new(s)),
+            SideChannel::Pwr => Box::new(PwrModel::new(s)),
+        }
+    }
+
+    /// Synthesizes and captures this side channel for a finished print.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DspError`] from the DAQ (invalid config).
+    pub fn capture(
+        &self,
+        trajectory: &PrintTrajectory,
+        printer: &PrinterConfig,
+        daq: &DaqConfig,
+        seed: u64,
+    ) -> Result<Signal, DspError> {
+        let mut model = self.model(printer, seed);
+        daq.capture_boxed(trajectory, &mut model, seed)
+    }
+}
+
+impl DaqConfig {
+    /// Object-safe capture entry point used by [`SideChannel::capture`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DaqConfig::capture`].
+    pub fn capture_boxed(
+        &self,
+        trajectory: &PrintTrajectory,
+        model: &mut Box<dyn SensorModel>,
+        seed: u64,
+    ) -> Result<Signal, DspError> {
+        struct Shim<'a>(&'a mut dyn SensorModel);
+        impl SensorModel for Shim<'_> {
+            fn channels(&self) -> usize {
+                self.0.channels()
+            }
+            fn sample(
+                &mut self,
+                state: &am_printer::trajectory::PrinterSample,
+                dt: f64,
+                out: &mut [f64],
+            ) {
+                self.0.sample(state, dt, out)
+            }
+        }
+        self.capture(trajectory, &mut Shim(model.as_mut()), seed)
+    }
+}
+
+impl std::fmt::Display for SideChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_gcode::slicer::{slice_gear, SliceConfig};
+    use am_printer::{firmware::execute_program, noise::TimeNoise};
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(SideChannel::all().len(), 6);
+        assert_eq!(SideChannel::kept().len(), 4);
+        assert_eq!(SideChannel::Acc.channel_count(), 6);
+        assert_eq!(SideChannel::Aud.paper_fs(), 48_000.0);
+        assert_eq!(SideChannel::Ept.paper_fs(), 96_000.0);
+        assert_eq!(SideChannel::Mag.paper_bits(), 16);
+        assert_eq!(SideChannel::Pwr.paper_bits(), 24);
+        assert_eq!(SideChannel::Tmp.id(), "TMP");
+    }
+
+    #[test]
+    fn capture_all_channels_small() {
+        let printer = PrinterConfig::ultimaker3();
+        let traj = execute_program(
+            &slice_gear(&SliceConfig::small_gear()).unwrap(),
+            &printer,
+            &TimeNoise::disabled(),
+            0,
+        )
+        .unwrap();
+        for ch in SideChannel::all() {
+            let daq = DaqConfig::noiseless(200.0);
+            let sig = ch.capture(&traj, &printer, &daq, 1).unwrap();
+            assert_eq!(sig.channels(), ch.channel_count(), "{ch}");
+            assert!(sig.len() > 100, "{ch}");
+        }
+    }
+
+    #[test]
+    fn different_channels_get_different_noise_streams() {
+        let printer = PrinterConfig::ultimaker3();
+        let traj = execute_program(
+            &slice_gear(&SliceConfig::small_gear()).unwrap(),
+            &printer,
+            &TimeNoise::disabled(),
+            0,
+        )
+        .unwrap();
+        let daq = DaqConfig::realistic(200.0, 16);
+        let a = SideChannel::Ept.capture(&traj, &printer, &daq, 1).unwrap();
+        let b = SideChannel::Pwr.capture(&traj, &printer, &daq, 1).unwrap();
+        // Same seed, different channels: distinct signals.
+        assert_ne!(a.channel(0)[..50], b.channel(0)[..50]);
+    }
+}

@@ -1,0 +1,235 @@
+//! The data-acquisition chain: sampling, gain drift, quantization, and
+//! frame drops.
+//!
+//! Two of the paper's core concerns live here:
+//!
+//! - **Gain variation** (§VII-A, footnote 2): "the amplitude of the
+//!   acoustic side-channel signal strongly depends on the distance from
+//!   the microphone to the printer as well as the gain of the ADC
+//!   converter, both of which are susceptible to changes". Each capture
+//!   draws a per-run gain factor, which is why NSYNC's correlation
+//!   distance (gain-invariant) beats Euclidean/Manhattan.
+//! - **Frame drops** (§I): "time noise can be a result of frame drops in
+//!   data acquisition systems". Dropping a frame removes its samples and
+//!   shifts everything after it earlier — a direct, physical source of
+//!   horizontal displacement.
+
+use crate::synth::SensorModel;
+use am_dsp::{DspError, Signal};
+use am_printer::noise::gaussian;
+use am_printer::trajectory::PrintTrajectory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Acquisition configuration for one capture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DaqConfig {
+    /// Sampling rate (Hz).
+    pub fs: f64,
+    /// ADC resolution in bits (Table II: 16 or 24).
+    pub bits: u32,
+    /// Std-dev of the per-run multiplicative gain factor.
+    pub gain_sigma: f64,
+    /// Additive noise referred to the input (same units as the signal).
+    pub noise_sigma: f64,
+    /// Samples per acquisition frame.
+    pub frame_len: usize,
+    /// Expected dropped frames per second of capture.
+    pub frame_drop_rate: f64,
+}
+
+impl DaqConfig {
+    /// A noiseless, drop-free DAQ — for reference signals and tests.
+    pub fn noiseless(fs: f64) -> Self {
+        DaqConfig {
+            fs,
+            bits: 24,
+            gain_sigma: 0.0,
+            noise_sigma: 0.0,
+            frame_len: 64,
+            frame_drop_rate: 0.0,
+        }
+    }
+
+    /// A realistic DAQ: a few percent gain drift between runs, a low
+    /// noise floor, and occasional frame drops. Frames last ~20 ms
+    /// regardless of sampling rate (as with real USB/I²S transports), so
+    /// a drop shifts the capture by ~20 ms.
+    pub fn realistic(fs: f64, bits: u32) -> Self {
+        DaqConfig {
+            fs,
+            bits,
+            gain_sigma: 0.05,
+            noise_sigma: 0.001,
+            frame_len: ((fs / 50.0).round() as usize).max(1),
+            frame_drop_rate: 0.02,
+        }
+    }
+
+    /// Captures a sensor's output through this DAQ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for non-positive `fs`, zero
+    /// `frame_len`, or `bits` outside `2..=32`.
+    pub fn capture<M: SensorModel>(
+        &self,
+        trajectory: &PrintTrajectory,
+        model: &mut M,
+        seed: u64,
+    ) -> Result<Signal, DspError> {
+        if !(self.fs.is_finite() && self.fs > 0.0) {
+            return Err(DspError::InvalidParameter(format!(
+                "daq fs must be positive, got {}",
+                self.fs
+            )));
+        }
+        if self.frame_len == 0 {
+            return Err(DspError::InvalidParameter("frame_len must be >= 1".into()));
+        }
+        if !(2..=32).contains(&self.bits) {
+            return Err(DspError::InvalidParameter(format!(
+                "bits must be in 2..=32, got {}",
+                self.bits
+            )));
+        }
+        let raw = crate::synth::synthesize(trajectory, model, self.fs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA0_5EED);
+        let gain = (1.0 + self.gain_sigma * gaussian(&mut rng)).max(0.05);
+
+        // Decide which frames survive.
+        let n = raw.len();
+        let frames = n.div_ceil(self.frame_len);
+        let p_drop = (self.frame_drop_rate * self.frame_len as f64 / self.fs).clamp(0.0, 0.9);
+        let keep: Vec<bool> = (0..frames)
+            .map(|_| !(p_drop > 0.0 && rng.gen::<f64>() < p_drop))
+            .collect();
+
+        let full_scale = raw
+            .iter_channels()
+            .flat_map(|ch| ch.iter())
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-9)
+            * 1.5;
+        let q_step = full_scale * 2.0 / (1u64 << self.bits) as f64;
+
+        let mut channels: Vec<Vec<f64>> = vec![Vec::with_capacity(n); raw.channels()];
+        for c in 0..raw.channels() {
+            let src = raw.channel(c);
+            let dst = &mut channels[c];
+            for (f, kept) in keep.iter().enumerate() {
+                if !kept {
+                    continue;
+                }
+                let start = f * self.frame_len;
+                let end = (start + self.frame_len).min(n);
+                for &v in &src[start..end] {
+                    let noisy = v * gain + self.noise_sigma * gaussian(&mut rng);
+                    let quantized = (noisy / q_step).round() * q_step;
+                    dst.push(quantized.clamp(-full_scale, full_scale));
+                }
+            }
+        }
+        Signal::from_channels(self.fs, channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_gcode::slicer::{slice_gear, SliceConfig};
+    use am_printer::{config::PrinterConfig, firmware::execute_program, noise::TimeNoise};
+    use am_printer::trajectory::PrinterSample;
+
+    struct Ramp(f64);
+    impl SensorModel for Ramp {
+        fn channels(&self) -> usize {
+            1
+        }
+        fn sample(&mut self, _s: &PrinterSample, dt: f64, out: &mut [f64]) {
+            self.0 += dt;
+            out[0] = self.0;
+        }
+    }
+
+    fn traj() -> am_printer::trajectory::PrintTrajectory {
+        execute_program(
+            &slice_gear(&SliceConfig::small_gear()).unwrap(),
+            &PrinterConfig::ultimaker3(),
+            &TimeNoise::disabled(),
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn noiseless_daq_is_transparent_up_to_quantization() {
+        let t = traj();
+        let daq = DaqConfig::noiseless(100.0);
+        let sig = daq.capture(&t, &mut Ramp(0.0), 0).unwrap();
+        // Monotone ramp preserved.
+        for w in sig.channel(0).windows(2) {
+            assert!(w[1] >= w[0] - 1e-6);
+        }
+        let expected = ((t.duration() - t.print_start()) * 100.0).floor() as usize;
+        assert_eq!(sig.len(), expected);
+    }
+
+    #[test]
+    fn frame_drops_shorten_the_capture() {
+        let t = traj();
+        let mut daq = DaqConfig::noiseless(100.0);
+        daq.frame_drop_rate = 0.5; // heavy dropping
+        let dropped = daq.capture(&t, &mut Ramp(0.0), 3).unwrap();
+        let clean = DaqConfig::noiseless(100.0)
+            .capture(&t, &mut Ramp(0.0), 3)
+            .unwrap();
+        assert!(dropped.len() < clean.len());
+        // Whole frames vanish: length difference is a multiple of frame_len
+        // (except possibly the tail frame).
+        let diff = clean.len() - dropped.len();
+        assert!(diff >= daq.frame_len);
+    }
+
+    #[test]
+    fn gain_varies_between_seeds() {
+        let t = traj();
+        let mut daq = DaqConfig::noiseless(100.0);
+        daq.gain_sigma = 0.1;
+        let a = daq.capture(&t, &mut Ramp(0.0), 1).unwrap();
+        let b = daq.capture(&t, &mut Ramp(0.0), 2).unwrap();
+        let ra = a.rms();
+        let rb = b.rms();
+        assert!((ra / rb - 1.0).abs() > 1e-4, "gains identical: {ra} vs {rb}");
+    }
+
+    #[test]
+    fn quantization_limits_distinct_values() {
+        let t = traj();
+        let mut daq = DaqConfig::noiseless(100.0);
+        daq.bits = 4;
+        let sig = daq.capture(&t, &mut Ramp(0.0), 0).unwrap();
+        let mut distinct: Vec<i64> = sig
+            .channel(0)
+            .iter()
+            .map(|v| (v * 1e6).round() as i64)
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 17, "got {} levels", distinct.len());
+    }
+
+    #[test]
+    fn config_validation() {
+        let t = traj();
+        let mut bad = DaqConfig::noiseless(0.0);
+        assert!(bad.capture(&t, &mut Ramp(0.0), 0).is_err());
+        bad = DaqConfig::noiseless(10.0);
+        bad.frame_len = 0;
+        assert!(bad.capture(&t, &mut Ramp(0.0), 0).is_err());
+        bad = DaqConfig::noiseless(10.0);
+        bad.bits = 1;
+        assert!(bad.capture(&t, &mut Ramp(0.0), 0).is_err());
+    }
+}

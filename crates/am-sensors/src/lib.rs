@@ -1,0 +1,49 @@
+//! Side-channel sensor models: synthesizes the six analog side channels of
+//! Table II from a simulated print trajectory.
+//!
+//! | ID  | Side channel        | Physical source we model                              |
+//! |-----|---------------------|-------------------------------------------------------|
+//! | ACC | Acceleration (6 ch) | printhead acceleration + gyro, motion vibration       |
+//! | TMP | Temperature (1 ch)  | sensor die temperature: slow thermal state, no motion |
+//! | MAG | Magnetic (3 ch)     | stepper coil fields ∝ joint activity + earth field    |
+//! | AUD | Audio (2 ch)        | stepper step-rate tones + fan hum + ambient noise     |
+//! | EPT | Elec. potential     | 60 Hz mains (dominant) + weak motor PWM coupling      |
+//! | PWR | Power/current       | heater duty (dominant) + motor/fan load               |
+//!
+//! The qualitative properties the paper measures are built in: ACC/AUD are
+//! strongly correlated with printer state; the *raw* EPT signal is useless
+//! (mains-dominated) while its spectrogram is informative; TMP and PWR are
+//! weakly correlated (the paper drops them after §VIII-B); MAG is noisy
+//! but correctly shaped.
+//!
+//! The [`daq`] module models the acquisition chain itself — per-run gain
+//! drift (why NSYNC needs gain-invariant distances), quantization, and
+//! frame drops (one of the paper's named sources of time noise).
+//!
+//! # Example
+//!
+//! ```
+//! use am_gcode::slicer::{slice_gear, SliceConfig};
+//! use am_printer::{config::PrinterConfig, firmware::execute_program, noise::TimeNoise};
+//! use am_sensors::{channel::SideChannel, daq::DaqConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let printer = PrinterConfig::ultimaker3();
+//! let mut slice = SliceConfig::small_gear();
+//! slice.center = am_gcode::geometry::Point2::new(100.0, 100.0);
+//! let traj = execute_program(&slice_gear(&slice)?, &printer, &TimeNoise::disabled(), 0)?;
+//! let daq = DaqConfig::noiseless(400.0);
+//! let acc = SideChannel::Acc.capture(&traj, &printer, &daq, 0)?;
+//! assert_eq!(acc.channels(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod channel;
+pub mod daq;
+pub mod models;
+pub mod synth;
+
+pub use channel::SideChannel;
+pub use daq::DaqConfig;
+pub use synth::SensorModel;

@@ -1,0 +1,186 @@
+//! AUD: stereo microphone (AKG170 in the paper).
+//!
+//! The dominant acoustic sources on an FDM printer are the stepper motors,
+//! which emit tones at their step rate (proportional to joint speed), plus
+//! the part-cooling fan's hum and broadband ambient noise. The two stereo
+//! channels hear the same sources with different gains (different
+//! distances to each motor).
+
+use crate::synth::SensorModel;
+use am_printer::noise::gaussian;
+use am_printer::trajectory::PrinterSample;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stereo microphone model.
+#[derive(Debug)]
+pub struct AudModel {
+    rng: StdRng,
+    motor_phase: [f64; 3],
+    extruder_phase: f64,
+    fan_phase: f64,
+    t: f64,
+    /// Tone frequency per unit joint speed (cycles per mm). Defaults keep
+    /// tones under Nyquist for the scaled experiment sample rates.
+    pub tone_cycles_per_mm: f64,
+    /// Per-source stereo gains: `[motor0, motor1, motor2, extruder, fan]`
+    /// for the left channel.
+    pub left_gains: [f64; 5],
+    /// Same for the right channel.
+    pub right_gains: [f64; 5],
+    /// Ambient noise floor.
+    pub noise_sigma: f64,
+}
+
+impl AudModel {
+    /// Creates the model with a reproducible seed.
+    pub fn new(seed: u64) -> Self {
+        AudModel {
+            rng: StdRng::seed_from_u64(seed),
+            motor_phase: [0.0; 3],
+            extruder_phase: 0.0,
+            fan_phase: 0.0,
+            t: 0.0,
+            tone_cycles_per_mm: 2.0,
+            left_gains: [1.0, 0.7, 0.5, 0.6, 0.8],
+            right_gains: [0.6, 1.0, 0.7, 0.5, 0.8],
+            noise_sigma: 0.02,
+        }
+    }
+}
+
+impl SensorModel for AudModel {
+    fn channels(&self) -> usize {
+        2
+    }
+
+    fn sample(&mut self, state: &PrinterSample, dt: f64, out: &mut [f64]) {
+        self.t += dt;
+        let tau = std::f64::consts::TAU;
+        let mut sources = [0.0f64; 5];
+        for j in 0..3 {
+            let speed = state.joint_velocities[j].abs();
+            self.motor_phase[j] += tau * speed * self.tone_cycles_per_mm * dt;
+            if self.motor_phase[j] > tau * 1e6 {
+                self.motor_phase[j] -= tau * 1e6;
+            }
+            // A stopped motor is silent; amplitude grows then saturates.
+            // The tone's phase is run-specific (time noise scrambles it),
+            // but the broadband motor "whoosh" — modeled as the envelope
+            // itself — is what correlates across runs of the same print.
+            let env = (speed / 40.0).tanh();
+            sources[j] = 0.25 * env + 0.15 * env * self.motor_phase[j].sin();
+        }
+        // Extruder tone.
+        self.extruder_phase += tau * state.extrusion_rate.abs() * 25.0 * dt;
+        sources[3] = 0.15 * (state.extrusion_rate.abs() / 2.0).tanh() * self.extruder_phase.sin();
+        // Fan hum with a second harmonic.
+        self.fan_phase += tau * 85.0 * dt;
+        if self.fan_phase > tau * 1e6 {
+            self.fan_phase -= tau * 1e6;
+        }
+        sources[4] =
+            state.fan_duty * (0.12 * self.fan_phase.sin() + 0.05 * (2.0 * self.fan_phase).sin());
+
+        let noise_l = self.noise_sigma * gaussian(&mut self.rng);
+        let noise_r = self.noise_sigma * gaussian(&mut self.rng);
+        out[0] = sources
+            .iter()
+            .zip(self.left_gains.iter())
+            .map(|(s, g)| s * g)
+            .sum::<f64>()
+            + noise_l;
+        out[1] = sources
+            .iter()
+            .zip(self.right_gains.iter())
+            .map(|(s, g)| s * g)
+            .sum::<f64>()
+            + noise_r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rms_of(model: &mut AudModel, state: &PrinterSample, n: usize) -> f64 {
+        let mut out = [0.0; 2];
+        let mut acc = 0.0;
+        for _ in 0..n {
+            model.sample(state, 1.0 / 4000.0, &mut out);
+            acc += out[0] * out[0];
+        }
+        (acc / n as f64).sqrt()
+    }
+
+    #[test]
+    fn silent_when_idle_loud_when_printing() {
+        let mut m = AudModel::new(1);
+        let idle = rms_of(&mut m, &PrinterSample::default(), 4000);
+        let printing = PrinterSample {
+            joint_velocities: [50.0, 30.0, 0.0],
+            extrusion_rate: 2.0,
+            fan_duty: 1.0,
+            ..Default::default()
+        };
+        let loud = rms_of(&mut m, &printing, 4000);
+        assert!(loud > 5.0 * idle, "idle {idle}, printing {loud}");
+    }
+
+    #[test]
+    fn stereo_channels_differ_but_correlate() {
+        let mut m = AudModel::new(2);
+        let printing = PrinterSample {
+            joint_velocities: [50.0, 0.0, 0.0],
+            ..Default::default()
+        };
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        let mut out = [0.0; 2];
+        for _ in 0..4000 {
+            m.sample(&printing, 1.0 / 4000.0, &mut out);
+            l.push(out[0]);
+            r.push(out[1]);
+        }
+        assert_ne!(l, r);
+        let corr = am_dsp::metrics::pearson(&l, &r);
+        assert!(corr > 0.8, "stereo correlation {corr}");
+    }
+
+    #[test]
+    fn motor_tone_frequency_tracks_speed() {
+        // Count mean-crossings of the dominant tone at two speeds (the
+        // envelope offsets the waveform, so cross the mean, not zero).
+        let crossings = |speed: f64| {
+            let mut m = AudModel::new(3);
+            m.noise_sigma = 0.0;
+            let st = PrinterSample {
+                joint_velocities: [speed, 0.0, 0.0],
+                ..Default::default()
+            };
+            let mut out = [0.0; 2];
+            let mut samples = Vec::with_capacity(4000);
+            for _ in 0..4000 {
+                m.sample(&st, 1.0 / 4000.0, &mut out);
+                samples.push(out[0]);
+            }
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let mut last = samples[0] - mean;
+            let mut count = 0;
+            for &s in &samples[1..] {
+                let v = s - mean;
+                if last < 0.0 && v >= 0.0 {
+                    count += 1;
+                }
+                last = v;
+            }
+            count
+        };
+        let slow = crossings(20.0);
+        let fast = crossings(40.0);
+        assert!(
+            (fast as f64 / slow as f64 - 2.0).abs() < 0.2,
+            "slow {slow}, fast {fast}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! EPT: electric-potential probe (the paper's cap-removed AKG170).
+//!
+//! The raw signal is dominated by the 60 Hz mains field (with a random
+//! per-run phase) — which is why the paper finds the **raw** EPT signal
+//! useless for synchronization ("mostly composed of a 60 Hz power
+//! component, which is not correlated with the state of the printer")
+//! while its **spectrogram** works: the weak motor PWM coupling occupies
+//! other bins and "all channels are treated with the same level of
+//! importance".
+
+use crate::synth::SensorModel;
+use am_printer::noise::gaussian;
+use am_printer::trajectory::PrinterSample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Electric-potential probe model.
+#[derive(Debug)]
+pub struct EptModel {
+    rng: StdRng,
+    mains_phase: f64,
+    motor_phase: [f64; 3],
+    t: f64,
+    /// Mains fundamental amplitude (dominant).
+    pub mains_amp: f64,
+    /// Motor-coupling amplitude (weak).
+    pub motor_amp: f64,
+    /// Noise floor.
+    pub noise_sigma: f64,
+}
+
+impl EptModel {
+    /// Creates the model with a reproducible seed; the mains phase is
+    /// random per run (uncorrelated with the print).
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mains_phase = rng.gen::<f64>() * std::f64::consts::TAU;
+        EptModel {
+            rng,
+            mains_phase,
+            motor_phase: [0.0; 3],
+            t: 0.0,
+            mains_amp: 1.0,
+            motor_amp: 0.15,
+            noise_sigma: 0.01,
+        }
+    }
+}
+
+impl SensorModel for EptModel {
+    fn channels(&self) -> usize {
+        1
+    }
+
+    fn sample(&mut self, state: &PrinterSample, dt: f64, out: &mut [f64]) {
+        self.t += dt;
+        let tau = std::f64::consts::TAU;
+        let mains = self.mains_amp
+            * ((tau * 60.0 * self.t + self.mains_phase).sin()
+                + 0.25 * (tau * 180.0 * self.t + 3.0 * self.mains_phase).sin());
+        let mut motor = 0.0;
+        for j in 0..3 {
+            let speed = state.joint_velocities[j].abs();
+            self.motor_phase[j] += tau * speed * 3.0 * dt;
+            if self.motor_phase[j] > tau * 1e6 {
+                self.motor_phase[j] -= tau * 1e6;
+            }
+            let env = (speed / 40.0).tanh();
+            motor += self.motor_amp * env * (1.0 + self.motor_phase[j].sin());
+        }
+        // Heater switching couples a 120 Hz buzz when the element is on.
+        let heater = 0.005 * state.hotend_duty * (tau * 120.0 * self.t).sin();
+        out[0] = mains + motor + heater + self.noise_sigma * gaussian(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mains_dominates_raw_signal() {
+        let mut m = EptModel::new(1);
+        let printing = PrinterSample {
+            joint_velocities: [50.0, 50.0, 0.0],
+            hotend_duty: 1.0,
+            ..Default::default()
+        };
+        let mut out = [0.0];
+        let mut with_motion = 0.0;
+        for _ in 0..8000 {
+            m.sample(&printing, 1.0 / 8000.0, &mut out);
+            with_motion += out[0] * out[0];
+        }
+        let mut m2 = EptModel::new(1);
+        let mut idle = 0.0;
+        for _ in 0..8000 {
+            m2.sample(&PrinterSample::default(), 1.0 / 8000.0, &mut out);
+            idle += out[0] * out[0];
+        }
+        // Motion adds only a small fraction of total energy.
+        let ratio = with_motion / idle;
+        assert!(ratio < 1.2, "motion changed EPT energy by {ratio}x");
+        assert!(idle > 1000.0, "mains should carry most energy");
+    }
+
+    #[test]
+    fn mains_phase_differs_across_runs() {
+        let a = EptModel::new(1).mains_phase;
+        let b = EptModel::new(2).mains_phase;
+        assert!((a - b).abs() > 1e-6);
+    }
+}

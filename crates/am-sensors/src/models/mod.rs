@@ -1,0 +1,15 @@
+//! The six physical sensor models of Table II.
+
+pub mod acc;
+pub mod aud;
+pub mod ept;
+pub mod mag;
+pub mod pwr;
+pub mod tmp;
+
+pub use acc::AccModel;
+pub use aud::AudModel;
+pub use ept::EptModel;
+pub use mag::MagModel;
+pub use pwr::PwrModel;
+pub use tmp::TmpModel;

@@ -1,0 +1,107 @@
+//! PWR: clamp-on AC current sensor (SCT013) on the printer's mains lead.
+//!
+//! Desktop-printer power draw is dominated by the bang-bang heaters; the
+//! motors add only a small, nearly speed-independent load. The paper
+//! consequently finds PWR weakly correlated with motion and drops it after
+//! §VIII-B.
+
+use crate::synth::SensorModel;
+use am_printer::noise::gaussian;
+use am_printer::trajectory::PrinterSample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// AC current sensor model.
+#[derive(Debug)]
+pub struct PwrModel {
+    rng: StdRng,
+    mains_phase: f64,
+    t: f64,
+    /// Baseline electronics draw (A-ish units).
+    pub base_load: f64,
+    /// Hotend heater load.
+    pub hotend_load: f64,
+    /// Bed heater load.
+    pub bed_load: f64,
+    /// Fan load.
+    pub fan_load: f64,
+    /// Motor load at full speed (small by design).
+    pub motor_load: f64,
+    /// Noise floor.
+    pub noise_sigma: f64,
+}
+
+impl PwrModel {
+    /// Creates the model with a reproducible seed (random mains phase).
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mains_phase = rng.gen::<f64>() * std::f64::consts::TAU;
+        PwrModel {
+            rng,
+            mains_phase,
+            t: 0.0,
+            base_load: 0.3,
+            hotend_load: 2.0,
+            bed_load: 1.4,
+            fan_load: 0.1,
+            motor_load: 0.15,
+            noise_sigma: 0.02,
+        }
+    }
+}
+
+impl SensorModel for PwrModel {
+    fn channels(&self) -> usize {
+        1
+    }
+
+    fn sample(&mut self, state: &PrinterSample, dt: f64, out: &mut [f64]) {
+        self.t += dt;
+        let motor_activity: f64 = state
+            .joint_velocities
+            .iter()
+            .map(|v| (v.abs() / 100.0).min(1.0))
+            .sum::<f64>()
+            / 3.0;
+        let envelope = self.base_load
+            + self.hotend_load * state.hotend_duty
+            + self.bed_load * state.bed_duty
+            + self.fan_load * state.fan_duty
+            + self.motor_load * motor_activity;
+        let carrier = (std::f64::consts::TAU * 60.0 * self.t + self.mains_phase).sin();
+        out[0] = envelope * carrier + self.noise_sigma * gaussian(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rms(model: &mut PwrModel, state: &PrinterSample, n: usize) -> f64 {
+        let mut out = [0.0];
+        let mut acc = 0.0;
+        for _ in 0..n {
+            model.sample(state, 1.0 / 2000.0, &mut out);
+            acc += out[0] * out[0];
+        }
+        (acc / n as f64).sqrt()
+    }
+
+    #[test]
+    fn heater_dominates_motors() {
+        let mut m = PwrModel::new(1);
+        let heating = PrinterSample {
+            hotend_duty: 1.0,
+            ..Default::default()
+        };
+        let moving = PrinterSample {
+            joint_velocities: [100.0, 100.0, 100.0],
+            ..Default::default()
+        };
+        let r_heat = rms(&mut m, &heating, 4000);
+        let r_move = rms(&mut m, &moving, 4000);
+        let r_idle = rms(&mut m, &PrinterSample::default(), 4000);
+        assert!(r_heat > 3.0 * r_move, "heat {r_heat} vs move {r_move}");
+        assert!(r_move > r_idle, "motors do add a little load");
+    }
+}

@@ -1,0 +1,96 @@
+//! TMP: the IMU's internal die-temperature channel.
+//!
+//! The die warms slowly with the ambient air around the hotend and drifts.
+//! It is *weakly* correlated with the printer's motion state — exactly why
+//! the paper drops this channel after §VIII-B. Keeping the weakness
+//! faithful matters: NSYNC should fail to synchronize on TMP.
+
+use crate::synth::SensorModel;
+use am_printer::noise::gaussian;
+use am_printer::trajectory::PrinterSample;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// IMU die-temperature model.
+#[derive(Debug)]
+pub struct TmpModel {
+    rng: StdRng,
+    die_temp: f64,
+    drift: f64,
+    /// Coupling from hotend temperature into the die (dimensionless).
+    pub hotend_coupling: f64,
+    /// Measurement noise (deg C).
+    pub noise_sigma: f64,
+}
+
+impl TmpModel {
+    /// Creates the model with a reproducible seed.
+    pub fn new(seed: u64) -> Self {
+        TmpModel {
+            rng: StdRng::seed_from_u64(seed),
+            die_temp: 25.0,
+            drift: 0.0,
+            hotend_coupling: 0.04,
+            noise_sigma: 0.05,
+        }
+    }
+}
+
+impl SensorModel for TmpModel {
+    fn channels(&self) -> usize {
+        1
+    }
+
+    fn sample(&mut self, state: &PrinterSample, dt: f64, out: &mut [f64]) {
+        // First-order approach to (ambient + coupled hotend heat).
+        let target = 25.0 + self.hotend_coupling * (state.hotend_temp - 25.0);
+        let tau = 40.0;
+        self.die_temp += (target - self.die_temp) / tau * dt;
+        // Slow random drift (integrated noise, band-limited).
+        self.drift += 0.02 * gaussian(&mut self.rng) * dt.sqrt();
+        self.drift *= 1.0 - 0.001 * dt;
+        out[0] = self.die_temp + self.drift + self.noise_sigma * gaussian(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_toward_coupled_target() {
+        let mut m = TmpModel::new(1);
+        let hot = PrinterSample {
+            hotend_temp: 205.0,
+            ..Default::default()
+        };
+        let mut out = [0.0];
+        for _ in 0..200_000 {
+            m.sample(&hot, 0.01, &mut out);
+        }
+        let target = 25.0 + 0.04 * 180.0;
+        assert!((out[0] - target).abs() < 2.0, "die {} vs {target}", out[0]);
+    }
+
+    #[test]
+    fn motion_barely_moves_the_needle() {
+        // Two identical models, one fed motion, one idle: outputs stay
+        // within noise of each other (weak motion correlation).
+        let mut a = TmpModel::new(2);
+        let mut b = TmpModel::new(2);
+        let idle = PrinterSample::default();
+        let moving = PrinterSample {
+            velocity: am_motion::Vec3::new(100.0, 0.0, 0.0),
+            joint_velocities: [100.0, 100.0, 100.0],
+            ..Default::default()
+        };
+        let (mut oa, mut ob) = ([0.0], [0.0]);
+        let mut max_diff = 0.0f64;
+        for _ in 0..5000 {
+            a.sample(&idle, 1e-3, &mut oa);
+            b.sample(&moving, 1e-3, &mut ob);
+            max_diff = max_diff.max((oa[0] - ob[0]).abs());
+        }
+        assert!(max_diff < 1.0, "motion leaked into TMP: {max_diff}");
+    }
+}

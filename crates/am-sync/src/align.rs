@@ -1,0 +1,135 @@
+//! The [`Alignment`] produced by a synchronizer and the [`Synchronizer`]
+//! abstraction NSYNC is generic over.
+
+use crate::error::SyncError;
+use am_dsp::Signal;
+use serde::{Deserialize, Serialize};
+
+/// How the comparison units of an alignment map back onto the signals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlignmentKind {
+    /// Window-based (DWM): unit `i` is the window
+    /// `a[i·n_hop .. i·n_hop + n_win]` matched against
+    /// `b{i; h_disp[i]}` (Eq 8).
+    Windowed {
+        /// Window width in samples.
+        n_win: usize,
+        /// Hop between windows in samples.
+        n_hop: usize,
+    },
+    /// Point-based (DTW): the warp path `(i, j)` meaning `a[i] ↔ b[j]`.
+    Pointwise {
+        /// The warp path, monotone in both coordinates.
+        path: Vec<(usize, usize)>,
+    },
+}
+
+/// Output of dynamic synchronization: the horizontal-displacement array
+/// plus its interpretation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// `h_disp[i]`: displacement of `b` w.r.t. `a` at comparison unit `i`,
+    /// in samples (fractional for DTW via Eq 5).
+    pub h_disp: Vec<f64>,
+    /// Mapping details for the comparator.
+    pub kind: AlignmentKind,
+}
+
+impl Alignment {
+    /// Horizontal distances `h_dist[i] = |h_disp[i]|` (§VI-B).
+    pub fn h_dist(&self) -> Vec<f64> {
+        self.h_disp.iter().map(|v| v.abs()).collect()
+    }
+
+    /// Number of comparison units.
+    pub fn len(&self) -> usize {
+        self.h_disp.len()
+    }
+
+    /// `true` when the alignment has no units.
+    pub fn is_empty(&self) -> bool {
+        self.h_disp.is_empty()
+    }
+}
+
+/// A dynamic synchronizer (DWM or DTW). NSYNC is generic over this trait;
+/// it is object-safe so IDS configs can store `Box<dyn Synchronizer>`.
+pub trait Synchronizer {
+    /// Aligns observed signal `a` against reference `b`, assuming both
+    /// start at the same process moment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] when shapes/rates are incompatible or the
+    /// signals are shorter than the synchronizer's window configuration.
+    fn synchronize(&self, a: &Signal, b: &Signal) -> Result<Alignment, SyncError>;
+
+    /// Human-readable name for reports ("DWM", "DTW(r=1)", ...).
+    fn name(&self) -> String;
+}
+
+/// Converts a DTW warp path into `h_disp` per index of `a` (Eq 5):
+/// `h_disp[i] = mean_k(j_k) - i` over all tuples `(i, j_k)`.
+pub fn hdisp_from_path(path: &[(usize, usize)], a_len: usize) -> Vec<f64> {
+    let mut sums = vec![0.0f64; a_len];
+    let mut counts = vec![0u32; a_len];
+    for &(i, j) in path {
+        if i < a_len {
+            sums[i] += j as f64;
+            counts[i] += 1;
+        }
+    }
+    (0..a_len)
+        .map(|i| {
+            if counts[i] > 0 {
+                sums[i] / counts[i] as f64 - i as f64
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdisp_from_simple_path() {
+        // Diagonal path: zero displacement everywhere.
+        let path: Vec<(usize, usize)> = (0..5).map(|i| (i, i)).collect();
+        assert_eq!(hdisp_from_path(&path, 5), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn hdisp_from_shifted_path() {
+        let path: Vec<(usize, usize)> = (0..5).map(|i| (i, i + 2)).collect();
+        assert_eq!(hdisp_from_path(&path, 5), vec![2.0; 5]);
+    }
+
+    #[test]
+    fn hdisp_averages_multiple_tuples_eq5() {
+        // a[1] matches b[1] and b[3]: mean j = 2, disp = 1.
+        let path = vec![(0, 0), (1, 1), (1, 3), (2, 3)];
+        let h = hdisp_from_path(&path, 3);
+        assert_eq!(h, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn missing_indices_default_to_zero() {
+        let path = vec![(0, 0)];
+        let h = hdisp_from_path(&path, 3);
+        assert_eq!(h, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let al = Alignment {
+            h_disp: vec![1.0, -2.0, 0.5],
+            kind: AlignmentKind::Windowed { n_win: 8, n_hop: 4 },
+        };
+        assert_eq!(al.h_dist(), vec![1.0, 2.0, 0.5]);
+        assert_eq!(al.len(), 3);
+        assert!(!al.is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Automatic DWM parameter selection — §VI-C's recipes as code.
+//!
+//! The paper prescribes how to pick each parameter from data:
+//!
+//! - **`t_sigma`**: "start with a large `t_sigma` and obtain the maximum
+//!   value of the absolute difference of `h_disp` between any two
+//!   consecutive windows. We select `t_sigma` to be a value that is larger
+//!   than this maximum value."
+//! - **`t_win`**: "sweep `t_win` from a small value to a large value and
+//!   select the `t_win` such that the change of the overall shape of
+//!   `h_disp` is the smallest with respect to `t_win`."
+//! - **`eta`**: "start with a small value, typically 0.1. If DWM is unable
+//!   to converge, crank up this value."
+//!
+//! These run on a *benign* observed/reference pair (parameter selection is
+//! part of training, so no malicious data is needed — consistent with the
+//! OCC story).
+
+use crate::dwm::{dwm, DwmParams};
+use crate::error::SyncError;
+use am_dsp::metrics::pearson;
+use am_dsp::resample::sample_at;
+use am_dsp::stats::max_abs_diff;
+use am_dsp::Signal;
+
+/// Selects `t_sigma` per §VI-C: run DWM with a deliberately loose bias,
+/// measure the largest window-to-window jump of `h_disp`, and return a
+/// value `margin`× that jump (the paper says "larger than"; 1.5 is a
+/// sensible default margin). The result is clamped to `[t_win/16,
+/// t_win/2]` — the lower bound keeps the bias from pinning the track to
+/// zero displacement (Fig 6(a)'s too-small-σ failure), the upper bound
+/// keeps the bias meaningful at all.
+///
+/// # Errors
+///
+/// Propagates DWM failures on the probe run.
+pub fn select_sigma(
+    a: &Signal,
+    b: &Signal,
+    base: &DwmParams,
+    margin: f64,
+) -> Result<f64, SyncError> {
+    if !(margin.is_finite() && margin >= 1.0) {
+        return Err(SyncError::InvalidParameter(format!(
+            "margin must be >= 1, got {margin}"
+        )));
+    }
+    let probe = DwmParams {
+        t_ext: base.t_win,        // wide search
+        t_sigma: base.t_win * 2.0, // effectively unbiased
+        ..*base
+    };
+    let alignment = dwm(a, b, &probe)?;
+    let fs = a.fs();
+    let max_jump_s = max_abs_diff(&alignment.h_disp) / fs;
+    Ok((max_jump_s * margin).clamp(base.t_win / 16.0, base.t_win / 2.0))
+}
+
+/// Shape difference between two `h_disp` tracks of possibly different
+/// lengths: `1 − pearson` after resampling the shorter onto the longer's
+/// grid. 0 = identical shape.
+pub fn shape_change(h_a: &[f64], t_hop_a: f64, h_b: &[f64], t_hop_b: f64) -> f64 {
+    if h_a.len() < 2 || h_b.len() < 2 {
+        return 1.0;
+    }
+    // Resample b's track onto a's time grid.
+    let fs_b = 1.0 / t_hop_b;
+    let resampled: Vec<f64> = (0..h_a.len())
+        .map(|i| sample_at(h_b, fs_b, i as f64 * t_hop_a))
+        .collect();
+    1.0 - pearson(h_a, &resampled)
+}
+
+/// Selects `t_win` per §VI-C: sweep the candidates (each with the default
+/// hop/ext/sigma ratios), compute the shape change between consecutive
+/// candidates' `h_disp`, and pick the first candidate after which the
+/// shape stops changing (minimum successive change).
+///
+/// # Errors
+///
+/// Returns [`SyncError::InvalidParameter`] for fewer than 2 candidates and
+/// propagates DWM failures.
+pub fn select_window(a: &Signal, b: &Signal, candidates: &[f64]) -> Result<f64, SyncError> {
+    if candidates.len() < 2 {
+        return Err(SyncError::InvalidParameter(
+            "need at least two t_win candidates".into(),
+        ));
+    }
+    let mut tracks = Vec::with_capacity(candidates.len());
+    for &w in candidates {
+        let params = DwmParams::from_window(w);
+        let al = dwm(a, b, &params)?;
+        // Convert to seconds so different sample scales compare fairly.
+        let fs = a.fs();
+        let h_s: Vec<f64> = al.h_disp.iter().map(|v| v / fs).collect();
+        tracks.push((w, params.t_hop, h_s));
+    }
+    let mut best = (candidates[1], f64::INFINITY);
+    for pair in tracks.windows(2) {
+        let (_, hop_a, ref ha) = pair[0];
+        let (w_b, hop_b, ref hb) = pair[1];
+        let change = shape_change(ha, hop_a, hb, hop_b);
+        if change < best.1 {
+            best = (w_b, change);
+        }
+    }
+    Ok(best.0)
+}
+
+/// Full §VI-C auto-tune: pick `t_win` by shape convergence, derive the
+/// default ratios, then refine `t_sigma` from the loose-bias probe.
+///
+/// # Errors
+///
+/// Propagates selection failures.
+pub fn auto_tune(
+    a: &Signal,
+    b: &Signal,
+    window_candidates: &[f64],
+) -> Result<DwmParams, SyncError> {
+    let t_win = select_window(a, b, window_candidates)?;
+    let base = DwmParams::from_window(t_win);
+    let t_sigma = select_sigma(a, b, &base, 1.5)?;
+    Ok(DwmParams {
+        t_sigma,
+        t_ext: (2.0 * t_sigma).min(t_win),
+        ..base
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(fs: f64, secs: f64, warp: f64) -> Signal {
+        let n = (fs * secs) as usize;
+        Signal::from_fn(fs, 1, n, |t, f| {
+            let ts = t * (1.0 + warp);
+            f[0] = (1.1 * ts).sin() + 0.5 * (3.3 * ts + 0.4).sin() + 0.25 * (7.9 * ts).cos()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn select_sigma_exceeds_true_jump() {
+        let fs = 50.0;
+        let b = wave(fs, 80.0, 0.0);
+        let a = wave(fs, 80.0, 0.004); // slow drift
+        let base = DwmParams::from_window(4.0);
+        let sigma = select_sigma(&a, &b, &base, 1.5).unwrap();
+        // True consecutive-window drift is ~0.004 * 2 s = 8 ms; the
+        // selected sigma must cover it with margin but stay well under the
+        // window.
+        assert!(sigma >= 0.008, "sigma {sigma}");
+        assert!(sigma <= 2.0, "sigma {sigma}");
+        assert!(select_sigma(&a, &b, &base, 0.5).is_err());
+    }
+
+    #[test]
+    fn shape_change_zero_for_identical_tracks() {
+        let h = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        assert!(shape_change(&h, 1.0, &h, 1.0) < 1e-9);
+        // Same shape at half the hop.
+        let dense: Vec<f64> = (0..9).map(|i| i as f64 / 2.0).collect();
+        assert!(shape_change(&h, 1.0, &dense, 0.5) < 1e-6);
+        // Opposite shape maxes out.
+        let neg: Vec<f64> = h.iter().map(|v| -v).collect();
+        assert!(shape_change(&h, 1.0, &neg, 1.0) > 1.9);
+        assert_eq!(shape_change(&[], 1.0, &h, 1.0), 1.0);
+    }
+
+    #[test]
+    fn select_window_converges_to_stable_scale() {
+        let fs = 50.0;
+        let b = wave(fs, 80.0, 0.0);
+        let a = wave(fs, 80.0, 0.005);
+        let w = select_window(&a, &b, &[1.0, 2.0, 4.0, 8.0]).unwrap();
+        assert!([2.0, 4.0, 8.0].contains(&w), "picked {w}");
+        assert!(select_window(&a, &b, &[4.0]).is_err());
+    }
+
+    #[test]
+    fn auto_tune_produces_usable_params() {
+        let fs = 50.0;
+        let b = wave(fs, 80.0, 0.0);
+        let a = wave(fs, 80.0, 0.005);
+        let params = auto_tune(&a, &b, &[1.0, 2.0, 4.0, 8.0]).unwrap();
+        // The tuned parameters must validate and synchronize the pair.
+        let al = dwm(&a, &b, &params).unwrap();
+        assert!(!al.is_empty());
+        assert!(params.t_sigma > 0.0);
+        assert!(params.t_ext <= params.t_win);
+        // And they track the drift: final displacement near the truth
+        // (0.5% of ~76 s of track ≈ 0.3-0.4 s).
+        let fs = a.fs();
+        let last = al.h_disp.last().unwrap() / fs;
+        assert!(last > 0.1, "tracked {last}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Full Dynamic Time Warping (Sakoe & Chiba, 1978).
+//!
+//! `O(N·M)` time and memory; used directly on short signals and as the
+//! base case / windowed refinement step of [`crate::fastdtw`]. The point
+//! distance is the paper's correlation distance computed **across
+//! channels** at each time index, which is why the paper applies DTW to
+//! spectrograms (many channels per frame) and not to raw 1–6-channel
+//! signals; for signals with fewer than 3 channels we fall back to the
+//! mean absolute difference.
+
+use crate::error::SyncError;
+use am_dsp::metrics;
+use am_dsp::Signal;
+
+/// Result of a DTW run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtwResult {
+    /// Warp path: `(i, j)` pairs, monotone, from `(0,0)` to `(N-1,M-1)`.
+    pub path: Vec<(usize, usize)>,
+    /// Accumulated cost along the path.
+    pub cost: f64,
+}
+
+/// Per-row search window: `(lo, hi)` — columns `lo..hi` are admissible.
+pub type RowWindow = Vec<(usize, usize)>;
+
+/// Distance between frame `i` of `a` and frame `j` of `b` across channels.
+pub fn frame_distance(a: &Signal, i: usize, b: &Signal, j: usize) -> f64 {
+    let c = a.channels();
+    if c >= 3 {
+        let u: Vec<f64> = (0..c).map(|ch| a.sample(i, ch)).collect();
+        let v: Vec<f64> = (0..c).map(|ch| b.sample(j, ch)).collect();
+        metrics::correlation_distance(&u, &v)
+    } else {
+        let mut acc = 0.0;
+        for ch in 0..c {
+            acc += (a.sample(i, ch) - b.sample(j, ch)).abs();
+        }
+        acc / c as f64
+    }
+}
+
+/// Full DTW over all cells.
+///
+/// # Errors
+///
+/// Returns [`SyncError::Incompatible`] for mismatched channel counts and
+/// [`SyncError::TooShort`] for empty inputs.
+pub fn dtw(a: &Signal, b: &Signal) -> Result<DtwResult, SyncError> {
+    let n = a.len();
+    let window: RowWindow = (0..n).map(|_| (0, b.len())).collect();
+    dtw_windowed(a, b, &window)
+}
+
+/// DTW restricted to a per-row column window (used by FastDTW).
+///
+/// Rows whose window is empty are illegal; the window must allow a
+/// monotone path from `(0,0)` to `(N-1,M-1)`.
+///
+/// # Errors
+///
+/// Same as [`dtw`], plus [`SyncError::InvalidParameter`] if the window
+/// disconnects the path.
+pub fn dtw_windowed(
+    a: &Signal,
+    b: &Signal,
+    window: &RowWindow,
+) -> Result<DtwResult, SyncError> {
+    if a.channels() != b.channels() {
+        return Err(SyncError::Incompatible(format!(
+            "channel counts differ: {} vs {}",
+            a.channels(),
+            b.channels()
+        )));
+    }
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return Err(SyncError::TooShort { needed: 1, got: 0 });
+    }
+    if window.len() != n {
+        return Err(SyncError::InvalidParameter(format!(
+            "window has {} rows for {} frames",
+            window.len(),
+            n
+        )));
+    }
+    // Row-sparse cost storage.
+    let mut row_lo = vec![0usize; n];
+    let mut costs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for (i, &(lo, hi)) in window.iter().enumerate() {
+        let lo = lo.min(m);
+        let hi = hi.min(m);
+        if lo >= hi {
+            return Err(SyncError::InvalidParameter(format!(
+                "empty window at row {i}"
+            )));
+        }
+        row_lo[i] = lo;
+        costs.push(vec![f64::INFINITY; hi - lo]);
+    }
+    let get = |costs: &Vec<Vec<f64>>, i: isize, j: isize| -> f64 {
+        if i < 0 || j < 0 {
+            return if i == -1 && j == -1 { 0.0 } else { f64::INFINITY };
+        }
+        let (i, j) = (i as usize, j as usize);
+        if i >= n {
+            return f64::INFINITY;
+        }
+        let lo = row_lo[i];
+        if j < lo || j >= lo + costs[i].len() {
+            return f64::INFINITY;
+        }
+        costs[i][j - lo]
+    };
+    for i in 0..n {
+        let lo = row_lo[i];
+        let len = costs[i].len();
+        for jj in 0..len {
+            let j = lo + jj;
+            let d = frame_distance(a, i, b, j);
+            let best = get(&costs, i as isize - 1, j as isize)
+                .min(get(&costs, i as isize, j as isize - 1))
+                .min(get(&costs, i as isize - 1, j as isize - 1));
+            costs[i][jj] = d + best;
+        }
+    }
+    let total = get(&costs, n as isize - 1, m as isize - 1);
+    if !total.is_finite() {
+        return Err(SyncError::InvalidParameter(
+            "search window disconnects the warp path".into(),
+        ));
+    }
+    // Backtrack.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n as isize - 1, m as isize - 1);
+    path.push((i as usize, j as usize));
+    while i > 0 || j > 0 {
+        let diag = get(&costs, i - 1, j - 1);
+        let up = get(&costs, i - 1, j);
+        let left = get(&costs, i, j - 1);
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+        path.push((i.max(0) as usize, j.max(0) as usize));
+    }
+    path.reverse();
+    Ok(DtwResult { path, cost: total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::hdisp_from_path;
+
+    fn mono(v: Vec<f64>) -> Signal {
+        Signal::mono(10.0, v).unwrap()
+    }
+
+    #[test]
+    fn identical_signals_take_the_diagonal() {
+        let a = mono(vec![0.0, 1.0, 2.0, 1.0, 0.0, -1.0]);
+        let r = dtw(&a, &a).unwrap();
+        assert!(r.cost.abs() < 1e-12);
+        let expected: Vec<(usize, usize)> = (0..6).map(|i| (i, i)).collect();
+        assert_eq!(r.path, expected);
+    }
+
+    #[test]
+    fn path_endpoints_and_monotonicity() {
+        let a = mono(vec![0.0, 1.0, 3.0, 2.0, 0.0]);
+        let b = mono(vec![0.0, 0.5, 1.0, 3.0, 3.0, 2.0, 0.0]);
+        let r = dtw(&a, &b).unwrap();
+        assert_eq!(*r.path.first().unwrap(), (0, 0));
+        assert_eq!(*r.path.last().unwrap(), (4, 6));
+        for w in r.path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0);
+            assert!(i1 - i0 <= 1 && j1 - j0 <= 1);
+            assert!(i1 + j1 > i0 + j0);
+        }
+    }
+
+    #[test]
+    fn warping_absorbs_a_time_stretch() {
+        // b is a 2x time-stretched copy of a: DTW cost stays near zero and
+        // h_disp grows roughly linearly.
+        let a: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let r = dtw(&mono(a), &mono(b)).unwrap();
+        // Cost accumulates over ~96 path steps; a small per-step residual
+        // from discrete warping is expected.
+        assert!(r.cost / (r.path.len() as f64) < 0.1, "cost {}", r.cost);
+        let h = hdisp_from_path(&r.path, 32);
+        assert!(h[31] > 20.0, "end displacement {}", h[31]);
+    }
+
+    #[test]
+    fn multichannel_uses_correlation_across_channels() {
+        // 4-channel frames; b's frames are scaled copies of a's: zero
+        // correlation distance regardless of gain.
+        let n = 10;
+        let a = Signal::from_channels(
+            10.0,
+            (0..4)
+                .map(|c| (0..n).map(|i| ((i + c) as f64).sin()).collect())
+                .collect(),
+        )
+        .unwrap();
+        let b = Signal::from_channels(
+            10.0,
+            (0..4)
+                .map(|c| (0..n).map(|i| 3.0 * ((i + c) as f64).sin()).collect())
+                .collect(),
+        )
+        .unwrap();
+        let r = dtw(&a, &b).unwrap();
+        assert!(r.cost < 1e-9, "gain-invariant cost, got {}", r.cost);
+    }
+
+    #[test]
+    fn incompatible_inputs_rejected() {
+        let a = mono(vec![1.0, 2.0]);
+        let b2 = Signal::from_channels(10.0, vec![vec![1.0], vec![1.0]]).unwrap();
+        assert!(dtw(&a, &b2).is_err());
+        let empty = Signal::zeros(10.0, 1, 0).unwrap();
+        assert!(dtw(&a, &empty).is_err());
+    }
+
+    #[test]
+    fn windowed_dtw_respects_window() {
+        let a = mono((0..8).map(|i| i as f64).collect());
+        let b = mono((0..8).map(|i| i as f64).collect());
+        // Sakoe-Chiba band of width 1.
+        let window: RowWindow = (0..8usize)
+            .map(|i| (i.saturating_sub(1), (i + 2).min(8)))
+            .collect();
+        let r = dtw_windowed(&a, &b, &window).unwrap();
+        for &(i, j) in &r.path {
+            assert!(j + 1 >= i && j <= i + 1, "({i},{j}) outside band");
+        }
+    }
+
+    #[test]
+    fn disconnected_window_is_an_error() {
+        let a = mono(vec![1.0, 2.0, 3.0]);
+        let b = mono(vec![1.0, 2.0, 3.0]);
+        // Row 1 only allows column 0 while row 0 only allows column 2:
+        // no monotone path.
+        let window: RowWindow = vec![(2, 3), (0, 1), (2, 3)];
+        assert!(dtw_windowed(&a, &b, &window).is_err());
+        let bad_rows: RowWindow = vec![(0, 3)];
+        assert!(dtw_windowed(&a, &b, &bad_rows).is_err());
+        let empty_row: RowWindow = vec![(0, 3), (3, 3), (0, 3)];
+        assert!(dtw_windowed(&a, &b, &empty_row).is_err());
+    }
+}

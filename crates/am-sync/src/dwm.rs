@@ -1,0 +1,568 @@
+//! Dynamic Window Matching (DWM) — the paper's novel synchronizer
+//! (§VI-B, Algorithm 1).
+//!
+//! A pair of windows slides across the observed signal `a` and the
+//! reference `b`. For each window index `i`, biased Time Delay Estimation
+//! (TDEB) locates `a{i}` inside an extended window of `b` centred at the
+//! current low-frequency displacement estimate:
+//!
+//! - Eq (9): the search window `b{i; h_low[i-1]}_E` spans
+//!   `±n_ext` around the expected position,
+//! - Eq (13): `h_disp[i] = j − n_ext + h_low[i−1]`,
+//! - Eq (12): `h_low[i] = round(η (j − n_ext) + h_low[i−1])` — the
+//!   inertial track that keeps one bad estimate from running away.
+//!
+//! The Gaussian bias (σ = `n_sigma`) stabilizes TDE on periodic or noisy
+//! windows (Fig 5). DWM is window-by-window, so it runs in real time:
+//! [`DwmStream`] consumes the observed signal incrementally.
+
+use crate::align::{Alignment, AlignmentKind, Synchronizer};
+use crate::error::SyncError;
+use am_dsp::tde::{tdeb, TdeBackend};
+use am_dsp::Signal;
+use serde::{Deserialize, Serialize};
+
+/// DWM parameters in seconds (§VI-C, Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DwmParams {
+    /// Window width `t_win` (s).
+    pub t_win: f64,
+    /// Hop `t_hop` (s); default `t_win / 2`.
+    pub t_hop: f64,
+    /// Extended search half-width `t_ext` (s).
+    pub t_ext: f64,
+    /// Gaussian bias std-dev `t_sigma` (s); default `t_ext / 2`.
+    pub t_sigma: f64,
+    /// Inertia `η` of the low-frequency displacement track.
+    pub eta: f64,
+}
+
+impl DwmParams {
+    /// Table IV parameters for the Ultimaker 3.
+    pub fn um3() -> Self {
+        DwmParams {
+            t_win: 4.0,
+            t_hop: 2.0,
+            t_ext: 2.0,
+            t_sigma: 1.0,
+            eta: 0.1,
+        }
+    }
+
+    /// Table IV parameters for the Rostock Max V3.
+    pub fn rm3() -> Self {
+        DwmParams {
+            t_win: 1.0,
+            t_hop: 0.5,
+            t_ext: 0.1,
+            t_sigma: 0.05,
+            eta: 0.1,
+        }
+    }
+
+    /// Derives a parameter set from `t_win` using the paper's default
+    /// ratios: `t_hop = t_win/2`, `t_ext = t_win/2`, `t_sigma = t_ext/2`,
+    /// `η = 0.1`.
+    pub fn from_window(t_win: f64) -> Self {
+        DwmParams {
+            t_win,
+            t_hop: t_win / 2.0,
+            t_ext: t_win / 2.0,
+            t_sigma: t_win / 4.0,
+            eta: 0.1,
+        }
+    }
+
+    /// Converts to sample-domain parameters at sampling rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::InvalidParameter`] if any duration is
+    /// non-positive, `eta` is outside `(0, 1]`, or the window degenerates
+    /// to fewer than 2 samples.
+    pub fn to_samples(&self, fs: f64) -> Result<SampleParams, SyncError> {
+        for (name, v) in [
+            ("t_win", self.t_win),
+            ("t_hop", self.t_hop),
+            ("t_ext", self.t_ext),
+            ("t_sigma", self.t_sigma),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SyncError::InvalidParameter(format!(
+                    "{name} must be positive, got {v}"
+                )));
+            }
+        }
+        if !(self.eta > 0.0 && self.eta <= 1.0) {
+            return Err(SyncError::InvalidParameter(format!(
+                "eta must be in (0, 1], got {}",
+                self.eta
+            )));
+        }
+        let n_win = (self.t_win * fs).round() as usize;
+        let n_hop = ((self.t_hop * fs).round() as usize).max(1);
+        let n_ext = ((self.t_ext * fs).round() as usize).max(1);
+        let n_sigma = self.t_sigma * fs;
+        if n_win < 2 {
+            return Err(SyncError::InvalidParameter(format!(
+                "t_win = {} is under 2 samples at fs = {fs}",
+                self.t_win
+            )));
+        }
+        Ok(SampleParams {
+            n_win,
+            n_hop,
+            n_ext,
+            n_sigma,
+            eta: self.eta,
+        })
+    }
+}
+
+/// DWM parameters in samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleParams {
+    /// Window width (samples).
+    pub n_win: usize,
+    /// Hop (samples).
+    pub n_hop: usize,
+    /// Extended half-width (samples).
+    pub n_ext: usize,
+    /// Gaussian bias std-dev (samples).
+    pub n_sigma: f64,
+    /// Inertia.
+    pub eta: f64,
+}
+
+/// One DWM step (Algorithm 1 lines 8–10): find `a{i}` in the extended
+/// window of `b` around `h_low_prev`.
+fn dwm_step(
+    b: &Signal,
+    window_a: &Signal,
+    i: usize,
+    h_low_prev: i64,
+    p: &SampleParams,
+    backend: TdeBackend,
+) -> Result<(i64, i64), SyncError> {
+    let base = (i * p.n_hop) as i64 + h_low_prev;
+    let start = base - p.n_ext as i64;
+    let end = base + p.n_ext as i64 + p.n_win as i64;
+    let search = b.slice_padded(start as isize, end as isize);
+    let r = tdeb(&search, window_a, p.n_sigma, backend)?;
+    let j = r.delay as i64;
+    let h_disp = j - p.n_ext as i64 + h_low_prev;
+    let h_low = (p.eta * (j - p.n_ext as i64) as f64 + h_low_prev as f64).round() as i64;
+    Ok((h_disp, h_low))
+}
+
+/// Runs batch DWM over a full observed signal.
+///
+/// Returns the alignment with `h_disp[i]` in samples for each window.
+///
+/// # Errors
+///
+/// Returns [`SyncError::TooShort`] if `a` does not contain a single
+/// window, [`SyncError::Incompatible`] on channel/rate mismatch, and
+/// propagates parameter validation errors.
+pub fn dwm(a: &Signal, b: &Signal, params: &DwmParams) -> Result<Alignment, SyncError> {
+    check_compatible(a, b)?;
+    let p = params.to_samples(a.fs())?;
+    if a.len() < p.n_win {
+        return Err(SyncError::TooShort {
+            needed: p.n_win,
+            got: a.len(),
+        });
+    }
+    let n_windows = (a.len() - p.n_win) / p.n_hop + 1;
+    let mut h_disp = Vec::with_capacity(n_windows);
+    let mut h_low: i64 = 0;
+    for i in 0..n_windows {
+        let window_a = a
+            .slice(i * p.n_hop..i * p.n_hop + p.n_win)
+            .map_err(SyncError::from)?;
+        let (d, low) = dwm_step(b, &window_a, i, h_low, &p, TdeBackend::Auto)?;
+        h_disp.push(d as f64);
+        h_low = low;
+    }
+    Ok(Alignment {
+        h_disp,
+        kind: AlignmentKind::Windowed {
+            n_win: p.n_win,
+            n_hop: p.n_hop,
+        },
+    })
+}
+
+fn check_compatible(a: &Signal, b: &Signal) -> Result<(), SyncError> {
+    if a.channels() != b.channels() {
+        return Err(SyncError::Incompatible(format!(
+            "channel counts differ: {} vs {}",
+            a.channels(),
+            b.channels()
+        )));
+    }
+    if (a.fs() - b.fs()).abs() > 1e-9 * a.fs() {
+        return Err(SyncError::Incompatible(format!(
+            "sample rates differ: {} vs {}",
+            a.fs(),
+            b.fs()
+        )));
+    }
+    Ok(())
+}
+
+/// The DWM-based [`Synchronizer`] used by NSYNC/DWM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DwmSynchronizer {
+    /// Time-domain parameters.
+    pub params: DwmParams,
+}
+
+impl DwmSynchronizer {
+    /// Wraps a parameter set.
+    pub fn new(params: DwmParams) -> Self {
+        DwmSynchronizer { params }
+    }
+}
+
+impl Synchronizer for DwmSynchronizer {
+    fn synchronize(&self, a: &Signal, b: &Signal) -> Result<Alignment, SyncError> {
+        dwm(a, b, &self.params)
+    }
+
+    fn name(&self) -> String {
+        "DWM".into()
+    }
+}
+
+/// Streaming DWM: the reference `b` is known in advance; observed samples
+/// arrive in chunks, and each completed window yields an `h_disp` value —
+/// the "real time" mode of operation DTW lacks (§VI-A).
+#[derive(Debug)]
+pub struct DwmStream {
+    b: Signal,
+    p: SampleParams,
+    /// Buffered observed samples, channel-major.
+    buffer: Vec<Vec<f64>>,
+    next_window: usize,
+    h_low: i64,
+    fs: f64,
+}
+
+impl DwmStream {
+    /// Creates a stream against reference `b`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn new(b: Signal, params: &DwmParams) -> Result<Self, SyncError> {
+        let p = params.to_samples(b.fs())?;
+        Ok(DwmStream {
+            buffer: vec![Vec::new(); b.channels()],
+            fs: b.fs(),
+            b,
+            p,
+            next_window: 0,
+            h_low: 0,
+        })
+    }
+
+    /// Number of windows emitted so far.
+    pub fn windows_emitted(&self) -> usize {
+        self.next_window
+    }
+
+    /// The sample-domain parameters in effect.
+    pub fn sample_params(&self) -> SampleParams {
+        self.p
+    }
+
+    /// The reference signal.
+    pub fn reference(&self) -> &Signal {
+        &self.b
+    }
+
+    /// Returns window `i` of the buffered observed signal, if complete.
+    pub fn window(&self, i: usize) -> Option<Signal> {
+        let start = i * self.p.n_hop;
+        let end = start + self.p.n_win;
+        if end > self.buffer[0].len() {
+            return None;
+        }
+        Signal::from_channels(
+            self.fs,
+            self.buffer.iter().map(|ch| ch[start..end].to_vec()).collect(),
+        )
+        .ok()
+    }
+
+    /// Feeds a chunk of observed samples; returns any newly completed
+    /// `(window_index, h_disp_samples)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::Incompatible`] if the chunk's shape/rate
+    /// disagrees with the reference.
+    pub fn push(&mut self, chunk: &Signal) -> Result<Vec<(usize, f64)>, SyncError> {
+        if chunk.channels() != self.b.channels() {
+            return Err(SyncError::Incompatible(format!(
+                "chunk has {} channels, reference {}",
+                chunk.channels(),
+                self.b.channels()
+            )));
+        }
+        if (chunk.fs() - self.fs).abs() > 1e-9 * self.fs {
+            return Err(SyncError::Incompatible(format!(
+                "chunk fs {} vs reference {}",
+                chunk.fs(),
+                self.fs
+            )));
+        }
+        for c in 0..chunk.channels() {
+            self.buffer[c].extend_from_slice(chunk.channel(c));
+        }
+        let mut out = Vec::new();
+        loop {
+            let start = self.next_window * self.p.n_hop;
+            let end = start + self.p.n_win;
+            if end > self.buffer[0].len() {
+                break;
+            }
+            let window_a = Signal::from_channels(
+                self.fs,
+                self.buffer.iter().map(|ch| ch[start..end].to_vec()).collect(),
+            )
+            .map_err(SyncError::from)?;
+            let (d, low) = dwm_step(
+                &self.b,
+                &window_a,
+                self.next_window,
+                self.h_low,
+                &self.p,
+                TdeBackend::Auto,
+            )?;
+            out.push((self.next_window, d as f64));
+            self.h_low = low;
+            self.next_window += 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A wiggly aperiodic test signal.
+    fn reference(fs: f64, secs: f64) -> Signal {
+        let n = (fs * secs) as usize;
+        Signal::from_fn(fs, 1, n, |t, f| {
+            f[0] = (1.3 * t).sin() + 0.6 * (3.1 * t + 0.5).sin() + 0.3 * (7.7 * t).cos()
+        })
+        .unwrap()
+    }
+
+    /// Warps time with a slow drift: t' = t + drift(t), resampling the
+    /// reference — a clean model of accumulated time noise.
+    fn warped(b: &Signal, drift_per_s: f64) -> Signal {
+        let fs = b.fs();
+        let n = b.len();
+        let ch = b.channel(0);
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let t_src = t * (1.0 + drift_per_s);
+                am_dsp::resample::sample_at(ch, fs, t_src)
+            })
+            .collect();
+        Signal::mono(fs, data).unwrap()
+    }
+
+    fn params() -> DwmParams {
+        DwmParams {
+            t_win: 4.0,
+            t_hop: 2.0,
+            t_ext: 2.0,
+            t_sigma: 1.0,
+            eta: 0.1,
+        }
+    }
+
+    #[test]
+    fn table4_presets() {
+        assert_eq!(DwmParams::um3().t_win, 4.0);
+        assert_eq!(DwmParams::rm3().t_ext, 0.1);
+        let d = DwmParams::from_window(2.0);
+        assert_eq!(d.t_hop, 1.0);
+        assert_eq!(d.t_sigma, 0.5);
+    }
+
+    #[test]
+    fn param_validation() {
+        let mut p = params();
+        p.eta = 0.0;
+        assert!(p.to_samples(100.0).is_err());
+        p = params();
+        p.t_win = -1.0;
+        assert!(p.to_samples(100.0).is_err());
+        p = params();
+        assert!(p.to_samples(100.0).is_ok());
+    }
+
+    #[test]
+    fn identical_signals_have_zero_displacement() {
+        let b = reference(50.0, 60.0);
+        let al = dwm(&b, &b, &params()).unwrap();
+        assert!(!al.is_empty());
+        for (i, &d) in al.h_disp.iter().enumerate() {
+            assert_eq!(d, 0.0, "window {i}");
+        }
+    }
+
+    #[test]
+    fn constant_shift_is_recovered() {
+        let b = reference(50.0, 60.0);
+        // a = b delayed by 0.5 s: a[n] = b[n - 25] -> b must be shifted
+        // +(-25)? a{i} matches b at position i*hop - 25, so h_disp = -25.
+        let shift = 25usize;
+        let a_data: Vec<f64> = b.channel(0)[..b.len() - shift].to_vec();
+        let a = Signal::mono(50.0, a_data).unwrap();
+        let b_cut = Signal::mono(50.0, b.channel(0)[shift..].to_vec()).unwrap();
+        // a starts at b[0], b_cut starts at b[shift]: a{i} appears in b_cut
+        // at i*hop - shift => h_disp = -shift.
+        let al = dwm(&a, &b_cut, &params()).unwrap();
+        // Skip the first windows (the low-frequency track needs to lock).
+        let tail = &al.h_disp[al.len() / 2..];
+        for &d in tail {
+            assert!(
+                (d + shift as f64).abs() <= 3.0,
+                "expected ~-25, got {d} (tail {tail:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_drift_is_tracked() {
+        let fs = 50.0;
+        let b = reference(fs, 120.0);
+        let a = warped(&b, 0.01); // a runs 1% fast: 1.2 s drift by the end
+        let al = dwm(&a, &b, &params()).unwrap();
+        let last = *al.h_disp.last().unwrap();
+        // At the end, a{last} corresponds to b content ~1% later:
+        // h_disp should approach +0.01 * T * fs ~ +55..60 samples.
+        let expected = 0.01 * (al.len() - 1) as f64 * 2.0 * fs; // hop = 2 s
+        assert!(
+            (last - expected).abs() < 15.0,
+            "tracked {last}, expected ~{expected}"
+        );
+        // And the track is roughly monotone.
+        let first_quarter = al.h_disp[al.len() / 4];
+        let three_quarter = al.h_disp[3 * al.len() / 4];
+        assert!(three_quarter > first_quarter);
+    }
+
+    #[test]
+    fn too_short_signal_rejected() {
+        let b = reference(50.0, 60.0);
+        let a = Signal::mono(50.0, vec![0.0; 10]).unwrap();
+        assert!(matches!(
+            dwm(&a, &b, &params()),
+            Err(SyncError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn incompatible_signals_rejected() {
+        let b = reference(50.0, 30.0);
+        let a2 = Signal::from_channels(50.0, vec![vec![0.0; 600], vec![0.0; 600]]).unwrap();
+        assert!(dwm(&a2, &b, &params()).is_err());
+        let wrong_fs = Signal::mono(60.0, b.channel(0).to_vec()).unwrap();
+        assert!(dwm(&wrong_fs, &b, &params()).is_err());
+    }
+
+    #[test]
+    fn synchronizer_trait_roundtrip() {
+        let b = reference(50.0, 40.0);
+        let s = DwmSynchronizer::new(params());
+        let al = s.synchronize(&b, &b).unwrap();
+        assert!(matches!(
+            al.kind,
+            AlignmentKind::Windowed { n_win: 200, n_hop: 100 }
+        ));
+        assert_eq!(s.name(), "DWM");
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let fs = 50.0;
+        let b = reference(fs, 80.0);
+        let a = warped(&b, 0.005);
+        let batch = dwm(&a, &b, &params()).unwrap();
+        let mut stream = DwmStream::new(b, &params()).unwrap();
+        let mut collected = Vec::new();
+        let chunk_len = 160; // 3.2 s chunks
+        let mut i = 0;
+        while i < a.len() {
+            let end = (i + chunk_len).min(a.len());
+            let chunk = a.slice(i..end).unwrap();
+            collected.extend(stream.push(&chunk).unwrap());
+            i = end;
+        }
+        assert_eq!(collected.len(), batch.len());
+        for ((wi, d), bd) in collected.iter().zip(batch.h_disp.iter()) {
+            assert_eq!(*d, *bd, "window {wi}");
+        }
+        assert_eq!(stream.windows_emitted(), batch.len());
+    }
+
+    #[test]
+    fn streaming_rejects_bad_chunks() {
+        let b = reference(50.0, 20.0);
+        let mut stream = DwmStream::new(b, &params()).unwrap();
+        let wrong_ch =
+            Signal::from_channels(50.0, vec![vec![0.0; 10], vec![0.0; 10]]).unwrap();
+        assert!(stream.push(&wrong_ch).is_err());
+        let wrong_fs = Signal::mono(99.0, vec![0.0; 10]).unwrap();
+        assert!(stream.push(&wrong_fs).is_err());
+    }
+
+    #[test]
+    fn runaway_is_damped_by_low_frequency_track() {
+        // Feed a window of pure noise mid-signal: h_low must not jump by
+        // more than eta * n_ext per window.
+        let fs = 50.0;
+        let b = reference(fs, 60.0);
+        let mut a = b.clone();
+        // Corrupt 4 s in the middle.
+        let mid = a.len() / 2;
+        for n in mid..mid + 200 {
+            let v = ((n * 2654435761) % 1000) as f64 / 500.0 - 1.0;
+            a.channel_mut(0)[n] = v;
+        }
+        let al = dwm(&a, &b, &params()).unwrap();
+        // After the corruption the track must return near zero.
+        let last = *al.h_disp.last().unwrap();
+        assert!(last.abs() <= 5.0, "did not re-lock: {last}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_constant_shift_recovered(shift in 5usize..40) {
+            // For any moderate constant delay, the locked track converges
+            // to -shift (see constant_shift_is_recovered for the sign
+            // convention).
+            let b = reference(50.0, 60.0);
+            let a = Signal::mono(50.0, b.channel(0)[..b.len() - shift].to_vec()).unwrap();
+            let b_cut = Signal::mono(50.0, b.channel(0)[shift..].to_vec()).unwrap();
+            let al = dwm(&a, &b_cut, &params()).unwrap();
+            let tail = &al.h_disp[al.len() * 3 / 4..];
+            for &d in tail {
+                proptest::prop_assert!(
+                    (d + shift as f64).abs() <= 4.0,
+                    "shift {}: got {}", shift, d
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for synchronizers.
+
+use am_dsp::DspError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from dynamic synchronization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SyncError {
+    /// The signals cannot be compared (shape/rate mismatch).
+    Incompatible(String),
+    /// One of the signals is too short for the configured windows.
+    TooShort {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        got: usize,
+    },
+    /// A parameter was outside its legal domain.
+    InvalidParameter(String),
+    /// An underlying DSP operation failed.
+    Dsp(DspError),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::Incompatible(msg) => write!(f, "incompatible signals: {msg}"),
+            SyncError::TooShort { needed, got } => {
+                write!(f, "signal too short: needed {needed} samples, got {got}")
+            }
+            SyncError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SyncError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl Error for SyncError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SyncError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for SyncError {
+    fn from(e: DspError) -> Self {
+        SyncError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SyncError::from(DspError::NoChannels);
+        assert!(e.to_string().contains("dsp"));
+        assert!(Error::source(&e).is_some());
+        assert!(SyncError::TooShort { needed: 4, got: 1 }
+            .to_string()
+            .contains("4"));
+    }
+}

@@ -1,0 +1,234 @@
+//! FastDTW (Salvador & Chan, 2007): linear-time approximate DTW.
+//!
+//! Recursively coarsens both signals 2×, solves the coarse problem, then
+//! refines within a radius-`r` corridor around the projected coarse path.
+//! The paper "always use\[s\] the smallest radius for the fastest speed"
+//! (radius 1), and still finds it too slow and too inaccurate compared
+//! with DWM — both effects are reproduced by the benchmarks.
+
+use crate::align::{hdisp_from_path, Alignment, AlignmentKind, Synchronizer};
+use crate::dtw::{dtw, dtw_windowed, DtwResult, RowWindow};
+use crate::error::SyncError;
+use am_dsp::Signal;
+use serde::{Deserialize, Serialize};
+
+/// Minimum size below which plain DTW is used directly.
+fn min_ts(radius: usize) -> usize {
+    radius + 2
+}
+
+/// Runs FastDTW with the given corridor radius.
+///
+/// # Errors
+///
+/// Same as [`dtw`].
+pub fn fastdtw(a: &Signal, b: &Signal, radius: usize) -> Result<DtwResult, SyncError> {
+    if a.len() <= min_ts(radius) || b.len() <= min_ts(radius) {
+        return dtw(a, b);
+    }
+    let half_a = halve(a);
+    let half_b = halve(b);
+    let coarse = fastdtw(&half_a, &half_b, radius)?;
+    let window = expand_window(&coarse.path, a.len(), b.len(), radius);
+    dtw_windowed(a, b, &window)
+}
+
+/// Halves a signal's resolution by averaging adjacent sample pairs.
+fn halve(s: &Signal) -> Signal {
+    let out_len = s.len() / 2;
+    let channels: Vec<Vec<f64>> = (0..s.channels())
+        .map(|c| {
+            let ch = s.channel(c);
+            (0..out_len)
+                .map(|i| (ch[2 * i] + ch[2 * i + 1]) / 2.0)
+                .collect()
+        })
+        .collect();
+    Signal::from_channels(s.fs() / 2.0, channels).expect("halve preserves shape")
+}
+
+/// Projects a coarse path to fine resolution and dilates it by `radius`,
+/// producing per-row column windows that are guaranteed connected.
+fn expand_window(
+    coarse_path: &[(usize, usize)],
+    n: usize,
+    m: usize,
+    radius: usize,
+) -> RowWindow {
+    let mut lo = vec![usize::MAX; n];
+    let mut hi = vec![0usize; n];
+    let mut mark = |i: isize, j_lo: isize, j_hi: isize| {
+        if i < 0 || i >= n as isize {
+            return;
+        }
+        let i = i as usize;
+        let jl = j_lo.clamp(0, m as isize - 1) as usize;
+        let jh = j_hi.clamp(0, m as isize) as usize;
+        lo[i] = lo[i].min(jl);
+        hi[i] = hi[i].max(jh);
+    };
+    let r = radius as isize;
+    for &(ci, cj) in coarse_path {
+        // Each coarse cell covers a 2x2 block at fine resolution.
+        for di in 0..2isize {
+            let i = 2 * ci as isize + di;
+            let j0 = 2 * cj as isize;
+            mark(i - r, j0 - r, j0 + 2 + r);
+            for dd in -r..=r {
+                mark(i + dd, j0 - r, j0 + 2 + r);
+            }
+        }
+    }
+    // Fill any untouched rows (possible when n is odd) from neighbors and
+    // enforce monotone connectivity: row i's window must overlap or abut
+    // row i-1's.
+    let mut prev: (usize, usize) = (0, 1);
+    for i in 0..n {
+        if lo[i] == usize::MAX {
+            lo[i] = prev.0;
+            hi[i] = prev.1;
+        }
+        // Connectivity: allow stepping from the previous row.
+        if lo[i] > prev.1 {
+            lo[i] = prev.1 - 1;
+        }
+        if hi[i] < prev.0 + 1 {
+            hi[i] = (prev.0 + 1).min(m);
+        }
+        hi[i] = hi[i].min(m).max(lo[i] + 1);
+        prev = (lo[i], hi[i]);
+    }
+    // Last row must include m-1.
+    if hi[n - 1] < m {
+        hi[n - 1] = m;
+    }
+    if lo[n - 1] > m - 1 {
+        lo[n - 1] = m - 1;
+    }
+    // First row must include 0.
+    lo[0] = 0;
+    lo.into_iter().zip(hi).collect()
+}
+
+/// The FastDTW-based synchronizer used by NSYNC/DTW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DtwSynchronizer {
+    /// FastDTW corridor radius; the paper uses the smallest (1).
+    pub radius: usize,
+}
+
+impl Default for DtwSynchronizer {
+    fn default() -> Self {
+        DtwSynchronizer { radius: 1 }
+    }
+}
+
+impl Synchronizer for DtwSynchronizer {
+    fn synchronize(&self, a: &Signal, b: &Signal) -> Result<Alignment, SyncError> {
+        let result = fastdtw(a, b, self.radius)?;
+        let h_disp = hdisp_from_path(&result.path, a.len());
+        Ok(Alignment {
+            h_disp,
+            kind: AlignmentKind::Pointwise { path: result.path },
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("DTW(r={})", self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chirp(len: usize, rate: f64) -> Signal {
+        Signal::mono(
+            100.0,
+            (0..len)
+                .map(|i| {
+                    let t = i as f64 * rate;
+                    (0.3 * t + 0.01 * t * t).sin()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fastdtw_matches_dtw_on_identical_signals() {
+        let a = chirp(64, 1.0);
+        let r = fastdtw(&a, &a, 1).unwrap();
+        assert!(r.cost < 1e-9);
+        assert_eq!(*r.path.first().unwrap(), (0, 0));
+        assert_eq!(*r.path.last().unwrap(), (63, 63));
+    }
+
+    #[test]
+    fn fastdtw_cost_close_to_exact() {
+        let a = chirp(80, 1.0);
+        let b = chirp(96, 0.85);
+        let exact = dtw(&a, &b).unwrap();
+        let approx = fastdtw(&a, &b, 2).unwrap();
+        assert!(
+            approx.cost <= exact.cost * 1.6 + 0.5,
+            "approx {} vs exact {}",
+            approx.cost,
+            exact.cost
+        );
+        assert!(approx.cost >= exact.cost - 1e-9, "approx can't beat exact");
+    }
+
+    #[test]
+    fn small_inputs_fall_through_to_exact() {
+        let a = chirp(3, 1.0);
+        let exact = dtw(&a, &a).unwrap();
+        let fast = fastdtw(&a, &a, 1).unwrap();
+        assert_eq!(exact.path, fast.path);
+    }
+
+    #[test]
+    fn synchronizer_produces_pointwise_alignment() {
+        let a = chirp(64, 1.0);
+        let sync = DtwSynchronizer::default();
+        let al = sync.synchronize(&a, &a).unwrap();
+        assert_eq!(al.h_disp.len(), 64);
+        assert!(al.h_disp.iter().all(|&v| v.abs() < 1e-9));
+        assert!(matches!(al.kind, AlignmentKind::Pointwise { .. }));
+        assert_eq!(sync.name(), "DTW(r=1)");
+    }
+
+    #[test]
+    fn odd_lengths_handled() {
+        let a = chirp(37, 1.0);
+        let b = chirp(53, 0.9);
+        let r = fastdtw(&a, &b, 1).unwrap();
+        assert_eq!(*r.path.first().unwrap(), (0, 0));
+        assert_eq!(*r.path.last().unwrap(), (36, 52));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_fastdtw_path_valid(
+            na in 8usize..64,
+            nb in 8usize..64,
+            radius in 1usize..3,
+            seed in 0.0f64..10.0,
+        ) {
+            let a = Signal::mono(10.0, (0..na).map(|i| (i as f64 * 0.7 + seed).sin()).collect()).unwrap();
+            let b = Signal::mono(10.0, (0..nb).map(|i| (i as f64 * 0.5 + seed).cos()).collect()).unwrap();
+            let r = fastdtw(&a, &b, radius).unwrap();
+            prop_assert_eq!(*r.path.first().unwrap(), (0, 0));
+            prop_assert_eq!(*r.path.last().unwrap(), (na - 1, nb - 1));
+            for w in r.path.windows(2) {
+                let (i0, j0) = w[0];
+                let (i1, j1) = w[1];
+                prop_assert!(i1 >= i0 && j1 >= j0 && (i1 - i0) <= 1 && (j1 - j0) <= 1);
+                prop_assert!(i1 + j1 > i0 + j0);
+            }
+            prop_assert!(r.cost.is_finite() && r.cost >= 0.0);
+        }
+    }
+}

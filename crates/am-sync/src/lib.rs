@@ -1,0 +1,30 @@
+//! Dynamic synchronization (DSYNC, §VI): finding the timing relationship
+//! between two side-channel signals in the presence of time noise.
+//!
+//! Two synchronizers are provided:
+//!
+//! - [`dtw`] / [`fastdtw`]: the existing point-based method, Dynamic Time
+//!   Warping (Sakoe–Chiba) and its linear-time approximation FastDTW
+//!   (Salvador & Chan), which the paper uses as the baseline fine-DSYNC,
+//! - [`dwm`]: the paper's novel window-based method, **Dynamic Window
+//!   Matching**, built on biased Time Delay Estimation (TDEB) with an
+//!   inertial low-frequency displacement track (Eq 9–13), plus a
+//!   streaming variant ([`dwm::DwmStream`]) for real-time operation.
+//!
+//! Both produce an [`Alignment`]: the horizontal-displacement array
+//! `h_disp` plus the bookkeeping NSYNC's comparator needs to pair up
+//! corresponding points/windows.
+
+pub mod align;
+pub mod autotune;
+pub mod dtw;
+pub mod dwm;
+pub mod error;
+pub mod fastdtw;
+pub mod online_dtw;
+
+pub use align::{Alignment, AlignmentKind, Synchronizer};
+pub use dwm::{DwmParams, DwmStream, DwmSynchronizer};
+pub use error::SyncError;
+pub use fastdtw::DtwSynchronizer;
+pub use online_dtw::OnlineDtw;

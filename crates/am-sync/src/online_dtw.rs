@@ -1,0 +1,224 @@
+//! Online (streaming) DTW, after Oregi et al. (2017).
+//!
+//! §VI-A notes that classic DTW "does not support real-time analysis" but
+//! that "there is an ongoing effort to create a version of DTW that
+//! supports real-time analysis". This module implements that direction as
+//! an extension: the reference `b` is known up front, observed frames of
+//! `a` arrive one at a time, and the detector maintains a single dynamic-
+//! programming row — `O(M)` memory, `O(M)` work per frame (optionally
+//! band-limited to `O(band)`).
+//!
+//! After each pushed frame the current best alignment endpoint
+//! `j* = argmin_j D(i, j)` is exposed; `j* − i` is a streaming estimate of
+//! the horizontal displacement, directly comparable to DWM's `h_disp`.
+
+use crate::dtw::frame_distance;
+use crate::error::SyncError;
+use am_dsp::Signal;
+
+/// Streaming DTW state against a fixed reference.
+#[derive(Debug)]
+pub struct OnlineDtw {
+    reference: Signal,
+    /// `row[j] = D(i, j)` for the most recent observed frame `i`.
+    row: Vec<f64>,
+    frames_seen: usize,
+    /// Optional Sakoe–Chiba half-band around the diagonal (frames).
+    band: Option<usize>,
+}
+
+/// Output of one [`OnlineDtw::push`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStep {
+    /// Observed frame index `i` (0-based).
+    pub frame: usize,
+    /// Best-matching reference index `j*`.
+    pub best_j: usize,
+    /// `j* − i`: the streaming horizontal displacement (frames).
+    pub h_disp: f64,
+    /// Accumulated path cost at `(i, j*)`, normalized by `i + 1`.
+    pub mean_cost: f64,
+}
+
+impl OnlineDtw {
+    /// Creates a streaming matcher against `reference`.
+    ///
+    /// `band` limits the warp to `|j − i| <= band` (None = unconstrained).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::TooShort`] for an empty reference.
+    pub fn new(reference: Signal, band: Option<usize>) -> Result<Self, SyncError> {
+        if reference.is_empty() {
+            return Err(SyncError::TooShort { needed: 1, got: 0 });
+        }
+        Ok(OnlineDtw {
+            row: vec![f64::INFINITY; reference.len()],
+            reference,
+            frames_seen: 0,
+            band,
+        })
+    }
+
+    /// Number of observed frames consumed so far.
+    pub fn frames_seen(&self) -> usize {
+        self.frames_seen
+    }
+
+    /// Consumes the next observed frame (one time index of a signal with
+    /// the reference's channel count) and returns the updated alignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::Incompatible`] on channel mismatch.
+    pub fn push(&mut self, frame_signal: &Signal, frame_index: usize) -> Result<OnlineStep, SyncError> {
+        if frame_signal.channels() != self.reference.channels() {
+            return Err(SyncError::Incompatible(format!(
+                "frame has {} channels, reference {}",
+                frame_signal.channels(),
+                self.reference.channels()
+            )));
+        }
+        let m = self.reference.len();
+        let i = self.frames_seen;
+        let (lo, hi) = match self.band {
+            Some(band) => (i.saturating_sub(band), (i + band + 1).min(m)),
+            None => (0, m),
+        };
+        let mut new_row = vec![f64::INFINITY; m];
+        let mut best = (0usize, f64::INFINITY);
+        for j in lo..hi {
+            let d = frame_distance(frame_signal, frame_index, &self.reference, j);
+            let from_prev_row = self.row.get(j).copied().unwrap_or(f64::INFINITY); // (i-1, j)
+            let from_diag = if j > 0 {
+                self.row[j - 1]
+            } else if i == 0 {
+                0.0 // virtual start before (0,0)
+            } else {
+                f64::INFINITY
+            };
+            let from_left = if j > 0 { new_row[j - 1] } else { f64::INFINITY };
+            let base = if i == 0 && j == 0 {
+                0.0
+            } else {
+                from_prev_row.min(from_diag).min(from_left)
+            };
+            let cost = d + base;
+            new_row[j] = cost;
+            if cost < best.1 {
+                best = (j, cost);
+            }
+        }
+        self.row = new_row;
+        self.frames_seen += 1;
+        Ok(OnlineStep {
+            frame: i,
+            best_j: best.0,
+            h_disp: best.0 as f64 - i as f64,
+            mean_cost: best.1 / (i + 1) as f64,
+        })
+    }
+
+    /// Pushes every frame of `chunk` (a multi-frame signal), returning one
+    /// step per frame.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnlineDtw::push`].
+    pub fn push_chunk(&mut self, chunk: &Signal) -> Result<Vec<OnlineStep>, SyncError> {
+        (0..chunk.len()).map(|k| self.push(chunk, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Multi-channel wavy signal (>=3 channels so correlation distance is
+    /// used per frame).
+    fn wavy(n: usize, stretch: f64) -> Signal {
+        Signal::from_channels(
+            10.0,
+            (0..4)
+                .map(|c| {
+                    (0..n)
+                        .map(|i| ((i as f64 * stretch * 0.31) + c as f64 * 0.7).sin())
+                        .collect()
+                })
+                .collect(),
+        )
+        .expect("rectangular")
+    }
+
+    #[test]
+    fn identical_signals_track_the_diagonal() {
+        let b = wavy(64, 1.0);
+        let mut online = OnlineDtw::new(b.clone(), None).unwrap();
+        let steps = online.push_chunk(&b).unwrap();
+        assert_eq!(steps.len(), 64);
+        // After warm-up the endpoint hugs the diagonal.
+        for s in &steps[4..] {
+            assert!(
+                s.h_disp.abs() <= 2.0,
+                "frame {}: h_disp {}",
+                s.frame,
+                s.h_disp
+            );
+            assert!(s.mean_cost < 0.05, "mean cost {}", s.mean_cost);
+        }
+        assert_eq!(online.frames_seen(), 64);
+    }
+
+    #[test]
+    fn stretched_signal_shows_growing_displacement() {
+        let b = wavy(96, 1.0);
+        // a runs 25% faster: its frame i matches reference ~1.25 i.
+        let a = wavy(64, 1.25);
+        let mut online = OnlineDtw::new(b, None).unwrap();
+        let steps = online.push_chunk(&a).unwrap();
+        let last = steps.last().unwrap();
+        assert!(
+            last.h_disp > 8.0,
+            "expected positive drift, got {}",
+            last.h_disp
+        );
+    }
+
+    #[test]
+    fn band_limits_the_warp() {
+        let b = wavy(64, 1.0);
+        let mut online = OnlineDtw::new(b.clone(), Some(3)).unwrap();
+        let steps = online.push_chunk(&b).unwrap();
+        for s in &steps {
+            assert!(s.h_disp.abs() <= 3.0);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let empty = Signal::zeros(10.0, 2, 0).unwrap();
+        assert!(OnlineDtw::new(empty, None).is_err());
+        let b = wavy(8, 1.0);
+        let mut online = OnlineDtw::new(b, None).unwrap();
+        let wrong = Signal::zeros(10.0, 2, 4).unwrap();
+        assert!(online.push(&wrong, 0).is_err());
+    }
+
+    #[test]
+    fn streaming_matches_chunked_feeding() {
+        let b = wavy(48, 1.0);
+        let a = wavy(48, 1.1);
+        let mut one = OnlineDtw::new(b.clone(), None).unwrap();
+        let all = one.push_chunk(&a).unwrap();
+        let mut two = OnlineDtw::new(b, None).unwrap();
+        let mut collected = Vec::new();
+        for start in (0..48).step_by(7) {
+            let end = (start + 7).min(48);
+            collected.extend(two.push_chunk(&a.slice(start..end).unwrap()).unwrap());
+        }
+        // Endpoints identical regardless of chunking.
+        let ends_a: Vec<usize> = all.iter().map(|s| s.best_j).collect();
+        let ends_b: Vec<usize> = collected.iter().map(|s| s.best_j).collect();
+        assert_eq!(ends_a, ends_b);
+    }
+}

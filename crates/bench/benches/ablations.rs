@@ -1,0 +1,58 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! distance metric (gain invariance), TDEB bias, spike-filter window,
+//! and a per-attack difficulty breakdown.
+
+use am_eval::ablations::{
+    filter_window_ablation, metric_gain_sensitivity, per_attack_tpr, tdeb_bias_ablation,
+};
+use am_eval::harness::Transform;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use bench::small_set;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn ablations(c: &mut Criterion) {
+    let set = small_set(PrinterModel::Um3);
+
+    println!("\n=== Ablation 1: sensor gain x1.8 on a benign print (v_dist inflation) ===");
+    for r in metric_gain_sensitivity(&set, SideChannel::Acc).expect("ablation") {
+        println!(
+            "  {:<12} benign max {:.3} -> gain-shifted max {:.3}  (x{:.2})",
+            r.metric.to_string(),
+            r.benign_max,
+            r.gain_shifted_max,
+            r.gain_inflation()
+        );
+    }
+
+    println!("\n=== Ablation 2: TDEB bias (benign CADHD, lower = smoother track) ===");
+    let (biased, unbiased) = tdeb_bias_ablation(&set, SideChannel::Acc).expect("ablation");
+    println!("  tuned sigma : CADHD {biased:.0}");
+    println!("  no bias     : CADHD {unbiased:.0}");
+
+    println!("\n=== Ablation 3: spike-filter window vs detection rates (ACC raw) ===");
+    for (w, rates) in
+        filter_window_ablation(&set, SideChannel::Acc, &[1, 3, 5]).expect("ablation")
+    {
+        println!("  window {w}: FPR/TPR {}  accuracy {:.3}", rates.cell(), rates.accuracy());
+    }
+
+    println!("\n=== Ablation 4: per-attack TPR (NSYNC/DWM, ACC raw) ===");
+    for (attack, rates) in
+        per_attack_tpr(&set, SideChannel::Acc, Transform::Raw).expect("ablation")
+    {
+        println!("  {attack:<12} TPR {:.2}", rates.tpr());
+    }
+    println!();
+
+    c.bench_function("ablations/metric_gain_sensitivity", |b| {
+        b.iter(|| metric_gain_sensitivity(&set, SideChannel::Mag).expect("ablation"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = ablations
+}
+criterion_main!(benches);

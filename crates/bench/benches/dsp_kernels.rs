@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the DSP kernels everything else stands on:
+//! radix-2 FFT, Bluestein DFT, naive vs FFT sliding TDE, and TDEB.
+
+use am_dsp::fft::{dft, fft_in_place, rfft_magnitude, Complex};
+use am_dsp::tde::{similarity_scores, tdeb, TdeBackend};
+use am_dsp::Signal;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn signal(n: usize, channels: usize) -> Signal {
+    Signal::from_fn(1000.0, channels, n, |t, frame| {
+        for (c, v) in frame.iter_mut().enumerate() {
+            *v = ((1.0 + c as f64) * 3.1 * t).sin() + 0.3 * (17.0 * t + c as f64).cos();
+        }
+    })
+    .expect("valid signal")
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let buf: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut work = buf.clone();
+                fft_in_place(&mut work).expect("pow2 length");
+                work
+            })
+        });
+        // Bluestein at the awkward length n-1 (never a power of two here).
+        let odd: Vec<Complex> = buf[..n - 1].to_vec();
+        group.bench_with_input(BenchmarkId::new("bluestein", n - 1), &n, |b, _| {
+            b.iter(|| dft(&odd))
+        });
+    }
+    // The Table III ACC window: 200 samples -> 101 bins.
+    let win: Vec<f64> = (0..200).map(|i| (i as f64 * 0.21).sin()).collect();
+    group.bench_function("table3_acc_window_200", |b| {
+        b.iter(|| rfft_magnitude(&win, 256).expect("pow2"))
+    });
+    group.finish();
+}
+
+fn bench_tde(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tde");
+    group.sample_size(20);
+    // A DWM-shaped problem: window w inside a search span of w + 2*ext.
+    for &(w, ext) in &[(400usize, 200usize), (1600, 800)] {
+        let x = signal(w + 2 * ext, 1);
+        let y = x.slice(ext..ext + w).expect("in range");
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("w{w}_e{ext}")),
+            &w,
+            |b, _| b.iter(|| similarity_scores(&x, &y, TdeBackend::Naive).expect("valid")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fft", format!("w{w}_e{ext}")),
+            &w,
+            |b, _| b.iter(|| similarity_scores(&x, &y, TdeBackend::Fft).expect("valid")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tdeb_auto", format!("w{w}_e{ext}")),
+            &w,
+            |b, _| b.iter(|| tdeb(&x, &y, ext as f64 / 2.0, TdeBackend::Auto).expect("valid")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fft, bench_tde
+}
+criterion_main!(benches);

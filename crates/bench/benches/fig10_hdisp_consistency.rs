@@ -1,0 +1,42 @@
+//! Fig 10: `h_disp` is a property of the printing process, not of the
+//! side channel — channels that track printer state produce the same
+//! displacement curve. Prints the consistency matrix once, then
+//! benchmarks the per-channel DWM run.
+
+use am_eval::figures::{fig10_hdisp, hdisp_consistency};
+use am_eval::harness::Transform;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::dwm::dwm;
+use bench::{benign_pair, small_set};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig10(c: &mut Criterion) {
+    let set = small_set(PrinterModel::Um3);
+    let series = fig10_hdisp(&set, &SideChannel::all()).expect("hdisp grid");
+    // Anchor: ACC raw (the first series).
+    let anchor = &series[0];
+    println!("\n=== Fig 10: h_disp consistency vs {} ===", anchor.label);
+    for s in &series {
+        println!(
+            "  {:<18} range {:>7.3} s   consistency {:+.2}",
+            s.label,
+            s.y_range(),
+            hdisp_consistency(anchor, s)
+        );
+    }
+    println!("  (expect ACC/AUD ~ +1.0; EPT raw nonsense; TMP/PWR noise-like)\n");
+
+    let (a, b) = benign_pair(&set, SideChannel::Mag, Transform::Raw);
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    c.bench_function("fig10/dwm_mag_raw", |bch| {
+        bch.iter(|| dwm(&a, &b, &params).expect("sync"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig 11: average time to dynamically synchronize one second of the
+//! spectrograms — DWM vs (Fast)DTW. This is the paper's headline
+//! performance claim; Criterion measures both synchronizers on identical
+//! spectrogram pairs.
+
+use am_eval::figures::fig11_sync_timing;
+use am_eval::harness::Transform;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::{dwm::dwm, fastdtw::fastdtw};
+use bench::{benign_pair, small_set};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig11(c: &mut Criterion) {
+    let set = small_set(PrinterModel::Um3);
+    println!("\n=== Fig 11: time to synchronize 1 s of spectrogram (lower is better) ===");
+    for (name, ratio) in
+        fig11_sync_timing(&set, &SideChannel::kept()).expect("timing series")
+    {
+        println!("  {name:<10} {:.6} s per signal-second", ratio);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    for channel in [SideChannel::Acc, SideChannel::Aud] {
+        let (a, b) = benign_pair(&set, channel, Transform::Spectrogram);
+        let params = set.spec.profile.dwm_params(set.spec.printer);
+        group.bench_with_input(
+            BenchmarkId::new("dwm", channel.id()),
+            &channel,
+            |bch, _| bch.iter(|| dwm(&a, &b, &params).expect("sync")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fastdtw_r1", channel.id()),
+            &channel,
+            |bch, _| bch.iter(|| fastdtw(&a, &b, 1).expect("sync")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig11
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig 1: repeated benign prints of the same G-code end at different
+//! times. Prints the duration series once, then benchmarks the firmware
+//! execution that produces it.
+
+use am_gcode::slicer::slice_gear;
+use am_dataset::{ExperimentSpec, Profile};
+use am_printer::{config::PrinterModel, firmware::execute_program};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig1(c: &mut Criterion) {
+    let spec = ExperimentSpec::small(PrinterModel::Um3);
+    let slice_cfg = Profile::Small.slice_config(spec.printer);
+    let program = slice_gear(&slice_cfg).expect("slice");
+    let printer = spec.printer.config();
+    let noise = Profile::Small.time_noise();
+
+    println!("\n=== Fig 1: same G-code, same printer, different runs ===");
+    let mut durations = Vec::new();
+    for seed in 0..6u64 {
+        let traj = execute_program(&program, &printer, &noise, seed).expect("execute");
+        let motion = traj.duration() - traj.print_start();
+        durations.push(motion);
+        println!("  run {seed}: {motion:.2} s of motion");
+    }
+    let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = durations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "  end misalignment across runs: {:.2} s (the paper's Fig 1 effect)\n",
+        max - min
+    );
+
+    c.bench_function("fig1/execute_noisy_print", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            execute_program(&program, &printer, &noise, seed).expect("execute")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig1
+}
+criterion_main!(benches);

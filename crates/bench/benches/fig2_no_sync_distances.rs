@@ -1,0 +1,40 @@
+//! Fig 2: without DSYNC, the correlation distances of a *benign* process
+//! grow as large as a malicious one's. Prints the two series' summary
+//! once, then benchmarks the no-sync comparator.
+
+use am_eval::figures::fig2_no_sync_distances;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use bench::small_set;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig2(c: &mut Criterion) {
+    let set = small_set(PrinterModel::Um3);
+    let (benign, malicious) =
+        fig2_no_sync_distances(&set, SideChannel::Acc).expect("series");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let tail = |v: &[f64]| mean(&v[v.len() * 3 / 4..]);
+    println!("\n=== Fig 2: correlation distances without DSYNC (ACC) ===");
+    println!(
+        "  benign   : mean {:.3}, final-quarter mean {:.3}",
+        mean(&benign.y),
+        tail(&benign.y)
+    );
+    println!(
+        "  malicious: mean {:.3}, final-quarter mean {:.3}",
+        mean(&malicious.y),
+        tail(&malicious.y)
+    );
+    println!("  -> by the end, benign distances rival malicious ones: point-by-point IDSs break\n");
+
+    c.bench_function("fig2/no_sync_distance_series", |b| {
+        b.iter(|| fig2_no_sync_distances(&set, SideChannel::Acc).expect("series"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig 6: parametric analysis of `t_sigma`, `t_win`, `eta`. Prints the
+//! per-parameter `h_disp` ranges once, then benchmarks a single DWM run.
+
+use am_eval::figures::{fig6_eta, fig6_sigma, fig6_window};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::dwm::dwm;
+use am_eval::harness::Transform;
+use bench::{benign_pair, small_set};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig6(c: &mut Criterion) {
+    let set = small_set(PrinterModel::Um3);
+    let channel = SideChannel::Acc;
+    println!("\n=== Fig 6: parametric analysis (h_disp range in seconds) ===");
+    for s in fig6_sigma(&set, channel, &[0.1, 0.25, 0.5, 1.0, 2.0]).expect("sweep") {
+        println!("  (a) {:<14} range {:.3}", s.label, s.y_range());
+    }
+    for s in fig6_window(&set, channel, &[1.0, 2.0, 4.0, 8.0]).expect("sweep") {
+        println!("  (b) {:<14} range {:.3}", s.label, s.y_range());
+    }
+    for s in fig6_eta(&set, channel, &[0.05, 0.1, 0.5, 1.0]).expect("sweep") {
+        println!("  (c) {:<14} range {:.3}", s.label, s.y_range());
+    }
+    println!();
+
+    let (a, b) = benign_pair(&set, channel, Transform::Raw);
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    c.bench_function("fig6/dwm_single_run_acc_raw", |bch| {
+        bch.iter(|| dwm(&a, &b, &params).expect("sync"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Shared helpers for the benchmark targets.
+//!
+//! Every `benches/*.rs` target regenerates one table or figure from the
+//! paper (printed once, outside the timed region) and then benchmarks the
+//! computational kernel behind it with Criterion.
+
+use am_dataset::{ExperimentSpec, RunRole, TrajectorySet};
+use am_eval::harness::{Split, Transform};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+
+/// Generates the Small-profile experiment for a printer (used by every
+/// bench target).
+///
+/// # Panics
+///
+/// Panics on generation failure — benches treat that as fatal.
+pub fn small_set(printer: PrinterModel) -> TrajectorySet {
+    TrajectorySet::generate(ExperimentSpec::small(printer)).expect("dataset generation")
+}
+
+/// Produces a `(benign observed, reference)` signal pair for a channel and
+/// transform.
+///
+/// # Panics
+///
+/// Panics on capture failure.
+pub fn benign_pair(
+    set: &TrajectorySet,
+    channel: SideChannel,
+    transform: Transform,
+) -> (am_dsp::Signal, am_dsp::Signal) {
+    let split = Split::generate(set, channel, transform).expect("capture");
+    let observed = split
+        .tests
+        .iter()
+        .find(|c| matches!(c.role, RunRole::TestBenign(0)))
+        .expect("benign test run")
+        .signal
+        .clone();
+    (observed, split.reference.signal.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_data() {
+        let set = small_set(PrinterModel::Um3);
+        let (a, b) = benign_pair(&set, SideChannel::Mag, Transform::Raw);
+        assert_eq!(a.channels(), b.channels());
+        assert!(a.len() > 100);
+    }
+}

@@ -1,0 +1,208 @@
+//! The comparator: vertical distance calculation (§VII-A).
+//!
+//! Produces `v_dist[i]` over the corresponding units identified by the
+//! synchronizer:
+//!
+//! - **DWM (windowed)**, Eq (16): `v_dist[i] = d(a{i}, b{i; h_disp[i]})`,
+//!   with the multi-channel distance averaged across channels;
+//! - **DTW (pointwise)**, Eq (15): per warp tuple `(i, j)`,
+//!   `v_dist[i] = mean_k d(a[i], b[j_k])`, the distance taken across the
+//!   channel axis of each frame.
+//!
+//! The default metric is the correlation distance (Eq 14) because it is
+//! invariant to the per-run gain drift the DAQ introduces; Euclidean /
+//! Manhattan are deliberately avoided by the paper (and available here
+//! only for ablation experiments).
+
+use crate::error::NsyncError;
+use am_dsp::metrics::DistanceMetric;
+use am_dsp::Signal;
+use am_sync::{Alignment, AlignmentKind};
+
+/// Computes the vertical distance array for an alignment.
+///
+/// # Errors
+///
+/// Returns [`NsyncError::Dsp`] if window shapes mismatch (only possible
+/// with inconsistent alignments).
+pub fn vertical_distances(
+    a: &Signal,
+    b: &Signal,
+    alignment: &Alignment,
+    metric: DistanceMetric,
+) -> Result<Vec<f64>, NsyncError> {
+    match &alignment.kind {
+        AlignmentKind::Windowed { n_win, n_hop } => {
+            let mut out = Vec::with_capacity(alignment.h_disp.len());
+            for (i, &disp) in alignment.h_disp.iter().enumerate() {
+                let a_start = i * n_hop;
+                let a_win = a.slice_padded(a_start as isize, (a_start + n_win) as isize);
+                let b_start = a_start as isize + disp.round() as isize;
+                let b_win = b.slice_padded(b_start, b_start + *n_win as isize);
+                out.push(metric.distance_multichannel(&a_win, &b_win)?);
+            }
+            Ok(out)
+        }
+        AlignmentKind::Pointwise { path } => {
+            let mut sums = vec![0.0f64; a.len()];
+            let mut counts = vec![0u32; a.len()];
+            let c = a.channels();
+            for &(i, j) in path {
+                if i >= a.len() || j >= b.len() {
+                    continue;
+                }
+                let u: Vec<f64> = (0..c).map(|ch| a.sample(i, ch)).collect();
+                let v: Vec<f64> = (0..c).map(|ch| b.sample(j, ch)).collect();
+                let d = if c >= 3 {
+                    metric.distance(&u, &v)
+                } else {
+                    // Too few channels for a meaningful frame-wise
+                    // correlation/cosine; fall back to mean abs error.
+                    DistanceMetric::MeanAbsoluteError.distance(&u, &v)
+                };
+                sums[i] += d;
+                counts[i] += 1;
+            }
+            Ok((0..a.len())
+                .map(|i| {
+                    if counts[i] > 0 {
+                        sums[i] / counts[i] as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_sync::{DwmParams, DwmSynchronizer, Synchronizer};
+
+    fn wavy(fs: f64, secs: f64, gain: f64) -> Signal {
+        let n = (fs * secs) as usize;
+        Signal::from_fn(fs, 1, n, |t, f| {
+            f[0] = gain * ((0.9 * t).sin() + 0.5 * (2.3 * t).cos())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_signals_have_zero_windowed_distance() {
+        let b = wavy(20.0, 60.0, 1.0);
+        let sync = DwmSynchronizer::new(DwmParams::from_window(4.0));
+        let al = sync.synchronize(&b, &b).unwrap();
+        let v = vertical_distances(&b, &b, &al, DistanceMetric::Correlation).unwrap();
+        assert!(!v.is_empty());
+        for d in &v {
+            assert!(d.abs() < 1e-9, "distance {d}");
+        }
+    }
+
+    #[test]
+    fn gain_change_is_invisible_to_correlation_distance() {
+        let b = wavy(20.0, 60.0, 1.0);
+        let a = wavy(20.0, 60.0, 2.5); // same process, different gain
+        let sync = DwmSynchronizer::new(DwmParams::from_window(4.0));
+        let al = sync.synchronize(&a, &b).unwrap();
+        let v = vertical_distances(&a, &b, &al, DistanceMetric::Correlation).unwrap();
+        for d in &v {
+            assert!(d.abs() < 1e-6, "correlation distance {d}");
+        }
+        // ... but Euclidean sees it (the paper's argument for eq 14).
+        let e = vertical_distances(&a, &b, &al, DistanceMetric::Euclidean).unwrap();
+        assert!(e.iter().any(|d| *d > 0.1));
+    }
+
+    #[test]
+    fn different_content_yields_large_distances() {
+        let b = wavy(20.0, 60.0, 1.0);
+        let a = Signal::from_fn(20.0, 1, b.len(), |t, f| {
+            f[0] = (5.7 * t).sin() * (0.3 * t).cos()
+        })
+        .unwrap();
+        let sync = DwmSynchronizer::new(DwmParams::from_window(4.0));
+        let al = sync.synchronize(&a, &b).unwrap();
+        let v = vertical_distances(&a, &b, &al, DistanceMetric::Correlation).unwrap();
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean > 0.3, "mean distance {mean}");
+    }
+
+    #[test]
+    fn pointwise_distances_follow_the_path() {
+        // 4-channel frames so the correlation-across-channels path is used.
+        let n = 16;
+        let mk = |shift: usize| {
+            Signal::from_channels(
+                10.0,
+                (0..4)
+                    .map(|c| {
+                        (0..n)
+                            .map(|i| ((i + shift) as f64 * 0.8 + c as f64).sin())
+                            .collect()
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let a = mk(0);
+        let b = mk(0);
+        let path: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        let al = Alignment {
+            h_disp: vec![0.0; n],
+            kind: AlignmentKind::Pointwise { path },
+        };
+        let v = vertical_distances(&a, &b, &al, DistanceMetric::Correlation).unwrap();
+        assert_eq!(v.len(), n);
+        for d in &v {
+            assert!(d.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pointwise_eq15_averages_multiple_tuples() {
+        let a = Signal::from_channels(10.0, vec![vec![1.0, 2.0]; 1]).unwrap();
+        let b = Signal::from_channels(10.0, vec![vec![1.0, 5.0]; 1]).unwrap();
+        // a[1] pairs with b[0] and b[1]: MAE distances |2-1|=1 and |2-5|=3,
+        // mean 2.
+        let al = Alignment {
+            h_disp: vec![0.0, 0.0],
+            kind: AlignmentKind::Pointwise {
+                path: vec![(0, 0), (1, 0), (1, 1)],
+            },
+        };
+        let v = vertical_distances(&a, &b, &al, DistanceMetric::Correlation).unwrap();
+        assert_eq!(v, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn windowed_displacement_is_applied() {
+        // b is a delayed copy of a; with the correct h_disp the distances
+        // vanish, with zero h_disp they do not.
+        let fs = 20.0;
+        let b = wavy(fs, 60.0, 1.0);
+        let shift = 20usize; // 1 s
+        let a = Signal::mono(fs, b.channel(0)[shift..].to_vec()).unwrap();
+        // a{i} matches b at i*hop + shift: h_disp = +shift.
+        let n_win = 80;
+        let n_hop = 40;
+        let n_windows = (a.len() - n_win) / n_hop + 1;
+        let right = Alignment {
+            h_disp: vec![shift as f64; n_windows],
+            kind: AlignmentKind::Windowed { n_win, n_hop },
+        };
+        let wrong = Alignment {
+            h_disp: vec![0.0; n_windows],
+            kind: AlignmentKind::Windowed { n_win, n_hop },
+        };
+        let v_right =
+            vertical_distances(&a, &b, &right, DistanceMetric::Correlation).unwrap();
+        let v_wrong =
+            vertical_distances(&a, &b, &wrong, DistanceMetric::Correlation).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&v_right) < 1e-6);
+        assert!(mean(&v_wrong) > 10.0 * (mean(&v_right) + 1e-9));
+    }
+}

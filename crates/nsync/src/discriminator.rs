@@ -1,0 +1,318 @@
+//! The discriminator: automatic intrusion detection (§VII-B, Fig 8).
+//!
+//! Three sub-modules, each with its own learned critical value; an
+//! intrusion is declared if **any** sub-module fires:
+//!
+//! 1. `c_disp`-based: the Cumulative Absolute Difference of the
+//!    Horizontal Displacement (CADHD, Eq 17) exceeds `c_c` — catches
+//!    failed synchronization (h_disp thrashing),
+//! 2. `h_dist`-based: `|h_disp[i]|` exceeds `h_c` — catches timing drift
+//!    (e.g. the Speed0.95 attack),
+//! 3. `v_dist`-based: the vertical distance exceeds `v_c` — catches
+//!    content changes (e.g. InfillGrid).
+//!
+//! `h_dist` and `v_dist` are spike-suppressed with a trailing-minimum
+//! filter of window 3 (Eq 21–22) before thresholding, so an isolated
+//! time-noise spike cannot raise a false alarm — a deviation must persist
+//! for the full filter window.
+
+use am_dsp::filter::trailing_min;
+use am_dsp::stats;
+use serde::{Deserialize, Serialize};
+
+/// Discriminator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscriminatorConfig {
+    /// Trailing-min filter window for `h_dist` and `v_dist` (paper: 3).
+    pub min_filter_window: usize,
+}
+
+impl Default for DiscriminatorConfig {
+    fn default() -> Self {
+        DiscriminatorConfig {
+            min_filter_window: 3,
+        }
+    }
+}
+
+/// The three detection sub-modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubModule {
+    /// CADHD (Eq 17–18).
+    CDisp,
+    /// Horizontal distance (Eq 19).
+    HDist,
+    /// Vertical distance (Eq 20).
+    VDist,
+}
+
+impl SubModule {
+    /// All three, in the paper's order.
+    pub fn all() -> [SubModule; 3] {
+        [SubModule::CDisp, SubModule::HDist, SubModule::VDist]
+    }
+}
+
+impl std::fmt::Display for SubModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SubModule::CDisp => "c_disp",
+            SubModule::HDist => "h_dist",
+            SubModule::VDist => "v_dist",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Learned critical values (Eq 26–28).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Critical CADHD `c_c`.
+    pub c_c: f64,
+    /// Critical horizontal distance `h_c`.
+    pub h_c: f64,
+    /// Critical vertical distance `v_c`.
+    pub v_c: f64,
+}
+
+/// Outcome of running the discriminator on one process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// `true` if any sub-module fired.
+    pub intrusion: bool,
+    /// Which sub-modules fired.
+    pub triggered: Vec<SubModule>,
+    /// Earliest index at which any sub-module fired.
+    pub first_alert_index: Option<usize>,
+    /// The CADHD trace (Eq 17).
+    pub c_disp: Vec<f64>,
+    /// Filtered horizontal distances (Eq 21).
+    pub h_dist_filtered: Vec<f64>,
+    /// Filtered vertical distances (Eq 22).
+    pub v_dist_filtered: Vec<f64>,
+}
+
+impl Detection {
+    /// `true` if the given sub-module fired.
+    pub fn fired(&self, module: SubModule) -> bool {
+        self.triggered.contains(&module)
+    }
+}
+
+
+impl std::fmt::Display for Detection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.intrusion {
+            return write!(f, "benign ({} windows checked)", self.v_dist_filtered.len());
+        }
+        let modules: Vec<String> = self.triggered.iter().map(|m| m.to_string()).collect();
+        write!(
+            f,
+            "INTRUSION via [{}] first at window {}",
+            modules.join(", "),
+            self.first_alert_index.unwrap_or(0)
+        )
+    }
+}
+
+/// CADHD (Eq 17): `c_disp[i] = Σ_{j≤i} |h_disp[j] − h_disp[j−1]|` with
+/// `h_disp[-1] = 0`.
+pub fn cadhd(h_disp: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut prev = 0.0;
+    h_disp
+        .iter()
+        .map(|&h| {
+            acc += (h - prev).abs();
+            prev = h;
+            acc
+        })
+        .collect()
+}
+
+/// Per-run statistics the OCC trainer needs (Eq 23–25): the maxima of the
+/// CADHD trace and the **filtered** h/v distance traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// `max_i c_disp[i]` (Eq 23).
+    pub c_max: f64,
+    /// `max_i h_dist_f[i]` (Eq 24).
+    pub h_max: f64,
+    /// `max_i v_dist_f[i]` (Eq 25).
+    pub v_max: f64,
+}
+
+/// Computes the three traces and their maxima for one run.
+///
+/// # Panics
+///
+/// Panics if `config.min_filter_window == 0` (a config invariant).
+pub fn trace_stats(
+    h_disp: &[f64],
+    v_dist: &[f64],
+    config: &DiscriminatorConfig,
+) -> (TraceStats, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let c_disp = cadhd(h_disp);
+    let h_dist: Vec<f64> = h_disp.iter().map(|v| v.abs()).collect();
+    let h_f = trailing_min(&h_dist, config.min_filter_window)
+        .expect("filter window must be >= 1");
+    let v_f = trailing_min(v_dist, config.min_filter_window)
+        .expect("filter window must be >= 1");
+    let stats = TraceStats {
+        c_max: stats::max(&c_disp).unwrap_or(0.0),
+        h_max: stats::max(&h_f).unwrap_or(0.0),
+        v_max: stats::max(&v_f).unwrap_or(0.0),
+    };
+    (stats, c_disp, h_f, v_f)
+}
+
+/// Runs the full discriminator (Eq 18–20 over the filtered traces).
+pub fn discriminate(
+    h_disp: &[f64],
+    v_dist: &[f64],
+    thresholds: &Thresholds,
+    config: &DiscriminatorConfig,
+) -> Detection {
+    let (_, c_disp, h_f, v_f) = trace_stats(h_disp, v_dist, config);
+    let mut triggered = Vec::new();
+    let mut first: Option<usize> = None;
+    let mut note = |module: SubModule, idx: Option<usize>| {
+        if let Some(i) = idx {
+            triggered.push(module);
+            first = Some(first.map_or(i, |f| f.min(i)));
+        }
+    };
+    note(
+        SubModule::CDisp,
+        c_disp.iter().position(|&v| v > thresholds.c_c),
+    );
+    note(
+        SubModule::HDist,
+        h_f.iter().position(|&v| v > thresholds.h_c),
+    );
+    note(
+        SubModule::VDist,
+        v_f.iter().position(|&v| v > thresholds.v_c),
+    );
+    Detection {
+        intrusion: !triggered.is_empty(),
+        triggered,
+        first_alert_index: first,
+        c_disp,
+        h_dist_filtered: h_f,
+        v_dist_filtered: v_f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn th(c: f64, h: f64, v: f64) -> Thresholds {
+        Thresholds {
+            c_c: c,
+            h_c: h,
+            v_c: v,
+        }
+    }
+
+    #[test]
+    fn cadhd_accumulates_from_zero() {
+        assert_eq!(cadhd(&[]), Vec::<f64>::new());
+        // h_disp[-1] = 0, so a first value of 2 contributes 2.
+        assert_eq!(cadhd(&[2.0, 2.0, 0.0]), vec![2.0, 2.0, 4.0]);
+        assert_eq!(cadhd(&[0.0, 1.0, -1.0]), vec![0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn quiet_process_raises_nothing() {
+        let h = vec![0.0, 1.0, 1.0, 0.0, -1.0];
+        let v = vec![0.01, 0.02, 0.01, 0.03, 0.02];
+        let d = discriminate(&h, &v, &th(10.0, 5.0, 0.5), &DiscriminatorConfig::default());
+        assert!(!d.intrusion);
+        assert!(d.triggered.is_empty());
+        assert_eq!(d.first_alert_index, None);
+    }
+
+    #[test]
+    fn cadhd_fires_on_thrashing_hdisp() {
+        // Oscillating h_disp — failed DSYNC (Fig 8a's malicious case).
+        let h: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 5.0 } else { -5.0 }).collect();
+        let v = vec![0.0; 50];
+        let d = discriminate(&h, &v, &th(50.0, 100.0, 1.0), &DiscriminatorConfig::default());
+        assert!(d.intrusion);
+        assert!(d.fired(SubModule::CDisp));
+        assert!(!d.fired(SubModule::HDist));
+    }
+
+    #[test]
+    fn hdist_fires_on_sustained_drift() {
+        let mut h = vec![0.0; 20];
+        for (i, v) in h.iter_mut().enumerate() {
+            *v = i as f64; // steady drift up to 19
+        }
+        let v = vec![0.0; 20];
+        let d = discriminate(&h, &v, &th(1e9, 10.0, 1.0), &DiscriminatorConfig::default());
+        assert!(d.fired(SubModule::HDist));
+        // First alert where filtered |h| exceeds 10: h=[..] filtered with
+        // window 3 -> value 11 at index 13.
+        assert_eq!(d.first_alert_index, Some(13));
+    }
+
+    #[test]
+    fn isolated_spikes_are_suppressed() {
+        let mut h = vec![0.0; 20];
+        h[7] = 100.0; // single spike
+        let mut v = vec![0.0; 20];
+        v[11] = 9.0; // single spike
+        let d = discriminate(&h, &v, &th(1e9, 10.0, 1.0), &DiscriminatorConfig::default());
+        assert!(!d.fired(SubModule::HDist), "h spike should be filtered");
+        assert!(!d.fired(SubModule::VDist), "v spike should be filtered");
+    }
+
+    #[test]
+    fn sustained_vdist_fires() {
+        let h = vec![0.0; 20];
+        let mut v = vec![0.0; 20];
+        for val in v.iter_mut().skip(10).take(5) {
+            *val = 2.0; // persists 5 windows > filter window 3
+        }
+        let d = discriminate(&h, &v, &th(1e9, 1e9, 1.0), &DiscriminatorConfig::default());
+        assert!(d.fired(SubModule::VDist));
+        assert_eq!(d.first_alert_index, Some(12));
+    }
+
+    #[test]
+    fn trace_stats_maxima() {
+        let h = vec![0.0, 3.0, -3.0];
+        let v = vec![0.5, 0.5, 0.5];
+        let (s, c, hf, vf) = trace_stats(&h, &v, &DiscriminatorConfig::default());
+        assert_eq!(c, vec![0.0, 3.0, 9.0]);
+        assert_eq!(s.c_max, 9.0);
+        assert_eq!(s.h_max, 0.0); // trailing min over [0,3,3] windows
+        assert_eq!(s.v_max, 0.5);
+        assert_eq!(hf.len(), 3);
+        assert_eq!(vf.len(), 3);
+    }
+
+    #[test]
+    fn submodule_display_and_all() {
+        assert_eq!(SubModule::all().len(), 3);
+        assert_eq!(SubModule::CDisp.to_string(), "c_disp");
+        assert_eq!(SubModule::VDist.to_string(), "v_dist");
+    }
+
+    #[test]
+    fn detection_display_forms() {
+        let quiet = discriminate(&[0.0; 4], &[0.0; 4], &th(1.0, 1.0, 1.0), &DiscriminatorConfig::default());
+        assert!(quiet.to_string().contains("benign"));
+        let mut v = vec![0.0; 8];
+        for x in v.iter_mut().skip(2) {
+            *x = 5.0;
+        }
+        let loud = discriminate(&[0.0; 8], &v, &th(1e9, 1e9, 1.0), &DiscriminatorConfig::default());
+        let text = loud.to_string();
+        assert!(text.contains("INTRUSION"), "{text}");
+        assert!(text.contains("v_dist"), "{text}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the NSYNC framework.
+
+use am_dsp::DspError;
+use am_sync::SyncError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the NSYNC pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NsyncError {
+    /// Synchronization failed.
+    Sync(SyncError),
+    /// A DSP operation failed.
+    Dsp(DspError),
+    /// Training input was invalid (e.g. no benign runs).
+    InvalidTraining(String),
+    /// A parameter was out of domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for NsyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NsyncError::Sync(e) => write!(f, "synchronization failed: {e}"),
+            NsyncError::Dsp(e) => write!(f, "dsp error: {e}"),
+            NsyncError::InvalidTraining(m) => write!(f, "invalid training: {m}"),
+            NsyncError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl Error for NsyncError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NsyncError::Sync(e) => Some(e),
+            NsyncError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SyncError> for NsyncError {
+    fn from(e: SyncError) -> Self {
+        NsyncError::Sync(e)
+    }
+}
+
+impl From<DspError> for NsyncError {
+    fn from(e: DspError) -> Self {
+        NsyncError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: NsyncError = SyncError::TooShort { needed: 2, got: 1 }.into();
+        assert!(e.to_string().contains("synchronization"));
+        assert!(Error::source(&e).is_some());
+        let d: NsyncError = DspError::NoChannels.into();
+        assert!(d.to_string().contains("dsp"));
+    }
+}

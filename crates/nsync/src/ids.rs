@@ -1,0 +1,288 @@
+//! The end-to-end NSYNC IDS: train on benign runs, then detect.
+
+use crate::comparator::vertical_distances;
+use crate::discriminator::{
+    discriminate, trace_stats, Detection, DiscriminatorConfig, Thresholds,
+};
+use crate::error::NsyncError;
+use crate::occ::learn_thresholds;
+use am_dsp::metrics::DistanceMetric;
+use am_dsp::Signal;
+use am_sync::{Alignment, Synchronizer};
+
+/// An untrained NSYNC IDS: a synchronizer + comparator + discriminator
+/// configuration.
+pub struct NsyncIds {
+    synchronizer: Box<dyn Synchronizer + Send + Sync>,
+    metric: DistanceMetric,
+    config: DiscriminatorConfig,
+}
+
+/// The intermediate result of analyzing one observed signal against the
+/// reference (exposed per C-INTERMEDIATE so callers can plot Fig 8-style
+/// traces without re-running the pipeline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// The synchronizer's alignment (h_disp + mapping).
+    pub alignment: Alignment,
+    /// Vertical distances over the alignment's units.
+    pub v_dist: Vec<f64>,
+}
+
+impl NsyncIds {
+    /// Creates an IDS with the default correlation-distance comparator and
+    /// the paper's discriminator configuration.
+    pub fn new(synchronizer: Box<dyn Synchronizer + Send + Sync>) -> Self {
+        NsyncIds {
+            synchronizer,
+            metric: DistanceMetric::Correlation,
+            config: DiscriminatorConfig::default(),
+        }
+    }
+
+    /// Overrides the distance metric (for ablations; the paper argues for
+    /// correlation distance).
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Overrides the discriminator configuration.
+    pub fn with_config(mut self, config: DiscriminatorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The synchronizer's display name.
+    pub fn synchronizer_name(&self) -> String {
+        self.synchronizer.name()
+    }
+
+    /// Runs synchronizer + comparator on one observed signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronizer and comparator failures.
+    pub fn analyze(&self, observed: &Signal, reference: &Signal) -> Result<Analysis, NsyncError> {
+        let alignment = self.synchronizer.synchronize(observed, reference)?;
+        let v_dist = vertical_distances(observed, reference, &alignment, self.metric)?;
+        Ok(Analysis { alignment, v_dist })
+    }
+
+    /// Learns OCC thresholds from benign training runs against the
+    /// reference (Eq 23–28) and returns a ready-to-detect IDS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NsyncError::InvalidTraining`] when `training` is empty
+    /// and propagates per-run analysis failures.
+    pub fn train(
+        self,
+        training: &[Signal],
+        reference: Signal,
+        r: f64,
+    ) -> Result<TrainedIds, NsyncError> {
+        if training.is_empty() {
+            return Err(NsyncError::InvalidTraining(
+                "at least one benign training run is required".into(),
+            ));
+        }
+        let mut stats = Vec::with_capacity(training.len());
+        for run in training {
+            let analysis = self.analyze(run, &reference)?;
+            let (s, _, _, _) = trace_stats(&analysis.alignment.h_disp, &analysis.v_dist, &self.config);
+            stats.push(s);
+        }
+        let thresholds = learn_thresholds(&stats, r)?;
+        Ok(TrainedIds {
+            ids: self,
+            reference,
+            thresholds,
+        })
+    }
+}
+
+impl std::fmt::Debug for NsyncIds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NsyncIds")
+            .field("synchronizer", &self.synchronizer.name())
+            .field("metric", &self.metric)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A trained NSYNC IDS holding the reference signal and learned
+/// thresholds.
+pub struct TrainedIds {
+    ids: NsyncIds,
+    reference: Signal,
+    thresholds: Thresholds,
+}
+
+impl TrainedIds {
+    /// The learned critical values.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// The reference signal.
+    pub fn reference(&self) -> &Signal {
+        &self.reference
+    }
+
+    /// The discriminator configuration in effect.
+    pub fn config(&self) -> DiscriminatorConfig {
+        self.ids.config
+    }
+
+    /// Analyzes and discriminates one observed signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn detect(&self, observed: &Signal) -> Result<Detection, NsyncError> {
+        let analysis = self.ids.analyze(observed, &self.reference)?;
+        Ok(discriminate(
+            &analysis.alignment.h_disp,
+            &analysis.v_dist,
+            &self.thresholds,
+            &self.ids.config,
+        ))
+    }
+
+    /// Like [`TrainedIds::detect`] but also returns the intermediate
+    /// analysis (for plots and sub-module studies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn detect_with_analysis(
+        &self,
+        observed: &Signal,
+    ) -> Result<(Detection, Analysis), NsyncError> {
+        let analysis = self.ids.analyze(observed, &self.reference)?;
+        let detection = discriminate(
+            &analysis.alignment.h_disp,
+            &analysis.v_dist,
+            &self.thresholds,
+            &self.ids.config,
+        );
+        Ok((detection, analysis))
+    }
+}
+
+impl std::fmt::Debug for TrainedIds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedIds")
+            .field("ids", &self.ids)
+            .field("thresholds", &self.thresholds)
+            .field("reference_len", &self.reference.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_sync::{DwmParams, DwmSynchronizer};
+
+    /// Benign process generator: same underlying waveform with tiny phase
+    /// perturbations standing in for benign run-to-run variation.
+    fn benign(phase: f64) -> Signal {
+        Signal::from_fn(20.0, 1, 1600, |t, f| {
+            f[0] = (0.8 * t).sin() + 0.5 * (2.3 * t + phase).sin() + 0.2 * (5.1 * t).cos()
+        })
+        .unwrap()
+    }
+
+    /// Malicious process: different content in the second half.
+    fn malicious() -> Signal {
+        Signal::from_fn(20.0, 1, 1600, |t, f| {
+            f[0] = if t < 40.0 {
+                (0.8 * t).sin() + 0.5 * (2.3 * t).sin() + 0.2 * (5.1 * t).cos()
+            } else {
+                (4.3 * t).sin() * 0.8 + (0.3 * t).cos()
+            }
+        })
+        .unwrap()
+    }
+
+    fn ids() -> NsyncIds {
+        NsyncIds::new(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))))
+    }
+
+    fn trained() -> TrainedIds {
+        let train: Vec<Signal> = (1..=5).map(|i| benign(i as f64 * 2e-3)).collect();
+        ids().train(&train, benign(0.0), 0.3).unwrap()
+    }
+
+    #[test]
+    fn benign_test_run_passes() {
+        let t = trained();
+        let d = t.detect(&benign(7e-3)).unwrap();
+        assert!(!d.intrusion, "triggered {:?}", d.triggered);
+    }
+
+    #[test]
+    fn malicious_run_flags() {
+        let t = trained();
+        let d = t.detect(&malicious()).unwrap();
+        assert!(d.intrusion);
+        // Content change must show up in v_dist at least.
+        assert!(
+            d.fired(crate::discriminator::SubModule::VDist)
+                || d.fired(crate::discriminator::SubModule::CDisp),
+            "triggered {:?}",
+            d.triggered
+        );
+        // The alert points into the second (tampered) half.
+        let idx = d.first_alert_index.unwrap();
+        assert!(idx > 0);
+    }
+
+    #[test]
+    fn train_requires_data() {
+        assert!(matches!(
+            ids().train(&[], benign(0.0), 0.3),
+            Err(NsyncError::InvalidTraining(_))
+        ));
+    }
+
+    #[test]
+    fn analyze_exposes_intermediates() {
+        let i = ids();
+        let a = benign(1e-3);
+        let b = benign(0.0);
+        let analysis = i.analyze(&a, &b).unwrap();
+        assert_eq!(analysis.alignment.h_disp.len(), analysis.v_dist.len());
+        assert!(!analysis.v_dist.is_empty());
+        assert_eq!(i.synchronizer_name(), "DWM");
+    }
+
+    #[test]
+    fn debug_impls_nonempty() {
+        let t = trained();
+        assert!(!format!("{t:?}").is_empty());
+        assert!(!format!("{:?}", ids()).is_empty());
+    }
+
+    #[test]
+    fn detect_with_analysis_consistent() {
+        let t = trained();
+        let obs = benign(4e-3);
+        let (d1, analysis) = t.detect_with_analysis(&obs).unwrap();
+        let d2 = t.detect(&obs).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(analysis.v_dist.len(), analysis.alignment.len());
+    }
+
+    #[test]
+    fn thresholds_accessible() {
+        let t = trained();
+        let th = t.thresholds();
+        assert!(th.c_c >= 0.0 && th.h_c >= 0.0 && th.v_c >= 0.0);
+        assert_eq!(t.config().min_filter_window, 3);
+        assert!(t.reference().len() > 0);
+    }
+}

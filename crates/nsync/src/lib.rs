@@ -1,0 +1,68 @@
+//! # NSYNC — the paper's primary contribution
+//!
+//! A practical framework to compare a side-channel signal against a
+//! reference signal for real-time intrusion detection in Additive
+//! Manufacturing systems, tolerant of **time noise** (§VII, Fig 7).
+//!
+//! The pipeline:
+//!
+//! ```text
+//!  observed a ──┐
+//!               ├─► dynamic synchronizer ──► h_disp ──┐
+//!  reference b ─┘            (DWM / DTW)              ├─► discriminator ─► alert?
+//!               └─────────► comparator  ──► v_dist ───┘
+//! ```
+//!
+//! - the **synchronizer** (from `am-sync`) produces the horizontal
+//!   displacement array `h_disp`,
+//! - the [`comparator`] produces the vertical distance array `v_dist`
+//!   over corresponding points/windows (Eq 14–16),
+//! - the [`discriminator`] checks three sub-modules — CADHD (`c_disp`,
+//!   Eq 17–18), horizontal distance (`h_dist`, Eq 19), vertical distance
+//!   (`v_dist`, Eq 20) — each spike-suppressed by a trailing-min filter
+//!   (Eq 21–22),
+//! - thresholds come from **One-Class Classification** over benign
+//!   training runs only ([`occ`], Eq 23–28).
+//!
+//! [`ids`] ties everything into a train-once / detect-many API;
+//! [`streaming`] runs the same discriminator incrementally on live sample
+//! chunks (DWM is window-by-window, so NSYNC/DWM is real-time capable).
+//!
+//! # Example
+//!
+//! ```
+//! use am_dsp::Signal;
+//! use am_sync::{DwmParams, DwmSynchronizer};
+//! use nsync::ids::NsyncIds;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A toy "process": reference + slightly noisy benign repetitions.
+//! let wave = |phase: f64| {
+//!     Signal::from_fn(20.0, 1, 1200, |t, f| {
+//!         f[0] = (0.7 * t).sin() + 0.4 * (2.1 * t + phase).sin()
+//!     })
+//!     .unwrap()
+//! };
+//! let reference = wave(0.0);
+//! let train: Vec<Signal> = (1..=4).map(|i| wave(i as f64 * 1e-3)).collect();
+//!
+//! let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))));
+//! let trained = ids.train(&train, reference.clone(), 0.3)?;
+//! let verdict = trained.detect(&wave(2e-3))?;
+//! assert!(!verdict.intrusion);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod comparator;
+pub mod discriminator;
+pub mod error;
+pub mod ids;
+pub mod occ;
+pub mod streaming;
+
+pub use comparator::vertical_distances;
+pub use discriminator::{Detection, DiscriminatorConfig, SubModule, Thresholds};
+pub use error::NsyncError;
+pub use ids::{NsyncIds, TrainedIds};
+pub use occ::learn_thresholds;

@@ -1,0 +1,103 @@
+//! One-Class Classification threshold learning (§VII-C).
+//!
+//! The thresholds are learned **only from benign runs** — no knowledge of
+//! malicious processes is ever required (the paper's key practicality
+//! argument against binary-classification IDSs):
+//!
+//! - Eq (23–25): per benign run `m`, take the maxima of the CADHD trace
+//!   and the filtered h/v distance traces,
+//! - Eq (26–28): `threshold = max_m + r · (max_m − min_m)` — the margin
+//!   `r` trades FPR against FNR (larger `r`, fewer false positives).
+
+use crate::discriminator::{Thresholds, TraceStats};
+use crate::error::NsyncError;
+
+/// Learns the critical values from per-run training statistics.
+///
+/// # Errors
+///
+/// Returns [`NsyncError::InvalidTraining`] when `stats` is empty and
+/// [`NsyncError::InvalidParameter`] for negative or non-finite `r`.
+pub fn learn_thresholds(stats: &[TraceStats], r: f64) -> Result<Thresholds, NsyncError> {
+    if stats.is_empty() {
+        return Err(NsyncError::InvalidTraining(
+            "at least one benign training run is required".into(),
+        ));
+    }
+    if !r.is_finite() || r < 0.0 {
+        return Err(NsyncError::InvalidParameter(format!(
+            "occ margin r must be finite and non-negative, got {r}"
+        )));
+    }
+    let learn = |values: Vec<f64>| -> f64 {
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        max + r * (max - min)
+    };
+    Ok(Thresholds {
+        c_c: learn(stats.iter().map(|s| s.c_max).collect()),
+        h_c: learn(stats.iter().map(|s| s.h_max).collect()),
+        v_c: learn(stats.iter().map(|s| s.v_max).collect()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(c: f64, h: f64, v: f64) -> TraceStats {
+        TraceStats {
+            c_max: c,
+            h_max: h,
+            v_max: v,
+        }
+    }
+
+    #[test]
+    fn single_run_thresholds_equal_its_maxima_at_r0() {
+        let t = learn_thresholds(&[ts(5.0, 2.0, 0.3)], 0.0).unwrap();
+        assert_eq!(t.c_c, 5.0);
+        assert_eq!(t.h_c, 2.0);
+        assert_eq!(t.v_c, 0.3);
+    }
+
+    #[test]
+    fn margin_follows_eq26_28() {
+        let stats = [ts(4.0, 1.0, 0.2), ts(8.0, 3.0, 0.4)];
+        let t = learn_thresholds(&stats, 0.5).unwrap();
+        // max + r (max - min)
+        assert!((t.c_c - (8.0 + 0.5 * 4.0)).abs() < 1e-12);
+        assert!((t.h_c - (3.0 + 0.5 * 2.0)).abs() < 1e-12);
+        assert!((t.v_c - (0.4 + 0.5 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_r_means_higher_thresholds() {
+        let stats = [ts(4.0, 1.0, 0.2), ts(8.0, 3.0, 0.4)];
+        let lo = learn_thresholds(&stats, 0.0).unwrap();
+        let hi = learn_thresholds(&stats, 0.3).unwrap();
+        assert!(hi.c_c > lo.c_c);
+        assert!(hi.h_c > lo.h_c);
+        assert!(hi.v_c > lo.v_c);
+    }
+
+    #[test]
+    fn training_thresholds_never_flag_training_runs() {
+        // With r > 0, every training run's maxima are strictly below the
+        // learned thresholds (except when range is 0: then equal).
+        let stats = [ts(4.0, 1.0, 0.2), ts(8.0, 3.0, 0.4), ts(6.0, 2.0, 0.3)];
+        let t = learn_thresholds(&stats, 0.3).unwrap();
+        for s in &stats {
+            assert!(s.c_max <= t.c_c);
+            assert!(s.h_max <= t.h_c);
+            assert!(s.v_max <= t.v_c);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(learn_thresholds(&[], 0.3).is_err());
+        assert!(learn_thresholds(&[ts(1.0, 1.0, 1.0)], -0.1).is_err());
+        assert!(learn_thresholds(&[ts(1.0, 1.0, 1.0)], f64::NAN).is_err());
+    }
+}

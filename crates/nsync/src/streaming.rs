@@ -1,0 +1,372 @@
+//! Real-time NSYNC: incremental detection over live sample chunks.
+//!
+//! DWM is window-by-window, so the whole NSYNC pipeline can run online —
+//! the paper's core practicality claim over DTW ("DTW requires knowing the
+//! whole a and the whole b before they can be analyzed"). [`StreamingIds`]
+//! consumes chunks as the DAQ produces them and emits [`Alert`]s the
+//! moment a sub-module's threshold is crossed; [`monitor::spawn`] runs the
+//! detector on its own thread behind crossbeam channels, which is how a
+//! deployment would wire it between the DAQ thread and the operator UI.
+
+use crate::discriminator::{DiscriminatorConfig, SubModule, Thresholds};
+use crate::error::NsyncError;
+use am_dsp::metrics::DistanceMetric;
+use am_dsp::Signal;
+use am_sync::{DwmParams, DwmStream};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An alert raised by the streaming discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Window index at which the threshold was crossed.
+    pub window: usize,
+    /// Which sub-module fired.
+    pub module: SubModule,
+    /// The offending (filtered) value.
+    pub value: f64,
+    /// The learned critical value it exceeded.
+    pub threshold: f64,
+}
+
+/// Incremental NSYNC/DWM intrusion detector.
+#[derive(Debug)]
+pub struct StreamingIds {
+    stream: DwmStream,
+    metric: DistanceMetric,
+    thresholds: Thresholds,
+    filter_window: usize,
+    // Discriminator state.
+    c_disp: f64,
+    prev_h: f64,
+    h_recent: VecDeque<f64>,
+    v_recent: VecDeque<f64>,
+    windows_seen: usize,
+    intrusion: bool,
+}
+
+impl StreamingIds {
+    /// Creates a streaming detector against `reference` with pre-learned
+    /// thresholds (from [`crate::occ`], typically via a batch
+    /// [`crate::ids::NsyncIds::train`] pass).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DWM parameter validation failures.
+    pub fn new(
+        reference: Signal,
+        params: &DwmParams,
+        thresholds: Thresholds,
+        config: &DiscriminatorConfig,
+    ) -> Result<Self, NsyncError> {
+        Ok(StreamingIds {
+            stream: DwmStream::new(reference, params)?,
+            metric: DistanceMetric::Correlation,
+            thresholds,
+            filter_window: config.min_filter_window.max(1),
+            c_disp: 0.0,
+            prev_h: 0.0,
+            h_recent: VecDeque::new(),
+            v_recent: VecDeque::new(),
+            windows_seen: 0,
+            intrusion: false,
+        })
+    }
+
+    /// `true` once any alert has fired.
+    pub fn intrusion_detected(&self) -> bool {
+        self.intrusion
+    }
+
+    /// Number of fully processed windows.
+    pub fn windows_seen(&self) -> usize {
+        self.windows_seen
+    }
+
+    /// Feeds a chunk of observed samples; returns alerts raised by the
+    /// windows completed within this chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream shape errors and comparator failures.
+    pub fn push(&mut self, chunk: &Signal) -> Result<Vec<Alert>, NsyncError> {
+        let mut alerts = Vec::new();
+        let completed = self.stream.push(chunk)?;
+        for (i, h) in completed {
+            // c_disp (Eq 17) incrementally.
+            self.c_disp += (h - self.prev_h).abs();
+            self.prev_h = h;
+            if self.c_disp > self.thresholds.c_c {
+                alerts.push(Alert {
+                    window: i,
+                    module: SubModule::CDisp,
+                    value: self.c_disp,
+                    threshold: self.thresholds.c_c,
+                });
+            }
+            // Trailing-min filtered h_dist.
+            push_window(&mut self.h_recent, h.abs(), self.filter_window);
+            let h_f = min_of(&self.h_recent);
+            if h_f > self.thresholds.h_c {
+                alerts.push(Alert {
+                    window: i,
+                    module: SubModule::HDist,
+                    value: h_f,
+                    threshold: self.thresholds.h_c,
+                });
+            }
+            // v_dist for this window.
+            let p = self.stream.sample_params();
+            let a_win = self
+                .stream
+                .window(i)
+                .expect("window i was just completed by the stream");
+            let b_start = (i * p.n_hop) as isize + h.round() as isize;
+            let b_win = self
+                .stream
+                .reference()
+                .slice_padded(b_start, b_start + p.n_win as isize);
+            let v = self.metric.distance_multichannel(&a_win, &b_win)?;
+            push_window(&mut self.v_recent, v, self.filter_window);
+            let v_f = min_of(&self.v_recent);
+            if v_f > self.thresholds.v_c {
+                alerts.push(Alert {
+                    window: i,
+                    module: SubModule::VDist,
+                    value: v_f,
+                    threshold: self.thresholds.v_c,
+                });
+            }
+            self.windows_seen += 1;
+        }
+        if !alerts.is_empty() {
+            self.intrusion = true;
+        }
+        Ok(alerts)
+    }
+}
+
+fn push_window(q: &mut VecDeque<f64>, v: f64, n: usize) {
+    q.push_back(v);
+    while q.len() > n {
+        q.pop_front();
+    }
+}
+
+fn min_of(q: &VecDeque<f64>) -> f64 {
+    q.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Thread-backed monitor: the detector runs on its own thread; chunks go
+/// in through a crossbeam channel, alerts come out through another.
+pub mod monitor {
+    use super::*;
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+
+    /// Shared live status of a running monitor.
+    #[derive(Debug, Default)]
+    pub struct LiveStatus {
+        /// Windows processed so far.
+        pub windows_seen: usize,
+        /// Whether an intrusion has been declared.
+        pub intrusion: bool,
+    }
+
+    /// Handle to a running monitor thread.
+    pub struct MonitorHandle {
+        /// Send observed sample chunks here; drop (or send None via
+        /// [`MonitorHandle::finish`]) to stop.
+        chunk_tx: Sender<Signal>,
+        /// Alerts stream out here as they fire.
+        pub alerts: Receiver<Alert>,
+        status: Arc<Mutex<LiveStatus>>,
+        join: Option<JoinHandle<Result<(), NsyncError>>>,
+    }
+
+    impl MonitorHandle {
+        /// Feeds one chunk. Returns `false` if the monitor has stopped.
+        pub fn send(&self, chunk: Signal) -> bool {
+            self.chunk_tx.send(chunk).is_ok()
+        }
+
+        /// Snapshot of the live status.
+        pub fn status(&self) -> LiveStatus {
+            let s = self.status.lock();
+            LiveStatus {
+                windows_seen: s.windows_seen,
+                intrusion: s.intrusion,
+            }
+        }
+
+        /// Closes the input, waits for the detector thread to drain every
+        /// queued chunk, and returns any alerts not yet consumed from
+        /// [`MonitorHandle::alerts`].
+        ///
+        /// # Errors
+        ///
+        /// Propagates any pipeline error the thread hit.
+        pub fn finish(mut self) -> Result<Vec<Alert>, NsyncError> {
+            drop(self.chunk_tx);
+            let result = match self.join.take() {
+                Some(h) => h.join().unwrap_or_else(|_| {
+                    Err(NsyncError::InvalidParameter(
+                        "monitor thread panicked".into(),
+                    ))
+                }),
+                None => Ok(()),
+            };
+            result?;
+            Ok(self.alerts.try_iter().collect())
+        }
+    }
+
+    /// Spawns the detector thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector construction failures.
+    pub fn spawn(
+        reference: Signal,
+        params: &DwmParams,
+        thresholds: Thresholds,
+        config: &DiscriminatorConfig,
+    ) -> Result<MonitorHandle, NsyncError> {
+        let mut ids = StreamingIds::new(reference, params, thresholds, config)?;
+        let (chunk_tx, chunk_rx): (Sender<Signal>, Receiver<Signal>) = unbounded();
+        let (alert_tx, alert_rx) = unbounded();
+        let status = Arc::new(Mutex::new(LiveStatus::default()));
+        let status_thread = Arc::clone(&status);
+        let join = std::thread::spawn(move || -> Result<(), NsyncError> {
+            while let Ok(chunk) = chunk_rx.recv() {
+                let alerts = ids.push(&chunk)?;
+                {
+                    let mut s = status_thread.lock();
+                    s.windows_seen = ids.windows_seen();
+                    s.intrusion = ids.intrusion_detected();
+                }
+                for a in alerts {
+                    // Receiver may be gone; that's fine.
+                    let _ = alert_tx.send(a);
+                }
+            }
+            Ok(())
+        });
+        Ok(MonitorHandle {
+            chunk_tx,
+            alerts: alert_rx,
+            status,
+            join: Some(join),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NsyncIds;
+    use am_sync::DwmSynchronizer;
+
+    fn benign(phase: f64) -> Signal {
+        Signal::from_fn(20.0, 1, 1600, |t, f| {
+            f[0] = (0.8 * t).sin() + 0.5 * (2.3 * t + phase).sin()
+        })
+        .unwrap()
+    }
+
+    fn malicious() -> Signal {
+        Signal::from_fn(20.0, 1, 1600, |t, f| {
+            f[0] = if t < 30.0 {
+                (0.8 * t).sin() + 0.5 * (2.3 * t).sin()
+            } else {
+                (6.1 * t).sin()
+            }
+        })
+        .unwrap()
+    }
+
+    fn params() -> DwmParams {
+        DwmParams::from_window(4.0)
+    }
+
+    fn thresholds() -> Thresholds {
+        let train: Vec<Signal> = (1..=4).map(|i| benign(i as f64 * 2e-3)).collect();
+        let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params())));
+        ids.train(&train, benign(0.0), 0.3).unwrap().thresholds()
+    }
+
+    fn feed(ids: &mut StreamingIds, signal: &Signal, chunk: usize) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        let mut i = 0;
+        while i < signal.len() {
+            let end = (i + chunk).min(signal.len());
+            alerts.extend(ids.push(&signal.slice(i..end).unwrap()).unwrap());
+            i = end;
+        }
+        alerts
+    }
+
+    #[test]
+    fn benign_stream_stays_quiet() {
+        let mut ids =
+            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default())
+                .unwrap();
+        let alerts = feed(&mut ids, &benign(5e-3), 100);
+        assert!(alerts.is_empty(), "{alerts:?}");
+        assert!(!ids.intrusion_detected());
+        assert!(ids.windows_seen() > 10);
+    }
+
+    #[test]
+    fn malicious_stream_alerts_midway() {
+        let mut ids =
+            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default())
+                .unwrap();
+        let alerts = feed(&mut ids, &malicious(), 100);
+        assert!(!alerts.is_empty());
+        assert!(ids.intrusion_detected());
+        // The attack starts at t=30 s -> window index ~ 30/2 = 15; the
+        // first alert must come at or after the onset, not before.
+        let first = alerts.iter().map(|a| a.window).min().unwrap();
+        assert!(first >= 13, "first alert window {first}");
+    }
+
+    #[test]
+    fn streaming_matches_batch_detection() {
+        // The same malicious signal must be flagged by both paths.
+        let th = thresholds();
+        let mut stream =
+            StreamingIds::new(benign(0.0), &params(), th, &Default::default()).unwrap();
+        let stream_alerts = feed(&mut stream, &malicious(), 64);
+        let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params())));
+        let trained = ids
+            .train(&(1..=4).map(|i| benign(i as f64 * 2e-3)).collect::<Vec<_>>(), benign(0.0), 0.3)
+            .unwrap();
+        let batch = trained.detect(&malicious()).unwrap();
+        assert_eq!(batch.intrusion, !stream_alerts.is_empty());
+    }
+
+    #[test]
+    fn monitor_thread_roundtrip() {
+        let handle = monitor::spawn(
+            benign(0.0),
+            &params(),
+            thresholds(),
+            &Default::default(),
+        )
+        .unwrap();
+        let m = malicious();
+        let mut i = 0;
+        while i < m.len() {
+            let end = (i + 200).min(m.len());
+            assert!(handle.send(m.slice(i..end).unwrap()));
+            i = end;
+        }
+        // Close the input; finish() drains the queue and returns any
+        // alerts we did not consume live.
+        let leftover = handle.finish().unwrap();
+        assert!(!leftover.is_empty(), "malicious stream must have alerted");
+    }
+}

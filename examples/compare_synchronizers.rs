@@ -1,0 +1,61 @@
+//! DWM vs DTW head-to-head (the substance of Fig 11 and §VIII-E):
+//! alignment quality and wall-clock cost on the same spectrogram pair.
+//!
+//! ```sh
+//! cargo run --release --example compare_synchronizers
+//! ```
+
+use am_dataset::{ExperimentSpec, RunRole, TrajectorySet};
+use am_eval::harness::{Split, Transform};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::{DtwSynchronizer, DwmSynchronizer, Synchronizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let set = TrajectorySet::generate(ExperimentSpec::small(PrinterModel::Um3))?;
+    println!("channel      synchronizer   time/s-of-signal   windows/points   |h_disp| end (s)");
+    for channel in [SideChannel::Acc, SideChannel::Aud, SideChannel::Ept] {
+        let split = Split::generate(&set, channel, Transform::Spectrogram)?;
+        let observed = split
+            .tests
+            .iter()
+            .find(|c| matches!(c.role, RunRole::TestBenign(0)))
+            .expect("benign test present");
+        let a = &observed.signal;
+        let b = &split.reference.signal;
+        let duration = a.duration();
+
+        let dwm = DwmSynchronizer::new(set.spec.profile.dwm_params(set.spec.printer));
+        let t0 = std::time::Instant::now();
+        let al_dwm = dwm.synchronize(a, b)?;
+        let dwm_time = t0.elapsed().as_secs_f64();
+
+        let dtw = DtwSynchronizer::default();
+        let t1 = std::time::Instant::now();
+        let al_dtw = dtw.synchronize(a, b)?;
+        let dtw_time = t1.elapsed().as_secs_f64();
+
+        let end_disp = |h: &[f64]| h.last().map(|v| v / a.fs()).unwrap_or(0.0);
+        println!(
+            "{:<12} {:<14} {:>12.6} s {:>16} {:>14.2}",
+            channel.to_string(),
+            dwm.name(),
+            dwm_time / duration,
+            al_dwm.len(),
+            end_disp(&al_dwm.h_disp)
+        );
+        println!(
+            "{:<12} {:<14} {:>12.6} s {:>16} {:>14.2}",
+            "",
+            dtw.name(),
+            dtw_time / duration,
+            al_dtw.len(),
+            end_disp(&al_dtw.h_disp)
+        );
+        println!(
+            "             -> DWM is {:.0}x faster on this pair\n",
+            dtw_time / dwm_time.max(1e-12)
+        );
+    }
+    Ok(())
+}

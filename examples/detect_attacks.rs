@@ -1,0 +1,75 @@
+//! Per-attack study: which Table I attacks does each NSYNC sub-module
+//! catch, and how early?
+//!
+//! ```sh
+//! cargo run --release --example detect_attacks
+//! ```
+
+use am_dataset::{ExperimentSpec, RunRole, TrajectorySet};
+use am_eval::harness::{Split, Transform};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::DwmSynchronizer;
+use nsync::NsyncIds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for printer in PrinterModel::both() {
+        println!("=== {printer} / ACC raw ===");
+        let set = TrajectorySet::generate(ExperimentSpec::small(printer))?;
+        let split = Split::generate(&set, SideChannel::Acc, Transform::Raw)?;
+        let params = set.spec.profile.dwm_params(printer);
+        let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+        let train: Vec<am_dsp::Signal> =
+            split.train.iter().map(|c| c.signal.clone()).collect();
+        let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
+
+        let mut rows: Vec<(String, usize, usize, Vec<String>, Vec<usize>)> = Vec::new();
+        for test in &split.tests {
+            let RunRole::Malicious { attack, .. } = &test.role else {
+                continue;
+            };
+            let d = trained.detect(&test.signal)?;
+            let row = match rows.iter_mut().find(|(name, ..)| name == attack) {
+                Some(r) => r,
+                None => {
+                    rows.push((attack.clone(), 0, 0, Vec::new(), Vec::new()));
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.2 += 1;
+            if d.intrusion {
+                row.1 += 1;
+                for m in &d.triggered {
+                    let name = m.to_string();
+                    if !row.3.contains(&name) {
+                        row.3.push(name);
+                    }
+                }
+                if let Some(i) = d.first_alert_index {
+                    row.4.push(i);
+                }
+            }
+        }
+        for (attack, caught, total, modules, first_alerts) in rows {
+            let earliest = first_alerts.iter().min();
+            println!(
+                "  {attack:<12} detected {caught}/{total}  via {:<28} earliest alert window: {:?}",
+                format!("{modules:?}"),
+                earliest
+            );
+        }
+        // And the benign false-positive picture:
+        let mut fp = 0;
+        let mut benign_total = 0;
+        for test in &split.tests {
+            if matches!(test.role, RunRole::TestBenign(_)) {
+                benign_total += 1;
+                if trained.detect(&test.signal)?.intrusion {
+                    fp += 1;
+                }
+            }
+        }
+        println!("  benign false positives: {fp}/{benign_total}\n");
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Fig 6 reproduction: how `t_sigma`, `t_win` and `eta` shape the
+//! horizontal-displacement track (§VI-C's selection recipes).
+//!
+//! ```sh
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use am_dataset::{ExperimentSpec, TrajectorySet};
+use am_eval::figures::{fig6_eta, fig6_sigma, fig6_window, Series};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+
+fn sparkline(s: &Series) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = s.y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = s.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    s.y
+        .iter()
+        .step_by((s.y.len() / 48).max(1))
+        .map(|v| GLYPHS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn show(title: &str, series: &[Series]) {
+    println!("{title}");
+    for s in series {
+        println!(
+            "  {:<14} range {:>7.3} s   {}",
+            s.label,
+            s.y_range(),
+            sparkline(s)
+        );
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let set = TrajectorySet::generate(ExperimentSpec::small(PrinterModel::Um3))?;
+    let channel = SideChannel::Acc;
+
+    // Fig 6 (a): small sigma = too rigid to follow drift; huge sigma =
+    // wanders off on periodic content. §VI-C: pick sigma just above the
+    // largest window-to-window change of the true h_disp.
+    show(
+        "Fig 6(a): t_sigma sweep (t_ext = 2 t_sigma)",
+        &fig6_sigma(&set, channel, &[0.1, 0.25, 0.5, 1.0, 2.0])?,
+    );
+
+    // Fig 6 (b): tiny windows spike; huge windows lose temporal
+    // resolution. §VI-C: sweep and pick where the overall shape stops
+    // changing.
+    show(
+        "Fig 6(b): t_win sweep (hop/ext/sigma at default ratios)",
+        &fig6_window(&set, channel, &[1.0, 2.0, 4.0, 8.0])?,
+    );
+
+    // Fig 6 (c): eta near 1 can run away; start at 0.1 and raise only if
+    // DWM fails to converge.
+    show(
+        "Fig 6(c): eta sweep",
+        &fig6_eta(&set, channel, &[0.05, 0.1, 0.5, 1.0])?,
+    );
+
+    // §VI-C end-to-end: let the library pick the parameters itself from a
+    // benign pair and compare with the hand-tuned profile values.
+    use am_eval::harness::{Split, Transform};
+    use am_dataset::RunRole;
+    let split = Split::generate(&set, channel, Transform::Raw)?;
+    let benign = split
+        .tests
+        .iter()
+        .find(|c| matches!(c.role, RunRole::TestBenign(0)))
+        .expect("benign test run");
+    let tuned = am_sync::autotune::auto_tune(
+        &benign.signal,
+        &split.reference.signal,
+        &[1.0, 2.0, 4.0, 8.0],
+    )?;
+    let manual = set.spec.profile.dwm_params(set.spec.printer);
+    println!("auto-tuned parameters (vs hand-tuned profile):");
+    println!(
+        "  t_win   {:>6.2} s  (manual {:.2})",
+        tuned.t_win, manual.t_win
+    );
+    println!(
+        "  t_sigma {:>6.3} s  (manual {:.3})",
+        tuned.t_sigma, manual.t_sigma
+    );
+    println!(
+        "  t_ext   {:>6.3} s  (manual {:.3})",
+        tuned.t_ext, manual.t_ext
+    );
+    Ok(())
+}

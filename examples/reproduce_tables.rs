@@ -1,0 +1,32 @@
+//! Regenerates every result table of the paper's evaluation (§VIII):
+//! Tables V-IX plus the Fig 12 accuracy summary, at the `small` profile.
+//!
+//! Takes a few minutes in release mode:
+//!
+//! ```sh
+//! cargo run --release --example reproduce_tables
+//! ```
+
+use am_eval::tables::{
+    average_accuracies, run_grid, table5, table6, table7, table8, table9, TableContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t0 = std::time::Instant::now();
+    let ctx = TableContext::small()?;
+    eprintln!("dataset generated in {:?}", t0.elapsed());
+    let t1 = std::time::Instant::now();
+    let grid = run_grid(&ctx)?;
+    eprintln!("grid evaluated in {:?}", t1.elapsed());
+    println!("{}", table5(&grid));
+    println!("{}", table6(&grid));
+    println!("{}", table7(&grid));
+    println!("{}", table8(&grid));
+    println!("{}", table9(&grid));
+    println!("Fig 12: average accuracy of the seven IDSs");
+    for (name, acc) in average_accuracies(&grid) {
+        let bar = "#".repeat((acc * 40.0).round() as usize);
+        println!("  {name:<16} {acc:.3} {bar}");
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! The paper's headline comparison on a tiny mix: NSYNC/DWM must beat
+//! the no-DSYNC baseline on the same data.
+
+use am_eval::harness::{eval_gao, eval_gatlin, eval_moore, eval_nsync, Split, Transform};
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::DwmSynchronizer;
+
+#[test]
+fn nsync_dwm_beats_moore_on_acc_raw() {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let nsync = eval_nsync(&split, Box::new(DwmSynchronizer::new(params)), 0.3).unwrap();
+    let moore = eval_moore(&split, 0.0).unwrap();
+    assert!(
+        nsync.overall.accuracy() > moore.accuracy(),
+        "nsync {:.2} vs moore {:.2}",
+        nsync.overall.accuracy(),
+        moore.accuracy()
+    );
+    // NSYNC detects most attacks; Moore's time-noise-inflated threshold
+    // misses most of them.
+    assert!(nsync.overall.tpr() >= 0.8, "{:?}", nsync.overall);
+    assert!(moore.tpr() <= 0.6, "{:?}", moore);
+}
+
+#[test]
+fn coarse_dsync_sits_between_none_and_fine() {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
+    let gao = eval_gao(&split, 0.0).unwrap();
+    let gatlin = eval_gatlin(&split, 0.0).unwrap();
+    // Gatlin's time sub-module catches the timing attacks even on a tiny
+    // mix (Speed0.95, Layer0.3, Scale0.95 all shift layer moments).
+    assert!(gatlin.time.tpr() >= 0.4, "{:?}", gatlin.time);
+    // Both coarse detectors keep FPR at most moderate.
+    assert!(gao.fpr() <= 0.5);
+    assert!(gatlin.overall.fpr() <= 0.5);
+}

@@ -1,0 +1,98 @@
+//! Generalization checks beyond the paper's exact setup:
+//!
+//! - a *different part* (calibration cube) flows through the same
+//!   pipeline and NSYNC still separates benign from attacked prints,
+//! - a *third kinematics* (CoreXY) executes and synchronizes.
+
+use am_dataset::Profile;
+use am_gcode::attacks::Attack;
+use am_gcode::slicer::{slice_cube, slice_gear};
+use am_printer::config::{PrinterConfig, PrinterModel};
+use am_printer::firmware::execute_program;
+use am_sensors::channel::SideChannel;
+use am_sensors::daq::DaqConfig;
+use am_sync::DwmSynchronizer;
+use nsync::NsyncIds;
+
+fn capture_acc(
+    program: &am_gcode::GcodeProgram,
+    printer: &PrinterConfig,
+    seed: u64,
+) -> am_dsp::Signal {
+    let noise = Profile::Small.time_noise();
+    let traj = execute_program(program, printer, &noise, seed).unwrap();
+    let daq = DaqConfig::realistic(200.0, 16);
+    SideChannel::Acc.capture(&traj, printer, &daq, seed).unwrap()
+}
+
+#[test]
+fn cube_part_detects_void_attack() {
+    let printer = PrinterConfig::ultimaker3();
+    let mut cfg = Profile::Small.slice_config(PrinterModel::Um3);
+    cfg.height = 1.2; // keep the test quick: 6 layers
+    let benign = slice_cube(&cfg, 20.0).unwrap();
+
+    let reference = capture_acc(&benign, &printer, 100);
+    let train: Vec<am_dsp::Signal> = (101..=104)
+        .map(|s| capture_acc(&benign, &printer, s))
+        .collect();
+    let params = Profile::Small.dwm_params(PrinterModel::Um3);
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let trained = ids.train(&train, reference, 0.3).unwrap();
+
+    // Fresh benign cube passes.
+    let benign_obs = capture_acc(&benign, &printer, 105);
+    assert!(!trained.detect(&benign_obs).unwrap().intrusion);
+
+    // Voided cube flags. (The Void attack re-slices; slice_cube shares the
+    // toolpath machinery, so we re-slice the cube with a void directly.)
+    let mut voided_cfg = cfg.clone();
+    voided_cfg.void_region = Some(cfg.default_void());
+    let voided = slice_cube(&voided_cfg, 20.0).unwrap();
+    let attack_obs = capture_acc(&voided, &printer, 106);
+    assert!(trained.detect(&attack_obs).unwrap().intrusion);
+}
+
+#[test]
+fn corexy_machine_synchronizes_benign_runs() {
+    let printer = PrinterConfig::corexy_generic();
+    let mut cfg = Profile::Small.slice_config(PrinterModel::Um3);
+    cfg.height = 1.2;
+    let program = slice_gear(&cfg).unwrap();
+    let reference = capture_acc(&program, &printer, 7);
+    let observed = capture_acc(&program, &printer, 8);
+    let params = Profile::Small.dwm_params(PrinterModel::Um3);
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let analysis = ids.analyze(&observed, &reference).unwrap();
+    let max_h = analysis
+        .alignment
+        .h_disp
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()));
+    // Benign CoreXY runs stay locked (within 2 s of drift).
+    assert!(max_h < 2.0 * observed.fs(), "h_disp ran to {max_h}");
+    let mean_v = analysis.v_dist.iter().sum::<f64>() / analysis.v_dist.len() as f64;
+    assert!(mean_v < 0.7, "mean v_dist {mean_v}");
+}
+
+#[test]
+fn gear_ids_flags_a_cube_print_entirely() {
+    // Printing a different part against a gear reference is the grossest
+    // possible "attack" — every sub-module should scream.
+    let printer = PrinterConfig::ultimaker3();
+    let mut cfg = Profile::Small.slice_config(PrinterModel::Um3);
+    cfg.height = 1.2;
+    let gear = slice_gear(&cfg).unwrap();
+    let reference = capture_acc(&gear, &printer, 200);
+    let train: Vec<am_dsp::Signal> = (201..=203)
+        .map(|s| capture_acc(&gear, &printer, s))
+        .collect();
+    let params = Profile::Small.dwm_params(PrinterModel::Um3);
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let trained = ids.train(&train, reference, 0.3).unwrap();
+    let cube = slice_cube(&cfg, 20.0).unwrap();
+    let cube_obs = capture_acc(&cube, &printer, 204);
+    let d = trained.detect(&cube_obs).unwrap();
+    assert!(d.intrusion);
+    let _ = Attack::table1(); // the five G-code attacks remain the main threat set
+}

@@ -1,0 +1,62 @@
+//! Paper-profile smoke tests: the full-scale constants of Tables I–IV
+//! must be executable, not just decorative. (Sensor capture at 48/96 kHz
+//! over an hour-long print is deliberately not exercised here — that is
+//! what the `small` profile scales down — but slicing and noisy firmware
+//! execution of the 60 mm gear run in seconds.)
+
+use am_dataset::{ExperimentSpec, Profile};
+use am_gcode::slicer::slice_gear;
+use am_printer::config::PrinterModel;
+use am_printer::firmware::execute_program;
+
+#[test]
+fn paper_gear_slices_and_executes_on_both_printers() {
+    for printer in PrinterModel::both() {
+        let slice_cfg = Profile::Paper.slice_config(printer);
+        let program = slice_gear(&slice_cfg).unwrap();
+        // 7.5 mm at 0.2 mm layers.
+        assert_eq!(program.layer_count(), 38, "{printer}");
+        let config = printer.config();
+        let noise = Profile::Paper.time_noise();
+        let traj = execute_program(&program, &config, &noise, 1).unwrap();
+        // An hour-ish of printing (the paper's gear takes hours on real
+        // hardware; our planner is more aggressive but the order of
+        // magnitude must hold).
+        let motion = traj.duration() - traj.print_start();
+        assert!(
+            motion > 600.0,
+            "{printer}: paper gear should take many minutes, got {motion:.0} s"
+        );
+        assert_eq!(traj.layer_times().len(), 38);
+    }
+}
+
+#[test]
+fn paper_profile_time_noise_accumulates_to_seconds() {
+    let printer = PrinterModel::Um3;
+    let slice_cfg = Profile::Paper.slice_config(printer);
+    let program = slice_gear(&slice_cfg).unwrap();
+    let config = printer.config();
+    let noise = Profile::Paper.time_noise();
+    let a = execute_program(&program, &config, &noise, 10).unwrap();
+    let b = execute_program(&program, &config, &noise, 11).unwrap();
+    let diff = (a.duration() - b.duration()).abs();
+    assert!(
+        diff > 0.5,
+        "hour-scale prints should differ by seconds (got {diff:.2} s)"
+    );
+}
+
+#[test]
+fn paper_spec_is_the_published_experiment() {
+    let spec = ExperimentSpec {
+        profile: Profile::Paper,
+        printer: PrinterModel::Um3,
+        base_seed: 1,
+    };
+    let mix = spec.profile.process_mix();
+    // 151 benign (1 ref + 50 train + 100 test) + 100 malicious per printer
+    // = 302 benign + 200 malicious over both printers, as in the abstract.
+    assert_eq!(1 + mix.train + mix.test_benign, 151);
+    assert_eq!(mix.malicious_per_attack * 5, 100);
+}

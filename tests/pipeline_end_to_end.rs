@@ -1,0 +1,99 @@
+//! End-to-end pipeline: G-code → noisy printer → side channels → NSYNC.
+//!
+//! This is the paper's headline scenario compressed to a single test: an
+//! air-gapped IDS trained only on benign prints must pass a fresh benign
+//! print and flag a Void-attacked print, using the ACC side channel.
+
+use am_dataset::RunRole;
+use am_eval::harness::{Split, Transform};
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::DwmSynchronizer;
+use nsync::NsyncIds;
+
+#[test]
+fn nsync_dwm_detects_void_and_passes_benign_on_acc() {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids
+        .train(&train, split.reference.signal.clone(), 0.3)
+        .unwrap();
+
+    let benign = split
+        .tests
+        .iter()
+        .find(|c| matches!(c.role, RunRole::TestBenign(0)))
+        .unwrap();
+    let detection = trained.detect(&benign.signal).unwrap();
+    assert!(
+        !detection.intrusion,
+        "benign run falsely flagged: {:?}",
+        detection.triggered
+    );
+
+    let void = split
+        .tests
+        .iter()
+        .find(|c| matches!(&c.role, RunRole::Malicious { attack, .. } if attack == "Void"))
+        .unwrap();
+    let detection = trained.detect(&void.signal).unwrap();
+    assert!(detection.intrusion, "void attack missed");
+    assert!(detection.first_alert_index.is_some());
+}
+
+#[test]
+fn all_five_attacks_detected_on_acc_um3() {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids
+        .train(&train, split.reference.signal.clone(), 0.3)
+        .unwrap();
+    let mut caught = Vec::new();
+    let mut missed = Vec::new();
+    for test in &split.tests {
+        if let RunRole::Malicious { attack, .. } = &test.role {
+            let d = trained.detect(&test.signal).unwrap();
+            if d.intrusion {
+                caught.push(attack.clone());
+            } else {
+                missed.push(attack.clone());
+            }
+        }
+    }
+    assert_eq!(caught.len() + missed.len(), 5);
+    assert!(
+        missed.is_empty(),
+        "attacks missed on ACC: {missed:?} (caught {caught:?})"
+    );
+}
+
+#[test]
+fn delta_printer_pipeline_works() {
+    let set = tiny_set(PrinterModel::Rm3);
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
+    // The Delta machine's joint velocities differ from Cartesian; the
+    // pipeline must still synchronize benign runs near-perfectly.
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let analysis = ids
+        .analyze(&split.train[0].signal, &split.reference.signal)
+        .unwrap();
+    // Benign h_disp stays bounded (no runaway).
+    let max_h = analysis
+        .alignment
+        .h_disp
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()));
+    let fs = split.reference.signal.fs();
+    assert!(
+        max_h < 2.0 * fs,
+        "benign displacement ran away: {max_h} samples"
+    );
+}

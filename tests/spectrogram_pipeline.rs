@@ -1,0 +1,58 @@
+//! Spectrogram transform (Table III) feeding the synchronizers.
+
+use am_dataset::RunRole;
+use am_eval::figures::{fig10_hdisp, hdisp_consistency};
+use am_eval::harness::{Split, Transform};
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::{DtwSynchronizer, Synchronizer};
+
+#[test]
+fn spectrogram_shapes_follow_spec() {
+    let set = tiny_set(PrinterModel::Um3);
+    let profile = set.spec.profile;
+    for channel in [SideChannel::Mag, SideChannel::Acc] {
+        let split = Split::generate(&set, channel, Transform::Spectrogram).unwrap();
+        let stft = profile.spectrogram(channel);
+        let fs = profile.fs(channel);
+        let expected_channels = channel.channel_count() * stft.bins(fs);
+        assert_eq!(split.reference.signal.channels(), expected_channels, "{channel}");
+        assert!((split.reference.signal.fs() - 1.0 / stft.delta_t).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn raw_and_spectrogram_hdisp_agree_on_acc() {
+    // Fig 10's claim: h_disp is a property of the printing process, not
+    // of the side channel or transform.
+    let set = tiny_set(PrinterModel::Um3);
+    let series = fig10_hdisp(&set, &[SideChannel::Acc]).unwrap();
+    assert_eq!(series.len(), 2);
+    let consistency = hdisp_consistency(&series[0], &series[1]);
+    assert!(
+        consistency > 0.5,
+        "raw/spectro h_disp consistency only {consistency}"
+    );
+}
+
+#[test]
+fn dtw_synchronizes_benign_spectrograms() {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, SideChannel::Mag, Transform::Spectrogram).unwrap();
+    let benign = split
+        .tests
+        .iter()
+        .find(|c| matches!(c.role, RunRole::TestBenign(0)))
+        .unwrap();
+    let sync = DtwSynchronizer::default();
+    let alignment = sync
+        .synchronize(&benign.signal, &split.reference.signal)
+        .unwrap();
+    assert_eq!(alignment.h_disp.len(), benign.signal.len());
+    // The warp stays near the diagonal for benign runs (end misalignment
+    // is seconds, i.e. a few dozen spectrogram frames at most).
+    let fs = benign.signal.fs();
+    let max_h = alignment.h_disp.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    assert!(max_h < 10.0 * fs, "warp wandered {max_h} frames");
+}

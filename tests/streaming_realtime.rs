@@ -1,0 +1,85 @@
+//! Real-time operation: the streaming NSYNC detector fed DAQ-sized
+//! chunks must agree with batch detection and fire mid-print.
+
+use am_dataset::RunRole;
+use am_eval::harness::{Split, Transform};
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::DwmSynchronizer;
+use nsync::streaming::StreamingIds;
+use nsync::NsyncIds;
+
+#[test]
+fn streaming_agrees_with_batch_and_alerts_early() {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+
+    // Batch training provides the thresholds.
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids
+        .train(&train, split.reference.signal.clone(), 0.3)
+        .unwrap();
+    let thresholds = trained.thresholds();
+
+    for test in &split.tests {
+        let batch = trained.detect(&test.signal).unwrap();
+        let mut stream = StreamingIds::new(
+            split.reference.signal.clone(),
+            &params,
+            thresholds,
+            &trained.config(),
+        )
+        .unwrap();
+        // Feed 0.5-second chunks like a DAQ would.
+        let chunk = (0.5 * test.signal.fs()) as usize;
+        let mut first_alert_window = None;
+        let mut i = 0;
+        while i < test.signal.len() {
+            let end = (i + chunk).min(test.signal.len());
+            let alerts = stream.push(&test.signal.slice(i..end).unwrap()).unwrap();
+            if first_alert_window.is_none() {
+                first_alert_window = alerts.iter().map(|a| a.window).min();
+            }
+            i = end;
+        }
+        assert_eq!(
+            stream.intrusion_detected(),
+            batch.intrusion,
+            "stream/batch disagree on {}",
+            test.role
+        );
+        if let (Some(stream_first), Some(batch_first)) =
+            (first_alert_window, batch.first_alert_index)
+        {
+            assert_eq!(stream_first, batch_first, "first alert differs on {}", test.role);
+        }
+    }
+}
+
+#[test]
+fn speed_attack_alert_arrives_before_print_ends() {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids
+        .train(&train, split.reference.signal.clone(), 0.3)
+        .unwrap();
+    let speed = split
+        .tests
+        .iter()
+        .find(|c| matches!(&c.role, RunRole::Malicious { attack, .. } if attack == "Speed0.95"))
+        .unwrap();
+    let detection = trained.detect(&speed.signal).unwrap();
+    assert!(detection.intrusion);
+    let windows = detection.h_dist_filtered.len();
+    let first = detection.first_alert_index.unwrap();
+    assert!(
+        first < windows,
+        "alert must come before the final window ({first}/{windows})"
+    );
+}

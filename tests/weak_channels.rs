@@ -1,0 +1,43 @@
+//! §VIII-B: TMP and PWR are weakly correlated with printer state — their
+//! `h_disp` is "noise like" and the paper drops them. This test pins that
+//! behaviour so a sensor-model change cannot silently make the weak
+//! channels strong (or vice versa).
+
+use am_eval::figures::{fig10_hdisp, hdisp_consistency};
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+
+#[test]
+fn tmp_and_pwr_hdisp_are_inconsistent_with_acc() {
+    let set = tiny_set(PrinterModel::Um3);
+    let series = fig10_hdisp(
+        &set,
+        &[SideChannel::Acc, SideChannel::Tmp, SideChannel::Pwr],
+    )
+    .unwrap();
+    // Series order: [ACC raw, ACC spec, TMP raw, TMP spec, PWR raw, PWR spec].
+    let acc_raw = &series[0];
+    let strong = hdisp_consistency(acc_raw, &series[1]); // ACC spectro
+    let tmp_raw = hdisp_consistency(acc_raw, &series[2]);
+    let pwr_raw = hdisp_consistency(acc_raw, &series[4]);
+    assert!(strong > 0.5, "ACC raw/spectro should agree: {strong}");
+    assert!(
+        tmp_raw < strong,
+        "TMP should track the process worse than ACC does ({tmp_raw} vs {strong})"
+    );
+    assert!(
+        pwr_raw < strong,
+        "PWR should track the process worse than ACC does ({pwr_raw} vs {strong})"
+    );
+}
+
+#[test]
+fn kept_channels_exclude_tmp_and_pwr() {
+    // The paper's §VIII-B decision, encoded as API.
+    let kept = SideChannel::kept();
+    assert!(!kept.contains(&SideChannel::Tmp));
+    assert!(!kept.contains(&SideChannel::Pwr));
+    assert!(kept.contains(&SideChannel::Acc));
+    assert!(kept.contains(&SideChannel::Ept));
+}
