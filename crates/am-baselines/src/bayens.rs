@@ -223,8 +223,8 @@ mod tests {
     fn validation() {
         let r = phased(20.0, 2, 0.0);
         assert!(BayensIds::train(&r, &[], 10.0, 0.0).is_err());
-        assert!(BayensIds::train(&r, &[r.clone()], 1000.0, 0.0).is_err());
-        let ids = BayensIds::train(&r, &[r.clone()], 10.0, 0.0).unwrap();
+        assert!(BayensIds::train(&r, std::slice::from_ref(&r), 1000.0, 0.0).is_err());
+        let ids = BayensIds::train(&r, std::slice::from_ref(&r), 10.0, 0.0).unwrap();
         assert_eq!(ids.name(), "Bayens");
         assert!(ids.score_threshold().is_finite());
     }

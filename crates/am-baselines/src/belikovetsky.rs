@@ -74,7 +74,9 @@ impl BelikovetskyIds {
         let sims: Vec<f64> = (0..n)
             .map(|i| {
                 let u: Vec<f64> = (0..3).map(|c| compressed.sample(i, c)).collect();
-                let v: Vec<f64> = (0..3).map(|c| self.reference_compressed.sample(i, c)).collect();
+                let v: Vec<f64> = (0..3)
+                    .map(|c| self.reference_compressed.sample(i, c))
+                    .collect();
                 1.0 - cosine_distance(&u, &v)
             })
             .collect();

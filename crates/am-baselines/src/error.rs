@@ -49,6 +49,8 @@ mod tests {
     fn display_and_from() {
         let e: BaselineError = DspError::NoChannels.into();
         assert!(e.to_string().contains("dsp"));
-        assert!(BaselineError::InvalidRun("x".into()).to_string().contains("x"));
+        assert!(BaselineError::InvalidRun("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

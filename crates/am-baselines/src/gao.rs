@@ -69,11 +69,7 @@ impl GaoIds {
     ///
     /// Returns [`BaselineError::InvalidTraining`] for empty training sets
     /// or runs without layer ground truth.
-    pub fn train(
-        reference: &RunData,
-        training: &[RunData],
-        r: f64,
-    ) -> Result<Self, BaselineError> {
+    pub fn train(reference: &RunData, training: &[RunData], r: f64) -> Result<Self, BaselineError> {
         Self::train_with_block(reference, training, r, 1)
     }
 
@@ -141,7 +137,13 @@ mod tests {
 
     /// Builds a run whose layers each contain a distinctive tone; layer
     /// boundaries drift by `drift` seconds per layer.
-    fn layered_run(fs: f64, layers: usize, layer_secs: f64, drift: f64, freq_scale: f64) -> RunData {
+    fn layered_run(
+        fs: f64,
+        layers: usize,
+        layer_secs: f64,
+        drift: f64,
+        freq_scale: f64,
+    ) -> RunData {
         let mut times = Vec::new();
         let mut samples = Vec::new();
         let mut t_acc = 0.0;
@@ -188,8 +190,13 @@ mod tests {
         let r = layered_run(50.0, 3, 2.0, 0.0, 2.0);
         assert!(GaoIds::train(&r, &[], 0.0).is_err());
         let no_layers = RunData::new(Signal::mono(50.0, vec![0.0; 100]).unwrap(), vec![]);
-        assert!(GaoIds::train(&no_layers, &[r.clone()], 0.0).is_err());
-        assert!(GaoIds::train_with_block(&r, &[r.clone()], 0.0, 0).is_err());
-        assert_eq!(GaoIds::train(&r, &[r.clone()], 0.0).unwrap().name(), "Gao");
+        assert!(GaoIds::train(&no_layers, std::slice::from_ref(&r), 0.0).is_err());
+        assert!(GaoIds::train_with_block(&r, std::slice::from_ref(&r), 0.0, 0).is_err());
+        assert_eq!(
+            GaoIds::train(&r, std::slice::from_ref(&r), 0.0)
+                .unwrap()
+                .name(),
+            "Gao"
+        );
     }
 }

@@ -84,11 +84,7 @@ impl GatlinIds {
     ///
     /// Returns [`BaselineError::InvalidTraining`] for empty training sets
     /// or missing layer ground truth.
-    pub fn train(
-        reference: &RunData,
-        training: &[RunData],
-        r: f64,
-    ) -> Result<Self, BaselineError> {
+    pub fn train(reference: &RunData, training: &[RunData], r: f64) -> Result<Self, BaselineError> {
         if training.is_empty() {
             return Err(BaselineError::InvalidTraining("no benign runs".into()));
         }
@@ -163,10 +159,7 @@ impl BaselineDetector for GatlinIds {
         let (time_fired, match_fired) = self.sub_modules(observed);
         Ok(Verdict {
             intrusion: time_fired || match_fired,
-            sub_modules: vec![
-                ("time".into(), time_fired),
-                ("match".into(), match_fired),
-            ],
+            sub_modules: vec![("time".into(), time_fired), ("match".into(), match_fired)],
         })
     }
 }
@@ -194,7 +187,9 @@ mod tests {
         let mut acc = 0.0;
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 40) as f64 / (1u64 << 24) as f64 - 0.5
         };
         for k in 0..layers {
@@ -204,8 +199,7 @@ mod tests {
             for i in 0..n {
                 let t = i as f64 / fs;
                 samples.push(
-                    (tone * (k % 3 + 1) as f64 * t * std::f64::consts::TAU).sin()
-                        + 0.05 * noise(),
+                    (tone * (k % 3 + 1) as f64 * t * std::f64::consts::TAU).sin() + 0.05 * noise(),
                 );
             }
             acc += secs;
@@ -229,8 +223,7 @@ mod tests {
     #[test]
     fn timing_attack_fires_time_submodule() {
         let reference = layered(200.0, 4, 8.0, 0.0, 5.0);
-        let training: Vec<RunData> =
-            (1..=3).map(|_| layered(200.0, 4, 8.0, 0.05, 5.0)).collect();
+        let training: Vec<RunData> = (1..=3).map(|_| layered(200.0, 4, 8.0, 0.05, 5.0)).collect();
         let ids = GatlinIds::train(&reference, &training, 0.0).unwrap();
         // 10% slower print: layer moments drift by ~0.8 s per layer.
         let attack = layered(200.0, 4, 8.8, 0.0, 5.0);
@@ -242,8 +235,7 @@ mod tests {
     #[test]
     fn content_attack_fires_match_submodule() {
         let reference = layered(200.0, 4, 8.0, 0.0, 5.0);
-        let training: Vec<RunData> =
-            (1..=3).map(|_| layered(200.0, 4, 8.0, 0.01, 5.0)).collect();
+        let training: Vec<RunData> = (1..=3).map(|_| layered(200.0, 4, 8.0, 0.01, 5.0)).collect();
         let ids = GatlinIds::train(&reference, &training, 0.0).unwrap();
         // Same timing, different spectral content per layer.
         let attack = layered(200.0, 4, 8.0, 0.01, 9.0);
@@ -267,6 +259,6 @@ mod tests {
         let r = layered(200.0, 3, 4.0, 0.0, 5.0);
         assert!(GatlinIds::train(&r, &[], 0.0).is_err());
         let no_layers = RunData::new(Signal::mono(200.0, vec![0.0; 100]).unwrap(), vec![]);
-        assert!(GatlinIds::train(&no_layers, &[r.clone()], 0.0).is_err());
+        assert!(GatlinIds::train(&no_layers, std::slice::from_ref(&r), 0.0).is_err());
     }
 }

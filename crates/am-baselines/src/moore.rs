@@ -61,11 +61,7 @@ impl MooreIds {
     /// # Errors
     ///
     /// Returns [`BaselineError::InvalidTraining`] for empty training sets.
-    pub fn train(
-        reference: &RunData,
-        training: &[RunData],
-        r: f64,
-    ) -> Result<Self, BaselineError> {
+    pub fn train(reference: &RunData, training: &[RunData], r: f64) -> Result<Self, BaselineError> {
         Self::train_with_block(reference, training, r, 1)
     }
 
@@ -177,7 +173,10 @@ mod tests {
     fn training_validation() {
         let reference = run(wave(20.0, 100, 0.0, 1.0));
         assert!(MooreIds::train(&reference, &[], 0.0).is_err());
-        assert!(MooreIds::train_with_block(&reference, &[reference.clone()], 0.0, 0).is_err());
+        assert!(
+            MooreIds::train_with_block(&reference, std::slice::from_ref(&reference), 0.0, 0)
+                .is_err()
+        );
     }
 
     #[test]

@@ -65,6 +65,8 @@ mod tests {
     fn display_covers_variants() {
         let e: DatasetError = am_dsp::DspError::NoChannels.into();
         assert!(e.to_string().contains("capture"));
-        assert!(DatasetError::InvalidSpec("x".into()).to_string().contains("x"));
+        assert!(DatasetError::InvalidSpec("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -167,23 +167,21 @@ impl TrajectorySet {
     pub fn capture_channel(&self, channel: SideChannel) -> Result<Vec<Capture>, DatasetError> {
         let printer_cfg = self.spec.printer.config();
         let daq = self.spec.profile.daq(channel);
-        let results: Vec<Result<Capture, DatasetError>> =
-            parallel_map(&self.runs, |(_, run)| {
-                let signal =
-                    channel.capture(&run.trajectory, &printer_cfg, &daq, run.seed)?;
-                let t0 = run.trajectory.print_start();
-                let layer_times = run
-                    .trajectory
-                    .layer_times()
-                    .iter()
-                    .map(|t| (t - t0).max(0.0))
-                    .collect();
-                Ok(Capture {
-                    role: run.role.clone(),
-                    signal,
-                    layer_times,
-                })
-            });
+        let results: Vec<Result<Capture, DatasetError>> = parallel_map(&self.runs, |(_, run)| {
+            let signal = channel.capture(&run.trajectory, &printer_cfg, &daq, run.seed)?;
+            let t0 = run.trajectory.print_start();
+            let layer_times = run
+                .trajectory
+                .layer_times()
+                .iter()
+                .map(|t| (t - t0).max(0.0))
+                .collect();
+            Ok(Capture {
+                role: run.role.clone(),
+                signal,
+                layer_times,
+            })
+        });
         results.into_iter().collect()
     }
 
@@ -193,10 +191,7 @@ impl TrajectorySet {
     /// # Errors
     ///
     /// Propagates capture and STFT failures.
-    pub fn capture_spectrogram(
-        &self,
-        channel: SideChannel,
-    ) -> Result<Vec<Capture>, DatasetError> {
+    pub fn capture_spectrogram(&self, channel: SideChannel) -> Result<Vec<Capture>, DatasetError> {
         let stft = self.spec.profile.spectrogram(channel);
         let captures = self.capture_channel(channel)?;
         captures
@@ -254,7 +249,9 @@ where
         }
     })
     .expect("worker threads do not panic");
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]

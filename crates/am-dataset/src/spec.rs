@@ -248,10 +248,7 @@ mod tests {
         assert_eq!(p.spectrogram(SideChannel::Aud).bins(48_000.0), 201);
         assert_eq!(p.spectrogram(SideChannel::Ept).bins(96_000.0), 401);
         assert_eq!(p.spectrogram(SideChannel::Pwr).bins(12_000.0), 101);
-        assert_eq!(
-            p.spectrogram(SideChannel::Pwr).window,
-            WindowKind::Boxcar
-        );
+        assert_eq!(p.spectrogram(SideChannel::Pwr).window, WindowKind::Boxcar);
     }
 
     #[test]
@@ -268,8 +265,14 @@ mod tests {
 
     #[test]
     fn dwm_params_match_table4_at_paper_scale() {
-        assert_eq!(Profile::Paper.dwm_params(PrinterModel::Um3), DwmParams::um3());
-        assert_eq!(Profile::Paper.dwm_params(PrinterModel::Rm3), DwmParams::rm3());
+        assert_eq!(
+            Profile::Paper.dwm_params(PrinterModel::Um3),
+            DwmParams::um3()
+        );
+        assert_eq!(
+            Profile::Paper.dwm_params(PrinterModel::Rm3),
+            DwmParams::rm3()
+        );
     }
 
     #[test]

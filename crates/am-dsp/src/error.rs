@@ -40,6 +40,14 @@ pub enum DspError {
         /// Samples available.
         got: usize,
     },
+    /// An input contained a NaN or infinite sample where a finite value
+    /// is required (e.g. feeding a distance metric).
+    NonFinite {
+        /// Channel of the first offending sample.
+        channel: usize,
+        /// Index of the first offending sample within that channel.
+        index: usize,
+    },
 }
 
 impl fmt::Display for DspError {
@@ -65,6 +73,9 @@ impl fmt::Display for DspError {
             DspError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             DspError::TooShort { needed, got } => {
                 write!(f, "input too short: needed {needed} samples, got {got}")
+            }
+            DspError::NonFinite { channel, index } => {
+                write!(f, "non-finite sample at channel {channel}, index {index}")
             }
         }
     }
@@ -94,6 +105,10 @@ mod tests {
             DspError::ShapeMismatch("a vs b".into()),
             DspError::InvalidParameter("eta".into()),
             DspError::TooShort { needed: 8, got: 2 },
+            DspError::NonFinite {
+                channel: 0,
+                index: 3,
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -129,7 +129,7 @@ fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             buf.swap(i, j);
         }
@@ -323,7 +323,8 @@ mod tests {
             .map(|k| {
                 let mut acc = Complex::default();
                 for (m, &v) in x.iter().enumerate() {
-                    acc = acc + v * Complex::cis(-std::f64::consts::TAU * k as f64 * m as f64 / n as f64);
+                    acc = acc
+                        + v * Complex::cis(-std::f64::consts::TAU * k as f64 * m as f64 / n as f64);
                 }
                 acc
             })
@@ -352,7 +353,9 @@ mod tests {
 
     #[test]
     fn ifft_inverts_fft() {
-        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let mut buf = x.clone();
         fft_in_place(&mut buf).unwrap();
         ifft_in_place(&mut buf).unwrap();
@@ -438,7 +441,7 @@ mod tests {
     fn real_dft_magnitude_bin_count_matches_table3() {
         // Table III: a 200-sample window yields 101 spectral channels.
         assert_eq!(real_dft_magnitude(&vec![0.0; 200]).len(), 101);
-        assert_eq!(real_dft_magnitude(&vec![0.0; 20]).len(), 11);
+        assert_eq!(real_dft_magnitude(&[0.0; 20]).len(), 11);
         assert_eq!(real_dft_magnitude(&vec![0.0; 400]).len(), 201);
         assert_eq!(real_dft_magnitude(&vec![0.0; 800]).len(), 401);
     }

@@ -104,7 +104,9 @@ pub fn single_pole_lowpass(x: &[f64], alpha: f64, y0: f64) -> Result<Vec<f64>, D
 /// Returns [`DspError::InvalidParameter`] if `factor == 0`.
 pub fn decimate(x: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
     if factor == 0 {
-        return Err(DspError::InvalidParameter("decimate factor must be >= 1".into()));
+        return Err(DspError::InvalidParameter(
+            "decimate factor must be >= 1".into(),
+        ));
     }
     Ok(x.iter().step_by(factor).copied().collect())
 }

@@ -24,8 +24,7 @@ const VERSION: u16 = 1;
 
 /// Serializes a signal to its binary form.
 pub fn to_bytes(signal: &Signal) -> Bytes {
-    let mut buf =
-        BytesMut::with_capacity(4 + 2 + 8 + 4 + 8 + signal.channels() * signal.len() * 8);
+    let mut buf = BytesMut::with_capacity(4 + 2 + 8 + 4 + 8 + signal.channels() * signal.len() * 8);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_f64_le(signal.fs());
@@ -117,7 +116,10 @@ mod tests {
     fn sample_signal() -> Signal {
         Signal::from_channels(
             48_000.0,
-            vec![vec![0.0, 1.5, -2.25, f64::MIN_POSITIVE], vec![9.0, -9.0, 0.125, 1e300]],
+            vec![
+                vec![0.0, 1.5, -2.25, f64::MIN_POSITIVE],
+                vec![9.0, -9.0, 0.125, 1e300],
+            ],
         )
         .unwrap()
     }

@@ -260,8 +260,7 @@ mod tests {
 
     #[test]
     fn jacobi_diagonal_matrix() {
-        let a = Matrix::from_rows(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
-            .unwrap();
+        let a = Matrix::from_rows(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
         let e = jacobi_eigen(&a).unwrap();
         assert!((e.values[0] - 3.0).abs() < 1e-10);
         assert!((e.values[1] - 2.0).abs() < 1e-10);

@@ -48,13 +48,46 @@ impl DistanceMetric {
         }
     }
 
+    /// Like [`DistanceMetric::distance`], but with typed errors instead
+    /// of panics/NaN propagation: mismatched lengths and non-finite
+    /// inputs are reported, never folded into the result. This is the
+    /// entry point for anything feeding learned thresholds — a NaN that
+    /// reaches an OCC threshold poisons every comparison after it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::ShapeMismatch`] on length mismatch and
+    /// [`DspError::NonFinite`] (with `channel` 0/1 meaning `u`/`v`) on
+    /// the first NaN or infinity.
+    pub fn try_distance(self, u: &[f64], v: &[f64]) -> Result<f64, DspError> {
+        if u.len() != v.len() {
+            return Err(DspError::ShapeMismatch(format!(
+                "{} vs {}",
+                u.len(),
+                v.len()
+            )));
+        }
+        for (side, data) in [u, v].into_iter().enumerate() {
+            if let Some(index) = first_non_finite(data) {
+                return Err(DspError::NonFinite {
+                    channel: side,
+                    index,
+                });
+            }
+        }
+        Ok(self.distance(u, v))
+    }
+
     /// Multi-channel distance: per-channel distance averaged across channels
-    /// (§VII-A). Both signals must have the same shape.
+    /// (§VII-A). Both signals must have the same shape and be finite.
     ///
     /// # Errors
     ///
     /// Returns [`DspError::ShapeMismatch`] if lengths or channel counts
-    /// differ.
+    /// differ, and [`DspError::NonFinite`] if either signal contains a
+    /// NaN or infinite sample (the error reports the offending channel
+    /// and index; for the second signal the channel is offset by the
+    /// channel count of the first).
     pub fn distance_multichannel(self, a: &Signal, b: &Signal) -> Result<f64, DspError> {
         if a.len() != b.len() || a.channels() != b.channels() {
             return Err(DspError::ShapeMismatch(format!(
@@ -65,12 +98,27 @@ impl DistanceMetric {
                 b.channels()
             )));
         }
+        for ch in 0..a.channels() {
+            if let Some(index) = first_non_finite(a.channel(ch)) {
+                return Err(DspError::NonFinite { channel: ch, index });
+            }
+            if let Some(index) = first_non_finite(b.channel(ch)) {
+                return Err(DspError::NonFinite {
+                    channel: a.channels() + ch,
+                    index,
+                });
+            }
+        }
         let c = a.channels() as f64;
         let sum: f64 = (0..a.channels())
             .map(|ch| self.distance(a.channel(ch), b.channel(ch)))
             .sum();
         Ok(sum / c)
     }
+}
+
+fn first_non_finite(data: &[f64]) -> Option<usize> {
+    data.iter().position(|v| !v.is_finite())
 }
 
 impl std::fmt::Display for DistanceMetric {
@@ -161,11 +209,7 @@ pub fn euclidean_distance(u: &[f64], v: &[f64]) -> f64 {
     if u.is_empty() {
         return 0.0;
     }
-    let ss: f64 = u
-        .iter()
-        .zip(v.iter())
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum();
+    let ss: f64 = u.iter().zip(v.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
     (ss / u.len() as f64).sqrt()
 }
 
@@ -220,7 +264,10 @@ mod tests {
 
     #[test]
     fn pearson_flat_input_is_zero() {
-        assert_eq!(pearson(&[5.0; 8], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]), 0.0);
+        assert_eq!(
+            pearson(&[5.0; 8], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]),
+            0.0
+        );
         assert_eq!(pearson(&[], &[]), 0.0);
     }
 
@@ -262,17 +309,11 @@ mod tests {
 
     #[test]
     fn multichannel_distance_averages() {
-        let a = Signal::from_channels(
-            10.0,
-            vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]],
-        )
-        .unwrap();
+        let a =
+            Signal::from_channels(10.0, vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]).unwrap();
         // Channel 0 perfectly correlated, channel 1 anti-correlated.
-        let b = Signal::from_channels(
-            10.0,
-            vec![vec![2.0, 4.0, 6.0], vec![3.0, 2.0, 1.0]],
-        )
-        .unwrap();
+        let b =
+            Signal::from_channels(10.0, vec![vec![2.0, 4.0, 6.0], vec![3.0, 2.0, 1.0]]).unwrap();
         let d = DistanceMetric::Correlation
             .distance_multichannel(&a, &b)
             .unwrap();
@@ -286,8 +327,54 @@ mod tests {
     fn multichannel_shape_mismatch() {
         let a = Signal::mono(10.0, vec![1.0, 2.0]).unwrap();
         let b = Signal::mono(10.0, vec![1.0, 2.0, 3.0]).unwrap();
-        assert!(DistanceMetric::Correlation.distance_multichannel(&a, &b).is_err());
+        assert!(DistanceMetric::Correlation
+            .distance_multichannel(&a, &b)
+            .is_err());
         assert!(pearson_multichannel(&a, &b).is_err());
+    }
+
+    #[test]
+    fn try_distance_rejects_bad_inputs() {
+        let m = DistanceMetric::Correlation;
+        assert!(matches!(
+            m.try_distance(&[1.0, 2.0], &[1.0]),
+            Err(DspError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            m.try_distance(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(DspError::NonFinite {
+                channel: 0,
+                index: 1
+            })
+        ));
+        assert!(matches!(
+            m.try_distance(&[1.0, 2.0], &[f64::INFINITY, 2.0]),
+            Err(DspError::NonFinite {
+                channel: 1,
+                index: 0
+            })
+        ));
+        assert!(m.try_distance(&[1.0, 2.0], &[2.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn multichannel_distance_rejects_non_finite() {
+        let a = Signal::from_channels(10.0, vec![vec![1.0, 2.0], vec![3.0, f64::NAN]]).unwrap();
+        let b = Signal::from_channels(10.0, vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert!(matches!(
+            DistanceMetric::Correlation.distance_multichannel(&a, &b),
+            Err(DspError::NonFinite {
+                channel: 1,
+                index: 1
+            })
+        ));
+        assert!(matches!(
+            DistanceMetric::Correlation.distance_multichannel(&b, &a),
+            Err(DspError::NonFinite {
+                channel: 3,
+                index: 1
+            })
+        ));
     }
 
     #[test]

@@ -112,12 +112,11 @@ impl Pca {
         let mut out: Vec<Vec<f64>> = vec![vec![0.0; signal.len()]; k];
         for (j, m) in self.mean.iter().enumerate() {
             let ch = signal.channel(j);
-            for comp in 0..k {
+            for (comp, dst) in out.iter_mut().enumerate().take(k) {
                 let w = self.projection[(comp, j)];
                 if w == 0.0 {
                     continue;
                 }
-                let dst = &mut out[comp];
                 for t in 0..signal.len() {
                     dst[t] += w * (ch[t] - m);
                 }
@@ -194,7 +193,10 @@ mod tests {
         let t = pca.transform(&s).unwrap();
         let orig: f64 = (0..3).map(|c| stats::variance(s.channel(c))).sum();
         let proj: f64 = (0..3).map(|c| stats::variance(t.channel(c))).sum();
-        assert!((orig - proj).abs() < 1e-8 * orig.max(1.0), "{orig} vs {proj}");
+        assert!(
+            (orig - proj).abs() < 1e-8 * orig.max(1.0),
+            "{orig} vs {proj}"
+        );
     }
 
     #[test]

@@ -160,7 +160,11 @@ impl Signal {
     /// Panics if `n >= len()` or `c >= channels()`.
     pub fn sample(&self, n: usize, c: usize) -> f64 {
         assert!(n < self.len, "sample index {n} out of range {}", self.len);
-        assert!(c < self.channels, "channel {c} out of range {}", self.channels);
+        assert!(
+            c < self.channels,
+            "channel {c} out of range {}",
+            self.channels
+        );
         self.data[c * self.len + n]
     }
 
@@ -170,7 +174,11 @@ impl Signal {
     ///
     /// Panics if `c >= channels()`.
     pub fn channel(&self, c: usize) -> &[f64] {
-        assert!(c < self.channels, "channel {c} out of range {}", self.channels);
+        assert!(
+            c < self.channels,
+            "channel {c} out of range {}",
+            self.channels
+        );
         &self.data[c * self.len..(c + 1) * self.len]
     }
 
@@ -180,7 +188,11 @@ impl Signal {
     ///
     /// Panics if `c >= channels()`.
     pub fn channel_mut(&mut self, c: usize) -> &mut [f64] {
-        assert!(c < self.channels, "channel {c} out of range {}", self.channels);
+        assert!(
+            c < self.channels,
+            "channel {c} out of range {}",
+            self.channels
+        );
         &mut self.data[c * self.len..(c + 1) * self.len]
     }
 
@@ -241,7 +253,8 @@ impl Signal {
             let dst_off = (src_start as isize - start) as usize;
             for c in 0..self.channels {
                 let ch = self.channel(c);
-                let dst = &mut data[c * out_len + dst_off..c * out_len + dst_off + (src_end - src_start)];
+                let dst =
+                    &mut data[c * out_len + dst_off..c * out_len + dst_off + (src_end - src_start)];
                 dst.copy_from_slice(&ch[src_start..src_end]);
             }
         }
@@ -313,7 +326,9 @@ impl Signal {
 
     /// Returns per-channel vectors (inverse of [`Signal::from_channels`]).
     pub fn to_channels(&self) -> Vec<Vec<f64>> {
-        (0..self.channels).map(|c| self.channel(c).to_vec()).collect()
+        (0..self.channels)
+            .map(|c| self.channel(c).to_vec())
+            .collect()
     }
 
     /// Root-mean-square over all channels and samples.
@@ -398,7 +413,9 @@ mod tests {
     #[test]
     fn slice_range_checked() {
         let s = sig2x4();
-        assert!(s.slice(3..2).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 3..2;
+        assert!(s.slice(reversed).is_err());
         assert!(s.slice(0..5).is_err());
         assert!(s.slice(4..4).unwrap().is_empty());
     }

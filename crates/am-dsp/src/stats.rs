@@ -24,22 +24,28 @@ pub fn std_dev(x: &[f64]) -> f64 {
 
 /// Maximum value; `None` for an empty slice. NaNs are ignored.
 pub fn max(x: &[f64]) -> Option<f64> {
-    x.iter().copied().filter(|v| !v.is_nan()).fold(None, |acc, v| {
-        Some(match acc {
-            None => v,
-            Some(a) => a.max(v),
+    x.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
         })
-    })
 }
 
 /// Minimum value; `None` for an empty slice. NaNs are ignored.
 pub fn min(x: &[f64]) -> Option<f64> {
-    x.iter().copied().filter(|v| !v.is_nan()).fold(None, |acc, v| {
-        Some(match acc {
-            None => v,
-            Some(a) => a.min(v),
+    x.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
         })
-    })
 }
 
 /// Index of the maximum value; `None` for an empty slice. Ties resolve to

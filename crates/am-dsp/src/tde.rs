@@ -108,7 +108,9 @@ pub fn similarity_scores(
 
 fn zncc_naive(x: &[f64], y: &[f64]) -> Vec<f64> {
     let positions = x.len() - y.len() + 1;
-    (0..positions).map(|n| pearson(&x[n..n + y.len()], y)).collect()
+    (0..positions)
+        .map(|n| pearson(&x[n..n + y.len()], y))
+        .collect()
 }
 
 /// FFT path: `num[n] = sum (x_win - mean)(y - mean_y) = sliding_dot(x, y - mean_y)`
@@ -225,11 +227,7 @@ mod tests {
         // Channel 0 locates the copy; channel 1 is flat (score 0 everywhere).
         let xs = chirpy(100.0, 300, 1.2);
         let x = Signal::from_channels(100.0, vec![xs.clone(), vec![0.0; 300]]).unwrap();
-        let y = Signal::from_channels(
-            100.0,
-            vec![xs[80..140].to_vec(), vec![0.0; 60]],
-        )
-        .unwrap();
+        let y = Signal::from_channels(100.0, vec![xs[80..140].to_vec(), vec![0.0; 60]]).unwrap();
         let r = tde(&x, &y, TdeBackend::Naive).unwrap();
         assert_eq!(r.delay, 80);
         // Averaged with a zero-score channel: winning score ~ 0.5.

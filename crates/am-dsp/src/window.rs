@@ -91,8 +91,8 @@ mod tests {
         let w = WindowKind::Hann.generate(8);
         assert!(w[0].abs() < 1e-12);
         // Periodic Hann: w[i] == w[n - i] for 0 < i < n.
-        for i in 1..8 {
-            assert!((w[i] - WindowKind::Hann.value(8 - i, 8)).abs() < 1e-12);
+        for (i, v) in w.iter().enumerate().skip(1) {
+            assert!((v - WindowKind::Hann.value(8 - i, 8)).abs() < 1e-12);
         }
     }
 
@@ -108,7 +108,11 @@ mod tests {
 
     #[test]
     fn degenerate_single_point_windows() {
-        for k in [WindowKind::Boxcar, WindowKind::Hann, WindowKind::BlackmanHarris] {
+        for k in [
+            WindowKind::Boxcar,
+            WindowKind::Hann,
+            WindowKind::BlackmanHarris,
+        ] {
             assert_eq!(k.generate(1), vec![1.0]);
             assert_eq!(k.generate(0), Vec::<f64>::new());
         }

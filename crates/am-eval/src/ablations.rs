@@ -140,8 +140,7 @@ pub fn filter_window_ablation(
         let ids = NsyncIds::new(sync).with_config(DiscriminatorConfig {
             min_filter_window: w,
         });
-        let train: Vec<am_dsp::Signal> =
-            split.train.iter().map(|c| c.signal.clone()).collect();
+        let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
         let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
         let mut rates = Rates::default();
         for test in &split.tests {

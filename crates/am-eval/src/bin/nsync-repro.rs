@@ -18,8 +18,8 @@ use am_eval::ablations::{
     filter_window_ablation, metric_gain_sensitivity, per_attack_tpr, tdeb_bias_ablation,
 };
 use am_eval::figures::{
-    fig10_hdisp, fig11_sync_timing, fig1_durations, fig2_no_sync_distances, fig6_eta,
-    fig6_sigma, fig6_window, hdisp_consistency,
+    fig10_hdisp, fig11_sync_timing, fig1_durations, fig2_no_sync_distances, fig6_eta, fig6_sigma,
+    fig6_window, hdisp_consistency,
 };
 use am_eval::harness::Transform;
 use am_eval::tables::{
@@ -108,7 +108,10 @@ fn run(command: &str, printer: PrinterModel, seed: u64) -> Result<(), Box<dyn st
             let set = make_set(printer, seed)?;
             let series = fig10_hdisp(&set, &SideChannel::all())?;
             let anchor = series[0].clone();
-            println!("Fig 10 — h_disp consistency vs {} ({printer}):", anchor.label);
+            println!(
+                "Fig 10 — h_disp consistency vs {} ({printer}):",
+                anchor.label
+            );
             for s in &series {
                 println!(
                     "  {:<18} range {:>7.3} s   consistency {:+.2}",
@@ -148,7 +151,11 @@ fn run(command: &str, printer: PrinterModel, seed: u64) -> Result<(), Box<dyn st
             println!("Ablation 2 — benign CADHD: biased {biased:.0}, unbiased {unbiased:.0}");
             println!("Ablation 3 — spike-filter window:");
             for (w, rates) in filter_window_ablation(&set, SideChannel::Acc, &[1, 3, 5])? {
-                println!("  window {w}: {}  accuracy {:.3}", rates.cell(), rates.accuracy());
+                println!(
+                    "  window {w}: {}  accuracy {:.3}",
+                    rates.cell(),
+                    rates.accuracy()
+                );
             }
             println!("Ablation 4 — per-attack TPR (ACC raw):");
             for (attack, rates) in per_attack_tpr(&set, SideChannel::Acc, Transform::Raw)? {

@@ -1,0 +1,257 @@
+//! Degradation-under-fault experiment: how gracefully does the
+//! streaming IDS lose accuracy as its sensors fail?
+//!
+//! The paper evaluates NSYNC on clean captures; a deployment's sensors
+//! degrade. This experiment replays the test split through the
+//! streaming detector under a [`FaultPlan`] of increasing severity
+//! (NaN gaps, burst noise, clock drift, stuck channels — see
+//! [`FaultPlan::severity`] and DESIGN.md §7.5) and reports, per
+//! severity:
+//!
+//! - accuracy / FPR / TPR against the clean-trained thresholds,
+//! - mean added alert latency (windows) on the malicious runs that are
+//!   detected both clean and faulted,
+//! - how many channels ended up quarantined, and whether every stream
+//!   was processed to completion (the whole point of the degradation
+//!   runtime: the detector must survive its inputs).
+
+use crate::harness::{EvalError, Split, Transform};
+use crate::metrics::Rates;
+use crate::report::TextTable;
+use am_dataset::TrajectorySet;
+use am_dsp::Signal;
+use am_sensors::channel::SideChannel;
+use am_sensors::faults::FaultPlan;
+use am_sync::{DwmParams, DwmSynchronizer};
+use nsync::health::ChannelState;
+use nsync::streaming::StreamingIds;
+use nsync::{DiscriminatorConfig, NsyncIds, Thresholds};
+
+/// One point of the degradation curve.
+#[derive(Debug, Clone)]
+pub struct DegradationPoint {
+    /// Fault severity in `[0, 1]` (0 = clean).
+    pub severity: f64,
+    /// Detection rates at this severity.
+    pub rates: Rates,
+    /// Mean extra windows before the first alert, over malicious runs
+    /// alerted both clean and faulted. Negative means faults made
+    /// detection *earlier* (they often do — corruption looks anomalous).
+    pub mean_added_latency_windows: Option<f64>,
+    /// Highest number of simultaneously quarantined channels seen.
+    pub max_quarantined: usize,
+    /// Every test stream was pushed to completion without a fatal
+    /// error.
+    pub completed: bool,
+}
+
+/// Outcome of streaming one (possibly faulted) capture.
+struct StreamRun {
+    intrusion: bool,
+    first_alert: Option<usize>,
+    /// Peak simultaneously quarantined channels at any point in the
+    /// stream (channels may recover before the capture ends).
+    peak_quarantined: usize,
+}
+
+fn stream_one(
+    signal: &Signal,
+    reference: &Signal,
+    params: &DwmParams,
+    thresholds: Thresholds,
+    config: &DiscriminatorConfig,
+) -> Result<StreamRun, EvalError> {
+    let mut ids = StreamingIds::new(reference.clone(), params, thresholds, config)?;
+    let chunk = ((0.5 * signal.fs()) as usize).max(1);
+    let mut first_alert = None;
+    let mut peak_quarantined = 0;
+    let mut i = 0;
+    while i < signal.len() {
+        let end = (i + chunk).min(signal.len());
+        let alerts = ids.push(&signal.slice(i..end).map_err(nsync::NsyncError::from)?)?;
+        if first_alert.is_none() {
+            first_alert = alerts.iter().map(|a| a.window).min();
+        }
+        peak_quarantined =
+            peak_quarantined.max(ids.health_report().count(ChannelState::Quarantined));
+        i = end;
+    }
+    Ok(StreamRun {
+        intrusion: ids.intrusion_detected(),
+        first_alert,
+        peak_quarantined,
+    })
+}
+
+/// Sweeps fault severity over the raw test split of `channel` and
+/// returns one [`DegradationPoint`] per entry of `severities`.
+///
+/// Training happens once, on clean captures — exactly the deployment
+/// situation: thresholds are learned while the rig is healthy and must
+/// keep working as it decays.
+///
+/// # Errors
+///
+/// Propagates capture and pipeline failures.
+pub fn degradation_sweep(
+    set: &TrajectorySet,
+    channel: SideChannel,
+    severities: &[f64],
+    faults_seed: u64,
+) -> Result<Vec<DegradationPoint>, EvalError> {
+    let split = Split::generate(set, channel, Transform::Raw)?;
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let r = set.spec.profile.nsync_r();
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids.train(&train, split.reference.signal.clone(), r)?;
+    let thresholds = trained.thresholds();
+    let config = trained.config();
+
+    // Clean-baseline first-alert windows, for the latency column.
+    let mut clean_alerts: Vec<Option<usize>> = Vec::with_capacity(split.tests.len());
+    for test in &split.tests {
+        let run = stream_one(
+            &test.signal,
+            &split.reference.signal,
+            &params,
+            thresholds,
+            &config,
+        )?;
+        clean_alerts.push(run.first_alert);
+    }
+
+    let mut points = Vec::with_capacity(severities.len());
+    for &severity in severities {
+        let mut rates = Rates::default();
+        let mut latency_sum = 0.0;
+        let mut latency_n = 0usize;
+        let mut max_quarantined = 0usize;
+        let mut completed = true;
+        for (t, test) in split.tests.iter().enumerate() {
+            let plan = FaultPlan::severity(
+                severity,
+                test.signal.channels(),
+                test.signal.duration(),
+                faults_seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let faulted = plan.apply(&test.signal).map_err(nsync::NsyncError::from)?;
+            match stream_one(
+                &faulted,
+                &split.reference.signal,
+                &params,
+                thresholds,
+                &config,
+            ) {
+                Ok(run) => {
+                    let malicious = !test.role.is_benign();
+                    rates.record(malicious, run.intrusion);
+                    max_quarantined = max_quarantined.max(run.peak_quarantined);
+                    if malicious {
+                        if let (Some(clean), Some(faulted_first)) =
+                            (clean_alerts[t], run.first_alert)
+                        {
+                            latency_sum += faulted_first as f64 - clean as f64;
+                            latency_n += 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // A fatal pipeline error under faults is itself a
+                    // finding: score it as a missed detection and flag
+                    // the point.
+                    completed = false;
+                    rates.record(!test.role.is_benign(), false);
+                }
+            }
+        }
+        points.push(DegradationPoint {
+            severity,
+            rates,
+            mean_added_latency_windows: (latency_n > 0).then(|| latency_sum / latency_n as f64),
+            max_quarantined,
+            completed,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders a sweep as a text table (EXPERIMENTS.md format).
+pub fn degradation_table(channel: SideChannel, points: &[DegradationPoint]) -> TextTable {
+    let mut table = TextTable::new(
+        format!("Degradation under sensor faults — {channel} (streaming, clean-trained)"),
+        vec![
+            "Severity",
+            "Accuracy",
+            "FPR / TPR",
+            "Added latency (win)",
+            "Max quarantined",
+            "Completed",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            format!("{:.2}", p.severity),
+            format!("{:.2}", p.rates.accuracy()),
+            p.rates.cell(),
+            p.mean_added_latency_windows
+                .map_or_else(|| "-".into(), |l| format!("{l:+.1}")),
+            p.max_quarantined.to_string(),
+            if p.completed { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_dataset::spec::ProcessMix;
+    use am_dataset::ExperimentSpec;
+    use am_printer::config::PrinterModel;
+
+    fn tiny_set() -> TrajectorySet {
+        TrajectorySet::generate_with_mix(
+            ExperimentSpec::small(PrinterModel::Um3),
+            ProcessMix {
+                train: 3,
+                test_benign: 2,
+                malicious_per_attack: 1,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_degrades_gracefully_on_small_profile() {
+        let set = tiny_set();
+        let severities = [0.0, 0.35, 0.8];
+        let points = degradation_sweep(&set, SideChannel::Acc, &severities, 42).unwrap();
+        assert_eq!(points.len(), severities.len());
+        // The runtime must survive every severity — that is the tentpole
+        // claim, stronger than any accuracy number.
+        for p in &points {
+            assert!(p.completed, "pipeline died at severity {}", p.severity);
+            let n = p.rates.benign + p.rates.malicious;
+            assert_eq!(n, 7, "every test capture scored at severity {}", p.severity);
+        }
+        // Severity 0 is the clean baseline.
+        assert_eq!(points[0].max_quarantined, 0);
+        // Heavy faults quarantine at least one channel.
+        assert!(points[2].max_quarantined >= 1, "{:?}", points[2]);
+        // Monotone-ish degradation: accuracy never *improves* by more
+        // than a small tolerance as severity rises (faulted sensors may
+        // accidentally help on a given seed, but not by much).
+        for w in points.windows(2) {
+            assert!(
+                w[1].rates.accuracy() <= w[0].rates.accuracy() + 0.15,
+                "accuracy rose under faults: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        let table = degradation_table(SideChannel::Acc, &points).render();
+        assert!(table.contains("Severity"));
+        assert!(table.lines().count() >= 3 + severities.len());
+    }
+}

@@ -14,7 +14,7 @@ use am_dataset::{RunRole, TrajectorySet};
 use am_dsp::metrics::DistanceMetric;
 use am_sensors::channel::SideChannel;
 use am_sync::dwm::dwm;
-use am_sync::{Alignment, AlignmentKind, DwmParams, DtwSynchronizer, Synchronizer};
+use am_sync::{Alignment, AlignmentKind, DtwSynchronizer, DwmParams, Synchronizer};
 use nsync::comparator::vertical_distances;
 
 /// A labeled (x, y) series.
@@ -57,10 +57,10 @@ pub fn fig1_durations(set: &TrajectorySet, max_runs: usize) -> Vec<(String, f64)
         .collect()
 }
 
-fn find_test<'a>(
-    split: &'a Split,
+fn find_test(
+    split: &Split,
     pred: impl Fn(&RunRole) -> bool,
-) -> Result<&'a am_dataset::Capture, EvalError> {
+) -> Result<&am_dataset::Capture, EvalError> {
     split
         .tests
         .iter()
@@ -183,7 +183,12 @@ pub fn fig6_window(
     for &w in windows {
         let params = DwmParams::from_window(w);
         let al = dwm(&a, &b, &params)?;
-        out.push(hdisp_series(&al, params.t_hop, a.fs(), format!("t_win={w}")));
+        out.push(hdisp_series(
+            &al,
+            params.t_hop,
+            a.fs(),
+            format!("t_win={w}"),
+        ));
     }
     Ok(out)
 }
@@ -204,7 +209,12 @@ pub fn fig6_eta(
     for &eta in etas {
         let params = DwmParams { eta, ..base };
         let al = dwm(&a, &b, &params)?;
-        out.push(hdisp_series(&al, params.t_hop, a.fs(), format!("eta={eta}")));
+        out.push(hdisp_series(
+            &al,
+            params.t_hop,
+            a.fs(),
+            format!("eta={eta}"),
+        ));
     }
     Ok(out)
 }

@@ -174,17 +174,19 @@ pub fn eval_nsync(
     r: f64,
 ) -> Result<NsyncOutcome, EvalError> {
     let ids = NsyncIds::new(synchronizer);
-    let train_signals: Vec<am_dsp::Signal> =
-        split.train.iter().map(|c| c.signal.clone()).collect();
+    let train_signals: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids.train(&train_signals, split.reference.signal.clone(), r)?;
     let mut out = NsyncOutcome::default();
     for test in &split.tests {
         let malicious = !test.role.is_benign();
         let detection = trained.detect(&test.signal)?;
         out.overall.record(malicious, detection.intrusion);
-        out.c_disp.record(malicious, detection.fired(SubModule::CDisp));
-        out.h_dist.record(malicious, detection.fired(SubModule::HDist));
-        out.v_dist.record(malicious, detection.fired(SubModule::VDist));
+        out.c_disp
+            .record(malicious, detection.fired(SubModule::CDisp));
+        out.h_dist
+            .record(malicious, detection.fired(SubModule::HDist));
+        out.v_dist
+            .record(malicious, detection.fired(SubModule::VDist));
     }
     Ok(out)
 }
@@ -304,11 +306,7 @@ pub struct BayensOutcome {
 /// # Errors
 ///
 /// Propagates baseline failures.
-pub fn eval_bayens(
-    split: &Split,
-    window_seconds: f64,
-    r: f64,
-) -> Result<BayensOutcome, EvalError> {
+pub fn eval_bayens(split: &Split, window_seconds: f64, r: f64) -> Result<BayensOutcome, EvalError> {
     let reference = to_run_data(&split.reference);
     let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
     let ids = BayensIds::train(&reference, &train, window_seconds, r)?;

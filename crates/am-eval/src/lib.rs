@@ -7,18 +7,22 @@
 //!   rows,
 //! - [`figures`]: the numeric series behind Figs 1, 2, 6, 10, 11 and 12,
 //! - [`report`]: plain-text table rendering for terminal output and
-//!   EXPERIMENTS.md.
+//!   EXPERIMENTS.md,
+//! - [`degradation`]: accuracy/latency decay of the streaming detector
+//!   under injected sensor faults (DESIGN.md §7).
 //!
 //! Everything is deterministic given the experiment seed; the `bench`
 //! crate wraps each table/figure in a Criterion target, and the root
 //! `examples/` directory drives the same entry points interactively.
 
 pub mod ablations;
+pub mod degradation;
 pub mod figures;
 pub mod harness;
 pub mod metrics;
 pub mod report;
 pub mod tables;
 
+pub use degradation::{degradation_sweep, degradation_table, DegradationPoint};
 pub use harness::{EvalError, Split, Transform};
 pub use metrics::Rates;

@@ -44,9 +44,9 @@ impl TextTable {
         }
         let fmt_row = |row: &[String]| -> String {
             let mut line = String::from("|");
-            for i in 0..cols {
+            for (i, &width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!(" {cell:<width$} |", width = widths[i]));
+                line.push_str(&format!(" {cell:<width$} |"));
             }
             line
         };

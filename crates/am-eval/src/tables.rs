@@ -6,8 +6,8 @@
 //! `bench` crate's targets or `examples/reproduce_tables.rs`.
 
 use crate::harness::{
-    eval_bayens, eval_belikovetsky, eval_gao, eval_gatlin, eval_moore, eval_nsync,
-    BayensOutcome, EvalError, GatlinOutcome, NsyncOutcome, Split, Transform,
+    eval_bayens, eval_belikovetsky, eval_gao, eval_gatlin, eval_moore, eval_nsync, BayensOutcome,
+    EvalError, GatlinOutcome, NsyncOutcome, Split, Transform,
 };
 use crate::metrics::Rates;
 use crate::report::TextTable;
@@ -113,9 +113,8 @@ pub fn run_grid(ctx: &TableContext) -> Result<GridResults, EvalError> {
                 // NSYNC/DWM runs on both transforms; NSYNC/DTW only on
                 // spectrograms ("we were not able to apply DTW on the raw
                 // signals because it took forever").
-                let dwm: Box<dyn Synchronizer + Send + Sync> = Box::new(
-                    DwmSynchronizer::new(profile.dwm_params(printer)),
-                );
+                let dwm: Box<dyn Synchronizer + Send + Sync> =
+                    Box::new(DwmSynchronizer::new(profile.dwm_params(printer)));
                 g.nsync_dwm.push(Cell {
                     printer,
                     channel,
@@ -151,7 +150,14 @@ pub fn run_grid(ctx: &TableContext) -> Result<GridResults, EvalError> {
 pub fn table5(g: &GridResults) -> TextTable {
     let mut t = TextTable::new(
         "Table V: Results for Moore's and Gao's IDSs (FPR / TPR)",
-        vec!["P", "Side Ch.", "Moore Raw", "Moore Spectro.", "Gao Raw", "Gao Spectro."],
+        vec![
+            "P",
+            "Side Ch.",
+            "Moore Raw",
+            "Moore Spectro.",
+            "Gao Raw",
+            "Gao Spectro.",
+        ],
     );
     for printer in PrinterModel::both() {
         for channel in SideChannel::kept() {
@@ -224,7 +230,9 @@ pub fn table7(g: &GridResults) -> TextTable {
 fn nsync_table(title: &str, cells: &[Cell<NsyncOutcome>]) -> TextTable {
     let mut t = TextTable::new(
         title,
-        vec!["P", "T", "Side Ch.", "Overall", "c_disp", "h_dist", "v_dist"],
+        vec![
+            "P", "T", "Side Ch.", "Overall", "c_disp", "h_dist", "v_dist",
+        ],
     );
     for cell in cells {
         t.push_row(vec![
@@ -262,9 +270,7 @@ pub fn average_accuracies(g: &GridResults) -> Vec<(String, f64)> {
     fn avg<T>(cells: &[Cell<T>], acc: impl Fn(&T) -> f64) -> f64 {
         let kept: Vec<f64> = cells
             .iter()
-            .filter(|c| {
-                !(c.channel == SideChannel::Ept && c.transform == Transform::Raw)
-            })
+            .filter(|c| !(c.channel == SideChannel::Ept && c.transform == Transform::Raw))
             .map(|c| acc(&c.outcome))
             .collect();
         if kept.is_empty() {
@@ -296,7 +302,10 @@ pub fn average_accuracies(g: &GridResults) -> Vec<(String, f64)> {
         ("Bayens (T)".into(), bayens_avg),
         ("Belikovetsky".into(), belik_avg),
         ("Gao".into(), avg(&g.gao, |r| r.accuracy())),
-        ("Gatlin (T)".into(), avg(&g.gatlin, |o| o.overall.accuracy())),
+        (
+            "Gatlin (T)".into(),
+            avg(&g.gatlin, |o| o.overall.accuracy()),
+        ),
         (
             "NSYNC/DTW (T)".into(),
             avg(&g.nsync_dtw, |o| o.overall.accuracy()),

@@ -176,8 +176,16 @@ mod tests {
         for (a, bb) in b.commands().iter().zip(m.commands().iter()) {
             match (a, bb) {
                 (
-                    GCommand::Move { e: Some(_), f: Some(f1), .. },
-                    GCommand::Move { e: Some(_), f: Some(f2), .. },
+                    GCommand::Move {
+                        e: Some(_),
+                        f: Some(f1),
+                        ..
+                    },
+                    GCommand::Move {
+                        e: Some(_),
+                        f: Some(f2),
+                        ..
+                    },
                 ) => {
                     assert!((f2 / f1 - 0.95).abs() < 1e-9);
                     changed += 1;

@@ -45,7 +45,11 @@ mod tests {
             message: "bad word".into(),
         };
         assert!(e.to_string().contains("line 7"));
-        assert!(GcodeError::InvalidParameter("x".into()).to_string().contains("x"));
-        assert!(GcodeError::AttackFailed("y".into()).to_string().contains("y"));
+        assert!(GcodeError::InvalidParameter("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(GcodeError::AttackFailed("y".into())
+            .to_string()
+            .contains("y"));
     }
 }

@@ -185,7 +185,9 @@ impl SliceConfig {
             }
         }
         if self.gear_teeth == 0 {
-            return Err(GcodeError::InvalidParameter("gear_teeth must be >= 1".into()));
+            return Err(GcodeError::InvalidParameter(
+                "gear_teeth must be >= 1".into(),
+            ));
         }
         if self.gear_tip_radius <= self.gear_root_radius {
             return Err(GcodeError::InvalidParameter(
@@ -319,14 +321,30 @@ pub fn slice_outline(outline: &Polygon, cfg: &SliceConfig) -> Result<GcodeProgra
         for p in 0..cfg.perimeters {
             let inset = cfg.extrusion_width * (p as f64 + 0.5) * cfg.scale.max(0.01);
             let loop_poly = outline.inset_approx(inset);
-            emit_loop(&mut prog, &loop_poly, per_f, trav_f, e_per_mm, &mut e, &mut cursor);
+            emit_loop(
+                &mut prog,
+                &loop_poly,
+                per_f,
+                trav_f,
+                e_per_mm,
+                &mut e,
+                &mut cursor,
+            );
         }
 
         // Infill region: inside all perimeters.
         let infill_region =
             outline.inset_approx(cfg.extrusion_width * (cfg.perimeters as f64 + 0.5));
         let segments = infill_segments(cfg, &infill_region, layer, z);
-        emit_segments(&mut prog, &segments, inf_f, trav_f, e_per_mm, &mut e, &mut cursor);
+        emit_segments(
+            &mut prog,
+            &segments,
+            inf_f,
+            trav_f,
+            e_per_mm,
+            &mut e,
+            &mut cursor,
+        );
     }
 
     // Epilogue.
@@ -361,7 +379,7 @@ fn infill_segments(
 ) -> Vec<(Point2, Point2)> {
     let angles: Vec<f64> = match cfg.infill_pattern {
         InfillPattern::Lines => {
-            if layer % 2 == 0 {
+            if layer.is_multiple_of(2) {
                 vec![45f64.to_radians()]
             } else {
                 vec![135f64.to_radians()]
@@ -468,7 +486,12 @@ fn print_to(
 ) {
     let from = cursor.unwrap_or(p);
     *e += from.distance(p) * e_per_mm;
-    prog.push(GCommand::print_move(round5(p.x), round5(p.y), round5(*e), Some(f)));
+    prog.push(GCommand::print_move(
+        round5(p.x),
+        round5(p.y),
+        round5(*e),
+        Some(f),
+    ));
     *cursor = Some(p);
 }
 
@@ -568,8 +591,7 @@ mod tests {
             p.commands()
                 .iter()
                 .filter_map(|c| match c {
-                    GCommand::Move { e, f: Some(f), .. }
-                        if e.is_some() == extruding => Some(*f),
+                    GCommand::Move { e, f: Some(f), .. } if e.is_some() == extruding => Some(*f),
                     _ => None,
                 })
                 .fold(0.0, f64::max)
@@ -585,7 +607,10 @@ mod tests {
     fn preamble_heats_then_homes() {
         let prog = slice_gear(&SliceConfig::small_gear()).unwrap();
         let cmds = prog.commands();
-        let home_idx = cmds.iter().position(|c| matches!(c, GCommand::Home)).unwrap();
+        let home_idx = cmds
+            .iter()
+            .position(|c| matches!(c, GCommand::Home))
+            .unwrap();
         let wait_idx = cmds
             .iter()
             .position(|c| matches!(c, GCommand::SetHotendTemp { wait: true, .. }))

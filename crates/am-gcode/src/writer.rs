@@ -7,7 +7,14 @@ use std::fmt::Write as _;
 pub fn write_command(cmd: &GCommand) -> String {
     let mut s = String::new();
     match cmd {
-        GCommand::Move { kind, x, y, z, e, f } => {
+        GCommand::Move {
+            kind,
+            x,
+            y,
+            z,
+            e,
+            f,
+        } => {
             s.push_str(match kind {
                 MoveKind::Travel => "G0",
                 MoveKind::Linear => "G1",
@@ -113,18 +120,12 @@ mod tests {
             }),
             "M109 S210"
         );
-        assert_eq!(
-            write_command(&GCommand::FanOn { speed: 1.0 }),
-            "M106 S255"
-        );
+        assert_eq!(write_command(&GCommand::FanOn { speed: 1.0 }), "M106 S255");
         assert_eq!(
             write_command(&GCommand::LayerMarker { index: 3 }),
             ";LAYER:3"
         );
-        assert_eq!(
-            write_command(&GCommand::Dwell { seconds: 0.5 }),
-            "G4 S0.5"
-        );
+        assert_eq!(write_command(&GCommand::Dwell { seconds: 0.5 }), "G4 S0.5");
     }
 
     #[test]

@@ -64,11 +64,7 @@ impl Kinematics {
     /// Tower/base angles for Delta machines (radians): towers at 90°,
     /// 210°, 330°.
     fn tower_angles() -> [f64; 3] {
-        [
-            90f64.to_radians(),
-            210f64.to_radians(),
-            330f64.to_radians(),
-        ]
+        [90f64.to_radians(), 210f64.to_radians(), 330f64.to_radians()]
     }
 
     /// Maps a tool position to the three joint positions (mm).
@@ -140,7 +136,10 @@ mod tests {
     #[test]
     fn cartesian_is_identity() {
         let p = Vec3::new(1.0, -2.0, 3.0);
-        assert_eq!(Kinematics::Cartesian.joint_positions(p).unwrap(), [1.0, -2.0, 3.0]);
+        assert_eq!(
+            Kinematics::Cartesian.joint_positions(p).unwrap(),
+            [1.0, -2.0, 3.0]
+        );
         let v = Kinematics::Cartesian
             .joint_velocities(p, Vec3::new(4.0, 5.0, 6.0))
             .unwrap();

@@ -106,8 +106,7 @@ pub fn plan_moves(start: Vec3, moves: &[PlannerMove], limits: &MachineLimits) ->
     }
     // Forward pass: can we accelerate from entry[i] to entry[i+1]?
     for i in 0..n {
-        let reachable =
-            (entry[i] * entry[i] + 2.0 * limits.acceleration * work[i].length).sqrt();
+        let reachable = (entry[i] * entry[i] + 2.0 * limits.acceleration * work[i].length).sqrt();
         if entry[i + 1] > reachable {
             entry[i + 1] = reachable;
         }

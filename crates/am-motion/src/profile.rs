@@ -74,13 +74,19 @@ impl TrapezoidProfile {
         // accelerate from v_entry and decelerate to v_exit within length.
         // d_acc + d_dec <= length with d = (v² - v0²)/(2a).
         let v_peak_sq = (2.0 * accel * length + v_entry * v_entry + v_exit * v_exit) / 2.0;
-        let v_cruise = v_nominal.min(v_peak_sq.max(0.0).sqrt()).max(v_entry.max(v_exit));
+        let v_cruise = v_nominal
+            .min(v_peak_sq.max(0.0).sqrt())
+            .max(v_entry.max(v_exit));
         let d_accel = ((v_cruise * v_cruise - v_entry * v_entry) / (2.0 * accel)).max(0.0);
         let d_decel = ((v_cruise * v_cruise - v_exit * v_exit) / (2.0 * accel)).max(0.0);
         let d_cruise = (length - d_accel - d_decel).max(0.0);
         let t_accel = (v_cruise - v_entry) / accel;
         let t_decel = (v_cruise - v_exit) / accel;
-        let t_cruise = if v_cruise > 0.0 { d_cruise / v_cruise } else { 0.0 };
+        let t_cruise = if v_cruise > 0.0 {
+            d_cruise / v_cruise
+        } else {
+            0.0
+        };
         TrapezoidProfile {
             v_entry,
             v_cruise,

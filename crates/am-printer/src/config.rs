@@ -176,8 +176,7 @@ mod tests {
 
     #[test]
     fn with_firmware_attack_installs() {
-        let c = PrinterConfig::ultimaker3()
-            .with_firmware_attack(FirmwareAttack::SpeedScale(0.95));
+        let c = PrinterConfig::ultimaker3().with_firmware_attack(FirmwareAttack::SpeedScale(0.95));
         assert!(c.firmware_attack.is_some());
     }
 }

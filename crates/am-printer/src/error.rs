@@ -30,7 +30,10 @@ impl fmt::Display for PrinterError {
                 target.0, target.1, target.2
             ),
             PrinterError::MissingFeedrate { command_index } => {
-                write!(f, "move at command {command_index} has no feedrate in effect")
+                write!(
+                    f,
+                    "move at command {command_index} has no feedrate in effect"
+                )
             }
             PrinterError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
         }

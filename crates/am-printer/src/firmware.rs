@@ -51,7 +51,9 @@ enum Op {
     Moves(Vec<PlannerMove>),
     /// Wait until the hotend (`true`) or bed (`false`) reaches its
     /// setpoint.
-    WaitForTemp { hotend: bool },
+    WaitForTemp {
+        hotend: bool,
+    },
     SetHotend(f64),
     SetBed(f64),
     SetFan(f64),
@@ -73,12 +75,11 @@ fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, 
         None => (1.0, 1.0, 0.0),
     };
 
-    let flush =
-        |pending: &mut Vec<PlannerMove>, ops: &mut Vec<Op>| {
-            if !pending.is_empty() {
-                ops.push(Op::Moves(std::mem::take(pending)));
-            }
-        };
+    let flush = |pending: &mut Vec<PlannerMove>, ops: &mut Vec<Op>| {
+        if !pending.is_empty() {
+            ops.push(Op::Moves(std::mem::take(pending)));
+        }
+    };
 
     for (i, cmd) in program.commands().iter().enumerate() {
         match cmd {
@@ -86,11 +87,8 @@ fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, 
                 if let Some(f_mm_min) = f {
                     feedrate = Some(f_mm_min / 60.0);
                 }
-                let mut target = Vec3::new(
-                    x.unwrap_or(pos.x),
-                    y.unwrap_or(pos.y),
-                    z.unwrap_or(pos.z),
-                );
+                let mut target =
+                    Vec3::new(x.unwrap_or(pos.x), y.unwrap_or(pos.y), z.unwrap_or(pos.z));
                 if xy_scale != 1.0 {
                     target.x = bed_center.x + (target.x - bed_center.x) * xy_scale;
                     target.y = bed_center.y + (target.y - bed_center.y) * xy_scale;
@@ -103,21 +101,19 @@ fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, 
                     pos = target;
                     continue;
                 }
-                let base_feed = feedrate.ok_or(PrinterError::MissingFeedrate {
-                    command_index: i,
-                })?;
+                let base_feed =
+                    feedrate.ok_or(PrinterError::MissingFeedrate { command_index: i })?;
                 let extruding = e.is_some() && e_delta > 0.0;
                 let feed = if extruding {
                     base_feed * speed_scale
                 } else {
                     base_feed
                 };
-                config
-                    .kinematics
-                    .joint_positions(target)
-                    .map_err(|_| PrinterError::Unreachable {
+                config.kinematics.joint_positions(target).map_err(|_| {
+                    PrinterError::Unreachable {
                         target: (target.x, target.y, target.z),
-                    })?;
+                    }
+                })?;
                 pending.push(PlannerMove {
                     target,
                     e_delta: e_delta.max(0.0),
@@ -144,12 +140,11 @@ fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, 
                 flush(&mut pending, &mut ops);
                 ops.push(Op::Dwell(*seconds));
             }
-            GCommand::SetPosition { e, .. } => {
+            GCommand::SetPosition { e: Some(en), .. } => {
                 // Only E resets matter for our programs (G92 E0).
-                if let Some(en) = e {
-                    e_logical = *en;
-                }
+                e_logical = *en;
             }
+            GCommand::SetPosition { e: None, .. } => {}
             GCommand::SetHotendTemp { celsius, wait } => {
                 flush(&mut pending, &mut ops);
                 let target = if *celsius > 0.0 {
@@ -218,10 +213,10 @@ fn execute_ops(
     let mut pending_layer_marks = 0usize;
 
     let advance_estimates = |dt: f64,
-                                 hotend_est: &mut HeaterState,
-                                 bed_est: &mut HeaterState,
-                                 hotend_set: f64,
-                                 bed_set: f64| {
+                             hotend_est: &mut HeaterState,
+                             bed_est: &mut HeaterState,
+                             hotend_set: f64,
+                             bed_set: f64| {
         let steps = (dt / 0.25).ceil().max(1.0) as usize;
         let step = dt / steps as f64;
         for _ in 0..steps {
@@ -288,13 +283,7 @@ fn execute_ops(
             }
             Op::SetFan(duty) => fan_schedule.push((t, *duty)),
             Op::Dwell(seconds) => {
-                advance_estimates(
-                    *seconds,
-                    &mut hotend_est,
-                    &mut bed_est,
-                    hotend_set,
-                    bed_set,
-                );
+                advance_estimates(*seconds, &mut hotend_est, &mut bed_est, hotend_set, bed_set);
                 t += seconds;
             }
             Op::LayerMark => pending_layer_marks += 1,
@@ -358,10 +347,7 @@ mod tests {
 
     fn small_program_for(config: &PrinterConfig) -> GcodeProgram {
         let mut cfg = SliceConfig::small_gear();
-        cfg.center = am_gcode::geometry::Point2::new(
-            config.bed_center().x,
-            config.bed_center().y,
-        );
+        cfg.center = am_gcode::geometry::Point2::new(config.bed_center().x, config.bed_center().y);
         slice_gear(&cfg).unwrap()
     }
 
@@ -370,8 +356,7 @@ mod tests {
         for model in crate::config::PrinterModel::both() {
             let config = model.config();
             let prog = small_program_for(&config);
-            let traj =
-                execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+            let traj = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
             assert!(traj.duration() > 10.0, "{model}: {}", traj.duration());
             assert_eq!(traj.layer_times().len(), 6, "{model}");
             assert!(!traj.events().is_empty());
@@ -418,8 +403,7 @@ mod tests {
     fn layer_times_are_monotone_and_within_run() {
         let config = PrinterConfig::ultimaker3();
         let prog = small_program_for(&config);
-        let traj =
-            execute_program(&prog, &config, &TimeNoise::default_printer(), 3).unwrap();
+        let traj = execute_program(&prog, &config, &TimeNoise::default_printer(), 3).unwrap();
         let lt = traj.layer_times();
         for w in lt.windows(2) {
             assert!(w[0] <= w[1]);
@@ -443,8 +427,7 @@ mod tests {
 
     #[test]
     fn unreachable_delta_target_is_an_error() {
-        let prog =
-            am_gcode::parser::parse_program("G1 X500 Y0 F3000\n").unwrap();
+        let prog = am_gcode::parser::parse_program("G1 X500 Y0 F3000\n").unwrap();
         let err = execute_program(
             &prog,
             &PrinterConfig::rostock_max_v3(),
@@ -460,10 +443,8 @@ mod tests {
         let config = PrinterConfig::ultimaker3();
         let prog = small_program_for(&config);
         let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
-        let attacked_cfg =
-            config.with_firmware_attack(FirmwareAttack::SpeedScale(0.8));
-        let attacked =
-            execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        let attacked_cfg = config.with_firmware_attack(FirmwareAttack::SpeedScale(0.8));
+        let attacked = execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
         assert!(attacked.duration() > benign.duration() * 1.02);
     }
 
@@ -473,11 +454,9 @@ mod tests {
         let prog = small_program_for(&config);
         let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
         let attacked_cfg = config.with_firmware_attack(FirmwareAttack::ScaleXy(0.9));
-        let attacked =
-            execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
-        let len = |t: &PrintTrajectory| -> f64 {
-            t.events().iter().map(|e| e.segment.length()).sum()
-        };
+        let attacked = execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        let len =
+            |t: &PrintTrajectory| -> f64 { t.events().iter().map(|e| e.segment.length()).sum() };
         assert!(len(&attacked) < len(&benign));
     }
 
@@ -510,10 +489,8 @@ mod tests {
         let config = PrinterConfig::ultimaker3();
         let prog = small_program_for(&config);
         let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
-        let attacked_cfg =
-            config.with_firmware_attack(FirmwareAttack::TempOffset(-20.0));
-        let attacked =
-            execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        let attacked_cfg = config.with_firmware_attack(FirmwareAttack::TempOffset(-20.0));
+        let attacked = execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
         // Sample mid-print: the attacked hotend regulates ~20 C lower.
         let t = benign.print_start() + 20.0;
         let benign_temp = benign.sample(t).hotend_temp;

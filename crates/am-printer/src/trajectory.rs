@@ -154,12 +154,8 @@ impl PrintTrajectory {
             .kinematics
             .joint_velocities(motion.position, motion.velocity)
             .unwrap_or([0.0; 3]);
-        let (hotend_temp, hotend_duty) = sample_timeline(
-            &self.hotend_temp,
-            &self.hotend_duty,
-            self.thermal_dt,
-            t,
-        );
+        let (hotend_temp, hotend_duty) =
+            sample_timeline(&self.hotend_temp, &self.hotend_duty, self.thermal_dt, t);
         let (bed_temp, bed_duty) =
             sample_timeline(&self.bed_temp, &self.bed_duty, self.thermal_dt, t);
         PrinterSample {
@@ -221,8 +217,7 @@ impl TrajectoryCursor<'_> {
     /// Samples at `t`; `t` must be non-decreasing across calls.
     pub fn sample(&mut self, t: f64) -> PrinterSample {
         let events = &self.traj.events;
-        while (self.idx + 1) < events.len() as isize
-            && events[(self.idx + 1) as usize].t_start <= t
+        while (self.idx + 1) < events.len() as isize && events[(self.idx + 1) as usize].t_start <= t
         {
             self.idx += 1;
         }

@@ -139,8 +139,8 @@ impl DaqConfig {
 mod tests {
     use super::*;
     use am_gcode::slicer::{slice_gear, SliceConfig};
-    use am_printer::{config::PrinterConfig, firmware::execute_program, noise::TimeNoise};
     use am_printer::trajectory::PrinterSample;
+    use am_printer::{config::PrinterConfig, firmware::execute_program, noise::TimeNoise};
 
     struct Ramp(f64);
     impl SensorModel for Ramp {
@@ -201,7 +201,10 @@ mod tests {
         let b = daq.capture(&t, &mut Ramp(0.0), 2).unwrap();
         let ra = a.rms();
         let rb = b.rms();
-        assert!((ra / rb - 1.0).abs() > 1e-4, "gains identical: {ra} vs {rb}");
+        assert!(
+            (ra / rb - 1.0).abs() > 1e-4,
+            "gains identical: {ra} vs {rb}"
+        );
     }
 
     #[test]

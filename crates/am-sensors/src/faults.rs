@@ -1,0 +1,535 @@
+//! Deterministic sensor-fault injection.
+//!
+//! Real DAQ front-ends fail in ways the clean synthesis chain never
+//! shows: a connector works loose (dropout), an ADC rails (saturation),
+//! a sensor die latches (stuck-at), EMI couples in (burst noise), a
+//! crystal drifts (sample-rate error), and driver bugs surface as NaN
+//! samples. A [`FaultPlan`] describes such a failure scenario as data —
+//! serde-serializable, seeded, and reproducible — and applies it to any
+//! captured [`Signal`] without touching the capture chain itself.
+//!
+//! Faults compose with [`DaqConfig`](crate::daq::DaqConfig)'s own
+//! imperfection model (gain drift, quantization, frame drops) via
+//! [`FaultPlan::capture`]: the DAQ runs first, the plan corrupts its
+//! output, exactly as a physical fault downstream of the ADC would.
+//!
+//! The fault model and the runtime semantics it drives are specified in
+//! DESIGN.md §7.
+
+use crate::daq::DaqConfig;
+use crate::synth::SensorModel;
+use am_dsp::{DspError, Signal};
+use am_printer::noise::gaussian;
+use am_printer::trajectory::PrintTrajectory;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One kind of sensor fault. Intervals are in seconds of capture time;
+/// an interval reaching past the end of the signal is truncated, and an
+/// interval entirely past the end is a no-op (plans outlive any single
+/// print length).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The channel reads ground (0.0) for the interval — a loose
+    /// connector or muted front-end.
+    Dropout {
+        /// Interval start (s).
+        start_s: f64,
+        /// Interval length (s).
+        duration_s: f64,
+    },
+    /// The channel emits NaN for the interval — a driver/firmware gap.
+    NanGap {
+        /// Interval start (s).
+        start_s: f64,
+        /// Interval length (s).
+        duration_s: f64,
+    },
+    /// The channel holds its last pre-fault value for the interval — a
+    /// latched sensor die.
+    StuckAt {
+        /// Interval start (s).
+        start_s: f64,
+        /// Interval length (s).
+        duration_s: f64,
+    },
+    /// The whole channel is clipped to `±limit` — an ADC railing at a
+    /// reduced full-scale.
+    Saturate {
+        /// Clip magnitude (signal units). Must be positive and finite.
+        limit: f64,
+    },
+    /// Additive Gaussian noise of std-dev `sigma` over the interval —
+    /// an EMI burst.
+    BurstNoise {
+        /// Interval start (s).
+        start_s: f64,
+        /// Interval length (s).
+        duration_s: f64,
+        /// Noise std-dev (signal units). Must be non-negative and finite.
+        sigma: f64,
+    },
+    /// The channel's effective sample clock runs fast/slow by `ppm`
+    /// parts-per-million: the content is resampled at the wrong rate
+    /// (linear interpolation, tail held) while the nominal `fs` and the
+    /// sample count stay unchanged — a crystal tolerance fault.
+    RateDrift {
+        /// Clock error in parts-per-million. `|ppm| <= 200_000`.
+        ppm: f64,
+    },
+}
+
+/// A fault bound to one capture channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelFault {
+    /// Zero-based channel index the fault applies to.
+    pub channel: usize,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A reproducible set of channel faults.
+///
+/// The `seed` makes stochastic faults (burst noise) deterministic, so a
+/// degradation experiment replays bit-identically.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the plan's own noise source.
+    pub seed: u64,
+    /// The faults, applied in order (drift first regardless of order —
+    /// a clock error corrupts the timebase *before* amplitude faults).
+    pub faults: Vec<ChannelFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (applies as the identity).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Builder: adds one fault to `channel`.
+    #[must_use]
+    pub fn with(mut self, channel: usize, kind: FaultKind) -> Self {
+        self.faults.push(ChannelFault { channel, kind });
+        self
+    }
+
+    /// A parametric plan for degradation sweeps: `severity` in `[0, 1]`
+    /// scales how much of a `duration_s`-long, `channels`-wide capture
+    /// is corrupted. Severity 0 is the empty plan; severity 1 drops one
+    /// whole channel (NaN), buries a second in noise, and clock-drifts a
+    /// third. Channels are struck round-robin, so a single-channel
+    /// capture receives every fault on channel 0.
+    pub fn severity(severity: f64, channels: usize, duration_s: f64, seed: u64) -> Self {
+        let s = severity.clamp(0.0, 1.0);
+        if s == 0.0 || channels == 0 || duration_s <= 0.0 {
+            return FaultPlan {
+                seed,
+                faults: Vec::new(),
+            };
+        }
+        let ch = |i: usize| i % channels;
+        // Faults start after a fault-free lead-in so the synchronizer
+        // locks before things degrade; the corrupted span then grows
+        // linearly with severity.
+        let lead = 0.1 * duration_s;
+        let span = s * (duration_s - lead);
+        let mut plan = FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+        .with(
+            ch(0),
+            FaultKind::NanGap {
+                start_s: lead,
+                duration_s: span,
+            },
+        )
+        .with(
+            ch(1),
+            FaultKind::BurstNoise {
+                start_s: lead,
+                duration_s: span,
+                sigma: 2.0 * s,
+            },
+        )
+        .with(ch(2), FaultKind::RateDrift { ppm: 50_000.0 * s });
+        if s > 0.5 {
+            plan = plan.with(
+                ch(3),
+                FaultKind::StuckAt {
+                    start_s: lead,
+                    duration_s: span,
+                },
+            );
+        }
+        plan
+    }
+
+    /// Checks every fault against a capture shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for out-of-range channels,
+    /// negative/non-finite intervals, or out-of-domain magnitudes.
+    pub fn validate(&self, channels: usize) -> Result<(), DspError> {
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.channel >= channels {
+                return Err(DspError::InvalidParameter(format!(
+                    "fault {i} targets channel {} but the capture has {channels}",
+                    f.channel
+                )));
+            }
+            let interval_ok = |start: f64, dur: f64| {
+                start.is_finite() && dur.is_finite() && start >= 0.0 && dur >= 0.0
+            };
+            let ok = match f.kind {
+                FaultKind::Dropout {
+                    start_s,
+                    duration_s,
+                }
+                | FaultKind::NanGap {
+                    start_s,
+                    duration_s,
+                }
+                | FaultKind::StuckAt {
+                    start_s,
+                    duration_s,
+                } => interval_ok(start_s, duration_s),
+                FaultKind::Saturate { limit } => limit.is_finite() && limit > 0.0,
+                FaultKind::BurstNoise {
+                    start_s,
+                    duration_s,
+                    sigma,
+                } => interval_ok(start_s, duration_s) && sigma.is_finite() && sigma >= 0.0,
+                FaultKind::RateDrift { ppm } => ppm.is_finite() && ppm.abs() <= 200_000.0,
+            };
+            if !ok {
+                return Err(DspError::InvalidParameter(format!(
+                    "fault {i} has out-of-domain parameters: {:?}",
+                    f.kind
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the plan to a capture, returning the corrupted copy.
+    ///
+    /// Deterministic: the same plan on the same signal yields the same
+    /// output. The input shape (fs, channels, length) is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::validate`] failures.
+    pub fn apply(&self, signal: &Signal) -> Result<Signal, DspError> {
+        self.validate(signal.channels())?;
+        let fs = signal.fs();
+        let n = signal.len();
+        let mut channels = signal.to_channels();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xFA_017);
+
+        // Timebase faults first: amplitude faults then hit the already
+        // mis-clocked stream, as in hardware.
+        for f in &self.faults {
+            if let FaultKind::RateDrift { ppm } = f.kind {
+                resample_in_place(&mut channels[f.channel], 1.0 + ppm * 1e-6);
+            }
+        }
+        for f in &self.faults {
+            let data = &mut channels[f.channel];
+            match f.kind {
+                FaultKind::RateDrift { .. } => {}
+                FaultKind::Dropout {
+                    start_s,
+                    duration_s,
+                } => {
+                    for v in interval_mut(data, fs, start_s, duration_s) {
+                        *v = 0.0;
+                    }
+                }
+                FaultKind::NanGap {
+                    start_s,
+                    duration_s,
+                } => {
+                    for v in interval_mut(data, fs, start_s, duration_s) {
+                        *v = f64::NAN;
+                    }
+                }
+                FaultKind::StuckAt {
+                    start_s,
+                    duration_s,
+                } => {
+                    let start = index_for(fs, start_s, n);
+                    let held = if start > 0 { data[start - 1] } else { 0.0 };
+                    for v in interval_mut(data, fs, start_s, duration_s) {
+                        *v = held;
+                    }
+                }
+                FaultKind::Saturate { limit } => {
+                    for v in data.iter_mut() {
+                        *v = v.clamp(-limit, limit);
+                    }
+                }
+                FaultKind::BurstNoise {
+                    start_s,
+                    duration_s,
+                    sigma,
+                } => {
+                    for v in interval_mut(data, fs, start_s, duration_s) {
+                        *v += sigma * gaussian(&mut rng);
+                    }
+                }
+            }
+        }
+        Signal::from_channels(fs, channels)
+    }
+
+    /// Captures through a DAQ, then applies this plan to the result —
+    /// the full imperfect-acquisition chain in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DAQ and plan validation failures.
+    pub fn capture<M: SensorModel>(
+        &self,
+        daq: &DaqConfig,
+        trajectory: &PrintTrajectory,
+        model: &mut M,
+        seed: u64,
+    ) -> Result<Signal, DspError> {
+        let clean = daq.capture(trajectory, model, seed)?;
+        self.apply(&clean)
+    }
+}
+
+fn index_for(fs: f64, t: f64, len: usize) -> usize {
+    ((t * fs).floor().max(0.0) as usize).min(len)
+}
+
+fn interval_mut(data: &mut [f64], fs: f64, start_s: f64, duration_s: f64) -> &mut [f64] {
+    let len = data.len();
+    let start = index_for(fs, start_s, len);
+    let end = index_for(fs, start_s + duration_s, len);
+    &mut data[start..end]
+}
+
+/// Resamples `data` in place at `rate` (output index n reads input index
+/// `n * rate`), linear interpolation, tail held at the last sample.
+fn resample_in_place(data: &mut Vec<f64>, rate: f64) {
+    if data.is_empty() || rate == 1.0 {
+        return;
+    }
+    let n = data.len();
+    let last = data[n - 1];
+    let out: Vec<f64> = (0..n)
+        .map(|i| {
+            let pos = i as f64 * rate;
+            let lo = pos.floor() as usize;
+            if lo + 1 >= n {
+                last
+            } else {
+                let frac = pos - lo as f64;
+                data[lo] * (1.0 - frac) + data[lo + 1] * frac
+            }
+        })
+        .collect();
+    *data = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signal {
+        Signal::from_fn(10.0, 2, 100, |t, f| {
+            f[0] = (1.3 * t).sin();
+            f[1] = (2.9 * t).cos();
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let s = sig();
+        let out = FaultPlan::none().apply(&s).unwrap();
+        assert_eq!(out.to_channels(), s.to_channels());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn dropout_zeroes_the_interval_only() {
+        let s = sig();
+        let out = FaultPlan::none()
+            .with(
+                0,
+                FaultKind::Dropout {
+                    start_s: 2.0,
+                    duration_s: 1.0,
+                },
+            )
+            .apply(&s)
+            .unwrap();
+        assert!(out.channel(0)[20..30].iter().all(|&v| v == 0.0));
+        assert_eq!(out.channel(0)[..20], s.channel(0)[..20]);
+        assert_eq!(out.channel(0)[30..], s.channel(0)[30..]);
+        assert_eq!(out.channel(1), s.channel(1));
+    }
+
+    #[test]
+    fn nan_gap_and_stuck_at() {
+        let s = sig();
+        let out = FaultPlan::none()
+            .with(
+                0,
+                FaultKind::NanGap {
+                    start_s: 0.0,
+                    duration_s: 0.5,
+                },
+            )
+            .with(
+                1,
+                FaultKind::StuckAt {
+                    start_s: 5.0,
+                    duration_s: 100.0,
+                },
+            )
+            .apply(&s)
+            .unwrap();
+        assert!(out.channel(0)[..5].iter().all(|v| v.is_nan()));
+        assert!(out.channel(0)[5..].iter().all(|v| v.is_finite()));
+        let held = s.channel(1)[49];
+        assert!(out.channel(1)[50..].iter().all(|&v| v == held));
+    }
+
+    #[test]
+    fn saturation_clips_whole_channel() {
+        let s = sig();
+        let out = FaultPlan::none()
+            .with(0, FaultKind::Saturate { limit: 0.25 })
+            .apply(&s)
+            .unwrap();
+        assert!(out.channel(0).iter().all(|v| v.abs() <= 0.25));
+        assert_eq!(out.channel(1), s.channel(1));
+    }
+
+    #[test]
+    fn burst_noise_is_seeded() {
+        let s = sig();
+        let plan = FaultPlan {
+            seed: 7,
+            faults: vec![ChannelFault {
+                channel: 0,
+                kind: FaultKind::BurstNoise {
+                    start_s: 1.0,
+                    duration_s: 2.0,
+                    sigma: 0.5,
+                },
+            }],
+        };
+        let a = plan.apply(&s).unwrap();
+        let b = plan.apply(&s).unwrap();
+        assert_eq!(a.to_channels(), b.to_channels());
+        assert_ne!(a.channel(0)[15], s.channel(0)[15]);
+        let mut other = plan.clone();
+        other.seed = 8;
+        let c = other.apply(&s).unwrap();
+        assert_ne!(a.channel(0)[15], c.channel(0)[15]);
+    }
+
+    #[test]
+    fn rate_drift_shifts_content_but_not_shape() {
+        let s = sig();
+        let out = FaultPlan::none()
+            .with(0, FaultKind::RateDrift { ppm: 100_000.0 })
+            .apply(&s)
+            .unwrap();
+        assert_eq!(out.len(), s.len());
+        assert_eq!(out.fs(), s.fs());
+        // A 10% fast clock reads sample 55 where the clean capture reads 50.
+        assert!((out.channel(0)[50] - s.channel(0)[55]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intervals_truncate_past_the_end() {
+        let s = sig();
+        let out = FaultPlan::none()
+            .with(
+                0,
+                FaultKind::Dropout {
+                    start_s: 9.5,
+                    duration_s: 100.0,
+                },
+            )
+            .with(
+                1,
+                FaultKind::NanGap {
+                    start_s: 500.0,
+                    duration_s: 1.0,
+                },
+            )
+            .apply(&s)
+            .unwrap();
+        assert!(out.channel(0)[95..].iter().all(|&v| v == 0.0));
+        assert_eq!(out.channel(1), s.channel(1));
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let s = sig();
+        for kind in [
+            FaultKind::Dropout {
+                start_s: -1.0,
+                duration_s: 1.0,
+            },
+            FaultKind::NanGap {
+                start_s: 0.0,
+                duration_s: f64::NAN,
+            },
+            FaultKind::Saturate { limit: 0.0 },
+            FaultKind::BurstNoise {
+                start_s: 0.0,
+                duration_s: 1.0,
+                sigma: -0.1,
+            },
+            FaultKind::RateDrift { ppm: 1e9 },
+        ] {
+            assert!(
+                FaultPlan::none().with(0, kind).apply(&s).is_err(),
+                "{kind:?}"
+            );
+        }
+        // Channel out of range.
+        let bad = FaultPlan::none().with(2, FaultKind::Saturate { limit: 1.0 });
+        assert!(bad.apply(&s).is_err());
+    }
+
+    #[test]
+    fn severity_scales_monotonically() {
+        assert!(FaultPlan::severity(0.0, 6, 60.0, 1).is_empty());
+        let mild = FaultPlan::severity(0.2, 6, 60.0, 1);
+        let harsh = FaultPlan::severity(0.9, 6, 60.0, 1);
+        assert!(!mild.is_empty());
+        assert!(harsh.faults.len() >= mild.faults.len());
+        let gap = |p: &FaultPlan| {
+            p.faults
+                .iter()
+                .find_map(|f| match f.kind {
+                    FaultKind::NanGap { duration_s, .. } => Some(duration_s),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(gap(&harsh) > gap(&mild));
+        // Single-channel captures fold every fault onto channel 0.
+        let mono = FaultPlan::severity(1.0, 1, 60.0, 1);
+        assert!(mono.faults.iter().all(|f| f.channel == 0));
+    }
+}

@@ -41,9 +41,11 @@
 
 pub mod channel;
 pub mod daq;
+pub mod faults;
 pub mod models;
 pub mod synth;
 
 pub use channel::SideChannel;
 pub use daq::DaqConfig;
+pub use faults::{ChannelFault, FaultKind, FaultPlan};
 pub use synth::SensorModel;

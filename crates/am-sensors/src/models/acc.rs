@@ -62,12 +62,17 @@ impl SensorModel for AccModel {
             state.acceleration.z * 1e-3 + 1.0, // gravity offset on Z
         ];
         let mut acc = [0.0f64; 3];
-        for i in 0..3 {
-            self.lp_state[i] += alpha * (raw_acc[i] - self.lp_state[i]);
-            acc[i] = self.lp_state[i];
+        for (st, (raw, a)) in self
+            .lp_state
+            .iter_mut()
+            .zip(raw_acc.iter().zip(acc.iter_mut()))
+        {
+            *st += alpha * (raw - *st);
+            *a = *st;
         }
         // Per-joint vibration tones (small, phase-random across runs).
         let mut vib = [0.0f64; 3];
+        #[allow(clippy::needless_range_loop)]
         for j in 0..3 {
             let speed = state.joint_velocities[j].abs();
             self.phase[j] += std::f64::consts::TAU * speed * self.vib_cycles_per_mm * dt;
@@ -89,7 +94,8 @@ impl SensorModel for AccModel {
         // Gyro: frame twist coupled to the filtered acceleration + a bit
         // of vibration + noise.
         for i in 0..3 {
-            out[3 + i] = 0.3 * acc[(i + 1) % 3] + 0.2 * speed_env[(i + 2) % 3]
+            out[3 + i] = 0.3 * acc[(i + 1) % 3]
+                + 0.2 * speed_env[(i + 2) % 3]
                 + 0.1 * vib[(i + 1) % 3]
                 + self.noise_sigma * gaussian(&mut self.rng);
         }

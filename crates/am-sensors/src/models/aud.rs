@@ -58,6 +58,7 @@ impl SensorModel for AudModel {
         self.t += dt;
         let tau = std::f64::consts::TAU;
         let mut sources = [0.0f64; 5];
+        #[allow(clippy::needless_range_loop)]
         for j in 0..3 {
             let speed = state.joint_velocities[j].abs();
             self.motor_phase[j] += tau * speed * self.tone_cycles_per_mm * dt;

@@ -35,11 +35,7 @@ impl MagModel {
             rng: StdRng::seed_from_u64(seed),
             phase: [0.0; 3],
             earth: [0.2, -0.1, 0.4],
-            coil_dirs: [
-                [1.0, 0.2, 0.1],
-                [0.15, 1.0, 0.2],
-                [0.1, 0.25, 1.0],
-            ],
+            coil_dirs: [[1.0, 0.2, 0.1], [0.15, 1.0, 0.2], [0.1, 0.25, 1.0]],
             coil_gain: 0.5,
             noise_sigma: 0.05,
         }
@@ -62,8 +58,8 @@ impl SensorModel for MagModel {
                 self.phase[j] -= std::f64::consts::TAU * 1e6;
             }
             let field = self.coil_gain * activity * (1.0 + 0.15 * self.phase[j].sin());
-            for axis in 0..3 {
-                out[axis] += self.coil_dirs[j][axis] * field;
+            for (o, dir) in out.iter_mut().zip(self.coil_dirs[j].iter()) {
+                *o += dir * field;
             }
         }
         for v in out.iter_mut().take(3) {
@@ -83,13 +79,13 @@ mod tests {
         let mut mean = [0.0; 3];
         for _ in 0..5000 {
             m.sample(&PrinterSample::default(), 0.01, &mut out);
-            for i in 0..3 {
-                mean[i] += out[i];
+            for (m, o) in mean.iter_mut().zip(out.iter()) {
+                *m += o;
             }
         }
-        for i in 0..3 {
-            mean[i] /= 5000.0;
-            assert!((mean[i] - m.earth[i]).abs() < 0.02, "axis {i}: {}", mean[i]);
+        for (i, mv) in mean.iter_mut().enumerate() {
+            *mv /= 5000.0;
+            assert!((*mv - m.earth[i]).abs() < 0.02, "axis {i}: {mv}");
         }
     }
 

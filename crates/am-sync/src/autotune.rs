@@ -46,7 +46,7 @@ pub fn select_sigma(
         )));
     }
     let probe = DwmParams {
-        t_ext: base.t_win,        // wide search
+        t_ext: base.t_win,         // wide search
         t_sigma: base.t_win * 2.0, // effectively unbiased
         ..*base
     };

@@ -61,11 +61,7 @@ pub fn dtw(a: &Signal, b: &Signal) -> Result<DtwResult, SyncError> {
 ///
 /// Same as [`dtw`], plus [`SyncError::InvalidParameter`] if the window
 /// disconnects the path.
-pub fn dtw_windowed(
-    a: &Signal,
-    b: &Signal,
-    window: &RowWindow,
-) -> Result<DtwResult, SyncError> {
+pub fn dtw_windowed(a: &Signal, b: &Signal, window: &RowWindow) -> Result<DtwResult, SyncError> {
     if a.channels() != b.channels() {
         return Err(SyncError::Incompatible(format!(
             "channel counts differ: {} vs {}",
@@ -100,7 +96,11 @@ pub fn dtw_windowed(
     }
     let get = |costs: &Vec<Vec<f64>>, i: isize, j: isize| -> f64 {
         if i < 0 || j < 0 {
-            return if i == -1 && j == -1 { 0.0 } else { f64::INFINITY };
+            return if i == -1 && j == -1 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         let (i, j) = (i as usize, j as usize);
         if i >= n {

@@ -291,7 +291,10 @@ impl DwmStream {
         }
         Signal::from_channels(
             self.fs,
-            self.buffer.iter().map(|ch| ch[start..end].to_vec()).collect(),
+            self.buffer
+                .iter()
+                .map(|ch| ch[start..end].to_vec())
+                .collect(),
         )
         .ok()
     }
@@ -330,7 +333,10 @@ impl DwmStream {
             }
             let window_a = Signal::from_channels(
                 self.fs,
-                self.buffer.iter().map(|ch| ch[start..end].to_vec()).collect(),
+                self.buffer
+                    .iter()
+                    .map(|ch| ch[start..end].to_vec())
+                    .collect(),
             )
             .map_err(SyncError::from)?;
             let (d, low) = dwm_step(
@@ -487,7 +493,10 @@ mod tests {
         let al = s.synchronize(&b, &b).unwrap();
         assert!(matches!(
             al.kind,
-            AlignmentKind::Windowed { n_win: 200, n_hop: 100 }
+            AlignmentKind::Windowed {
+                n_win: 200,
+                n_hop: 100
+            }
         ));
         assert_eq!(s.name(), "DWM");
     }
@@ -519,8 +528,7 @@ mod tests {
     fn streaming_rejects_bad_chunks() {
         let b = reference(50.0, 20.0);
         let mut stream = DwmStream::new(b, &params()).unwrap();
-        let wrong_ch =
-            Signal::from_channels(50.0, vec![vec![0.0; 10], vec![0.0; 10]]).unwrap();
+        let wrong_ch = Signal::from_channels(50.0, vec![vec![0.0; 10], vec![0.0; 10]]).unwrap();
         assert!(stream.push(&wrong_ch).is_err());
         let wrong_fs = Signal::mono(99.0, vec![0.0; 10]).unwrap();
         assert!(stream.push(&wrong_fs).is_err());

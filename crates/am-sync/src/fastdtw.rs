@@ -49,12 +49,7 @@ fn halve(s: &Signal) -> Signal {
 
 /// Projects a coarse path to fine resolution and dilates it by `radius`,
 /// producing per-row column windows that are guaranteed connected.
-fn expand_window(
-    coarse_path: &[(usize, usize)],
-    n: usize,
-    m: usize,
-    radius: usize,
-) -> RowWindow {
+fn expand_window(coarse_path: &[(usize, usize)], n: usize, m: usize, radius: usize) -> RowWindow {
     let mut lo = vec![usize::MAX; n];
     let mut hi = vec![0usize; n];
     let mut mark = |i: isize, j_lo: isize, j_hi: isize| {

@@ -71,7 +71,11 @@ impl OnlineDtw {
     /// # Errors
     ///
     /// Returns [`SyncError::Incompatible`] on channel mismatch.
-    pub fn push(&mut self, frame_signal: &Signal, frame_index: usize) -> Result<OnlineStep, SyncError> {
+    pub fn push(
+        &mut self,
+        frame_signal: &Signal,
+        frame_index: usize,
+    ) -> Result<OnlineStep, SyncError> {
         if frame_signal.channels() != self.reference.channels() {
             return Err(SyncError::Incompatible(format!(
                 "frame has {} channels, reference {}",

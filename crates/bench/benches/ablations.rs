@@ -31,15 +31,17 @@ fn ablations(c: &mut Criterion) {
     println!("  no bias     : CADHD {unbiased:.0}");
 
     println!("\n=== Ablation 3: spike-filter window vs detection rates (ACC raw) ===");
-    for (w, rates) in
-        filter_window_ablation(&set, SideChannel::Acc, &[1, 3, 5]).expect("ablation")
+    for (w, rates) in filter_window_ablation(&set, SideChannel::Acc, &[1, 3, 5]).expect("ablation")
     {
-        println!("  window {w}: FPR/TPR {}  accuracy {:.3}", rates.cell(), rates.accuracy());
+        println!(
+            "  window {w}: FPR/TPR {}  accuracy {:.3}",
+            rates.cell(),
+            rates.accuracy()
+        );
     }
 
     println!("\n=== Ablation 4: per-attack TPR (NSYNC/DWM, ACC raw) ===");
-    for (attack, rates) in
-        per_attack_tpr(&set, SideChannel::Acc, Transform::Raw).expect("ablation")
+    for (attack, rates) in per_attack_tpr(&set, SideChannel::Acc, Transform::Raw).expect("ablation")
     {
         println!("  {attack:<12} TPR {:.2}", rates.tpr());
     }

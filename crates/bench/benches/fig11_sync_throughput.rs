@@ -14,9 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn fig11(c: &mut Criterion) {
     let set = small_set(PrinterModel::Um3);
     println!("\n=== Fig 11: time to synchronize 1 s of spectrogram (lower is better) ===");
-    for (name, ratio) in
-        fig11_sync_timing(&set, &SideChannel::kept()).expect("timing series")
-    {
+    for (name, ratio) in fig11_sync_timing(&set, &SideChannel::kept()).expect("timing series") {
         println!("  {name:<10} {:.6} s per signal-second", ratio);
     }
     println!();
@@ -26,11 +24,9 @@ fn fig11(c: &mut Criterion) {
     for channel in [SideChannel::Acc, SideChannel::Aud] {
         let (a, b) = benign_pair(&set, channel, Transform::Spectrogram);
         let params = set.spec.profile.dwm_params(set.spec.printer);
-        group.bench_with_input(
-            BenchmarkId::new("dwm", channel.id()),
-            &channel,
-            |bch, _| bch.iter(|| dwm(&a, &b, &params).expect("sync")),
-        );
+        group.bench_with_input(BenchmarkId::new("dwm", channel.id()), &channel, |bch, _| {
+            bch.iter(|| dwm(&a, &b, &params).expect("sync"))
+        });
         group.bench_with_input(
             BenchmarkId::new("fastdtw_r1", channel.id()),
             &channel,

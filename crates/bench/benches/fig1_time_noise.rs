@@ -2,8 +2,8 @@
 //! times. Prints the duration series once, then benchmarks the firmware
 //! execution that produces it.
 
-use am_gcode::slicer::slice_gear;
 use am_dataset::{ExperimentSpec, Profile};
+use am_gcode::slicer::slice_gear;
 use am_printer::{config::PrinterModel, firmware::execute_program};
 use criterion::{criterion_group, criterion_main, Criterion};
 

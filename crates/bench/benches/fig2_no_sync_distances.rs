@@ -10,8 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn fig2(c: &mut Criterion) {
     let set = small_set(PrinterModel::Um3);
-    let (benign, malicious) =
-        fig2_no_sync_distances(&set, SideChannel::Acc).expect("series");
+    let (benign, malicious) = fig2_no_sync_distances(&set, SideChannel::Acc).expect("series");
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let tail = |v: &[f64]| mean(&v[v.len() * 3 / 4..]);
     println!("\n=== Fig 2: correlation distances without DSYNC (ACC) ===");

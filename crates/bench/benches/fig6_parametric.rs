@@ -2,10 +2,10 @@
 //! per-parameter `h_disp` ranges once, then benchmarks a single DWM run.
 
 use am_eval::figures::{fig6_eta, fig6_sigma, fig6_window};
+use am_eval::harness::Transform;
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
 use am_sync::dwm::dwm;
-use am_eval::harness::Transform;
 use bench::{benign_pair, small_set};
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -7,8 +7,7 @@
 //! over time.
 
 use am_eval::harness::{
-    eval_bayens, eval_belikovetsky, eval_gao, eval_gatlin, eval_moore, eval_nsync, Split,
-    Transform,
+    eval_bayens, eval_belikovetsky, eval_gao, eval_gatlin, eval_moore, eval_nsync, Split, Transform,
 };
 use am_eval::tables::{
     average_accuracies, run_grid, table5, table6, table7, table8, table9, TableContext,
@@ -63,15 +62,13 @@ fn tables(c: &mut Criterion) {
     });
     group.bench_function("table8/nsync_dwm_mag_raw", |b| {
         b.iter(|| {
-            let sync: Box<dyn Synchronizer + Send + Sync> =
-                Box::new(DwmSynchronizer::new(params));
+            let sync: Box<dyn Synchronizer + Send + Sync> = Box::new(DwmSynchronizer::new(params));
             eval_nsync(&raw, sync, 0.3).expect("eval")
         })
     });
     group.bench_function("table9/nsync_dtw_mag_spec", |b| {
         b.iter(|| {
-            let sync: Box<dyn Synchronizer + Send + Sync> =
-                Box::new(DtwSynchronizer::default());
+            let sync: Box<dyn Synchronizer + Send + Sync> = Box::new(DtwSynchronizer::default());
             eval_nsync(&spec, sync, 0.3).expect("eval")
         })
     });

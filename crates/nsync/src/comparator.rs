@@ -197,10 +197,8 @@ mod tests {
             h_disp: vec![0.0; n_windows],
             kind: AlignmentKind::Windowed { n_win, n_hop },
         };
-        let v_right =
-            vertical_distances(&a, &b, &right, DistanceMetric::Correlation).unwrap();
-        let v_wrong =
-            vertical_distances(&a, &b, &wrong, DistanceMetric::Correlation).unwrap();
+        let v_right = vertical_distances(&a, &b, &right, DistanceMetric::Correlation).unwrap();
+        let v_wrong = vertical_distances(&a, &b, &wrong, DistanceMetric::Correlation).unwrap();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&v_right) < 1e-6);
         assert!(mean(&v_wrong) > 10.0 * (mean(&v_right) + 1e-9));

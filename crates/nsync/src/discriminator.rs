@@ -99,7 +99,6 @@ impl Detection {
     }
 }
 
-
 impl std::fmt::Display for Detection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if !self.intrusion {
@@ -154,10 +153,8 @@ pub fn trace_stats(
 ) -> (TraceStats, Vec<f64>, Vec<f64>, Vec<f64>) {
     let c_disp = cadhd(h_disp);
     let h_dist: Vec<f64> = h_disp.iter().map(|v| v.abs()).collect();
-    let h_f = trailing_min(&h_dist, config.min_filter_window)
-        .expect("filter window must be >= 1");
-    let v_f = trailing_min(v_dist, config.min_filter_window)
-        .expect("filter window must be >= 1");
+    let h_f = trailing_min(&h_dist, config.min_filter_window).expect("filter window must be >= 1");
+    let v_f = trailing_min(v_dist, config.min_filter_window).expect("filter window must be >= 1");
     let stats = TraceStats {
         c_max: stats::max(&c_disp).unwrap_or(0.0),
         h_max: stats::max(&h_f).unwrap_or(0.0),
@@ -237,9 +234,16 @@ mod tests {
     #[test]
     fn cadhd_fires_on_thrashing_hdisp() {
         // Oscillating h_disp — failed DSYNC (Fig 8a's malicious case).
-        let h: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 5.0 } else { -5.0 }).collect();
+        let h: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
         let v = vec![0.0; 50];
-        let d = discriminate(&h, &v, &th(50.0, 100.0, 1.0), &DiscriminatorConfig::default());
+        let d = discriminate(
+            &h,
+            &v,
+            &th(50.0, 100.0, 1.0),
+            &DiscriminatorConfig::default(),
+        );
         assert!(d.intrusion);
         assert!(d.fired(SubModule::CDisp));
         assert!(!d.fired(SubModule::HDist));
@@ -304,13 +308,23 @@ mod tests {
 
     #[test]
     fn detection_display_forms() {
-        let quiet = discriminate(&[0.0; 4], &[0.0; 4], &th(1.0, 1.0, 1.0), &DiscriminatorConfig::default());
+        let quiet = discriminate(
+            &[0.0; 4],
+            &[0.0; 4],
+            &th(1.0, 1.0, 1.0),
+            &DiscriminatorConfig::default(),
+        );
         assert!(quiet.to_string().contains("benign"));
         let mut v = vec![0.0; 8];
         for x in v.iter_mut().skip(2) {
             *x = 5.0;
         }
-        let loud = discriminate(&[0.0; 8], &v, &th(1e9, 1e9, 1.0), &DiscriminatorConfig::default());
+        let loud = discriminate(
+            &[0.0; 8],
+            &v,
+            &th(1e9, 1e9, 1.0),
+            &DiscriminatorConfig::default(),
+        );
         let text = loud.to_string();
         assert!(text.contains("INTRUSION"), "{text}");
         assert!(text.contains("v_dist"), "{text}");

@@ -17,6 +17,19 @@ pub enum NsyncError {
     InvalidTraining(String),
     /// A parameter was out of domain.
     InvalidParameter(String),
+    /// The monitor's detector thread panicked and the supervisor's
+    /// restart budget ran out. Carries the last window index that was
+    /// fully processed before the crash.
+    MonitorPanicked {
+        /// Last fully processed window index before the panic.
+        last_window: usize,
+    },
+    /// The streaming pipeline lost track of its window sequence (a
+    /// completed window could not be read back from the stream).
+    StreamDesynced {
+        /// The window index that could not be recovered.
+        window: usize,
+    },
 }
 
 impl fmt::Display for NsyncError {
@@ -26,6 +39,13 @@ impl fmt::Display for NsyncError {
             NsyncError::Dsp(e) => write!(f, "dsp error: {e}"),
             NsyncError::InvalidTraining(m) => write!(f, "invalid training: {m}"),
             NsyncError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            NsyncError::MonitorPanicked { last_window } => write!(
+                f,
+                "monitor thread panicked (last good window {last_window})"
+            ),
+            NsyncError::StreamDesynced { window } => {
+                write!(f, "stream desynchronized at window {window}")
+            }
         }
     }
 }
@@ -63,5 +83,9 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let d: NsyncError = DspError::NoChannels.into();
         assert!(d.to_string().contains("dsp"));
+        let m = NsyncError::MonitorPanicked { last_window: 12 };
+        assert!(m.to_string().contains("12"));
+        let s = NsyncError::StreamDesynced { window: 7 };
+        assert!(s.to_string().contains('7'));
     }
 }

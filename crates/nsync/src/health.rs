@@ -1,0 +1,327 @@
+//! Per-channel health tracking for the streaming detector.
+//!
+//! A deployed IDS outlives its sensors: channels drop out, rail, latch,
+//! or start emitting NaN mid-print (DESIGN.md §7 catalogues the fault
+//! model). The streaming runtime therefore scores every channel each
+//! window and demotes misbehaving ones through a three-state machine:
+//!
+//! ```text
+//!             dirty window                dirty streak / NaN-heavy window
+//!  Healthy ──────────────────► Degraded ──────────────────► Quarantined
+//!     ▲                           │  ▲                           │
+//!     └── clean streak ───────────┘  └────── clean streak ───────┘
+//! ```
+//!
+//! A *dirty* window contains non-finite samples or is flat (zero
+//! variance — a stuck or dropped-out sensor). **Degraded** channels
+//! still feed the comparator (their non-finite samples are replaced by
+//! zeros upstream); **Quarantined** channels are excluded from the
+//! vertical-distance comparison entirely so one dead sensor cannot mask
+//! or mimic an attack on the others. Recovery is hysteretic: a channel
+//! must stay clean for [`HealthConfig::recovery_windows`] consecutive
+//! windows to climb one state back toward Healthy.
+
+use serde::{Deserialize, Serialize};
+
+/// Health state of one capture channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelState {
+    /// Recent windows are finite and non-flat.
+    Healthy,
+    /// Recent windows show faults; the channel still feeds detection.
+    Degraded,
+    /// The channel is excluded from the vertical-distance comparator.
+    Quarantined,
+}
+
+impl std::fmt::Display for ChannelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ChannelState::Healthy => "healthy",
+            ChannelState::Degraded => "degraded",
+            ChannelState::Quarantined => "quarantined",
+        })
+    }
+}
+
+/// Tuning for the per-channel state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// A window whose non-finite fraction reaches this goes straight to
+    /// Quarantined (default 0.5: half the window is garbage).
+    pub quarantine_nonfinite_frac: f64,
+    /// Consecutive dirty windows before a Degraded channel is
+    /// quarantined (default 3 — matches the trailing-min filter width,
+    /// so quarantine engages no slower than an alert could).
+    pub quarantine_after: usize,
+    /// Consecutive clean windows to climb one state toward Healthy
+    /// (default 5).
+    pub recovery_windows: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            quarantine_nonfinite_frac: 0.5,
+            quarantine_after: 3,
+            recovery_windows: 5,
+        }
+    }
+}
+
+/// State machine instance for one channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelHealth {
+    state: ChannelState,
+    dirty_streak: usize,
+    clean_streak: usize,
+    /// Total non-finite samples quarantined on this channel.
+    nonfinite_samples: u64,
+    /// Windows observed while not Healthy.
+    impaired_windows: usize,
+    /// Window index of the most recent state change, if any.
+    last_transition: Option<usize>,
+}
+
+impl Default for ChannelHealth {
+    fn default() -> Self {
+        ChannelHealth {
+            state: ChannelState::Healthy,
+            dirty_streak: 0,
+            clean_streak: 0,
+            nonfinite_samples: 0,
+            impaired_windows: 0,
+            last_transition: None,
+        }
+    }
+}
+
+impl ChannelHealth {
+    /// Current state.
+    pub fn state(&self) -> ChannelState {
+        self.state
+    }
+
+    /// Adds quarantined samples to the channel's tally (called at
+    /// chunk granularity, before windows complete).
+    pub fn record_nonfinite(&mut self, samples: u64) {
+        self.nonfinite_samples += samples;
+    }
+
+    /// Scores one completed window and advances the state machine.
+    ///
+    /// `nonfinite_frac` is the fraction of the window's samples that
+    /// were non-finite before sanitizing; `flat` is true if the
+    /// (sanitized) window has zero variance.
+    pub fn observe_window(
+        &mut self,
+        window: usize,
+        nonfinite_frac: f64,
+        flat: bool,
+        cfg: &HealthConfig,
+    ) -> ChannelState {
+        let dirty = nonfinite_frac > 0.0 || flat;
+        let before = self.state;
+        if dirty {
+            self.dirty_streak += 1;
+            self.clean_streak = 0;
+            self.state = match self.state {
+                ChannelState::Healthy => {
+                    if nonfinite_frac >= cfg.quarantine_nonfinite_frac {
+                        ChannelState::Quarantined
+                    } else {
+                        ChannelState::Degraded
+                    }
+                }
+                ChannelState::Degraded => {
+                    if nonfinite_frac >= cfg.quarantine_nonfinite_frac
+                        || self.dirty_streak >= cfg.quarantine_after
+                    {
+                        ChannelState::Quarantined
+                    } else {
+                        ChannelState::Degraded
+                    }
+                }
+                ChannelState::Quarantined => ChannelState::Quarantined,
+            };
+        } else {
+            self.dirty_streak = 0;
+            self.clean_streak += 1;
+            if self.clean_streak >= cfg.recovery_windows {
+                self.clean_streak = 0;
+                self.state = match self.state {
+                    ChannelState::Healthy => ChannelState::Healthy,
+                    ChannelState::Degraded => ChannelState::Healthy,
+                    ChannelState::Quarantined => ChannelState::Degraded,
+                };
+            }
+        }
+        if self.state != ChannelState::Healthy {
+            self.impaired_windows += 1;
+        }
+        if self.state != before {
+            self.last_transition = Some(window);
+        }
+        self.state
+    }
+
+    /// Snapshot for reporting.
+    pub fn status(&self) -> ChannelStatus {
+        ChannelStatus {
+            state: self.state,
+            nonfinite_samples: self.nonfinite_samples,
+            impaired_windows: self.impaired_windows,
+            last_transition: self.last_transition,
+        }
+    }
+}
+
+/// Reportable view of one channel's health.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelStatus {
+    /// Current state.
+    pub state: ChannelState,
+    /// Total non-finite samples quarantined on this channel.
+    pub nonfinite_samples: u64,
+    /// Windows spent Degraded or Quarantined.
+    pub impaired_windows: usize,
+    /// Window index of the most recent state change.
+    pub last_transition: Option<usize>,
+}
+
+/// Aggregate health of a streaming detector, exposed through
+/// `monitor::LiveStatus` and [`crate::streaming::StreamingIds`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Per-channel status, index-aligned with the capture channels.
+    pub channels: Vec<ChannelStatus>,
+    /// Windows for which *no* channel was usable (v_dist skipped).
+    pub blind_windows: usize,
+    /// Times the stream resynchronized after an internal fault.
+    pub resyncs: usize,
+}
+
+impl HealthReport {
+    /// `true` if every channel is Healthy and nothing was skipped.
+    pub fn all_healthy(&self) -> bool {
+        self.blind_windows == 0
+            && self.resyncs == 0
+            && self
+                .channels
+                .iter()
+                .all(|c| c.state == ChannelState::Healthy)
+    }
+
+    /// Number of channels currently in a given state.
+    pub fn count(&self, state: ChannelState) -> usize {
+        self.channels.iter().filter(|c| c.state == state).count()
+    }
+
+    /// One-line human summary (`healthy: 5/6, quarantined: [2]`).
+    pub fn summary(&self) -> String {
+        let quarantined: Vec<usize> = self
+            .channels
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state == ChannelState::Quarantined)
+            .map(|(i, _)| i)
+            .collect();
+        format!(
+            "healthy: {}/{}, degraded: {}, quarantined: {:?}, blind windows: {}, resyncs: {}",
+            self.count(ChannelState::Healthy),
+            self.channels.len(),
+            self.count(ChannelState::Degraded),
+            quarantined,
+            self.blind_windows,
+            self.resyncs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_until_dirty() {
+        let cfg = HealthConfig::default();
+        let mut h = ChannelHealth::default();
+        for w in 0..10 {
+            assert_eq!(h.observe_window(w, 0.0, false, &cfg), ChannelState::Healthy);
+        }
+        assert_eq!(
+            h.observe_window(10, 0.1, false, &cfg),
+            ChannelState::Degraded
+        );
+        assert_eq!(h.status().last_transition, Some(10));
+    }
+
+    #[test]
+    fn nan_heavy_window_quarantines_immediately() {
+        let cfg = HealthConfig::default();
+        let mut h = ChannelHealth::default();
+        assert_eq!(
+            h.observe_window(0, 0.9, false, &cfg),
+            ChannelState::Quarantined
+        );
+    }
+
+    #[test]
+    fn dirty_streak_escalates() {
+        let cfg = HealthConfig::default();
+        let mut h = ChannelHealth::default();
+        // Flatline (no NaN) degrades, then quarantines after the streak.
+        assert_eq!(h.observe_window(0, 0.0, true, &cfg), ChannelState::Degraded);
+        assert_eq!(h.observe_window(1, 0.0, true, &cfg), ChannelState::Degraded);
+        assert_eq!(
+            h.observe_window(2, 0.0, true, &cfg),
+            ChannelState::Quarantined
+        );
+    }
+
+    #[test]
+    fn recovery_is_hysteretic() {
+        let cfg = HealthConfig {
+            recovery_windows: 2,
+            ..Default::default()
+        };
+        let mut h = ChannelHealth::default();
+        h.observe_window(0, 0.9, false, &cfg);
+        assert_eq!(h.state(), ChannelState::Quarantined);
+        // One clean window is not enough.
+        assert_eq!(
+            h.observe_window(1, 0.0, false, &cfg),
+            ChannelState::Quarantined
+        );
+        // Second clean window steps down to Degraded, not Healthy.
+        assert_eq!(
+            h.observe_window(2, 0.0, false, &cfg),
+            ChannelState::Degraded
+        );
+        assert_eq!(
+            h.observe_window(3, 0.0, false, &cfg),
+            ChannelState::Degraded
+        );
+        assert_eq!(h.observe_window(4, 0.0, false, &cfg), ChannelState::Healthy);
+        assert!(h.status().impaired_windows >= 4);
+    }
+
+    #[test]
+    fn report_summary_counts() {
+        let mut report = HealthReport::default();
+        let cfg = HealthConfig::default();
+        let mut a = ChannelHealth::default();
+        let mut b = ChannelHealth::default();
+        a.observe_window(0, 0.0, false, &cfg);
+        b.observe_window(0, 1.0, false, &cfg);
+        b.record_nonfinite(64);
+        report.channels = vec![a.status(), b.status()];
+        assert!(!report.all_healthy());
+        assert_eq!(report.count(ChannelState::Healthy), 1);
+        assert_eq!(report.count(ChannelState::Quarantined), 1);
+        let s = report.summary();
+        assert!(s.contains("healthy: 1/2"), "{s}");
+        assert!(s.contains("[1]"), "{s}");
+        assert_eq!(report.channels[1].nonfinite_samples, 64);
+    }
+}

@@ -1,9 +1,7 @@
 //! The end-to-end NSYNC IDS: train on benign runs, then detect.
 
 use crate::comparator::vertical_distances;
-use crate::discriminator::{
-    discriminate, trace_stats, Detection, DiscriminatorConfig, Thresholds,
-};
+use crate::discriminator::{discriminate, trace_stats, Detection, DiscriminatorConfig, Thresholds};
 use crate::error::NsyncError;
 use crate::occ::learn_thresholds;
 use am_dsp::metrics::DistanceMetric;
@@ -90,7 +88,8 @@ impl NsyncIds {
         let mut stats = Vec::with_capacity(training.len());
         for run in training {
             let analysis = self.analyze(run, &reference)?;
-            let (s, _, _, _) = trace_stats(&analysis.alignment.h_disp, &analysis.v_dist, &self.config);
+            let (s, _, _, _) =
+                trace_stats(&analysis.alignment.h_disp, &analysis.v_dist, &self.config);
             stats.push(s);
         }
         let thresholds = learn_thresholds(&stats, r)?;
@@ -283,6 +282,6 @@ mod tests {
         let th = t.thresholds();
         assert!(th.c_c >= 0.0 && th.h_c >= 0.0 && th.v_c >= 0.0);
         assert_eq!(t.config().min_filter_window, 3);
-        assert!(t.reference().len() > 0);
+        assert!(!t.reference().is_empty());
     }
 }

@@ -26,7 +26,10 @@
 //!
 //! [`ids`] ties everything into a train-once / detect-many API;
 //! [`streaming`] runs the same discriminator incrementally on live sample
-//! chunks (DWM is window-by-window, so NSYNC/DWM is real-time capable).
+//! chunks (DWM is window-by-window, so NSYNC/DWM is real-time capable),
+//! with per-channel [`health`] tracking, NaN quarantine, and a supervised
+//! monitor thread that survives sensor faults and detector panics
+//! (DESIGN.md §7).
 //!
 //! # Example
 //!
@@ -57,6 +60,7 @@
 pub mod comparator;
 pub mod discriminator;
 pub mod error;
+pub mod health;
 pub mod ids;
 pub mod occ;
 pub mod streaming;
@@ -64,5 +68,6 @@ pub mod streaming;
 pub use comparator::vertical_distances;
 pub use discriminator::{Detection, DiscriminatorConfig, SubModule, Thresholds};
 pub use error::NsyncError;
+pub use health::{ChannelState, HealthConfig, HealthReport};
 pub use ids::{NsyncIds, TrainedIds};
 pub use occ::learn_thresholds;

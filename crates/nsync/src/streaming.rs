@@ -7,11 +7,23 @@
 //! moment a sub-module's threshold is crossed; [`monitor::spawn`] runs the
 //! detector on its own thread behind crossbeam channels, which is how a
 //! deployment would wire it between the DAQ thread and the operator UI.
+//!
+//! Unlike the batch path, the streaming path must survive its inputs:
+//! a print takes hours and a sensor that dies forty minutes in must not
+//! take the IDS down with it. Non-finite samples are quarantined (counted,
+//! replaced by zeros) before they can reach the synchronizer or the
+//! comparator; each channel runs the [`crate::health`] state machine and
+//! quarantined channels are excluded from the vertical-distance
+//! comparison; [`monitor`] supervises the detector thread with bounded
+//! queues, an explicit backpressure policy, and a watchdog that restarts
+//! a panicked detector resynchronized from the last good window. The
+//! fault model behind all of this is DESIGN.md §7.
 
 use crate::discriminator::{DiscriminatorConfig, SubModule, Thresholds};
 use crate::error::NsyncError;
+use crate::health::{ChannelHealth, ChannelState, HealthConfig, HealthReport};
 use am_dsp::metrics::DistanceMetric;
-use am_dsp::Signal;
+use am_dsp::{DspError, Signal};
 use am_sync::{DwmParams, DwmStream};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -29,13 +41,35 @@ pub struct Alert {
     pub threshold: f64,
 }
 
-/// Incremental NSYNC/DWM intrusion detector.
+/// Incremental NSYNC/DWM intrusion detector with per-channel health
+/// tracking (see the module docs for the degradation semantics).
 #[derive(Debug)]
 pub struct StreamingIds {
+    /// The original, full reference (the stream may run on a re-seated
+    /// slice of it after a resync).
+    reference: Signal,
+    params: DwmParams,
     stream: DwmStream,
     metric: DistanceMetric,
     thresholds: Thresholds,
     filter_window: usize,
+    // Health state.
+    health_cfg: HealthConfig,
+    health: Vec<ChannelHealth>,
+    /// Per-channel cumulative count of non-finite samples, aligned with
+    /// the stream's buffer (`prefix[n]` = count among the first `n`
+    /// samples), so any window's corruption is two lookups.
+    nonfinite_prefix: Vec<Vec<u32>>,
+    blind_windows: usize,
+    resyncs: usize,
+    /// External index of the stream's internal window 0 (non-zero after
+    /// a resync or a [`StreamingIds::resume_from`]).
+    window_offset: usize,
+    /// Total observed samples accepted across resyncs; a resync reseats
+    /// the reference here so no buffered-but-unwindowed sample shifts
+    /// the alignment.
+    samples_seen: usize,
+    last_h: f64,
     // Discriminator state.
     c_disp: f64,
     prev_h: f64,
@@ -52,18 +86,37 @@ impl StreamingIds {
     ///
     /// # Errors
     ///
-    /// Propagates DWM parameter validation failures.
+    /// Propagates DWM parameter validation failures, and rejects a
+    /// reference containing non-finite samples with
+    /// [`DspError::NonFinite`] — thresholds learned from a clean
+    /// reference are meaningless against a corrupt one.
     pub fn new(
         reference: Signal,
         params: &DwmParams,
         thresholds: Thresholds,
         config: &DiscriminatorConfig,
     ) -> Result<Self, NsyncError> {
+        for ch in 0..reference.channels() {
+            if let Some(index) = reference.channel(ch).iter().position(|v| !v.is_finite()) {
+                return Err(NsyncError::Dsp(DspError::NonFinite { channel: ch, index }));
+            }
+        }
+        let channels = reference.channels();
         Ok(StreamingIds {
-            stream: DwmStream::new(reference, params)?,
+            stream: DwmStream::new(reference.clone(), params)?,
+            reference,
+            params: *params,
             metric: DistanceMetric::Correlation,
             thresholds,
             filter_window: config.min_filter_window.max(1),
+            health_cfg: HealthConfig::default(),
+            health: vec![ChannelHealth::default(); channels],
+            nonfinite_prefix: vec![vec![0]; channels],
+            blind_windows: 0,
+            resyncs: 0,
+            window_offset: 0,
+            samples_seen: 0,
+            last_h: 0.0,
             c_disp: 0.0,
             prev_h: 0.0,
             h_recent: VecDeque::new(),
@@ -73,76 +126,238 @@ impl StreamingIds {
         })
     }
 
+    /// Overrides the channel-health tuning.
+    #[must_use]
+    pub fn with_health_config(mut self, cfg: HealthConfig) -> Self {
+        self.health_cfg = cfg;
+        self
+    }
+
+    /// Creates a detector that resumes mid-print at `next_window`, as
+    /// the monitor's supervisor does after a detector crash: the
+    /// reference is re-seated so the next observed window is compared
+    /// at the position the lost detector had reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    pub fn resume_from(
+        reference: Signal,
+        params: &DwmParams,
+        thresholds: Thresholds,
+        config: &DiscriminatorConfig,
+        next_window: usize,
+    ) -> Result<Self, NsyncError> {
+        let mut ids = StreamingIds::new(reference, params, thresholds, config)?;
+        ids.windows_seen = next_window;
+        // A resumed detector cannot know how many samples the lost one
+        // had buffered; the window grid is the best available estimate.
+        ids.samples_seen = next_window * ids.stream.sample_params().n_hop;
+        ids.reseat_stream()?;
+        Ok(ids)
+    }
+
     /// `true` once any alert has fired.
     pub fn intrusion_detected(&self) -> bool {
         self.intrusion
     }
 
-    /// Number of fully processed windows.
+    /// Number of fully processed windows (across resyncs).
     pub fn windows_seen(&self) -> usize {
         self.windows_seen
     }
 
-    /// Feeds a chunk of observed samples; returns alerts raised by the
-    /// windows completed within this chunk.
+    /// Snapshot of channel health and degradation counters.
+    pub fn health_report(&self) -> HealthReport {
+        HealthReport {
+            channels: self.health.iter().map(ChannelHealth::status).collect(),
+            blind_windows: self.blind_windows,
+            resyncs: self.resyncs,
+        }
+    }
+
+    /// Re-locks the stream after an internal fault: the buffered partial
+    /// window is discarded and a fresh synchronizer starts against the
+    /// reference sliced at the position the detector had reached, so
+    /// window numbering (and the CADHD accumulator) continue across the
+    /// gap.
     ///
     /// # Errors
     ///
-    /// Propagates stream shape errors and comparator failures.
+    /// Propagates stream construction failures.
+    pub fn resync(&mut self) -> Result<(), NsyncError> {
+        self.reseat_stream()?;
+        self.resyncs += 1;
+        Ok(())
+    }
+
+    fn reseat_stream(&mut self) -> Result<(), NsyncError> {
+        let p = self.stream.sample_params();
+        let start = self.samples_seen as isize + self.last_h.round() as isize;
+        // Keep at least one extended search window of (zero-padded)
+        // reference so the stream constructor never sees a too-short
+        // signal near the end of a print.
+        let min_len = (p.n_win + 2 * p.n_ext) as isize;
+        let end = (self.reference.len() as isize).max(start + min_len);
+        let reseated = self.reference.slice_padded(start, end);
+        self.stream = DwmStream::new(reseated, &self.params)?;
+        self.window_offset = self.windows_seen;
+        for prefix in &mut self.nonfinite_prefix {
+            prefix.clear();
+            prefix.push(0);
+        }
+        self.last_h = 0.0;
+        self.prev_h = 0.0;
+        self.h_recent.clear();
+        self.v_recent.clear();
+        Ok(())
+    }
+
+    /// Replaces non-finite samples with 0.0, recording counts per
+    /// channel, and returns the sanitized copy of the chunk.
+    fn quarantine_samples(&mut self, chunk: &Signal) -> Signal {
+        let mut clean = chunk.clone();
+        for c in 0..clean.channels() {
+            let prefix = &mut self.nonfinite_prefix[c];
+            let mut running = prefix.last().copied().unwrap_or(0);
+            let mut bad: u64 = 0;
+            for v in clean.channel_mut(c).iter_mut() {
+                if !v.is_finite() {
+                    *v = 0.0;
+                    running += 1;
+                    bad += 1;
+                }
+                prefix.push(running);
+            }
+            self.health[c].record_nonfinite(bad);
+        }
+        clean
+    }
+
+    /// Feeds a chunk of observed samples; returns alerts raised by the
+    /// windows completed within this chunk. Non-finite samples never
+    /// reach the synchronizer or the comparator: they are zeroed and
+    /// charged against their channel's health instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream shape errors and comparator failures, and
+    /// returns [`NsyncError::StreamDesynced`] if a completed window
+    /// cannot be read back (callers may [`StreamingIds::resync`] and
+    /// continue).
     pub fn push(&mut self, chunk: &Signal) -> Result<Vec<Alert>, NsyncError> {
+        if chunk.is_empty() {
+            return Ok(Vec::new());
+        }
+        if chunk.channels() != self.health.len() {
+            // Reject before mutating any state so a malformed chunk is
+            // droppable: the next well-formed chunk continues the stream.
+            return Err(NsyncError::Dsp(DspError::ShapeMismatch(format!(
+                "chunk has {} channels, detector expects {}",
+                chunk.channels(),
+                self.health.len()
+            ))));
+        }
+        let clean = self.quarantine_samples(chunk);
+        self.samples_seen += clean.len();
         let mut alerts = Vec::new();
-        let completed = self.stream.push(chunk)?;
+        let completed = self.stream.push(&clean)?;
         for (i, h) in completed {
-            // c_disp (Eq 17) incrementally.
-            self.c_disp += (h - self.prev_h).abs();
-            self.prev_h = h;
-            if self.c_disp > self.thresholds.c_c {
-                alerts.push(Alert {
-                    window: i,
-                    module: SubModule::CDisp,
-                    value: self.c_disp,
-                    threshold: self.thresholds.c_c,
-                });
-            }
-            // Trailing-min filtered h_dist.
-            push_window(&mut self.h_recent, h.abs(), self.filter_window);
-            let h_f = min_of(&self.h_recent);
-            if h_f > self.thresholds.h_c {
-                alerts.push(Alert {
-                    window: i,
-                    module: SubModule::HDist,
-                    value: h_f,
-                    threshold: self.thresholds.h_c,
-                });
-            }
-            // v_dist for this window.
-            let p = self.stream.sample_params();
-            let a_win = self
-                .stream
-                .window(i)
-                .expect("window i was just completed by the stream");
-            let b_start = (i * p.n_hop) as isize + h.round() as isize;
-            let b_win = self
-                .stream
-                .reference()
-                .slice_padded(b_start, b_start + p.n_win as isize);
-            let v = self.metric.distance_multichannel(&a_win, &b_win)?;
-            push_window(&mut self.v_recent, v, self.filter_window);
-            let v_f = min_of(&self.v_recent);
-            if v_f > self.thresholds.v_c {
-                alerts.push(Alert {
-                    window: i,
-                    module: SubModule::VDist,
-                    value: v_f,
-                    threshold: self.thresholds.v_c,
-                });
-            }
-            self.windows_seen += 1;
+            self.process_window(i, h, &mut alerts)?;
         }
         if !alerts.is_empty() {
             self.intrusion = true;
         }
         Ok(alerts)
+    }
+
+    fn process_window(
+        &mut self,
+        i: usize,
+        h: f64,
+        alerts: &mut Vec<Alert>,
+    ) -> Result<(), NsyncError> {
+        let window = self.window_offset + i;
+        let p = self.stream.sample_params();
+        let a_win = self
+            .stream
+            .window(i)
+            .ok_or(NsyncError::StreamDesynced { window })?;
+        self.last_h = h;
+
+        // c_disp (Eq 17) incrementally.
+        self.c_disp += (h - self.prev_h).abs();
+        self.prev_h = h;
+        if self.c_disp > self.thresholds.c_c {
+            alerts.push(Alert {
+                window,
+                module: SubModule::CDisp,
+                value: self.c_disp,
+                threshold: self.thresholds.c_c,
+            });
+        }
+        // Trailing-min filtered h_dist.
+        push_window(&mut self.h_recent, h.abs(), self.filter_window);
+        let h_f = min_of(&self.h_recent);
+        if h_f > self.thresholds.h_c {
+            alerts.push(Alert {
+                window,
+                module: SubModule::HDist,
+                value: h_f,
+                threshold: self.thresholds.h_c,
+            });
+        }
+
+        // Score channel health for this window, then compare only the
+        // channels still trusted.
+        let start = i * p.n_hop;
+        let window_len = p.n_win.max(1) as f64;
+        let mut active: Vec<usize> = Vec::with_capacity(self.health.len());
+        for c in 0..self.health.len() {
+            let prefix = &self.nonfinite_prefix[c];
+            let hi = (start + p.n_win).min(prefix.len().saturating_sub(1));
+            let lo = start.min(hi);
+            let frac = (prefix[hi] - prefix[lo]) as f64 / window_len;
+            let data = a_win.channel(c);
+            let flat = data.iter().all(|&v| v == data[0]);
+            let state = self.health[c].observe_window(window, frac, flat, &self.health_cfg);
+            if state != ChannelState::Quarantined {
+                active.push(c);
+            }
+        }
+
+        // v_dist for this window over the trusted channels.
+        if active.is_empty() {
+            // Every channel quarantined: the comparator is blind here.
+            // h/c sub-modules above still ran on the synchronizer track.
+            self.blind_windows += 1;
+        } else {
+            let b_start = (i * p.n_hop) as isize + h.round() as isize;
+            let b_win = self
+                .stream
+                .reference()
+                .slice_padded(b_start, b_start + p.n_win as isize);
+            let v = if active.len() == self.health.len() {
+                self.metric.distance_multichannel(&a_win, &b_win)?
+            } else {
+                self.metric.distance_multichannel(
+                    &a_win.select_channels(&active)?,
+                    &b_win.select_channels(&active)?,
+                )?
+            };
+            push_window(&mut self.v_recent, v, self.filter_window);
+            let v_f = min_of(&self.v_recent);
+            if v_f > self.thresholds.v_c {
+                alerts.push(Alert {
+                    window,
+                    module: SubModule::VDist,
+                    value: v_f,
+                    threshold: self.thresholds.v_c,
+                });
+            }
+        }
+        self.windows_seen = window + 1;
+        Ok(())
     }
 }
 
@@ -157,48 +372,163 @@ fn min_of(q: &VecDeque<f64>) -> f64 {
     q.iter().cloned().fold(f64::INFINITY, f64::min)
 }
 
-/// Thread-backed monitor: the detector runs on its own thread; chunks go
-/// in through a crossbeam channel, alerts come out through another.
+/// Thread-backed monitor: the detector runs on its own thread behind
+/// bounded crossbeam channels, supervised by a watchdog.
+///
+/// ```text
+///  DAQ ──chunks (bounded, backpressure)──► detector ──alerts (bounded)──► UI
+///                                             ▲
+///                         watchdog: restart on panic, resync, report stalls
+/// ```
+///
+/// Failure semantics (DESIGN.md §7.4):
+///
+/// - **Backpressure**: the chunk queue is bounded. [`Backpressure::Block`]
+///   makes [`MonitorHandle::send`] wait (a DAQ thread that can buffer);
+///   [`Backpressure::DropNewest`] sheds the incoming chunk and counts it
+///   (a DAQ that must never block).
+/// - **Malformed chunks** (wrong shape/rate) are dropped and counted;
+///   the stream continues with the next well-formed chunk.
+/// - **Detector panic**: the watchdog restarts the detector up to
+///   [`MonitorConfig::max_restarts`] times, resynchronized from the last
+///   good window; the restart count is visible in [`LiveStatus`]. When
+///   the budget is exhausted, [`MonitorHandle::finish`] returns
+///   [`NsyncError::MonitorPanicked`] with the last good window.
+/// - **Stall**: if the detector stops making progress while chunks are
+///   queued for longer than [`MonitorConfig::stall_timeout`], the
+///   watchdog raises [`LiveStatus::stalled`] (threads cannot be safely
+///   preempted in Rust, so a hard-stuck detector is reported, not
+///   killed; the flag clears if progress resumes).
+/// - **Alert overflow**: alerts beyond the bounded queue's capacity are
+///   dropped and counted — the intrusion verdict itself is latched in
+///   [`LiveStatus`] and never lost.
 pub mod monitor {
     use super::*;
-    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
     use parking_lot::Mutex;
     use std::sync::Arc;
     use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+
+    /// What `send` does when the chunk queue is full.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub enum Backpressure {
+        /// Block the caller until the detector catches up.
+        Block,
+        /// Drop the incoming chunk and count it in
+        /// [`LiveStatus::dropped_chunks`].
+        DropNewest,
+    }
+
+    /// Supervision and queueing configuration.
+    #[derive(Debug, Clone)]
+    pub struct MonitorConfig {
+        /// Chunk queue capacity (chunks, not samples).
+        pub chunk_capacity: usize,
+        /// Alert queue capacity.
+        pub alert_capacity: usize,
+        /// Full-queue policy for [`MonitorHandle::send`].
+        pub backpressure: Backpressure,
+        /// Detector restarts the watchdog may perform after panics.
+        pub max_restarts: usize,
+        /// No progress while chunks are queued for this long raises
+        /// [`LiveStatus::stalled`].
+        pub stall_timeout: Duration,
+        /// Watchdog poll cadence.
+        pub poll_interval: Duration,
+        /// Chaos hook: the detector deliberately panics while processing
+        /// this (0-based) chunk index, once — used to exercise the
+        /// watchdog restart path in tests and drills.
+        pub chaos_panic_chunk: Option<usize>,
+    }
+
+    impl Default for MonitorConfig {
+        fn default() -> Self {
+            MonitorConfig {
+                chunk_capacity: 64,
+                alert_capacity: 1024,
+                backpressure: Backpressure::Block,
+                max_restarts: 2,
+                stall_timeout: Duration::from_secs(5),
+                poll_interval: Duration::from_millis(10),
+                chaos_panic_chunk: None,
+            }
+        }
+    }
 
     /// Shared live status of a running monitor.
-    #[derive(Debug, Default)]
+    #[derive(Debug, Default, Clone)]
     pub struct LiveStatus {
         /// Windows processed so far.
         pub windows_seen: usize,
-        /// Whether an intrusion has been declared.
+        /// Whether an intrusion has been declared (latched).
         pub intrusion: bool,
+        /// Channel health and degradation counters.
+        pub health: HealthReport,
+        /// Last window fully processed without error.
+        pub last_good_window: Option<usize>,
+        /// Detector restarts performed by the watchdog.
+        pub restarts: usize,
+        /// Chunks shed by the [`Backpressure::DropNewest`] policy.
+        pub dropped_chunks: usize,
+        /// Malformed chunks rejected by the detector.
+        pub skipped_chunks: usize,
+        /// Alerts shed because the alert queue was full.
+        pub dropped_alerts: usize,
+        /// The watchdog currently considers the detector stalled.
+        pub stalled: bool,
     }
 
-    /// Handle to a running monitor thread.
+    /// Status plus the watchdog heartbeat (internal).
+    struct Shared {
+        status: LiveStatus,
+        heartbeat: Instant,
+    }
+
+    enum WorkerExit {
+        /// Input closed and drained: normal shutdown.
+        InputClosed,
+        /// The alert receiver disconnected: nobody is listening, stop.
+        AlertsGone,
+        /// An unrecoverable pipeline error.
+        Failed(NsyncError),
+    }
+
+    /// Handle to a running monitor.
     pub struct MonitorHandle {
-        /// Send observed sample chunks here; drop (or send None via
-        /// [`MonitorHandle::finish`]) to stop.
         chunk_tx: Sender<Signal>,
         /// Alerts stream out here as they fire.
         pub alerts: Receiver<Alert>,
-        status: Arc<Mutex<LiveStatus>>,
+        shared: Arc<Mutex<Shared>>,
+        backpressure: Backpressure,
         join: Option<JoinHandle<Result<(), NsyncError>>>,
     }
 
     impl MonitorHandle {
-        /// Feeds one chunk. Returns `false` if the monitor has stopped.
+        /// Feeds one chunk, honouring the configured backpressure
+        /// policy. Returns `false` if the monitor has stopped.
         pub fn send(&self, chunk: Signal) -> bool {
-            self.chunk_tx.send(chunk).is_ok()
+            match self.backpressure {
+                Backpressure::Block => self.chunk_tx.send(chunk).is_ok(),
+                Backpressure::DropNewest => match self.chunk_tx.try_send(chunk) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(_)) => {
+                        self.shared.lock().status.dropped_chunks += 1;
+                        true
+                    }
+                    Err(TrySendError::Disconnected(_)) => false,
+                },
+            }
         }
 
         /// Snapshot of the live status.
         pub fn status(&self) -> LiveStatus {
-            let s = self.status.lock();
-            LiveStatus {
-                windows_seen: s.windows_seen,
-                intrusion: s.intrusion,
-            }
+            self.shared.lock().status.clone()
+        }
+
+        /// Snapshot of the channel-health report.
+        pub fn health(&self) -> HealthReport {
+            self.shared.lock().status.health.clone()
         }
 
         /// Closes the input, waits for the detector thread to drain every
@@ -207,15 +537,18 @@ pub mod monitor {
         ///
         /// # Errors
         ///
-        /// Propagates any pipeline error the thread hit.
+        /// Returns [`NsyncError::MonitorPanicked`] if the detector
+        /// crashed beyond its restart budget, or the pipeline error that
+        /// stopped it.
         pub fn finish(mut self) -> Result<Vec<Alert>, NsyncError> {
             drop(self.chunk_tx);
             let result = match self.join.take() {
-                Some(h) => h.join().unwrap_or_else(|_| {
-                    Err(NsyncError::InvalidParameter(
-                        "monitor thread panicked".into(),
-                    ))
-                }),
+                Some(h) => match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(NsyncError::MonitorPanicked {
+                        last_window: self.shared.lock().status.last_good_window.unwrap_or(0),
+                    }),
+                },
                 None => Ok(()),
             };
             result?;
@@ -223,7 +556,178 @@ pub mod monitor {
         }
     }
 
-    /// Spawns the detector thread.
+    fn run_detector(
+        mut ids: StreamingIds,
+        chunk_rx: &Receiver<Signal>,
+        alert_tx: &Sender<Alert>,
+        shared: &Arc<Mutex<Shared>>,
+        chaos_panic_chunk: Option<usize>,
+    ) -> WorkerExit {
+        let mut chunk_index: usize = 0;
+        loop {
+            let chunk = match chunk_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(c) => c,
+                Err(RecvTimeoutError::Timeout) => {
+                    shared.lock().heartbeat = Instant::now();
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return WorkerExit::InputClosed,
+            };
+            if chaos_panic_chunk == Some(chunk_index) {
+                panic!("monitor chaos hook: deliberate panic on chunk {chunk_index}");
+            }
+            chunk_index += 1;
+            match ids.push(&chunk) {
+                Ok(alerts) => {
+                    {
+                        let mut s = shared.lock();
+                        s.heartbeat = Instant::now();
+                        s.status.windows_seen = ids.windows_seen();
+                        s.status.intrusion |= ids.intrusion_detected();
+                        s.status.health = ids.health_report();
+                        s.status.stalled = false;
+                        if ids.windows_seen() > 0 {
+                            s.status.last_good_window = Some(ids.windows_seen() - 1);
+                        }
+                    }
+                    for a in alerts {
+                        match alert_tx.try_send(a) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(_)) => {
+                                shared.lock().status.dropped_alerts += 1;
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                return WorkerExit::AlertsGone;
+                            }
+                        }
+                    }
+                }
+                Err(NsyncError::StreamDesynced { .. }) => {
+                    // Lost the window sequence: drop the partial buffer
+                    // and re-lock; the stream continues numbering where
+                    // it left off.
+                    if let Err(e) = ids.resync() {
+                        return WorkerExit::Failed(e);
+                    }
+                    let mut s = shared.lock();
+                    s.heartbeat = Instant::now();
+                    s.status.health = ids.health_report();
+                }
+                Err(_) => {
+                    // Malformed chunk (shape/rate mismatch): reject it,
+                    // keep the stream.
+                    let mut s = shared.lock();
+                    s.heartbeat = Instant::now();
+                    s.status.skipped_chunks += 1;
+                }
+            }
+        }
+    }
+
+    /// Spawns the supervised detector with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector construction failures.
+    pub fn spawn_with(
+        reference: Signal,
+        params: &DwmParams,
+        thresholds: Thresholds,
+        config: &DiscriminatorConfig,
+        monitor_config: MonitorConfig,
+    ) -> Result<MonitorHandle, NsyncError> {
+        let ids = StreamingIds::new(reference.clone(), params, thresholds, config)?;
+        let (chunk_tx, chunk_rx): (Sender<Signal>, Receiver<Signal>) =
+            bounded(monitor_config.chunk_capacity.max(1));
+        let (alert_tx, alert_rx) = bounded(monitor_config.alert_capacity.max(1));
+        let shared = Arc::new(Mutex::new(Shared {
+            status: LiveStatus::default(),
+            heartbeat: Instant::now(),
+        }));
+
+        let supervisor_shared = Arc::clone(&shared);
+        let params = *params;
+        let config = *config;
+        let backpressure = monitor_config.backpressure;
+        let join = std::thread::spawn(move || -> Result<(), NsyncError> {
+            let cfg = monitor_config;
+            let mut next_ids = Some(ids);
+            let mut restarts = 0usize;
+            loop {
+                let generation_ids = match next_ids.take() {
+                    Some(i) => i,
+                    None => {
+                        // Rebuild after a crash, resynchronized from the
+                        // last window the dead detector completed.
+                        let next_window = supervisor_shared
+                            .lock()
+                            .status
+                            .last_good_window
+                            .map_or(0, |w| w + 1);
+                        StreamingIds::resume_from(
+                            reference.clone(),
+                            &params,
+                            thresholds,
+                            &config,
+                            next_window,
+                        )?
+                    }
+                };
+                // The chaos hook fires only in the first generation, so a
+                // drill proves the restart instead of looping forever.
+                let chaos = if restarts == 0 {
+                    cfg.chaos_panic_chunk
+                } else {
+                    None
+                };
+                let worker_rx = chunk_rx.clone();
+                let worker_tx = alert_tx.clone();
+                let worker_shared = Arc::clone(&supervisor_shared);
+                let worker = std::thread::spawn(move || {
+                    run_detector(
+                        generation_ids,
+                        &worker_rx,
+                        &worker_tx,
+                        &worker_shared,
+                        chaos,
+                    )
+                });
+                // Watchdog: poll for completion and stalls.
+                while !worker.is_finished() {
+                    std::thread::sleep(cfg.poll_interval);
+                    let mut s = supervisor_shared.lock();
+                    if !chunk_rx.is_empty() && s.heartbeat.elapsed() > cfg.stall_timeout {
+                        s.status.stalled = true;
+                    }
+                }
+                match worker.join() {
+                    Ok(WorkerExit::InputClosed) | Ok(WorkerExit::AlertsGone) => return Ok(()),
+                    Ok(WorkerExit::Failed(e)) => return Err(e),
+                    Err(_) => {
+                        if restarts >= cfg.max_restarts {
+                            let last_window = supervisor_shared
+                                .lock()
+                                .status
+                                .last_good_window
+                                .unwrap_or(0);
+                            return Err(NsyncError::MonitorPanicked { last_window });
+                        }
+                        restarts += 1;
+                        supervisor_shared.lock().status.restarts = restarts;
+                    }
+                }
+            }
+        });
+        Ok(MonitorHandle {
+            chunk_tx,
+            alerts: alert_rx,
+            shared,
+            backpressure,
+            join: Some(join),
+        })
+    }
+
+    /// Spawns the detector thread with default supervision.
     ///
     /// # Errors
     ///
@@ -234,32 +738,13 @@ pub mod monitor {
         thresholds: Thresholds,
         config: &DiscriminatorConfig,
     ) -> Result<MonitorHandle, NsyncError> {
-        let mut ids = StreamingIds::new(reference, params, thresholds, config)?;
-        let (chunk_tx, chunk_rx): (Sender<Signal>, Receiver<Signal>) = unbounded();
-        let (alert_tx, alert_rx) = unbounded();
-        let status = Arc::new(Mutex::new(LiveStatus::default()));
-        let status_thread = Arc::clone(&status);
-        let join = std::thread::spawn(move || -> Result<(), NsyncError> {
-            while let Ok(chunk) = chunk_rx.recv() {
-                let alerts = ids.push(&chunk)?;
-                {
-                    let mut s = status_thread.lock();
-                    s.windows_seen = ids.windows_seen();
-                    s.intrusion = ids.intrusion_detected();
-                }
-                for a in alerts {
-                    // Receiver may be gone; that's fine.
-                    let _ = alert_tx.send(a);
-                }
-            }
-            Ok(())
-        });
-        Ok(MonitorHandle {
-            chunk_tx,
-            alerts: alert_rx,
-            status,
-            join: Some(join),
-        })
+        spawn_with(
+            reference,
+            params,
+            thresholds,
+            config,
+            MonitorConfig::default(),
+        )
     }
 }
 
@@ -272,6 +757,14 @@ mod tests {
     fn benign(phase: f64) -> Signal {
         Signal::from_fn(20.0, 1, 1600, |t, f| {
             f[0] = (0.8 * t).sin() + 0.5 * (2.3 * t + phase).sin()
+        })
+        .unwrap()
+    }
+
+    fn benign2ch(phase: f64) -> Signal {
+        Signal::from_fn(20.0, 2, 1600, |t, f| {
+            f[0] = (0.8 * t).sin() + 0.5 * (2.3 * t + phase).sin();
+            f[1] = (1.1 * t).sin() + 0.4 * (3.1 * t + phase).cos();
         })
         .unwrap()
     }
@@ -297,6 +790,12 @@ mod tests {
         ids.train(&train, benign(0.0), 0.3).unwrap().thresholds()
     }
 
+    fn thresholds2ch() -> Thresholds {
+        let train: Vec<Signal> = (1..=4).map(|i| benign2ch(i as f64 * 2e-3)).collect();
+        let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params())));
+        ids.train(&train, benign2ch(0.0), 0.3).unwrap().thresholds()
+    }
+
     fn feed(ids: &mut StreamingIds, signal: &Signal, chunk: usize) -> Vec<Alert> {
         let mut alerts = Vec::new();
         let mut i = 0;
@@ -311,19 +810,18 @@ mod tests {
     #[test]
     fn benign_stream_stays_quiet() {
         let mut ids =
-            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default())
-                .unwrap();
+            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
         let alerts = feed(&mut ids, &benign(5e-3), 100);
         assert!(alerts.is_empty(), "{alerts:?}");
         assert!(!ids.intrusion_detected());
         assert!(ids.windows_seen() > 10);
+        assert!(ids.health_report().all_healthy());
     }
 
     #[test]
     fn malicious_stream_alerts_midway() {
         let mut ids =
-            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default())
-                .unwrap();
+            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
         let alerts = feed(&mut ids, &malicious(), 100);
         assert!(!alerts.is_empty());
         assert!(ids.intrusion_detected());
@@ -342,21 +840,126 @@ mod tests {
         let stream_alerts = feed(&mut stream, &malicious(), 64);
         let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params())));
         let trained = ids
-            .train(&(1..=4).map(|i| benign(i as f64 * 2e-3)).collect::<Vec<_>>(), benign(0.0), 0.3)
+            .train(
+                &(1..=4).map(|i| benign(i as f64 * 2e-3)).collect::<Vec<_>>(),
+                benign(0.0),
+                0.3,
+            )
             .unwrap();
         let batch = trained.detect(&malicious()).unwrap();
         assert_eq!(batch.intrusion, !stream_alerts.is_empty());
     }
 
     #[test]
-    fn monitor_thread_roundtrip() {
-        let handle = monitor::spawn(
-            benign(0.0),
+    fn non_finite_reference_is_rejected() {
+        let mut r = benign(0.0);
+        r.channel_mut(0)[7] = f64::NAN;
+        let e = StreamingIds::new(r, &params(), thresholds(), &Default::default());
+        assert!(matches!(
+            e,
+            Err(NsyncError::Dsp(DspError::NonFinite {
+                channel: 0,
+                index: 7
+            }))
+        ));
+    }
+
+    #[test]
+    fn nan_bursts_degrade_but_never_panic() {
+        let mut ids = StreamingIds::new(
+            benign2ch(0.0),
             &params(),
-            thresholds(),
+            thresholds2ch(),
             &Default::default(),
         )
         .unwrap();
+        let mut obs = benign2ch(5e-3);
+        // Channel 1 goes NaN from t = 20 s onward.
+        for v in &mut obs.channel_mut(1)[400..] {
+            *v = f64::NAN;
+        }
+        let mut i = 0;
+        while i < obs.len() {
+            let end = (i + 64).min(obs.len());
+            // Must never panic or error: NaNs are quarantined.
+            ids.push(&obs.slice(i..end).unwrap()).unwrap();
+            i = end;
+        }
+        let report = ids.health_report();
+        assert_eq!(report.channels[1].state, ChannelState::Quarantined);
+        assert!(report.channels[1].nonfinite_samples > 1000);
+        // Channel 0 stays healthy and the detector keeps running.
+        assert_eq!(report.channels[0].state, ChannelState::Healthy);
+        assert!(ids.windows_seen() > 10);
+    }
+
+    #[test]
+    fn all_channels_nan_goes_blind_not_down() {
+        let mut ids =
+            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let mut obs = benign(5e-3);
+        for v in &mut obs.channel_mut(0)[200..] {
+            *v = f64::NAN;
+        }
+        feed(&mut ids, &obs, 100);
+        let report = ids.health_report();
+        assert_eq!(report.channels[0].state, ChannelState::Quarantined);
+        assert!(report.blind_windows > 0, "{}", report.summary());
+        assert!(ids.windows_seen() > 10);
+    }
+
+    #[test]
+    fn mismatched_chunk_is_rejected_without_corrupting_state() {
+        let mut ids = StreamingIds::new(
+            benign2ch(0.0),
+            &params(),
+            thresholds2ch(),
+            &Default::default(),
+        )
+        .unwrap();
+        let obs = benign2ch(5e-3);
+        feed(&mut ids, &obs.slice(0..400).unwrap(), 100);
+        let before = ids.windows_seen();
+        // A mono chunk against a 2-channel detector: typed error.
+        assert!(matches!(
+            ids.push(&benign(0.0).slice(0..50).unwrap()),
+            Err(NsyncError::Dsp(DspError::ShapeMismatch(_)))
+        ));
+        // The stream picks up where it left off.
+        feed(&mut ids, &obs.slice(400..1600).unwrap(), 100);
+        assert!(ids.windows_seen() > before);
+        assert!(!ids.intrusion_detected());
+    }
+
+    #[test]
+    fn empty_chunk_is_a_noop() {
+        let mut ids =
+            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let empty = Signal::from_channels(20.0, vec![vec![]]).unwrap();
+        assert!(ids.push(&empty).unwrap().is_empty());
+        assert_eq!(ids.windows_seen(), 0);
+    }
+
+    #[test]
+    fn resync_continues_window_numbering() {
+        let mut ids =
+            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let obs = benign(5e-3);
+        feed(&mut ids, &obs.slice(0..800).unwrap(), 100);
+        let mid = ids.windows_seen();
+        assert!(mid > 3);
+        ids.resync().unwrap();
+        assert_eq!(ids.health_report().resyncs, 1);
+        feed(&mut ids, &obs.slice(800..1600).unwrap(), 100);
+        assert!(ids.windows_seen() > mid, "windows kept counting up");
+        // A benign stream re-locked mid-print stays benign.
+        assert!(!ids.intrusion_detected());
+    }
+
+    #[test]
+    fn monitor_thread_roundtrip() {
+        let handle =
+            monitor::spawn(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
         let m = malicious();
         let mut i = 0;
         while i < m.len() {
@@ -368,5 +971,90 @@ mod tests {
         // alerts we did not consume live.
         let leftover = handle.finish().unwrap();
         assert!(!leftover.is_empty(), "malicious stream must have alerted");
+    }
+
+    #[test]
+    fn monitor_drop_newest_sheds_load() {
+        let cfg = monitor::MonitorConfig {
+            chunk_capacity: 1,
+            backpressure: monitor::Backpressure::DropNewest,
+            ..Default::default()
+        };
+        let handle = monitor::spawn_with(
+            benign(0.0),
+            &params(),
+            thresholds(),
+            &Default::default(),
+            cfg,
+        )
+        .unwrap();
+        let b = benign(5e-3);
+        // One full-length chunk keeps the detector busy (38 windows of
+        // TDEB) while a flood of tiny chunks hits the capacity-1 queue.
+        assert!(handle.send(b.clone()));
+        for i in 0..(b.len() / 8) {
+            assert!(handle.send(b.slice(i * 8..(i + 1) * 8).unwrap()));
+        }
+        let status = handle.status();
+        let dropped = status.dropped_chunks;
+        handle.finish().unwrap();
+        assert!(dropped > 0, "expected shed chunks, got {dropped}");
+    }
+
+    #[test]
+    fn monitor_survives_detector_panic_and_still_detects() {
+        let cfg = monitor::MonitorConfig {
+            chaos_panic_chunk: Some(3),
+            ..Default::default()
+        };
+        let handle = monitor::spawn_with(
+            benign(0.0),
+            &params(),
+            thresholds(),
+            &Default::default(),
+            cfg,
+        )
+        .unwrap();
+        let m = malicious();
+        let mut i = 0;
+        while i < m.len() {
+            let end = (i + 200).min(m.len());
+            assert!(handle.send(m.slice(i..end).unwrap()));
+            i = end;
+        }
+        let status_restarts = {
+            // Give the supervisor a moment to restart before closing.
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            handle.status().restarts
+        };
+        let leftover = handle.finish().unwrap();
+        assert!(status_restarts >= 1, "watchdog must have restarted");
+        assert!(
+            !leftover.is_empty(),
+            "restarted detector must still flag the attack"
+        );
+    }
+
+    #[test]
+    fn monitor_exhausted_restart_budget_reports_panic() {
+        let cfg = monitor::MonitorConfig {
+            chaos_panic_chunk: Some(0),
+            max_restarts: 0,
+            ..Default::default()
+        };
+        let handle = monitor::spawn_with(
+            benign(0.0),
+            &params(),
+            thresholds(),
+            &Default::default(),
+            cfg,
+        )
+        .unwrap();
+        let b = benign(0.0);
+        handle.send(b.slice(0..200).unwrap());
+        match handle.finish() {
+            Err(NsyncError::MonitorPanicked { .. }) => {}
+            other => panic!("expected MonitorPanicked, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,120 @@
+//! Graceful degradation: the monitor survives a failing sensor rig.
+//!
+//! Same deployment shape as `realtime_monitor`, but the DAQ is decaying
+//! mid-print: one accelerometer axis starts emitting NaN, another picks
+//! up burst noise. The supervised monitor quarantines the dead channel,
+//! keeps detecting on the rest, and reports the damage through its
+//! [`HealthReport`] — it never dies.
+//!
+//! ```sh
+//! cargo run --release --example degraded_monitor
+//! ```
+
+use am_dataset::{ExperimentSpec, RunRole, TrajectorySet};
+use am_eval::harness::{Split, Transform};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sensors::faults::{FaultKind, FaultPlan};
+use am_sync::DwmSynchronizer;
+use nsync::streaming::monitor::{self, MonitorConfig};
+use nsync::NsyncIds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let set = TrajectorySet::generate(ExperimentSpec::small(PrinterModel::Um3))?;
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw)?;
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+
+    // Train offline on healthy sensors; faults arrive later, in the field.
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
+    println!(
+        "thresholds learned from {} benign prints",
+        split.train.len()
+    );
+
+    // A Speed0.95-attacked print, captured through a decaying rig:
+    // channel 0 emits NaN for a long stretch, channel 1 gets noise bursts.
+    let attacked = split
+        .tests
+        .iter()
+        .find(|c| matches!(&c.role, RunRole::Malicious { attack, .. } if attack == "Speed0.95"))
+        .expect("dataset contains a Speed0.95 run");
+    let duration = attacked.signal.duration();
+    let plan = FaultPlan::none()
+        .with(
+            0,
+            FaultKind::NanGap {
+                start_s: 0.2 * duration,
+                duration_s: 0.6 * duration,
+            },
+        )
+        .with(
+            1,
+            FaultKind::BurstNoise {
+                start_s: 0.4 * duration,
+                duration_s: 0.2 * duration,
+                sigma: 1.5,
+            },
+        );
+    plan.validate(attacked.signal.channels())?;
+    let faulted = plan.apply(&attacked.signal)?;
+    println!(
+        "injecting faults: NaN gap on ch0 ({:.0}–{:.0} s), noise burst on ch1",
+        0.2 * duration,
+        0.8 * duration
+    );
+
+    let handle = monitor::spawn_with(
+        split.reference.signal.clone(),
+        &params,
+        trained.thresholds(),
+        &trained.config(),
+        MonitorConfig::default(),
+    )?;
+
+    let fs = faulted.fs();
+    let chunk = (0.25 * fs) as usize; // 250 ms DAQ frames
+    let mut first_alert: Option<f64> = None;
+    let mut reported_quarantine = false;
+    let mut i = 0;
+    while i < faulted.len() {
+        let end = (i + chunk).min(faulted.len());
+        handle.send(faulted.slice(i..end)?);
+        let now_secs = end as f64 / fs;
+        let status = handle.status();
+        if !reported_quarantine && !status.health.all_healthy() {
+            println!("~{now_secs:.1} s: {}", status.health.summary());
+            reported_quarantine = true;
+        }
+        while let Ok(alert) = handle.alerts.try_recv() {
+            if first_alert.is_none() {
+                println!(
+                    "!! ALERT at ~{now_secs:.1} s: {} = {:.2} > {:.2} (window {})",
+                    alert.module, alert.value, alert.threshold, alert.window
+                );
+                first_alert = Some(now_secs);
+            }
+        }
+        i = end;
+    }
+    let leftovers = handle.finish()?;
+    if first_alert.is_none() {
+        if let Some(alert) = leftovers.first() {
+            let t = alert.window as f64 * params.t_hop;
+            println!(
+                "!! ALERT (drained at end) from window {} (~{t:.1} s): {}",
+                alert.window, alert.module
+            );
+            first_alert = Some(t);
+        }
+    }
+    match first_alert {
+        Some(t) => println!(
+            "attack still detected after ~{t:.1} s of a {duration:.1} s print, \
+             despite the degraded rig"
+        ),
+        None => println!("no alert fired — unexpected for a Speed0.95 run"),
+    }
+    Ok(())
+}

@@ -19,11 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let split = Split::generate(&set, SideChannel::Acc, Transform::Raw)?;
         let params = set.spec.profile.dwm_params(printer);
         let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-        let train: Vec<am_dsp::Signal> =
-            split.train.iter().map(|c| c.signal.clone()).collect();
+        let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
         let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
 
-        let mut rows: Vec<(String, usize, usize, Vec<String>, Vec<usize>)> = Vec::new();
+        type Row = (String, usize, usize, Vec<String>, Vec<usize>);
+        let mut rows: Vec<Row> = Vec::new();
         for test in &split.tests {
             let RunRole::Malicious { attack, .. } = &test.role else {
                 continue;

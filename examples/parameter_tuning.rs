@@ -15,8 +15,7 @@ fn sparkline(s: &Series) -> String {
     let lo = s.y.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = s.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-12);
-    s.y
-        .iter()
+    s.y.iter()
         .step_by((s.y.len() / 48).max(1))
         .map(|v| GLYPHS[(((v - lo) / span) * 7.0).round() as usize])
         .collect()
@@ -64,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // §VI-C end-to-end: let the library pick the parameters itself from a
     // benign pair and compare with the hand-tuned profile values.
-    use am_eval::harness::{Split, Transform};
     use am_dataset::RunRole;
+    use am_eval::harness::{Split, Transform};
     let split = Split::generate(&set, channel, Transform::Raw)?;
     let benign = split
         .tests

@@ -10,9 +10,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use am_dataset::{ExperimentSpec, Profile};
 use am_gcode::attacks::Attack;
 use am_gcode::slicer::slice_gear;
-use am_dataset::{ExperimentSpec, Profile};
 use am_printer::{config::PrinterModel, firmware::execute_program};
 use am_sensors::channel::SideChannel;
 use am_sync::DwmSynchronizer;

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
     let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
-    println!("thresholds learned from {} benign prints", split.train.len());
+    println!(
+        "thresholds learned from {} benign prints",
+        split.train.len()
+    );
 
     // "Print" a Speed0.95-attacked job while monitoring live.
     let attacked = split

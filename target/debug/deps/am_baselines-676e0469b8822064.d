@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/am_baselines-676e0469b8822064.d: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs
+
+/root/repo/target/debug/deps/am_baselines-676e0469b8822064: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs
+
+crates/am-baselines/src/lib.rs:
+crates/am-baselines/src/bayens.rs:
+crates/am-baselines/src/belikovetsky.rs:
+crates/am-baselines/src/error.rs:
+crates/am-baselines/src/gao.rs:
+crates/am-baselines/src/gatlin.rs:
+crates/am-baselines/src/moore.rs:
+crates/am-baselines/src/run.rs:

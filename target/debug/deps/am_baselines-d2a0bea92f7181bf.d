@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/am_baselines-d2a0bea92f7181bf.d: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs
+
+/root/repo/target/debug/deps/libam_baselines-d2a0bea92f7181bf.rlib: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs
+
+/root/repo/target/debug/deps/libam_baselines-d2a0bea92f7181bf.rmeta: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs
+
+crates/am-baselines/src/lib.rs:
+crates/am-baselines/src/bayens.rs:
+crates/am-baselines/src/belikovetsky.rs:
+crates/am-baselines/src/error.rs:
+crates/am-baselines/src/gao.rs:
+crates/am-baselines/src/gatlin.rs:
+crates/am-baselines/src/moore.rs:
+crates/am-baselines/src/run.rs:

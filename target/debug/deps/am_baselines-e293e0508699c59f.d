@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/am_baselines-e293e0508699c59f.d: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_baselines-e293e0508699c59f.rmeta: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs Cargo.toml
+
+crates/am-baselines/src/lib.rs:
+crates/am-baselines/src/bayens.rs:
+crates/am-baselines/src/belikovetsky.rs:
+crates/am-baselines/src/error.rs:
+crates/am-baselines/src/gao.rs:
+crates/am-baselines/src/gatlin.rs:
+crates/am-baselines/src/moore.rs:
+crates/am-baselines/src/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/am_dataset-00c1c9eb40a59f39.d: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs
+
+/root/repo/target/debug/deps/am_dataset-00c1c9eb40a59f39: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs
+
+crates/am-dataset/src/lib.rs:
+crates/am-dataset/src/error.rs:
+crates/am-dataset/src/generate.rs:
+crates/am-dataset/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/am_dataset-48c5ab0ded70234c.d: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs
+
+/root/repo/target/debug/deps/libam_dataset-48c5ab0ded70234c.rlib: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs
+
+/root/repo/target/debug/deps/libam_dataset-48c5ab0ded70234c.rmeta: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs
+
+crates/am-dataset/src/lib.rs:
+crates/am-dataset/src/error.rs:
+crates/am-dataset/src/generate.rs:
+crates/am-dataset/src/spec.rs:

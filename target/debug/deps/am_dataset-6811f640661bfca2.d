@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/am_dataset-6811f640661bfca2.d: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_dataset-6811f640661bfca2.rmeta: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs Cargo.toml
+
+crates/am-dataset/src/lib.rs:
+crates/am-dataset/src/error.rs:
+crates/am-dataset/src/generate.rs:
+crates/am-dataset/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

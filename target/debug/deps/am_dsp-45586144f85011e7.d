@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/am_dsp-45586144f85011e7.d: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs
+
+/root/repo/target/debug/deps/am_dsp-45586144f85011e7: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs
+
+crates/am-dsp/src/lib.rs:
+crates/am-dsp/src/error.rs:
+crates/am-dsp/src/fft.rs:
+crates/am-dsp/src/filter.rs:
+crates/am-dsp/src/io.rs:
+crates/am-dsp/src/linalg.rs:
+crates/am-dsp/src/metrics.rs:
+crates/am-dsp/src/pca.rs:
+crates/am-dsp/src/resample.rs:
+crates/am-dsp/src/signal.rs:
+crates/am-dsp/src/stats.rs:
+crates/am-dsp/src/stft.rs:
+crates/am-dsp/src/tde.rs:
+crates/am-dsp/src/window.rs:

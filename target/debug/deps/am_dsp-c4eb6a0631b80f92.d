@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/am_dsp-c4eb6a0631b80f92.d: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_dsp-c4eb6a0631b80f92.rmeta: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs Cargo.toml
+
+crates/am-dsp/src/lib.rs:
+crates/am-dsp/src/error.rs:
+crates/am-dsp/src/fft.rs:
+crates/am-dsp/src/filter.rs:
+crates/am-dsp/src/io.rs:
+crates/am-dsp/src/linalg.rs:
+crates/am-dsp/src/metrics.rs:
+crates/am-dsp/src/pca.rs:
+crates/am-dsp/src/resample.rs:
+crates/am-dsp/src/signal.rs:
+crates/am-dsp/src/stats.rs:
+crates/am-dsp/src/stft.rs:
+crates/am-dsp/src/tde.rs:
+crates/am-dsp/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/am_dsp-f5f7231117a6a081.d: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs
+
+/root/repo/target/debug/deps/libam_dsp-f5f7231117a6a081.rlib: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs
+
+/root/repo/target/debug/deps/libam_dsp-f5f7231117a6a081.rmeta: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs
+
+crates/am-dsp/src/lib.rs:
+crates/am-dsp/src/error.rs:
+crates/am-dsp/src/fft.rs:
+crates/am-dsp/src/filter.rs:
+crates/am-dsp/src/io.rs:
+crates/am-dsp/src/linalg.rs:
+crates/am-dsp/src/metrics.rs:
+crates/am-dsp/src/pca.rs:
+crates/am-dsp/src/resample.rs:
+crates/am-dsp/src/signal.rs:
+crates/am-dsp/src/stats.rs:
+crates/am-dsp/src/stft.rs:
+crates/am-dsp/src/tde.rs:
+crates/am-dsp/src/window.rs:

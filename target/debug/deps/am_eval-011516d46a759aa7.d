@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/am_eval-011516d46a759aa7.d: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs
+
+/root/repo/target/debug/deps/libam_eval-011516d46a759aa7.rlib: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs
+
+/root/repo/target/debug/deps/libam_eval-011516d46a759aa7.rmeta: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs
+
+crates/am-eval/src/lib.rs:
+crates/am-eval/src/ablations.rs:
+crates/am-eval/src/degradation.rs:
+crates/am-eval/src/figures.rs:
+crates/am-eval/src/harness.rs:
+crates/am-eval/src/metrics.rs:
+crates/am-eval/src/report.rs:
+crates/am-eval/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/am_eval-f08f0218dd786c2e.d: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs
+
+/root/repo/target/debug/deps/am_eval-f08f0218dd786c2e: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs
+
+crates/am-eval/src/lib.rs:
+crates/am-eval/src/ablations.rs:
+crates/am-eval/src/degradation.rs:
+crates/am-eval/src/figures.rs:
+crates/am-eval/src/harness.rs:
+crates/am-eval/src/metrics.rs:
+crates/am-eval/src/report.rs:
+crates/am-eval/src/tables.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/am_eval-fce788742978b707.d: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_eval-fce788742978b707.rmeta: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs Cargo.toml
+
+crates/am-eval/src/lib.rs:
+crates/am-eval/src/ablations.rs:
+crates/am-eval/src/degradation.rs:
+crates/am-eval/src/figures.rs:
+crates/am-eval/src/harness.rs:
+crates/am-eval/src/metrics.rs:
+crates/am-eval/src/report.rs:
+crates/am-eval/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

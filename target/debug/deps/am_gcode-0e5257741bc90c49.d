@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/am_gcode-0e5257741bc90c49.d: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_gcode-0e5257741bc90c49.rmeta: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs Cargo.toml
+
+crates/am-gcode/src/lib.rs:
+crates/am-gcode/src/attacks.rs:
+crates/am-gcode/src/error.rs:
+crates/am-gcode/src/geometry.rs:
+crates/am-gcode/src/model.rs:
+crates/am-gcode/src/parser.rs:
+crates/am-gcode/src/slicer.rs:
+crates/am-gcode/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/am_gcode-370375a501806f46.d: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs
+
+/root/repo/target/debug/deps/libam_gcode-370375a501806f46.rlib: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs
+
+/root/repo/target/debug/deps/libam_gcode-370375a501806f46.rmeta: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs
+
+crates/am-gcode/src/lib.rs:
+crates/am-gcode/src/attacks.rs:
+crates/am-gcode/src/error.rs:
+crates/am-gcode/src/geometry.rs:
+crates/am-gcode/src/model.rs:
+crates/am-gcode/src/parser.rs:
+crates/am-gcode/src/slicer.rs:
+crates/am-gcode/src/writer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/am_gcode-928a84f980687b17.d: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs
+
+/root/repo/target/debug/deps/am_gcode-928a84f980687b17: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs
+
+crates/am-gcode/src/lib.rs:
+crates/am-gcode/src/attacks.rs:
+crates/am-gcode/src/error.rs:
+crates/am-gcode/src/geometry.rs:
+crates/am-gcode/src/model.rs:
+crates/am-gcode/src/parser.rs:
+crates/am-gcode/src/slicer.rs:
+crates/am-gcode/src/writer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/am_integration-1c660022d2eea55b.d: crates/am-integration/src/lib.rs
+
+/root/repo/target/debug/deps/libam_integration-1c660022d2eea55b.rlib: crates/am-integration/src/lib.rs
+
+/root/repo/target/debug/deps/libam_integration-1c660022d2eea55b.rmeta: crates/am-integration/src/lib.rs
+
+crates/am-integration/src/lib.rs:

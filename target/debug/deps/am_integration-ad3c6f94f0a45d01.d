@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/am_integration-ad3c6f94f0a45d01.d: crates/am-integration/src/lib.rs
+
+/root/repo/target/debug/deps/am_integration-ad3c6f94f0a45d01: crates/am-integration/src/lib.rs
+
+crates/am-integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/am_integration-e74a6425cb8fc6e4.d: crates/am-integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_integration-e74a6425cb8fc6e4.rmeta: crates/am-integration/src/lib.rs Cargo.toml
+
+crates/am-integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/am_motion-0ac9b543b6d80071.d: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs
+
+/root/repo/target/debug/deps/am_motion-0ac9b543b6d80071: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs
+
+crates/am-motion/src/lib.rs:
+crates/am-motion/src/kinematics.rs:
+crates/am-motion/src/planner.rs:
+crates/am-motion/src/profile.rs:
+crates/am-motion/src/segment.rs:
+crates/am-motion/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/am_motion-6618be55dc6ee6a6.d: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_motion-6618be55dc6ee6a6.rmeta: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs Cargo.toml
+
+crates/am-motion/src/lib.rs:
+crates/am-motion/src/kinematics.rs:
+crates/am-motion/src/planner.rs:
+crates/am-motion/src/profile.rs:
+crates/am-motion/src/segment.rs:
+crates/am-motion/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/am_motion-7e5b4b5366e76929.d: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs
+
+/root/repo/target/debug/deps/libam_motion-7e5b4b5366e76929.rlib: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs
+
+/root/repo/target/debug/deps/libam_motion-7e5b4b5366e76929.rmeta: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs
+
+crates/am-motion/src/lib.rs:
+crates/am-motion/src/kinematics.rs:
+crates/am-motion/src/planner.rs:
+crates/am-motion/src/profile.rs:
+crates/am-motion/src/segment.rs:
+crates/am-motion/src/types.rs:

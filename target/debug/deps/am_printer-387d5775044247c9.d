@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/am_printer-387d5775044247c9.d: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs
+
+/root/repo/target/debug/deps/am_printer-387d5775044247c9: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs
+
+crates/am-printer/src/lib.rs:
+crates/am-printer/src/attack.rs:
+crates/am-printer/src/config.rs:
+crates/am-printer/src/error.rs:
+crates/am-printer/src/firmware.rs:
+crates/am-printer/src/noise.rs:
+crates/am-printer/src/thermal.rs:
+crates/am-printer/src/trajectory.rs:

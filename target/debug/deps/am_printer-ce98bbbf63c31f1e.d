@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/am_printer-ce98bbbf63c31f1e.d: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_printer-ce98bbbf63c31f1e.rmeta: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs Cargo.toml
+
+crates/am-printer/src/lib.rs:
+crates/am-printer/src/attack.rs:
+crates/am-printer/src/config.rs:
+crates/am-printer/src/error.rs:
+crates/am-printer/src/firmware.rs:
+crates/am-printer/src/noise.rs:
+crates/am-printer/src/thermal.rs:
+crates/am-printer/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

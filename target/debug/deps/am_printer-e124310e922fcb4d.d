@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/am_printer-e124310e922fcb4d.d: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs
+
+/root/repo/target/debug/deps/libam_printer-e124310e922fcb4d.rlib: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs
+
+/root/repo/target/debug/deps/libam_printer-e124310e922fcb4d.rmeta: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs
+
+crates/am-printer/src/lib.rs:
+crates/am-printer/src/attack.rs:
+crates/am-printer/src/config.rs:
+crates/am-printer/src/error.rs:
+crates/am-printer/src/firmware.rs:
+crates/am-printer/src/noise.rs:
+crates/am-printer/src/thermal.rs:
+crates/am-printer/src/trajectory.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/am_sensors-38e5c97e318e2bd7.d: crates/am-sensors/src/lib.rs crates/am-sensors/src/channel.rs crates/am-sensors/src/daq.rs crates/am-sensors/src/faults.rs crates/am-sensors/src/models/mod.rs crates/am-sensors/src/models/acc.rs crates/am-sensors/src/models/aud.rs crates/am-sensors/src/models/ept.rs crates/am-sensors/src/models/mag.rs crates/am-sensors/src/models/pwr.rs crates/am-sensors/src/models/tmp.rs crates/am-sensors/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_sensors-38e5c97e318e2bd7.rmeta: crates/am-sensors/src/lib.rs crates/am-sensors/src/channel.rs crates/am-sensors/src/daq.rs crates/am-sensors/src/faults.rs crates/am-sensors/src/models/mod.rs crates/am-sensors/src/models/acc.rs crates/am-sensors/src/models/aud.rs crates/am-sensors/src/models/ept.rs crates/am-sensors/src/models/mag.rs crates/am-sensors/src/models/pwr.rs crates/am-sensors/src/models/tmp.rs crates/am-sensors/src/synth.rs Cargo.toml
+
+crates/am-sensors/src/lib.rs:
+crates/am-sensors/src/channel.rs:
+crates/am-sensors/src/daq.rs:
+crates/am-sensors/src/faults.rs:
+crates/am-sensors/src/models/mod.rs:
+crates/am-sensors/src/models/acc.rs:
+crates/am-sensors/src/models/aud.rs:
+crates/am-sensors/src/models/ept.rs:
+crates/am-sensors/src/models/mag.rs:
+crates/am-sensors/src/models/pwr.rs:
+crates/am-sensors/src/models/tmp.rs:
+crates/am-sensors/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

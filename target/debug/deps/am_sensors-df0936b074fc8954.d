@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/am_sensors-df0936b074fc8954.d: crates/am-sensors/src/lib.rs crates/am-sensors/src/channel.rs crates/am-sensors/src/daq.rs crates/am-sensors/src/faults.rs crates/am-sensors/src/models/mod.rs crates/am-sensors/src/models/acc.rs crates/am-sensors/src/models/aud.rs crates/am-sensors/src/models/ept.rs crates/am-sensors/src/models/mag.rs crates/am-sensors/src/models/pwr.rs crates/am-sensors/src/models/tmp.rs crates/am-sensors/src/synth.rs
+
+/root/repo/target/debug/deps/am_sensors-df0936b074fc8954: crates/am-sensors/src/lib.rs crates/am-sensors/src/channel.rs crates/am-sensors/src/daq.rs crates/am-sensors/src/faults.rs crates/am-sensors/src/models/mod.rs crates/am-sensors/src/models/acc.rs crates/am-sensors/src/models/aud.rs crates/am-sensors/src/models/ept.rs crates/am-sensors/src/models/mag.rs crates/am-sensors/src/models/pwr.rs crates/am-sensors/src/models/tmp.rs crates/am-sensors/src/synth.rs
+
+crates/am-sensors/src/lib.rs:
+crates/am-sensors/src/channel.rs:
+crates/am-sensors/src/daq.rs:
+crates/am-sensors/src/faults.rs:
+crates/am-sensors/src/models/mod.rs:
+crates/am-sensors/src/models/acc.rs:
+crates/am-sensors/src/models/aud.rs:
+crates/am-sensors/src/models/ept.rs:
+crates/am-sensors/src/models/mag.rs:
+crates/am-sensors/src/models/pwr.rs:
+crates/am-sensors/src/models/tmp.rs:
+crates/am-sensors/src/synth.rs:

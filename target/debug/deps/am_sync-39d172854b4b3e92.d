@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/am_sync-39d172854b4b3e92.d: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs
+
+/root/repo/target/debug/deps/am_sync-39d172854b4b3e92: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs
+
+crates/am-sync/src/lib.rs:
+crates/am-sync/src/align.rs:
+crates/am-sync/src/autotune.rs:
+crates/am-sync/src/dtw.rs:
+crates/am-sync/src/dwm.rs:
+crates/am-sync/src/error.rs:
+crates/am-sync/src/fastdtw.rs:
+crates/am-sync/src/online_dtw.rs:

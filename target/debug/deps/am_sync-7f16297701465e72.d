@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/am_sync-7f16297701465e72.d: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libam_sync-7f16297701465e72.rmeta: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs Cargo.toml
+
+crates/am-sync/src/lib.rs:
+crates/am-sync/src/align.rs:
+crates/am-sync/src/autotune.rs:
+crates/am-sync/src/dtw.rs:
+crates/am-sync/src/dwm.rs:
+crates/am-sync/src/error.rs:
+crates/am-sync/src/fastdtw.rs:
+crates/am-sync/src/online_dtw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

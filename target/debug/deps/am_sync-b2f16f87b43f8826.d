@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/am_sync-b2f16f87b43f8826.d: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs
+
+/root/repo/target/debug/deps/libam_sync-b2f16f87b43f8826.rlib: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs
+
+/root/repo/target/debug/deps/libam_sync-b2f16f87b43f8826.rmeta: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs
+
+crates/am-sync/src/lib.rs:
+crates/am-sync/src/align.rs:
+crates/am-sync/src/autotune.rs:
+crates/am-sync/src/dtw.rs:
+crates/am-sync/src/dwm.rs:
+crates/am-sync/src/error.rs:
+crates/am-sync/src/fastdtw.rs:
+crates/am-sync/src/online_dtw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_vs_nsync-6cbe742b76a5f15e.d: crates/am-integration/../../tests/baselines_vs_nsync.rs
+
+/root/repo/target/debug/deps/baselines_vs_nsync-6cbe742b76a5f15e: crates/am-integration/../../tests/baselines_vs_nsync.rs
+
+crates/am-integration/../../tests/baselines_vs_nsync.rs:

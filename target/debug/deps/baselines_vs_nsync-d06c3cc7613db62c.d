@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_vs_nsync-d06c3cc7613db62c.d: crates/am-integration/../../tests/baselines_vs_nsync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_vs_nsync-d06c3cc7613db62c.rmeta: crates/am-integration/../../tests/baselines_vs_nsync.rs Cargo.toml
+
+crates/am-integration/../../tests/baselines_vs_nsync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

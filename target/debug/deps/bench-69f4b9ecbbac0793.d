@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-69f4b9ecbbac0793.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-69f4b9ecbbac0793.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-69f4b9ecbbac0793.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-b2c840abac3ee47f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-b2c840abac3ee47f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

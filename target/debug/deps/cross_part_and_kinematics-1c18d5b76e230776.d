@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_part_and_kinematics-1c18d5b76e230776.d: crates/am-integration/../../tests/cross_part_and_kinematics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_part_and_kinematics-1c18d5b76e230776.rmeta: crates/am-integration/../../tests/cross_part_and_kinematics.rs Cargo.toml
+
+crates/am-integration/../../tests/cross_part_and_kinematics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

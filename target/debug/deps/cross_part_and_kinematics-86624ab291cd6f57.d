@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_part_and_kinematics-86624ab291cd6f57.d: crates/am-integration/../../tests/cross_part_and_kinematics.rs
+
+/root/repo/target/debug/deps/cross_part_and_kinematics-86624ab291cd6f57: crates/am-integration/../../tests/cross_part_and_kinematics.rs
+
+crates/am-integration/../../tests/cross_part_and_kinematics.rs:

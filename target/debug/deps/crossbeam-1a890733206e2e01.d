@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-1a890733206e2e01.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1a890733206e2e01.rlib: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1a890733206e2e01.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:
+vendor/crossbeam/src/thread.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-d1506cfb2c5d85af.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/debug/deps/libcrossbeam-d1506cfb2c5d85af.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:
+vendor/crossbeam/src/thread.rs:

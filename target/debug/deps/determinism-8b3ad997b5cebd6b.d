@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8b3ad997b5cebd6b.d: crates/am-integration/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8b3ad997b5cebd6b: crates/am-integration/../../tests/determinism.rs
+
+crates/am-integration/../../tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-c86760ab539f3225.d: crates/am-integration/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-c86760ab539f3225.rmeta: crates/am-integration/../../tests/determinism.rs Cargo.toml
+
+crates/am-integration/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

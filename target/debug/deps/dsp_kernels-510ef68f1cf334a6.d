@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsp_kernels-510ef68f1cf334a6.d: crates/bench/benches/dsp_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsp_kernels-510ef68f1cf334a6.rmeta: crates/bench/benches/dsp_kernels.rs Cargo.toml
+
+crates/bench/benches/dsp_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-060e28c2c6e5d62e.d: crates/am-integration/../../tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-060e28c2c6e5d62e.rmeta: crates/am-integration/../../tests/fault_tolerance.rs Cargo.toml
+
+crates/am-integration/../../tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-e8d63fd50e86b364.d: crates/am-integration/../../tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-e8d63fd50e86b364: crates/am-integration/../../tests/fault_tolerance.rs
+
+crates/am-integration/../../tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_hdisp_consistency-2590b9896d7ff595.d: crates/bench/benches/fig10_hdisp_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_hdisp_consistency-2590b9896d7ff595.rmeta: crates/bench/benches/fig10_hdisp_consistency.rs Cargo.toml
+
+crates/bench/benches/fig10_hdisp_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

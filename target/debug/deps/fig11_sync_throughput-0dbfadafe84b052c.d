@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_sync_throughput-0dbfadafe84b052c.d: crates/bench/benches/fig11_sync_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_sync_throughput-0dbfadafe84b052c.rmeta: crates/bench/benches/fig11_sync_throughput.rs Cargo.toml
+
+crates/bench/benches/fig11_sync_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

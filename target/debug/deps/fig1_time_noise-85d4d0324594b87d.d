@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_time_noise-85d4d0324594b87d.d: crates/bench/benches/fig1_time_noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_time_noise-85d4d0324594b87d.rmeta: crates/bench/benches/fig1_time_noise.rs Cargo.toml
+
+crates/bench/benches/fig1_time_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

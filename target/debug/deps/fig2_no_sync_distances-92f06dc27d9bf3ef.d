@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_no_sync_distances-92f06dc27d9bf3ef.d: crates/bench/benches/fig2_no_sync_distances.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_no_sync_distances-92f06dc27d9bf3ef.rmeta: crates/bench/benches/fig2_no_sync_distances.rs Cargo.toml
+
+crates/bench/benches/fig2_no_sync_distances.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_parametric-afbc401174702673.d: crates/bench/benches/fig6_parametric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_parametric-afbc401174702673.rmeta: crates/bench/benches/fig6_parametric.rs Cargo.toml
+
+crates/bench/benches/fig6_parametric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/never_panics-09df562c3d0fc591.d: crates/am-integration/../../tests/never_panics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnever_panics-09df562c3d0fc591.rmeta: crates/am-integration/../../tests/never_panics.rs Cargo.toml
+
+crates/am-integration/../../tests/never_panics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/never_panics-6db29ec98769118e.d: crates/am-integration/../../tests/never_panics.rs
+
+/root/repo/target/debug/deps/never_panics-6db29ec98769118e: crates/am-integration/../../tests/never_panics.rs
+
+crates/am-integration/../../tests/never_panics.rs:

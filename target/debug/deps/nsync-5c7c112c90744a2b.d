@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nsync-5c7c112c90744a2b.d: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs
+
+/root/repo/target/debug/deps/libnsync-5c7c112c90744a2b.rlib: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs
+
+/root/repo/target/debug/deps/libnsync-5c7c112c90744a2b.rmeta: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs
+
+crates/nsync/src/lib.rs:
+crates/nsync/src/comparator.rs:
+crates/nsync/src/discriminator.rs:
+crates/nsync/src/error.rs:
+crates/nsync/src/health.rs:
+crates/nsync/src/ids.rs:
+crates/nsync/src/occ.rs:
+crates/nsync/src/streaming.rs:

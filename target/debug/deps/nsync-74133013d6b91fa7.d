@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nsync-74133013d6b91fa7.d: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs
+
+/root/repo/target/debug/deps/nsync-74133013d6b91fa7: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs
+
+crates/nsync/src/lib.rs:
+crates/nsync/src/comparator.rs:
+crates/nsync/src/discriminator.rs:
+crates/nsync/src/error.rs:
+crates/nsync/src/health.rs:
+crates/nsync/src/ids.rs:
+crates/nsync/src/occ.rs:
+crates/nsync/src/streaming.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nsync-be528a26c6400ee4.d: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnsync-be528a26c6400ee4.rmeta: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs Cargo.toml
+
+crates/nsync/src/lib.rs:
+crates/nsync/src/comparator.rs:
+crates/nsync/src/discriminator.rs:
+crates/nsync/src/error.rs:
+crates/nsync/src/health.rs:
+crates/nsync/src/ids.rs:
+crates/nsync/src/occ.rs:
+crates/nsync/src/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nsync_repro-0986ca72ae018b6e.d: crates/am-eval/src/bin/nsync-repro.rs
+
+/root/repo/target/debug/deps/nsync_repro-0986ca72ae018b6e: crates/am-eval/src/bin/nsync-repro.rs
+
+crates/am-eval/src/bin/nsync-repro.rs:

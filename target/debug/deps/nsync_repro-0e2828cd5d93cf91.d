@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nsync_repro-0e2828cd5d93cf91.d: crates/am-eval/src/bin/nsync-repro.rs
+
+/root/repo/target/debug/deps/nsync_repro-0e2828cd5d93cf91: crates/am-eval/src/bin/nsync-repro.rs
+
+crates/am-eval/src/bin/nsync-repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nsync_repro-615afa170782258b.d: crates/am-eval/src/bin/nsync-repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnsync_repro-615afa170782258b.rmeta: crates/am-eval/src/bin/nsync-repro.rs Cargo.toml
+
+crates/am-eval/src/bin/nsync-repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nsync_repro-a5e3f03ca83cae15.d: crates/am-eval/src/bin/nsync-repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnsync_repro-a5e3f03ca83cae15.rmeta: crates/am-eval/src/bin/nsync-repro.rs Cargo.toml
+
+crates/am-eval/src/bin/nsync-repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

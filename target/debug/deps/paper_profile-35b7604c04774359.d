@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_profile-35b7604c04774359.d: crates/am-integration/../../tests/paper_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_profile-35b7604c04774359.rmeta: crates/am-integration/../../tests/paper_profile.rs Cargo.toml
+
+crates/am-integration/../../tests/paper_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

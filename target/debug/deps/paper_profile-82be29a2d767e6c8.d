@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_profile-82be29a2d767e6c8.d: crates/am-integration/../../tests/paper_profile.rs
+
+/root/repo/target/debug/deps/paper_profile-82be29a2d767e6c8: crates/am-integration/../../tests/paper_profile.rs
+
+crates/am-integration/../../tests/paper_profile.rs:

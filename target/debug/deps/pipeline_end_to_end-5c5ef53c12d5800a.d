@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-5c5ef53c12d5800a.d: crates/am-integration/../../tests/pipeline_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_end_to_end-5c5ef53c12d5800a.rmeta: crates/am-integration/../../tests/pipeline_end_to_end.rs Cargo.toml
+
+crates/am-integration/../../tests/pipeline_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-8828f891cd29f7a7.d: crates/am-integration/../../tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-8828f891cd29f7a7: crates/am-integration/../../tests/pipeline_end_to_end.rs
+
+crates/am-integration/../../tests/pipeline_end_to_end.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-34d4f3f42d62687c.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-34d4f3f42d62687c.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:

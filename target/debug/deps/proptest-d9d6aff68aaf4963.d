@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-d9d6aff68aaf4963.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-d9d6aff68aaf4963.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-d9d6aff68aaf4963.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:

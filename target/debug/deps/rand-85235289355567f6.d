@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-85235289355567f6.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-85235289355567f6.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

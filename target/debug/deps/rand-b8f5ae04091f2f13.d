@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b8f5ae04091f2f13.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b8f5ae04091f2f13.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b8f5ae04091f2f13.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spectrogram_pipeline-745763a4adba471f.d: crates/am-integration/../../tests/spectrogram_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspectrogram_pipeline-745763a4adba471f.rmeta: crates/am-integration/../../tests/spectrogram_pipeline.rs Cargo.toml
+
+crates/am-integration/../../tests/spectrogram_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spectrogram_pipeline-d5c0fc17cc61dfb5.d: crates/am-integration/../../tests/spectrogram_pipeline.rs
+
+/root/repo/target/debug/deps/spectrogram_pipeline-d5c0fc17cc61dfb5: crates/am-integration/../../tests/spectrogram_pipeline.rs
+
+crates/am-integration/../../tests/spectrogram_pipeline.rs:

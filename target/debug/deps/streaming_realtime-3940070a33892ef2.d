@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_realtime-3940070a33892ef2.d: crates/am-integration/../../tests/streaming_realtime.rs
+
+/root/repo/target/debug/deps/streaming_realtime-3940070a33892ef2: crates/am-integration/../../tests/streaming_realtime.rs
+
+crates/am-integration/../../tests/streaming_realtime.rs:

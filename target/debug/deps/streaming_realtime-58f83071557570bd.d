@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_realtime-58f83071557570bd.d: crates/am-integration/../../tests/streaming_realtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_realtime-58f83071557570bd.rmeta: crates/am-integration/../../tests/streaming_realtime.rs Cargo.toml
+
+crates/am-integration/../../tests/streaming_realtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

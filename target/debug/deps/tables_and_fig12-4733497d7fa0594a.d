@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables_and_fig12-4733497d7fa0594a.d: crates/bench/benches/tables_and_fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables_and_fig12-4733497d7fa0594a.rmeta: crates/bench/benches/tables_and_fig12.rs Cargo.toml
+
+crates/bench/benches/tables_and_fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_channels-bcf747644933e18b.d: crates/am-integration/../../tests/weak_channels.rs
+
+/root/repo/target/debug/deps/weak_channels-bcf747644933e18b: crates/am-integration/../../tests/weak_channels.rs
+
+crates/am-integration/../../tests/weak_channels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weak_channels-c2b33476c7ed327d.d: crates/am-integration/../../tests/weak_channels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweak_channels-c2b33476c7ed327d.rmeta: crates/am-integration/../../tests/weak_channels.rs Cargo.toml
+
+crates/am-integration/../../tests/weak_channels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

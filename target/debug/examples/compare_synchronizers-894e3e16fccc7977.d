@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_synchronizers-894e3e16fccc7977.d: crates/am-eval/../../examples/compare_synchronizers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_synchronizers-894e3e16fccc7977.rmeta: crates/am-eval/../../examples/compare_synchronizers.rs Cargo.toml
+
+crates/am-eval/../../examples/compare_synchronizers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

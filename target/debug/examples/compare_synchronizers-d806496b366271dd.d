@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_synchronizers-d806496b366271dd.d: crates/am-eval/../../examples/compare_synchronizers.rs
+
+/root/repo/target/debug/examples/compare_synchronizers-d806496b366271dd: crates/am-eval/../../examples/compare_synchronizers.rs
+
+crates/am-eval/../../examples/compare_synchronizers.rs:

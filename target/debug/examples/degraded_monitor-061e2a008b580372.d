@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/degraded_monitor-061e2a008b580372.d: crates/am-eval/../../examples/degraded_monitor.rs
+
+/root/repo/target/debug/examples/degraded_monitor-061e2a008b580372: crates/am-eval/../../examples/degraded_monitor.rs
+
+crates/am-eval/../../examples/degraded_monitor.rs:

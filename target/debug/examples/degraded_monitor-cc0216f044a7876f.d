@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/degraded_monitor-cc0216f044a7876f.d: crates/am-eval/../../examples/degraded_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdegraded_monitor-cc0216f044a7876f.rmeta: crates/am-eval/../../examples/degraded_monitor.rs Cargo.toml
+
+crates/am-eval/../../examples/degraded_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/detect_attacks-8dd88e69e3ea84f7.d: crates/am-eval/../../examples/detect_attacks.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdetect_attacks-8dd88e69e3ea84f7.rmeta: crates/am-eval/../../examples/detect_attacks.rs Cargo.toml
+
+crates/am-eval/../../examples/detect_attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

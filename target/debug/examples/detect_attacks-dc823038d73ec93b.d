@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detect_attacks-dc823038d73ec93b.d: crates/am-eval/../../examples/detect_attacks.rs
+
+/root/repo/target/debug/examples/detect_attacks-dc823038d73ec93b: crates/am-eval/../../examples/detect_attacks.rs
+
+crates/am-eval/../../examples/detect_attacks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parameter_tuning-44d146375ddebc31.d: crates/am-eval/../../examples/parameter_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparameter_tuning-44d146375ddebc31.rmeta: crates/am-eval/../../examples/parameter_tuning.rs Cargo.toml
+
+crates/am-eval/../../examples/parameter_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parameter_tuning-adb4a69fbb055ed8.d: crates/am-eval/../../examples/parameter_tuning.rs
+
+/root/repo/target/debug/examples/parameter_tuning-adb4a69fbb055ed8: crates/am-eval/../../examples/parameter_tuning.rs
+
+crates/am-eval/../../examples/parameter_tuning.rs:

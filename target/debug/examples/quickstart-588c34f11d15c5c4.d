@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-588c34f11d15c5c4.d: crates/am-eval/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-588c34f11d15c5c4: crates/am-eval/../../examples/quickstart.rs
+
+crates/am-eval/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-c2c29fc8c50c2519.d: crates/am-eval/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-c2c29fc8c50c2519.rmeta: crates/am-eval/../../examples/quickstart.rs Cargo.toml
+
+crates/am-eval/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/realtime_monitor-77ff2c817fdd24b9.d: crates/am-eval/../../examples/realtime_monitor.rs
+
+/root/repo/target/debug/examples/realtime_monitor-77ff2c817fdd24b9: crates/am-eval/../../examples/realtime_monitor.rs
+
+crates/am-eval/../../examples/realtime_monitor.rs:

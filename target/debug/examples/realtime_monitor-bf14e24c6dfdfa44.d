@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/realtime_monitor-bf14e24c6dfdfa44.d: crates/am-eval/../../examples/realtime_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/librealtime_monitor-bf14e24c6dfdfa44.rmeta: crates/am-eval/../../examples/realtime_monitor.rs Cargo.toml
+
+crates/am-eval/../../examples/realtime_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

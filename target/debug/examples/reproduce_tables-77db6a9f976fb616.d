@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reproduce_tables-77db6a9f976fb616.d: crates/am-eval/../../examples/reproduce_tables.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreproduce_tables-77db6a9f976fb616.rmeta: crates/am-eval/../../examples/reproduce_tables.rs Cargo.toml
+
+crates/am-eval/../../examples/reproduce_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

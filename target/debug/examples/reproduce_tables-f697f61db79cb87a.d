@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproduce_tables-f697f61db79cb87a.d: crates/am-eval/../../examples/reproduce_tables.rs
+
+/root/repo/target/debug/examples/reproduce_tables-f697f61db79cb87a: crates/am-eval/../../examples/reproduce_tables.rs
+
+crates/am-eval/../../examples/reproduce_tables.rs:

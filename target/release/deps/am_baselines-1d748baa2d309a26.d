@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/am_baselines-1d748baa2d309a26.d: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs
+
+/root/repo/target/release/deps/libam_baselines-1d748baa2d309a26.rlib: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs
+
+/root/repo/target/release/deps/libam_baselines-1d748baa2d309a26.rmeta: crates/am-baselines/src/lib.rs crates/am-baselines/src/bayens.rs crates/am-baselines/src/belikovetsky.rs crates/am-baselines/src/error.rs crates/am-baselines/src/gao.rs crates/am-baselines/src/gatlin.rs crates/am-baselines/src/moore.rs crates/am-baselines/src/run.rs
+
+crates/am-baselines/src/lib.rs:
+crates/am-baselines/src/bayens.rs:
+crates/am-baselines/src/belikovetsky.rs:
+crates/am-baselines/src/error.rs:
+crates/am-baselines/src/gao.rs:
+crates/am-baselines/src/gatlin.rs:
+crates/am-baselines/src/moore.rs:
+crates/am-baselines/src/run.rs:

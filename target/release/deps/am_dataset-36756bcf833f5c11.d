@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/am_dataset-36756bcf833f5c11.d: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs
+
+/root/repo/target/release/deps/libam_dataset-36756bcf833f5c11.rlib: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs
+
+/root/repo/target/release/deps/libam_dataset-36756bcf833f5c11.rmeta: crates/am-dataset/src/lib.rs crates/am-dataset/src/error.rs crates/am-dataset/src/generate.rs crates/am-dataset/src/spec.rs
+
+crates/am-dataset/src/lib.rs:
+crates/am-dataset/src/error.rs:
+crates/am-dataset/src/generate.rs:
+crates/am-dataset/src/spec.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/am_dsp-a17fdca0d5f71afc.d: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs
+
+/root/repo/target/release/deps/libam_dsp-a17fdca0d5f71afc.rlib: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs
+
+/root/repo/target/release/deps/libam_dsp-a17fdca0d5f71afc.rmeta: crates/am-dsp/src/lib.rs crates/am-dsp/src/error.rs crates/am-dsp/src/fft.rs crates/am-dsp/src/filter.rs crates/am-dsp/src/io.rs crates/am-dsp/src/linalg.rs crates/am-dsp/src/metrics.rs crates/am-dsp/src/pca.rs crates/am-dsp/src/resample.rs crates/am-dsp/src/signal.rs crates/am-dsp/src/stats.rs crates/am-dsp/src/stft.rs crates/am-dsp/src/tde.rs crates/am-dsp/src/window.rs
+
+crates/am-dsp/src/lib.rs:
+crates/am-dsp/src/error.rs:
+crates/am-dsp/src/fft.rs:
+crates/am-dsp/src/filter.rs:
+crates/am-dsp/src/io.rs:
+crates/am-dsp/src/linalg.rs:
+crates/am-dsp/src/metrics.rs:
+crates/am-dsp/src/pca.rs:
+crates/am-dsp/src/resample.rs:
+crates/am-dsp/src/signal.rs:
+crates/am-dsp/src/stats.rs:
+crates/am-dsp/src/stft.rs:
+crates/am-dsp/src/tde.rs:
+crates/am-dsp/src/window.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/am_eval-22dc2d4cf9ef4b9b.d: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs
+
+/root/repo/target/release/deps/libam_eval-22dc2d4cf9ef4b9b.rlib: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs
+
+/root/repo/target/release/deps/libam_eval-22dc2d4cf9ef4b9b.rmeta: crates/am-eval/src/lib.rs crates/am-eval/src/ablations.rs crates/am-eval/src/degradation.rs crates/am-eval/src/figures.rs crates/am-eval/src/harness.rs crates/am-eval/src/metrics.rs crates/am-eval/src/report.rs crates/am-eval/src/tables.rs
+
+crates/am-eval/src/lib.rs:
+crates/am-eval/src/ablations.rs:
+crates/am-eval/src/degradation.rs:
+crates/am-eval/src/figures.rs:
+crates/am-eval/src/harness.rs:
+crates/am-eval/src/metrics.rs:
+crates/am-eval/src/report.rs:
+crates/am-eval/src/tables.rs:

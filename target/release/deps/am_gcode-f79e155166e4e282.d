@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/am_gcode-f79e155166e4e282.d: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs
+
+/root/repo/target/release/deps/libam_gcode-f79e155166e4e282.rlib: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs
+
+/root/repo/target/release/deps/libam_gcode-f79e155166e4e282.rmeta: crates/am-gcode/src/lib.rs crates/am-gcode/src/attacks.rs crates/am-gcode/src/error.rs crates/am-gcode/src/geometry.rs crates/am-gcode/src/model.rs crates/am-gcode/src/parser.rs crates/am-gcode/src/slicer.rs crates/am-gcode/src/writer.rs
+
+crates/am-gcode/src/lib.rs:
+crates/am-gcode/src/attacks.rs:
+crates/am-gcode/src/error.rs:
+crates/am-gcode/src/geometry.rs:
+crates/am-gcode/src/model.rs:
+crates/am-gcode/src/parser.rs:
+crates/am-gcode/src/slicer.rs:
+crates/am-gcode/src/writer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/am_integration-b24b0520442da429.d: crates/am-integration/src/lib.rs
+
+/root/repo/target/release/deps/libam_integration-b24b0520442da429.rlib: crates/am-integration/src/lib.rs
+
+/root/repo/target/release/deps/libam_integration-b24b0520442da429.rmeta: crates/am-integration/src/lib.rs
+
+crates/am-integration/src/lib.rs:

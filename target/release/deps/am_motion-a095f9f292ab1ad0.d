@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/am_motion-a095f9f292ab1ad0.d: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs
+
+/root/repo/target/release/deps/libam_motion-a095f9f292ab1ad0.rlib: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs
+
+/root/repo/target/release/deps/libam_motion-a095f9f292ab1ad0.rmeta: crates/am-motion/src/lib.rs crates/am-motion/src/kinematics.rs crates/am-motion/src/planner.rs crates/am-motion/src/profile.rs crates/am-motion/src/segment.rs crates/am-motion/src/types.rs
+
+crates/am-motion/src/lib.rs:
+crates/am-motion/src/kinematics.rs:
+crates/am-motion/src/planner.rs:
+crates/am-motion/src/profile.rs:
+crates/am-motion/src/segment.rs:
+crates/am-motion/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/am_printer-c888b3036bc69f74.d: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs
+
+/root/repo/target/release/deps/libam_printer-c888b3036bc69f74.rlib: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs
+
+/root/repo/target/release/deps/libam_printer-c888b3036bc69f74.rmeta: crates/am-printer/src/lib.rs crates/am-printer/src/attack.rs crates/am-printer/src/config.rs crates/am-printer/src/error.rs crates/am-printer/src/firmware.rs crates/am-printer/src/noise.rs crates/am-printer/src/thermal.rs crates/am-printer/src/trajectory.rs
+
+crates/am-printer/src/lib.rs:
+crates/am-printer/src/attack.rs:
+crates/am-printer/src/config.rs:
+crates/am-printer/src/error.rs:
+crates/am-printer/src/firmware.rs:
+crates/am-printer/src/noise.rs:
+crates/am-printer/src/thermal.rs:
+crates/am-printer/src/trajectory.rs:

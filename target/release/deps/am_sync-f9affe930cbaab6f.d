@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/am_sync-f9affe930cbaab6f.d: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs
+
+/root/repo/target/release/deps/libam_sync-f9affe930cbaab6f.rlib: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs
+
+/root/repo/target/release/deps/libam_sync-f9affe930cbaab6f.rmeta: crates/am-sync/src/lib.rs crates/am-sync/src/align.rs crates/am-sync/src/autotune.rs crates/am-sync/src/dtw.rs crates/am-sync/src/dwm.rs crates/am-sync/src/error.rs crates/am-sync/src/fastdtw.rs crates/am-sync/src/online_dtw.rs
+
+crates/am-sync/src/lib.rs:
+crates/am-sync/src/align.rs:
+crates/am-sync/src/autotune.rs:
+crates/am-sync/src/dtw.rs:
+crates/am-sync/src/dwm.rs:
+crates/am-sync/src/error.rs:
+crates/am-sync/src/fastdtw.rs:
+crates/am-sync/src/online_dtw.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-02aa92d012965ae5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-02aa92d012965ae5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-02aa92d012965ae5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

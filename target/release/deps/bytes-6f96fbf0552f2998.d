@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-6f96fbf0552f2998.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-6f96fbf0552f2998.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-6f96fbf0552f2998.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

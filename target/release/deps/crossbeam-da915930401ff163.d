@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-da915930401ff163.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/release/deps/libcrossbeam-da915930401ff163.rlib: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/release/deps/libcrossbeam-da915930401ff163.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:
+vendor/crossbeam/src/thread.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nsync-5da4add599dc8794.d: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs
+
+/root/repo/target/release/deps/libnsync-5da4add599dc8794.rlib: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs
+
+/root/repo/target/release/deps/libnsync-5da4add599dc8794.rmeta: crates/nsync/src/lib.rs crates/nsync/src/comparator.rs crates/nsync/src/discriminator.rs crates/nsync/src/error.rs crates/nsync/src/health.rs crates/nsync/src/ids.rs crates/nsync/src/occ.rs crates/nsync/src/streaming.rs
+
+crates/nsync/src/lib.rs:
+crates/nsync/src/comparator.rs:
+crates/nsync/src/discriminator.rs:
+crates/nsync/src/error.rs:
+crates/nsync/src/health.rs:
+crates/nsync/src/ids.rs:
+crates/nsync/src/occ.rs:
+crates/nsync/src/streaming.rs:

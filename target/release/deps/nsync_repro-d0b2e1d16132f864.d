@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nsync_repro-d0b2e1d16132f864.d: crates/am-eval/src/bin/nsync-repro.rs
+
+/root/repo/target/release/deps/nsync_repro-d0b2e1d16132f864: crates/am-eval/src/bin/nsync-repro.rs
+
+crates/am-eval/src/bin/nsync-repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-a22ce2559d847eb3.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-a22ce2559d847eb3.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-a22ce2559d847eb3.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:

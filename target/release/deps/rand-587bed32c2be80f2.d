@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-587bed32c2be80f2.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-587bed32c2be80f2.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-587bed32c2be80f2.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

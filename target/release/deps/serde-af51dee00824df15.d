@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-af51dee00824df15.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-af51dee00824df15.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-af51dee00824df15.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

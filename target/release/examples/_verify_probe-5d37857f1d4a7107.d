@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-5d37857f1d4a7107.d: crates/am-eval/../../examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-5d37857f1d4a7107: crates/am-eval/../../examples/_verify_probe.rs
+
+crates/am-eval/../../examples/_verify_probe.rs:

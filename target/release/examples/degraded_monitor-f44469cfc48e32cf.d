@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/degraded_monitor-f44469cfc48e32cf.d: crates/am-eval/../../examples/degraded_monitor.rs
+
+/root/repo/target/release/examples/degraded_monitor-f44469cfc48e32cf: crates/am-eval/../../examples/degraded_monitor.rs
+
+crates/am-eval/../../examples/degraded_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diag-cb5cd96bf5231eba.d: crates/am-integration/examples/diag.rs
+
+/root/repo/target/release/examples/diag-cb5cd96bf5231eba: crates/am-integration/examples/diag.rs
+
+crates/am-integration/examples/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/realtime_monitor-5ee0ff249abdb8b1.d: crates/am-eval/../../examples/realtime_monitor.rs
+
+/root/repo/target/release/examples/realtime_monitor-5ee0ff249abdb8b1: crates/am-eval/../../examples/realtime_monitor.rs
+
+crates/am-eval/../../examples/realtime_monitor.rs:

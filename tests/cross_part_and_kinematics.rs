@@ -22,7 +22,9 @@ fn capture_acc(
     let noise = Profile::Small.time_noise();
     let traj = execute_program(program, printer, &noise, seed).unwrap();
     let daq = DaqConfig::realistic(200.0, 16);
-    SideChannel::Acc.capture(&traj, printer, &daq, seed).unwrap()
+    SideChannel::Acc
+        .capture(&traj, printer, &daq, seed)
+        .unwrap()
 }
 
 #[test]
@@ -33,7 +35,11 @@ fn cube_part_detects_void_attack() {
     let benign = slice_cube(&cfg, 20.0).unwrap();
 
     let reference = capture_acc(&benign, &printer, 100);
-    let train: Vec<am_dsp::Signal> = (101..=104)
+    // The CADHD maxima of benign cube runs spread widely across seeds
+    // (the cube toolpath is short, so one scheduling gap moves the whole
+    // trace); 4 runs under-sample that spread and make the OCC threshold
+    // a coin flip. 10 runs cover it.
+    let train: Vec<am_dsp::Signal> = (101..=110)
         .map(|s| capture_acc(&benign, &printer, s))
         .collect();
     let params = Profile::Small.dwm_params(PrinterModel::Um3);
@@ -41,7 +47,7 @@ fn cube_part_detects_void_attack() {
     let trained = ids.train(&train, reference, 0.3).unwrap();
 
     // Fresh benign cube passes.
-    let benign_obs = capture_acc(&benign, &printer, 105);
+    let benign_obs = capture_acc(&benign, &printer, 111);
     assert!(!trained.detect(&benign_obs).unwrap().intrusion);
 
     // Voided cube flags. (The Void attack re-slices; slice_cube shares the

@@ -1,9 +1,9 @@
 //! The whole pipeline is a pure function of its seeds: identical
 //! experiment specs yield bit-identical signals and identical verdicts.
 
+use am_dataset::{ExperimentSpec, TrajectorySet};
 use am_eval::harness::{Split, Transform};
 use am_integration::helpers::{tiny_mix, tiny_set};
-use am_dataset::{ExperimentSpec, TrajectorySet};
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
 

@@ -1,0 +1,217 @@
+//! Fault tolerance: the supervised monitor must survive a decaying
+//! sensor rig — quarantine the dead channel, keep detecting on the
+//! rest, and never die (DESIGN.md §7).
+
+use am_dataset::RunRole;
+use am_eval::harness::{Split, Transform};
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sensors::faults::{FaultKind, FaultPlan};
+use am_sync::DwmSynchronizer;
+use nsync::health::ChannelState;
+use nsync::streaming::monitor::{self, MonitorConfig};
+use nsync::streaming::StreamingIds;
+use nsync::{NsyncIds, Thresholds};
+
+struct Trained {
+    split: Split,
+    params: am_sync::DwmParams,
+    thresholds: Thresholds,
+    config: nsync::DiscriminatorConfig,
+}
+
+fn train() -> Trained {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
+    let params = set.spec.profile.dwm_params(set.spec.printer);
+    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let trained = ids
+        .train(&train, split.reference.signal.clone(), 0.3)
+        .unwrap();
+    let thresholds = trained.thresholds();
+    let config = trained.config();
+    Trained {
+        split,
+        params,
+        thresholds,
+        config,
+    }
+}
+
+/// Kills channel 0 outright and peppers channel 1 with NaN bursts —
+/// the acceptance scenario from the fault model.
+fn rig_failure(duration: f64) -> FaultPlan {
+    let mut plan = FaultPlan::none().with(
+        0,
+        FaultKind::NanGap {
+            start_s: 0.15 * duration,
+            duration_s: 0.8 * duration,
+        },
+    );
+    // Short NaN bursts on channel 1: degrading, but recoverable.
+    let mut t = 0.3 * duration;
+    while t < 0.7 * duration {
+        plan = plan.with(
+            1,
+            FaultKind::NanGap {
+                start_s: t,
+                duration_s: 0.01 * duration,
+            },
+        );
+        t += 0.1 * duration;
+    }
+    plan
+}
+
+fn first_alert_stream(trained: &Trained, signal: &am_dsp::Signal) -> (bool, Option<usize>) {
+    let mut stream = StreamingIds::new(
+        trained.split.reference.signal.clone(),
+        &trained.params,
+        trained.thresholds,
+        &trained.config,
+    )
+    .unwrap();
+    let chunk = (0.5 * signal.fs()) as usize;
+    let mut first = None;
+    let mut i = 0;
+    while i < signal.len() {
+        let end = (i + chunk).min(signal.len());
+        let alerts = stream.push(&signal.slice(i..end).unwrap()).unwrap();
+        if first.is_none() {
+            first = alerts.iter().map(|a| a.window).min();
+        }
+        i = end;
+    }
+    (stream.intrusion_detected(), first)
+}
+
+#[test]
+fn monitor_survives_rig_failure_and_still_detects_attack() {
+    let trained = train();
+    let speed = trained
+        .split
+        .tests
+        .iter()
+        .find(|c| matches!(&c.role, RunRole::Malicious { attack, .. } if attack == "Speed0.95"))
+        .unwrap();
+
+    // Clean streaming baseline: the attack is detected at some window.
+    let (clean_intrusion, clean_first) = first_alert_stream(&trained, &speed.signal);
+    assert!(
+        clean_intrusion,
+        "Speed0.95 must be detected on a healthy rig"
+    );
+    let clean_first = clean_first.expect("clean run produced an alert");
+
+    // Same print through the failing rig.
+    let plan = rig_failure(speed.signal.duration());
+    plan.validate(speed.signal.channels()).unwrap();
+    let faulted = plan.apply(&speed.signal).unwrap();
+
+    let handle = monitor::spawn_with(
+        trained.split.reference.signal.clone(),
+        &trained.params,
+        trained.thresholds,
+        &trained.config,
+        MonitorConfig::default(),
+    )
+    .unwrap();
+    let chunk = (0.5 * faulted.fs()) as usize;
+    let mut first = None;
+    let mut worst_ch0 = ChannelState::Healthy;
+    let mut i = 0;
+    while i < faulted.len() {
+        let end = (i + chunk).min(faulted.len());
+        assert!(
+            handle.send(faulted.slice(i..end).unwrap()),
+            "monitor died mid-stream"
+        );
+        while let Ok(alert) = handle.alerts.try_recv() {
+            if first.is_none() {
+                first = Some(alert.window);
+            }
+        }
+        let health = handle.health();
+        if !health.channels.is_empty() && health.channels[0].state == ChannelState::Quarantined {
+            worst_ch0 = ChannelState::Quarantined;
+        }
+        i = end;
+    }
+    // The monitor shuts down cleanly — it never died.
+    let leftovers = handle.finish().expect("monitor finished without a fault");
+    if first.is_none() {
+        first = leftovers.iter().map(|a| a.window).min();
+    }
+
+    // Channel 0 was NaN for 80% of the print: it must have been
+    // quarantined at some point.
+    assert_eq!(
+        worst_ch0,
+        ChannelState::Quarantined,
+        "the dead channel was never quarantined"
+    );
+
+    // The attack is still detected on the surviving channels, within 3
+    // windows of the clean-rig alert.
+    let faulted_first = first.expect("attack not detected under faults");
+    assert!(
+        faulted_first <= clean_first + 3,
+        "alert latency grew too much under faults: clean window {clean_first}, \
+         faulted window {faulted_first}"
+    );
+}
+
+#[test]
+fn degraded_channel_is_reported_while_benign_stays_quiet() {
+    let trained = train();
+    let benign = trained
+        .split
+        .tests
+        .iter()
+        .find(|c| c.role.is_benign())
+        .unwrap();
+    let duration = benign.signal.duration();
+    // Recoverable impairment only: short NaN bursts on one channel.
+    let plan = FaultPlan::none().with(
+        2,
+        FaultKind::NanGap {
+            start_s: 0.4 * duration,
+            duration_s: 0.02 * duration,
+        },
+    );
+    let faulted = plan.apply(&benign.signal).unwrap();
+
+    let handle = monitor::spawn_with(
+        trained.split.reference.signal.clone(),
+        &trained.params,
+        trained.thresholds,
+        &trained.config,
+        MonitorConfig::default(),
+    )
+    .unwrap();
+    let chunk = (0.5 * faulted.fs()) as usize;
+    let mut saw_impaired = false;
+    let mut i = 0;
+    while i < faulted.len() {
+        let end = (i + chunk).min(faulted.len());
+        assert!(handle.send(faulted.slice(i..end).unwrap()));
+        let health = handle.health();
+        if health.channels.len() > 2 && health.channels[2].state != ChannelState::Healthy {
+            saw_impaired = true;
+        }
+        i = end;
+    }
+    let status_health = handle.health();
+    let leftovers = handle.finish().unwrap();
+    assert!(
+        saw_impaired || !status_health.all_healthy(),
+        "the NaN burst was never reported"
+    );
+    assert!(
+        leftovers.is_empty(),
+        "benign print alerted under a recoverable fault: {leftovers:?}"
+    );
+    assert!(status_health.channels[2].nonfinite_samples > 0);
+}

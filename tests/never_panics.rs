@@ -1,0 +1,173 @@
+//! Property suite: the streaming surfaces never panic, whatever the DAQ
+//! throws at them — NaN, infinities, empty chunks, mismatched shapes,
+//! pathological chunk sizes. Errors are fine; unwinding is not
+//! (DESIGN.md §7).
+
+use am_dsp::metrics::DistanceMetric;
+use am_dsp::Signal;
+use am_sync::{DwmParams, DwmStream};
+use nsync::streaming::StreamingIds;
+use nsync::{DiscriminatorConfig, NsyncIds, Thresholds};
+use proptest::prelude::*;
+
+/// A plausible sensor waveform with one "special" value injected.
+///
+/// `special` selects the poison (0 = none, 1 = NaN, 2 = +inf, 3 = -inf,
+/// 4 = enormous); `special_at` is reduced modulo the length so any
+/// sampled index is valid.
+fn poisoned(channels: usize, len: usize, special: usize, special_at: usize) -> Signal {
+    let fs = 20.0;
+    let poison = match special {
+        1 => f64::NAN,
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        4 => 1e300,
+        _ => 0.0,
+    };
+    let target = if len > 0 { special_at % len } else { 0 };
+    Signal::from_fn(fs, channels, len, |t, f| {
+        let idx = (t * fs).round() as usize;
+        for (c, v) in f.iter_mut().enumerate() {
+            *v = (0.8 * t + c as f64).sin() + 0.5 * (2.3 * t).sin();
+            if special != 0 && idx == target {
+                *v = poison;
+            }
+        }
+    })
+    .unwrap()
+}
+
+fn reference(channels: usize) -> Signal {
+    poisoned(channels, 400, 0, 0)
+}
+
+fn thresholds() -> Thresholds {
+    // Any finite thresholds will do: these properties assert absence of
+    // panics, not detection quality.
+    Thresholds {
+        c_c: 10.0,
+        h_c: 10.0,
+        v_c: 10.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_push_never_panics(
+        channels in 1usize..4,
+        chunk_len in 0usize..90,
+        special in 0usize..5,
+        special_at in 0usize..10_000,
+        chunks in 1usize..8,
+    ) {
+        let mut ids = StreamingIds::new(
+            reference(channels),
+            &DwmParams::from_window(4.0),
+            thresholds(),
+            &DiscriminatorConfig::default(),
+        )
+        .unwrap();
+        for _ in 0..chunks {
+            let chunk = poisoned(channels, chunk_len, special, special_at);
+            // Errors are allowed; unwinding is the only failure mode.
+            let _ = ids.push(&chunk);
+        }
+        let _ = ids.health_report();
+    }
+
+    #[test]
+    fn streaming_rejects_mismatched_channels_without_panicking(
+        channels in 1usize..4,
+        extra in 1usize..3,
+        chunk_len in 1usize..60,
+    ) {
+        let mut ids = StreamingIds::new(
+            reference(channels),
+            &DwmParams::from_window(4.0),
+            thresholds(),
+            &DiscriminatorConfig::default(),
+        )
+        .unwrap();
+        let bad = poisoned(channels + extra, chunk_len, 0, 0);
+        prop_assert!(ids.push(&bad).is_err());
+        // The stream survives the rejection and accepts good chunks.
+        let good = poisoned(channels, 80, 0, 0);
+        prop_assert!(ids.push(&good).is_ok());
+    }
+
+    #[test]
+    fn dwm_stream_push_never_panics(
+        chunk_len in 0usize..130,
+        special in 0usize..5,
+        special_at in 0usize..10_000,
+        chunks in 1usize..6,
+    ) {
+        let mut stream = DwmStream::new(reference(1), &DwmParams::from_window(4.0)).unwrap();
+        for _ in 0..chunks {
+            let chunk = poisoned(1, chunk_len, special, special_at);
+            let _ = stream.push(&chunk);
+        }
+        let _ = stream.window(stream.windows_emitted());
+    }
+
+    #[test]
+    fn distance_metrics_never_panic_on_poisoned_input(
+        len_u in 0usize..40,
+        len_v in 0usize..40,
+        special in 0usize..5,
+        special_at in 0usize..10_000,
+        which in 0usize..5,
+    ) {
+        let metric = [
+            DistanceMetric::Correlation,
+            DistanceMetric::Cosine,
+            DistanceMetric::MeanAbsoluteError,
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+        ][which];
+        let u: Vec<f64> = if len_u > 0 {
+            poisoned(1, len_u, special, special_at).channel(0).to_vec()
+        } else {
+            Vec::new()
+        };
+        let v: Vec<f64> = if len_v > 0 {
+            poisoned(1, len_v, 0, 0).channel(0).to_vec()
+        } else {
+            Vec::new()
+        };
+        if let Ok(d) = metric.try_distance(&u, &v) {
+            prop_assert!(d.is_finite(), "Ok distance must be finite, got {d}");
+        }
+    }
+
+    #[test]
+    fn multichannel_distance_never_panics(
+        channels in 1usize..4,
+        len in 1usize..50,
+        special in 0usize..5,
+        special_at in 0usize..10_000,
+    ) {
+        let a = poisoned(channels, len, special, special_at);
+        let b = poisoned(channels, len, 0, 0);
+        if let Ok(d) = DistanceMetric::Correlation.distance_multichannel(&a, &b) {
+            prop_assert!(d.is_finite());
+        }
+    }
+
+    #[test]
+    fn batch_detect_never_panics_on_poisoned_observation(
+        special in 1usize..5,
+        special_at in 0usize..10_000,
+    ) {
+        use am_sync::DwmSynchronizer;
+        let train: Vec<Signal> = (1..=3).map(|i| poisoned(1, 400, 0, i)).collect();
+        let trained = NsyncIds::new(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))))
+            .train(&train, reference(1), 0.3)
+            .unwrap();
+        let observed = poisoned(1, 400, special, special_at);
+        // May detect, may error — must not unwind.
+        let _ = trained.detect(&observed);
+    }
+}

@@ -17,7 +17,11 @@ fn spectrogram_shapes_follow_spec() {
         let stft = profile.spectrogram(channel);
         let fs = profile.fs(channel);
         let expected_channels = channel.channel_count() * stft.bins(fs);
-        assert_eq!(split.reference.signal.channels(), expected_channels, "{channel}");
+        assert_eq!(
+            split.reference.signal.channels(),
+            expected_channels,
+            "{channel}"
+        );
         assert!((split.reference.signal.fs() - 1.0 / stft.delta_t).abs() < 1e-9);
     }
 }

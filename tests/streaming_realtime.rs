@@ -54,7 +54,11 @@ fn streaming_agrees_with_batch_and_alerts_early() {
         if let (Some(stream_first), Some(batch_first)) =
             (first_alert_window, batch.first_alert_index)
         {
-            assert_eq!(stream_first, batch_first, "first alert differs on {}", test.role);
+            assert_eq!(
+                stream_first, batch_first,
+                "first alert differs on {}",
+                test.role
+            );
         }
     }
 }

@@ -1,0 +1,11 @@
+//! Offline stand-in for the `crossbeam` subset this workspace uses:
+//! multi-producer multi-consumer channels (bounded and unbounded) and
+//! scoped threads. Implemented over `std` primitives (`Mutex` +
+//! `Condvar`, `std::thread::scope`) with the same surface semantics:
+//! cloneable senders *and* receivers, disconnect detection on both ends,
+//! and blocking `send` on a full bounded channel (backpressure).
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

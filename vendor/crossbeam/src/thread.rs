@@ -1,0 +1,93 @@
+//! Scoped threads with the `crossbeam::scope` calling convention,
+//! implemented over `std::thread::scope`.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Scope handle passed to the closure given to [`scope`]; spawned
+/// closures receive it again as their argument (crossbeam convention).
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    panicked: Arc<AtomicBool>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; panics inside it are caught and surfaced
+    /// as the `Err` of the enclosing [`scope`] call.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, Option<T>>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let std_scope = self.std;
+        let panicked = Arc::clone(&self.panicked);
+        std_scope.spawn(move || {
+            let child = Scope {
+                std: std_scope,
+                panicked: Arc::clone(&panicked),
+            };
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&child))) {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    panicked.store(true, Ordering::SeqCst);
+                    None
+                }
+            }
+        })
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// joins them all before returning.
+///
+/// # Errors
+///
+/// Returns `Err` if any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panicked = Arc::new(AtomicBool::new(false));
+    let observed = Arc::clone(&panicked);
+    let result = std::thread::scope(|s| {
+        let wrapper = Scope {
+            std: s,
+            panicked,
+        };
+        f(&wrapper)
+    });
+    if observed.load(Ordering::SeqCst) {
+        Err(Box::new("a scoped thread panicked") as Box<dyn Any + Send>)
+    } else {
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn panic_in_child_is_reported() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

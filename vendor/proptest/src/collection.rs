@@ -1,0 +1,53 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: an exact `usize` or a half-open
+/// `Range<usize>`.
+pub trait SizeRange {
+    /// Half-open `(min, max)` bounds on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end.max(self.start + 1))
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+/// Generates vectors with lengths drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = if self.max > self.min {
+            rng.gen_range(self.min..self.max)
+        } else {
+            self.min
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

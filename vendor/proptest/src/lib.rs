@@ -1,0 +1,143 @@
+//! Offline stand-in for the `proptest` subset this workspace uses:
+//! the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`, numeric-range and `collection::vec`
+//! strategies, and tuple strategies.
+//!
+//! Semantics: each property test runs `cases` deterministic random cases
+//! seeded from the test's module path and name. There is no shrinking —
+//! a failing case reports its inputs via the assertion message instead.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the offline suite fast while
+        // still exercising a meaningful spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for a named test (FNV-1a over the name).
+#[doc(hidden)]
+pub fn __rng_for(name: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h)
+}
+
+/// The commonly glob-imported prelude.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Supports the standard forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop_name(x in 0.0f64..1.0, v in proptest::collection::vec(0usize..9, 1..8)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::__rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion; this stub forwards to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; forwards to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; forwards to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_vectors_sample_in_bounds(
+            x in -2.0f64..3.0,
+            n in 1usize..10,
+            v in crate::collection::vec(0.0f64..1.0, 2..6),
+            pair in (0.0f64..1.0, 5usize..9),
+        ) {
+            crate::prop_assert!((-2.0..3.0).contains(&x));
+            crate::prop_assert!((1..10).contains(&n));
+            crate::prop_assert!(v.len() >= 2 && v.len() < 6);
+            crate::prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)));
+            crate::prop_assert!((0.0..1.0).contains(&pair.0));
+            crate::prop_assert!((5..9).contains(&pair.1));
+        }
+
+        #[test]
+        fn exact_length_vec(v in crate::collection::vec(-1.0f64..1.0, 7)) {
+            crate::prop_assert_eq!(v.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes the `Serialize` / `Deserialize` trait names and the matching
+//! no-op derive macros so `#[derive(Serialize, Deserialize)]` keeps
+//! compiling without crates.io access. No serializer backend exists in
+//! this workspace, so the traits carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
