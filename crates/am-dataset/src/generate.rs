@@ -11,6 +11,32 @@ use am_printer::trajectory::PrintTrajectory;
 use am_sensors::channel::SideChannel;
 use serde::{Deserialize, Serialize};
 
+/// Signal transformation applied before a detector sees the data
+/// (§VIII-A "Spectrograms", Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transform {
+    /// The raw captured signal.
+    Raw,
+    /// The Table III log-magnitude spectrogram.
+    Spectrogram,
+}
+
+impl Transform {
+    /// Both transforms, raw first (the grid's evaluation order).
+    pub fn both() -> [Transform; 2] {
+        [Transform::Raw, Transform::Spectrogram]
+    }
+}
+
+impl std::fmt::Display for Transform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transform::Raw => "Raw",
+            Transform::Spectrogram => "Spectro.",
+        })
+    }
+}
+
 /// A run's role in the evaluation (Table I's B/M + usage column).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RunRole {
@@ -207,6 +233,23 @@ impl TrajectorySet {
             .collect()
     }
 
+    /// Captures one channel under the given transform — the single entry
+    /// point the evaluation grid uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and STFT failures.
+    pub fn capture(
+        &self,
+        channel: SideChannel,
+        transform: Transform,
+    ) -> Result<Vec<Capture>, DatasetError> {
+        match transform {
+            Transform::Raw => self.capture_channel(channel),
+            Transform::Spectrogram => self.capture_spectrogram(channel),
+        }
+    }
+
     /// The reference run (always present).
     pub fn reference(&self) -> &RunRecord {
         self.runs
@@ -227,8 +270,20 @@ where
 {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
+        .unwrap_or(4);
+    parallel_map_with_threads(items, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (`threads <= 1` runs
+/// sequentially on the caller's thread). Output order is always the input
+/// order, so results are deterministic regardless of `threads`.
+pub fn parallel_map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &T)) -> R + Sync,
+{
+    let threads = threads.min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f((i, t))).collect();
     }

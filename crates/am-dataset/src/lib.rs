@@ -17,7 +17,9 @@
 pub mod error;
 pub mod generate;
 pub mod spec;
+pub mod store;
 
 pub use error::DatasetError;
-pub use generate::{Capture, RunRecord, RunRole, TrajectorySet};
+pub use generate::{Capture, RunRecord, RunRole, TrajectorySet, Transform};
 pub use spec::{ExperimentSpec, ProcessMix, Profile};
+pub use store::{CaptureStats, CaptureStore, SharedCaptures};

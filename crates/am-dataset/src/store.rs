@@ -1,0 +1,251 @@
+//! Memoized capture artifacts for one experiment.
+//!
+//! The evaluation grid asks for the same (channel × transform) capture
+//! set once per detector; without memoization every cell re-simulates the
+//! DAQ (and the STFT on top of it). [`CaptureStore`] generates each
+//! artifact exactly once per key behind a per-slot `parking_lot` mutex:
+//! the first requester generates while holding only its own slot's lock,
+//! concurrent requesters of the *same* key block until it is ready, and
+//! requests for *different* keys proceed in parallel. Spectrogram slots
+//! are derived from the raw slot of the same channel, so the underlying
+//! DAQ simulation also runs at most once per channel.
+//!
+//! Captures are handed out as `Arc`s, so splits built over the store are
+//! cheap views: cloning a capture set is a pointer bump, not a signal
+//! copy.
+
+use crate::error::DatasetError;
+use crate::generate::{parallel_map, Capture, TrajectorySet, Transform};
+use am_dsp::stft::log_spectrogram;
+use am_sensors::channel::SideChannel;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A memoized capture set: one `Arc<Capture>` per run, reference first.
+pub type SharedCaptures = Arc<Vec<Arc<Capture>>>;
+
+/// Cache counters of a [`CaptureStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CaptureStats {
+    /// Requests served from a populated slot.
+    pub hits: usize,
+    /// Requests that had to generate the artifact.
+    pub misses: usize,
+    /// Nanoseconds spent generating artifacts (capture + STFT).
+    pub generation_nanos: u64,
+}
+
+impl CaptureStats {
+    /// Fraction of requests served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Seconds spent generating artifacts.
+    pub fn generation_seconds(&self) -> f64 {
+        self.generation_nanos as f64 / 1e9
+    }
+
+    /// Accumulates another store's counters.
+    pub fn merge(&mut self, other: &CaptureStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.generation_nanos += other.generation_nanos;
+    }
+}
+
+const CHANNELS: usize = 6;
+const TRANSFORMS: usize = 2;
+
+fn slot_index(channel: SideChannel, transform: Transform) -> usize {
+    let c = SideChannel::all()
+        .iter()
+        .position(|&ch| ch == channel)
+        .expect("all() covers every channel");
+    let t = match transform {
+        Transform::Raw => 0,
+        Transform::Spectrogram => 1,
+    };
+    c * TRANSFORMS + t
+}
+
+/// Lazily generated, memoized (channel × transform) capture sets over one
+/// [`TrajectorySet`].
+pub struct CaptureStore<'a> {
+    set: &'a TrajectorySet,
+    slots: Vec<Mutex<Option<SharedCaptures>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    generation_nanos: AtomicU64,
+}
+
+impl<'a> CaptureStore<'a> {
+    /// Creates an empty store over a trajectory set.
+    pub fn new(set: &'a TrajectorySet) -> Self {
+        CaptureStore {
+            set,
+            slots: (0..CHANNELS * TRANSFORMS)
+                .map(|_| Mutex::new(None))
+                .collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            generation_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying trajectory set.
+    pub fn set(&self) -> &TrajectorySet {
+        self.set
+    }
+
+    /// Returns the capture set for a key, generating it on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and STFT failures. A failed generation is not
+    /// cached; the next request retries.
+    pub fn get(
+        &self,
+        channel: SideChannel,
+        transform: Transform,
+    ) -> Result<SharedCaptures, DatasetError> {
+        let mut slot = self.slots[slot_index(channel, transform)].lock();
+        if let Some(captures) = slot.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(captures.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
+        let captures: SharedCaptures = match transform {
+            Transform::Raw => Arc::new(
+                self.set
+                    .capture_channel(channel)?
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
+            ),
+            Transform::Spectrogram => {
+                // Derive from the raw slot so the DAQ simulation runs at
+                // most once per channel. Different mutex, no lock cycle.
+                let raw = self.get(channel, Transform::Raw)?;
+                let stft = self.set.spec.profile.spectrogram(channel);
+                let specs: Vec<Result<Arc<Capture>, DatasetError>> =
+                    parallel_map(&raw, |(_, capture)| {
+                        let spec = log_spectrogram(&capture.signal, &stft)?;
+                        Ok(Arc::new(Capture {
+                            role: capture.role.clone(),
+                            signal: spec,
+                            layer_times: capture.layer_times.clone(),
+                        }))
+                    });
+                Arc::new(specs.into_iter().collect::<Result<Vec<_>, _>>()?)
+            }
+        };
+        self.generation_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        *slot = Some(captures.clone());
+        Ok(captures)
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CaptureStats {
+        CaptureStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            generation_nanos: self.generation_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for CaptureStore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaptureStore")
+            .field("printer", &self.set.spec.printer)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ExperimentSpec, ProcessMix};
+    use am_printer::config::PrinterModel;
+
+    fn tiny_set() -> TrajectorySet {
+        TrajectorySet::generate_with_mix(
+            ExperimentSpec::small(PrinterModel::Um3),
+            ProcessMix {
+                train: 1,
+                test_benign: 1,
+                malicious_per_attack: 0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn memoizes_each_key_once() {
+        let set = tiny_set();
+        let store = CaptureStore::new(&set);
+        let a = store.get(SideChannel::Mag, Transform::Raw).unwrap();
+        let b = store.get(SideChannel::Mag, Transform::Raw).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second request must be a cache hit");
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(stats.generation_seconds() > 0.0);
+    }
+
+    #[test]
+    fn spectrogram_reuses_raw_capture() {
+        let set = tiny_set();
+        let store = CaptureStore::new(&set);
+        let spec = store.get(SideChannel::Mag, Transform::Spectrogram).unwrap();
+        // The spectrogram generation populated the raw slot too.
+        let stats = store.stats();
+        assert_eq!(stats.misses, 2, "spectrogram + its raw dependency");
+        let raw = store.get(SideChannel::Mag, Transform::Raw).unwrap();
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(spec.len(), raw.len());
+        for (s, r) in spec.iter().zip(raw.iter()) {
+            assert_eq!(s.role, r.role);
+            assert_ne!(s.signal.fs(), r.signal.fs());
+        }
+    }
+
+    #[test]
+    fn matches_direct_capture() {
+        let set = tiny_set();
+        let store = CaptureStore::new(&set);
+        let stored = store.get(SideChannel::Acc, Transform::Raw).unwrap();
+        let direct = set.capture(SideChannel::Acc, Transform::Raw).unwrap();
+        assert_eq!(stored.len(), direct.len());
+        for (s, d) in stored.iter().zip(direct.iter()) {
+            assert_eq!(s.signal, d.signal);
+            assert_eq!(s.layer_times, d.layer_times);
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_generate_once() {
+        let set = tiny_set();
+        let store = CaptureStore::new(&set);
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| store.get(SideChannel::Aud, Transform::Spectrogram).unwrap());
+            }
+        })
+        .unwrap();
+        // 4 threads raced: exactly 2 generations (raw + spectrogram).
+        assert_eq!(store.stats().misses, 2);
+        assert_eq!(store.stats().hits + store.stats().misses, 5);
+    }
+}

@@ -10,7 +10,7 @@
 //!    isolated time-noise spikes in `h_dist`/`v_dist` raise the learned
 //!    thresholds (or fire false positives).
 
-use crate::harness::{eval_nsync, EvalError, Split, Transform};
+use crate::harness::{EvalError, Split, Transform};
 use crate::metrics::Rates;
 use am_dataset::{RunRole, TrajectorySet};
 use am_dsp::metrics::DistanceMetric;
@@ -165,8 +165,6 @@ pub fn per_attack_tpr(
 ) -> Result<Vec<(String, Rates)>, EvalError> {
     let split = Split::generate(set, channel, transform)?;
     let params = set.spec.profile.dwm_params(set.spec.printer);
-    let sync: Box<dyn Synchronizer + Send + Sync> = Box::new(DwmSynchronizer::new(params));
-    let _ = eval_nsync(&split, sync, 0.3)?; // warm validation of the split
     let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
     let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;

@@ -1,0 +1,635 @@
+//! The unified detector abstraction: one trait, one verdict type, and a
+//! data-driven registry covering all seven IDSs the paper compares
+//! (§VIII, Tables V–IX).
+//!
+//! Before this module existed the repository drove the five baselines
+//! through `am_baselines::BaselineDetector` and the two NSYNC variants
+//! through `nsync::NsyncIds`, with one bespoke `eval_*` function per IDS.
+//! Here every IDS is a [`Detector`]: `fit` on the benign reference +
+//! training runs, `judge` each test run into a [`Verdict`]. Which cells
+//! of the (printer × channel × transform) grid an IDS participates in is
+//! expressed as data — [`Constraints`] — instead of `if transform == …`
+//! control flow scattered through the grid loop, so adding detector #8 is
+//! a [`DetectorSpec::registry`] entry, not a new driver.
+
+use crate::harness::EvalError;
+use am_baselines::bayens::BayensIds;
+use am_baselines::belikovetsky::BelikovetskyIds;
+use am_baselines::gao::GaoIds;
+use am_baselines::gatlin::GatlinIds;
+use am_baselines::moore::MooreIds;
+use am_baselines::{BaselineDetector, RunData};
+use am_dataset::{Profile, Transform};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sync::{DtwSynchronizer, DwmParams, DwmSynchronizer, Synchronizer};
+use nsync::discriminator::SubModule;
+use nsync::{NsyncIds, TrainedIds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven IDSs of the paper's comparison, in registry order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// Moore: point-by-point MAE, no DSYNC (Table V left).
+    Moore,
+    /// Gao: Moore re-aligned at every layer change (Table V right).
+    Gao,
+    /// Gatlin: layer timing + per-layer fingerprints (Table VII).
+    Gatlin,
+    /// Bayens: Dejavu-style audio fingerprinting (Table VI).
+    Bayens,
+    /// Belikovetsky: PCA + cosine on audio spectrograms (§VIII-C).
+    Belikovetsky,
+    /// NSYNC with the DWM synchronizer (Table VIII).
+    NsyncDwm,
+    /// NSYNC with the (Fast)DTW synchronizer (Table IX).
+    NsyncDtw,
+}
+
+impl DetectorKind {
+    /// All seven kinds, in registry order.
+    pub fn all() -> [DetectorKind; 7] {
+        [
+            DetectorKind::Moore,
+            DetectorKind::Gao,
+            DetectorKind::Gatlin,
+            DetectorKind::Bayens,
+            DetectorKind::Belikovetsky,
+            DetectorKind::NsyncDwm,
+            DetectorKind::NsyncDtw,
+        ]
+    }
+
+    /// Which grid cells this IDS participates in, as data (§VIII-C/D:
+    /// Bayens and Belikovetsky are audio-only; Gatlin raw-only;
+    /// Belikovetsky spectrogram-only; DTW "took forever" on raw signals).
+    pub fn constraints(self) -> Constraints {
+        match self {
+            DetectorKind::Moore | DetectorKind::Gao | DetectorKind::NsyncDwm => Constraints {
+                channel: None,
+                raw: true,
+                spectrogram: true,
+            },
+            DetectorKind::Gatlin => Constraints {
+                channel: None,
+                raw: true,
+                spectrogram: false,
+            },
+            DetectorKind::Bayens => Constraints {
+                channel: Some(SideChannel::Aud),
+                raw: true,
+                spectrogram: false,
+            },
+            DetectorKind::Belikovetsky => Constraints {
+                channel: Some(SideChannel::Aud),
+                raw: false,
+                spectrogram: true,
+            },
+            DetectorKind::NsyncDtw => Constraints {
+                channel: None,
+                raw: false,
+                spectrogram: true,
+            },
+        }
+    }
+
+    /// The Fig 12 bar label ("(T)" marks IDSs that see ground-truth layer
+    /// times, as in the paper).
+    pub fn fig12_label(self) -> &'static str {
+        match self {
+            DetectorKind::Moore => "Moore",
+            DetectorKind::Gao => "Gao",
+            DetectorKind::Gatlin => "Gatlin (T)",
+            DetectorKind::Bayens => "Bayens (T)",
+            DetectorKind::Belikovetsky => "Belikovetsky",
+            DetectorKind::NsyncDwm => "NSYNC/DWM (T)",
+            DetectorKind::NsyncDtw => "NSYNC/DTW (T)",
+        }
+    }
+}
+
+impl fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DetectorKind::Moore => "Moore",
+            DetectorKind::Gao => "Gao",
+            DetectorKind::Gatlin => "Gatlin",
+            DetectorKind::Bayens => "Bayens",
+            DetectorKind::Belikovetsky => "Belikovetsky",
+            DetectorKind::NsyncDwm => "NSYNC/DWM",
+            DetectorKind::NsyncDtw => "NSYNC/DTW",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-IDS applicability constraints, expressed as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Constraints {
+    /// `Some(ch)` restricts the IDS to one channel (audio-only IDSs);
+    /// `None` means every kept channel.
+    pub channel: Option<SideChannel>,
+    /// Accepts raw signals.
+    pub raw: bool,
+    /// Accepts Table III spectrograms.
+    pub spectrogram: bool,
+}
+
+impl Constraints {
+    /// `true` if the IDS runs on this (channel, transform) cell.
+    pub fn supports(&self, channel: SideChannel, transform: Transform) -> bool {
+        let channel_ok = self.channel.is_none_or(|only| only == channel);
+        let transform_ok = match transform {
+            Transform::Raw => self.raw,
+            Transform::Spectrogram => self.spectrogram,
+        };
+        channel_ok && transform_ok
+    }
+
+    /// The channels this IDS evaluates over, against the kept set.
+    pub fn channels(&self) -> Vec<SideChannel> {
+        match self.channel {
+            Some(only) => vec![only],
+            None => SideChannel::kept().to_vec(),
+        }
+    }
+
+    /// The transforms this IDS evaluates over.
+    pub fn transforms(&self) -> Vec<Transform> {
+        Transform::both()
+            .into_iter()
+            .filter(|t| self.supports(self.channel.unwrap_or(SideChannel::Acc), *t))
+            .collect()
+    }
+}
+
+/// One registry entry: an IDS plus its instantiation parameters. Bayens
+/// appears once per retrieval window (the rows of Table VI).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSpec {
+    /// Which IDS.
+    pub kind: DetectorKind,
+    /// Bayens retrieval window in seconds (`None` for every other kind).
+    pub window_s: Option<f64>,
+}
+
+impl DetectorSpec {
+    /// A spec without parameters.
+    pub fn of(kind: DetectorKind) -> Self {
+        DetectorSpec {
+            kind,
+            window_s: None,
+        }
+    }
+
+    /// The full registry for a profile: all seven IDSs, with Bayens
+    /// expanded to the profile's two retrieval windows.
+    pub fn registry(profile: Profile) -> Vec<DetectorSpec> {
+        let mut out = Vec::new();
+        for kind in DetectorKind::all() {
+            if kind == DetectorKind::Bayens {
+                for window in profile.bayens_windows() {
+                    out.push(DetectorSpec {
+                        kind,
+                        window_s: Some(window),
+                    });
+                }
+            } else {
+                out.push(DetectorSpec::of(kind));
+            }
+        }
+        out
+    }
+
+    /// Display label (windows make Bayens entries distinguishable).
+    pub fn label(&self) -> String {
+        match self.window_s {
+            Some(w) => format!("{}({w}s)", self.kind),
+            None => self.kind.to_string(),
+        }
+    }
+
+    /// Instantiates an untrained detector for a printer at a profile.
+    pub fn build(&self, profile: Profile, printer: PrinterModel) -> Box<dyn Detector> {
+        match self.kind {
+            DetectorKind::Moore => Box::new(MooreDetector { trained: None }),
+            DetectorKind::Gao => Box::new(GaoDetector { trained: None }),
+            DetectorKind::Gatlin => Box::new(GatlinDetector { trained: None }),
+            DetectorKind::Bayens => Box::new(BayensDetector {
+                window_s: self.window_s.unwrap_or_else(|| profile.bayens_windows()[0]),
+                trained: None,
+            }),
+            DetectorKind::Belikovetsky => Box::new(BelikovetskyDetector { trained: None }),
+            DetectorKind::NsyncDwm => Box::new(NsyncDetector {
+                synchronizer: SyncChoice::Dwm(profile.dwm_params(printer)),
+                r: profile.nsync_r(),
+                trained: None,
+            }),
+            DetectorKind::NsyncDtw => Box::new(NsyncDetector {
+                synchronizer: SyncChoice::Dtw,
+                r: profile.nsync_r(),
+                trained: None,
+            }),
+        }
+    }
+}
+
+/// Every sub-module any of the seven IDSs reports, unified (previously
+/// split between `nsync::discriminator::SubModule` and the stringly-typed
+/// `am_baselines::Verdict::sub_modules`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubModuleId {
+    /// NSYNC: CADHD (Eq 17–18).
+    CDisp,
+    /// NSYNC: horizontal distance (Eq 19).
+    HDist,
+    /// NSYNC: vertical distance (Eq 20).
+    VDist,
+    /// Gatlin: layer-change timing.
+    Time,
+    /// Gatlin: per-layer fingerprint matching.
+    Match,
+    /// Bayens: window-sequence check.
+    Sequence,
+    /// Bayens: retrieval-score threshold.
+    Threshold,
+}
+
+impl SubModuleId {
+    /// Parses the baseline crates' sub-module names.
+    pub fn parse(name: &str) -> Option<SubModuleId> {
+        match name {
+            "c_disp" => Some(SubModuleId::CDisp),
+            "h_dist" => Some(SubModuleId::HDist),
+            "v_dist" => Some(SubModuleId::VDist),
+            "time" => Some(SubModuleId::Time),
+            "match" => Some(SubModuleId::Match),
+            "sequence" => Some(SubModuleId::Sequence),
+            "threshold" => Some(SubModuleId::Threshold),
+            _ => None,
+        }
+    }
+}
+
+impl From<SubModule> for SubModuleId {
+    fn from(m: SubModule) -> Self {
+        match m {
+            SubModule::CDisp => SubModuleId::CDisp,
+            SubModule::HDist => SubModuleId::HDist,
+            SubModule::VDist => SubModuleId::VDist,
+        }
+    }
+}
+
+impl fmt::Display for SubModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SubModuleId::CDisp => "c_disp",
+            SubModuleId::HDist => "h_dist",
+            SubModuleId::VDist => "v_dist",
+            SubModuleId::Time => "time",
+            SubModuleId::Match => "match",
+            SubModuleId::Sequence => "sequence",
+            SubModuleId::Threshold => "threshold",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detector's decision on one run — the single verdict type every IDS
+/// funnels into.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// `true` if the IDS declares an intrusion.
+    pub intrusion: bool,
+    /// Per-sub-module outcomes, in the IDS's fixed order.
+    pub sub_modules: Vec<(SubModuleId, bool)>,
+    /// Earliest window index at which any sub-module fired (IDSs that
+    /// don't localize alerts report `None`).
+    pub first_alert_index: Option<usize>,
+}
+
+impl Verdict {
+    /// A verdict with no sub-modules.
+    pub fn simple(intrusion: bool) -> Self {
+        Verdict {
+            intrusion,
+            sub_modules: Vec::new(),
+            first_alert_index: None,
+        }
+    }
+
+    /// Whether the given sub-module fired (`false` if absent).
+    pub fn fired(&self, id: SubModuleId) -> bool {
+        self.sub_modules.iter().any(|&(m, fired)| m == id && fired)
+    }
+}
+
+impl From<am_baselines::Verdict> for Verdict {
+    fn from(v: am_baselines::Verdict) -> Self {
+        Verdict {
+            intrusion: v.intrusion,
+            sub_modules: v
+                .sub_modules
+                .iter()
+                .filter_map(|(name, fired)| SubModuleId::parse(name).map(|id| (id, *fired)))
+                .collect(),
+            first_alert_index: None,
+        }
+    }
+}
+
+impl From<nsync::Detection> for Verdict {
+    fn from(d: nsync::Detection) -> Self {
+        Verdict {
+            intrusion: d.intrusion,
+            sub_modules: SubModule::all()
+                .into_iter()
+                .map(|m| (SubModuleId::from(m), d.fired(m)))
+                .collect(),
+            first_alert_index: d.first_alert_index,
+        }
+    }
+}
+
+/// The unified interface all seven IDSs implement: fit on the benign
+/// reference + training runs, then judge test runs.
+pub trait Detector: Send {
+    /// Display name.
+    fn name(&self) -> String;
+
+    /// Trains on the benign reference and OCC training runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying IDS's training failures.
+    fn fit(&mut self, reference: &RunData, train: &[RunData]) -> Result<(), EvalError>;
+
+    /// Classifies one observed run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::NotFitted`] before [`Detector::fit`], and
+    /// propagates the underlying IDS's failures.
+    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError>;
+}
+
+/// OCC margin the paper plugs into the baselines that lack a published
+/// decision module (`r = 0`, §III / §VIII-C).
+const BASELINE_R: f64 = 0.0;
+
+/// Comparison block size for the point-by-point baselines: ~100
+/// comparisons per second of signal keeps raw multi-kHz channels cheap
+/// without changing behaviour.
+fn moore_block(fs: f64) -> usize {
+    ((fs / 100.0).round() as usize).max(1)
+}
+
+fn not_fitted(name: &str) -> EvalError {
+    EvalError::NotFitted(name.to_string())
+}
+
+struct MooreDetector {
+    trained: Option<MooreIds>,
+}
+
+impl Detector for MooreDetector {
+    fn name(&self) -> String {
+        "Moore".into()
+    }
+
+    fn fit(&mut self, reference: &RunData, train: &[RunData]) -> Result<(), EvalError> {
+        self.trained = Some(MooreIds::train_with_block(
+            reference,
+            train,
+            BASELINE_R,
+            moore_block(reference.signal.fs()),
+        )?);
+        Ok(())
+    }
+
+    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError> {
+        let ids = self.trained.as_ref().ok_or_else(|| not_fitted("Moore"))?;
+        Ok(ids.detect(run)?.into())
+    }
+}
+
+struct GaoDetector {
+    trained: Option<GaoIds>,
+}
+
+impl Detector for GaoDetector {
+    fn name(&self) -> String {
+        "Gao".into()
+    }
+
+    fn fit(&mut self, reference: &RunData, train: &[RunData]) -> Result<(), EvalError> {
+        self.trained = Some(GaoIds::train_with_block(
+            reference,
+            train,
+            BASELINE_R,
+            moore_block(reference.signal.fs()),
+        )?);
+        Ok(())
+    }
+
+    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError> {
+        let ids = self.trained.as_ref().ok_or_else(|| not_fitted("Gao"))?;
+        Ok(ids.detect(run)?.into())
+    }
+}
+
+struct GatlinDetector {
+    trained: Option<GatlinIds>,
+}
+
+impl Detector for GatlinDetector {
+    fn name(&self) -> String {
+        "Gatlin".into()
+    }
+
+    fn fit(&mut self, reference: &RunData, train: &[RunData]) -> Result<(), EvalError> {
+        self.trained = Some(GatlinIds::train(reference, train, BASELINE_R)?);
+        Ok(())
+    }
+
+    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError> {
+        let ids = self.trained.as_ref().ok_or_else(|| not_fitted("Gatlin"))?;
+        Ok(ids.detect(run)?.into())
+    }
+}
+
+struct BayensDetector {
+    window_s: f64,
+    trained: Option<BayensIds>,
+}
+
+impl Detector for BayensDetector {
+    fn name(&self) -> String {
+        format!("Bayens({}s)", self.window_s)
+    }
+
+    fn fit(&mut self, reference: &RunData, train: &[RunData]) -> Result<(), EvalError> {
+        self.trained = Some(BayensIds::train(
+            reference,
+            train,
+            self.window_s,
+            BASELINE_R,
+        )?);
+        Ok(())
+    }
+
+    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError> {
+        let ids = self.trained.as_ref().ok_or_else(|| not_fitted("Bayens"))?;
+        Ok(ids.detect(run)?.into())
+    }
+}
+
+struct BelikovetskyDetector {
+    trained: Option<BelikovetskyIds>,
+}
+
+impl Detector for BelikovetskyDetector {
+    fn name(&self) -> String {
+        "Belikovetsky".into()
+    }
+
+    fn fit(&mut self, reference: &RunData, _train: &[RunData]) -> Result<(), EvalError> {
+        // Belikovetsky's fixed 0.63 rule needs only the reference.
+        self.trained = Some(BelikovetskyIds::train(reference)?);
+        Ok(())
+    }
+
+    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError> {
+        let ids = self
+            .trained
+            .as_ref()
+            .ok_or_else(|| not_fitted("Belikovetsky"))?;
+        Ok(ids.detect(run)?.into())
+    }
+}
+
+/// Which synchronizer an NSYNC instance uses, as data.
+enum SyncChoice {
+    Dwm(DwmParams),
+    Dtw,
+}
+
+impl SyncChoice {
+    fn make(&self) -> Box<dyn Synchronizer + Send + Sync> {
+        match self {
+            SyncChoice::Dwm(params) => Box::new(DwmSynchronizer::new(*params)),
+            SyncChoice::Dtw => Box::new(DtwSynchronizer::default()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            SyncChoice::Dwm(_) => "NSYNC/DWM",
+            SyncChoice::Dtw => "NSYNC/DTW",
+        }
+    }
+}
+
+struct NsyncDetector {
+    synchronizer: SyncChoice,
+    r: f64,
+    trained: Option<TrainedIds>,
+}
+
+impl Detector for NsyncDetector {
+    fn name(&self) -> String {
+        self.synchronizer.name().into()
+    }
+
+    fn fit(&mut self, reference: &RunData, train: &[RunData]) -> Result<(), EvalError> {
+        let ids = NsyncIds::new(self.synchronizer.make());
+        let signals: Vec<am_dsp::Signal> = train.iter().map(|r| r.signal.clone()).collect();
+        self.trained = Some(ids.train(&signals, reference.signal.clone(), self.r)?);
+        Ok(())
+    }
+
+    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError> {
+        let ids = self
+            .trained
+            .as_ref()
+            .ok_or_else(|| not_fitted(self.synchronizer.name()))?;
+        Ok(ids.detect(&run.signal)?.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_seven() {
+        let specs = DetectorSpec::registry(Profile::Small);
+        assert_eq!(specs.len(), 8, "Bayens appears once per window");
+        let kinds: std::collections::HashSet<DetectorKind> = specs.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds.len(), 7);
+        let bayens: Vec<f64> = specs.iter().filter_map(|s| s.window_s).collect();
+        assert_eq!(bayens, Profile::Small.bayens_windows().to_vec());
+        assert_eq!(specs[0].label(), "Moore");
+        assert!(specs.iter().any(|s| s.label() == "Bayens(20s)"));
+    }
+
+    #[test]
+    fn constraints_encode_the_papers_applicability() {
+        use SideChannel::{Acc, Aud};
+        use Transform::{Raw, Spectrogram};
+        let c = DetectorKind::Bayens.constraints();
+        assert!(c.supports(Aud, Raw));
+        assert!(!c.supports(Acc, Raw), "Bayens is audio-only");
+        assert!(!c.supports(Aud, Spectrogram));
+        let c = DetectorKind::Belikovetsky.constraints();
+        assert!(c.supports(Aud, Spectrogram));
+        assert!(!c.supports(Aud, Raw));
+        let c = DetectorKind::NsyncDtw.constraints();
+        assert!(!c.supports(Acc, Raw), "DTW took forever on raw signals");
+        assert!(c.supports(Acc, Spectrogram));
+        assert_eq!(DetectorKind::Gatlin.constraints().transforms(), vec![Raw]);
+        assert_eq!(DetectorKind::Moore.constraints().channels().len(), 4);
+        assert_eq!(DetectorKind::Bayens.constraints().channels(), vec![Aud]);
+    }
+
+    #[test]
+    fn judge_before_fit_is_an_error() {
+        let spec = DetectorSpec::of(DetectorKind::Moore);
+        let det = spec.build(Profile::Small, PrinterModel::Um3);
+        let run = RunData::new(
+            am_dsp::Signal::mono(10.0, vec![0.0; 32]).unwrap(),
+            vec![0.0],
+        );
+        assert!(matches!(det.judge(&run), Err(EvalError::NotFitted(_))));
+    }
+
+    #[test]
+    fn verdict_conversions_keep_sub_modules() {
+        let b = am_baselines::Verdict {
+            intrusion: true,
+            sub_modules: vec![
+                ("time".into(), true),
+                ("match".into(), false),
+                ("unknown".into(), true),
+            ],
+        };
+        let v: Verdict = b.into();
+        assert!(v.intrusion);
+        assert!(v.fired(SubModuleId::Time));
+        assert!(!v.fired(SubModuleId::Match));
+        assert_eq!(v.sub_modules.len(), 2, "unknown names are dropped");
+        assert_eq!(v.first_alert_index, None);
+        assert!(!Verdict::simple(false).intrusion);
+        assert_eq!(SubModuleId::parse("v_dist"), Some(SubModuleId::VDist));
+        assert_eq!(SubModuleId::Sequence.to_string(), "sequence");
+    }
+
+    #[test]
+    fn fig12_labels_are_the_published_names() {
+        assert_eq!(DetectorKind::NsyncDwm.fig12_label(), "NSYNC/DWM (T)");
+        assert_eq!(DetectorKind::Moore.to_string(), "Moore");
+        assert_eq!(DetectorKind::NsyncDtw.to_string(), "NSYNC/DTW");
+    }
+}

@@ -1,0 +1,398 @@
+//! The parallel evaluation engine: one work-list of grid cells, one
+//! driver for all seven IDSs.
+//!
+//! A *cell* is (detector spec × printer × channel × transform). The
+//! engine expands the [`crate::detector::DetectorSpec::registry`] against
+//! each detector's [`crate::detector::Constraints`] into a deterministic
+//! work list, evaluates the cells on a scoped thread pool, and returns
+//! them in work-list order — so [`GridResults`] is byte-identical
+//! regardless of thread count. Captures are shared through a
+//! [`CaptureStore`] per printer: each (channel × transform) artifact is
+//! generated once, however many detectors consume it.
+
+use crate::detector::{DetectorSpec, Verdict};
+use crate::harness::{to_run_data, EvalError, Split};
+use crate::metrics::Rates;
+use crate::tables::TableContext;
+use am_dataset::generate::parallel_map_with_threads;
+use am_dataset::{CaptureStats, CaptureStore, Profile, Transform};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+
+pub use crate::detector::{Constraints, Detector, DetectorKind, SubModuleId};
+
+/// One detector's aggregate result on one cell: overall rates plus the
+/// per-sub-module breakdown the tables report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Outcome {
+    /// The IDS's top-level decision rates.
+    pub overall: Rates,
+    /// Per-sub-module rates, in the IDS's fixed reporting order.
+    pub sub_modules: Vec<(SubModuleId, Rates)>,
+}
+
+impl Outcome {
+    /// Folds one verdict into the tallies.
+    pub fn record(&mut self, malicious: bool, verdict: &Verdict) {
+        self.overall.record(malicious, verdict.intrusion);
+        for &(id, fired) in &verdict.sub_modules {
+            match self.sub_modules.iter_mut().find(|(m, _)| *m == id) {
+                Some((_, r)) => r.record(malicious, fired),
+                None => {
+                    let mut r = Rates::default();
+                    r.record(malicious, fired);
+                    self.sub_modules.push((id, r));
+                }
+            }
+        }
+    }
+
+    /// Rates of one sub-module (zero if the IDS never reported it).
+    pub fn sub(&self, id: SubModuleId) -> Rates {
+        self.sub_modules
+            .iter()
+            .find(|(m, _)| *m == id)
+            .map(|(_, r)| *r)
+            .unwrap_or_default()
+    }
+}
+
+/// One evaluated cell of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Which detector (with parameters).
+    pub spec: DetectorSpec,
+    /// Printer.
+    pub printer: PrinterModel,
+    /// Side channel.
+    pub channel: SideChannel,
+    /// Raw or spectrogram.
+    pub transform: Transform,
+    /// The detector's rates on this cell.
+    pub outcome: Outcome,
+}
+
+/// Everything §VIII measures, computed once, in deterministic cell order
+/// (printer → registry → channel → transform).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GridResults {
+    /// All evaluated cells.
+    pub cells: Vec<GridCell>,
+}
+
+impl GridResults {
+    /// Cells of one detector kind (all parameterizations), in grid order.
+    pub fn kind_cells(&self, kind: DetectorKind) -> impl Iterator<Item = &GridCell> {
+        self.cells.iter().filter(move |c| c.spec.kind == kind)
+    }
+
+    /// The first cell matching a full key (`window` disambiguates Bayens).
+    pub fn get(
+        &self,
+        kind: DetectorKind,
+        printer: PrinterModel,
+        channel: SideChannel,
+        transform: Transform,
+    ) -> Option<&GridCell> {
+        self.cells.iter().find(|c| {
+            c.spec.kind == kind
+                && c.printer == printer
+                && c.channel == channel
+                && c.transform == transform
+        })
+    }
+}
+
+/// Wall-clock timings of one evaluated cell (reported, never compared —
+/// timings live outside [`GridResults`] so determinism checks stay
+/// byte-exact).
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// Detector label (window-qualified for Bayens).
+    pub label: String,
+    /// Printer.
+    pub printer: PrinterModel,
+    /// Side channel.
+    pub channel: SideChannel,
+    /// Raw or spectrogram.
+    pub transform: Transform,
+    /// Seconds spent in `fit` (training, including synchronization).
+    pub fit_seconds: f64,
+    /// Seconds spent judging the test runs.
+    pub judge_seconds: f64,
+}
+
+/// Engine-level measurements for one grid run.
+#[derive(Debug, Clone, Default)]
+pub struct GridReport {
+    /// End-to-end wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Capture-store counters, merged over all printers.
+    pub capture: CaptureStats,
+    /// Per-cell timings, in grid order.
+    pub cells: Vec<CellTiming>,
+}
+
+impl GridReport {
+    /// Total seconds spent fitting detectors (summed over cells, so this
+    /// exceeds wall-clock when threads > 1).
+    pub fn fit_seconds(&self) -> f64 {
+        self.cells.iter().map(|c| c.fit_seconds).sum()
+    }
+
+    /// Total seconds spent judging test runs.
+    pub fn judge_seconds(&self) -> f64 {
+        self.cells.iter().map(|c| c.judge_seconds).sum()
+    }
+}
+
+/// How the engine schedules work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Worker threads; `None` consults `AM_EVAL_THREADS`, then the
+    /// machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl EngineConfig {
+    /// A config pinned to an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig {
+            threads: Some(threads),
+        }
+    }
+
+    /// Resolves the effective worker count.
+    pub fn resolve_threads(&self) -> usize {
+        if let Some(t) = self.threads {
+            return t.max(1);
+        }
+        if let Some(t) = std::env::var("AM_EVAL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return t.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Trains one detector spec on a split and judges every test run.
+///
+/// This is the single evaluation driver behind every grid cell (and the
+/// per-IDS bench targets).
+///
+/// # Errors
+///
+/// Propagates training and detection failures.
+pub fn evaluate_split(
+    spec: &DetectorSpec,
+    profile: Profile,
+    printer: PrinterModel,
+    split: &Split,
+) -> Result<Outcome, EvalError> {
+    Ok(evaluate_split_timed(spec, profile, printer, split)?.0)
+}
+
+fn evaluate_split_timed(
+    spec: &DetectorSpec,
+    profile: Profile,
+    printer: PrinterModel,
+    split: &Split,
+) -> Result<(Outcome, f64, f64), EvalError> {
+    let mut detector = spec.build(profile, printer);
+    let reference = to_run_data(&split.reference);
+    let train: Vec<_> = split.train.iter().map(|c| to_run_data(c)).collect();
+    let t_fit = std::time::Instant::now();
+    detector.fit(&reference, &train)?;
+    let fit_seconds = t_fit.elapsed().as_secs_f64();
+    let mut outcome = Outcome::default();
+    let t_judge = std::time::Instant::now();
+    for test in &split.tests {
+        let verdict = detector.judge(&to_run_data(test))?;
+        outcome.record(!test.role.is_benign(), &verdict);
+    }
+    Ok((outcome, fit_seconds, t_judge.elapsed().as_secs_f64()))
+}
+
+/// Runs the full evaluation grid with the default configuration. This is
+/// the expensive call; everything downstream (tables, Fig 12) renders
+/// from the returned struct.
+///
+/// # Errors
+///
+/// Propagates capture and IDS failures.
+pub fn run_grid(ctx: &TableContext) -> Result<GridResults, EvalError> {
+    run_grid_with(ctx, &EngineConfig::default()).map(|(g, _)| g)
+}
+
+/// [`run_grid`] with explicit configuration, also returning timing and
+/// cache measurements.
+///
+/// # Errors
+///
+/// Propagates capture and IDS failures.
+pub fn run_grid_with(
+    ctx: &TableContext,
+    config: &EngineConfig,
+) -> Result<(GridResults, GridReport), EvalError> {
+    let t0 = std::time::Instant::now();
+    let threads = config.resolve_threads();
+    let mut grid = GridResults::default();
+    let mut report = GridReport {
+        threads,
+        ..GridReport::default()
+    };
+    for set in &ctx.sets {
+        let printer = set.spec.printer;
+        let profile = set.spec.profile;
+        let store = CaptureStore::new(set);
+        let work: Vec<(DetectorSpec, SideChannel, Transform)> = DetectorSpec::registry(profile)
+            .into_iter()
+            .flat_map(|spec| {
+                let constraints = spec.kind.constraints();
+                constraints
+                    .channels()
+                    .into_iter()
+                    .flat_map(move |channel| {
+                        constraints
+                            .transforms()
+                            .into_iter()
+                            .map(move |transform| (spec, channel, transform))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let evaluated = parallel_map_with_threads(&work, threads, |(_, cell)| {
+            let (spec, channel, transform) = *cell;
+            let captures = store.get(channel, transform)?;
+            let split = Split::from_shared(&captures)?;
+            let (outcome, fit_seconds, judge_seconds) =
+                evaluate_split_timed(&spec, profile, printer, &split)?;
+            Ok::<_, EvalError>((
+                GridCell {
+                    spec,
+                    printer,
+                    channel,
+                    transform,
+                    outcome,
+                },
+                CellTiming {
+                    label: spec.label(),
+                    printer,
+                    channel,
+                    transform,
+                    fit_seconds,
+                    judge_seconds,
+                },
+            ))
+        });
+        for result in evaluated {
+            let (cell, timing) = result?;
+            grid.cells.push(cell);
+            report.cells.push(timing);
+        }
+        report.capture.merge(&store.stats());
+    }
+    report.wall_seconds = t0.elapsed().as_secs_f64();
+    Ok((grid, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_dataset::spec::ProcessMix;
+    use am_dataset::{ExperimentSpec, TrajectorySet};
+
+    fn tiny_ctx() -> TableContext {
+        TableContext::from_sets(vec![TrajectorySet::generate_with_mix(
+            ExperimentSpec::small(PrinterModel::Um3),
+            ProcessMix {
+                train: 3,
+                test_benign: 2,
+                malicious_per_attack: 1,
+            },
+        )
+        .unwrap()])
+    }
+
+    #[test]
+    fn grid_covers_every_constrained_cell_exactly_once() {
+        let ctx = tiny_ctx();
+        let (grid, report) = run_grid_with(&ctx, &EngineConfig::with_threads(2)).unwrap();
+        // Moore 8 + Gao 8 + Gatlin 4 + Bayens 2x1 + Belikovetsky 1 +
+        // DWM 8 + DTW 4 = 35 cells for one printer.
+        assert_eq!(grid.cells.len(), 35);
+        assert_eq!(report.cells.len(), 35);
+        assert_eq!(grid.kind_cells(DetectorKind::Moore).count(), 8);
+        assert_eq!(grid.kind_cells(DetectorKind::Gatlin).count(), 4);
+        assert_eq!(grid.kind_cells(DetectorKind::Bayens).count(), 2);
+        assert_eq!(grid.kind_cells(DetectorKind::NsyncDtw).count(), 4);
+        assert!(grid
+            .kind_cells(DetectorKind::Gatlin)
+            .all(|c| c.transform == Transform::Raw));
+        assert!(grid
+            .kind_cells(DetectorKind::Bayens)
+            .all(|c| c.channel == SideChannel::Aud));
+        // Each (channel x transform) artifact was generated exactly once.
+        assert_eq!(report.capture.misses, 8);
+        assert!(report.capture.hits > report.capture.misses);
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.fit_seconds() > 0.0);
+        assert!(report.judge_seconds() > 0.0);
+        // Every outcome judged the full test mix.
+        for cell in &grid.cells {
+            assert_eq!(
+                cell.outcome.overall.benign + cell.outcome.overall.malicious,
+                7
+            );
+        }
+        let cell = grid
+            .get(
+                DetectorKind::NsyncDwm,
+                PrinterModel::Um3,
+                SideChannel::Mag,
+                Transform::Raw,
+            )
+            .unwrap();
+        assert_eq!(cell.outcome.sub_modules.len(), 3);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let ctx = tiny_ctx();
+        let (one, _) = run_grid_with(&ctx, &EngineConfig::with_threads(1)).unwrap();
+        let (four, _) = run_grid_with(&ctx, &EngineConfig::with_threads(4)).unwrap();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn config_resolution_prefers_explicit_threads() {
+        assert_eq!(EngineConfig::with_threads(0).resolve_threads(), 1);
+        assert_eq!(EngineConfig::with_threads(3).resolve_threads(), 3);
+        assert!(EngineConfig::default().resolve_threads() >= 1);
+    }
+
+    #[test]
+    fn outcome_bookkeeping() {
+        let mut o = Outcome::default();
+        o.record(
+            true,
+            &Verdict {
+                intrusion: true,
+                sub_modules: vec![(SubModuleId::Time, true), (SubModuleId::Match, false)],
+                first_alert_index: Some(3),
+            },
+        );
+        o.record(false, &Verdict::simple(false));
+        assert_eq!(o.overall.tp, 1);
+        assert_eq!(o.overall.benign, 1);
+        assert_eq!(o.sub(SubModuleId::Time).tp, 1);
+        assert_eq!(o.sub(SubModuleId::Match).tp, 0);
+        assert_eq!(o.sub(SubModuleId::CDisp), Rates::default());
+    }
+}

@@ -65,6 +65,7 @@ fn find_test(
         .tests
         .iter()
         .find(|c| pred(&c.role))
+        .map(|c| c.as_ref())
         .ok_or_else(|| EvalError::InvalidSplit("required test run missing".into()))
 }
 

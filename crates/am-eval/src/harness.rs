@@ -1,39 +1,20 @@
-//! Train/test splitting and per-IDS evaluation drivers.
+//! Train/test splits over capture sets, and the evaluation error type.
+//!
+//! The per-IDS drivers that used to live here (`eval_moore`, `eval_gao`,
+//! …, `eval_nsync`) are gone: every IDS now implements
+//! [`crate::detector::Detector`] and is driven by
+//! [`crate::engine::evaluate_split`].
 
-use crate::metrics::Rates;
-use am_baselines::bayens::BayensIds;
-use am_baselines::belikovetsky::BelikovetskyIds;
-use am_baselines::gao::GaoIds;
-use am_baselines::gatlin::GatlinIds;
-use am_baselines::moore::MooreIds;
-use am_baselines::{BaselineDetector, BaselineError, RunData};
+use am_baselines::{BaselineError, RunData};
 use am_dataset::{Capture, DatasetError, RunRole, TrajectorySet};
 use am_sensors::channel::SideChannel;
-use am_sync::{SyncError, Synchronizer};
-use nsync::discriminator::SubModule;
-use nsync::{NsyncError, NsyncIds};
-use serde::{Deserialize, Serialize};
+use am_sync::SyncError;
+use nsync::NsyncError;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-/// Signal transformation applied before an IDS sees the data (§VIII-A
-/// "Spectrograms").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Transform {
-    /// The raw captured signal.
-    Raw,
-    /// The Table III log-magnitude spectrogram.
-    Spectrogram,
-}
-
-impl fmt::Display for Transform {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Transform::Raw => "Raw",
-            Transform::Spectrogram => "Spectro.",
-        })
-    }
-}
+pub use am_dataset::Transform;
 
 /// Evaluation errors.
 #[derive(Debug)]
@@ -49,6 +30,8 @@ pub enum EvalError {
     Sync(SyncError),
     /// The split was unusable.
     InvalidSplit(String),
+    /// A detector was judged before being fitted.
+    NotFitted(String),
 }
 
 impl fmt::Display for EvalError {
@@ -59,6 +42,7 @@ impl fmt::Display for EvalError {
             EvalError::Baseline(e) => write!(f, "baseline: {e}"),
             EvalError::Sync(e) => write!(f, "sync: {e}"),
             EvalError::InvalidSplit(m) => write!(f, "invalid split: {m}"),
+            EvalError::NotFitted(name) => write!(f, "detector {name} judged before fit"),
         }
     }
 }
@@ -86,33 +70,36 @@ impl From<SyncError> for EvalError {
     }
 }
 
-/// A dataset split by role.
+/// A dataset split by role. Captures are held behind `Arc`, so splits
+/// built over a [`am_dataset::CaptureStore`] are cheap views — cloning a
+/// split (or building several splits over the same capture set) never
+/// copies a signal.
 #[derive(Debug, Clone)]
 pub struct Split {
     /// The reference capture.
-    pub reference: Capture,
+    pub reference: Arc<Capture>,
     /// OCC training captures (benign).
-    pub train: Vec<Capture>,
+    pub train: Vec<Arc<Capture>>,
     /// Test captures (benign + malicious; `role` tells which).
-    pub tests: Vec<Capture>,
+    pub tests: Vec<Arc<Capture>>,
 }
 
 impl Split {
-    /// Splits a capture set by role.
+    /// Splits shared captures by role without copying any signal.
     ///
     /// # Errors
     ///
     /// Returns [`EvalError::InvalidSplit`] if the reference or training
     /// captures are missing.
-    pub fn from_captures(captures: Vec<Capture>) -> Result<Split, EvalError> {
+    pub fn from_shared(captures: &[Arc<Capture>]) -> Result<Split, EvalError> {
         let mut reference = None;
         let mut train = Vec::new();
         let mut tests = Vec::new();
         for c in captures {
             match c.role {
-                RunRole::Reference => reference = Some(c),
-                RunRole::Train(_) => train.push(c),
-                RunRole::TestBenign(_) | RunRole::Malicious { .. } => tests.push(c),
+                RunRole::Reference => reference = Some(c.clone()),
+                RunRole::Train(_) => train.push(c.clone()),
+                RunRole::TestBenign(_) | RunRole::Malicious { .. } => tests.push(c.clone()),
             }
         }
         let reference =
@@ -127,7 +114,20 @@ impl Split {
         })
     }
 
+    /// Splits owned captures by role.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidSplit`] if the reference or training
+    /// captures are missing.
+    pub fn from_captures(captures: Vec<Capture>) -> Result<Split, EvalError> {
+        let shared: Vec<Arc<Capture>> = captures.into_iter().map(Arc::new).collect();
+        Split::from_shared(&shared)
+    }
+
     /// Generates the split for one channel + transform of an experiment.
+    /// Prefer building a [`am_dataset::CaptureStore`] when several
+    /// detectors share the same captures.
     ///
     /// # Errors
     ///
@@ -137,210 +137,20 @@ impl Split {
         channel: SideChannel,
         transform: Transform,
     ) -> Result<Split, EvalError> {
-        let captures = match transform {
-            Transform::Raw => set.capture_channel(channel)?,
-            Transform::Spectrogram => set.capture_spectrogram(channel)?,
-        };
-        Split::from_captures(captures)
+        Split::from_captures(set.capture(channel, transform)?)
     }
 }
 
-fn to_run_data(c: &Capture) -> RunData {
+/// Converts a capture into the baselines' run representation.
+pub fn to_run_data(c: &Capture) -> RunData {
     RunData::new(c.signal.clone(), c.layer_times.clone())
-}
-
-/// NSYNC evaluation outcome: overall plus per-sub-module rates (the
-/// "Individual Sub-Module Results" columns of Tables VIII/IX).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NsyncOutcome {
-    /// Any sub-module fires.
-    pub overall: Rates,
-    /// CADHD alone.
-    pub c_disp: Rates,
-    /// Horizontal distance alone.
-    pub h_dist: Rates,
-    /// Vertical distance alone.
-    pub v_dist: Rates,
-}
-
-/// Trains and tests an NSYNC instance on a split.
-///
-/// # Errors
-///
-/// Propagates pipeline failures.
-pub fn eval_nsync(
-    split: &Split,
-    synchronizer: Box<dyn Synchronizer + Send + Sync>,
-    r: f64,
-) -> Result<NsyncOutcome, EvalError> {
-    let ids = NsyncIds::new(synchronizer);
-    let train_signals: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
-    let trained = ids.train(&train_signals, split.reference.signal.clone(), r)?;
-    let mut out = NsyncOutcome::default();
-    for test in &split.tests {
-        let malicious = !test.role.is_benign();
-        let detection = trained.detect(&test.signal)?;
-        out.overall.record(malicious, detection.intrusion);
-        out.c_disp
-            .record(malicious, detection.fired(SubModule::CDisp));
-        out.h_dist
-            .record(malicious, detection.fired(SubModule::HDist));
-        out.v_dist
-            .record(malicious, detection.fired(SubModule::VDist));
-    }
-    Ok(out)
-}
-
-fn eval_detector<D: BaselineDetector>(
-    split: &Split,
-    detector: &D,
-) -> Result<(Rates, Vec<(String, Rates)>), EvalError> {
-    let mut overall = Rates::default();
-    let mut subs: Vec<(String, Rates)> = Vec::new();
-    for test in &split.tests {
-        let malicious = !test.role.is_benign();
-        let verdict = detector.detect(&to_run_data(test))?;
-        overall.record(malicious, verdict.intrusion);
-        for (name, fired) in &verdict.sub_modules {
-            match subs.iter_mut().find(|(n, _)| n == name) {
-                Some((_, r)) => r.record(malicious, *fired),
-                None => {
-                    let mut r = Rates::default();
-                    r.record(malicious, *fired);
-                    subs.push((name.clone(), r));
-                }
-            }
-        }
-    }
-    Ok((overall, subs))
-}
-
-/// Comparison block size for the point-by-point baselines: ~100
-/// comparisons per second of signal keeps raw multi-kHz channels cheap
-/// without changing behaviour.
-fn moore_block(fs: f64) -> usize {
-    ((fs / 100.0).round() as usize).max(1)
-}
-
-/// Evaluates Moore's IDS (no DSYNC) on a split.
-///
-/// # Errors
-///
-/// Propagates baseline failures.
-pub fn eval_moore(split: &Split, r: f64) -> Result<Rates, EvalError> {
-    let reference = to_run_data(&split.reference);
-    let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
-    let ids = MooreIds::train_with_block(
-        &reference,
-        &train,
-        r,
-        moore_block(split.reference.signal.fs()),
-    )?;
-    Ok(eval_detector(split, &ids)?.0)
-}
-
-/// Evaluates Gao's IDS (layer-level DSYNC) on a split.
-///
-/// # Errors
-///
-/// Propagates baseline failures.
-pub fn eval_gao(split: &Split, r: f64) -> Result<Rates, EvalError> {
-    let reference = to_run_data(&split.reference);
-    let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
-    let ids = GaoIds::train_with_block(
-        &reference,
-        &train,
-        r,
-        moore_block(split.reference.signal.fs()),
-    )?;
-    Ok(eval_detector(split, &ids)?.0)
-}
-
-/// Gatlin outcome with the Time / Match sub-modules of Table VII.
-#[derive(Debug, Clone, Default)]
-pub struct GatlinOutcome {
-    /// Either sub-module fires.
-    pub overall: Rates,
-    /// Layer-timing sub-module.
-    pub time: Rates,
-    /// Fingerprint-match sub-module.
-    pub matching: Rates,
-}
-
-/// Evaluates Gatlin's IDS on a split.
-///
-/// # Errors
-///
-/// Propagates baseline failures.
-pub fn eval_gatlin(split: &Split, r: f64) -> Result<GatlinOutcome, EvalError> {
-    let reference = to_run_data(&split.reference);
-    let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
-    let ids = GatlinIds::train(&reference, &train, r)?;
-    let (overall, subs) = eval_detector(split, &ids)?;
-    let find = |name: &str| {
-        subs.iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, r)| *r)
-            .unwrap_or_default()
-    };
-    Ok(GatlinOutcome {
-        overall,
-        time: find("time"),
-        matching: find("match"),
-    })
-}
-
-/// Bayens outcome with the Sequence / Threshold sub-modules of Table VI.
-#[derive(Debug, Clone, Default)]
-pub struct BayensOutcome {
-    /// Either sub-module fires.
-    pub overall: Rates,
-    /// Window-sequence sub-module.
-    pub sequence: Rates,
-    /// Retrieval-score sub-module.
-    pub threshold: Rates,
-}
-
-/// Evaluates Bayens' IDS (audio only) with the given retrieval window.
-///
-/// # Errors
-///
-/// Propagates baseline failures.
-pub fn eval_bayens(split: &Split, window_seconds: f64, r: f64) -> Result<BayensOutcome, EvalError> {
-    let reference = to_run_data(&split.reference);
-    let train: Vec<RunData> = split.train.iter().map(to_run_data).collect();
-    let ids = BayensIds::train(&reference, &train, window_seconds, r)?;
-    let (overall, subs) = eval_detector(split, &ids)?;
-    let find = |name: &str| {
-        subs.iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, r)| *r)
-            .unwrap_or_default()
-    };
-    Ok(BayensOutcome {
-        overall,
-        sequence: find("sequence"),
-        threshold: find("threshold"),
-    })
-}
-
-/// Evaluates Belikovetsky's IDS (audio spectrograms only).
-///
-/// # Errors
-///
-/// Propagates baseline failures.
-pub fn eval_belikovetsky(split: &Split) -> Result<Rates, EvalError> {
-    let reference = to_run_data(&split.reference);
-    let ids = BelikovetskyIds::train(&reference)?;
-    Ok(eval_detector(split, &ids)?.0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use am_dataset::ExperimentSpec;
+    use am_dataset::{CaptureStore, ExperimentSpec};
     use am_printer::config::PrinterModel;
-    use am_sync::DwmSynchronizer;
 
     fn small_set() -> TrajectorySet {
         TrajectorySet::generate(ExperimentSpec::small(PrinterModel::Um3)).unwrap()
@@ -363,46 +173,25 @@ mod tests {
     #[test]
     fn split_validation() {
         assert!(Split::from_captures(vec![]).is_err());
+        assert!(Split::from_shared(&[]).is_err());
     }
 
     #[test]
-    fn nsync_dwm_on_mag_raw_beats_chance() {
-        // A single channel/transform end-to-end smoke test; the full grid
-        // lives in the bench targets.
+    fn split_over_store_is_a_view() {
         let set = small_set();
-        let split = Split::generate(&set, SideChannel::Mag, Transform::Raw).unwrap();
-        let params = set.spec.profile.dwm_params(set.spec.printer);
-        let out = eval_nsync(
-            &split,
-            Box::new(DwmSynchronizer::new(params)),
-            set.spec.profile.nsync_r(),
-        )
-        .unwrap();
-        assert!(out.overall.accuracy() > 0.6, "{:?}", out.overall);
-        assert_eq!(
-            out.overall.benign + out.overall.malicious,
-            split.tests.len()
-        );
+        let store = CaptureStore::new(&set);
+        let captures = store.get(SideChannel::Mag, Transform::Raw).unwrap();
+        let a = Split::from_shared(&captures).unwrap();
+        let b = Split::from_shared(&captures).unwrap();
+        // Same underlying captures, no signal copies.
+        assert!(Arc::ptr_eq(&a.reference, &b.reference));
+        assert!(Arc::ptr_eq(&a.tests[0], &b.tests[0]));
+        assert_eq!(store.stats().misses, 1);
     }
 
     #[test]
-    fn moore_and_gao_run() {
-        let set = small_set();
-        let split = Split::generate(&set, SideChannel::Mag, Transform::Raw).unwrap();
-        let m = eval_moore(&split, 0.0).unwrap();
-        let g = eval_gao(&split, 0.0).unwrap();
-        assert_eq!(m.benign + m.malicious, split.tests.len());
-        assert_eq!(g.benign + g.malicious, split.tests.len());
-    }
-
-    #[test]
-    fn gatlin_submodules_populated() {
-        let set = small_set();
-        let split = Split::generate(&set, SideChannel::Mag, Transform::Raw).unwrap();
-        let out = eval_gatlin(&split, 0.0).unwrap();
-        assert_eq!(out.time.benign, out.overall.benign);
-        assert_eq!(out.matching.malicious, out.overall.malicious);
-        // Timing attacks (Speed0.95, Layer0.3) must be caught by Time.
-        assert!(out.time.tpr() > 0.3, "{:?}", out.time);
+    fn not_fitted_displays_detector_name() {
+        let e = EvalError::NotFitted("Moore".into());
+        assert!(e.to_string().contains("Moore"));
     }
 }

@@ -1,8 +1,11 @@
 //! Evaluation harness: reproduces every table and figure of §VIII.
 //!
 //! - [`metrics`]: FPR / TPR / accuracy bookkeeping,
-//! - [`harness`]: train/test splits and per-IDS evaluation drivers
-//!   (NSYNC with either synchronizer, plus the five baselines),
+//! - [`harness`]: train/test splits over shared capture sets,
+//! - [`detector`]: the unified [`detector::Detector`] trait and the
+//!   registry of all seven IDSs (NSYNC with either synchronizer, plus
+//!   the five baselines) with their applicability constraints as data,
+//! - [`engine`]: the cached, parallel, deterministic grid evaluator,
 //! - [`tables`]: Tables V–IX as runnable functions returning structured
 //!   rows,
 //! - [`figures`]: the numeric series behind Figs 1, 2, 6, 10, 11 and 12,
@@ -17,6 +20,8 @@
 
 pub mod ablations;
 pub mod degradation;
+pub mod detector;
+pub mod engine;
 pub mod figures;
 pub mod harness;
 pub mod metrics;
@@ -24,5 +29,10 @@ pub mod report;
 pub mod tables;
 
 pub use degradation::{degradation_sweep, degradation_table, DegradationPoint};
+pub use detector::{Constraints, Detector, DetectorKind, DetectorSpec, SubModuleId, Verdict};
+pub use engine::{
+    evaluate_split, run_grid, run_grid_with, EngineConfig, GridCell, GridReport, GridResults,
+    Outcome,
+};
 pub use harness::{EvalError, Split, Transform};
 pub use metrics::Rates;

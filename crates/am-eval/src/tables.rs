@@ -1,20 +1,20 @@
 //! Tables V–IX: the paper's detection-result tables as runnable code.
 //!
-//! [`run_grid`] computes every IDS over every (printer × channel ×
-//! transform) cell once; the `table*` functions render the published
-//! table layouts from those results. Regenerate everything with the
-//! `bench` crate's targets or `examples/reproduce_tables.rs`.
+//! [`crate::engine::run_grid`] computes every registered IDS over every
+//! (printer × channel × transform) cell once; the `table*` functions
+//! render the published table layouts from those results. Regenerate
+//! everything with the `bench` crate's targets or
+//! `examples/reproduce_tables.rs`.
 
-use crate::harness::{
-    eval_bayens, eval_belikovetsky, eval_gao, eval_gatlin, eval_moore, eval_nsync, BayensOutcome,
-    EvalError, GatlinOutcome, NsyncOutcome, Split, Transform,
-};
-use crate::metrics::Rates;
+use crate::detector::{DetectorKind, SubModuleId};
+use crate::engine::{GridCell, GridResults};
+use crate::harness::{EvalError, Transform};
 use crate::report::TextTable;
 use am_dataset::{ExperimentSpec, TrajectorySet};
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
-use am_sync::{DtwSynchronizer, DwmSynchronizer, Synchronizer};
+
+pub use crate::engine::{run_grid, run_grid_with, EngineConfig};
 
 /// All prepared experiments (one [`TrajectorySet`] per printer).
 pub struct TableContext {
@@ -42,110 +42,6 @@ impl TableContext {
     }
 }
 
-/// One evaluated grid cell.
-#[derive(Debug, Clone)]
-pub struct Cell<T> {
-    /// Printer.
-    pub printer: PrinterModel,
-    /// Side channel.
-    pub channel: SideChannel,
-    /// Raw or spectrogram.
-    pub transform: Transform,
-    /// The IDS outcome.
-    pub outcome: T,
-}
-
-/// Everything §VIII measures, computed once.
-#[derive(Debug, Clone, Default)]
-pub struct GridResults {
-    /// Moore's IDS (Table V left).
-    pub moore: Vec<Cell<Rates>>,
-    /// Gao's IDS (Table V right).
-    pub gao: Vec<Cell<Rates>>,
-    /// Gatlin's IDS (Table VII), raw signals.
-    pub gatlin: Vec<Cell<GatlinOutcome>>,
-    /// Bayens' IDS (Table VI): (printer, window seconds, outcome).
-    pub bayens: Vec<(PrinterModel, f64, BayensOutcome)>,
-    /// Belikovetsky's IDS (§VIII-C text): per printer.
-    pub belikovetsky: Vec<(PrinterModel, Rates)>,
-    /// NSYNC/DWM (Table VIII).
-    pub nsync_dwm: Vec<Cell<NsyncOutcome>>,
-    /// NSYNC/DTW (Table IX), spectrograms only.
-    pub nsync_dtw: Vec<Cell<NsyncOutcome>>,
-}
-
-/// Runs the full evaluation grid. This is the expensive call — minutes at
-/// the Small profile in release mode; everything downstream (tables,
-/// Fig 12) renders from the returned struct.
-///
-/// # Errors
-///
-/// Propagates capture and IDS failures.
-pub fn run_grid(ctx: &TableContext) -> Result<GridResults, EvalError> {
-    let mut g = GridResults::default();
-    for set in &ctx.sets {
-        let printer = set.spec.printer;
-        let profile = set.spec.profile;
-        let r = profile.nsync_r();
-        for channel in SideChannel::kept() {
-            for transform in [Transform::Raw, Transform::Spectrogram] {
-                let split = Split::generate(set, channel, transform)?;
-                g.moore.push(Cell {
-                    printer,
-                    channel,
-                    transform,
-                    outcome: eval_moore(&split, 0.0)?,
-                });
-                g.gao.push(Cell {
-                    printer,
-                    channel,
-                    transform,
-                    outcome: eval_gao(&split, 0.0)?,
-                });
-                if transform == Transform::Raw {
-                    g.gatlin.push(Cell {
-                        printer,
-                        channel,
-                        transform,
-                        outcome: eval_gatlin(&split, 0.0)?,
-                    });
-                }
-                // NSYNC/DWM runs on both transforms; NSYNC/DTW only on
-                // spectrograms ("we were not able to apply DTW on the raw
-                // signals because it took forever").
-                let dwm: Box<dyn Synchronizer + Send + Sync> =
-                    Box::new(DwmSynchronizer::new(profile.dwm_params(printer)));
-                g.nsync_dwm.push(Cell {
-                    printer,
-                    channel,
-                    transform,
-                    outcome: eval_nsync(&split, dwm, r)?,
-                });
-                if transform == Transform::Spectrogram {
-                    let dtw: Box<dyn Synchronizer + Send + Sync> =
-                        Box::new(DtwSynchronizer::default());
-                    g.nsync_dtw.push(Cell {
-                        printer,
-                        channel,
-                        transform,
-                        outcome: eval_nsync(&split, dtw, r)?,
-                    });
-                }
-            }
-        }
-        // Audio-only IDSs.
-        let aud_raw = Split::generate(set, SideChannel::Aud, Transform::Raw)?;
-        for window in profile.bayens_windows() {
-            g.bayens
-                .push((printer, window, eval_bayens(&aud_raw, window, 0.0)?));
-        }
-        let aud_spec = Split::generate(set, SideChannel::Aud, Transform::Spectrogram)?;
-        g.belikovetsky
-            .push((printer, eval_belikovetsky(&aud_spec)?));
-    }
-    Ok(g)
-}
-
 /// Table V: Moore's and Gao's IDSs.
 pub fn table5(g: &GridResults) -> TextTable {
     let mut t = TextTable::new(
@@ -161,20 +57,18 @@ pub fn table5(g: &GridResults) -> TextTable {
     );
     for printer in PrinterModel::both() {
         for channel in SideChannel::kept() {
-            let find = |cells: &[Cell<Rates>], tr: Transform| {
-                cells
-                    .iter()
-                    .find(|c| c.printer == printer && c.channel == channel && c.transform == tr)
-                    .map(|c| c.outcome.cell())
+            let find = |kind: DetectorKind, tr: Transform| {
+                g.get(kind, printer, channel, tr)
+                    .map(|c| c.outcome.overall.cell())
                     .unwrap_or_else(|| "-".into())
             };
             t.push_row(vec![
                 printer.to_string(),
                 channel.to_string(),
-                find(&g.moore, Transform::Raw),
-                find(&g.moore, Transform::Spectrogram),
-                find(&g.gao, Transform::Raw),
-                find(&g.gao, Transform::Spectrogram),
+                find(DetectorKind::Moore, Transform::Raw),
+                find(DetectorKind::Moore, Transform::Spectrogram),
+                find(DetectorKind::Gao, Transform::Raw),
+                find(DetectorKind::Gao, Transform::Spectrogram),
             ]);
         }
     }
@@ -188,20 +82,21 @@ pub fn table6(g: &GridResults) -> TextTable {
         "Table VI: Detection Results for Bayens' IDS (AUD only; FPR / TPR)",
         vec!["Printer", "Window (s)", "Overall", "Sequence", "Threshold"],
     );
-    for (printer, window, out) in &g.bayens {
+    for cell in g.kind_cells(DetectorKind::Bayens) {
+        let window = cell.spec.window_s.unwrap_or_default();
         t.push_row(vec![
-            printer.to_string(),
+            cell.printer.to_string(),
             format!("{window}"),
-            out.overall.cell(),
-            out.sequence.cell(),
-            out.threshold.cell(),
+            cell.outcome.overall.cell(),
+            cell.outcome.sub(SubModuleId::Sequence).cell(),
+            cell.outcome.sub(SubModuleId::Threshold).cell(),
         ]);
     }
-    for (printer, rates) in &g.belikovetsky {
+    for cell in g.kind_cells(DetectorKind::Belikovetsky) {
         t.push_row(vec![
-            printer.to_string(),
+            cell.printer.to_string(),
             "Belikovetsky".into(),
-            rates.cell(),
+            cell.outcome.overall.cell(),
             "-".into(),
             "-".into(),
         ]);
@@ -215,19 +110,19 @@ pub fn table7(g: &GridResults) -> TextTable {
         "Table VII: Detection Results for Gatlin's IDS (FPR / TPR)",
         vec!["Printer", "Side Ch.", "Overall", "Time", "Match"],
     );
-    for cell in &g.gatlin {
+    for cell in g.kind_cells(DetectorKind::Gatlin) {
         t.push_row(vec![
             cell.printer.to_string(),
             cell.channel.to_string(),
             cell.outcome.overall.cell(),
-            cell.outcome.time.cell(),
-            cell.outcome.matching.cell(),
+            cell.outcome.sub(SubModuleId::Time).cell(),
+            cell.outcome.sub(SubModuleId::Match).cell(),
         ]);
     }
     t
 }
 
-fn nsync_table(title: &str, cells: &[Cell<NsyncOutcome>]) -> TextTable {
+fn nsync_table<'a>(title: &str, cells: impl Iterator<Item = &'a GridCell>) -> TextTable {
     let mut t = TextTable::new(
         title,
         vec![
@@ -240,9 +135,9 @@ fn nsync_table(title: &str, cells: &[Cell<NsyncOutcome>]) -> TextTable {
             cell.transform.to_string(),
             cell.channel.to_string(),
             cell.outcome.overall.cell(),
-            cell.outcome.c_disp.cell(),
-            cell.outcome.h_dist.cell(),
-            cell.outcome.v_dist.cell(),
+            cell.outcome.sub(SubModuleId::CDisp).cell(),
+            cell.outcome.sub(SubModuleId::HDist).cell(),
+            cell.outcome.sub(SubModuleId::VDist).cell(),
         ]);
     }
     t
@@ -252,7 +147,7 @@ fn nsync_table(title: &str, cells: &[Cell<NsyncOutcome>]) -> TextTable {
 pub fn table8(g: &GridResults) -> TextTable {
     nsync_table(
         "Table VIII: Detection Results for NSYNC with DWM (FPR / TPR)",
-        &g.nsync_dwm,
+        g.kind_cells(DetectorKind::NsyncDwm),
     )
 }
 
@@ -260,66 +155,48 @@ pub fn table8(g: &GridResults) -> TextTable {
 pub fn table9(g: &GridResults) -> TextTable {
     nsync_table(
         "Table IX: Detection Results for NSYNC with DTW (FPR / TPR)",
-        &g.nsync_dtw,
+        g.kind_cells(DetectorKind::NsyncDtw),
     )
 }
+
+/// Fig 12's fixed bar order.
+const FIG12_ORDER: [DetectorKind; 7] = [
+    DetectorKind::Moore,
+    DetectorKind::Bayens,
+    DetectorKind::Belikovetsky,
+    DetectorKind::Gao,
+    DetectorKind::Gatlin,
+    DetectorKind::NsyncDtw,
+    DetectorKind::NsyncDwm,
+];
 
 /// Average accuracy per IDS (the bars of Fig 12). The raw EPT channel is
 /// dropped from the averages exactly as in §VIII-B.
 pub fn average_accuracies(g: &GridResults) -> Vec<(String, f64)> {
-    fn avg<T>(cells: &[Cell<T>], acc: impl Fn(&T) -> f64) -> f64 {
-        let kept: Vec<f64> = cells
-            .iter()
-            .filter(|c| !(c.channel == SideChannel::Ept && c.transform == Transform::Raw))
-            .map(|c| acc(&c.outcome))
-            .collect();
-        if kept.is_empty() {
-            0.0
-        } else {
-            kept.iter().sum::<f64>() / kept.len() as f64
-        }
-    }
-    let bayens_avg = if g.bayens.is_empty() {
-        0.0
-    } else {
-        g.bayens
-            .iter()
-            .map(|(_, _, o)| o.overall.accuracy())
-            .sum::<f64>()
-            / g.bayens.len() as f64
-    };
-    let belik_avg = if g.belikovetsky.is_empty() {
-        0.0
-    } else {
-        g.belikovetsky
-            .iter()
-            .map(|(_, r)| r.accuracy())
-            .sum::<f64>()
-            / g.belikovetsky.len() as f64
-    };
-    vec![
-        ("Moore".into(), avg(&g.moore, |r| r.accuracy())),
-        ("Bayens (T)".into(), bayens_avg),
-        ("Belikovetsky".into(), belik_avg),
-        ("Gao".into(), avg(&g.gao, |r| r.accuracy())),
-        (
-            "Gatlin (T)".into(),
-            avg(&g.gatlin, |o| o.overall.accuracy()),
-        ),
-        (
-            "NSYNC/DTW (T)".into(),
-            avg(&g.nsync_dtw, |o| o.overall.accuracy()),
-        ),
-        (
-            "NSYNC/DWM (T)".into(),
-            avg(&g.nsync_dwm, |o| o.overall.accuracy()),
-        ),
-    ]
+    FIG12_ORDER
+        .iter()
+        .map(|&kind| {
+            let kept: Vec<f64> = g
+                .kind_cells(kind)
+                .filter(|c| !(c.channel == SideChannel::Ept && c.transform == Transform::Raw))
+                .map(|c| c.outcome.overall.accuracy())
+                .collect();
+            let avg = if kept.is_empty() {
+                0.0
+            } else {
+                kept.iter().sum::<f64>() / kept.len() as f64
+            };
+            (kind.fig12_label().to_string(), avg)
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::DetectorSpec;
+    use crate::engine::Outcome;
+    use crate::metrics::Rates;
 
     fn fake_rates(fp: usize, tp: usize) -> Rates {
         Rates {
@@ -330,43 +207,80 @@ mod tests {
         }
     }
 
+    fn push(
+        g: &mut GridResults,
+        spec: DetectorSpec,
+        printer: PrinterModel,
+        channel: SideChannel,
+        transform: Transform,
+        outcome: Outcome,
+    ) {
+        g.cells.push(GridCell {
+            spec,
+            printer,
+            channel,
+            transform,
+            outcome,
+        });
+    }
+
+    fn overall(rates: Rates) -> Outcome {
+        Outcome {
+            overall: rates,
+            sub_modules: Vec::new(),
+        }
+    }
+
     fn fake_grid() -> GridResults {
         let mut g = GridResults::default();
         for printer in PrinterModel::both() {
             for channel in SideChannel::kept() {
-                for transform in [Transform::Raw, Transform::Spectrogram] {
-                    g.moore.push(Cell {
+                for transform in Transform::both() {
+                    push(
+                        &mut g,
+                        DetectorSpec::of(DetectorKind::Moore),
                         printer,
                         channel,
                         transform,
-                        outcome: fake_rates(5, 5),
-                    });
-                    g.gao.push(Cell {
+                        overall(fake_rates(5, 5)),
+                    );
+                    push(
+                        &mut g,
+                        DetectorSpec::of(DetectorKind::Gao),
                         printer,
                         channel,
                         transform,
-                        outcome: fake_rates(2, 7),
-                    });
-                    g.nsync_dwm.push(Cell {
+                        overall(fake_rates(2, 7)),
+                    );
+                    push(
+                        &mut g,
+                        DetectorSpec::of(DetectorKind::NsyncDwm),
                         printer,
                         channel,
                         transform,
-                        outcome: NsyncOutcome {
-                            overall: fake_rates(0, 10),
-                            ..Default::default()
-                        },
-                    });
+                        overall(fake_rates(0, 10)),
+                    );
                 }
             }
-            g.bayens.push((
-                printer,
-                20.0,
-                BayensOutcome {
-                    overall: fake_rates(9, 10),
-                    ..Default::default()
+            push(
+                &mut g,
+                DetectorSpec {
+                    kind: DetectorKind::Bayens,
+                    window_s: Some(20.0),
                 },
-            ));
-            g.belikovetsky.push((printer, fake_rates(10, 10)));
+                printer,
+                SideChannel::Aud,
+                Transform::Raw,
+                overall(fake_rates(9, 10)),
+            );
+            push(
+                &mut g,
+                DetectorSpec::of(DetectorKind::Belikovetsky),
+                printer,
+                SideChannel::Aud,
+                Transform::Spectrogram,
+                overall(fake_rates(10, 10)),
+            );
         }
         g
     }
@@ -379,6 +293,7 @@ mod tests {
         assert!(t5.render().contains("0.50 / 0.50"));
         let t6 = table6(&g);
         assert_eq!(t6.rows.len(), 4); // 2x bayens + 2x belikovetsky rows
+        assert!(t6.render().contains("20"));
         let t8 = table8(&g);
         assert_eq!(t8.rows.len(), 16);
         assert!(table7(&g).rows.is_empty());
@@ -396,30 +311,30 @@ mod tests {
         assert!((avgs[6].1 - 1.0).abs() < 1e-12);
         // Belikovetsky: FPR 1.0, TPR 1.0 -> accuracy 0.5.
         assert!((avgs[2].1 - 0.5).abs() < 1e-12);
+        // Gatlin has no cells in the fake grid: average reported as 0.
+        assert!((avgs[4].1 - 0.0).abs() < 1e-12);
     }
 
     #[test]
     fn ept_raw_dropped_from_averages() {
         let mut g = GridResults::default();
         // One EPT raw cell with terrible accuracy; one ACC cell perfect.
-        g.nsync_dwm.push(Cell {
-            printer: PrinterModel::Um3,
-            channel: SideChannel::Ept,
-            transform: Transform::Raw,
-            outcome: NsyncOutcome {
-                overall: fake_rates(10, 0),
-                ..Default::default()
-            },
-        });
-        g.nsync_dwm.push(Cell {
-            printer: PrinterModel::Um3,
-            channel: SideChannel::Acc,
-            transform: Transform::Raw,
-            outcome: NsyncOutcome {
-                overall: fake_rates(0, 10),
-                ..Default::default()
-            },
-        });
+        push(
+            &mut g,
+            DetectorSpec::of(DetectorKind::NsyncDwm),
+            PrinterModel::Um3,
+            SideChannel::Ept,
+            Transform::Raw,
+            overall(fake_rates(10, 0)),
+        );
+        push(
+            &mut g,
+            DetectorSpec::of(DetectorKind::NsyncDwm),
+            PrinterModel::Um3,
+            SideChannel::Acc,
+            Transform::Raw,
+            overall(fake_rates(0, 10)),
+        );
         let avgs = average_accuracies(&g);
         let dwm = avgs.iter().find(|(n, _)| n.contains("DWM")).unwrap();
         assert!((dwm.1 - 1.0).abs() < 1e-12, "EPT raw must be excluded");

@@ -1,27 +1,28 @@
 //! Tables V–IX and Fig 12: the full evaluation grid.
 //!
-//! The grid (every IDS × printer × channel × transform) is computed once
-//! and printed — this is the regenerator for all five result tables and
-//! the accuracy bars of Fig 12. Criterion then benchmarks one
-//! representative evaluation cell per IDS so per-IDS costs are tracked
-//! over time.
+//! The grid (every registered IDS × printer × channel × transform) is
+//! computed once through the parallel engine and printed — this is the
+//! regenerator for all five result tables and the accuracy bars of
+//! Fig 12. Criterion then benchmarks one representative evaluation cell
+//! per IDS through the same [`am_eval::evaluate_split`] driver, so
+//! per-IDS costs are tracked over time.
 
-use am_eval::harness::{
-    eval_bayens, eval_belikovetsky, eval_gao, eval_gatlin, eval_moore, eval_nsync, Split, Transform,
-};
+use am_eval::detector::{DetectorKind, DetectorSpec};
+use am_eval::engine::evaluate_split;
+use am_eval::harness::{Split, Transform};
 use am_eval::tables::{
-    average_accuracies, run_grid, table5, table6, table7, table8, table9, TableContext,
+    average_accuracies, run_grid_with, table5, table6, table7, table8, table9, EngineConfig,
+    TableContext,
 };
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
-use am_sync::{DtwSynchronizer, DwmSynchronizer, Synchronizer};
 use bench::small_set;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn tables(c: &mut Criterion) {
     // One-time: the full grid, printed for the record.
     let ctx = TableContext::small().expect("dataset");
-    let grid = run_grid(&ctx).expect("grid");
+    let (grid, report) = run_grid_with(&ctx, &EngineConfig::default()).expect("grid");
     println!("\n{}", table5(&grid));
     println!("{}", table6(&grid));
     println!("{}", table7(&grid));
@@ -32,46 +33,70 @@ fn tables(c: &mut Criterion) {
         let bar = "#".repeat((acc * 40.0).round() as usize);
         println!("  {name:<16} {acc:.3} {bar}");
     }
+    println!(
+        "grid: {:.1}s wall on {} threads, capture hit rate {:.2}",
+        report.wall_seconds,
+        report.threads,
+        report.capture.hit_rate()
+    );
     println!();
 
     // Criterion: one representative cell per IDS (UM3 / MAG).
     let set = small_set(PrinterModel::Um3);
+    let profile = set.spec.profile;
+    let printer = set.spec.printer;
     let raw = Split::generate(&set, SideChannel::Mag, Transform::Raw).expect("capture");
     let spec = Split::generate(&set, SideChannel::Mag, Transform::Spectrogram).expect("capture");
     let aud = Split::generate(&set, SideChannel::Aud, Transform::Raw).expect("capture");
     let aud_spec =
         Split::generate(&set, SideChannel::Aud, Transform::Spectrogram).expect("capture");
-    let params = set.spec.profile.dwm_params(set.spec.printer);
 
     let mut group = c.benchmark_group("tables");
     group.sample_size(10);
-    group.bench_function("table5/moore_mag_raw", |b| {
-        b.iter(|| eval_moore(&raw, 0.0).expect("eval"))
-    });
-    group.bench_function("table5/gao_mag_raw", |b| {
-        b.iter(|| eval_gao(&raw, 0.0).expect("eval"))
-    });
-    group.bench_function("table6/bayens_aud_20s", |b| {
-        b.iter(|| eval_bayens(&aud, 20.0, 0.0).expect("eval"))
-    });
-    group.bench_function("table6/belikovetsky_aud_spec", |b| {
-        b.iter(|| eval_belikovetsky(&aud_spec).expect("eval"))
-    });
-    group.bench_function("table7/gatlin_mag_raw", |b| {
-        b.iter(|| eval_gatlin(&raw, 0.0).expect("eval"))
-    });
-    group.bench_function("table8/nsync_dwm_mag_raw", |b| {
-        b.iter(|| {
-            let sync: Box<dyn Synchronizer + Send + Sync> = Box::new(DwmSynchronizer::new(params));
-            eval_nsync(&raw, sync, 0.3).expect("eval")
-        })
-    });
-    group.bench_function("table9/nsync_dtw_mag_spec", |b| {
-        b.iter(|| {
-            let sync: Box<dyn Synchronizer + Send + Sync> = Box::new(DtwSynchronizer::default());
-            eval_nsync(&spec, sync, 0.3).expect("eval")
-        })
-    });
+    let mut bench_cell = |id: &str, spec: DetectorSpec, split: &Split| {
+        let split = split.clone();
+        group.bench_function(id, move |b| {
+            b.iter(|| evaluate_split(&spec, profile, printer, &split).expect("eval"))
+        });
+    };
+    bench_cell(
+        "table5/moore_mag_raw",
+        DetectorSpec::of(DetectorKind::Moore),
+        &raw,
+    );
+    bench_cell(
+        "table5/gao_mag_raw",
+        DetectorSpec::of(DetectorKind::Gao),
+        &raw,
+    );
+    bench_cell(
+        "table6/bayens_aud_20s",
+        DetectorSpec {
+            kind: DetectorKind::Bayens,
+            window_s: Some(20.0),
+        },
+        &aud,
+    );
+    bench_cell(
+        "table6/belikovetsky_aud_spec",
+        DetectorSpec::of(DetectorKind::Belikovetsky),
+        &aud_spec,
+    );
+    bench_cell(
+        "table7/gatlin_mag_raw",
+        DetectorSpec::of(DetectorKind::Gatlin),
+        &raw,
+    );
+    bench_cell(
+        "table8/nsync_dwm_mag_raw",
+        DetectorSpec::of(DetectorKind::NsyncDwm),
+        &raw,
+    );
+    bench_cell(
+        "table9/nsync_dtw_mag_spec",
+        DetectorSpec::of(DetectorKind::NsyncDtw),
+        &spec,
+    );
     group.finish();
 }
 

@@ -1,0 +1,68 @@
+//! Benchmarks the evaluation-grid engine and records the measurements in
+//! `BENCH_grid.json`: wall-clock at 1 and N threads, per-stage timings
+//! (capture generation / detector fit / judging), cache hit rate, and
+//! the speedup over the pre-refactor sequential grid.
+//!
+//! ```sh
+//! cargo run --release --example bench_grid
+//! ```
+
+use am_eval::engine::{run_grid_with, EngineConfig, GridReport};
+use am_eval::tables::TableContext;
+
+/// Sequential wall-clock of the pre-refactor `run_grid` (one split per
+/// channel × transform, one `eval_*` driver per IDS), measured at commit
+/// 26216ad with `cargo run --release --example reproduce_tables` on this
+/// container. Kept as the fixed comparison point for the engine.
+const PRE_REFACTOR_WALL_SECONDS: f64 = 88.814;
+
+fn run_entry(report: &GridReport, cells: usize) -> String {
+    format!(
+        "    {{\n      \"threads\": {},\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"capture_generation_seconds\": {:.3},\n      \"fit_seconds_total\": {:.3},\n      \"judge_seconds_total\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4}\n    }}",
+        report.threads,
+        report.wall_seconds,
+        cells,
+        report.capture.generation_seconds(),
+        report.fit_seconds(),
+        report.judge_seconds(),
+        report.capture.hits,
+        report.capture.misses,
+        report.capture.hit_rate()
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t0 = std::time::Instant::now();
+    let ctx = TableContext::small()?;
+    let dataset_seconds = t0.elapsed().as_secs_f64();
+    eprintln!("dataset generated in {dataset_seconds:.1}s");
+
+    eprintln!("running grid at 1 thread ...");
+    let (grid_one, report_one) = run_grid_with(&ctx, &EngineConfig::with_threads(1))?;
+    eprintln!("  {:.1}s", report_one.wall_seconds);
+
+    // Always exercise the parallel scheduler, even on a 1-core machine.
+    let threads = EngineConfig::default().resolve_threads().max(2);
+    eprintln!("running grid at {threads} threads ...");
+    let (grid_n, report_n) = run_grid_with(&ctx, &EngineConfig::with_threads(threads))?;
+    eprintln!("  {:.1}s", report_n.wall_seconds);
+
+    assert_eq!(
+        grid_one, grid_n,
+        "grid results must be identical at any thread count"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"evaluation grid, small profile, both printers\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{},\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_parallel\": {:.2}\n}}\n",
+        dataset_seconds,
+        PRE_REFACTOR_WALL_SECONDS,
+        run_entry(&report_one, grid_one.cells.len()),
+        run_entry(&report_n, grid_n.cells.len()),
+        PRE_REFACTOR_WALL_SECONDS / report_one.wall_seconds,
+        PRE_REFACTOR_WALL_SECONDS / report_n.wall_seconds,
+    );
+    std::fs::write("BENCH_grid.json", &json)?;
+    println!("{json}");
+    eprintln!("wrote BENCH_grid.json");
+    Ok(())
+}

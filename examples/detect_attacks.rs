@@ -1,26 +1,26 @@
 //! Per-attack study: which Table I attacks does each NSYNC sub-module
-//! catch, and how early?
+//! catch, and how early? Driven through the unified detector registry.
 //!
 //! ```sh
 //! cargo run --release --example detect_attacks
 //! ```
 
 use am_dataset::{ExperimentSpec, RunRole, TrajectorySet};
-use am_eval::harness::{Split, Transform};
+use am_eval::detector::{DetectorKind, DetectorSpec};
+use am_eval::harness::{to_run_data, Split, Transform};
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
-use am_sync::DwmSynchronizer;
-use nsync::NsyncIds;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for printer in PrinterModel::both() {
         println!("=== {printer} / ACC raw ===");
         let set = TrajectorySet::generate(ExperimentSpec::small(printer))?;
         let split = Split::generate(&set, SideChannel::Acc, Transform::Raw)?;
-        let params = set.spec.profile.dwm_params(printer);
-        let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-        let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
-        let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
+        let mut detector =
+            DetectorSpec::of(DetectorKind::NsyncDwm).build(set.spec.profile, printer);
+        let reference = to_run_data(&split.reference);
+        let train: Vec<_> = split.train.iter().map(|c| to_run_data(c)).collect();
+        detector.fit(&reference, &train)?;
 
         type Row = (String, usize, usize, Vec<String>, Vec<usize>);
         let mut rows: Vec<Row> = Vec::new();
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let RunRole::Malicious { attack, .. } = &test.role else {
                 continue;
             };
-            let d = trained.detect(&test.signal)?;
+            let verdict = detector.judge(&to_run_data(test))?;
             let row = match rows.iter_mut().find(|(name, ..)| name == attack) {
                 Some(r) => r,
                 None => {
@@ -37,15 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             };
             row.2 += 1;
-            if d.intrusion {
+            if verdict.intrusion {
                 row.1 += 1;
-                for m in &d.triggered {
-                    let name = m.to_string();
-                    if !row.3.contains(&name) {
+                for (id, fired) in &verdict.sub_modules {
+                    let name = id.to_string();
+                    if *fired && !row.3.contains(&name) {
                         row.3.push(name);
                     }
                 }
-                if let Some(i) = d.first_alert_index {
+                if let Some(i) = verdict.first_alert_index {
                     row.4.push(i);
                 }
             }
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for test in &split.tests {
             if matches!(test.role, RunRole::TestBenign(_)) {
                 benign_total += 1;
-                if trained.detect(&test.signal)?.intrusion {
+                if detector.judge(&to_run_data(test))?.intrusion {
                     fp += 1;
                 }
             }

@@ -1,23 +1,31 @@
 //! Regenerates every result table of the paper's evaluation (§VIII):
 //! Tables V-IX plus the Fig 12 accuracy summary, at the `small` profile.
 //!
-//! Takes a few minutes in release mode:
-//!
 //! ```sh
 //! cargo run --release --example reproduce_tables
 //! ```
+//!
+//! The grid runs on the parallel engine; bound the worker count with
+//! `AM_EVAL_THREADS=N`. Results are byte-identical at any thread count.
 
 use am_eval::tables::{
-    average_accuracies, run_grid, table5, table6, table7, table8, table9, TableContext,
+    average_accuracies, run_grid_with, table5, table6, table7, table8, table9, EngineConfig,
+    TableContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = std::time::Instant::now();
     let ctx = TableContext::small()?;
     eprintln!("dataset generated in {:?}", t0.elapsed());
-    let t1 = std::time::Instant::now();
-    let grid = run_grid(&ctx)?;
-    eprintln!("grid evaluated in {:?}", t1.elapsed());
+    let (grid, report) = run_grid_with(&ctx, &EngineConfig::default())?;
+    eprintln!(
+        "grid evaluated in {:.1}s on {} threads (capture {:.1}s for {} artifacts, hit rate {:.2})",
+        report.wall_seconds,
+        report.threads,
+        report.capture.generation_seconds(),
+        report.capture.misses,
+        report.capture.hit_rate()
+    );
     println!("{}", table5(&grid));
     println!("{}", table6(&grid));
     println!("{}", table7(&grid));

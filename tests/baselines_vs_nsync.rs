@@ -1,41 +1,71 @@
 //! The paper's headline comparison on a tiny mix: NSYNC/DWM must beat
-//! the no-DSYNC baseline on the same data.
+//! the no-DSYNC baseline on the same data, driven through the unified
+//! detector registry.
 
-use am_eval::harness::{eval_gao, eval_gatlin, eval_moore, eval_nsync, Split, Transform};
+use am_eval::detector::{DetectorKind, DetectorSpec};
+use am_eval::engine::evaluate_split;
+use am_eval::harness::{Split, Transform};
 use am_integration::helpers::tiny_set;
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
-use am_sync::DwmSynchronizer;
 
 #[test]
 fn nsync_dwm_beats_moore_on_acc_raw() {
     let set = tiny_set(PrinterModel::Um3);
+    let profile = set.spec.profile;
+    let printer = set.spec.printer;
     let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
-    let params = set.spec.profile.dwm_params(set.spec.printer);
-    let nsync = eval_nsync(&split, Box::new(DwmSynchronizer::new(params)), 0.3).unwrap();
-    let moore = eval_moore(&split, 0.0).unwrap();
+    let nsync = evaluate_split(
+        &DetectorSpec::of(DetectorKind::NsyncDwm),
+        profile,
+        printer,
+        &split,
+    )
+    .unwrap();
+    let moore = evaluate_split(
+        &DetectorSpec::of(DetectorKind::Moore),
+        profile,
+        printer,
+        &split,
+    )
+    .unwrap();
     assert!(
-        nsync.overall.accuracy() > moore.accuracy(),
+        nsync.overall.accuracy() > moore.overall.accuracy(),
         "nsync {:.2} vs moore {:.2}",
         nsync.overall.accuracy(),
-        moore.accuracy()
+        moore.overall.accuracy()
     );
     // NSYNC detects most attacks; Moore's time-noise-inflated threshold
     // misses most of them.
     assert!(nsync.overall.tpr() >= 0.8, "{:?}", nsync.overall);
-    assert!(moore.tpr() <= 0.6, "{:?}", moore);
+    assert!(moore.overall.tpr() <= 0.6, "{:?}", moore.overall);
 }
 
 #[test]
 fn coarse_dsync_sits_between_none_and_fine() {
     let set = tiny_set(PrinterModel::Um3);
+    let profile = set.spec.profile;
+    let printer = set.spec.printer;
     let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
-    let gao = eval_gao(&split, 0.0).unwrap();
-    let gatlin = eval_gatlin(&split, 0.0).unwrap();
+    let gao = evaluate_split(
+        &DetectorSpec::of(DetectorKind::Gao),
+        profile,
+        printer,
+        &split,
+    )
+    .unwrap();
+    let gatlin = evaluate_split(
+        &DetectorSpec::of(DetectorKind::Gatlin),
+        profile,
+        printer,
+        &split,
+    )
+    .unwrap();
     // Gatlin's time sub-module catches the timing attacks even on a tiny
     // mix (Speed0.95, Layer0.3, Scale0.95 all shift layer moments).
-    assert!(gatlin.time.tpr() >= 0.4, "{:?}", gatlin.time);
+    let time = gatlin.sub(am_eval::SubModuleId::Time);
+    assert!(time.tpr() >= 0.4, "{time:?}");
     // Both coarse detectors keep FPR at most moderate.
-    assert!(gao.fpr() <= 0.5);
+    assert!(gao.overall.fpr() <= 0.5);
     assert!(gatlin.overall.fpr() <= 0.5);
 }

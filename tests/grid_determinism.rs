@@ -1,0 +1,57 @@
+//! The parallel grid engine is deterministic: identical [`GridResults`]
+//! and byte-identical rendered tables at 1 thread, at N threads, and
+//! across repeated invocations.
+
+use am_eval::engine::{run_grid_with, EngineConfig, GridResults};
+use am_eval::tables::{average_accuracies, table5, table6, table7, table8, table9, TableContext};
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+
+fn rendered(grid: &GridResults) -> String {
+    let mut out = String::new();
+    for table in [
+        table5(grid),
+        table6(grid),
+        table7(grid),
+        table8(grid),
+        table9(grid),
+    ] {
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    for (name, acc) in average_accuracies(grid) {
+        out.push_str(&format!("{name} {acc:.6}\n"));
+    }
+    out
+}
+
+#[test]
+fn grid_is_byte_identical_across_thread_counts_and_runs() {
+    let ctx = TableContext::from_sets(vec![tiny_set(PrinterModel::Um3)]);
+    let (one, report_one) = run_grid_with(&ctx, &EngineConfig::with_threads(1)).unwrap();
+    let (four, report_four) = run_grid_with(&ctx, &EngineConfig::with_threads(4)).unwrap();
+    let (again, _) = run_grid_with(&ctx, &EngineConfig::with_threads(4)).unwrap();
+
+    assert_eq!(report_one.threads, 1);
+    assert_eq!(report_four.threads, 4);
+    // Structured results identical regardless of scheduling.
+    assert_eq!(one, four);
+    assert_eq!(four, again);
+    // And the rendered artifacts are byte-identical.
+    let r1 = rendered(&one);
+    assert!(!r1.is_empty());
+    assert_eq!(r1, rendered(&four));
+    assert_eq!(r1, rendered(&again));
+    // Cell order itself is part of the contract (tables iterate it).
+    let order: Vec<_> = one
+        .cells
+        .iter()
+        .map(|c| (c.spec.kind, c.channel, c.transform))
+        .collect();
+    let order4: Vec<_> = four
+        .cells
+        .iter()
+        .map(|c| (c.spec.kind, c.channel, c.transform))
+        .collect();
+    assert_eq!(order, order4);
+}

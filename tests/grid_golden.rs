@@ -1,0 +1,112 @@
+//! Golden-equivalence pins: the unified [`am_eval::engine::evaluate_split`]
+//! driver must reproduce the exact counts the pre-refactor per-IDS
+//! drivers (`eval_moore`, `eval_gao`, `eval_gatlin`, `eval_bayens`,
+//! `eval_belikovetsky`, `eval_nsync`) produced on the tiny Um3 mix
+//! (seed 0x5EED) before they were deleted. One cell per IDS, recorded
+//! from the old code paths at commit 26216ad.
+
+use am_eval::detector::{DetectorKind, DetectorSpec, SubModuleId};
+use am_eval::engine::{evaluate_split, Outcome};
+use am_eval::harness::{Split, Transform};
+use am_eval::Rates;
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+
+fn rates(fp: usize, benign: usize, tp: usize, malicious: usize) -> Rates {
+    Rates {
+        fp,
+        benign,
+        tp,
+        malicious,
+    }
+}
+
+fn eval(spec: DetectorSpec, channel: SideChannel, transform: Transform) -> Outcome {
+    let set = tiny_set(PrinterModel::Um3);
+    let split = Split::generate(&set, channel, transform).unwrap();
+    evaluate_split(&spec, set.spec.profile, set.spec.printer, &split).unwrap()
+}
+
+#[test]
+fn moore_matches_pre_refactor_counts() {
+    let out = eval(
+        DetectorSpec::of(DetectorKind::Moore),
+        SideChannel::Mag,
+        Transform::Raw,
+    );
+    assert_eq!(out.overall, rates(0, 2, 0, 5));
+}
+
+#[test]
+fn gao_matches_pre_refactor_counts() {
+    let out = eval(
+        DetectorSpec::of(DetectorKind::Gao),
+        SideChannel::Mag,
+        Transform::Raw,
+    );
+    assert_eq!(out.overall, rates(1, 2, 3, 5));
+}
+
+#[test]
+fn gatlin_matches_pre_refactor_counts() {
+    let out = eval(
+        DetectorSpec::of(DetectorKind::Gatlin),
+        SideChannel::Mag,
+        Transform::Raw,
+    );
+    assert_eq!(out.overall, rates(1, 2, 5, 5));
+    assert_eq!(out.sub(SubModuleId::Time), rates(1, 2, 5, 5));
+    assert_eq!(out.sub(SubModuleId::Match), rates(0, 2, 0, 5));
+}
+
+#[test]
+fn bayens_matches_pre_refactor_counts() {
+    let out = eval(
+        DetectorSpec {
+            kind: DetectorKind::Bayens,
+            window_s: Some(20.0),
+        },
+        SideChannel::Aud,
+        Transform::Raw,
+    );
+    assert_eq!(out.overall, rates(1, 2, 5, 5));
+    assert_eq!(out.sub(SubModuleId::Sequence), rates(1, 2, 5, 5));
+    assert_eq!(out.sub(SubModuleId::Threshold), rates(0, 2, 2, 5));
+}
+
+#[test]
+fn belikovetsky_matches_pre_refactor_counts() {
+    let out = eval(
+        DetectorSpec::of(DetectorKind::Belikovetsky),
+        SideChannel::Aud,
+        Transform::Spectrogram,
+    );
+    assert_eq!(out.overall, rates(2, 2, 5, 5));
+}
+
+#[test]
+fn nsync_dwm_matches_pre_refactor_counts() {
+    let out = eval(
+        DetectorSpec::of(DetectorKind::NsyncDwm),
+        SideChannel::Mag,
+        Transform::Raw,
+    );
+    assert_eq!(out.overall, rates(0, 2, 5, 5));
+    assert_eq!(out.sub(SubModuleId::CDisp), rates(0, 2, 5, 5));
+    assert_eq!(out.sub(SubModuleId::HDist), rates(0, 2, 3, 5));
+    assert_eq!(out.sub(SubModuleId::VDist), rates(0, 2, 4, 5));
+}
+
+#[test]
+fn nsync_dtw_matches_pre_refactor_counts() {
+    let out = eval(
+        DetectorSpec::of(DetectorKind::NsyncDtw),
+        SideChannel::Mag,
+        Transform::Spectrogram,
+    );
+    assert_eq!(out.overall, rates(0, 2, 4, 5));
+    assert_eq!(out.sub(SubModuleId::CDisp), rates(0, 2, 4, 5));
+    assert_eq!(out.sub(SubModuleId::HDist), rates(0, 2, 4, 5));
+    assert_eq!(out.sub(SubModuleId::VDist), rates(0, 2, 1, 5));
+}
