@@ -191,23 +191,43 @@ impl TrajectorySet {
     ///
     /// Propagates DAQ failures.
     pub fn capture_channel(&self, channel: SideChannel) -> Result<Vec<Capture>, DatasetError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        self.capture_channel_with_threads(channel, threads)
+    }
+
+    /// [`CaptureSet::capture_channel`] with an explicit worker count, so
+    /// callers already running inside a thread pool (the evaluation grid's
+    /// capture pre-warm) can parallelize across runs without
+    /// oversubscribing the machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DAQ failures.
+    pub fn capture_channel_with_threads(
+        &self,
+        channel: SideChannel,
+        threads: usize,
+    ) -> Result<Vec<Capture>, DatasetError> {
         let printer_cfg = self.spec.printer.config();
         let daq = self.spec.profile.daq(channel);
-        let results: Vec<Result<Capture, DatasetError>> = parallel_map(&self.runs, |(_, run)| {
-            let signal = channel.capture(&run.trajectory, &printer_cfg, &daq, run.seed)?;
-            let t0 = run.trajectory.print_start();
-            let layer_times = run
-                .trajectory
-                .layer_times()
-                .iter()
-                .map(|t| (t - t0).max(0.0))
-                .collect();
-            Ok(Capture {
-                role: run.role.clone(),
-                signal,
-                layer_times,
-            })
-        });
+        let results: Vec<Result<Capture, DatasetError>> =
+            parallel_map_with_threads(&self.runs, threads, |(_, run)| {
+                let signal = channel.capture(&run.trajectory, &printer_cfg, &daq, run.seed)?;
+                let t0 = run.trajectory.print_start();
+                let layer_times = run
+                    .trajectory
+                    .layer_times()
+                    .iter()
+                    .map(|t| (t - t0).max(0.0))
+                    .collect();
+                Ok(Capture {
+                    role: run.role.clone(),
+                    signal,
+                    layer_times,
+                })
+            });
         results.into_iter().collect()
     }
 
@@ -218,8 +238,24 @@ impl TrajectorySet {
     ///
     /// Propagates capture and STFT failures.
     pub fn capture_spectrogram(&self, channel: SideChannel) -> Result<Vec<Capture>, DatasetError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        self.capture_spectrogram_with_threads(channel, threads)
+    }
+
+    /// [`CaptureSet::capture_spectrogram`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and STFT failures.
+    pub fn capture_spectrogram_with_threads(
+        &self,
+        channel: SideChannel,
+        threads: usize,
+    ) -> Result<Vec<Capture>, DatasetError> {
         let stft = self.spec.profile.spectrogram(channel);
-        let captures = self.capture_channel(channel)?;
+        let captures = self.capture_channel_with_threads(channel, threads)?;
         captures
             .into_iter()
             .map(|c| {
@@ -250,6 +286,24 @@ impl TrajectorySet {
         }
     }
 
+    /// [`CaptureSet::capture`] with an explicit worker count for the
+    /// per-run generation fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and STFT failures.
+    pub fn capture_with_threads(
+        &self,
+        channel: SideChannel,
+        transform: Transform,
+        threads: usize,
+    ) -> Result<Vec<Capture>, DatasetError> {
+        match transform {
+            Transform::Raw => self.capture_channel_with_threads(channel, threads),
+            Transform::Spectrogram => self.capture_spectrogram_with_threads(channel, threads),
+        }
+    }
+
     /// The reference run (always present).
     pub fn reference(&self) -> &RunRecord {
         self.runs
@@ -277,6 +331,13 @@ where
 /// [`parallel_map`] with an explicit worker count (`threads <= 1` runs
 /// sequentially on the caller's thread). Output order is always the input
 /// order, so results are deterministic regardless of `threads`.
+///
+/// Workers claim chunks of the output from a shared queue and write each
+/// result through a chunk-owned disjoint slice: no per-item lock, and no
+/// global funnel serializing result writes (the previous implementation
+/// pushed every result through one `Mutex<&mut Vec<_>>`, so workers spent
+/// the tail of each item convoying on it). Chunks are several per worker,
+/// so uneven item costs still balance.
 pub fn parallel_map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -288,18 +349,25 @@ where
         return items.iter().enumerate().map(|(i, t)| f((i, t))).collect();
     }
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_ptr = std::sync::Mutex::new(&mut out);
+    // 4 chunks per worker: enough granularity to balance uneven item
+    // costs, queue pops stay amortized over whole chunks.
+    let chunk_len = items.len().div_ceil(threads * 4).max(1);
+    let mut units: Vec<(usize, &mut [Option<R>])> = Vec::new();
+    for (k, slice) in out.chunks_mut(chunk_len).enumerate() {
+        units.push((k * chunk_len, slice));
+    }
+    // Pop from the front so early (often larger-cost) items start first.
+    units.reverse();
+    let queue = parking_lot::Mutex::new(units);
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+                let unit = queue.lock().pop();
+                let Some((start, slice)) = unit else { break };
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    let i = start + off;
+                    *slot = Some(f((i, &items[i])));
                 }
-                let r = f((i, &items[i]));
-                let mut guard = out_ptr.lock().expect("no panics while holding lock");
-                guard[i] = Some(r);
             });
         }
     })
@@ -332,6 +400,55 @@ mod tests {
         assert_eq!(out, (0..100).map(|v| v * 2).collect::<Vec<_>>());
         let empty: Vec<usize> = vec![];
         assert!(parallel_map(&empty, |(_, &v)| v).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_order_invariant_across_thread_counts() {
+        // Uneven per-item cost: workers finish chunks out of order, but the
+        // output must still land in input order for every worker count.
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .map(|&v| {
+                let mut acc = v as u64;
+                for k in 0..(v as u64 % 17) * 1000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                acc
+            })
+            .collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let out = parallel_map_with_threads(&items, threads, |(i, &v)| {
+                assert_eq!(i, v);
+                let mut acc = v as u64;
+                for k in 0..(v as u64 % 17) * 1000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                acc
+            });
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn capture_channel_explicit_threads_matches_auto() {
+        let set = TrajectorySet::generate(tiny_spec()).unwrap();
+        let auto = set.capture_channel(SideChannel::Mag).unwrap();
+        let one = set
+            .capture_channel_with_threads(SideChannel::Mag, 1)
+            .unwrap();
+        let four = set
+            .capture_channel_with_threads(SideChannel::Mag, 4)
+            .unwrap();
+        assert_eq!(auto.len(), one.len());
+        for ((a, b), c) in auto.iter().zip(&one).zip(&four) {
+            assert_eq!(a.role, b.role);
+            for ch in 0..a.signal.channels() {
+                assert_eq!(a.signal.channel(ch), b.signal.channel(ch));
+                assert_eq!(b.signal.channel(ch), c.signal.channel(ch));
+            }
+            assert_eq!(a.layer_times, c.layer_times);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! copy.
 
 use crate::error::DatasetError;
-use crate::generate::{parallel_map, Capture, TrajectorySet, Transform};
+use crate::generate::{parallel_map_with_threads, Capture, TrajectorySet, Transform};
 use am_dsp::stft::log_spectrogram;
 use am_sensors::channel::SideChannel;
 use parking_lot::Mutex;
@@ -34,6 +34,10 @@ pub struct CaptureStats {
     pub misses: usize,
     /// Nanoseconds spent generating artifacts (capture + STFT).
     pub generation_nanos: u64,
+    /// Nanoseconds spent waiting to acquire slot locks — time a requester
+    /// was blocked behind another thread generating (or briefly holding)
+    /// the same key. Near-zero when the grid pre-warms its captures.
+    pub blocked_nanos: u64,
 }
 
 impl CaptureStats {
@@ -52,11 +56,17 @@ impl CaptureStats {
         self.generation_nanos as f64 / 1e9
     }
 
+    /// Seconds requesters spent blocked on slot locks.
+    pub fn blocked_seconds(&self) -> f64 {
+        self.blocked_nanos as f64 / 1e9
+    }
+
     /// Accumulates another store's counters.
     pub fn merge(&mut self, other: &CaptureStats) {
         self.hits += other.hits;
         self.misses += other.misses;
         self.generation_nanos += other.generation_nanos;
+        self.blocked_nanos += other.blocked_nanos;
     }
 }
 
@@ -79,23 +89,40 @@ fn slot_index(channel: SideChannel, transform: Transform) -> usize {
 /// [`TrajectorySet`].
 pub struct CaptureStore<'a> {
     set: &'a TrajectorySet,
+    /// Worker count for the per-run fan-out *inside* one generation.
+    threads: usize,
     slots: Vec<Mutex<Option<SharedCaptures>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     generation_nanos: AtomicU64,
+    blocked_nanos: AtomicU64,
 }
 
 impl<'a> CaptureStore<'a> {
-    /// Creates an empty store over a trajectory set.
+    /// Creates an empty store over a trajectory set; generation fans out
+    /// across all available cores.
     pub fn new(set: &'a TrajectorySet) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::with_threads(set, threads)
+    }
+
+    /// [`CaptureStore::new`] with an explicit worker count for generation.
+    /// The evaluation grid passes its own thread budget here so capture
+    /// generation parallelizes *within* a capture set instead of
+    /// oversubscribing the machine from inside already-parallel cells.
+    pub fn with_threads(set: &'a TrajectorySet, threads: usize) -> Self {
         CaptureStore {
             set,
+            threads: threads.max(1),
             slots: (0..CHANNELS * TRANSFORMS)
                 .map(|_| Mutex::new(None))
                 .collect(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             generation_nanos: AtomicU64::new(0),
+            blocked_nanos: AtomicU64::new(0),
         }
     }
 
@@ -115,7 +142,10 @@ impl<'a> CaptureStore<'a> {
         channel: SideChannel,
         transform: Transform,
     ) -> Result<SharedCaptures, DatasetError> {
+        let wait0 = std::time::Instant::now();
         let mut slot = self.slots[slot_index(channel, transform)].lock();
+        self.blocked_nanos
+            .fetch_add(wait0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if let Some(captures) = slot.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(captures.clone());
@@ -125,7 +155,7 @@ impl<'a> CaptureStore<'a> {
         let captures: SharedCaptures = match transform {
             Transform::Raw => Arc::new(
                 self.set
-                    .capture_channel(channel)?
+                    .capture_channel_with_threads(channel, self.threads)?
                     .into_iter()
                     .map(Arc::new)
                     .collect(),
@@ -136,7 +166,7 @@ impl<'a> CaptureStore<'a> {
                 let raw = self.get(channel, Transform::Raw)?;
                 let stft = self.set.spec.profile.spectrogram(channel);
                 let specs: Vec<Result<Arc<Capture>, DatasetError>> =
-                    parallel_map(&raw, |(_, capture)| {
+                    parallel_map_with_threads(&raw, self.threads, |(_, capture)| {
                         let spec = log_spectrogram(&capture.signal, &stft)?;
                         Ok(Arc::new(Capture {
                             role: capture.role.clone(),
@@ -153,12 +183,44 @@ impl<'a> CaptureStore<'a> {
         Ok(captures)
     }
 
+    /// Generates every distinct key up front, one key at a time, with the
+    /// per-run fan-out parallelized across this store's thread budget.
+    ///
+    /// This is the contention-free alternative to letting grid workers
+    /// fault captures in on demand: on-demand faulting makes the first
+    /// requester generate single-threadedly while every other worker
+    /// wanting the same key blocks on its slot lock. After a pre-warm,
+    /// every worker request is an uncontended cache hit.
+    ///
+    /// Duplicate keys are deduplicated; each distinct key still counts as
+    /// one miss in [`CaptureStore::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and STFT failures.
+    pub fn prewarm(&self, keys: &[(SideChannel, Transform)]) -> Result<(), DatasetError> {
+        let mut seen: Vec<(SideChannel, Transform)> = Vec::new();
+        for &key in keys {
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        // Raw keys first: spectrogram generation derives from the raw slot
+        // of the same channel, so this orders dependencies before users.
+        seen.sort_by_key(|&(_, t)| matches!(t, Transform::Spectrogram));
+        for &(channel, transform) in &seen {
+            self.get(channel, transform)?;
+        }
+        Ok(())
+    }
+
     /// Snapshot of the cache counters.
     pub fn stats(&self) -> CaptureStats {
         CaptureStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             generation_nanos: self.generation_nanos.load(Ordering::Relaxed),
+            blocked_nanos: self.blocked_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -232,6 +294,32 @@ mod tests {
             assert_eq!(s.signal, d.signal);
             assert_eq!(s.layer_times, d.layer_times);
         }
+    }
+
+    #[test]
+    fn prewarm_makes_later_requests_hits() {
+        let set = tiny_set();
+        let store = CaptureStore::with_threads(&set, 2);
+        store
+            .prewarm(&[
+                (SideChannel::Mag, Transform::Spectrogram),
+                (SideChannel::Mag, Transform::Raw),
+                (SideChannel::Mag, Transform::Raw), // duplicate
+                (SideChannel::Acc, Transform::Raw),
+            ])
+            .unwrap();
+        // Raw-before-spectrogram ordering: 3 distinct keys, 3 misses (the
+        // spectrogram's raw dependency was already warmed), 1 hit from the
+        // deduplicated raw request feeding the spectrogram derivation.
+        let warm = store.stats();
+        assert_eq!(warm.misses, 3);
+        assert_eq!(warm.hits, 1);
+        // Every post-warm request is a pure hit.
+        store.get(SideChannel::Mag, Transform::Spectrogram).unwrap();
+        store.get(SideChannel::Acc, Transform::Raw).unwrap();
+        let after = store.stats();
+        assert_eq!(after.misses, 3);
+        assert_eq!(after.hits, 3);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   multi-kHz signals.
 
 use crate::error::DspError;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A complex number specialized for FFT work.
 ///
@@ -126,34 +129,185 @@ fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
     if n <= 1 {
         return Ok(());
     }
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
-        if j > i {
-            buf.swap(i, j);
-        }
-    }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut size = 2;
-    while size <= n {
-        let half = size / 2;
-        let step = sign * std::f64::consts::TAU / size as f64;
-        let w_step = Complex::cis(step);
-        for start in (0..n).step_by(size) {
-            let mut w = Complex::new(1.0, 0.0);
-            for k in 0..half {
-                let even = buf[start + k];
-                let odd = buf[start + k + half] * w;
-                buf[start + k] = even + odd;
-                buf[start + k + half] = even - odd;
-                w = w * w_step;
+    fft_plan(n)?.process(buf, inverse);
+    Ok(())
+}
+
+/// A precomputed radix-2 FFT plan for one power-of-two length: the
+/// bit-reversal swap list plus per-stage twiddle-factor tables for both
+/// directions.
+///
+/// The twiddles are generated with the exact incremental recurrence
+/// (`w ← w · w_step`) the planless butterfly loop used, so a planned
+/// transform is **bit-identical** to the historical implementation — a
+/// property the grid's golden pins rely on.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal swaps `(i, j)` with `j > i`.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles, stages concatenated (`n - 1` entries).
+    forward: Vec<Complex>,
+    /// Inverse twiddles, same layout.
+    inverse: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for a power-of-two length `n >= 2`.
+    fn new(n: usize) -> FftPlan {
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        let bits = n.trailing_zeros();
+        let mut swaps = Vec::new();
+        for i in 0..n {
+            let j = i.reverse_bits() >> (usize::BITS - bits);
+            if j > i {
+                swaps.push((i as u32, j as u32));
             }
         }
-        size *= 2;
+        let twiddles = |sign: f64| {
+            let mut table = Vec::with_capacity(n - 1);
+            let mut size = 2;
+            while size <= n {
+                let half = size / 2;
+                let step = sign * std::f64::consts::TAU / size as f64;
+                let w_step = Complex::cis(step);
+                let mut w = Complex::new(1.0, 0.0);
+                for _ in 0..half {
+                    table.push(w);
+                    w = w * w_step;
+                }
+                size *= 2;
+            }
+            table
+        };
+        FftPlan {
+            n,
+            swaps,
+            forward: twiddles(-1.0),
+            inverse: twiddles(1.0),
+        }
     }
-    Ok(())
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for the (unconstructible) zero-length plan; present to
+    /// satisfy the `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Runs the in-place transform (without the inverse `1/N` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn process(&self, buf: &mut [Complex], inverse: bool) {
+        assert_eq!(buf.len(), self.n, "buffer length does not match plan");
+        for &(i, j) in &self.swaps {
+            buf.swap(i as usize, j as usize);
+        }
+        let table = if inverse {
+            &self.inverse
+        } else {
+            &self.forward
+        };
+        let mut size = 2;
+        let mut off = 0;
+        while size <= self.n {
+            let half = size / 2;
+            let stage = &table[off..off + half];
+            for start in (0..self.n).step_by(size) {
+                for (k, &w) in stage.iter().enumerate() {
+                    let even = buf[start + k];
+                    let odd = buf[start + k + half] * w;
+                    buf[start + k] = even + odd;
+                    buf[start + k + half] = even - odd;
+                }
+            }
+            off += half;
+            size *= 2;
+        }
+    }
+}
+
+/// A precomputed Bluestein (chirp-z) plan for one arbitrary length: the
+/// chirp table and the FFT of the chirp filter, which depend only on `n`
+/// and were previously recomputed (two of the three transforms!) on every
+/// [`dft`] call.
+#[derive(Debug)]
+struct BluesteinPlan {
+    /// Padded power-of-two convolution length.
+    m: usize,
+    /// Chirp `w[i] = exp(-i π i² / n)` (index squared mod `2n`).
+    w: Vec<Complex>,
+    /// Forward FFT of the chirp filter `b`.
+    fb: Vec<Complex>,
+}
+
+impl BluesteinPlan {
+    fn new(n: usize) -> BluesteinPlan {
+        debug_assert!(n > 0 && !n.is_power_of_two());
+        let m = next_pow2(2 * n - 1);
+        let w: Vec<Complex> = (0..n)
+            .map(|i| {
+                // i^2 mod 2n avoids precision loss for large i.
+                let sq = (i * i) % (2 * n);
+                Complex::cis(-std::f64::consts::PI * sq as f64 / n as f64)
+            })
+            .collect();
+        let mut b = vec![Complex::default(); m];
+        b[0] = w[0].conj();
+        for i in 1..n {
+            let bi = w[i].conj();
+            b[i] = bi;
+            b[m - i] = bi;
+        }
+        fft_in_place(&mut b).expect("m is a power of two");
+        BluesteinPlan { m, w, fb: b }
+    }
+}
+
+thread_local! {
+    static FFT_PLANS: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+    static BLUESTEIN_PLANS: RefCell<HashMap<usize, Rc<BluesteinPlan>>> =
+        RefCell::new(HashMap::new());
+    static DFT_SCRATCH: RefCell<Vec<Complex>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns the cached radix-2 plan for a power-of-two length `n >= 2`,
+/// building it on first request. Plans are cached per thread, so lookups
+/// never contend.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `n` is not a power of two or
+/// is below 2.
+pub fn fft_plan(n: usize) -> Result<Rc<FftPlan>, DspError> {
+    if !n.is_power_of_two() || n < 2 {
+        return Err(DspError::InvalidParameter(format!(
+            "fft plan length {n} is not a power of two >= 2"
+        )));
+    }
+    Ok(FFT_PLANS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| Rc::new(FftPlan::new(n)))
+            .clone()
+    }))
+}
+
+fn bluestein_plan(n: usize) -> Rc<BluesteinPlan> {
+    BLUESTEIN_PLANS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| Rc::new(BluesteinPlan::new(n)))
+            .clone()
+    })
 }
 
 /// Forward DFT of arbitrary length via Bluestein's algorithm (chirp-z),
@@ -174,42 +328,56 @@ pub fn dft(x: &[Complex]) -> Vec<Complex> {
     }
     // Bluestein: X[k] = w[k] * (a (*) b)[k], with
     //   w[m] = exp(-i pi m^2 / n), a[m] = x[m] w[m], b[m] = conj(w[m]).
-    let m = next_pow2(2 * n - 1);
-    let w: Vec<Complex> = (0..n)
-        .map(|i| {
-            // i^2 mod 2n avoids precision loss for large i.
-            let sq = (i * i) % (2 * n);
-            Complex::cis(-std::f64::consts::PI * sq as f64 / n as f64)
-        })
-        .collect();
-    let mut a = vec![Complex::default(); m];
-    for i in 0..n {
-        a[i] = x[i] * w[i];
-    }
-    let mut b = vec![Complex::default(); m];
-    b[0] = w[0].conj();
-    for i in 1..n {
-        let bi = w[i].conj();
-        b[i] = bi;
-        b[m - i] = bi;
-    }
-    fft_in_place(&mut a).expect("m is a power of two");
-    fft_in_place(&mut b).expect("m is a power of two");
-    for (ai, bi) in a.iter_mut().zip(b.iter()) {
-        *ai = *ai * *bi;
-    }
-    ifft_in_place(&mut a).expect("m is a power of two");
-    (0..n).map(|k| w[k] * a[k]).collect()
+    // The chirp `w` and FFT(b) depend only on `n` and come from the plan
+    // cache; only the `a` transform pair runs per call.
+    let plan = bluestein_plan(n);
+    DFT_SCRATCH.with(|scratch| {
+        let mut a = scratch.borrow_mut();
+        a.clear();
+        a.resize(plan.m, Complex::default());
+        for i in 0..n {
+            a[i] = x[i] * plan.w[i];
+        }
+        fft_in_place(&mut a).expect("m is a power of two");
+        for (ai, bi) in a.iter_mut().zip(plan.fb.iter()) {
+            *ai = *ai * *bi;
+        }
+        ifft_in_place(&mut a).expect("m is a power of two");
+        (0..n).map(|k| plan.w[k] * a[k]).collect()
+    })
 }
 
 /// Magnitudes of the first `n/2 + 1` bins of an arbitrary-length real DFT.
 pub fn real_dft_magnitude(input: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    real_dft_magnitude_into(input, &mut out);
+    out
+}
+
+/// [`real_dft_magnitude`] writing into a caller-owned buffer — the
+/// allocation-free per-frame path the STFT and Welch loops run on.
+pub fn real_dft_magnitude_into(input: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    let n = input.len();
+    if n == 0 {
+        return;
+    }
+    let bins = n / 2 + 1;
+    if n.is_power_of_two() {
+        DFT_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            buf.resize(n, Complex::default());
+            for (b, &v) in buf.iter_mut().zip(input.iter()) {
+                b.re = v;
+            }
+            fft_in_place(&mut buf).expect("power-of-two length");
+            out.extend(buf.iter().take(bins).map(|c| c.abs()));
+        });
+        return;
+    }
     let x: Vec<Complex> = input.iter().map(|&v| Complex::new(v, 0.0)).collect();
-    dft(&x)
-        .into_iter()
-        .take(input.len() / 2 + 1)
-        .map(Complex::abs)
-        .collect()
+    out.extend(dft(&x).into_iter().take(bins).map(Complex::abs));
 }
 
 /// Forward FFT of a real input, zero-padded to `n_fft` (a power of two).
@@ -261,6 +429,34 @@ pub fn rfft_magnitude(input: &[f64], n_fft: usize) -> Result<Vec<f64>, DspError>
 /// Returns [`DspError::TooShort`] if `y` is longer than `x` or either is
 /// empty.
 pub fn sliding_dot_fft(x: &[f64], y: &[f64]) -> Result<Vec<f64>, DspError> {
+    let mut scratch = FftScratch::default();
+    let mut out = Vec::new();
+    sliding_dot_fft_into(x, y, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable transform buffers for [`sliding_dot_fft_into`].
+///
+/// One pair of padded FFT buffers; reusing it across the per-window TDE
+/// calls of a DWM pass removes two large allocations per window.
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    fx: Vec<Complex>,
+    fy: Vec<Complex>,
+}
+
+/// [`sliding_dot_fft`] writing into caller-owned scratch and output
+/// buffers. Produces bit-identical results to the allocating version.
+///
+/// # Errors
+///
+/// Same as [`sliding_dot_fft`].
+pub fn sliding_dot_fft_into(
+    x: &[f64],
+    y: &[f64],
+    scratch: &mut FftScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
     if y.is_empty() || x.is_empty() || y.len() > x.len() {
         return Err(DspError::TooShort {
             needed: y.len().max(1),
@@ -269,22 +465,28 @@ pub fn sliding_dot_fft(x: &[f64], y: &[f64]) -> Result<Vec<f64>, DspError> {
     }
     let out_len = x.len() - y.len() + 1;
     let n_fft = next_pow2(x.len() + y.len());
-    let mut fx = vec![Complex::default(); n_fft];
-    let mut fy = vec![Complex::default(); n_fft];
+    let fx = &mut scratch.fx;
+    let fy = &mut scratch.fy;
+    fx.clear();
+    fx.resize(n_fft, Complex::default());
+    fy.clear();
+    fy.resize(n_fft, Complex::default());
     for (b, &v) in fx.iter_mut().zip(x.iter()) {
         b.re = v;
     }
     for (b, &v) in fy.iter_mut().zip(y.iter()) {
         b.re = v;
     }
-    fft_in_place(&mut fx)?;
-    fft_in_place(&mut fy)?;
+    fft_in_place(fx)?;
+    fft_in_place(fy)?;
     // Correlation = IFFT( FX * conj(FY) ).
     for (a, b) in fx.iter_mut().zip(fy.iter()) {
         *a = *a * b.conj();
     }
-    ifft_in_place(&mut fx)?;
-    Ok(fx.into_iter().take(out_len).map(|c| c.re).collect())
+    ifft_in_place(fx)?;
+    out.clear();
+    out.extend(fx.iter().take(out_len).map(|c| c.re));
+    Ok(())
 }
 
 /// Naive `O(N·M)` version of [`sliding_dot_fft`], used as a test oracle and
@@ -487,6 +689,42 @@ mod tests {
             prop_assert_eq!(a.len(), b.len());
             for (u, v) in a.iter().zip(b.iter()) {
                 prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
+            }
+        }
+
+        #[test]
+        fn prop_plan_cache_bit_identical_across_repeated_and_concurrent_use(
+            n in 2usize..128,
+            seed in 0.0f64..10.0,
+        ) {
+            // Covers both the radix-2 plan cache (pow2 n) and the
+            // Bluestein chirp cache (everything else).
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37 + seed).sin(), (i as f64 * 0.11 - seed).cos()))
+                .collect();
+            let first = dft(&input);
+            // Repeated use of the now-warm cached plan.
+            for _ in 0..3 {
+                let again = dft(&input);
+                for (x, y) in first.iter().zip(&again) {
+                    prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+                    prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+                }
+            }
+            // Concurrent use: plans live in thread-local caches, so four
+            // threads each build and use their own — every spectrum must
+            // still be bit-identical to the warm main-thread one.
+            let spectra: Vec<Vec<Complex>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| s.spawn(|| dft(&input)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            });
+            for spectrum in &spectra {
+                for (x, y) in first.iter().zip(spectrum) {
+                    prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+                    prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+                }
             }
         }
 

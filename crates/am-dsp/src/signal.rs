@@ -266,6 +266,60 @@ impl Signal {
         }
     }
 
+    /// [`Signal::slice_padded`] writing into a caller-owned signal whose
+    /// buffer is reused — the allocation-free path DWM's per-window search
+    /// slicing runs on. `out`'s previous shape and contents are discarded.
+    pub fn slice_padded_into(&self, start: isize, end: isize, out: &mut Signal) {
+        let out_len = (end - start).max(0) as usize;
+        out.fs = self.fs;
+        out.len = out_len;
+        out.channels = self.channels;
+        out.data.clear();
+        out.data.resize(out_len * self.channels, 0.0);
+        if out_len == 0 {
+            return;
+        }
+        let src_start = start.clamp(0, self.len as isize) as usize;
+        let src_end = end.clamp(0, self.len as isize) as usize;
+        if src_end > src_start {
+            let dst_off = (src_start as isize - start) as usize;
+            for c in 0..self.channels {
+                let ch = self.channel(c);
+                let dst = &mut out.data
+                    [c * out_len + dst_off..c * out_len + dst_off + (src_end - src_start)];
+                dst.copy_from_slice(&ch[src_start..src_end]);
+            }
+        }
+    }
+
+    /// [`Signal::slice`] writing into a caller-owned signal whose buffer is
+    /// reused. `out`'s previous shape and contents are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidRange`] if the range is inverted or out of
+    /// bounds (leaving `out` untouched).
+    pub fn slice_into(&self, range: Range<usize>, out: &mut Signal) -> Result<(), DspError> {
+        if range.start > range.end || range.end > self.len {
+            return Err(DspError::InvalidRange {
+                start: range.start,
+                end: range.end,
+                len: self.len,
+            });
+        }
+        let out_len = range.end - range.start;
+        out.fs = self.fs;
+        out.len = out_len;
+        out.channels = self.channels;
+        out.data.clear();
+        out.data.reserve(out_len * self.channels);
+        for c in 0..self.channels {
+            let ch = self.channel(c);
+            out.data.extend_from_slice(&ch[range.clone()]);
+        }
+        Ok(())
+    }
+
     /// Extracts a subset of channels as a new signal.
     ///
     /// # Errors
@@ -434,6 +488,22 @@ mod tests {
         assert_eq!(out.channel(1), &[0.0, 0.0]);
         // Degenerate empty.
         assert_eq!(s.slice_padded(2, 2).len(), 0);
+    }
+
+    #[test]
+    fn slice_into_variants_match_allocating() {
+        let s = sig2x4();
+        let mut out = Signal::zeros(1.0, 1, 0).unwrap();
+        s.slice_padded_into(-2, 3, &mut out);
+        assert_eq!(out, s.slice_padded(-2, 3));
+        // Reuse the same buffer for a different shape.
+        s.slice_padded_into(3, 6, &mut out);
+        assert_eq!(out, s.slice_padded(3, 6));
+        s.slice_into(1..3, &mut out).unwrap();
+        assert_eq!(out, s.slice(1..3).unwrap());
+        let before = out.clone();
+        assert!(s.slice_into(0..5, &mut out).is_err());
+        assert_eq!(out, before, "failed slice_into must not disturb out");
     }
 
     #[test]

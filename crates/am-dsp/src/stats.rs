@@ -92,13 +92,32 @@ pub fn prefix_sums(x: &[f64]) -> Vec<f64> {
 /// Exclusive prefix sums of squares.
 pub fn prefix_sq_sums(x: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(x.len() + 1);
+    prefix_sq_sums_into(x, &mut out);
+    out
+}
+
+/// [`prefix_sums`] writing into a caller-owned buffer (cleared first).
+pub fn prefix_sums_into(x: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(x.len() + 1);
+    let mut acc = 0.0;
+    out.push(0.0);
+    for &v in x {
+        acc += v;
+        out.push(acc);
+    }
+}
+
+/// [`prefix_sq_sums`] writing into a caller-owned buffer (cleared first).
+pub fn prefix_sq_sums_into(x: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(x.len() + 1);
     let mut acc = 0.0;
     out.push(0.0);
     for &v in x {
         acc += v * v;
         out.push(acc);
     }
-    out
 }
 
 /// Mean absolute difference between consecutive elements. Returns 0.0 for

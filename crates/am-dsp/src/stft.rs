@@ -97,6 +97,7 @@ pub fn spectrogram(signal: &Signal, config: &StftConfig) -> Result<Signal, DspEr
     let out_channels = signal.channels() * bins;
     let mut channels: Vec<Vec<f64>> = vec![Vec::with_capacity(frames); out_channels];
     let mut buf = vec![0.0; win_len];
+    let mut mags = Vec::with_capacity(bins);
     for c in 0..signal.channels() {
         let ch = signal.channel(c);
         for f in 0..frames {
@@ -104,9 +105,9 @@ pub fn spectrogram(signal: &Signal, config: &StftConfig) -> Result<Signal, DspEr
             for (i, b) in buf.iter_mut().enumerate() {
                 *b = ch[start + i] * taper[i];
             }
-            let mags = fft::real_dft_magnitude(&buf);
+            fft::real_dft_magnitude_into(&buf, &mut mags);
             debug_assert_eq!(mags.len(), bins);
-            for (k, m) in mags.into_iter().enumerate() {
+            for (k, &m) in mags.iter().enumerate() {
                 channels[c * bins + k].push(m);
             }
         }
@@ -161,12 +162,13 @@ pub fn welch_psd(
     let mut acc = vec![0.0f64; bins];
     let mut count = 0usize;
     let mut buf = vec![0.0f64; segment_len];
+    let mut mags = Vec::with_capacity(bins);
     let mut start = 0;
     while start + segment_len <= samples.len() {
         for (i, b) in buf.iter_mut().enumerate() {
             *b = samples[start + i] * taper[i];
         }
-        let mags = fft::real_dft_magnitude(&buf);
+        fft::real_dft_magnitude_into(&buf, &mut mags);
         for (a, m) in acc.iter_mut().zip(mags.iter()) {
             *a += m * m;
         }

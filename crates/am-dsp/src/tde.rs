@@ -50,6 +50,48 @@ pub struct TdeResult {
     pub score: f64,
 }
 
+/// Reusable buffers for the TDE hot path.
+///
+/// DWM calls TDEB once per window with near-constant shapes; without a
+/// scratch every call pays ~8 allocations (centered template, correlation
+/// buffers, prefix sums, bias window, score array). Thread one scratch
+/// through a DWM pass ([`tdeb_with`] / [`similarity_scores_into`]) and the
+/// steady state allocates nothing. Results are bit-identical to the
+/// allocating entry points.
+#[derive(Debug, Default)]
+pub struct TdeScratch {
+    /// Mean-centered template `y - mean(y)`.
+    yc: Vec<f64>,
+    /// Sliding-dot numerators for one channel.
+    num: Vec<f64>,
+    /// Prefix sums of `x`.
+    ps: Vec<f64>,
+    /// Prefix sums of `x²`.
+    pss: Vec<f64>,
+    /// Per-channel normalized scores.
+    ch: Vec<f64>,
+    /// FFT transform buffers.
+    fft: fft::FftScratch,
+    /// Channel-averaged (and, for TDEB, biased) scores.
+    scores: Vec<f64>,
+    /// Cached Gaussian bias window.
+    bias: Vec<f64>,
+    /// `(len, sigma.to_bits())` key of the cached bias window.
+    bias_key: Option<(usize, u64)>,
+}
+
+impl TdeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        TdeScratch::default()
+    }
+
+    /// The score array of the most recent scratch-based run.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+}
+
 /// Computes the similarity array `s[n] = f(x[n:n+Ny], y)` for
 /// `n = 0 ..= Nx - Ny`, with `f` the channel-averaged Pearson correlation.
 ///
@@ -62,6 +104,48 @@ pub fn similarity_scores(
     y: &Signal,
     backend: TdeBackend,
 ) -> Result<Vec<f64>, DspError> {
+    let mut scratch = TdeScratch::default();
+    let mut out = Vec::new();
+    similarity_scores_into(x, y, backend, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Relative cost of one FFT "unit" (`n · log2 n`, n = padded length)
+/// versus one naive unit (`y_len · positions`). Calibrated from the
+/// `tde` group of `cargo bench -p bench --bench dsp_kernels`: naive runs
+/// ≈ 2.1–2.4 ns/unit and the FFT path ≈ 3.3–4.4 ns/unit on the reference
+/// machine, a ratio of ≈ 1.6–1.8 across DWM-shaped sizes, so 2 keeps
+/// `Auto` within 10% of the faster backend at every benchmarked size
+/// (the previous value of 6 made `Auto` run the naive path up to ~2×
+/// slower than FFT on mid-sized windows).
+const AUTO_FFT_COST: u64 = 2;
+
+fn choose_fft(backend: TdeBackend, x_len: usize, y_len: usize, positions: usize) -> bool {
+    match backend {
+        TdeBackend::Naive => false,
+        TdeBackend::Fft => true,
+        TdeBackend::Auto => {
+            let naive_cost = (y_len as u64).saturating_mul(positions as u64);
+            let n = fft::next_pow2(x_len + y_len) as u64;
+            let fft_cost = AUTO_FFT_COST * n * (64 - n.leading_zeros() as u64);
+            naive_cost > fft_cost
+        }
+    }
+}
+
+/// [`similarity_scores`] writing into caller-owned scratch and output
+/// buffers; bit-identical results, no steady-state allocation.
+///
+/// # Errors
+///
+/// Same as [`similarity_scores`].
+pub fn similarity_scores_into(
+    x: &Signal,
+    y: &Signal,
+    backend: TdeBackend,
+    scratch: &mut TdeScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
     if x.channels() != y.channels() {
         return Err(DspError::ShapeMismatch(format!(
             "channel counts differ: {} vs {}",
@@ -76,71 +160,60 @@ pub fn similarity_scores(
         });
     }
     let positions = x.len() - y.len() + 1;
-    let use_fft = match backend {
-        TdeBackend::Naive => false,
-        TdeBackend::Fft => true,
-        TdeBackend::Auto => {
-            let naive_cost = (y.len() as u64).saturating_mul(positions as u64);
-            let n = fft::next_pow2(x.len() + y.len()) as u64;
-            let fft_cost = 6 * n * (64 - n.leading_zeros() as u64);
-            naive_cost > fft_cost
-        }
-    };
-    let mut acc = vec![0.0; positions];
+    let use_fft = choose_fft(backend, x.len(), y.len(), positions);
+    out.clear();
+    out.resize(positions, 0.0);
     for c in 0..x.channels() {
         let xs = x.channel(c);
         let ys = y.channel(c);
-        let scores = if use_fft {
-            zncc_fft(xs, ys)?
+        if use_fft {
+            zncc_fft_into(xs, ys, scratch)?;
+            for (a, s) in out.iter_mut().zip(scratch.ch.iter()) {
+                *a += s;
+            }
         } else {
-            zncc_naive(xs, ys)
-        };
-        for (a, s) in acc.iter_mut().zip(scores.iter()) {
-            *a += s;
+            // Same arithmetic as accumulating a per-channel score vector,
+            // without materializing it.
+            for (n, a) in out.iter_mut().enumerate() {
+                *a += pearson(&xs[n..n + y.len()], ys);
+            }
         }
     }
     let cn = x.channels() as f64;
-    for a in &mut acc {
+    for a in out.iter_mut() {
         *a /= cn;
     }
-    Ok(acc)
-}
-
-fn zncc_naive(x: &[f64], y: &[f64]) -> Vec<f64> {
-    let positions = x.len() - y.len() + 1;
-    (0..positions)
-        .map(|n| pearson(&x[n..n + y.len()], y))
-        .collect()
+    Ok(())
 }
 
 /// FFT path: `num[n] = sum (x_win - mean)(y - mean_y) = sliding_dot(x, y - mean_y)`
 /// (the `mean_x * sum(y - mean_y)` term vanishes); denominators from prefix
-/// sums of `x` and `x^2`.
-fn zncc_fft(x: &[f64], y: &[f64]) -> Result<Vec<f64>, DspError> {
+/// sums of `x` and `x^2`. Writes one channel's scores into `s.ch`.
+fn zncc_fft_into(x: &[f64], y: &[f64], s: &mut TdeScratch) -> Result<(), DspError> {
     let w = y.len();
     let my = stats::mean(y);
-    let yc: Vec<f64> = y.iter().map(|v| v - my).collect();
-    let ny: f64 = yc.iter().map(|v| v * v).sum::<f64>().sqrt();
-    let num = fft::sliding_dot_fft(x, &yc)?;
-    let ps = stats::prefix_sums(x);
-    let pss = stats::prefix_sq_sums(x);
+    s.yc.clear();
+    s.yc.extend(y.iter().map(|v| v - my));
+    let ny: f64 = s.yc.iter().map(|v| v * v).sum::<f64>().sqrt();
+    fft::sliding_dot_fft_into(x, &s.yc, &mut s.fft, &mut s.num)?;
+    stats::prefix_sums_into(x, &mut s.ps);
+    stats::prefix_sq_sums_into(x, &mut s.pss);
     let wf = w as f64;
     let eps = f64::EPSILON * wf;
-    Ok(num
-        .into_iter()
-        .enumerate()
-        .map(|(n, numerator)| {
-            let sum = ps[n + w] - ps[n];
-            let sum_sq = pss[n + w] - pss[n];
-            let var_term = (sum_sq - sum * sum / wf).max(0.0);
-            let denom = ny * var_term.sqrt();
-            if denom <= eps || ny <= eps {
-                0.0
-            } else {
-                (numerator / denom).clamp(-1.0, 1.0)
-            }
-        })
-        .collect())
+    s.ch.clear();
+    s.ch.reserve(s.num.len());
+    for (n, &numerator) in s.num.iter().enumerate() {
+        let sum = s.ps[n + w] - s.ps[n];
+        let sum_sq = s.pss[n + w] - s.pss[n];
+        let var_term = (sum_sq - sum * sum / wf).max(0.0);
+        let denom = ny * var_term.sqrt();
+        s.ch.push(if denom <= eps || ny <= eps {
+            0.0
+        } else {
+            (numerator / denom).clamp(-1.0, 1.0)
+        });
+    }
+    Ok(())
 }
 
 /// Plain TDE (Eq 1–2): similarity scores plus their argmax.
@@ -181,19 +254,50 @@ pub fn tdeb(
             "tdeb sigma must be finite and non-negative, got {sigma}"
         )));
     }
-    let mut scores = similarity_scores(x, y, backend)?;
-    let center = (scores.len() - 1) as f64 / 2.0;
-    let bias = gaussian_window(scores.len(), center, sigma);
-    for (s, b) in scores.iter_mut().zip(bias.iter()) {
+    let mut scratch = TdeScratch::default();
+    let (delay, score) = tdeb_with(x, y, sigma, backend, &mut scratch)?;
+    Ok(TdeResult {
+        scores: std::mem::take(&mut scratch.scores),
+        delay,
+        score,
+    })
+}
+
+/// [`tdeb`] on caller-owned scratch: returns `(delay, score)` and leaves
+/// the biased score array in [`TdeScratch::scores`]. The Gaussian bias
+/// window is cached in the scratch keyed by `(positions, sigma)` — DWM
+/// calls with a fixed shape, so it is built once per pass.
+///
+/// # Errors
+///
+/// Same as [`tdeb`].
+pub fn tdeb_with(
+    x: &Signal,
+    y: &Signal,
+    sigma: f64,
+    backend: TdeBackend,
+    scratch: &mut TdeScratch,
+) -> Result<(usize, f64), DspError> {
+    if !sigma.is_finite() || sigma < 0.0 {
+        return Err(DspError::InvalidParameter(format!(
+            "tdeb sigma must be finite and non-negative, got {sigma}"
+        )));
+    }
+    let mut scores = std::mem::take(&mut scratch.scores);
+    similarity_scores_into(x, y, backend, scratch, &mut scores)?;
+    let key = (scores.len(), sigma.to_bits());
+    if scratch.bias_key != Some(key) {
+        let center = (scores.len() - 1) as f64 / 2.0;
+        scratch.bias = gaussian_window(scores.len(), center, sigma);
+        scratch.bias_key = Some(key);
+    }
+    for (s, b) in scores.iter_mut().zip(scratch.bias.iter()) {
         *s *= b;
     }
     let delay = stats::argmax(&scores).unwrap_or(0);
     let score = scores.get(delay).copied().unwrap_or(0.0);
-    Ok(TdeResult {
-        scores,
-        delay,
-        score,
-    })
+    scratch.scores = scores;
+    Ok((delay, score))
 }
 
 #[cfg(test)]
@@ -220,6 +324,21 @@ mod tests {
             assert_eq!(r.delay, 137, "backend {backend:?}");
             assert!((r.score - 1.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn auto_cost_model_picks_the_measured_faster_backend() {
+        // Shapes from the `tde` micro-bench group (x_len, y_len): the FFT
+        // path measures ~4× (w400) and ~12× (w1600) faster than naive, so
+        // a calibrated Auto must route both to FFT. The previous constant
+        // (6) sent w-scaled mid sizes down the naive path at ~2× cost.
+        assert!(choose_fft(TdeBackend::Auto, 800, 400, 401));
+        assert!(choose_fft(TdeBackend::Auto, 3200, 1600, 1601));
+        // Tiny problems stay naive: the padded FFT dominates there.
+        assert!(!choose_fft(TdeBackend::Auto, 64, 16, 49));
+        // Explicit backends are never overridden.
+        assert!(!choose_fft(TdeBackend::Naive, 3200, 1600, 1601));
+        assert!(choose_fft(TdeBackend::Fft, 64, 16, 49));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::align::{Alignment, AlignmentKind, Synchronizer};
 use crate::error::SyncError;
-use am_dsp::tde::{tdeb, TdeBackend};
+use am_dsp::tde::{tdeb_with, TdeBackend, TdeScratch};
 use am_dsp::Signal;
 use serde::{Deserialize, Serialize};
 
@@ -134,6 +134,23 @@ pub struct SampleParams {
     pub eta: f64,
 }
 
+/// Reusable buffers for one DWM pass: the TDE scratch plus the search and
+/// observed-window signals each step would otherwise allocate.
+#[derive(Debug)]
+struct DwmScratch {
+    tde: TdeScratch,
+    search: Signal,
+}
+
+impl Default for DwmScratch {
+    fn default() -> Self {
+        DwmScratch {
+            tde: TdeScratch::new(),
+            search: Signal::zeros(1.0, 1, 0).expect("valid empty signal"),
+        }
+    }
+}
+
 /// One DWM step (Algorithm 1 lines 8–10): find `a{i}` in the extended
 /// window of `b` around `h_low_prev`.
 fn dwm_step(
@@ -143,13 +160,20 @@ fn dwm_step(
     h_low_prev: i64,
     p: &SampleParams,
     backend: TdeBackend,
+    scratch: &mut DwmScratch,
 ) -> Result<(i64, i64), SyncError> {
     let base = (i * p.n_hop) as i64 + h_low_prev;
     let start = base - p.n_ext as i64;
     let end = base + p.n_ext as i64 + p.n_win as i64;
-    let search = b.slice_padded(start as isize, end as isize);
-    let r = tdeb(&search, window_a, p.n_sigma, backend)?;
-    let j = r.delay as i64;
+    b.slice_padded_into(start as isize, end as isize, &mut scratch.search);
+    let (delay, _score) = tdeb_with(
+        &scratch.search,
+        window_a,
+        p.n_sigma,
+        backend,
+        &mut scratch.tde,
+    )?;
+    let j = delay as i64;
     let h_disp = j - p.n_ext as i64 + h_low_prev;
     let h_low = (p.eta * (j - p.n_ext as i64) as f64 + h_low_prev as f64).round() as i64;
     Ok((h_disp, h_low))
@@ -176,11 +200,12 @@ pub fn dwm(a: &Signal, b: &Signal, params: &DwmParams) -> Result<Alignment, Sync
     let n_windows = (a.len() - p.n_win) / p.n_hop + 1;
     let mut h_disp = Vec::with_capacity(n_windows);
     let mut h_low: i64 = 0;
+    let mut scratch = DwmScratch::default();
+    let mut window_a = Signal::zeros(a.fs(), a.channels(), 0).map_err(SyncError::from)?;
     for i in 0..n_windows {
-        let window_a = a
-            .slice(i * p.n_hop..i * p.n_hop + p.n_win)
+        a.slice_into(i * p.n_hop..i * p.n_hop + p.n_win, &mut window_a)
             .map_err(SyncError::from)?;
-        let (d, low) = dwm_step(b, &window_a, i, h_low, &p, TdeBackend::Auto)?;
+        let (d, low) = dwm_step(b, &window_a, i, h_low, &p, TdeBackend::Auto, &mut scratch)?;
         h_disp.push(d as f64);
         h_low = low;
     }
@@ -247,6 +272,7 @@ pub struct DwmStream {
     next_window: usize,
     h_low: i64,
     fs: f64,
+    scratch: DwmScratch,
 }
 
 impl DwmStream {
@@ -264,6 +290,7 @@ impl DwmStream {
             p,
             next_window: 0,
             h_low: 0,
+            scratch: DwmScratch::default(),
         })
     }
 
@@ -346,6 +373,7 @@ impl DwmStream {
                 self.h_low,
                 &self.p,
                 TdeBackend::Auto,
+                &mut self.scratch,
             )?;
             out.push((self.next_window, d as f64));
             self.h_low = low;

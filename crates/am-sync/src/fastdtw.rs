@@ -7,7 +7,7 @@
 //! with DWM — both effects are reproduced by the benchmarks.
 
 use crate::align::{hdisp_from_path, Alignment, AlignmentKind, Synchronizer};
-use crate::dtw::{dtw, dtw_windowed, DtwResult, RowWindow};
+use crate::dtw::{dtw_windowed_with, DtwResult, DtwScratch, RowWindow};
 use crate::error::SyncError;
 use am_dsp::Signal;
 use serde::{Deserialize, Serialize};
@@ -23,14 +23,31 @@ fn min_ts(radius: usize) -> usize {
 ///
 /// Same as [`dtw`].
 pub fn fastdtw(a: &Signal, b: &Signal, radius: usize) -> Result<DtwResult, SyncError> {
+    fastdtw_with(a, b, radius, &mut DtwScratch::default())
+}
+
+/// [`fastdtw`] on a caller-owned scratch workspace. The recursion runs
+/// level by level, so one scratch serves every refinement pass.
+///
+/// # Errors
+///
+/// Same as [`dtw`].
+pub fn fastdtw_with(
+    a: &Signal,
+    b: &Signal,
+    radius: usize,
+    scratch: &mut DtwScratch,
+) -> Result<DtwResult, SyncError> {
     if a.len() <= min_ts(radius) || b.len() <= min_ts(radius) {
-        return dtw(a, b);
+        let n = a.len();
+        let window: RowWindow = (0..n).map(|_| (0, b.len())).collect();
+        return dtw_windowed_with(a, b, &window, scratch);
     }
     let half_a = halve(a);
     let half_b = halve(b);
-    let coarse = fastdtw(&half_a, &half_b, radius)?;
+    let coarse = fastdtw_with(&half_a, &half_b, radius, scratch)?;
     let window = expand_window(&coarse.path, a.len(), b.len(), radius);
-    dtw_windowed(a, b, &window)
+    dtw_windowed_with(a, b, &window, scratch)
 }
 
 /// Halves a signal's resolution by averaging adjacent sample pairs.
@@ -136,6 +153,7 @@ impl Synchronizer for DtwSynchronizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dtw::dtw;
     use proptest::prelude::*;
 
     fn chirp(len: usize, rate: f64) -> Signal {
@@ -224,6 +242,25 @@ mod tests {
                 prop_assert!(i1 + j1 > i0 + j0);
             }
             prop_assert!(r.cost.is_finite() && r.cost >= 0.0);
+        }
+
+        #[test]
+        fn prop_fastdtw_scratch_reuse_bit_identical(
+            na in 8usize..64,
+            nb in 8usize..64,
+            radius in 1usize..3,
+            seed in 0.0f64..10.0,
+        ) {
+            let a = Signal::mono(10.0, (0..na).map(|i| (i as f64 * 0.7 + seed).sin()).collect()).unwrap();
+            let b = Signal::mono(10.0, (0..nb).map(|i| (i as f64 * 0.5 + seed).cos()).collect()).unwrap();
+            let fresh = fastdtw(&a, &b, radius).unwrap();
+            // A scratch dirtied by an unrelated problem must give the
+            // same path and bitwise-identical cost.
+            let mut scratch = DtwScratch::new();
+            fastdtw_with(&b, &a, radius, &mut scratch).unwrap();
+            let reused = fastdtw_with(&a, &b, radius, &mut scratch).unwrap();
+            prop_assert_eq!(&fresh.path, &reused.path);
+            prop_assert_eq!(fresh.cost.to_bits(), reused.cost.to_bits());
         }
     }
 }

@@ -12,7 +12,7 @@
 //! `j* = argmin_j D(i, j)` is exposed; `j* − i` is a streaming estimate of
 //! the horizontal displacement, directly comparable to DWM's `h_disp`.
 
-use crate::dtw::frame_distance;
+use crate::dtw::FrameView;
 use crate::error::SyncError;
 use am_dsp::Signal;
 
@@ -20,8 +20,15 @@ use am_dsp::Signal;
 #[derive(Debug)]
 pub struct OnlineDtw {
     reference: Signal,
+    /// Precomputed frame-major view of the reference (frame means and
+    /// norms derived once, not once per observed frame × reference frame).
+    ref_view: FrameView,
+    /// Reusable one-frame view of the latest observed frame.
+    obs_view: FrameView,
     /// `row[j] = D(i, j)` for the most recent observed frame `i`.
     row: Vec<f64>,
+    /// Previous row, swapped with `row` each push instead of reallocating.
+    prev_row: Vec<f64>,
     frames_seen: usize,
     /// Optional Sakoe–Chiba half-band around the diagonal (frames).
     band: Option<usize>,
@@ -52,8 +59,13 @@ impl OnlineDtw {
         if reference.is_empty() {
             return Err(SyncError::TooShort { needed: 1, got: 0 });
         }
+        let mut ref_view = FrameView::default();
+        ref_view.fill(&reference);
         Ok(OnlineDtw {
             row: vec![f64::INFINITY; reference.len()],
+            prev_row: vec![f64::INFINITY; reference.len()],
+            ref_view,
+            obs_view: FrameView::default(),
             reference,
             frames_seen: 0,
             band,
@@ -89,31 +101,39 @@ impl OnlineDtw {
             Some(band) => (i.saturating_sub(band), (i + band + 1).min(m)),
             None => (0, m),
         };
-        let mut new_row = vec![f64::INFINITY; m];
+        // Observed frame stats derived once, not once per reference frame.
+        self.obs_view.fill_frame(frame_signal, frame_index);
+        // Roll the rows: `prev_row` becomes D(i-1, ·), `row` is refilled.
+        std::mem::swap(&mut self.row, &mut self.prev_row);
+        self.row.clear();
+        self.row.resize(m, f64::INFINITY);
         let mut best = (0usize, f64::INFINITY);
         for j in lo..hi {
-            let d = frame_distance(frame_signal, frame_index, &self.reference, j);
-            let from_prev_row = self.row.get(j).copied().unwrap_or(f64::INFINITY); // (i-1, j)
+            let d = self.obs_view.distance(0, &self.ref_view, j);
+            let from_prev_row = self.prev_row.get(j).copied().unwrap_or(f64::INFINITY); // (i-1, j)
             let from_diag = if j > 0 {
-                self.row[j - 1]
+                self.prev_row[j - 1]
             } else if i == 0 {
                 0.0 // virtual start before (0,0)
             } else {
                 f64::INFINITY
             };
-            let from_left = if j > 0 { new_row[j - 1] } else { f64::INFINITY };
+            let from_left = if j > 0 {
+                self.row[j - 1]
+            } else {
+                f64::INFINITY
+            };
             let base = if i == 0 && j == 0 {
                 0.0
             } else {
                 from_prev_row.min(from_diag).min(from_left)
             };
             let cost = d + base;
-            new_row[j] = cost;
+            self.row[j] = cost;
             if cost < best.1 {
                 best = (j, cost);
             }
         }
-        self.row = new_row;
         self.frames_seen += 1;
         Ok(OnlineStep {
             frame: i,

@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the synchronization kernels at paper scale:
+//! exact DTW, FastDTW (radius 1, as the paper runs it), and TDEB on a
+//! DWM-shaped search problem — each with and without a reused scratch
+//! workspace, so the allocation overhead is measurable in isolation.
+
+use am_dsp::tde::{tdeb, tdeb_with, TdeBackend, TdeScratch};
+use am_dsp::Signal;
+use am_sync::dtw::{dtw, dtw_with, DtwScratch};
+use am_sync::fastdtw::{fastdtw, fastdtw_with};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Four-channel signal so DTW takes the correlation-distance path the
+/// grid exercises (magnetometer/accelerometer captures are 3–4 channels).
+fn wavy(n: usize, stretch: f64) -> Signal {
+    Signal::from_fn(1000.0, 4, n, |t, frame| {
+        for (c, v) in frame.iter_mut().enumerate() {
+            *v = ((1.0 + c as f64) * 2.3 * t * stretch).sin() + 0.2 * (11.0 * t + c as f64).cos();
+        }
+    })
+    .expect("valid signal")
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw");
+    group.sample_size(20);
+    for &n in &[128usize, 256, 512] {
+        let a = wavy(n, 1.0);
+        let b = wavy(n + n / 8, 0.9);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |bch, _| {
+            bch.iter(|| dtw(&a, &b).expect("valid"))
+        });
+        let mut scratch = DtwScratch::new();
+        group.bench_with_input(BenchmarkId::new("exact_scratch", n), &n, |bch, _| {
+            bch.iter(|| dtw_with(&a, &b, &mut scratch).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fastdtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastdtw");
+    group.sample_size(20);
+    for &n in &[512usize, 2048] {
+        let a = wavy(n, 1.0);
+        let b = wavy(n + n / 8, 0.9);
+        group.bench_with_input(BenchmarkId::new("r1", n), &n, |bch, _| {
+            bch.iter(|| fastdtw(&a, &b, 1).expect("valid"))
+        });
+        let mut scratch = DtwScratch::new();
+        group.bench_with_input(BenchmarkId::new("r1_scratch", n), &n, |bch, _| {
+            bch.iter(|| fastdtw_with(&a, &b, 1, &mut scratch).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tdeb_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdeb");
+    group.sample_size(20);
+    // The DWM shape at grid scale: window w inside a span of w + 2*ext.
+    for &(w, ext) in &[(400usize, 200usize), (1600, 800)] {
+        let x = wavy(w + 2 * ext, 1.0);
+        let y = x.slice(ext..ext + w).expect("in range");
+        for backend in [TdeBackend::Naive, TdeBackend::Fft] {
+            let label = format!("{backend:?}_w{w}_e{ext}").to_lowercase();
+            group.bench_with_input(BenchmarkId::new("alloc", &label), &w, |bch, _| {
+                bch.iter(|| tdeb(&x, &y, ext as f64 / 2.0, backend).expect("valid"))
+            });
+            let mut scratch = TdeScratch::new();
+            group.bench_with_input(BenchmarkId::new("scratch", &label), &w, |bch, _| {
+                bch.iter(|| {
+                    tdeb_with(&x, &y, ext as f64 / 2.0, backend, &mut scratch).expect("valid")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dtw, bench_fastdtw, bench_tdeb_scratch
+}
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Benchmarks the evaluation-grid engine and records the measurements in
-//! `BENCH_grid.json`: wall-clock at 1 and N threads, per-stage timings
-//! (capture generation / detector fit / judging), cache hit rate, and
-//! the speedup over the pre-refactor sequential grid.
+//! `BENCH_grid.json`: wall-clock at 1/2/4/8 threads, per-stage timings
+//! (capture pre-warm / detector fit / judging), cache and contention
+//! counters, and the speedup over the pre-refactor sequential grid.
 //!
 //! ```sh
 //! cargo run --release --example bench_grid
@@ -18,11 +18,13 @@ const PRE_REFACTOR_WALL_SECONDS: f64 = 88.814;
 
 fn run_entry(report: &GridReport, cells: usize) -> String {
     format!(
-        "    {{\n      \"threads\": {},\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"capture_generation_seconds\": {:.3},\n      \"fit_seconds_total\": {:.3},\n      \"judge_seconds_total\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4}\n    }}",
+        "    {{\n      \"threads\": {},\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"prewarm_seconds\": {:.3},\n      \"capture_generation_seconds\": {:.3},\n      \"capture_blocked_seconds\": {:.3},\n      \"fit_seconds_total\": {:.3},\n      \"judge_seconds_total\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4}\n    }}",
         report.threads,
         report.wall_seconds,
         cells,
+        report.prewarm_seconds,
         report.capture.generation_seconds(),
+        report.capture.blocked_seconds(),
         report.fit_seconds(),
         report.judge_seconds(),
         report.capture.hits,
@@ -32,34 +34,48 @@ fn run_entry(report: &GridReport, cells: usize) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let t0 = std::time::Instant::now();
     let ctx = TableContext::small()?;
     let dataset_seconds = t0.elapsed().as_secs_f64();
-    eprintln!("dataset generated in {dataset_seconds:.1}s");
+    eprintln!("dataset generated in {dataset_seconds:.1}s ({hardware_threads} hardware threads)");
 
-    eprintln!("running grid at 1 thread ...");
-    let (grid_one, report_one) = run_grid_with(&ctx, &EngineConfig::with_threads(1))?;
-    eprintln!("  {:.1}s", report_one.wall_seconds);
+    let mut entries = Vec::new();
+    let mut reports: Vec<GridReport> = Vec::new();
+    let mut baseline_grid = None;
+    for threads in [1usize, 2, 4, 8] {
+        eprintln!("running grid at {threads} thread(s) ...");
+        let (grid, report) = run_grid_with(&ctx, &EngineConfig::with_threads(threads))?;
+        eprintln!("  {:.1}s", report.wall_seconds);
+        match &baseline_grid {
+            None => baseline_grid = Some(grid),
+            Some(base) => assert_eq!(
+                base, &grid,
+                "grid results must be identical at any thread count"
+            ),
+        }
+        entries.push(run_entry(
+            &report,
+            baseline_grid.as_ref().expect("set above").cells.len(),
+        ));
+        reports.push(report);
+    }
 
-    // Always exercise the parallel scheduler, even on a 1-core machine.
-    let threads = EngineConfig::default().resolve_threads().max(2);
-    eprintln!("running grid at {threads} threads ...");
-    let (grid_n, report_n) = run_grid_with(&ctx, &EngineConfig::with_threads(threads))?;
-    eprintln!("  {:.1}s", report_n.wall_seconds);
-
-    assert_eq!(
-        grid_one, grid_n,
-        "grid results must be identical at any thread count"
-    );
-
+    let one_wall = reports[0].wall_seconds;
+    let best_parallel_wall = reports[1..]
+        .iter()
+        .map(|r| r.wall_seconds)
+        .fold(f64::INFINITY, f64::min);
     let json = format!(
-        "{{\n  \"benchmark\": \"evaluation grid, small profile, both printers\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{},\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_parallel\": {:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"evaluation grid, small profile, both printers\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"hardware_threads\": {},\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_best_parallel\": {:.2}\n}}\n",
+        hardware_threads,
         dataset_seconds,
         PRE_REFACTOR_WALL_SECONDS,
-        run_entry(&report_one, grid_one.cells.len()),
-        run_entry(&report_n, grid_n.cells.len()),
-        PRE_REFACTOR_WALL_SECONDS / report_one.wall_seconds,
-        PRE_REFACTOR_WALL_SECONDS / report_n.wall_seconds,
+        entries.join(",\n"),
+        PRE_REFACTOR_WALL_SECONDS / one_wall,
+        PRE_REFACTOR_WALL_SECONDS / best_parallel_wall,
     );
     std::fs::write("BENCH_grid.json", &json)?;
     println!("{json}");
