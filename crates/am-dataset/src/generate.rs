@@ -197,7 +197,7 @@ impl TrajectorySet {
         self.capture_channel_with_threads(channel, threads)
     }
 
-    /// [`CaptureSet::capture_channel`] with an explicit worker count, so
+    /// [`TrajectorySet::capture_channel`] with an explicit worker count, so
     /// callers already running inside a thread pool (the evaluation grid's
     /// capture pre-warm) can parallelize across runs without
     /// oversubscribing the machine.
@@ -244,7 +244,7 @@ impl TrajectorySet {
         self.capture_spectrogram_with_threads(channel, threads)
     }
 
-    /// [`CaptureSet::capture_spectrogram`] with an explicit worker count.
+    /// [`TrajectorySet::capture_spectrogram`] with an explicit worker count.
     ///
     /// # Errors
     ///
@@ -286,7 +286,7 @@ impl TrajectorySet {
         }
     }
 
-    /// [`CaptureSet::capture`] with an explicit worker count for the
+    /// [`TrajectorySet::capture`] with an explicit worker count for the
     /// per-run generation fan-out.
     ///
     /// # Errors

@@ -142,15 +142,27 @@ impl<'a> CaptureStore<'a> {
         channel: SideChannel,
         transform: Transform,
     ) -> Result<SharedCaptures, DatasetError> {
+        am_telemetry::count!("capture.lookups");
         let wait0 = std::time::Instant::now();
         let mut slot = self.slots[slot_index(channel, transform)].lock();
+        let waited = wait0.elapsed();
         self.blocked_nanos
-            .fetch_add(wait0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        if am_telemetry::enabled() {
+            static LOCK_WAIT: std::sync::OnceLock<am_telemetry::Histogram> =
+                std::sync::OnceLock::new();
+            LOCK_WAIT
+                .get_or_init(|| am_telemetry::histogram("capture.lock_wait"))
+                .record(waited);
+        }
         if let Some(captures) = slot.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            am_telemetry::count!("capture.hits");
             return Ok(captures.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        am_telemetry::count!("capture.misses");
+        let _gen_span = am_telemetry::span!("capture.generate");
         let t0 = std::time::Instant::now();
         let captures: SharedCaptures = match transform {
             Transform::Raw => Arc::new(

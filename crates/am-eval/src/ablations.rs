@@ -136,10 +136,12 @@ pub fn filter_window_ablation(
     let params = set.spec.profile.dwm_params(set.spec.printer);
     let mut out = Vec::new();
     for &w in windows {
-        let sync: Box<dyn Synchronizer + Send + Sync> = Box::new(DwmSynchronizer::new(params));
-        let ids = NsyncIds::new(sync).with_config(DiscriminatorConfig {
-            min_filter_window: w,
-        });
+        let ids = NsyncIds::builder()
+            .synchronizer(DwmSynchronizer::new(params))
+            .discriminator(DiscriminatorConfig {
+                min_filter_window: w,
+            })
+            .build()?;
         let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
         let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
         let mut rates = Rates::default();
@@ -165,7 +167,9 @@ pub fn per_attack_tpr(
 ) -> Result<Vec<(String, Rates)>, EvalError> {
     let split = Split::generate(set, channel, transform)?;
     let params = set.spec.profile.dwm_params(set.spec.printer);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let ids = NsyncIds::builder()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()?;
     let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
     let mut rows: Vec<(String, Rates)> = Vec::new();

@@ -22,10 +22,10 @@ use am_dataset::TrajectorySet;
 use am_dsp::Signal;
 use am_sensors::channel::SideChannel;
 use am_sensors::faults::FaultPlan;
-use am_sync::{DwmParams, DwmSynchronizer};
+use am_sync::DwmSynchronizer;
 use nsync::health::ChannelState;
-use nsync::streaming::StreamingIds;
-use nsync::{DiscriminatorConfig, NsyncIds, Thresholds};
+use nsync::streaming::StreamSpec;
+use nsync::NsyncIds;
 
 /// One point of the degradation curve.
 #[derive(Debug, Clone)]
@@ -54,14 +54,8 @@ struct StreamRun {
     peak_quarantined: usize,
 }
 
-fn stream_one(
-    signal: &Signal,
-    reference: &Signal,
-    params: &DwmParams,
-    thresholds: Thresholds,
-    config: &DiscriminatorConfig,
-) -> Result<StreamRun, EvalError> {
-    let mut ids = StreamingIds::new(reference.clone(), params, thresholds, config)?;
+fn stream_one(signal: &Signal, spec: &StreamSpec) -> Result<StreamRun, EvalError> {
+    let mut ids = spec.open()?;
     let chunk = ((0.5 * signal.fs()) as usize).max(1);
     let mut first_alert = None;
     let mut peak_quarantined = 0;
@@ -102,22 +96,17 @@ pub fn degradation_sweep(
     let split = Split::generate(set, channel, Transform::Raw)?;
     let params = set.spec.profile.dwm_params(set.spec.printer);
     let r = set.spec.profile.nsync_r();
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let ids = NsyncIds::builder()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()?;
     let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids.train(&train, split.reference.signal.clone(), r)?;
-    let thresholds = trained.thresholds();
-    let config = trained.config();
+    let spec = trained.stream_spec(params);
 
     // Clean-baseline first-alert windows, for the latency column.
     let mut clean_alerts: Vec<Option<usize>> = Vec::with_capacity(split.tests.len());
     for test in &split.tests {
-        let run = stream_one(
-            &test.signal,
-            &split.reference.signal,
-            &params,
-            thresholds,
-            &config,
-        )?;
+        let run = stream_one(&test.signal, &spec)?;
         clean_alerts.push(run.first_alert);
     }
 
@@ -136,13 +125,7 @@ pub fn degradation_sweep(
                 faults_seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
             let faulted = plan.apply(&test.signal).map_err(nsync::NsyncError::from)?;
-            match stream_one(
-                &faulted,
-                &split.reference.signal,
-                &params,
-                thresholds,
-                &config,
-            ) {
+            match stream_one(&faulted, &spec) {
                 Ok(run) => {
                     let malicious = !test.role.is_benign();
                     rates.record(malicious, run.intrusion);

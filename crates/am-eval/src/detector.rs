@@ -544,7 +544,9 @@ impl Detector for NsyncDetector {
     }
 
     fn fit(&mut self, reference: &RunData, train: &[RunData]) -> Result<(), EvalError> {
-        let ids = NsyncIds::new(self.synchronizer.make());
+        let ids = NsyncIds::builder()
+            .boxed_synchronizer(self.synchronizer.make())
+            .build()?;
         let signals: Vec<am_dsp::Signal> = train.iter().map(|r| r.signal.clone()).collect();
         self.trained = Some(ids.train(&signals, reference.signal.clone(), self.r)?);
         Ok(())

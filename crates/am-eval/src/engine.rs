@@ -217,14 +217,21 @@ fn evaluate_split_timed(
     let train: Vec<_> = split.train.iter().map(|c| to_run_data(c)).collect();
     let t_fit = std::time::Instant::now();
     detector.fit(&reference, &train)?;
-    let fit_seconds = t_fit.elapsed().as_secs_f64();
+    let fit = t_fit.elapsed();
     let mut outcome = Outcome::default();
     let t_judge = std::time::Instant::now();
     for test in &split.tests {
         let verdict = detector.judge(&to_run_data(test))?;
         outcome.record(!test.role.is_benign(), &verdict);
     }
-    Ok((outcome, fit_seconds, t_judge.elapsed().as_secs_f64()))
+    let judge = t_judge.elapsed();
+    // The GridReport stopwatches double as the registry's fit/judge
+    // histograms — one clock read, two consumers.
+    if am_telemetry::enabled() {
+        am_telemetry::histogram("grid.fit").record(fit);
+        am_telemetry::histogram("grid.judge").record(judge);
+    }
+    Ok((outcome, fit.as_secs_f64(), judge.as_secs_f64()))
 }
 
 /// Returns a deterministic permutation of `work` indices that round-robins
@@ -279,6 +286,7 @@ pub fn run_grid_with(
     ctx: &TableContext,
     config: &EngineConfig,
 ) -> Result<(GridResults, GridReport), EvalError> {
+    let _run_span = am_telemetry::span!("grid.run");
     let t0 = std::time::Instant::now();
     let threads = config.resolve_threads();
     let mut grid = GridResults::default();
@@ -312,7 +320,10 @@ pub fn run_grid_with(
         // every other worker wanting that key blocked on its slot lock.
         let keys: Vec<(SideChannel, Transform)> = work.iter().map(|&(_, c, t)| (c, t)).collect();
         let t_warm = std::time::Instant::now();
-        store.prewarm(&keys)?;
+        {
+            let _span = am_telemetry::span!("grid.prewarm");
+            store.prewarm(&keys)?;
+        }
         report.prewarm_seconds += t_warm.elapsed().as_secs_f64();
         // Evaluate in a capture-interleaved order so concurrently running
         // cells touch distinct artifacts, then scatter results back to
@@ -321,6 +332,7 @@ pub fn run_grid_with(
         let scheduled: Vec<(DetectorSpec, SideChannel, Transform)> =
             order.iter().map(|&i| work[i]).collect();
         let evaluated = parallel_map_with_threads(&scheduled, threads, |(_, cell)| {
+            let _span = am_telemetry::span!("grid.cell");
             let (spec, channel, transform) = *cell;
             let captures = store.get(channel, transform)?;
             let split = Split::from_shared(&captures)?;
@@ -344,6 +356,7 @@ pub fn run_grid_with(
                 },
             ))
         });
+        let _scatter_span = am_telemetry::span!("grid.scatter");
         let mut slots: Vec<Option<Result<(GridCell, CellTiming), EvalError>>> =
             (0..work.len()).map(|_| None).collect();
         for (k, result) in evaluated.into_iter().enumerate() {
@@ -354,6 +367,7 @@ pub fn run_grid_with(
             grid.cells.push(cell);
             report.cells.push(timing);
         }
+        drop(_scatter_span);
         report.capture.merge(&store.stats());
     }
     report.wall_seconds = t0.elapsed().as_secs_f64();

@@ -79,6 +79,7 @@ impl DaqConfig {
         model: &mut M,
         seed: u64,
     ) -> Result<Signal, DspError> {
+        let _span = am_telemetry::span!("daq.capture");
         if !(self.fs.is_finite() && self.fs > 0.0) {
             return Err(DspError::InvalidParameter(format!(
                 "daq fs must be positive, got {}",

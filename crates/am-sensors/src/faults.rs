@@ -8,7 +8,7 @@
 //! serde-serializable, seeded, and reproducible — and applies it to any
 //! captured [`Signal`] without touching the capture chain itself.
 //!
-//! Faults compose with [`DaqConfig`](crate::daq::DaqConfig)'s own
+//! Faults compose with [`DaqConfig`]'s own
 //! imperfection model (gain drift, quantization, frame drops) via
 //! [`FaultPlan::capture`]: the DAQ runs first, the plan corrupts its
 //! output, exactly as a physical fault downstream of the ADC would.

@@ -29,6 +29,7 @@ pub trait SensorModel {
 /// Panics if `fs` is not positive (sensor configs are programmer-owned).
 pub fn synthesize<M: SensorModel>(trajectory: &PrintTrajectory, model: &mut M, fs: f64) -> Signal {
     assert!(fs > 0.0 && fs.is_finite(), "fs must be positive");
+    let _span = am_telemetry::span!("sensors.synth");
     let t0 = trajectory.print_start();
     let span = (trajectory.duration() - t0).max(0.0);
     let n = (span * fs).floor() as usize;

@@ -159,7 +159,7 @@ impl FrameView {
 /// frame views plus the flat banded cost matrix. One scratch threaded
 /// through a FastDTW recursion (or a grid worker) makes the kernels
 /// allocation-free in steady state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DtwScratch {
     av: FrameView,
     bv: FrameView,
@@ -171,6 +171,20 @@ pub struct DtwScratch {
     row_lo: Vec<usize>,
     /// Per-row band width.
     row_len: Vec<usize>,
+}
+
+impl Default for DtwScratch {
+    fn default() -> Self {
+        am_telemetry::count!("sync.scratch.dtw_allocs");
+        DtwScratch {
+            av: FrameView::default(),
+            bv: FrameView::default(),
+            band: Vec::new(),
+            row_off: Vec::new(),
+            row_lo: Vec::new(),
+            row_len: Vec::new(),
+        }
+    }
 }
 
 impl DtwScratch {
@@ -226,6 +240,7 @@ pub fn dtw_windowed_with(
     window: &RowWindow,
     scratch: &mut DtwScratch,
 ) -> Result<DtwResult, SyncError> {
+    let _span = am_telemetry::span!("sync.dtw");
     if a.channels() != b.channels() {
         return Err(SyncError::Incompatible(format!(
             "channel counts differ: {} vs {}",

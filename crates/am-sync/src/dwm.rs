@@ -144,6 +144,7 @@ struct DwmScratch {
 
 impl Default for DwmScratch {
     fn default() -> Self {
+        am_telemetry::count!("sync.scratch.dwm_allocs");
         DwmScratch {
             tde: TdeScratch::new(),
             search: Signal::zeros(1.0, 1, 0).expect("valid empty signal"),
@@ -162,6 +163,7 @@ fn dwm_step(
     backend: TdeBackend,
     scratch: &mut DwmScratch,
 ) -> Result<(i64, i64), SyncError> {
+    let _span = am_telemetry::span!("sync.dwm_step");
     let base = (i * p.n_hop) as i64 + h_low_prev;
     let start = base - p.n_ext as i64;
     let end = base + p.n_ext as i64 + p.n_win as i64;
@@ -189,6 +191,7 @@ fn dwm_step(
 /// window, [`SyncError::Incompatible`] on channel/rate mismatch, and
 /// propagates parameter validation errors.
 pub fn dwm(a: &Signal, b: &Signal, params: &DwmParams) -> Result<Alignment, SyncError> {
+    let _span = am_telemetry::span!("sync.dwm");
     check_compatible(a, b)?;
     let p = params.to_samples(a.fs())?;
     if a.len() < p.n_win {

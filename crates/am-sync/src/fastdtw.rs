@@ -21,7 +21,7 @@ fn min_ts(radius: usize) -> usize {
 ///
 /// # Errors
 ///
-/// Same as [`dtw`].
+/// Same as [`dtw`](crate::dtw::dtw).
 pub fn fastdtw(a: &Signal, b: &Signal, radius: usize) -> Result<DtwResult, SyncError> {
     fastdtw_with(a, b, radius, &mut DtwScratch::default())
 }
@@ -31,8 +31,18 @@ pub fn fastdtw(a: &Signal, b: &Signal, radius: usize) -> Result<DtwResult, SyncE
 ///
 /// # Errors
 ///
-/// Same as [`dtw`].
+/// Same as [`dtw`](crate::dtw::dtw).
 pub fn fastdtw_with(
+    a: &Signal,
+    b: &Signal,
+    radius: usize,
+    scratch: &mut DtwScratch,
+) -> Result<DtwResult, SyncError> {
+    let _span = am_telemetry::span!("sync.fastdtw");
+    fastdtw_recurse(a, b, radius, scratch)
+}
+
+fn fastdtw_recurse(
     a: &Signal,
     b: &Signal,
     radius: usize,
@@ -45,7 +55,7 @@ pub fn fastdtw_with(
     }
     let half_a = halve(a);
     let half_b = halve(b);
-    let coarse = fastdtw_with(&half_a, &half_b, radius, scratch)?;
+    let coarse = fastdtw_recurse(&half_a, &half_b, radius, scratch)?;
     let window = expand_window(&coarse.path, a.len(), b.len(), radius);
     dtw_windowed_with(a, b, &window, scratch)
 }

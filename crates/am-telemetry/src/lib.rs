@@ -1,0 +1,742 @@
+//! Pipeline-wide telemetry for the NSYNC reproduction (DESIGN.md §10).
+//!
+//! A process-global registry of **counters**, **histograms**, and
+//! **spans** that every crate in the hot path records into — DAQ capture,
+//! capture-store lookups, sync kernels, grid-engine stages, and the
+//! streaming monitor. The design goal is *provable inertness*:
+//!
+//! - **Disabled** (the default): every site costs one relaxed atomic
+//!   load — no allocation, no locks, no `Instant::now`. Nothing observes
+//!   signal values, so detection output is byte-identical either way.
+//! - **Enabled**: counters and histograms are lock-free atomics;
+//!   span events for the Chrome-trace exporter are buffered behind a
+//!   short mutex push only when trace collection is on.
+//!
+//! Enablement comes from the `AM_TELEMETRY` environment variable on
+//! first use (`1`/anything truthy → metrics, `trace` → metrics + trace
+//! events, unset/`0`/`false`/`off` → disabled) or programmatically via
+//! [`set_enabled`] / [`set_tracing`].
+//!
+//! Two exporters:
+//!
+//! - [`json_summary`] — sorted, human-readable counter and span totals;
+//! - [`chrome_trace_json`] / [`write_chrome_trace`] — Chrome trace-event
+//!   format (load in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)).
+//!
+//! # Example
+//!
+//! ```
+//! am_telemetry::set_tracing(true);
+//! {
+//!     let _guard = am_telemetry::span!("example.work");
+//!     am_telemetry::count!("example.items", 3);
+//! }
+//! assert_eq!(am_telemetry::counter_value("example.items"), 3);
+//! assert_eq!(am_telemetry::span_stats("example.work").count, 1);
+//! assert!(am_telemetry::chrome_trace_json().contains("example.work"));
+//! am_telemetry::set_enabled(false);
+//! ```
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets per histogram (covers 1 ns to
+/// ~584 years; bucket `i` holds durations in `[2^(i-1), 2^i)` ns).
+const BUCKETS: usize = 64;
+
+/// Hard cap on buffered trace events; overflow is counted, not stored.
+const MAX_TRACE_EVENTS: usize = 1 << 20;
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+const TRACE: u8 = 3;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// `true` if telemetry recording is on. The fast path — and the *entire*
+/// per-site cost when disabled — is a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    let s = STATE.load(Ordering::Relaxed);
+    if s == UNINIT {
+        return init_from_env() >= ON;
+    }
+    s >= ON
+}
+
+/// `true` if span trace-event collection (the Chrome exporter's input)
+/// is on. Implies [`enabled`].
+#[inline]
+pub fn tracing_enabled() -> bool {
+    let s = STATE.load(Ordering::Relaxed);
+    if s == UNINIT {
+        return init_from_env() == TRACE;
+    }
+    s == TRACE
+}
+
+/// Reads `AM_TELEMETRY` exactly once (unless a `set_*` call got there
+/// first) and resolves the pending state.
+fn init_from_env() -> u8 {
+    let computed = match std::env::var("AM_TELEMETRY") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            if v.is_empty() || v == "0" || v == "false" || v == "off" {
+                OFF
+            } else if v == "trace" {
+                TRACE
+            } else {
+                ON
+            }
+        }
+        Err(_) => OFF,
+    };
+    match STATE.compare_exchange(UNINIT, computed, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => computed,
+        Err(racing) => racing,
+    }
+}
+
+/// Turns metric recording on or off. Disabling also stops trace
+/// collection (already-buffered events are kept until [`reset`]).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+}
+
+/// Turns span trace-event collection on or off. Enabling implies
+/// [`set_enabled`]`(true)`; disabling keeps plain metrics on.
+pub fn set_tracing(on: bool) {
+    STATE.store(if on { TRACE } else { ON }, Ordering::Relaxed);
+}
+
+struct CounterInner {
+    name: String,
+    value: AtomicU64,
+}
+
+struct HistInner {
+    name: String,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistInner {
+    fn new(name: String) -> Self {
+        HistInner {
+            name,
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        let bucket = (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bound (ns) of the smallest bucket prefix holding `q` of the
+    /// recorded samples.
+    fn quantile_bound_nanos(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = (total as f64 * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64.checked_shl(i as u32).unwrap_or(u64::MAX);
+            }
+        }
+        self.max_nanos.load(Ordering::Relaxed)
+    }
+}
+
+struct TraceEvent {
+    hist: Arc<HistInner>,
+    tid: u32,
+    start_nanos: u64,
+    dur_nanos: u64,
+}
+
+#[derive(Default)]
+struct TraceBuf {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+struct Registry {
+    epoch: Instant,
+    counters: Mutex<Vec<Arc<CounterInner>>>,
+    hists: Mutex<Vec<Arc<HistInner>>>,
+    trace: Mutex<TraceBuf>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        epoch: Instant::now(),
+        counters: Mutex::new(Vec::new()),
+        hists: Mutex::new(Vec::new()),
+        trace: Mutex::new(TraceBuf::default()),
+    })
+}
+
+/// Locks ignoring poisoning: telemetry must never compound a panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn thread_id() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static TID: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Handle to a named monotonic counter. Cheap to clone; hot sites should
+/// obtain it once (the [`count!`] macro caches per call site).
+#[derive(Clone)]
+pub struct Counter(Arc<CounterInner>);
+
+impl Counter {
+    /// Adds `n` when telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 when telemetry is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("name", &self.0.name)
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// Handle to a named duration histogram (the backing store of spans).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Records one duration when telemetry is enabled.
+    #[inline]
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_nanos(d.as_nanos() as u64);
+    }
+
+    /// Records one duration, in nanoseconds, when telemetry is enabled.
+    #[inline]
+    pub fn record_nanos(&self, nanos: u64) {
+        if enabled() {
+            self.0.record(nanos);
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("name", &self.0.name)
+            .finish()
+    }
+}
+
+/// Interns a counter by name (same name → same underlying cell).
+pub fn counter(name: &str) -> Counter {
+    let mut counters = lock(&registry().counters);
+    if let Some(c) = counters.iter().find(|c| c.name == name) {
+        return Counter(Arc::clone(c));
+    }
+    let c = Arc::new(CounterInner {
+        name: name.to_string(),
+        value: AtomicU64::new(0),
+    });
+    counters.push(Arc::clone(&c));
+    Counter(c)
+}
+
+/// Interns a histogram by name (same name → same underlying cells).
+pub fn histogram(name: &str) -> Histogram {
+    let mut hists = lock(&registry().hists);
+    if let Some(h) = hists.iter().find(|h| h.name == name) {
+        return Histogram(Arc::clone(h));
+    }
+    let h = Arc::new(HistInner::new(name.to_string()));
+    hists.push(Arc::clone(&h));
+    Histogram(h)
+}
+
+/// RAII span: measures from construction to drop, recording the duration
+/// into the span's histogram and (when tracing) a Chrome trace event.
+/// Inert — no clock read at all — when telemetry is disabled.
+#[must_use = "a span measures until it is dropped"]
+pub struct SpanGuard {
+    live: Option<(Arc<HistInner>, Instant)>,
+}
+
+impl SpanGuard {
+    /// Starts a span over an interned histogram; the [`span!`] macro is
+    /// the usual entry point.
+    #[inline]
+    pub fn start(hist: &Histogram) -> SpanGuard {
+        if enabled() {
+            SpanGuard {
+                live: Some((Arc::clone(&hist.0), Instant::now())),
+            }
+        } else {
+            SpanGuard::disabled()
+        }
+    }
+
+    /// An inert guard (what disabled sites get).
+    #[inline]
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { live: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((hist, started)) = self.live.take() else {
+            return;
+        };
+        let dur_nanos = started.elapsed().as_nanos() as u64;
+        hist.record(dur_nanos);
+        if tracing_enabled() {
+            let reg = registry();
+            let start_nanos = started.duration_since(reg.epoch).as_nanos() as u64;
+            let mut trace = lock(&reg.trace);
+            if trace.events.len() < MAX_TRACE_EVENTS {
+                trace.events.push(TraceEvent {
+                    hist,
+                    tid: thread_id(),
+                    start_nanos,
+                    dur_nanos,
+                });
+            } else {
+                trace.dropped += 1;
+            }
+        }
+    }
+}
+
+/// Starts a span by name, interning on every call. Prefer [`span!`] in
+/// hot code — it caches the interned handle per call site.
+pub fn start_span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard::start(&histogram(name))
+}
+
+/// Adds to a named counter, caching the interned handle per call site.
+/// Disabled cost: one relaxed atomic load.
+#[macro_export]
+macro_rules! count {
+    ($name:expr, $n:expr) => {{
+        if $crate::enabled() {
+            static __AM_TELEMETRY_SITE: ::std::sync::OnceLock<$crate::Counter> =
+                ::std::sync::OnceLock::new();
+            __AM_TELEMETRY_SITE
+                .get_or_init(|| $crate::counter($name))
+                .add($n as u64);
+        }
+    }};
+    ($name:expr) => {
+        $crate::count!($name, 1u64)
+    };
+}
+
+/// Opens a [`SpanGuard`] measuring until end of scope, caching the
+/// interned handle per call site. Disabled cost: one relaxed atomic load.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        if $crate::enabled() {
+            static __AM_TELEMETRY_SITE: ::std::sync::OnceLock<$crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            $crate::SpanGuard::start(__AM_TELEMETRY_SITE.get_or_init(|| $crate::histogram($name)))
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    }};
+}
+
+/// Aggregate statistics of one span/histogram name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations (ns).
+    pub total_nanos: u64,
+    /// Largest recorded duration (ns).
+    pub max_nanos: u64,
+}
+
+impl SpanStats {
+    /// Sum of recorded durations in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_nanos as f64 / 1e9
+    }
+}
+
+/// Current value of a counter (0 if never registered).
+pub fn counter_value(name: &str) -> u64 {
+    lock(&registry().counters)
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0, |c| c.value.load(Ordering::Relaxed))
+}
+
+/// Aggregate stats of a span/histogram (zeros if never registered).
+pub fn span_stats(name: &str) -> SpanStats {
+    lock(&registry().hists)
+        .iter()
+        .find(|h| h.name == name)
+        .map_or_else(SpanStats::default, |h| SpanStats {
+            count: h.count.load(Ordering::Relaxed),
+            total_nanos: h.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: h.max_nanos.load(Ordering::Relaxed),
+        })
+}
+
+/// Number of buffered trace events.
+pub fn trace_event_count() -> usize {
+    lock(&registry().trace).events.len()
+}
+
+/// Zeroes every counter and histogram and clears the trace buffer.
+/// Registrations (and handles already held by call sites) stay valid.
+pub fn reset() {
+    let reg = registry();
+    for c in lock(&reg.counters).iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in lock(&reg.hists).iter() {
+        h.count.store(0, Ordering::Relaxed);
+        h.sum_nanos.store(0, Ordering::Relaxed);
+        h.max_nanos.store(0, Ordering::Relaxed);
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+    let mut trace = lock(&reg.trace);
+    trace.events.clear();
+    trace.dropped = 0;
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A sorted, human-readable JSON summary of every counter and span:
+/// counts, totals, means, maxima, and an approximate p95.
+pub fn json_summary() -> String {
+    let reg = registry();
+    let mut counters: Vec<(String, u64)> = lock(&reg.counters)
+        .iter()
+        .map(|c| (c.name.clone(), c.value.load(Ordering::Relaxed)))
+        .collect();
+    counters.sort();
+    let mut spans: Vec<(String, SpanStats, u64)> = lock(&reg.hists)
+        .iter()
+        .map(|h| {
+            (
+                h.name.clone(),
+                SpanStats {
+                    count: h.count.load(Ordering::Relaxed),
+                    total_nanos: h.sum_nanos.load(Ordering::Relaxed),
+                    max_nanos: h.max_nanos.load(Ordering::Relaxed),
+                },
+                h.quantile_bound_nanos(0.95),
+            )
+        })
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out.push_str(&format!("{sep}\n    \"{}\": {value}", json_escape(name)));
+    }
+    out.push_str("\n  },\n  \"spans\": {");
+    for (i, (name, s, p95)) in spans.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let mean_us = if s.count == 0 {
+            0.0
+        } else {
+            s.total_nanos as f64 / s.count as f64 / 1e3
+        };
+        out.push_str(&format!(
+            "{sep}\n    \"{}\": {{\"count\": {}, \"total_s\": {:.6}, \"mean_us\": {:.3}, \"max_us\": {:.3}, \"p95_us\": {:.3}}}",
+            json_escape(name),
+            s.count,
+            s.total_seconds(),
+            mean_us,
+            s.max_nanos as f64 / 1e3,
+            *p95 as f64 / 1e3,
+        ));
+    }
+    let dropped = lock(&reg.trace).dropped;
+    out.push_str(&format!(
+        "\n  }},\n  \"trace_events\": {},\n  \"trace_events_dropped\": {}\n}}",
+        trace_event_count(),
+        dropped
+    ));
+    out
+}
+
+/// The buffered spans in Chrome trace-event format — load the string (or
+/// the file written by [`write_chrome_trace`]) in `chrome://tracing` or
+/// Perfetto. Events are complete (`"ph": "X"`) with microsecond
+/// timestamps relative to process start.
+pub fn chrome_trace_json() -> String {
+    let reg = registry();
+    let trace = lock(&reg.trace);
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in trace.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"am\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            json_escape(&e.hist.name),
+            e.tid,
+            e.start_nanos as f64 / 1e3,
+            e.dur_nanos as f64 / 1e3,
+        ));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_chrome_trace<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+/// One-stop handle to the global registry, re-exported through
+/// `nsync::prelude` so operators wiring up an IDS can flip telemetry and
+/// pull exports without importing this crate directly. All methods
+/// delegate to the module-level functions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Telemetry;
+
+impl Telemetry {
+    /// See [`enabled`].
+    pub fn enabled(self) -> bool {
+        enabled()
+    }
+
+    /// See [`set_enabled`].
+    pub fn set_enabled(self, on: bool) {
+        set_enabled(on);
+    }
+
+    /// See [`set_tracing`].
+    pub fn set_tracing(self, on: bool) {
+        set_tracing(on);
+    }
+
+    /// See [`json_summary`].
+    pub fn json_summary(self) -> String {
+        json_summary()
+    }
+
+    /// See [`chrome_trace_json`].
+    pub fn chrome_trace_json(self) -> String {
+        chrome_trace_json()
+    }
+
+    /// See [`write_chrome_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_chrome_trace<P: AsRef<std::path::Path>>(self, path: P) -> std::io::Result<()> {
+        write_chrome_trace(path)
+    }
+
+    /// See [`counter_value`].
+    pub fn counter_value(self, name: &str) -> u64 {
+        counter_value(name)
+    }
+
+    /// See [`span_stats`].
+    pub fn span_stats(self, name: &str) -> SpanStats {
+        span_stats(name)
+    }
+
+    /// See [`reset`].
+    pub fn reset(self) {
+        reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Telemetry state is process-global, so the unit tests run as one
+    /// sequence (Rust's test harness would otherwise interleave them).
+    #[test]
+    fn global_registry_end_to_end() {
+        disabled_sites_record_nothing();
+        counters_and_histograms_accumulate();
+        spans_nest_and_trace();
+        exporters_render_valid_json();
+        reset_zeroes_but_keeps_handles();
+        concurrent_recording_is_consistent();
+        set_enabled(false);
+    }
+
+    fn disabled_sites_record_nothing() {
+        set_enabled(false);
+        count!("test.disabled", 5);
+        {
+            let _g = span!("test.disabled_span");
+        }
+        let c = counter("test.disabled");
+        c.add(7);
+        assert_eq!(counter_value("test.disabled"), 0);
+        assert_eq!(span_stats("test.disabled_span"), SpanStats::default());
+    }
+
+    fn counters_and_histograms_accumulate() {
+        set_enabled(true);
+        count!("test.counter", 2);
+        count!("test.counter");
+        assert_eq!(counter_value("test.counter"), 3);
+        // Same name from two handles → one cell.
+        let a = counter("test.shared");
+        let b = counter("test.shared");
+        a.incr();
+        b.incr();
+        assert_eq!(counter_value("test.shared"), 2);
+        let h = histogram("test.hist");
+        h.record_nanos(1_000);
+        h.record_nanos(3_000);
+        let s = span_stats("test.hist");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_nanos, 4_000);
+        assert_eq!(s.max_nanos, 3_000);
+    }
+
+    fn spans_nest_and_trace() {
+        set_tracing(true);
+        let before = trace_event_count();
+        {
+            let _outer = span!("test.outer");
+            for _ in 0..3 {
+                let _inner = span!("test.inner");
+                std::hint::black_box(());
+            }
+        }
+        assert_eq!(trace_event_count(), before + 4);
+        let outer = span_stats("test.outer");
+        let inner = span_stats("test.inner");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        // Nested children cannot exceed their enclosing span.
+        assert!(inner.total_nanos <= outer.total_nanos);
+        set_tracing(false);
+    }
+
+    fn exporters_render_valid_json() {
+        let summary = json_summary();
+        assert!(summary.contains("\"test.counter\": 3"), "{summary}");
+        assert!(summary.contains("\"test.outer\""), "{summary}");
+        let trace = chrome_trace_json();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"test.inner\""));
+        assert!(trace.trim_end().ends_with('}'));
+        // Balanced braces — cheap structural sanity for both exporters.
+        for doc in [&summary, &trace] {
+            let open = doc.matches('{').count();
+            let close = doc.matches('}').count();
+            assert_eq!(open, close, "unbalanced JSON: {doc}");
+        }
+    }
+
+    fn reset_zeroes_but_keeps_handles() {
+        let c = counter("test.counter");
+        reset();
+        assert_eq!(counter_value("test.counter"), 0);
+        assert_eq!(span_stats("test.outer"), SpanStats::default());
+        assert_eq!(trace_event_count(), 0);
+        c.incr();
+        assert_eq!(counter_value("test.counter"), 1);
+    }
+
+    fn concurrent_recording_is_consistent() {
+        reset();
+        set_tracing(true);
+        let threads = 8;
+        let per_thread = 200;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        let _g = span!("test.mt_span");
+                        count!("test.mt", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter_value("test.mt"), (threads * per_thread) as u64);
+        let s = span_stats("test.mt_span");
+        assert_eq!(s.count, (threads * per_thread) as u64);
+        assert!(s.max_nanos <= s.total_nanos);
+        assert_eq!(trace_event_count(), threads * per_thread);
+        set_tracing(false);
+    }
+
+    #[test]
+    fn telemetry_handle_delegates() {
+        let t = Telemetry;
+        // Only query paths here (the end-to-end test owns global state).
+        let _ = t.enabled();
+        assert_eq!(t.counter_value("test.never_registered"), 0);
+        assert_eq!(t.span_stats("test.never_registered"), SpanStats::default());
+        assert!(t.json_summary().contains("counters"));
+    }
+}

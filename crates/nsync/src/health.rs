@@ -45,7 +45,11 @@ impl std::fmt::Display for ChannelState {
 }
 
 /// Tuning for the per-channel state machine.
+///
+/// `#[non_exhaustive]`: construct with [`Default`] and the `with_*`
+/// methods so new knobs can be added without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct HealthConfig {
     /// A window whose non-finite fraction reaches this goes straight to
     /// Quarantined (default 0.5: half the window is garbage).
@@ -66,6 +70,32 @@ impl Default for HealthConfig {
             quarantine_after: 3,
             recovery_windows: 5,
         }
+    }
+}
+
+impl HealthConfig {
+    /// Overrides the non-finite fraction that quarantines a window's
+    /// channel outright.
+    #[must_use]
+    pub fn with_quarantine_nonfinite_frac(mut self, frac: f64) -> Self {
+        self.quarantine_nonfinite_frac = frac;
+        self
+    }
+
+    /// Overrides the dirty-streak length that escalates Degraded to
+    /// Quarantined.
+    #[must_use]
+    pub fn with_quarantine_after(mut self, windows: usize) -> Self {
+        self.quarantine_after = windows;
+        self
+    }
+
+    /// Overrides the clean-streak length required to climb one state
+    /// toward Healthy.
+    #[must_use]
+    pub fn with_recovery_windows(mut self, windows: usize) -> Self {
+        self.recovery_windows = windows;
+        self
     }
 }
 
@@ -161,6 +191,9 @@ impl ChannelHealth {
         }
         if self.state != before {
             self.last_transition = Some(window);
+            if self.state == ChannelState::Quarantined {
+                am_telemetry::count!("monitor.quarantines");
+            }
         }
         self.state
     }

@@ -1,19 +1,188 @@
 //! The end-to-end NSYNC IDS: train on benign runs, then detect.
+//!
+//! Entry point: [`IdsBuilder`] (or [`NsyncIds::builder`]) assembles the
+//! synchronizer and every tuning knob — distance metric, discriminator,
+//! channel health — into one [`IdsConfig`] shared by the batch and
+//! streaming paths:
+//!
+//! ```
+//! use nsync::prelude::*;
+//!
+//! # fn main() -> Result<(), NsyncError> {
+//! let ids = IdsBuilder::new()
+//!     .synchronizer(DwmSynchronizer::new(DwmParams::from_window(4.0)))
+//!     .metric(DistanceMetric::Correlation)
+//!     .build()?;
+//! # let _ = ids;
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::comparator::vertical_distances;
 use crate::discriminator::{discriminate, trace_stats, Detection, DiscriminatorConfig, Thresholds};
 use crate::error::NsyncError;
+use crate::health::HealthConfig;
 use crate::occ::learn_thresholds;
+use crate::streaming::StreamSpec;
 use am_dsp::metrics::DistanceMetric;
 use am_dsp::Signal;
-use am_sync::{Alignment, Synchronizer};
+use am_sync::{Alignment, DwmParams, Synchronizer};
+use serde::{Deserialize, Serialize};
+
+/// Every tuning knob of an NSYNC detector except the synchronizer:
+/// comparator metric, discriminator, and streaming channel-health policy.
+/// One value of this type configures the batch IDS, the streaming IDS,
+/// and the supervised monitor identically.
+///
+/// Construct via [`Default`] plus the `with_*` methods (the struct is
+/// `#[non_exhaustive]`, so it cannot be built literally outside this
+/// crate — new knobs can be added without breaking callers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct IdsConfig {
+    /// Comparator distance metric (the paper argues for correlation).
+    pub metric: DistanceMetric,
+    /// Discriminator tuning (trailing-min filter width).
+    pub discriminator: DiscriminatorConfig,
+    /// Streaming per-channel health policy (ignored by the batch path).
+    pub health: HealthConfig,
+}
+
+impl Default for IdsConfig {
+    fn default() -> Self {
+        IdsConfig {
+            metric: DistanceMetric::Correlation,
+            discriminator: DiscriminatorConfig::default(),
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+impl IdsConfig {
+    /// The paper's defaults: correlation distance, filter width 3,
+    /// default health policy.
+    pub fn new() -> Self {
+        IdsConfig::default()
+    }
+
+    /// Overrides the comparator distance metric.
+    #[must_use]
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Overrides the discriminator configuration.
+    #[must_use]
+    pub fn with_discriminator(mut self, discriminator: DiscriminatorConfig) -> Self {
+        self.discriminator = discriminator;
+        self
+    }
+
+    /// Overrides the streaming channel-health policy.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+}
+
+/// Fluent constructor for [`NsyncIds`]: synchronizer, metric,
+/// discriminator, and health policy in one build (see the
+/// [module docs](self) for an example).
+#[derive(Default)]
+pub struct IdsBuilder {
+    synchronizer: Option<Box<dyn Synchronizer + Send + Sync>>,
+    config: IdsConfig,
+}
+
+impl IdsBuilder {
+    /// An empty builder; a synchronizer must be supplied before
+    /// [`IdsBuilder::build`].
+    pub fn new() -> Self {
+        IdsBuilder::default()
+    }
+
+    /// Sets the synchronizer (DWM, DTW, FastDTW, or any custom
+    /// [`Synchronizer`]).
+    #[must_use]
+    pub fn synchronizer(self, synchronizer: impl Synchronizer + Send + Sync + 'static) -> Self {
+        self.boxed_synchronizer(Box::new(synchronizer))
+    }
+
+    /// Sets an already-boxed synchronizer (for callers selecting one at
+    /// runtime).
+    #[must_use]
+    pub fn boxed_synchronizer(mut self, synchronizer: Box<dyn Synchronizer + Send + Sync>) -> Self {
+        self.synchronizer = Some(synchronizer);
+        self
+    }
+
+    /// Overrides the comparator distance metric.
+    #[must_use]
+    pub fn metric(mut self, metric: DistanceMetric) -> Self {
+        self.config.metric = metric;
+        self
+    }
+
+    /// Overrides the discriminator configuration.
+    #[must_use]
+    pub fn discriminator(mut self, discriminator: DiscriminatorConfig) -> Self {
+        self.config.discriminator = discriminator;
+        self
+    }
+
+    /// Overrides the streaming channel-health policy.
+    #[must_use]
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.config.health = health;
+        self
+    }
+
+    /// Replaces the whole configuration at once (e.g. one deserialized
+    /// from a deployment file).
+    #[must_use]
+    pub fn config(mut self, config: IdsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the IDS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NsyncError::InvalidParameter`] if no synchronizer was
+    /// set.
+    pub fn build(self) -> Result<NsyncIds, NsyncError> {
+        let synchronizer = self.synchronizer.ok_or_else(|| {
+            NsyncError::InvalidParameter(
+                "IdsBuilder requires a synchronizer (IdsBuilder::synchronizer)".into(),
+            )
+        })?;
+        Ok(NsyncIds {
+            synchronizer,
+            config: self.config,
+        })
+    }
+}
+
+impl std::fmt::Debug for IdsBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IdsBuilder")
+            .field(
+                "synchronizer",
+                &self.synchronizer.as_ref().map(|s| s.name()),
+            )
+            .field("config", &self.config)
+            .finish()
+    }
+}
 
 /// An untrained NSYNC IDS: a synchronizer + comparator + discriminator
-/// configuration.
+/// configuration. Built with [`IdsBuilder`].
 pub struct NsyncIds {
     synchronizer: Box<dyn Synchronizer + Send + Sync>,
-    metric: DistanceMetric,
-    config: DiscriminatorConfig,
+    config: IdsConfig,
 }
 
 /// The intermediate result of analyzing one observed signal against the
@@ -28,32 +197,49 @@ pub struct Analysis {
 }
 
 impl NsyncIds {
+    /// Starts an [`IdsBuilder`].
+    pub fn builder() -> IdsBuilder {
+        IdsBuilder::new()
+    }
+
     /// Creates an IDS with the default correlation-distance comparator and
     /// the paper's discriminator configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NsyncIds::builder().synchronizer(..).build()` (`IdsBuilder`) instead"
+    )]
     pub fn new(synchronizer: Box<dyn Synchronizer + Send + Sync>) -> Self {
         NsyncIds {
             synchronizer,
-            metric: DistanceMetric::Correlation,
-            config: DiscriminatorConfig::default(),
+            config: IdsConfig::default(),
         }
     }
 
     /// Overrides the distance metric (for ablations; the paper argues for
     /// correlation distance).
+    #[deprecated(since = "0.2.0", note = "use `IdsBuilder::metric` instead")]
+    #[must_use]
     pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
-        self.metric = metric;
+        self.config.metric = metric;
         self
     }
 
     /// Overrides the discriminator configuration.
+    #[deprecated(since = "0.2.0", note = "use `IdsBuilder::discriminator` instead")]
+    #[must_use]
     pub fn with_config(mut self, config: DiscriminatorConfig) -> Self {
-        self.config = config;
+        self.config.discriminator = config;
         self
     }
 
     /// The synchronizer's display name.
     pub fn synchronizer_name(&self) -> String {
         self.synchronizer.name()
+    }
+
+    /// The full configuration in effect.
+    pub fn ids_config(&self) -> IdsConfig {
+        self.config
     }
 
     /// Runs synchronizer + comparator on one observed signal.
@@ -63,7 +249,7 @@ impl NsyncIds {
     /// Propagates synchronizer and comparator failures.
     pub fn analyze(&self, observed: &Signal, reference: &Signal) -> Result<Analysis, NsyncError> {
         let alignment = self.synchronizer.synchronize(observed, reference)?;
-        let v_dist = vertical_distances(observed, reference, &alignment, self.metric)?;
+        let v_dist = vertical_distances(observed, reference, &alignment, self.config.metric)?;
         Ok(Analysis { alignment, v_dist })
     }
 
@@ -88,8 +274,11 @@ impl NsyncIds {
         let mut stats = Vec::with_capacity(training.len());
         for run in training {
             let analysis = self.analyze(run, &reference)?;
-            let (s, _, _, _) =
-                trace_stats(&analysis.alignment.h_disp, &analysis.v_dist, &self.config);
+            let (s, _, _, _) = trace_stats(
+                &analysis.alignment.h_disp,
+                &analysis.v_dist,
+                &self.config.discriminator,
+            );
             stats.push(s);
         }
         let thresholds = learn_thresholds(&stats, r)?;
@@ -105,7 +294,6 @@ impl std::fmt::Debug for NsyncIds {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NsyncIds")
             .field("synchronizer", &self.synchronizer.name())
-            .field("metric", &self.metric)
             .field("config", &self.config)
             .finish()
     }
@@ -132,7 +320,22 @@ impl TrainedIds {
 
     /// The discriminator configuration in effect.
     pub fn config(&self) -> DiscriminatorConfig {
+        self.ids.config.discriminator
+    }
+
+    /// The full configuration in effect (shared with the streaming path
+    /// via [`TrainedIds::stream_spec`]).
+    pub fn ids_config(&self) -> IdsConfig {
         self.ids.config
+    }
+
+    /// Packages this detector's reference, thresholds, and configuration
+    /// as a [`StreamSpec`] — everything the streaming runtime needs to
+    /// [`open`](StreamSpec::open) or [`spawn`](StreamSpec::spawn) a live
+    /// detector consistent with the batch training.
+    pub fn stream_spec(&self, params: DwmParams) -> StreamSpec {
+        StreamSpec::new(self.reference.clone(), params, self.thresholds)
+            .with_config(self.ids.config)
     }
 
     /// Analyzes and discriminates one observed signal.
@@ -146,7 +349,7 @@ impl TrainedIds {
             &analysis.alignment.h_disp,
             &analysis.v_dist,
             &self.thresholds,
-            &self.ids.config,
+            &self.ids.config.discriminator,
         ))
     }
 
@@ -165,7 +368,7 @@ impl TrainedIds {
             &analysis.alignment.h_disp,
             &analysis.v_dist,
             &self.thresholds,
-            &self.ids.config,
+            &self.ids.config.discriminator,
         );
         Ok((detection, analysis))
     }
@@ -208,12 +411,69 @@ mod tests {
     }
 
     fn ids() -> NsyncIds {
-        NsyncIds::new(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))))
+        NsyncIds::builder()
+            .synchronizer(DwmSynchronizer::new(DwmParams::from_window(4.0)))
+            .build()
+            .unwrap()
     }
 
     fn trained() -> TrainedIds {
         let train: Vec<Signal> = (1..=5).map(|i| benign(i as f64 * 2e-3)).collect();
         ids().train(&train, benign(0.0), 0.3).unwrap()
+    }
+
+    #[test]
+    fn builder_requires_a_synchronizer() {
+        assert!(matches!(
+            IdsBuilder::new().build(),
+            Err(NsyncError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn builder_wires_every_knob() {
+        let health = HealthConfig::default().with_recovery_windows(9);
+        let built = IdsBuilder::new()
+            .synchronizer(DwmSynchronizer::new(DwmParams::from_window(4.0)))
+            .metric(DistanceMetric::Euclidean)
+            .discriminator(DiscriminatorConfig {
+                min_filter_window: 5,
+            })
+            .health(health)
+            .build()
+            .unwrap();
+        let cfg = built.ids_config();
+        assert_eq!(cfg.metric, DistanceMetric::Euclidean);
+        assert_eq!(cfg.discriminator.min_filter_window, 5);
+        assert_eq!(cfg.health, health);
+        // Wholesale config replacement wins over earlier knobs.
+        let replaced = IdsBuilder::new()
+            .metric(DistanceMetric::Euclidean)
+            .config(IdsConfig::default())
+            .boxed_synchronizer(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))))
+            .build()
+            .unwrap();
+        assert_eq!(replaced.ids_config(), IdsConfig::default());
+        assert!(!format!("{:?}", NsyncIds::builder()).is_empty());
+    }
+
+    #[test]
+    fn deprecated_constructors_match_builder() {
+        #[allow(deprecated)]
+        let old = NsyncIds::new(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))))
+            .with_metric(DistanceMetric::Manhattan)
+            .with_config(DiscriminatorConfig {
+                min_filter_window: 7,
+            });
+        let new = NsyncIds::builder()
+            .synchronizer(DwmSynchronizer::new(DwmParams::from_window(4.0)))
+            .metric(DistanceMetric::Manhattan)
+            .discriminator(DiscriminatorConfig {
+                min_filter_window: 7,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(old.ids_config(), new.ids_config());
     }
 
     #[test]
@@ -283,5 +543,17 @@ mod tests {
         assert!(th.c_c >= 0.0 && th.h_c >= 0.0 && th.v_c >= 0.0);
         assert_eq!(t.config().min_filter_window, 3);
         assert!(!t.reference().is_empty());
+    }
+
+    #[test]
+    fn stream_spec_carries_training_artifacts() {
+        let t = trained();
+        let spec = t.stream_spec(DwmParams::from_window(4.0));
+        assert_eq!(spec.thresholds(), t.thresholds());
+        assert_eq!(spec.config(), t.ids_config());
+        assert_eq!(spec.reference().len(), t.reference().len());
+        let mut live = spec.open().unwrap();
+        let alerts = live.push(&benign(7e-3)).unwrap();
+        assert!(alerts.is_empty(), "{alerts:?}");
     }
 }

@@ -34,9 +34,7 @@
 //! # Example
 //!
 //! ```
-//! use am_dsp::Signal;
-//! use am_sync::{DwmParams, DwmSynchronizer};
-//! use nsync::ids::NsyncIds;
+//! use nsync::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A toy "process": reference + slightly noisy benign repetitions.
@@ -49,7 +47,9 @@
 //! let reference = wave(0.0);
 //! let train: Vec<Signal> = (1..=4).map(|i| wave(i as f64 * 1e-3)).collect();
 //!
-//! let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))));
+//! let ids = IdsBuilder::new()
+//!     .synchronizer(DwmSynchronizer::new(DwmParams::from_window(4.0)))
+//!     .build()?;
 //! let trained = ids.train(&train, reference.clone(), 0.3)?;
 //! let verdict = trained.detect(&wave(2e-3))?;
 //! assert!(!verdict.intrusion);
@@ -69,5 +69,26 @@ pub use comparator::vertical_distances;
 pub use discriminator::{Detection, DiscriminatorConfig, SubModule, Thresholds};
 pub use error::NsyncError;
 pub use health::{ChannelState, HealthConfig, HealthReport};
-pub use ids::{NsyncIds, TrainedIds};
+pub use ids::{Analysis, IdsBuilder, IdsConfig, NsyncIds, TrainedIds};
 pub use occ::learn_thresholds;
+pub use streaming::{Alert, StreamSpec, StreamingIds};
+
+/// One-stop imports for the common NSYNC workflow: build with
+/// [`IdsBuilder`], train, detect, stream via [`StreamSpec`], and watch
+/// the pipeline through [`Telemetry`](am_telemetry::Telemetry).
+///
+/// ```
+/// use nsync::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::discriminator::{Detection, DiscriminatorConfig, SubModule, Thresholds};
+    pub use crate::error::NsyncError;
+    pub use crate::health::{ChannelState, ChannelStatus, HealthConfig, HealthReport};
+    pub use crate::ids::{Analysis, IdsBuilder, IdsConfig, NsyncIds, TrainedIds};
+    pub use crate::streaming::monitor::{Backpressure, LiveStatus, MonitorConfig, MonitorHandle};
+    pub use crate::streaming::{Alert, StreamSpec, StreamingIds};
+    pub use am_dsp::metrics::DistanceMetric;
+    pub use am_dsp::Signal;
+    pub use am_sync::{DtwSynchronizer, DwmParams, DwmSynchronizer, Synchronizer};
+    pub use am_telemetry::Telemetry;
+}

@@ -2,11 +2,14 @@
 //!
 //! DWM is window-by-window, so the whole NSYNC pipeline can run online —
 //! the paper's core practicality claim over DTW ("DTW requires knowing the
-//! whole a and the whole b before they can be analyzed"). [`StreamingIds`]
-//! consumes chunks as the DAQ produces them and emits [`Alert`]s the
-//! moment a sub-module's threshold is crossed; [`monitor::spawn`] runs the
-//! detector on its own thread behind crossbeam channels, which is how a
-//! deployment would wire it between the DAQ thread and the operator UI.
+//! whole a and the whole b before they can be analyzed"). A [`StreamSpec`]
+//! packages everything a live detector needs (reference, DWM parameters,
+//! learned thresholds, [`IdsConfig`]); [`StreamSpec::open`] yields a
+//! [`StreamingIds`] that consumes chunks as the DAQ produces them and
+//! emits [`Alert`]s the moment a sub-module's threshold is crossed, while
+//! [`StreamSpec::spawn`] runs the detector on its own thread behind
+//! crossbeam channels, which is how a deployment would wire it between
+//! the DAQ thread and the operator UI.
 //!
 //! Unlike the batch path, the streaming path must survive its inputs:
 //! a print takes hours and a sensor that dies forty minutes in must not
@@ -22,6 +25,7 @@
 use crate::discriminator::{DiscriminatorConfig, SubModule, Thresholds};
 use crate::error::NsyncError;
 use crate::health::{ChannelHealth, ChannelState, HealthConfig, HealthReport};
+use crate::ids::IdsConfig;
 use am_dsp::metrics::DistanceMetric;
 use am_dsp::{DspError, Signal};
 use am_sync::{DwmParams, DwmStream};
@@ -41,8 +45,119 @@ pub struct Alert {
     pub threshold: f64,
 }
 
+/// Everything a live detector needs, in one cloneable value: the
+/// reference signal, the DWM sample grid, the learned thresholds, and
+/// the [`IdsConfig`] shared with the batch path. Produced directly or by
+/// [`crate::ids::TrainedIds::stream_spec`], consumed by
+/// [`StreamSpec::open`] (in-process detector), [`StreamSpec::resume`]
+/// (mid-print restart), and [`StreamSpec::spawn`] /
+/// [`StreamSpec::spawn_with`] (supervised monitor thread, which clones
+/// the spec so crashed detectors can be rebuilt).
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    reference: Signal,
+    params: DwmParams,
+    thresholds: Thresholds,
+    config: IdsConfig,
+}
+
+impl StreamSpec {
+    /// A spec with the default [`IdsConfig`] (correlation distance, the
+    /// paper's discriminator, default health policy).
+    pub fn new(reference: Signal, params: DwmParams, thresholds: Thresholds) -> Self {
+        StreamSpec {
+            reference,
+            params,
+            thresholds,
+            config: IdsConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration (typically the trained detector's, via
+    /// [`crate::ids::TrainedIds::stream_spec`]).
+    #[must_use]
+    pub fn with_config(mut self, config: IdsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The reference signal.
+    pub fn reference(&self) -> &Signal {
+        &self.reference
+    }
+
+    /// The DWM sample grid.
+    pub fn params(&self) -> DwmParams {
+        self.params
+    }
+
+    /// The learned critical values.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> IdsConfig {
+        self.config
+    }
+
+    /// Opens an in-process streaming detector at window 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DWM parameter validation failures, and rejects a
+    /// reference containing non-finite samples with
+    /// [`DspError::NonFinite`] — thresholds learned from a clean
+    /// reference are meaningless against a corrupt one.
+    pub fn open(&self) -> Result<StreamingIds, NsyncError> {
+        StreamingIds::from_spec(self)
+    }
+
+    /// Opens a detector that resumes mid-print at `next_window`, as the
+    /// monitor's supervisor does after a detector crash: the reference is
+    /// re-seated so the next observed window is compared at the position
+    /// the lost detector had reached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamSpec::open`].
+    pub fn resume(&self, next_window: usize) -> Result<StreamingIds, NsyncError> {
+        let mut ids = self.open()?;
+        ids.windows_seen = next_window;
+        // A resumed detector cannot know how many samples the lost one
+        // had buffered; the window grid is the best available estimate.
+        ids.samples_seen = next_window * ids.stream.sample_params().n_hop;
+        ids.reseat_stream()?;
+        Ok(ids)
+    }
+
+    /// Spawns the supervised detector thread with default supervision
+    /// (see [`monitor`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector construction failures.
+    pub fn spawn(&self) -> Result<monitor::MonitorHandle, NsyncError> {
+        self.spawn_with(monitor::MonitorConfig::default())
+    }
+
+    /// Spawns the supervised detector thread with explicit supervision
+    /// configuration (see [`monitor`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector construction failures.
+    pub fn spawn_with(
+        &self,
+        monitor_config: monitor::MonitorConfig,
+    ) -> Result<monitor::MonitorHandle, NsyncError> {
+        monitor::spawn_spec(self.clone(), monitor_config)
+    }
+}
+
 /// Incremental NSYNC/DWM intrusion detector with per-channel health
 /// tracking (see the module docs for the degradation semantics).
+/// Constructed from a [`StreamSpec`].
 #[derive(Debug)]
 pub struct StreamingIds {
     /// The original, full reference (the stream may run on a re-seated
@@ -63,7 +178,7 @@ pub struct StreamingIds {
     blind_windows: usize,
     resyncs: usize,
     /// External index of the stream's internal window 0 (non-zero after
-    /// a resync or a [`StreamingIds::resume_from`]).
+    /// a resync or a [`StreamSpec::resume`]).
     window_offset: usize,
     /// Total observed samples accepted across resyncs; a resync reseats
     /// the reference here so no buffered-but-unwindowed sample shifts
@@ -80,22 +195,8 @@ pub struct StreamingIds {
 }
 
 impl StreamingIds {
-    /// Creates a streaming detector against `reference` with pre-learned
-    /// thresholds (from [`crate::occ`], typically via a batch
-    /// [`crate::ids::NsyncIds::train`] pass).
-    ///
-    /// # Errors
-    ///
-    /// Propagates DWM parameter validation failures, and rejects a
-    /// reference containing non-finite samples with
-    /// [`DspError::NonFinite`] — thresholds learned from a clean
-    /// reference are meaningless against a corrupt one.
-    pub fn new(
-        reference: Signal,
-        params: &DwmParams,
-        thresholds: Thresholds,
-        config: &DiscriminatorConfig,
-    ) -> Result<Self, NsyncError> {
+    fn from_spec(spec: &StreamSpec) -> Result<Self, NsyncError> {
+        let reference = &spec.reference;
         for ch in 0..reference.channels() {
             if let Some(index) = reference.channel(ch).iter().position(|v| !v.is_finite()) {
                 return Err(NsyncError::Dsp(DspError::NonFinite { channel: ch, index }));
@@ -103,13 +204,13 @@ impl StreamingIds {
         }
         let channels = reference.channels();
         Ok(StreamingIds {
-            stream: DwmStream::new(reference.clone(), params)?,
-            reference,
-            params: *params,
-            metric: DistanceMetric::Correlation,
-            thresholds,
-            filter_window: config.min_filter_window.max(1),
-            health_cfg: HealthConfig::default(),
+            stream: DwmStream::new(reference.clone(), &spec.params)?,
+            reference: reference.clone(),
+            params: spec.params,
+            metric: spec.config.metric,
+            thresholds: spec.thresholds,
+            filter_window: spec.config.discriminator.min_filter_window.max(1),
+            health_cfg: spec.config.health,
             health: vec![ChannelHealth::default(); channels],
             nonfinite_prefix: vec![vec![0]; channels],
             blind_windows: 0,
@@ -126,21 +227,44 @@ impl StreamingIds {
         })
     }
 
+    /// Creates a streaming detector against `reference` with pre-learned
+    /// thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamSpec::open`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `StreamSpec::new(..).open()` (or `TrainedIds::stream_spec`) instead"
+    )]
+    pub fn new(
+        reference: Signal,
+        params: &DwmParams,
+        thresholds: Thresholds,
+        config: &DiscriminatorConfig,
+    ) -> Result<Self, NsyncError> {
+        StreamSpec::new(reference, *params, thresholds)
+            .with_config(IdsConfig::default().with_discriminator(*config))
+            .open()
+    }
+
     /// Overrides the channel-health tuning.
+    #[deprecated(
+        since = "0.2.0",
+        note = "set the health policy on the spec: `IdsConfig::with_health` + `StreamSpec::with_config`"
+    )]
     #[must_use]
     pub fn with_health_config(mut self, cfg: HealthConfig) -> Self {
         self.health_cfg = cfg;
         self
     }
 
-    /// Creates a detector that resumes mid-print at `next_window`, as
-    /// the monitor's supervisor does after a detector crash: the
-    /// reference is re-seated so the next observed window is compared
-    /// at the position the lost detector had reached.
+    /// Creates a detector that resumes mid-print at `next_window`.
     ///
     /// # Errors
     ///
     /// Propagates construction failures.
+    #[deprecated(since = "0.2.0", note = "use `StreamSpec::resume` instead")]
     pub fn resume_from(
         reference: Signal,
         params: &DwmParams,
@@ -148,13 +272,9 @@ impl StreamingIds {
         config: &DiscriminatorConfig,
         next_window: usize,
     ) -> Result<Self, NsyncError> {
-        let mut ids = StreamingIds::new(reference, params, thresholds, config)?;
-        ids.windows_seen = next_window;
-        // A resumed detector cannot know how many samples the lost one
-        // had buffered; the window grid is the best available estimate.
-        ids.samples_seen = next_window * ids.stream.sample_params().n_hop;
-        ids.reseat_stream()?;
-        Ok(ids)
+        StreamSpec::new(reference, *params, thresholds)
+            .with_config(IdsConfig::default().with_discriminator(*config))
+            .resume(next_window)
     }
 
     /// `true` once any alert has fired.
@@ -188,6 +308,7 @@ impl StreamingIds {
     pub fn resync(&mut self) -> Result<(), NsyncError> {
         self.reseat_stream()?;
         self.resyncs += 1;
+        am_telemetry::count!("monitor.resyncs");
         Ok(())
     }
 
@@ -267,6 +388,7 @@ impl StreamingIds {
         }
         if !alerts.is_empty() {
             self.intrusion = true;
+            am_telemetry::count!("monitor.alerts", alerts.len() as u64);
         }
         Ok(alerts)
     }
@@ -373,7 +495,8 @@ fn min_of(q: &VecDeque<f64>) -> f64 {
 }
 
 /// Thread-backed monitor: the detector runs on its own thread behind
-/// bounded crossbeam channels, supervised by a watchdog.
+/// bounded crossbeam channels, supervised by a watchdog. Spawned from a
+/// [`StreamSpec`] via [`StreamSpec::spawn`] / [`StreamSpec::spawn_with`].
 ///
 /// ```text
 ///  DAQ ──chunks (bounded, backpressure)──► detector ──alerts (bounded)──► UI
@@ -383,30 +506,45 @@ fn min_of(q: &VecDeque<f64>) -> f64 {
 ///
 /// Failure semantics (DESIGN.md §7.4):
 ///
-/// - **Backpressure**: the chunk queue is bounded. [`Backpressure::Block`]
-///   makes [`MonitorHandle::send`] wait (a DAQ thread that can buffer);
-///   [`Backpressure::DropNewest`] sheds the incoming chunk and counts it
-///   (a DAQ that must never block).
+/// - **Backpressure**: the chunk queue is bounded.
+///   [`Backpressure::Block`](monitor::Backpressure::Block) makes
+///   [`MonitorHandle::send`](monitor::MonitorHandle::send) wait (a DAQ
+///   thread that can buffer);
+///   [`Backpressure::DropNewest`](monitor::Backpressure::DropNewest)
+///   sheds the incoming chunk and counts it (a DAQ that must never
+///   block).
 /// - **Malformed chunks** (wrong shape/rate) are dropped and counted;
 ///   the stream continues with the next well-formed chunk.
 /// - **Detector panic**: the watchdog restarts the detector up to
-///   [`MonitorConfig::max_restarts`] times, resynchronized from the last
-///   good window; the restart count is visible in [`LiveStatus`]. When
-///   the budget is exhausted, [`MonitorHandle::finish`] returns
-///   [`NsyncError::MonitorPanicked`] with the last good window.
+///   [`MonitorConfig::max_restarts`](monitor::MonitorConfig::max_restarts)
+///   times, resynchronized from the last good window; the restart count
+///   is visible in [`LiveStatus`](monitor::LiveStatus). When the budget
+///   is exhausted, [`MonitorHandle::finish`](monitor::MonitorHandle::finish)
+///   returns [`NsyncError::MonitorPanicked`] with the last good window.
 /// - **Stall**: if the detector stops making progress while chunks are
-///   queued for longer than [`MonitorConfig::stall_timeout`], the
-///   watchdog raises [`LiveStatus::stalled`] (threads cannot be safely
-///   preempted in Rust, so a hard-stuck detector is reported, not
-///   killed; the flag clears if progress resumes).
+///   queued for longer than
+///   [`MonitorConfig::stall_timeout`](monitor::MonitorConfig::stall_timeout),
+///   the watchdog raises
+///   [`LiveStatus::stalled`](monitor::LiveStatus::stalled) (threads
+///   cannot be safely preempted in Rust, so a hard-stuck detector is
+///   reported, not killed; the flag clears if progress resumes).
 /// - **Alert overflow**: alerts beyond the bounded queue's capacity are
 ///   dropped and counted — the intrusion verdict itself is latched in
-///   [`LiveStatus`] and never lost.
+///   [`LiveStatus`](monitor::LiveStatus) and never lost.
+///
+/// When [`am_telemetry`] is enabled the monitor also feeds the registry:
+/// the `monitor.queue_depth` histogram (chunks waiting at each send), the
+/// `monitor.chunk_push` histogram (send latency, which under
+/// [`Backpressure::Block`](monitor::Backpressure::Block) is the
+/// backpressure wait), the
+/// `monitor.heartbeat_age` histogram (watchdog-observed staleness), and
+/// the `monitor.restarts` / `monitor.resyncs` / `monitor.quarantines` /
+/// `monitor.alerts` counters.
 pub mod monitor {
     use super::*;
     use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
     use parking_lot::Mutex;
-    use std::sync::Arc;
+    use std::sync::{Arc, OnceLock};
     use std::thread::JoinHandle;
     use std::time::{Duration, Instant};
 
@@ -421,7 +559,12 @@ pub mod monitor {
     }
 
     /// Supervision and queueing configuration.
+    ///
+    /// `#[non_exhaustive]`: construct with [`Default`] and the `with_*`
+    /// methods so new supervision knobs can be added without breaking
+    /// callers.
     #[derive(Debug, Clone)]
+    #[non_exhaustive]
     pub struct MonitorConfig {
         /// Chunk queue capacity (chunks, not samples).
         pub chunk_capacity: usize,
@@ -436,10 +579,9 @@ pub mod monitor {
         pub stall_timeout: Duration,
         /// Watchdog poll cadence.
         pub poll_interval: Duration,
-        /// Chaos hook: the detector deliberately panics while processing
-        /// this (0-based) chunk index, once — used to exercise the
-        /// watchdog restart path in tests and drills.
-        pub chaos_panic_chunk: Option<usize>,
+        /// Chaos hook (fault-injection drills only): see
+        /// [`MonitorConfig::with_chaos_panic_chunk`].
+        chaos_panic_chunk: Option<usize>,
     }
 
     impl Default for MonitorConfig {
@@ -453,6 +595,61 @@ pub mod monitor {
                 poll_interval: Duration::from_millis(10),
                 chaos_panic_chunk: None,
             }
+        }
+    }
+
+    impl MonitorConfig {
+        /// Overrides the chunk queue capacity (clamped to ≥ 1 at spawn).
+        #[must_use]
+        pub fn with_chunk_capacity(mut self, chunks: usize) -> Self {
+            self.chunk_capacity = chunks;
+            self
+        }
+
+        /// Overrides the alert queue capacity (clamped to ≥ 1 at spawn).
+        #[must_use]
+        pub fn with_alert_capacity(mut self, alerts: usize) -> Self {
+            self.alert_capacity = alerts;
+            self
+        }
+
+        /// Overrides the full-queue policy.
+        #[must_use]
+        pub fn with_backpressure(mut self, policy: Backpressure) -> Self {
+            self.backpressure = policy;
+            self
+        }
+
+        /// Overrides the watchdog's restart budget.
+        #[must_use]
+        pub fn with_max_restarts(mut self, restarts: usize) -> Self {
+            self.max_restarts = restarts;
+            self
+        }
+
+        /// Overrides the stall threshold.
+        #[must_use]
+        pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+            self.stall_timeout = timeout;
+            self
+        }
+
+        /// Overrides the watchdog poll cadence.
+        #[must_use]
+        pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+            self.poll_interval = interval;
+            self
+        }
+
+        /// Chaos hook: the detector deliberately panics while processing
+        /// this (0-based) chunk index, once — used to exercise the
+        /// watchdog restart path in tests and fault-injection drills.
+        /// Not part of the supported production surface.
+        #[doc(hidden)]
+        #[must_use]
+        pub fn with_chaos_panic_chunk(mut self, chunk: Option<usize>) -> Self {
+            self.chaos_panic_chunk = chunk;
+            self
         }
     }
 
@@ -508,7 +705,16 @@ pub mod monitor {
         /// Feeds one chunk, honouring the configured backpressure
         /// policy. Returns `false` if the monitor has stopped.
         pub fn send(&self, chunk: Signal) -> bool {
-            match self.backpressure {
+            let t0 = if am_telemetry::enabled() {
+                static QUEUE_DEPTH: OnceLock<am_telemetry::Histogram> = OnceLock::new();
+                QUEUE_DEPTH
+                    .get_or_init(|| am_telemetry::histogram("monitor.queue_depth"))
+                    .record_nanos(self.chunk_tx.len() as u64);
+                Some(Instant::now())
+            } else {
+                None
+            };
+            let accepted = match self.backpressure {
                 Backpressure::Block => self.chunk_tx.send(chunk).is_ok(),
                 Backpressure::DropNewest => match self.chunk_tx.try_send(chunk) {
                     Ok(()) => true,
@@ -518,7 +724,14 @@ pub mod monitor {
                     }
                     Err(TrySendError::Disconnected(_)) => false,
                 },
+            };
+            if let Some(t0) = t0 {
+                static CHUNK_PUSH: OnceLock<am_telemetry::Histogram> = OnceLock::new();
+                CHUNK_PUSH
+                    .get_or_init(|| am_telemetry::histogram("monitor.chunk_push"))
+                    .record(t0.elapsed());
             }
+            accepted
         }
 
         /// Snapshot of the live status.
@@ -624,19 +837,13 @@ pub mod monitor {
         }
     }
 
-    /// Spawns the supervised detector with explicit configuration.
-    ///
-    /// # Errors
-    ///
-    /// Propagates detector construction failures.
-    pub fn spawn_with(
-        reference: Signal,
-        params: &DwmParams,
-        thresholds: Thresholds,
-        config: &DiscriminatorConfig,
+    /// Spawns the supervised detector for a spec (the implementation
+    /// behind [`StreamSpec::spawn_with`]).
+    pub(super) fn spawn_spec(
+        spec: StreamSpec,
         monitor_config: MonitorConfig,
     ) -> Result<MonitorHandle, NsyncError> {
-        let ids = StreamingIds::new(reference.clone(), params, thresholds, config)?;
+        let ids = spec.open()?;
         let (chunk_tx, chunk_rx): (Sender<Signal>, Receiver<Signal>) =
             bounded(monitor_config.chunk_capacity.max(1));
         let (alert_tx, alert_rx) = bounded(monitor_config.alert_capacity.max(1));
@@ -646,8 +853,6 @@ pub mod monitor {
         }));
 
         let supervisor_shared = Arc::clone(&shared);
-        let params = *params;
-        let config = *config;
         let backpressure = monitor_config.backpressure;
         let join = std::thread::spawn(move || -> Result<(), NsyncError> {
             let cfg = monitor_config;
@@ -664,13 +869,7 @@ pub mod monitor {
                             .status
                             .last_good_window
                             .map_or(0, |w| w + 1);
-                        StreamingIds::resume_from(
-                            reference.clone(),
-                            &params,
-                            thresholds,
-                            &config,
-                            next_window,
-                        )?
+                        spec.resume(next_window)?
                     }
                 };
                 // The chaos hook fires only in the first generation, so a
@@ -696,7 +895,14 @@ pub mod monitor {
                 while !worker.is_finished() {
                     std::thread::sleep(cfg.poll_interval);
                     let mut s = supervisor_shared.lock();
-                    if !chunk_rx.is_empty() && s.heartbeat.elapsed() > cfg.stall_timeout {
+                    let age = s.heartbeat.elapsed();
+                    if am_telemetry::enabled() {
+                        static HEARTBEAT_AGE: OnceLock<am_telemetry::Histogram> = OnceLock::new();
+                        HEARTBEAT_AGE
+                            .get_or_init(|| am_telemetry::histogram("monitor.heartbeat_age"))
+                            .record(age);
+                    }
+                    if !chunk_rx.is_empty() && age > cfg.stall_timeout {
                         s.status.stalled = true;
                     }
                 }
@@ -713,6 +919,7 @@ pub mod monitor {
                             return Err(NsyncError::MonitorPanicked { last_window });
                         }
                         restarts += 1;
+                        am_telemetry::count!("monitor.restarts");
                         supervisor_shared.lock().status.restarts = restarts;
                     }
                 }
@@ -727,24 +934,39 @@ pub mod monitor {
         })
     }
 
+    /// Spawns the supervised detector with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector construction failures.
+    #[deprecated(since = "0.2.0", note = "use `StreamSpec::spawn_with` instead")]
+    pub fn spawn_with(
+        reference: Signal,
+        params: &DwmParams,
+        thresholds: Thresholds,
+        config: &DiscriminatorConfig,
+        monitor_config: MonitorConfig,
+    ) -> Result<MonitorHandle, NsyncError> {
+        StreamSpec::new(reference, *params, thresholds)
+            .with_config(IdsConfig::default().with_discriminator(*config))
+            .spawn_with(monitor_config)
+    }
+
     /// Spawns the detector thread with default supervision.
     ///
     /// # Errors
     ///
     /// Propagates detector construction failures.
+    #[deprecated(since = "0.2.0", note = "use `StreamSpec::spawn` instead")]
     pub fn spawn(
         reference: Signal,
         params: &DwmParams,
         thresholds: Thresholds,
         config: &DiscriminatorConfig,
     ) -> Result<MonitorHandle, NsyncError> {
-        spawn_with(
-            reference,
-            params,
-            thresholds,
-            config,
-            MonitorConfig::default(),
-        )
+        StreamSpec::new(reference, *params, thresholds)
+            .with_config(IdsConfig::default().with_discriminator(*config))
+            .spawn()
     }
 }
 
@@ -784,16 +1006,24 @@ mod tests {
         DwmParams::from_window(4.0)
     }
 
-    fn thresholds() -> Thresholds {
-        let train: Vec<Signal> = (1..=4).map(|i| benign(i as f64 * 2e-3)).collect();
-        let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params())));
-        ids.train(&train, benign(0.0), 0.3).unwrap().thresholds()
+    fn train_spec(reference: Signal, train: &[Signal]) -> StreamSpec {
+        NsyncIds::builder()
+            .synchronizer(DwmSynchronizer::new(params()))
+            .build()
+            .unwrap()
+            .train(train, reference, 0.3)
+            .unwrap()
+            .stream_spec(params())
     }
 
-    fn thresholds2ch() -> Thresholds {
+    fn spec() -> StreamSpec {
+        let train: Vec<Signal> = (1..=4).map(|i| benign(i as f64 * 2e-3)).collect();
+        train_spec(benign(0.0), &train)
+    }
+
+    fn spec2ch() -> StreamSpec {
         let train: Vec<Signal> = (1..=4).map(|i| benign2ch(i as f64 * 2e-3)).collect();
-        let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params())));
-        ids.train(&train, benign2ch(0.0), 0.3).unwrap().thresholds()
+        train_spec(benign2ch(0.0), &train)
     }
 
     fn feed(ids: &mut StreamingIds, signal: &Signal, chunk: usize) -> Vec<Alert> {
@@ -809,8 +1039,7 @@ mod tests {
 
     #[test]
     fn benign_stream_stays_quiet() {
-        let mut ids =
-            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let mut ids = spec().open().unwrap();
         let alerts = feed(&mut ids, &benign(5e-3), 100);
         assert!(alerts.is_empty(), "{alerts:?}");
         assert!(!ids.intrusion_detected());
@@ -820,8 +1049,7 @@ mod tests {
 
     #[test]
     fn malicious_stream_alerts_midway() {
-        let mut ids =
-            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let mut ids = spec().open().unwrap();
         let alerts = feed(&mut ids, &malicious(), 100);
         assert!(!alerts.is_empty());
         assert!(ids.intrusion_detected());
@@ -834,27 +1062,28 @@ mod tests {
     #[test]
     fn streaming_matches_batch_detection() {
         // The same malicious signal must be flagged by both paths.
-        let th = thresholds();
-        let mut stream =
-            StreamingIds::new(benign(0.0), &params(), th, &Default::default()).unwrap();
-        let stream_alerts = feed(&mut stream, &malicious(), 64);
-        let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params())));
-        let trained = ids
+        let trained = NsyncIds::builder()
+            .synchronizer(DwmSynchronizer::new(params()))
+            .build()
+            .unwrap()
             .train(
                 &(1..=4).map(|i| benign(i as f64 * 2e-3)).collect::<Vec<_>>(),
                 benign(0.0),
                 0.3,
             )
             .unwrap();
+        let mut stream = trained.stream_spec(params()).open().unwrap();
+        let stream_alerts = feed(&mut stream, &malicious(), 64);
         let batch = trained.detect(&malicious()).unwrap();
         assert_eq!(batch.intrusion, !stream_alerts.is_empty());
     }
 
     #[test]
     fn non_finite_reference_is_rejected() {
+        let good = spec();
         let mut r = benign(0.0);
         r.channel_mut(0)[7] = f64::NAN;
-        let e = StreamingIds::new(r, &params(), thresholds(), &Default::default());
+        let e = StreamSpec::new(r, params(), good.thresholds()).open();
         assert!(matches!(
             e,
             Err(NsyncError::Dsp(DspError::NonFinite {
@@ -865,14 +1094,32 @@ mod tests {
     }
 
     #[test]
-    fn nan_bursts_degrade_but_never_panic() {
+    fn deprecated_streaming_constructors_still_work() {
+        #[allow(deprecated)]
         let mut ids = StreamingIds::new(
-            benign2ch(0.0),
+            benign(0.0),
             &params(),
-            thresholds2ch(),
-            &Default::default(),
+            spec().thresholds(),
+            &DiscriminatorConfig::default(),
+        )
+        .unwrap()
+        .with_health_config(HealthConfig::default());
+        assert!(feed(&mut ids, &benign(5e-3), 100).is_empty());
+        #[allow(deprecated)]
+        let resumed = StreamingIds::resume_from(
+            benign(0.0),
+            &params(),
+            spec().thresholds(),
+            &DiscriminatorConfig::default(),
+            7,
         )
         .unwrap();
+        assert_eq!(resumed.windows_seen(), 7);
+    }
+
+    #[test]
+    fn nan_bursts_degrade_but_never_panic() {
+        let mut ids = spec2ch().open().unwrap();
         let mut obs = benign2ch(5e-3);
         // Channel 1 goes NaN from t = 20 s onward.
         for v in &mut obs.channel_mut(1)[400..] {
@@ -895,8 +1142,7 @@ mod tests {
 
     #[test]
     fn all_channels_nan_goes_blind_not_down() {
-        let mut ids =
-            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let mut ids = spec().open().unwrap();
         let mut obs = benign(5e-3);
         for v in &mut obs.channel_mut(0)[200..] {
             *v = f64::NAN;
@@ -910,13 +1156,7 @@ mod tests {
 
     #[test]
     fn mismatched_chunk_is_rejected_without_corrupting_state() {
-        let mut ids = StreamingIds::new(
-            benign2ch(0.0),
-            &params(),
-            thresholds2ch(),
-            &Default::default(),
-        )
-        .unwrap();
+        let mut ids = spec2ch().open().unwrap();
         let obs = benign2ch(5e-3);
         feed(&mut ids, &obs.slice(0..400).unwrap(), 100);
         let before = ids.windows_seen();
@@ -933,8 +1173,7 @@ mod tests {
 
     #[test]
     fn empty_chunk_is_a_noop() {
-        let mut ids =
-            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let mut ids = spec().open().unwrap();
         let empty = Signal::from_channels(20.0, vec![vec![]]).unwrap();
         assert!(ids.push(&empty).unwrap().is_empty());
         assert_eq!(ids.windows_seen(), 0);
@@ -942,8 +1181,7 @@ mod tests {
 
     #[test]
     fn resync_continues_window_numbering() {
-        let mut ids =
-            StreamingIds::new(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let mut ids = spec().open().unwrap();
         let obs = benign(5e-3);
         feed(&mut ids, &obs.slice(0..800).unwrap(), 100);
         let mid = ids.windows_seen();
@@ -958,8 +1196,7 @@ mod tests {
 
     #[test]
     fn monitor_thread_roundtrip() {
-        let handle =
-            monitor::spawn(benign(0.0), &params(), thresholds(), &Default::default()).unwrap();
+        let handle = spec().spawn().unwrap();
         let m = malicious();
         let mut i = 0;
         while i < m.len() {
@@ -975,19 +1212,10 @@ mod tests {
 
     #[test]
     fn monitor_drop_newest_sheds_load() {
-        let cfg = monitor::MonitorConfig {
-            chunk_capacity: 1,
-            backpressure: monitor::Backpressure::DropNewest,
-            ..Default::default()
-        };
-        let handle = monitor::spawn_with(
-            benign(0.0),
-            &params(),
-            thresholds(),
-            &Default::default(),
-            cfg,
-        )
-        .unwrap();
+        let cfg = monitor::MonitorConfig::default()
+            .with_chunk_capacity(1)
+            .with_backpressure(monitor::Backpressure::DropNewest);
+        let handle = spec().spawn_with(cfg).unwrap();
         let b = benign(5e-3);
         // One full-length chunk keeps the detector busy (38 windows of
         // TDEB) while a flood of tiny chunks hits the capacity-1 queue.
@@ -1003,18 +1231,8 @@ mod tests {
 
     #[test]
     fn monitor_survives_detector_panic_and_still_detects() {
-        let cfg = monitor::MonitorConfig {
-            chaos_panic_chunk: Some(3),
-            ..Default::default()
-        };
-        let handle = monitor::spawn_with(
-            benign(0.0),
-            &params(),
-            thresholds(),
-            &Default::default(),
-            cfg,
-        )
-        .unwrap();
+        let cfg = monitor::MonitorConfig::default().with_chaos_panic_chunk(Some(3));
+        let handle = spec().spawn_with(cfg).unwrap();
         let m = malicious();
         let mut i = 0;
         while i < m.len() {
@@ -1037,19 +1255,10 @@ mod tests {
 
     #[test]
     fn monitor_exhausted_restart_budget_reports_panic() {
-        let cfg = monitor::MonitorConfig {
-            chaos_panic_chunk: Some(0),
-            max_restarts: 0,
-            ..Default::default()
-        };
-        let handle = monitor::spawn_with(
-            benign(0.0),
-            &params(),
-            thresholds(),
-            &Default::default(),
-            cfg,
-        )
-        .unwrap();
+        let cfg = monitor::MonitorConfig::default()
+            .with_chaos_panic_chunk(Some(0))
+            .with_max_restarts(0);
+        let handle = spec().spawn_with(cfg).unwrap();
         let b = benign(0.0);
         handle.send(b.slice(0..200).unwrap());
         match handle.finish() {

@@ -6,9 +6,29 @@
 //! ```sh
 //! cargo run --release --example bench_grid
 //! ```
+//!
+//! Set `AM_TELEMETRY=1` to print the registry summary to stderr, or pass
+//! `--trace out.json` to also write a Chrome trace-event file (load it at
+//! `ui.perfetto.dev` or `chrome://tracing`) with spans for capture
+//! pre-warming, per-cell evaluation, sync kernels, and DAQ capture.
 
 use am_eval::engine::{run_grid_with, EngineConfig, GridReport};
 use am_eval::tables::TableContext;
+use std::path::PathBuf;
+
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_flag() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let mut trace = None;
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace = Some(PathBuf::from(
+                args.next().expect("--trace requires a file path"),
+            ));
+        }
+    }
+    trace
+}
 
 /// Sequential wall-clock of the pre-refactor `run_grid` (one split per
 /// channel × transform, one `eval_*` driver per IDS), measured at commit
@@ -34,6 +54,10 @@ fn run_entry(report: &GridReport, cells: usize) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = trace_flag();
+    if trace_path.is_some() {
+        am_telemetry::set_tracing(true);
+    }
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -80,5 +104,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write("BENCH_grid.json", &json)?;
     println!("{json}");
     eprintln!("wrote BENCH_grid.json");
+    if am_telemetry::enabled() {
+        eprintln!("{}", am_telemetry::json_summary());
+    }
+    if let Some(path) = trace_path {
+        am_telemetry::write_chrome_trace(&path)?;
+        eprintln!(
+            "wrote Chrome trace ({} events) to {} — load at ui.perfetto.dev",
+            am_telemetry::trace_event_count(),
+            path.display()
+        );
+    }
     Ok(())
 }

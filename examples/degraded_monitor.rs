@@ -15,9 +15,7 @@ use am_eval::harness::{Split, Transform};
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
 use am_sensors::faults::{FaultKind, FaultPlan};
-use am_sync::DwmSynchronizer;
-use nsync::streaming::monitor::{self, MonitorConfig};
-use nsync::NsyncIds;
+use nsync::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let set = TrajectorySet::generate(ExperimentSpec::small(PrinterModel::Um3))?;
@@ -25,8 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = set.spec.profile.dwm_params(set.spec.printer);
 
     // Train offline on healthy sensors; faults arrive later, in the field.
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()?;
+    let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
     println!(
         "thresholds learned from {} benign prints",
@@ -65,13 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0.8 * duration
     );
 
-    let handle = monitor::spawn_with(
-        split.reference.signal.clone(),
-        &params,
-        trained.thresholds(),
-        &trained.config(),
-        MonitorConfig::default(),
-    )?;
+    let handle = trained
+        .stream_spec(params)
+        .spawn_with(MonitorConfig::default())?;
 
     let fs = faulted.fs();
     let chunk = (0.25 * fs) as usize; // 250 ms DAQ frames

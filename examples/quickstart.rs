@@ -15,8 +15,7 @@ use am_gcode::attacks::Attack;
 use am_gcode::slicer::slice_gear;
 use am_printer::{config::PrinterModel, firmware::execute_program};
 use am_sensors::channel::SideChannel;
-use am_sync::DwmSynchronizer;
-use nsync::NsyncIds;
+use nsync::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ExperimentSpec::small(PrinterModel::Um3);
@@ -74,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         training.push(SideChannel::Acc.capture(&run, &printer, &daq, seed)?);
     }
     let params = profile.dwm_params(spec.printer);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()?;
     let trained = ids.train(&training, reference, profile.nsync_r())?;
     println!("learned OCC thresholds: {:?}", trained.thresholds());
 

@@ -12,9 +12,7 @@ use am_dataset::{ExperimentSpec, RunRole, TrajectorySet};
 use am_eval::harness::{Split, Transform};
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
-use am_sync::DwmSynchronizer;
-use nsync::streaming::monitor;
-use nsync::NsyncIds;
+use nsync::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let set = TrajectorySet::generate(ExperimentSpec::small(PrinterModel::Um3))?;
@@ -22,8 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = set.spec.profile.dwm_params(set.spec.printer);
 
     // Train offline (thresholds persist between prints in a deployment).
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()?;
+    let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;
     println!(
         "thresholds learned from {} benign prints",
@@ -36,12 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .find(|c| matches!(&c.role, RunRole::Malicious { attack, .. } if attack == "Speed0.95"))
         .expect("dataset contains a Speed0.95 run");
-    let handle = monitor::spawn(
-        split.reference.signal.clone(),
-        &params,
-        trained.thresholds(),
-        &trained.config(),
-    )?;
+    let handle = trained.stream_spec(params).spawn()?;
 
     let fs = attacked.signal.fs();
     let total = attacked.signal.duration();

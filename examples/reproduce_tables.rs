@@ -7,13 +7,36 @@
 //!
 //! The grid runs on the parallel engine; bound the worker count with
 //! `AM_EVAL_THREADS=N`. Results are byte-identical at any thread count.
+//!
+//! Set `AM_TELEMETRY=1` to print the registry summary to stderr, or pass
+//! `--trace out.json` to also write a Chrome trace-event file. Telemetry
+//! never touches stdout: the tables stay byte-identical with it on.
 
 use am_eval::tables::{
     average_accuracies, run_grid_with, table5, table6, table7, table8, table9, EngineConfig,
     TableContext,
 };
+use std::path::PathBuf;
+
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_flag() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let mut trace = None;
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace = Some(PathBuf::from(
+                args.next().expect("--trace requires a file path"),
+            ));
+        }
+    }
+    trace
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = trace_flag();
+    if trace_path.is_some() {
+        am_telemetry::set_tracing(true);
+    }
     let t0 = std::time::Instant::now();
     let ctx = TableContext::small()?;
     eprintln!("dataset generated in {:?}", t0.elapsed());
@@ -35,6 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, acc) in average_accuracies(&grid) {
         let bar = "#".repeat((acc * 40.0).round() as usize);
         println!("  {name:<16} {acc:.3} {bar}");
+    }
+    if am_telemetry::enabled() {
+        eprintln!("{}", am_telemetry::json_summary());
+    }
+    if let Some(path) = trace_path {
+        am_telemetry::write_chrome_trace(&path)?;
+        eprintln!(
+            "wrote Chrome trace ({} events) to {} — load at ui.perfetto.dev",
+            am_telemetry::trace_event_count(),
+            path.display()
+        );
     }
     Ok(())
 }

@@ -11,8 +11,7 @@ use am_printer::config::{PrinterConfig, PrinterModel};
 use am_printer::firmware::execute_program;
 use am_sensors::channel::SideChannel;
 use am_sensors::daq::DaqConfig;
-use am_sync::DwmSynchronizer;
-use nsync::NsyncIds;
+use nsync::prelude::*;
 
 fn capture_acc(
     program: &am_gcode::GcodeProgram,
@@ -43,7 +42,10 @@ fn cube_part_detects_void_attack() {
         .map(|s| capture_acc(&benign, &printer, s))
         .collect();
     let params = Profile::Small.dwm_params(PrinterModel::Um3);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
     let trained = ids.train(&train, reference, 0.3).unwrap();
 
     // Fresh benign cube passes.
@@ -68,7 +70,10 @@ fn corexy_machine_synchronizes_benign_runs() {
     let reference = capture_acc(&program, &printer, 7);
     let observed = capture_acc(&program, &printer, 8);
     let params = Profile::Small.dwm_params(PrinterModel::Um3);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
     let analysis = ids.analyze(&observed, &reference).unwrap();
     let max_h = analysis
         .alignment
@@ -94,7 +99,10 @@ fn gear_ids_flags_a_cube_print_entirely() {
         .map(|s| capture_acc(&gear, &printer, s))
         .collect();
     let params = Profile::Small.dwm_params(PrinterModel::Um3);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
     let trained = ids.train(&train, reference, 0.3).unwrap();
     let cube = slice_cube(&cfg, 20.0).unwrap();
     let cube_obs = capture_acc(&cube, &printer, 204);

@@ -8,36 +8,27 @@ use am_integration::helpers::tiny_set;
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
 use am_sensors::faults::{FaultKind, FaultPlan};
-use am_sync::DwmSynchronizer;
-use nsync::health::ChannelState;
-use nsync::streaming::monitor::{self, MonitorConfig};
-use nsync::streaming::StreamingIds;
-use nsync::{NsyncIds, Thresholds};
+use nsync::prelude::*;
 
 struct Trained {
     split: Split,
-    params: am_sync::DwmParams,
-    thresholds: Thresholds,
-    config: nsync::DiscriminatorConfig,
+    spec: StreamSpec,
 }
 
 fn train() -> Trained {
     let set = tiny_set(PrinterModel::Um3);
     let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
     let params = set.spec.profile.dwm_params(set.spec.printer);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
+    let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids
         .train(&train, split.reference.signal.clone(), 0.3)
         .unwrap();
-    let thresholds = trained.thresholds();
-    let config = trained.config();
-    Trained {
-        split,
-        params,
-        thresholds,
-        config,
-    }
+    let spec = trained.stream_spec(params);
+    Trained { split, spec }
 }
 
 /// Kills channel 0 outright and peppers channel 1 with NaN bursts —
@@ -65,14 +56,8 @@ fn rig_failure(duration: f64) -> FaultPlan {
     plan
 }
 
-fn first_alert_stream(trained: &Trained, signal: &am_dsp::Signal) -> (bool, Option<usize>) {
-    let mut stream = StreamingIds::new(
-        trained.split.reference.signal.clone(),
-        &trained.params,
-        trained.thresholds,
-        &trained.config,
-    )
-    .unwrap();
+fn first_alert_stream(trained: &Trained, signal: &Signal) -> (bool, Option<usize>) {
+    let mut stream = trained.spec.open().unwrap();
     let chunk = (0.5 * signal.fs()) as usize;
     let mut first = None;
     let mut i = 0;
@@ -110,14 +95,7 @@ fn monitor_survives_rig_failure_and_still_detects_attack() {
     plan.validate(speed.signal.channels()).unwrap();
     let faulted = plan.apply(&speed.signal).unwrap();
 
-    let handle = monitor::spawn_with(
-        trained.split.reference.signal.clone(),
-        &trained.params,
-        trained.thresholds,
-        &trained.config,
-        MonitorConfig::default(),
-    )
-    .unwrap();
+    let handle = trained.spec.spawn_with(MonitorConfig::default()).unwrap();
     let chunk = (0.5 * faulted.fs()) as usize;
     let mut first = None;
     let mut worst_ch0 = ChannelState::Healthy;
@@ -183,14 +161,7 @@ fn degraded_channel_is_reported_while_benign_stays_quiet() {
     );
     let faulted = plan.apply(&benign.signal).unwrap();
 
-    let handle = monitor::spawn_with(
-        trained.split.reference.signal.clone(),
-        &trained.params,
-        trained.thresholds,
-        &trained.config,
-        MonitorConfig::default(),
-    )
-    .unwrap();
+    let handle = trained.spec.spawn_with(MonitorConfig::default()).unwrap();
     let chunk = (0.5 * faulted.fs()) as usize;
     let mut saw_impaired = false;
     let mut i = 0;

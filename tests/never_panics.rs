@@ -3,11 +3,8 @@
 //! pathological chunk sizes. Errors are fine; unwinding is not
 //! (DESIGN.md §7).
 
-use am_dsp::metrics::DistanceMetric;
-use am_dsp::Signal;
-use am_sync::{DwmParams, DwmStream};
-use nsync::streaming::StreamingIds;
-use nsync::{DiscriminatorConfig, NsyncIds, Thresholds};
+use am_sync::DwmStream;
+use nsync::prelude::*;
 use proptest::prelude::*;
 
 /// A plausible sensor waveform with one "special" value injected.
@@ -62,13 +59,9 @@ proptest! {
         special_at in 0usize..10_000,
         chunks in 1usize..8,
     ) {
-        let mut ids = StreamingIds::new(
-            reference(channels),
-            &DwmParams::from_window(4.0),
-            thresholds(),
-            &DiscriminatorConfig::default(),
-        )
-        .unwrap();
+        let mut ids = StreamSpec::new(reference(channels), DwmParams::from_window(4.0), thresholds())
+            .open()
+            .unwrap();
         for _ in 0..chunks {
             let chunk = poisoned(channels, chunk_len, special, special_at);
             // Errors are allowed; unwinding is the only failure mode.
@@ -83,13 +76,9 @@ proptest! {
         extra in 1usize..3,
         chunk_len in 1usize..60,
     ) {
-        let mut ids = StreamingIds::new(
-            reference(channels),
-            &DwmParams::from_window(4.0),
-            thresholds(),
-            &DiscriminatorConfig::default(),
-        )
-        .unwrap();
+        let mut ids = StreamSpec::new(reference(channels), DwmParams::from_window(4.0), thresholds())
+            .open()
+            .unwrap();
         let bad = poisoned(channels + extra, chunk_len, 0, 0);
         prop_assert!(ids.push(&bad).is_err());
         // The stream survives the rejection and accepts good chunks.
@@ -161,9 +150,11 @@ proptest! {
         special in 1usize..5,
         special_at in 0usize..10_000,
     ) {
-        use am_sync::DwmSynchronizer;
         let train: Vec<Signal> = (1..=3).map(|i| poisoned(1, 400, 0, i)).collect();
-        let trained = NsyncIds::new(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))))
+        let trained = IdsBuilder::new()
+            .synchronizer(DwmSynchronizer::new(DwmParams::from_window(4.0)))
+            .build()
+            .unwrap()
             .train(&train, reference(1), 0.3)
             .unwrap();
         let observed = poisoned(1, 400, special, special_at);

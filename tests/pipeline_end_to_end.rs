@@ -9,16 +9,18 @@ use am_eval::harness::{Split, Transform};
 use am_integration::helpers::tiny_set;
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
-use am_sync::DwmSynchronizer;
-use nsync::NsyncIds;
+use nsync::prelude::*;
 
 #[test]
 fn nsync_dwm_detects_void_and_passes_benign_on_acc() {
     let set = tiny_set(PrinterModel::Um3);
     let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
     let params = set.spec.profile.dwm_params(set.spec.printer);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
+    let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids
         .train(&train, split.reference.signal.clone(), 0.3)
         .unwrap();
@@ -50,8 +52,11 @@ fn all_five_attacks_detected_on_acc_um3() {
     let set = tiny_set(PrinterModel::Um3);
     let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
     let params = set.spec.profile.dwm_params(set.spec.printer);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
+    let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids
         .train(&train, split.reference.signal.clone(), 0.3)
         .unwrap();
@@ -81,7 +86,10 @@ fn delta_printer_pipeline_works() {
     // The Delta machine's joint velocities differ from Cartesian; the
     // pipeline must still synchronize benign runs near-perfectly.
     let params = set.spec.profile.dwm_params(set.spec.printer);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
     let analysis = ids
         .analyze(&split.train[0].signal, &split.reference.signal)
         .unwrap();

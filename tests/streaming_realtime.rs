@@ -6,9 +6,7 @@ use am_eval::harness::{Split, Transform};
 use am_integration::helpers::tiny_set;
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
-use am_sync::DwmSynchronizer;
-use nsync::streaming::StreamingIds;
-use nsync::NsyncIds;
+use nsync::prelude::*;
 
 #[test]
 fn streaming_agrees_with_batch_and_alerts_early() {
@@ -17,22 +15,19 @@ fn streaming_agrees_with_batch_and_alerts_early() {
     let params = set.spec.profile.dwm_params(set.spec.printer);
 
     // Batch training provides the thresholds.
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
+    let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids
         .train(&train, split.reference.signal.clone(), 0.3)
         .unwrap();
-    let thresholds = trained.thresholds();
+    let spec = trained.stream_spec(params);
 
     for test in &split.tests {
         let batch = trained.detect(&test.signal).unwrap();
-        let mut stream = StreamingIds::new(
-            split.reference.signal.clone(),
-            &params,
-            thresholds,
-            &trained.config(),
-        )
-        .unwrap();
+        let mut stream = spec.open().unwrap();
         // Feed 0.5-second chunks like a DAQ would.
         let chunk = (0.5 * test.signal.fs()) as usize;
         let mut first_alert_window = None;
@@ -68,8 +63,11 @@ fn speed_attack_alert_arrives_before_print_ends() {
     let set = tiny_set(PrinterModel::Um3);
     let split = Split::generate(&set, SideChannel::Acc, Transform::Raw).unwrap();
     let params = set.spec.profile.dwm_params(set.spec.printer);
-    let ids = NsyncIds::new(Box::new(DwmSynchronizer::new(params)));
-    let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
+    let train: Vec<Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
     let trained = ids
         .train(&train, split.reference.signal.clone(), 0.3)
         .unwrap();

@@ -1,0 +1,73 @@
+//! Telemetry is provably inert: the grid's structured results and the
+//! rendered paper tables (the `reproduce_tables` output) are
+//! byte-identical whether telemetry is off, on, or tracing.
+//!
+//! Runs in its own test binary so the process-global telemetry registry
+//! is not shared with unrelated tests.
+
+use am_eval::engine::{run_grid_with, EngineConfig, GridResults};
+use am_eval::tables::{average_accuracies, table5, table6, table7, table8, table9, TableContext};
+use am_integration::helpers::tiny_set;
+use am_printer::config::PrinterModel;
+
+/// Everything `reproduce_tables` prints for a grid, as one string.
+fn rendered(grid: &GridResults) -> String {
+    let mut out = String::new();
+    for table in [
+        table5(grid),
+        table6(grid),
+        table7(grid),
+        table8(grid),
+        table9(grid),
+    ] {
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    for (name, acc) in average_accuracies(grid) {
+        out.push_str(&format!("{name} {acc:.6}\n"));
+    }
+    out
+}
+
+#[test]
+fn tables_are_byte_identical_with_telemetry_off_on_and_tracing() {
+    let ctx = TableContext::from_sets(vec![tiny_set(PrinterModel::Um3)]);
+
+    am_telemetry::set_enabled(false);
+    let (off, _) = run_grid_with(&ctx, &EngineConfig::with_threads(2)).unwrap();
+    let off_render = rendered(&off);
+    assert!(!off_render.is_empty());
+    assert_eq!(
+        am_telemetry::trace_event_count(),
+        0,
+        "disabled telemetry buffered trace events"
+    );
+
+    am_telemetry::reset();
+    am_telemetry::set_enabled(true);
+    let (on, _) = run_grid_with(&ctx, &EngineConfig::with_threads(2)).unwrap();
+    assert_eq!(off, on, "telemetry changed the structured grid results");
+    assert_eq!(
+        off_render,
+        rendered(&on),
+        "telemetry changed the rendered tables"
+    );
+    assert!(
+        am_telemetry::counter_value("capture.lookups") > 0,
+        "the enabled run recorded nothing — the inertness check proved nothing"
+    );
+
+    am_telemetry::reset();
+    am_telemetry::set_tracing(true);
+    let (traced, _) = run_grid_with(&ctx, &EngineConfig::with_threads(2)).unwrap();
+    assert_eq!(off, traced, "tracing changed the structured grid results");
+    assert_eq!(
+        off_render,
+        rendered(&traced),
+        "tracing changed the rendered tables"
+    );
+    assert!(am_telemetry::trace_event_count() > 0);
+
+    am_telemetry::set_enabled(false);
+    am_telemetry::reset();
+}
