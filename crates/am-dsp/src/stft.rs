@@ -178,7 +178,7 @@ pub fn welch_psd(
     let norm = 1.0 / (count as f64 * win_power * fs);
     for (k, a) in acc.iter_mut().enumerate() {
         // One-sided PSD: double everything except DC and Nyquist.
-        let one_sided = if k == 0 || (segment_len.is_multiple_of(2) && k == bins - 1) {
+        let one_sided = if k == 0 || (segment_len % 2 == 0 && k == bins - 1) {
             1.0
         } else {
             2.0

@@ -116,10 +116,41 @@ pub struct CellTiming {
     pub channel: SideChannel,
     /// Raw or spectrogram.
     pub transform: Transform,
-    /// Seconds spent in `fit` (training, including synchronization).
+    /// CPU seconds spent in `fit` (training, including synchronization),
+    /// measured on the worker that ran the cell.
     pub fit_seconds: f64,
-    /// Seconds spent judging the test runs.
+    /// CPU seconds spent judging the test runs.
     pub judge_seconds: f64,
+    /// Start/end of the fit stage, seconds since the grid run began —
+    /// kept so wall-clock per stage can be reconstructed as an interval
+    /// union across concurrently running workers.
+    pub fit_interval: (f64, f64),
+    /// Start/end of the judge stage, seconds since the grid run began.
+    pub judge_interval: (f64, f64),
+}
+
+/// Seconds during which at least one of `intervals` is active (the
+/// interval-union sweep). With one worker this equals the plain sum; with
+/// N workers it is the true wall-clock the stage occupied.
+fn union_seconds(intervals: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let mut spans: Vec<(f64, f64)> = intervals.filter(|(s, e)| e > s).collect();
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut current: Option<(f64, f64)> = None;
+    for (start, end) in spans {
+        match &mut current {
+            Some((_, cur_end)) if start <= *cur_end => *cur_end = cur_end.max(end),
+            _ => {
+                if let Some((s, e)) = current.replace((start, end)) {
+                    total += e - s;
+                }
+            }
+        }
+    }
+    if let Some((s, e)) = current {
+        total += e - s;
+    }
+    total
 }
 
 /// Engine-level measurements for one grid run.
@@ -144,15 +175,51 @@ pub struct GridReport {
 }
 
 impl GridReport {
-    /// Total seconds spent fitting detectors (summed over cells, so this
-    /// exceeds wall-clock when threads > 1).
-    pub fn fit_seconds(&self) -> f64 {
+    /// CPU seconds spent fitting detectors: per-cell stopwatches summed
+    /// across all workers, so this *exceeds wall-clock* when threads > 1.
+    /// Compare runs at equal thread counts only; use
+    /// [`GridReport::fit_wall_seconds`] for elapsed time.
+    pub fn fit_cpu_seconds(&self) -> f64 {
         self.cells.iter().map(|c| c.fit_seconds).sum()
     }
 
-    /// Total seconds spent judging test runs.
-    pub fn judge_seconds(&self) -> f64 {
+    /// CPU seconds spent judging test runs (summed across workers, like
+    /// [`GridReport::fit_cpu_seconds`]).
+    pub fn judge_cpu_seconds(&self) -> f64 {
         self.cells.iter().map(|c| c.judge_seconds).sum()
+    }
+
+    /// Wall-clock seconds during which at least one worker was fitting —
+    /// the interval union of every cell's fit stage. Equals
+    /// [`GridReport::fit_cpu_seconds`] at one thread; bounded by
+    /// [`GridReport::wall_seconds`] at any thread count.
+    pub fn fit_wall_seconds(&self) -> f64 {
+        union_seconds(self.cells.iter().map(|c| c.fit_interval))
+    }
+
+    /// Wall-clock seconds during which at least one worker was judging.
+    pub fn judge_wall_seconds(&self) -> f64 {
+        union_seconds(self.cells.iter().map(|c| c.judge_interval))
+    }
+
+    /// Renamed: this sums per-worker stopwatches, i.e. CPU seconds, not
+    /// elapsed time.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `fit_cpu_seconds` (summed stopwatches) or `fit_wall_seconds` (elapsed)"
+    )]
+    pub fn fit_seconds(&self) -> f64 {
+        self.fit_cpu_seconds()
+    }
+
+    /// Renamed: this sums per-worker stopwatches, i.e. CPU seconds, not
+    /// elapsed time.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `judge_cpu_seconds` (summed stopwatches) or `judge_wall_seconds` (elapsed)"
+    )]
+    pub fn judge_seconds(&self) -> f64 {
+        self.judge_cpu_seconds()
     }
 }
 
@@ -206,32 +273,49 @@ pub fn evaluate_split(
     Ok(evaluate_split_timed(spec, profile, printer, split)?.0)
 }
 
+/// Worker-side stage stopwatches of one cell, as absolute instants so
+/// the engine can express them relative to its own epoch.
+struct StageClocks {
+    fit_start: std::time::Instant,
+    fit_end: std::time::Instant,
+    judge_start: std::time::Instant,
+    judge_end: std::time::Instant,
+}
+
 fn evaluate_split_timed(
     spec: &DetectorSpec,
     profile: Profile,
     printer: PrinterModel,
     split: &Split,
-) -> Result<(Outcome, f64, f64), EvalError> {
+) -> Result<(Outcome, StageClocks), EvalError> {
     let mut detector = spec.build(profile, printer);
     let reference = to_run_data(&split.reference);
     let train: Vec<_> = split.train.iter().map(|c| to_run_data(c)).collect();
-    let t_fit = std::time::Instant::now();
+    let fit_start = std::time::Instant::now();
     detector.fit(&reference, &train)?;
-    let fit = t_fit.elapsed();
+    let fit_end = std::time::Instant::now();
     let mut outcome = Outcome::default();
-    let t_judge = std::time::Instant::now();
+    let judge_start = std::time::Instant::now();
     for test in &split.tests {
         let verdict = detector.judge(&to_run_data(test))?;
         outcome.record(!test.role.is_benign(), &verdict);
     }
-    let judge = t_judge.elapsed();
+    let judge_end = std::time::Instant::now();
     // The GridReport stopwatches double as the registry's fit/judge
     // histograms — one clock read, two consumers.
     if am_telemetry::enabled() {
-        am_telemetry::histogram("grid.fit").record(fit);
-        am_telemetry::histogram("grid.judge").record(judge);
+        am_telemetry::histogram("grid.fit").record(fit_end - fit_start);
+        am_telemetry::histogram("grid.judge").record(judge_end - judge_start);
     }
-    Ok((outcome, fit.as_secs_f64(), judge.as_secs_f64()))
+    Ok((
+        outcome,
+        StageClocks {
+            fit_start,
+            fit_end,
+            judge_start,
+            judge_end,
+        },
+    ))
 }
 
 /// Returns a deterministic permutation of `work` indices that round-robins
@@ -336,8 +420,8 @@ pub fn run_grid_with(
             let (spec, channel, transform) = *cell;
             let captures = store.get(channel, transform)?;
             let split = Split::from_shared(&captures)?;
-            let (outcome, fit_seconds, judge_seconds) =
-                evaluate_split_timed(&spec, profile, printer, &split)?;
+            let (outcome, clocks) = evaluate_split_timed(&spec, profile, printer, &split)?;
+            let offset = |at: std::time::Instant| at.duration_since(t0).as_secs_f64();
             Ok::<_, EvalError>((
                 GridCell {
                     spec,
@@ -351,8 +435,10 @@ pub fn run_grid_with(
                     printer,
                     channel,
                     transform,
-                    fit_seconds,
-                    judge_seconds,
+                    fit_seconds: (clocks.fit_end - clocks.fit_start).as_secs_f64(),
+                    judge_seconds: (clocks.judge_end - clocks.judge_start).as_secs_f64(),
+                    fit_interval: (offset(clocks.fit_start), offset(clocks.fit_end)),
+                    judge_interval: (offset(clocks.judge_start), offset(clocks.judge_end)),
                 },
             ))
         });
@@ -414,8 +500,16 @@ mod tests {
         assert_eq!(report.capture.misses, 8);
         assert!(report.capture.hits > report.capture.misses);
         assert!(report.wall_seconds > 0.0);
-        assert!(report.fit_seconds() > 0.0);
-        assert!(report.judge_seconds() > 0.0);
+        assert!(report.fit_cpu_seconds() > 0.0);
+        assert!(report.judge_cpu_seconds() > 0.0);
+        // Wall per stage is an interval union: positive, bounded by the
+        // run's wall-clock, and never above the cross-worker CPU sum.
+        assert!(report.fit_wall_seconds() > 0.0);
+        assert!(report.judge_wall_seconds() > 0.0);
+        assert!(report.fit_wall_seconds() <= report.wall_seconds);
+        assert!(report.judge_wall_seconds() <= report.wall_seconds);
+        assert!(report.fit_wall_seconds() <= report.fit_cpu_seconds() + 1e-9);
+        assert!(report.judge_wall_seconds() <= report.judge_cpu_seconds() + 1e-9);
         // Every outcome judged the full test mix.
         for cell in &grid.cells {
             assert_eq!(
@@ -476,6 +570,25 @@ mod tests {
         );
         // Post-warm requests are uncontended cache hits.
         assert!(report.capture.blocked_seconds() < report.wall_seconds);
+    }
+
+    #[test]
+    fn union_seconds_merges_overlaps() {
+        assert_eq!(union_seconds(std::iter::empty()), 0.0);
+        // [0,1]+[0.5,2] merge to [0,2]; [3,4]+[4,4.5] chain to [3,4.5];
+        // the empty [2.5,2.5] contributes nothing.
+        let spans = [(0.0, 1.0), (0.5, 2.0), (3.0, 4.0), (4.0, 4.5), (2.5, 2.5)];
+        assert!((union_seconds(spans.iter().copied()) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_thread_stage_wall_equals_cpu() {
+        let ctx = tiny_ctx();
+        let (_, report) = run_grid_with(&ctx, &EngineConfig::with_threads(1)).unwrap();
+        // One worker never overlaps itself: the interval union must
+        // reproduce the summed stopwatches.
+        assert!((report.fit_wall_seconds() - report.fit_cpu_seconds()).abs() < 1e-6);
+        assert!((report.judge_wall_seconds() - report.judge_cpu_seconds()).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Fleet sizing, queueing, and supervision configuration.
+
+use crate::PrinterId;
+use serde::{Deserialize, Serialize};
+
+/// What [`Fleet::send`](crate::Fleet::send) does when the target shard's
+/// bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestPolicy {
+    /// Block the caller until the shard catches up (a DAQ gateway that
+    /// can buffer upstream).
+    Block,
+    /// Return a typed [`Rejected`](crate::Rejected) immediately (a
+    /// gateway that must never block; the caller decides whether to
+    /// retry, downsample, or shed).
+    Reject,
+}
+
+/// What a shard worker does when the fleet-wide alert channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertPolicy {
+    /// Block the worker until the operator drains alerts — no alert is
+    /// ever lost while a consumer exists. [`Fleet::finish`](crate::Fleet::finish)
+    /// drains the channel while joining workers, so shutdown cannot
+    /// deadlock on a full alert queue.
+    Block,
+    /// Drop the alert and count it in
+    /// [`ShardStats::alerts_dropped`](crate::ShardStats::alerts_dropped);
+    /// the per-printer intrusion verdict itself is latched in the
+    /// printer's [`PrinterReport`](crate::PrinterReport) and never lost.
+    DropAndCount,
+}
+
+/// Fleet supervisor configuration.
+///
+/// `#[non_exhaustive]`: construct with [`Default`] and the `with_*`
+/// methods, mirroring the single-printer
+/// [`MonitorConfig`](nsync::prelude::MonitorConfig).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct FleetConfig {
+    /// Worker shards (threads). Clamped to ≥ 1 at spawn.
+    pub shards: usize,
+    /// Bounded command-queue capacity per shard (registrations, chunks,
+    /// and detachments share the FIFO). Clamped to ≥ 1 at spawn.
+    pub shard_queue_capacity: usize,
+    /// Full-queue policy for [`Fleet::send`](crate::Fleet::send).
+    pub ingest: IngestPolicy,
+    /// Bounded capacity of the fleet-wide alert fan-in channel.
+    pub alert_capacity: usize,
+    /// Full-alert-channel policy.
+    pub alert_policy: AlertPolicy,
+    /// Detector restarts the per-printer watchdog may perform after
+    /// panics before declaring the printer dead.
+    pub max_restarts_per_printer: usize,
+    /// Chaos hooks (fault-injection drills only): see
+    /// [`FleetConfig::with_chaos_panic`].
+    pub(crate) chaos: Vec<(PrinterId, u64)>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            shard_queue_capacity: 256,
+            ingest: IngestPolicy::Reject,
+            alert_capacity: 4096,
+            alert_policy: AlertPolicy::DropAndCount,
+            max_restarts_per_printer: 2,
+            chaos: Vec::new(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Overrides the shard (worker thread) count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the per-shard command-queue capacity.
+    #[must_use]
+    pub fn with_shard_queue_capacity(mut self, chunks: usize) -> Self {
+        self.shard_queue_capacity = chunks;
+        self
+    }
+
+    /// Overrides the full-queue ingestion policy.
+    #[must_use]
+    pub fn with_ingest(mut self, policy: IngestPolicy) -> Self {
+        self.ingest = policy;
+        self
+    }
+
+    /// Overrides the alert fan-in channel capacity.
+    #[must_use]
+    pub fn with_alert_capacity(mut self, alerts: usize) -> Self {
+        self.alert_capacity = alerts;
+        self
+    }
+
+    /// Overrides the full-alert-channel policy.
+    #[must_use]
+    pub fn with_alert_policy(mut self, policy: AlertPolicy) -> Self {
+        self.alert_policy = policy;
+        self
+    }
+
+    /// Overrides the per-printer watchdog restart budget.
+    #[must_use]
+    pub fn with_max_restarts_per_printer(mut self, restarts: usize) -> Self {
+        self.max_restarts_per_printer = restarts;
+        self
+    }
+
+    /// Chaos hook: the shard worker deliberately panics while processing
+    /// the given printer's `chunk`-th (0-based) chunk, once — used to
+    /// exercise the per-printer watchdog restart path in tests and
+    /// fault-injection drills. Not part of the supported production
+    /// surface.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_chaos_panic(mut self, printer: PrinterId, chunk: u64) -> Self {
+        self.chaos.push((printer, chunk));
+        self
+    }
+}

@@ -1,0 +1,339 @@
+//! The fleet supervisor: registration, ingestion, alert fan-in,
+//! snapshots, and shutdown.
+
+use crate::config::{FleetConfig, IngestPolicy};
+use crate::registry::SpecRegistry;
+use crate::shard::{run_shard, PrinterCell, ShardCmd, ShardShared};
+use crate::snapshot::{FleetReport, FleetSnapshot, ShardSnapshot};
+use crate::{FleetError, PrinterId};
+use am_dsp::Signal;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use nsync::streaming::Alert;
+use nsync::StreamSpec;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// An alert from anywhere in the fleet, tagged with its printer.
+#[derive(Debug, Clone)]
+pub struct FleetAlert {
+    /// The printer whose detector raised the alert.
+    pub printer: PrinterId,
+    /// The underlying per-window alert.
+    pub alert: Alert,
+}
+
+/// Why a chunk was not ingested. This is flow control, not an error:
+/// the caller keeps the chunk and decides whether to retry, downsample,
+/// or shed load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// No printer with this id is registered.
+    UnknownPrinter,
+    /// The target shard's bounded queue is full
+    /// ([`IngestPolicy::Reject`] only).
+    QueueFull {
+        /// The shard whose queue is full.
+        shard: usize,
+        /// That queue's configured capacity.
+        capacity: usize,
+    },
+    /// The target shard stopped accepting commands.
+    ShardDown {
+        /// The shard that is down.
+        shard: usize,
+    },
+}
+
+/// A typed ingestion rejection: which printer's chunk was refused and
+/// why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    /// The printer whose chunk was refused.
+    pub printer: PrinterId,
+    /// Why.
+    pub reason: RejectReason,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            RejectReason::UnknownPrinter => write!(f, "{}: not registered", self.printer),
+            RejectReason::QueueFull { shard, capacity } => write!(
+                f,
+                "{}: shard {shard} queue full ({capacity} commands)",
+                self.printer
+            ),
+            RejectReason::ShardDown { shard } => {
+                write!(f, "{}: shard {shard} is down", self.printer)
+            }
+        }
+    }
+}
+
+struct Shard {
+    tx: Sender<ShardCmd>,
+    shared: Arc<ShardShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Supervises N printers over a fixed pool of sharded worker threads.
+/// See the crate docs for the architecture and determinism argument.
+pub struct Fleet {
+    cfg: FleetConfig,
+    shards: Vec<Shard>,
+    alert_tx: Option<Sender<FleetAlert>>,
+    alert_rx: Receiver<FleetAlert>,
+    /// printer → shard index, kept fleet-side for synchronous duplicate
+    /// and unknown-printer checks.
+    registered: HashMap<PrinterId, usize>,
+}
+
+/// SplitMix64 finalizer — a fixed, well-mixed hash so shard assignment
+/// is stable across runs, platforms, and fleet restarts (HashMap's
+/// SipHash is randomly keyed per process, which would break replay).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Fleet {
+    /// Spawns the shard worker pool. Shard and queue sizes come from
+    /// `cfg` (both clamped to ≥ 1).
+    pub fn spawn(cfg: FleetConfig) -> Fleet {
+        let shard_count = cfg.shards.max(1);
+        let capacity = cfg.shard_queue_capacity.max(1);
+        let (alert_tx, alert_rx) = bounded(cfg.alert_capacity.max(1));
+        let shards = (0..shard_count)
+            .map(|index| {
+                let (tx, rx) = bounded::<ShardCmd>(capacity);
+                let shared = Arc::new(ShardShared::new(index));
+                let handle = {
+                    let shared = Arc::clone(&shared);
+                    let alert_tx = alert_tx.clone();
+                    let cfg = cfg.clone();
+                    std::thread::Builder::new()
+                        .name(format!("am-fleet-shard{index}"))
+                        .spawn(move || run_shard(&rx, &alert_tx, &shared, &cfg))
+                        .expect("spawn fleet shard worker")
+                };
+                Shard {
+                    tx,
+                    shared,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Fleet {
+            cfg,
+            shards,
+            alert_tx: Some(alert_tx),
+            alert_rx,
+            registered: HashMap::new(),
+        }
+    }
+
+    /// The shard a printer id maps to — a pure function of the id and
+    /// the shard count, never of registration order.
+    pub fn shard_of(&self, printer: PrinterId) -> usize {
+        (splitmix64(printer.0) % self.shards.len() as u64) as usize
+    }
+
+    /// Registers a printer against a shared trained spec and opens its
+    /// detector. Opening happens on the caller's thread so training or
+    /// configuration errors surface synchronously, then ownership moves
+    /// to the printer's shard.
+    pub fn register(
+        &mut self,
+        printer: PrinterId,
+        spec: Arc<StreamSpec>,
+    ) -> Result<(), FleetError> {
+        if self.registered.contains_key(&printer) {
+            return Err(FleetError::DuplicatePrinter(printer));
+        }
+        let ids = spec.open()?;
+        let shard = self.shard_of(printer);
+        let chaos_panic_chunk = self
+            .cfg
+            .chaos
+            .iter()
+            .find(|(p, _)| *p == printer)
+            .map(|(_, chunk)| *chunk);
+        let cell = Box::new(PrinterCell {
+            id: printer,
+            spec,
+            ids,
+            chunks: 0,
+            malformed_chunks: 0,
+            alerts_emitted: 0,
+            restarts: 0,
+            intrusion: false,
+            dead: false,
+            chaos_panic_chunk,
+        });
+        // Registration is control plane: always block (a full queue just
+        // delays adoption; it never reorders this printer's chunks,
+        // which are only accepted once registration has been enqueued).
+        self.shards[shard]
+            .tx
+            .send(ShardCmd::Register(cell))
+            .map_err(|_| FleetError::ShardDown(shard))?;
+        self.registered.insert(printer, shard);
+        Ok(())
+    }
+
+    /// Registers a printer by registry key (convenience over
+    /// [`Fleet::register`]).
+    pub fn register_from(
+        &mut self,
+        printer: PrinterId,
+        registry: &SpecRegistry,
+        key: &str,
+    ) -> Result<(), FleetError> {
+        let spec = registry
+            .get(key)
+            .ok_or(FleetError::UnknownPrinter(printer))?;
+        self.register(printer, spec)
+    }
+
+    /// Retires a printer. Its final [`PrinterReport`](crate::PrinterReport)
+    /// is collected by the shard and included in the [`FleetReport`].
+    pub fn detach(&mut self, printer: PrinterId) -> Result<(), FleetError> {
+        let shard = self
+            .registered
+            .remove(&printer)
+            .ok_or(FleetError::UnknownPrinter(printer))?;
+        self.shards[shard]
+            .tx
+            .send(ShardCmd::Detach(printer))
+            .map_err(|_| FleetError::ShardDown(shard))?;
+        Ok(())
+    }
+
+    /// Ingests one chunk of observed samples for a printer. Bounded: a
+    /// full shard queue blocks or rejects per
+    /// [`FleetConfig::ingest`](crate::FleetConfig); it never queues
+    /// without bound.
+    pub fn send(&self, printer: PrinterId, chunk: Signal) -> Result<(), Rejected> {
+        let Some(&shard_index) = self.registered.get(&printer) else {
+            return Err(Rejected {
+                printer,
+                reason: RejectReason::UnknownPrinter,
+            });
+        };
+        let shard = &self.shards[shard_index];
+        let cmd = ShardCmd::Chunk(printer, chunk);
+        match self.cfg.ingest {
+            IngestPolicy::Block => shard.tx.send(cmd).map_err(|_| Rejected {
+                printer,
+                reason: RejectReason::ShardDown { shard: shard_index },
+            })?,
+            IngestPolicy::Reject => match shard.tx.try_send(cmd) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    shard.shared.rejected_chunks.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejected {
+                        printer,
+                        reason: RejectReason::QueueFull {
+                            shard: shard_index,
+                            capacity: self.cfg.shard_queue_capacity.max(1),
+                        },
+                    });
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(Rejected {
+                        printer,
+                        reason: RejectReason::ShardDown { shard: shard_index },
+                    });
+                }
+            },
+        }
+        shard
+            .shared
+            .max_queue_depth
+            .fetch_max(shard.tx.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The fleet-wide alert fan-in. Clone the receiver into an operator
+    /// thread to consume alerts live; alerts not consumed by the time
+    /// [`Fleet::finish`] runs are returned in the report instead.
+    pub fn alerts(&self) -> Receiver<FleetAlert> {
+        self.alert_rx.clone()
+    }
+
+    /// Currently registered printer count.
+    pub fn printers(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// A point-in-time health snapshot (cheap; touches only counters and
+    /// queue lengths, never detector state).
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            printers: self.registered.len(),
+            alert_queue_depth: self.alert_rx.len(),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(index, shard)| ShardSnapshot {
+                    index,
+                    queue_depth: shard.tx.len(),
+                    max_queue_depth: shard.shared.max_queue_depth.load(Ordering::Relaxed),
+                    rejected_chunks: shard.shared.rejected_chunks.load(Ordering::Relaxed),
+                    chunk_latency_p95_us: am_telemetry::histogram_quantile_nanos(
+                        &shard.shared.latency_name,
+                        0.95,
+                    ) / 1_000,
+                    stats: shard.shared.stats.lock().clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Shuts the fleet down: closes the command queues, drains the alert
+    /// channel while the workers wind down (so [`AlertPolicy::Block`]
+    /// (crate::AlertPolicy::Block) cannot deadlock shutdown), joins every
+    /// worker, and returns the final per-printer reports.
+    pub fn finish(mut self) -> Result<FleetReport, FleetError> {
+        for shard in &mut self.shards {
+            // Dropping the sender ends the worker's command loop once the
+            // queue drains.
+            let (closed_tx, _) = bounded(1);
+            drop(std::mem::replace(&mut shard.tx, closed_tx));
+        }
+        drop(self.alert_tx.take());
+        // Terminates when the last worker exits and drops its alert
+        // sender clone — workers blocked on a full alert channel are
+        // unblocked by this very drain.
+        let leftover_alerts: Vec<FleetAlert> = self.alert_rx.iter().collect();
+        let mut panicked = None;
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(handle) = shard.handle.take() {
+                if handle.join().is_err() {
+                    panicked = Some(index);
+                }
+            }
+        }
+        if let Some(index) = panicked {
+            return Err(FleetError::ShardPanicked(index));
+        }
+        // Taken after the join so every counter is final.
+        let final_snapshot = self.snapshot();
+        let mut printers: Vec<_> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.shared.reports.lock().clone())
+            .collect();
+        printers.sort_by_key(|r| r.printer);
+        Ok(FleetReport {
+            snapshot: final_snapshot,
+            printers,
+            leftover_alerts,
+        })
+    }
+}

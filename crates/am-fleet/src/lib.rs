@@ -1,0 +1,131 @@
+//! # am-fleet — one IDS service for a whole print farm
+//!
+//! The streaming runtime in [`nsync`] watches *one* printer: a
+//! [`StreamSpec`](nsync::StreamSpec) spawns one supervised monitor
+//! thread per machine. A production deployment — the farm-scale setting
+//! Belikovetsky et al. frame as per-job audio verification and Yu et al.
+//! multiply by fusing several sensor channels per machine — cannot
+//! afford a thread per printer. This crate multiplexes **N concurrent
+//! printers over a fixed pool of sharded worker threads** while keeping
+//! the one property that makes side-channel verification trustworthy:
+//! every printer's verdict stream is **byte-identical** to running that
+//! printer's `StreamSpec` alone.
+//!
+//! ```text
+//!             ┌───────────────────────── Fleet ─────────────────────────┐
+//!  printer 17 │  send ──► shard 0 queue ──► worker 0 {ids17, ids23, …}  │
+//!  printer 23 │                (bounded,         │                      │
+//!  printer 42 │  send ──► shard 1 queue   backpressure)                 │
+//!     …       │                └─────────► worker 1 {ids42, …}          │
+//!             │                                  │                      │
+//!             │          alert fan-in  ◄─────────┴── FleetAlert{printer}│
+//!             └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Why the determinism argument holds (DESIGN.md §11):
+//!
+//! 1. **Consistent assignment** — a printer maps to a shard by a fixed
+//!    hash of its [`PrinterId`] ([`Fleet::shard_of`]), so every chunk of
+//!    one printer is handled by the same worker.
+//! 2. **Shared-nothing per-shard state** — each worker owns the
+//!    [`StreamingIds`](nsync::StreamingIds) of its printers outright; no
+//!    cross-shard locks touch detector state.
+//! 3. **Per-printer FIFO** — a shard's command queue is a single FIFO,
+//!    so chunks of one printer are processed in send order; interleaving
+//!    with *other* printers' chunks cannot perturb a detector whose state
+//!    is keyed by printer.
+//!
+//! Ingestion is bounded with **explicit backpressure**: a full shard
+//! queue yields a typed [`Rejected`] (or blocks, under
+//! [`IngestPolicy::Block`]) instead of queueing without bound. Detector
+//! panics are caught per printer and restarted from the last good window
+//! via [`StreamSpec::resume`](nsync::StreamSpec::resume) — the same
+//! resynchronization path the single-printer monitor's watchdog uses.
+//! Trained models are shared: a [`SpecRegistry`] interns one
+//! `Arc<StreamSpec>` per model/channel so M printers of the same kind
+//! hold one copy of the trained artifacts.
+//!
+//! Health is observable at any time through [`Fleet::snapshot`]
+//! ([`FleetSnapshot`]: per-shard queue depth, chunk-latency p95 via
+//! `am-telemetry`, restarts, alerts) and in full at shutdown through
+//! [`Fleet::finish`] ([`FleetReport`]: one [`PrinterReport`] per
+//! registered printer plus any alerts not consumed live).
+//!
+//! The [`sim`] module ships a deterministic simulated chunk source
+//! (seeded `am-sensors` synthesis plus
+//! [`FaultPlan`](am_sensors::faults::FaultPlan) corruption) used by the
+//! `fleet_monitor` example, the `fleet_soak` benchmark, and the
+//! determinism suite.
+
+pub mod config;
+pub mod fleet;
+pub mod registry;
+pub mod shard;
+pub mod sim;
+pub mod snapshot;
+
+pub use config::{AlertPolicy, FleetConfig, IngestPolicy};
+pub use fleet::{Fleet, FleetAlert, RejectReason, Rejected};
+pub use registry::SpecRegistry;
+pub use shard::ShardStats;
+pub use snapshot::{FleetReport, FleetSnapshot, PrinterReport, ShardSnapshot};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one printer within a fleet. Plain `u64` payload so farm
+/// controllers can use their own numbering; the shard assignment is a
+/// stable function of this value.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PrinterId(pub u64);
+
+impl std::fmt::Display for PrinterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "printer-{}", self.0)
+    }
+}
+
+/// Fleet-level failures (per-chunk ingestion failures are the separate,
+/// typed [`Rejected`] — they are flow control, not errors).
+#[derive(Debug)]
+pub enum FleetError {
+    /// A detector failed to open or resume.
+    Nsync(nsync::NsyncError),
+    /// The printer id is already registered.
+    DuplicatePrinter(PrinterId),
+    /// The printer id is not registered.
+    UnknownPrinter(PrinterId),
+    /// A shard worker thread stopped accepting commands.
+    ShardDown(usize),
+    /// A shard worker thread itself panicked (distinct from a detector
+    /// panic, which the worker catches and restarts).
+    ShardPanicked(usize),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Nsync(e) => write!(f, "detector error: {e}"),
+            FleetError::DuplicatePrinter(p) => write!(f, "{p} is already registered"),
+            FleetError::UnknownPrinter(p) => write!(f, "{p} is not registered"),
+            FleetError::ShardDown(s) => write!(f, "shard {s} is no longer accepting commands"),
+            FleetError::ShardPanicked(s) => write!(f, "shard {s} worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Nsync(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsync::NsyncError> for FleetError {
+    fn from(e: nsync::NsyncError) -> Self {
+        FleetError::Nsync(e)
+    }
+}

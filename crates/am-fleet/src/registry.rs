@@ -1,0 +1,73 @@
+//! Shared trained-model registry.
+//!
+//! A farm runs many printers of few *kinds*: the trained reference
+//! window, thresholds, and DWM parameters are identical for every
+//! printer of one kind/channel. [`SpecRegistry`] interns one
+//! `Arc<StreamSpec>` per key so M printers hold one copy of the trained
+//! artifacts instead of M — registration cost and resident memory then
+//! scale with the number of *models*, not the number of printers.
+
+use nsync::StreamSpec;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A keyed, interning store of trained [`StreamSpec`]s shared across a
+/// fleet. Cheap to clone internally — every lookup hands out an `Arc`.
+#[derive(Debug, Default)]
+pub struct SpecRegistry {
+    specs: Mutex<HashMap<String, Arc<StreamSpec>>>,
+}
+
+impl SpecRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SpecRegistry::default()
+    }
+
+    /// Inserts (or replaces) the trained spec for `key`, returning the
+    /// shared handle.
+    pub fn insert(&self, key: &str, spec: StreamSpec) -> Arc<StreamSpec> {
+        let spec = Arc::new(spec);
+        self.specs.lock().insert(key.to_string(), Arc::clone(&spec));
+        spec
+    }
+
+    /// The spec registered under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<Arc<StreamSpec>> {
+        self.specs.lock().get(key).cloned()
+    }
+
+    /// The spec under `key`, training it with `train` on first use.
+    /// The train closure runs under the registry lock, so concurrent
+    /// callers of the same key train exactly once.
+    pub fn get_or_insert_with(
+        &self,
+        key: &str,
+        train: impl FnOnce() -> StreamSpec,
+    ) -> Arc<StreamSpec> {
+        let mut specs = self.specs.lock();
+        Arc::clone(
+            specs
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(train())),
+        )
+    }
+
+    /// Registered model count.
+    pub fn len(&self) -> usize {
+        self.specs.lock().len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.lock().is_empty()
+    }
+
+    /// Registered keys, sorted (stable for reports and tests).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.specs.lock().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}

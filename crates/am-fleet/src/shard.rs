@@ -1,0 +1,278 @@
+//! Shard worker: one thread multiplexing many printers' detectors.
+//!
+//! Shared-nothing by construction — the worker owns every
+//! [`StreamingIds`] assigned to its shard, and the only cross-thread
+//! state is the counters cell behind [`ShardShared`] (never the detector
+//! state itself, so the verdict stream cannot be perturbed by another
+//! shard's progress).
+
+use crate::config::{AlertPolicy, FleetConfig};
+use crate::fleet::FleetAlert;
+use crate::snapshot::PrinterReport;
+use crate::PrinterId;
+use am_dsp::Signal;
+use crossbeam::channel::{Receiver, Sender, TrySendError};
+use nsync::streaming::ChunkOutcome;
+use nsync::{StreamSpec, StreamingIds};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Commands a shard worker consumes, in FIFO order. Chunks of one
+/// printer therefore arrive at its detector exactly in send order — the
+/// per-printer determinism guarantee.
+pub(crate) enum ShardCmd {
+    /// Adopt a freshly opened detector (opened by the caller so
+    /// registration errors are synchronous).
+    Register(Box<PrinterCell>),
+    /// Retire a printer; its final [`PrinterReport`] lands in the shard's
+    /// retired list.
+    Detach(PrinterId),
+    /// One chunk of observed samples for a printer.
+    Chunk(PrinterId, Signal),
+}
+
+/// One printer's state as owned by its shard worker.
+pub(crate) struct PrinterCell {
+    pub(crate) id: PrinterId,
+    /// The shared trained model — kept so the watchdog can rebuild the
+    /// detector via [`StreamSpec::resume`] after a panic.
+    pub(crate) spec: Arc<StreamSpec>,
+    pub(crate) ids: StreamingIds,
+    pub(crate) chunks: u64,
+    pub(crate) malformed_chunks: u64,
+    pub(crate) alerts_emitted: u64,
+    pub(crate) restarts: usize,
+    pub(crate) intrusion: bool,
+    /// Restart budget exhausted: chunks are counted but no longer fed.
+    pub(crate) dead: bool,
+    /// Chaos hook: panic while processing this (0-based) chunk index,
+    /// once, in the first detector generation only.
+    pub(crate) chaos_panic_chunk: Option<u64>,
+}
+
+/// Live counters of one shard, readable at any time via
+/// [`Fleet::snapshot`](crate::Fleet::snapshot). All values are
+/// cumulative since spawn.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Printers currently owned by this shard.
+    pub printers: usize,
+    /// Chunks processed (including chunks for dead printers).
+    pub chunks: u64,
+    /// Chunks addressed to a printer this shard does not know.
+    pub orphan_chunks: u64,
+    /// Chunks for printers whose restart budget was exhausted.
+    pub dead_printer_chunks: u64,
+    /// Malformed chunks rejected by detectors (stream state untouched).
+    pub malformed_chunks: u64,
+    /// Stream resynchronizations performed after desyncs.
+    pub resyncs: u64,
+    /// Detector restarts performed by the per-printer watchdog.
+    pub restarts: u64,
+    /// Printers whose restart budget was exhausted.
+    pub dead_printers: usize,
+    /// Windows fully processed across all printers of the shard.
+    pub windows_seen: u64,
+    /// Alerts forwarded into the fleet alert channel.
+    pub alerts_emitted: u64,
+    /// Alerts dropped by [`AlertPolicy::DropAndCount`].
+    pub alerts_dropped: u64,
+    /// Alerts lost because the alert receiver was gone.
+    pub alerts_lost: u64,
+}
+
+/// Cross-thread cell owning a shard's observable state.
+pub(crate) struct ShardShared {
+    pub(crate) stats: Mutex<ShardStats>,
+    /// Deepest command queue observed by any `send` (the queue itself is
+    /// bounded, so this is ≤ capacity by construction).
+    pub(crate) max_queue_depth: AtomicU64,
+    /// Chunks rejected at the ingestion edge (fleet-side, per shard).
+    pub(crate) rejected_chunks: AtomicU64,
+    /// Reports of printers retired by detach or shutdown.
+    pub(crate) reports: Mutex<Vec<PrinterReport>>,
+    /// Interned per-shard chunk-latency histogram name
+    /// (`fleet.shard<i>.chunk`), recorded only while telemetry is on.
+    pub(crate) latency_name: String,
+}
+
+impl ShardShared {
+    pub(crate) fn new(index: usize) -> Self {
+        ShardShared {
+            stats: Mutex::new(ShardStats::default()),
+            max_queue_depth: AtomicU64::new(0),
+            rejected_chunks: AtomicU64::new(0),
+            reports: Mutex::new(Vec::new()),
+            latency_name: format!("fleet.shard{index}.chunk"),
+        }
+    }
+}
+
+fn report_of(cell: &PrinterCell) -> PrinterReport {
+    PrinterReport {
+        printer: cell.id,
+        windows_seen: cell.ids.windows_seen(),
+        intrusion: cell.intrusion || cell.ids.intrusion_detected(),
+        chunks: cell.chunks,
+        malformed_chunks: cell.malformed_chunks,
+        alerts_emitted: cell.alerts_emitted,
+        restarts: cell.restarts,
+        dead: cell.dead,
+        health: cell.ids.health_report(),
+    }
+}
+
+/// The shard worker loop. Returns when every command sender is dropped
+/// (fleet shutdown); all still-registered printers are then retired into
+/// the shared reports list.
+pub(crate) fn run_shard(
+    rx: &Receiver<ShardCmd>,
+    alert_tx: &Sender<FleetAlert>,
+    shared: &Arc<ShardShared>,
+    cfg: &FleetConfig,
+) {
+    let latency = am_telemetry::histogram(&shared.latency_name);
+    let mut printers: HashMap<PrinterId, PrinterCell> = HashMap::new();
+    for cmd in rx.iter() {
+        match cmd {
+            ShardCmd::Register(cell) => {
+                printers.insert(cell.id, *cell);
+                shared.stats.lock().printers = printers.len();
+            }
+            ShardCmd::Detach(id) => {
+                if let Some(cell) = printers.remove(&id) {
+                    shared.reports.lock().push(report_of(&cell));
+                }
+                shared.stats.lock().printers = printers.len();
+            }
+            ShardCmd::Chunk(id, chunk) => {
+                let t0 = if am_telemetry::enabled() {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                process_chunk(id, &chunk, &mut printers, alert_tx, shared, cfg);
+                if let Some(t0) = t0 {
+                    latency.record(t0.elapsed());
+                }
+            }
+        }
+    }
+    let mut reports = shared.reports.lock();
+    for cell in printers.values() {
+        reports.push(report_of(cell));
+    }
+}
+
+fn process_chunk(
+    id: PrinterId,
+    chunk: &Signal,
+    printers: &mut HashMap<PrinterId, PrinterCell>,
+    alert_tx: &Sender<FleetAlert>,
+    shared: &Arc<ShardShared>,
+    cfg: &FleetConfig,
+) {
+    let Some(cell) = printers.get_mut(&id) else {
+        shared.stats.lock().orphan_chunks += 1;
+        return;
+    };
+    if cell.dead {
+        cell.chunks += 1;
+        let mut s = shared.stats.lock();
+        s.chunks += 1;
+        s.dead_printer_chunks += 1;
+        return;
+    }
+    let chunk_index = cell.chunks;
+    cell.chunks += 1;
+    let chaos = cell.chaos_panic_chunk.take_if(|c| *c == chunk_index);
+    let windows_before = cell.ids.windows_seen();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(c) = chaos {
+            panic!("fleet chaos hook: deliberate panic on {id} chunk {c}");
+        }
+        cell.ids.push_supervised(chunk)
+    }));
+    match outcome {
+        Ok(Ok(ChunkOutcome::Processed(alerts))) => {
+            let windows_after = cell.ids.windows_seen();
+            if !alerts.is_empty() {
+                cell.intrusion = true;
+            }
+            let emitted = alerts.len() as u64;
+            cell.alerts_emitted += emitted;
+            let mut dropped = 0u64;
+            let mut lost = 0u64;
+            for alert in alerts {
+                let fleet_alert = FleetAlert { printer: id, alert };
+                match cfg.alert_policy {
+                    AlertPolicy::Block => {
+                        if alert_tx.send(fleet_alert).is_err() {
+                            lost += 1;
+                        }
+                    }
+                    AlertPolicy::DropAndCount => match alert_tx.try_send(fleet_alert) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => dropped += 1,
+                        Err(TrySendError::Disconnected(_)) => lost += 1,
+                    },
+                }
+            }
+            let mut s = shared.stats.lock();
+            s.chunks += 1;
+            s.windows_seen += (windows_after - windows_before) as u64;
+            s.alerts_emitted += emitted - dropped - lost;
+            s.alerts_dropped += dropped;
+            s.alerts_lost += lost;
+            if emitted > 0 {
+                am_telemetry::count!("fleet.alerts", emitted);
+            }
+        }
+        Ok(Ok(ChunkOutcome::Resynced)) => {
+            let mut s = shared.stats.lock();
+            s.chunks += 1;
+            s.resyncs += 1;
+        }
+        Ok(Ok(ChunkOutcome::Rejected(_))) => {
+            cell.malformed_chunks += 1;
+            let mut s = shared.stats.lock();
+            s.chunks += 1;
+            s.malformed_chunks += 1;
+        }
+        // A failed resync is unrecoverable for this detector instance;
+        // treat it exactly like a panic and rebuild from the spec.
+        Ok(Err(_)) | Err(_) => {
+            shared.stats.lock().chunks += 1;
+            restart_printer(cell, shared, cfg);
+        }
+    }
+}
+
+/// The per-printer watchdog: rebuild a crashed detector resynchronized
+/// from the last fully processed window (the same
+/// [`StreamSpec::resume`] path the single-printer monitor uses), or
+/// declare the printer dead once the restart budget is exhausted.
+fn restart_printer(cell: &mut PrinterCell, shared: &Arc<ShardShared>, cfg: &FleetConfig) {
+    if cell.restarts >= cfg.max_restarts_per_printer {
+        cell.dead = true;
+        shared.stats.lock().dead_printers += 1;
+        return;
+    }
+    match cell.spec.resume(cell.ids.windows_seen()) {
+        Ok(resumed) => {
+            cell.ids = resumed;
+            cell.restarts += 1;
+            let mut s = shared.stats.lock();
+            s.restarts += 1;
+            am_telemetry::count!("fleet.restarts");
+        }
+        Err(_) => {
+            cell.dead = true;
+            shared.stats.lock().dead_printers += 1;
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Deterministic simulated chunk sources for fleet drills.
+//!
+//! Builds the small-profile experiment dataset once (seeded `am-sensors`
+//! synthesis via `am-dataset`), trains one [`StreamSpec`] per side
+//! channel into a [`SpecRegistry`], and hands out a per-printer
+//! [`PrinterScript`] — the exact chunk sequence that printer streams.
+//! Everything is a pure function of ([`SimConfig::seed`], printer id),
+//! so the `fleet_monitor` example, the `fleet_soak` benchmark, and the
+//! determinism suite all replay identical traffic, and any printer's
+//! fleet verdict can be checked against a standalone detector fed the
+//! same script.
+
+use crate::registry::SpecRegistry;
+use crate::PrinterId;
+use am_dataset::{ExperimentSpec, RunRole, TrajectorySet};
+use am_dsp::Signal;
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use am_sensors::faults::FaultPlan;
+use nsync::prelude::{DwmSynchronizer, IdsBuilder};
+use nsync::StreamSpec;
+use std::sync::Arc;
+
+/// Failures while building the simulated fleet.
+#[derive(Debug)]
+pub enum SimError {
+    /// Dataset generation or capture failed.
+    Dataset(am_dataset::DatasetError),
+    /// Training or detector construction failed.
+    Nsync(nsync::NsyncError),
+    /// Fault-plan application failed.
+    Dsp(am_dsp::DspError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Dataset(e) => write!(f, "dataset: {e}"),
+            SimError::Nsync(e) => write!(f, "nsync: {e}"),
+            SimError::Dsp(e) => write!(f, "dsp: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Dataset(e) => Some(e),
+            SimError::Nsync(e) => Some(e),
+            SimError::Dsp(e) => Some(e),
+        }
+    }
+}
+
+impl From<am_dataset::DatasetError> for SimError {
+    fn from(e: am_dataset::DatasetError) -> Self {
+        SimError::Dataset(e)
+    }
+}
+impl From<nsync::NsyncError> for SimError {
+    fn from(e: nsync::NsyncError) -> Self {
+        SimError::Nsync(e)
+    }
+}
+impl From<am_dsp::DspError> for SimError {
+    fn from(e: am_dsp::DspError) -> Self {
+        SimError::Dsp(e)
+    }
+}
+
+/// Simulated-fleet knobs. All traffic derives deterministically from
+/// `seed` and the printer id — the printer *count* does not change any
+/// individual printer's script.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Experiment base seed (drives synthesis, print selection, and
+    /// fault plans).
+    pub seed: u64,
+    /// DAQ frame length each printer streams per chunk, seconds.
+    pub chunk_seconds: f64,
+    /// Fraction of printers streaming an attacked print (0..=1).
+    pub malicious_fraction: f64,
+    /// Fraction of printers whose sensors degrade mid-print (0..=1): a
+    /// seeded [`FaultPlan`] (NaN gaps, stuck values, drift, noise
+    /// bursts) corrupts their stream so quarantine and resync paths are
+    /// exercised under fleet load.
+    pub fault_fraction: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 7,
+            chunk_seconds: 0.25,
+            malicious_fraction: 0.25,
+            fault_fraction: 0.0625,
+        }
+    }
+}
+
+/// The deterministic traffic of one simulated printer.
+#[derive(Debug, Clone)]
+pub struct PrinterScript {
+    /// The printer.
+    pub printer: PrinterId,
+    /// The registry key of the trained model this printer runs against.
+    pub key: String,
+    /// The chunks, in stream order (DAQ frames of
+    /// [`SimConfig::chunk_seconds`]).
+    pub chunks: Vec<Signal>,
+    /// Whether the scripted print is one of the Table I attacks.
+    pub malicious: bool,
+    /// Whether a [`FaultPlan`] corrupted the stream.
+    pub faulted: bool,
+}
+
+struct ChannelSim {
+    key: String,
+    benign: Vec<Signal>,
+    malicious: Vec<Signal>,
+}
+
+/// A trained fleet-in-a-box: shared model registry plus deterministic
+/// per-printer chunk scripts.
+pub struct FleetSim {
+    cfg: SimConfig,
+    registry: SpecRegistry,
+    channels: Vec<ChannelSim>,
+}
+
+/// The side channels the simulated fleet mixes (printers alternate by
+/// id): triaxial acceleration and AC power draw — the paper's strongest
+/// and cheapest channels respectively.
+pub const SIM_CHANNELS: [SideChannel; 2] = [SideChannel::Acc, SideChannel::Pwr];
+
+fn mix(seed: u64, id: u64, salt: u64) -> u64 {
+    let mut x = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// `true` for a deterministic `fraction` of (seed, id) pairs.
+fn coin(seed: u64, id: u64, salt: u64, fraction: f64) -> bool {
+    (mix(seed, id, salt) % 10_000) < (fraction.clamp(0.0, 1.0) * 10_000.0) as u64
+}
+
+impl FleetSim {
+    /// Generates the small-profile UM3 dataset, captures
+    /// [`SIM_CHANNELS`], and trains one spec per channel (registry keys
+    /// `"um3/acc"`, `"um3/pwr"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset generation and training failures.
+    pub fn build(cfg: SimConfig) -> Result<FleetSim, SimError> {
+        let spec = ExperimentSpec {
+            base_seed: cfg.seed,
+            ..ExperimentSpec::small(PrinterModel::Um3)
+        };
+        let set = TrajectorySet::generate(spec)?;
+        let params = set.spec.profile.dwm_params(set.spec.printer);
+        let registry = SpecRegistry::new();
+        let mut channels = Vec::new();
+        for channel in SIM_CHANNELS {
+            let captures = set.capture_channel(channel)?;
+            let reference = captures
+                .iter()
+                .find(|c| matches!(c.role, RunRole::Reference))
+                .expect("dataset always contains the reference run")
+                .signal
+                .clone();
+            let train: Vec<Signal> = captures
+                .iter()
+                .filter(|c| matches!(c.role, RunRole::Train(_)))
+                .map(|c| c.signal.clone())
+                .collect();
+            let ids = IdsBuilder::new()
+                .synchronizer(DwmSynchronizer::new(params))
+                .build()?;
+            let trained = ids.train(&train, reference, set.spec.profile.nsync_r())?;
+            let key = format!("um3/{}", format!("{channel:?}").to_lowercase());
+            registry.insert(&key, trained.stream_spec(params));
+            let benign: Vec<Signal> = captures
+                .iter()
+                .filter(|c| matches!(c.role, RunRole::TestBenign(_)))
+                .map(|c| c.signal.clone())
+                .collect();
+            let malicious: Vec<Signal> = captures
+                .iter()
+                .filter(|c| matches!(c.role, RunRole::Malicious { .. }))
+                .map(|c| c.signal.clone())
+                .collect();
+            channels.push(ChannelSim {
+                key,
+                benign,
+                malicious,
+            });
+        }
+        Ok(FleetSim {
+            cfg,
+            registry,
+            channels,
+        })
+    }
+
+    /// The shared trained-model registry (one entry per
+    /// [`SIM_CHANNELS`] channel).
+    pub fn registry(&self) -> &SpecRegistry {
+        &self.registry
+    }
+
+    /// The registry key a printer runs against (printers alternate
+    /// channels by id).
+    pub fn key_of(&self, printer: PrinterId) -> &str {
+        &self.channels[(printer.0 % self.channels.len() as u64) as usize].key
+    }
+
+    /// The trained spec a printer runs against.
+    pub fn spec_of(&self, printer: PrinterId) -> Arc<StreamSpec> {
+        self.registry
+            .get(self.key_of(printer))
+            .expect("sim registry holds every sim channel")
+    }
+
+    /// Builds the printer's deterministic chunk script: a test print
+    /// (benign or attacked per [`SimConfig::malicious_fraction`]),
+    /// optionally corrupted by a seeded fault plan, sliced into DAQ
+    /// frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-plan and slicing failures.
+    pub fn script(&self, printer: PrinterId) -> Result<PrinterScript, SimError> {
+        let channel = &self.channels[(printer.0 % self.channels.len() as u64) as usize];
+        let malicious = coin(
+            self.cfg.seed,
+            printer.0,
+            0x6d61,
+            self.cfg.malicious_fraction,
+        );
+        let pool = if malicious {
+            &channel.malicious
+        } else {
+            &channel.benign
+        };
+        let pick = (mix(self.cfg.seed, printer.0, 0x7069) % pool.len() as u64) as usize;
+        let mut signal = pool[pick].clone();
+        let faulted = coin(self.cfg.seed, printer.0, 0x6661, self.cfg.fault_fraction);
+        if faulted {
+            let plan = FaultPlan::severity(
+                0.6,
+                signal.channels(),
+                signal.duration(),
+                mix(self.cfg.seed, printer.0, 0x706c),
+            );
+            signal = plan.apply(&signal)?;
+        }
+        let frame = ((self.cfg.chunk_seconds * signal.fs()) as usize).max(1);
+        let mut chunks = Vec::with_capacity(signal.len().div_ceil(frame));
+        let mut i = 0;
+        while i < signal.len() {
+            let end = (i + frame).min(signal.len());
+            chunks.push(signal.slice(i..end)?);
+            i = end;
+        }
+        Ok(PrinterScript {
+            printer,
+            key: channel.key.clone(),
+            chunks,
+            malicious,
+            faulted,
+        })
+    }
+}

@@ -1,0 +1,136 @@
+//! Observable fleet state: live snapshots and the final shutdown report.
+
+use crate::fleet::FleetAlert;
+use crate::shard::ShardStats;
+use crate::PrinterId;
+use nsync::health::HealthReport;
+
+/// Point-in-time view of one shard, from [`Fleet::snapshot`](crate::Fleet::snapshot).
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index (= worker thread).
+    pub index: usize,
+    /// Commands waiting in the shard's bounded queue right now.
+    pub queue_depth: usize,
+    /// Deepest queue observed by any ingestion since spawn.
+    pub max_queue_depth: u64,
+    /// Chunks refused at the ingestion edge under
+    /// [`IngestPolicy::Reject`](crate::IngestPolicy::Reject).
+    pub rejected_chunks: u64,
+    /// Upper bound of the p95 chunk-processing latency in microseconds,
+    /// from the shard's `am-telemetry` histogram (`fleet.shard<i>.chunk`).
+    /// Zero when telemetry is disabled — enable with
+    /// `AM_TELEMETRY=1` or [`am_telemetry::set_enabled`].
+    pub chunk_latency_p95_us: u64,
+    /// Cumulative shard counters.
+    pub stats: ShardStats,
+}
+
+/// Point-in-time view of the whole fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// Printers currently registered fleet-wide.
+    pub printers: usize,
+    /// Alerts waiting in the fan-in channel right now.
+    pub alert_queue_depth: usize,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl FleetSnapshot {
+    /// Sums a per-shard counter across the fleet.
+    fn sum(&self, f: impl Fn(&ShardStats) -> u64) -> u64 {
+        self.shards.iter().map(|s| f(&s.stats)).sum()
+    }
+
+    /// Chunks processed fleet-wide.
+    pub fn chunks(&self) -> u64 {
+        self.sum(|s| s.chunks)
+    }
+
+    /// Alerts forwarded into the fan-in channel fleet-wide.
+    pub fn alerts_emitted(&self) -> u64 {
+        self.sum(|s| s.alerts_emitted)
+    }
+
+    /// Alerts dropped under
+    /// [`AlertPolicy::DropAndCount`](crate::AlertPolicy::DropAndCount).
+    pub fn alerts_dropped(&self) -> u64 {
+        self.sum(|s| s.alerts_dropped)
+    }
+
+    /// Alerts lost to a vanished receiver (always 0 while the fleet or
+    /// an operator holds the receiver).
+    pub fn alerts_lost(&self) -> u64 {
+        self.sum(|s| s.alerts_lost)
+    }
+
+    /// Watchdog restarts fleet-wide.
+    pub fn restarts(&self) -> u64 {
+        self.sum(|s| s.restarts)
+    }
+
+    /// Deepest shard queue observed since spawn.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.max_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Chunks refused at the ingestion edge fleet-wide.
+    pub fn rejected_chunks(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected_chunks).sum()
+    }
+}
+
+/// Final state of one printer, reported at detach or shutdown.
+#[derive(Debug, Clone)]
+pub struct PrinterReport {
+    /// The printer.
+    pub printer: PrinterId,
+    /// Windows its detector fully processed.
+    pub windows_seen: usize,
+    /// Latched intrusion verdict (true if any alert ever fired, even if
+    /// that alert was dropped from the fan-in channel).
+    pub intrusion: bool,
+    /// Chunks routed to this printer.
+    pub chunks: u64,
+    /// Chunks its detector rejected as malformed.
+    pub malformed_chunks: u64,
+    /// Alerts its detector emitted.
+    pub alerts_emitted: u64,
+    /// Watchdog restarts performed for this printer.
+    pub restarts: usize,
+    /// Whether the restart budget was exhausted.
+    pub dead: bool,
+    /// Channel-health report of the (final) detector instance.
+    pub health: HealthReport,
+}
+
+/// Everything [`Fleet::finish`](crate::Fleet::finish) returns: the final
+/// counters, one report per printer, and any alerts nobody consumed
+/// live.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Counters at shutdown, after all queues drained.
+    pub snapshot: FleetSnapshot,
+    /// One report per registered printer, sorted by printer id.
+    pub printers: Vec<PrinterReport>,
+    /// Alerts still in the fan-in channel at shutdown (empty if an
+    /// operator drained them live).
+    pub leftover_alerts: Vec<FleetAlert>,
+}
+
+impl FleetReport {
+    /// The report of one printer, if it was registered.
+    pub fn printer(&self, id: PrinterId) -> Option<&PrinterReport> {
+        self.printers.iter().find(|r| r.printer == id)
+    }
+
+    /// Printers whose intrusion verdict latched true.
+    pub fn intrusions(&self) -> impl Iterator<Item = &PrinterReport> {
+        self.printers.iter().filter(|r| r.intrusion)
+    }
+}

@@ -379,7 +379,7 @@ fn infill_segments(
 ) -> Vec<(Point2, Point2)> {
     let angles: Vec<f64> = match cfg.infill_pattern {
         InfillPattern::Lines => {
-            if layer.is_multiple_of(2) {
+            if layer % 2 == 0 {
                 vec![45f64.to_radians()]
             } else {
                 vec![135f64.to_radians()]

@@ -258,6 +258,20 @@ impl Histogram {
             self.0.record(nanos);
         }
     }
+
+    /// Upper bound (ns) of the smallest log2-bucket prefix holding `q`
+    /// (in `[0, 1]`) of the recorded samples — the approximation behind
+    /// the `p95_us` column of [`json_summary`], exposed so live health
+    /// views (e.g. a fleet snapshot's chunk-latency p95) can read it
+    /// without parsing JSON. Returns 0 when nothing was recorded.
+    pub fn quantile_bound_nanos(&self, q: f64) -> u64 {
+        self.0.quantile_bound_nanos(q.clamp(0.0, 1.0))
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
 }
 
 impl std::fmt::Debug for Histogram {
@@ -413,6 +427,16 @@ pub fn counter_value(name: &str) -> u64 {
         .iter()
         .find(|c| c.name == name)
         .map_or(0, |c| c.value.load(Ordering::Relaxed))
+}
+
+/// Approximate quantile upper bound (ns) of a histogram by name — see
+/// [`Histogram::quantile_bound_nanos`]. Returns 0 if the histogram was
+/// never registered or never recorded.
+pub fn histogram_quantile_nanos(name: &str, q: f64) -> u64 {
+    lock(&registry().hists)
+        .iter()
+        .find(|h| h.name == name)
+        .map_or(0, |h| h.quantile_bound_nanos(q.clamp(0.0, 1.0)))
 }
 
 /// Aggregate stats of a span/histogram (zeros if never registered).
@@ -658,6 +682,12 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.total_nanos, 4_000);
         assert_eq!(s.max_nanos, 3_000);
+        assert_eq!(h.count(), 2);
+        // Log2-bucket quantile bounds: 1 000 ns lands in [512, 1024),
+        // 3 000 ns in [2 048, 4 096).
+        assert_eq!(h.quantile_bound_nanos(0.5), 1 << 10);
+        assert_eq!(histogram_quantile_nanos("test.hist", 1.0), 1 << 12);
+        assert_eq!(histogram_quantile_nanos("test.no_such_hist", 0.95), 0);
     }
 
     fn spans_nest_and_trace() {

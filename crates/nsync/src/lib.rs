@@ -71,7 +71,7 @@ pub use error::NsyncError;
 pub use health::{ChannelState, HealthConfig, HealthReport};
 pub use ids::{Analysis, IdsBuilder, IdsConfig, NsyncIds, TrainedIds};
 pub use occ::learn_thresholds;
-pub use streaming::{Alert, StreamSpec, StreamingIds};
+pub use streaming::{Alert, ChunkOutcome, StreamSpec, StreamingIds};
 
 /// One-stop imports for the common NSYNC workflow: build with
 /// [`IdsBuilder`], train, detect, stream via [`StreamSpec`], and watch
@@ -86,7 +86,7 @@ pub mod prelude {
     pub use crate::health::{ChannelState, ChannelStatus, HealthConfig, HealthReport};
     pub use crate::ids::{Analysis, IdsBuilder, IdsConfig, NsyncIds, TrainedIds};
     pub use crate::streaming::monitor::{Backpressure, LiveStatus, MonitorConfig, MonitorHandle};
-    pub use crate::streaming::{Alert, StreamSpec, StreamingIds};
+    pub use crate::streaming::{Alert, ChunkOutcome, StreamSpec, StreamingIds};
     pub use am_dsp::metrics::DistanceMetric;
     pub use am_dsp::Signal;
     pub use am_sync::{DtwSynchronizer, DwmParams, DwmSynchronizer, Synchronizer};

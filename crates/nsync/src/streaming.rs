@@ -483,6 +483,50 @@ impl StreamingIds {
     }
 }
 
+/// What one supervised push did to the detector — the per-chunk recovery
+/// policy shared by the [`monitor`] worker and any external supervisor
+/// multiplexing many detectors (e.g. a fleet shard, see `am-fleet`).
+#[derive(Debug)]
+pub enum ChunkOutcome {
+    /// The chunk was consumed; any completed windows' alerts are inside.
+    Processed(Vec<Alert>),
+    /// The stream had lost lock ([`NsyncError::StreamDesynced`]) and was
+    /// resynchronized; the offending chunk's partial buffer is gone and
+    /// window numbering continues across the gap.
+    Resynced,
+    /// The chunk was malformed (wrong shape/rate) and rejected without
+    /// touching detector state; the stream continues with the next
+    /// well-formed chunk.
+    Rejected(NsyncError),
+}
+
+impl StreamingIds {
+    /// Feeds one chunk under the monitor's standard recovery policy:
+    /// desyncs trigger an automatic [`StreamingIds::resync`], malformed
+    /// chunks are reported but dropped, and only an unrecoverable
+    /// failure (the resync itself failing) escapes as `Err`.
+    ///
+    /// This is the single supervised step behind the [`monitor`] worker
+    /// loop; external supervisors that multiplex many detectors over
+    /// shared threads call it directly so their per-chunk semantics stay
+    /// identical to a dedicated monitor thread's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the resync failure if re-locking the stream after a
+    /// desync fails — the detector is unusable at that point.
+    pub fn push_supervised(&mut self, chunk: &Signal) -> Result<ChunkOutcome, NsyncError> {
+        match self.push(chunk) {
+            Ok(alerts) => Ok(ChunkOutcome::Processed(alerts)),
+            Err(NsyncError::StreamDesynced { .. }) => {
+                self.resync()?;
+                Ok(ChunkOutcome::Resynced)
+            }
+            Err(e) => Ok(ChunkOutcome::Rejected(e)),
+        }
+    }
+}
+
 fn push_window(q: &mut VecDeque<f64>, v: f64, n: usize) {
     q.push_back(v);
     while q.len() > n {
@@ -790,8 +834,8 @@ pub mod monitor {
                 panic!("monitor chaos hook: deliberate panic on chunk {chunk_index}");
             }
             chunk_index += 1;
-            match ids.push(&chunk) {
-                Ok(alerts) => {
+            match ids.push_supervised(&chunk) {
+                Ok(ChunkOutcome::Processed(alerts)) => {
                     {
                         let mut s = shared.lock();
                         s.heartbeat = Instant::now();
@@ -815,24 +859,22 @@ pub mod monitor {
                         }
                     }
                 }
-                Err(NsyncError::StreamDesynced { .. }) => {
-                    // Lost the window sequence: drop the partial buffer
-                    // and re-lock; the stream continues numbering where
-                    // it left off.
-                    if let Err(e) = ids.resync() {
-                        return WorkerExit::Failed(e);
-                    }
+                Ok(ChunkOutcome::Resynced) => {
+                    // Lost the window sequence: the supervised step
+                    // dropped the partial buffer and re-locked; the
+                    // stream continues numbering where it left off.
                     let mut s = shared.lock();
                     s.heartbeat = Instant::now();
                     s.status.health = ids.health_report();
                 }
-                Err(_) => {
+                Ok(ChunkOutcome::Rejected(_)) => {
                     // Malformed chunk (shape/rate mismatch): reject it,
                     // keep the stream.
                     let mut s = shared.lock();
                     s.heartbeat = Instant::now();
                     s.status.skipped_chunks += 1;
                 }
+                Err(e) => return WorkerExit::Failed(e),
             }
         }
     }

@@ -3,31 +3,62 @@
 //! (capture pre-warm / detector fit / judging), cache and contention
 //! counters, and the speedup over the pre-refactor sequential grid.
 //!
+//! Per-stage time is reported two ways, because they answer different
+//! questions: `*_cpu_seconds` sums the per-cell stopwatches across all
+//! workers (how much compute the stage burned — grows with thread
+//! count), while `*_wall_seconds` is the interval union of those
+//! stopwatches (how long the stage actually took — shrinks with thread
+//! count). Earlier revisions reported only the sum, unlabelled, which
+//! made the 8-thread judge stage look 4× slower than the 1-thread one.
+//!
 //! ```sh
-//! cargo run --release --example bench_grid
+//! cargo run --release --example bench_grid            # full sweep
+//! cargo run --release --example bench_grid -- --quick # 1-thread gate run
 //! ```
 //!
-//! Set `AM_TELEMETRY=1` to print the registry summary to stderr, or pass
-//! `--trace out.json` to also write a Chrome trace-event file (load it at
-//! `ui.perfetto.dev` or `chrome://tracing`) with spans for capture
-//! pre-warming, per-cell evaluation, sync kernels, and DAQ capture.
+//! `--quick` runs the single-thread grid only and writes
+//! `BENCH_quick.json` (override with `--out`) — the CI bench-regression
+//! gate compares its wall-clock against the committed `BENCH_grid.json`
+//! baseline. Set `AM_TELEMETRY=1` to print the registry summary to
+//! stderr, or pass `--trace out.json` to also write a Chrome trace-event
+//! file (load it at `ui.perfetto.dev` or `chrome://tracing`) with spans
+//! for capture pre-warming, per-cell evaluation, sync kernels, and DAQ
+//! capture.
 
 use am_eval::engine::{run_grid_with, EngineConfig, GridReport};
 use am_eval::tables::TableContext;
 use std::path::PathBuf;
 
-/// Parses `--trace <path>` from the command line, if present.
-fn trace_flag() -> Option<PathBuf> {
+struct Args {
+    trace: Option<PathBuf>,
+    quick: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        trace: None,
+        quick: false,
+        out: None,
+    };
     let mut args = std::env::args().skip(1);
-    let mut trace = None;
     while let Some(a) = args.next() {
-        if a == "--trace" {
-            trace = Some(PathBuf::from(
-                args.next().expect("--trace requires a file path"),
-            ));
+        match a.as_str() {
+            "--trace" => {
+                parsed.trace = Some(PathBuf::from(
+                    args.next().expect("--trace requires a file path"),
+                ));
+            }
+            "--quick" => parsed.quick = true,
+            "--out" => {
+                parsed.out = Some(PathBuf::from(
+                    args.next().expect("--out requires a file path"),
+                ));
+            }
+            other => panic!("unknown flag {other}"),
         }
     }
-    trace
+    parsed
 }
 
 /// Sequential wall-clock of the pre-refactor `run_grid` (one split per
@@ -38,15 +69,17 @@ const PRE_REFACTOR_WALL_SECONDS: f64 = 88.814;
 
 fn run_entry(report: &GridReport, cells: usize) -> String {
     format!(
-        "    {{\n      \"threads\": {},\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"prewarm_seconds\": {:.3},\n      \"capture_generation_seconds\": {:.3},\n      \"capture_blocked_seconds\": {:.3},\n      \"fit_seconds_total\": {:.3},\n      \"judge_seconds_total\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4}\n    }}",
+        "    {{\n      \"threads\": {},\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"prewarm_seconds\": {:.3},\n      \"capture_generation_seconds\": {:.3},\n      \"capture_blocked_seconds\": {:.3},\n      \"fit_cpu_seconds\": {:.3},\n      \"fit_wall_seconds\": {:.3},\n      \"judge_cpu_seconds\": {:.3},\n      \"judge_wall_seconds\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4}\n    }}",
         report.threads,
         report.wall_seconds,
         cells,
         report.prewarm_seconds,
         report.capture.generation_seconds(),
         report.capture.blocked_seconds(),
-        report.fit_seconds(),
-        report.judge_seconds(),
+        report.fit_cpu_seconds(),
+        report.fit_wall_seconds(),
+        report.judge_cpu_seconds(),
+        report.judge_wall_seconds(),
         report.capture.hits,
         report.capture.misses,
         report.capture.hit_rate()
@@ -54,8 +87,8 @@ fn run_entry(report: &GridReport, cells: usize) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace_path = trace_flag();
-    if trace_path.is_some() {
+    let args = parse_args();
+    if args.trace.is_some() {
         am_telemetry::set_tracing(true);
     }
     let hardware_threads = std::thread::available_parallelism()
@@ -66,10 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset_seconds = t0.elapsed().as_secs_f64();
     eprintln!("dataset generated in {dataset_seconds:.1}s ({hardware_threads} hardware threads)");
 
+    let thread_sweep: &[usize] = if args.quick { &[1] } else { &[1, 2, 4, 8] };
     let mut entries = Vec::new();
     let mut reports: Vec<GridReport> = Vec::new();
     let mut baseline_grid = None;
-    for threads in [1usize, 2, 4, 8] {
+    for &threads in thread_sweep {
         eprintln!("running grid at {threads} thread(s) ...");
         let (grid, report) = run_grid_with(&ctx, &EngineConfig::with_threads(threads))?;
         eprintln!("  {:.1}s", report.wall_seconds);
@@ -88,12 +122,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let one_wall = reports[0].wall_seconds;
-    let best_parallel_wall = reports[1..]
+    let best_parallel_wall = reports
         .iter()
         .map(|r| r.wall_seconds)
         .fold(f64::INFINITY, f64::min);
+    let benchmark = if args.quick {
+        "evaluation grid, small profile, both printers (quick: 1 thread)"
+    } else {
+        "evaluation grid, small profile, both printers"
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"evaluation grid, small profile, both printers\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"hardware_threads\": {},\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_best_parallel\": {:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{}\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"hardware_threads\": {},\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_best_parallel\": {:.2}\n}}\n",
+        benchmark,
         hardware_threads,
         dataset_seconds,
         PRE_REFACTOR_WALL_SECONDS,
@@ -101,13 +141,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PRE_REFACTOR_WALL_SECONDS / one_wall,
         PRE_REFACTOR_WALL_SECONDS / best_parallel_wall,
     );
-    std::fs::write("BENCH_grid.json", &json)?;
+    let out = args.out.unwrap_or_else(|| {
+        PathBuf::from(if args.quick {
+            "BENCH_quick.json"
+        } else {
+            "BENCH_grid.json"
+        })
+    });
+    std::fs::write(&out, &json)?;
     println!("{json}");
-    eprintln!("wrote BENCH_grid.json");
+    eprintln!("wrote {}", out.display());
     if am_telemetry::enabled() {
         eprintln!("{}", am_telemetry::json_summary());
     }
-    if let Some(path) = trace_path {
+    if let Some(path) = args.trace {
         am_telemetry::write_chrome_trace(&path)?;
         eprintln!(
             "wrote Chrome trace ({} events) to {} — load at ui.perfetto.dev",

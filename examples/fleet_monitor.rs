@@ -1,0 +1,134 @@
+//! Fleet monitoring: one IDS service supervising a whole print farm.
+//!
+//! Spawns a small sharded fleet, registers two dozen simulated printers
+//! against two shared trained models (accelerometer and power), streams
+//! every printer's DAQ frames interleaved through the bounded ingestion
+//! edge, and prints live status snapshots while alerts fan in. One
+//! printer's detector is deliberately crashed mid-print to show the
+//! per-printer watchdog restarting it without disturbing its neighbours.
+//!
+//! ```sh
+//! cargo run --release --example fleet_monitor
+//! ```
+
+use am_fleet::sim::{FleetSim, SimConfig};
+use am_fleet::{Fleet, FleetConfig, IngestPolicy, PrinterId};
+
+const PRINTERS: u64 = 24;
+/// This printer's detector panics on chunk 40; the watchdog rebuilds it
+/// from the shared spec, resynchronized at the last finished window.
+const CRASHED: PrinterId = PrinterId(5);
+
+fn print_snapshot(fleet: &Fleet, fed: usize) {
+    let snap = fleet.snapshot();
+    eprintln!(
+        "-- after {fed} frames/printer: {} chunks done, {} alerts, {} restarts",
+        snap.chunks(),
+        snap.alerts_emitted(),
+        snap.restarts()
+    );
+    for shard in &snap.shards {
+        eprintln!(
+            "   shard {}: {} printers, {:>6} chunks, queue {} (max {}), {} resyncs, p95 {} us",
+            shard.index,
+            shard.stats.printers,
+            shard.stats.chunks,
+            shard.queue_depth,
+            shard.max_queue_depth,
+            shard.stats.resyncs,
+            shard.chunk_latency_p95_us
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    am_telemetry::set_enabled(true); // live p95 latency in snapshots
+    eprintln!("training shared models (small profile, UM3) ...");
+    let sim = FleetSim::build(SimConfig::default())?;
+
+    let cfg = FleetConfig::default()
+        .with_shards(4)
+        .with_ingest(IngestPolicy::Block)
+        .with_chaos_panic(CRASHED, 40);
+    let mut fleet = Fleet::spawn(cfg);
+
+    // Register the farm: many printers, two shared trained models.
+    let mut scripts = Vec::new();
+    for id in (0..PRINTERS).map(PrinterId) {
+        fleet.register(id, sim.spec_of(id))?;
+        scripts.push(sim.script(id)?);
+    }
+    eprintln!(
+        "{} printers registered over 4 shards against {} shared models",
+        fleet.printers(),
+        sim.registry().len()
+    );
+
+    // Stream everything interleaved, draining alerts as they fan in.
+    let alerts = fleet.alerts();
+    let mut seen = std::collections::BTreeSet::new();
+    let longest = scripts.iter().map(|s| s.chunks.len()).max().unwrap_or(0);
+    for frame in 0..longest {
+        for script in &scripts {
+            if let Some(chunk) = script.chunks.get(frame) {
+                if let Err(rejected) = fleet.send(script.printer, chunk.clone()) {
+                    eprintln!("   rejected: {rejected}");
+                }
+            }
+        }
+        while let Ok(alert) = alerts.try_recv() {
+            if seen.insert(alert.printer) {
+                eprintln!(
+                    "!! ALERT {}: {} = {:.2} exceeded {:.2} at window {}",
+                    alert.printer,
+                    alert.alert.module,
+                    alert.alert.value,
+                    alert.alert.threshold,
+                    alert.alert.window
+                );
+            }
+        }
+        if frame % 80 == 0 {
+            print_snapshot(&fleet, frame);
+        }
+    }
+
+    let report = fleet.finish()?;
+    for alert in &report.leftover_alerts {
+        seen.insert(alert.printer);
+    }
+    println!(
+        "\nfleet done: {} chunks, {} alerts ({} lost), {} watchdog restarts",
+        report.snapshot.chunks(),
+        report.snapshot.alerts_emitted(),
+        report.snapshot.alerts_lost(),
+        report.snapshot.restarts()
+    );
+    println!("printer  model    print      sensors   verdict");
+    for r in &report.printers {
+        let script = &scripts[r.printer.0 as usize];
+        println!(
+            "{:>7}  {:8} {:10} {:9} {}{}",
+            r.printer.0,
+            script.key,
+            if script.malicious {
+                "ATTACKED"
+            } else {
+                "benign"
+            },
+            if script.faulted { "degraded" } else { "clean" },
+            if r.intrusion { "INTRUSION" } else { "clear" },
+            if r.restarts > 0 {
+                format!("  ({} restart)", r.restarts)
+            } else {
+                String::new()
+            }
+        );
+    }
+    let crashed = report.printer(CRASHED).expect("crashed printer reported");
+    println!(
+        "\nprinter {} survived a detector crash: {} restart(s), {} windows processed",
+        CRASHED.0, crashed.restarts, crashed.windows_seen
+    );
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! Fleet soak benchmark: how many printers one box can supervise.
+//!
+//! Streams the full deterministic print of N simulated printers (default
+//! 1000) through a sharded [`Fleet`] and records the measurements in
+//! `BENCH_fleet.json`: wall-clock, chunk throughput, realtime multiple
+//! (seconds of sensor data verified per wall second), peak queue depth,
+//! alert accounting, and detection outcomes. Asserts the soak
+//! invariants — every chunk processed, zero alerts lost, queue depth
+//! bounded by the configured capacity, no printer declared dead.
+//!
+//! ```sh
+//! cargo run --release --example fleet_soak [-- --printers N] [--shards N] [--out PATH]
+//! ```
+
+use am_fleet::sim::{FleetSim, SimConfig};
+use am_fleet::{AlertPolicy, Fleet, FleetConfig, IngestPolicy, PrinterId};
+use std::time::Instant;
+
+struct Args {
+    printers: u64,
+    shards: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        printers: 1000,
+        shards: 4,
+        out: "BENCH_fleet.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--printers" => parsed.printers = value("--printers").parse().expect("printer count"),
+            "--shards" => parsed.shards = value("--shards").parse().expect("shard count"),
+            "--out" => parsed.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    parsed
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let queue_capacity = 256;
+    eprintln!("training shared models (small profile, UM3) ...");
+    let t0 = Instant::now();
+    let sim = FleetSim::build(SimConfig::default())?;
+    let train_seconds = t0.elapsed().as_secs_f64();
+
+    eprintln!("scripting {} printers ...", args.printers);
+    let t0 = Instant::now();
+    let scripts = (0..args.printers)
+        .map(|id| sim.script(PrinterId(id)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let script_seconds = t0.elapsed().as_secs_f64();
+    let total_chunks: u64 = scripts.iter().map(|s| s.chunks.len() as u64).sum();
+    let sensor_seconds: f64 = scripts
+        .iter()
+        .flat_map(|s| s.chunks.iter())
+        .map(am_dsp::Signal::duration)
+        .sum();
+    let scripted_malicious = scripts.iter().filter(|s| s.malicious).count();
+    let scripted_faulted = scripts.iter().filter(|s| s.faulted).count();
+
+    // Block on both edges: the soak must account for every chunk and
+    // every alert, so nothing may be shed.
+    let cfg = FleetConfig::default()
+        .with_shards(args.shards)
+        .with_shard_queue_capacity(queue_capacity)
+        .with_ingest(IngestPolicy::Block)
+        .with_alert_policy(AlertPolicy::Block);
+    let mut fleet = Fleet::spawn(cfg);
+    for script in &scripts {
+        fleet.register(script.printer, sim.spec_of(script.printer))?;
+    }
+
+    // A live operator: drains the fan-in so full alert queues never
+    // stall the shard workers.
+    let alerts = fleet.alerts();
+    let drainer = std::thread::spawn(move || {
+        let mut received = 0u64;
+        while alerts.recv().is_ok() {
+            received += 1;
+        }
+        received
+    });
+
+    eprintln!(
+        "soaking: {} printers, {} shards, {} chunks ({:.0} s of sensor data) ...",
+        args.printers, args.shards, total_chunks, sensor_seconds
+    );
+    let t0 = Instant::now();
+    let longest = scripts.iter().map(|s| s.chunks.len()).max().unwrap_or(0);
+    for frame in 0..longest {
+        for script in &scripts {
+            if let Some(chunk) = script.chunks.get(frame) {
+                fleet
+                    .send(script.printer, chunk.clone())
+                    .expect("Block ingestion never rejects while shards live");
+            }
+        }
+    }
+    let report = fleet.finish()?;
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let received = drainer.join().expect("alert drainer") + report.leftover_alerts.len() as u64;
+
+    // Soak invariants (the CI smoke job runs this binary and relies on a
+    // non-zero exit code here).
+    let snap = &report.snapshot;
+    assert_eq!(snap.chunks(), total_chunks, "every chunk must be processed");
+    assert_eq!(snap.alerts_lost(), 0, "no alert may be lost");
+    assert_eq!(
+        received,
+        snap.alerts_emitted(),
+        "every emitted alert must reach the operator"
+    );
+    assert!(
+        snap.max_queue_depth() <= queue_capacity as u64,
+        "queue depth must stay bounded"
+    );
+    let dead: usize = snap.shards.iter().map(|s| s.stats.dead_printers).sum();
+    assert_eq!(dead, 0, "no printer may exhaust its restart budget");
+    assert_eq!(report.printers.len(), args.printers as usize);
+
+    let detected_malicious = report
+        .printers
+        .iter()
+        .filter(|r| r.intrusion && scripts[r.printer.0 as usize].malicious)
+        .count();
+    let false_alarms = report
+        .printers
+        .iter()
+        .filter(|r| r.intrusion && !scripts[r.printer.0 as usize].malicious)
+        .count();
+    let resyncs: u64 = snap.shards.iter().map(|s| s.stats.resyncs).sum();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fleet soak, small profile, UM3, acc+pwr models\",\n  \"command\": \"cargo run --release --example fleet_soak\",\n  \"printers\": {},\n  \"shards\": {},\n  \"shard_queue_capacity\": {},\n  \"train_seconds\": {:.3},\n  \"script_seconds\": {:.3},\n  \"soak_wall_seconds\": {:.3},\n  \"chunks\": {},\n  \"chunks_per_second\": {:.0},\n  \"sensor_seconds_verified\": {:.0},\n  \"realtime_multiple\": {:.1},\n  \"max_queue_depth\": {},\n  \"alerts_emitted\": {},\n  \"alerts_received\": {},\n  \"alerts_lost\": {},\n  \"resyncs\": {},\n  \"restarts\": {},\n  \"dead_printers\": {},\n  \"scripted_malicious\": {},\n  \"detected_malicious\": {},\n  \"false_alarms\": {},\n  \"scripted_faulted\": {}\n}}\n",
+        args.printers,
+        args.shards,
+        queue_capacity,
+        train_seconds,
+        script_seconds,
+        wall_seconds,
+        total_chunks,
+        total_chunks as f64 / wall_seconds,
+        sensor_seconds,
+        sensor_seconds / wall_seconds,
+        snap.max_queue_depth(),
+        snap.alerts_emitted(),
+        received,
+        snap.alerts_lost(),
+        resyncs,
+        snap.restarts(),
+        dead,
+        scripted_malicious,
+        detected_malicious,
+        false_alarms,
+        scripted_faulted,
+    );
+    std::fs::write(&args.out, &json)?;
+    println!("{json}");
+    eprintln!("wrote {}", args.out);
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! Compatibility contract: every `#[deprecated]` shim left behind by the
+//! builder/StreamSpec refactors must keep compiling AND keep producing
+//! verdicts byte-identical to the supported path — old integrations must
+//! see zero behavioural drift until the shims are removed.
+#![allow(deprecated)]
+
+use am_dsp::metrics::DistanceMetric;
+use am_dsp::Signal;
+use am_sync::{DwmParams, DwmSynchronizer};
+use nsync::streaming::monitor;
+use nsync::{
+    DiscriminatorConfig, HealthConfig, IdsBuilder, IdsConfig, NsyncIds, StreamSpec, StreamingIds,
+};
+
+fn benign(phase: f64) -> Signal {
+    Signal::from_fn(20.0, 1, 1600, |t, f| {
+        f[0] = (0.8 * t).sin() + 0.5 * (2.3 * t + phase).sin()
+    })
+    .unwrap()
+}
+
+fn attacked() -> Signal {
+    Signal::from_fn(20.0, 1, 1600, |t, f| {
+        f[0] = 1.5 * ((0.9 * t).sin() + 0.5 * (2.6 * t).sin())
+    })
+    .unwrap()
+}
+
+fn params() -> DwmParams {
+    DwmParams::from_window(4.0)
+}
+
+fn train_signals() -> Vec<Signal> {
+    (1..=4).map(|i| benign(i as f64 * 1e-3)).collect()
+}
+
+fn stream_all(ids: &mut StreamingIds, observed: &Signal) -> Vec<nsync::Alert> {
+    let mut alerts = Vec::new();
+    let mut i = 0;
+    while i < observed.len() {
+        let end = (i + 16).min(observed.len());
+        alerts.extend(ids.push(&observed.slice(i..end).unwrap()).unwrap());
+        i = end;
+    }
+    alerts
+}
+
+#[test]
+fn nsync_ids_new_and_with_metric_match_builder() {
+    let old = NsyncIds::new(Box::new(DwmSynchronizer::new(params())))
+        .with_metric(DistanceMetric::Manhattan)
+        .with_config(DiscriminatorConfig::default());
+    let new = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params()))
+        .metric(DistanceMetric::Manhattan)
+        .discriminator(DiscriminatorConfig::default())
+        .build()
+        .unwrap();
+
+    let old_trained = old.train(&train_signals(), benign(0.0), 0.3).unwrap();
+    let new_trained = new.train(&train_signals(), benign(0.0), 0.3).unwrap();
+    assert_eq!(
+        format!("{:?}", old_trained.thresholds()).into_bytes(),
+        format!("{:?}", new_trained.thresholds()).into_bytes(),
+        "training through the shim must learn identical thresholds"
+    );
+    for observed in [benign(5e-3), attacked()] {
+        let old_verdict = old_trained.detect(&observed).unwrap();
+        let new_verdict = new_trained.detect(&observed).unwrap();
+        assert_eq!(
+            format!("{old_verdict:?}").into_bytes(),
+            format!("{new_verdict:?}").into_bytes()
+        );
+    }
+}
+
+#[test]
+fn streaming_ids_new_matches_spec_open() {
+    let trained = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params()))
+        .build()
+        .unwrap()
+        .train(&train_signals(), benign(0.0), 0.3)
+        .unwrap();
+    let thresholds = trained.thresholds();
+
+    for observed in [benign(5e-3), attacked()] {
+        let mut old = StreamingIds::new(
+            benign(0.0),
+            &params(),
+            thresholds,
+            &DiscriminatorConfig::default(),
+        )
+        .unwrap()
+        .with_health_config(HealthConfig::default());
+        let mut new = StreamSpec::new(benign(0.0), params(), thresholds)
+            .with_config(
+                IdsConfig::default()
+                    .with_discriminator(DiscriminatorConfig::default())
+                    .with_health(HealthConfig::default()),
+            )
+            .open()
+            .unwrap();
+        let old_alerts = stream_all(&mut old, &observed);
+        let new_alerts = stream_all(&mut new, &observed);
+        assert_eq!(
+            format!("{old_alerts:?}").into_bytes(),
+            format!("{new_alerts:?}").into_bytes()
+        );
+        assert_eq!(old.intrusion_detected(), new.intrusion_detected());
+        assert_eq!(old.windows_seen(), new.windows_seen());
+    }
+}
+
+#[test]
+fn streaming_ids_resume_from_matches_spec_resume() {
+    let trained = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params()))
+        .build()
+        .unwrap()
+        .train(&train_signals(), benign(0.0), 0.3)
+        .unwrap();
+    let thresholds = trained.thresholds();
+    let observed = attacked();
+    let tail = observed.slice(800..observed.len()).unwrap();
+
+    let mut old = StreamingIds::resume_from(
+        benign(0.0),
+        &params(),
+        thresholds,
+        &DiscriminatorConfig::default(),
+        9,
+    )
+    .unwrap();
+    let mut new = StreamSpec::new(benign(0.0), params(), thresholds)
+        .with_config(IdsConfig::default().with_discriminator(DiscriminatorConfig::default()))
+        .resume(9)
+        .unwrap();
+    assert_eq!(old.windows_seen(), 9);
+    assert_eq!(new.windows_seen(), 9);
+    let old_alerts = stream_all(&mut old, &tail);
+    let new_alerts = stream_all(&mut new, &tail);
+    assert_eq!(
+        format!("{old_alerts:?}").into_bytes(),
+        format!("{new_alerts:?}").into_bytes()
+    );
+}
+
+#[test]
+fn monitor_spawn_shims_match_spec_spawn() {
+    let trained = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params()))
+        .build()
+        .unwrap()
+        .train(&train_signals(), benign(0.0), 0.3)
+        .unwrap();
+    let thresholds = trained.thresholds();
+    let observed = attacked();
+
+    let run = |handle: monitor::MonitorHandle| {
+        let mut i = 0;
+        while i < observed.len() {
+            let end = (i + 16).min(observed.len());
+            handle.send(observed.slice(i..end).unwrap());
+            i = end;
+        }
+        handle.finish().unwrap()
+    };
+
+    let via_shim = run(monitor::spawn(
+        benign(0.0),
+        &params(),
+        thresholds,
+        &DiscriminatorConfig::default(),
+    )
+    .unwrap());
+    let via_shim_with = run(monitor::spawn_with(
+        benign(0.0),
+        &params(),
+        thresholds,
+        &DiscriminatorConfig::default(),
+        monitor::MonitorConfig::default(),
+    )
+    .unwrap());
+    let via_spec = run(StreamSpec::new(benign(0.0), params(), thresholds)
+        .with_config(IdsConfig::default().with_discriminator(DiscriminatorConfig::default()))
+        .spawn()
+        .unwrap());
+
+    assert!(
+        !via_spec.is_empty(),
+        "the attacked stream must raise alerts"
+    );
+    assert_eq!(
+        format!("{via_shim:?}").into_bytes(),
+        format!("{via_spec:?}").into_bytes()
+    );
+    assert_eq!(
+        format!("{via_shim_with:?}").into_bytes(),
+        format!("{via_spec:?}").into_bytes()
+    );
+}

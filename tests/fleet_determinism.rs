@@ -1,0 +1,144 @@
+//! The fleet's load-bearing guarantee (DESIGN.md §11): every printer's
+//! verdict stream under fleet multiplexing is **byte-identical** to
+//! running that printer's `StreamSpec` alone — across 64 printers on two
+//! shared models, including degraded printers whose seeded fault plans
+//! push them through NaN quarantine and noisy-channel paths.
+
+use am_fleet::sim::{FleetSim, PrinterScript, SimConfig};
+use am_fleet::{Fleet, FleetConfig, IngestPolicy, PrinterId};
+use nsync::streaming::{Alert, ChunkOutcome, StreamSpec};
+use std::collections::BTreeMap;
+
+const PRINTERS: u64 = 64;
+/// Frames kept per printer (debug-mode runtime bound); representative
+/// printers keep their full print.
+const TRUNCATED_FRAMES: usize = 48;
+
+/// What one printer's detector produced, in a directly comparable form.
+#[derive(Debug, PartialEq)]
+struct Verdicts {
+    alerts: Vec<Alert>,
+    windows_seen: usize,
+    intrusion: bool,
+    health: String,
+}
+
+fn standalone(spec: &StreamSpec, script: &PrinterScript) -> Verdicts {
+    let mut ids = spec.open().expect("open standalone detector");
+    let mut alerts = Vec::new();
+    for chunk in &script.chunks {
+        match ids
+            .push_supervised(chunk)
+            .expect("supervised push never errors")
+        {
+            ChunkOutcome::Processed(batch) => alerts.extend(batch),
+            ChunkOutcome::Resynced | ChunkOutcome::Rejected(_) => {}
+        }
+    }
+    Verdicts {
+        alerts,
+        windows_seen: ids.windows_seen(),
+        intrusion: ids.intrusion_detected(),
+        health: format!("{:?}", ids.health_report()),
+    }
+}
+
+#[test]
+fn fleet_verdicts_are_byte_identical_to_standalone() {
+    let sim = FleetSim::build(SimConfig::default()).expect("sim builds");
+    let mut scripts: Vec<PrinterScript> = (0..PRINTERS)
+        .map(|id| sim.script(PrinterId(id)).expect("script builds"))
+        .collect();
+    // The seeded population must cover the interesting cases.
+    let faulted = scripts
+        .iter()
+        .position(|s| s.faulted)
+        .expect("a degraded printer") as u64;
+    let malicious = scripts
+        .iter()
+        .position(|s| s.malicious)
+        .expect("an attacked printer") as u64;
+    assert!(scripts.iter().any(|s| !s.malicious && !s.faulted));
+    // Representative printers stream their whole print (so real alert
+    // traffic and quarantine transitions are compared); the rest are
+    // truncated to keep debug-mode runtime bounded.
+    for script in &mut scripts {
+        let keep_full = [0, faulted, malicious].contains(&script.printer.0);
+        if !keep_full {
+            script.chunks.truncate(TRUNCATED_FRAMES);
+        }
+    }
+
+    // Fleet pass: 5 shards, interleaved ingestion, alerts drained live.
+    let cfg = FleetConfig::default()
+        .with_shards(5)
+        .with_ingest(IngestPolicy::Block);
+    let mut fleet = Fleet::spawn(cfg);
+    for script in &scripts {
+        fleet
+            .register(script.printer, sim.spec_of(script.printer))
+            .expect("register");
+    }
+    let alert_rx = fleet.alerts();
+    let mut fleet_alerts: BTreeMap<PrinterId, Vec<Alert>> = BTreeMap::new();
+    let longest = scripts.iter().map(|s| s.chunks.len()).max().unwrap();
+    for frame in 0..longest {
+        for script in &scripts {
+            if let Some(chunk) = script.chunks.get(frame) {
+                fleet
+                    .send(script.printer, chunk.clone())
+                    .expect("block ingest");
+            }
+        }
+        while let Ok(alert) = alert_rx.try_recv() {
+            fleet_alerts
+                .entry(alert.printer)
+                .or_default()
+                .push(alert.alert);
+        }
+    }
+    let report = fleet.finish().expect("clean shutdown");
+    for alert in &report.leftover_alerts {
+        fleet_alerts
+            .entry(alert.printer)
+            .or_default()
+            .push(alert.alert);
+    }
+    assert_eq!(report.snapshot.alerts_lost(), 0);
+    assert_eq!(report.printers.len(), PRINTERS as usize);
+
+    // Standalone pass: each printer's spec alone, same chunks.
+    let mut mismatches = Vec::new();
+    for script in &scripts {
+        let expected = standalone(&sim.spec_of(script.printer), script);
+        let reported = report.printer(script.printer).expect("printer reported");
+        let got = Verdicts {
+            alerts: fleet_alerts.remove(&script.printer).unwrap_or_default(),
+            windows_seen: reported.windows_seen,
+            intrusion: reported.intrusion,
+            health: format!("{:?}", reported.health),
+        };
+        // Byte-level identity of the whole verdict stream, not just
+        // value equality.
+        if format!("{expected:?}").into_bytes() != format!("{got:?}").into_bytes() {
+            mismatches.push((script.printer, expected, got));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} printers diverged from standalone; first: {:?}",
+        mismatches.len(),
+        mismatches.first()
+    );
+
+    // The degraded printer actually exercised the health machinery, so
+    // the identity above covers the quarantine paths too.
+    let degraded = report
+        .printer(PrinterId(faulted))
+        .expect("degraded printer reported");
+    assert!(
+        !degraded.health.all_healthy(),
+        "fault plan produced a fully healthy print: {:?}",
+        degraded.health
+    );
+}

@@ -1,0 +1,228 @@
+//! Fleet supervision behaviour: typed backpressure at the ingestion
+//! edge, per-printer watchdog restarts that never disturb neighbours,
+//! restart-budget exhaustion, lifecycle errors, and alert accounting
+//! under a full fan-in channel.
+
+use am_dsp::Signal;
+use am_fleet::{
+    AlertPolicy, Fleet, FleetConfig, FleetError, IngestPolicy, PrinterId, RejectReason,
+};
+use nsync::prelude::*;
+
+fn wave(phase: f64) -> Signal {
+    Signal::from_fn(20.0, 1, 1200, |t, f| {
+        f[0] = (0.7 * t).sin() + 0.4 * (2.1 * t + phase).sin()
+    })
+    .unwrap()
+}
+
+/// A toy trained spec over synthetic waves (fast enough for debug mode).
+fn toy_spec() -> StreamSpec {
+    let params = DwmParams::from_window(4.0);
+    let train: Vec<Signal> = (1..=4).map(|i| wave(i as f64 * 1e-3)).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
+    ids.train(&train, wave(0.0), 0.3)
+        .unwrap()
+        .stream_spec(params)
+}
+
+fn chunks_of(signal: &Signal, samples: usize) -> Vec<Signal> {
+    let mut chunks = Vec::new();
+    let mut i = 0;
+    while i < signal.len() {
+        let end = (i + samples).min(signal.len());
+        chunks.push(signal.slice(i..end).unwrap());
+        i = end;
+    }
+    chunks
+}
+
+#[test]
+fn watchdog_restart_does_not_disturb_shard_neighbours() {
+    let spec = std::sync::Arc::new(toy_spec());
+    let observed = wave(2e-3);
+    let chunks = chunks_of(&observed, 10);
+
+    // Reference: the victim's neighbour, run standalone.
+    let mut alone = spec.open().unwrap();
+    let mut alone_alerts = Vec::new();
+    for chunk in &chunks {
+        alone_alerts.extend(alone.push(chunk).unwrap());
+    }
+
+    // One shard, so victim and neighbour share a worker thread.
+    let victim = PrinterId(1);
+    let neighbour = PrinterId(2);
+    let cfg = FleetConfig::default()
+        .with_shards(1)
+        .with_ingest(IngestPolicy::Block)
+        .with_chaos_panic(victim, 5);
+    let mut fleet = Fleet::spawn(cfg);
+    fleet.register(victim, spec.clone()).unwrap();
+    fleet.register(neighbour, spec.clone()).unwrap();
+    for chunk in &chunks {
+        fleet.send(victim, chunk.clone()).unwrap();
+        fleet.send(neighbour, chunk.clone()).unwrap();
+    }
+    let report = fleet.finish().unwrap();
+
+    let v = report.printer(victim).unwrap();
+    assert_eq!(
+        v.restarts, 1,
+        "chaos panic must trigger exactly one restart"
+    );
+    assert!(!v.dead);
+    assert!(
+        v.windows_seen > 0,
+        "victim must keep processing after restart"
+    );
+    assert_eq!(report.snapshot.restarts(), 1);
+
+    let n = report.printer(neighbour).unwrap();
+    assert_eq!(n.restarts, 0);
+    assert_eq!(n.windows_seen, alone.windows_seen());
+    assert_eq!(n.intrusion, alone.intrusion_detected());
+    let n_alerts: Vec<_> = report
+        .leftover_alerts
+        .iter()
+        .filter(|a| a.printer == neighbour)
+        .map(|a| a.alert)
+        .collect();
+    assert_eq!(
+        format!("{n_alerts:?}"),
+        format!("{alone_alerts:?}"),
+        "neighbour's verdicts must be untouched by the victim's crash"
+    );
+}
+
+#[test]
+fn restart_budget_exhaustion_declares_the_printer_dead() {
+    let spec = std::sync::Arc::new(toy_spec());
+    let chunks = chunks_of(&wave(2e-3), 10);
+    let victim = PrinterId(9);
+    let cfg = FleetConfig::default()
+        .with_shards(1)
+        .with_ingest(IngestPolicy::Block)
+        .with_max_restarts_per_printer(0)
+        .with_chaos_panic(victim, 2);
+    let mut fleet = Fleet::spawn(cfg);
+    fleet.register(victim, spec).unwrap();
+    for chunk in &chunks {
+        fleet.send(victim, chunk.clone()).unwrap();
+    }
+    let report = fleet.finish().unwrap();
+    let v = report.printer(victim).unwrap();
+    assert!(v.dead, "zero restart budget must kill the printer");
+    assert_eq!(v.restarts, 0);
+    let stats = &report.snapshot.shards[0].stats;
+    assert_eq!(stats.dead_printers, 1);
+    // Chunks sent after death are counted, not processed.
+    assert!(stats.dead_printer_chunks > 0);
+    assert_eq!(stats.chunks, chunks.len() as u64);
+}
+
+#[test]
+fn full_queue_yields_typed_rejection_under_reject_policy() {
+    let spec = std::sync::Arc::new(toy_spec());
+    let printer = PrinterId(3);
+    let cfg = FleetConfig::default()
+        .with_shards(1)
+        .with_shard_queue_capacity(1)
+        .with_ingest(IngestPolicy::Reject);
+    let mut fleet = Fleet::spawn(cfg);
+    fleet.register(printer, spec).unwrap();
+
+    // The worker processes far slower than we can enqueue, so flooding a
+    // capacity-1 queue must hit QueueFull quickly.
+    let chunk = wave(2e-3).slice(0..600).unwrap();
+    let mut rejection = None;
+    for _ in 0..1_000_000 {
+        if let Err(rejected) = fleet.send(printer, chunk.clone()) {
+            rejection = Some(rejected);
+            break;
+        }
+    }
+    let rejected = rejection.expect("a capacity-1 queue must reject under flood");
+    assert_eq!(rejected.printer, printer);
+    assert_eq!(
+        rejected.reason,
+        RejectReason::QueueFull {
+            shard: 0,
+            capacity: 1
+        }
+    );
+    let snapshot = fleet.snapshot();
+    assert!(snapshot.rejected_chunks() > 0);
+    assert!(snapshot.max_queue_depth() <= 1);
+
+    // Unknown printers are rejected immediately and typed.
+    let unknown = fleet.send(PrinterId(999), chunk.clone()).unwrap_err();
+    assert_eq!(unknown.printer, PrinterId(999));
+    assert_eq!(unknown.reason, RejectReason::UnknownPrinter);
+    fleet.finish().unwrap();
+}
+
+#[test]
+fn lifecycle_errors_are_typed() {
+    let spec = std::sync::Arc::new(toy_spec());
+    let mut fleet = Fleet::spawn(FleetConfig::default().with_shards(2));
+    fleet.register(PrinterId(1), spec.clone()).unwrap();
+    assert!(matches!(
+        fleet.register(PrinterId(1), spec.clone()),
+        Err(FleetError::DuplicatePrinter(PrinterId(1)))
+    ));
+    assert!(matches!(
+        fleet.detach(PrinterId(2)),
+        Err(FleetError::UnknownPrinter(PrinterId(2)))
+    ));
+    // Detached printers stop ingesting but still appear in the report.
+    fleet.detach(PrinterId(1)).unwrap();
+    let chunk = wave(2e-3).slice(0..10).unwrap();
+    assert_eq!(
+        fleet.send(PrinterId(1), chunk).unwrap_err().reason,
+        RejectReason::UnknownPrinter
+    );
+    let report = fleet.finish().unwrap();
+    assert!(report.printer(PrinterId(1)).is_some());
+}
+
+#[test]
+fn blocking_alert_policy_loses_nothing_even_unconsumed() {
+    // An attacked stream against a tiny, blocking fan-in channel: the
+    // workers stall on alert sends until `finish` drains them — shutdown
+    // must not deadlock and every alert must surface in the report.
+    let spec = std::sync::Arc::new(toy_spec());
+    let attacked = Signal::from_fn(20.0, 1, 1200, |t, f| {
+        f[0] = 1.6 * ((0.9 * t).sin() + 0.5 * (2.6 * t).sin())
+    })
+    .unwrap();
+    let chunks = chunks_of(&attacked, 10);
+
+    let mut alone = spec.open().unwrap();
+    let mut expected = 0u64;
+    for chunk in &chunks {
+        expected += alone.push(chunk).unwrap().len() as u64;
+    }
+    assert!(expected > 1, "the distorted stream must raise alerts");
+
+    let printer = PrinterId(4);
+    let cfg = FleetConfig::default()
+        .with_shards(1)
+        .with_ingest(IngestPolicy::Block)
+        .with_alert_capacity(1)
+        .with_alert_policy(AlertPolicy::Block);
+    let mut fleet = Fleet::spawn(cfg);
+    fleet.register(printer, spec).unwrap();
+    for chunk in &chunks {
+        fleet.send(printer, chunk.clone()).unwrap();
+    }
+    let report = fleet.finish().unwrap();
+    assert_eq!(report.snapshot.alerts_lost(), 0);
+    assert_eq!(report.snapshot.alerts_dropped(), 0);
+    assert_eq!(report.snapshot.alerts_emitted(), expected);
+    assert_eq!(report.leftover_alerts.len() as u64, expected);
+    assert!(report.printer(printer).unwrap().intrusion);
+}

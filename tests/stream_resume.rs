@@ -1,0 +1,132 @@
+//! `StreamSpec::resume` round-trips: a detector that dies mid-print can
+//! be rebuilt from the shared spec at its last finished window, keeps
+//! the global window indexing, and still catches an attack in the tail
+//! of the print — the exact contract the single-printer monitor watchdog
+//! and the fleet's per-printer watchdog both rely on.
+
+use am_dsp::Signal;
+use nsync::prelude::*;
+
+fn benign(phase: f64) -> Signal {
+    Signal::from_fn(20.0, 1, 1600, |t, f| {
+        f[0] = (0.8 * t).sin() + 0.5 * (2.3 * t + phase).sin()
+    })
+    .unwrap()
+}
+
+/// Benign first half, strongly distorted second half — an attack that
+/// begins after the simulated detector death.
+fn tail_attacked() -> Signal {
+    Signal::from_fn(20.0, 1, 1600, |t, f| {
+        let clean = (0.8 * t).sin() + 0.5 * (2.3 * t + 2e-3).sin();
+        f[0] = if t < 40.0 { clean } else { 1.7 * clean + 0.3 };
+    })
+    .unwrap()
+}
+
+fn toy_spec() -> StreamSpec {
+    let params = DwmParams::from_window(4.0);
+    let train: Vec<Signal> = (1..=4).map(|i| benign(i as f64 * 1e-3)).collect();
+    let ids = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap();
+    ids.train(&train, benign(0.0), 0.3)
+        .unwrap()
+        .stream_spec(params)
+}
+
+fn feed(ids: &mut StreamingIds, signal: &Signal, range: std::ops::Range<usize>) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    let mut i = range.start;
+    while i < range.end {
+        let end = (i + 16).min(range.end);
+        alerts.extend(ids.push(&signal.slice(i..end).unwrap()).unwrap());
+        i = end;
+    }
+    alerts
+}
+
+#[test]
+fn resume_at_zero_is_byte_identical_to_open() {
+    let spec = toy_spec();
+    let observed = tail_attacked();
+    let mut opened = spec.open().unwrap();
+    let mut resumed = spec.resume(0).unwrap();
+    let a = feed(&mut opened, &observed, 0..observed.len());
+    let b = feed(&mut resumed, &observed, 0..observed.len());
+    assert_eq!(format!("{a:?}").into_bytes(), format!("{b:?}").into_bytes());
+    assert_eq!(opened.windows_seen(), resumed.windows_seen());
+    assert_eq!(opened.intrusion_detected(), resumed.intrusion_detected());
+}
+
+#[test]
+fn resume_after_death_keeps_global_window_indexing() {
+    let spec = toy_spec();
+    let observed = tail_attacked();
+    let half = observed.len() / 2;
+
+    // First detector dies halfway through the print.
+    let mut first = spec.open().unwrap();
+    let early_alerts = feed(&mut first, &observed, 0..half);
+    let died_at = first.windows_seen();
+    assert!(died_at > 0, "first half must complete windows");
+    assert!(
+        early_alerts.is_empty() && !first.intrusion_detected(),
+        "the benign first half must stay quiet"
+    );
+    drop(first); // the simulated monitor death
+
+    // The watchdog path: rebuild from the spec at the last finished
+    // window (the monitor and am-fleet both call exactly this).
+    let mut second = spec.resume(died_at).unwrap();
+    assert_eq!(
+        second.windows_seen(),
+        died_at,
+        "resume seats the window counter"
+    );
+    let late_alerts = feed(&mut second, &observed, half..observed.len());
+
+    // Window indices continue the global numbering rather than
+    // restarting at zero.
+    assert!(
+        late_alerts.iter().all(|a| a.window >= died_at),
+        "post-resume alerts must carry post-resume window indices: {late_alerts:?}"
+    );
+    assert!(second.windows_seen() > died_at);
+    // The tail attack is still caught by the resumed detector.
+    assert!(
+        second.intrusion_detected(),
+        "resumed detector must catch the tail attack"
+    );
+    // And the resumed health machine starts clean — death is not a
+    // sensor fault.
+    assert_eq!(second.health_report().resyncs, 0);
+}
+
+#[test]
+fn resume_survives_repeated_deaths() {
+    let spec = toy_spec();
+    let observed = tail_attacked();
+    let step = observed.len() / 4;
+    let mut windows = 0;
+    let mut intrusion = false;
+    let mut all_alerts = Vec::new();
+    // Four generations, each dying after a quarter of the print.
+    for generation in 0..4 {
+        let mut ids = spec.resume(windows).unwrap();
+        let start = generation * step;
+        let end = if generation == 3 {
+            observed.len()
+        } else {
+            start + step
+        };
+        all_alerts.extend(feed(&mut ids, &observed, start..end));
+        assert!(ids.windows_seen() >= windows);
+        windows = ids.windows_seen();
+        intrusion |= ids.intrusion_detected();
+    }
+    assert!(intrusion, "the attack must survive three detector deaths");
+    // Window indices across generations are globally monotonic.
+    assert!(all_alerts.windows(2).all(|w| w[0].window <= w[1].window));
+}
