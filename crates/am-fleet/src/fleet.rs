@@ -3,6 +3,7 @@
 
 use crate::config::{FleetConfig, IngestPolicy};
 use crate::registry::SpecRegistry;
+use crate::reload::{ReloadPlan, ReloadReport};
 use crate::shard::{run_shard, PrinterCell, ShardCmd, ShardShared};
 use crate::snapshot::{FleetReport, FleetSnapshot, ShardSnapshot};
 use crate::{FleetError, PrinterId};
@@ -169,6 +170,7 @@ impl Fleet {
             chunks: 0,
             malformed_chunks: 0,
             alerts_emitted: 0,
+            alerts_dropped: 0,
             restarts: 0,
             intrusion: false,
             dead: false,
@@ -197,6 +199,72 @@ impl Fleet {
             .get(key)
             .ok_or(FleetError::UnknownPrinter(printer))?;
         self.register(printer, spec)
+    }
+
+    /// Hot-swaps a registered printer's trained spec. The swap command
+    /// rides the printer's shard FIFO, so it takes effect at an exact
+    /// position in that printer's chunk sequence; the detector adopts
+    /// the new model in place (windows seen, health, and the CADHD
+    /// accumulator carry over — see
+    /// [`StreamingIds::adopt_spec`](nsync::StreamingIds::adopt_spec)),
+    /// and no other printer observes the reload. A dead printer is
+    /// revived from the new spec with a fresh restart budget.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownPrinter`] if the printer is not registered,
+    /// [`FleetError::ShardDown`] if its shard stopped accepting
+    /// commands. Spec *adoption* errors (shape mismatch) surface on the
+    /// shard as [`ShardStats::spec_swap_failures`](crate::ShardStats::spec_swap_failures).
+    pub fn swap_spec(
+        &mut self,
+        printer: PrinterId,
+        spec: Arc<StreamSpec>,
+    ) -> Result<(), FleetError> {
+        let &shard = self
+            .registered
+            .get(&printer)
+            .ok_or(FleetError::UnknownPrinter(printer))?;
+        self.shards[shard]
+            .tx
+            .send(ShardCmd::Swap(printer, spec))
+            .map_err(|_| FleetError::ShardDown(shard))
+    }
+
+    /// Applies a hot-reload plan (see [`crate::reload`]): drops first
+    /// (freeing ids), then adds, then spec swaps, resolving keys against
+    /// `registry`. Per-entry failures are collected in the report rather
+    /// than aborting the rest of the reload.
+    pub fn apply(&mut self, plan: &ReloadPlan, registry: &SpecRegistry) -> ReloadReport {
+        let mut report = ReloadReport::default();
+        for &printer in &plan.drop {
+            match self.detach(printer) {
+                Ok(()) => report.dropped.push(printer),
+                Err(e) => report.errors.push((printer, e)),
+            }
+        }
+        for (printer, key) in &plan.add {
+            let result = registry
+                .get(key)
+                .ok_or_else(|| FleetError::UnknownSpec(key.clone()))
+                .and_then(|spec| self.register(*printer, spec));
+            match result {
+                Ok(()) => report.added.push(*printer),
+                Err(e) => report.errors.push((*printer, e)),
+            }
+        }
+        for (printer, key) in &plan.swap {
+            let result = registry
+                .get(key)
+                .ok_or_else(|| FleetError::UnknownSpec(key.clone()))
+                .and_then(|spec| self.swap_spec(*printer, spec));
+            match result {
+                Ok(()) => report.swapped.push(*printer),
+                Err(e) => report.errors.push((*printer, e)),
+            }
+        }
+        am_telemetry::count!("fleet.reloads");
+        report
     }
 
     /// Retires a printer. Its final [`PrinterReport`](crate::PrinterReport)
@@ -296,9 +364,10 @@ impl Fleet {
     }
 
     /// Shuts the fleet down: closes the command queues, drains the alert
-    /// channel while the workers wind down (so [`AlertPolicy::Block`]
-    /// (crate::AlertPolicy::Block) cannot deadlock shutdown), joins every
-    /// worker, and returns the final per-printer reports.
+    /// channel while the workers wind down (so
+    /// [`AlertPolicy::Block`](crate::AlertPolicy::Block) cannot deadlock
+    /// shutdown), joins every worker, and returns the final per-printer
+    /// reports.
     pub fn finish(mut self) -> Result<FleetReport, FleetError> {
         for shard in &mut self.shards {
             // Dropping the sender ends the worker's command loop once the

@@ -60,6 +60,7 @@
 pub mod config;
 pub mod fleet;
 pub mod registry;
+pub mod reload;
 pub mod shard;
 pub mod sim;
 pub mod snapshot;
@@ -67,6 +68,7 @@ pub mod snapshot;
 pub use config::{AlertPolicy, FleetConfig, IngestPolicy};
 pub use fleet::{Fleet, FleetAlert, RejectReason, Rejected};
 pub use registry::SpecRegistry;
+pub use reload::{FleetManifest, ManifestError, ReloadPlan, ReloadReport};
 pub use shard::ShardStats;
 pub use snapshot::{FleetReport, FleetSnapshot, PrinterReport, ShardSnapshot};
 
@@ -96,6 +98,8 @@ pub enum FleetError {
     DuplicatePrinter(PrinterId),
     /// The printer id is not registered.
     UnknownPrinter(PrinterId),
+    /// A reload plan referenced a spec key the registry does not hold.
+    UnknownSpec(String),
     /// A shard worker thread stopped accepting commands.
     ShardDown(usize),
     /// A shard worker thread itself panicked (distinct from a detector
@@ -109,6 +113,7 @@ impl std::fmt::Display for FleetError {
             FleetError::Nsync(e) => write!(f, "detector error: {e}"),
             FleetError::DuplicatePrinter(p) => write!(f, "{p} is already registered"),
             FleetError::UnknownPrinter(p) => write!(f, "{p} is not registered"),
+            FleetError::UnknownSpec(key) => write!(f, "spec key `{key}` is not in the registry"),
             FleetError::ShardDown(s) => write!(f, "shard {s} is no longer accepting commands"),
             FleetError::ShardPanicked(s) => write!(f, "shard {s} worker thread panicked"),
         }

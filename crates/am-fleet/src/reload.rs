@@ -1,0 +1,254 @@
+//! Hot-reloadable fleet configuration: declarative manifests, diffing,
+//! and live application.
+//!
+//! A farm's printer roster changes while prints are running — machines
+//! join, retire, or get re-trained models after maintenance. Restarting
+//! the fleet for that would reset every in-flight verdict stream, so
+//! reconfiguration is expressed as data instead:
+//!
+//! 1. A [`FleetManifest`] declares the desired state: which printers
+//!    exist and which [`SpecRegistry`](crate::SpecRegistry) key each one
+//!    runs.
+//! 2. [`FleetManifest::diff`] against the previous manifest yields a
+//!    [`ReloadPlan`]: printers to add, drop, and swap specs for.
+//! 3. [`Fleet::apply`](crate::Fleet::apply) executes the plan through
+//!    the existing shard-command FIFO — registrations, detachments, and
+//!    spec swaps ride the same queues as chunks, so a printer that is
+//!    *not* named by the plan never observes the reload at all, and a
+//!    swapped printer's verdict stream continues (its detector adopts
+//!    the new spec in place via
+//!    [`StreamingIds::adopt_spec`](nsync::StreamingIds::adopt_spec),
+//!    keeping windows seen, health, and the CADHD accumulator).
+//!
+//! The manifest text format is deliberately trivial — one printer per
+//! line, comment and blank lines ignored — so it can live in a file a
+//! farm controller rewrites and a `SIGHUP`-style handler re-parses:
+//!
+//! ```text
+//! # printer-id  spec-key
+//! printer 1 um3/acc
+//! printer 2 um3/pwr
+//! ```
+
+use crate::{FleetError, PrinterId};
+use std::collections::BTreeMap;
+
+/// Desired fleet state: printer → spec-registry key. Ordered so diffs,
+/// plans, and reports are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetManifest {
+    entries: BTreeMap<PrinterId, String>,
+}
+
+/// A manifest line that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl FleetManifest {
+    /// An empty manifest (diffing a roster against it plans a full
+    /// start-up; diffing it against a roster plans a full drain).
+    pub fn new() -> FleetManifest {
+        FleetManifest::default()
+    }
+
+    /// Declares (or re-declares) a printer's spec key.
+    pub fn assign(&mut self, printer: PrinterId, key: &str) {
+        self.entries.insert(printer, key.to_string());
+    }
+
+    /// Parses the text format: `printer <id> <spec-key>` per line,
+    /// blank lines and `#` comments ignored. A printer declared twice
+    /// is an error — silently keeping either line would mask a
+    /// controller bug.
+    ///
+    /// # Errors
+    ///
+    /// A [`ManifestError`] naming the first offending line.
+    pub fn parse(text: &str) -> Result<FleetManifest, ManifestError> {
+        let mut manifest = FleetManifest::new();
+        for (index, raw) in text.lines().enumerate() {
+            let line = index + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut parts = content.split_whitespace();
+            let (kw, id, key) = (parts.next(), parts.next(), parts.next());
+            if kw != Some("printer") {
+                return Err(ManifestError {
+                    line,
+                    reason: format!("expected `printer <id> <spec-key>`, got `{content}`"),
+                });
+            }
+            let id: u64 = id
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ManifestError {
+                    line,
+                    reason: format!("printer id must be a u64, got `{}`", id.unwrap_or("")),
+                })?;
+            let Some(key) = key else {
+                return Err(ManifestError {
+                    line,
+                    reason: "missing spec key".to_string(),
+                });
+            };
+            if parts.next().is_some() {
+                return Err(ManifestError {
+                    line,
+                    reason: "trailing tokens after spec key".to_string(),
+                });
+            }
+            let printer = PrinterId(id);
+            if manifest.entries.contains_key(&printer) {
+                return Err(ManifestError {
+                    line,
+                    reason: format!("{printer} declared twice"),
+                });
+            }
+            manifest.assign(printer, key);
+        }
+        Ok(manifest)
+    }
+
+    /// The declared printers and their spec keys, in id order.
+    pub fn entries(&self) -> impl Iterator<Item = (PrinterId, &str)> {
+        self.entries.iter().map(|(p, k)| (*p, k.as_str()))
+    }
+
+    /// The spec key declared for `printer`, if any.
+    pub fn key_of(&self, printer: PrinterId) -> Option<&str> {
+        self.entries.get(&printer).map(String::as_str)
+    }
+
+    /// Number of declared printers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no printers are declared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The plan that turns `self` (the running state) into `next` (the
+    /// desired state): printers only in `next` are added, printers only
+    /// in `self` are dropped, printers in both whose key changed get a
+    /// spec swap. Printers with an unchanged key are untouched — the
+    /// whole point of reloading at this granularity.
+    pub fn diff(&self, next: &FleetManifest) -> ReloadPlan {
+        let mut plan = ReloadPlan::default();
+        for (printer, key) in &next.entries {
+            match self.entries.get(printer) {
+                None => plan.add.push((*printer, key.clone())),
+                Some(old) if old != key => plan.swap.push((*printer, key.clone())),
+                Some(_) => {}
+            }
+        }
+        for printer in self.entries.keys() {
+            if !next.entries.contains_key(printer) {
+                plan.drop.push(*printer);
+            }
+        }
+        plan
+    }
+}
+
+/// The delta between two manifests, ready for
+/// [`Fleet::apply`](crate::Fleet::apply). All lists are in printer-id
+/// order (built from ordered manifests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReloadPlan {
+    /// Printers to register, with their spec keys.
+    pub add: Vec<(PrinterId, String)>,
+    /// Printers to detach.
+    pub drop: Vec<PrinterId>,
+    /// Printers whose detector should adopt a different spec in place.
+    pub swap: Vec<(PrinterId, String)>,
+}
+
+impl ReloadPlan {
+    /// Total operations in the plan.
+    pub fn len(&self) -> usize {
+        self.add.len() + self.drop.len() + self.swap.len()
+    }
+
+    /// Whether the plan is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What [`Fleet::apply`](crate::Fleet::apply) actually did. Failures
+/// are per-printer and non-fatal: one bad entry (unknown spec key,
+/// duplicate id) must not abort the rest of a reload.
+#[derive(Debug, Default)]
+pub struct ReloadReport {
+    /// Printers registered.
+    pub added: Vec<PrinterId>,
+    /// Printers detached.
+    pub dropped: Vec<PrinterId>,
+    /// Printers whose spec swap was *enqueued* (adoption happens on the
+    /// shard thread; a shape-mismatched spec is rejected there and
+    /// counted in
+    /// [`ShardStats::spec_swap_failures`](crate::ShardStats::spec_swap_failures)).
+    pub swapped: Vec<PrinterId>,
+    /// Entries that failed fleet-side, with why.
+    pub errors: Vec<(PrinterId, FleetError)>,
+}
+
+impl ReloadReport {
+    /// Whether every entry applied cleanly.
+    pub fn clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_diff_roundtrip() {
+        let old = FleetManifest::parse(
+            "# roster\nprinter 1 um3/acc\nprinter 2 um3/pwr  # inline comment\nprinter 3 um3/acc\n",
+        )
+        .unwrap();
+        assert_eq!(old.len(), 3);
+        assert_eq!(old.key_of(PrinterId(2)), Some("um3/pwr"));
+        let new = FleetManifest::parse("printer 2 um3/acc\nprinter 3 um3/acc\nprinter 4 um3/pwr\n")
+            .unwrap();
+        let plan = old.diff(&new);
+        assert_eq!(plan.add, vec![(PrinterId(4), "um3/pwr".to_string())]);
+        assert_eq!(plan.drop, vec![PrinterId(1)]);
+        assert_eq!(plan.swap, vec![(PrinterId(2), "um3/acc".to_string())]);
+        assert_eq!(plan.len(), 3);
+        assert!(old.diff(&old).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for (text, want) in [
+            ("printers 1 k", "expected"),
+            ("printer x k", "u64"),
+            ("printer 1", "missing spec key"),
+            ("printer 1 k extra", "trailing"),
+            ("printer 1 a\nprinter 1 b", "twice"),
+        ] {
+            let err = FleetManifest::parse(text).unwrap_err();
+            assert!(err.reason.contains(want), "{text:?} → {err}");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Shared-nothing by construction — the worker owns every
 //! [`StreamingIds`] assigned to its shard, and the only cross-thread
-//! state is the counters cell behind [`ShardShared`] (never the detector
+//! state is the counters cell behind `ShardShared` (never the detector
 //! state itself, so the verdict stream cannot be perturbed by another
 //! shard's progress).
 
@@ -33,6 +33,10 @@ pub(crate) enum ShardCmd {
     Detach(PrinterId),
     /// One chunk of observed samples for a printer.
     Chunk(PrinterId, Signal),
+    /// Hot-swap a printer's trained spec in place (fleet reload). Rides
+    /// the same FIFO as chunks, so the swap lands at an exact position
+    /// in the printer's chunk sequence and other printers are untouched.
+    Swap(PrinterId, Arc<StreamSpec>),
 }
 
 /// One printer's state as owned by its shard worker.
@@ -45,6 +49,7 @@ pub(crate) struct PrinterCell {
     pub(crate) chunks: u64,
     pub(crate) malformed_chunks: u64,
     pub(crate) alerts_emitted: u64,
+    pub(crate) alerts_dropped: u64,
     pub(crate) restarts: usize,
     pub(crate) intrusion: bool,
     /// Restart budget exhausted: chunks are counted but no longer fed.
@@ -83,6 +88,12 @@ pub struct ShardStats {
     pub alerts_dropped: u64,
     /// Alerts lost because the alert receiver was gone.
     pub alerts_lost: u64,
+    /// Spec hot-swaps adopted by live detectors (including dead-printer
+    /// revivals).
+    pub spec_swaps: u64,
+    /// Spec hot-swaps refused (shape mismatch, unknown printer, or a
+    /// revival that failed to resume).
+    pub spec_swap_failures: u64,
 }
 
 /// Cross-thread cell owning a shard's observable state.
@@ -120,6 +131,7 @@ fn report_of(cell: &PrinterCell) -> PrinterReport {
         chunks: cell.chunks,
         malformed_chunks: cell.malformed_chunks,
         alerts_emitted: cell.alerts_emitted,
+        alerts_dropped: cell.alerts_dropped,
         restarts: cell.restarts,
         dead: cell.dead,
         health: cell.ids.health_report(),
@@ -160,6 +172,7 @@ pub(crate) fn run_shard(
                     latency.record(t0.elapsed());
                 }
             }
+            ShardCmd::Swap(id, spec) => swap_printer(id, spec, &mut printers, shared),
         }
     }
     let mut reports = shared.reports.lock();
@@ -222,6 +235,7 @@ fn process_chunk(
                     },
                 }
             }
+            cell.alerts_dropped += dropped;
             let mut s = shared.stats.lock();
             s.chunks += 1;
             s.windows_seen += (windows_after - windows_before) as u64;
@@ -230,6 +244,9 @@ fn process_chunk(
             s.alerts_lost += lost;
             if emitted > 0 {
                 am_telemetry::count!("fleet.alerts", emitted);
+            }
+            if dropped > 0 {
+                am_telemetry::count!("fleet.alerts_dropped", dropped);
             }
         }
         Ok(Ok(ChunkOutcome::Resynced)) => {
@@ -248,6 +265,51 @@ fn process_chunk(
         Ok(Err(_)) | Err(_) => {
             shared.stats.lock().chunks += 1;
             restart_printer(cell, shared, cfg);
+        }
+    }
+}
+
+/// Hot-swap one printer's trained spec. A live detector adopts it in
+/// place ([`StreamingIds::adopt_spec`](nsync::StreamingIds::adopt_spec)
+/// preserves windows seen, health, and the CADHD accumulator); a *dead*
+/// printer is revived from the new spec with a fresh restart budget —
+/// a re-trained model is exactly the operator action that should re-arm
+/// the watchdog.
+fn swap_printer(
+    id: PrinterId,
+    spec: Arc<StreamSpec>,
+    printers: &mut HashMap<PrinterId, PrinterCell>,
+    shared: &Arc<ShardShared>,
+) {
+    let Some(cell) = printers.get_mut(&id) else {
+        shared.stats.lock().spec_swap_failures += 1;
+        return;
+    };
+    if cell.dead {
+        match spec.resume(cell.ids.windows_seen()) {
+            Ok(ids) => {
+                cell.ids = ids;
+                cell.spec = spec;
+                cell.dead = false;
+                cell.restarts = 0;
+                let mut s = shared.stats.lock();
+                s.dead_printers = s.dead_printers.saturating_sub(1);
+                s.spec_swaps += 1;
+                am_telemetry::count!("fleet.spec_swaps");
+            }
+            Err(_) => shared.stats.lock().spec_swap_failures += 1,
+        }
+        return;
+    }
+    match cell.ids.adopt_spec(&spec) {
+        Ok(()) => {
+            cell.spec = spec;
+            shared.stats.lock().spec_swaps += 1;
+            am_telemetry::count!("fleet.spec_swaps");
+        }
+        Err(_) => {
+            shared.stats.lock().spec_swap_failures += 1;
+            am_telemetry::count!("fleet.spec_swap_failures");
         }
     }
 }

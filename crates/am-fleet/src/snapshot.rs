@@ -101,6 +101,10 @@ pub struct PrinterReport {
     pub malformed_chunks: u64,
     /// Alerts its detector emitted.
     pub alerts_emitted: u64,
+    /// Of those, alerts dropped from the full fan-in channel under
+    /// [`AlertPolicy::DropAndCount`](crate::AlertPolicy::DropAndCount) —
+    /// the verdict still latched, but nobody downstream saw the alert.
+    pub alerts_dropped: u64,
     /// Watchdog restarts performed for this printer.
     pub restarts: usize,
     /// Whether the restart budget was exhausted.

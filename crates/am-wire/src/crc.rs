@@ -1,0 +1,57 @@
+//! IEEE CRC-32 (polynomial `0xEDB88320`), table-driven, computed at
+//! compile time — the same checksum Ethernet, gzip, and PNG use, so any
+//! off-the-shelf capture tool can validate recorded wire logs.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE, reflected, init/xorout `0xFFFFFFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let base = crc32(b"the quick brown fox");
+        let mut bytes = *b"the quick brown fox";
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x01;
+            assert_ne!(crc32(&bytes), base, "flip at byte {i}");
+            bytes[i] ^= 0x01;
+        }
+    }
+}

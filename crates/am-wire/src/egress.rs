@@ -1,0 +1,654 @@
+//! SIEM-grade alert egress: CEF/JSON rendering with field sanitization,
+//! and a delivery worker with bounded retry, exponential backoff with
+//! deterministic jitter, and a dead-letter spool.
+//!
+//! An intrusion alert that never reaches the SOC never happened. The
+//! fleet's in-process fan-in ([`Fleet::alerts`](am_fleet::Fleet::alerts))
+//! stops at the process boundary; this module carries alerts the rest of
+//! the way: each [`FleetAlert`] is rendered into
+//! ArcSight CEF or JSON-lines (every dynamic field sanitized — `|`, `=`,
+//! `\`, newlines, and control characters can otherwise corrupt a SIEM
+//! parse or forge extra fields), then handed to an [`AlertSink`] under a
+//! retry policy. Deliveries that exhaust their retry budget land in a
+//! bounded dead-letter spool instead of vanishing, and every outcome is
+//! counted (`egress.delivered` / `egress.retries` / `egress.dead_letters`
+//! in `am-telemetry`, plus [`EgressStats`]).
+
+use am_fleet::{FleetAlert, PrinterId};
+use crossbeam::channel::Receiver;
+use nsync::prelude::SubModule;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Escapes a value for a CEF *header* field (the `|`-separated prefix):
+/// backslash and pipe are escaped, newlines and control characters are
+/// replaced by spaces (headers are single-line by definition).
+pub fn sanitize_cef_header(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\|"),
+            '\r' | '\n' => out.push(' '),
+            c if c.is_control() => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a value for a CEF *extension* field (the `key=value` tail):
+/// backslash, equals, and newlines are escaped per the CEF spec; other
+/// control characters are hex-escaped so no raw byte below 0x20 ever
+/// reaches the SIEM.
+pub fn sanitize_cef_extension(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '=' => out.push_str("\\="),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c if c.is_control() => out.push_str(&format!("\\x{:02x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for a JSON value per RFC 8259.
+pub fn sanitize_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Output format of the egress worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertFormat {
+    /// ArcSight Common Event Format, one event per line.
+    Cef,
+    /// JSON lines, one object per line.
+    Json,
+}
+
+/// Static identity fields of the CEF prefix (`CEF:0|vendor|product|...`).
+#[derive(Debug, Clone)]
+pub struct CefDevice {
+    /// CEF `Device Vendor`.
+    pub vendor: String,
+    /// CEF `Device Product`.
+    pub product: String,
+    /// CEF `Device Version`.
+    pub version: String,
+}
+
+impl Default for CefDevice {
+    fn default() -> Self {
+        CefDevice {
+            vendor: "nsync".to_string(),
+            product: "am-ids".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+}
+
+fn signature_of(module: SubModule) -> (&'static str, &'static str, u8) {
+    // (signature id, human name, CEF severity 0–10). The vertical
+    // distance is the paper's strongest sub-module, hence the highest
+    // severity; CADHD accumulates slowly and fires late, hence lower.
+    match module {
+        SubModule::CDisp => (
+            "nsync:cdisp",
+            "cumulative alignment displacement exceeded",
+            7,
+        ),
+        SubModule::HDist => ("nsync:hdist", "horizontal (timing) distance exceeded", 8),
+        SubModule::VDist => ("nsync:vdist", "vertical (magnitude) distance exceeded", 9),
+    }
+}
+
+/// Renders one fleet alert as a single-line CEF:0 event. Every dynamic
+/// field passes through the sanitizers above.
+pub fn to_cef(alert: &FleetAlert, device: &CefDevice) -> String {
+    let (sig, name, severity) = signature_of(alert.alert.module);
+    format!(
+        "CEF:0|{}|{}|{}|{}|{}|{}|suser={} cs1Label=window cs1={} cs2Label=threshold cs2={} cf1Label=value cf1={}",
+        sanitize_cef_header(&device.vendor),
+        sanitize_cef_header(&device.product),
+        sanitize_cef_header(&device.version),
+        sanitize_cef_header(sig),
+        sanitize_cef_header(name),
+        severity,
+        sanitize_cef_extension(&alert.printer.to_string()),
+        alert.alert.window,
+        alert.alert.threshold,
+        alert.alert.value,
+    )
+}
+
+/// A [`FleetAlert`] paired with its CEF device identity; [`Display`]
+/// (and therefore `to_string`) renders the sanitized single-line CEF:0
+/// event — handy for formatting alerts outside the egress worker.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone)]
+pub struct CefAlert<'a> {
+    /// The alert to render.
+    pub alert: &'a FleetAlert,
+    /// The device identity for the CEF prefix.
+    pub device: &'a CefDevice,
+}
+
+impl std::fmt::Display for CefAlert<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&to_cef(self.alert, self.device))
+    }
+}
+
+/// Renders one fleet alert as a single-line JSON object.
+pub fn to_json(alert: &FleetAlert) -> String {
+    let (sig, name, severity) = signature_of(alert.alert.module);
+    format!(
+        "{{\"signature\":\"{}\",\"name\":\"{}\",\"severity\":{},\"printer\":\"{}\",\"window\":{},\"value\":{},\"threshold\":{}}}",
+        sanitize_json(sig),
+        sanitize_json(name),
+        severity,
+        sanitize_json(&alert.printer.to_string()),
+        alert.alert.window,
+        alert.alert.value,
+        alert.alert.threshold,
+    )
+}
+
+/// Where rendered alert lines go. Implementations must be cheap to call
+/// repeatedly with the same line: the retry loop re-delivers verbatim.
+pub trait AlertSink: Send {
+    /// Delivers one rendered alert line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the transient failure; the
+    /// worker retries per its [`RetryPolicy`].
+    fn deliver(&mut self, line: &str) -> Result<(), String>;
+}
+
+/// Newline-delimited delivery over TCP (the classic syslog-ish SIEM
+/// collector input). Reconnects lazily: a failed write drops the
+/// connection so the next attempt dials afresh.
+pub struct TcpSink {
+    addr: String,
+    connect_timeout: Duration,
+    conn: Option<TcpStream>,
+}
+
+impl TcpSink {
+    /// A sink dialing `addr` (e.g. `"siem.example:6514"`) on demand.
+    pub fn new(addr: impl Into<String>, connect_timeout: Duration) -> TcpSink {
+        TcpSink {
+            addr: addr.into(),
+            connect_timeout,
+            conn: None,
+        }
+    }
+}
+
+impl AlertSink for TcpSink {
+    fn deliver(&mut self, line: &str) -> Result<(), String> {
+        use std::net::ToSocketAddrs;
+        if self.conn.is_none() {
+            let addr = self
+                .addr
+                .to_socket_addrs()
+                .map_err(|e| format!("resolve {}: {e}", self.addr))?
+                .next()
+                .ok_or_else(|| format!("resolve {}: no address", self.addr))?;
+            let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            stream.set_nodelay(true).ok();
+            self.conn = Some(stream);
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        let result = conn
+            .write_all(line.as_bytes())
+            .and_then(|()| conn.write_all(b"\n"));
+        if let Err(e) = result {
+            self.conn = None;
+            return Err(format!("write {}: {e}", self.addr));
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory sink (tests, examples, and local capture): lines land
+/// in a shared vector.
+#[derive(Default, Clone)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Everything delivered so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+impl AlertSink for MemorySink {
+    fn deliver(&mut self, line: &str) -> Result<(), String> {
+        self.lines.lock().push(line.to_string());
+        Ok(())
+    }
+}
+
+/// Bounded-retry policy with exponential backoff and deterministic
+/// jitter (no RNG: jitter derives from the alert's sequence number and
+/// attempt, so replayed runs back off identically).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Re-delivery attempts after the first failure (so an alert is
+    /// tried `1 + max_retries` times in total).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+    /// Jitter as a fraction of the backoff, in `[0, 1]`: each sleep is
+    /// scaled by a deterministic factor in `[1 - jitter, 1 + jitter]`
+    /// so synchronized retry storms de-correlate.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+            jitter: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (1-based) of alert `seq`.
+    pub fn backoff(&self, seq: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
+            .min(self.max_backoff);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // SplitMix64 of (seq, attempt) → uniform factor in [1-j, 1+j].
+        let mut x = seq
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(attempt as u64);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let unit = (x ^ (x >> 31)) as f64 / u64::MAX as f64;
+        exp.mul_f64(1.0 - jitter + 2.0 * jitter * unit)
+    }
+}
+
+/// An alert whose delivery exhausted its retry budget, preserved rather
+/// than lost.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// The printer whose alert could not be delivered.
+    pub printer: PrinterId,
+    /// The rendered line exactly as it was (re)tried.
+    pub line: String,
+    /// The last sink error.
+    pub error: String,
+    /// Total delivery attempts made.
+    pub attempts: u32,
+}
+
+/// Egress worker configuration.
+///
+/// `#[non_exhaustive]`: construct with [`Default`] and the `with_*`
+/// methods, matching the house style.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct EgressConfig {
+    /// Rendered output format.
+    pub format: AlertFormat,
+    /// CEF device identity (ignored for [`AlertFormat::Json`]).
+    pub device: CefDevice,
+    /// Retry policy per alert.
+    pub retry: RetryPolicy,
+    /// Dead letters kept in the spool; beyond this the oldest is evicted
+    /// (and counted) so a dead SIEM cannot exhaust memory.
+    pub dead_letter_capacity: usize,
+}
+
+impl Default for EgressConfig {
+    fn default() -> Self {
+        EgressConfig {
+            format: AlertFormat::Cef,
+            device: CefDevice::default(),
+            retry: RetryPolicy::default(),
+            dead_letter_capacity: 4096,
+        }
+    }
+}
+
+impl EgressConfig {
+    /// Overrides the output format.
+    #[must_use]
+    pub fn with_format(mut self, format: AlertFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Overrides the CEF device identity.
+    #[must_use]
+    pub fn with_device(mut self, device: CefDevice) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Overrides the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the dead-letter spool capacity.
+    #[must_use]
+    pub fn with_dead_letter_capacity(mut self, capacity: usize) -> Self {
+        self.dead_letter_capacity = capacity;
+        self
+    }
+}
+
+/// Live egress counters (cumulative since spawn; also mirrored into
+/// `am-telemetry` as `egress.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EgressStats {
+    /// Alerts delivered to the sink (possibly after retries).
+    pub delivered: u64,
+    /// Individual re-delivery attempts across all alerts.
+    pub retries: u64,
+    /// Alerts that exhausted their retry budget and were spooled.
+    pub dead_letters: u64,
+    /// Dead letters evicted because the spool itself overflowed.
+    pub spool_evicted: u64,
+}
+
+struct EgressShared {
+    delivered: AtomicU64,
+    retries: AtomicU64,
+    dead_letters: AtomicU64,
+    spool_evicted: AtomicU64,
+    spool: Mutex<Vec<DeadLetter>>,
+}
+
+/// The delivery worker: consumes the fleet's alert fan-in on its own
+/// thread and pushes rendered events into an [`AlertSink`] under the
+/// configured retry policy. Spawn with [`AlertEgress::spawn`]; collect
+/// the final accounting with [`AlertEgress::finish`].
+pub struct AlertEgress {
+    shared: Arc<EgressShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AlertEgress {
+    /// Spawns the worker on `alerts` (the receiver from
+    /// [`Fleet::alerts`](am_fleet::Fleet::alerts)). The worker exits
+    /// when the channel disconnects — i.e. after
+    /// [`Fleet::finish`](am_fleet::Fleet::finish) — having drained every
+    /// queued alert.
+    pub fn spawn(
+        alerts: Receiver<FleetAlert>,
+        mut sink: Box<dyn AlertSink>,
+        cfg: EgressConfig,
+    ) -> AlertEgress {
+        let shared = Arc::new(EgressShared {
+            delivered: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            dead_letters: AtomicU64::new(0),
+            spool_evicted: AtomicU64::new(0),
+            spool: Mutex::new(Vec::new()),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("am-wire-egress".to_string())
+            .spawn(move || {
+                for (seq, alert) in (0_u64..).zip(alerts.iter()) {
+                    let line = match cfg.format {
+                        AlertFormat::Cef => to_cef(&alert, &cfg.device),
+                        AlertFormat::Json => to_json(&alert),
+                    };
+                    deliver_one(&alert, &line, seq, sink.as_mut(), &cfg, &worker_shared);
+                }
+            })
+            .expect("spawn alert egress worker");
+        AlertEgress {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> EgressStats {
+        EgressStats {
+            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
+            dead_letters: self.shared.dead_letters.load(Ordering::Relaxed),
+            spool_evicted: self.shared.spool_evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Waits for the worker to drain (the alert channel must have been
+    /// disconnected, e.g. by [`Fleet::finish`](am_fleet::Fleet::finish))
+    /// and returns the final counters plus the dead-letter spool.
+    pub fn finish(mut self) -> (EgressStats, Vec<DeadLetter>) {
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("egress worker never panics");
+        }
+        let stats = self.stats();
+        let spool = std::mem::take(&mut *self.shared.spool.lock());
+        (stats, spool)
+    }
+}
+
+fn deliver_one(
+    alert: &FleetAlert,
+    line: &str,
+    seq: u64,
+    sink: &mut dyn AlertSink,
+    cfg: &EgressConfig,
+    shared: &EgressShared,
+) {
+    let mut attempts: u32 = 0;
+    loop {
+        attempts += 1;
+        match sink.deliver(line) {
+            Ok(()) => {
+                shared.delivered.fetch_add(1, Ordering::Relaxed);
+                am_telemetry::count!("egress.delivered");
+                return;
+            }
+            Err(error) => {
+                if attempts > cfg.retry.max_retries {
+                    shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                    am_telemetry::count!("egress.dead_letters");
+                    let mut spool = shared.spool.lock();
+                    if spool.len() >= cfg.dead_letter_capacity.max(1) {
+                        spool.remove(0);
+                        shared.spool_evicted.fetch_add(1, Ordering::Relaxed);
+                        am_telemetry::count!("egress.spool_evicted");
+                    }
+                    spool.push(DeadLetter {
+                        printer: alert.printer,
+                        line: line.to_string(),
+                        error,
+                        attempts,
+                    });
+                    return;
+                }
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                am_telemetry::count!("egress.retries");
+                std::thread::sleep(cfg.retry.backoff(seq, attempts));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use nsync::streaming::Alert;
+
+    fn alert(printer: u64) -> FleetAlert {
+        FleetAlert {
+            printer: PrinterId(printer),
+            alert: Alert {
+                window: 12,
+                module: SubModule::VDist,
+                value: 1.5,
+                threshold: 0.9,
+            },
+        }
+    }
+
+    #[test]
+    fn cef_line_is_sanitized_and_parseable() {
+        let device = CefDevice {
+            vendor: "bad|vendor\nx".to_string(),
+            product: "p=q".to_string(),
+            version: "1".to_string(),
+        };
+        let line = to_cef(&alert(3), &device);
+        assert!(line.starts_with("CEF:0|"));
+        assert!(!line.contains('\n'), "{line}");
+        // The raw pipe in the vendor must be escaped: exactly 7 unescaped
+        // pipes separate the 8 CEF fields.
+        let unescaped = line
+            .as_bytes()
+            .windows(2)
+            .filter(|w| w[1] == b'|' && w[0] != b'\\')
+            .count();
+        assert_eq!(unescaped, 7, "{line}");
+        assert!(line.contains("suser=printer-3"));
+    }
+
+    #[test]
+    fn json_line_escapes_control_characters() {
+        let line = to_json(&alert(1));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"printer\":\"printer-1\""));
+        assert_eq!(sanitize_json("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+        assert_eq!(sanitize_cef_extension("k=v\nx"), "k\\=v\\nx");
+    }
+
+    #[test]
+    fn backoff_grows_and_jitter_is_deterministic() {
+        let retry = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.2,
+        };
+        assert_eq!(retry.backoff(7, 1), retry.backoff(7, 1));
+        let b1 = retry.backoff(7, 1);
+        let b4 = retry.backoff(7, 4);
+        assert!(b4 > b1, "{b1:?} vs {b4:?}");
+        assert!(retry.backoff(7, 20) <= Duration::from_millis(600));
+    }
+
+    /// Fails the first `failures` deliveries, then succeeds.
+    struct Flaky {
+        failures: u32,
+        inner: MemorySink,
+    }
+
+    impl AlertSink for Flaky {
+        fn deliver(&mut self, line: &str) -> Result<(), String> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err("transient".to_string());
+            }
+            self.inner.deliver(line)
+        }
+    }
+
+    #[test]
+    fn retries_then_delivers() {
+        let (tx, rx) = bounded(8);
+        let sink = MemorySink::new();
+        let egress = AlertEgress::spawn(
+            rx,
+            Box::new(Flaky {
+                failures: 2,
+                inner: sink.clone(),
+            }),
+            EgressConfig::default().with_retry(RetryPolicy {
+                max_retries: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                jitter: 0.0,
+            }),
+        );
+        tx.send(alert(5)).unwrap();
+        drop(tx);
+        let (stats, dead) = egress.finish();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.retries, 2);
+        assert!(dead.is_empty());
+        assert_eq!(sink.lines().len(), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_land_in_the_dead_letter_spool() {
+        let (tx, rx) = bounded(8);
+        let egress = AlertEgress::spawn(
+            rx,
+            Box::new(Flaky {
+                failures: u32::MAX,
+                inner: MemorySink::new(),
+            }),
+            EgressConfig::default()
+                .with_format(AlertFormat::Json)
+                .with_dead_letter_capacity(1)
+                .with_retry(RetryPolicy {
+                    max_retries: 1,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(1),
+                    jitter: 0.0,
+                }),
+        );
+        tx.send(alert(1)).unwrap();
+        tx.send(alert(2)).unwrap();
+        drop(tx);
+        let (stats, dead) = egress.finish();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dead_letters, 2);
+        assert_eq!(stats.spool_evicted, 1, "capacity-1 spool evicts one");
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].printer, PrinterId(2));
+        assert_eq!(dead[0].attempts, 2);
+    }
+}

@@ -1,0 +1,541 @@
+//! The AMW1 wire format: compact, versioned, length-prefixed binary
+//! frames carrying one sensor chunk each.
+//!
+//! Byte layout (all integers little-endian; DESIGN.md §12.1):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        b"AMW\x01" (3 magic bytes + version byte)
+//!      4     1  channel      side-channel tag (free-form u8, logged only)
+//!      5     1  reserved     must be 0 in v1
+//!      6     8  printer_id   u64
+//!     14     8  seq          per-source monotone sequence number
+//!     22     4  payload_len  u32, bytes of payload that follow
+//!     26     …  payload      fs: f64 | channels: u16 | samples: u32 | data
+//!      …     4  crc32        IEEE CRC-32 over bytes [0, 26 + payload_len)
+//! ```
+//!
+//! The payload's `data` section is channel-major `f64` samples
+//! (`channels × samples × 8` bytes); its internal lengths must agree with
+//! `payload_len` exactly or the frame is rejected as [`WireError::BadPayload`].
+//!
+//! Decoding **never panics and never trusts a length it has not
+//! validated**: `payload_len` is checked against the decoder's
+//! `max_frame_bytes` *before* any allocation, so a hostile 4 GiB length
+//! prefix costs nothing. Every malformed input maps to a typed
+//! [`WireError`]; the fuzz suite (`tests/wire_fuzz.rs`) feeds random and
+//! mutated byte streams through [`FrameDecoder`] asserting exactly that.
+
+use crate::crc::crc32;
+use am_dsp::Signal;
+use am_fleet::PrinterId;
+
+/// Three magic bytes + the format version as the fourth byte.
+pub const MAGIC: [u8; 3] = *b"AMW";
+/// Current wire format version.
+pub const VERSION: u8 = 1;
+/// Fixed header size (everything before the payload).
+pub const HEADER_LEN: usize = 26;
+/// CRC trailer size.
+pub const TRAILER_LEN: usize = 4;
+/// Payload prelude: fs (f64) + channels (u16) + samples (u32).
+pub const PAYLOAD_PRELUDE_LEN: usize = 14;
+
+/// Why a byte sequence was rejected by the decoder (or a decoded frame
+/// by the delivery edge). Never panics, never carries a partially
+/// decoded chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended inside a frame (datagram decode, or TCP EOF with
+    /// buffered bytes).
+    Truncated {
+        /// Bytes needed to finish the pending frame.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first bytes are not `b"AMW"` — the stream is not (or no
+    /// longer) AMW1-framed.
+    BadMagic {
+        /// The three bytes found where the magic belongs.
+        found: [u8; 3],
+    },
+    /// Recognized magic but an unsupported version byte.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The CRC-32 trailer does not match the received bytes.
+    BadCrc {
+        /// CRC computed over the received frame.
+        computed: u32,
+        /// CRC carried in the trailer.
+        found: u32,
+    },
+    /// The length prefix exceeds the decoder's frame budget. Checked
+    /// before any payload allocation.
+    Oversized {
+        /// The declared payload length.
+        declared: usize,
+        /// The configured maximum frame size (header + payload + CRC).
+        max: usize,
+    },
+    /// The frame is well-formed at the byte level but its payload is
+    /// not a valid sensor chunk (inconsistent lengths, non-finite or
+    /// non-positive sample rate, zero channels, trailing bytes).
+    BadPayload {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A decoded frame addressed a printer the fleet does not know
+    /// (raised by the delivery edge, not the byte decoder).
+    UnknownPrinter {
+        /// The unknown printer id.
+        printer: PrinterId,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
+            WireError::BadVersion { found } => write!(f, "unsupported wire version {found}"),
+            WireError::BadCrc { computed, found } => {
+                write!(
+                    f,
+                    "crc mismatch: computed {computed:#010x}, frame carries {found:#010x}"
+                )
+            }
+            WireError::Oversized { declared, max } => {
+                write!(
+                    f,
+                    "oversized frame: {declared}-byte payload exceeds {max}-byte budget"
+                )
+            }
+            WireError::BadPayload { reason } => write!(f, "bad payload: {reason}"),
+            WireError::UnknownPrinter { printer } => write!(f, "{printer} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// A stable, short label for counters and logs (one per variant).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireError::Truncated { .. } => "truncated",
+            WireError::BadMagic { .. } => "bad_magic",
+            WireError::BadVersion { .. } => "bad_version",
+            WireError::BadCrc { .. } => "bad_crc",
+            WireError::Oversized { .. } => "oversized",
+            WireError::BadPayload { .. } => "bad_payload",
+            WireError::UnknownPrinter { .. } => "unknown_printer",
+        }
+    }
+
+    /// Whether a TCP byte stream can continue after this error. Framing
+    /// errors (magic/version/CRC/size) mean the stream has desynced —
+    /// the connection must be dropped; a `BadPayload` frame had a valid
+    /// length prefix, so the next frame boundary is still known.
+    pub fn stream_fatal(&self) -> bool {
+        !matches!(
+            self,
+            WireError::BadPayload { .. } | WireError::UnknownPrinter { .. }
+        )
+    }
+}
+
+/// One decoded (or to-be-encoded) sensor-chunk frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFrame {
+    /// Destination printer.
+    pub printer: PrinterId,
+    /// Side-channel tag (free-form; carried for SIEM context, not
+    /// interpreted by the decoder).
+    pub channel: u8,
+    /// Per-source monotone sequence number (gap detection only; frames
+    /// are delivered in arrival order regardless).
+    pub seq: u64,
+    /// The sensor chunk.
+    pub chunk: Signal,
+}
+
+impl WireFrame {
+    /// Serialized size of this frame in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + payload_len(&self.chunk) + TRAILER_LEN
+    }
+
+    /// Encodes the frame into a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the encoded frame to `out` (the byte-log writer's path:
+    /// one growing buffer, no per-frame allocation).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.channel);
+        out.push(0); // reserved
+        out.extend_from_slice(&self.printer.0.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(payload_len(&self.chunk) as u32).to_le_bytes());
+        out.extend_from_slice(&self.chunk.fs().to_le_bytes());
+        out.extend_from_slice(&(self.chunk.channels() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.chunk.len() as u32).to_le_bytes());
+        for channel in self.chunk.iter_channels() {
+            for v in channel {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let crc = crc32(&out[start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+}
+
+fn payload_len(chunk: &Signal) -> usize {
+    PAYLOAD_PRELUDE_LEN + chunk.channels() * chunk.len() * 8
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Validates header bytes (magic, version, length budget). `bytes` must
+/// hold at least [`HEADER_LEN`].
+fn check_header(bytes: &[u8], max_frame_bytes: usize) -> Result<usize, WireError> {
+    if bytes[..3] != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [bytes[0], bytes[1], bytes[2]],
+        });
+    }
+    if bytes[3] != VERSION {
+        return Err(WireError::BadVersion { found: bytes[3] });
+    }
+    let declared = read_u32(bytes, 22) as usize;
+    if HEADER_LEN + declared + TRAILER_LEN > max_frame_bytes {
+        return Err(WireError::Oversized {
+            declared,
+            max: max_frame_bytes,
+        });
+    }
+    Ok(declared)
+}
+
+/// Decodes one complete frame from `bytes` (which must hold exactly
+/// header + payload + trailer for the declared length — the caller has
+/// already sliced it).
+fn decode_complete(bytes: &[u8]) -> Result<WireFrame, WireError> {
+    let payload = &bytes[HEADER_LEN..bytes.len() - TRAILER_LEN];
+    let carried = read_u32(bytes, bytes.len() - TRAILER_LEN);
+    let computed = crc32(&bytes[..bytes.len() - TRAILER_LEN]);
+    if carried != computed {
+        return Err(WireError::BadCrc {
+            computed,
+            found: carried,
+        });
+    }
+    if payload.len() < PAYLOAD_PRELUDE_LEN {
+        return Err(WireError::BadPayload {
+            reason: "payload shorter than its fixed prelude",
+        });
+    }
+    let fs = f64::from_le_bytes(payload[0..8].try_into().expect("bounds checked"));
+    let channels = u16::from_le_bytes(payload[8..10].try_into().expect("bounds checked")) as usize;
+    let samples = read_u32(payload, 10) as usize;
+    if !fs.is_finite() || fs <= 0.0 {
+        return Err(WireError::BadPayload {
+            reason: "non-finite or non-positive sample rate",
+        });
+    }
+    if channels == 0 {
+        return Err(WireError::BadPayload {
+            reason: "zero channels",
+        });
+    }
+    let expected = PAYLOAD_PRELUDE_LEN + channels * samples * 8;
+    if payload.len() != expected {
+        return Err(WireError::BadPayload {
+            reason: "payload length disagrees with channels x samples",
+        });
+    }
+    let mut data = Vec::with_capacity(channels);
+    let mut at = PAYLOAD_PRELUDE_LEN;
+    for _ in 0..channels {
+        let mut ch = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            ch.push(f64::from_le_bytes(
+                payload[at..at + 8].try_into().expect("bounds checked"),
+            ));
+            at += 8;
+        }
+        data.push(ch);
+    }
+    let chunk = Signal::from_channels(fs, data).map_err(|_| WireError::BadPayload {
+        reason: "channel data rejected by Signal construction",
+    })?;
+    Ok(WireFrame {
+        printer: PrinterId(read_u64(bytes, 6)),
+        channel: bytes[4],
+        seq: read_u64(bytes, 14),
+        chunk,
+    })
+}
+
+/// Decodes exactly one frame from a datagram. Trailing bytes after the
+/// frame are a [`WireError::BadPayload`] (a datagram carries one frame).
+///
+/// # Errors
+///
+/// Any [`WireError`] the byte stream maps to; never panics.
+pub fn decode_datagram(bytes: &[u8], max_frame_bytes: usize) -> Result<WireFrame, WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    let declared = check_header(bytes, max_frame_bytes)?;
+    let total = HEADER_LEN + declared + TRAILER_LEN;
+    if bytes.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            have: bytes.len(),
+        });
+    }
+    if bytes.len() > total {
+        return Err(WireError::BadPayload {
+            reason: "trailing bytes after the frame",
+        });
+    }
+    decode_complete(bytes)
+}
+
+/// Incremental frame decoder for TCP byte streams: feed arbitrary byte
+/// slices with [`FrameDecoder::extend`], pull complete frames with
+/// [`FrameDecoder::next_frame`]. Partial frames are simply *pending* —
+/// [`WireError::Truncated`] only surfaces via [`FrameDecoder::finish`]
+/// at end-of-stream.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted lazily so `extend`
+    /// stays amortized O(n)).
+    consumed: usize,
+    max_frame_bytes: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder that refuses frames larger than `max_frame_bytes`
+    /// (header + payload + CRC).
+    pub fn new(max_frame_bytes: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            consumed: 0,
+            max_frame_bytes: max_frame_bytes.max(HEADER_LEN + PAYLOAD_PRELUDE_LEN + TRAILER_LEN),
+        }
+    }
+
+    /// Appends received bytes to the pending buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        } else if self.consumed > self.max_frame_bytes {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pulls the next complete frame, `None` if more bytes are needed.
+    ///
+    /// After a returned `Err`, the decoder's buffer still starts at the
+    /// offending frame: a *stream-fatal* error ([`WireError::stream_fatal`])
+    /// means the caller must drop the connection, while a `BadPayload`
+    /// frame is skipped automatically (its length prefix was valid, so
+    /// the next frame boundary is known) and the caller may keep pulling.
+    pub fn next_frame(&mut self) -> Option<Result<WireFrame, WireError>> {
+        let bytes = &self.buf[self.consumed..];
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        let declared = match check_header(bytes, self.max_frame_bytes) {
+            Ok(d) => d,
+            Err(e) => return Some(Err(e)),
+        };
+        let total = HEADER_LEN + declared + TRAILER_LEN;
+        if bytes.len() < total {
+            return None;
+        }
+        let result = decode_complete(&bytes[..total]);
+        match &result {
+            // Frame fully consumed (also for BadPayload/BadCrc: the
+            // boundary was length-derived and is trustworthy only if the
+            // CRC held, so a CRC failure is stream-fatal and the caller
+            // drops the connection anyway).
+            Ok(_) | Err(WireError::BadPayload { .. }) => self.consumed += total,
+            Err(_) => {}
+        }
+        Some(result)
+    }
+
+    /// End-of-stream check: `Ok` if no partial frame is pending,
+    /// otherwise the [`WireError::Truncated`] describing it.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when the stream ended mid-frame.
+    pub fn finish(&self) -> Result<(), WireError> {
+        let have = self.pending();
+        if have == 0 {
+            return Ok(());
+        }
+        let bytes = &self.buf[self.consumed..];
+        let needed = if bytes.len() < HEADER_LEN {
+            HEADER_LEN
+        } else {
+            match check_header(bytes, self.max_frame_bytes) {
+                Ok(declared) => HEADER_LEN + declared + TRAILER_LEN,
+                // Header never validated: report the minimum that would
+                // have let decoding proceed.
+                Err(_) => HEADER_LEN,
+            }
+        };
+        Err(WireError::Truncated { needed, have })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(printer: u64, seq: u64) -> WireFrame {
+        WireFrame {
+            printer: PrinterId(printer),
+            channel: 2,
+            seq,
+            chunk: Signal::from_fn(100.0, 2, 5, |t, f| {
+                f[0] = t.sin();
+                f[1] = t.cos();
+            })
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_datagram() {
+        let f = frame(17, 3);
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.encoded_len());
+        let decoded = decode_datagram(&bytes, 1 << 20).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn roundtrip_stream_across_arbitrary_splits() {
+        let frames: Vec<WireFrame> = (0..5).map(|i| frame(i, i)).collect();
+        let mut log = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut log);
+        }
+        for split in [1usize, 3, 7, 26, 64, log.len()] {
+            let mut dec = FrameDecoder::new(1 << 20);
+            let mut out = Vec::new();
+            for piece in log.chunks(split) {
+                dec.extend(piece);
+                while let Some(r) = dec.next_frame() {
+                    out.push(r.unwrap());
+                }
+            }
+            dec.finish().unwrap();
+            assert_eq!(out, frames, "split {split}");
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_is_a_crc_error() {
+        let mut bytes = frame(1, 1).encode();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xff;
+        assert!(matches!(
+            decode_datagram(&bytes, 1 << 20),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = frame(1, 1).encode();
+        bytes[22..26].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_datagram(&bytes, 1 << 20),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_magic_and_version() {
+        let bytes = frame(1, 1).encode();
+        assert!(matches!(
+            decode_datagram(&bytes[..10], 1 << 20),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_datagram(&bytes[..bytes.len() - 1], 1 << 20),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_datagram(&bad, 1 << 20),
+            Err(WireError::BadMagic { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[3] = 9;
+        assert!(matches!(
+            decode_datagram(&bad, 1 << 20),
+            Err(WireError::BadVersion { found: 9 })
+        ));
+    }
+
+    #[test]
+    fn bad_payload_is_skippable_on_a_stream() {
+        // A frame whose prelude disagrees with the payload length: the
+        // channels field is bumped but the CRC is re-stamped, so the
+        // framing is valid and only the payload check fires.
+        let good = frame(7, 0);
+        let mut bytes = good.encode();
+        bytes[HEADER_LEN + 8] = 99;
+        let crc_at = bytes.len() - TRAILER_LEN;
+        let crc = crc32(&bytes[..crc_at]);
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+
+        let mut dec = FrameDecoder::new(1 << 20);
+        dec.extend(&bytes);
+        dec.extend(&good.encode());
+        let first = dec.next_frame().unwrap();
+        assert!(matches!(first, Err(WireError::BadPayload { .. })));
+        assert!(!first.unwrap_err().stream_fatal());
+        // The stream continues at the next frame.
+        assert_eq!(dec.next_frame().unwrap().unwrap(), good);
+        dec.finish().unwrap();
+    }
+}

@@ -1,0 +1,49 @@
+//! # am-wire — the fleet service edge
+//!
+//! Everything between a print farm's DAQ gateways and the
+//! [`am_fleet::Fleet`] supervisor: a compact versioned wire format for
+//! sensor chunks, hardened TCP/UDP listeners that decode it into the
+//! shard queues, and SIEM-grade alert egress on the way out.
+//!
+//! ```text
+//!  gateways ──AMW1 frames──► [listeners] ──► Fleet shards ──► alerts ──► [egress] ──► SIEM
+//!                             │ rate limit                                │ CEF/JSON, sanitized
+//!                             │ frame budget                              │ retry + backoff
+//!                             │ CRC + taxonomy                            │ dead-letter spool
+//! ```
+//!
+//! The three layers are independently usable:
+//!
+//! - [`frame`] — the `AMW1` binary frame format: encode, incremental
+//!   decode ([`FrameDecoder`]), and the total [`WireError`] taxonomy.
+//!   Decoding arbitrary bytes never panics (`tests/wire_fuzz.rs`).
+//! - [`server`] — [`WireServer`]: TCP + UDP listeners with per-source
+//!   token-bucket rate limiting ([`limit`]), connection caps, idle
+//!   timeouts, and per-source drop/reject counters, plus the
+//!   hot-reload entry point ([`WireServer::reload`]).
+//! - [`egress`] — [`CefAlert`] rendering with field sanitization and
+//!   the [`AlertEgress`] delivery worker (bounded retry, exponential
+//!   backoff with deterministic jitter, dead-letter spool).
+//!
+//! Determinism contract: the edge drops whole frames or delivers them
+//! unmodified in per-source order, so byte-replaying a recorded wire
+//! log reproduces the in-process verdict stream exactly
+//! (`tests/wire_replay.rs`). Byte layout, limits, and the CEF field
+//! mapping are specified in DESIGN.md §12.
+
+pub mod crc;
+pub mod egress;
+pub mod frame;
+pub mod limit;
+pub mod server;
+
+pub use crc::crc32;
+pub use egress::{
+    to_cef, to_json, AlertEgress, AlertFormat, AlertSink, CefAlert, CefDevice, DeadLetter,
+    EgressConfig, EgressStats, MemorySink, RetryPolicy, TcpSink,
+};
+pub use frame::{decode_datagram, FrameDecoder, WireError, WireFrame, HEADER_LEN, TRAILER_LEN};
+pub use limit::{SourceLimiter, TokenBucket};
+pub use server::{
+    EdgeConfig, EdgeReport, EdgeSnapshot, RejectCounts, SourceStats, WireServer, WireSnapshot,
+};

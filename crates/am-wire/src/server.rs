@@ -1,0 +1,682 @@
+//! The fleet service edge: TCP and UDP listeners decoding AMW1 frames
+//! into the shard queues of an [`am_fleet::Fleet`].
+//!
+//! ```text
+//!   DAQ gateways ──TCP (framed byte stream)──┐
+//!                                            ├─► decode ─► rate limit ─► Fleet::send
+//!   DAQ gateways ──UDP (one frame/datagram)──┘        │
+//!                                                     └─► per-source drop/reject counters
+//! ```
+//!
+//! Edge policy, all bounded (DESIGN.md §12.2):
+//!
+//! - **Per-source token-bucket rate limiting** ([`crate::limit`]) —
+//!   over-rate frames are shed and counted, never queued.
+//! - **Frame budget** — a length prefix larger than
+//!   [`EdgeConfig::max_frame_bytes`] is rejected *before* allocation.
+//! - **Connection cap** — TCP connections beyond
+//!   [`EdgeConfig::max_connections`] are refused at accept.
+//! - **Idle timeout** — a TCP connection that stops sending frames for
+//!   [`EdgeConfig::idle_timeout`] is closed (sockets leak otherwise:
+//!   a farm gateway reboot would strand its old connection forever).
+//!
+//! Determinism contract: the edge only ever *drops whole frames* (shed,
+//! malformed, or over-rate) or *delivers them unmodified, in per-source
+//! arrival order*. Byte-replaying a recorded wire log therefore
+//! reproduces the exact verdict stream of in-process ingestion —
+//! `tests/wire_replay.rs` pins this end to end over a real loopback
+//! socket.
+
+use crate::frame::{decode_datagram, FrameDecoder, WireError, WireFrame};
+use crate::limit::SourceLimiter;
+use am_fleet::{Fleet, FleetReport, FleetSnapshot, PrinterId, RejectReason};
+use am_fleet::{ReloadPlan, ReloadReport, SpecRegistry};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service-edge configuration.
+///
+/// `#[non_exhaustive]`: construct with [`Default`] and the `with_*`
+/// methods, matching the house style.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct EdgeConfig {
+    /// TCP bind address (`None` disables the TCP listener). Defaults to
+    /// an ephemeral loopback port; bind `0.0.0.0:<port>` to serve a farm.
+    pub tcp_bind: Option<String>,
+    /// UDP bind address (`None` disables the UDP listener).
+    pub udp_bind: Option<String>,
+    /// Hard ceiling on one frame's encoded size (header + payload +
+    /// CRC). Checked against the length prefix before any allocation.
+    pub max_frame_bytes: usize,
+    /// Concurrent TCP connections accepted; further connects are
+    /// refused (and counted) until one closes.
+    pub max_connections: usize,
+    /// A TCP connection producing no frames for this long is closed.
+    pub idle_timeout: Duration,
+    /// Token-bucket refill rate per source, frames/second.
+    pub rate_limit: f64,
+    /// Token-bucket depth per source, frames.
+    pub rate_burst: f64,
+    /// Sources tracked by the limiter before stale-bucket eviction.
+    pub max_sources: usize,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            tcp_bind: Some("127.0.0.1:0".to_string()),
+            udp_bind: Some("127.0.0.1:0".to_string()),
+            max_frame_bytes: 1 << 20,
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+            rate_limit: 10_000.0,
+            rate_burst: 20_000.0,
+            max_sources: 1024,
+        }
+    }
+}
+
+impl EdgeConfig {
+    /// Overrides (or disables, with `None`) the TCP bind address.
+    #[must_use]
+    pub fn with_tcp_bind(mut self, addr: Option<&str>) -> Self {
+        self.tcp_bind = addr.map(str::to_string);
+        self
+    }
+
+    /// Overrides (or disables, with `None`) the UDP bind address.
+    #[must_use]
+    pub fn with_udp_bind(mut self, addr: Option<&str>) -> Self {
+        self.udp_bind = addr.map(str::to_string);
+        self
+    }
+
+    /// Overrides the per-frame size budget.
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Overrides the concurrent TCP connection cap.
+    #[must_use]
+    pub fn with_max_connections(mut self, connections: usize) -> Self {
+        self.max_connections = connections;
+        self
+    }
+
+    /// Overrides the idle timeout.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Overrides the per-source rate limit (frames/second) and burst.
+    #[must_use]
+    pub fn with_rate_limit(mut self, rate: f64, burst: f64) -> Self {
+        self.rate_limit = rate;
+        self.rate_burst = burst;
+        self
+    }
+
+    /// Overrides the limiter's tracked-source cap.
+    #[must_use]
+    pub fn with_max_sources(mut self, sources: usize) -> Self {
+        self.max_sources = sources;
+        self
+    }
+}
+
+/// Frames rejected at the edge, by cause. Mirrors the
+/// [`WireError`] taxonomy plus the fleet's delivery rejections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectCounts {
+    /// Stream ended (or datagram arrived) mid-frame.
+    pub truncated: u64,
+    /// Not AMW1 framing.
+    pub bad_magic: u64,
+    /// Unsupported wire version.
+    pub bad_version: u64,
+    /// CRC trailer mismatch.
+    pub bad_crc: u64,
+    /// Length prefix beyond the frame budget.
+    pub oversized: u64,
+    /// Framing fine, payload invalid.
+    pub bad_payload: u64,
+    /// Frame addressed an unregistered printer.
+    pub unknown_printer: u64,
+    /// Shard queue full under [`am_fleet::IngestPolicy::Reject`].
+    pub queue_full: u64,
+    /// Target shard no longer accepting commands.
+    pub shard_down: u64,
+}
+
+impl RejectCounts {
+    /// Total rejected frames across every cause.
+    pub fn total(&self) -> u64 {
+        self.truncated
+            + self.bad_magic
+            + self.bad_version
+            + self.bad_crc
+            + self.oversized
+            + self.bad_payload
+            + self.unknown_printer
+            + self.queue_full
+            + self.shard_down
+    }
+
+    fn bump(&mut self, error: &WireError) {
+        match error {
+            WireError::Truncated { .. } => self.truncated += 1,
+            WireError::BadMagic { .. } => self.bad_magic += 1,
+            WireError::BadVersion { .. } => self.bad_version += 1,
+            WireError::BadCrc { .. } => self.bad_crc += 1,
+            WireError::Oversized { .. } => self.oversized += 1,
+            WireError::BadPayload { .. } => self.bad_payload += 1,
+            WireError::UnknownPrinter { .. } => self.unknown_printer += 1,
+        }
+    }
+}
+
+/// Per-source edge counters (cumulative since the source's first frame).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Frames decoded and delivered to the fleet.
+    pub frames_ok: u64,
+    /// Bytes of those frames.
+    pub bytes: u64,
+    /// Frames shed by the token bucket.
+    pub rate_limited: u64,
+    /// Frames rejected by the decoder (any [`WireError`]).
+    pub decode_rejected: u64,
+    /// Decoded frames the fleet refused (unknown printer, full queue,
+    /// dead shard).
+    pub delivery_rejected: u64,
+    /// Sequence-number discontinuities observed (counted, not fatal:
+    /// UDP loss shows up here first).
+    pub seq_gaps: u64,
+}
+
+/// Cross-thread edge counters.
+struct WireShared {
+    frames_ok: AtomicU64,
+    bytes: AtomicU64,
+    rate_limited: AtomicU64,
+    seq_gaps: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    idle_disconnects: AtomicU64,
+    rejects: Mutex<RejectCounts>,
+    sources: Mutex<HashMap<SocketAddr, SourceStats>>,
+    limiter: Mutex<SourceLimiter<SocketAddr>>,
+}
+
+impl WireShared {
+    fn record_ok(&self, source: SocketAddr, bytes: usize) {
+        self.frames_ok.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut sources = self.sources.lock();
+        let s = sources.entry(source).or_default();
+        s.frames_ok += 1;
+        s.bytes += bytes as u64;
+        am_telemetry::count!("wire.frames");
+    }
+
+    fn record_rate_limited(&self, source: SocketAddr) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+        self.sources.lock().entry(source).or_default().rate_limited += 1;
+        am_telemetry::count!("wire.rate_limited");
+    }
+
+    fn record_decode_error(&self, source: SocketAddr, error: &WireError) {
+        self.rejects.lock().bump(error);
+        self.sources
+            .lock()
+            .entry(source)
+            .or_default()
+            .decode_rejected += 1;
+        am_telemetry::count!("wire.rejected");
+    }
+
+    fn record_delivery_reject(&self, source: SocketAddr, reason: &RejectReason) {
+        {
+            let mut rejects = self.rejects.lock();
+            match reason {
+                RejectReason::UnknownPrinter => rejects.unknown_printer += 1,
+                RejectReason::QueueFull { .. } => rejects.queue_full += 1,
+                RejectReason::ShardDown { .. } => rejects.shard_down += 1,
+            }
+        }
+        self.sources
+            .lock()
+            .entry(source)
+            .or_default()
+            .delivery_rejected += 1;
+        am_telemetry::count!("wire.rejected");
+    }
+
+    fn record_seq_gap(&self, source: SocketAddr) {
+        self.seq_gaps.fetch_add(1, Ordering::Relaxed);
+        self.sources.lock().entry(source).or_default().seq_gaps += 1;
+        am_telemetry::count!("wire.seq_gaps");
+    }
+}
+
+/// Point-in-time view of the edge (the wire-side complement of
+/// [`FleetSnapshot`]).
+#[derive(Debug, Clone)]
+pub struct WireSnapshot {
+    /// Frames decoded and delivered fleet-wide.
+    pub frames_ok: u64,
+    /// Bytes of those frames.
+    pub bytes: u64,
+    /// Frames shed by per-source rate limiting.
+    pub rate_limited: u64,
+    /// Sequence discontinuities observed.
+    pub seq_gaps: u64,
+    /// TCP connections accepted since spawn.
+    pub connections_accepted: u64,
+    /// TCP connections refused by the connection cap.
+    pub connections_refused: u64,
+    /// TCP connections closed by the idle timeout.
+    pub idle_disconnects: u64,
+    /// Rejected frames by cause.
+    pub rejects: RejectCounts,
+    /// Per-source counters, sorted by address for stable output.
+    pub sources: Vec<(SocketAddr, SourceStats)>,
+}
+
+/// Snapshot of the whole service: wire edge plus fleet interior.
+#[derive(Debug, Clone)]
+pub struct EdgeSnapshot {
+    /// The ingestion edge.
+    pub wire: WireSnapshot,
+    /// The fleet behind it.
+    pub fleet: FleetSnapshot,
+}
+
+/// Final accounting returned by [`WireServer::finish`].
+#[derive(Debug)]
+pub struct EdgeReport {
+    /// The fleet's shutdown report.
+    pub fleet: FleetReport,
+    /// The edge counters at shutdown.
+    pub wire: WireSnapshot,
+}
+
+/// The running service edge: owns the [`Fleet`] (behind a lock so
+/// hot-reload can mutate registration while listeners deliver) and the
+/// listener threads.
+pub struct WireServer {
+    fleet: Arc<RwLock<Option<Fleet>>>,
+    shared: Arc<WireShared>,
+    stop: Arc<AtomicBool>,
+    tcp_addr: Option<SocketAddr>,
+    udp_addr: Option<SocketAddr>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// How often blocked-on-I/O listener threads re-check the stop flag.
+const POLL: Duration = Duration::from_millis(25);
+
+impl WireServer {
+    /// Binds the configured listeners and takes ownership of the fleet.
+    /// Clone the fleet's alert receiver ([`Fleet::alerts`]) *before*
+    /// spawning if an [`crate::egress::AlertEgress`] worker should
+    /// consume alerts — or use [`WireServer::alerts`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn spawn(fleet: Fleet, cfg: EdgeConfig) -> std::io::Result<WireServer> {
+        let shared = Arc::new(WireShared {
+            frames_ok: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            seq_gaps: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            idle_disconnects: AtomicU64::new(0),
+            rejects: Mutex::new(RejectCounts::default()),
+            sources: Mutex::new(HashMap::new()),
+            limiter: Mutex::new(SourceLimiter::new(
+                cfg.rate_limit,
+                cfg.rate_burst,
+                cfg.max_sources,
+            )),
+        });
+        let fleet = Arc::new(RwLock::new(Some(fleet)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        let tcp_addr = match &cfg.tcp_bind {
+            Some(bind) => {
+                let listener = TcpListener::bind(bind.as_str())?;
+                listener.set_nonblocking(true)?;
+                let local = listener.local_addr()?;
+                let ctx = ListenerCtx {
+                    fleet: Arc::clone(&fleet),
+                    shared: Arc::clone(&shared),
+                    stop: Arc::clone(&stop),
+                    cfg: cfg.clone(),
+                };
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("am-wire-tcp".to_string())
+                        .spawn(move || run_tcp_listener(&listener, &ctx))
+                        .expect("spawn tcp listener"),
+                );
+                Some(local)
+            }
+            None => None,
+        };
+        let udp_addr = match &cfg.udp_bind {
+            Some(bind) => {
+                let socket = UdpSocket::bind(bind.as_str())?;
+                socket.set_read_timeout(Some(POLL))?;
+                let local = socket.local_addr()?;
+                let ctx = ListenerCtx {
+                    fleet: Arc::clone(&fleet),
+                    shared: Arc::clone(&shared),
+                    stop: Arc::clone(&stop),
+                    cfg: cfg.clone(),
+                };
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("am-wire-udp".to_string())
+                        .spawn(move || run_udp_listener(&socket, &ctx))
+                        .expect("spawn udp listener"),
+                );
+                Some(local)
+            }
+            None => None,
+        };
+
+        Ok(WireServer {
+            fleet,
+            shared,
+            stop,
+            tcp_addr,
+            udp_addr,
+            threads,
+        })
+    }
+
+    /// The bound TCP address, if the TCP listener is enabled.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound UDP address, if the UDP listener is enabled.
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
+    }
+
+    /// A clone of the fleet's alert fan-in receiver (see
+    /// [`Fleet::alerts`]).
+    pub fn alerts(&self) -> crossbeam::channel::Receiver<am_fleet::FleetAlert> {
+        self.with_fleet(Fleet::alerts)
+    }
+
+    /// Runs `f` against the fleet under the read lock (snapshotting,
+    /// sending in-process traffic alongside the network edge, …).
+    pub fn with_fleet<R>(&self, f: impl FnOnce(&Fleet) -> R) -> R {
+        let guard = self.fleet.read();
+        f(guard.as_ref().expect("fleet present until finish"))
+    }
+
+    /// Applies a hot-reload plan (add/drop/swap printers) under the
+    /// write lock — listeners pause for the duration of the *enqueue*
+    /// only; detector work happens on the shard threads, so in-flight
+    /// verdict streams are unaffected (see [`am_fleet::ReloadPlan`]).
+    pub fn reload(&self, plan: &ReloadPlan, registry: &SpecRegistry) -> ReloadReport {
+        let mut guard = self.fleet.write();
+        guard
+            .as_mut()
+            .expect("fleet present until finish")
+            .apply(plan, registry)
+    }
+
+    /// Point-in-time snapshot of edge and fleet.
+    pub fn snapshot(&self) -> EdgeSnapshot {
+        EdgeSnapshot {
+            wire: self.wire_snapshot(),
+            fleet: self.with_fleet(Fleet::snapshot),
+        }
+    }
+
+    fn wire_snapshot(&self) -> WireSnapshot {
+        let mut sources: Vec<(SocketAddr, SourceStats)> = self
+            .shared
+            .sources
+            .lock()
+            .iter()
+            .map(|(a, s)| (*a, *s))
+            .collect();
+        sources.sort_by_key(|(a, _)| a.to_string());
+        WireSnapshot {
+            frames_ok: self.shared.frames_ok.load(Ordering::Relaxed),
+            bytes: self.shared.bytes.load(Ordering::Relaxed),
+            rate_limited: self.shared.rate_limited.load(Ordering::Relaxed),
+            seq_gaps: self.shared.seq_gaps.load(Ordering::Relaxed),
+            connections_accepted: self.shared.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: self.shared.connections_refused.load(Ordering::Relaxed),
+            idle_disconnects: self.shared.idle_disconnects.load(Ordering::Relaxed),
+            rejects: *self.shared.rejects.lock(),
+            sources,
+        }
+    }
+
+    /// Stops the listeners, waits for every connection handler to wind
+    /// down, then shuts the fleet down and returns both reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Fleet::finish`] failures.
+    pub fn finish(mut self) -> Result<EdgeReport, am_fleet::FleetError> {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        let wire = self.wire_snapshot();
+        let fleet = self
+            .fleet
+            .write()
+            .take()
+            .expect("fleet present until finish")
+            .finish()?;
+        Ok(EdgeReport { fleet, wire })
+    }
+}
+
+/// Everything a listener thread needs.
+struct ListenerCtx {
+    fleet: Arc<RwLock<Option<Fleet>>>,
+    shared: Arc<WireShared>,
+    stop: Arc<AtomicBool>,
+    cfg: EdgeConfig,
+}
+
+impl ListenerCtx {
+    /// Rate-limit, sequence-check, and deliver one decoded frame.
+    fn deliver(
+        &self,
+        source: SocketAddr,
+        frame: WireFrame,
+        encoded_len: usize,
+        seq: &mut SeqTracker,
+    ) {
+        if !self.shared.limiter.lock().admit(&source, Instant::now()) {
+            self.shared.record_rate_limited(source);
+            return;
+        }
+        if !seq.observe(frame.printer, frame.seq) {
+            self.shared.record_seq_gap(source);
+        }
+        let guard = self.fleet.read();
+        let fleet = guard.as_ref().expect("fleet present until finish");
+        match fleet.send(frame.printer, frame.chunk) {
+            Ok(()) => {
+                drop(guard);
+                self.shared.record_ok(source, encoded_len);
+            }
+            Err(rejected) => {
+                drop(guard);
+                self.shared.record_delivery_reject(source, &rejected.reason);
+            }
+        }
+    }
+}
+
+/// Per-connection (or per-UDP-thread) sequence bookkeeping: one counter
+/// per printer, gap = anything other than `last + 1`.
+#[derive(Default)]
+struct SeqTracker {
+    last: HashMap<PrinterId, u64>,
+}
+
+impl SeqTracker {
+    /// Records `seq` for `printer`; `false` on a discontinuity.
+    fn observe(&mut self, printer: PrinterId, seq: u64) -> bool {
+        match self.last.insert(printer, seq) {
+            None => true,
+            Some(prev) => seq == prev.wrapping_add(1),
+        }
+    }
+}
+
+fn run_tcp_listener(listener: &TcpListener, ctx: &ListenerCtx) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if active.load(Ordering::SeqCst) >= ctx.cfg.max_connections.max(1) {
+                    ctx.shared
+                        .connections_refused
+                        .fetch_add(1, Ordering::Relaxed);
+                    am_telemetry::count!("wire.connections_refused");
+                    drop(stream);
+                    continue;
+                }
+                ctx.shared
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                am_telemetry::count!("wire.connections");
+                active.fetch_add(1, Ordering::SeqCst);
+                let conn_ctx = ListenerCtx {
+                    fleet: Arc::clone(&ctx.fleet),
+                    shared: Arc::clone(&ctx.shared),
+                    stop: Arc::clone(&ctx.stop),
+                    cfg: ctx.cfg.clone(),
+                };
+                let conn_active = Arc::clone(&active);
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name(format!("am-wire-conn-{peer}"))
+                        .spawn(move || {
+                            run_tcp_connection(stream, peer, &conn_ctx);
+                            conn_active.fetch_sub(1, Ordering::SeqCst);
+                        })
+                        .expect("spawn connection handler"),
+                );
+                // Reap finished handlers so a long-lived edge does not
+                // accumulate joinable threads.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn run_tcp_connection(mut stream: TcpStream, peer: SocketAddr, ctx: &ListenerCtx) {
+    // Short read timeout so both the stop flag and the idle clock are
+    // polled; idleness is measured from the last *byte*, not per read.
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut decoder = FrameDecoder::new(ctx.cfg.max_frame_bytes);
+    let mut seq = SeqTracker::default();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut last_activity = Instant::now();
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // Clean EOF: anything still buffered was a truncated
+                // frame.
+                if let Err(e) = decoder.finish() {
+                    ctx.shared.record_decode_error(peer, &e);
+                }
+                return;
+            }
+            Ok(n) => {
+                last_activity = Instant::now();
+                decoder.extend(&buf[..n]);
+                while let Some(result) = decoder.next_frame() {
+                    match result {
+                        Ok(frame) => {
+                            let len = frame.encoded_len();
+                            ctx.deliver(peer, frame, len, &mut seq);
+                        }
+                        Err(e) => {
+                            ctx.shared.record_decode_error(peer, &e);
+                            if e.stream_fatal() {
+                                // The byte stream has desynced; nothing
+                                // after this point can be trusted.
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() >= ctx.cfg.idle_timeout {
+                    ctx.shared.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+                    am_telemetry::count!("wire.idle_disconnects");
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn run_udp_listener(socket: &UdpSocket, ctx: &ListenerCtx) {
+    // One datagram = one frame; sequence gaps across datagrams of one
+    // source are counted via the shared tracker below.
+    let mut seq_by_source: HashMap<SocketAddr, SeqTracker> = HashMap::new();
+    let mut buf = vec![0u8; ctx.cfg.max_frame_bytes.clamp(2048, 64 * 1024)];
+    while !ctx.stop.load(Ordering::SeqCst) {
+        match socket.recv_from(&mut buf) {
+            Ok((n, peer)) => match decode_datagram(&buf[..n], ctx.cfg.max_frame_bytes) {
+                Ok(frame) => {
+                    let seq = seq_by_source.entry(peer).or_default();
+                    ctx.deliver(peer, frame, n, seq);
+                }
+                Err(e) => ctx.shared.record_decode_error(peer, &e),
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}

@@ -312,6 +312,71 @@ impl StreamingIds {
         Ok(())
     }
 
+    /// Hot-swaps the trained model behind a *live* detector: the
+    /// reference, DWM grid, thresholds, and configuration are replaced
+    /// by `spec`'s, while every progression counter — windows seen,
+    /// samples seen, the CADHD accumulator, channel health, resync and
+    /// blind-window counts, the intrusion latch — carries over, and the
+    /// stream is re-seated so the next observed window is compared
+    /// against the *new* reference at the position the old one had
+    /// reached. This is the fleet's hot-reload path: re-training (say,
+    /// after a nozzle change) must not reset a printer's verdict stream.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a spec whose reference channel count differs from the
+    /// live detector's (the health ledger is per-channel) with
+    /// [`DspError::ShapeMismatch`], rejects a non-finite new reference
+    /// exactly as [`StreamSpec::open`] does, and propagates DWM grid
+    /// validation failures. On any error the detector is unchanged.
+    pub fn adopt_spec(&mut self, spec: &StreamSpec) -> Result<(), NsyncError> {
+        if spec.reference.channels() != self.health.len() {
+            return Err(NsyncError::Dsp(DspError::ShapeMismatch(format!(
+                "new spec reference has {} channels, live detector has {}",
+                spec.reference.channels(),
+                self.health.len()
+            ))));
+        }
+        for ch in 0..spec.reference.channels() {
+            if let Some(index) = spec
+                .reference
+                .channel(ch)
+                .iter()
+                .position(|v| !v.is_finite())
+            {
+                return Err(NsyncError::Dsp(DspError::NonFinite { channel: ch, index }));
+            }
+        }
+        // Validate the new grid and learn its window geometry before
+        // touching any state, so a bad spec leaves `self` untouched.
+        let probe = DwmStream::new(spec.reference.clone(), &spec.params)?;
+        let p = probe.sample_params();
+        let start = self.samples_seen as isize + self.last_h.round() as isize;
+        let min_len = (p.n_win + 2 * p.n_ext) as isize;
+        let end = (spec.reference.len() as isize).max(start + min_len);
+        let stream = DwmStream::new(spec.reference.slice_padded(start, end), &spec.params)?;
+        // Commit: model swapped, progression preserved, stream re-seated
+        // (same bookkeeping as `reseat_stream`).
+        self.reference = spec.reference.clone();
+        self.params = spec.params;
+        self.metric = spec.config.metric;
+        self.thresholds = spec.thresholds;
+        self.filter_window = spec.config.discriminator.min_filter_window.max(1);
+        self.health_cfg = spec.config.health;
+        self.stream = stream;
+        self.window_offset = self.windows_seen;
+        for prefix in &mut self.nonfinite_prefix {
+            prefix.clear();
+            prefix.push(0);
+        }
+        self.last_h = 0.0;
+        self.prev_h = 0.0;
+        self.h_recent.clear();
+        self.v_recent.clear();
+        am_telemetry::count!("monitor.spec_swaps");
+        Ok(())
+    }
+
     fn reseat_stream(&mut self) -> Result<(), NsyncError> {
         let p = self.stream.sample_params();
         let start = self.samples_seen as isize + self.last_h.round() as isize;

@@ -6,10 +6,14 @@
 //! (seconds of sensor data verified per wall second), peak queue depth,
 //! alert accounting, and detection outcomes. Asserts the soak
 //! invariants — every chunk processed, zero alerts lost, queue depth
-//! bounded by the configured capacity, no printer declared dead.
+//! bounded by the configured capacity, no printer declared dead — and
+//! gates detection quality: recall over the scripted-malicious printers
+//! must stay above `--min-recall` and the false-alarm rate over benign
+//! printers below `--max-false-alarm-rate`.
 //!
 //! ```sh
 //! cargo run --release --example fleet_soak [-- --printers N] [--shards N] [--out PATH]
+//!     [--min-recall R] [--max-false-alarm-rate R]
 //! ```
 
 use am_fleet::sim::{FleetSim, SimConfig};
@@ -20,13 +24,20 @@ struct Args {
     printers: u64,
     shards: usize,
     out: String,
+    min_recall: f64,
+    max_false_alarm_rate: f64,
 }
 
 fn parse_args() -> Args {
+    // Quality floors sit below the seeded population's measured operating
+    // point (recall ~0.65, false alarms ~0.24 at 1000 printers) so the
+    // gate catches regressions, not noise.
     let mut parsed = Args {
         printers: 1000,
         shards: 4,
         out: "BENCH_fleet.json".to_string(),
+        min_recall: 0.55,
+        max_false_alarm_rate: 0.30,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,6 +49,14 @@ fn parse_args() -> Args {
             "--printers" => parsed.printers = value("--printers").parse().expect("printer count"),
             "--shards" => parsed.shards = value("--shards").parse().expect("shard count"),
             "--out" => parsed.out = value("--out"),
+            "--min-recall" => {
+                parsed.min_recall = value("--min-recall").parse().expect("recall floor");
+            }
+            "--max-false-alarm-rate" => {
+                parsed.max_false_alarm_rate = value("--max-false-alarm-rate")
+                    .parse()
+                    .expect("false-alarm ceiling");
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -138,9 +157,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|r| r.intrusion && !scripts[r.printer.0 as usize].malicious)
         .count();
     let resyncs: u64 = snap.shards.iter().map(|s| s.stats.resyncs).sum();
+    let scripted_benign = args.printers as usize - scripted_malicious;
+    let recall = if scripted_malicious > 0 {
+        detected_malicious as f64 / scripted_malicious as f64
+    } else {
+        1.0
+    };
+    let false_alarm_rate = if scripted_benign > 0 {
+        false_alarms as f64 / scripted_benign as f64
+    } else {
+        0.0
+    };
+    assert!(
+        recall >= args.min_recall,
+        "recall {recall:.3} fell below the {:.3} floor ({detected_malicious}/{scripted_malicious})",
+        args.min_recall
+    );
+    assert!(
+        false_alarm_rate <= args.max_false_alarm_rate,
+        "false-alarm rate {false_alarm_rate:.3} above the {:.3} ceiling ({false_alarms}/{scripted_benign})",
+        args.max_false_alarm_rate
+    );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"fleet soak, small profile, UM3, acc+pwr models\",\n  \"command\": \"cargo run --release --example fleet_soak\",\n  \"printers\": {},\n  \"shards\": {},\n  \"shard_queue_capacity\": {},\n  \"train_seconds\": {:.3},\n  \"script_seconds\": {:.3},\n  \"soak_wall_seconds\": {:.3},\n  \"chunks\": {},\n  \"chunks_per_second\": {:.0},\n  \"sensor_seconds_verified\": {:.0},\n  \"realtime_multiple\": {:.1},\n  \"max_queue_depth\": {},\n  \"alerts_emitted\": {},\n  \"alerts_received\": {},\n  \"alerts_lost\": {},\n  \"resyncs\": {},\n  \"restarts\": {},\n  \"dead_printers\": {},\n  \"scripted_malicious\": {},\n  \"detected_malicious\": {},\n  \"false_alarms\": {},\n  \"scripted_faulted\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"fleet soak, small profile, UM3, acc+pwr models\",\n  \"command\": \"cargo run --release --example fleet_soak\",\n  \"printers\": {},\n  \"shards\": {},\n  \"shard_queue_capacity\": {},\n  \"train_seconds\": {:.3},\n  \"script_seconds\": {:.3},\n  \"soak_wall_seconds\": {:.3},\n  \"chunks\": {},\n  \"chunks_per_second\": {:.0},\n  \"sensor_seconds_verified\": {:.0},\n  \"realtime_multiple\": {:.1},\n  \"max_queue_depth\": {},\n  \"alerts_emitted\": {},\n  \"alerts_received\": {},\n  \"alerts_lost\": {},\n  \"resyncs\": {},\n  \"restarts\": {},\n  \"dead_printers\": {},\n  \"alerts_dropped\": {},\n  \"scripted_malicious\": {},\n  \"detected_malicious\": {},\n  \"recall\": {:.4},\n  \"false_alarms\": {},\n  \"false_alarm_rate\": {:.4},\n  \"scripted_faulted\": {}\n}}\n",
         args.printers,
         args.shards,
         queue_capacity,
@@ -158,9 +198,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         resyncs,
         snap.restarts(),
         dead,
+        snap.alerts_dropped(),
         scripted_malicious,
         detected_malicious,
+        recall,
         false_alarms,
+        false_alarm_rate,
         scripted_faulted,
     );
     std::fs::write(&args.out, &json)?;

@@ -1,0 +1,375 @@
+//! Loopback network soak: the same deterministic fleet traffic sent
+//! once in-process and once through the full service edge — AMW1
+//! frames over real TCP and UDP sockets on 127.0.0.1 into a
+//! [`WireServer`], alerts out through the [`AlertEgress`] worker — and
+//! the two verdict streams compared byte for byte.
+//!
+//! Asserts the edge invariants the CI `net-soak` job relies on:
+//! every frame delivered (zero decode rejects, zero rate-limit sheds,
+//! zero sequence gaps on loopback), zero lost or dead-lettered alerts,
+//! and per-printer verdicts identical to in-process ingestion.
+//!
+//! ```sh
+//! cargo run --release --example wire_soak [-- --printers N] [--frames N] [--out PATH]
+//! ```
+
+use am_fleet::sim::{FleetSim, PrinterScript, SimConfig};
+use am_fleet::{AlertPolicy, Fleet, FleetConfig, IngestPolicy, PrinterId};
+use am_wire::{
+    AlertEgress, AlertFormat, EdgeConfig, EgressConfig, MemorySink, WireFrame, WireServer,
+};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// TCP gateway connections the printers are spread over (plus one UDP
+/// gateway), mimicking a farm where one DAQ box fronts many printers.
+const TCP_GATEWAYS: u64 = 4;
+
+struct Args {
+    printers: u64,
+    frames: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        printers: 64,
+        frames: 48,
+        out: "BENCH_wire.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--printers" => parsed.printers = value("--printers").parse().expect("printer count"),
+            "--frames" => parsed.frames = value("--frames").parse().expect("frame count"),
+            "--out" => parsed.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    parsed
+}
+
+/// One printer's observable outcome, comparable across passes: the
+/// exact egress lines its alerts rendered to, plus the final report
+/// fields.
+#[derive(Debug, PartialEq)]
+struct Verdicts {
+    alert_lines: Vec<String>,
+    windows_seen: usize,
+    intrusion: bool,
+    health: String,
+}
+
+/// Groups egress JSON lines by printer (the `printer` field is
+/// `printer-<id>`), preserving per-printer order.
+fn group_lines(lines: Vec<String>) -> BTreeMap<PrinterId, Vec<String>> {
+    let mut grouped: BTreeMap<PrinterId, Vec<String>> = BTreeMap::new();
+    for line in lines {
+        let id = line
+            .split("\"printer\":\"printer-")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .and_then(|digits| digits.parse::<u64>().ok())
+            .expect("egress line carries the printer id");
+        grouped.entry(PrinterId(id)).or_default().push(line);
+    }
+    grouped
+}
+
+fn verdicts_of(
+    report: &am_fleet::FleetReport,
+    mut lines: BTreeMap<PrinterId, Vec<String>>,
+) -> BTreeMap<PrinterId, Verdicts> {
+    report
+        .printers
+        .iter()
+        .map(|r| {
+            (
+                r.printer,
+                Verdicts {
+                    alert_lines: lines.remove(&r.printer).unwrap_or_default(),
+                    windows_seen: r.windows_seen,
+                    intrusion: r.intrusion,
+                    health: format!("{:?}", r.health),
+                },
+            )
+        })
+        .collect()
+}
+
+fn fleet_for(sim: &FleetSim, scripts: &[PrinterScript]) -> Fleet {
+    // Block on both edges: the soak accounts for every chunk and alert.
+    let cfg = FleetConfig::default()
+        .with_ingest(IngestPolicy::Block)
+        .with_alert_policy(AlertPolicy::Block);
+    let mut fleet = Fleet::spawn(cfg);
+    for script in scripts {
+        fleet
+            .register(script.printer, sim.spec_of(script.printer))
+            .expect("register");
+    }
+    fleet
+}
+
+fn egress_on(fleet: &Fleet) -> (AlertEgress, MemorySink) {
+    let sink = MemorySink::new();
+    let egress = AlertEgress::spawn(
+        fleet.alerts(),
+        Box::new(sink.clone()),
+        EgressConfig::default().with_format(AlertFormat::Json),
+    );
+    (egress, sink)
+}
+
+/// Waits until the fleet has processed `total_chunks` and the egress
+/// worker has drained the alert channel. `Fleet::finish` sweeps any
+/// alerts still in the channel into `leftover_alerts`, racing a live
+/// egress worker for them — quiescing first guarantees the sweep finds
+/// nothing and every alert reaches the sink.
+fn quiesce(snapshot: impl Fn() -> am_fleet::FleetSnapshot, total_chunks: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let snap = snapshot();
+        if snap.chunks() >= total_chunks && snap.alert_queue_depth == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet did not quiesce: {} of {total_chunks} chunks, {} alerts queued",
+            snap.chunks(),
+            snap.alert_queue_depth
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Baseline: chunks handed straight to [`Fleet::send`], alerts through
+/// the same egress worker the wire pass uses.
+fn run_in_process(sim: &FleetSim, scripts: &[PrinterScript]) -> BTreeMap<PrinterId, Verdicts> {
+    let fleet = fleet_for(sim, scripts);
+    let (egress, sink) = egress_on(&fleet);
+    let longest = scripts.iter().map(|s| s.chunks.len()).max().unwrap_or(0);
+    for frame in 0..longest {
+        for script in scripts {
+            if let Some(chunk) = script.chunks.get(frame) {
+                fleet
+                    .send(script.printer, chunk.clone())
+                    .expect("block ingest");
+            }
+        }
+    }
+    let total_chunks: u64 = scripts.iter().map(|s| s.chunks.len() as u64).sum();
+    quiesce(|| fleet.snapshot(), total_chunks);
+    let report = fleet.finish().expect("clean shutdown");
+    assert!(report.leftover_alerts.is_empty(), "egress saw every alert");
+    let (stats, dead) = egress.finish();
+    assert!(dead.is_empty(), "in-process egress dead letters: {dead:?}");
+    assert_eq!(report.snapshot.alerts_lost(), 0);
+    assert_eq!(stats.delivered, report.snapshot.alerts_emitted());
+    verdicts_of(&report, group_lines(sink.lines()))
+}
+
+/// The wire pass: frames over real loopback sockets into the server.
+fn run_over_wire(
+    sim: &FleetSim,
+    scripts: &[PrinterScript],
+) -> (BTreeMap<PrinterId, Verdicts>, am_wire::EdgeReport, u64, u64) {
+    let fleet = fleet_for(sim, scripts);
+    let (egress, sink) = egress_on(&fleet);
+    let server = WireServer::spawn(
+        fleet,
+        EdgeConfig::default()
+            .with_rate_limit(1_000_000.0, 1_000_000.0)
+            .with_max_connections(TCP_GATEWAYS as usize + 2),
+    )
+    .expect("bind loopback listeners");
+    let tcp_addr = server.tcp_addr().expect("tcp listener enabled");
+    let udp_addr = server.udp_addr().expect("udp listener enabled");
+
+    // Gateway assignment: printer id % (TCP_GATEWAYS + 1); the last
+    // group streams over UDP, the rest share TCP connections.
+    let mut tcp_frames = 0u64;
+    let mut udp_frames = 0u64;
+    let groups: Vec<Vec<&PrinterScript>> = (0..=TCP_GATEWAYS)
+        .map(|g| {
+            scripts
+                .iter()
+                .filter(|s| s.printer.0 % (TCP_GATEWAYS + 1) == g)
+                .collect()
+        })
+        .collect();
+    let server_ref = &server;
+    std::thread::scope(|scope| {
+        for (g, group) in groups.iter().enumerate() {
+            let is_udp = g as u64 == TCP_GATEWAYS;
+            if is_udp {
+                udp_frames += group.iter().map(|s| s.chunks.len() as u64).sum::<u64>();
+            } else {
+                tcp_frames += group.iter().map(|s| s.chunks.len() as u64).sum::<u64>();
+            }
+            scope.spawn(move || {
+                let longest = group.iter().map(|s| s.chunks.len()).max().unwrap_or(0);
+                if is_udp {
+                    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind udp gateway");
+                    let me = socket.local_addr().expect("udp local addr");
+                    // Even loopback UDP drops when the receive buffer
+                    // overflows (e.g. while the reader blocks on a full
+                    // shard queue), so the gateway keeps a bounded number
+                    // of datagrams in flight, acked by the edge's
+                    // per-source delivery counter.
+                    const WINDOW: u64 = 32;
+                    let delivered = || {
+                        server_ref
+                            .snapshot()
+                            .wire
+                            .sources
+                            .iter()
+                            .find(|(addr, _)| *addr == me)
+                            .map(|(_, s)| s.frames_ok)
+                            .unwrap_or(0)
+                    };
+                    let mut sent = 0u64;
+                    for frame in 0..longest {
+                        for script in group {
+                            if let Some(chunk) = script.chunks.get(frame) {
+                                while sent.saturating_sub(delivered()) >= WINDOW {
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
+                                let bytes = frame_of(script, frame, chunk).encode();
+                                socket.send_to(&bytes, udp_addr).expect("udp send");
+                                sent += 1;
+                            }
+                        }
+                    }
+                } else {
+                    let mut stream = TcpStream::connect(tcp_addr).expect("connect tcp gateway");
+                    let mut buf = Vec::new();
+                    for frame in 0..longest {
+                        buf.clear();
+                        for script in group {
+                            if let Some(chunk) = script.chunks.get(frame) {
+                                frame_of(script, frame, chunk).encode_into(&mut buf);
+                            }
+                        }
+                        stream.write_all(&buf).expect("tcp send");
+                    }
+                }
+            });
+        }
+    });
+    // Senders done; TCP handlers may still be draining. Wait until the
+    // edge has delivered every frame (bounded, in case of a bug).
+    let total = tcp_frames + udp_frames;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.snapshot().wire.frames_ok < total && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let wire = server.snapshot().wire;
+    assert_eq!(
+        wire.frames_ok, total,
+        "edge must deliver every frame; rejects: {:?}",
+        wire.rejects
+    );
+    quiesce(|| server.snapshot().fleet, total);
+    let edge = server.finish().expect("clean edge shutdown");
+    assert!(
+        edge.fleet.leftover_alerts.is_empty(),
+        "egress saw every alert"
+    );
+    let (stats, dead) = egress.finish();
+    assert!(dead.is_empty(), "wire egress dead letters: {dead:?}");
+    assert_eq!(stats.delivered, edge.fleet.snapshot.alerts_emitted());
+    let verdicts = verdicts_of(&edge.fleet, group_lines(sink.lines()));
+    (verdicts, edge, tcp_frames, udp_frames)
+}
+
+fn frame_of(script: &PrinterScript, frame: usize, chunk: &am_dsp::Signal) -> WireFrame {
+    WireFrame {
+        printer: script.printer,
+        channel: (script.printer.0 % 2) as u8,
+        seq: frame as u64,
+        chunk: chunk.clone(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    eprintln!("training shared models (small profile, UM3) ...");
+    let sim = FleetSim::build(SimConfig::default())?;
+    eprintln!("scripting {} printers ...", args.printers);
+    let mut scripts = (0..args.printers)
+        .map(|id| sim.script(PrinterId(id)))
+        .collect::<Result<Vec<_>, _>>()?;
+    for script in &mut scripts {
+        script.chunks.truncate(args.frames);
+    }
+    let total_frames: u64 = scripts.iter().map(|s| s.chunks.len() as u64).sum();
+
+    eprintln!("pass 1/2: in-process baseline ...");
+    let baseline = run_in_process(&sim, &scripts);
+
+    eprintln!("pass 2/2: loopback TCP+UDP through the service edge ...");
+    let t0 = Instant::now();
+    let (wired, edge, tcp_frames, udp_frames) = run_over_wire(&sim, &scripts);
+    let wire_seconds = t0.elapsed().as_secs_f64();
+
+    // Edge invariants.
+    let wire = &edge.wire;
+    assert_eq!(
+        wire.frames_ok, total_frames,
+        "every frame must decode and deliver"
+    );
+    assert_eq!(wire.rejects.total(), 0, "zero rejects: {:?}", wire.rejects);
+    assert_eq!(wire.rate_limited, 0, "nothing may be shed at this rate");
+    assert_eq!(wire.seq_gaps, 0, "loopback must not reorder or drop");
+    assert_eq!(edge.fleet.snapshot.alerts_lost(), 0, "zero lost alerts");
+    assert_eq!(
+        edge.fleet.snapshot.alerts_dropped(),
+        0,
+        "zero dropped alerts"
+    );
+
+    // The tentpole contract: network ingestion reproduces the
+    // in-process verdict stream byte for byte.
+    let mut mismatches = 0;
+    for (printer, expected) in &baseline {
+        let got = wired.get(printer).expect("printer reported");
+        if format!("{expected:?}").into_bytes() != format!("{got:?}").into_bytes() {
+            eprintln!("verdict mismatch for {printer}:\n  in-process: {expected:?}\n  wire:       {got:?}");
+            mismatches += 1;
+        }
+    }
+    assert_eq!(
+        mismatches, 0,
+        "{mismatches} printers diverged over the wire"
+    );
+    assert_eq!(baseline.len(), wired.len());
+
+    let alerts_delivered: usize = wired.values().map(|v| v.alert_lines.len()).sum();
+    let json = format!(
+        "{{\n  \"benchmark\": \"loopback network soak, small profile, UM3, acc+pwr models\",\n  \"command\": \"cargo run --release --example wire_soak\",\n  \"printers\": {},\n  \"frames_per_printer\": {},\n  \"frames_total\": {},\n  \"frames_tcp\": {},\n  \"frames_udp\": {},\n  \"bytes_on_wire\": {},\n  \"wire_wall_seconds\": {:.3},\n  \"frames_per_second\": {:.0},\n  \"connections_accepted\": {},\n  \"rejected_frames\": {},\n  \"rate_limited_frames\": {},\n  \"seq_gaps\": {},\n  \"alerts_delivered\": {},\n  \"alerts_lost\": 0,\n  \"verdicts_match_in_process\": true\n}}\n",
+        args.printers,
+        args.frames,
+        total_frames,
+        tcp_frames,
+        udp_frames,
+        wire.bytes,
+        wire_seconds,
+        total_frames as f64 / wire_seconds,
+        wire.connections_accepted,
+        wire.rejects.total(),
+        wire.rate_limited,
+        wire.seq_gaps,
+        alerts_delivered,
+    );
+    std::fs::write(&args.out, &json)?;
+    println!("{json}");
+    eprintln!("wrote {}", args.out);
+    Ok(())
+}

@@ -1,0 +1,366 @@
+//! Hot-reload integration: manifest-driven add/drop/swap against a live
+//! fleet (DESIGN.md §12.4). The load-bearing properties:
+//!
+//! - printers not named by a reload plan produce **byte-identical**
+//!   verdict streams to a run with no reload at all;
+//! - a spec swap rides the shard FIFO — the swapped printer's
+//!   `windows_seen` keeps counting across the swap;
+//! - a shape-mismatched swap is refused on the shard thread (counted in
+//!   `spec_swap_failures`) and the old detector keeps running;
+//! - per-entry reload failures (unknown spec key, unknown printer) are
+//!   collected, not fatal;
+//! - `WireServer::reload` admits a printer mid-stream: frames that were
+//!   `unknown_printer` rejects before the reload deliver after it.
+
+use am_fleet::sim::{FleetSim, PrinterScript, SimConfig};
+use am_fleet::{
+    AlertPolicy, Fleet, FleetConfig, FleetError, FleetManifest, FleetSnapshot, IngestPolicy,
+    PrinterId, ReloadPlan,
+};
+use am_wire::{EdgeConfig, WireFrame, WireServer};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const FRAMES: usize = 24;
+
+fn scripts(sim: &FleetSim, ids: &[u64], frames: usize) -> Vec<PrinterScript> {
+    ids.iter()
+        .map(|&id| {
+            let mut s = sim.script(PrinterId(id)).expect("script builds");
+            s.chunks.truncate(frames);
+            s
+        })
+        .collect()
+}
+
+fn blocking_fleet() -> Fleet {
+    Fleet::spawn(
+        FleetConfig::default()
+            .with_ingest(IngestPolicy::Block)
+            .with_alert_policy(AlertPolicy::Block),
+    )
+}
+
+fn send_frame_range(fleet: &Fleet, scripts: &[PrinterScript], frames: std::ops::Range<usize>) {
+    for frame in frames {
+        for script in scripts {
+            if let Some(chunk) = script.chunks.get(frame) {
+                fleet
+                    .send(script.printer, chunk.clone())
+                    .expect("block ingest");
+            }
+        }
+    }
+}
+
+fn spec_swaps(snapshot: &FleetSnapshot) -> (u64, u64) {
+    snapshot.shards.iter().fold((0, 0), |(ok, bad), s| {
+        (ok + s.stats.spec_swaps, bad + s.stats.spec_swap_failures)
+    })
+}
+
+/// Drains the alert channel so `AlertPolicy::Block` senders never stall.
+fn discard_alerts(fleet: &Fleet) -> std::thread::JoinHandle<()> {
+    let rx = fleet.alerts();
+    std::thread::spawn(move || for _ in rx.iter() {})
+}
+
+#[test]
+fn reload_touches_only_the_printers_it_names() {
+    let sim = FleetSim::build(SimConfig::default()).expect("sim builds");
+    // Printer ids 0..6; even ids run um3/acc, odd um3/pwr (sim layout).
+    // The swap happens early: a re-seated stream needs a full detection
+    // window of fresh samples before it produces verdicts again (same
+    // cost as a resync), so most of the script must follow it.
+    const LONG: usize = 48;
+    const SWAP_AT: usize = 12;
+    let roster: Vec<u64> = (0..6).collect();
+    let scripts = scripts(&sim, &roster, LONG);
+
+    // A re-trained model published under a fresh registry key: same
+    // shape as um3/acc, so live detectors can adopt it.
+    let acc = sim
+        .registry()
+        .get(sim.key_of(PrinterId(0)))
+        .expect("acc spec");
+    sim.registry().insert("um3/acc-v2", acc.as_ref().clone());
+
+    let dropped = PrinterId(5);
+    let mut v1 = FleetManifest::new();
+    for s in &scripts {
+        v1.assign(s.printer, &s.key);
+    }
+    // v2, as a farm controller would rewrite it: printer 0 re-trained,
+    // printer 5 retired, printer 6 commissioned.
+    let v2_text: String = v1
+        .entries()
+        .filter(|(p, _)| *p != dropped)
+        .map(|(p, k)| {
+            let key = if p == PrinterId(0) { "um3/acc-v2" } else { k };
+            format!("printer {} {key}\n", p.0)
+        })
+        .chain([format!("printer 6 {}\n", sim.key_of(PrinterId(6)))])
+        .collect();
+    let v2 = FleetManifest::parse(&v2_text).expect("well-formed manifest");
+
+    let plan = v1.diff(&v2);
+    assert_eq!(plan.add.len(), 1);
+    assert_eq!(plan.drop, vec![dropped]);
+    assert_eq!(plan.swap.len(), 1);
+
+    // Baseline: same roster, same chunks, no reload.
+    let baseline = {
+        let mut fleet = blocking_fleet();
+        for s in &scripts {
+            fleet.register(s.printer, sim.spec_of(s.printer)).unwrap();
+        }
+        let drain = discard_alerts(&fleet);
+        send_frame_range(&fleet, &scripts, 0..LONG);
+        let report = fleet.finish().expect("clean shutdown");
+        drain.join().unwrap();
+        report
+    };
+
+    // Reloaded run: half the stream, apply the plan, rest of the stream.
+    let mut fleet = blocking_fleet();
+    for s in &scripts {
+        fleet.register(s.printer, sim.spec_of(s.printer)).unwrap();
+    }
+    let drain = discard_alerts(&fleet);
+    send_frame_range(&fleet, &scripts, 0..SWAP_AT);
+    let mid_chunks = fleet.snapshot().chunks();
+    assert!(mid_chunks > 0, "stream is live pre-reload");
+
+    let report = fleet.apply(&plan, sim.registry());
+    assert!(
+        report.clean(),
+        "unexpected reload errors: {:?}",
+        report.errors
+    );
+    assert_eq!(report.added, vec![PrinterId(6)]);
+    assert_eq!(report.dropped, vec![dropped]);
+    assert_eq!(report.swapped, vec![PrinterId(0)]);
+
+    let survivors: Vec<PrinterScript> = scripts
+        .iter()
+        .filter(|s| s.printer != dropped)
+        .cloned()
+        .chain(scripts_tail(&sim, 6, LONG))
+        .collect();
+    send_frame_range(&fleet, &survivors, SWAP_AT..LONG);
+    let report = fleet.finish().expect("clean shutdown");
+    drain.join().unwrap();
+
+    let (swaps, swap_failures) = spec_swaps(&report.snapshot);
+    assert_eq!(swaps, 1, "exactly one spec adoption");
+    assert_eq!(swap_failures, 0);
+
+    let of = |r: &am_fleet::FleetReport, id: u64| {
+        r.printers
+            .iter()
+            .find(|p| p.printer == PrinterId(id))
+            .cloned()
+            .unwrap_or_else(|| panic!("printer-{id} missing from report"))
+    };
+
+    // Untouched printers: byte-identical to the no-reload baseline.
+    for id in [1u64, 2, 3, 4] {
+        assert_eq!(
+            format!("{:?}", of(&baseline, id)).into_bytes(),
+            format!("{:?}", of(&report, id)).into_bytes(),
+            "printer-{id} observed a reload it was not named in"
+        );
+    }
+    // The swapped printer kept its verdict stream running: every chunk
+    // routed, detector alive, and the re-seated stream produced windows
+    // against the new reference.
+    let swapped = of(&report, 0);
+    assert_eq!(swapped.chunks, LONG as u64, "swap lost chunks");
+    assert!(!swapped.dead, "swap killed printer-0");
+    assert!(
+        swapped.windows_seen > 0,
+        "no windows after the swap ({} chunks post-swap)",
+        LONG - SWAP_AT
+    );
+    // The added printer is live; the dropped one was retired at the
+    // detach — its report only covers the pre-reload prefix.
+    assert!(of(&report, 6).windows_seen > 0, "added printer never ran");
+    let retired = of(&report, dropped.0);
+    assert_eq!(retired.chunks, SWAP_AT as u64, "retired mid-stream");
+    assert!(retired.chunks < of(&baseline, dropped.0).chunks);
+}
+
+fn scripts_tail(sim: &FleetSim, id: u64, frames: usize) -> Option<PrinterScript> {
+    let mut s = sim.script(PrinterId(id)).expect("script builds");
+    s.chunks.truncate(frames);
+    Some(s)
+}
+
+#[test]
+fn shape_mismatched_swap_is_refused_and_detector_survives() {
+    let sim = FleetSim::build(SimConfig::default()).expect("sim builds");
+    let scripts = scripts(&sim, &[0], FRAMES); // printer 0: um3/acc, 3 channels
+    let mut fleet = blocking_fleet();
+    fleet
+        .register(PrinterId(0), sim.spec_of(PrinterId(0)))
+        .unwrap();
+    let drain = discard_alerts(&fleet);
+    send_frame_range(&fleet, &scripts, 0..FRAMES / 2);
+
+    // um3/pwr is single-channel: adoption must fail shard-side.
+    let plan = ReloadPlan {
+        swap: vec![(PrinterId(0), sim.key_of(PrinterId(1)).to_string())],
+        ..ReloadPlan::default()
+    };
+    let report = fleet.apply(&plan, sim.registry());
+    assert!(
+        report.clean(),
+        "enqueue itself succeeds: {:?}",
+        report.errors
+    );
+
+    send_frame_range(&fleet, &scripts, FRAMES / 2..FRAMES);
+    let report = fleet.finish().expect("clean shutdown");
+    drain.join().unwrap();
+
+    let (swaps, swap_failures) = spec_swaps(&report.snapshot);
+    assert_eq!(swaps, 0);
+    assert_eq!(swap_failures, 1, "mismatch must be counted, not adopted");
+    let printer = &report.printers[0];
+    assert!(
+        printer.windows_seen > 0 && !printer.dead,
+        "old detector must keep running after a refused swap"
+    );
+}
+
+#[test]
+fn per_entry_reload_failures_are_collected_not_fatal() {
+    let sim = FleetSim::build(SimConfig::default()).expect("sim builds");
+    let mut fleet = blocking_fleet();
+    fleet
+        .register(PrinterId(0), sim.spec_of(PrinterId(0)))
+        .unwrap();
+    let drain = discard_alerts(&fleet);
+
+    let plan = ReloadPlan {
+        add: vec![
+            (PrinterId(1), "no/such/model".to_string()), // unknown spec
+            (PrinterId(2), sim.key_of(PrinterId(2)).to_string()), // fine
+            (PrinterId(0), sim.key_of(PrinterId(0)).to_string()), // duplicate
+        ],
+        drop: vec![PrinterId(77)], // never registered
+        swap: vec![(PrinterId(88), sim.key_of(PrinterId(0)).to_string())],
+    };
+    let report = fleet.apply(&plan, sim.registry());
+    assert_eq!(report.added, vec![PrinterId(2)], "good entry still applies");
+    assert_eq!(report.errors.len(), 4, "errors: {:?}", report.errors);
+    let error_for = |id: u64| {
+        report
+            .errors
+            .iter()
+            .find(|(p, _)| *p == PrinterId(id))
+            .map(|(_, e)| e)
+            .unwrap_or_else(|| panic!("no error recorded for printer-{id}"))
+    };
+    assert!(matches!(error_for(1), FleetError::UnknownSpec(k) if k == "no/such/model"));
+    assert!(matches!(error_for(0), FleetError::DuplicatePrinter(_)));
+    assert!(matches!(error_for(77), FleetError::UnknownPrinter(_)));
+    assert!(matches!(error_for(88), FleetError::UnknownPrinter(_)));
+
+    let report = fleet
+        .finish()
+        .expect("partial reload must not poison shutdown");
+    drain.join().unwrap();
+    assert_eq!(report.printers.len(), 2);
+}
+
+#[test]
+fn wire_server_reload_admits_a_printer_mid_stream() {
+    let sim = FleetSim::build(SimConfig::default()).expect("sim builds");
+    let scripts = scripts(&sim, &[0, 2], FRAMES);
+    let mut fleet = blocking_fleet();
+    // Only printer 0 is provisioned at spawn; printer 2 joins later.
+    fleet
+        .register(PrinterId(0), sim.spec_of(PrinterId(0)))
+        .unwrap();
+    let server = WireServer::spawn(
+        fleet,
+        EdgeConfig::default()
+            .with_udp_bind(None)
+            .with_rate_limit(1_000_000.0, 1_000_000.0),
+    )
+    .expect("bind loopback listener");
+    let rx = server.alerts();
+    let drain = std::thread::spawn(move || for _ in rx.iter() {});
+    let mut conn = TcpStream::connect(server.tcp_addr().expect("tcp enabled")).expect("connect");
+
+    let send_range = |conn: &mut TcpStream, frames: std::ops::Range<usize>| {
+        let mut buf = Vec::new();
+        for frame in frames {
+            for script in &scripts {
+                if let Some(chunk) = script.chunks.get(frame) {
+                    WireFrame {
+                        printer: script.printer,
+                        channel: 0,
+                        seq: frame as u64,
+                        chunk: chunk.clone(),
+                    }
+                    .encode_into(&mut buf);
+                }
+            }
+        }
+        conn.write_all(&buf).expect("stream frames");
+        buf.len()
+    };
+
+    let wait_until = |cond: &dyn Fn(&am_wire::WireSnapshot) -> bool| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let snap = server.snapshot().wire;
+            if cond(&snap) {
+                return snap;
+            }
+            assert!(Instant::now() < deadline, "edge stalled: {snap:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+
+    let half = (FRAMES / 2) as u64;
+    send_range(&mut conn, 0..FRAMES / 2);
+    // Printer 0's frames deliver; printer 2's are unknown_printer rejects.
+    let snap = wait_until(&|s| s.frames_ok + s.rejects.total() >= 2 * half);
+    assert_eq!(snap.frames_ok, half);
+    assert_eq!(snap.rejects.unknown_printer, half);
+
+    let plan = ReloadPlan {
+        add: vec![(PrinterId(2), sim.key_of(PrinterId(2)).to_string())],
+        ..ReloadPlan::default()
+    };
+    let report = server.reload(&plan, sim.registry());
+    assert!(report.clean(), "reload errors: {:?}", report.errors);
+
+    send_range(&mut conn, FRAMES / 2..FRAMES);
+    drop(conn);
+    let want_ok = half + 2 * (FRAMES as u64 - half);
+    wait_until(&|s| s.frames_ok >= want_ok);
+
+    let edge = server.finish().expect("clean edge shutdown");
+    drain.join().unwrap();
+    assert_eq!(edge.wire.frames_ok, want_ok);
+    assert_eq!(
+        edge.wire.rejects.unknown_printer, half,
+        "no rejects after reload"
+    );
+    let late = edge
+        .fleet
+        .printers
+        .iter()
+        .find(|p| p.printer == PrinterId(2))
+        .expect("printer-2 joined the fleet");
+    // Only half a script arrives after admission — not necessarily
+    // enough signal for a full detection window, but every frame must
+    // have been routed to a live detector.
+    assert_eq!(late.chunks, (FRAMES - FRAMES / 2) as u64);
+    assert!(!late.dead, "admitted printer died");
+}

@@ -1,0 +1,213 @@
+//! Property suite for the AMW1 wire decoder: arbitrary and adversarial
+//! bytes never panic, every rejection maps to a typed [`WireError`],
+//! and every variant of the taxonomy is actually reachable (extends the
+//! `never_panics` discipline of DESIGN.md §7 to the network edge).
+
+use am_dsp::Signal;
+use am_fleet::PrinterId;
+use am_wire::frame::{MAGIC, VERSION};
+use am_wire::{decode_datagram, FrameDecoder, WireError, WireFrame, HEADER_LEN, TRAILER_LEN};
+use proptest::prelude::*;
+
+const MAX_FRAME: usize = 1 << 16;
+
+fn frame(printer: u64, seq: u64, channels: usize, len: usize) -> WireFrame {
+    WireFrame {
+        printer: PrinterId(printer),
+        channel: (printer % 7) as u8,
+        seq,
+        chunk: Signal::from_fn(200.0, channels.max(1), len.max(1), |t, f| {
+            for (c, v) in f.iter_mut().enumerate() {
+                *v = (t * (c + 1) as f64).sin();
+            }
+        })
+        .expect("valid test chunk"),
+    }
+}
+
+/// Drains a decoder exactly as the TCP handler does: pull until `None`,
+/// drop the stream on a fatal error.
+fn drain(dec: &mut FrameDecoder) -> (usize, Vec<WireError>, bool) {
+    let mut ok = 0;
+    let mut errors = Vec::new();
+    while let Some(result) = dec.next_frame() {
+        match result {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                let fatal = e.stream_fatal();
+                errors.push(e);
+                if fatal {
+                    return (ok, errors, true);
+                }
+            }
+        }
+    }
+    (ok, errors, false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pure noise: any byte soup decodes to a typed error (or, with
+    /// astronomically small probability, a frame) — never a panic.
+    #[test]
+    fn random_bytes_never_panic(raw in proptest::collection::vec(0usize..256, 0..600)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let _ = decode_datagram(&bytes, MAX_FRAME);
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.extend(&bytes);
+        let _ = drain(&mut dec);
+        let _ = dec.finish();
+    }
+
+    /// Single-byte corruption of a valid frame: every byte of the frame
+    /// is CRC-protected (and the CRC protects itself), so any flip is
+    /// rejected — and classified, never panicking.
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        printer in 0u64..1000,
+        seq in 0u64..1000,
+        shape in (1usize..4, 1usize..40),
+        at in 0usize..10_000,
+        flip in 1usize..256,
+    ) {
+        let (channels, len) = shape;
+        let mut bytes = frame(printer, seq, channels, len).encode();
+        let at = at % bytes.len();
+        bytes[at] ^= flip as u8;
+        let result = decode_datagram(&bytes, MAX_FRAME);
+        prop_assert!(result.is_err(), "corrupt byte {at} accepted");
+    }
+
+    /// A garbage prefix ahead of valid frames is detected as a framing
+    /// error and the taxonomy stays total; a BadPayload-only corruption
+    /// lets the stream continue to the next frame.
+    #[test]
+    fn garbage_between_frames_never_panics(
+        garbage in proptest::collection::vec(0usize..256, 1..64),
+        split in 1usize..48,
+    ) {
+        let good: Vec<u8> = (0..3u64).flat_map(|i| frame(i, i, 1, 8).encode()).collect();
+        let mut stream: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
+        stream.extend_from_slice(&good);
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        for piece in stream.chunks(split) {
+            dec.extend(piece);
+            let (_, _, fatal) = drain(&mut dec);
+            if fatal {
+                // The handler would drop the connection here; a fresh
+                // decoder on the remaining bytes must also not panic.
+                dec = FrameDecoder::new(MAX_FRAME);
+            }
+        }
+        let _ = dec.finish();
+    }
+
+    /// Truncating a valid frame at any point is always `Truncated` at
+    /// end-of-stream, with `needed > have`.
+    #[test]
+    fn truncation_is_always_classified(cut in 1usize..10_000) {
+        let bytes = frame(1, 1, 2, 16).encode();
+        let cut = cut % (bytes.len() - 1) + 1;
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.extend(&bytes[..cut]);
+        prop_assert!(dec.next_frame().is_none() || cut >= bytes.len());
+        match dec.finish() {
+            Err(WireError::Truncated { needed, have }) => prop_assert!(needed > have),
+            other => prop_assert!(false, "expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+/// Every decoder-reachable [`WireError`] variant is produced by a
+/// concrete malformed input, and its `kind()` label is stable (the
+/// per-source counters in `am-wire` key off these).
+#[test]
+fn every_wire_error_variant_is_exercised() {
+    let good = frame(9, 4, 2, 10).encode();
+
+    let truncated = decode_datagram(&good[..HEADER_LEN - 1], MAX_FRAME).unwrap_err();
+    assert_eq!(truncated.kind(), "truncated");
+    assert!(truncated.stream_fatal());
+
+    let mut bad = good.clone();
+    bad[1] = b'Z';
+    let bad_magic = decode_datagram(&bad, MAX_FRAME).unwrap_err();
+    assert_eq!(bad_magic.kind(), "bad_magic");
+    assert!(bad_magic.stream_fatal());
+
+    let mut bad = good.clone();
+    bad[3] = VERSION + 1;
+    let bad_version = decode_datagram(&bad, MAX_FRAME).unwrap_err();
+    assert_eq!(bad_version.kind(), "bad_version");
+    assert!(bad_version.stream_fatal());
+
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0xff;
+    let bad_crc = decode_datagram(&bad, MAX_FRAME).unwrap_err();
+    assert_eq!(bad_crc.kind(), "bad_crc");
+    assert!(bad_crc.stream_fatal());
+
+    let mut bad = good.clone();
+    bad[22..26].copy_from_slice(&(u32::MAX / 2).to_le_bytes());
+    let oversized = decode_datagram(&bad, MAX_FRAME).unwrap_err();
+    assert_eq!(oversized.kind(), "oversized");
+    assert!(oversized.stream_fatal());
+
+    // Internally inconsistent payload with a re-stamped (valid) CRC:
+    // framing fine, payload rejected, stream continues.
+    let mut bad = good.clone();
+    bad[HEADER_LEN] = 0xff; // fs mantissa corrupted → still finite, but
+    bad[HEADER_LEN + 8] = 0; // zero channels is the decisive rejection
+    bad[HEADER_LEN + 9] = 0;
+    let crc_at = bad.len() - TRAILER_LEN;
+    let crc = am_wire::crc32(&bad[..crc_at]);
+    bad[crc_at..].copy_from_slice(&crc.to_le_bytes());
+    let bad_payload = decode_datagram(&bad, MAX_FRAME).unwrap_err();
+    assert_eq!(bad_payload.kind(), "bad_payload");
+    assert!(!bad_payload.stream_fatal());
+
+    // UnknownPrinter is raised by the delivery edge, not the byte
+    // decoder; its classification contract still holds.
+    let unknown = WireError::UnknownPrinter {
+        printer: PrinterId(404),
+    };
+    assert_eq!(unknown.kind(), "unknown_printer");
+    assert!(!unknown.stream_fatal());
+    assert!(unknown.to_string().contains("printer-404"));
+
+    // The six decoder paths above plus the delivery variant cover the
+    // whole taxonomy — update this list when adding variants.
+    let kinds = [
+        truncated.kind(),
+        bad_magic.kind(),
+        bad_version.kind(),
+        bad_crc.kind(),
+        oversized.kind(),
+        bad_payload.kind(),
+        unknown.kind(),
+    ];
+    assert_eq!(
+        kinds.len(),
+        kinds
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        "kind() labels must be distinct: {kinds:?}"
+    );
+}
+
+/// The sanctioned magic/version constants round-trip through encode —
+/// a canary against accidental format drift (bumping VERSION must be a
+/// deliberate, reviewed change).
+#[test]
+fn format_constants_are_pinned() {
+    assert_eq!(MAGIC, *b"AMW");
+    assert_eq!(VERSION, 1);
+    let bytes = frame(1, 1, 1, 1).encode();
+    assert_eq!(&bytes[..3], b"AMW");
+    assert_eq!(bytes[3], 1);
+    assert_eq!(bytes[5], 0, "reserved byte must be zero in v1");
+    assert_eq!(bytes.len(), HEADER_LEN + 14 + 8 + TRAILER_LEN);
+}
