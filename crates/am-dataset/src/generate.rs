@@ -344,9 +344,45 @@ where
     R: Send,
     F: Fn((usize, &T)) -> R + Sync,
 {
+    parallel_map_with_worker_state(items, threads, |_| (), |(), item| f(item))
+}
+
+/// [`parallel_map_with_threads`] where every worker owns mutable state for
+/// its whole lifetime — the hook stage-aware schedulers use to pin scratch
+/// arenas (and per-worker telemetry spans) to workers instead of
+/// re-creating them per item.
+///
+/// `init(worker_index)` runs once on each worker thread before it claims
+/// work; the state is handed mutably to every item that worker processes
+/// and dropped when the worker exits. The sequential path (`threads <= 1`
+/// or a single item) builds one state for worker 0 on the caller's
+/// thread. State never migrates between threads mid-run, so worker-pinned
+/// scratch needs only `Send`.
+///
+/// Output order is always the input order, so results are deterministic
+/// regardless of `threads` — callers must not let the *state* influence
+/// results (arenas hold scratch, not answers).
+pub fn parallel_map_with_worker_state<T, R, S, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, (usize, &T)) -> R + Sync,
+{
     let threads = threads.min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f((i, t))).collect();
+        let mut state = init(0);
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, (i, t)))
+            .collect();
     }
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     // 4 chunks per worker: enough granularity to balance uneven item
@@ -360,13 +396,19 @@ where
     units.reverse();
     let queue = parking_lot::Mutex::new(units);
     crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let unit = queue.lock().pop();
-                let Some((start, slice)) = unit else { break };
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    let i = start + off;
-                    *slot = Some(f((i, &items[i])));
+        for w in 0..threads {
+            let queue = &queue;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move |_| {
+                let mut state = init(w);
+                loop {
+                    let unit = queue.lock().pop();
+                    let Some((start, slice)) = unit else { break };
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let i = start + off;
+                        *slot = Some(f(&mut state, (i, &items[i])));
+                    }
                 }
             });
         }
@@ -427,6 +469,35 @@ mod tests {
                 acc
             });
             assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_state_is_pinned_and_results_stay_ordered() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1usize, 2, 5] {
+            let inits = AtomicUsize::new(0);
+            // Each worker's state remembers its worker index and counts the
+            // items it processed; results must be input-ordered regardless.
+            let out = parallel_map_with_worker_state(
+                &items,
+                threads,
+                |w| {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    (w, 0usize)
+                },
+                |state, (i, &v)| {
+                    assert_eq!(i, v);
+                    state.1 += 1;
+                    assert!(state.0 < threads, "worker index out of range");
+                    v * 3
+                },
+            );
+            assert_eq!(out, items.iter().map(|&v| v * 3).collect::<Vec<_>>());
+            // One state per worker, never more (a worker that finds the
+            // queue already drained still built its state first).
+            assert_eq!(inits.load(Ordering::Relaxed), threads.min(items.len()));
         }
     }
 

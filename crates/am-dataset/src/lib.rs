@@ -16,10 +16,12 @@
 
 pub mod error;
 pub mod generate;
+pub mod slots;
 pub mod spec;
 pub mod store;
 
 pub use error::DatasetError;
 pub use generate::{Capture, RunRecord, RunRole, TrajectorySet, Transform};
+pub use slots::{KeyedSlots, SlotStats};
 pub use spec::{ExperimentSpec, ProcessMix, Profile};
 pub use store::{CaptureStats, CaptureStore, SharedCaptures};

@@ -1,0 +1,299 @@
+//! Generic memoizing slot map — the shared discipline behind the
+//! evaluation pipeline's stores ([`CaptureStore`](crate::CaptureStore)
+//! and am-eval's `FitStore`).
+//!
+//! A [`KeyedSlots`] owns a fixed key set declared at construction, one
+//! `parking_lot` mutex per key. The first requester of a key generates
+//! the value while holding only its own slot's lock; concurrent
+//! requesters of the *same* key block until it is ready (never generating
+//! a duplicate); requests for *different* keys proceed in parallel.
+//! Every store built on it gets the same instrumentation for free:
+//! hit/miss/generation/lock-wait counters in [`SlotStats`] plus
+//! `{prefix}.lookups` / `{prefix}.hits` / `{prefix}.misses` telemetry
+//! counters, a `{prefix}.lock_wait` histogram, and a `{prefix}.generate`
+//! span around each generation.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Cache counters of a [`KeyedSlots`]-backed store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotStats {
+    /// Requests served from a populated slot.
+    pub hits: usize,
+    /// Requests that had to generate the value.
+    pub misses: usize,
+    /// Nanoseconds spent generating values.
+    pub generation_nanos: u64,
+    /// Nanoseconds spent waiting to acquire slot locks — time a requester
+    /// was blocked behind another thread generating (or briefly holding)
+    /// the same key.
+    pub blocked_nanos: u64,
+}
+
+impl SlotStats {
+    /// Fraction of requests served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Seconds spent generating values.
+    pub fn generation_seconds(&self) -> f64 {
+        self.generation_nanos as f64 / 1e9
+    }
+
+    /// Seconds requesters spent blocked on slot locks.
+    pub fn blocked_seconds(&self) -> f64 {
+        self.blocked_nanos as f64 / 1e9
+    }
+
+    /// Accumulates another store's counters.
+    pub fn merge(&mut self, other: &SlotStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.generation_nanos += other.generation_nanos;
+        self.blocked_nanos += other.blocked_nanos;
+    }
+}
+
+/// A fixed-key memoizing slot map with per-slot locking and uniform
+/// telemetry (see the [module docs](self)).
+///
+/// Keys are compared linearly — the stores built on this hold at most a
+/// few dozen keys, where a scan beats hashing.
+pub struct KeyedSlots<K, V> {
+    slots: Vec<(K, Mutex<Option<V>>)>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    generation_nanos: AtomicU64,
+    blocked_nanos: AtomicU64,
+    lookups_counter: am_telemetry::Counter,
+    hits_counter: am_telemetry::Counter,
+    misses_counter: am_telemetry::Counter,
+    lock_wait: am_telemetry::Histogram,
+    generate: am_telemetry::Histogram,
+}
+
+impl<K: PartialEq, V: Clone> KeyedSlots<K, V> {
+    /// Creates an empty store over the given key set (duplicates are
+    /// dropped). `prefix` names the telemetry series, e.g. `"capture"` →
+    /// `capture.lookups`, `capture.hits`, `capture.misses`,
+    /// `capture.lock_wait`, `capture.generate`.
+    pub fn new(prefix: &str, keys: impl IntoIterator<Item = K>) -> Self {
+        let mut slots: Vec<(K, Mutex<Option<V>>)> = Vec::new();
+        for key in keys {
+            if !slots.iter().any(|(k, _)| *k == key) {
+                slots.push((key, Mutex::new(None)));
+            }
+        }
+        KeyedSlots {
+            slots,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            generation_nanos: AtomicU64::new(0),
+            blocked_nanos: AtomicU64::new(0),
+            lookups_counter: am_telemetry::counter(&format!("{prefix}.lookups")),
+            hits_counter: am_telemetry::counter(&format!("{prefix}.hits")),
+            misses_counter: am_telemetry::counter(&format!("{prefix}.misses")),
+            lock_wait: am_telemetry::histogram(&format!("{prefix}.lock_wait")),
+            generate: am_telemetry::histogram(&format!("{prefix}.generate")),
+        }
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns the value for `key`, running `generate` under the slot
+    /// lock on first request. A failed generation is not cached; the next
+    /// request retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was not registered at construction — the stores
+    /// built on this declare their full key set up front, so an unknown
+    /// key is a programming error, not a runtime condition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `generate`'s error.
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: &K,
+        generate: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        self.lookups_counter.incr();
+        let (_, slot) = self
+            .slots
+            .iter()
+            .find(|(k, _)| k == key)
+            .expect("key registered at KeyedSlots construction");
+        let wait0 = std::time::Instant::now();
+        let mut slot = slot.lock();
+        let waited = wait0.elapsed();
+        self.blocked_nanos
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.lock_wait.record(waited);
+        if let Some(value) = slot.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits_counter.incr();
+            return Ok(value.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses_counter.incr();
+        let _gen_span = am_telemetry::SpanGuard::start(&self.generate);
+        let t0 = std::time::Instant::now();
+        let value = generate()?;
+        self.generation_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        *slot = Some(value.clone());
+        Ok(value)
+    }
+
+    /// Returns the value for `key` only if it is already populated —
+    /// never generates, so code running inside an already-parallel stage
+    /// can use this to *structurally* rule out nested generation work.
+    /// Counts as a hit when populated; an empty slot counts nothing
+    /// (`misses` keeps meaning "generations", as
+    /// [`KeyedSlots::get_or_insert_with`] defines it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was not registered at construction, like
+    /// [`KeyedSlots::get_or_insert_with`].
+    pub fn try_get(&self, key: &K) -> Option<V> {
+        let (_, slot) = self
+            .slots
+            .iter()
+            .find(|(k, _)| k == key)
+            .expect("key registered at KeyedSlots construction");
+        let wait0 = std::time::Instant::now();
+        let slot = slot.lock();
+        let waited = wait0.elapsed();
+        self.blocked_nanos
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.lock_wait.record(waited);
+        let value = slot.as_ref().cloned();
+        if value.is_some() {
+            self.lookups_counter.incr();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits_counter.incr();
+        }
+        value
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> SlotStats {
+        SlotStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            generation_nanos: self.generation_nanos.load(Ordering::Relaxed),
+            blocked_nanos: self.blocked_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<K: std::fmt::Debug, V> std::fmt::Debug for KeyedSlots<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedSlots")
+            .field(
+                "keys",
+                &self.slots.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn generates_once_per_key_and_dedups_registration() {
+        let slots: KeyedSlots<u32, u32> = KeyedSlots::new("test.slots", [1, 2, 2, 3]);
+        assert_eq!(slots.len(), 3);
+        assert!(!slots.is_empty());
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v: Result<u32, ()> = slots.get_or_insert_with(&2, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(20)
+            });
+            assert_eq!(v.unwrap(), 20);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        let stats = slots.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn failed_generation_is_retried() {
+        let slots: KeyedSlots<u32, u32> = KeyedSlots::new("test.retry", [7]);
+        let first: Result<u32, &str> = slots.get_or_insert_with(&7, || Err("boom"));
+        assert_eq!(first.unwrap_err(), "boom");
+        let second: Result<u32, &str> = slots.get_or_insert_with(&7, || Ok(70));
+        assert_eq!(second.unwrap(), 70);
+        // The failure still counted as a miss (it ran the generator).
+        assert_eq!(slots.stats().misses, 2);
+    }
+
+    #[test]
+    fn try_get_never_generates() {
+        let slots: KeyedSlots<u32, u32> = KeyedSlots::new("test.tryget", [4]);
+        assert_eq!(slots.try_get(&4), None);
+        // An empty probe is not a miss: misses count generations.
+        assert_eq!(slots.stats().misses, 0);
+        assert_eq!(slots.stats().hits, 0);
+        let _: Result<u32, ()> = slots.get_or_insert_with(&4, || Ok(40));
+        assert_eq!(slots.try_get(&4), Some(40));
+        assert_eq!(slots.stats().hits, 1);
+        assert_eq!(slots.stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "key registered")]
+    fn unknown_key_panics() {
+        let slots: KeyedSlots<u32, u32> = KeyedSlots::new("test.unknown", [1]);
+        let _: Result<u32, ()> = slots.get_or_insert_with(&9, || Ok(0));
+    }
+
+    #[test]
+    fn concurrent_same_key_generates_once() {
+        let slots: KeyedSlots<u32, u32> = KeyedSlots::new("test.concurrent", [5]);
+        let calls = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    let v: Result<u32, ()> = slots.get_or_insert_with(&5, || {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(50)
+                    });
+                    assert_eq!(v.unwrap(), 50);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "exactly one generation");
+        let stats = slots.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+        assert!(
+            stats.blocked_nanos > 0,
+            "racing requesters must observe lock wait"
+        );
+    }
+}

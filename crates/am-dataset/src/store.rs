@@ -16,74 +16,17 @@
 
 use crate::error::DatasetError;
 use crate::generate::{parallel_map_with_threads, Capture, TrajectorySet, Transform};
+use crate::slots::KeyedSlots;
 use am_dsp::stft::log_spectrogram;
 use am_sensors::channel::SideChannel;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A memoized capture set: one `Arc<Capture>` per run, reference first.
 pub type SharedCaptures = Arc<Vec<Arc<Capture>>>;
 
-/// Cache counters of a [`CaptureStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CaptureStats {
-    /// Requests served from a populated slot.
-    pub hits: usize,
-    /// Requests that had to generate the artifact.
-    pub misses: usize,
-    /// Nanoseconds spent generating artifacts (capture + STFT).
-    pub generation_nanos: u64,
-    /// Nanoseconds spent waiting to acquire slot locks — time a requester
-    /// was blocked behind another thread generating (or briefly holding)
-    /// the same key. Near-zero when the grid pre-warms its captures.
-    pub blocked_nanos: u64,
-}
-
-impl CaptureStats {
-    /// Fraction of requests served from the cache (0 when never queried).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-
-    /// Seconds spent generating artifacts.
-    pub fn generation_seconds(&self) -> f64 {
-        self.generation_nanos as f64 / 1e9
-    }
-
-    /// Seconds requesters spent blocked on slot locks.
-    pub fn blocked_seconds(&self) -> f64 {
-        self.blocked_nanos as f64 / 1e9
-    }
-
-    /// Accumulates another store's counters.
-    pub fn merge(&mut self, other: &CaptureStats) {
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.generation_nanos += other.generation_nanos;
-        self.blocked_nanos += other.blocked_nanos;
-    }
-}
-
-const CHANNELS: usize = 6;
-const TRANSFORMS: usize = 2;
-
-fn slot_index(channel: SideChannel, transform: Transform) -> usize {
-    let c = SideChannel::all()
-        .iter()
-        .position(|&ch| ch == channel)
-        .expect("all() covers every channel");
-    let t = match transform {
-        Transform::Raw => 0,
-        Transform::Spectrogram => 1,
-    };
-    c * TRANSFORMS + t
-}
+/// Cache counters of a [`CaptureStore`] — the capture-flavoured name for
+/// the generic [`SlotStats`](crate::slots::SlotStats).
+pub type CaptureStats = crate::slots::SlotStats;
 
 /// Lazily generated, memoized (channel × transform) capture sets over one
 /// [`TrajectorySet`].
@@ -91,11 +34,7 @@ pub struct CaptureStore<'a> {
     set: &'a TrajectorySet,
     /// Worker count for the per-run fan-out *inside* one generation.
     threads: usize,
-    slots: Vec<Mutex<Option<SharedCaptures>>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    generation_nanos: AtomicU64,
-    blocked_nanos: AtomicU64,
+    slots: KeyedSlots<(SideChannel, Transform), SharedCaptures>,
 }
 
 impl<'a> CaptureStore<'a> {
@@ -113,16 +52,15 @@ impl<'a> CaptureStore<'a> {
     /// generation parallelizes *within* a capture set instead of
     /// oversubscribing the machine from inside already-parallel cells.
     pub fn with_threads(set: &'a TrajectorySet, threads: usize) -> Self {
+        let keys = SideChannel::all().into_iter().flat_map(|channel| {
+            [Transform::Raw, Transform::Spectrogram]
+                .into_iter()
+                .map(move |transform| (channel, transform))
+        });
         CaptureStore {
             set,
             threads: threads.max(1),
-            slots: (0..CHANNELS * TRANSFORMS)
-                .map(|_| Mutex::new(None))
-                .collect(),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            generation_nanos: AtomicU64::new(0),
-            blocked_nanos: AtomicU64::new(0),
+            slots: KeyedSlots::new("capture", keys),
         }
     }
 
@@ -142,57 +80,43 @@ impl<'a> CaptureStore<'a> {
         channel: SideChannel,
         transform: Transform,
     ) -> Result<SharedCaptures, DatasetError> {
-        am_telemetry::count!("capture.lookups");
-        let wait0 = std::time::Instant::now();
-        let mut slot = self.slots[slot_index(channel, transform)].lock();
-        let waited = wait0.elapsed();
-        self.blocked_nanos
-            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
-        if am_telemetry::enabled() {
-            static LOCK_WAIT: std::sync::OnceLock<am_telemetry::Histogram> =
-                std::sync::OnceLock::new();
-            LOCK_WAIT
-                .get_or_init(|| am_telemetry::histogram("capture.lock_wait"))
-                .record(waited);
-        }
-        if let Some(captures) = slot.as_ref() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            am_telemetry::count!("capture.hits");
-            return Ok(captures.clone());
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        am_telemetry::count!("capture.misses");
-        let _gen_span = am_telemetry::span!("capture.generate");
-        let t0 = std::time::Instant::now();
-        let captures: SharedCaptures = match transform {
-            Transform::Raw => Arc::new(
-                self.set
-                    .capture_channel_with_threads(channel, self.threads)?
-                    .into_iter()
-                    .map(Arc::new)
-                    .collect(),
-            ),
-            Transform::Spectrogram => {
-                // Derive from the raw slot so the DAQ simulation runs at
-                // most once per channel. Different mutex, no lock cycle.
-                let raw = self.get(channel, Transform::Raw)?;
-                let stft = self.set.spec.profile.spectrogram(channel);
-                let specs: Vec<Result<Arc<Capture>, DatasetError>> =
-                    parallel_map_with_threads(&raw, self.threads, |(_, capture)| {
-                        let spec = log_spectrogram(&capture.signal, &stft)?;
-                        Ok(Arc::new(Capture {
-                            role: capture.role.clone(),
-                            signal: spec,
-                            layer_times: capture.layer_times.clone(),
-                        }))
-                    });
-                Arc::new(specs.into_iter().collect::<Result<Vec<_>, _>>()?)
-            }
-        };
-        self.generation_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        *slot = Some(captures.clone());
-        Ok(captures)
+        self.slots
+            .get_or_insert_with(&(channel, transform), || match transform {
+                Transform::Raw => Ok(Arc::new(
+                    self.set
+                        .capture_channel_with_threads(channel, self.threads)?
+                        .into_iter()
+                        .map(Arc::new)
+                        .collect(),
+                )),
+                Transform::Spectrogram => {
+                    // Derive from the raw slot so the DAQ simulation runs
+                    // at most once per channel. Different mutex, no lock
+                    // cycle.
+                    let raw = self.get(channel, Transform::Raw)?;
+                    let stft = self.set.spec.profile.spectrogram(channel);
+                    let specs: Vec<Result<Arc<Capture>, DatasetError>> =
+                        parallel_map_with_threads(&raw, self.threads, |(_, capture)| {
+                            let spec = log_spectrogram(&capture.signal, &stft)?;
+                            Ok(Arc::new(Capture {
+                                role: capture.role.clone(),
+                                signal: spec,
+                                layer_times: capture.layer_times.clone(),
+                            }))
+                        });
+                    Ok(Arc::new(specs.into_iter().collect::<Result<Vec<_>, _>>()?))
+                }
+            })
+    }
+
+    /// Returns the capture set for a key only if it was already generated
+    /// (by [`CaptureStore::get`] or [`CaptureStore::prewarm`]) — never
+    /// generates. Stage bodies that must not nest generation parallelism
+    /// (the grid engine's fit and judge stages run *inside* a worker pool)
+    /// use this so a missed pre-warm is a loud invariant violation at the
+    /// call site instead of a silent single-threaded generation stall.
+    pub fn cached(&self, channel: SideChannel, transform: Transform) -> Option<SharedCaptures> {
+        self.slots.try_get(&(channel, transform))
     }
 
     /// Generates every distinct key up front, one key at a time, with the
@@ -228,12 +152,7 @@ impl<'a> CaptureStore<'a> {
 
     /// Snapshot of the cache counters.
     pub fn stats(&self) -> CaptureStats {
-        CaptureStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            generation_nanos: self.generation_nanos.load(Ordering::Relaxed),
-            blocked_nanos: self.blocked_nanos.load(Ordering::Relaxed),
-        }
+        self.slots.stats()
     }
 }
 
@@ -332,6 +251,22 @@ mod tests {
         let after = store.stats();
         assert_eq!(after.misses, 3);
         assert_eq!(after.hits, 3);
+    }
+
+    #[test]
+    fn cached_is_hit_only() {
+        let set = tiny_set();
+        let store = CaptureStore::with_threads(&set, 1);
+        assert!(store.cached(SideChannel::Mag, Transform::Raw).is_none());
+        assert_eq!(store.stats().misses, 0, "cached() must never generate");
+        store
+            .prewarm(&[(SideChannel::Mag, Transform::Raw)])
+            .unwrap();
+        let warm = store
+            .cached(SideChannel::Mag, Transform::Raw)
+            .expect("prewarmed key");
+        let direct = store.get(SideChannel::Mag, Transform::Raw).unwrap();
+        assert!(Arc::ptr_eq(&warm, &direct));
     }
 
     #[test]

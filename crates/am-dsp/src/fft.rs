@@ -14,7 +14,7 @@
 use crate::error::DspError;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A complex number specialized for FFT work.
 ///
@@ -270,42 +270,82 @@ impl BluesteinPlan {
     }
 }
 
+/// Process-wide read-only plan registries. Plans are immutable once
+/// built, so every thread shares one copy behind an `Arc`; a worker pool
+/// no longer rebuilds each plan per thread the way the old thread-local
+/// caches did. The `RwLock` is only touched on a thread's *first* request
+/// for a length — after that the thread-local memo below answers without
+/// any synchronization.
+static SHARED_FFT_PLANS: OnceLock<RwLock<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+static SHARED_BLUESTEIN_PLANS: OnceLock<RwLock<HashMap<usize, Arc<BluesteinPlan>>>> =
+    OnceLock::new();
+
 thread_local! {
-    static FFT_PLANS: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
-    static BLUESTEIN_PLANS: RefCell<HashMap<usize, Rc<BluesteinPlan>>> =
+    static FFT_PLAN_MEMO: RefCell<HashMap<usize, Arc<FftPlan>>> = RefCell::new(HashMap::new());
+    static BLUESTEIN_PLAN_MEMO: RefCell<HashMap<usize, Arc<BluesteinPlan>>> =
         RefCell::new(HashMap::new());
     static DFT_SCRATCH: RefCell<Vec<Complex>> = const { RefCell::new(Vec::new()) };
 }
 
+fn shared_plan<P>(
+    registry: &'static OnceLock<RwLock<HashMap<usize, Arc<P>>>>,
+    n: usize,
+    build_counter: &str,
+    build: impl FnOnce(usize) -> P,
+) -> Arc<P> {
+    let registry = registry.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(plan) = registry.read().expect("plan registry poisoned").get(&n) {
+        return Arc::clone(plan);
+    }
+    let mut plans = registry.write().expect("plan registry poisoned");
+    // Re-check under the write lock: a racing thread may have built the
+    // plan between our read miss and here, in which case we share its copy
+    // instead of building a duplicate.
+    Arc::clone(plans.entry(n).or_insert_with(|| {
+        am_telemetry::counter(build_counter).add(1);
+        Arc::new(build(n))
+    }))
+}
+
 /// Returns the cached radix-2 plan for a power-of-two length `n >= 2`,
-/// building it on first request. Plans are cached per thread, so lookups
-/// never contend.
+/// building it on first request. Each plan is built at most once per
+/// process (shared registry) and memoized per thread, so steady-state
+/// lookups never contend.
 ///
 /// # Errors
 ///
 /// Returns [`DspError::InvalidParameter`] if `n` is not a power of two or
 /// is below 2.
-pub fn fft_plan(n: usize) -> Result<Rc<FftPlan>, DspError> {
+pub fn fft_plan(n: usize) -> Result<Arc<FftPlan>, DspError> {
     if !n.is_power_of_two() || n < 2 {
         return Err(DspError::InvalidParameter(format!(
             "fft plan length {n} is not a power of two >= 2"
         )));
     }
-    Ok(FFT_PLANS.with(|cache| {
+    Ok(FFT_PLAN_MEMO.with(|cache| {
         cache
             .borrow_mut()
             .entry(n)
-            .or_insert_with(|| Rc::new(FftPlan::new(n)))
+            .or_insert_with(|| {
+                shared_plan(&SHARED_FFT_PLANS, n, "dsp.fft_plan_builds", FftPlan::new)
+            })
             .clone()
     }))
 }
 
-fn bluestein_plan(n: usize) -> Rc<BluesteinPlan> {
-    BLUESTEIN_PLANS.with(|cache| {
+fn bluestein_plan(n: usize) -> Arc<BluesteinPlan> {
+    BLUESTEIN_PLAN_MEMO.with(|cache| {
         cache
             .borrow_mut()
             .entry(n)
-            .or_insert_with(|| Rc::new(BluesteinPlan::new(n)))
+            .or_insert_with(|| {
+                shared_plan(
+                    &SHARED_BLUESTEIN_PLANS,
+                    n,
+                    "dsp.bluestein_plan_builds",
+                    BluesteinPlan::new,
+                )
+            })
             .clone()
     })
 }
@@ -624,6 +664,17 @@ mod tests {
     }
 
     #[test]
+    fn fft_plans_are_shared_across_threads() {
+        // The registry hands every thread the *same* plan allocation —
+        // a worker pool must not rebuild plans per worker.
+        let main = fft_plan(64).unwrap();
+        let other = std::thread::spawn(|| fft_plan(64).unwrap())
+            .join()
+            .expect("no panic");
+        assert!(Arc::ptr_eq(&main, &other));
+    }
+
+    #[test]
     fn dft_arbitrary_length_matches_oracle() {
         for n in [1usize, 2, 3, 5, 12, 31, 200] {
             let x: Vec<Complex> = (0..n)
@@ -711,9 +762,10 @@ mod tests {
                     prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
                 }
             }
-            // Concurrent use: plans live in thread-local caches, so four
-            // threads each build and use their own — every spectrum must
-            // still be bit-identical to the warm main-thread one.
+            // Concurrent use: plans come from the shared process-wide
+            // registry, so four threads all run the same plan the main
+            // thread warmed — every spectrum must still be bit-identical
+            // to the warm main-thread one.
             let spectra: Vec<Vec<Complex>> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..4)
                     .map(|_| s.spawn(|| dft(&input)))

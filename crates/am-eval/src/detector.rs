@@ -22,7 +22,7 @@ use am_baselines::{BaselineDetector, RunData};
 use am_dataset::{Profile, Transform};
 use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
-use am_sync::{DtwSynchronizer, DwmParams, DwmSynchronizer, Synchronizer};
+use am_sync::{DtwSynchronizer, DwmParams, DwmSynchronizer, SyncArena, Synchronizer};
 use nsync::discriminator::SubModule;
 use nsync::{NsyncIds, TrainedIds};
 use serde::{Deserialize, Serialize};
@@ -202,6 +202,21 @@ impl DetectorSpec {
         out
     }
 
+    /// The fit-relevant projection of this spec: two specs with equal
+    /// `fit_spec()` (on the same printer and training split) train to the
+    /// same detector state, so the grid's `FitStore` can share one fit
+    /// between them.
+    ///
+    /// Today every registry parameter is fit-side — notably Bayens'
+    /// retrieval window shapes its reference windows *and* its learned
+    /// score threshold — so this is the identity. When a judge-only
+    /// parameter is added (e.g. an alert-latency cutoff applied at
+    /// decision time), strip it here and nowhere else; the sharing test
+    /// (`tests/fit_store.rs`) pins that sharing never changes results.
+    pub fn fit_spec(&self) -> DetectorSpec {
+        *self
+    }
+
     /// Display label (windows make Bayens entries distinguishable).
     pub fn label(&self) -> String {
         match self.window_s {
@@ -355,7 +370,12 @@ impl From<nsync::Detection> for Verdict {
 
 /// The unified interface all seven IDSs implement: fit on the benign
 /// reference + training runs, then judge test runs.
-pub trait Detector: Send {
+///
+/// `Sync` is part of the contract because the grid engine shares one
+/// trained detector across workers behind an `Arc` (judging takes
+/// `&self`); every implementation holds plain data, so the bound costs
+/// nothing.
+pub trait Detector: Send + Sync {
     /// Display name.
     fn name(&self) -> String;
 
@@ -373,6 +393,33 @@ pub trait Detector: Send {
     /// Returns [`EvalError::NotFitted`] before [`Detector::fit`], and
     /// propagates the underlying IDS's failures.
     fn judge(&self, run: &RunData) -> Result<Verdict, EvalError>;
+
+    /// [`Detector::fit`] running on a caller-owned scratch arena — the
+    /// worker-pinned path stage schedulers use. Bit-identical to `fit`;
+    /// the default ignores the arena (only the synchronizer-backed IDSs
+    /// have reusable scratch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Detector::fit`].
+    fn fit_with(
+        &mut self,
+        reference: &RunData,
+        train: &[RunData],
+        _arena: &mut SyncArena,
+    ) -> Result<(), EvalError> {
+        self.fit(reference, train)
+    }
+
+    /// [`Detector::judge`] running on a caller-owned scratch arena.
+    /// Bit-identical to `judge`; the default ignores the arena.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Detector::judge`].
+    fn judge_with(&self, run: &RunData, _arena: &mut SyncArena) -> Result<Verdict, EvalError> {
+        self.judge(run)
+    }
 }
 
 /// OCC margin the paper plugs into the baselines that lack a published
@@ -544,20 +591,35 @@ impl Detector for NsyncDetector {
     }
 
     fn fit(&mut self, reference: &RunData, train: &[RunData]) -> Result<(), EvalError> {
+        let mut arena = SyncArena::new();
+        self.fit_with(reference, train, &mut arena)
+    }
+
+    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError> {
+        let mut arena = SyncArena::new();
+        self.judge_with(run, &mut arena)
+    }
+
+    fn fit_with(
+        &mut self,
+        reference: &RunData,
+        train: &[RunData],
+        arena: &mut SyncArena,
+    ) -> Result<(), EvalError> {
         let ids = NsyncIds::builder()
             .boxed_synchronizer(self.synchronizer.make())
             .build()?;
         let signals: Vec<am_dsp::Signal> = train.iter().map(|r| r.signal.clone()).collect();
-        self.trained = Some(ids.train(&signals, reference.signal.clone(), self.r)?);
+        self.trained = Some(ids.train_with(&signals, reference.signal.clone(), self.r, arena)?);
         Ok(())
     }
 
-    fn judge(&self, run: &RunData) -> Result<Verdict, EvalError> {
+    fn judge_with(&self, run: &RunData, arena: &mut SyncArena) -> Result<Verdict, EvalError> {
         let ids = self
             .trained
             .as_ref()
             .ok_or_else(|| not_fitted(self.synchronizer.name()))?;
-        Ok(ids.detect(&run.signal)?.into())
+        Ok(ids.detect_with(&run.signal, arena)?.into())
     }
 }
 

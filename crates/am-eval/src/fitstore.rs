@@ -1,0 +1,197 @@
+//! Memoized trained detectors for one grid run.
+//!
+//! The grid's fit stage is the expensive half of every cell: training an
+//! IDS re-synchronizes every training run against the reference. Two
+//! cells whose [`FitKey`]s are equal train to bit-identical detector
+//! state, so the engine hoists fits out of cells into a [`FitStore`] —
+//! the same `parking_lot` slot discipline as
+//! [`CaptureStore`](am_dataset::CaptureStore), built on the shared
+//! [`KeyedSlots`] map: the first requester of a key fits while holding
+//! only its own slot's lock, concurrent requesters of the *same* key
+//! block until the trained detector is ready (never fitting a
+//! duplicate), and distinct keys fit in parallel. Trained detectors are
+//! handed out as `Arc<dyn Detector>`, so sharing one across every cell
+//! (and worker) that needs it is a pointer bump.
+//!
+//! Telemetry comes with the slot map: `fit.lookups` / `fit.hits` /
+//! `fit.misses` counters, a `fit.lock_wait` histogram, and a
+//! `fit.generate` span around each fit.
+
+use crate::detector::{Detector, DetectorSpec};
+use am_dataset::{KeyedSlots, SlotStats, Transform};
+use am_printer::config::PrinterModel;
+use am_sensors::channel::SideChannel;
+use std::sync::Arc;
+
+/// Identity of one trained detector: the fit-relevant spec projection
+/// ([`DetectorSpec::fit_spec`]) plus the training split it was fitted on.
+/// The split is determined by (printer, channel, transform) — every cell
+/// of a grid set draws its reference/train/test partition from the same
+/// capture store key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitKey {
+    /// Fit-relevant detector parameters.
+    pub spec: DetectorSpec,
+    /// Printer whose captures trained the detector.
+    pub printer: PrinterModel,
+    /// Side channel of the training split.
+    pub channel: SideChannel,
+    /// Raw or spectrogram.
+    pub transform: Transform,
+}
+
+impl FitKey {
+    /// The key for a grid cell: projects the spec through
+    /// [`DetectorSpec::fit_spec`] so judge-only parameters never split
+    /// the cache.
+    pub fn for_cell(
+        spec: DetectorSpec,
+        printer: PrinterModel,
+        channel: SideChannel,
+        transform: Transform,
+    ) -> FitKey {
+        FitKey {
+            spec: spec.fit_spec(),
+            printer,
+            channel,
+            transform,
+        }
+    }
+}
+
+/// A shared, immutable trained detector (judging takes `&self`).
+pub type SharedDetector = Arc<dyn Detector>;
+
+/// Memoizing store of trained detectors, keyed by [`FitKey`]. The key
+/// set is fixed at construction (the engine registers every distinct key
+/// of a set's work list up front); see the [module docs](self) for the
+/// locking and telemetry contract.
+#[derive(Debug)]
+pub struct FitStore {
+    slots: KeyedSlots<FitKey, SharedDetector>,
+}
+
+impl FitStore {
+    /// Creates an empty store over the given key set (duplicates are
+    /// dropped).
+    pub fn new(keys: impl IntoIterator<Item = FitKey>) -> Self {
+        FitStore {
+            slots: KeyedSlots::new("fit", keys),
+        }
+    }
+
+    /// Number of registered fit keys.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns the trained detector for `key`, running `fit` under the
+    /// slot lock on first request. Concurrent requesters of the same key
+    /// block (observable as `blocked_nanos` in [`FitStore::stats`])
+    /// until the one fit finishes, then share its result. A failed fit
+    /// is not cached; the next request retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was not registered at construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fit`'s error.
+    pub fn get_or_fit<E>(
+        &self,
+        key: &FitKey,
+        fit: impl FnOnce() -> Result<SharedDetector, E>,
+    ) -> Result<SharedDetector, E> {
+        self.slots.get_or_insert_with(key, fit)
+    }
+
+    /// Returns the trained detector for `key` only if some earlier
+    /// [`FitStore::get_or_fit`] populated it — never fits. The engine's
+    /// judge stage uses this: after the fit stage every key is warm, so
+    /// an empty slot is an invariant violation at the call site, not a
+    /// reason to nest a fit inside a judge worker.
+    pub fn cached(&self, key: &FitKey) -> Option<SharedDetector> {
+        self.slots.try_get(key)
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> SlotStats {
+        self.slots.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorKind;
+    use crate::detector::Verdict;
+    use crate::harness::EvalError;
+    use am_baselines::RunData;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct NullDetector;
+
+    impl Detector for NullDetector {
+        fn name(&self) -> String {
+            "null".into()
+        }
+        fn fit(&mut self, _: &RunData, _: &[RunData]) -> Result<(), EvalError> {
+            Ok(())
+        }
+        fn judge(&self, _: &RunData) -> Result<Verdict, EvalError> {
+            Ok(Verdict::simple(false))
+        }
+    }
+
+    fn key(kind: DetectorKind, channel: SideChannel) -> FitKey {
+        FitKey::for_cell(
+            DetectorSpec::of(kind),
+            PrinterModel::Um3,
+            channel,
+            Transform::Raw,
+        )
+    }
+
+    #[test]
+    fn fits_once_per_key_and_shares_the_arc() {
+        let keys = [
+            key(DetectorKind::Moore, SideChannel::Mag),
+            key(DetectorKind::Moore, SideChannel::Acc),
+        ];
+        let store = FitStore::new(keys);
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+        let fits = AtomicUsize::new(0);
+        let a: Result<_, EvalError> = store.get_or_fit(&keys[0], || {
+            fits.fetch_add(1, Ordering::Relaxed);
+            Ok(Arc::new(NullDetector) as SharedDetector)
+        });
+        let b: Result<_, EvalError> = store.get_or_fit(&keys[0], || {
+            fits.fetch_add(1, Ordering::Relaxed);
+            Ok(Arc::new(NullDetector) as SharedDetector)
+        });
+        assert!(Arc::ptr_eq(&a.unwrap(), &b.unwrap()), "one shared detector");
+        assert_eq!(fits.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.stats().hits, 1);
+        // The second key is untouched; cached() never fits.
+        assert!(store.cached(&keys[1]).is_none());
+        assert_eq!(store.stats().misses, 1);
+    }
+
+    #[test]
+    fn duplicate_fit_specs_collapse_to_one_key() {
+        // Two registry entries that differ only post-fit_spec() would
+        // land on the same slot; today fit_spec is the identity, so
+        // literal duplicates stand in for them.
+        let k = key(DetectorKind::Gao, SideChannel::Mag);
+        let store = FitStore::new([k, k]);
+        assert_eq!(store.len(), 1);
+    }
+}

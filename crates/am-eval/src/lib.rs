@@ -5,7 +5,9 @@
 //! - [`detector`]: the unified [`detector::Detector`] trait and the
 //!   registry of all seven IDSs (NSYNC with either synchronizer, plus
 //!   the five baselines) with their applicability constraints as data,
-//! - [`engine`]: the cached, parallel, deterministic grid evaluator,
+//! - [`engine`]: the cached, stage-aware, deterministic parallel grid
+//!   evaluator (capture prewarm → shared fit → judge),
+//! - [`fitstore`]: memoized trained detectors shared across grid cells,
 //! - [`tables`]: Tables V–IX as runnable functions returning structured
 //!   rows,
 //! - [`figures`]: the numeric series behind Figs 1, 2, 6, 10, 11 and 12,
@@ -23,6 +25,7 @@ pub mod degradation;
 pub mod detector;
 pub mod engine;
 pub mod figures;
+pub mod fitstore;
 pub mod harness;
 pub mod metrics;
 pub mod report;
@@ -34,5 +37,6 @@ pub use engine::{
     evaluate_split, run_grid, run_grid_with, EngineConfig, GridCell, GridReport, GridResults,
     Outcome,
 };
+pub use fitstore::{FitKey, FitStore, SharedDetector};
 pub use harness::{EvalError, Split, Transform};
 pub use metrics::Rates;

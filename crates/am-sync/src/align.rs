@@ -64,6 +64,26 @@ pub trait Synchronizer {
     /// signals are shorter than the synchronizer's window configuration.
     fn synchronize(&self, a: &Signal, b: &Signal) -> Result<Alignment, SyncError>;
 
+    /// [`synchronize`](Synchronizer::synchronize) running on a
+    /// caller-owned [`SyncArena`](crate::SyncArena) instead of freshly
+    /// allocated scratch — the worker-pinned path a scheduler uses to run
+    /// many alignments with zero steady-state allocation. Must be
+    /// bit-identical to `synchronize`. The default implementation ignores
+    /// the arena, which is correct for synchronizers without scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`synchronize`](Synchronizer::synchronize).
+    fn synchronize_with(
+        &self,
+        a: &Signal,
+        b: &Signal,
+        arena: &mut crate::SyncArena,
+    ) -> Result<Alignment, SyncError> {
+        let _ = arena;
+        self.synchronize(a, b)
+    }
+
     /// Human-readable name for reports ("DWM", "DTW(r=1)", ...).
     fn name(&self) -> String;
 }

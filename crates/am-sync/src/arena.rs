@@ -1,0 +1,37 @@
+//! Worker-pinned scratch arenas.
+//!
+//! Every synchronizer kernel in this crate owns reusable scratch
+//! (banded-DP rows for DTW, TDE/FFT buffers and window slices for DWM).
+//! Historically each call allocated a fresh scratch; a [`SyncArena`]
+//! bundles one of each so a scheduler can pin an arena per worker thread
+//! and hand it to every stage callback that worker runs. After the first
+//! call warms the buffers, repeated synchronization runs with **zero
+//! steady-state allocation** — observable through the
+//! `sync.scratch.dtw_allocs` / `sync.scratch.dwm_allocs` telemetry
+//! counters, which tick only when a scratch is constructed.
+//!
+//! Arenas are plain owned data: they are `Send`, never shared between
+//! threads concurrently, and carry no results — reusing one across
+//! unrelated problems is bit-identical to fresh scratch (pinned by the
+//! `*_scratch_reuse_bit_identical` property tests).
+
+use crate::dtw::DtwScratch;
+use crate::dwm::DwmScratch;
+
+/// One worker's scratch for every synchronizer kernel in this crate.
+///
+/// Obtain via [`SyncArena::new`] (or `Default`), then pass to
+/// [`Synchronizer::synchronize_with`](crate::Synchronizer::synchronize_with)
+/// — or to the arena-aware nsync entry points built on it.
+#[derive(Debug, Default)]
+pub struct SyncArena {
+    pub(crate) dtw: DtwScratch,
+    pub(crate) dwm: DwmScratch,
+}
+
+impl SyncArena {
+    /// Creates an arena with cold (empty) scratch buffers.
+    pub fn new() -> Self {
+        SyncArena::default()
+    }
+}

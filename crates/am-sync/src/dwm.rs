@@ -135,11 +135,15 @@ pub struct SampleParams {
 }
 
 /// Reusable buffers for one DWM pass: the TDE scratch plus the search and
-/// observed-window signals each step would otherwise allocate.
+/// observed-window signals each step would otherwise allocate. Lives in a
+/// [`crate::SyncArena`] so a scheduler can pin one per worker and run
+/// every DWM pass with zero steady-state allocation.
 #[derive(Debug)]
-struct DwmScratch {
-    tde: TdeScratch,
-    search: Signal,
+pub(crate) struct DwmScratch {
+    pub(crate) tde: TdeScratch,
+    pub(crate) search: Signal,
+    /// Observed-window slice buffer reused across windows and calls.
+    pub(crate) window: Signal,
 }
 
 impl Default for DwmScratch {
@@ -148,6 +152,7 @@ impl Default for DwmScratch {
         DwmScratch {
             tde: TdeScratch::new(),
             search: Signal::zeros(1.0, 1, 0).expect("valid empty signal"),
+            window: Signal::zeros(1.0, 1, 0).expect("valid empty signal"),
         }
     }
 }
@@ -191,6 +196,17 @@ fn dwm_step(
 /// window, [`SyncError::Incompatible`] on channel/rate mismatch, and
 /// propagates parameter validation errors.
 pub fn dwm(a: &Signal, b: &Signal, params: &DwmParams) -> Result<Alignment, SyncError> {
+    dwm_with(a, b, params, &mut DwmScratch::default())
+}
+
+/// [`dwm`] running on caller-owned scratch — the worker-pinned arena path.
+/// Bit-identical to the allocating version.
+pub(crate) fn dwm_with(
+    a: &Signal,
+    b: &Signal,
+    params: &DwmParams,
+    scratch: &mut DwmScratch,
+) -> Result<Alignment, SyncError> {
     let _span = am_telemetry::span!("sync.dwm");
     check_compatible(a, b)?;
     let p = params.to_samples(a.fs())?;
@@ -203,15 +219,30 @@ pub fn dwm(a: &Signal, b: &Signal, params: &DwmParams) -> Result<Alignment, Sync
     let n_windows = (a.len() - p.n_win) / p.n_hop + 1;
     let mut h_disp = Vec::with_capacity(n_windows);
     let mut h_low: i64 = 0;
-    let mut scratch = DwmScratch::default();
-    let mut window_a = Signal::zeros(a.fs(), a.channels(), 0).map_err(SyncError::from)?;
+    // Take the window buffer out of the scratch so it can be sliced into
+    // while the rest of the scratch is mutably borrowed by dwm_step; the
+    // zero-length placeholder does not allocate.
+    let mut window_a = std::mem::replace(
+        &mut scratch.window,
+        Signal::zeros(1.0, 1, 0).expect("valid empty signal"),
+    );
     for i in 0..n_windows {
-        a.slice_into(i * p.n_hop..i * p.n_hop + p.n_win, &mut window_a)
-            .map_err(SyncError::from)?;
-        let (d, low) = dwm_step(b, &window_a, i, h_low, &p, TdeBackend::Auto, &mut scratch)?;
-        h_disp.push(d as f64);
-        h_low = low;
+        if let Err(e) = a.slice_into(i * p.n_hop..i * p.n_hop + p.n_win, &mut window_a) {
+            scratch.window = window_a;
+            return Err(SyncError::from(e));
+        }
+        match dwm_step(b, &window_a, i, h_low, &p, TdeBackend::Auto, scratch) {
+            Ok((d, low)) => {
+                h_disp.push(d as f64);
+                h_low = low;
+            }
+            Err(e) => {
+                scratch.window = window_a;
+                return Err(e);
+            }
+        }
     }
+    scratch.window = window_a;
     Ok(Alignment {
         h_disp,
         kind: AlignmentKind::Windowed {
@@ -256,6 +287,15 @@ impl DwmSynchronizer {
 impl Synchronizer for DwmSynchronizer {
     fn synchronize(&self, a: &Signal, b: &Signal) -> Result<Alignment, SyncError> {
         dwm(a, b, &self.params)
+    }
+
+    fn synchronize_with(
+        &self,
+        a: &Signal,
+        b: &Signal,
+        arena: &mut crate::SyncArena,
+    ) -> Result<Alignment, SyncError> {
+        dwm_with(a, b, &self.params, &mut arena.dwm)
     }
 
     fn name(&self) -> String {

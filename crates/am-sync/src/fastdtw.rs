@@ -155,6 +155,20 @@ impl Synchronizer for DtwSynchronizer {
         })
     }
 
+    fn synchronize_with(
+        &self,
+        a: &Signal,
+        b: &Signal,
+        arena: &mut crate::SyncArena,
+    ) -> Result<Alignment, SyncError> {
+        let result = fastdtw_with(a, b, self.radius, &mut arena.dtw)?;
+        let h_disp = hdisp_from_path(&result.path, a.len());
+        Ok(Alignment {
+            h_disp,
+            kind: AlignmentKind::Pointwise { path: result.path },
+        })
+    }
+
     fn name(&self) -> String {
         format!("DTW(r={})", self.radius)
     }

@@ -16,6 +16,7 @@
 //! corresponding points/windows.
 
 pub mod align;
+pub mod arena;
 pub mod autotune;
 pub mod dtw;
 pub mod dwm;
@@ -24,6 +25,7 @@ pub mod fastdtw;
 pub mod online_dtw;
 
 pub use align::{Alignment, AlignmentKind, Synchronizer};
+pub use arena::SyncArena;
 pub use dwm::{DwmParams, DwmStream, DwmSynchronizer};
 pub use error::SyncError;
 pub use fastdtw::DtwSynchronizer;

@@ -26,7 +26,7 @@ use crate::occ::learn_thresholds;
 use crate::streaming::StreamSpec;
 use am_dsp::metrics::DistanceMetric;
 use am_dsp::Signal;
-use am_sync::{Alignment, DwmParams, Synchronizer};
+use am_sync::{Alignment, DwmParams, SyncArena, Synchronizer};
 use serde::{Deserialize, Serialize};
 
 /// Every tuning knob of an NSYNC detector except the synchronizer:
@@ -253,6 +253,26 @@ impl NsyncIds {
         Ok(Analysis { alignment, v_dist })
     }
 
+    /// [`NsyncIds::analyze`] running on a caller-owned [`SyncArena`]
+    /// instead of per-call scratch — the worker-pinned path schedulers
+    /// use. Bit-identical to `analyze`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NsyncIds::analyze`].
+    pub fn analyze_with(
+        &self,
+        observed: &Signal,
+        reference: &Signal,
+        arena: &mut SyncArena,
+    ) -> Result<Analysis, NsyncError> {
+        let alignment = self
+            .synchronizer
+            .synchronize_with(observed, reference, arena)?;
+        let v_dist = vertical_distances(observed, reference, &alignment, self.config.metric)?;
+        Ok(Analysis { alignment, v_dist })
+    }
+
     /// Learns OCC thresholds from benign training runs against the
     /// reference (Eq 23–28) and returns a ready-to-detect IDS.
     ///
@@ -266,6 +286,23 @@ impl NsyncIds {
         reference: Signal,
         r: f64,
     ) -> Result<TrainedIds, NsyncError> {
+        let mut arena = SyncArena::new();
+        self.train_with(training, reference, r, &mut arena)
+    }
+
+    /// [`NsyncIds::train`] running every per-run analysis on a
+    /// caller-owned [`SyncArena`]. Bit-identical to `train`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NsyncIds::train`].
+    pub fn train_with(
+        self,
+        training: &[Signal],
+        reference: Signal,
+        r: f64,
+        arena: &mut SyncArena,
+    ) -> Result<TrainedIds, NsyncError> {
         if training.is_empty() {
             return Err(NsyncError::InvalidTraining(
                 "at least one benign training run is required".into(),
@@ -273,7 +310,7 @@ impl NsyncIds {
         }
         let mut stats = Vec::with_capacity(training.len());
         for run in training {
-            let analysis = self.analyze(run, &reference)?;
+            let analysis = self.analyze_with(run, &reference, arena)?;
             let (s, _, _, _) = trace_stats(
                 &analysis.alignment.h_disp,
                 &analysis.v_dist,
@@ -344,7 +381,22 @@ impl TrainedIds {
     ///
     /// Propagates pipeline failures.
     pub fn detect(&self, observed: &Signal) -> Result<Detection, NsyncError> {
-        let analysis = self.ids.analyze(observed, &self.reference)?;
+        let mut arena = SyncArena::new();
+        self.detect_with(observed, &mut arena)
+    }
+
+    /// [`TrainedIds::detect`] running on a caller-owned [`SyncArena`] —
+    /// the worker-pinned path. Bit-identical to `detect`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn detect_with(
+        &self,
+        observed: &Signal,
+        arena: &mut SyncArena,
+    ) -> Result<Detection, NsyncError> {
+        let analysis = self.ids.analyze_with(observed, &self.reference, arena)?;
         Ok(discriminate(
             &analysis.alignment.h_disp,
             &analysis.v_dist,
@@ -543,6 +595,24 @@ mod tests {
         assert!(th.c_c >= 0.0 && th.h_c >= 0.0 && th.v_c >= 0.0);
         assert_eq!(t.config().min_filter_window, 3);
         assert!(!t.reference().is_empty());
+    }
+
+    #[test]
+    fn arena_paths_match_default_paths() {
+        // train_with/detect_with on one reused arena must be bit-identical
+        // to the allocating train/detect pair.
+        let train: Vec<Signal> = (1..=5).map(|i| benign(i as f64 * 2e-3)).collect();
+        let mut arena = SyncArena::new();
+        let t_default = ids().train(&train, benign(0.0), 0.3).unwrap();
+        let t_arena = ids()
+            .train_with(&train, benign(0.0), 0.3, &mut arena)
+            .unwrap();
+        assert_eq!(t_default.thresholds(), t_arena.thresholds());
+        for obs in [benign(7e-3), malicious()] {
+            let d1 = t_default.detect(&obs).unwrap();
+            let d2 = t_arena.detect_with(&obs, &mut arena).unwrap();
+            assert_eq!(d1, d2);
+        }
     }
 
     #[test]

@@ -4,26 +4,30 @@
 //! counters, and the speedup over the pre-refactor sequential grid.
 //!
 //! Per-stage time is reported two ways, because they answer different
-//! questions: `*_cpu_seconds` sums the per-cell stopwatches across all
-//! workers (how much compute the stage burned — grows with thread
-//! count), while `*_wall_seconds` is the interval union of those
-//! stopwatches (how long the stage actually took — shrinks with thread
-//! count). Earlier revisions reported only the sum, unlabelled, which
-//! made the 8-thread judge stage look 4× slower than the 1-thread one.
+//! questions: `*_cpu_seconds` sums per-worker *thread-CPU* measurements
+//! (how much compute the stage burned — preemption on an oversubscribed
+//! machine does not inflate it, so values compare across thread counts),
+//! while `*_wall_seconds` is the interval union of the stage's wall
+//! spans (how long the stage actually took). Earlier revisions summed
+//! wall stopwatches, unlabelled, which made the 8-thread judge stage
+//! look 4× slower than the 1-thread one.
 //!
 //! ```sh
-//! cargo run --release --example bench_grid            # full sweep
-//! cargo run --release --example bench_grid -- --quick # 1-thread gate run
+//! cargo run --release --example bench_grid              # full sweep
+//! cargo run --release --example bench_grid -- --quick   # 1-thread gate run
+//! cargo run --release --example bench_grid -- --quick --threads 4
 //! ```
 //!
-//! `--quick` runs the single-thread grid only and writes
-//! `BENCH_quick.json` (override with `--out`) — the CI bench-regression
-//! gate compares its wall-clock against the committed `BENCH_grid.json`
-//! baseline. Set `AM_TELEMETRY=1` to print the registry summary to
-//! stderr, or pass `--trace out.json` to also write a Chrome trace-event
-//! file (load it at `ui.perfetto.dev` or `chrome://tracing`) with spans
-//! for capture pre-warming, per-cell evaluation, sync kernels, and DAQ
-//! capture.
+//! `--quick` runs a single grid (1 thread unless `--threads N` overrides
+//! it) and writes `BENCH_quick.json` (override with `--out`) — the CI
+//! bench-regression gate compares its wall-clock against the committed
+//! `BENCH_grid.json` baseline, and the parallel-scaling gate compares a
+//! `--threads 4` run against the 1-thread run. Set `AM_TELEMETRY=1` to
+//! print the registry summary to stderr, or pass `--trace out.json` to
+//! also write a Chrome trace-event file (load it at `ui.perfetto.dev`
+//! or `chrome://tracing`) with spans for capture pre-warming, shared
+//! fits, per-cell judging, per-worker lanes (`grid.worker{i}`), sync
+//! kernels, and DAQ capture.
 
 use am_eval::engine::{run_grid_with, EngineConfig, GridReport};
 use am_eval::tables::TableContext;
@@ -33,6 +37,7 @@ struct Args {
     trace: Option<PathBuf>,
     quick: bool,
     out: Option<PathBuf>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +45,7 @@ fn parse_args() -> Args {
         trace: None,
         quick: false,
         out: None,
+        threads: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,6 +61,14 @@ fn parse_args() -> Args {
                     args.next().expect("--out requires a file path"),
                 ));
             }
+            "--threads" => {
+                parsed.threads = Some(
+                    args.next()
+                        .expect("--threads requires a worker count")
+                        .parse()
+                        .expect("--threads takes an integer"),
+                );
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -69,10 +83,11 @@ const PRE_REFACTOR_WALL_SECONDS: f64 = 88.814;
 
 fn run_entry(report: &GridReport, cells: usize) -> String {
     format!(
-        "    {{\n      \"threads\": {},\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"prewarm_seconds\": {:.3},\n      \"capture_generation_seconds\": {:.3},\n      \"capture_blocked_seconds\": {:.3},\n      \"fit_cpu_seconds\": {:.3},\n      \"fit_wall_seconds\": {:.3},\n      \"judge_cpu_seconds\": {:.3},\n      \"judge_wall_seconds\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4}\n    }}",
+        "    {{\n      \"threads\": {},\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"shared_fits\": {},\n      \"prewarm_seconds\": {:.3},\n      \"capture_generation_seconds\": {:.3},\n      \"capture_blocked_seconds\": {:.3},\n      \"fit_cpu_seconds\": {:.3},\n      \"fit_wall_seconds\": {:.3},\n      \"judge_cpu_seconds\": {:.3},\n      \"judge_wall_seconds\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4},\n      \"fit_store_hits\": {},\n      \"fit_store_misses\": {},\n      \"fit_store_blocked_seconds\": {:.3}\n    }}",
         report.threads,
         report.wall_seconds,
         cells,
+        report.fits.len(),
         report.prewarm_seconds,
         report.capture.generation_seconds(),
         report.capture.blocked_seconds(),
@@ -82,7 +97,10 @@ fn run_entry(report: &GridReport, cells: usize) -> String {
         report.judge_wall_seconds(),
         report.capture.hits,
         report.capture.misses,
-        report.capture.hit_rate()
+        report.capture.hit_rate(),
+        report.fit_store.hits,
+        report.fit_store.misses,
+        report.fit_store.blocked_seconds(),
     )
 }
 
@@ -99,7 +117,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset_seconds = t0.elapsed().as_secs_f64();
     eprintln!("dataset generated in {dataset_seconds:.1}s ({hardware_threads} hardware threads)");
 
-    let thread_sweep: &[usize] = if args.quick { &[1] } else { &[1, 2, 4, 8] };
+    let single;
+    let thread_sweep: &[usize] = match args.threads {
+        Some(n) => {
+            single = [n];
+            &single
+        }
+        None if args.quick => &[1],
+        None => &[1, 2, 4, 8],
+    };
     let mut entries = Vec::new();
     let mut reports: Vec<GridReport> = Vec::new();
     let mut baseline_grid = None;
@@ -127,12 +153,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|r| r.wall_seconds)
         .fold(f64::INFINITY, f64::min);
     let benchmark = if args.quick {
-        "evaluation grid, small profile, both printers (quick: 1 thread)"
+        "evaluation grid, small profile, both printers (quick)"
     } else {
         "evaluation grid, small profile, both printers"
     };
+    // A box with one hardware thread cannot speed up with workers; say
+    // so in the artifact instead of letting flat rows read as a bug.
+    let note = if hardware_threads == 1 {
+        "\n  \"note\": \"single hardware thread: wall time cannot improve with workers, so flat wall_seconds and flat *_cpu_seconds across the sweep is the best possible result here; judge scaling shows on multi-core hosts (CI parallel-scaling gate)\","
+    } else {
+        ""
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"{}\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"hardware_threads\": {},\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_best_parallel\": {:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{}\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"hardware_threads\": {},{note}\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_best_parallel\": {:.2}\n}}\n",
         benchmark,
         hardware_threads,
         dataset_seconds,

@@ -42,7 +42,24 @@ fn eight_thread_grid_keeps_registry_consistent() {
     assert_eq!(hits, report.capture.hits as u64);
     assert_eq!(misses, report.capture.misses as u64);
 
-    // Span nesting: child totals cannot exceed the enclosing parent.
+    // Same consistency for the fit store: the judge stage looks every
+    // shared fit up again, so lookups = misses (fit stage) + hits (judge
+    // stage) and the registry mirrors the report.
+    let fit_lookups = am_telemetry::counter_value("fit.lookups");
+    let fit_hits = am_telemetry::counter_value("fit.hits");
+    let fit_misses = am_telemetry::counter_value("fit.misses");
+    assert!(fit_lookups > 0, "grid ran without a single fit lookup");
+    assert_eq!(
+        fit_hits + fit_misses,
+        fit_lookups,
+        "fit counters leaked under concurrency: {fit_hits} + {fit_misses} != {fit_lookups}"
+    );
+    assert_eq!(fit_hits, report.fit_store.hits as u64);
+    assert_eq!(fit_misses, report.fit_store.misses as u64);
+
+    // Span nesting across the stage DAG: fits now live in their own
+    // stage (one span per shared fit, not per cell); judging stays
+    // nested inside `grid.cell`.
     let run = am_telemetry::span_stats("grid.run");
     let prewarm = am_telemetry::span_stats("grid.prewarm");
     let cell = am_telemetry::span_stats("grid.cell");
@@ -51,12 +68,12 @@ fn eight_thread_grid_keeps_registry_consistent() {
 
     assert_eq!(run.count, 1);
     assert_eq!(cell.count as usize, grid.cells.len());
-    assert_eq!(fit.count, cell.count);
+    assert_eq!(fit.count as usize, report.fits.len());
+    assert_eq!(fit.count, fit_misses, "one fit span per fit-store miss");
     assert_eq!(judge.count, cell.count);
     assert!(
-        fit.total_nanos + judge.total_nanos <= cell.total_nanos,
-        "fit ({}) + judge ({}) exceeded their parent cell spans ({})",
-        fit.total_nanos,
+        judge.total_nanos <= cell.total_nanos,
+        "judge ({}) exceeded its parent cell spans ({})",
         judge.total_nanos,
         cell.total_nanos
     );
@@ -66,12 +83,29 @@ fn eight_thread_grid_keeps_registry_consistent() {
         prewarm.total_nanos,
         run.total_nanos
     );
+    // Worker lanes: the first worker's span exists at every stage that
+    // ran parallel (fit + judge here), and no lane outlives the run.
+    let worker0 = am_telemetry::span_stats("grid.worker0");
+    assert!(worker0.count >= 1, "no grid.worker0 lane recorded");
+    assert!(
+        worker0.max_nanos <= run.total_nanos,
+        "a worker lane ({}) outlived the run span ({})",
+        worker0.max_nanos,
+        run.total_nanos
+    );
     // The sync kernels inside the cells reported too.
     assert!(am_telemetry::span_stats("sync.dwm").count > 0);
 
     // The summary renders every touched site.
     let summary = am_telemetry::json_summary();
-    for site in ["capture.lookups", "grid.cell", "grid.fit", "sync.dwm"] {
+    for site in [
+        "capture.lookups",
+        "fit.lookups",
+        "grid.cell",
+        "grid.fit",
+        "grid.worker0",
+        "sync.dwm",
+    ] {
         assert!(summary.contains(site), "summary missing {site}: {summary}");
     }
 }
@@ -91,7 +125,15 @@ fn tracing_grid_exports_a_wellformed_chrome_trace() {
     assert!(trace.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
     // Complete events with the spans the ISSUE promises in the trace.
     assert!(trace.contains("\"ph\":\"X\""));
-    for name in ["grid.prewarm", "grid.cell", "sync.dwm", "daq.capture"] {
+    for name in [
+        "grid.prewarm",
+        "grid.fit",
+        "grid.cell",
+        "grid.worker0",
+        "grid.worker1",
+        "sync.dwm",
+        "daq.capture",
+    ] {
         assert!(trace.contains(name), "trace missing span {name}");
     }
 
