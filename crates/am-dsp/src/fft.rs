@@ -19,7 +19,10 @@ use std::sync::{Arc, OnceLock, RwLock};
 /// A complex number specialized for FFT work.
 ///
 /// Deliberately minimal — not a general complex-arithmetic library.
+// `repr(C)` pins the (re, im) layout so `crate::simd` can reinterpret a
+// `&[Complex]` as interleaved f64 pairs for the vectorized conj-multiply.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -485,6 +488,30 @@ pub struct FftScratch {
     fy: Vec<Complex>,
 }
 
+/// Transform length [`sliding_dot_fft_into`] will pad to for the active
+/// kernel dispatch, exposed so [`crate::tde`]'s `Auto` cost model prices
+/// the FFT path it would actually run.
+///
+/// The legacy (bit-stable) padding is `next_pow2(x_len + y_len)` — the
+/// full linear-correlation length every golden table was pinned against.
+/// It is twice what the valid-mode output needs: only
+/// `out_len = x_len - y_len + 1` lags are kept, and circular correlation
+/// at length `N` is wrap-free for every lag `k <= N - y_len`, so
+/// `N >= (out_len - 1) + y_len = x_len` already yields the exact sums.
+/// The reassociated fast path (`AM_SIMD=fast|scalar|avx2`) therefore pads
+/// to `next_pow2(x_len)` — the same real-number values through a
+/// different-size transform, i.e. different rounding, which is exactly
+/// what that opt-in path is allowed to do. The default dispatch keeps
+/// reductions on [`crate::simd::Backend::Ordered`] and takes the legacy
+/// size, staying byte-identical.
+pub fn sliding_fft_len(x_len: usize, y_len: usize) -> usize {
+    if crate::simd::active().reduction == crate::simd::Backend::Ordered {
+        next_pow2(x_len + y_len)
+    } else {
+        next_pow2(x_len)
+    }
+}
+
 /// [`sliding_dot_fft`] writing into caller-owned scratch and output
 /// buffers. Produces bit-identical results to the allocating version.
 ///
@@ -504,7 +531,7 @@ pub fn sliding_dot_fft_into(
         });
     }
     let out_len = x.len() - y.len() + 1;
-    let n_fft = next_pow2(x.len() + y.len());
+    let n_fft = sliding_fft_len(x.len(), y.len());
     let fx = &mut scratch.fx;
     let fy = &mut scratch.fy;
     fx.clear();
@@ -519,10 +546,10 @@ pub fn sliding_dot_fft_into(
     }
     fft_in_place(fx)?;
     fft_in_place(fy)?;
-    // Correlation = IFFT( FX * conj(FY) ).
-    for (a, b) in fx.iter_mut().zip(fy.iter()) {
-        *a = *a * b.conj();
-    }
+    // Correlation = IFFT( FX * conj(FY) ). The conj-multiply is
+    // elementwise (order-preserving), so the dispatched kernel is
+    // bit-identical to the scalar loop in every backend.
+    crate::simd::conj_mul_in_place(fx, fy);
     ifft_in_place(fx)?;
     out.clear();
     out.extend(fx.iter().take(out_len).map(|c| c.re));

@@ -18,6 +18,10 @@
 //!   average, single-pole low-pass, decimation.
 //! - [`window`]: window functions (Gaussian bias window for TDEB included).
 //! - [`stats`]: small statistics helpers (mean, variance, max/min, cumsum).
+//! - [`simd`]: runtime-dispatched kernel layer (AVX2 / multi-accumulator
+//!   scalar / legacy-ordered) behind the `AM_SIMD` override; the dense
+//!   inner loops of [`metrics`], [`tde`], [`fft`] and the DTW family in
+//!   `am-sync` all route through it.
 //! - [`linalg`] / [`pca`]: a tiny dense symmetric eigensolver (Jacobi) and
 //!   Principal Component Analysis for the Belikovetsky baseline IDS.
 //! - [`resample`]: linear-interpolation resampling used by the sensor DAQ.
@@ -46,6 +50,7 @@ pub mod metrics;
 pub mod pca;
 pub mod resample;
 pub mod signal;
+pub mod simd;
 pub mod stats;
 pub mod stft;
 pub mod tde;

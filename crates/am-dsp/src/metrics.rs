@@ -8,6 +8,7 @@
 
 use crate::error::DspError;
 use crate::signal::Signal;
+use crate::simd;
 use crate::stats;
 use serde::{Deserialize, Serialize};
 
@@ -142,22 +143,22 @@ impl std::fmt::Display for DistanceMetric {
 /// and the comparator (distance 1).
 pub fn pearson(u: &[f64], v: &[f64]) -> f64 {
     debug_assert_eq!(u.len(), v.len());
+    if u.is_empty() {
+        return 0.0;
+    }
+    pearson_with_means(u, v, stats::mean(u), stats::mean(v))
+}
+
+/// [`pearson`] with both means supplied by the caller. The naive TDE
+/// sliding loop hoists `mean(y)` out of its per-position calls through
+/// this entry point — the mean of a fixed template is position-invariant,
+/// so the result is bit-identical to recomputing it every call.
+pub(crate) fn pearson_with_means(u: &[f64], v: &[f64], mu: f64, mv: f64) -> f64 {
     let n = u.len();
     if n == 0 {
         return 0.0;
     }
-    let mu = stats::mean(u);
-    let mv = stats::mean(v);
-    let mut num = 0.0;
-    let mut du = 0.0;
-    let mut dv = 0.0;
-    for i in 0..n {
-        let a = u[i] - mu;
-        let b = v[i] - mv;
-        num += a * b;
-        du += a * a;
-        dv += b * b;
-    }
+    let (num, du, dv) = simd::centered_dot_norms(u, mu, v, mv);
     let denom = (du * dv).sqrt();
     if denom <= f64::EPSILON * n as f64 {
         0.0
@@ -174,14 +175,10 @@ pub fn correlation_distance(u: &[f64], v: &[f64]) -> f64 {
 /// Cosine distance: `1 - (u·v)/(|u||v|)`. Zero-norm inputs give 1.0.
 pub fn cosine_distance(u: &[f64], v: &[f64]) -> f64 {
     debug_assert_eq!(u.len(), v.len());
-    let mut num = 0.0;
-    let mut nu = 0.0;
-    let mut nv = 0.0;
-    for i in 0..u.len() {
-        num += u[i] * v[i];
-        nu += u[i] * u[i];
-        nv += v[i] * v[i];
-    }
+    // Centering with mean 0.0 is exact (`x - 0.0` bit-preserves `x`,
+    // both zeros included), so the Pearson kernel doubles as the cosine
+    // kernel.
+    let (num, nu, nv) = simd::centered_dot_norms(u, 0.0, v, 0.0);
     let denom = (nu * nv).sqrt();
     if denom <= f64::EPSILON {
         1.0
@@ -196,11 +193,7 @@ pub fn mean_absolute_error(u: &[f64], v: &[f64]) -> f64 {
     if u.is_empty() {
         return 0.0;
     }
-    u.iter()
-        .zip(v.iter())
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
-        / u.len() as f64
+    simd::abs_diff_sum(u, v) / u.len() as f64
 }
 
 /// Length-normalized Euclidean distance.
@@ -209,7 +202,7 @@ pub fn euclidean_distance(u: &[f64], v: &[f64]) -> f64 {
     if u.is_empty() {
         return 0.0;
     }
-    let ss: f64 = u.iter().zip(v.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+    let ss = simd::sq_diff_sum(u, v);
     (ss / u.len() as f64).sqrt()
 }
 

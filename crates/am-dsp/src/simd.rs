@@ -1,0 +1,1450 @@
+//! Runtime-dispatched SIMD kernels for the correlation/ZNCC/DTW hot paths.
+//!
+//! Every dense inner loop in the detection pipeline reduces to a handful
+//! of primitives — dot product, centered dot + squared norms (the ZNCC
+//! numerator/denominator), plain sums, absolute/squared difference
+//! accumulation, and the elementwise `min` that batches the DTW dynamic
+//! program's min-of-three step. This module provides each primitive in
+//! three backends and resolves which to run once per process:
+//!
+//! - [`Backend::Ordered`]: the legacy sequential loop, bit-identical to
+//!   the pre-SIMD code. All golden tables were pinned against it.
+//! - [`Backend::Scalar`]: a multi-accumulator rewrite that mirrors the
+//!   AVX2 lane structure exactly (4 or 8 independent partial sums,
+//!   pinned combine order, sequential tail). Faster than `Ordered`
+//!   because the accumulator chains are independent, and **bit-identical
+//!   to [`Backend::Avx2`]** by construction.
+//! - [`Backend::Avx2`]: explicit `core::arch::x86_64` intrinsics behind
+//!   `is_x86_feature_detected!("avx2")`. No FMA in reductions — fused
+//!   rounding would diverge from the scalar mirror.
+//!
+//! # Kernel classes and the bit-stability contract
+//!
+//! *Elementwise* kernels ([`min2_into`], [`mul_in_place`],
+//! [`sub_scalar_into`], [`conj_mul_in_place`]) perform no reassociation:
+//! every output element is the same expression in any backend, so they
+//! are bit-identical everywhere and safe on the default path.
+//!
+//! *Reduction* kernels ([`sum`], [`dot`], [`sq_norm`], [`abs_diff_sum`],
+//! [`sq_diff_sum`], [`centered_sq_sum`], [`center_and_sq_norm`],
+//! [`centered_dot_norms`]) reassociate the accumulation when lanes are
+//! used, which changes rounding. The default [`SimdMode::Auto`]
+//! therefore runs reductions on [`Backend::Ordered`] (keeping every
+//! golden table byte-identical) and only the provably-exact elementwise
+//! kernels on AVX2; the reassociated lanes are an opt-in fast path
+//! (`AM_SIMD=fast|scalar|avx2`) covered by ULP-bounded property tests
+//! (`tests/simd_equivalence.rs`).
+//!
+//! # Selection
+//!
+//! The `AM_SIMD` environment variable wins over [`set_mode`]:
+//!
+//! | `AM_SIMD` | elementwise | reductions | label |
+//! |-----------|-------------|------------|-------|
+//! | `off` | Ordered | Ordered | `off` |
+//! | `auto` (default) | AVX2 if detected | Ordered | `bit-stable+avx2` / `bit-stable` |
+//! | `scalar` | Scalar | Scalar | `scalar` |
+//! | `avx2` / `fast` | AVX2 if detected | AVX2 if detected | `avx2` (falls back to `scalar`) |
+//!
+//! The resolved dispatch is recorded in `GridReport::simd_backend` and
+//! the `BENCH_*.json` headers so perf artifacts are never compared
+//! across backends.
+//!
+//! # NaN handling
+//!
+//! Reductions propagate NaN in every backend (a NaN poisons each
+//! accumulator it touches and survives the combine). [`min2_into`] is
+//! the exception: scalar `f64::min` ignores a single NaN operand while
+//! AVX2 `vminpd` returns the second operand — callers (the DTW dynamic
+//! programs) quarantine non-finite samples upstream, so the kernels only
+//! ever see finite values and `+inf` band padding, on which all backends
+//! agree bit-for-bit.
+
+use crate::fft::Complex;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+/// Requested SIMD policy (see the module docs for the selection table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdMode {
+    /// Legacy sequential loops everywhere; the pure pre-SIMD code path.
+    Off,
+    /// Bit-stable default: AVX2 for elementwise kernels, ordered
+    /// reductions. Byte-identical to [`SimdMode::Off`].
+    Auto,
+    /// Reassociated fast path on the best available backend.
+    Fast,
+    /// Force the multi-accumulator scalar lanes (reassociated).
+    Scalar,
+    /// Force AVX2 (reassociated); falls back to `Scalar` if undetected.
+    Avx2,
+}
+
+impl SimdMode {
+    /// Parses an `AM_SIMD` value; unknown strings are ignored by the
+    /// resolver (same forgiving idiom as `AM_EVAL_THREADS`).
+    pub fn parse(s: &str) -> Option<SimdMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(SimdMode::Off),
+            "auto" => Some(SimdMode::Auto),
+            "fast" => Some(SimdMode::Fast),
+            "scalar" => Some(SimdMode::Scalar),
+            "avx2" => Some(SimdMode::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// Concrete implementation family a kernel class dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Sequential legacy order (bit-identical to the pre-SIMD code).
+    Ordered,
+    /// Multi-accumulator scalar lanes mirroring AVX2 exactly.
+    Scalar,
+    /// Explicit AVX2 intrinsics (requires runtime detection).
+    Avx2,
+}
+
+impl Backend {
+    /// Short stable name (used by benches and test labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Ordered => "ordered",
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this backend can run on the current CPU.
+    pub fn available(self) -> bool {
+        match self {
+            Backend::Ordered | Backend::Scalar => true,
+            Backend::Avx2 => avx2_available(),
+        }
+    }
+}
+
+/// Whether AVX2 is detected at runtime (always false off x86-64).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Detected CPU features relevant to the kernel layer, as a stable
+/// provenance string for the `BENCH_*.json` headers (e.g.
+/// `"x86_64:sse2+avx+avx2+fma"`).
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats = vec!["sse2"];
+        if std::arch::is_x86_feature_detected!("avx") {
+            feats.push("avx");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            feats.push("fma");
+        }
+        format!("x86_64:{}", feats.join("+"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        std::env::consts::ARCH.to_string()
+    }
+}
+
+const LABELS: [&str; 5] = ["off", "bit-stable", "bit-stable+avx2", "scalar", "avx2"];
+
+/// The resolved per-class backend selection for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Backend for order-preserving elementwise kernels.
+    pub elementwise: Backend,
+    /// Backend for reassociating reduction kernels.
+    pub reduction: Backend,
+    label: u8,
+}
+
+impl Dispatch {
+    /// Human-readable backend label, recorded in `GridReport` and the
+    /// bench artifacts: one of `off`, `bit-stable`, `bit-stable+avx2`,
+    /// `scalar`, `avx2`.
+    pub fn label(self) -> &'static str {
+        LABELS[self.label as usize]
+    }
+
+    fn encode(self) -> u32 {
+        1 | ((self.elementwise as u32) << 1)
+            | ((self.reduction as u32) << 3)
+            | ((self.label as u32) << 5)
+    }
+
+    fn decode(bits: u32) -> Dispatch {
+        let backend = |b: u32| match b & 0b11 {
+            0 => Backend::Ordered,
+            1 => Backend::Scalar,
+            _ => Backend::Avx2,
+        };
+        Dispatch {
+            elementwise: backend(bits >> 1),
+            reduction: backend(bits >> 3),
+            label: ((bits >> 5) & 0b111) as u8,
+        }
+    }
+}
+
+/// Mode requested via [`set_mode`] before first use (`SimdMode::Auto`).
+static REQUESTED: AtomicU8 = AtomicU8::new(1);
+/// Resolved dispatch, encoded; 0 = not yet resolved.
+static RESOLVED: AtomicU32 = AtomicU32::new(0);
+
+fn requested_mode() -> SimdMode {
+    match REQUESTED.load(Ordering::Relaxed) {
+        0 => SimdMode::Off,
+        2 => SimdMode::Fast,
+        3 => SimdMode::Scalar,
+        4 => SimdMode::Avx2,
+        _ => SimdMode::Auto,
+    }
+}
+
+fn resolve(mode: SimdMode) -> Dispatch {
+    let _span = am_telemetry::span!("simd.dispatch");
+    let avx2 = avx2_available();
+    let d = match mode {
+        SimdMode::Off => Dispatch {
+            elementwise: Backend::Ordered,
+            reduction: Backend::Ordered,
+            label: 0,
+        },
+        SimdMode::Auto => {
+            if avx2 {
+                Dispatch {
+                    elementwise: Backend::Avx2,
+                    reduction: Backend::Ordered,
+                    label: 2,
+                }
+            } else {
+                Dispatch {
+                    elementwise: Backend::Ordered,
+                    reduction: Backend::Ordered,
+                    label: 1,
+                }
+            }
+        }
+        SimdMode::Scalar => Dispatch {
+            elementwise: Backend::Scalar,
+            reduction: Backend::Scalar,
+            label: 3,
+        },
+        SimdMode::Fast | SimdMode::Avx2 => {
+            if avx2 {
+                Dispatch {
+                    elementwise: Backend::Avx2,
+                    reduction: Backend::Avx2,
+                    label: 4,
+                }
+            } else {
+                Dispatch {
+                    elementwise: Backend::Scalar,
+                    reduction: Backend::Scalar,
+                    label: 3,
+                }
+            }
+        }
+    };
+    am_telemetry::count!("simd.dispatch.resolutions");
+    d
+}
+
+/// Requests a mode before the first kernel runs. `AM_SIMD` in the
+/// environment still wins at resolution time. Returns `false` (and has
+/// no effect) if the dispatch was already resolved.
+pub fn set_mode(mode: SimdMode) -> bool {
+    if RESOLVED.load(Ordering::Acquire) != 0 {
+        return false;
+    }
+    REQUESTED.store(
+        match mode {
+            SimdMode::Off => 0,
+            SimdMode::Auto => 1,
+            SimdMode::Fast => 2,
+            SimdMode::Scalar => 3,
+            SimdMode::Avx2 => 4,
+        },
+        Ordering::Relaxed,
+    );
+    RESOLVED.load(Ordering::Acquire) == 0
+}
+
+/// Re-resolves the dispatch from `mode`, ignoring `AM_SIMD` and any
+/// earlier resolution. **Benchmark/test hook only** — flipping backends
+/// mid-run makes results incomparable with golden pins; production code
+/// resolves once via [`active`].
+pub fn force_mode(mode: SimdMode) -> Dispatch {
+    let d = resolve(mode);
+    RESOLVED.store(d.encode(), Ordering::Release);
+    d
+}
+
+/// The process-wide dispatch, resolving it on first use from `AM_SIMD`
+/// (falling back to the [`set_mode`] request, default `Auto`).
+#[inline]
+pub fn active() -> Dispatch {
+    let bits = RESOLVED.load(Ordering::Acquire);
+    if bits != 0 {
+        return Dispatch::decode(bits);
+    }
+    let mode = std::env::var("AM_SIMD")
+        .ok()
+        .and_then(|s| SimdMode::parse(&s))
+        .unwrap_or_else(requested_mode);
+    let d = resolve(mode);
+    // A racing thread resolves to the same value: `resolve` is pure in
+    // (env, request, CPU), so the store is idempotent.
+    RESOLVED.store(d.encode(), Ordering::Release);
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Ordered backend: the legacy sequential loops, verbatim.
+// ---------------------------------------------------------------------------
+
+mod ordered {
+    #[inline]
+    pub fn sum(x: &[f64]) -> f64 {
+        x.iter().sum()
+    }
+
+    #[inline]
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn sq_norm(x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for v in x {
+            acc += v * v;
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn abs_diff_sum(a: &[f64], b: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            acc += (x - y).abs();
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn sq_diff_sum(a: &[f64], b: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            acc += (x - y) * (x - y);
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn centered_sq_sum(x: &[f64], mu: f64) -> f64 {
+        let mut acc = 0.0;
+        for v in x {
+            acc += (v - mu) * (v - mu);
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn center_and_sq_norm(frame: &mut [f64], mu: f64) -> f64 {
+        let mut sq = 0.0;
+        for v in frame.iter_mut() {
+            *v -= mu;
+            sq += *v * *v;
+        }
+        sq
+    }
+
+    #[inline]
+    pub fn centered_dot_norms(u: &[f64], mu: f64, v: &[f64], mv: f64) -> (f64, f64, f64) {
+        let mut num = 0.0;
+        let mut du = 0.0;
+        let mut dv = 0.0;
+        for (x, y) in u.iter().zip(v.iter()) {
+            let a = x - mu;
+            let b = y - mv;
+            num += a * b;
+            du += a * a;
+            dv += b * b;
+        }
+        (num, du, dv)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-lane backend: multi-accumulator mirrors of the AVX2 kernels.
+// Single-output reductions use 8 lanes (two vectors' worth of ILP); the
+// fused multi-output kernels use 4 (three accumulator sets already
+// saturate the add ports). Combine order is pinned pairwise:
+// ((l0+l1)+(l2+l3)) [+ ((l4+l5)+(l6+l7))], then the sequential tail.
+// ---------------------------------------------------------------------------
+
+mod lanes {
+    #[inline]
+    fn combine8(acc: [f64; 8]) -> f64 {
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+    }
+
+    #[inline]
+    fn combine4(acc: [f64; 4]) -> f64 {
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
+    }
+
+    // Sub-lane inputs skip the accumulator array: with zero full blocks
+    // the lane path is combine-of-(+0.0)s followed by a sequential tail
+    // from +0.0, i.e. exactly the plain sequential fold — so the
+    // short-circuit is bitwise invisible and saves the zeroing/combine
+    // overhead that dominates tiny calls (4-channel DTW frames).
+
+    #[inline]
+    pub fn sum(x: &[f64]) -> f64 {
+        if x.len() < 8 {
+            // Not `ordered::sum`: `Iterator::sum` folds from -0.0, while
+            // the lane tail folds from the +0.0 combine result.
+            let mut total = 0.0;
+            for &v in x {
+                total += v;
+            }
+            return total;
+        }
+        let mut acc = [0.0f64; 8];
+        let chunks = x.chunks_exact(8);
+        let tail = chunks.remainder();
+        for c in chunks {
+            for l in 0..8 {
+                acc[l] += c[l];
+            }
+        }
+        let mut total = combine8(acc);
+        for &v in tail {
+            total += v;
+        }
+        total
+    }
+
+    #[inline]
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        if n < 8 {
+            return super::ordered::dot(&a[..n], &b[..n]);
+        }
+        let mut acc = [0.0f64; 8];
+        let mut i = 0;
+        while i + 8 <= n {
+            for l in 0..8 {
+                acc[l] += a[i + l] * b[i + l];
+            }
+            i += 8;
+        }
+        let mut total = combine8(acc);
+        while i < n {
+            total += a[i] * b[i];
+            i += 1;
+        }
+        total
+    }
+
+    #[inline]
+    pub fn sq_norm(x: &[f64]) -> f64 {
+        if x.len() < 8 {
+            return super::ordered::sq_norm(x);
+        }
+        let mut acc = [0.0f64; 8];
+        let chunks = x.chunks_exact(8);
+        let tail = chunks.remainder();
+        for c in chunks {
+            for l in 0..8 {
+                acc[l] += c[l] * c[l];
+            }
+        }
+        let mut total = combine8(acc);
+        for &v in tail {
+            total += v * v;
+        }
+        total
+    }
+
+    #[inline]
+    pub fn abs_diff_sum(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        if n < 8 {
+            return super::ordered::abs_diff_sum(&a[..n], &b[..n]);
+        }
+        let mut acc = [0.0f64; 8];
+        let mut i = 0;
+        while i + 8 <= n {
+            for l in 0..8 {
+                acc[l] += (a[i + l] - b[i + l]).abs();
+            }
+            i += 8;
+        }
+        let mut total = combine8(acc);
+        while i < n {
+            total += (a[i] - b[i]).abs();
+            i += 1;
+        }
+        total
+    }
+
+    #[inline]
+    pub fn sq_diff_sum(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        if n < 8 {
+            return super::ordered::sq_diff_sum(&a[..n], &b[..n]);
+        }
+        let mut acc = [0.0f64; 8];
+        let mut i = 0;
+        while i + 8 <= n {
+            for l in 0..8 {
+                let d = a[i + l] - b[i + l];
+                acc[l] += d * d;
+            }
+            i += 8;
+        }
+        let mut total = combine8(acc);
+        while i < n {
+            let d = a[i] - b[i];
+            total += d * d;
+            i += 1;
+        }
+        total
+    }
+
+    #[inline]
+    pub fn centered_sq_sum(x: &[f64], mu: f64) -> f64 {
+        if x.len() < 8 {
+            return super::ordered::centered_sq_sum(x, mu);
+        }
+        let mut acc = [0.0f64; 8];
+        let chunks = x.chunks_exact(8);
+        let tail = chunks.remainder();
+        for c in chunks {
+            for l in 0..8 {
+                let d = c[l] - mu;
+                acc[l] += d * d;
+            }
+        }
+        let mut total = combine8(acc);
+        for &v in tail {
+            let d = v - mu;
+            total += d * d;
+        }
+        total
+    }
+
+    #[inline]
+    pub fn center_and_sq_norm(frame: &mut [f64], mu: f64) -> f64 {
+        if frame.len() < 4 {
+            return super::ordered::center_and_sq_norm(frame, mu);
+        }
+        let mut acc = [0.0f64; 4];
+        let mut chunks = frame.chunks_exact_mut(4);
+        for c in chunks.by_ref() {
+            for l in 0..4 {
+                c[l] -= mu;
+                acc[l] += c[l] * c[l];
+            }
+        }
+        let mut total = combine4(acc);
+        for v in chunks.into_remainder() {
+            *v -= mu;
+            total += *v * *v;
+        }
+        total
+    }
+
+    #[inline]
+    pub fn centered_dot_norms(u: &[f64], mu: f64, v: &[f64], mv: f64) -> (f64, f64, f64) {
+        let n = u.len().min(v.len());
+        if n < 4 {
+            return super::ordered::centered_dot_norms(&u[..n], mu, &v[..n], mv);
+        }
+        let mut num = [0.0f64; 4];
+        let mut du = [0.0f64; 4];
+        let mut dv = [0.0f64; 4];
+        let mut i = 0;
+        while i + 4 <= n {
+            for l in 0..4 {
+                let a = u[i + l] - mu;
+                let b = v[i + l] - mv;
+                num[l] += a * b;
+                du[l] += a * a;
+                dv[l] += b * b;
+            }
+            i += 4;
+        }
+        let mut tn = combine4(num);
+        let mut tu = combine4(du);
+        let mut tv = combine4(dv);
+        while i < n {
+            let a = u[i] - mu;
+            let b = v[i] - mv;
+            tn += a * b;
+            tu += a * a;
+            tv += b * b;
+            i += 1;
+        }
+        (tn, tu, tv)
+    }
+
+    // Elementwise kernels: identical semantics to `Ordered` (no
+    // reassociation); kept here as the non-AVX2 implementations.
+
+    #[inline]
+    pub fn min2_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+        for ((x, y), o) in a.iter().zip(b.iter()).zip(out.iter_mut()) {
+            *o = x.min(*y);
+        }
+    }
+
+    #[inline]
+    pub fn mul_in_place(a: &mut [f64], b: &[f64]) {
+        for (x, y) in a.iter_mut().zip(b.iter()) {
+            *x *= y;
+        }
+    }
+
+    #[inline]
+    pub fn sub_scalar_into(src: &[f64], c: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(src.iter().map(|v| v - c));
+    }
+
+    #[inline]
+    pub fn conj_mul_in_place(a: &mut [super::Complex], b: &[super::Complex]) {
+        for (x, y) in a.iter_mut().zip(b.iter()) {
+            *x = *x * y.conj();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend. Every kernel is the exact vector transcription of its
+// `lanes` mirror: same lane count, same combine order, same sequential
+// tail, mul+add instead of FMA — so Scalar and Avx2 are bit-identical.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::Complex;
+    use core::arch::x86_64::*;
+
+    /// Pinned horizontal combine: `(l0 + l1) + (l2 + l3)`.
+    #[inline]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), v);
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum(x: &[f64]) -> f64 {
+        let n = x.len();
+        let p = x.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(p.add(i)));
+            acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(p.add(i + 4)));
+            i += 8;
+        }
+        let mut total = hsum(acc0) + hsum(acc1);
+        while i < n {
+            total += *p.add(i);
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            acc0 = _mm256_add_pd(
+                acc0,
+                _mm256_mul_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i))),
+            );
+            acc1 = _mm256_add_pd(
+                acc1,
+                _mm256_mul_pd(
+                    _mm256_loadu_pd(pa.add(i + 4)),
+                    _mm256_loadu_pd(pb.add(i + 4)),
+                ),
+            );
+            i += 8;
+        }
+        let mut total = hsum(acc0) + hsum(acc1);
+        while i < n {
+            total += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_norm(x: &[f64]) -> f64 {
+        let n = x.len();
+        let p = x.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            let v0 = _mm256_loadu_pd(p.add(i));
+            let v1 = _mm256_loadu_pd(p.add(i + 4));
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, v0));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, v1));
+            i += 8;
+        }
+        let mut total = hsum(acc0) + hsum(acc1);
+        while i < n {
+            let v = *p.add(i);
+            total += v * v;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn abs_diff_sum(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let sign = _mm256_set1_pd(-0.0);
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            let d0 = _mm256_sub_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i)));
+            let d1 = _mm256_sub_pd(
+                _mm256_loadu_pd(pa.add(i + 4)),
+                _mm256_loadu_pd(pb.add(i + 4)),
+            );
+            acc0 = _mm256_add_pd(acc0, _mm256_andnot_pd(sign, d0));
+            acc1 = _mm256_add_pd(acc1, _mm256_andnot_pd(sign, d1));
+            i += 8;
+        }
+        let mut total = hsum(acc0) + hsum(acc1);
+        while i < n {
+            total += (*pa.add(i) - *pb.add(i)).abs();
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq_diff_sum(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            let d0 = _mm256_sub_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i)));
+            let d1 = _mm256_sub_pd(
+                _mm256_loadu_pd(pa.add(i + 4)),
+                _mm256_loadu_pd(pb.add(i + 4)),
+            );
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+            i += 8;
+        }
+        let mut total = hsum(acc0) + hsum(acc1);
+        while i < n {
+            let d = *pa.add(i) - *pb.add(i);
+            total += d * d;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn centered_sq_sum(x: &[f64], mu: f64) -> f64 {
+        let n = x.len();
+        let p = x.as_ptr();
+        let vmu = _mm256_set1_pd(mu);
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            let d0 = _mm256_sub_pd(_mm256_loadu_pd(p.add(i)), vmu);
+            let d1 = _mm256_sub_pd(_mm256_loadu_pd(p.add(i + 4)), vmu);
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+            i += 8;
+        }
+        let mut total = hsum(acc0) + hsum(acc1);
+        while i < n {
+            let d = *p.add(i) - mu;
+            total += d * d;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn center_and_sq_norm(frame: &mut [f64], mu: f64) -> f64 {
+        let n = frame.len();
+        let p = frame.as_mut_ptr();
+        let vmu = _mm256_set1_pd(mu);
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_sub_pd(_mm256_loadu_pd(p.add(i)), vmu);
+            _mm256_storeu_pd(p.add(i), v);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+            i += 4;
+        }
+        let mut total = hsum(acc);
+        while i < n {
+            let v = *p.add(i) - mu;
+            *p.add(i) = v;
+            total += v * v;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn centered_dot_norms(u: &[f64], mu: f64, v: &[f64], mv: f64) -> (f64, f64, f64) {
+        let n = u.len().min(v.len());
+        let (pu, pv) = (u.as_ptr(), v.as_ptr());
+        let vmu = _mm256_set1_pd(mu);
+        let vmv = _mm256_set1_pd(mv);
+        let mut num = _mm256_setzero_pd();
+        let mut du = _mm256_setzero_pd();
+        let mut dv = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 4 <= n {
+            let a = _mm256_sub_pd(_mm256_loadu_pd(pu.add(i)), vmu);
+            let b = _mm256_sub_pd(_mm256_loadu_pd(pv.add(i)), vmv);
+            num = _mm256_add_pd(num, _mm256_mul_pd(a, b));
+            du = _mm256_add_pd(du, _mm256_mul_pd(a, a));
+            dv = _mm256_add_pd(dv, _mm256_mul_pd(b, b));
+            i += 4;
+        }
+        let mut tn = hsum(num);
+        let mut tu = hsum(du);
+        let mut tv = hsum(dv);
+        while i < n {
+            let a = *pu.add(i) - mu;
+            let b = *pv.add(i) - mv;
+            tn += a * b;
+            tu += a * a;
+            tv += b * b;
+            i += 1;
+        }
+        (tn, tu, tv)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min2_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+        let n = a.len().min(b.len()).min(out.len());
+        let (pa, pb, po) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let m = _mm256_min_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i)));
+            _mm256_storeu_pd(po.add(i), m);
+            i += 4;
+        }
+        while i < n {
+            *po.add(i) = (*pa.add(i)).min(*pb.add(i));
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_in_place(a: &mut [f64], b: &[f64]) {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_mut_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let m = _mm256_mul_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i)));
+            _mm256_storeu_pd(pa.add(i), m);
+            i += 4;
+        }
+        while i < n {
+            *pa.add(i) *= *pb.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_scalar_into(src: &[f64], c: f64, out: &mut Vec<f64>) {
+        let n = src.len();
+        out.clear();
+        out.resize(n, 0.0);
+        let (ps, po) = (src.as_ptr(), out.as_mut_ptr());
+        let vc = _mm256_set1_pd(c);
+        let mut i = 0;
+        while i + 4 <= n {
+            _mm256_storeu_pd(po.add(i), _mm256_sub_pd(_mm256_loadu_pd(ps.add(i)), vc));
+            i += 4;
+        }
+        while i < n {
+            *po.add(i) = *ps.add(i) - c;
+            i += 1;
+        }
+    }
+
+    /// `a[k] = a[k] * conj(b[k])` — the sliding-dot correlation's
+    /// frequency-domain step. Bit-identical to the scalar
+    /// `Complex::mul(a, b.conj())`: the real part is the literal same
+    /// expression (`ar·br − (−(ai·bi))`), the imaginary part commutes
+    /// one exact addition (`ai·br + (−(ar·bi))` vs
+    /// `(−(ar·bi)) + ai·br`), and sign flips are exact.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn conj_mul_in_place(a: &mut [Complex], b: &[Complex]) {
+        let n = a.len().min(b.len());
+        // `Complex` is `#[repr(C)]` (re, im): a slice of n Complex is a
+        // slice of 2n f64 with interleaved [re, im] pairs.
+        let pa = a.as_mut_ptr() as *mut f64;
+        let pb = b.as_ptr() as *const f64;
+        let sign = _mm256_set1_pd(-0.0);
+        let pairs = n / 2;
+        for k in 0..pairs {
+            let va = _mm256_loadu_pd(pa.add(4 * k)); // [ar0, ai0, ar1, ai1]
+            let vb = _mm256_loadu_pd(pb.add(4 * k)); // [br0, bi0, br1, bi1]
+            let b_re = _mm256_movedup_pd(vb); // [br0, br0, br1, br1]
+            let b_im = _mm256_permute_pd(vb, 0b1111); // [bi0, bi0, bi1, bi1]
+            let a_sw = _mm256_permute_pd(va, 0b0101); // [ai0, ar0, ai1, ar1]
+            let t1 = _mm256_mul_pd(va, b_re); // [ar·br, ai·br, ...]
+            let t2 = _mm256_xor_pd(_mm256_mul_pd(a_sw, b_im), sign); // [−ai·bi, −ar·bi, ...]
+                                                                     // addsub: [t1.0 − t2.0, t1.1 + t2.1, ...]
+                                                                     //       = [ar·br + ai·bi, ai·br − ar·bi, ...]
+            _mm256_storeu_pd(pa.add(4 * k), _mm256_addsub_pd(t1, t2));
+        }
+        for k in (2 * pairs)..n {
+            let y = *b.get_unchecked(k);
+            let x = a.get_unchecked_mut(k);
+            *x = *x * y.conj();
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+macro_rules! avx2_dispatch {
+    ($fn:ident ( $($arg:expr),* )) => {{
+        assert!(
+            avx2_available(),
+            concat!("Backend::Avx2 requested for `", stringify!($fn), "` without AVX2 support")
+        );
+        // SAFETY: AVX2 availability checked immediately above.
+        unsafe { avx2::$fn($($arg),*) }
+    }};
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+macro_rules! avx2_dispatch {
+    ($fn:ident ( $($arg:expr),* )) => {{
+        panic!(concat!(
+            "Backend::Avx2 requested for `",
+            stringify!($fn),
+            "` on a non-x86_64 target"
+        ))
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatched kernels. The plain functions consult the resolved
+// process dispatch; the `_with` variants take an explicit backend (for
+// hot loops that hoist the lookup, and for benches/property tests).
+//
+// Below `AVX2_MIN_LEN` elements, `Backend::Avx2` routes to the scalar
+// lane mirror instead of the intrinsics: a vector call on a handful of
+// elements is pure overhead (feature-check + call + empty vector body —
+// DTW frame distances over 3-8 channels hit exactly this), and the
+// substitution is bitwise-invisible because `lanes` reproduces the AVX2
+// lane structure exactly (pinned by `tests/simd_equivalence.rs`).
+// ---------------------------------------------------------------------------
+
+/// Minimum element count for which the AVX2 entry is worth its call
+/// overhead; below it the bit-identical scalar mirror runs instead.
+const AVX2_MIN_LEN: usize = 16;
+
+/// Σ `x[i]` (reduction).
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    sum_with(active().reduction, x)
+}
+
+/// [`sum`] on an explicit backend.
+#[inline]
+pub fn sum_with(backend: Backend, x: &[f64]) -> f64 {
+    match backend {
+        Backend::Ordered => ordered::sum(x),
+        Backend::Scalar => lanes::sum(x),
+        Backend::Avx2 if x.len() < AVX2_MIN_LEN => lanes::sum(x),
+        Backend::Avx2 => avx2_dispatch!(sum(x)),
+    }
+}
+
+/// Σ `a[i]·b[i]` over the common prefix (reduction).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    dot_with(active().reduction, a, b)
+}
+
+/// [`dot`] on an explicit backend.
+#[inline]
+pub fn dot_with(backend: Backend, a: &[f64], b: &[f64]) -> f64 {
+    match backend {
+        Backend::Ordered => ordered::dot(a, b),
+        Backend::Scalar => lanes::dot(a, b),
+        Backend::Avx2 if a.len().min(b.len()) < AVX2_MIN_LEN => lanes::dot(a, b),
+        Backend::Avx2 => avx2_dispatch!(dot(a, b)),
+    }
+}
+
+/// Σ `x[i]²` (reduction).
+#[inline]
+pub fn sq_norm(x: &[f64]) -> f64 {
+    sq_norm_with(active().reduction, x)
+}
+
+/// [`sq_norm`] on an explicit backend.
+#[inline]
+pub fn sq_norm_with(backend: Backend, x: &[f64]) -> f64 {
+    match backend {
+        Backend::Ordered => ordered::sq_norm(x),
+        Backend::Scalar => lanes::sq_norm(x),
+        Backend::Avx2 if x.len() < AVX2_MIN_LEN => lanes::sq_norm(x),
+        Backend::Avx2 => avx2_dispatch!(sq_norm(x)),
+    }
+}
+
+/// Σ `|a[i] − b[i]|` over the common prefix (reduction).
+#[inline]
+pub fn abs_diff_sum(a: &[f64], b: &[f64]) -> f64 {
+    abs_diff_sum_with(active().reduction, a, b)
+}
+
+/// [`abs_diff_sum`] on an explicit backend.
+#[inline]
+pub fn abs_diff_sum_with(backend: Backend, a: &[f64], b: &[f64]) -> f64 {
+    match backend {
+        Backend::Ordered => ordered::abs_diff_sum(a, b),
+        Backend::Scalar => lanes::abs_diff_sum(a, b),
+        Backend::Avx2 if a.len().min(b.len()) < AVX2_MIN_LEN => lanes::abs_diff_sum(a, b),
+        Backend::Avx2 => avx2_dispatch!(abs_diff_sum(a, b)),
+    }
+}
+
+/// Σ `(a[i] − b[i])²` over the common prefix (reduction).
+#[inline]
+pub fn sq_diff_sum(a: &[f64], b: &[f64]) -> f64 {
+    sq_diff_sum_with(active().reduction, a, b)
+}
+
+/// [`sq_diff_sum`] on an explicit backend.
+#[inline]
+pub fn sq_diff_sum_with(backend: Backend, a: &[f64], b: &[f64]) -> f64 {
+    match backend {
+        Backend::Ordered => ordered::sq_diff_sum(a, b),
+        Backend::Scalar => lanes::sq_diff_sum(a, b),
+        Backend::Avx2 if a.len().min(b.len()) < AVX2_MIN_LEN => lanes::sq_diff_sum(a, b),
+        Backend::Avx2 => avx2_dispatch!(sq_diff_sum(a, b)),
+    }
+}
+
+/// Σ `(x[i] − mu)²` (reduction; the variance numerator).
+#[inline]
+pub fn centered_sq_sum(x: &[f64], mu: f64) -> f64 {
+    centered_sq_sum_with(active().reduction, x, mu)
+}
+
+/// [`centered_sq_sum`] on an explicit backend.
+#[inline]
+pub fn centered_sq_sum_with(backend: Backend, x: &[f64], mu: f64) -> f64 {
+    match backend {
+        Backend::Ordered => ordered::centered_sq_sum(x, mu),
+        Backend::Scalar => lanes::centered_sq_sum(x, mu),
+        Backend::Avx2 if x.len() < AVX2_MIN_LEN => lanes::centered_sq_sum(x, mu),
+        Backend::Avx2 => avx2_dispatch!(centered_sq_sum(x, mu)),
+    }
+}
+
+/// Subtracts `mu` from `frame` in place and returns Σ `frame[i]²` after
+/// centering (fused reduction; the `FrameView` fill kernel). The
+/// centered values are bit-identical in every backend — only the
+/// squared-norm accumulation order differs.
+#[inline]
+pub fn center_and_sq_norm(frame: &mut [f64], mu: f64) -> f64 {
+    center_and_sq_norm_with(active().reduction, frame, mu)
+}
+
+/// [`center_and_sq_norm`] on an explicit backend.
+#[inline]
+pub fn center_and_sq_norm_with(backend: Backend, frame: &mut [f64], mu: f64) -> f64 {
+    match backend {
+        Backend::Ordered => ordered::center_and_sq_norm(frame, mu),
+        Backend::Scalar => lanes::center_and_sq_norm(frame, mu),
+        Backend::Avx2 if frame.len() < AVX2_MIN_LEN => lanes::center_and_sq_norm(frame, mu),
+        Backend::Avx2 => avx2_dispatch!(center_and_sq_norm(frame, mu)),
+    }
+}
+
+/// The Pearson fused loop over the common prefix: returns
+/// `(Σ a·b, Σ a², Σ b²)` with `a = u[i] − mu`, `b = v[i] − mv`
+/// (reduction; the ZNCC numerator and both denominator norms in one
+/// pass).
+#[inline]
+pub fn centered_dot_norms(u: &[f64], mu: f64, v: &[f64], mv: f64) -> (f64, f64, f64) {
+    centered_dot_norms_with(active().reduction, u, mu, v, mv)
+}
+
+/// [`centered_dot_norms`] on an explicit backend.
+#[inline]
+pub fn centered_dot_norms_with(
+    backend: Backend,
+    u: &[f64],
+    mu: f64,
+    v: &[f64],
+    mv: f64,
+) -> (f64, f64, f64) {
+    match backend {
+        Backend::Ordered => ordered::centered_dot_norms(u, mu, v, mv),
+        Backend::Scalar => lanes::centered_dot_norms(u, mu, v, mv),
+        Backend::Avx2 if u.len().min(v.len()) < AVX2_MIN_LEN => {
+            lanes::centered_dot_norms(u, mu, v, mv)
+        }
+        Backend::Avx2 => avx2_dispatch!(centered_dot_norms(u, mu, v, mv)),
+    }
+}
+
+/// `out[i] = min(a[i], b[i])` over the common prefix (elementwise; the
+/// DTW min-of-three batching step — the serial left-neighbor `min`
+/// stays with the caller). Inputs must be NaN-free (see module docs).
+#[inline]
+pub fn min2_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    min2_into_with(active().elementwise, a, b, out)
+}
+
+/// [`min2_into`] on an explicit backend.
+#[inline]
+pub fn min2_into_with(backend: Backend, a: &[f64], b: &[f64], out: &mut [f64]) {
+    match backend {
+        Backend::Ordered | Backend::Scalar => lanes::min2_into(a, b, out),
+        Backend::Avx2 if a.len().min(b.len()).min(out.len()) < AVX2_MIN_LEN => {
+            lanes::min2_into(a, b, out)
+        }
+        Backend::Avx2 => avx2_dispatch!(min2_into(a, b, out)),
+    }
+}
+
+/// `a[i] *= b[i]` over the common prefix (elementwise; the TDEB bias
+/// window multiply).
+#[inline]
+pub fn mul_in_place(a: &mut [f64], b: &[f64]) {
+    mul_in_place_with(active().elementwise, a, b)
+}
+
+/// [`mul_in_place`] on an explicit backend.
+#[inline]
+pub fn mul_in_place_with(backend: Backend, a: &mut [f64], b: &[f64]) {
+    match backend {
+        Backend::Ordered | Backend::Scalar => lanes::mul_in_place(a, b),
+        Backend::Avx2 if a.len().min(b.len()) < AVX2_MIN_LEN => lanes::mul_in_place(a, b),
+        Backend::Avx2 => avx2_dispatch!(mul_in_place(a, b)),
+    }
+}
+
+/// `out = src − c` elementwise into a cleared buffer (the ZNCC template
+/// centering).
+#[inline]
+pub fn sub_scalar_into(src: &[f64], c: f64, out: &mut Vec<f64>) {
+    sub_scalar_into_with(active().elementwise, src, c, out)
+}
+
+/// [`sub_scalar_into`] on an explicit backend.
+#[inline]
+pub fn sub_scalar_into_with(backend: Backend, src: &[f64], c: f64, out: &mut Vec<f64>) {
+    match backend {
+        Backend::Ordered | Backend::Scalar => lanes::sub_scalar_into(src, c, out),
+        Backend::Avx2 if src.len() < AVX2_MIN_LEN => lanes::sub_scalar_into(src, c, out),
+        Backend::Avx2 => avx2_dispatch!(sub_scalar_into(src, c, out)),
+    }
+}
+
+/// `a[k] *= conj(b[k])` over the common prefix (elementwise; the
+/// frequency-domain step of the FFT sliding-dot correlation).
+#[inline]
+pub fn conj_mul_in_place(a: &mut [Complex], b: &[Complex]) {
+    conj_mul_in_place_with(active().elementwise, a, b)
+}
+
+/// [`conj_mul_in_place`] on an explicit backend.
+#[inline]
+pub fn conj_mul_in_place_with(backend: Backend, a: &mut [Complex], b: &[Complex]) {
+    match backend {
+        Backend::Ordered | Backend::Scalar => lanes::conj_mul_in_place(a, b),
+        Backend::Avx2 if a.len().min(b.len()) < AVX2_MIN_LEN => lanes::conj_mul_in_place(a, b),
+        Backend::Avx2 => avx2_dispatch!(conj_mul_in_place(a, b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed.wrapping_mul(1442695040888963407));
+                (x >> 11) as f64 / (1u64 << 53) as f64 * 8.0 - 4.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(SimdMode::parse("off"), Some(SimdMode::Off));
+        assert_eq!(SimdMode::parse(" AVX2 "), Some(SimdMode::Avx2));
+        assert_eq!(SimdMode::parse("fast"), Some(SimdMode::Fast));
+        assert_eq!(SimdMode::parse("scalar"), Some(SimdMode::Scalar));
+        assert_eq!(SimdMode::parse("auto"), Some(SimdMode::Auto));
+        assert_eq!(SimdMode::parse("banana"), None);
+    }
+
+    #[test]
+    fn dispatch_encoding_round_trips() {
+        for mode in [
+            SimdMode::Off,
+            SimdMode::Auto,
+            SimdMode::Fast,
+            SimdMode::Scalar,
+            SimdMode::Avx2,
+        ] {
+            let d = resolve(mode);
+            assert_eq!(Dispatch::decode(d.encode()), d, "{mode:?}");
+            assert!(!d.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn resolution_table() {
+        let off = resolve(SimdMode::Off);
+        assert_eq!(off.reduction, Backend::Ordered);
+        assert_eq!(off.elementwise, Backend::Ordered);
+        assert_eq!(off.label(), "off");
+        let auto = resolve(SimdMode::Auto);
+        // Auto never reassociates reductions, whatever the CPU.
+        assert_eq!(auto.reduction, Backend::Ordered);
+        let fast = resolve(SimdMode::Fast);
+        assert_ne!(fast.reduction, Backend::Ordered);
+        if avx2_available() {
+            assert_eq!(auto.elementwise, Backend::Avx2);
+            assert_eq!(auto.label(), "bit-stable+avx2");
+            assert_eq!(fast.reduction, Backend::Avx2);
+            assert_eq!(fast.label(), "avx2");
+        } else {
+            assert_eq!(auto.label(), "bit-stable");
+            assert_eq!(fast.reduction, Backend::Scalar);
+            assert_eq!(fast.label(), "scalar");
+        }
+    }
+
+    #[test]
+    fn cpu_features_string_is_stable() {
+        let f = cpu_features();
+        assert!(!f.is_empty());
+        #[cfg(target_arch = "x86_64")]
+        assert!(f.starts_with("x86_64:sse2"));
+    }
+
+    #[test]
+    fn ordered_matches_simple_formulas() {
+        let a = data(37, 1);
+        let b = data(37, 2);
+        assert_eq!(ordered::sum(&a), a.iter().sum::<f64>());
+        let mut dot = 0.0;
+        for i in 0..37 {
+            dot += a[i] * b[i];
+        }
+        assert_eq!(ordered::dot(&a, &b), dot);
+        assert_eq!(ordered::sq_norm(&a), ordered::dot(&a, &a));
+    }
+
+    /// The lane backends agree with `Ordered` to tight tolerance (they
+    /// reassociate, so equality is approximate here; the exact pinning
+    /// lives in `tests/simd_equivalence.rs`).
+    #[test]
+    fn lanes_close_to_ordered() {
+        for n in [0, 1, 3, 4, 7, 8, 9, 31, 64, 100] {
+            let a = data(n, 3);
+            let b = data(n, 4);
+            let tol = 1e-12 * (n.max(1) as f64);
+            assert!(
+                (lanes::sum(&a) - ordered::sum(&a)).abs() <= tol,
+                "sum n={n}"
+            );
+            assert!((lanes::dot(&a, &b) - ordered::dot(&a, &b)).abs() <= tol);
+            assert!((lanes::sq_norm(&a) - ordered::sq_norm(&a)).abs() <= tol);
+            assert!((lanes::abs_diff_sum(&a, &b) - ordered::abs_diff_sum(&a, &b)).abs() <= tol);
+            assert!((lanes::sq_diff_sum(&a, &b) - ordered::sq_diff_sum(&a, &b)).abs() <= tol);
+            assert!(
+                (lanes::centered_sq_sum(&a, 0.25) - ordered::centered_sq_sum(&a, 0.25)).abs()
+                    <= tol
+            );
+            let (n1, u1, v1) = lanes::centered_dot_norms(&a, 0.5, &b, -0.5);
+            let (n2, u2, v2) = ordered::centered_dot_norms(&a, 0.5, &b, -0.5);
+            assert!((n1 - n2).abs() <= tol && (u1 - u2).abs() <= tol && (v1 - v2).abs() <= tol);
+            let mut f1 = a.clone();
+            let mut f2 = a.clone();
+            let s1 = lanes::center_and_sq_norm(&mut f1, 0.5);
+            let s2 = ordered::center_and_sq_norm(&mut f2, 0.5);
+            assert_eq!(f1, f2, "centered values are elementwise-exact");
+            assert!((s1 - s2).abs() <= tol);
+        }
+    }
+
+    /// Scalar lanes and AVX2 must agree **bit for bit** on every
+    /// kernel: they are the same algorithm by construction.
+    #[test]
+    fn avx2_bit_identical_to_lanes() {
+        if !avx2_available() {
+            return;
+        }
+        for n in [0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64, 127] {
+            let a = data(n, 5);
+            let b = data(n, 6);
+            assert_eq!(
+                sum_with(Backend::Avx2, &a).to_bits(),
+                lanes::sum(&a).to_bits(),
+                "sum n={n}"
+            );
+            assert_eq!(
+                dot_with(Backend::Avx2, &a, &b).to_bits(),
+                lanes::dot(&a, &b).to_bits()
+            );
+            assert_eq!(
+                sq_norm_with(Backend::Avx2, &a).to_bits(),
+                lanes::sq_norm(&a).to_bits()
+            );
+            assert_eq!(
+                abs_diff_sum_with(Backend::Avx2, &a, &b).to_bits(),
+                lanes::abs_diff_sum(&a, &b).to_bits()
+            );
+            assert_eq!(
+                sq_diff_sum_with(Backend::Avx2, &a, &b).to_bits(),
+                lanes::sq_diff_sum(&a, &b).to_bits()
+            );
+            assert_eq!(
+                centered_sq_sum_with(Backend::Avx2, &a, 0.3).to_bits(),
+                lanes::centered_sq_sum(&a, 0.3).to_bits()
+            );
+            let x1 = centered_dot_norms_with(Backend::Avx2, &a, 0.1, &b, 0.2);
+            let x2 = lanes::centered_dot_norms(&a, 0.1, &b, 0.2);
+            assert_eq!(
+                (x1.0.to_bits(), x1.1.to_bits(), x1.2.to_bits()),
+                (x2.0.to_bits(), x2.1.to_bits(), x2.2.to_bits())
+            );
+            let mut f1 = a.clone();
+            let mut f2 = a.clone();
+            let s1 = center_and_sq_norm_with(Backend::Avx2, &mut f1, 0.1);
+            let s2 = lanes::center_and_sq_norm(&mut f2, 0.1);
+            assert_eq!(s1.to_bits(), s2.to_bits());
+            assert_eq!(f1, f2);
+        }
+    }
+
+    /// Elementwise kernels are bit-identical across **all** backends.
+    #[test]
+    fn elementwise_bit_identical_everywhere() {
+        let backends: &[Backend] = if avx2_available() {
+            &[Backend::Ordered, Backend::Scalar, Backend::Avx2]
+        } else {
+            &[Backend::Ordered, Backend::Scalar]
+        };
+        for n in [0, 1, 3, 4, 5, 8, 13, 64] {
+            let a = data(n, 7);
+            let b = data(n, 8);
+            let mut min_ref = vec![0.0; n];
+            lanes::min2_into(&a, &b, &mut min_ref);
+            let mut mul_ref = a.clone();
+            lanes::mul_in_place(&mut mul_ref, &b);
+            let mut sub_ref = Vec::new();
+            lanes::sub_scalar_into(&a, 0.7, &mut sub_ref);
+            let ca: Vec<Complex> = a
+                .chunks(2)
+                .filter(|c| c.len() == 2)
+                .map(|c| Complex::new(c[0], c[1]))
+                .collect();
+            let cb: Vec<Complex> = b
+                .chunks(2)
+                .filter(|c| c.len() == 2)
+                .map(|c| Complex::new(c[1], c[0]))
+                .collect();
+            let mut conj_ref = ca.clone();
+            lanes::conj_mul_in_place(&mut conj_ref, &cb);
+            for &backend in backends {
+                let mut out = vec![0.0; n];
+                min2_into_with(backend, &a, &b, &mut out);
+                assert_eq!(out, min_ref, "min2 {backend:?} n={n}");
+                let mut m = a.clone();
+                mul_in_place_with(backend, &mut m, &b);
+                assert_eq!(m, mul_ref, "mul {backend:?} n={n}");
+                let mut s = Vec::new();
+                sub_scalar_into_with(backend, &a, 0.7, &mut s);
+                assert_eq!(s, sub_ref, "sub {backend:?} n={n}");
+                let mut cm = ca.clone();
+                conj_mul_in_place_with(backend, &mut cm, &cb);
+                assert_eq!(cm, conj_ref, "conj_mul {backend:?} n={n}");
+            }
+        }
+    }
+
+    /// Reductions propagate NaN in every backend: quarantined inputs
+    /// can never be silently folded into a finite result.
+    #[test]
+    fn reductions_propagate_nan() {
+        let backends: &[Backend] = if avx2_available() {
+            &[Backend::Ordered, Backend::Scalar, Backend::Avx2]
+        } else {
+            &[Backend::Ordered, Backend::Scalar]
+        };
+        for pos in [0usize, 3, 8, 12] {
+            let mut a = data(13, 9);
+            a[pos] = f64::NAN;
+            let b = data(13, 10);
+            for &backend in backends {
+                assert!(sum_with(backend, &a).is_nan(), "{backend:?} pos={pos}");
+                assert!(dot_with(backend, &a, &b).is_nan());
+                assert!(sq_norm_with(backend, &a).is_nan());
+                assert!(abs_diff_sum_with(backend, &a, &b).is_nan());
+                assert!(sq_diff_sum_with(backend, &a, &b).is_nan());
+                assert!(centered_sq_sum_with(backend, &a, 0.5).is_nan());
+                let (n, u, _) = centered_dot_norms_with(backend, &a, 0.5, &b, 0.5);
+                assert!(n.is_nan() && u.is_nan());
+            }
+        }
+    }
+}

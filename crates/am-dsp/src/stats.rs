@@ -1,11 +1,13 @@
 //! Small statistics helpers shared across the workspace.
 
+use crate::simd;
+
 /// Arithmetic mean; 0.0 for an empty slice.
 pub fn mean(x: &[f64]) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    x.iter().sum::<f64>() / x.len() as f64
+    simd::sum(x) / x.len() as f64
 }
 
 /// Population variance; 0.0 for slices shorter than 2.
@@ -14,7 +16,7 @@ pub fn variance(x: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(x);
-    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+    simd::centered_sq_sum(x, m) / x.len() as f64
 }
 
 /// Population standard deviation.

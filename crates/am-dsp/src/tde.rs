@@ -20,8 +20,9 @@
 
 use crate::error::DspError;
 use crate::fft;
-use crate::metrics::pearson;
+use crate::metrics::pearson_with_means;
 use crate::signal::Signal;
+use crate::simd;
 use crate::stats;
 use crate::window::gaussian_window;
 use serde::{Deserialize, Serialize};
@@ -126,7 +127,7 @@ fn choose_fft(backend: TdeBackend, x_len: usize, y_len: usize, positions: usize)
         TdeBackend::Fft => true,
         TdeBackend::Auto => {
             let naive_cost = (y_len as u64).saturating_mul(positions as u64);
-            let n = fft::next_pow2(x_len + y_len) as u64;
+            let n = fft::sliding_fft_len(x_len, y_len) as u64;
             let fft_cost = AUTO_FFT_COST * n * (64 - n.leading_zeros() as u64);
             naive_cost > fft_cost
         }
@@ -173,9 +174,12 @@ pub fn similarity_scores_into(
             }
         } else {
             // Same arithmetic as accumulating a per-channel score vector,
-            // without materializing it.
+            // without materializing it. The template mean is hoisted out
+            // of the sliding loop — it does not depend on the position.
+            let my = stats::mean(ys);
             for (n, a) in out.iter_mut().enumerate() {
-                *a += pearson(&xs[n..n + y.len()], ys);
+                let win = &xs[n..n + y.len()];
+                *a += pearson_with_means(win, ys, stats::mean(win), my);
             }
         }
     }
@@ -192,9 +196,8 @@ pub fn similarity_scores_into(
 fn zncc_fft_into(x: &[f64], y: &[f64], s: &mut TdeScratch) -> Result<(), DspError> {
     let w = y.len();
     let my = stats::mean(y);
-    s.yc.clear();
-    s.yc.extend(y.iter().map(|v| v - my));
-    let ny: f64 = s.yc.iter().map(|v| v * v).sum::<f64>().sqrt();
+    simd::sub_scalar_into(y, my, &mut s.yc);
+    let ny: f64 = simd::sq_norm(&s.yc).sqrt();
     fft::sliding_dot_fft_into(x, &s.yc, &mut s.fft, &mut s.num)?;
     stats::prefix_sums_into(x, &mut s.ps);
     stats::prefix_sq_sums_into(x, &mut s.pss);
@@ -291,9 +294,7 @@ pub fn tdeb_with(
         scratch.bias = gaussian_window(scores.len(), center, sigma);
         scratch.bias_key = Some(key);
     }
-    for (s, b) in scores.iter_mut().zip(scratch.bias.iter()) {
-        *s *= b;
-    }
+    simd::mul_in_place(&mut scores, &scratch.bias);
     let delay = stats::argmax(&scores).unwrap_or(0);
     let score = scores.get(delay).copied().unwrap_or(0.0);
     scratch.scores = scores;

@@ -1,0 +1,44 @@
+//! Judge-stage profiler: runs the grid once at 1 thread and prints judge
+//! CPU seconds aggregated by detector label, plus the most expensive
+//! individual cells. Honors `AM_SIMD`, so it answers "where does
+//! `judge_cpu_seconds` go under this dispatch" without spelunking
+//! Chrome traces:
+//!
+//! ```sh
+//! cargo run --release --example judge_profile -p am-eval
+//! AM_SIMD=fast cargo run --release --example judge_profile -p am-eval
+//! ```
+
+use am_eval::engine::{run_grid_with, EngineConfig};
+use am_eval::tables::TableContext;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = TableContext::small()?;
+    let (_grid, report) = run_grid_with(&ctx, &EngineConfig::with_threads(1))?;
+    let mut by_label: BTreeMap<String, f64> = BTreeMap::new();
+    let mut by_cell: Vec<(f64, String)> = Vec::new();
+    for c in &report.cells {
+        *by_label.entry(c.label.clone()).or_default() += c.judge_seconds;
+        by_cell.push((
+            c.judge_seconds,
+            format!(
+                "{} {:?} {:?} {:?}",
+                c.label, c.printer, c.channel, c.transform
+            ),
+        ));
+    }
+    let mut rows: Vec<_> = by_label.into_iter().collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("dispatch: {}", report.simd_backend);
+    println!("judge_cpu total: {:.3}", report.judge_cpu_seconds());
+    for (label, secs) in rows {
+        println!("{secs:8.3}  {label}");
+    }
+    by_cell.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!("-- top cells --");
+    for (secs, what) in by_cell.iter().take(12) {
+        println!("{secs:8.3}  {what}");
+    }
+    Ok(())
+}

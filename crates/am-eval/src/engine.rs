@@ -216,6 +216,10 @@ pub struct GridReport {
     pub fits: Vec<FitTiming>,
     /// Per-cell judge timings, in grid order.
     pub cells: Vec<CellTiming>,
+    /// Kernel dispatch label active for this run (`am_dsp::simd`), e.g.
+    /// `"bit-stable"` or `"avx2"`. Recorded so persisted benchmark
+    /// reports are never compared across different kernel backends.
+    pub simd_backend: String,
 }
 
 impl GridReport {
@@ -425,6 +429,7 @@ pub fn run_grid_with(
     let mut grid = GridResults::default();
     let mut report = GridReport {
         threads,
+        simd_backend: am_dsp::simd::active().label().to_string(),
         ..GridReport::default()
     };
     for set in &ctx.sets {

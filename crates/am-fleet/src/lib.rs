@@ -9,7 +9,10 @@
 //! printers over a fixed pool of sharded worker threads** while keeping
 //! the one property that makes side-channel verification trustworthy:
 //! every printer's verdict stream is **byte-identical** to running that
-//! printer's `StreamSpec` alone.
+//! printer's `StreamSpec` alone. Per-chunk compute bottoms out in the
+//! [`am_dsp::simd`] kernel layer, so the whole fleet shares one
+//! process-wide dispatch decision — the byte-identity claim holds
+//! within a backend, and the default dispatch is the bit-stable one.
 //!
 //! ```text
 //!             ┌───────────────────────── Fleet ─────────────────────────┐

@@ -9,8 +9,9 @@
 //! mean absolute difference.
 
 use crate::error::SyncError;
-use am_dsp::metrics;
+use am_dsp::simd;
 use am_dsp::Signal;
+use std::cell::RefCell;
 
 /// Result of a DTW run.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,17 +25,45 @@ pub struct DtwResult {
 /// Per-row search window: `(lo, hi)` — columns `lo..hi` are admissible.
 pub type RowWindow = Vec<(usize, usize)>;
 
+thread_local! {
+    /// Borrowed frame buffers for [`frame_distance`], reused across
+    /// calls: the reference oracle allocates nothing in steady state.
+    static FRAME_BUF: RefCell<(Vec<f64>, Vec<f64>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Distance between frame `i` of `a` and frame `j` of `b` across channels.
 ///
 /// Reference implementation: the DP loop runs on the precomputed
-/// [`FrameView`] equivalent, which produces bit-identical values without
-/// the per-call `Vec` construction.
+/// [`FrameView`] equivalent. Both route through the same `am_dsp::simd`
+/// kernels in the same order (gathered frame → mean → center + squared
+/// norm → numerator dot), so they are bit-identical under **every**
+/// dispatch backend — the FrameView property tests rely on this oracle
+/// holding on the reassociated fast path too, not just the default
+/// bit-stable one.
 pub fn frame_distance(a: &Signal, i: usize, b: &Signal, j: usize) -> f64 {
     let c = a.channels();
     if c >= 3 {
-        let u: Vec<f64> = (0..c).map(|ch| a.sample(i, ch)).collect();
-        let v: Vec<f64> = (0..c).map(|ch| b.sample(j, ch)).collect();
-        metrics::correlation_distance(&u, &v)
+        FRAME_BUF.with(|buf| {
+            let (u, v) = &mut *buf.borrow_mut();
+            u.clear();
+            v.clear();
+            u.extend((0..c).map(|ch| a.sample(i, ch)));
+            v.extend((0..c).map(|ch| b.sample(j, ch)));
+            let backend = simd::active().reduction;
+            let mu = simd::sum_with(backend, u) / c as f64;
+            let mv = simd::sum_with(backend, v) / c as f64;
+            let sq_u = simd::center_and_sq_norm_with(backend, u, mu);
+            let sq_v = simd::center_and_sq_norm_with(backend, v, mv);
+            let num = simd::dot_with(backend, u, v);
+            let denom = (sq_u * sq_v).sqrt();
+            let r = if denom <= f64::EPSILON * c as f64 {
+                0.0
+            } else {
+                (num / denom).clamp(-1.0, 1.0)
+            };
+            1.0 - r
+        })
     } else {
         let mut acc = 0.0;
         for ch in 0..c {
@@ -84,16 +113,13 @@ impl FrameView {
         self.sq.clear();
         if c >= 3 {
             self.sq.reserve(n);
+            let backend = simd::active().reduction;
             for i in 0..n {
                 let frame = &mut self.frames[i * c..(i + 1) * c];
-                // Same summation order as `stats::mean` over the frame.
-                let mu = frame.iter().sum::<f64>() / c as f64;
-                let mut sq = 0.0;
-                for v in frame.iter_mut() {
-                    *v -= mu;
-                    sq += *v * *v;
-                }
-                self.sq.push(sq);
+                // Same kernels, in the same order, as `frame_distance`.
+                let mu = simd::sum_with(backend, frame) / c as f64;
+                self.sq
+                    .push(simd::center_and_sq_norm_with(backend, frame, mu));
             }
         }
     }
@@ -111,14 +137,10 @@ impl FrameView {
         }
         self.sq.clear();
         if c >= 3 {
-            // Same summation order as `stats::mean` over the frame.
-            let mu = self.frames.iter().sum::<f64>() / c as f64;
-            let mut sq = 0.0;
-            for v in self.frames.iter_mut() {
-                *v -= mu;
-                sq += *v * *v;
-            }
-            self.sq.push(sq);
+            let backend = simd::active().reduction;
+            let mu = simd::sum_with(backend, &self.frames) / c as f64;
+            self.sq
+                .push(simd::center_and_sq_norm_with(backend, &mut self.frames, mu));
         }
     }
 
@@ -131,13 +153,11 @@ impl FrameView {
     #[inline]
     pub fn distance(&self, i: usize, other: &FrameView, j: usize) -> f64 {
         let c = self.channels;
+        let backend = simd::active().reduction;
         let u = &self.frames[i * c..(i + 1) * c];
         let v = &other.frames[j * c..(j + 1) * c];
         if c >= 3 {
-            let mut num = 0.0;
-            for (a, b) in u.iter().zip(v.iter()) {
-                num += a * b;
-            }
+            let num = simd::dot_with(backend, u, v);
             let denom = (self.sq[i] * other.sq[j]).sqrt();
             let r = if denom <= f64::EPSILON * c as f64 {
                 0.0
@@ -146,11 +166,44 @@ impl FrameView {
             };
             1.0 - r
         } else {
-            let mut acc = 0.0;
-            for (a, b) in u.iter().zip(v.iter()) {
-                acc += (a - b).abs();
+            simd::abs_diff_sum_with(backend, u, v) / c as f64
+        }
+    }
+
+    /// One DP row of distances: `out[jj] = distance(i, other, lo + jj)`.
+    /// `other`'s frames are frame-major and contiguous, so the row is a
+    /// fixed frame dotted against a sliding contiguous window — the
+    /// dispatch lookup and the per-frame invariants (`u`, `sq[i]`, the
+    /// epsilon) are hoisted out of the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any touched frame index is out of range.
+    pub fn distance_row(&self, i: usize, other: &FrameView, lo: usize, out: &mut [f64]) {
+        let c = self.channels;
+        let backend = simd::active().reduction;
+        let u = &self.frames[i * c..(i + 1) * c];
+        if c >= 3 {
+            let sq_i = self.sq[i];
+            let eps = f64::EPSILON * c as f64;
+            for (jj, o) in out.iter_mut().enumerate() {
+                let j = lo + jj;
+                let v = &other.frames[j * c..(j + 1) * c];
+                let num = simd::dot_with(backend, u, v);
+                let denom = (sq_i * other.sq[j]).sqrt();
+                let r = if denom <= eps {
+                    0.0
+                } else {
+                    (num / denom).clamp(-1.0, 1.0)
+                };
+                *o = 1.0 - r;
             }
-            acc / c as f64
+        } else {
+            for (jj, o) in out.iter_mut().enumerate() {
+                let j = lo + jj;
+                let v = &other.frames[j * c..(j + 1) * c];
+                *o = simd::abs_diff_sum_with(backend, u, v) / c as f64;
+            }
         }
     }
 }
@@ -171,6 +224,10 @@ pub struct DtwScratch {
     row_lo: Vec<usize>,
     /// Per-row band width.
     row_len: Vec<usize>,
+    /// Batched frame distances for the current row.
+    dist: Vec<f64>,
+    /// Batched `min(up, diag)` for the current row.
+    mins: Vec<f64>,
 }
 
 impl Default for DtwScratch {
@@ -183,6 +240,8 @@ impl Default for DtwScratch {
             row_off: Vec::new(),
             row_lo: Vec::new(),
             row_len: Vec::new(),
+            dist: Vec::new(),
+            mins: Vec::new(),
         }
     }
 }
@@ -300,16 +359,59 @@ pub fn dtw_windowed_with(
         }
         band[row_off[i] + j - lo]
     };
+    // Row-batched DP: the expensive frame distances and the exact
+    // elementwise `min(up, diag)` are computed for the whole row first
+    // (vectorizable), leaving only the cheap serial left-neighbor scan.
+    // `min` over non-NaN values is associative and commutative, so
+    // `(up.min(diag)).min(left)` is bit-identical to the historical
+    // `up.min(left).min(diag)`.
     for i in 0..n {
         let lo = row_lo[i];
         let off = row_off[i];
-        for jj in 0..row_len[i] {
-            let j = lo + jj;
-            let d = scratch.av.distance(i, &scratch.bv, j);
-            let best = get(&scratch.band, i as isize - 1, j as isize)
-                .min(get(&scratch.band, i as isize, j as isize - 1))
-                .min(get(&scratch.band, i as isize - 1, j as isize - 1));
-            scratch.band[off + jj] = d + best;
+        let len = row_len[i];
+        scratch.dist.clear();
+        scratch.dist.resize(len, 0.0);
+        scratch
+            .av
+            .distance_row(i, &scratch.bv, lo, &mut scratch.dist);
+        scratch.mins.clear();
+        scratch.mins.resize(len, f64::INFINITY);
+        if i == 0 {
+            // Virtual start cell: only (0,0) has a finite predecessor.
+            if lo == 0 {
+                scratch.mins[0] = 0.0;
+            }
+        } else {
+            let plo = row_lo[i - 1];
+            let plen = row_len[i - 1];
+            let prev = &scratch.band[row_off[i - 1]..row_off[i - 1] + plen];
+            // Columns where the up / diagonal predecessor falls inside
+            // the previous row's band.
+            let ustart = lo.max(plo);
+            let uend = (lo + len).min(plo + plen);
+            let dstart = lo.max(plo + 1);
+            let dend = (lo + len).min(plo + plen + 1);
+            // Up-only prefix (at most one column: `dstart <= ustart + 1`
+            // by construction), both-overlap middle, diag-only suffix.
+            if ustart < uend.min(dstart) {
+                scratch.mins[ustart - lo] = prev[ustart - plo];
+            }
+            if dstart < uend {
+                simd::min2_into(
+                    &prev[dstart - plo..uend - plo],
+                    &prev[dstart - 1 - plo..uend - 1 - plo],
+                    &mut scratch.mins[dstart - lo..uend - lo],
+                );
+            }
+            for j in dstart.max(uend)..dend {
+                scratch.mins[j - lo] = prev[j - 1 - plo];
+            }
+        }
+        let mut left = f64::INFINITY;
+        for jj in 0..len {
+            let cost = scratch.dist[jj] + scratch.mins[jj].min(left);
+            scratch.band[off + jj] = cost;
+            left = cost;
         }
     }
     let total = get(&scratch.band, n as isize - 1, m as isize - 1);

@@ -15,6 +15,11 @@
 //! The Gaussian bias (σ = `n_sigma`) stabilizes TDE on periodic or noisy
 //! windows (Fig 5). DWM is window-by-window, so it runs in real time:
 //! [`DwmStream`] consumes the observed signal incrementally.
+//!
+//! The per-window TDEB correlation (ZNCC numerators, norms, the bias
+//! multiply) bottoms out in the [`am_dsp::simd`] kernel layer via
+//! [`tdeb_with`], so DWM picks up the runtime AVX2 dispatch without any
+//! window logic changing.
 
 use crate::align::{Alignment, AlignmentKind, Synchronizer};
 use crate::error::SyncError;

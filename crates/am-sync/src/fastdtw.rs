@@ -5,6 +5,10 @@
 //! The paper "always use\[s\] the smallest radius for the fastest speed"
 //! (radius 1), and still finds it too slow and too inaccurate compared
 //! with DWM — both effects are reproduced by the benchmarks.
+//!
+//! Every level runs through [`dtw_windowed_with`], so the corridor DP
+//! inherits the [`am_dsp::simd`] kernel dispatch (batched frame
+//! distances and vectorized `min(up, diag)`) with no code of its own.
 
 use crate::align::{hdisp_from_path, Alignment, AlignmentKind, Synchronizer};
 use crate::dtw::{dtw_windowed_with, DtwResult, DtwScratch, RowWindow};

@@ -14,6 +14,7 @@
 
 use crate::dtw::FrameView;
 use crate::error::SyncError;
+use am_dsp::simd;
 use am_dsp::Signal;
 
 /// Streaming DTW state against a fixed reference.
@@ -29,6 +30,10 @@ pub struct OnlineDtw {
     row: Vec<f64>,
     /// Previous row, swapped with `row` each push instead of reallocating.
     prev_row: Vec<f64>,
+    /// Batched frame distances for the active band of the current row.
+    dist: Vec<f64>,
+    /// Batched `min(up, diag)` for the active band of the current row.
+    mins: Vec<f64>,
     frames_seen: usize,
     /// Optional Sakoe–Chiba half-band around the diagonal (frames).
     band: Option<usize>,
@@ -64,6 +69,8 @@ impl OnlineDtw {
         Ok(OnlineDtw {
             row: vec![f64::INFINITY; reference.len()],
             prev_row: vec![f64::INFINITY; reference.len()],
+            dist: Vec::new(),
+            mins: Vec::new(),
             ref_view,
             obs_view: FrameView::default(),
             reference,
@@ -107,31 +114,49 @@ impl OnlineDtw {
         std::mem::swap(&mut self.row, &mut self.prev_row);
         self.row.clear();
         self.row.resize(m, f64::INFINITY);
+        // Row-batched DP, mirroring `dtw_windowed_with`: distances and
+        // the exact elementwise `min(up, diag)` for the whole band
+        // first, then the serial left-neighbor scan. `prev_row` is
+        // INFINITY outside the previous band (and everywhere before the
+        // first push), so no extra range bookkeeping is needed; the
+        // historical `up.min(diag).min(left)` order is preserved.
+        let len = hi - lo;
+        self.dist.clear();
+        self.dist.resize(len, 0.0);
+        self.obs_view
+            .distance_row(0, &self.ref_view, lo, &mut self.dist);
+        self.mins.clear();
+        self.mins.resize(len, f64::INFINITY);
+        if lo == 0 {
+            // Column 0 has no diagonal predecessor — except the virtual
+            // start before (0,0), which costs nothing on the first frame.
+            self.mins[0] = if i == 0 {
+                self.prev_row[0].min(0.0)
+            } else {
+                self.prev_row[0]
+            };
+            if len > 1 {
+                simd::min2_into(
+                    &self.prev_row[1..hi],
+                    &self.prev_row[..hi - 1],
+                    &mut self.mins[1..],
+                );
+            }
+        } else {
+            simd::min2_into(
+                &self.prev_row[lo..hi],
+                &self.prev_row[lo - 1..hi - 1],
+                &mut self.mins,
+            );
+        }
         let mut best = (0usize, f64::INFINITY);
-        for j in lo..hi {
-            let d = self.obs_view.distance(0, &self.ref_view, j);
-            let from_prev_row = self.prev_row.get(j).copied().unwrap_or(f64::INFINITY); // (i-1, j)
-            let from_diag = if j > 0 {
-                self.prev_row[j - 1]
-            } else if i == 0 {
-                0.0 // virtual start before (0,0)
-            } else {
-                f64::INFINITY
-            };
-            let from_left = if j > 0 {
-                self.row[j - 1]
-            } else {
-                f64::INFINITY
-            };
-            let base = if i == 0 && j == 0 {
-                0.0
-            } else {
-                from_prev_row.min(from_diag).min(from_left)
-            };
-            let cost = d + base;
-            self.row[j] = cost;
+        let mut left = f64::INFINITY;
+        for jj in 0..len {
+            let cost = self.dist[jj] + self.mins[jj].min(left);
+            self.row[lo + jj] = cost;
+            left = cost;
             if cost < best.1 {
-                best = (j, cost);
+                best = (lo + jj, cost);
             }
         }
         self.frames_seen += 1;

@@ -1,0 +1,133 @@
+//! Micro-benchmarks of the `am_dsp::simd` kernel layer: every reduction
+//! and elementwise primitive at each backend (`ordered` legacy loop,
+//! `scalar` multi-accumulator lanes, `avx2` intrinsics), plus the two
+//! end-to-end hot paths they feed — windowed DTW and FFT ZNCC — under
+//! the bit-stable default vs the reassociated fast dispatch.
+//!
+//! On an AVX2 host the acceptance bar is >=2x on the dispatched dot /
+//! ZNCC / min2 primitives over the `ordered` baseline. Backends that the
+//! host does not support are skipped, not faked.
+
+use am_dsp::simd::{self, Backend, SimdMode};
+use am_dsp::tde::{similarity_scores, TdeBackend};
+use am_dsp::Signal;
+use am_sync::dtw::{dtw_with, DtwScratch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Deterministic pseudo-random buffer (no `rand` needed for kernels).
+fn buf(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.371 + phase).sin() + 0.25 * (i as f64 * 0.053).cos())
+        .collect()
+}
+
+fn backends() -> Vec<Backend> {
+    let mut all = vec![Backend::Ordered, Backend::Scalar];
+    if Backend::Avx2.available() {
+        all.push(Backend::Avx2);
+    }
+    all
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_reduce");
+    for &n in &[64usize, 1024] {
+        let a = buf(n, 0.0);
+        let b = buf(n, 1.3);
+        for backend in backends() {
+            let id = |op: &str| BenchmarkId::new(format!("{op}/{}", backend.name()), n);
+            group.bench_with_input(id("dot"), &n, |bch, _| {
+                bch.iter(|| simd::dot_with(backend, &a, &b))
+            });
+            group.bench_with_input(id("sum"), &n, |bch, _| {
+                bch.iter(|| simd::sum_with(backend, &a))
+            });
+            group.bench_with_input(id("sq_norm"), &n, |bch, _| {
+                bch.iter(|| simd::sq_norm_with(backend, &a))
+            });
+            group.bench_with_input(id("abs_diff_sum"), &n, |bch, _| {
+                bch.iter(|| simd::abs_diff_sum_with(backend, &a, &b))
+            });
+            group.bench_with_input(id("centered_dot_norms"), &n, |bch, _| {
+                bch.iter(|| simd::centered_dot_norms_with(backend, &a, 0.1, &b, -0.2))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_elementwise");
+    for &n in &[64usize, 1024] {
+        let a = buf(n, 0.0);
+        let b = buf(n, 1.3);
+        for backend in backends() {
+            let id = |op: &str| BenchmarkId::new(format!("{op}/{}", backend.name()), n);
+            let mut out = vec![0.0; n];
+            group.bench_with_input(id("min2_into"), &n, |bch, _| {
+                bch.iter(|| simd::min2_into_with(backend, &a, &b, &mut out))
+            });
+            group.bench_with_input(id("mul_in_place"), &n, |bch, _| {
+                bch.iter(|| {
+                    let mut work = a.clone();
+                    simd::mul_in_place_with(backend, &mut work, &b);
+                    work
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn wavy(n: usize, stretch: f64) -> Signal {
+    Signal::from_fn(1000.0, 4, n, move |t, frame| {
+        for (c, v) in frame.iter_mut().enumerate() {
+            *v = ((1.0 + c as f64) * 3.1 * t * stretch).sin() + 0.3 * (17.0 * t).cos();
+        }
+    })
+    .expect("valid signal")
+}
+
+/// End-to-end hot paths under each dispatch mode. `force_mode` re-resolves
+/// the process-wide dispatch, so these must not interleave with
+/// bit-stability assertions — benches only measure.
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_end_to_end");
+    group.sample_size(20);
+    let a = wavy(192, 1.05);
+    let b = wavy(192, 1.0);
+    let x = signal_1ch(800);
+    let y = x.slice(200..600).expect("in range");
+    let mut modes = vec![SimdMode::Off, SimdMode::Scalar];
+    if simd::avx2_available() {
+        modes.push(SimdMode::Fast);
+    }
+    for mode in modes {
+        let dispatch = simd::force_mode(mode);
+        let label = dispatch.label();
+        let mut scratch = DtwScratch::new();
+        group.bench_function(BenchmarkId::new("dtw", label), |bch| {
+            bch.iter(|| dtw_with(&a, &b, &mut scratch).expect("valid"))
+        });
+        group.bench_function(BenchmarkId::new("zncc_fft", label), |bch| {
+            bch.iter(|| similarity_scores(&x, &y, TdeBackend::Fft).expect("valid"))
+        });
+    }
+    // Leave the process on the default dispatch for any later groups.
+    simd::force_mode(SimdMode::Auto);
+    group.finish();
+}
+
+fn signal_1ch(n: usize) -> Signal {
+    Signal::from_fn(1000.0, 1, n, |t, frame| {
+        frame[0] = (3.1 * t).sin() + 0.3 * (17.0 * t).cos();
+    })
+    .expect("valid signal")
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_reductions, bench_elementwise, bench_end_to_end
+}
+criterion_main!(benches);

@@ -28,7 +28,15 @@
 //! or `chrome://tracing`) with spans for capture pre-warming, shared
 //! fits, per-cell judging, per-worker lanes (`grid.worker{i}`), sync
 //! kernels, and DAQ capture.
+//!
+//! The benchmark defaults to the reassociated `fast` kernel dispatch
+//! (`am_dsp::simd`) — it measures throughput, not golden bytes. Pass
+//! `--simd off|fast|scalar|avx2` (or set `AM_SIMD`, which wins) to pin a
+//! backend; the chosen backend and the detected CPU features land in the
+//! report header and in every run row so the CI bench-regression gate
+//! never compares runs made with different kernels.
 
+use am_dsp::simd::{self, SimdMode};
 use am_eval::engine::{run_grid_with, EngineConfig, GridReport};
 use am_eval::tables::TableContext;
 use std::path::PathBuf;
@@ -38,6 +46,7 @@ struct Args {
     quick: bool,
     out: Option<PathBuf>,
     threads: Option<usize>,
+    simd: SimdMode,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +55,7 @@ fn parse_args() -> Args {
         quick: false,
         out: None,
         threads: None,
+        simd: SimdMode::Fast,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -69,6 +79,11 @@ fn parse_args() -> Args {
                         .expect("--threads takes an integer"),
                 );
             }
+            "--simd" => {
+                let raw = args.next().expect("--simd requires a mode");
+                parsed.simd = SimdMode::parse(&raw)
+                    .unwrap_or_else(|| panic!("--simd takes off|auto|fast|scalar|avx2, got {raw}"));
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -83,8 +98,9 @@ const PRE_REFACTOR_WALL_SECONDS: f64 = 88.814;
 
 fn run_entry(report: &GridReport, cells: usize) -> String {
     format!(
-        "    {{\n      \"threads\": {},\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"shared_fits\": {},\n      \"prewarm_seconds\": {:.3},\n      \"capture_generation_seconds\": {:.3},\n      \"capture_blocked_seconds\": {:.3},\n      \"fit_cpu_seconds\": {:.3},\n      \"fit_wall_seconds\": {:.3},\n      \"judge_cpu_seconds\": {:.3},\n      \"judge_wall_seconds\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4},\n      \"fit_store_hits\": {},\n      \"fit_store_misses\": {},\n      \"fit_store_blocked_seconds\": {:.3}\n    }}",
+        "    {{\n      \"threads\": {},\n      \"simd_backend\": \"{}\",\n      \"wall_seconds\": {:.3},\n      \"cells\": {},\n      \"shared_fits\": {},\n      \"prewarm_seconds\": {:.3},\n      \"capture_generation_seconds\": {:.3},\n      \"capture_blocked_seconds\": {:.3},\n      \"fit_cpu_seconds\": {:.3},\n      \"fit_wall_seconds\": {:.3},\n      \"judge_cpu_seconds\": {:.3},\n      \"judge_wall_seconds\": {:.3},\n      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {:.4},\n      \"fit_store_hits\": {},\n      \"fit_store_misses\": {},\n      \"fit_store_blocked_seconds\": {:.3}\n    }}",
         report.threads,
+        report.simd_backend,
         report.wall_seconds,
         cells,
         report.fits.len(),
@@ -109,6 +125,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if args.trace.is_some() {
         am_telemetry::set_tracing(true);
     }
+    // Request the benchmark's kernel dispatch before any kernel runs
+    // pins it. AM_SIMD in the environment still wins at resolution.
+    simd::set_mode(args.simd);
+    let dispatch = simd::active();
+    eprintln!(
+        "simd dispatch: {} ({})",
+        dispatch.label(),
+        simd::cpu_features()
+    );
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -165,9 +190,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ""
     };
     let json = format!(
-        "{{\n  \"benchmark\": \"{}\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"hardware_threads\": {},{note}\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_best_parallel\": {:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{}\",\n  \"command\": \"cargo run --release --example bench_grid\",\n  \"hardware_threads\": {},\n  \"cpu_features\": \"{}\",\n  \"simd_backend\": \"{}\",{note}\n  \"dataset_generation_seconds\": {:.3},\n  \"pre_refactor\": {{\n    \"commit\": \"26216ad\",\n    \"driver\": \"sequential run_grid with per-IDS eval_* functions\",\n    \"wall_seconds\": {:.3}\n  }},\n  \"runs\": [\n{}\n  ],\n  \"deterministic\": true,\n  \"speedup_vs_pre_refactor_single_thread\": {:.2},\n  \"speedup_vs_pre_refactor_best_parallel\": {:.2}\n}}\n",
         benchmark,
         hardware_threads,
+        simd::cpu_features(),
+        dispatch.label(),
         dataset_seconds,
         PRE_REFACTOR_WALL_SECONDS,
         entries.join(",\n"),

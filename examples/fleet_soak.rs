@@ -180,7 +180,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"fleet soak, small profile, UM3, acc+pwr models\",\n  \"command\": \"cargo run --release --example fleet_soak\",\n  \"printers\": {},\n  \"shards\": {},\n  \"shard_queue_capacity\": {},\n  \"train_seconds\": {:.3},\n  \"script_seconds\": {:.3},\n  \"soak_wall_seconds\": {:.3},\n  \"chunks\": {},\n  \"chunks_per_second\": {:.0},\n  \"sensor_seconds_verified\": {:.0},\n  \"realtime_multiple\": {:.1},\n  \"max_queue_depth\": {},\n  \"alerts_emitted\": {},\n  \"alerts_received\": {},\n  \"alerts_lost\": {},\n  \"resyncs\": {},\n  \"restarts\": {},\n  \"dead_printers\": {},\n  \"alerts_dropped\": {},\n  \"scripted_malicious\": {},\n  \"detected_malicious\": {},\n  \"recall\": {:.4},\n  \"false_alarms\": {},\n  \"false_alarm_rate\": {:.4},\n  \"scripted_faulted\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"fleet soak, small profile, UM3, acc+pwr models\",\n  \"command\": \"cargo run --release --example fleet_soak\",\n  \"cpu_features\": \"{}\",\n  \"simd_backend\": \"{}\",\n  \"printers\": {},\n  \"shards\": {},\n  \"shard_queue_capacity\": {},\n  \"train_seconds\": {:.3},\n  \"script_seconds\": {:.3},\n  \"soak_wall_seconds\": {:.3},\n  \"chunks\": {},\n  \"chunks_per_second\": {:.0},\n  \"sensor_seconds_verified\": {:.0},\n  \"realtime_multiple\": {:.1},\n  \"max_queue_depth\": {},\n  \"alerts_emitted\": {},\n  \"alerts_received\": {},\n  \"alerts_lost\": {},\n  \"resyncs\": {},\n  \"restarts\": {},\n  \"dead_printers\": {},\n  \"alerts_dropped\": {},\n  \"scripted_malicious\": {},\n  \"detected_malicious\": {},\n  \"recall\": {:.4},\n  \"false_alarms\": {},\n  \"false_alarm_rate\": {:.4},\n  \"scripted_faulted\": {}\n}}\n",
+        am_dsp::simd::cpu_features(),
+        am_dsp::simd::active().label(),
         args.printers,
         args.shards,
         queue_capacity,

@@ -1,0 +1,283 @@
+//! Property tests pinning the `am_dsp::simd` backend contract:
+//!
+//! - `Backend::Ordered` is bit-identical to the plain sequential loops it
+//!   replaced (the legacy formulas are re-stated here as oracles).
+//! - `Backend::Scalar` and `Backend::Avx2` are bit-identical to each
+//!   other on every input length, including sub-lane-width tails — the
+//!   scalar lanes exist precisely to mirror the vector reassociation.
+//! - The reassociated backends stay within a condition-aware error bound
+//!   of the ordered sum (tight ULP bound for well-conditioned inputs).
+//! - Elementwise kernels are bit-identical across *all* backends.
+//! - NaN and infinity propagate through reductions on every backend.
+//!
+//! Every test here uses the explicit `_with(backend, ...)` entry points,
+//! never the process-wide dispatch, except the single end-to-end test at
+//! the bottom which owns `force_mode` for this binary.
+
+use am_dsp::fft::Complex;
+use am_dsp::simd::{self, Backend, SimdMode};
+use proptest::prelude::*;
+
+/// Backends available on this host (Avx2 only where detectable).
+fn backends() -> Vec<Backend> {
+    let mut all = vec![Backend::Ordered, Backend::Scalar];
+    if Backend::Avx2.available() {
+        all.push(Backend::Avx2);
+    }
+    all
+}
+
+/// Lane-reassociated backends (everything except the legacy order).
+fn laned() -> Vec<Backend> {
+    backends().into_iter().skip(1).collect()
+}
+
+/// ULP distance between two finite f64s of the same sign regime.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    fn key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_add(1) - bits - 1
+        } else {
+            bits
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+/// `|approx - exact|` must stay within `2 n eps * sum(|terms|)` — the
+/// standard backward-error bound for any summation order — and within a
+/// few ULP when the sum is well-conditioned.
+fn assert_reassociation_bound(ordered: f64, laned: f64, abs_term_sum: f64, n: usize, what: &str) {
+    let eps = f64::EPSILON;
+    let bound = 2.0 * n as f64 * eps * abs_term_sum + f64::MIN_POSITIVE;
+    let diff = (laned - ordered).abs();
+    assert!(
+        diff <= bound,
+        "{what}: |{laned} - {ordered}| = {diff} > condition bound {bound}"
+    );
+    // Well-conditioned: the terms do not cancel, so lanes agree tightly.
+    if abs_term_sum <= 4.0 * ordered.abs() {
+        assert!(
+            ulp_distance(ordered, laned) <= 4 * n as u64,
+            "{what}: well-conditioned sum drifted {} ULP",
+            ulp_distance(ordered, laned)
+        );
+    }
+}
+
+/// Trims two independently sampled vectors to a common length. Sampled
+/// lengths span `0..71`, so empty, sub-lane (<4, <8), one-past-lane and
+/// multi-block inputs all get exercised.
+fn paired<'v>(a: &'v [f64], b: &'v [f64]) -> (&'v [f64], &'v [f64]) {
+    let n = a.len().min(b.len());
+    (&a[..n], &b[..n])
+}
+
+/// Element strategy shared by every property below.
+fn elems() -> proptest::collection::VecStrategy<std::ops::Range<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 0..71)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Ordered backend == the exact legacy loops, bitwise.
+    #[test]
+    fn prop_ordered_matches_legacy(a in elems(), b in elems(), mu in -5.0f64..5.0) {
+        let (a, b) = paired(&a, &b);
+        let o = Backend::Ordered;
+        prop_assert_eq!(simd::sum_with(o, a).to_bits(), a.iter().sum::<f64>().to_bits());
+        // Explicit `0.0` folds, matching the replaced loops bit-for-bit
+        // (`Iterator::sum` folds from `-0.0`, visible on empty slices).
+        let dot: f64 = a.iter().zip(b).fold(0.0, |acc, (x, y)| acc + x * y);
+        prop_assert_eq!(simd::dot_with(o, a, b).to_bits(), dot.to_bits());
+        let sq: f64 = a.iter().fold(0.0, |acc, x| acc + x * x);
+        prop_assert_eq!(simd::sq_norm_with(o, a).to_bits(), sq.to_bits());
+        let mae: f64 = a.iter().zip(b).fold(0.0, |acc, (x, y)| acc + (x - y).abs());
+        prop_assert_eq!(simd::abs_diff_sum_with(o, a, b).to_bits(), mae.to_bits());
+        let sqd: f64 = a.iter().zip(b).fold(0.0, |acc, (x, y)| acc + (x - y) * (x - y));
+        prop_assert_eq!(simd::sq_diff_sum_with(o, a, b).to_bits(), sqd.to_bits());
+        let csq: f64 = a.iter().fold(0.0, |acc, x| acc + (x - mu) * (x - mu));
+        prop_assert_eq!(simd::centered_sq_sum_with(o, a, mu).to_bits(), csq.to_bits());
+    }
+
+    /// Scalar lanes are bit-identical to AVX2 on every length (the whole
+    /// point of mirroring the lane structure). Skipped on non-AVX2 hosts.
+    #[test]
+    fn prop_scalar_lanes_match_avx2(a in elems(), b in elems(), mu in -5.0f64..5.0, mv in -5.0f64..5.0) {
+        if !Backend::Avx2.available() {
+            return;
+        }
+        let (a, b) = paired(&a, &b);
+        let (s, v) = (Backend::Scalar, Backend::Avx2);
+        prop_assert_eq!(simd::sum_with(s, a).to_bits(), simd::sum_with(v, a).to_bits());
+        prop_assert_eq!(simd::dot_with(s, a, b).to_bits(), simd::dot_with(v, a, b).to_bits());
+        prop_assert_eq!(simd::sq_norm_with(s, a).to_bits(), simd::sq_norm_with(v, a).to_bits());
+        prop_assert_eq!(
+            simd::abs_diff_sum_with(s, a, b).to_bits(),
+            simd::abs_diff_sum_with(v, a, b).to_bits()
+        );
+        prop_assert_eq!(
+            simd::sq_diff_sum_with(s, a, b).to_bits(),
+            simd::sq_diff_sum_with(v, a, b).to_bits()
+        );
+        prop_assert_eq!(
+            simd::centered_sq_sum_with(s, a, mu).to_bits(),
+            simd::centered_sq_sum_with(v, a, mu).to_bits()
+        );
+        let (n1, d1, e1) = simd::centered_dot_norms_with(s, a, mu, b, mv);
+        let (n2, d2, e2) = simd::centered_dot_norms_with(v, a, mu, b, mv);
+        prop_assert_eq!(n1.to_bits(), n2.to_bits());
+        prop_assert_eq!(d1.to_bits(), d2.to_bits());
+        prop_assert_eq!(e1.to_bits(), e2.to_bits());
+        let mut fa = a.to_vec();
+        let mut fb = a.to_vec();
+        let ra = simd::center_and_sq_norm_with(s, &mut fa, mu);
+        let rb = simd::center_and_sq_norm_with(v, &mut fb, mu);
+        prop_assert_eq!(ra.to_bits(), rb.to_bits());
+        prop_assert_eq!(
+            fa.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            fb.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Reassociated reductions stay within the summation condition bound
+    /// of the ordered result, tight ULP when nothing cancels.
+    #[test]
+    fn prop_reassociation_error_bounded(a in elems(), b in elems()) {
+        let (a, b) = paired(&a, &b);
+        let o = Backend::Ordered;
+        let n = a.len().max(1);
+        for backend in laned() {
+            assert_reassociation_bound(
+                simd::sum_with(o, a),
+                simd::sum_with(backend, a),
+                a.iter().map(|x| x.abs()).sum(),
+                n,
+                "sum",
+            );
+            assert_reassociation_bound(
+                simd::dot_with(o, a, b),
+                simd::dot_with(backend, a, b),
+                a.iter().zip(b).map(|(x, y)| (x * y).abs()).sum(),
+                n,
+                "dot",
+            );
+            assert_reassociation_bound(
+                simd::sq_norm_with(o, a),
+                simd::sq_norm_with(backend, a),
+                a.iter().map(|x| x * x).sum(),
+                n,
+                "sq_norm",
+            );
+        }
+    }
+
+    /// Elementwise kernels have no accumulation order: bit-identical on
+    /// every backend, including the AVX2 conjugate multiply.
+    #[test]
+    fn prop_elementwise_bit_identical_everywhere(a in elems(), b in elems(), c in -5.0f64..5.0) {
+        let (a, b) = paired(&a, &b);
+        let mut expect_min = vec![0.0; a.len()];
+        simd::min2_into_with(Backend::Ordered, a, b, &mut expect_min);
+        let mut expect_mul = a.to_vec();
+        simd::mul_in_place_with(Backend::Ordered, &mut expect_mul, b);
+        let mut expect_sub = Vec::new();
+        simd::sub_scalar_into_with(Backend::Ordered, a, c, &mut expect_sub);
+        let ca: Vec<Complex> = a.iter().zip(b).map(|(&r, &i)| Complex::new(r, i)).collect();
+        let cb: Vec<Complex> = b.iter().zip(a).map(|(&r, &i)| Complex::new(r, i)).collect();
+        let mut expect_conj = ca.clone();
+        simd::conj_mul_in_place_with(Backend::Ordered, &mut expect_conj, &cb);
+        for backend in laned() {
+            let mut got = vec![0.0; a.len()];
+            simd::min2_into_with(backend, a, b, &mut got);
+            prop_assert_eq!(
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                expect_min.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            let mut got = a.to_vec();
+            simd::mul_in_place_with(backend, &mut got, b);
+            prop_assert_eq!(
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                expect_mul.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            let mut got = Vec::new();
+            simd::sub_scalar_into_with(backend, a, c, &mut got);
+            prop_assert_eq!(
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                expect_sub.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            let mut got = ca.clone();
+            simd::conj_mul_in_place_with(backend, &mut got, &cb);
+            for (g, e) in got.iter().zip(&expect_conj) {
+                prop_assert_eq!(g.re.to_bits(), e.re.to_bits());
+                prop_assert_eq!(g.im.to_bits(), e.im.to_bits());
+            }
+        }
+    }
+
+    /// A quarantine escapee (NaN or infinity) must not vanish inside a
+    /// reduction on any backend, at any position (head, lane body, tail).
+    #[test]
+    fn prop_non_finite_propagates(a in proptest::collection::vec(-10.0f64..10.0, 1..70), at in 0usize..70, inf in 0u32..2) {
+        let mut a = a;
+        let at = at % a.len();
+        a[at] = if inf == 1 { f64::INFINITY } else { f64::NAN };
+        for backend in backends() {
+            prop_assert!(!simd::sum_with(backend, &a).is_finite());
+            prop_assert!(!simd::sq_norm_with(backend, &a).is_finite());
+            prop_assert!(!simd::centered_sq_sum_with(backend, &a, 0.5).is_finite());
+        }
+    }
+}
+
+/// End-to-end: the reassociated fast path tracks the bit-stable default
+/// closely on the DTW hot path. This test owns `force_mode` for the
+/// whole binary — every other test here uses explicit `_with` backends.
+#[test]
+fn fast_dispatch_tracks_bit_stable_dtw() {
+    use am_dsp::Signal;
+    use am_sync::dtw::{dtw_with, DtwScratch};
+    let mk = |stretch: f64| {
+        Signal::from_fn(100.0, 4, 96, move |t, frame| {
+            for (c, v) in frame.iter_mut().enumerate() {
+                *v = ((1.0 + c as f64) * 2.3 * t * stretch).sin();
+            }
+        })
+        .expect("valid signal")
+    };
+    let a = mk(1.07);
+    let b = mk(1.0);
+    // The fast path also shrinks the sliding-dot transform from
+    // next_pow2(x+y) to next_pow2(x) (exact circular correlation at the
+    // kept lags, different rounding) — pin it against the legacy size.
+    let xs: Vec<f64> = (0..1500).map(|i| (i as f64 * 0.37).sin()).collect();
+    let ys: Vec<f64> = (0..600).map(|i| (i as f64 * 0.53).cos()).collect();
+    simd::force_mode(SimdMode::Off);
+    let stable = dtw_with(&a, &b, &mut DtwScratch::new()).expect("dtw");
+    let dot_stable = am_dsp::fft::sliding_dot_fft(&xs, &ys).expect("sliding dot");
+    let fast_dispatch = simd::force_mode(SimdMode::Fast);
+    let fast = dtw_with(&a, &b, &mut DtwScratch::new()).expect("dtw");
+    let dot_fast = am_dsp::fft::sliding_dot_fft(&xs, &ys).expect("sliding dot");
+    simd::force_mode(SimdMode::Auto);
+    assert_eq!(dot_stable.len(), dot_fast.len());
+    let scale: f64 = am_dsp::fft::sliding_fft_len(xs.len(), ys.len()) as f64;
+    for (i, (s, f)) in dot_stable.iter().zip(dot_fast.iter()).enumerate() {
+        assert!(
+            (s - f).abs() <= 1e-10 * scale.max(s.abs()),
+            "sliding dot lag {i}: legacy-pad {s} vs minimal-pad {f}"
+        );
+    }
+    assert!(
+        (fast.cost - stable.cost).abs() <= 1e-9 * stable.cost.abs().max(1.0),
+        "fast ({}) cost {} vs bit-stable cost {}",
+        fast_dispatch.label(),
+        fast.cost,
+        stable.cost
+    );
+    assert_eq!(
+        fast.path, stable.path,
+        "warp path should not flip under <=ULP-level cost noise on this input"
+    );
+}
