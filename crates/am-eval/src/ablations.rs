@@ -138,9 +138,7 @@ pub fn filter_window_ablation(
     for &w in windows {
         let ids = NsyncIds::builder()
             .synchronizer(DwmSynchronizer::new(params))
-            .discriminator(DiscriminatorConfig {
-                min_filter_window: w,
-            })
+            .discriminator(DiscriminatorConfig::new().with_min_filter_window(w))
             .build()?;
         let train: Vec<am_dsp::Signal> = split.train.iter().map(|c| c.signal.clone()).collect();
         let trained = ids.train(&train, split.reference.signal.clone(), 0.3)?;

@@ -62,16 +62,16 @@ fn stream_one(signal: &Signal, spec: &StreamSpec) -> Result<StreamRun, EvalError
     let mut i = 0;
     while i < signal.len() {
         let end = (i + chunk).min(signal.len());
-        let alerts = ids.push(&signal.slice(i..end).map_err(nsync::NsyncError::from)?)?;
+        let verdicts = ids.push(&signal.slice(i..end).map_err(nsync::NsyncError::from)?)?;
         if first_alert.is_none() {
-            first_alert = alerts.iter().map(|a| a.window).min();
+            first_alert = verdicts.iter().map(|v| v.window_span.0).min();
         }
         peak_quarantined =
             peak_quarantined.max(ids.health_report().count(ChannelState::Quarantined));
         i = end;
     }
     Ok(StreamRun {
-        intrusion: ids.intrusion_detected(),
+        intrusion: ids.max_severity().is_some(),
         first_alert,
         peak_quarantined,
     })

@@ -9,20 +9,36 @@ use crate::snapshot::{FleetReport, FleetSnapshot, ShardSnapshot};
 use crate::{FleetError, PrinterId};
 use am_dsp::Signal;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use nsync::streaming::Alert;
-use nsync::StreamSpec;
+use nsync::verdict::Verdict;
+use nsync::{FusedSpec, StreamSpec};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// An alert from anywhere in the fleet, tagged with its printer.
+/// A verdict from anywhere in the fleet, tagged with its printer.
+#[derive(Debug, Clone)]
+pub struct FleetVerdict {
+    /// The printer whose detector raised the verdict.
+    pub printer: PrinterId,
+    /// The structured verdict (severity, confidence, evidence).
+    pub verdict: Verdict,
+}
+
+/// An alert from anywhere in the fleet, tagged with its printer
+/// (pre-verdict surface; nothing produces this any more).
+#[deprecated(
+    since = "0.3.0",
+    note = "consume `FleetVerdict` from `Fleet::verdicts`; evidence flattens to \
+            flat alerts via `nsync::streaming::flatten_verdicts`"
+)]
+#[allow(deprecated)]
 #[derive(Debug, Clone)]
 pub struct FleetAlert {
     /// The printer whose detector raised the alert.
     pub printer: PrinterId,
     /// The underlying per-window alert.
-    pub alert: Alert,
+    pub alert: nsync::streaming::Alert,
 }
 
 /// Why a chunk was not ingested. This is flow control, not an error:
@@ -84,8 +100,8 @@ struct Shard {
 pub struct Fleet {
     cfg: FleetConfig,
     shards: Vec<Shard>,
-    alert_tx: Option<Sender<FleetAlert>>,
-    alert_rx: Receiver<FleetAlert>,
+    alert_tx: Option<Sender<FleetVerdict>>,
+    alert_rx: Receiver<FleetVerdict>,
     /// printer → shard index, kept fleet-side for synchronous duplicate
     /// and unknown-printer checks.
     registered: HashMap<PrinterId, usize>,
@@ -152,6 +168,18 @@ impl Fleet {
         printer: PrinterId,
         spec: Arc<StreamSpec>,
     ) -> Result<(), FleetError> {
+        self.register_fused(printer, Arc::new(FusedSpec::single(spec)))
+    }
+
+    /// Registers a printer against a multi-lane fused spec (one trained
+    /// model per side channel, fused into a single verdict stream).
+    /// Chunks are routed to lanes via [`Fleet::send_lane`]; a single-lane
+    /// fused spec behaves exactly like [`Fleet::register`].
+    pub fn register_fused(
+        &mut self,
+        printer: PrinterId,
+        spec: Arc<FusedSpec>,
+    ) -> Result<(), FleetError> {
         if self.registered.contains_key(&printer) {
             return Err(FleetError::DuplicatePrinter(printer));
         }
@@ -172,7 +200,7 @@ impl Fleet {
             alerts_emitted: 0,
             alerts_dropped: 0,
             restarts: 0,
-            intrusion: false,
+            max_severity: None,
             dead: false,
             chaos_panic_chunk,
         });
@@ -286,6 +314,15 @@ impl Fleet {
     /// [`FleetConfig::ingest`](crate::FleetConfig); it never queues
     /// without bound.
     pub fn send(&self, printer: PrinterId, chunk: Signal) -> Result<(), Rejected> {
+        self.send_lane(printer, 0, chunk)
+    }
+
+    /// Ingests one chunk for one side-channel lane of a printer. Lane
+    /// tags beyond the printer's lane count wrap modulo the count, so a
+    /// controller tagging frames by physical sensor id can feed
+    /// single-lane printers without remapping. Same flow control as
+    /// [`Fleet::send`].
+    pub fn send_lane(&self, printer: PrinterId, lane: u8, chunk: Signal) -> Result<(), Rejected> {
         let Some(&shard_index) = self.registered.get(&printer) else {
             return Err(Rejected {
                 printer,
@@ -293,7 +330,7 @@ impl Fleet {
             });
         };
         let shard = &self.shards[shard_index];
-        let cmd = ShardCmd::Chunk(printer, chunk);
+        let cmd = ShardCmd::Chunk(printer, lane, chunk);
         match self.cfg.ingest {
             IngestPolicy::Block => shard.tx.send(cmd).map_err(|_| Rejected {
                 printer,
@@ -326,11 +363,18 @@ impl Fleet {
         Ok(())
     }
 
-    /// The fleet-wide alert fan-in. Clone the receiver into an operator
-    /// thread to consume alerts live; alerts not consumed by the time
-    /// [`Fleet::finish`] runs are returned in the report instead.
-    pub fn alerts(&self) -> Receiver<FleetAlert> {
+    /// The fleet-wide verdict fan-in. Clone the receiver into an
+    /// operator thread to consume verdicts live; verdicts not consumed
+    /// by the time [`Fleet::finish`] runs are returned in the report
+    /// instead.
+    pub fn verdicts(&self) -> Receiver<FleetVerdict> {
         self.alert_rx.clone()
+    }
+
+    /// The fleet-wide fan-in under its pre-verdict name.
+    #[deprecated(since = "0.3.0", note = "use `Fleet::verdicts`")]
+    pub fn alerts(&self) -> Receiver<FleetVerdict> {
+        self.verdicts()
     }
 
     /// Currently registered printer count.
@@ -379,7 +423,7 @@ impl Fleet {
         // Terminates when the last worker exits and drops its alert
         // sender clone — workers blocked on a full alert channel are
         // unblocked by this very drain.
-        let leftover_alerts: Vec<FleetAlert> = self.alert_rx.iter().collect();
+        let leftover_verdicts: Vec<FleetVerdict> = self.alert_rx.iter().collect();
         let mut panicked = None;
         for (index, shard) in self.shards.iter_mut().enumerate() {
             if let Some(handle) = shard.handle.take() {
@@ -402,7 +446,7 @@ impl Fleet {
         Ok(FleetReport {
             snapshot: final_snapshot,
             printers,
-            leftover_alerts,
+            leftover_verdicts,
         })
     }
 }

@@ -21,7 +21,7 @@
 //!  printer 42 │  send ──► shard 1 queue   backpressure)                 │
 //!     …       │                └─────────► worker 1 {ids42, …}          │
 //!             │                                  │                      │
-//!             │          alert fan-in  ◄─────────┴── FleetAlert{printer}│
+//!             │        verdict fan-in  ◄───────┴── FleetVerdict{printer}│
 //!             └──────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -69,7 +69,9 @@ pub mod sim;
 pub mod snapshot;
 
 pub use config::{AlertPolicy, FleetConfig, IngestPolicy};
-pub use fleet::{Fleet, FleetAlert, RejectReason, Rejected};
+#[allow(deprecated)]
+pub use fleet::FleetAlert;
+pub use fleet::{Fleet, FleetVerdict, RejectReason, Rejected};
 pub use registry::SpecRegistry;
 pub use reload::{FleetManifest, ManifestError, ReloadPlan, ReloadReport};
 pub use shard::ShardStats;

@@ -7,13 +7,14 @@
 //! shard's progress).
 
 use crate::config::{AlertPolicy, FleetConfig};
-use crate::fleet::FleetAlert;
+use crate::fleet::FleetVerdict;
 use crate::snapshot::PrinterReport;
 use crate::PrinterId;
 use am_dsp::Signal;
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use nsync::streaming::ChunkOutcome;
-use nsync::{StreamSpec, StreamingIds};
+use nsync::verdict::Severity;
+use nsync::{FusedIds, FusedSpec, StreamSpec};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -31,27 +32,32 @@ pub(crate) enum ShardCmd {
     /// Retire a printer; its final [`PrinterReport`] lands in the shard's
     /// retired list.
     Detach(PrinterId),
-    /// One chunk of observed samples for a printer.
-    Chunk(PrinterId, Signal),
-    /// Hot-swap a printer's trained spec in place (fleet reload). Rides
-    /// the same FIFO as chunks, so the swap lands at an exact position
-    /// in the printer's chunk sequence and other printers are untouched.
+    /// One chunk of observed samples for one side-channel lane of a
+    /// printer (lane 0 for single-channel printers).
+    Chunk(PrinterId, u8, Signal),
+    /// Hot-swap a printer's lane-0 trained spec in place (fleet reload).
+    /// Rides the same FIFO as chunks, so the swap lands at an exact
+    /// position in the printer's chunk sequence and other printers are
+    /// untouched.
     Swap(PrinterId, Arc<StreamSpec>),
 }
 
 /// One printer's state as owned by its shard worker.
 pub(crate) struct PrinterCell {
     pub(crate) id: PrinterId,
-    /// The shared trained model — kept so the watchdog can rebuild the
-    /// detector via [`StreamSpec::resume`] after a panic.
-    pub(crate) spec: Arc<StreamSpec>,
-    pub(crate) ids: StreamingIds,
+    /// The shared trained model (one lane per side channel) — kept so
+    /// the watchdog can rebuild the detector via [`FusedSpec::resume`]
+    /// after a panic.
+    pub(crate) spec: Arc<FusedSpec>,
+    pub(crate) ids: FusedIds,
     pub(crate) chunks: u64,
     pub(crate) malformed_chunks: u64,
     pub(crate) alerts_emitted: u64,
     pub(crate) alerts_dropped: u64,
     pub(crate) restarts: usize,
-    pub(crate) intrusion: bool,
+    /// Worst severity any verdict reached, latched across detector
+    /// restarts (a rebuilt detector starts with empty latches).
+    pub(crate) max_severity: Option<Severity>,
     /// Restart budget exhausted: chunks are counted but no longer fed.
     pub(crate) dead: bool,
     /// Chaos hook: panic while processing this (0-based) chunk index,
@@ -82,11 +88,11 @@ pub struct ShardStats {
     pub dead_printers: usize,
     /// Windows fully processed across all printers of the shard.
     pub windows_seen: u64,
-    /// Alerts forwarded into the fleet alert channel.
+    /// Verdicts forwarded into the fleet fan-in channel.
     pub alerts_emitted: u64,
-    /// Alerts dropped by [`AlertPolicy::DropAndCount`].
+    /// Verdicts dropped by [`AlertPolicy::DropAndCount`].
     pub alerts_dropped: u64,
-    /// Alerts lost because the alert receiver was gone.
+    /// Verdicts lost because the fan-in receiver was gone.
     pub alerts_lost: u64,
     /// Spec hot-swaps adopted by live detectors (including dead-printer
     /// revivals).
@@ -124,10 +130,13 @@ impl ShardShared {
 }
 
 fn report_of(cell: &PrinterCell) -> PrinterReport {
+    let max_severity = cell.max_severity.max(cell.ids.max_severity());
     PrinterReport {
         printer: cell.id,
         windows_seen: cell.ids.windows_seen(),
-        intrusion: cell.intrusion || cell.ids.intrusion_detected(),
+        intrusion: max_severity.is_some(),
+        max_severity,
+        last_verdict: cell.ids.last_verdict().cloned(),
         chunks: cell.chunks,
         malformed_chunks: cell.malformed_chunks,
         alerts_emitted: cell.alerts_emitted,
@@ -143,7 +152,7 @@ fn report_of(cell: &PrinterCell) -> PrinterReport {
 /// the shared reports list.
 pub(crate) fn run_shard(
     rx: &Receiver<ShardCmd>,
-    alert_tx: &Sender<FleetAlert>,
+    verdict_tx: &Sender<FleetVerdict>,
     shared: &Arc<ShardShared>,
     cfg: &FleetConfig,
 ) {
@@ -161,13 +170,13 @@ pub(crate) fn run_shard(
                 }
                 shared.stats.lock().printers = printers.len();
             }
-            ShardCmd::Chunk(id, chunk) => {
+            ShardCmd::Chunk(id, lane, chunk) => {
                 let t0 = if am_telemetry::enabled() {
                     Some(Instant::now())
                 } else {
                     None
                 };
-                process_chunk(id, &chunk, &mut printers, alert_tx, shared, cfg);
+                process_chunk(id, lane, &chunk, &mut printers, verdict_tx, shared, cfg);
                 if let Some(t0) = t0 {
                     latency.record(t0.elapsed());
                 }
@@ -183,9 +192,10 @@ pub(crate) fn run_shard(
 
 fn process_chunk(
     id: PrinterId,
+    lane: u8,
     chunk: &Signal,
     printers: &mut HashMap<PrinterId, PrinterCell>,
-    alert_tx: &Sender<FleetAlert>,
+    verdict_tx: &Sender<FleetVerdict>,
     shared: &Arc<ShardShared>,
     cfg: &FleetConfig,
 ) {
@@ -204,31 +214,36 @@ fn process_chunk(
     cell.chunks += 1;
     let chaos = cell.chaos_panic_chunk.take_if(|c| *c == chunk_index);
     let windows_before = cell.ids.windows_seen();
+    // Lane tags beyond the printer's lane count wrap: a farm controller
+    // tagging frames by physical sensor id may feed a single-lane
+    // printer from any tag, and multi-lane printers route by index.
+    let lane_index = (lane as usize) % cell.ids.lane_count().max(1);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if let Some(c) = chaos {
             panic!("fleet chaos hook: deliberate panic on {id} chunk {c}");
         }
-        cell.ids.push_supervised(chunk)
+        cell.ids.push_supervised(lane_index, chunk)
     }));
     match outcome {
-        Ok(Ok(ChunkOutcome::Processed(alerts))) => {
+        Ok(Ok(ChunkOutcome::Processed(verdicts))) => {
             let windows_after = cell.ids.windows_seen();
-            if !alerts.is_empty() {
-                cell.intrusion = true;
-            }
-            let emitted = alerts.len() as u64;
+            cell.max_severity = cell.max_severity.max(cell.ids.max_severity());
+            let emitted = verdicts.len() as u64;
             cell.alerts_emitted += emitted;
             let mut dropped = 0u64;
             let mut lost = 0u64;
-            for alert in alerts {
-                let fleet_alert = FleetAlert { printer: id, alert };
+            for verdict in verdicts {
+                let fleet_verdict = FleetVerdict {
+                    printer: id,
+                    verdict,
+                };
                 match cfg.alert_policy {
                     AlertPolicy::Block => {
-                        if alert_tx.send(fleet_alert).is_err() {
+                        if verdict_tx.send(fleet_verdict).is_err() {
                             lost += 1;
                         }
                     }
-                    AlertPolicy::DropAndCount => match alert_tx.try_send(fleet_alert) {
+                    AlertPolicy::DropAndCount => match verdict_tx.try_send(fleet_verdict) {
                         Ok(()) => {}
                         Err(TrySendError::Full(_)) => dropped += 1,
                         Err(TrySendError::Disconnected(_)) => lost += 1,
@@ -269,8 +284,16 @@ fn process_chunk(
     }
 }
 
-/// Hot-swap one printer's trained spec. A live detector adopts it in
-/// place ([`StreamingIds::adopt_spec`](nsync::StreamingIds::adopt_spec)
+/// Per-lane resume positions of a cell's detector (for the watchdog and
+/// dead-printer revival: lanes may have progressed unevenly).
+fn lane_windows(cell: &PrinterCell) -> Vec<usize> {
+    (0..cell.ids.lane_count())
+        .map(|l| cell.ids.lane_windows_seen(l).unwrap_or(0))
+        .collect()
+}
+
+/// Hot-swap one printer's lane-0 trained spec. A live detector adopts
+/// it in place ([`StreamingIds::adopt_spec`](nsync::StreamingIds::adopt_spec)
 /// preserves windows seen, health, and the CADHD accumulator); a *dead*
 /// printer is revived from the new spec with a fresh restart budget —
 /// a re-trained model is exactly the operator action that should re-arm
@@ -285,11 +308,18 @@ fn swap_printer(
         shared.stats.lock().spec_swap_failures += 1;
         return;
     };
+    let swapped = match cell.spec.with_lane_spec(0, Arc::clone(&spec)) {
+        Ok(s) => Arc::new(s),
+        Err(_) => {
+            shared.stats.lock().spec_swap_failures += 1;
+            return;
+        }
+    };
     if cell.dead {
-        match spec.resume(cell.ids.windows_seen()) {
+        match swapped.resume(&lane_windows(cell)) {
             Ok(ids) => {
                 cell.ids = ids;
-                cell.spec = spec;
+                cell.spec = swapped;
                 cell.dead = false;
                 cell.restarts = 0;
                 let mut s = shared.stats.lock();
@@ -301,9 +331,9 @@ fn swap_printer(
         }
         return;
     }
-    match cell.ids.adopt_spec(&spec) {
+    match cell.ids.adopt_spec(spec) {
         Ok(()) => {
-            cell.spec = spec;
+            cell.spec = swapped;
             shared.stats.lock().spec_swaps += 1;
             am_telemetry::count!("fleet.spec_swaps");
         }
@@ -315,16 +345,17 @@ fn swap_printer(
 }
 
 /// The per-printer watchdog: rebuild a crashed detector resynchronized
-/// from the last fully processed window (the same
-/// [`StreamSpec::resume`] path the single-printer monitor uses), or
-/// declare the printer dead once the restart budget is exhausted.
+/// from the last fully processed window of every lane (the same
+/// [`FusedSpec::resume`] path the single-printer monitor's resume uses
+/// per lane), or declare the printer dead once the restart budget is
+/// exhausted.
 fn restart_printer(cell: &mut PrinterCell, shared: &Arc<ShardShared>, cfg: &FleetConfig) {
     if cell.restarts >= cfg.max_restarts_per_printer {
         cell.dead = true;
         shared.stats.lock().dead_printers += 1;
         return;
     }
-    match cell.spec.resume(cell.ids.windows_seen()) {
+    match cell.spec.resume(&lane_windows(cell)) {
         Ok(resumed) => {
             cell.ids = resumed;
             cell.restarts += 1;

@@ -18,7 +18,7 @@ use am_printer::config::PrinterModel;
 use am_sensors::channel::SideChannel;
 use am_sensors::faults::FaultPlan;
 use nsync::prelude::{DwmSynchronizer, IdsBuilder};
-use nsync::StreamSpec;
+use nsync::{CalibrationConfig, FusedSpec, FusionPolicy, StreamSpec};
 use std::sync::Arc;
 
 /// Failures while building the simulated fleet.
@@ -110,7 +110,29 @@ pub struct PrinterScript {
     pub chunks: Vec<Signal>,
     /// Whether the scripted print is one of the Table I attacks.
     pub malicious: bool,
+    /// Which Table I attack, when [`PrinterScript::malicious`] (for
+    /// per-attack recall accounting).
+    pub attack: Option<String>,
     /// Whether a [`FaultPlan`] corrupted the stream.
+    pub faulted: bool,
+}
+
+/// The deterministic multi-lane traffic of one simulated printer: the
+/// *same* scripted print observed through every [`SIM_CHANNELS`] side
+/// channel at once, for cross-channel fusion drills.
+#[derive(Debug, Clone)]
+pub struct FusedScript {
+    /// The printer.
+    pub printer: PrinterId,
+    /// Per-lane chunk sequences, in [`SIM_CHANNELS`] order (index =
+    /// fused lane index).
+    pub lanes: Vec<Vec<Signal>>,
+    /// Whether the scripted print is one of the Table I attacks.
+    pub malicious: bool,
+    /// Which Table I attack, when [`FusedScript::malicious`].
+    pub attack: Option<String>,
+    /// Whether a [`FaultPlan`] corrupted the stream (every lane is
+    /// corrupted, with an independent per-lane plan).
     pub faulted: bool,
 }
 
@@ -126,6 +148,10 @@ pub struct FleetSim {
     cfg: SimConfig,
     registry: SpecRegistry,
     channels: Vec<ChannelSim>,
+    /// Attack label of each malicious pool entry (aligned across
+    /// channels: every channel captures the same runs in the same
+    /// order).
+    attacks: Vec<String>,
 }
 
 /// The side channels the simulated fleet mixes (printers alternate by
@@ -162,6 +188,7 @@ impl FleetSim {
         let params = set.spec.profile.dwm_params(set.spec.printer);
         let registry = SpecRegistry::new();
         let mut channels = Vec::new();
+        let mut attacks = Vec::new();
         for channel in SIM_CHANNELS {
             let captures = set.capture_channel(channel)?;
             let reference = captures
@@ -191,6 +218,15 @@ impl FleetSim {
                 .filter(|c| matches!(c.role, RunRole::Malicious { .. }))
                 .map(|c| c.signal.clone())
                 .collect();
+            if attacks.is_empty() {
+                attacks = captures
+                    .iter()
+                    .filter_map(|c| match &c.role {
+                        RunRole::Malicious { attack, .. } => Some(attack.clone()),
+                        _ => None,
+                    })
+                    .collect();
+            }
             channels.push(ChannelSim {
                 key,
                 benign,
@@ -201,6 +237,7 @@ impl FleetSim {
             cfg,
             registry,
             channels,
+            attacks,
         })
     }
 
@@ -223,6 +260,30 @@ impl FleetSim {
             .expect("sim registry holds every sim channel")
     }
 
+    /// One shared fused spec covering every [`SIM_CHANNELS`] lane
+    /// (labels `"acc"`, `"pwr"`), with the given fusion policy and
+    /// per-lane calibration applied on top of the trained models. Every
+    /// printer of the fused fleet shares this one `Arc` — trained
+    /// artifacts are interned exactly as in the single-lane registry.
+    pub fn fused_spec(
+        &self,
+        policy: FusionPolicy,
+        calibration: CalibrationConfig,
+    ) -> Arc<FusedSpec> {
+        let mut fused = FusedSpec::new(policy);
+        for channel in &self.channels {
+            let spec = self
+                .registry
+                .get(&channel.key)
+                .expect("sim registry holds every sim channel");
+            let lane = StreamSpec::new(spec.reference().clone(), spec.params(), spec.thresholds())
+                .with_config(spec.config().with_calibration(calibration));
+            let label = channel.key.rsplit('/').next().unwrap_or(&channel.key);
+            fused = fused.with_lane(label, Arc::new(lane));
+        }
+        Arc::new(fused)
+    }
+
     /// Builds the printer's deterministic chunk script: a test print
     /// (benign or attacked per [`SimConfig::malicious_fraction`]),
     /// optionally corrupted by a seeded fault plan, sliced into DAQ
@@ -233,26 +294,89 @@ impl FleetSim {
     /// Propagates fault-plan and slicing failures.
     pub fn script(&self, printer: PrinterId) -> Result<PrinterScript, SimError> {
         let channel = &self.channels[(printer.0 % self.channels.len() as u64) as usize];
-        let malicious = coin(
-            self.cfg.seed,
-            printer.0,
-            0x6d61,
-            self.cfg.malicious_fraction,
-        );
+        let (malicious, faulted) = self.fate_of(printer);
         let pool = if malicious {
             &channel.malicious
         } else {
             &channel.benign
         };
         let pick = (mix(self.cfg.seed, printer.0, 0x7069) % pool.len() as u64) as usize;
-        let mut signal = pool[pick].clone();
-        let faulted = coin(self.cfg.seed, printer.0, 0x6661, self.cfg.fault_fraction);
+        let chunks = self.lane_chunks(printer, &pool[pick], faulted, 0)?;
+        Ok(PrinterScript {
+            printer,
+            key: channel.key.clone(),
+            chunks,
+            malicious,
+            attack: malicious.then(|| self.attacks[pick].clone()),
+            faulted,
+        })
+    }
+
+    /// Builds the printer's deterministic *fused* script: the same
+    /// scripted print as [`FleetSim::script`] would pick, captured
+    /// through every [`SIM_CHANNELS`] side channel at once (one chunk
+    /// sequence per fused lane). Fate coins (malicious, faulted) reuse
+    /// the single-lane salts, so a printer attacked in the single-lane
+    /// drill is attacked here too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-plan and slicing failures.
+    pub fn fused_script(&self, printer: PrinterId) -> Result<FusedScript, SimError> {
+        let (malicious, faulted) = self.fate_of(printer);
+        let pool_len = if malicious {
+            self.channels[0].malicious.len()
+        } else {
+            self.channels[0].benign.len()
+        };
+        let pick = (mix(self.cfg.seed, printer.0, 0x7069) % pool_len as u64) as usize;
+        let mut lanes = Vec::with_capacity(self.channels.len());
+        for (lane, channel) in self.channels.iter().enumerate() {
+            let pool = if malicious {
+                &channel.malicious
+            } else {
+                &channel.benign
+            };
+            lanes.push(self.lane_chunks(printer, &pool[pick], faulted, lane as u64)?);
+        }
+        Ok(FusedScript {
+            printer,
+            lanes,
+            malicious,
+            attack: malicious.then(|| self.attacks[pick].clone()),
+            faulted,
+        })
+    }
+
+    /// The deterministic (malicious, faulted) coins of one printer.
+    fn fate_of(&self, printer: PrinterId) -> (bool, bool) {
+        (
+            coin(
+                self.cfg.seed,
+                printer.0,
+                0x6d61,
+                self.cfg.malicious_fraction,
+            ),
+            coin(self.cfg.seed, printer.0, 0x6661, self.cfg.fault_fraction),
+        )
+    }
+
+    /// Applies the (per-lane) fault plan and slices one lane's signal
+    /// into DAQ frames.
+    fn lane_chunks(
+        &self,
+        printer: PrinterId,
+        signal: &Signal,
+        faulted: bool,
+        lane: u64,
+    ) -> Result<Vec<Signal>, SimError> {
+        let mut signal = signal.clone();
         if faulted {
             let plan = FaultPlan::severity(
                 0.6,
                 signal.channels(),
                 signal.duration(),
-                mix(self.cfg.seed, printer.0, 0x706c),
+                mix(self.cfg.seed, printer.0, 0x706c ^ (lane << 16)),
             );
             signal = plan.apply(&signal)?;
         }
@@ -264,12 +388,6 @@ impl FleetSim {
             chunks.push(signal.slice(i..end)?);
             i = end;
         }
-        Ok(PrinterScript {
-            printer,
-            key: channel.key.clone(),
-            chunks,
-            malicious,
-            faulted,
-        })
+        Ok(chunks)
     }
 }

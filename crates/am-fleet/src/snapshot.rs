@@ -1,9 +1,10 @@
 //! Observable fleet state: live snapshots and the final shutdown report.
 
-use crate::fleet::FleetAlert;
+use crate::fleet::FleetVerdict;
 use crate::shard::ShardStats;
 use crate::PrinterId;
 use nsync::health::HealthReport;
+use nsync::verdict::{Severity, Verdict};
 
 /// Point-in-time view of one shard, from [`Fleet::snapshot`](crate::Fleet::snapshot).
 #[derive(Debug, Clone)]
@@ -92,9 +93,15 @@ pub struct PrinterReport {
     pub printer: PrinterId,
     /// Windows its detector fully processed.
     pub windows_seen: usize,
-    /// Latched intrusion verdict (true if any alert ever fired, even if
-    /// that alert was dropped from the fan-in channel).
+    /// Latched intrusion flag: true if any verdict ever fired, even if
+    /// it was dropped from the fan-in channel. Always equals
+    /// `max_severity.is_some()`.
     pub intrusion: bool,
+    /// Worst severity any verdict reached, latched across detector
+    /// restarts. `None` means the printer never alerted.
+    pub max_severity: Option<Severity>,
+    /// The most recent verdict of the (final) detector instance, if any.
+    pub last_verdict: Option<Verdict>,
     /// Chunks routed to this printer.
     pub chunks: u64,
     /// Chunks its detector rejected as malformed.
@@ -114,7 +121,7 @@ pub struct PrinterReport {
 }
 
 /// Everything [`Fleet::finish`](crate::Fleet::finish) returns: the final
-/// counters, one report per printer, and any alerts nobody consumed
+/// counters, one report per printer, and any verdicts nobody consumed
 /// live.
 #[derive(Debug)]
 pub struct FleetReport {
@@ -122,9 +129,9 @@ pub struct FleetReport {
     pub snapshot: FleetSnapshot,
     /// One report per registered printer, sorted by printer id.
     pub printers: Vec<PrinterReport>,
-    /// Alerts still in the fan-in channel at shutdown (empty if an
+    /// Verdicts still in the fan-in channel at shutdown (empty if an
     /// operator drained them live).
-    pub leftover_alerts: Vec<FleetAlert>,
+    pub leftover_verdicts: Vec<FleetVerdict>,
 }
 
 impl FleetReport {

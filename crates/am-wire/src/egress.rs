@@ -2,19 +2,22 @@
 //! and a delivery worker with bounded retry, exponential backoff with
 //! deterministic jitter, and a dead-letter spool.
 //!
-//! An intrusion alert that never reaches the SOC never happened. The
-//! fleet's in-process fan-in ([`Fleet::alerts`](am_fleet::Fleet::alerts))
-//! stops at the process boundary; this module carries alerts the rest of
-//! the way: each [`FleetAlert`] is rendered into
+//! An intrusion verdict that never reaches the SOC never happened. The
+//! fleet's in-process fan-in ([`Fleet::verdicts`](am_fleet::Fleet::verdicts))
+//! stops at the process boundary; this module carries verdicts the rest
+//! of the way: each [`FleetVerdict`] is rendered into
 //! ArcSight CEF or JSON-lines (every dynamic field sanitized — `|`, `=`,
 //! `\`, newlines, and control characters can otherwise corrupt a SIEM
 //! parse or forge extra fields), then handed to an [`AlertSink`] under a
-//! retry policy. Deliveries that exhaust their retry budget land in a
-//! bounded dead-letter spool instead of vanishing, and every outcome is
-//! counted (`egress.delivered` / `egress.retries` / `egress.dead_letters`
-//! in `am-telemetry`, plus [`EgressStats`]).
+//! retry policy. The verdict's [`Severity`](nsync::verdict::Severity)
+//! maps onto the CEF 0–10 scale via
+//! [`Severity::cef`](nsync::verdict::Severity::cef), and its evidence
+//! list rides in extension fields. Deliveries that exhaust their retry
+//! budget land in a bounded dead-letter spool instead of vanishing, and
+//! every outcome is counted (`egress.delivered` / `egress.retries` /
+//! `egress.dead_letters` in `am-telemetry`, plus [`EgressStats`]).
 
-use am_fleet::{FleetAlert, PrinterId};
+use am_fleet::{FleetVerdict, PrinterId};
 use crossbeam::channel::Receiver;
 use nsync::prelude::SubModule;
 use parking_lot::Mutex;
@@ -108,71 +111,119 @@ impl Default for CefDevice {
     }
 }
 
-fn signature_of(module: SubModule) -> (&'static str, &'static str, u8) {
-    // (signature id, human name, CEF severity 0–10). The vertical
-    // distance is the paper's strongest sub-module, hence the highest
-    // severity; CADHD accumulates slowly and fires late, hence lower.
+fn signature_of(module: SubModule) -> (&'static str, &'static str) {
+    // (signature id, human name). The id is keyed by the *dominant*
+    // evidence sub-module so SIEM correlation rules written against the
+    // pre-verdict surface keep matching; the numeric severity now comes
+    // from the fused verdict via `Severity::cef`.
     match module {
-        SubModule::CDisp => (
-            "nsync:cdisp",
-            "cumulative alignment displacement exceeded",
-            7,
-        ),
-        SubModule::HDist => ("nsync:hdist", "horizontal (timing) distance exceeded", 8),
-        SubModule::VDist => ("nsync:vdist", "vertical (magnitude) distance exceeded", 9),
+        SubModule::CDisp => ("nsync:cdisp", "cumulative alignment displacement exceeded"),
+        SubModule::HDist => ("nsync:hdist", "horizontal (timing) distance exceeded"),
+        SubModule::VDist => ("nsync:vdist", "vertical (magnitude) distance exceeded"),
     }
 }
 
-/// Renders one fleet alert as a single-line CEF:0 event. Every dynamic
+/// One evidence entry as `channel:module:value>threshold@window`;
+/// entries join with `,` into the CEF `cs2` / JSON `evidence` summary.
+fn evidence_summary(verdict: &nsync::verdict::Verdict) -> String {
+    verdict
+        .evidence
+        .iter()
+        .map(|e| {
+            let channel = if e.channel.is_empty() {
+                "-"
+            } else {
+                e.channel.as_str()
+            };
+            format!(
+                "{channel}:{:?}:{:.4}>{:.4}@{}",
+                e.module, e.value, e.threshold, e.window
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders one fleet verdict as a single-line CEF:0 event. Every dynamic
 /// field passes through the sanitizers above.
-pub fn to_cef(alert: &FleetAlert, device: &CefDevice) -> String {
-    let (sig, name, severity) = signature_of(alert.alert.module);
+pub fn to_cef(fleet_verdict: &FleetVerdict, device: &CefDevice) -> String {
+    let verdict = &fleet_verdict.verdict;
+    let module = verdict
+        .dominant()
+        .map(|e| e.module)
+        .unwrap_or(SubModule::VDist);
+    let (sig, name) = signature_of(module);
     format!(
-        "CEF:0|{}|{}|{}|{}|{}|{}|suser={} cs1Label=window cs1={} cs2Label=threshold cs2={} cf1Label=value cf1={}",
+        "CEF:0|{}|{}|{}|{}|{}|{}|suser={} cs1Label=windowSpan cs1={}-{} cs2Label=evidence cs2={} cf1Label=confidence cf1={:.4} cnt={}",
         sanitize_cef_header(&device.vendor),
         sanitize_cef_header(&device.product),
         sanitize_cef_header(&device.version),
         sanitize_cef_header(sig),
         sanitize_cef_header(name),
-        severity,
-        sanitize_cef_extension(&alert.printer.to_string()),
-        alert.alert.window,
-        alert.alert.threshold,
-        alert.alert.value,
+        verdict.severity.cef(),
+        sanitize_cef_extension(&fleet_verdict.printer.to_string()),
+        verdict.window_span.0,
+        verdict.window_span.1,
+        sanitize_cef_extension(&evidence_summary(verdict)),
+        verdict.confidence,
+        verdict.evidence.len(),
     )
 }
 
-/// A [`FleetAlert`] paired with its CEF device identity; [`Display`]
+/// A [`FleetVerdict`] paired with its CEF device identity; [`Display`]
 /// (and therefore `to_string`) renders the sanitized single-line CEF:0
-/// event — handy for formatting alerts outside the egress worker.
+/// event — handy for formatting verdicts outside the egress worker.
 ///
 /// [`Display`]: std::fmt::Display
 #[derive(Debug, Clone)]
 pub struct CefAlert<'a> {
-    /// The alert to render.
-    pub alert: &'a FleetAlert,
+    /// The verdict to render.
+    pub verdict: &'a FleetVerdict,
     /// The device identity for the CEF prefix.
     pub device: &'a CefDevice,
 }
 
 impl std::fmt::Display for CefAlert<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&to_cef(self.alert, self.device))
+        f.write_str(&to_cef(self.verdict, self.device))
     }
 }
 
-/// Renders one fleet alert as a single-line JSON object.
-pub fn to_json(alert: &FleetAlert) -> String {
-    let (sig, name, severity) = signature_of(alert.alert.module);
+/// Renders one fleet verdict as a single-line JSON object (evidence as
+/// a nested array).
+pub fn to_json(fleet_verdict: &FleetVerdict) -> String {
+    let verdict = &fleet_verdict.verdict;
+    let module = verdict
+        .dominant()
+        .map(|e| e.module)
+        .unwrap_or(SubModule::VDist);
+    let (sig, name) = signature_of(module);
+    let evidence = verdict
+        .evidence
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"channel\":\"{}\",\"module\":\"{:?}\",\"value\":{},\"threshold\":{},\"window\":{}}}",
+                sanitize_json(&e.channel),
+                e.module,
+                e.value,
+                e.threshold,
+                e.window,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        "{{\"signature\":\"{}\",\"name\":\"{}\",\"severity\":{},\"printer\":\"{}\",\"window\":{},\"value\":{},\"threshold\":{}}}",
+        "{{\"signature\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"cefSeverity\":{},\"confidence\":{:.6},\"printer\":\"{}\",\"windowSpan\":[{},{}],\"evidence\":[{}]}}",
         sanitize_json(sig),
         sanitize_json(name),
-        severity,
-        sanitize_json(&alert.printer.to_string()),
-        alert.alert.window,
-        alert.alert.value,
-        alert.alert.threshold,
+        sanitize_json(&verdict.severity.to_string()),
+        verdict.severity.cef(),
+        verdict.confidence,
+        sanitize_json(&fleet_verdict.printer.to_string()),
+        verdict.window_span.0,
+        verdict.window_span.1,
+        evidence,
     )
 }
 
@@ -309,11 +360,11 @@ impl RetryPolicy {
     }
 }
 
-/// An alert whose delivery exhausted its retry budget, preserved rather
-/// than lost.
+/// A verdict whose delivery exhausted its retry budget, preserved
+/// rather than lost.
 #[derive(Debug, Clone)]
 pub struct DeadLetter {
-    /// The printer whose alert could not be delivered.
+    /// The printer whose verdict could not be delivered.
     pub printer: PrinterId,
     /// The rendered line exactly as it was (re)tried.
     pub line: String,
@@ -414,13 +465,13 @@ pub struct AlertEgress {
 }
 
 impl AlertEgress {
-    /// Spawns the worker on `alerts` (the receiver from
-    /// [`Fleet::alerts`](am_fleet::Fleet::alerts)). The worker exits
+    /// Spawns the worker on `verdicts` (the receiver from
+    /// [`Fleet::verdicts`](am_fleet::Fleet::verdicts)). The worker exits
     /// when the channel disconnects — i.e. after
     /// [`Fleet::finish`](am_fleet::Fleet::finish) — having drained every
-    /// queued alert.
+    /// queued verdict.
     pub fn spawn(
-        alerts: Receiver<FleetAlert>,
+        verdicts: Receiver<FleetVerdict>,
         mut sink: Box<dyn AlertSink>,
         cfg: EgressConfig,
     ) -> AlertEgress {
@@ -435,12 +486,12 @@ impl AlertEgress {
         let handle = std::thread::Builder::new()
             .name("am-wire-egress".to_string())
             .spawn(move || {
-                for (seq, alert) in (0_u64..).zip(alerts.iter()) {
+                for (seq, verdict) in (0_u64..).zip(verdicts.iter()) {
                     let line = match cfg.format {
-                        AlertFormat::Cef => to_cef(&alert, &cfg.device),
-                        AlertFormat::Json => to_json(&alert),
+                        AlertFormat::Cef => to_cef(&verdict, &cfg.device),
+                        AlertFormat::Json => to_json(&verdict),
                     };
-                    deliver_one(&alert, &line, seq, sink.as_mut(), &cfg, &worker_shared);
+                    deliver_one(&verdict, &line, seq, sink.as_mut(), &cfg, &worker_shared);
                 }
             })
             .expect("spawn alert egress worker");
@@ -474,7 +525,7 @@ impl AlertEgress {
 }
 
 fn deliver_one(
-    alert: &FleetAlert,
+    verdict: &FleetVerdict,
     line: &str,
     seq: u64,
     sink: &mut dyn AlertSink,
@@ -501,7 +552,7 @@ fn deliver_one(
                         am_telemetry::count!("egress.spool_evicted");
                     }
                     spool.push(DeadLetter {
-                        printer: alert.printer,
+                        printer: verdict.printer,
                         line: line.to_string(),
                         error,
                         attempts,
@@ -520,17 +571,23 @@ fn deliver_one(
 mod tests {
     use super::*;
     use crossbeam::channel::bounded;
-    use nsync::streaming::Alert;
+    use nsync::verdict::{ChannelEvidence, Verdict};
 
-    fn alert(printer: u64) -> FleetAlert {
-        FleetAlert {
+    fn alert(printer: u64) -> FleetVerdict {
+        FleetVerdict {
             printer: PrinterId(printer),
-            alert: Alert {
-                window: 12,
-                module: SubModule::VDist,
-                value: 1.5,
-                threshold: 0.9,
-            },
+            verdict: Verdict::from_evidence(
+                vec![ChannelEvidence {
+                    channel: "acc".to_string(),
+                    module: SubModule::VDist,
+                    value: 1.5,
+                    threshold: 0.9,
+                    window: 12,
+                }],
+                (12, 12),
+                0.25,
+            )
+            .expect("one over-threshold evidence entry yields a verdict"),
         }
     }
 

@@ -6,7 +6,7 @@
 //! shard queues, and SIEM-grade alert egress on the way out.
 //!
 //! ```text
-//!  gateways ──AMW1 frames──► [listeners] ──► Fleet shards ──► alerts ──► [egress] ──► SIEM
+//!  gateways ──AMW1 frames──► [listeners] ──► Fleet shards ──► verdicts ──► [egress] ──► SIEM
 //!                             │ rate limit                                │ CEF/JSON, sanitized
 //!                             │ frame budget                              │ retry + backoff
 //!                             │ CRC + taxonomy                            │ dead-letter spool
@@ -21,9 +21,11 @@
 //!   token-bucket rate limiting ([`limit`]), connection caps, idle
 //!   timeouts, and per-source drop/reject counters, plus the
 //!   hot-reload entry point ([`WireServer::reload`]).
-//! - [`egress`] — [`CefAlert`] rendering with field sanitization and
-//!   the [`AlertEgress`] delivery worker (bounded retry, exponential
-//!   backoff with deterministic jitter, dead-letter spool).
+//! - [`egress`] — [`CefAlert`] verdict rendering with field
+//!   sanitization (severity maps to the CEF 0–10 scale, evidence rides
+//!   in extension fields) and the [`AlertEgress`] delivery worker
+//!   (bounded retry, exponential backoff with deterministic jitter,
+//!   dead-letter spool).
 //!
 //! Determinism contract: the edge drops whole frames or delivers them
 //! unmodified in per-source order, so byte-replaying a recorded wire

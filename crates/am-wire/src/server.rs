@@ -329,9 +329,9 @@ const POLL: Duration = Duration::from_millis(25);
 
 impl WireServer {
     /// Binds the configured listeners and takes ownership of the fleet.
-    /// Clone the fleet's alert receiver ([`Fleet::alerts`]) *before*
+    /// Clone the fleet's verdict receiver ([`Fleet::verdicts`]) *before*
     /// spawning if an [`crate::egress::AlertEgress`] worker should
-    /// consume alerts — or use [`WireServer::alerts`] afterwards.
+    /// consume verdicts — or use [`WireServer::verdicts`] afterwards.
     ///
     /// # Errors
     ///
@@ -420,10 +420,16 @@ impl WireServer {
         self.udp_addr
     }
 
-    /// A clone of the fleet's alert fan-in receiver (see
-    /// [`Fleet::alerts`]).
-    pub fn alerts(&self) -> crossbeam::channel::Receiver<am_fleet::FleetAlert> {
-        self.with_fleet(Fleet::alerts)
+    /// A clone of the fleet's verdict fan-in receiver (see
+    /// [`Fleet::verdicts`]).
+    pub fn verdicts(&self) -> crossbeam::channel::Receiver<am_fleet::FleetVerdict> {
+        self.with_fleet(Fleet::verdicts)
+    }
+
+    /// The verdict fan-in under its pre-verdict name.
+    #[deprecated(since = "0.3.0", note = "use `WireServer::verdicts`")]
+    pub fn alerts(&self) -> crossbeam::channel::Receiver<am_fleet::FleetVerdict> {
+        self.verdicts()
     }
 
     /// Runs `f` against the fleet under the read lock (snapshotting,
@@ -523,7 +529,10 @@ impl ListenerCtx {
         }
         let guard = self.fleet.read();
         let fleet = guard.as_ref().expect("fleet present until finish");
-        match fleet.send(frame.printer, frame.chunk) {
+        // The frame's side-channel tag routes to the printer's fused
+        // lane (tags wrap modulo the lane count, so single-lane printers
+        // accept any tag).
+        match fleet.send_lane(frame.printer, frame.channel, frame.chunk) {
             Ok(()) => {
                 drop(guard);
                 self.shared.record_ok(source, encoded_len);

@@ -1,0 +1,449 @@
+//! Online per-printer threshold calibration (DESIGN.md §15.1).
+//!
+//! The OCC thresholds (Eq 26–28) are learned once, from the benign
+//! training runs of *one* reference printer. A farm's machines differ —
+//! worn belts, louder power supplies, different acoustic mounts — so a
+//! fleet-wide threshold is either too tight for the noisy printers
+//! (false alarms) or too loose for the quiet ones. The [`Calibrator`]
+//! re-derives each printer's critical values from the first
+//! [`CalibrationConfig::warmup_windows`] windows of **its own stream**:
+//!
+//! ```text
+//!            observe h_f / v_f            warmup full
+//!  Warmup ──────────────────► Warmup ──┬──────────────► Calibrated
+//!   (detecting with trained            │  drift guard
+//!    thresholds throughout)            └──────────────► Refused
+//! ```
+//!
+//! - **Robust quantile tracking** — the calibrated threshold is
+//!   `q_hi + margin · (q_hi − median)` over the warmup samples
+//!   ([`crate::occ::quantile`]), the streaming analogue of the Eq 26–28
+//!   `max + r·(max − min)` that a single outlier window cannot set.
+//! - **Raise-only clamp** — the result is clamped to
+//!   `[trained, trained · max_scale]`: calibration may desensitize a
+//!   noisy printer, never sharpen below the vetted training floor.
+//! - **Drift guard** — if the second half of the warmup runs hot against
+//!   the first (median ratio above [`CalibrationConfig::drift_guard`]),
+//!   the stream is already trending away from benign and calibration is
+//!   [refused](CalibrationState::Refused): a slow-ramp attack must not
+//!   be allowed to poison its own baseline.
+//! - **Freeze** — after warmup the thresholds never move again, so a
+//!   pure-benign stream converges to one fixed, reproducible
+//!   [`Thresholds`] (the determinism pin in `tests/fusion_quality.rs`).
+//!
+//! Detection keeps running with the *trained* thresholds during warmup —
+//! calibration adjusts sensitivity, it never opens a blind window.
+
+use crate::discriminator::Thresholds;
+use crate::occ::quantile;
+use serde::{Deserialize, Serialize};
+
+/// Online calibration knobs, hung off
+/// [`IdsConfig`](crate::ids::IdsConfig).
+///
+/// `#[non_exhaustive]`: construct with [`Default`] (disabled) or
+/// [`CalibrationConfig::adaptive`] and override with the `with_*`
+/// builders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct CalibrationConfig {
+    /// Master switch; `false` (default) keeps the trained thresholds
+    /// untouched and the calibrator inert.
+    pub enabled: bool,
+    /// Completed windows observed before thresholds are recomputed.
+    pub warmup_windows: usize,
+    /// Upper quantile `q_hi` of the warmup samples (default 0.9).
+    pub quantile: f64,
+    /// Margin `r` in `q_hi + r · (q_hi − median)` (default 0.3, the
+    /// small-profile OCC margin).
+    pub margin: f64,
+    /// Calibrated thresholds are clamped to
+    /// `[trained, trained · max_scale]` (default 4.0).
+    pub max_scale: f64,
+    /// Refuse calibration when the second warmup half's median exceeds
+    /// the first's by this factor (default 1.6).
+    pub drift_guard: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            enabled: false,
+            warmup_windows: 32,
+            quantile: 0.9,
+            margin: 0.3,
+            max_scale: 4.0,
+            drift_guard: 1.6,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// Calibration enabled with the default warmup/quantile/guard.
+    pub fn adaptive() -> Self {
+        CalibrationConfig {
+            enabled: true,
+            ..CalibrationConfig::default()
+        }
+    }
+
+    /// Switches calibration on or off.
+    #[must_use]
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Overrides the warmup length in completed windows.
+    #[must_use]
+    pub fn with_warmup_windows(mut self, windows: usize) -> Self {
+        self.warmup_windows = windows;
+        self
+    }
+
+    /// Overrides the upper quantile `q_hi`.
+    #[must_use]
+    pub fn with_quantile(mut self, q: f64) -> Self {
+        self.quantile = q;
+        self
+    }
+
+    /// Overrides the margin `r`.
+    #[must_use]
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// Overrides the raise-only clamp ceiling factor.
+    #[must_use]
+    pub fn with_max_scale(mut self, scale: f64) -> Self {
+        self.max_scale = scale;
+        self
+    }
+
+    /// Overrides the drift-guard refusal ratio.
+    #[must_use]
+    pub fn with_drift_guard(mut self, ratio: f64) -> Self {
+        self.drift_guard = ratio;
+        self
+    }
+}
+
+/// Where a calibrator is in its life cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CalibrationState {
+    /// Calibration is switched off; trained thresholds apply forever.
+    Disabled,
+    /// Still collecting warmup samples (detecting with the trained
+    /// thresholds meanwhile).
+    Warmup {
+        /// Windows observed so far.
+        seen: usize,
+        /// Windows required.
+        need: usize,
+    },
+    /// Warmup complete; these thresholds are active and frozen.
+    Calibrated {
+        /// The recalibrated critical values.
+        thresholds: Thresholds,
+    },
+    /// The drift guard fired; the trained thresholds stay active.
+    Refused {
+        /// Human-readable refusal reason (which statistic drifted).
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CalibrationState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationState::Disabled => f.write_str("disabled"),
+            CalibrationState::Warmup { seen, need } => write!(f, "warmup {seen}/{need}"),
+            CalibrationState::Calibrated { thresholds } => write!(
+                f,
+                "calibrated (c_c {:.4}, h_c {:.4}, v_c {:.4})",
+                thresholds.c_c, thresholds.h_c, thresholds.v_c
+            ),
+            CalibrationState::Refused { reason } => write!(f, "refused: {reason}"),
+        }
+    }
+}
+
+/// Drift-guard check over one statistic's warmup samples, in arrival
+/// order: `true` when the second half runs hot against the first.
+fn drifting(samples: &[f64], guard: f64, floor: f64) -> bool {
+    if samples.len() < 4 || guard.is_nan() || guard <= 0.0 {
+        return false;
+    }
+    let mid = samples.len() / 2;
+    let median = |part: &[f64]| {
+        let mut sorted: Vec<f64> = part.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        quantile(&sorted, 0.5).unwrap_or(0.0)
+    };
+    let first = median(&samples[..mid]);
+    let second = median(&samples[mid..]);
+    // `floor` keeps micro-noise around zero from tripping the ratio: a
+    // drift only matters once it is a visible fraction of the trained
+    // critical value.
+    second > guard * first.max(floor)
+}
+
+/// Pure calibration math: quantile thresholds from warmup samples, the
+/// raise-only clamp, and the drift guard. Returns `Err(reason)` on
+/// refusal.
+///
+/// `h_samples`/`v_samples` are the filtered per-window statistics in
+/// arrival order; the CADHD critical value is not re-estimated from a
+/// quantile (it is cumulative, so warmup quantiles undershoot a full
+/// print) — it scales by the same factor the `h` threshold moved,
+/// since CADHD accumulates `|Δh_disp|` and its growth rate tracks the
+/// printer's timing noise.
+pub fn calibrate_thresholds(
+    h_samples: &[f64],
+    v_samples: &[f64],
+    trained: &Thresholds,
+    cfg: &CalibrationConfig,
+) -> Result<Thresholds, String> {
+    if drifting(h_samples, cfg.drift_guard, 0.05 * trained.h_c.abs()) {
+        return Err("h_dist warmup drifted (possible slow-ramp attack)".to_string());
+    }
+    if drifting(v_samples, cfg.drift_guard, 0.05 * trained.v_c.abs()) {
+        return Err("v_dist warmup drifted (possible slow-ramp attack)".to_string());
+    }
+    let learn = |samples: &[f64], trained: f64| -> f64 {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let (Some(hi), Some(med)) = (quantile(&sorted, cfg.quantile), quantile(&sorted, 0.5))
+        else {
+            return trained;
+        };
+        let raw = hi + cfg.margin * (hi - med);
+        let ceiling = trained * cfg.max_scale.max(1.0);
+        raw.clamp(trained.min(ceiling), trained.max(ceiling))
+    };
+    let h_c = learn(h_samples, trained.h_c);
+    let v_c = learn(v_samples, trained.v_c);
+    let h_ratio = if trained.h_c > 0.0 {
+        (h_c / trained.h_c).clamp(1.0, cfg.max_scale.max(1.0))
+    } else {
+        1.0
+    };
+    Ok(Thresholds::new(trained.c_c * h_ratio, h_c, v_c))
+}
+
+/// The per-detector calibration state machine. Owned by
+/// [`StreamingIds`](crate::StreamingIds); fed one sample per completed
+/// window.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    cfg: CalibrationConfig,
+    trained: Thresholds,
+    h: Vec<f64>,
+    v: Vec<f64>,
+    seen: usize,
+    state: CalibrationState,
+}
+
+impl Calibrator {
+    /// A calibrator for one detector, starting from its trained
+    /// thresholds.
+    pub fn new(cfg: CalibrationConfig, trained: Thresholds) -> Self {
+        let state = if cfg.enabled && cfg.warmup_windows > 0 {
+            CalibrationState::Warmup {
+                seen: 0,
+                need: cfg.warmup_windows,
+            }
+        } else {
+            CalibrationState::Disabled
+        };
+        Calibrator {
+            cfg,
+            trained,
+            h: Vec::new(),
+            v: Vec::new(),
+            seen: 0,
+            state,
+        }
+    }
+
+    /// Current life-cycle state.
+    pub fn state(&self) -> &CalibrationState {
+        &self.state
+    }
+
+    /// Feeds one completed window's filtered statistics (`v_f` is absent
+    /// on blind windows). Returns the recalibrated thresholds exactly
+    /// once — on the window that completes the warmup, unless refused.
+    pub fn observe(&mut self, h_f: f64, v_f: Option<f64>) -> Option<Thresholds> {
+        if !matches!(self.state, CalibrationState::Warmup { .. }) {
+            return None;
+        }
+        if h_f.is_finite() {
+            self.h.push(h_f);
+        }
+        if let Some(v) = v_f.filter(|v| v.is_finite()) {
+            self.v.push(v);
+        }
+        self.seen += 1;
+        if self.seen < self.cfg.warmup_windows {
+            self.state = CalibrationState::Warmup {
+                seen: self.seen,
+                need: self.cfg.warmup_windows,
+            };
+            return None;
+        }
+        match calibrate_thresholds(&self.h, &self.v, &self.trained, &self.cfg) {
+            Ok(thresholds) => {
+                self.h = Vec::new();
+                self.v = Vec::new();
+                self.state = CalibrationState::Calibrated { thresholds };
+                am_telemetry::count!("calibrate.calibrated");
+                Some(thresholds)
+            }
+            Err(reason) => {
+                self.h = Vec::new();
+                self.v = Vec::new();
+                self.state = CalibrationState::Refused { reason };
+                am_telemetry::count!("calibrate.refused");
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> Thresholds {
+        Thresholds::new(10.0, 2.0, 0.5)
+    }
+
+    #[test]
+    fn disabled_config_never_calibrates() {
+        let mut cal = Calibrator::new(CalibrationConfig::default(), trained());
+        assert_eq!(*cal.state(), CalibrationState::Disabled);
+        for _ in 0..100 {
+            assert!(cal.observe(1.0, Some(0.1)).is_none());
+        }
+        assert_eq!(*cal.state(), CalibrationState::Disabled);
+    }
+
+    #[test]
+    fn warmup_completes_once_and_freezes() {
+        let cfg = CalibrationConfig::adaptive().with_warmup_windows(8);
+        let mut cal = Calibrator::new(cfg, trained());
+        let mut fired = Vec::new();
+        for i in 0..20 {
+            if let Some(t) = cal.observe(1.0 + 0.01 * (i % 3) as f64, Some(0.1)) {
+                fired.push((i, t));
+            }
+        }
+        assert_eq!(fired.len(), 1, "calibration fires exactly once");
+        assert_eq!(fired[0].0, 7, "on the warmup-completing window");
+        assert!(matches!(cal.state(), CalibrationState::Calibrated { .. }));
+    }
+
+    #[test]
+    fn calibration_is_raise_only_and_clamped() {
+        let t = trained();
+        let cfg = CalibrationConfig::adaptive();
+        // Quiet printer: samples far below trained thresholds — clamped
+        // up to the trained floor.
+        let quiet = calibrate_thresholds(&[0.1; 32], &[0.01; 32], &t, &cfg).unwrap();
+        assert_eq!(quiet.h_c, t.h_c);
+        assert_eq!(quiet.v_c, t.v_c);
+        assert_eq!(quiet.c_c, t.c_c);
+        // Noisy printer: samples above the trained thresholds raise them,
+        // bounded by max_scale.
+        let noisy = calibrate_thresholds(&[6.0; 32], &[1.4; 32], &t, &cfg).unwrap();
+        assert!(noisy.h_c > t.h_c && noisy.h_c <= t.h_c * cfg.max_scale);
+        assert!(noisy.v_c > t.v_c && noisy.v_c <= t.v_c * cfg.max_scale);
+        // CADHD scales with the h ratio.
+        assert!(noisy.c_c > t.c_c && noisy.c_c <= t.c_c * cfg.max_scale);
+        // Absurd noise cannot push past the ceiling.
+        let wild = calibrate_thresholds(&[1e6; 32], &[1e6; 32], &t, &cfg).unwrap();
+        assert_eq!(wild.h_c, t.h_c * cfg.max_scale);
+        assert_eq!(wild.v_c, t.v_c * cfg.max_scale);
+    }
+
+    #[test]
+    fn drift_guard_refuses_a_ramping_warmup() {
+        let cfg = CalibrationConfig::adaptive().with_warmup_windows(16);
+        let mut cal = Calibrator::new(cfg, trained());
+        // h_f ramps through warmup: a slow attack trying to poison its
+        // own baseline. Values are a visible fraction of h_c = 2.0.
+        for i in 0..16 {
+            let h = 0.2 + 0.15 * i as f64;
+            assert!(cal.observe(h, Some(0.05)).is_none());
+        }
+        match cal.state() {
+            CalibrationState::Refused { reason } => {
+                assert!(reason.contains("h_dist"), "{reason}")
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        // Refusal is terminal.
+        assert!(cal.observe(0.1, Some(0.05)).is_none());
+        assert!(matches!(cal.state(), CalibrationState::Refused { .. }));
+    }
+
+    #[test]
+    fn micro_noise_around_zero_does_not_trip_the_guard() {
+        let t = trained();
+        let cfg = CalibrationConfig::adaptive();
+        // First half exactly zero, second half tiny — ratio is huge but
+        // absolute drift is negligible vs the trained threshold.
+        let mut h = vec![0.0; 16];
+        h.extend(vec![1e-6; 16]);
+        assert!(calibrate_thresholds(&h, &[0.01; 32], &t, &cfg).is_ok());
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let cfg = CalibrationConfig::adaptive().with_warmup_windows(12);
+        let run = || {
+            let mut cal = Calibrator::new(cfg, trained());
+            let mut out = None;
+            for i in 0..12 {
+                let h = 2.2 + (i as f64 * 0.7).sin().abs();
+                let v = 0.55 + (i as f64 * 0.3).cos().abs() * 0.1;
+                if let Some(t) = cal.observe(h, Some(v)) {
+                    out = Some(t);
+                }
+            }
+            out.expect("warmup completed")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn blind_windows_still_advance_warmup() {
+        let cfg = CalibrationConfig::adaptive().with_warmup_windows(4);
+        let mut cal = Calibrator::new(cfg, trained());
+        assert!(cal.observe(1.0, None).is_none());
+        assert!(cal.observe(1.0, None).is_none());
+        assert!(cal.observe(1.0, None).is_none());
+        // Fourth window completes warmup even with no v samples at all:
+        // v_c stays trained.
+        let t = cal.observe(1.0, None).expect("calibrates");
+        assert_eq!(t.v_c, trained().v_c);
+    }
+
+    #[test]
+    fn state_display_forms() {
+        assert_eq!(CalibrationState::Disabled.to_string(), "disabled");
+        let w = CalibrationState::Warmup { seen: 3, need: 8 };
+        assert_eq!(w.to_string(), "warmup 3/8");
+        let c = CalibrationState::Calibrated {
+            thresholds: trained(),
+        };
+        assert!(c.to_string().contains("calibrated"));
+        let r = CalibrationState::Refused { reason: "x".into() };
+        assert!(r.to_string().contains("refused"));
+    }
+}

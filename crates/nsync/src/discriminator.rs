@@ -21,7 +21,13 @@ use am_dsp::stats;
 use serde::{Deserialize, Serialize};
 
 /// Discriminator configuration.
+///
+/// `#[non_exhaustive]`: construct with [`DiscriminatorConfig::new`] (or
+/// [`Default`]) and override fields with the `with_*` builders, mirroring
+/// [`MonitorConfig`](crate::streaming::monitor::MonitorConfig) — new
+/// tuning knobs can then be added without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct DiscriminatorConfig {
     /// Trailing-min filter window for `h_dist` and `v_dist` (paper: 3).
     pub min_filter_window: usize,
@@ -32,6 +38,20 @@ impl Default for DiscriminatorConfig {
         DiscriminatorConfig {
             min_filter_window: 3,
         }
+    }
+}
+
+impl DiscriminatorConfig {
+    /// The paper's configuration (filter window 3).
+    pub fn new() -> Self {
+        DiscriminatorConfig::default()
+    }
+
+    /// Overrides the trailing-min filter window (must be ≥ 1).
+    #[must_use]
+    pub fn with_min_filter_window(mut self, window: usize) -> Self {
+        self.min_filter_window = window;
+        self
     }
 }
 
@@ -65,7 +85,12 @@ impl std::fmt::Display for SubModule {
 }
 
 /// Learned critical values (Eq 26–28).
+///
+/// `#[non_exhaustive]`: construct with [`Thresholds::new`] and adjust
+/// with the `with_*` builders so calibration-era fields can be added
+/// without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct Thresholds {
     /// Critical CADHD `c_c`.
     pub c_c: f64,
@@ -73,6 +98,34 @@ pub struct Thresholds {
     pub h_c: f64,
     /// Critical vertical distance `v_c`.
     pub v_c: f64,
+}
+
+impl Thresholds {
+    /// Critical values for the three sub-modules, in the paper's order.
+    pub fn new(c_c: f64, h_c: f64, v_c: f64) -> Self {
+        Thresholds { c_c, h_c, v_c }
+    }
+
+    /// Overrides the critical CADHD `c_c`.
+    #[must_use]
+    pub fn with_c_c(mut self, c_c: f64) -> Self {
+        self.c_c = c_c;
+        self
+    }
+
+    /// Overrides the critical horizontal distance `h_c`.
+    #[must_use]
+    pub fn with_h_c(mut self, h_c: f64) -> Self {
+        self.h_c = h_c;
+        self
+    }
+
+    /// Overrides the critical vertical distance `v_c`.
+    #[must_use]
+    pub fn with_v_c(mut self, v_c: f64) -> Self {
+        self.v_c = v_c;
+        self
+    }
 }
 
 /// Outcome of running the discriminator on one process.
@@ -206,11 +259,7 @@ mod tests {
     use super::*;
 
     fn th(c: f64, h: f64, v: f64) -> Thresholds {
-        Thresholds {
-            c_c: c,
-            h_c: h,
-            v_c: v,
-        }
+        Thresholds::new(c, h, v)
     }
 
     #[test]

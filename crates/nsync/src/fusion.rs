@@ -1,0 +1,616 @@
+//! Cross-channel fusion discriminator (DESIGN.md §15.2).
+//!
+//! The paper judges each side channel alone; "Multi-Modal Attack
+//! Detection for Cyber-Physical Additive Manufacturing" (PAPERS.md)
+//! shows why a farm should not: a real attack perturbs the *process*,
+//! so its signature appears in every channel observing that process,
+//! while sensor noise and faults are channel-local. This module fuses
+//! per-channel, per-submodule [`ChannelEvidence`] into one
+//! [`Verdict`] stream per printer:
+//!
+//! - [`FusionPolicy`] — debounce length, emission confidence floor, and
+//!   the corroboration bonus;
+//! - [`VerdictAssembler`] — the shared debounce/severity/confidence
+//!   engine (also used by the single-lane
+//!   [`StreamingIds`](crate::StreamingIds));
+//! - [`FusedSpec`] / [`FusedIds`] — a multi-lane detector: one
+//!   [`StreamSpec`] per side channel, verdicts merged **per window
+//!   index** at a watermark (a window fuses only once every lane has
+//!   completed it), so arbitrary chunk interleaving across lanes cannot
+//!   change the fused stream — the same per-printer-FIFO argument that
+//!   makes fleet runs byte-identical to standalone runs.
+//!
+//! Lanes are windows over *time*: every lane shares the same DWM hop
+//! seconds, so window `w` covers the same wall-clock span on every
+//! channel regardless of sample rate, and fusing by window index is
+//! fusing by time.
+//!
+//! With a single lane the fusion layer is the identity: lane verdicts
+//! pass through untouched, which is what keeps a fleet-registered
+//! single-channel printer byte-identical to its standalone detector.
+
+use crate::error::NsyncError;
+use crate::health::HealthReport;
+use crate::streaming::{ChunkOutcome, StreamSpec, StreamingIds};
+use crate::verdict::{ChannelEvidence, Severity, Verdict};
+use am_dsp::Signal;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Fusion/emission policy, hung off [`IdsConfig`](crate::ids::IdsConfig)
+/// (per-lane emission) and [`FusedSpec`] (cross-channel emission).
+///
+/// `#[non_exhaustive]`: construct with [`Default`] and the `with_*`
+/// builders. The default is the permissive pre-fusion behaviour: every
+/// threshold-crossing window emits immediately (debounce 1, no
+/// confidence floor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct FusionPolicy {
+    /// Consecutive alerting windows required before a verdict fires
+    /// (default 1 — no debounce). A transient single-window spike below
+    /// this streak never surfaces.
+    pub debounce_windows: usize,
+    /// Verdicts with confidence below this floor are suppressed
+    /// (default 0.0 — everything emits).
+    pub min_confidence: f64,
+    /// Extra confidence granted when ≥ 2 distinct channels corroborate,
+    /// applied as `c + boost · (1 − c)` (default 0.25).
+    pub corroboration_boost: f64,
+}
+
+impl Default for FusionPolicy {
+    fn default() -> Self {
+        FusionPolicy {
+            debounce_windows: 1,
+            min_confidence: 0.0,
+            corroboration_boost: 0.25,
+        }
+    }
+}
+
+impl FusionPolicy {
+    /// The permissive default policy.
+    pub fn new() -> Self {
+        FusionPolicy::default()
+    }
+
+    /// Overrides the debounce streak length (clamped to ≥ 1 on use).
+    #[must_use]
+    pub fn with_debounce_windows(mut self, windows: usize) -> Self {
+        self.debounce_windows = windows;
+        self
+    }
+
+    /// Overrides the emission confidence floor.
+    #[must_use]
+    pub fn with_min_confidence(mut self, floor: f64) -> Self {
+        self.min_confidence = floor;
+        self
+    }
+
+    /// Overrides the cross-channel corroboration bonus.
+    #[must_use]
+    pub fn with_corroboration_boost(mut self, boost: f64) -> Self {
+        self.corroboration_boost = boost;
+        self
+    }
+}
+
+/// The shared verdict engine: consumes one evidence set per completed
+/// window, applies the debounce streak and the confidence floor, and
+/// latches the running maxima.
+///
+/// Streak semantics: evidence from windows still inside the debounce
+/// streak is buffered, and the verdict that finally fires spans the
+/// whole streak (`window_span = (streak start, firing window)`); while
+/// a streak persists past the debounce length, each further alerting
+/// window fires its own verdict carrying that window's evidence.
+#[derive(Debug, Clone)]
+pub struct VerdictAssembler {
+    policy: FusionPolicy,
+    streak: usize,
+    span_start: usize,
+    buffer: Vec<ChannelEvidence>,
+    last: Option<Verdict>,
+    max: Option<Severity>,
+}
+
+impl VerdictAssembler {
+    /// An idle assembler under `policy`.
+    pub fn new(policy: FusionPolicy) -> Self {
+        VerdictAssembler {
+            policy,
+            streak: 0,
+            span_start: 0,
+            buffer: Vec::new(),
+            last: None,
+            max: None,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> FusionPolicy {
+        self.policy
+    }
+
+    /// Swaps the policy on a live assembler (hot-reload): the verdict
+    /// latches survive, any in-flight debounce streak is reset.
+    pub fn adopt_policy(&mut self, policy: FusionPolicy) {
+        self.policy = policy;
+        self.streak = 0;
+        self.buffer.clear();
+    }
+
+    /// Feeds one completed window's evidence (empty = quiet window).
+    /// Returns the verdict this window fires, if any.
+    pub fn observe(&mut self, window: usize, evidence: Vec<ChannelEvidence>) -> Option<Verdict> {
+        if evidence.is_empty() {
+            self.streak = 0;
+            self.buffer.clear();
+            return None;
+        }
+        if self.streak == 0 {
+            self.span_start = window;
+        }
+        self.streak += 1;
+        self.buffer.extend(evidence);
+        if self.streak < self.policy.debounce_windows.max(1) {
+            return None;
+        }
+        let evidence = std::mem::take(&mut self.buffer);
+        let verdict = Verdict::from_evidence(
+            evidence,
+            (self.span_start, window),
+            self.policy.corroboration_boost,
+        )?;
+        if verdict.confidence < self.policy.min_confidence {
+            return None;
+        }
+        self.max = Some(
+            self.max
+                .map_or(verdict.severity, |m| m.max(verdict.severity)),
+        );
+        self.last = Some(verdict.clone());
+        Some(verdict)
+    }
+
+    /// The most recent verdict that fired.
+    pub fn last_verdict(&self) -> Option<&Verdict> {
+        self.last.as_ref()
+    }
+
+    /// The worst severity that ever fired (latched).
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.max
+    }
+}
+
+/// One side-channel lane of a fused detector.
+#[derive(Debug, Clone)]
+struct FusedLaneSpec {
+    label: String,
+    spec: Arc<StreamSpec>,
+}
+
+/// A trained multi-lane detector specification: one [`StreamSpec`] per
+/// side channel plus the fused emission policy. The fleet registers one
+/// of these per printer; [`FusedSpec::single`] wraps a lone spec so
+/// single-channel printers ride the same code path.
+#[derive(Debug, Clone)]
+pub struct FusedSpec {
+    lanes: Vec<FusedLaneSpec>,
+    policy: FusionPolicy,
+}
+
+impl FusedSpec {
+    /// An empty fused spec with the given cross-channel policy; add
+    /// lanes with [`FusedSpec::with_lane`].
+    pub fn new(policy: FusionPolicy) -> Self {
+        FusedSpec {
+            lanes: Vec::new(),
+            policy,
+        }
+    }
+
+    /// Wraps one single-channel spec (empty lane label, permissive
+    /// policy): fusion is the identity for this shape.
+    pub fn single(spec: Arc<StreamSpec>) -> Self {
+        FusedSpec::new(FusionPolicy::default()).with_lane("", spec)
+    }
+
+    /// Appends a labelled lane (`"acc"`, `"pwr"`, …). Lane order is the
+    /// routing order: lane index `i` receives the chunks pushed for
+    /// lane `i`.
+    #[must_use]
+    pub fn with_lane(mut self, label: impl Into<String>, spec: Arc<StreamSpec>) -> Self {
+        self.lanes.push(FusedLaneSpec {
+            label: label.into(),
+            spec,
+        });
+        self
+    }
+
+    /// A copy with lane `lane`'s spec replaced (hot-swap support).
+    ///
+    /// # Errors
+    ///
+    /// [`NsyncError::InvalidParameter`] when `lane` is out of range.
+    pub fn with_lane_spec(
+        &self,
+        lane: usize,
+        spec: Arc<StreamSpec>,
+    ) -> Result<FusedSpec, NsyncError> {
+        let mut out = self.clone();
+        let slot = out.lanes.get_mut(lane).ok_or_else(|| {
+            NsyncError::InvalidParameter(format!(
+                "lane {lane} out of range ({} lanes)",
+                self.lanes.len()
+            ))
+        })?;
+        slot.spec = spec;
+        Ok(out)
+    }
+
+    /// The cross-channel emission policy.
+    pub fn policy(&self) -> FusionPolicy {
+        self.policy
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lane `lane`'s label, if it exists.
+    pub fn lane_label(&self, lane: usize) -> Option<&str> {
+        self.lanes.get(lane).map(|l| l.label.as_str())
+    }
+
+    /// Lane `lane`'s trained spec, if it exists.
+    pub fn lane_spec(&self, lane: usize) -> Option<&Arc<StreamSpec>> {
+        self.lanes.get(lane).map(|l| &l.spec)
+    }
+
+    /// Opens a fused detector at window 0 on every lane.
+    ///
+    /// # Errors
+    ///
+    /// [`NsyncError::InvalidParameter`] with no lanes; otherwise any
+    /// per-lane open failure.
+    pub fn open(&self) -> Result<FusedIds, NsyncError> {
+        self.resume_each(|spec| spec.open())
+    }
+
+    /// Opens a fused detector with each lane resumed at its own next
+    /// window index (crash recovery: lanes may have progressed
+    /// unevenly).
+    ///
+    /// # Errors
+    ///
+    /// [`NsyncError::InvalidParameter`] when `windows` does not have one
+    /// entry per lane; otherwise any per-lane resume failure.
+    pub fn resume(&self, windows: &[usize]) -> Result<FusedIds, NsyncError> {
+        if windows.len() != self.lanes.len() {
+            return Err(NsyncError::InvalidParameter(format!(
+                "resume windows: got {} entries for {} lanes",
+                windows.len(),
+                self.lanes.len()
+            )));
+        }
+        let mut next = windows.iter();
+        self.resume_each(|spec| spec.resume(*next.next().expect("length checked")))
+    }
+
+    fn resume_each(
+        &self,
+        mut open: impl FnMut(&StreamSpec) -> Result<StreamingIds, NsyncError>,
+    ) -> Result<FusedIds, NsyncError> {
+        if self.lanes.is_empty() {
+            return Err(NsyncError::InvalidParameter(
+                "a fused spec needs at least one lane".into(),
+            ));
+        }
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|l| {
+                Ok(FusedLane {
+                    label: l.label.clone(),
+                    ids: open(&l.spec)?,
+                })
+            })
+            .collect::<Result<Vec<_>, NsyncError>>()?;
+        let fused_next = lanes
+            .iter()
+            .map(|l| l.ids.windows_seen())
+            .min()
+            .unwrap_or(0);
+        Ok(FusedIds {
+            assembler: VerdictAssembler::new(self.policy),
+            pending: BTreeMap::new(),
+            fused_next,
+            lanes,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct FusedLane {
+    label: String,
+    ids: StreamingIds,
+}
+
+/// A live multi-lane detector: per-lane [`StreamingIds`] plus the
+/// watermark fusion engine. Chunks are routed by lane index; fused
+/// verdicts emit once every lane has completed the window.
+///
+/// **Liveness caveat**: a lane that stops receiving chunks freezes the
+/// watermark — fused verdicts stall until it catches up (per-lane
+/// health keeps reporting meanwhile). Feed every lane.
+#[derive(Debug)]
+pub struct FusedIds {
+    lanes: Vec<FusedLane>,
+    assembler: VerdictAssembler,
+    /// Evidence from lane verdicts, keyed by global window index,
+    /// awaiting the watermark.
+    pending: BTreeMap<usize, Vec<ChannelEvidence>>,
+    /// Next window index to fuse.
+    fused_next: usize,
+}
+
+impl FusedIds {
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lane `lane`'s label, if it exists.
+    pub fn lane_label(&self, lane: usize) -> Option<&str> {
+        self.lanes.get(lane).map(|l| l.label.as_str())
+    }
+
+    /// Completed-window count of one lane (drives crash-resume).
+    pub fn lane_windows_seen(&self, lane: usize) -> Option<usize> {
+        self.lanes.get(lane).map(|l| l.ids.windows_seen())
+    }
+
+    /// The fused watermark: windows every lane has completed. For a
+    /// single lane this is that lane's `windows_seen`.
+    pub fn windows_seen(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.ids.windows_seen())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Pushes one chunk into lane `lane` and returns the fused verdicts
+    /// this chunk released.
+    ///
+    /// # Errors
+    ///
+    /// [`NsyncError::InvalidParameter`] for an out-of-range lane;
+    /// otherwise whatever the lane's [`StreamingIds::push`] returns.
+    pub fn push(&mut self, lane: usize, chunk: &Signal) -> Result<Vec<Verdict>, NsyncError> {
+        let count = self.lanes.len();
+        let slot = self.lanes.get_mut(lane).ok_or_else(|| {
+            NsyncError::InvalidParameter(format!("lane {lane} out of range ({count} lanes)"))
+        })?;
+        let verdicts = slot.ids.push(chunk)?;
+        Ok(self.fuse(lane, verdicts))
+    }
+
+    /// Supervised push: lane-level faults resync the lane instead of
+    /// erroring, mirroring [`StreamingIds::push_supervised`] (an
+    /// out-of-range lane is a rejected chunk, not a poisoned detector).
+    ///
+    /// # Errors
+    ///
+    /// Only an unrecoverable lane resync failure escapes as `Err`.
+    pub fn push_supervised(
+        &mut self,
+        lane: usize,
+        chunk: &Signal,
+    ) -> Result<ChunkOutcome, NsyncError> {
+        let count = self.lanes.len();
+        let Some(slot) = self.lanes.get_mut(lane) else {
+            return Ok(ChunkOutcome::Rejected(NsyncError::InvalidParameter(
+                format!("lane {lane} out of range ({count} lanes)"),
+            )));
+        };
+        match slot.ids.push_supervised(chunk)? {
+            ChunkOutcome::Processed(verdicts) => {
+                Ok(ChunkOutcome::Processed(self.fuse(lane, verdicts)))
+            }
+            // A resync may jump the lane's window counter forward, which
+            // can advance the watermark past evidence-less windows.
+            ChunkOutcome::Resynced => {
+                let drained = self.drain_watermark();
+                if drained.is_empty() {
+                    Ok(ChunkOutcome::Resynced)
+                } else {
+                    Ok(ChunkOutcome::Processed(drained))
+                }
+            }
+            rejected => Ok(rejected),
+        }
+    }
+
+    /// Single lane: identity passthrough. Multi-lane: decompose the lane
+    /// verdicts into per-window evidence tagged with the lane label,
+    /// then emit everything the watermark now covers.
+    fn fuse(&mut self, lane: usize, verdicts: Vec<Verdict>) -> Vec<Verdict> {
+        if self.lanes.len() == 1 {
+            return verdicts;
+        }
+        let label = self.lanes[lane].label.clone();
+        for verdict in verdicts {
+            for mut e in verdict.evidence {
+                e.channel = label.clone();
+                if e.window >= self.fused_next {
+                    self.pending.entry(e.window).or_default().push(e);
+                }
+            }
+        }
+        self.drain_watermark()
+    }
+
+    fn drain_watermark(&mut self) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        let watermark = self.windows_seen();
+        while self.fused_next < watermark {
+            let evidence = self.pending.remove(&self.fused_next).unwrap_or_default();
+            if let Some(v) = self.assembler.observe(self.fused_next, evidence) {
+                out.push(v);
+            }
+            self.fused_next += 1;
+        }
+        out
+    }
+
+    /// The most recent fused verdict (for a single lane, the lane's
+    /// own).
+    pub fn last_verdict(&self) -> Option<&Verdict> {
+        if self.lanes.len() == 1 {
+            self.lanes[0].ids.last_verdict()
+        } else {
+            self.assembler.last_verdict()
+        }
+    }
+
+    /// The worst severity ever emitted (latched).
+    pub fn max_severity(&self) -> Option<Severity> {
+        if self.lanes.len() == 1 {
+            self.lanes[0].ids.max_severity()
+        } else {
+            self.assembler.max_severity()
+        }
+    }
+
+    /// Merged health: lane channel statuses concatenated in lane order,
+    /// blind windows and resyncs summed. For a single lane this is the
+    /// lane's own report.
+    pub fn health_report(&self) -> HealthReport {
+        let mut merged = HealthReport::default();
+        for lane in &self.lanes {
+            merged.absorb(&lane.ids.health_report());
+        }
+        merged
+    }
+
+    /// One lane's own health report.
+    pub fn lane_health(&self, lane: usize) -> Option<HealthReport> {
+        self.lanes.get(lane).map(|l| l.ids.health_report())
+    }
+
+    /// Hot-swaps lane 0's spec (the fleet's single-spec swap path);
+    /// other lanes keep running.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`StreamingIds::adopt_spec`] returns (shape mismatch,
+    /// malformed reference, …).
+    pub fn adopt_spec(&mut self, spec: Arc<StreamSpec>) -> Result<(), NsyncError> {
+        self.lanes[0].ids.adopt_spec(&spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discriminator::SubModule;
+
+    fn ev(channel: &str, module: SubModule, value: f64, window: usize) -> ChannelEvidence {
+        ChannelEvidence {
+            channel: channel.to_string(),
+            module,
+            value,
+            threshold: 1.0,
+            window,
+        }
+    }
+
+    #[test]
+    fn default_policy_emits_every_alerting_window() {
+        let mut a = VerdictAssembler::new(FusionPolicy::default());
+        assert!(a.observe(0, vec![]).is_none());
+        let v = a
+            .observe(1, vec![ev("", SubModule::VDist, 2.0, 1)])
+            .unwrap();
+        assert_eq!(v.window_span, (1, 1));
+        let v = a
+            .observe(2, vec![ev("", SubModule::VDist, 2.0, 2)])
+            .unwrap();
+        assert_eq!(v.window_span, (1, 2), "streak span keeps its start");
+        assert_eq!(a.max_severity(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn debounce_suppresses_short_streaks_and_spans_the_wait() {
+        let policy = FusionPolicy::default().with_debounce_windows(3);
+        let mut a = VerdictAssembler::new(policy);
+        // A single-window transient: never fires.
+        assert!(a
+            .observe(0, vec![ev("", SubModule::HDist, 5.0, 0)])
+            .is_none());
+        assert!(a.observe(1, vec![]).is_none());
+        assert!(a.last_verdict().is_none());
+        // A sustained deviation fires on the third consecutive window,
+        // carrying the buffered evidence of the whole streak.
+        assert!(a
+            .observe(2, vec![ev("", SubModule::HDist, 5.0, 2)])
+            .is_none());
+        assert!(a
+            .observe(3, vec![ev("", SubModule::HDist, 5.0, 3)])
+            .is_none());
+        let v = a
+            .observe(4, vec![ev("", SubModule::HDist, 5.0, 4)])
+            .unwrap();
+        assert_eq!(v.window_span, (2, 4));
+        assert_eq!(v.evidence.len(), 3);
+        // The streak keeps emitting per window once established.
+        let v = a
+            .observe(5, vec![ev("", SubModule::HDist, 5.0, 5)])
+            .unwrap();
+        assert_eq!(v.window_span, (2, 5));
+        assert_eq!(v.evidence.len(), 1);
+    }
+
+    #[test]
+    fn confidence_floor_suppresses_weak_crossings() {
+        let policy = FusionPolicy::default().with_min_confidence(0.4);
+        let mut a = VerdictAssembler::new(policy);
+        // value 1.2 / threshold 1.0 → score 1/6 ≈ 0.17 < 0.4.
+        assert!(a
+            .observe(0, vec![ev("", SubModule::VDist, 1.2, 0)])
+            .is_none());
+        assert!(
+            a.max_severity().is_none(),
+            "suppressed verdicts do not latch"
+        );
+        // value 4.0 → score 0.75 ≥ 0.4.
+        let v = a
+            .observe(1, vec![ev("", SubModule::VDist, 4.0, 1)])
+            .unwrap();
+        assert!(v.confidence >= 0.4);
+        assert_eq!(a.max_severity(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn corroborated_evidence_escalates() {
+        let mut a = VerdictAssembler::new(FusionPolicy::default());
+        let v = a
+            .observe(
+                7,
+                vec![
+                    ev("acc", SubModule::HDist, 3.0, 7),
+                    ev("pwr", SubModule::HDist, 3.0, 7),
+                ],
+            )
+            .unwrap();
+        assert_eq!(v.severity, Severity::Critical);
+        assert_eq!(v.channels(), vec!["acc", "pwr"]);
+    }
+}

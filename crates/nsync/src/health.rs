@@ -250,6 +250,17 @@ impl HealthReport {
         self.channels.iter().filter(|c| c.state == state).count()
     }
 
+    /// Merges another report into this one: channel statuses are
+    /// concatenated (lane order is preserved by the caller), blind
+    /// windows and resyncs summed. Used by
+    /// [`FusedIds::health_report`](crate::fusion::FusedIds::health_report)
+    /// to aggregate per-lane health.
+    pub fn absorb(&mut self, other: &HealthReport) {
+        self.channels.extend(other.channels.iter().copied());
+        self.blind_windows += other.blind_windows;
+        self.resyncs += other.resyncs;
+    }
+
     /// One-line human summary (`healthy: 5/6, quarantined: [2]`).
     pub fn summary(&self) -> String {
         let quarantined: Vec<usize> = self

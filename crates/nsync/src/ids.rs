@@ -18,9 +18,11 @@
 //! # }
 //! ```
 
+use crate::calibrate::CalibrationConfig;
 use crate::comparator::vertical_distances;
 use crate::discriminator::{discriminate, trace_stats, Detection, DiscriminatorConfig, Thresholds};
 use crate::error::NsyncError;
+use crate::fusion::FusionPolicy;
 use crate::health::HealthConfig;
 use crate::occ::learn_thresholds;
 use crate::streaming::StreamSpec;
@@ -46,6 +48,13 @@ pub struct IdsConfig {
     pub discriminator: DiscriminatorConfig,
     /// Streaming per-channel health policy (ignored by the batch path).
     pub health: HealthConfig,
+    /// Verdict emission policy — debounce, confidence floor,
+    /// corroboration bonus (streaming path; the default is permissive:
+    /// every alerting window emits).
+    pub fusion: FusionPolicy,
+    /// Per-printer online threshold calibration (streaming path;
+    /// disabled by default — the trained thresholds rule).
+    pub calibration: CalibrationConfig,
 }
 
 impl Default for IdsConfig {
@@ -54,13 +63,16 @@ impl Default for IdsConfig {
             metric: DistanceMetric::Correlation,
             discriminator: DiscriminatorConfig::default(),
             health: HealthConfig::default(),
+            fusion: FusionPolicy::default(),
+            calibration: CalibrationConfig::default(),
         }
     }
 }
 
 impl IdsConfig {
     /// The paper's defaults: correlation distance, filter width 3,
-    /// default health policy.
+    /// default health policy, permissive verdict emission, no online
+    /// calibration.
     pub fn new() -> Self {
         IdsConfig::default()
     }
@@ -83,6 +95,20 @@ impl IdsConfig {
     #[must_use]
     pub fn with_health(mut self, health: HealthConfig) -> Self {
         self.health = health;
+        self
+    }
+
+    /// Overrides the verdict emission policy.
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Overrides the online calibration policy.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: CalibrationConfig) -> Self {
+        self.calibration = calibration;
         self
     }
 }
@@ -136,6 +162,20 @@ impl IdsBuilder {
     #[must_use]
     pub fn health(mut self, health: HealthConfig) -> Self {
         self.config.health = health;
+        self
+    }
+
+    /// Overrides the verdict emission policy.
+    #[must_use]
+    pub fn fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.config.fusion = fusion;
+        self
+    }
+
+    /// Overrides the online calibration policy.
+    #[must_use]
+    pub fn calibration(mut self, calibration: CalibrationConfig) -> Self {
+        self.config.calibration = calibration;
         self
     }
 
@@ -485,19 +525,25 @@ mod tests {
     #[test]
     fn builder_wires_every_knob() {
         let health = HealthConfig::default().with_recovery_windows(9);
+        let fusion = FusionPolicy::new()
+            .with_debounce_windows(2)
+            .with_min_confidence(0.1);
+        let calibration = CalibrationConfig::adaptive().with_warmup_windows(16);
         let built = IdsBuilder::new()
             .synchronizer(DwmSynchronizer::new(DwmParams::from_window(4.0)))
             .metric(DistanceMetric::Euclidean)
-            .discriminator(DiscriminatorConfig {
-                min_filter_window: 5,
-            })
+            .discriminator(DiscriminatorConfig::new().with_min_filter_window(5))
             .health(health)
+            .fusion(fusion)
+            .calibration(calibration)
             .build()
             .unwrap();
         let cfg = built.ids_config();
         assert_eq!(cfg.metric, DistanceMetric::Euclidean);
         assert_eq!(cfg.discriminator.min_filter_window, 5);
         assert_eq!(cfg.health, health);
+        assert_eq!(cfg.fusion, fusion);
+        assert_eq!(cfg.calibration, calibration);
         // Wholesale config replacement wins over earlier knobs.
         let replaced = IdsBuilder::new()
             .metric(DistanceMetric::Euclidean)
@@ -514,15 +560,11 @@ mod tests {
         #[allow(deprecated)]
         let old = NsyncIds::new(Box::new(DwmSynchronizer::new(DwmParams::from_window(4.0))))
             .with_metric(DistanceMetric::Manhattan)
-            .with_config(DiscriminatorConfig {
-                min_filter_window: 7,
-            });
+            .with_config(DiscriminatorConfig::new().with_min_filter_window(7));
         let new = NsyncIds::builder()
             .synchronizer(DwmSynchronizer::new(DwmParams::from_window(4.0)))
             .metric(DistanceMetric::Manhattan)
-            .discriminator(DiscriminatorConfig {
-                min_filter_window: 7,
-            })
+            .discriminator(DiscriminatorConfig::new().with_min_filter_window(7))
             .build()
             .unwrap();
         assert_eq!(old.ids_config(), new.ids_config());
@@ -623,7 +665,7 @@ mod tests {
         assert_eq!(spec.config(), t.ids_config());
         assert_eq!(spec.reference().len(), t.reference().len());
         let mut live = spec.open().unwrap();
-        let alerts = live.push(&benign(7e-3)).unwrap();
-        assert!(alerts.is_empty(), "{alerts:?}");
+        let verdicts = live.push(&benign(7e-3)).unwrap();
+        assert!(verdicts.is_empty(), "{verdicts:?}");
     }
 }

@@ -57,21 +57,29 @@
 //! # }
 //! ```
 
+pub mod calibrate;
 pub mod comparator;
 pub mod discriminator;
 pub mod error;
+pub mod fusion;
 pub mod health;
 pub mod ids;
 pub mod occ;
 pub mod streaming;
+pub mod verdict;
 
+pub use calibrate::{CalibrationConfig, CalibrationState, Calibrator};
 pub use comparator::vertical_distances;
 pub use discriminator::{Detection, DiscriminatorConfig, SubModule, Thresholds};
 pub use error::NsyncError;
+pub use fusion::{FusedIds, FusedSpec, FusionPolicy, VerdictAssembler};
 pub use health::{ChannelState, HealthConfig, HealthReport};
 pub use ids::{Analysis, IdsBuilder, IdsConfig, NsyncIds, TrainedIds};
 pub use occ::learn_thresholds;
-pub use streaming::{Alert, ChunkOutcome, StreamSpec, StreamingIds};
+#[allow(deprecated)]
+pub use streaming::Alert;
+pub use streaming::{ChunkOutcome, StreamSpec, StreamingIds};
+pub use verdict::{ChannelEvidence, Severity, Verdict};
 
 /// One-stop imports for the common NSYNC workflow: build with
 /// [`IdsBuilder`], train, detect, stream via [`StreamSpec`], and watch
@@ -81,12 +89,17 @@ pub use streaming::{Alert, ChunkOutcome, StreamSpec, StreamingIds};
 /// use nsync::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::calibrate::{CalibrationConfig, CalibrationState, Calibrator};
     pub use crate::discriminator::{Detection, DiscriminatorConfig, SubModule, Thresholds};
     pub use crate::error::NsyncError;
+    pub use crate::fusion::{FusedIds, FusedSpec, FusionPolicy, VerdictAssembler};
     pub use crate::health::{ChannelState, ChannelStatus, HealthConfig, HealthReport};
     pub use crate::ids::{Analysis, IdsBuilder, IdsConfig, NsyncIds, TrainedIds};
     pub use crate::streaming::monitor::{Backpressure, LiveStatus, MonitorConfig, MonitorHandle};
-    pub use crate::streaming::{Alert, ChunkOutcome, StreamSpec, StreamingIds};
+    #[allow(deprecated)]
+    pub use crate::streaming::Alert;
+    pub use crate::streaming::{ChunkOutcome, StreamSpec, StreamingIds};
+    pub use crate::verdict::{ChannelEvidence, Severity, Verdict};
     pub use am_dsp::metrics::DistanceMetric;
     pub use am_dsp::Signal;
     pub use am_sync::{DtwSynchronizer, DwmParams, DwmSynchronizer, Synchronizer};

@@ -34,11 +34,30 @@ pub fn learn_thresholds(stats: &[TraceStats], r: f64) -> Result<Thresholds, Nsyn
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         max + r * (max - min)
     };
-    Ok(Thresholds {
-        c_c: learn(stats.iter().map(|s| s.c_max).collect()),
-        h_c: learn(stats.iter().map(|s| s.h_max).collect()),
-        v_c: learn(stats.iter().map(|s| s.v_max).collect()),
-    })
+    Ok(Thresholds::new(
+        learn(stats.iter().map(|s| s.c_max).collect()),
+        learn(stats.iter().map(|s| s.h_max).collect()),
+        learn(stats.iter().map(|s| s.v_max).collect()),
+    ))
+}
+
+/// Linear-interpolated quantile of a **pre-sorted** sample set
+/// (`q` clamped to `[0, 1]`); `None` on an empty set.
+///
+/// The online calibrator (DESIGN.md §15) re-derives per-printer critical
+/// values from quantiles rather than the Eq 26–28 max/min: a printer's
+/// own benign stream is short and noisy, and a single outlier window
+/// must not set its threshold the way a vetted training run may.
+pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
 #[cfg(test)]
@@ -99,5 +118,17 @@ mod tests {
         assert!(learn_thresholds(&[], 0.3).is_err());
         assert!(learn_thresholds(&[ts(1.0, 1.0, 1.0)], -0.1).is_err());
         assert!(learn_thresholds(&[ts(1.0, 1.0, 1.0)], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        assert_eq!(quantile(&[], 0.5), None);
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&s, 0.0), Some(1.0));
+        assert_eq!(quantile(&s, 1.0), Some(4.0));
+        assert_eq!(quantile(&s, 0.5), Some(2.5));
+        // Out-of-domain q clamps instead of panicking.
+        assert_eq!(quantile(&s, 2.0), Some(4.0));
+        assert_eq!(quantile(&[7.0], 0.9), Some(7.0));
     }
 }

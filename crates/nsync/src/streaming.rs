@@ -6,10 +6,21 @@
 //! packages everything a live detector needs (reference, DWM parameters,
 //! learned thresholds, [`IdsConfig`]); [`StreamSpec::open`] yields a
 //! [`StreamingIds`] that consumes chunks as the DAQ produces them and
-//! emits [`Alert`]s the moment a sub-module's threshold is crossed, while
-//! [`StreamSpec::spawn`] runs the detector on its own thread behind
+//! emits structured [`Verdict`]s — severity, confidence, and the
+//! per-submodule [`ChannelEvidence`] behind them — as windows complete,
+//! while [`StreamSpec::spawn`] runs the detector on its own thread behind
 //! crossbeam channels, which is how a deployment would wire it between
 //! the DAQ thread and the operator UI.
+//!
+//! Two quality layers sit between the raw threshold crossings and the
+//! emitted verdicts (both default-off / default-permissive, DESIGN.md
+//! §15): an online [`Calibrator`](crate::calibrate::Calibrator) that
+//! re-derives this printer's critical values from its own benign warmup
+//! stream ([`CalibrationConfig`] on the [`IdsConfig`]), and a
+//! [`VerdictAssembler`](crate::fusion::VerdictAssembler) applying the
+//! [`FusionPolicy`](crate::fusion::FusionPolicy) debounce and confidence
+//! floor. The flat [`Alert`] surface survives as deprecated zero-drift
+//! shims ([`StreamingIds::push_alerts`]).
 //!
 //! Unlike the batch path, the streaming path must survive its inputs:
 //! a print takes hours and a sensor that dies forty minutes in must not
@@ -22,17 +33,25 @@
 //! a panicked detector resynchronized from the last good window. The
 //! fault model behind all of this is DESIGN.md §7.
 
+use crate::calibrate::{CalibrationState, Calibrator};
 use crate::discriminator::{DiscriminatorConfig, SubModule, Thresholds};
 use crate::error::NsyncError;
+use crate::fusion::VerdictAssembler;
 use crate::health::{ChannelHealth, ChannelState, HealthConfig, HealthReport};
 use crate::ids::IdsConfig;
+use crate::verdict::{ChannelEvidence, Severity, Verdict};
 use am_dsp::metrics::DistanceMetric;
 use am_dsp::{DspError, Signal};
 use am_sync::{DwmParams, DwmStream};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// An alert raised by the streaming discriminator.
+/// An alert raised by the streaming discriminator (pre-verdict surface).
+#[deprecated(
+    since = "0.3.0",
+    note = "alerts are flattened verdict evidence; consume `Verdict` from \
+            `StreamingIds::push` (or `StreamingIds::push_alerts` during migration)"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Alert {
     /// Window index at which the threshold was crossed.
@@ -191,7 +210,10 @@ pub struct StreamingIds {
     h_recent: VecDeque<f64>,
     v_recent: VecDeque<f64>,
     windows_seen: usize,
-    intrusion: bool,
+    /// Per-printer online threshold calibration (inert unless enabled).
+    calibrator: Calibrator,
+    /// Debounce / confidence floor / verdict latches.
+    assembler: VerdictAssembler,
 }
 
 impl StreamingIds {
@@ -223,7 +245,8 @@ impl StreamingIds {
             h_recent: VecDeque::new(),
             v_recent: VecDeque::new(),
             windows_seen: 0,
-            intrusion: false,
+            calibrator: Calibrator::new(spec.config.calibration, spec.thresholds),
+            assembler: VerdictAssembler::new(spec.config.fusion),
         })
     }
 
@@ -277,9 +300,38 @@ impl StreamingIds {
             .resume(next_window)
     }
 
-    /// `true` once any alert has fired.
+    /// `true` once any verdict has fired.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `max_severity().is_some()` — or inspect `last_verdict()` — \
+                instead of the flat boolean"
+    )]
     pub fn intrusion_detected(&self) -> bool {
-        self.intrusion
+        self.max_severity().is_some()
+    }
+
+    /// The most recent verdict that fired (latched across windows).
+    pub fn last_verdict(&self) -> Option<&Verdict> {
+        self.assembler.last_verdict()
+    }
+
+    /// The worst severity any emitted verdict reached (latched): the
+    /// structured replacement for the old intrusion boolean.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.assembler.max_severity()
+    }
+
+    /// Where the per-printer online calibrator stands (Disabled /
+    /// Warmup / Calibrated / Refused — DESIGN.md §15.1).
+    pub fn calibration_state(&self) -> &CalibrationState {
+        self.calibrator.state()
+    }
+
+    /// The critical values currently enforced: the trained thresholds
+    /// until the calibrator (if enabled) completes its warmup, this
+    /// printer's calibrated ones afterwards.
+    pub fn active_thresholds(&self) -> Thresholds {
+        self.thresholds
     }
 
     /// Number of fully processed windows (across resyncs).
@@ -363,6 +415,11 @@ impl StreamingIds {
         self.thresholds = spec.thresholds;
         self.filter_window = spec.config.discriminator.min_filter_window.max(1);
         self.health_cfg = spec.config.health;
+        // A re-trained model restarts calibration from its own trained
+        // thresholds; the verdict latches (max severity, last verdict)
+        // carry over, but any in-flight debounce streak is reset.
+        self.calibrator = Calibrator::new(spec.config.calibration, spec.thresholds);
+        self.assembler.adopt_policy(spec.config.fusion);
         self.stream = stream;
         self.window_offset = self.windows_seen;
         for prefix in &mut self.nonfinite_prefix {
@@ -420,10 +477,13 @@ impl StreamingIds {
         clean
     }
 
-    /// Feeds a chunk of observed samples; returns alerts raised by the
-    /// windows completed within this chunk. Non-finite samples never
-    /// reach the synchronizer or the comparator: they are zeroed and
-    /// charged against their channel's health instead.
+    /// Feeds a chunk of observed samples; returns the verdicts fired by
+    /// the windows completed within this chunk (under the configured
+    /// [`FusionPolicy`](crate::fusion::FusionPolicy) — with the default
+    /// policy, one verdict per window with any threshold crossing).
+    /// Non-finite samples never reach the synchronizer or the
+    /// comparator: they are zeroed and charged against their channel's
+    /// health instead.
     ///
     /// # Errors
     ///
@@ -431,7 +491,7 @@ impl StreamingIds {
     /// returns [`NsyncError::StreamDesynced`] if a completed window
     /// cannot be read back (callers may [`StreamingIds::resync`] and
     /// continue).
-    pub fn push(&mut self, chunk: &Signal) -> Result<Vec<Alert>, NsyncError> {
+    pub fn push(&mut self, chunk: &Signal) -> Result<Vec<Verdict>, NsyncError> {
         if chunk.is_empty() {
             return Ok(Vec::new());
         }
@@ -446,24 +506,35 @@ impl StreamingIds {
         }
         let clean = self.quarantine_samples(chunk);
         self.samples_seen += clean.len();
-        let mut alerts = Vec::new();
+        let mut verdicts = Vec::new();
         let completed = self.stream.push(&clean)?;
         for (i, h) in completed {
-            self.process_window(i, h, &mut alerts)?;
+            if let Some(v) = self.process_window(i, h)? {
+                verdicts.push(v);
+            }
         }
-        if !alerts.is_empty() {
-            self.intrusion = true;
-            am_telemetry::count!("monitor.alerts", alerts.len() as u64);
+        if !verdicts.is_empty() {
+            am_telemetry::count!("monitor.alerts", verdicts.len() as u64);
         }
-        Ok(alerts)
+        Ok(verdicts)
     }
 
-    fn process_window(
-        &mut self,
-        i: usize,
-        h: f64,
-        alerts: &mut Vec<Alert>,
-    ) -> Result<(), NsyncError> {
+    /// Feeds a chunk and returns the flat per-crossing [`Alert`] stream
+    /// the pre-verdict API produced. Under the default [`FusionPolicy`]
+    /// (crate::fusion::FusionPolicy) this is byte-for-byte the old
+    /// behaviour (zero drift): each alerting window's evidence flattens
+    /// back into its alerts in sub-module order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingIds::push`].
+    #[deprecated(since = "0.3.0", note = "use `push` and consume structured `Verdict`s")]
+    #[allow(deprecated)]
+    pub fn push_alerts(&mut self, chunk: &Signal) -> Result<Vec<Alert>, NsyncError> {
+        Ok(flatten_verdicts(&self.push(chunk)?))
+    }
+
+    fn process_window(&mut self, i: usize, h: f64) -> Result<Option<Verdict>, NsyncError> {
         let window = self.window_offset + i;
         let p = self.stream.sample_params();
         let a_win = self
@@ -471,27 +542,33 @@ impl StreamingIds {
             .window(i)
             .ok_or(NsyncError::StreamDesynced { window })?;
         self.last_h = h;
+        // The thresholds governing *this* window: trained ones during a
+        // calibration warmup, this printer's own afterwards.
+        let th = self.thresholds;
+        let mut evidence: Vec<ChannelEvidence> = Vec::new();
 
         // c_disp (Eq 17) incrementally.
         self.c_disp += (h - self.prev_h).abs();
         self.prev_h = h;
-        if self.c_disp > self.thresholds.c_c {
-            alerts.push(Alert {
-                window,
+        if self.c_disp > th.c_c {
+            evidence.push(ChannelEvidence {
+                channel: String::new(),
                 module: SubModule::CDisp,
                 value: self.c_disp,
-                threshold: self.thresholds.c_c,
+                threshold: th.c_c,
+                window,
             });
         }
         // Trailing-min filtered h_dist.
         push_window(&mut self.h_recent, h.abs(), self.filter_window);
         let h_f = min_of(&self.h_recent);
-        if h_f > self.thresholds.h_c {
-            alerts.push(Alert {
-                window,
+        if h_f > th.h_c {
+            evidence.push(ChannelEvidence {
+                channel: String::new(),
                 module: SubModule::HDist,
                 value: h_f,
-                threshold: self.thresholds.h_c,
+                threshold: th.h_c,
+                window,
             });
         }
 
@@ -514,6 +591,7 @@ impl StreamingIds {
         }
 
         // v_dist for this window over the trusted channels.
+        let mut v_f_observed = None;
         if active.is_empty() {
             // Every channel quarantined: the comparator is blind here.
             // h/c sub-modules above still ran on the synchronizer track.
@@ -534,18 +612,47 @@ impl StreamingIds {
             };
             push_window(&mut self.v_recent, v, self.filter_window);
             let v_f = min_of(&self.v_recent);
-            if v_f > self.thresholds.v_c {
-                alerts.push(Alert {
-                    window,
+            v_f_observed = Some(v_f);
+            if v_f > th.v_c {
+                evidence.push(ChannelEvidence {
+                    channel: String::new(),
                     module: SubModule::VDist,
                     value: v_f,
-                    threshold: self.thresholds.v_c,
+                    threshold: th.v_c,
+                    window,
                 });
             }
         }
+        // Online calibration: samples accumulate through the warmup
+        // (detection above keeps using the trained thresholds); when the
+        // warmup completes, this printer's own critical values take over
+        // from the next window on.
+        if let Some(calibrated) = self.calibrator.observe(h_f, v_f_observed) {
+            self.thresholds = calibrated;
+        }
         self.windows_seen = window + 1;
-        Ok(())
+        Ok(self.assembler.observe(window, evidence))
     }
+}
+
+/// Flattens verdict evidence back into the deprecated flat alert stream
+/// (migration helper shared by the fleet's deprecated surfaces).
+#[deprecated(
+    since = "0.3.0",
+    note = "migration helper for the pre-verdict `Alert` surface"
+)]
+#[allow(deprecated)]
+pub fn flatten_verdicts(verdicts: &[Verdict]) -> Vec<Alert> {
+    verdicts
+        .iter()
+        .flat_map(|v| v.evidence.iter())
+        .map(|e| Alert {
+            window: e.window,
+            module: e.module,
+            value: e.value,
+            threshold: e.threshold,
+        })
+        .collect()
 }
 
 /// What one supervised push did to the detector — the per-chunk recovery
@@ -553,8 +660,8 @@ impl StreamingIds {
 /// multiplexing many detectors (e.g. a fleet shard, see `am-fleet`).
 #[derive(Debug)]
 pub enum ChunkOutcome {
-    /// The chunk was consumed; any completed windows' alerts are inside.
-    Processed(Vec<Alert>),
+    /// The chunk was consumed; any verdicts it released are inside.
+    Processed(Vec<Verdict>),
     /// The stream had lost lock ([`NsyncError::StreamDesynced`]) and was
     /// resynchronized; the offending chunk's partial buffer is gone and
     /// window numbering continues across the gap.
@@ -582,7 +689,7 @@ impl StreamingIds {
     /// desync fails — the detector is unusable at that point.
     pub fn push_supervised(&mut self, chunk: &Signal) -> Result<ChunkOutcome, NsyncError> {
         match self.push(chunk) {
-            Ok(alerts) => Ok(ChunkOutcome::Processed(alerts)),
+            Ok(verdicts) => Ok(ChunkOutcome::Processed(verdicts)),
             Err(NsyncError::StreamDesynced { .. }) => {
                 self.resync()?;
                 Ok(ChunkOutcome::Resynced)
@@ -767,8 +874,12 @@ pub mod monitor {
     pub struct LiveStatus {
         /// Windows processed so far.
         pub windows_seen: usize,
-        /// Whether an intrusion has been declared (latched).
+        /// Whether an intrusion has been declared (latched). Kept for
+        /// operators that only need the boolean; equals
+        /// `max_severity.is_some()`.
         pub intrusion: bool,
+        /// Worst severity any verdict reached (latched).
+        pub max_severity: Option<Severity>,
         /// Channel health and degradation counters.
         pub health: HealthReport,
         /// Last window fully processed without error.
@@ -803,8 +914,8 @@ pub mod monitor {
     /// Handle to a running monitor.
     pub struct MonitorHandle {
         chunk_tx: Sender<Signal>,
-        /// Alerts stream out here as they fire.
-        pub alerts: Receiver<Alert>,
+        /// Verdicts stream out here as they fire.
+        pub verdicts: Receiver<Verdict>,
         shared: Arc<Mutex<Shared>>,
         backpressure: Backpressure,
         join: Option<JoinHandle<Result<(), NsyncError>>>,
@@ -854,15 +965,15 @@ pub mod monitor {
         }
 
         /// Closes the input, waits for the detector thread to drain every
-        /// queued chunk, and returns any alerts not yet consumed from
-        /// [`MonitorHandle::alerts`].
+        /// queued chunk, and returns any verdicts not yet consumed from
+        /// [`MonitorHandle::verdicts`].
         ///
         /// # Errors
         ///
         /// Returns [`NsyncError::MonitorPanicked`] if the detector
         /// crashed beyond its restart budget, or the pipeline error that
         /// stopped it.
-        pub fn finish(mut self) -> Result<Vec<Alert>, NsyncError> {
+        pub fn finish(mut self) -> Result<Vec<Verdict>, NsyncError> {
             drop(self.chunk_tx);
             let result = match self.join.take() {
                 Some(h) => match h.join() {
@@ -874,14 +985,14 @@ pub mod monitor {
                 None => Ok(()),
             };
             result?;
-            Ok(self.alerts.try_iter().collect())
+            Ok(self.verdicts.try_iter().collect())
         }
     }
 
     fn run_detector(
         mut ids: StreamingIds,
         chunk_rx: &Receiver<Signal>,
-        alert_tx: &Sender<Alert>,
+        verdict_tx: &Sender<Verdict>,
         shared: &Arc<Mutex<Shared>>,
         chaos_panic_chunk: Option<usize>,
     ) -> WorkerExit {
@@ -900,20 +1011,21 @@ pub mod monitor {
             }
             chunk_index += 1;
             match ids.push_supervised(&chunk) {
-                Ok(ChunkOutcome::Processed(alerts)) => {
+                Ok(ChunkOutcome::Processed(verdicts)) => {
                     {
                         let mut s = shared.lock();
                         s.heartbeat = Instant::now();
                         s.status.windows_seen = ids.windows_seen();
-                        s.status.intrusion |= ids.intrusion_detected();
+                        s.status.max_severity = s.status.max_severity.max(ids.max_severity());
+                        s.status.intrusion = s.status.max_severity.is_some();
                         s.status.health = ids.health_report();
                         s.status.stalled = false;
                         if ids.windows_seen() > 0 {
                             s.status.last_good_window = Some(ids.windows_seen() - 1);
                         }
                     }
-                    for a in alerts {
-                        match alert_tx.try_send(a) {
+                    for v in verdicts {
+                        match verdict_tx.try_send(v) {
                             Ok(()) => {}
                             Err(TrySendError::Full(_)) => {
                                 shared.lock().status.dropped_alerts += 1;
@@ -953,7 +1065,7 @@ pub mod monitor {
         let ids = spec.open()?;
         let (chunk_tx, chunk_rx): (Sender<Signal>, Receiver<Signal>) =
             bounded(monitor_config.chunk_capacity.max(1));
-        let (alert_tx, alert_rx) = bounded(monitor_config.alert_capacity.max(1));
+        let (verdict_tx, verdict_rx) = bounded(monitor_config.alert_capacity.max(1));
         let shared = Arc::new(Mutex::new(Shared {
             status: LiveStatus::default(),
             heartbeat: Instant::now(),
@@ -987,7 +1099,7 @@ pub mod monitor {
                     None
                 };
                 let worker_rx = chunk_rx.clone();
-                let worker_tx = alert_tx.clone();
+                let worker_tx = verdict_tx.clone();
                 let worker_shared = Arc::clone(&supervisor_shared);
                 let worker = std::thread::spawn(move || {
                     run_detector(
@@ -1034,7 +1146,7 @@ pub mod monitor {
         });
         Ok(MonitorHandle {
             chunk_tx,
-            alerts: alert_rx,
+            verdicts: verdict_rx,
             shared,
             backpressure,
             join: Some(join),
@@ -1133,23 +1245,24 @@ mod tests {
         train_spec(benign2ch(0.0), &train)
     }
 
-    fn feed(ids: &mut StreamingIds, signal: &Signal, chunk: usize) -> Vec<Alert> {
-        let mut alerts = Vec::new();
+    fn feed(ids: &mut StreamingIds, signal: &Signal, chunk: usize) -> Vec<Verdict> {
+        let mut verdicts = Vec::new();
         let mut i = 0;
         while i < signal.len() {
             let end = (i + chunk).min(signal.len());
-            alerts.extend(ids.push(&signal.slice(i..end).unwrap()).unwrap());
+            verdicts.extend(ids.push(&signal.slice(i..end).unwrap()).unwrap());
             i = end;
         }
-        alerts
+        verdicts
     }
 
     #[test]
     fn benign_stream_stays_quiet() {
         let mut ids = spec().open().unwrap();
-        let alerts = feed(&mut ids, &benign(5e-3), 100);
-        assert!(alerts.is_empty(), "{alerts:?}");
-        assert!(!ids.intrusion_detected());
+        let verdicts = feed(&mut ids, &benign(5e-3), 100);
+        assert!(verdicts.is_empty(), "{verdicts:?}");
+        assert!(ids.max_severity().is_none());
+        assert!(ids.last_verdict().is_none());
         assert!(ids.windows_seen() > 10);
         assert!(ids.health_report().all_healthy());
     }
@@ -1157,13 +1270,15 @@ mod tests {
     #[test]
     fn malicious_stream_alerts_midway() {
         let mut ids = spec().open().unwrap();
-        let alerts = feed(&mut ids, &malicious(), 100);
-        assert!(!alerts.is_empty());
-        assert!(ids.intrusion_detected());
+        let verdicts = feed(&mut ids, &malicious(), 100);
+        assert!(!verdicts.is_empty());
+        assert!(ids.max_severity().is_some());
         // The attack starts at t=30 s -> window index ~ 30/2 = 15; the
-        // first alert must come at or after the onset, not before.
-        let first = alerts.iter().map(|a| a.window).min().unwrap();
-        assert!(first >= 13, "first alert window {first}");
+        // first verdict must come at or after the onset, not before.
+        let first = verdicts.iter().map(|v| v.window_span.0).min().unwrap();
+        assert!(first >= 13, "first verdict window {first}");
+        // Every verdict carries the evidence that justified it.
+        assert!(verdicts.iter().all(|v| !v.evidence.is_empty()));
     }
 
     #[test]
@@ -1180,9 +1295,9 @@ mod tests {
             )
             .unwrap();
         let mut stream = trained.stream_spec(params()).open().unwrap();
-        let stream_alerts = feed(&mut stream, &malicious(), 64);
+        let stream_verdicts = feed(&mut stream, &malicious(), 64);
         let batch = trained.detect(&malicious()).unwrap();
-        assert_eq!(batch.intrusion, !stream_alerts.is_empty());
+        assert_eq!(batch.intrusion, !stream_verdicts.is_empty());
     }
 
     #[test]
@@ -1275,7 +1390,7 @@ mod tests {
         // The stream picks up where it left off.
         feed(&mut ids, &obs.slice(400..1600).unwrap(), 100);
         assert!(ids.windows_seen() > before);
-        assert!(!ids.intrusion_detected());
+        assert!(ids.max_severity().is_none());
     }
 
     #[test]
@@ -1298,7 +1413,7 @@ mod tests {
         feed(&mut ids, &obs.slice(800..1600).unwrap(), 100);
         assert!(ids.windows_seen() > mid, "windows kept counting up");
         // A benign stream re-locked mid-print stays benign.
-        assert!(!ids.intrusion_detected());
+        assert!(ids.max_severity().is_none());
     }
 
     #[test]

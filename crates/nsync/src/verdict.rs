@@ -1,0 +1,325 @@
+//! Structured detection verdicts.
+//!
+//! The streaming surface used to collapse every detection into a flat
+//! boolean plus a bag of per-window [`Alert`](crate::streaming::Alert)s.
+//! That shape loses exactly the information a fusion layer needs: *which*
+//! side channel saw *what*, *how far* over its critical value, and *for
+//! how long*. This module replaces it with [`Verdict`] — severity,
+//! confidence, and the per-channel, per-submodule [`ChannelEvidence`]
+//! that justified it — emitted by [`StreamingIds::push`]
+//! (crate::StreamingIds::push) and by the cross-channel
+//! [`FusedIds`](crate::fusion::FusedIds).
+//!
+//! Severity is a property of the *mechanism* that fired (DESIGN.md §15):
+//! CADHD creep is advisory (synchronization stress), sustained timing
+//! drift is major (a kinetic-timing attack signature), and a vertical
+//! distance excursion is critical (the print's content no longer matches
+//! the reference). Corroboration across two or more independent side
+//! channels escalates one level — the multi-modal argument that a single
+//! faulty sensor should not be able to mint a critical alarm on its own.
+
+use crate::discriminator::SubModule;
+use serde::{Deserialize, Serialize};
+
+/// How bad a verdict is, ordered: `Advisory < Major < Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Synchronization stress (CADHD creep): worth an operator's glance,
+    /// not an alarm on its own.
+    Advisory,
+    /// Sustained timing deviation (filtered `h_dist`): the toolpath is
+    /// running off-clock against the reference.
+    Major,
+    /// Content deviation (filtered `v_dist`), or any lower severity
+    /// corroborated by a second independent side channel.
+    Critical,
+}
+
+impl Severity {
+    /// The CEF severity field (0–10 scale) this level maps to; the full
+    /// mapping table lives in DESIGN.md §15.
+    pub fn cef(self) -> u8 {
+        match self {
+            Severity::Advisory => 4,
+            Severity::Major => 7,
+            Severity::Critical => 9,
+        }
+    }
+
+    /// One step up the scale (`Critical` saturates).
+    #[must_use]
+    pub fn escalate(self) -> Severity {
+        match self {
+            Severity::Advisory => Severity::Major,
+            _ => Severity::Critical,
+        }
+    }
+
+    /// The base severity of one discriminator sub-module.
+    pub fn of(module: SubModule) -> Severity {
+        match module {
+            SubModule::CDisp => Severity::Advisory,
+            SubModule::HDist => Severity::Major,
+            SubModule::VDist => Severity::Critical,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Severity::Advisory => "advisory",
+            Severity::Major => "major",
+            Severity::Critical => "critical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One sub-module threshold crossing on one side channel, in one
+/// detection window — the atom a fused verdict is built from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelEvidence {
+    /// Side-channel lane label (`"acc"`, `"pwr"`, …). Empty for a
+    /// standalone single-lane detector.
+    pub channel: String,
+    /// Which discriminator sub-module crossed.
+    pub module: SubModule,
+    /// The observed (filtered) statistic.
+    pub value: f64,
+    /// The critical value it crossed (post-calibration, if a calibrator
+    /// replaced the trained one).
+    pub threshold: f64,
+    /// The global window index the crossing was observed in.
+    pub window: usize,
+}
+
+impl ChannelEvidence {
+    /// Exceedance score in `[0, 1)`: 0 at the threshold, asymptotically 1
+    /// as the observed value dwarfs it. Monotone in the relative margin
+    /// `(value − threshold) / threshold`, so it is scale-free across
+    /// sub-modules whose statistics have wildly different units.
+    pub fn score(&self) -> f64 {
+        if !self.value.is_finite() || self.threshold.is_nan() || self.threshold <= 0.0 {
+            return 0.0;
+        }
+        let margin = ((self.value - self.threshold) / self.threshold).max(0.0);
+        margin / (margin + 1.0)
+    }
+}
+
+impl std::fmt::Display for ChannelEvidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.channel.is_empty() {
+            write!(
+                f,
+                "{}={:.4}/{:.4}@w{}",
+                self.module, self.value, self.threshold, self.window
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}={:.4}/{:.4}@w{}",
+                self.channel, self.module, self.value, self.threshold, self.window
+            )
+        }
+    }
+}
+
+/// A structured detection verdict: what fired, how sure, how bad, and
+/// over which window span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Worst mechanism implicated, escalated on cross-channel
+    /// corroboration.
+    pub severity: Severity,
+    /// Noisy-OR of the per-evidence exceedance scores, in `[0, 1)` —
+    /// deterministic arithmetic over the evidence, no randomness.
+    pub confidence: f64,
+    /// Every threshold crossing that contributed, in observation order.
+    pub evidence: Vec<ChannelEvidence>,
+    /// Inclusive `(first, last)` global window indices covered: a
+    /// debounced verdict spans the windows it waited through.
+    pub window_span: (usize, usize),
+}
+
+impl Verdict {
+    /// The last window of the span (the window the verdict fired in).
+    pub fn window(&self) -> usize {
+        self.window_span.1
+    }
+
+    /// Distinct non-empty channel labels in the evidence.
+    pub fn channels(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for e in &self.evidence {
+            if !e.channel.is_empty() && !seen.contains(&e.channel.as_str()) {
+                seen.push(&e.channel);
+            }
+        }
+        seen
+    }
+
+    /// The evidence entry with the highest base severity (ties broken by
+    /// observation order) — what CEF egress reports as the signature.
+    pub fn dominant(&self) -> Option<&ChannelEvidence> {
+        self.evidence
+            .iter()
+            .max_by(|a, b| Severity::of(a.module).cmp(&Severity::of(b.module)))
+    }
+
+    /// Builds a verdict from evidence: severity = max base severity,
+    /// escalated one level when ≥ 2 distinct channels corroborate;
+    /// confidence = noisy-OR of the evidence scores, with the
+    /// corroboration bonus applied on escalation.
+    ///
+    /// Returns `None` for empty evidence.
+    pub fn from_evidence(
+        evidence: Vec<ChannelEvidence>,
+        window_span: (usize, usize),
+        corroboration_boost: f64,
+    ) -> Option<Verdict> {
+        let base = evidence.iter().map(|e| Severity::of(e.module)).max()?;
+        let mut confidence = 1.0 - evidence.iter().map(|e| 1.0 - e.score()).product::<f64>();
+        let mut channels: Vec<&str> = Vec::new();
+        for e in &evidence {
+            if !e.channel.is_empty() && !channels.contains(&e.channel.as_str()) {
+                channels.push(&e.channel);
+            }
+        }
+        let severity = if channels.len() >= 2 {
+            confidence += corroboration_boost.clamp(0.0, 1.0) * (1.0 - confidence);
+            base.escalate()
+        } else {
+            base
+        };
+        Some(Verdict {
+            severity,
+            confidence: confidence.clamp(0.0, 1.0),
+            evidence,
+            window_span,
+        })
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.evidence.iter().map(|e| e.to_string()).collect();
+        write!(
+            f,
+            "{} (conf {:.2}) w{}-{} [{}]",
+            self.severity,
+            self.confidence,
+            self.window_span.0,
+            self.window_span.1,
+            parts.join("; ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        channel: &str,
+        module: SubModule,
+        value: f64,
+        threshold: f64,
+        window: usize,
+    ) -> ChannelEvidence {
+        ChannelEvidence {
+            channel: channel.to_string(),
+            module,
+            value,
+            threshold,
+            window,
+        }
+    }
+
+    #[test]
+    fn severity_ordering_and_cef() {
+        assert!(Severity::Advisory < Severity::Major);
+        assert!(Severity::Major < Severity::Critical);
+        assert_eq!(Severity::Advisory.cef(), 4);
+        assert_eq!(Severity::Major.cef(), 7);
+        assert_eq!(Severity::Critical.cef(), 9);
+        assert_eq!(Severity::Critical.escalate(), Severity::Critical);
+        assert_eq!(Severity::of(SubModule::VDist), Severity::Critical);
+    }
+
+    #[test]
+    fn score_is_zero_at_threshold_and_grows() {
+        let at = ev("", SubModule::VDist, 1.0, 1.0, 0);
+        assert_eq!(at.score(), 0.0);
+        let over = ev("", SubModule::VDist, 2.0, 1.0, 0);
+        assert!((over.score() - 0.5).abs() < 1e-12);
+        let way_over = ev("", SubModule::VDist, 100.0, 1.0, 0);
+        assert!(way_over.score() > 0.98 && way_over.score() < 1.0);
+        let bad = ev("", SubModule::VDist, f64::NAN, 1.0, 0);
+        assert_eq!(bad.score(), 0.0);
+        let degenerate = ev("", SubModule::VDist, 1.0, 0.0, 0);
+        assert_eq!(degenerate.score(), 0.0);
+    }
+
+    #[test]
+    fn single_channel_keeps_base_severity() {
+        let v =
+            Verdict::from_evidence(vec![ev("acc", SubModule::HDist, 2.0, 1.0, 5)], (5, 5), 0.25)
+                .unwrap();
+        assert_eq!(v.severity, Severity::Major);
+        assert!((v.confidence - 0.5).abs() < 1e-12);
+        assert_eq!(v.window(), 5);
+        assert_eq!(v.channels(), vec!["acc"]);
+    }
+
+    #[test]
+    fn corroboration_escalates_and_boosts() {
+        let lone =
+            Verdict::from_evidence(vec![ev("acc", SubModule::HDist, 2.0, 1.0, 5)], (5, 5), 0.25)
+                .unwrap();
+        let both = Verdict::from_evidence(
+            vec![
+                ev("acc", SubModule::HDist, 2.0, 1.0, 5),
+                ev("pwr", SubModule::HDist, 2.0, 1.0, 5),
+            ],
+            (5, 5),
+            0.25,
+        )
+        .unwrap();
+        assert_eq!(both.severity, Severity::Critical);
+        assert!(both.confidence > lone.confidence);
+        assert!(both.confidence <= 1.0);
+    }
+
+    #[test]
+    fn dominant_picks_highest_base_severity() {
+        let v = Verdict::from_evidence(
+            vec![
+                ev("acc", SubModule::CDisp, 9.0, 1.0, 3),
+                ev("acc", SubModule::VDist, 1.1, 1.0, 3),
+            ],
+            (3, 3),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(v.dominant().unwrap().module, SubModule::VDist);
+        // Severity from the v_dist crossing, no escalation (one channel).
+        assert_eq!(v.severity, Severity::Critical);
+    }
+
+    #[test]
+    fn empty_evidence_yields_no_verdict() {
+        assert!(Verdict::from_evidence(Vec::new(), (0, 0), 0.25).is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Verdict::from_evidence(vec![ev("pwr", SubModule::VDist, 2.0, 1.0, 7)], (6, 7), 0.0)
+            .unwrap();
+        let text = v.to_string();
+        assert!(text.contains("critical"), "{text}");
+        assert!(text.contains("pwr:v_dist"), "{text}");
+        assert!(text.contains("w6-7"), "{text}");
+    }
+}

@@ -83,11 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("~{now_secs:.1} s: {}", status.health.summary());
             reported_quarantine = true;
         }
-        while let Ok(alert) = handle.alerts.try_recv() {
+        while let Ok(verdict) = handle.verdicts.try_recv() {
             if first_alert.is_none() {
                 println!(
-                    "!! ALERT at ~{now_secs:.1} s: {} = {:.2} > {:.2} (window {})",
-                    alert.module, alert.value, alert.threshold, alert.window
+                    "!! {} at ~{now_secs:.1} s: confidence {:.2} (window {})",
+                    verdict.severity,
+                    verdict.confidence,
+                    verdict.window()
                 );
                 first_alert = Some(now_secs);
             }
@@ -96,11 +98,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let leftovers = handle.finish()?;
     if first_alert.is_none() {
-        if let Some(alert) = leftovers.first() {
-            let t = alert.window as f64 * params.t_hop;
+        if let Some(verdict) = leftovers.first() {
+            let t = verdict.window() as f64 * params.t_hop;
             println!(
-                "!! ALERT (drained at end) from window {} (~{t:.1} s): {}",
-                alert.window, alert.module
+                "!! {} (drained at end) from window {} (~{t:.1} s)",
+                verdict.severity,
+                verdict.window()
             );
             first_alert = Some(t);
         }

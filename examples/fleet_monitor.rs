@@ -64,8 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.registry().len()
     );
 
-    // Stream everything interleaved, draining alerts as they fan in.
-    let alerts = fleet.alerts();
+    // Stream everything interleaved, draining verdicts as they fan in.
+    let verdicts = fleet.verdicts();
     let mut seen = std::collections::BTreeSet::new();
     let longest = scripts.iter().map(|s| s.chunks.len()).max().unwrap_or(0);
     for frame in 0..longest {
@@ -76,15 +76,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
         }
-        while let Ok(alert) = alerts.try_recv() {
-            if seen.insert(alert.printer) {
+        while let Ok(fv) = verdicts.try_recv() {
+            if seen.insert(fv.printer) {
                 eprintln!(
-                    "!! ALERT {}: {} = {:.2} exceeded {:.2} at window {}",
-                    alert.printer,
-                    alert.alert.module,
-                    alert.alert.value,
-                    alert.alert.threshold,
-                    alert.alert.window
+                    "!! {} {}: confidence {:.2} over windows {}..={} ({} evidence)",
+                    fv.verdict.severity,
+                    fv.printer,
+                    fv.verdict.confidence,
+                    fv.verdict.window_span.0,
+                    fv.verdict.window_span.1,
+                    fv.verdict.evidence.len()
                 );
             }
         }
@@ -94,8 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let report = fleet.finish()?;
-    for alert in &report.leftover_alerts {
-        seen.insert(alert.printer);
+    for fv in &report.leftover_verdicts {
+        seen.insert(fv.printer);
     }
     println!(
         "\nfleet done: {} chunks, {} alerts ({} lost), {} watchdog restarts",

@@ -47,14 +47,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let end = (i + chunk).min(attacked.signal.len());
         handle.send(attacked.signal.slice(i..end)?);
         let now_secs = end as f64 / fs;
-        // Drain any alerts that have arrived so far.
-        while let Ok(alert) = handle.alerts.try_recv() {
+        // Drain any verdicts that have arrived so far.
+        while let Ok(verdict) = handle.verdicts.try_recv() {
             if first_alert.is_none() {
+                let module = verdict
+                    .dominant()
+                    .map_or_else(|| "?".to_string(), |e| e.module.to_string());
                 println!(
-                    "!! ALERT at ~{now_secs:.1} s of print: {} = {:.2} exceeded threshold {:.2} (window {})",
-                    alert.module, alert.value, alert.threshold, alert.window
+                    "!! {} at ~{now_secs:.1} s of print: {module} led, confidence {:.2} (window {})",
+                    verdict.severity, verdict.confidence, verdict.window()
                 );
-                first_alert = Some((now_secs, alert.module.to_string()));
+                first_alert = Some((now_secs, module));
             }
         }
         i = end;
@@ -63,14 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // not yet pushed through the channel.
     let leftovers = handle.finish()?;
     if first_alert.is_none() {
-        if let Some(alert) = leftovers.first() {
+        if let Some(verdict) = leftovers.first() {
             // Windows are t_hop seconds apart; reconstruct the print time.
-            let t = alert.window as f64 * params.t_hop;
+            let t = verdict.window() as f64 * params.t_hop;
+            let module = verdict
+                .dominant()
+                .map_or_else(|| "?".to_string(), |e| e.module.to_string());
             println!(
-                "!! ALERT (drained at end) from window {} (~{t:.1} s): {} = {:.2} > {:.2}",
-                alert.window, alert.module, alert.value, alert.threshold
+                "!! {} (drained at end) from window {} (~{t:.1} s): {module} led, confidence {:.2}",
+                verdict.severity,
+                verdict.window(),
+                verdict.confidence
             );
-            first_alert = Some((t, alert.module.to_string()));
+            first_alert = Some((t, module));
         }
     }
     match first_alert {

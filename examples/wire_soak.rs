@@ -120,7 +120,7 @@ fn fleet_for(sim: &FleetSim, scripts: &[PrinterScript]) -> Fleet {
 fn egress_on(fleet: &Fleet) -> (AlertEgress, MemorySink) {
     let sink = MemorySink::new();
     let egress = AlertEgress::spawn(
-        fleet.alerts(),
+        fleet.verdicts(),
         Box::new(sink.clone()),
         EgressConfig::default().with_format(AlertFormat::Json),
     );
@@ -167,7 +167,10 @@ fn run_in_process(sim: &FleetSim, scripts: &[PrinterScript]) -> BTreeMap<Printer
     let total_chunks: u64 = scripts.iter().map(|s| s.chunks.len() as u64).sum();
     quiesce(|| fleet.snapshot(), total_chunks);
     let report = fleet.finish().expect("clean shutdown");
-    assert!(report.leftover_alerts.is_empty(), "egress saw every alert");
+    assert!(
+        report.leftover_verdicts.is_empty(),
+        "egress saw every alert"
+    );
     let (stats, dead) = egress.finish();
     assert!(dead.is_empty(), "in-process egress dead letters: {dead:?}");
     assert_eq!(report.snapshot.alerts_lost(), 0);
@@ -279,7 +282,7 @@ fn run_over_wire(
     quiesce(|| server.snapshot().fleet, total);
     let edge = server.finish().expect("clean edge shutdown");
     assert!(
-        edge.fleet.leftover_alerts.is_empty(),
+        edge.fleet.leftover_verdicts.is_empty(),
         "egress saw every alert"
     );
     let (stats, dead) = egress.finish();

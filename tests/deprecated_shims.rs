@@ -34,15 +34,15 @@ fn train_signals() -> Vec<Signal> {
     (1..=4).map(|i| benign(i as f64 * 1e-3)).collect()
 }
 
-fn stream_all(ids: &mut StreamingIds, observed: &Signal) -> Vec<nsync::Alert> {
-    let mut alerts = Vec::new();
+fn stream_all(ids: &mut StreamingIds, observed: &Signal) -> Vec<nsync::Verdict> {
+    let mut verdicts = Vec::new();
     let mut i = 0;
     while i < observed.len() {
         let end = (i + 16).min(observed.len());
-        alerts.extend(ids.push(&observed.slice(i..end).unwrap()).unwrap());
+        verdicts.extend(ids.push(&observed.slice(i..end).unwrap()).unwrap());
         i = end;
     }
-    alerts
+    verdicts
 }
 
 #[test]
@@ -199,4 +199,85 @@ fn monitor_spawn_shims_match_spec_spawn() {
         format!("{via_shim_with:?}").into_bytes(),
         format!("{via_spec:?}").into_bytes()
     );
+}
+
+/// The verdict-API deprecation shims: `push_alerts` must be exactly
+/// `flatten_verdicts(push(..))`, flattening evidence back into the old
+/// per-window `Alert` stream with zero drift, and `intrusion_detected`
+/// must equal `max_severity().is_some()` at every step.
+#[test]
+fn push_alerts_flattens_verdicts_with_zero_drift() {
+    let trained = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params()))
+        .build()
+        .unwrap()
+        .train(&train_signals(), benign(0.0), 0.3)
+        .unwrap();
+    let spec = trained.stream_spec(params());
+
+    for observed in [benign(5e-3), attacked()] {
+        let mut via_verdicts = spec.open().unwrap();
+        let mut via_shim = spec.open().unwrap();
+        let mut flattened: Vec<nsync::Alert> = Vec::new();
+        let mut shimmed: Vec<nsync::Alert> = Vec::new();
+        let mut i = 0;
+        while i < observed.len() {
+            let end = (i + 16).min(observed.len());
+            let chunk = observed.slice(i..end).unwrap();
+            let verdicts = via_verdicts.push(&chunk).unwrap();
+            flattened.extend(nsync::streaming::flatten_verdicts(&verdicts));
+            shimmed.extend(via_shim.push_alerts(&chunk).unwrap());
+            assert_eq!(
+                via_shim.intrusion_detected(),
+                via_shim.max_severity().is_some(),
+                "the boolean shim must mirror the severity latch"
+            );
+            i = end;
+        }
+        assert_eq!(
+            format!("{shimmed:?}").into_bytes(),
+            format!("{flattened:?}").into_bytes(),
+            "push_alerts must be flatten_verdicts(push(..)) exactly"
+        );
+        assert_eq!(
+            via_shim.intrusion_detected(),
+            via_verdicts.max_severity().is_some()
+        );
+    }
+}
+
+/// Under the default `FusionPolicy` every flattened alert carries the
+/// same (window, module, value, threshold) tuple the pre-verdict stream
+/// carried — one alert per exceeded sub-module per window, in
+/// CDisp → HDist → VDist order.
+#[test]
+fn default_policy_flattened_alerts_keep_the_old_shape() {
+    let trained = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params()))
+        .build()
+        .unwrap()
+        .train(&train_signals(), benign(0.0), 0.3)
+        .unwrap();
+    let spec = trained.stream_spec(params());
+    let mut ids = spec.open().unwrap();
+    let verdicts = stream_all(&mut ids, &attacked());
+    assert!(!verdicts.is_empty(), "the attacked stream must alert");
+    let alerts = nsync::streaming::flatten_verdicts(&verdicts);
+    for verdict in &verdicts {
+        // Debounce 1 fires every alerting window; the span tracks the
+        // streak start but the evidence is that window's alone, so the
+        // flattening below reproduces the per-window Alert stream.
+        assert!(verdict.window_span.0 <= verdict.window_span.1);
+        assert!(
+            verdict
+                .evidence
+                .iter()
+                .all(|e| e.window == verdict.window_span.1),
+            "default policy carries only the firing window's evidence"
+        );
+    }
+    // Flat alerts are per-window monotone, and every alert's value
+    // genuinely exceeds its threshold (the old `Alert` contract).
+    assert!(alerts.windows(2).all(|w| w[0].window <= w[1].window));
+    assert!(alerts.iter().all(|a| a.value > a.threshold));
 }

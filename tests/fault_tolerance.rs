@@ -63,13 +63,13 @@ fn first_alert_stream(trained: &Trained, signal: &Signal) -> (bool, Option<usize
     let mut i = 0;
     while i < signal.len() {
         let end = (i + chunk).min(signal.len());
-        let alerts = stream.push(&signal.slice(i..end).unwrap()).unwrap();
+        let verdicts = stream.push(&signal.slice(i..end).unwrap()).unwrap();
         if first.is_none() {
-            first = alerts.iter().map(|a| a.window).min();
+            first = verdicts.iter().map(|v| v.window_span.0).min();
         }
         i = end;
     }
-    (stream.intrusion_detected(), first)
+    (stream.max_severity().is_some(), first)
 }
 
 #[test]
@@ -106,9 +106,9 @@ fn monitor_survives_rig_failure_and_still_detects_attack() {
             handle.send(faulted.slice(i..end).unwrap()),
             "monitor died mid-stream"
         );
-        while let Ok(alert) = handle.alerts.try_recv() {
+        while let Ok(verdict) = handle.verdicts.try_recv() {
             if first.is_none() {
-                first = Some(alert.window);
+                first = Some(verdict.window_span.0);
             }
         }
         let health = handle.health();
@@ -120,7 +120,7 @@ fn monitor_survives_rig_failure_and_still_detects_attack() {
     // The monitor shuts down cleanly — it never died.
     let leftovers = handle.finish().expect("monitor finished without a fault");
     if first.is_none() {
-        first = leftovers.iter().map(|a| a.window).min();
+        first = leftovers.iter().map(|v| v.window_span.0).min();
     }
 
     // Channel 0 was NaN for 80% of the print: it must have been

@@ -6,7 +6,8 @@
 
 use am_fleet::sim::{FleetSim, PrinterScript, SimConfig};
 use am_fleet::{Fleet, FleetConfig, IngestPolicy, PrinterId};
-use nsync::streaming::{Alert, ChunkOutcome, StreamSpec};
+use nsync::streaming::{ChunkOutcome, StreamSpec};
+use nsync::Verdict;
 use std::collections::BTreeMap;
 
 const PRINTERS: u64 = 64;
@@ -17,7 +18,7 @@ const TRUNCATED_FRAMES: usize = 48;
 /// What one printer's detector produced, in a directly comparable form.
 #[derive(Debug, PartialEq)]
 struct Verdicts {
-    alerts: Vec<Alert>,
+    verdicts: Vec<Verdict>,
     windows_seen: usize,
     intrusion: bool,
     health: String,
@@ -25,20 +26,20 @@ struct Verdicts {
 
 fn standalone(spec: &StreamSpec, script: &PrinterScript) -> Verdicts {
     let mut ids = spec.open().expect("open standalone detector");
-    let mut alerts = Vec::new();
+    let mut verdicts = Vec::new();
     for chunk in &script.chunks {
         match ids
             .push_supervised(chunk)
             .expect("supervised push never errors")
         {
-            ChunkOutcome::Processed(batch) => alerts.extend(batch),
+            ChunkOutcome::Processed(batch) => verdicts.extend(batch),
             ChunkOutcome::Resynced | ChunkOutcome::Rejected(_) => {}
         }
     }
     Verdicts {
-        alerts,
+        verdicts,
         windows_seen: ids.windows_seen(),
-        intrusion: ids.intrusion_detected(),
+        intrusion: ids.max_severity().is_some(),
         health: format!("{:?}", ids.health_report()),
     }
 }
@@ -79,8 +80,8 @@ fn fleet_verdicts_are_byte_identical_to_standalone() {
             .register(script.printer, sim.spec_of(script.printer))
             .expect("register");
     }
-    let alert_rx = fleet.alerts();
-    let mut fleet_alerts: BTreeMap<PrinterId, Vec<Alert>> = BTreeMap::new();
+    let verdict_rx = fleet.verdicts();
+    let mut fleet_verdicts: BTreeMap<PrinterId, Vec<Verdict>> = BTreeMap::new();
     let longest = scripts.iter().map(|s| s.chunks.len()).max().unwrap();
     for frame in 0..longest {
         for script in &scripts {
@@ -90,19 +91,16 @@ fn fleet_verdicts_are_byte_identical_to_standalone() {
                     .expect("block ingest");
             }
         }
-        while let Ok(alert) = alert_rx.try_recv() {
-            fleet_alerts
-                .entry(alert.printer)
-                .or_default()
-                .push(alert.alert);
+        while let Ok(v) = verdict_rx.try_recv() {
+            fleet_verdicts.entry(v.printer).or_default().push(v.verdict);
         }
     }
     let report = fleet.finish().expect("clean shutdown");
-    for alert in &report.leftover_alerts {
-        fleet_alerts
-            .entry(alert.printer)
+    for v in &report.leftover_verdicts {
+        fleet_verdicts
+            .entry(v.printer)
             .or_default()
-            .push(alert.alert);
+            .push(v.verdict.clone());
     }
     assert_eq!(report.snapshot.alerts_lost(), 0);
     assert_eq!(report.printers.len(), PRINTERS as usize);
@@ -113,7 +111,7 @@ fn fleet_verdicts_are_byte_identical_to_standalone() {
         let expected = standalone(&sim.spec_of(script.printer), script);
         let reported = report.printer(script.printer).expect("printer reported");
         let got = Verdicts {
-            alerts: fleet_alerts.remove(&script.printer).unwrap_or_default(),
+            verdicts: fleet_verdicts.remove(&script.printer).unwrap_or_default(),
             windows_seen: reported.windows_seen,
             intrusion: reported.intrusion,
             health: format!("{:?}", reported.health),

@@ -62,7 +62,7 @@ fn spec_swaps(snapshot: &FleetSnapshot) -> (u64, u64) {
 
 /// Drains the alert channel so `AlertPolicy::Block` senders never stall.
 fn discard_alerts(fleet: &Fleet) -> std::thread::JoinHandle<()> {
-    let rx = fleet.alerts();
+    let rx = fleet.verdicts();
     std::thread::spawn(move || for _ in rx.iter() {})
 }
 
@@ -291,7 +291,7 @@ fn wire_server_reload_admits_a_printer_mid_stream() {
             .with_rate_limit(1_000_000.0, 1_000_000.0),
     )
     .expect("bind loopback listener");
-    let rx = server.alerts();
+    let rx = server.verdicts();
     let drain = std::thread::spawn(move || for _ in rx.iter() {});
     let mut conn = TcpStream::connect(server.tcp_addr().expect("tcp enabled")).expect("connect");
 

@@ -48,9 +48,9 @@ fn watchdog_restart_does_not_disturb_shard_neighbours() {
 
     // Reference: the victim's neighbour, run standalone.
     let mut alone = spec.open().unwrap();
-    let mut alone_alerts = Vec::new();
+    let mut alone_verdicts = Vec::new();
     for chunk in &chunks {
-        alone_alerts.extend(alone.push(chunk).unwrap());
+        alone_verdicts.extend(alone.push(chunk).unwrap());
     }
 
     // One shard, so victim and neighbour share a worker thread.
@@ -84,16 +84,17 @@ fn watchdog_restart_does_not_disturb_shard_neighbours() {
     let n = report.printer(neighbour).unwrap();
     assert_eq!(n.restarts, 0);
     assert_eq!(n.windows_seen, alone.windows_seen());
-    assert_eq!(n.intrusion, alone.intrusion_detected());
-    let n_alerts: Vec<_> = report
-        .leftover_alerts
+    assert_eq!(n.intrusion, alone.max_severity().is_some());
+    assert_eq!(n.max_severity, alone.max_severity());
+    let n_verdicts: Vec<_> = report
+        .leftover_verdicts
         .iter()
-        .filter(|a| a.printer == neighbour)
-        .map(|a| a.alert)
+        .filter(|v| v.printer == neighbour)
+        .map(|v| v.verdict.clone())
         .collect();
     assert_eq!(
-        format!("{n_alerts:?}"),
-        format!("{alone_alerts:?}"),
+        format!("{n_verdicts:?}"),
+        format!("{alone_verdicts:?}"),
         "neighbour's verdicts must be untouched by the victim's crash"
     );
 }
@@ -223,6 +224,6 @@ fn blocking_alert_policy_loses_nothing_even_unconsumed() {
     assert_eq!(report.snapshot.alerts_lost(), 0);
     assert_eq!(report.snapshot.alerts_dropped(), 0);
     assert_eq!(report.snapshot.alerts_emitted(), expected);
-    assert_eq!(report.leftover_alerts.len() as u64, expected);
+    assert_eq!(report.leftover_verdicts.len() as u64, expected);
     assert!(report.printer(printer).unwrap().intrusion);
 }

@@ -1,0 +1,204 @@
+//! Quality contract for the structured-verdict stack (DESIGN.md §15):
+//! cross-channel fusion must never detect worse than its best single
+//! channel, debouncing must suppress single-window transients, online
+//! calibration must be bit-deterministic, and the deprecated flat-alert
+//! shim must show zero drift against the verdict path.
+
+use am_dsp::Signal;
+use am_fleet::sim::{FleetSim, SimConfig};
+use am_fleet::PrinterId;
+use nsync::prelude::*;
+use nsync::verdict::ChannelEvidence;
+use nsync::{CalibrationConfig, SubModule, Verdict};
+
+const PRINTERS: u64 = 48;
+
+fn evidence(window: usize) -> ChannelEvidence {
+    ChannelEvidence {
+        channel: "acc".into(),
+        module: SubModule::HDist,
+        value: 1.4,
+        threshold: 0.9,
+        window,
+    }
+}
+
+/// Fused acc+pwr detection over the simulated population catches at
+/// least as many scripted attacks as either single channel alone — the
+/// core cross-channel fusion claim.
+#[test]
+fn fused_recall_meets_or_beats_single_channel() {
+    let sim = FleetSim::build(SimConfig::default()).unwrap();
+    let fused_spec = sim.fused_spec(FusionPolicy::default(), CalibrationConfig::default());
+
+    let mut single_detected = 0usize;
+    let mut fused_detected = 0usize;
+    let mut malicious = 0usize;
+    for id in (0..PRINTERS).map(PrinterId) {
+        let script = sim.fused_script(id).unwrap();
+        if !script.malicious {
+            continue;
+        }
+        malicious += 1;
+
+        // Single channel: the lane this printer would have run standalone.
+        let mut alone = sim.spec_of(id).open().unwrap();
+        let lane0 = (id.0 % script.lanes.len() as u64) as usize;
+        for chunk in &script.lanes[lane0] {
+            alone.push(chunk).unwrap();
+        }
+        if alone.max_severity().is_some() {
+            single_detected += 1;
+        }
+
+        // Fused: both lanes interleaved frame by frame, as the fleet
+        // ingests them.
+        let mut fused = fused_spec.open().unwrap();
+        let longest = script.lanes.iter().map(Vec::len).max().unwrap_or(0);
+        for frame in 0..longest {
+            for (lane, chunks) in script.lanes.iter().enumerate() {
+                if let Some(chunk) = chunks.get(frame) {
+                    fused.push(lane, chunk).unwrap();
+                }
+            }
+        }
+        if fused.max_severity().is_some() {
+            fused_detected += 1;
+        }
+    }
+    assert!(malicious >= 5, "population must script several attacks");
+    assert!(
+        fused_detected >= single_detected,
+        "fusion lost recall: fused {fused_detected} < single {single_detected} of {malicious}"
+    );
+}
+
+/// A single alerting window followed by quiet never surfaces under a
+/// two-window debounce; a sustained streak does, spanning the streak.
+#[test]
+fn debounce_suppresses_single_window_transient() {
+    let policy = FusionPolicy::default().with_debounce_windows(2);
+    let mut assembler = VerdictAssembler::new(policy);
+
+    // Transient: one alerting window, then quiet.
+    assert!(assembler.observe(3, vec![evidence(3)]).is_none());
+    assert!(assembler.observe(4, Vec::new()).is_none());
+    assert!(
+        assembler.max_severity().is_none(),
+        "transient must not latch"
+    );
+    assert!(assembler.last_verdict().is_none());
+
+    // Sustained: two consecutive alerting windows fire one verdict
+    // carrying both windows' evidence.
+    assert!(assembler.observe(7, vec![evidence(7)]).is_none());
+    let verdict = assembler
+        .observe(8, vec![evidence(8)])
+        .expect("a sustained streak must fire");
+    assert_eq!(verdict.window_span, (7, 8));
+    assert_eq!(verdict.evidence.len(), 2);
+    assert_eq!(assembler.max_severity(), Some(verdict.severity));
+}
+
+fn benign(phase: f64) -> Signal {
+    Signal::from_fn(20.0, 1, 2400, |t, f| {
+        f[0] = (0.8 * t).sin() + 0.5 * (2.3 * t + phase).sin()
+    })
+    .unwrap()
+}
+
+fn calibrated_spec() -> StreamSpec {
+    let params = DwmParams::from_window(4.0);
+    let train: Vec<Signal> = (1..=4).map(|i| benign(i as f64 * 1e-3)).collect();
+    let trained = IdsBuilder::new()
+        .synchronizer(DwmSynchronizer::new(params))
+        .build()
+        .unwrap()
+        .train(&train, benign(0.0), 0.3)
+        .unwrap();
+    let spec = trained.stream_spec(params);
+    let calibration = CalibrationConfig::adaptive().with_warmup_windows(8);
+    StreamSpec::new(spec.reference().clone(), spec.params(), spec.thresholds())
+        .with_config(spec.config().with_calibration(calibration))
+}
+
+fn feed(ids: &mut StreamingIds, signal: &Signal) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    let mut i = 0;
+    while i < signal.len() {
+        let end = (i + 16).min(signal.len());
+        verdicts.extend(ids.push(&signal.slice(i..end).unwrap()).unwrap());
+        i = end;
+    }
+    verdicts
+}
+
+/// Two detectors opened from the same spec and fed the same benign
+/// stream calibrate to bit-identical thresholds and verdict streams —
+/// calibration is a pure function of the observed windows.
+#[test]
+fn calibration_is_deterministic_on_a_benign_stream() {
+    let spec = calibrated_spec();
+    let observed = benign(5e-3);
+    let mut a = spec.open().unwrap();
+    let mut b = spec.open().unwrap();
+    let va = feed(&mut a, &observed);
+    let vb = feed(&mut b, &observed);
+
+    assert_eq!(
+        format!("{va:?}").into_bytes(),
+        format!("{vb:?}").into_bytes(),
+        "verdict streams must be byte-identical"
+    );
+    assert_eq!(
+        format!("{:?}", a.active_thresholds()).into_bytes(),
+        format!("{:?}", b.active_thresholds()).into_bytes(),
+        "calibrated thresholds must be byte-identical"
+    );
+    assert_eq!(
+        format!("{:?}", a.calibration_state()).into_bytes(),
+        format!("{:?}", b.calibration_state()).into_bytes()
+    );
+    // The warmup genuinely completed: the calibrator is in its terminal
+    // Calibrated state (the benign stream must not trip the drift guard).
+    assert!(
+        matches!(a.calibration_state(), CalibrationState::Calibrated { .. }),
+        "warmup must complete on a long benign stream: {:?}",
+        a.calibration_state()
+    );
+    // Raise-only contract: calibration never lowers a trained threshold.
+    let trained = spec.thresholds();
+    let live = a.active_thresholds();
+    assert!(live.c_c >= trained.c_c);
+    assert!(live.h_c >= trained.h_c);
+    assert!(live.v_c >= trained.v_c);
+}
+
+/// The deprecated flat-alert shim drifts by zero bytes from the verdict
+/// path: `push_alerts` is exactly `flatten_verdicts(push(..))` and the
+/// boolean latch mirrors the severity latch. (The full shim contract
+/// lives in `deprecated_shims.rs`; this pins the verdict-side half.)
+#[test]
+#[allow(deprecated)]
+fn deprecated_shim_zero_drift() {
+    let spec = calibrated_spec();
+    let observed = benign(5e-3);
+    let mut via_verdicts = spec.open().unwrap();
+    let mut via_shim = spec.open().unwrap();
+    let mut i = 0;
+    while i < observed.len() {
+        let end = (i + 16).min(observed.len());
+        let chunk = observed.slice(i..end).unwrap();
+        let flattened = nsync::streaming::flatten_verdicts(&via_verdicts.push(&chunk).unwrap());
+        let shimmed = via_shim.push_alerts(&chunk).unwrap();
+        assert_eq!(
+            format!("{shimmed:?}").into_bytes(),
+            format!("{flattened:?}").into_bytes()
+        );
+        assert_eq!(
+            via_shim.intrusion_detected(),
+            via_verdicts.max_severity().is_some()
+        );
+        i = end;
+    }
+}

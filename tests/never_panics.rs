@@ -41,11 +41,7 @@ fn reference(channels: usize) -> Signal {
 fn thresholds() -> Thresholds {
     // Any finite thresholds will do: these properties assert absence of
     // panics, not detection quality.
-    Thresholds {
-        c_c: 10.0,
-        h_c: 10.0,
-        v_c: 10.0,
-    }
+    Thresholds::new(10.0, 10.0, 10.0)
 }
 
 proptest! {

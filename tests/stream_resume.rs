@@ -6,6 +6,7 @@
 
 use am_dsp::Signal;
 use nsync::prelude::*;
+use nsync::Verdict;
 
 fn benign(phase: f64) -> Signal {
     Signal::from_fn(20.0, 1, 1600, |t, f| {
@@ -36,15 +37,15 @@ fn toy_spec() -> StreamSpec {
         .stream_spec(params)
 }
 
-fn feed(ids: &mut StreamingIds, signal: &Signal, range: std::ops::Range<usize>) -> Vec<Alert> {
-    let mut alerts = Vec::new();
+fn feed(ids: &mut StreamingIds, signal: &Signal, range: std::ops::Range<usize>) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
     let mut i = range.start;
     while i < range.end {
         let end = (i + 16).min(range.end);
-        alerts.extend(ids.push(&signal.slice(i..end).unwrap()).unwrap());
+        verdicts.extend(ids.push(&signal.slice(i..end).unwrap()).unwrap());
         i = end;
     }
-    alerts
+    verdicts
 }
 
 #[test]
@@ -57,7 +58,7 @@ fn resume_at_zero_is_byte_identical_to_open() {
     let b = feed(&mut resumed, &observed, 0..observed.len());
     assert_eq!(format!("{a:?}").into_bytes(), format!("{b:?}").into_bytes());
     assert_eq!(opened.windows_seen(), resumed.windows_seen());
-    assert_eq!(opened.intrusion_detected(), resumed.intrusion_detected());
+    assert_eq!(opened.max_severity(), resumed.max_severity());
 }
 
 #[test]
@@ -68,11 +69,11 @@ fn resume_after_death_keeps_global_window_indexing() {
 
     // First detector dies halfway through the print.
     let mut first = spec.open().unwrap();
-    let early_alerts = feed(&mut first, &observed, 0..half);
+    let early_verdicts = feed(&mut first, &observed, 0..half);
     let died_at = first.windows_seen();
     assert!(died_at > 0, "first half must complete windows");
     assert!(
-        early_alerts.is_empty() && !first.intrusion_detected(),
+        early_verdicts.is_empty() && first.max_severity().is_none(),
         "the benign first half must stay quiet"
     );
     drop(first); // the simulated monitor death
@@ -85,18 +86,18 @@ fn resume_after_death_keeps_global_window_indexing() {
         died_at,
         "resume seats the window counter"
     );
-    let late_alerts = feed(&mut second, &observed, half..observed.len());
+    let late_verdicts = feed(&mut second, &observed, half..observed.len());
 
     // Window indices continue the global numbering rather than
     // restarting at zero.
     assert!(
-        late_alerts.iter().all(|a| a.window >= died_at),
-        "post-resume alerts must carry post-resume window indices: {late_alerts:?}"
+        late_verdicts.iter().all(|v| v.window_span.0 >= died_at),
+        "post-resume verdicts must carry post-resume window indices: {late_verdicts:?}"
     );
     assert!(second.windows_seen() > died_at);
     // The tail attack is still caught by the resumed detector.
     assert!(
-        second.intrusion_detected(),
+        second.max_severity().is_some(),
         "resumed detector must catch the tail attack"
     );
     // And the resumed health machine starts clean — death is not a
@@ -111,7 +112,7 @@ fn resume_survives_repeated_deaths() {
     let step = observed.len() / 4;
     let mut windows = 0;
     let mut intrusion = false;
-    let mut all_alerts = Vec::new();
+    let mut all_verdicts = Vec::new();
     // Four generations, each dying after a quarter of the print.
     for generation in 0..4 {
         let mut ids = spec.resume(windows).unwrap();
@@ -121,12 +122,14 @@ fn resume_survives_repeated_deaths() {
         } else {
             start + step
         };
-        all_alerts.extend(feed(&mut ids, &observed, start..end));
+        all_verdicts.extend(feed(&mut ids, &observed, start..end));
         assert!(ids.windows_seen() >= windows);
         windows = ids.windows_seen();
-        intrusion |= ids.intrusion_detected();
+        intrusion |= ids.max_severity().is_some();
     }
     assert!(intrusion, "the attack must survive three detector deaths");
     // Window indices across generations are globally monotonic.
-    assert!(all_alerts.windows(2).all(|w| w[0].window <= w[1].window));
+    assert!(all_verdicts
+        .windows(2)
+        .all(|w| w[0].window() <= w[1].window()));
 }

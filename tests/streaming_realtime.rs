@@ -34,14 +34,14 @@ fn streaming_agrees_with_batch_and_alerts_early() {
         let mut i = 0;
         while i < test.signal.len() {
             let end = (i + chunk).min(test.signal.len());
-            let alerts = stream.push(&test.signal.slice(i..end).unwrap()).unwrap();
+            let verdicts = stream.push(&test.signal.slice(i..end).unwrap()).unwrap();
             if first_alert_window.is_none() {
-                first_alert_window = alerts.iter().map(|a| a.window).min();
+                first_alert_window = verdicts.iter().map(|v| v.window_span.0).min();
             }
             i = end;
         }
         assert_eq!(
-            stream.intrusion_detected(),
+            stream.max_severity().is_some(),
             batch.intrusion,
             "stream/batch disagree on {}",
             test.role

@@ -9,7 +9,7 @@
 use am_fleet::sim::{FleetSim, PrinterScript, SimConfig};
 use am_fleet::{AlertPolicy, Fleet, FleetConfig, FleetReport, IngestPolicy, PrinterId};
 use am_wire::{EdgeConfig, FrameDecoder, WireFrame, WireServer};
-use nsync::streaming::Alert;
+use nsync::Verdict;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::TcpStream;
@@ -21,7 +21,7 @@ const FRAMES: usize = 32;
 /// One printer's full observable outcome, in byte-comparable form.
 #[derive(Debug, PartialEq)]
 struct Verdicts {
-    alerts: Vec<Alert>,
+    verdicts: Vec<Verdict>,
     windows_seen: usize,
     intrusion: bool,
     health: String,
@@ -71,17 +71,20 @@ fn fleet_for(sim: &FleetSim, scripts: &[PrinterScript]) -> Fleet {
     fleet
 }
 
-/// Merges the leftover (undelivered-at-shutdown) alerts into the drained
-/// map and folds everything into per-printer verdicts. Alerts are
-/// consumed by exactly one consumer at a time (the caller's `try_recv`
-/// loop, then [`am_fleet::Fleet::finish`]'s leftover sweep), so
-/// `drained + leftover` preserves per-printer emission order.
+/// Merges the leftover (undelivered-at-shutdown) verdicts into the
+/// drained map and folds everything into per-printer outcomes. Verdicts
+/// are consumed by exactly one consumer at a time (the caller's
+/// `try_recv` loop, then [`am_fleet::Fleet::finish`]'s leftover sweep),
+/// so `drained + leftover` preserves per-printer emission order.
 fn collect(
     report: FleetReport,
-    mut drained: BTreeMap<PrinterId, Vec<Alert>>,
+    mut drained: BTreeMap<PrinterId, Vec<Verdict>>,
 ) -> BTreeMap<PrinterId, Verdicts> {
-    for a in &report.leftover_alerts {
-        drained.entry(a.printer).or_default().push(a.alert);
+    for v in &report.leftover_verdicts {
+        drained
+            .entry(v.printer)
+            .or_default()
+            .push(v.verdict.clone());
     }
     report
         .printers
@@ -90,7 +93,7 @@ fn collect(
             (
                 r.printer,
                 Verdicts {
-                    alerts: drained.remove(&r.printer).unwrap_or_default(),
+                    verdicts: drained.remove(&r.printer).unwrap_or_default(),
                     windows_seen: r.windows_seen,
                     intrusion: r.intrusion,
                     health: format!("{:?}", r.health),
@@ -101,18 +104,18 @@ fn collect(
 }
 
 fn drain_into(
-    rx: &crossbeam::channel::Receiver<am_fleet::FleetAlert>,
-    by_printer: &mut BTreeMap<PrinterId, Vec<Alert>>,
+    rx: &crossbeam::channel::Receiver<am_fleet::FleetVerdict>,
+    by_printer: &mut BTreeMap<PrinterId, Vec<Verdict>>,
 ) {
-    while let Ok(a) = rx.try_recv() {
-        by_printer.entry(a.printer).or_default().push(a.alert);
+    while let Ok(v) = rx.try_recv() {
+        by_printer.entry(v.printer).or_default().push(v.verdict);
     }
 }
 
 /// Baseline: the same chunks handed to `Fleet::send` directly.
 fn run_in_process(sim: &FleetSim, scripts: &[PrinterScript]) -> BTreeMap<PrinterId, Verdicts> {
     let fleet = fleet_for(sim, scripts);
-    let rx = fleet.alerts();
+    let rx = fleet.verdicts();
     let mut drained = BTreeMap::new();
     let longest = scripts.iter().map(|s| s.chunks.len()).max().unwrap_or(0);
     for frame in 0..longest {
@@ -138,7 +141,7 @@ fn replay_via_decoder(
     log: &[u8],
 ) -> BTreeMap<PrinterId, Verdicts> {
     let fleet = fleet_for(sim, scripts);
-    let rx = fleet.alerts();
+    let rx = fleet.verdicts();
     let mut drained = BTreeMap::new();
     let mut dec = FrameDecoder::new(1 << 20);
     // Arbitrary re-chunking must not matter: feed awkward slices.
@@ -173,7 +176,7 @@ fn replay_via_tcp(
             .with_rate_limit(1_000_000.0, 1_000_000.0),
     )
     .expect("bind loopback listener");
-    let rx = server.alerts();
+    let rx = server.verdicts();
     let mut drained = BTreeMap::new();
     let mut conn = TcpStream::connect(server.tcp_addr().expect("tcp enabled")).expect("connect");
     conn.write_all(log).expect("stream the log");
@@ -218,8 +221,8 @@ fn wire_replay_reproduces_the_verdict_stream_exactly() {
     // The baseline must contain real alert traffic, or "identical"
     // would be vacuous.
     assert!(
-        baseline.values().any(|v| !v.alerts.is_empty()),
-        "seeded population produced no alerts"
+        baseline.values().any(|v| !v.verdicts.is_empty()),
+        "seeded population produced no verdicts"
     );
 
     let via_decoder = replay_via_decoder(&sim, &scripts, &log);
