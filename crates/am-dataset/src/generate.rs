@@ -6,10 +6,14 @@ use am_dsp::stft::log_spectrogram;
 use am_dsp::Signal;
 use am_gcode::attacks::Attack;
 use am_gcode::slicer::slice_gear;
+use am_gcode::GcodeProgram;
+use am_printer::config::PrinterConfig;
 use am_printer::firmware::execute_program;
 use am_printer::trajectory::PrintTrajectory;
 use am_sensors::channel::SideChannel;
+use am_sensors::interference::Interference;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Signal transformation applied before a detector sees the data
 /// (§VIII-A "Spectrograms", Table III).
@@ -90,11 +94,37 @@ pub struct RunRecord {
     pub trajectory: PrintTrajectory,
 }
 
+/// One planned run: role × program × the printer configuration that
+/// executes it. Scenario rows build these explicitly so firmware-level
+/// attacks (which leave the program untouched but corrupt the executing
+/// config) and exotic kinematics flow through the same dataset pipeline
+/// as the paper's G-code attacks.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// The run's role.
+    pub role: RunRole,
+    /// The G-code program sent to the (possibly compromised) firmware.
+    pub program: Arc<GcodeProgram>,
+    /// The printer configuration executing this run — malicious plans may
+    /// carry a [`am_printer::attack::FirmwareAttack`] here while the
+    /// program stays byte-identical to benign.
+    pub config: PrinterConfig,
+}
+
 /// All trajectories of one experiment (printer × profile).
 #[derive(Debug, Clone)]
 pub struct TrajectorySet {
     /// The generating spec.
     pub spec: ExperimentSpec,
+    /// The printer configuration used for sensor capture. Defaults to
+    /// `spec.printer.config()`; scenario rows override it for non-catalog
+    /// kinematics (e.g. a CoreXY frame reusing the UM3 profile constants).
+    pub printer_config: PrinterConfig,
+    /// Optional benign-labeled interference overlay applied to benign
+    /// *test* captures (IP-exfiltration probe leak-back). Never applied
+    /// to reference/training runs, so it pressures the false-alarm rate
+    /// exactly the way an unmodeled co-located emitter would.
+    pub stressor: Option<Interference>,
     /// All runs, reference first.
     pub runs: Vec<RunRecord>,
 }
@@ -137,50 +167,94 @@ impl TrajectorySet {
         let slice_cfg = spec.profile.slice_config(spec.printer);
         let benign_program = slice_gear(&slice_cfg)?;
         let printer_cfg = spec.printer.config();
-        let noise = spec.profile.time_noise();
 
-        // Build the work list: (role, program).
-        let mut work: Vec<(RunRole, std::sync::Arc<am_gcode::GcodeProgram>)> = Vec::new();
-        let benign_arc = std::sync::Arc::new(benign_program);
-        work.push((RunRole::Reference, benign_arc.clone()));
+        // Build the work list: (role, program, executing config).
+        let mut plans: Vec<RunPlan> = Vec::new();
+        let benign_arc = Arc::new(benign_program);
+        plans.push(RunPlan {
+            role: RunRole::Reference,
+            program: benign_arc.clone(),
+            config: printer_cfg.clone(),
+        });
         for i in 0..mix.train {
-            work.push((RunRole::Train(i), benign_arc.clone()));
+            plans.push(RunPlan {
+                role: RunRole::Train(i),
+                program: benign_arc.clone(),
+                config: printer_cfg.clone(),
+            });
         }
         for i in 0..mix.test_benign {
-            work.push((RunRole::TestBenign(i), benign_arc.clone()));
+            plans.push(RunPlan {
+                role: RunRole::TestBenign(i),
+                program: benign_arc.clone(),
+                config: printer_cfg.clone(),
+            });
         }
         for attack in Attack::table1() {
-            let program = std::sync::Arc::new(attack.apply(&benign_arc, &slice_cfg)?);
+            let program = Arc::new(attack.apply(&benign_arc, &slice_cfg)?);
             for i in 0..mix.malicious_per_attack {
-                work.push((
-                    RunRole::Malicious {
+                plans.push(RunPlan {
+                    role: RunRole::Malicious {
                         attack: attack.name(),
                         index: i,
                     },
-                    program.clone(),
-                ));
+                    program: program.clone(),
+                    config: printer_cfg.clone(),
+                });
             }
         }
+        Self::execute_plans(spec, printer_cfg, plans)
+    }
 
-        // Execute in parallel.
-        let results: Vec<Result<RunRecord, DatasetError>> =
-            parallel_map(&work, |(idx, (role, program))| {
-                let seed = spec
-                    .base_seed
-                    .wrapping_add(idx as u64)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                let trajectory = execute_program(program, &printer_cfg, &noise, seed)?;
-                Ok(RunRecord {
-                    role: role.clone(),
-                    seed,
-                    trajectory,
-                })
-            });
+    /// Executes an explicit run plan list — the scenario zoo's entry
+    /// point. Run `i` derives its seed from `spec.base_seed` exactly like
+    /// [`TrajectorySet::generate`], so a plan list that mirrors the
+    /// catalog mix reproduces the catalog set bit-for-bit.
+    ///
+    /// `capture_config` is the printer used for sensor capture of *every*
+    /// run; each plan's own `config` drives execution, which is how
+    /// firmware attacks corrupt the physics without touching the sensor
+    /// front-end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn execute_plans(
+        spec: ExperimentSpec,
+        capture_config: PrinterConfig,
+        plans: Vec<RunPlan>,
+    ) -> Result<Self, DatasetError> {
+        let noise = spec.profile.time_noise();
+        let results: Vec<Result<RunRecord, DatasetError>> = parallel_map(&plans, |(idx, plan)| {
+            let seed = spec
+                .base_seed
+                .wrapping_add(idx as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let trajectory = execute_program(&plan.program, &plan.config, &noise, seed)?;
+            Ok(RunRecord {
+                role: plan.role.clone(),
+                seed,
+                trajectory,
+            })
+        });
         let mut runs = Vec::with_capacity(results.len());
         for r in results {
             runs.push(r?);
         }
-        Ok(TrajectorySet { spec, runs })
+        Ok(TrajectorySet {
+            spec,
+            printer_config: capture_config,
+            stressor: None,
+            runs,
+        })
+    }
+
+    /// Returns the set with a benign-labeled interference overlay applied
+    /// to benign-test captures (see [`TrajectorySet::stressor`]).
+    #[must_use]
+    pub fn with_stressor(mut self, stressor: Interference) -> Self {
+        self.stressor = Some(stressor);
+        self
     }
 
     /// Captures one side channel for every run, in parallel. Memory for
@@ -210,11 +284,20 @@ impl TrajectorySet {
         channel: SideChannel,
         threads: usize,
     ) -> Result<Vec<Capture>, DatasetError> {
-        let printer_cfg = self.spec.printer.config();
+        let printer_cfg = &self.printer_config;
         let daq = self.spec.profile.daq(channel);
         let results: Vec<Result<Capture, DatasetError>> =
             parallel_map_with_threads(&self.runs, threads, |(_, run)| {
-                let signal = channel.capture(&run.trajectory, &printer_cfg, &daq, run.seed)?;
+                let mut signal = channel.capture(&run.trajectory, printer_cfg, &daq, run.seed)?;
+                if let Some(stressor) = &self.stressor {
+                    if matches!(run.role, RunRole::TestBenign(_)) {
+                        // Per-run decorrelation: the probe's keying phase
+                        // and broadband floor differ across benign runs.
+                        signal = stressor
+                            .with_seed(stressor.seed ^ run.seed)
+                            .apply(&signal)?;
+                    }
+                }
                 let t0 = run.trajectory.print_start();
                 let layer_times = run
                     .trajectory
@@ -572,6 +655,30 @@ mod tests {
             assert!(c.signal.len() > 100);
             assert!(!c.layer_times.is_empty());
             assert!(c.layer_times[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn stressor_overlays_only_benign_test_captures() {
+        let set = TrajectorySet::generate(tiny_spec()).unwrap();
+        let clean = set.capture_channel(SideChannel::Mag).unwrap();
+        let stressed_set = set.clone().with_stressor(Interference::exfil_probe(7));
+        let stressed = stressed_set.capture_channel(SideChannel::Mag).unwrap();
+        let again = stressed_set.capture_channel(SideChannel::Mag).unwrap();
+        for ((a, b), c) in clean.iter().zip(&stressed).zip(&again) {
+            assert_eq!(a.role, b.role);
+            let changed =
+                (0..a.signal.channels()).any(|ch| a.signal.channel(ch) != b.signal.channel(ch));
+            assert_eq!(
+                changed,
+                matches!(a.role, RunRole::TestBenign(_)),
+                "stressor must touch exactly the benign test runs ({})",
+                a.role
+            );
+            // Overlay is deterministic across captures.
+            for ch in 0..b.signal.channels() {
+                assert_eq!(b.signal.channel(ch), c.signal.channel(ch));
+            }
         }
     }
 

@@ -21,7 +21,7 @@ pub mod spec;
 pub mod store;
 
 pub use error::DatasetError;
-pub use generate::{Capture, RunRecord, RunRole, TrajectorySet, Transform};
+pub use generate::{Capture, RunPlan, RunRecord, RunRole, TrajectorySet, Transform};
 pub use slots::{KeyedSlots, SlotStats};
 pub use spec::{ExperimentSpec, ProcessMix, Profile};
 pub use store::{CaptureStats, CaptureStore, SharedCaptures};

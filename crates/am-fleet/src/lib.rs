@@ -67,6 +67,7 @@ pub mod reload;
 pub mod shard;
 pub mod sim;
 pub mod snapshot;
+pub mod tuning;
 
 pub use config::{AlertPolicy, FleetConfig, IngestPolicy};
 #[allow(deprecated)]

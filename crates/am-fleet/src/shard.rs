@@ -1,7 +1,8 @@
 //! Shard worker: one thread multiplexing many printers' detectors.
 //!
 //! Shared-nothing by construction — the worker owns every
-//! [`StreamingIds`] assigned to its shard, and the only cross-thread
+//! [`StreamingIds`](nsync::StreamingIds) assigned to its shard, and the
+//! only cross-thread
 //! state is the counters cell behind `ShardShared` (never the detector
 //! state itself, so the verdict stream cannot be perturbed by another
 //! shard's progress).

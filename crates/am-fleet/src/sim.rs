@@ -185,7 +185,26 @@ impl FleetSim {
             ..ExperimentSpec::small(PrinterModel::Um3)
         };
         let set = TrajectorySet::generate(spec)?;
+        Self::build_from_set(cfg, &set)
+    }
+
+    /// Like [`FleetSim::build`], but over an already-materialized
+    /// [`TrajectorySet`] — the scenario zoo's entry point: any registry
+    /// row (firmware attacks, CoreXY kinematics, stressor overlays)
+    /// becomes fleet traffic without the sim re-deriving the dataset.
+    /// Registry keys derive from the set's printer (`"um3/acc"`,
+    /// `"rm3/pwr"`, …).
+    ///
+    /// Sets without malicious runs are valid: every printer's malicious
+    /// coin then lands benign, so benign-only stressor rows exercise
+    /// pure false-alarm pressure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture and training failures.
+    pub fn build_from_set(cfg: SimConfig, set: &TrajectorySet) -> Result<FleetSim, SimError> {
         let params = set.spec.profile.dwm_params(set.spec.printer);
+        let machine = set.spec.printer.short_name().to_lowercase();
         let registry = SpecRegistry::new();
         let mut channels = Vec::new();
         let mut attacks = Vec::new();
@@ -206,7 +225,7 @@ impl FleetSim {
                 .synchronizer(DwmSynchronizer::new(params))
                 .build()?;
             let trained = ids.train(&train, reference, set.spec.profile.nsync_r())?;
-            let key = format!("um3/{}", format!("{channel:?}").to_lowercase());
+            let key = format!("{machine}/{}", format!("{channel:?}").to_lowercase());
             registry.insert(&key, trained.stream_spec(params));
             let benign: Vec<Signal> = captures
                 .iter()
@@ -348,15 +367,20 @@ impl FleetSim {
         })
     }
 
-    /// The deterministic (malicious, faulted) coins of one printer.
+    /// The deterministic (malicious, faulted) coins of one printer. A
+    /// set with no malicious runs (benign-only stressor scenarios) pins
+    /// every printer's malicious coin to benign instead of indexing an
+    /// empty pool.
     fn fate_of(&self, printer: PrinterId) -> (bool, bool) {
+        let has_malicious = !self.attacks.is_empty();
         (
-            coin(
-                self.cfg.seed,
-                printer.0,
-                0x6d61,
-                self.cfg.malicious_fraction,
-            ),
+            has_malicious
+                && coin(
+                    self.cfg.seed,
+                    printer.0,
+                    0x6d61,
+                    self.cfg.malicious_fraction,
+                ),
             coin(self.cfg.seed, printer.0, 0x6661, self.cfg.fault_fraction),
         )
     }

@@ -1,0 +1,66 @@
+//! The fleet's shared fused operating point and CI quality floors.
+//!
+//! The `fleet_soak` example, the `scenario_scorecard` example, and the
+//! CI gates all consume these constants, so the committed gate and the
+//! shipped configuration cannot drift apart: changing the operating
+//! point here changes what CI enforces in the same commit.
+
+use nsync::{CalibrationConfig, FusionPolicy};
+
+/// Consecutive anomalous fusion windows before an alert fires.
+pub const DEBOUNCE_WINDOWS: usize = 4;
+
+/// Minimum fused confidence for a window to count toward the debounce.
+pub const MIN_CONFIDENCE: f64 = 0.35;
+
+/// Adaptive-calibration warm-up quantile (1.0 = max of warm-up scores).
+pub const CALIBRATION_QUANTILE: f64 = 1.0;
+
+/// Adaptive-calibration margin on top of the warm-up quantile.
+pub const CALIBRATION_MARGIN: f64 = 0.5;
+
+/// CI floor: minimum acceptable fused recall over malicious printers.
+pub const MIN_RECALL: f64 = 0.75;
+
+/// CI ceiling: maximum acceptable fused false-alarm rate over benign
+/// printers.
+pub const MAX_FALSE_ALARM_RATE: f64 = 0.15;
+
+/// The fused operating point: a [`DEBOUNCE_WINDOWS`]-window debounce
+/// with a [`MIN_CONFIDENCE`] confidence floor, and raise-only adaptive
+/// per-lane calibration seeded from each stream's warm-up
+/// ([`CALIBRATION_QUANTILE`] quantile + [`CALIBRATION_MARGIN`] margin).
+pub fn operating_point() -> (FusionPolicy, CalibrationConfig) {
+    let policy = FusionPolicy::default()
+        .with_debounce_windows(DEBOUNCE_WINDOWS)
+        .with_min_confidence(MIN_CONFIDENCE);
+    let calibration = CalibrationConfig::adaptive()
+        .with_quantile(CALIBRATION_QUANTILE)
+        .with_margin(CALIBRATION_MARGIN);
+    (policy, calibration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operating_point_matches_constants() {
+        let (policy, _calibration) = operating_point();
+        assert_eq!(policy.debounce_windows, DEBOUNCE_WINDOWS);
+        assert!((policy.min_confidence - MIN_CONFIDENCE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floors_are_probabilities() {
+        for v in [
+            MIN_CONFIDENCE,
+            CALIBRATION_QUANTILE,
+            MIN_RECALL,
+            MAX_FALSE_ALARM_RATE,
+        ] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert!(CALIBRATION_MARGIN >= 0.0);
+    }
+}

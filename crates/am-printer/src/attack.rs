@@ -21,6 +21,19 @@ pub enum FirmwareAttack {
     /// Offset the hotend setpoint by this many deg C (weakens layer
     /// bonding without touching motion).
     TempOffset(f64),
+    /// Offset the bed setpoint by this many deg C (warp-inducing thermal
+    /// drift; visible mainly through the power side channel, since the
+    /// bed heater dominates AC draw).
+    BedTempOffset(f64),
+    /// Multiply the firmware's step clock by this factor: every executed
+    /// segment stretches (or compresses) in wall time while the nominal
+    /// motion plan — and the G-code — stays untouched. Models a
+    /// compromised firmware that skews its timer reload values.
+    TimingSkew(f64),
+    /// Silently drop the motion of every `n`-th layer (n >= 2): the head
+    /// never traces those layers, weakening the part, while layer
+    /// markers and the rest of the program execute as usual.
+    LayerSkip(usize),
 }
 
 impl FirmwareAttack {
@@ -30,6 +43,9 @@ impl FirmwareAttack {
             FirmwareAttack::SpeedScale(f) => format!("FwSpeed{f:.2}"),
             FirmwareAttack::ScaleXy(f) => format!("FwScale{f:.2}"),
             FirmwareAttack::TempOffset(d) => format!("FwTemp{d:+.0}"),
+            FirmwareAttack::BedTempOffset(d) => format!("FwBed{d:+.0}"),
+            FirmwareAttack::TimingSkew(f) => format!("FwClock{f:.2}"),
+            FirmwareAttack::LayerSkip(n) => format!("FwSkip{n}"),
         }
     }
 }
@@ -49,5 +65,8 @@ mod tests {
         assert_eq!(FirmwareAttack::SpeedScale(0.95).name(), "FwSpeed0.95");
         assert_eq!(FirmwareAttack::ScaleXy(0.95).name(), "FwScale0.95");
         assert_eq!(FirmwareAttack::TempOffset(-10.0).name(), "FwTemp-10");
+        assert_eq!(FirmwareAttack::BedTempOffset(15.0).name(), "FwBed+15");
+        assert_eq!(FirmwareAttack::TimingSkew(1.05).name(), "FwClock1.05");
+        assert_eq!(FirmwareAttack::LayerSkip(3).name(), "FwSkip3");
     }
 }

@@ -61,6 +61,40 @@ enum Op {
     LayerMark,
 }
 
+/// The interpret-stage knobs a [`FirmwareAttack`] turns. All defaults are
+/// the identity, so an uncompromised firmware is byte-identical to the
+/// pre-attack code path.
+struct InterpretAttack {
+    speed_scale: f64,
+    xy_scale: f64,
+    temp_offset: f64,
+    bed_offset: f64,
+    /// Drop the motion of every `n`-th layer.
+    layer_skip: Option<usize>,
+}
+
+impl InterpretAttack {
+    fn from_config(config: &PrinterConfig) -> Self {
+        let mut knobs = InterpretAttack {
+            speed_scale: 1.0,
+            xy_scale: 1.0,
+            temp_offset: 0.0,
+            bed_offset: 0.0,
+            layer_skip: None,
+        };
+        match config.firmware_attack {
+            Some(FirmwareAttack::SpeedScale(f)) => knobs.speed_scale = f,
+            Some(FirmwareAttack::ScaleXy(f)) => knobs.xy_scale = f,
+            Some(FirmwareAttack::TempOffset(d)) => knobs.temp_offset = d,
+            Some(FirmwareAttack::BedTempOffset(d)) => knobs.bed_offset = d,
+            Some(FirmwareAttack::LayerSkip(n)) => knobs.layer_skip = Some(n.max(2)),
+            // Timing skew acts on the wall clock in `execute_ops`.
+            Some(FirmwareAttack::TimingSkew(_)) | None => {}
+        }
+        knobs
+    }
+}
+
 fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, PrinterError> {
     let mut ops: Vec<Op> = Vec::new();
     let mut pending: Vec<PlannerMove> = Vec::new();
@@ -68,12 +102,17 @@ fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, 
     let mut feedrate: Option<f64> = None; // mm/s
     let mut e_logical = 0.0; // what G-code thinks E is
     let bed_center = config.bed_center();
-    let (speed_scale, xy_scale, temp_offset) = match config.firmware_attack {
-        Some(FirmwareAttack::SpeedScale(f)) => (f, 1.0, 0.0),
-        Some(FirmwareAttack::ScaleXy(f)) => (1.0, f, 0.0),
-        Some(FirmwareAttack::TempOffset(d)) => (1.0, 1.0, d),
-        None => (1.0, 1.0, 0.0),
-    };
+    let InterpretAttack {
+        speed_scale,
+        xy_scale,
+        temp_offset,
+        bed_offset,
+        layer_skip,
+    } = InterpretAttack::from_config(config);
+    // Current layer index (0 before the first marker) and whether its
+    // motion is being dropped by a LayerSkip attack.
+    let mut layer = 0usize;
+    let mut skipping = false;
 
     let flush = |pending: &mut Vec<PlannerMove>, ops: &mut Vec<Op>| {
         if !pending.is_empty() {
@@ -103,6 +142,12 @@ fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, 
                 }
                 let base_feed =
                     feedrate.ok_or(PrinterError::MissingFeedrate { command_index: i })?;
+                if skipping {
+                    // LayerSkip: the firmware swallows this layer's motion
+                    // but keeps tracking the logical position.
+                    pos = target;
+                    continue;
+                }
                 let extruding = e.is_some() && e_delta > 0.0;
                 let feed = if extruding {
                     base_feed * speed_scale
@@ -159,7 +204,12 @@ fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, 
             }
             GCommand::SetBedTemp { celsius, wait } => {
                 flush(&mut pending, &mut ops);
-                ops.push(Op::SetBed(*celsius));
+                let target = if *celsius > 0.0 {
+                    celsius + bed_offset
+                } else {
+                    *celsius
+                };
+                ops.push(Op::SetBed(target));
                 if *wait {
                     ops.push(Op::WaitForTemp { hotend: false });
                 }
@@ -175,6 +225,10 @@ fn interpret(program: &GcodeProgram, config: &PrinterConfig) -> Result<Vec<Op>, 
             GCommand::LayerMarker { .. } => {
                 // Layer markers do not disturb the motion queue; they are
                 // bookkeeping only.
+                layer += 1;
+                if let Some(n) = layer_skip {
+                    skipping = layer % n == 0;
+                }
                 ops.push(Op::LayerMark);
             }
             GCommand::Comment { .. } | GCommand::Other { .. } => {}
@@ -192,7 +246,13 @@ fn execute_ops(
     seed: u64,
 ) -> Result<PrintTrajectory, PrinterError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let clock_rate = noise.sample_clock_rate(&mut rng);
+    let mut clock_rate = noise.sample_clock_rate(&mut rng);
+    if let Some(FirmwareAttack::TimingSkew(f)) = config.firmware_attack {
+        // A compromised step clock multiplies every executed duration on
+        // top of the run's natural crystal skew; the nominal plan (and
+        // the RNG stream) is untouched.
+        clock_rate *= f.max(0.01);
+    }
 
     let mut t = 0.0f64;
     let mut events: Vec<TimedSegment> = Vec::new();
@@ -481,6 +541,50 @@ mod tests {
             at_start.hotend_temp > 195.0,
             "hotend only at {} by motion start",
             at_start.hotend_temp
+        );
+    }
+
+    #[test]
+    fn firmware_timing_skew_stretches_wall_clock_only() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+        let attacked_cfg = config.with_firmware_attack(FirmwareAttack::TimingSkew(1.05));
+        let attacked = execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        // Wall clock stretches; the nominal plan is byte-identical.
+        assert!(attacked.duration() > benign.duration() * 1.01);
+        assert!(
+            (attacked.nominal_motion_duration() - benign.nominal_motion_duration()).abs() < 1e-12
+        );
+        assert_eq!(attacked.events().len(), benign.events().len());
+    }
+
+    #[test]
+    fn firmware_layer_skip_drops_motion() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+        let attacked_cfg = config.with_firmware_attack(FirmwareAttack::LayerSkip(2));
+        let attacked = execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        // Half the layers vanish from the toolpath; markers survive.
+        assert!(attacked.events().len() < benign.events().len());
+        assert_eq!(attacked.layer_times().len(), benign.layer_times().len());
+        assert!(attacked.duration() < benign.duration());
+    }
+
+    #[test]
+    fn firmware_bed_offset_attack_shifts_bed_trace() {
+        let config = PrinterConfig::ultimaker3();
+        let prog = small_program_for(&config);
+        let benign = execute_program(&prog, &config, &TimeNoise::disabled(), 0).unwrap();
+        let attacked_cfg = config.with_firmware_attack(FirmwareAttack::BedTempOffset(15.0));
+        let attacked = execute_program(&prog, &attacked_cfg, &TimeNoise::disabled(), 0).unwrap();
+        let t = benign.print_start() + 20.0;
+        let benign_bed = benign.sample(t).bed_temp;
+        let attacked_bed = attacked.sample(attacked.print_start() + 20.0).bed_temp;
+        assert!(
+            attacked_bed - benign_bed > 8.0,
+            "benign bed {benign_bed:.1} C vs attacked {attacked_bed:.1} C"
         );
     }
 

@@ -1,0 +1,109 @@
+//! Typed errors for scenario construction and registration.
+
+use am_dataset::DatasetError;
+use am_gcode::GcodeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by scenario validation, registration, and dataset
+/// materialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// A scenario was declared with an empty name.
+    EmptyName,
+    /// Two registered scenarios share a name.
+    DuplicateName(String),
+    /// A recall/false-alarm floor was outside `[0, 1]`.
+    InvalidFloor {
+        /// The offending scenario's name.
+        scenario: String,
+        /// Which floor field was out of domain.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The attack generator cannot run against the declared part or
+    /// machine (e.g. a re-slicing G-code attack on a non-gear part).
+    UnsupportedCombination {
+        /// The offending scenario's name.
+        scenario: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Slicing the scenario's part failed.
+    Gcode(GcodeError),
+    /// Executing or capturing the scenario's runs failed.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::EmptyName => write!(f, "scenario name must be non-empty"),
+            ScenarioError::DuplicateName(name) => {
+                write!(f, "duplicate scenario name {name:?}")
+            }
+            ScenarioError::InvalidFloor {
+                scenario,
+                field,
+                value,
+            } => write!(
+                f,
+                "scenario {scenario:?}: floor {field} = {value} outside [0, 1]"
+            ),
+            ScenarioError::UnsupportedCombination { scenario, reason } => {
+                write!(f, "scenario {scenario:?}: {reason}")
+            }
+            ScenarioError::Gcode(e) => write!(f, "slicing failed: {e}"),
+            ScenarioError::Dataset(e) => write!(f, "dataset generation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Gcode(e) => Some(e),
+            ScenarioError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GcodeError> for ScenarioError {
+    fn from(e: GcodeError) -> Self {
+        ScenarioError::Gcode(e)
+    }
+}
+
+impl From<DatasetError> for ScenarioError {
+    fn from(e: DatasetError) -> Self {
+        ScenarioError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs: Vec<ScenarioError> = vec![
+            ScenarioError::EmptyName,
+            ScenarioError::DuplicateName("x".into()),
+            ScenarioError::InvalidFloor {
+                scenario: "x".into(),
+                field: "min_recall",
+                value: 1.5,
+            },
+            ScenarioError::UnsupportedCombination {
+                scenario: "x".into(),
+                reason: "no".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

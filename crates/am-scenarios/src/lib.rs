@@ -1,0 +1,44 @@
+//! # am-scenarios — the living attack & scenario zoo
+//!
+//! ROADMAP item 4: every new threat lands as a *data row* — attack
+//! generator × part geometry × printer kinematics — that the grid
+//! engine, fleet simulator, and CI scorecard consume uniformly.
+//!
+//! A [`Scenario`] declares what runs (machine, part, attack generator,
+//! optional benign-labeled interference) and what quality it must hold
+//! ([`Floors`]). [`ScenarioRegistry::standard`] is the committed zoo:
+//! the paper's Table I anchors plus four new families —
+//!
+//! - **firmware**: timing skew, layer skip, feedrate override applied
+//!   inside the executing firmware, leaving the G-code byte-identical
+//!   to benign ("Engineering Attack Vectors…", PAPERS.md);
+//! - **thermal**: hotend/bed setpoint drift visible mainly through the
+//!   power channel;
+//! - **stressor**: an IP-exfiltration probe's leak-back overlaid on
+//!   *benign-labeled* test runs ("Decoding Intellectual Property"), so a
+//!   detector that merely notices extra signal fails the false-alarm
+//!   gate;
+//! - **kinematics**: a CoreXY frame and non-gear geometries (cube,
+//!   L-bracket).
+//!
+//! The `scenario_scorecard` example evaluates every row across all
+//! seven IDSs plus the fused nsync lane and emits `BENCH_scenarios.json`;
+//! the CI scenario-matrix job gates it against each row's floors.
+//!
+//! ```
+//! use am_dataset::Profile;
+//! use am_scenarios::ScenarioRegistry;
+//!
+//! let reg = ScenarioRegistry::standard();
+//! let row = reg.get("fw-um3-clock").expect("registered");
+//! let set = row.build(Profile::Small, 0x5EED).expect("gridable");
+//! assert!(set.runs.len() > 10);
+//! ```
+
+pub mod error;
+pub mod registry;
+pub mod scenario;
+
+pub use error::ScenarioError;
+pub use registry::ScenarioRegistry;
+pub use scenario::{AttackGen, Family, Floors, Machine, Part, Scenario};

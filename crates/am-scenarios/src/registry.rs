@@ -1,0 +1,296 @@
+//! The scenario registry: validated, uniquely-named rows the scorecard
+//! and CI gate iterate uniformly.
+
+use crate::error::ScenarioError;
+use crate::scenario::{AttackGen, Family, Floors, Machine, Part, Scenario};
+use am_gcode::attacks::Attack;
+use am_printer::attack::FirmwareAttack;
+use am_sensors::interference::Interference;
+use serde::{Deserialize, Serialize};
+
+/// A validated set of scenarios with unique names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// Builds a registry, validating every row and rejecting duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first row's typed [`ScenarioError`], or
+    /// [`ScenarioError::DuplicateName`] when two rows collide.
+    pub fn new(scenarios: Vec<Scenario>) -> Result<Self, ScenarioError> {
+        let mut seen = std::collections::HashSet::new();
+        for s in &scenarios {
+            s.validate()?;
+            if !seen.insert(s.name.clone()) {
+                return Err(ScenarioError::DuplicateName(s.name.clone()));
+            }
+        }
+        Ok(ScenarioRegistry { scenarios })
+    }
+
+    /// The standard zoo: the paper's baseline anchors plus the four new
+    /// families (firmware, thermal, stressor, kinematics/geometry).
+    ///
+    /// Floors are the committed CI gate — chosen from observed scorecard
+    /// rates with head-room, so a scenario can regress noticeably before
+    /// the gate trips, but never silently to zero.
+    pub fn standard() -> Self {
+        let rows = vec![
+            // ---- baseline: Table I anchors ------------------------------
+            Scenario {
+                name: "base-um3-void".into(),
+                family: Family::Baseline,
+                machine: Machine::Um3,
+                part: Part::Gear,
+                attack: Some(AttackGen::Gcode(Attack::Void)),
+                stressor: None,
+                floors: Floors::new(0.75, 0.25),
+            },
+            Scenario {
+                name: "base-um3-speed".into(),
+                family: Family::Baseline,
+                machine: Machine::Um3,
+                part: Part::Gear,
+                attack: Some(AttackGen::Gcode(Attack::SpeedScale(0.95))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.25),
+            },
+            Scenario {
+                name: "base-rm3-void".into(),
+                family: Family::Baseline,
+                machine: Machine::Rm3,
+                part: Part::Gear,
+                attack: Some(AttackGen::Gcode(Attack::Void)),
+                stressor: None,
+                floors: Floors::new(0.75, 0.17),
+            },
+            // ---- firmware: G-code byte-identical to benign --------------
+            Scenario {
+                name: "fw-um3-clock".into(),
+                family: Family::Firmware,
+                machine: Machine::Um3,
+                part: Part::Gear,
+                attack: Some(AttackGen::Firmware(FirmwareAttack::TimingSkew(1.05))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.25),
+            },
+            Scenario {
+                name: "fw-um3-skip".into(),
+                family: Family::Firmware,
+                machine: Machine::Um3,
+                part: Part::Gear,
+                attack: Some(AttackGen::Firmware(FirmwareAttack::LayerSkip(2))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.25),
+            },
+            Scenario {
+                name: "fw-rm3-clock".into(),
+                family: Family::Firmware,
+                machine: Machine::Rm3,
+                part: Part::Gear,
+                attack: Some(AttackGen::Firmware(FirmwareAttack::TimingSkew(1.05))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.17),
+            },
+            // ---- thermal: setpoint drift, power-channel visible ---------
+            Scenario {
+                name: "thermal-um3-hotend".into(),
+                family: Family::Thermal,
+                machine: Machine::Um3,
+                part: Part::Gear,
+                attack: Some(AttackGen::Firmware(FirmwareAttack::TempOffset(-25.0))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.25),
+            },
+            Scenario {
+                name: "thermal-um3-bed".into(),
+                family: Family::Thermal,
+                machine: Machine::Um3,
+                part: Part::Gear,
+                attack: Some(AttackGen::Firmware(FirmwareAttack::BedTempOffset(15.0))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.25),
+            },
+            // ---- stressor: benign-labeled exfiltration probe ------------
+            Scenario {
+                name: "stress-um3-exfil".into(),
+                family: Family::Stressor,
+                machine: Machine::Um3,
+                part: Part::Gear,
+                attack: None,
+                stressor: Some(Interference::exfil_probe(0xE71F)),
+                floors: Floors::benign_only(0.42),
+            },
+            // ---- kinematics & geometry ----------------------------------
+            Scenario {
+                name: "kin-corexy-speed".into(),
+                family: Family::Kinematics,
+                machine: Machine::CoreXy,
+                part: Part::Gear,
+                attack: Some(AttackGen::Gcode(Attack::SpeedScale(0.95))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.17),
+            },
+            Scenario {
+                name: "kin-corexy-clock".into(),
+                family: Family::Kinematics,
+                machine: Machine::CoreXy,
+                part: Part::Gear,
+                attack: Some(AttackGen::Firmware(FirmwareAttack::TimingSkew(1.05))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.17),
+            },
+            Scenario {
+                name: "geom-um3-bracket-speed".into(),
+                family: Family::Kinematics,
+                machine: Machine::Um3,
+                part: Part::Bracket,
+                attack: Some(AttackGen::Gcode(Attack::SpeedScale(0.95))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.17),
+            },
+            Scenario {
+                name: "geom-um3-cube-skip".into(),
+                family: Family::Kinematics,
+                machine: Machine::Um3,
+                part: Part::Cube,
+                attack: Some(AttackGen::Firmware(FirmwareAttack::LayerSkip(2))),
+                stressor: None,
+                floors: Floors::new(0.75, 0.10),
+            },
+        ];
+        Self::new(rows).expect("the standard zoo is statically valid")
+    }
+
+    /// The quick subset CI runs per-PR: one row per family, preferring
+    /// the cheapest representative. The nightly job runs the full zoo.
+    pub fn quick_subset(&self) -> Vec<&Scenario> {
+        let mut seen = std::collections::HashSet::new();
+        self.scenarios
+            .iter()
+            .filter(|s| seen.insert(s.family))
+            .collect()
+    }
+
+    /// All scenarios, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// Looks up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// `true` when no scenarios are registered.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a ScenarioRegistry {
+    type Item = &'a Scenario;
+    type IntoIter = std::slice::Iter<'a, Scenario>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.scenarios.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_zoo_shape() {
+        let reg = ScenarioRegistry::standard();
+        assert!(reg.len() >= 12, "zoo has {} rows", reg.len());
+        let families: std::collections::HashSet<Family> = reg.iter().map(|s| s.family).collect();
+        for f in [
+            Family::Baseline,
+            Family::Firmware,
+            Family::Thermal,
+            Family::Stressor,
+            Family::Kinematics,
+        ] {
+            assert!(families.contains(&f), "missing family {f}");
+        }
+        // Quick subset: exactly one row per family.
+        assert_eq!(reg.quick_subset().len(), families.len());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let reg = ScenarioRegistry::standard();
+        let mut rows: Vec<Scenario> = reg.iter().cloned().collect();
+        rows.push(rows[0].clone());
+        match ScenarioRegistry::new(rows) {
+            Err(ScenarioError::DuplicateName(n)) => assert_eq!(n, "base-um3-void"),
+            other => panic!("expected DuplicateName, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_rows_rejected_with_typed_errors() {
+        let mut s = ScenarioRegistry::standard()
+            .get("base-um3-void")
+            .cloned()
+            .unwrap();
+        s.name = "  ".into();
+        assert!(matches!(s.validate(), Err(ScenarioError::EmptyName)));
+
+        let mut s = ScenarioRegistry::standard()
+            .get("base-um3-void")
+            .cloned()
+            .unwrap();
+        s.floors.min_recall = 1.5;
+        assert!(matches!(
+            s.validate(),
+            Err(ScenarioError::InvalidFloor {
+                field: "min_recall",
+                ..
+            })
+        ));
+
+        // A re-slicing G-code attack cannot target the cube.
+        let mut s = ScenarioRegistry::standard()
+            .get("base-um3-void")
+            .cloned()
+            .unwrap();
+        s.part = Part::Cube;
+        assert!(matches!(
+            s.validate(),
+            Err(ScenarioError::UnsupportedCombination { .. })
+        ));
+
+        // LayerSkip(1) would drop every layer.
+        let mut s = ScenarioRegistry::standard()
+            .get("fw-um3-skip")
+            .cloned()
+            .unwrap();
+        s.attack = Some(AttackGen::Firmware(FirmwareAttack::LayerSkip(1)));
+        assert!(matches!(
+            s.validate(),
+            Err(ScenarioError::UnsupportedCombination { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let reg = ScenarioRegistry::standard();
+        assert!(reg.get("fw-um3-clock").is_some());
+        assert!(reg.get("no-such-row").is_none());
+        assert!(!reg.is_empty());
+        assert_eq!(reg.iter().count(), reg.len());
+        assert_eq!((&reg).into_iter().count(), reg.len());
+    }
+}

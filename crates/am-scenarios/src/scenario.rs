@@ -1,0 +1,424 @@
+//! The scenario data model: attack generator × part geometry × printer
+//! kinematics, with per-scenario detection-quality floors.
+
+use crate::error::ScenarioError;
+use am_dataset::{ExperimentSpec, ProcessMix, Profile, RunPlan, RunRole, TrajectorySet};
+use am_gcode::attacks::Attack;
+use am_gcode::geometry::{Point2, Polygon};
+use am_gcode::slicer::{slice_cube, slice_gear, slice_outline, SliceConfig};
+use am_gcode::GcodeProgram;
+use am_printer::attack::FirmwareAttack;
+use am_printer::config::{PrinterConfig, PrinterModel};
+use am_sensors::interference::Interference;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Scenario family — the threat class a row exercises. CI floors are
+/// gated per scenario, but reports group by family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Family {
+    /// The paper's Table I G-code attacks (regression anchor).
+    Baseline,
+    /// Firmware-level attacks: G-code byte-identical to benign, the
+    /// executing firmware is compromised (timing skew, layer skip,
+    /// feedrate override).
+    Firmware,
+    /// Thermal-profile attacks: hotend/bed setpoint drift, visible mainly
+    /// through the power side channel.
+    Thermal,
+    /// Benign-labeled acoustic/magnetic IP-exfiltration interference that
+    /// pressures false-alarm rates without any attack present.
+    Stressor,
+    /// Non-catalog kinematics (CoreXY) and part geometries beyond the
+    /// gear.
+    Kinematics,
+}
+
+impl Family {
+    /// Stable lowercase label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::Baseline => "baseline",
+            Family::Firmware => "firmware",
+            Family::Thermal => "thermal",
+            Family::Stressor => "stressor",
+            Family::Kinematics => "kinematics",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The machine a scenario runs on. Extends the paper's UM3/RM3 pair with
+/// a generic CoreXY frame that reuses the UM3 profile constants (there is
+/// no Table IV column for it, so it reports as a UM3-class machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Machine {
+    /// Ultimaker 3 (Cartesian).
+    Um3,
+    /// Rostock Max V3 (Delta).
+    Rm3,
+    /// Generic CoreXY frame.
+    CoreXy,
+}
+
+impl Machine {
+    /// The catalog model whose profile constants (slice scale, DWM
+    /// parameters) this machine evaluates under.
+    pub fn model(&self) -> PrinterModel {
+        match self {
+            Machine::Um3 | Machine::CoreXy => PrinterModel::Um3,
+            Machine::Rm3 => PrinterModel::Rm3,
+        }
+    }
+
+    /// The executing printer configuration.
+    pub fn config(&self) -> PrinterConfig {
+        match self {
+            Machine::Um3 => PrinterConfig::ultimaker3(),
+            Machine::Rm3 => PrinterConfig::rostock_max_v3(),
+            Machine::CoreXy => PrinterConfig::corexy_generic(),
+        }
+    }
+
+    /// Stable display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Machine::Um3 => "UM3",
+            Machine::Rm3 => "RM3",
+            Machine::CoreXy => "CoreXY",
+        }
+    }
+}
+
+impl std::fmt::Display for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The printed part. Sizes derive from the profile's gear dimensions so
+/// every part scales consistently across Small/Paper profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Part {
+    /// The paper's spur gear.
+    Gear,
+    /// An axis-aligned cube (side = 1.6 × gear tip radius).
+    Cube,
+    /// An L-shaped bracket (arm = 2 × gear tip radius) — asymmetric in
+    /// X/Y, so kinematic cross-coupling (CoreXY) shows up in the motion
+    /// spectrum differently than the gear's radial symmetry.
+    Bracket,
+}
+
+impl Part {
+    /// Stable display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Part::Gear => "gear",
+            Part::Cube => "cube",
+            Part::Bracket => "bracket",
+        }
+    }
+
+    /// Slices the part's benign program under the given config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slicing failures.
+    pub fn slice(&self, cfg: &SliceConfig) -> Result<GcodeProgram, am_gcode::GcodeError> {
+        match self {
+            Part::Gear => slice_gear(cfg),
+            Part::Cube => slice_cube(cfg, 1.6 * cfg.gear_tip_radius),
+            Part::Bracket => slice_outline(&bracket_outline(cfg), cfg),
+        }
+    }
+}
+
+impl std::fmt::Display for Part {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// L-shaped bracket outline centred on the slice config's part centre.
+fn bracket_outline(cfg: &SliceConfig) -> Polygon {
+    let arm = 2.0 * cfg.gear_tip_radius;
+    let thickness = cfg.gear_tip_radius;
+    let ox = cfg.center.x - arm / 2.0;
+    let oy = cfg.center.y - arm / 2.0;
+    Polygon::new(vec![
+        Point2::new(ox, oy),
+        Point2::new(ox + arm, oy),
+        Point2::new(ox + arm, oy + thickness),
+        Point2::new(ox + thickness, oy + thickness),
+        Point2::new(ox + thickness, oy + arm),
+        Point2::new(ox, oy + arm),
+    ])
+}
+
+/// How a scenario's malicious runs are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AttackGen {
+    /// A Table I-style G-code attack (the program sent to the printer is
+    /// modified).
+    Gcode(Attack),
+    /// A firmware attack: the program stays byte-identical to benign, the
+    /// executing [`PrinterConfig`] carries the compromise.
+    Firmware(FirmwareAttack),
+}
+
+impl AttackGen {
+    /// The attack's run-role name (Table I style).
+    pub fn name(&self) -> String {
+        match self {
+            AttackGen::Gcode(a) => a.name(),
+            AttackGen::Firmware(fw) => fw.name(),
+        }
+    }
+}
+
+/// Per-scenario detection-quality floors, enforced by the scorecard gate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Floors {
+    /// Minimum acceptable recall for the scenario's best lane (0 for
+    /// benign-only stressor rows).
+    pub min_recall: f64,
+    /// Maximum acceptable false-alarm rate for the fused lane.
+    pub max_false_alarm: f64,
+}
+
+impl Floors {
+    /// Floors for an attack scenario.
+    pub fn new(min_recall: f64, max_false_alarm: f64) -> Self {
+        Floors {
+            min_recall,
+            max_false_alarm,
+        }
+    }
+
+    /// Floors for a benign-only (stressor) scenario: recall is vacuous,
+    /// only the false-alarm ceiling binds.
+    pub fn benign_only(max_false_alarm: f64) -> Self {
+        Floors {
+            min_recall: 0.0,
+            max_false_alarm,
+        }
+    }
+}
+
+/// One scenario row: attack generator × part × machine, with floors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Unique registry key (kebab-case, e.g. `"fw-um3-clock"`).
+    pub name: String,
+    /// Threat class.
+    pub family: Family,
+    /// Executing machine.
+    pub machine: Machine,
+    /// Printed part.
+    pub part: Part,
+    /// Malicious-run generator; `None` for benign-only rows.
+    pub attack: Option<AttackGen>,
+    /// Benign-labeled interference overlay on benign test captures.
+    pub stressor: Option<Interference>,
+    /// CI detection-quality floors.
+    pub floors: Floors,
+}
+
+impl Scenario {
+    /// Validates the row without materializing any data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ScenarioError`] for empty names, out-of-domain
+    /// floors, or attack/part combinations the slicer cannot honour.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.name.trim().is_empty() {
+            return Err(ScenarioError::EmptyName);
+        }
+        for (field, value) in [
+            ("min_recall", self.floors.min_recall),
+            ("max_false_alarm", self.floors.max_false_alarm),
+        ] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(ScenarioError::InvalidFloor {
+                    scenario: self.name.clone(),
+                    field,
+                    value,
+                });
+            }
+        }
+        match &self.attack {
+            Some(AttackGen::Gcode(a)) => {
+                // Re-slicing attacks regenerate the part from the gear
+                // profile; only the pure feedrate transform ports to
+                // other geometries.
+                let portable = matches!(a, Attack::SpeedScale(_));
+                if self.part != Part::Gear && !portable {
+                    return Err(ScenarioError::UnsupportedCombination {
+                        scenario: self.name.clone(),
+                        reason: format!(
+                            "G-code attack {} re-slices the gear and cannot target a {}",
+                            a.name(),
+                            self.part
+                        ),
+                    });
+                }
+            }
+            Some(AttackGen::Firmware(FirmwareAttack::LayerSkip(n))) if *n < 2 => {
+                return Err(ScenarioError::UnsupportedCombination {
+                    scenario: self.name.clone(),
+                    reason: format!("LayerSkip({n}) would drop every layer; n must be >= 2"),
+                });
+            }
+            _ => {}
+        }
+        if let Some(s) = &self.stressor {
+            if let Err(e) = s.validate() {
+                return Err(ScenarioError::UnsupportedCombination {
+                    scenario: self.name.clone(),
+                    reason: e.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The experiment spec this scenario evaluates under.
+    pub fn spec(&self, profile: Profile, base_seed: u64) -> ExperimentSpec {
+        ExperimentSpec {
+            profile,
+            printer: self.machine.model(),
+            base_seed,
+        }
+    }
+
+    /// The scorecard's default process mix: smaller than the catalog mix
+    /// (the zoo multiplies rows, not repetitions) but large enough for
+    /// recall/false-alarm estimates in eighths.
+    pub fn scorecard_mix(profile: Profile) -> ProcessMix {
+        match profile {
+            Profile::Small => ProcessMix {
+                train: 8,
+                test_benign: 12,
+                malicious_per_attack: 4,
+            },
+            Profile::Paper => profile.process_mix(),
+        }
+    }
+
+    /// The benign program and (if the row has an attack) the malicious
+    /// program. For firmware rows both are the **same `Arc`** — the
+    /// byte-identity the threat model demands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and slicing failures.
+    pub fn programs(
+        &self,
+        profile: Profile,
+    ) -> Result<(Arc<GcodeProgram>, Option<Arc<GcodeProgram>>), ScenarioError> {
+        self.validate()?;
+        let slice_cfg = profile.slice_config(self.machine.model());
+        let benign = Arc::new(self.part.slice(&slice_cfg)?);
+        let malicious = match &self.attack {
+            None => None,
+            Some(AttackGen::Firmware(_)) => Some(benign.clone()),
+            Some(AttackGen::Gcode(a)) => Some(Arc::new(a.apply(&benign, &slice_cfg)?)),
+        };
+        Ok((benign, malicious))
+    }
+
+    /// Materializes the scenario as a [`TrajectorySet`] with the default
+    /// scorecard mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, slicing, and execution failures.
+    pub fn build(&self, profile: Profile, base_seed: u64) -> Result<TrajectorySet, ScenarioError> {
+        self.build_with_mix(profile, base_seed, Self::scorecard_mix(profile))
+    }
+
+    /// [`Scenario::build`] with an explicit process mix (tiny mixes for
+    /// integration tests, the full catalog mix for nightly runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, slicing, and execution failures.
+    pub fn build_with_mix(
+        &self,
+        profile: Profile,
+        base_seed: u64,
+        mix: ProcessMix,
+    ) -> Result<TrajectorySet, ScenarioError> {
+        let (benign, malicious) = self.programs(profile)?;
+        let benign_cfg = self.machine.config();
+        let mut plans = Vec::new();
+        plans.push(RunPlan {
+            role: RunRole::Reference,
+            program: benign.clone(),
+            config: benign_cfg.clone(),
+        });
+        for i in 0..mix.train {
+            plans.push(RunPlan {
+                role: RunRole::Train(i),
+                program: benign.clone(),
+                config: benign_cfg.clone(),
+            });
+        }
+        for i in 0..mix.test_benign {
+            plans.push(RunPlan {
+                role: RunRole::TestBenign(i),
+                program: benign.clone(),
+                config: benign_cfg.clone(),
+            });
+        }
+        if let (Some(gen), Some(program)) = (&self.attack, malicious) {
+            let config = match gen {
+                AttackGen::Gcode(_) => benign_cfg.clone(),
+                AttackGen::Firmware(fw) => benign_cfg.clone().with_firmware_attack(*fw),
+            };
+            let name = gen.name();
+            for i in 0..mix.malicious_per_attack {
+                plans.push(RunPlan {
+                    role: RunRole::Malicious {
+                        attack: name.clone(),
+                        index: i,
+                    },
+                    program: program.clone(),
+                    config: config.clone(),
+                });
+            }
+        }
+        let set = TrajectorySet::execute_plans(self.spec(profile, base_seed), benign_cfg, plans)?;
+        Ok(match &self.stressor {
+            Some(s) => set.with_stressor(*s),
+            None => set,
+        })
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}×{} {}",
+            self.name,
+            self.family,
+            self.machine,
+            self.part,
+            self.attack
+                .as_ref()
+                .map_or_else(|| "benign".to_string(), |a| a.name()),
+        )
+    }
+}

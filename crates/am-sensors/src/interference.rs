@@ -1,0 +1,227 @@
+//! Benign-labeled interference stressors.
+//!
+//! "Decoding Intellectual Property" (PAPERS.md) shows the same acoustic
+//! and magnetic emanations the IDS listens to also leak the printed
+//! geometry to an eavesdropper. An exfiltration probe parked next to the
+//! printer does not change the print — the run stays *benign* — but its
+//! carrier leaks back into the sensor front-end and pressures the
+//! detectors' false-alarm rate. [`Interference`] synthesizes that overlay
+//! deterministically so scenario rows can pin how much off-process signal
+//! a detector tolerates before it starts crying wolf.
+//!
+//! This is the inverse of [`crate::faults::FaultPlan`]: faults degrade
+//! the channel until the health machine quarantines it; interference
+//! keeps the channel healthy while adding structured, print-uncorrelated
+//! content that a brittle discriminator mistakes for an attack.
+
+use am_dsp::{DspError, Signal};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic interference overlay: an on-off-keyed carrier tone
+/// (the exfiltration probe's modulated leak-back) plus a weak seeded
+/// broadband component, both scaled relative to the victim signal's RMS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interference {
+    /// Carrier frequency in Hz (clamped to Nyquist at apply time).
+    pub carrier_hz: f64,
+    /// Carrier amplitude as a fraction of the per-channel RMS.
+    pub amplitude: f64,
+    /// On-off keying period in seconds (the probe's symbol clock).
+    pub burst_period_s: f64,
+    /// Fraction of each period the carrier is on (0..=1).
+    pub burst_duty: f64,
+    /// Broadband component amplitude as a fraction of per-channel RMS.
+    pub broadband: f64,
+    /// Seed for the broadband noise and the keying phase.
+    pub seed: u64,
+}
+
+impl Interference {
+    /// The standard IP-exfiltration probe overlay used by the scenario
+    /// zoo: a 1 s-keyed carrier at 30% of signal RMS with a light
+    /// broadband floor — loud enough to shift window statistics, quiet
+    /// enough that a synchronizer locked to the process should ride
+    /// through it.
+    pub fn exfil_probe(seed: u64) -> Self {
+        Interference {
+            carrier_hz: 37.0,
+            amplitude: 0.3,
+            burst_period_s: 1.0,
+            burst_duty: 0.5,
+            broadband: 0.05,
+            seed,
+        }
+    }
+
+    /// Returns a copy with a different seed (per-run decorrelation).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the overlay parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for non-finite or
+    /// out-of-domain parameters.
+    pub fn validate(&self) -> Result<(), DspError> {
+        let finite = self.carrier_hz.is_finite()
+            && self.amplitude.is_finite()
+            && self.burst_period_s.is_finite()
+            && self.burst_duty.is_finite()
+            && self.broadband.is_finite();
+        if !finite
+            || self.carrier_hz <= 0.0
+            || self.amplitude < 0.0
+            || self.broadband < 0.0
+            || self.burst_period_s <= 0.0
+            || !(0.0..=1.0).contains(&self.burst_duty)
+        {
+            return Err(DspError::InvalidParameter(format!(
+                "invalid interference overlay: {self:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Overlays the interference on a captured signal. Deterministic:
+    /// the same overlay on the same signal yields the same output, and
+    /// the input shape (fs, channels, length) is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Interference::validate`] failures and signal
+    /// reconstruction errors.
+    pub fn apply(&self, signal: &Signal) -> Result<Signal, DspError> {
+        self.validate()?;
+        let fs = signal.fs();
+        let n = signal.len();
+        let carrier = self.carrier_hz.min(0.45 * fs);
+        let period = (self.burst_period_s * fs).max(1.0);
+        let on_span = self.burst_duty * period;
+        // Keying phase offset derives from the seed so two runs under the
+        // same probe are not sample-locked to each other.
+        let phase0 = (splitmix(self.seed) % 1_000) as f64 / 1_000.0 * period;
+        let mut channels = signal.to_channels();
+        let tau = std::f64::consts::TAU;
+        for (c, data) in channels.iter_mut().enumerate() {
+            let rms = rms(data);
+            if rms == 0.0 {
+                continue;
+            }
+            let tone = self.amplitude * rms;
+            let noise_amp = self.broadband * rms;
+            let mut state = splitmix(self.seed ^ ((c as u64 + 1) << 32));
+            for (i, v) in data.iter_mut().enumerate() {
+                let keyed = ((i as f64 + phase0) % period) < on_span;
+                if keyed {
+                    *v += tone * (tau * carrier * i as f64 / fs).sin();
+                }
+                if noise_amp > 0.0 {
+                    state = splitmix(state);
+                    // Map to a uniform in [-1, 1).
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    *v += noise_amp * (2.0 * u - 1.0);
+                }
+            }
+        }
+        debug_assert_eq!(channels.len(), signal.channels());
+        debug_assert!(channels.iter().all(|c| c.len() == n));
+        Signal::from_channels(fs, channels)
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn rms(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = data.iter().map(|v| v * v).sum();
+    (sum / data.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_signal() -> Signal {
+        Signal::from_fn(200.0, 2, 1000, |t, frame| {
+            for (c, v) in frame.iter_mut().enumerate() {
+                *v = (t * 10.0).sin() + c as f64 * 0.1;
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn apply_preserves_shape_and_is_deterministic() {
+        let sig = probe_signal();
+        let ovl = Interference::exfil_probe(9);
+        let a = ovl.apply(&sig).unwrap();
+        let b = ovl.apply(&sig).unwrap();
+        assert_eq!(a.fs(), sig.fs());
+        assert_eq!(a.channels(), sig.channels());
+        assert_eq!(a.len(), sig.len());
+        for c in 0..a.channels() {
+            assert_eq!(a.channel(c), b.channel(c));
+        }
+    }
+
+    #[test]
+    fn overlay_changes_the_signal_but_not_wildly() {
+        let sig = probe_signal();
+        let out = Interference::exfil_probe(9).apply(&sig).unwrap();
+        let mut max_delta = 0.0f64;
+        for c in 0..sig.channels() {
+            for (x, y) in sig.channel(c).iter().zip(out.channel(c)) {
+                max_delta = max_delta.max((x - y).abs());
+            }
+        }
+        assert!(max_delta > 0.0, "overlay must change samples");
+        // Bounded: carrier + broadband stay in the same order of
+        // magnitude as the signal itself.
+        assert!(max_delta < 2.0 * sig.rms().max(1.0), "delta {max_delta}");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let sig = probe_signal();
+        let a = Interference::exfil_probe(1).apply(&sig).unwrap();
+        let b = Interference::exfil_probe(2).apply(&sig).unwrap();
+        assert_ne!(a.channel(0)[..100], b.channel(0)[..100]);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let sig = probe_signal();
+        let mut bad = Interference::exfil_probe(0);
+        bad.burst_duty = 1.5;
+        assert!(bad.apply(&sig).is_err());
+        bad = Interference::exfil_probe(0);
+        bad.carrier_hz = f64::NAN;
+        assert!(bad.apply(&sig).is_err());
+        bad = Interference::exfil_probe(0);
+        bad.amplitude = -0.1;
+        assert!(bad.apply(&sig).is_err());
+    }
+
+    #[test]
+    fn zero_amplitude_only_adds_broadband() {
+        let sig = probe_signal();
+        let mut quiet = Interference::exfil_probe(3);
+        quiet.amplitude = 0.0;
+        quiet.broadband = 0.0;
+        let out = quiet.apply(&sig).unwrap();
+        for c in 0..sig.channels() {
+            assert_eq!(out.channel(c), sig.channel(c));
+        }
+    }
+}

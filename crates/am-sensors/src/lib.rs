@@ -42,10 +42,12 @@
 pub mod channel;
 pub mod daq;
 pub mod faults;
+pub mod interference;
 pub mod models;
 pub mod synth;
 
 pub use channel::SideChannel;
 pub use daq::DaqConfig;
 pub use faults::{ChannelFault, FaultKind, FaultPlan};
+pub use interference::Interference;
 pub use synth::SensorModel;

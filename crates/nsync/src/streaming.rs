@@ -16,7 +16,7 @@
 //! emitted verdicts (both default-off / default-permissive, DESIGN.md
 //! §15): an online [`Calibrator`](crate::calibrate::Calibrator) that
 //! re-derives this printer's critical values from its own benign warmup
-//! stream ([`CalibrationConfig`] on the [`IdsConfig`]), and a
+//! stream ([`CalibrationConfig`](crate::calibrate::CalibrationConfig) on the [`IdsConfig`]), and a
 //! [`VerdictAssembler`](crate::fusion::VerdictAssembler) applying the
 //! [`FusionPolicy`](crate::fusion::FusionPolicy) debounce and confidence
 //! floor. The flat [`Alert`] surface survives as deprecated zero-drift
@@ -520,7 +520,7 @@ impl StreamingIds {
     }
 
     /// Feeds a chunk and returns the flat per-crossing [`Alert`] stream
-    /// the pre-verdict API produced. Under the default [`FusionPolicy`]
+    /// the pre-verdict API produced. Under the default [`FusionPolicy`](crate::fusion::FusionPolicy)
     /// (crate::fusion::FusionPolicy) this is byte-for-byte the old
     /// behaviour (zero drift): each alerting window's evidence flattens
     /// back into its alerts in sub-module order.

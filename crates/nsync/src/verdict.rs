@@ -6,7 +6,7 @@
 //! side channel saw *what*, *how far* over its critical value, and *for
 //! how long*. This module replaces it with [`Verdict`] — severity,
 //! confidence, and the per-channel, per-submodule [`ChannelEvidence`]
-//! that justified it — emitted by [`StreamingIds::push`]
+//! that justified it — emitted by [`StreamingIds::push`](crate::streaming::StreamingIds::push)
 //! (crate::StreamingIds::push) and by the cross-channel
 //! [`FusedIds`](crate::fusion::FusedIds).
 //!

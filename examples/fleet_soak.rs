@@ -22,8 +22,7 @@
 //! ```
 
 use am_fleet::sim::{FleetSim, SimConfig};
-use am_fleet::{AlertPolicy, Fleet, FleetConfig, IngestPolicy, PrinterId};
-use nsync::{CalibrationConfig, FusionPolicy};
+use am_fleet::{tuning, AlertPolicy, Fleet, FleetConfig, IngestPolicy, PrinterId};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -38,13 +37,15 @@ struct Args {
 fn parse_args() -> Args {
     // Quality floors sit below the fused population's measured operating
     // point (recall 1.00, false alarms ~0.09 at 1000 printers — see
-    // BENCH_fleet.json) so the gate catches regressions, not noise.
+    // BENCH_fleet.json) so the gate catches regressions, not noise. They
+    // live in `am_fleet::tuning` so the CI gate and the shipped
+    // operating point move in the same commit.
     let mut parsed = Args {
         printers: 1000,
         shards: 4,
         out: "BENCH_fleet.json".to_string(),
-        min_recall: 0.75,
-        max_false_alarm_rate: 0.15,
+        min_recall: tuning::MIN_RECALL,
+        max_false_alarm_rate: tuning::MAX_FALSE_ALARM_RATE,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -68,20 +69,6 @@ fn parse_args() -> Args {
         }
     }
     parsed
-}
-
-/// The soak's fused operating point: a four-window debounce and a 0.35
-/// confidence floor suppress transients, evidence corroborates across
-/// acc+pwr, and each printer's thresholds recalibrate online from its
-/// own warm-up (max-of-warmup quantile, 50% margin, raise-only).
-fn operating_point() -> (FusionPolicy, CalibrationConfig) {
-    let policy = FusionPolicy::default()
-        .with_debounce_windows(4)
-        .with_min_confidence(0.35);
-    let calibration = CalibrationConfig::adaptive()
-        .with_quantile(1.0)
-        .with_margin(0.5);
-    (policy, calibration)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -121,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_ingest(IngestPolicy::Block)
         .with_alert_policy(AlertPolicy::Block);
     let mut fleet = Fleet::spawn(cfg);
-    let (policy, calibration) = operating_point();
+    let (policy, calibration) = tuning::operating_point();
     let fused = sim.fused_spec(policy, calibration);
     for script in &scripts {
         fleet.register_fused(script.printer, std::sync::Arc::clone(&fused))?;

@@ -1,0 +1,325 @@
+//! Scenario scorecard: every registered scenario through all seven IDSs
+//! plus the fused acc+pwr nsync lane.
+//!
+//! For each [`am_scenarios::ScenarioRegistry`] row the scorecard
+//! materializes the dataset, evaluates every registry detector on its
+//! headline grid cell, streams each test run through the fused lane at
+//! the shared [`am_fleet::tuning`] operating point, and emits
+//! `BENCH_scenarios.json` (per-scenario × per-detector recall /
+//! false-alarm / chunks-per-second). The process exits non-zero when any
+//! scenario violates its committed floors — the CI scenario-matrix job
+//! gates on exactly this.
+//!
+//! ```text
+//! cargo run --release --example scenario_scorecard [-- --quick] [--out PATH] [--seed N]
+//! ```
+//!
+//! `--quick` runs one representative row per family (the per-PR CI
+//! subset); the nightly job runs the full zoo.
+
+use am_dataset::{Profile, RunRole, Transform};
+use am_dsp::Signal;
+use am_eval::{evaluate_split, DetectorKind, DetectorSpec, Split};
+use am_fleet::sim::{FleetSim, SimConfig};
+use am_fleet::tuning;
+use am_scenarios::{Scenario, ScenarioRegistry};
+use am_sensors::channel::SideChannel;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out: String,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        quick: false,
+        out: "BENCH_scenarios.json".to_string(),
+        seed: 0x5EED,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--quick" => parsed.quick = true,
+            "--out" => parsed.out = value("--out"),
+            "--seed" => parsed.seed = value("--seed").parse().expect("seed"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    parsed
+}
+
+/// The grid cell each IDS is scored on — its strongest published
+/// channel/transform (Tables V–VIII: acceleration for the
+/// motion-coupled detectors, audio for the two audio-native ones).
+fn headline_cell(kind: DetectorKind) -> (SideChannel, Transform) {
+    match kind {
+        DetectorKind::Bayens => (SideChannel::Aud, Transform::Raw),
+        DetectorKind::Belikovetsky => (SideChannel::Aud, Transform::Spectrogram),
+        DetectorKind::NsyncDtw => (SideChannel::Acc, Transform::Spectrogram),
+        _ => (SideChannel::Acc, Transform::Raw),
+    }
+}
+
+struct DetectorScore {
+    label: String,
+    channel: SideChannel,
+    transform: Transform,
+    recall: f64,
+    false_alarm: f64,
+    chunks_per_second: f64,
+}
+
+struct FusedScore {
+    recall: f64,
+    false_alarm: f64,
+    chunks_per_second: f64,
+    malicious: usize,
+    benign: usize,
+}
+
+struct ScenarioScore {
+    scenario: Scenario,
+    detectors: Vec<DetectorScore>,
+    fused: FusedScore,
+    best_recall: f64,
+    pass: bool,
+}
+
+fn chunk(signal: &Signal, seconds: f64) -> Vec<Signal> {
+    let frame = ((seconds * signal.fs()) as usize).max(1);
+    let mut chunks = Vec::with_capacity(signal.len().div_ceil(frame));
+    let mut i = 0;
+    while i < signal.len() {
+        let end = (i + frame).min(signal.len());
+        chunks.push(signal.slice(i..end).expect("in-range slice"));
+        i = end;
+    }
+    chunks
+}
+
+fn score_scenario(
+    sc: &Scenario,
+    profile: Profile,
+    seed: u64,
+) -> Result<ScenarioScore, Box<dyn std::error::Error>> {
+    let set = sc.build(profile, seed)?;
+    let specs = DetectorSpec::registry(profile);
+
+    // Capture each needed cell once; all detectors on that cell share it.
+    let mut cells: Vec<((SideChannel, Transform), Split)> = Vec::new();
+    for spec in &specs {
+        let cell = headline_cell(spec.kind);
+        if !cells.iter().any(|(c, _)| *c == cell) {
+            let captures = set.capture(cell.0, cell.1)?;
+            cells.push((cell, Split::from_captures(captures)?));
+        }
+    }
+
+    let mut detectors = Vec::new();
+    for spec in &specs {
+        let cell = headline_cell(spec.kind);
+        let split = &cells
+            .iter()
+            .find(|(c, _)| *c == cell)
+            .expect("cell captured above")
+            .1;
+        let t0 = Instant::now();
+        let outcome = evaluate_split(spec, profile, set.spec.printer, split)?;
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        detectors.push(DetectorScore {
+            label: spec.label(),
+            channel: cell.0,
+            transform: cell.1,
+            recall: outcome.overall.tpr(),
+            false_alarm: outcome.overall.fpr(),
+            chunks_per_second: split.tests.len() as f64 / wall,
+        });
+    }
+
+    // Fused acc+pwr lane at the shared operating point: every test run
+    // streamed as 0.25 s DAQ frames through its own fused detector.
+    let sim = FleetSim::build_from_set(
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+        &set,
+    )?;
+    let (policy, calibration) = tuning::operating_point();
+    let fused_spec = sim.fused_spec(policy, calibration);
+    let acc = set.capture_channel(SideChannel::Acc)?;
+    let pwr = set.capture_channel(SideChannel::Pwr)?;
+    let chunk_seconds = SimConfig::default().chunk_seconds;
+    let (mut tp, mut malicious, mut fp, mut benign) = (0usize, 0usize, 0usize, 0usize);
+    let mut total_chunks = 0usize;
+    let t0 = Instant::now();
+    for (a, p) in acc.iter().zip(&pwr) {
+        if !a.role.is_test() {
+            continue;
+        }
+        let lanes = [
+            chunk(&a.signal, chunk_seconds),
+            chunk(&p.signal, chunk_seconds),
+        ];
+        let longest = lanes.iter().map(Vec::len).max().unwrap_or(0);
+        let mut ids = fused_spec.open()?;
+        let mut fired = false;
+        for f in 0..longest {
+            for (lane, frames) in lanes.iter().enumerate() {
+                if let Some(c) = frames.get(f) {
+                    fired |= !ids.push(lane, c)?.is_empty();
+                    total_chunks += 1;
+                }
+            }
+        }
+        match &a.role {
+            RunRole::Malicious { .. } => {
+                malicious += 1;
+                if fired {
+                    tp += 1;
+                }
+            }
+            _ => {
+                benign += 1;
+                if fired {
+                    fp += 1;
+                }
+            }
+        }
+    }
+    let fused_wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let fused = FusedScore {
+        recall: if malicious > 0 {
+            tp as f64 / malicious as f64
+        } else {
+            0.0
+        },
+        false_alarm: if benign > 0 {
+            fp as f64 / benign as f64
+        } else {
+            0.0
+        },
+        chunks_per_second: total_chunks as f64 / fused_wall,
+        malicious,
+        benign,
+    };
+
+    let best_recall = detectors
+        .iter()
+        .map(|d| d.recall)
+        .chain(std::iter::once(fused.recall))
+        .fold(0.0f64, f64::max);
+    let recall_ok = malicious == 0 || best_recall >= sc.floors.min_recall;
+    let false_alarm_ok = fused.false_alarm <= sc.floors.max_false_alarm;
+    Ok(ScenarioScore {
+        scenario: sc.clone(),
+        detectors,
+        fused,
+        best_recall,
+        pass: recall_ok && false_alarm_ok,
+    })
+}
+
+fn scenario_json(s: &ScenarioScore) -> String {
+    let sc = &s.scenario;
+    let detectors = s
+        .detectors
+        .iter()
+        .map(|d| {
+            format!(
+                "        \"{}\": {{ \"channel\": \"{:?}\", \"transform\": \"{:?}\", \"recall\": {:.4}, \"false_alarm\": {:.4}, \"chunks_per_second\": {:.1} }}",
+                d.label, d.channel, d.transform, d.recall, d.false_alarm, d.chunks_per_second
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "    \"{}\": {{\n      \"family\": \"{}\",\n      \"machine\": \"{}\",\n      \"part\": \"{}\",\n      \"attack\": \"{}\",\n      \"min_recall\": {:.4},\n      \"max_false_alarm\": {:.4},\n      \"best_recall\": {:.4},\n      \"fused\": {{ \"recall\": {:.4}, \"false_alarm\": {:.4}, \"chunks_per_second\": {:.1}, \"malicious_runs\": {}, \"benign_runs\": {} }},\n      \"pass\": {},\n      \"detectors\": {{\n{}\n      }}\n    }}",
+        sc.name,
+        sc.family,
+        sc.machine,
+        sc.part,
+        sc.attack.as_ref().map_or_else(|| "benign".to_string(), |a| a.name()),
+        sc.floors.min_recall,
+        sc.floors.max_false_alarm,
+        s.best_recall,
+        s.fused.recall,
+        s.fused.false_alarm,
+        s.fused.chunks_per_second,
+        s.fused.malicious,
+        s.fused.benign,
+        s.pass,
+        detectors,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let profile = Profile::Small;
+    let registry = ScenarioRegistry::standard();
+    let rows: Vec<&Scenario> = if args.quick {
+        registry.quick_subset()
+    } else {
+        registry.iter().collect()
+    };
+    eprintln!(
+        "scoring {} scenario(s) ({} zoo rows registered, quick={}) ...",
+        rows.len(),
+        registry.len(),
+        args.quick
+    );
+    let t0 = Instant::now();
+    let mut scores = Vec::new();
+    for sc in rows {
+        let t = Instant::now();
+        let score = score_scenario(sc, profile, args.seed)?;
+        eprintln!(
+            "  {:24} best_recall {:.3}  fused fa {:.3}  [{}]  ({:.1} s)",
+            sc.name,
+            score.best_recall,
+            score.fused.false_alarm,
+            if score.pass { "pass" } else { "FAIL" },
+            t.elapsed().as_secs_f64()
+        );
+        scores.push(score);
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let body = scores
+        .iter()
+        .map(scenario_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"benchmark\": \"scenario scorecard, small profile, all IDSs + fused acc+pwr lane\",\n  \"command\": \"cargo run --release --example scenario_scorecard\",\n  \"quick\": {},\n  \"base_seed\": {},\n  \"scenario_count\": {},\n  \"wall_seconds\": {:.3},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        args.quick, args.seed, scores.len(), wall_seconds, body,
+    );
+    std::fs::write(&args.out, &json)?;
+    println!("{json}");
+    eprintln!("wrote {}", args.out);
+
+    // The gate: CI relies on a non-zero exit code here.
+    let failures: Vec<&ScenarioScore> = scores.iter().filter(|s| !s.pass).collect();
+    for f in &failures {
+        eprintln!(
+            "FLOOR VIOLATION {}: best_recall {:.3} (floor {:.3}), fused false-alarm {:.3} (ceiling {:.3})",
+            f.scenario.name,
+            f.best_recall,
+            f.scenario.floors.min_recall,
+            f.fused.false_alarm,
+            f.scenario.floors.max_false_alarm,
+        );
+    }
+    assert!(
+        failures.is_empty(),
+        "{} scenario(s) violated their committed floors",
+        failures.len()
+    );
+    Ok(())
+}

@@ -2,13 +2,17 @@
 //!
 //! - a *different part* (calibration cube) flows through the same
 //!   pipeline and NSYNC still separates benign from attacked prints,
-//! - a *third kinematics* (CoreXY) executes and synchronizes.
+//! - a *third kinematics* (CoreXY) executes and synchronizes,
+//! - the scenario zoo's CoreXY and non-gear geometry rows materialize
+//!   deterministically and keep their detection quality.
 
-use am_dataset::Profile;
+use am_dataset::{ProcessMix, Profile, Transform};
+use am_eval::{evaluate_split, DetectorKind, DetectorSpec, Split};
 use am_gcode::attacks::Attack;
 use am_gcode::slicer::{slice_cube, slice_gear};
 use am_printer::config::{PrinterConfig, PrinterModel};
 use am_printer::firmware::execute_program;
+use am_scenarios::{Machine, Part, ScenarioRegistry};
 use am_sensors::channel::SideChannel;
 use am_sensors::daq::DaqConfig;
 use nsync::prelude::*;
@@ -109,4 +113,72 @@ fn gear_ids_flags_a_cube_print_entirely() {
     let d = trained.detect(&cube_obs).unwrap();
     assert!(d.intrusion);
     let _ = Attack::table1(); // the five G-code attacks remain the main threat set
+}
+
+/// Detection-quality mix for scenario rows: large enough for stable
+/// recall, small enough for test-time budget.
+fn row_mix() -> ProcessMix {
+    ProcessMix {
+        train: 4,
+        test_benign: 3,
+        malicious_per_attack: 3,
+    }
+}
+
+fn row_recall(row: &str, channel: SideChannel, seed: u64) -> f64 {
+    let registry = ScenarioRegistry::standard();
+    let sc = registry
+        .get(row)
+        .unwrap_or_else(|| panic!("{row} registered"));
+    let set = sc.build_with_mix(Profile::Small, seed, row_mix()).unwrap();
+    let captures = set.capture(channel, Transform::Raw).unwrap();
+    let split = Split::from_captures(captures).unwrap();
+    let spec = DetectorSpec {
+        kind: DetectorKind::NsyncDwm,
+        window_s: None,
+    };
+    evaluate_split(&spec, Profile::Small, set.spec.printer, &split)
+        .unwrap()
+        .overall
+        .tpr()
+}
+
+#[test]
+fn corexy_scenario_rows_are_deterministic_and_detect() {
+    let registry = ScenarioRegistry::standard();
+    for row in ["kin-corexy-speed", "kin-corexy-clock"] {
+        let sc = registry.get(row).unwrap();
+        assert_eq!(sc.machine, Machine::CoreXy);
+        // Determinism: two materializations replay bit-for-bit.
+        let a = sc.build_with_mix(Profile::Small, 0xC0, row_mix()).unwrap();
+        let b = sc.build_with_mix(Profile::Small, 0xC0, row_mix()).unwrap();
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.trajectory.duration(), y.trajectory.duration(), "{row}");
+        }
+    }
+    // Detection quality: the CoreXY firmware timing skew stays visible
+    // from the acceleration channel.
+    let recall = row_recall("kin-corexy-clock", SideChannel::Acc, 0x5EED);
+    assert!(recall > 0.5, "kin-corexy-clock recall {recall:.2}");
+}
+
+#[test]
+fn new_geometry_scenario_rows_are_deterministic_and_detect() {
+    let registry = ScenarioRegistry::standard();
+    let bracket = registry.get("geom-um3-bracket-speed").unwrap();
+    assert_eq!(bracket.part, Part::Bracket);
+    let cube = registry.get("geom-um3-cube-skip").unwrap();
+    assert_eq!(cube.part, Part::Cube);
+    for row in ["geom-um3-bracket-speed", "geom-um3-cube-skip"] {
+        let sc = registry.get(row).unwrap();
+        let a = sc.build_with_mix(Profile::Small, 0x9E, row_mix()).unwrap();
+        let b = sc.build_with_mix(Profile::Small, 0x9E, row_mix()).unwrap();
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.role, y.role, "{row}");
+            assert_eq!(x.trajectory.duration(), y.trajectory.duration(), "{row}");
+        }
+    }
+    // Dropping every other cube layer is unmissable from acceleration.
+    let recall = row_recall("geom-um3-cube-skip", SideChannel::Acc, 0x5EED);
+    assert!(recall > 0.5, "geom-um3-cube-skip recall {recall:.2}");
 }

@@ -1,0 +1,210 @@
+//! Scenario-zoo contract: every registered scenario is gridable,
+//! deterministic across two runs, and malformed rows are rejected with
+//! typed errors. Firmware-family rows additionally pin the threat
+//! model's core claim: the G-code sent to the printer is byte-identical
+//! to benign, yet the attack is detected from a side channel.
+
+use am_dataset::{ProcessMix, Profile, RunRole, Transform};
+use am_eval::{evaluate_split, DetectorKind, DetectorSpec, Split};
+use am_gcode::writer::write_program;
+use am_scenarios::{AttackGen, Family, Part, ScenarioError, ScenarioRegistry};
+use am_sensors::channel::SideChannel;
+
+/// Small-but-meaningful mix for materialization checks.
+fn tiny_mix() -> ProcessMix {
+    ProcessMix {
+        train: 1,
+        test_benign: 1,
+        malicious_per_attack: 1,
+    }
+}
+
+#[test]
+fn every_registered_scenario_is_gridable() {
+    let registry = ScenarioRegistry::standard();
+    assert!(registry.len() >= 12);
+    for sc in &registry {
+        let set = sc
+            .build_with_mix(Profile::Small, 0xA11CE, tiny_mix())
+            .unwrap_or_else(|e| panic!("{} failed to build: {e}", sc.name));
+        // Reference + train + benign test always present.
+        assert!(set.runs.iter().any(|r| r.role == RunRole::Reference));
+        assert!(set.runs.iter().any(|r| matches!(r.role, RunRole::Train(_))));
+        assert!(set
+            .runs
+            .iter()
+            .any(|r| matches!(r.role, RunRole::TestBenign(_))));
+        let malicious = set
+            .runs
+            .iter()
+            .filter(|r| matches!(r.role, RunRole::Malicious { .. }))
+            .count();
+        if sc.attack.is_some() {
+            assert_eq!(malicious, 1, "{}", sc.name);
+        } else {
+            assert_eq!(malicious, 0, "{} is benign-only", sc.name);
+        }
+        // Benign-only rows carry their stressor into the capture path.
+        assert_eq!(sc.stressor.is_some(), set.stressor.is_some(), "{}", sc.name);
+    }
+}
+
+#[test]
+fn scenarios_are_deterministic_across_two_builds() {
+    let registry = ScenarioRegistry::standard();
+    // One representative per family keeps this under test-time budget
+    // while still covering every code path family.
+    for sc in registry.quick_subset() {
+        let a = sc.build_with_mix(Profile::Small, 0xD0, tiny_mix()).unwrap();
+        let b = sc.build_with_mix(Profile::Small, 0xD0, tiny_mix()).unwrap();
+        assert_eq!(a.runs.len(), b.runs.len(), "{}", sc.name);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.role, y.role, "{}", sc.name);
+            assert_eq!(x.seed, y.seed, "{}", sc.name);
+            assert_eq!(
+                x.trajectory.duration(),
+                y.trajectory.duration(),
+                "{}: wall clocks must replay bit-for-bit",
+                sc.name
+            );
+        }
+        // Captures replay bit-for-bit too (covers the stressor overlay).
+        let ca = a.capture_channel(SideChannel::Acc).unwrap();
+        let cb = b.capture_channel(SideChannel::Acc).unwrap();
+        for (x, y) in ca.iter().zip(&cb) {
+            for ch in 0..x.signal.channels() {
+                assert_eq!(x.signal.channel(ch), y.signal.channel(ch), "{}", sc.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_scenarios_are_rejected_with_typed_errors() {
+    let registry = ScenarioRegistry::standard();
+    let template = registry.get("base-um3-void").cloned().unwrap();
+
+    let mut empty = template.clone();
+    empty.name = "".into();
+    assert!(matches!(empty.validate(), Err(ScenarioError::EmptyName)));
+
+    let mut bad_floor = template.clone();
+    bad_floor.floors.max_false_alarm = -0.5;
+    assert!(matches!(
+        bad_floor.validate(),
+        Err(ScenarioError::InvalidFloor {
+            field: "max_false_alarm",
+            ..
+        })
+    ));
+
+    let mut bad_combo = template.clone();
+    bad_combo.part = Part::Bracket;
+    match bad_combo.validate() {
+        Err(ScenarioError::UnsupportedCombination { scenario, .. }) => {
+            assert_eq!(scenario, "base-um3-void");
+        }
+        other => panic!("expected UnsupportedCombination, got {other:?}"),
+    }
+
+    // Malformed rows are rejected at build time too, before any
+    // trajectory work happens.
+    assert!(bad_combo.build(Profile::Small, 1).is_err());
+
+    // And the registry refuses duplicates wholesale.
+    let rows = vec![template.clone(), template];
+    assert!(matches!(
+        ScenarioRegistry::new(rows),
+        Err(ScenarioError::DuplicateName(_))
+    ));
+}
+
+#[test]
+fn firmware_rows_keep_gcode_byte_identical_yet_detectable() {
+    let registry = ScenarioRegistry::standard();
+    let mut firmware_rows = 0;
+    for sc in &registry {
+        let Some(gen) = &sc.attack else { continue };
+        let (benign, malicious) = sc.programs(Profile::Small).unwrap();
+        let malicious = malicious.expect("attack rows have a malicious program");
+        match gen {
+            AttackGen::Firmware(_) => {
+                firmware_rows += 1;
+                assert_eq!(
+                    write_program(&benign),
+                    write_program(&malicious),
+                    "{}: firmware attacks must not touch the G-code",
+                    sc.name
+                );
+            }
+            AttackGen::Gcode(_) => {
+                assert_ne!(
+                    write_program(&benign),
+                    write_program(&malicious),
+                    "{}: G-code attacks must modify the program",
+                    sc.name
+                );
+            }
+            other => panic!("unclassified attack generator {other:?}"),
+        }
+    }
+    assert!(
+        firmware_rows >= 4,
+        "zoo must keep several firmware/thermal rows (got {firmware_rows})"
+    );
+
+    // The flagship firmware row: byte-identical G-code, detected from
+    // the acceleration channel by the NSYNC DWM lane.
+    let sc = registry.get("fw-um3-clock").unwrap();
+    let mix = ProcessMix {
+        train: 4,
+        test_benign: 3,
+        malicious_per_attack: 3,
+    };
+    let set = sc.build_with_mix(Profile::Small, 0x5EED, mix).unwrap();
+    let captures = set.capture(SideChannel::Acc, Transform::Raw).unwrap();
+    let split = Split::from_captures(captures).unwrap();
+    let spec = DetectorSpec {
+        kind: DetectorKind::NsyncDwm,
+        window_s: None,
+    };
+    let outcome = evaluate_split(&spec, Profile::Small, set.spec.printer, &split).unwrap();
+    assert!(
+        outcome.overall.tpr() > 0.5,
+        "timing skew must be visible from acceleration (recall {:.2})",
+        outcome.overall.tpr()
+    );
+}
+
+#[test]
+fn stressor_row_is_benign_labeled_and_perturbs_benign_tests() {
+    let registry = ScenarioRegistry::standard();
+    let sc = registry.get("stress-um3-exfil").unwrap();
+    assert_eq!(sc.family, Family::Stressor);
+    assert!(sc.attack.is_none());
+    assert_eq!(sc.floors.min_recall, 0.0);
+
+    let set = sc
+        .build_with_mix(Profile::Small, 0xBEEF, tiny_mix())
+        .unwrap();
+    // Same scenario without the stressor: benign test captures differ,
+    // everything else is identical.
+    let mut clean_sc = sc.clone();
+    clean_sc.stressor = None;
+    let clean = clean_sc
+        .build_with_mix(Profile::Small, 0xBEEF, tiny_mix())
+        .unwrap();
+    let stressed_caps = set.capture_channel(SideChannel::Aud).unwrap();
+    let clean_caps = clean.capture_channel(SideChannel::Aud).unwrap();
+    for (s, c) in stressed_caps.iter().zip(&clean_caps) {
+        assert_eq!(s.role, c.role);
+        let differs =
+            (0..s.signal.channels()).any(|ch| s.signal.channel(ch) != c.signal.channel(ch));
+        assert_eq!(
+            differs,
+            matches!(s.role, RunRole::TestBenign(_)),
+            "stressor must overlay exactly the benign test runs ({})",
+            s.role
+        );
+    }
+}
